@@ -1,0 +1,157 @@
+//! FCFS/greedy heuristic for flexible requests (§5.1, Algorithm 2).
+//!
+//! Requests are decided the moment they arrive: the bandwidth policy picks
+//! `bw(r)` (MinRate or `f × MaxRate`), and the request is accepted iff that
+//! bandwidth fits on both its ports for the whole transmission
+//! `[t_s, t_s + vol/bw)`.
+//!
+//! The paper's pseudo-code tracks scalar allocations `ali`/`ale`; because
+//! every live transfer holds a constant rate until it departs, the future
+//! allocation on a port never exceeds the current one, so checking the
+//! interval against the reservation ledger is equivalent (and is also what
+//! lets the same implementation serve book-ahead extensions).
+
+use crate::policy::BandwidthPolicy;
+use gridband_net::units::Time;
+use gridband_net::CapacityLedger;
+use gridband_sim::{AdmissionController, Decision};
+use gridband_workload::Request;
+
+/// Algorithm 2: accept/reject on arrival with a fixed bandwidth policy.
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    policy: BandwidthPolicy,
+}
+
+impl Greedy {
+    /// Greedy admission with the given bandwidth-assignment policy.
+    pub fn new(policy: BandwidthPolicy) -> Self {
+        Greedy { policy }
+    }
+
+    /// The paper's "MIN BW" greedy.
+    pub fn min_rate() -> Self {
+        Greedy::new(BandwidthPolicy::MinRate)
+    }
+
+    /// The paper's `f × MaxRate` greedy.
+    pub fn fraction(f: f64) -> Self {
+        Greedy::new(BandwidthPolicy::FractionOfMax(f))
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> BandwidthPolicy {
+        self.policy
+    }
+}
+
+impl AdmissionController for Greedy {
+    fn name(&self) -> String {
+        format!("greedy[{}]", self.policy.label())
+    }
+
+    fn on_arrival(&mut self, req: &Request, ledger: &CapacityLedger, now: Time) -> Decision {
+        match self.policy.assign(req, now) {
+            Some(bw) => {
+                let finish = req.completion_at(now, bw);
+                if ledger.fits(req.route, now, finish, bw) {
+                    Decision::Accept {
+                        bw,
+                        start: now,
+                        finish,
+                    }
+                } else {
+                    Decision::Reject
+                }
+            }
+            None => Decision::Reject,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::{Route, Topology};
+    use gridband_sim::Simulation;
+    use gridband_workload::{Request, RequestId, TimeWindow, Trace};
+
+    fn flexible(id: u64, route: Route, start: f64, vol: f64, max: f64, slack: f64) -> Request {
+        let dur = slack * vol / max;
+        Request::new(id, route, TimeWindow::new(start, start + dur), vol, max)
+    }
+
+    #[test]
+    fn min_rate_packs_more_requests_than_max_rate() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // Four simultaneous requests, each 200 MB, MaxRate 50, slack 2
+        // (window 8 s, MinRate 25). At MinRate: 4×25 = 100 — all fit.
+        // At f=1 (50 each): only two fit.
+        let mk = || {
+            Trace::new(
+                (0..4)
+                    .map(|k| flexible(k, Route::new(0, 0), 0.0, 200.0, 50.0, 2.0))
+                    .collect(),
+            )
+        };
+        let sim = Simulation::new(topo);
+        let rep = sim.run(&mk(), &mut Greedy::min_rate());
+        assert_eq!(rep.accepted_count(), 4);
+        let rep = sim.run(&mk(), &mut Greedy::fraction(1.0));
+        assert_eq!(rep.accepted_count(), 2);
+    }
+
+    #[test]
+    fn max_rate_frees_capacity_sooner() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // r0 at t=0 (500 MB, MaxRate 100, window 10 s). At MinRate 50 it
+        // occupies [0,10); at f=1 it occupies [0,5) only.
+        // r1 arrives at t=6 needing 60 MB/s: blocked by MinRate-r0
+        // (50+60 > 100) but admitted after MaxRate-r0 has departed.
+        let mk = || {
+            Trace::new(vec![
+                flexible(0, Route::new(0, 0), 0.0, 500.0, 100.0, 2.0),
+                flexible(1, Route::new(0, 0), 6.0, 600.0, 60.0, 1.0),
+            ])
+        };
+        let sim = Simulation::new(topo);
+        let rep = sim.run(&mk(), &mut Greedy::min_rate());
+        assert_eq!(rep.accepted_count(), 1, "MinRate blocks the second request");
+        let rep = sim.run(&mk(), &mut Greedy::fraction(1.0));
+        assert_eq!(rep.accepted_count(), 2, "MaxRate freed the port in time");
+    }
+
+    #[test]
+    fn intermediate_f_grants_that_fraction() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        let trace = Trace::new(vec![flexible(0, Route::new(0, 0), 0.0, 400.0, 80.0, 4.0)]);
+        let rep = Simulation::new(topo).run(&trace, &mut Greedy::fraction(0.5));
+        assert_eq!(rep.accepted_count(), 1);
+        assert_eq!(rep.assignments[0].bw, 40.0); // 0.5 × 80
+        assert_eq!(rep.assignments[0].finish, 10.0); // 400/40
+    }
+
+    #[test]
+    fn decisions_never_revisited() {
+        // A rejected request is not reconsidered even if capacity frees
+        // later within its window (pure greedy semantics).
+        let topo = Topology::uniform(1, 1, 100.0);
+        let trace = Trace::new(vec![
+            // Fills the port on [0, 10).
+            flexible(0, Route::new(0, 0), 0.0, 1000.0, 100.0, 1.0),
+            // Arrives at 1 with a window reaching far past 10 — at f=1 it
+            // would need the full port now; rejected despite later space.
+            flexible(1, Route::new(0, 0), 1.0, 100.0, 100.0, 30.0),
+        ]);
+        let rep = Simulation::new(topo).run(&trace, &mut Greedy::fraction(1.0));
+        assert_eq!(rep.accepted_count(), 1);
+        assert_eq!(rep.rejected, vec![RequestId(1)]);
+    }
+
+    #[test]
+    fn names_include_policy() {
+        assert_eq!(Greedy::min_rate().name(), "greedy[min-bw]");
+        assert_eq!(Greedy::fraction(0.8).name(), "greedy[f=0.80]");
+        assert_eq!(Greedy::fraction(0.8).policy(), BandwidthPolicy::FractionOfMax(0.8));
+    }
+}

@@ -1,0 +1,330 @@
+//! Interval-based heuristic for flexible requests (§5.2, Algorithm 3).
+//!
+//! Decisions are batched: arrivals within one interval of length `t_step`
+//! are decided together at the end of the interval. Batching buys the
+//! scheduler a view over several candidates at once — the paper shows this
+//! beats greedy under heavy load, the more so the longer the interval (at
+//! the price of a longer response time for grid users).
+//!
+//! Candidate selection minimizes a **saturation cost**: accepting `r` with
+//! bandwidth `bw` would lift its ingress port to
+//! `(ali(i) + bw) / B_in(i)` and its egress port to
+//! `(ale(e) + bw) / B_out(e)`; the cost of `r` is the larger of the two.
+//! The candidate of minimum cost is admitted, allocations are updated, and
+//! the process repeats until the cheapest candidate no longer fits
+//! (`cost > 1`) — the remaining candidates are rejected. (The paper's
+//! pseudo-code removes `r` where `r_min` is meant; we implement the
+//! evident intent and admit `r_min`.)
+//!
+//! Because a request decided at a tick starts *at the tick*, not at its
+//! arrival `t_s`, the bandwidth needed to meet its deadline grows while it
+//! waits; the policy output is re-clamped at decision time and a candidate
+//! whose deadline has become unreachable is rejected outright.
+
+use crate::policy::BandwidthPolicy;
+use gridband_net::units::Time;
+use gridband_net::CapacityLedger;
+use gridband_sim::{AdmissionController, Decision};
+use gridband_workload::{Request, RequestId};
+
+/// Algorithm 3: interval-based admission with saturation-cost selection.
+#[derive(Debug, Clone)]
+pub struct WindowScheduler {
+    step: Time,
+    policy: BandwidthPolicy,
+    order_by_cost: bool,
+    pending: Vec<Request>,
+}
+
+impl WindowScheduler {
+    /// Interval scheduler with period `t_step` seconds and the given
+    /// bandwidth policy.
+    pub fn new(step: Time, policy: BandwidthPolicy) -> Self {
+        assert!(step > 0.0, "t_step must be positive");
+        WindowScheduler {
+            step,
+            policy,
+            order_by_cost: true,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Ablation: decide candidates in arrival order instead of by
+    /// minimum saturation cost.
+    pub fn with_arrival_order(mut self) -> Self {
+        self.order_by_cost = false;
+        self
+    }
+
+    /// The interval length `t_step`.
+    pub fn step(&self) -> Time {
+        self.step
+    }
+
+    fn decide_batch(
+        &mut self,
+        ledger: &CapacityLedger,
+        now: Time,
+    ) -> Vec<(RequestId, Decision)> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.pending.len());
+        // Scalar allocation trackers, exactly the `ali`/`ale` of Algorithm
+        // 3. Every live reservation holds a constant rate from some past
+        // start until it departs, so the allocation at `now` bounds the
+        // allocation at any later instant — a scalar per port is a sound
+        // (and exact, for batch acceptances starting at `now`) view of the
+        // future.
+        let topo = ledger.topology();
+        let mut ali: Vec<f64> = topo
+            .ingress_ids()
+            .map(|i| ledger.ingress_profile(i).alloc_at(now))
+            .collect();
+        let mut ale: Vec<f64> = topo
+            .egress_ids()
+            .map(|e| ledger.egress_profile(e).alloc_at(now))
+            .collect();
+
+        // Resolve each candidate's bandwidth at the decision time; those
+        // whose deadline became unreachable are rejected immediately.
+        let mut candidates: Vec<(Request, f64, Time)> = Vec::new();
+        for req in self.pending.drain(..) {
+            match self.policy.assign(&req, now) {
+                Some(bw) => {
+                    let finish = req.completion_at(now, bw);
+                    candidates.push((req, bw, finish));
+                }
+                None => out.push((req.id, Decision::Reject)),
+            }
+        }
+
+        let cost_of = |ali: &[f64], ale: &[f64], req: &Request, bw: f64| -> f64 {
+            let i = req.route.ingress;
+            let e = req.route.egress;
+            let in_util = (ali[i.index()] + bw) / topo.ingress_cap(i);
+            let out_util = (ale[e.index()] + bw) / topo.egress_cap(e);
+            in_util.max(out_util)
+        };
+        // Acceptance must use the ledger's *absolute* tolerance — a
+        // relative slack on the cost (≤ 1 + ε) would overshoot port
+        // capacity by ε × B and be rejected at reservation time.
+        let fits = |ali: &[f64], ale: &[f64], req: &Request, bw: f64| -> bool {
+            let i = req.route.ingress;
+            let e = req.route.egress;
+            gridband_net::units::approx_le(ali[i.index()] + bw, topo.ingress_cap(i))
+                && gridband_net::units::approx_le(ale[e.index()] + bw, topo.egress_cap(e))
+        };
+
+        let accept = |req: &Request,
+                          bw: f64,
+                          finish: Time,
+                          ali: &mut [f64],
+                          ale: &mut [f64],
+                          out: &mut Vec<(RequestId, Decision)>| {
+            ali[req.route.ingress.index()] += bw;
+            ale[req.route.egress.index()] += bw;
+            out.push((
+                req.id,
+                Decision::Accept {
+                    bw,
+                    start: now,
+                    finish,
+                },
+            ));
+        };
+
+        if self.order_by_cost {
+            // Paper: repeatedly admit the minimum-cost candidate until the
+            // cheapest one would saturate a port.
+            while !candidates.is_empty() {
+                let (best_idx, _) = candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (req, bw, _))| (k, cost_of(&ali, &ale, req, *bw)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+                    .expect("non-empty");
+                if !fits(&ali, &ale, &candidates[best_idx].0, candidates[best_idx].1) {
+                    // The cheapest candidate saturates a port (cost > 1):
+                    // reject everything left.
+                    for (req, _, _) in candidates.drain(..) {
+                        out.push((req.id, Decision::Reject));
+                    }
+                    break;
+                }
+                let (req, bw, finish) = candidates.swap_remove(best_idx);
+                accept(&req, bw, finish, &mut ali, &mut ale, &mut out);
+            }
+        } else {
+            // Ablation: FCFS within the interval.
+            for (req, bw, finish) in candidates.drain(..) {
+                if fits(&ali, &ale, &req, bw) {
+                    accept(&req, bw, finish, &mut ali, &mut ale, &mut out);
+                } else {
+                    out.push((req.id, Decision::Reject));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl AdmissionController for WindowScheduler {
+    fn name(&self) -> String {
+        format!(
+            "window[t_step={}, {}{}]",
+            self.step,
+            self.policy.label(),
+            if self.order_by_cost { "" } else { ", fcfs" }
+        )
+    }
+
+    fn tick_period(&self) -> Option<Time> {
+        Some(self.step)
+    }
+
+    fn on_arrival(&mut self, req: &Request, _: &CapacityLedger, _: Time) -> Decision {
+        self.pending.push(*req);
+        Decision::Defer
+    }
+
+    fn on_tick(&mut self, ledger: &CapacityLedger, now: Time) -> Vec<(RequestId, Decision)> {
+        self.decide_batch(ledger, now)
+    }
+
+    fn on_end(&mut self, ledger: &CapacityLedger, now: Time) -> Vec<(RequestId, Decision)> {
+        self.decide_batch(ledger, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::{Route, Topology};
+    use gridband_sim::Simulation;
+    use gridband_workload::{TimeWindow, Trace};
+
+    fn flexible(id: u64, route: Route, start: f64, vol: f64, max: f64, slack: f64) -> Request {
+        let dur = slack * vol / max;
+        Request::new(id, route, TimeWindow::new(start, start + dur), vol, max)
+    }
+
+    #[test]
+    fn batch_decision_prefers_low_saturation() {
+        let topo = Topology::uniform(2, 2, 100.0);
+        // Three candidates in the same interval. Two routes share egress 0;
+        // one uses egress 1. Capacity allows the shared pair only if the
+        // scheduler picks wisely: candidates are (i0->e0, 60), (i1->e0,
+        // 60), (i1->e1, 60): accepting both e0 ones is impossible.
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.1, 600.0, 60.0, 4.0),
+            flexible(1, Route::new(1, 0), 0.2, 600.0, 60.0, 4.0),
+            flexible(2, Route::new(1, 1), 0.3, 600.0, 60.0, 4.0),
+        ]);
+        let mut c = WindowScheduler::new(1.0, BandwidthPolicy::MAX_RATE);
+        let rep = Simulation::new(topo).run(&trace, &mut c);
+        // Cost of r0 and r1 is 0.6 (fresh ports); after accepting one of
+        // them, the other's egress-0 cost becomes 1.2 > 1 … but r2's cost
+        // (ingress 1 maybe loaded) — the scheduler must still admit r2.
+        assert_eq!(rep.accepted_count(), 2);
+        let ids: Vec<u64> = rep.assignments.iter().map(|a| a.id.0).collect();
+        assert!(ids.contains(&2), "the non-conflicting candidate must pass");
+    }
+
+    #[test]
+    fn waiting_for_the_tick_raises_the_required_rate() {
+        let topo = Topology::uniform(1, 1, 1000.0);
+        // 1000 MB, MaxRate 100, window [0, 20]: MinRate 50. Decided at
+        // t=10 → required 1000/10 = 100 = MaxRate.
+        let trace = Trace::new(vec![flexible(0, Route::new(0, 0), 0.0, 1000.0, 100.0, 2.0)]);
+        let mut c = WindowScheduler::new(10.0, BandwidthPolicy::MinRate);
+        let rep = Simulation::new(topo).run(&trace, &mut c);
+        assert_eq!(rep.accepted_count(), 1);
+        let a = rep.assignments[0];
+        assert_eq!(a.start, 10.0);
+        assert_eq!(a.bw, 100.0);
+        assert_eq!(a.finish, 20.0);
+    }
+
+    #[test]
+    fn candidate_missing_deadline_while_queued_is_rejected() {
+        let topo = Topology::uniform(1, 1, 1000.0);
+        // Window [0, 5] but first tick at 10: unreachable.
+        let trace = Trace::new(vec![flexible(0, Route::new(0, 0), 0.0, 100.0, 100.0, 5.0)]);
+        let mut c = WindowScheduler::new(10.0, BandwidthPolicy::MinRate);
+        let rep = Simulation::new(topo).run(&trace, &mut c);
+        assert_eq!(rep.accepted_count(), 0);
+    }
+
+    #[test]
+    fn window_beats_greedy_on_a_crafted_burst() {
+        // One interval sees an elephant arrive just before many mice.
+        // Greedy admits the elephant first (it arrived first) and blocks
+        // the mice; the window scheduler sees all of them and favours the
+        // cheap mice.
+        use crate::flexible::greedy::Greedy;
+        let topo = Topology::uniform(1, 1, 100.0);
+        let mut reqs = vec![flexible(0, Route::new(0, 0), 0.05, 9000.0, 90.0, 3.0)];
+        for k in 1..=9 {
+            reqs.push(flexible(
+                k,
+                Route::new(0, 0),
+                0.1 + 0.01 * k as f64,
+                1000.0,
+                10.0,
+                3.0,
+            ));
+        }
+        let trace = Trace::new(reqs);
+        let sim = Simulation::new(topo);
+        let greedy_rep = sim.run(&trace, &mut Greedy::fraction(1.0));
+        let mut w = WindowScheduler::new(1.0, BandwidthPolicy::MAX_RATE);
+        let window_rep = sim.run(&trace, &mut w);
+        assert!(window_rep.accepted_count() > greedy_rep.accepted_count(),
+            "window {} vs greedy {}", window_rep.accepted_count(), greedy_rep.accepted_count());
+        assert_eq!(window_rep.accepted_count(), 9, "nine mice of cost ≤ 1");
+    }
+
+    #[test]
+    fn arrival_order_ablation_changes_the_outcome() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        let mk = || {
+            let mut reqs = vec![flexible(0, Route::new(0, 0), 0.05, 9000.0, 90.0, 3.0)];
+            for k in 1..=9 {
+                reqs.push(flexible(
+                    k,
+                    Route::new(0, 0),
+                    0.1 + 0.01 * k as f64,
+                    1000.0,
+                    10.0,
+                    3.0,
+                ));
+            }
+            Trace::new(reqs)
+        };
+        let sim = Simulation::new(topo);
+        let mut by_cost = WindowScheduler::new(1.0, BandwidthPolicy::MAX_RATE);
+        let mut by_arrival =
+            WindowScheduler::new(1.0, BandwidthPolicy::MAX_RATE).with_arrival_order();
+        let a = sim.run(&mk(), &mut by_cost);
+        let b = sim.run(&mk(), &mut by_arrival);
+        assert_eq!(a.accepted_count(), 9);
+        // Arrival order admits the elephant (90) then one mouse (10).
+        assert_eq!(b.accepted_count(), 2);
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        let c = WindowScheduler::new(400.0, BandwidthPolicy::FractionOfMax(0.8));
+        assert_eq!(c.name(), "window[t_step=400, f=0.80]");
+        assert_eq!(c.step(), 400.0);
+        let c = WindowScheduler::new(5.0, BandwidthPolicy::MinRate).with_arrival_order();
+        assert!(c.name().contains("fcfs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "t_step")]
+    fn zero_step_rejected() {
+        let _ = WindowScheduler::new(0.0, BandwidthPolicy::MinRate);
+    }
+}

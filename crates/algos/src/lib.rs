@@ -1,0 +1,73 @@
+//! # gridband-algos — the paper's bandwidth-sharing heuristics
+//!
+//! The primary contribution of *“Optimal Bandwidth Sharing in Grid
+//! Environments”* (Marchal, Vicat-Blanc Primet, Robert, Zeng — HPDC 2006):
+//! admission control and bandwidth assignment for short-lived bulk
+//! transfers at the grid edge.
+//!
+//! ## Rigid requests (§4)
+//!
+//! `MinRate = MaxRate`: a request is accepted exactly as submitted or
+//! rejected. Implemented in [`rigid`]:
+//!
+//! * [`rigid::fcfs_rigid`] — first-come first-serve (the paper's baseline,
+//!   shown to collapse under load in Figure 4);
+//! * [`rigid::slots_schedule`] — Algorithm 1, the time-window
+//!   decomposition family: **CUMULATED-SLOTS**, **MINBW-SLOTS**,
+//!   **MINVOL-SLOTS**, selected via [`rigid::SlotCost`].
+//!
+//! ## Flexible requests (§5)
+//!
+//! Windows carry slack; the scheduler picks `bw ∈ [MinRate, MaxRate]`
+//! through a [`BandwidthPolicy`] — either the bare minimum or a guaranteed
+//! fraction `f` of the host rate (the paper's tuning factor). Implemented
+//! in [`flexible`]:
+//!
+//! * [`flexible::Greedy`] — Algorithm 2, decide on arrival;
+//! * [`flexible::WindowScheduler`] — Algorithm 3, batch decisions every
+//!   `t_step` seconds and admit candidates in order of least port
+//!   saturation;
+//! * [`flexible::BookAhead`] — an advance-reservation extension (the
+//!   paper's future-work direction): a request that does not fit *now*
+//!   is parked at the earliest instant inside its window where it does.
+//!
+//! Both implement
+//! [`AdmissionController`](gridband_sim::AdmissionController) and run under
+//! [`gridband_sim::Simulation`]; every schedule they emit is re-verified
+//! against the capacity constraints by the runner.
+//!
+//! ```
+//! use gridband_algos::{BandwidthPolicy, WindowScheduler, RigidHeuristic};
+//! use gridband_net::Topology;
+//! use gridband_sim::Simulation;
+//! use gridband_workload::WorkloadBuilder;
+//!
+//! let topo = Topology::paper_default();
+//! // §4: rigid requests through CUMULATED-SLOTS.
+//! let rigid = WorkloadBuilder::paper_rigid(topo.clone(), 2.0, 42);
+//! let report = RigidHeuristic::CumulatedSlots.report(&rigid, &topo);
+//! assert!(report.accept_rate > 0.0);
+//!
+//! // §5: flexible requests through the interval-based heuristic.
+//! let flexible = WorkloadBuilder::paper_flexible(topo.clone(), 2.0, 42);
+//! let mut sched = WindowScheduler::new(50.0, BandwidthPolicy::FractionOfMax(0.8));
+//! let report = Simulation::new(topo).run(&flexible, &mut sched);
+//! assert!(report.accept_rate > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flexible;
+pub mod policy;
+pub mod replica;
+pub mod retry;
+pub mod rigid;
+
+pub use flexible::{AdaptiveGreedy, BookAhead, Greedy, WindowScheduler};
+pub use replica::{select_replicas, ReplicaStrategy, ReplicatedRequest};
+pub use retry::{Retrying, RetryPolicy};
+pub use policy::BandwidthPolicy;
+pub use rigid::{
+    fcfs_rigid, improve_rigid, slots_schedule, ImproveConfig, RigidHeuristic, SlotCost,
+    SlotsConfig,
+};

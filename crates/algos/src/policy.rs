@@ -1,0 +1,128 @@
+//! Bandwidth-assignment policies (§2.3, §5).
+//!
+//! When a flexible request is accepted, the scheduler chooses
+//! `bw(r) ∈ [MinRate(r), MaxRate(r)]`. The paper studies two families:
+//!
+//! * **MIN BW** — grant exactly the minimum the user asked for
+//!   (`MinRate`), maximizing the chance of fitting more requests;
+//! * **tuning factor `f`** — guarantee `max(f × MaxRate(r), MinRate(r))`,
+//!   pushing transfers out of the network earlier at the cost of a lower
+//!   raw accept rate. `f = 1` grants the full host rate.
+//!
+//! A policy is evaluated at the *decision* time: when an interval-based
+//! scheduler starts a request later than `t_s(r)`, the minimum feasible
+//! rate grows (`vol / (t_f − now)`), and the policy output is clamped to
+//! stay within `[required, MaxRate]`.
+
+use gridband_net::units::{Bandwidth, Time};
+use gridband_workload::Request;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How much bandwidth an accepted request is granted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BandwidthPolicy {
+    /// Grant the minimum rate that meets the deadline from the decision
+    /// time (the paper's "MIN BW" curves).
+    MinRate,
+    /// Grant `max(f × MaxRate, required)` for the tuning factor
+    /// `f ∈ (0, 1]` (the paper's "f factor" curves; `f = 1` is "MAX BW").
+    FractionOfMax(f64),
+}
+
+impl BandwidthPolicy {
+    /// The full-host-rate policy (`f = 1`).
+    pub const MAX_RATE: BandwidthPolicy = BandwidthPolicy::FractionOfMax(1.0);
+
+    /// Bandwidth granted to `req` when transmission starts at `start_at`,
+    /// or `None` when no rate ≤ `MaxRate` can still meet the deadline.
+    pub fn assign(&self, req: &Request, start_at: Time) -> Option<Bandwidth> {
+        let required = req.required_rate_from(start_at)?;
+        let bw = match *self {
+            BandwidthPolicy::MinRate => required,
+            BandwidthPolicy::FractionOfMax(f) => {
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "tuning factor f must lie in [0, 1], got {f}"
+                );
+                (f * req.max_rate).max(required)
+            }
+        };
+        Some(bw.min(req.max_rate))
+    }
+
+    /// Short label used in figure legends ("min-bw", "f=0.8", …).
+    pub fn label(&self) -> String {
+        match *self {
+            BandwidthPolicy::MinRate => "min-bw".to_string(),
+            BandwidthPolicy::FractionOfMax(f) => format!("f={f:.2}"),
+        }
+    }
+}
+
+impl fmt::Display for BandwidthPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::TimeWindow;
+
+    fn req() -> Request {
+        // 1000 MB over [0, 100], MaxRate 50 → MinRate 10.
+        Request::new(1, Route::new(0, 0), TimeWindow::new(0.0, 100.0), 1000.0, 50.0)
+    }
+
+    #[test]
+    fn min_rate_policy_grants_the_minimum() {
+        let r = req();
+        assert_eq!(BandwidthPolicy::MinRate.assign(&r, 0.0), Some(10.0));
+        // Starting late raises the requirement.
+        assert_eq!(BandwidthPolicy::MinRate.assign(&r, 50.0), Some(20.0));
+    }
+
+    #[test]
+    fn fraction_policy_grants_f_times_max() {
+        let r = req();
+        assert_eq!(
+            BandwidthPolicy::FractionOfMax(0.8).assign(&r, 0.0),
+            Some(40.0)
+        );
+        assert_eq!(BandwidthPolicy::MAX_RATE.assign(&r, 0.0), Some(50.0));
+        // f so small that MinRate dominates: max(5, 10) = 10.
+        assert_eq!(
+            BandwidthPolicy::FractionOfMax(0.1).assign(&r, 0.0),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn late_start_clamps_to_required_and_max() {
+        let r = req();
+        // From t=80, required = 1000/20 = 50 = MaxRate exactly.
+        assert_eq!(
+            BandwidthPolicy::FractionOfMax(0.5).assign(&r, 80.0),
+            Some(50.0)
+        );
+        // From t=90 the deadline is unreachable.
+        assert_eq!(BandwidthPolicy::MinRate.assign(&r, 90.0), None);
+        assert_eq!(BandwidthPolicy::MAX_RATE.assign(&r, 90.0), None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BandwidthPolicy::MinRate.label(), "min-bw");
+        assert_eq!(BandwidthPolicy::FractionOfMax(0.8).label(), "f=0.80");
+        assert_eq!(BandwidthPolicy::MAX_RATE.to_string(), "f=1.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "tuning factor")]
+    fn out_of_range_factor_panics() {
+        let _ = BandwidthPolicy::FractionOfMax(1.5).assign(&req(), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Client retry behaviour (§2.3).
+//!
+//! "Customers … can also stand the risk of being rejected and try later,
+//! but take the advantage of being transmitted more quickly." This module
+//! wraps any admission controller with that client behaviour: a rejected
+//! request is re-presented after a backoff, as long as attempts remain
+//! and the *original* deadline is still reachable at the retry instant
+//! (windows are never renegotiated, so every eventual acceptance still
+//! satisfies the verifier against the original trace).
+//!
+//! Retrying interacts with the tuning factor exactly as §2.3 describes:
+//! high-`f` users are rejected more often but each retry, when it lands,
+//! still gets the fast transfer.
+
+use gridband_net::units::Time;
+use gridband_net::CapacityLedger;
+use gridband_sim::{AdmissionController, Decision};
+use gridband_workload::{Request, RequestId};
+use std::collections::HashMap;
+
+/// Retry configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Wait between a rejection and the next attempt (s).
+    pub backoff: Time,
+    /// Total attempts including the first (1 = no retrying).
+    pub max_attempts: usize,
+}
+
+impl RetryPolicy {
+    /// No retrying — behaves exactly like the inner controller.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        backoff: 0.0,
+        max_attempts: 1,
+    };
+}
+
+/// Wraps an inner controller with §2.3 client retry behaviour.
+#[derive(Debug, Clone)]
+pub struct Retrying<C> {
+    inner: C,
+    policy: RetryPolicy,
+    attempts: HashMap<RequestId, usize>,
+    // Requests seen so far, so batch (tick-time) rejections can be
+    // checked for deadline reachability before scheduling a retry.
+    seen: HashMap<RequestId, Request>,
+}
+
+impl<C: AdmissionController> Retrying<C> {
+    /// Wrap `inner` with the given retry policy.
+    pub fn new(inner: C, policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        assert!(
+            policy.max_attempts == 1 || policy.backoff > 0.0,
+            "retrying requires a positive backoff"
+        );
+        Retrying {
+            inner,
+            policy,
+            attempts: HashMap::new(),
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Attempts actually used by a request (1 if decided first time).
+    pub fn attempts_used(&self, id: RequestId) -> usize {
+        self.attempts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Mean attempts per decided request.
+    pub fn mean_attempts(&self) -> f64 {
+        if self.attempts.is_empty() {
+            return 0.0;
+        }
+        self.attempts.values().sum::<usize>() as f64 / self.attempts.len() as f64
+    }
+
+    /// Convert an inner rejection into a retry when the policy and the
+    /// deadline allow it.
+    fn reconsider(&mut self, req: &Request, decision: Decision, now: Time) -> Decision {
+        match decision {
+            Decision::Reject => {
+                let used = *self.attempts.get(&req.id).expect("attempt recorded");
+                let at = now + self.policy.backoff;
+                // The deadline must still be reachable at the retry time
+                // with the request's own maximum rate.
+                let reachable = req.required_rate_from(at).is_some();
+                if used < self.policy.max_attempts && reachable {
+                    Decision::Retry { at }
+                } else {
+                    Decision::Reject
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl<C: AdmissionController> AdmissionController for Retrying<C> {
+    fn name(&self) -> String {
+        format!(
+            "retry[{}, backoff={}, attempts={}]",
+            self.inner.name(),
+            self.policy.backoff,
+            self.policy.max_attempts
+        )
+    }
+
+    fn tick_period(&self) -> Option<Time> {
+        self.inner.tick_period()
+    }
+
+    fn on_arrival(&mut self, req: &Request, ledger: &CapacityLedger, now: Time) -> Decision {
+        *self.attempts.entry(req.id).or_insert(0) += 1;
+        self.seen.insert(req.id, *req);
+        let d = self.inner.on_arrival(req, ledger, now);
+        self.reconsider(req, d, now)
+    }
+
+    fn on_tick(&mut self, ledger: &CapacityLedger, now: Time) -> Vec<(RequestId, Decision)> {
+        let decisions = self.inner.on_tick(ledger, now);
+        decisions
+            .into_iter()
+            .map(|(id, d)| {
+                let d = match d {
+                    Decision::Reject => {
+                        let req = *self.seen.get(&id).expect("decision for unseen request");
+                        self.reconsider(&req, Decision::Reject, now)
+                    }
+                    other => other,
+                };
+                (id, d)
+            })
+            .collect()
+    }
+
+    fn on_departure(&mut self, req: &Request, now: Time) {
+        self.inner.on_departure(req, now);
+    }
+
+    fn on_end(&mut self, ledger: &CapacityLedger, now: Time) -> Vec<(RequestId, Decision)> {
+        // End of run: no future to retry into; pass rejections through.
+        self.inner.on_end(ledger, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flexible::greedy::Greedy;
+    use gridband_net::{Route, Topology};
+    use gridband_sim::Simulation;
+    use gridband_workload::{TimeWindow, Trace};
+
+    fn flexible(id: u64, route: Route, start: f64, vol: f64, max: f64, slack: f64) -> Request {
+        let dur = slack * vol / max;
+        Request::new(id, route, TimeWindow::new(start, start + dur), vol, max)
+    }
+
+    #[test]
+    fn retry_lands_after_the_blocker_departs() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // r0 fills the port on [0, 10); r1 (window [1, 31]) is rejected at
+        // arrival but a retry at 1 + 10 = 11 succeeds.
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.0, 1_000.0, 100.0, 1.0),
+            flexible(1, Route::new(0, 0), 1.0, 1_000.0, 100.0, 3.0),
+        ]);
+        let sim = Simulation::new(topo);
+        let mut c = Retrying::new(
+            Greedy::fraction(1.0),
+            RetryPolicy {
+                backoff: 10.0,
+                max_attempts: 3,
+            },
+        );
+        let rep = sim.run(&trace, &mut c);
+        assert_eq!(rep.accepted_count(), 2);
+        let late = rep.assignments.iter().find(|a| a.id.0 == 1).unwrap();
+        assert_eq!(late.start, 11.0);
+        assert_eq!(c.attempts_used(RequestId(1)), 2);
+        assert_eq!(c.attempts_used(RequestId(0)), 1);
+        assert!((c.mean_attempts() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // Port busy for [0, 100); r1's window is huge but only 2 attempts
+        // are allowed, both inside the busy period.
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.0, 10_000.0, 100.0, 1.0),
+            flexible(1, Route::new(0, 0), 1.0, 100.0, 100.0, 500.0),
+        ]);
+        let sim = Simulation::new(topo);
+        let mut c = Retrying::new(
+            Greedy::fraction(1.0),
+            RetryPolicy {
+                backoff: 5.0,
+                max_attempts: 2,
+            },
+        );
+        let rep = sim.run(&trace, &mut c);
+        assert_eq!(rep.accepted_count(), 1, "r1 gave up after 2 attempts");
+        assert_eq!(c.attempts_used(RequestId(1)), 2);
+    }
+
+    #[test]
+    fn no_retry_past_the_deadline() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // r1 must finish by t=12; a retry at 1+10=11 could not carry
+        // 1000 MB at 100 MB/s, so the wrapper rejects outright instead of
+        // scheduling a doomed retry.
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.0, 1_000.0, 100.0, 1.0),
+            flexible(1, Route::new(0, 0), 1.0, 1_000.0, 100.0, 1.1),
+        ]);
+        let sim = Simulation::new(topo);
+        let mut c = Retrying::new(
+            Greedy::fraction(1.0),
+            RetryPolicy {
+                backoff: 10.0,
+                max_attempts: 5,
+            },
+        );
+        let rep = sim.run(&trace, &mut c);
+        assert_eq!(rep.accepted_count(), 1);
+        assert_eq!(c.attempts_used(RequestId(1)), 1, "no doomed retries");
+    }
+
+    #[test]
+    fn retrying_raises_accept_rate_on_random_workloads() {
+        use gridband_workload::{Dist, WorkloadBuilder};
+        let topo = Topology::paper_default();
+        let mut with_retry = 0usize;
+        let mut without = 0usize;
+        for seed in [1u64, 2, 3] {
+            let trace = WorkloadBuilder::new(topo.clone())
+                .mean_interarrival(1.0)
+                .slack(Dist::Uniform { lo: 3.0, hi: 6.0 })
+                .horizon(400.0)
+                .seed(seed)
+                .build();
+            let sim = Simulation::new(topo.clone());
+            without += sim.run(&trace, &mut Greedy::fraction(1.0)).accepted_count();
+            let mut c = Retrying::new(
+                Greedy::fraction(1.0),
+                RetryPolicy {
+                    backoff: 30.0,
+                    max_attempts: 4,
+                },
+            );
+            with_retry += sim.run(&trace, &mut c).accepted_count();
+        }
+        assert!(
+            with_retry > without,
+            "retry {with_retry} ≤ no-retry {without}"
+        );
+    }
+
+    #[test]
+    fn none_policy_is_transparent() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.0, 1_000.0, 100.0, 1.0),
+            flexible(1, Route::new(0, 0), 1.0, 1_000.0, 100.0, 3.0),
+        ]);
+        let sim = Simulation::new(topo);
+        let plain = sim.run(&trace, &mut Greedy::fraction(1.0));
+        let mut wrapped = Retrying::new(Greedy::fraction(1.0), RetryPolicy::NONE);
+        let wrapped_rep = sim.run(&trace, &mut wrapped);
+        assert_eq!(plain.assignments, wrapped_rep.assignments);
+    }
+
+    #[test]
+    fn name_reports_configuration() {
+        let c = Retrying::new(
+            Greedy::min_rate(),
+            RetryPolicy {
+                backoff: 30.0,
+                max_attempts: 3,
+            },
+        );
+        assert_eq!(c.name(), "retry[greedy[min-bw], backoff=30, attempts=3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive backoff")]
+    fn zero_backoff_with_retries_rejected() {
+        let _ = Retrying::new(
+            Greedy::min_rate(),
+            RetryPolicy {
+                backoff: 0.0,
+                max_attempts: 2,
+            },
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! FCFS for rigid requests (§4.1).
+//!
+//! "Scheduling requests in a 'first come first serve' manner, the FCFS
+//! heuristic accepts requests in the order of their starting times. If
+//! several requests happen to have the same starting time, the request
+//! demanding the smallest bandwidth is scheduled first."
+//!
+//! Rigid requests leave no choice: `bw(r) = MinRate(r) = MaxRate(r)`,
+//! `σ = t_s`, `τ = t_f`. A request is accepted iff its bandwidth fits on
+//! both ports over its whole window given everything accepted before it.
+
+use gridband_net::units::approx_eq;
+use gridband_net::{CapacityLedger, Topology};
+use gridband_sim::Assignment;
+use gridband_workload::Trace;
+
+/// Schedule `trace` FCFS on `topo`; returns the accepted assignments.
+pub fn fcfs_rigid(trace: &Trace, topo: &Topology) -> Vec<Assignment> {
+    let mut order: Vec<usize> = (0..trace.len()).collect();
+    let reqs = trace.requests();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (&reqs[a], &reqs[b]);
+        ra.start()
+            .partial_cmp(&rb.start())
+            .expect("finite start times")
+            // Equal start: smallest demanded bandwidth first.
+            .then(
+                ra.min_rate()
+                    .partial_cmp(&rb.min_rate())
+                    .expect("finite rates"),
+            )
+            .then(ra.id.cmp(&rb.id))
+    });
+
+    let mut ledger = CapacityLedger::new(topo.clone());
+    let mut accepted = Vec::new();
+    for idx in order {
+        let r = &reqs[idx];
+        debug_assert!(
+            approx_eq(r.min_rate(), r.max_rate),
+            "fcfs_rigid expects rigid requests; {} has slack {}",
+            r.id,
+            r.slack()
+        );
+        let bw = r.min_rate();
+        if ledger.reserve(r.route, r.start(), r.finish(), bw).is_ok() {
+            accepted.push(Assignment {
+                id: r.id,
+                bw,
+                start: r.start(),
+                finish: r.finish(),
+            });
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_sim::verify_schedule;
+    use gridband_workload::{Request, RequestId};
+
+    fn rigid(id: u64, route: Route, start: f64, vol: f64, rate: f64) -> Request {
+        Request::rigid(id, route, start, vol, rate)
+    }
+
+    #[test]
+    fn accepts_in_arrival_order_until_full() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        let trace = Trace::new(vec![
+            rigid(0, Route::new(0, 0), 0.0, 600.0, 60.0), // [0,10) @60
+            rigid(1, Route::new(0, 0), 5.0, 300.0, 30.0), // [5,15) @30
+            rigid(2, Route::new(0, 0), 6.0, 200.0, 20.0), // [6,16) @20 -> blocked (60+30+20 > 100)
+        ]);
+        let acc = fcfs_rigid(&trace, &topo);
+        let ids: Vec<u64> = acc.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(verify_schedule(&trace, &topo, &acc).is_ok());
+    }
+
+    #[test]
+    fn equal_start_small_bw_first_blocks_large() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // 30 + 80 = 110 > 100: small-first admits 30, rejects 80.
+        let trace = Trace::new(vec![
+            rigid(0, Route::new(0, 0), 0.0, 800.0, 80.0),
+            rigid(1, Route::new(0, 0), 0.0, 300.0, 30.0),
+        ]);
+        let acc = fcfs_rigid(&trace, &topo);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].id, RequestId(1));
+    }
+
+    #[test]
+    fn head_of_line_blocking_hurts_fcfs() {
+        // The pathology Figure 4 demonstrates: one early huge request
+        // blocks a burst of small later ones.
+        let topo = Topology::uniform(1, 1, 100.0);
+        let mut reqs = vec![rigid(0, Route::new(0, 0), 0.0, 9_500.0, 95.0)]; // [0,100) @95
+        for k in 1..=10 {
+            // Ten 10 MB/s requests that would each fit alone.
+            reqs.push(rigid(k, Route::new(0, 0), 1.0 + k as f64, 100.0, 10.0));
+        }
+        let trace = Trace::new(reqs);
+        let acc = fcfs_rigid(&trace, &topo);
+        // Only the elephant is accepted: every mouse needs 10 > 5 free.
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].id, RequestId(0));
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interfere() {
+        let topo = Topology::uniform(2, 2, 100.0);
+        let trace = Trace::new(vec![
+            rigid(0, Route::new(0, 0), 0.0, 1000.0, 100.0),
+            rigid(1, Route::new(1, 1), 0.0, 1000.0, 100.0),
+        ]);
+        assert_eq!(fcfs_rigid(&trace, &topo).len(), 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        assert!(fcfs_rigid(&Trace::new(vec![]), &topo).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Heuristics for **rigid** requests (§4): `MinRate = MaxRate`, fixed
+//! transmission `[t_s, t_f)` — accept as-is or reject.
+//!
+//! These schedulers are *offline over the arrival order*: FCFS processes
+//! requests by start time, the slots family slices the horizon at request
+//! boundaries and schedules interval by interval (which is also how an
+//! online deployment with modest look-ahead would run them).
+
+pub mod fcfs;
+pub mod improve;
+pub mod slots;
+
+pub use fcfs::fcfs_rigid;
+pub use improve::{improve_rigid, ImproveConfig};
+pub use slots::{slots_schedule, SlotCost, SlotsConfig};
+
+use gridband_net::Topology;
+use gridband_sim::{Assignment, SimReport};
+use gridband_workload::Trace;
+
+/// The four rigid heuristics of §4, as a closed enum for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RigidHeuristic {
+    /// First-come first-serve (§4.1).
+    Fcfs,
+    /// CUMULATED-SLOTS (Algorithm 1).
+    CumulatedSlots,
+    /// MINBW-SLOTS variant.
+    MinBwSlots,
+    /// MINVOL-SLOTS variant.
+    MinVolSlots,
+}
+
+impl RigidHeuristic {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [RigidHeuristic; 4] = [
+        RigidHeuristic::Fcfs,
+        RigidHeuristic::CumulatedSlots,
+        RigidHeuristic::MinBwSlots,
+        RigidHeuristic::MinVolSlots,
+    ];
+
+    /// Figure-legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RigidHeuristic::Fcfs => "fcfs",
+            RigidHeuristic::CumulatedSlots => SlotCost::Cumulated.label(),
+            RigidHeuristic::MinBwSlots => SlotCost::MinBw.label(),
+            RigidHeuristic::MinVolSlots => SlotCost::MinVol.label(),
+        }
+    }
+
+    /// Run the heuristic on a rigid trace.
+    pub fn schedule(&self, trace: &Trace, topo: &Topology) -> Vec<Assignment> {
+        match self {
+            RigidHeuristic::Fcfs => fcfs_rigid(trace, topo),
+            RigidHeuristic::CumulatedSlots => {
+                slots_schedule(trace, topo, SlotsConfig::paper(SlotCost::Cumulated))
+            }
+            RigidHeuristic::MinBwSlots => {
+                slots_schedule(trace, topo, SlotsConfig::paper(SlotCost::MinBw))
+            }
+            RigidHeuristic::MinVolSlots => {
+                slots_schedule(trace, topo, SlotsConfig::paper(SlotCost::MinVol))
+            }
+        }
+    }
+
+    /// Run and wrap into a full report (verified).
+    pub fn report(&self, trace: &Trace, topo: &Topology) -> SimReport {
+        let assignments = self.schedule(trace, topo);
+        gridband_sim::assert_feasible(trace, topo, &assignments);
+        SimReport::from_assignments(self.label(), trace, topo, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_workload::WorkloadBuilder;
+
+    #[test]
+    fn all_heuristics_produce_feasible_schedules_on_paper_workload() {
+        let topo = Topology::paper_default();
+        let trace = WorkloadBuilder::new(topo.clone())
+            .target_load(2.0)
+            .horizon(3_000.0)
+            .seed(13)
+            .build();
+        for h in RigidHeuristic::ALL {
+            let rep = h.report(&trace, &topo); // report() verifies
+            assert!(rep.accept_rate > 0.0, "{} accepted nothing", h.label());
+            assert!(rep.accept_rate <= 1.0);
+        }
+    }
+
+    #[test]
+    fn slots_variants_beat_fcfs_under_load() {
+        let topo = Topology::paper_default();
+        let trace = WorkloadBuilder::new(topo.clone())
+            .target_load(4.0)
+            .horizon(5_000.0)
+            .seed(29)
+            .build();
+        let fcfs = RigidHeuristic::Fcfs.report(&trace, &topo);
+        let minbw = RigidHeuristic::MinBwSlots.report(&trace, &topo);
+        let cumulated = RigidHeuristic::CumulatedSlots.report(&trace, &topo);
+        assert!(
+            minbw.accept_rate > fcfs.accept_rate,
+            "minbw {} ≤ fcfs {}",
+            minbw.accept_rate,
+            fcfs.accept_rate
+        );
+        assert!(
+            cumulated.accept_rate > fcfs.accept_rate,
+            "cumulated {} ≤ fcfs {}",
+            cumulated.accept_rate,
+            fcfs.accept_rate
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = RigidHeuristic::ALL.iter().map(|h| h.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices DESIGN.md calls out: eviction
+//! and cost-ordering in Algorithm 1, candidate ordering in Algorithm 3.
+//!
+//! Criterion reports the runtime of each variant; each bench also prints
+//! the accept rates once so the quality impact of the ablation is visible
+//! in the bench log.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_algos::{
+    slots_schedule, BandwidthPolicy, SlotCost, SlotsConfig, WindowScheduler,
+};
+use gridband_net::Topology;
+use gridband_sim::Simulation;
+use gridband_workload::{Dist, Trace, WorkloadBuilder};
+use std::sync::Once;
+
+fn rigid_trace(seed: u64) -> (Trace, Topology) {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .target_load(4.0)
+        .horizon(2_000.0)
+        .seed(seed)
+        .build();
+    (trace, topo)
+}
+
+fn flexible_trace(seed: u64) -> (Trace, Topology) {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(0.5)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(400.0)
+        .seed(seed)
+        .build();
+    (trace, topo)
+}
+
+static PRINT_QUALITY: Once = Once::new();
+
+fn slots_variants() -> Vec<(&'static str, SlotsConfig)> {
+    vec![
+        ("paper", SlotsConfig::paper(SlotCost::Cumulated)),
+        (
+            "no-evict",
+            SlotsConfig {
+                cost: SlotCost::Cumulated,
+                evict: false,
+                order_by_cost: true,
+            },
+        ),
+        (
+            "arrival-order",
+            SlotsConfig {
+                cost: SlotCost::Cumulated,
+                evict: true,
+                order_by_cost: false,
+            },
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (rtrace, topo) = rigid_trace(42);
+    PRINT_QUALITY.call_once(|| {
+        println!("\nablation quality (accept counts of {} requests):", rtrace.len());
+        for (label, cfg) in slots_variants() {
+            println!(
+                "  slots/{label}: {}",
+                slots_schedule(&rtrace, &topo, cfg).len()
+            );
+        }
+        let (ftrace, ftopo) = flexible_trace(42);
+        let sim = Simulation::new(ftopo);
+        let mut w = WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE);
+        println!("  window/min-cost: {}", sim.run(&ftrace, &mut w).accepted_count());
+        let mut w =
+            WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE).with_arrival_order();
+        println!("  window/fcfs:     {}", sim.run(&ftrace, &mut w).accepted_count());
+    });
+
+    let mut group = c.benchmark_group("ablation_slots");
+    for (label, cfg) in slots_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &rtrace, |b, t| {
+            b.iter(|| black_box(slots_schedule(t, &topo, cfg).len()))
+        });
+    }
+    group.finish();
+
+    let (ftrace, ftopo) = flexible_trace(42);
+    let sim = Simulation::new(ftopo).without_verification();
+    let mut group = c.benchmark_group("ablation_window_order");
+    group.bench_function("min-cost", |b| {
+        b.iter(|| {
+            let mut w = WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE);
+            black_box(sim.run(&ftrace, &mut w).accepted_count())
+        })
+    });
+    group.bench_function("fcfs", |b| {
+        b.iter(|| {
+            let mut w =
+                WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE).with_arrival_order();
+            black_box(sim.run(&ftrace, &mut w).accepted_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! OPT/NPC bench: branch-and-bound cost on small rigid instances and on
+//! Theorem 1 reductions — how quickly exhaustive search blows up, i.e.
+//! why the paper needs heuristics at all.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_exact::{max_accepted, reduce, ExactInstance, ThreeDm};
+use gridband_net::Topology;
+use gridband_workload::{Request, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rigid_instance(n: usize, seed: u64) -> ExactInstance {
+    let topo = Topology::uniform(3, 3, 100.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reqs: Vec<Request> = (0..n)
+        .map(|k| {
+            let i = rng.gen_range(0..3u32);
+            let e = (i + rng.gen_range(1..3u32)) % 3;
+            let start = rng.gen_range(0..12) as f64;
+            let dur = rng.gen_range(1..=5) as f64;
+            let bw = [25.0, 50.0, 75.0, 100.0][rng.gen_range(0..4)];
+            Request::rigid(k as u64, gridband_net::Route::new(i, e), start, bw * dur, bw)
+        })
+        .collect();
+    ExactInstance::from_rigid_trace(&Trace::new(reqs), &topo)
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bnb");
+    for &n in &[10usize, 14, 18] {
+        let inst = rigid_instance(n, 7);
+        group.bench_with_input(BenchmarkId::new("rigid", n), &inst, |b, inst| {
+            b.iter(|| black_box(max_accepted(inst)))
+        });
+    }
+    for &n in &[2usize, 3] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dm = ThreeDm::random(n, n, true, &mut rng);
+        let red = reduce(&dm);
+        group.bench_with_input(BenchmarkId::new("threedm_reduction", n), &red.instance, |b, inst| {
+            b.iter(|| black_box(max_accepted(inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_bnb
+}
+criterion_main!(benches);

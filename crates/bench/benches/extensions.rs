@@ -1,0 +1,100 @@
+//! Benches for the extension subsystems: book-ahead search, the
+//! distributed control plane, the long-lived max-flow optimum and
+//! replica selection.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_algos::{
+    select_replicas, BandwidthPolicy, BookAhead, ReplicaStrategy, ReplicatedRequest,
+};
+use gridband_control::ControlPlane;
+use gridband_exact::{fcfs_uniform_longlived, optimal_uniform_longlived};
+use gridband_net::{IngressId, Route, Topology};
+use gridband_sim::Simulation;
+use gridband_workload::{Dist, Request, TimeWindow, Trace, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn flexible_trace(seed: u64, topo: &Topology) -> Trace {
+    WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(1.0)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(400.0)
+        .seed(seed)
+        .build()
+}
+
+fn bench_bookahead(c: &mut Criterion) {
+    let topo = Topology::paper_default();
+    let trace = flexible_trace(42, &topo);
+    let sim = Simulation::new(topo).without_verification();
+    c.bench_function("ext/bookahead_schedule", |b| {
+        b.iter(|| {
+            let mut s = BookAhead::new(BandwidthPolicy::MAX_RATE);
+            black_box(sim.run(&trace, &mut s).accepted_count())
+        })
+    });
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    let topo = Topology::paper_default();
+    let trace = flexible_trace(42, &topo);
+    let mut group = c.benchmark_group("ext/control_plane");
+    for &delay in &[0.0f64, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(delay), &trace, |b, t| {
+            let plane = ControlPlane::new(topo.clone(), delay, BandwidthPolicy::MAX_RATE);
+            b.iter(|| black_box(plane.run(t).assignments.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_longlived(c: &mut Criterion) {
+    let topo = Topology::paper_default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let routes: Vec<Route> = (0..400)
+        .map(|_| {
+            let i = rng.gen_range(0..10u32);
+            Route::new(i, (i + rng.gen_range(1..10u32)) % 10)
+        })
+        .collect();
+    let mut group = c.benchmark_group("ext/longlived");
+    group.bench_function("fcfs", |b| {
+        b.iter(|| black_box(fcfs_uniform_longlived(&topo, &routes, 250.0).0))
+    });
+    group.bench_function("maxflow_optimal", |b| {
+        b.iter(|| black_box(optimal_uniform_longlived(&topo, &routes, 250.0).0))
+    });
+    group.finish();
+}
+
+fn bench_replica(c: &mut Criterion) {
+    let topo = Topology::paper_default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let reqs: Vec<ReplicatedRequest> = (0..500)
+        .map(|k| {
+            let req = Request::new(
+                k as u64,
+                Route::new(0, 1 + (k % 9) as u32),
+                TimeWindow::new(k as f64, k as f64 + 500.0),
+                10_000.0,
+                100.0,
+            );
+            let cands: Vec<IngressId> =
+                (0..3).map(|_| IngressId(rng.gen_range(0..10))).collect();
+            ReplicatedRequest::new(req, cands)
+        })
+        .collect();
+    c.bench_function("ext/replica_least_demand_500", |b| {
+        b.iter(|| black_box(select_replicas(&topo, &reqs, ReplicaStrategy::LeastDemand).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_bookahead, bench_control_plane, bench_longlived, bench_replica
+}
+criterion_main!(benches);

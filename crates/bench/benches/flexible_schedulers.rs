@@ -1,0 +1,64 @@
+//! FIG5 bench: GREEDY vs WINDOW scheduling cost on flexible workloads at
+//! several load levels and window lengths.
+//!
+//! The quality series of Figure 5 come from `--bin fig5`; this bench
+//! tracks the *scheduling overhead* of batching — the operational price of
+//! the accept-rate gain.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_algos::{BandwidthPolicy, Greedy, WindowScheduler};
+use gridband_net::Topology;
+use gridband_sim::Simulation;
+use gridband_workload::{Dist, Trace, WorkloadBuilder};
+
+fn flexible_trace(interarrival: f64, seed: u64) -> (Trace, Topology) {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(500.0)
+        .seed(seed)
+        .build();
+    (trace, topo)
+}
+
+fn bench_flexible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_flexible");
+    for &ia in &[0.25f64, 1.0] {
+        let (trace, topo) = flexible_trace(ia, 42);
+        let sim = Simulation::new(topo).without_verification();
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("ia{ia}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut g = Greedy::fraction(1.0);
+                    black_box(sim.run(trace, &mut g).accepted_count())
+                })
+            },
+        );
+        for &step in &[20.0f64, 100.0] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("window{step}"), format!("ia{ia}")),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        let mut w = WindowScheduler::new(step, BandwidthPolicy::MAX_RATE);
+                        black_box(sim.run(trace, &mut w).accepted_count())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_flexible
+}
+criterion_main!(benches);

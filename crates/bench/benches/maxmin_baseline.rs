@@ -1,0 +1,66 @@
+//! MAXMIN bench: cost of the statistical-sharing fluid simulation vs the
+//! reservation path on identical traces (quality numbers from `--bin
+//! maxmin`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_algos::{BandwidthPolicy, WindowScheduler};
+use gridband_maxmin::{max_min_rates, run_maxmin, FairFlow, MaxMinConfig};
+use gridband_net::{Route, Topology};
+use gridband_sim::Simulation;
+use gridband_workload::{Dist, Trace, WorkloadBuilder};
+
+fn trace(interarrival: f64, seed: u64) -> (Trace, Topology) {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(400.0)
+        .seed(seed)
+        .build();
+    (trace, topo)
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin");
+    for &ia in &[1.0f64, 5.0] {
+        let (trace, topo) = trace(ia, 42);
+        group.bench_with_input(BenchmarkId::new("fluid_sim", format!("ia{ia}")), &trace, |b, t| {
+            b.iter(|| black_box(run_maxmin(t, &topo, MaxMinConfig::default()).on_time_rate))
+        });
+        let sim = Simulation::new(topo.clone()).without_verification();
+        group.bench_with_input(
+            BenchmarkId::new("window_reservation", format!("ia{ia}")),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    let mut w = WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE);
+                    black_box(sim.run(t, &mut w).accepted_count())
+                })
+            },
+        );
+    }
+    // Progressive-filling kernel alone.
+    let topo = Topology::paper_default();
+    for &n in &[50usize, 500] {
+        let flows: Vec<FairFlow> = (0..n)
+            .map(|k| FairFlow {
+                route: Route::new((k % 10) as u32, ((k + 1) % 10) as u32),
+                cap: 10.0 + (k % 100) as f64 * 9.9,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("progressive_filling", n), &flows, |b, f| {
+            b.iter(|| black_box(max_min_rates(&topo, f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_maxmin
+}
+criterion_main!(benches);

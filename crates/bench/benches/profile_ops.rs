@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the capacity-profile substrate — the hot data
+//! structure under every scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_net::{CapacityLedger, CapacityProfile, Route, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_ops(n: usize, seed: u64) -> Vec<(f64, f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t0 = rng.gen_range(0.0..10_000.0);
+            let len = rng.gen_range(1.0..500.0);
+            let bw = rng.gen_range(1.0..80.0);
+            (t0, t0 + len, bw)
+        })
+        .collect()
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile");
+    for &n in &[100usize, 1_000] {
+        let ops = random_ops(n, 7);
+        group.bench_with_input(BenchmarkId::new("allocate", n), &ops, |b, ops| {
+            b.iter(|| {
+                let mut p = CapacityProfile::new(1_000.0);
+                for &(t0, t1, bw) in ops {
+                    let _ = p.allocate(t0, t1, bw);
+                }
+                black_box(p.breakpoint_count())
+            })
+        });
+        // Query benchmarks on a pre-filled profile.
+        let mut filled = CapacityProfile::new(1_000.0);
+        for &(t0, t1, bw) in &ops {
+            let _ = filled.allocate(t0, t1, bw);
+        }
+        group.bench_with_input(BenchmarkId::new("fits", n), &filled, |b, p| {
+            b.iter(|| black_box(p.fits(black_box(4_000.0), black_box(4_500.0), 50.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("integral", n), &filled, |b, p| {
+            b.iter(|| black_box(p.integral_alloc(0.0, 10_500.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    let topo = Topology::paper_default();
+    let ops = random_ops(1_000, 13);
+    c.bench_function("ledger/reserve_1000", |b| {
+        b.iter(|| {
+            let mut l = CapacityLedger::new(topo.clone());
+            let mut ok = 0usize;
+            for (k, &(t0, t1, bw)) in ops.iter().enumerate() {
+                let route = Route::new((k % 10) as u32, ((k + 3) % 10) as u32);
+                if l.reserve(route, t0, t1, bw).is_ok() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_profile, bench_ledger
+}
+criterion_main!(benches);

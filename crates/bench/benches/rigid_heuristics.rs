@@ -1,0 +1,46 @@
+//! FIG4 bench: scheduler throughput and quality for the rigid heuristics
+//! of §4 on the paper's 10×10 platform.
+//!
+//! Criterion measures wall time per full schedule; the quality numbers
+//! (accept rate, utilization — the actual Figure 4 series) come from
+//! `cargo run -p gridband-bench --release --bin fig4`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_algos::RigidHeuristic;
+use gridband_net::Topology;
+use gridband_workload::{Trace, WorkloadBuilder};
+
+fn trace_at_load(load: f64, seed: u64) -> (Trace, Topology) {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .target_load(load)
+        .horizon(2_000.0)
+        .seed(seed)
+        .build();
+    (trace, topo)
+}
+
+fn bench_rigid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_rigid");
+    for &load in &[1.0f64, 4.0, 8.0] {
+        let (trace, topo) = trace_at_load(load, 42);
+        for h in RigidHeuristic::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(h.label(), format!("load{load}")),
+                &(&trace, &topo),
+                |b, (trace, topo)| b.iter(|| black_box(h.schedule(trace, topo).len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_rigid
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! FIG6/FIG7/TUNE bench: cost of the bandwidth-policy evaluation across
+//! the tuning-factor range for both scheduler families.
+//!
+//! Quality series (the actual figures) come from `--bin fig6`, `--bin
+//! fig7` and `--bin tuning`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridband_algos::{BandwidthPolicy, Greedy, WindowScheduler};
+use gridband_net::Topology;
+use gridband_sim::Simulation;
+use gridband_workload::{Dist, Trace, WorkloadBuilder};
+
+fn trace(seed: u64) -> (Trace, Topology) {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(2.0)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(600.0)
+        .seed(seed)
+        .build();
+    (trace, topo)
+}
+
+fn policies() -> Vec<(&'static str, BandwidthPolicy)> {
+    vec![
+        ("min-bw", BandwidthPolicy::MinRate),
+        ("f0.5", BandwidthPolicy::FractionOfMax(0.5)),
+        ("f1.0", BandwidthPolicy::FractionOfMax(1.0)),
+    ]
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (trace, topo) = trace(42);
+    let sim = Simulation::new(topo).without_verification();
+    let mut group = c.benchmark_group("tuning_policy");
+    for (label, policy) in policies() {
+        group.bench_with_input(BenchmarkId::new("greedy", label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut g = Greedy::new(policy);
+                black_box(sim.run(trace, &mut g).accepted_count())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("window50", label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut w = WindowScheduler::new(50.0, policy);
+                black_box(sim.run(trace, &mut w).accepted_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_policies
+}
+criterion_main!(benches);

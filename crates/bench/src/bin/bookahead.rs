@@ -1,0 +1,16 @@
+//! Extension study: advance (book-ahead) reservation vs the paper's
+//! decide-now heuristics.
+
+use gridband_bench::extensions::{bookahead, bookahead_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+        (vec![0.5, 2.0], 400.0)
+    } else {
+        (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0], 1_200.0)
+    };
+    let rows = bookahead(&opts.seeds, &ias, horizon);
+    opts.emit(&bookahead_table(&rows));
+}

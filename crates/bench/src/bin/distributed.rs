@@ -1,0 +1,25 @@
+//! Extension study: the §5.4/§7 distributed control plane — accept rate
+//! and signaling cost as the one-way delay grows.
+
+use gridband_bench::extensions::{
+    distributed, distributed_loss, distributed_loss_table, distributed_table,
+};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (delays, horizon): (Vec<f64>, f64) = if opts.quick {
+        (vec![0.0, 1.0], 400.0)
+    } else {
+        (vec![0.0, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0], 1_200.0)
+    };
+    let rows = distributed(&opts.seeds, &delays, horizon);
+    opts.emit(&distributed_table(&rows));
+    let losses: Vec<f64> = if opts.quick {
+        vec![0.0, 0.3]
+    } else {
+        vec![0.0, 0.05, 0.1, 0.2, 0.4, 0.6]
+    };
+    let rows = distributed_loss(&opts.seeds, &losses, horizon);
+    opts.emit(&distributed_loss_table(&rows));
+}

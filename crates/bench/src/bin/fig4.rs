@@ -1,0 +1,16 @@
+//! Regenerate Figure 4: rigid heuristics, accept rate and utilization vs
+//! system load (§4.4).
+
+use gridband_bench::experiments::{fig4, fig4_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (loads, horizon): (Vec<f64>, f64) = if opts.quick {
+        (vec![1.0, 4.0, 8.0], 1_500.0)
+    } else {
+        (vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0], 4_000.0)
+    };
+    let rows = fig4(&opts.seeds, &loads, horizon);
+    opts.emit(&fig4_table(&rows));
+}

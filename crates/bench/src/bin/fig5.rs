@@ -1,0 +1,20 @@
+//! Regenerate Figure 5: GREEDY vs WINDOW under heavy load, accept rate vs
+//! mean inter-arrival time, f = 1 (§5.3).
+
+use gridband_bench::experiments::{fig5, fig5_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (ias, steps, horizon): (Vec<f64>, Vec<f64>, f64) = if opts.quick {
+        (vec![0.5, 2.0], vec![20.0, 100.0], 400.0)
+    } else {
+        (
+            vec![0.1, 0.25, 0.5, 1.0, 2.0, 5.0],
+            vec![10.0, 50.0, 100.0, 400.0],
+            1_000.0,
+        )
+    };
+    let rows = fig5(&opts.seeds, &ias, &steps, horizon);
+    opts.emit(&fig5_table(&rows));
+}

@@ -1,0 +1,29 @@
+//! Regenerate Figure 6: the GREEDY heuristic with different bandwidth
+//! policies (f factor), heavy-loaded (left pane) and underloaded (right
+//! pane) (§5.3).
+
+use gridband_bench::experiments::{fig6, policy_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (heavy, light, horizon): (Vec<f64>, Vec<f64>, f64) = if opts.quick {
+        (vec![0.5, 2.0], vec![5.0, 15.0], 500.0)
+    } else {
+        (
+            vec![0.1, 0.25, 0.5, 1.0, 2.0, 5.0],
+            vec![3.0, 5.0, 8.0, 12.0, 16.0, 20.0],
+            1_500.0,
+        )
+    };
+    let rows = fig6(&opts.seeds, &heavy, horizon);
+    opts.emit(&policy_table(
+        "FIG6-left — greedy, heavy load: accept rate per policy",
+        &rows,
+    ));
+    let rows = fig6(&opts.seeds, &light, horizon);
+    opts.emit(&policy_table(
+        "FIG6-right — greedy, underloaded: accept rate per policy",
+        &rows,
+    ));
+}

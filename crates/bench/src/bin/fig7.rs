@@ -1,0 +1,29 @@
+//! Regenerate Figure 7: the WINDOW heuristic (length 400) with different
+//! bandwidth policies (f factor), heavy and light load (§5.3).
+
+use gridband_bench::experiments::{fig7, policy_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (heavy, light, step, horizon): (Vec<f64>, Vec<f64>, f64, f64) = if opts.quick {
+        (vec![0.5, 2.0], vec![5.0, 15.0], 50.0, 500.0)
+    } else {
+        (
+            vec![0.1, 0.25, 0.5, 1.0, 2.0, 5.0],
+            vec![3.0, 5.0, 8.0, 12.0, 16.0, 20.0],
+            400.0,
+            1_500.0,
+        )
+    };
+    let rows = fig7(&opts.seeds, &heavy, step, horizon);
+    opts.emit(&policy_table(
+        "FIG7-left — window(400), heavy load: accept rate per policy",
+        &rows,
+    ));
+    let rows = fig7(&opts.seeds, &light, step, horizon);
+    opts.emit(&policy_table(
+        "FIG7-right — window(400), underloaded: accept rate per policy",
+        &rows,
+    ));
+}

@@ -1,0 +1,12 @@
+//! Extension study (§7 future work): relieving hot spots through replica
+//! selection — demand Gini and accept rate per strategy.
+
+use gridband_bench::extensions::{hotspot, hotspot_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let n = if opts.quick { 60 } else { 300 };
+    let rows = hotspot(&opts.seeds, n);
+    opts.emit(&hotspot_table(&rows));
+}

@@ -1,0 +1,16 @@
+//! Extension study: uniform long-lived requests — FCFS vs the polynomial
+//! (max-flow) optimum cited in §3.
+
+use gridband_bench::extensions::{longlived, longlived_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![40, 120]
+    } else {
+        vec![20, 40, 80, 160, 320]
+    };
+    let rows = longlived(&opts.seeds, &sizes);
+    opts.emit(&longlived_table(&rows));
+}

@@ -1,0 +1,16 @@
+//! Extension study (§6 related work, Burchard et al.): malleable
+//! (variable-rate) reservations against the paper's constant-rate model.
+
+use gridband_bench::extensions::{malleable, malleable_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+        (vec![0.5, 2.0], 300.0)
+    } else {
+        (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0], 1_200.0)
+    };
+    let rows = malleable(&opts.seeds, &ias, horizon);
+    opts.emit(&malleable_table(&rows));
+}

@@ -1,0 +1,17 @@
+//! Baseline comparison (§1, §5.3 discussion): deadline performance of
+//! TCP-idealised max-min statistical sharing vs the reservation
+//! heuristics on identical traces.
+
+use gridband_bench::experiments::{maxmin_cmp, maxmin_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+        (vec![1.0, 10.0], 400.0)
+    } else {
+        (vec![0.5, 1.0, 2.0, 5.0, 10.0, 20.0], 1_500.0)
+    };
+    let rows = maxmin_cmp(&opts.seeds, &ias, 100.0, horizon);
+    opts.emit(&maxmin_table(&rows));
+}

@@ -1,0 +1,17 @@
+//! Extension study (§5.4/§6): how much best-effort ("mice") capacity
+//! survives as the reserved bulk load grows — and that it never starves
+//! where reservations are absent.
+
+use gridband_bench::extensions::{mice, mice_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+        (vec![0.5, 10.0], 300.0)
+    } else {
+        (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0], 1_000.0)
+    };
+    let rows = mice(&opts.seeds, &ias, horizon);
+    opts.emit(&mice_table(&rows));
+}

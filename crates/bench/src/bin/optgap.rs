@@ -1,0 +1,17 @@
+//! Extension study: heuristic quality against the branch-and-bound
+//! optimum on small rigid instances (the yardstick §3's NP-completeness
+//! makes expensive at scale).
+
+use gridband_bench::experiments::{optgap, optgap_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![8, 12]
+    } else {
+        vec![8, 12, 16, 20]
+    };
+    let rows = optgap(&opts.seeds, &sizes);
+    opts.emit(&optgap_table(&rows));
+}

@@ -1,0 +1,16 @@
+//! Extension study (§2.3): clients that "stand the risk of being rejected
+//! and try later" — eventual accept rate vs the retry budget.
+
+use gridband_bench::extensions::{retry_study, retry_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (attempts, horizon): (Vec<usize>, f64) = if opts.quick {
+        (vec![1, 3], 300.0)
+    } else {
+        (vec![1, 2, 3, 5, 8], 1_200.0)
+    };
+    let rows = retry_study(&opts.seeds, &attempts, 30.0, horizon);
+    opts.emit(&retry_table(&rows));
+}

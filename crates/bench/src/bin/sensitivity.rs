@@ -1,0 +1,13 @@
+//! Sensitivity study: the workload knobs the paper leaves unspecified
+//! (window slack, volume distribution) and how much the headline accept
+//! rates depend on them.
+
+use gridband_bench::extensions::{sensitivity, sensitivity_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let horizon = if opts.quick { 400.0 } else { 1_500.0 };
+    let rows = sensitivity(&opts.seeds, horizon);
+    opts.emit(&sensitivity_table(&rows));
+}

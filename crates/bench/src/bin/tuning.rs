@@ -1,0 +1,16 @@
+//! Regenerate the tuning-factor study (§5.3, closing paragraphs): accept
+//! rate and transfer speedup as f sweeps from 0 (MIN BW) to 1.
+
+use gridband_bench::experiments::{tuning, tuning_table};
+use gridband_bench::opts::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_env();
+    let (fs, horizon): (Vec<f64>, f64) = if opts.quick {
+        (vec![0.0, 0.5, 1.0], 1_000.0)
+    } else {
+        ((0..=10).map(|k| k as f64 / 10.0).collect(), 4_000.0)
+    };
+    let rows = tuning(&opts.seeds, &fs, 15.0, 50.0, horizon);
+    opts.emit(&tuning_table(&rows));
+}

@@ -1,0 +1,719 @@
+//! Experiment definitions — one runner per paper figure (see DESIGN.md's
+//! experiment index).
+//!
+//! Every runner takes explicit seeds and parameter grids, fans the
+//! `(parameter, seed)` jobs out in parallel, and aggregates replicates
+//! into mean ± 95% CI summaries. All of them print through
+//! [`crate::table::ResultTable`], so the CLI, the figure binaries and the
+//! criterion benches share one code path.
+
+use crate::sweep::{default_threads, parallel_map};
+use crate::table::{pm, ResultTable};
+use gridband_algos::{
+    improve_rigid, BandwidthPolicy, Greedy, ImproveConfig, RigidHeuristic, WindowScheduler,
+};
+use gridband_exact::{max_accepted, ExactInstance, ExactRequest, ThreeDm};
+use gridband_maxmin::{run_maxmin, MaxMinConfig};
+use gridband_net::{Route, Topology};
+use gridband_sim::Simulation;
+use gridband_workload::stats::Summary;
+use gridband_workload::{Dist, Trace, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default replicate seeds used by every figure binary (printed with the
+/// output so series are exactly reproducible).
+pub const DEFAULT_SEEDS: [u64; 5] = [11, 23, 47, 83, 131];
+
+// ---------------------------------------------------------------------
+// FIG 4 — rigid heuristics: accept rate & utilization vs system load
+// ---------------------------------------------------------------------
+
+/// One cell of Figure 4: a heuristic at a load level.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Target system load (x-axis).
+    pub load: f64,
+    /// Heuristic label (series).
+    pub heuristic: &'static str,
+    /// Accept-rate summary over the seeds (left pane).
+    pub accept: Summary,
+    /// Resource-utilization summary (right pane).
+    pub util: Summary,
+}
+
+/// Run the §4.4 comparison (Figure 4).
+pub fn fig4(seeds: &[u64], loads: &[f64], horizon: f64) -> Vec<Fig4Row> {
+    let topo = Topology::paper_default();
+    let jobs: Vec<(f64, u64)> = loads
+        .iter()
+        .flat_map(|&l| seeds.iter().map(move |&s| (l, s)))
+        .collect();
+    // Each job: run all four heuristics on one trace.
+    let per_job = parallel_map(jobs.clone(), default_threads(), |&(load, seed)| {
+        let trace = WorkloadBuilder::new(topo.clone())
+            .target_load(load)
+            .horizon(horizon)
+            .seed(seed)
+            .build();
+        RigidHeuristic::ALL.map(|h| {
+            let rep = h.report(&trace, &topo);
+            (rep.accept_rate, rep.resource_util)
+        })
+    });
+    let mut rows = Vec::new();
+    for (li, &load) in loads.iter().enumerate() {
+        for (hi, h) in RigidHeuristic::ALL.iter().enumerate() {
+            let accepts: Vec<f64> = (0..seeds.len())
+                .map(|si| per_job[li * seeds.len() + si][hi].0)
+                .collect();
+            let utils: Vec<f64> = (0..seeds.len())
+                .map(|si| per_job[li * seeds.len() + si][hi].1)
+                .collect();
+            rows.push(Fig4Row {
+                load,
+                heuristic: h.label(),
+                accept: Summary::of(&accepts),
+                util: Summary::of(&utils),
+            });
+        }
+    }
+    rows
+}
+
+/// Render Figure 4 rows as a table.
+pub fn fig4_table(rows: &[Fig4Row]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "FIG4 — rigid heuristics vs load (accept rate | utilization)",
+        &["load", "heuristic", "accept", "util"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.2}", r.load),
+            r.heuristic.to_string(),
+            pm(r.accept.mean, r.accept.ci95()),
+            pm(r.util.mean, r.util.ci95()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// FIG 5 — GREEDY vs WINDOW(t_step) accept rate under heavy load
+// ---------------------------------------------------------------------
+
+/// One cell of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Mean inter-arrival time in seconds (x-axis).
+    pub interarrival: f64,
+    /// Scheduler label (series): `greedy` or `window(t)`.
+    pub scheduler: String,
+    /// Accept-rate summary.
+    pub accept: Summary,
+}
+
+/// Run the §5.3 heavy-load comparison (Figure 5): FCFS greedy vs
+/// interval-based with several window lengths, all at `f = 1`.
+pub fn fig5(
+    seeds: &[u64],
+    interarrivals: &[f64],
+    window_steps: &[f64],
+    horizon: f64,
+) -> Vec<Fig5Row> {
+    let topo = Topology::paper_default();
+    let jobs: Vec<(f64, u64)> = interarrivals
+        .iter()
+        .flat_map(|&ia| seeds.iter().map(move |&s| (ia, s)))
+        .collect();
+    let steps = window_steps.to_vec();
+    let per_job = parallel_map(jobs, default_threads(), |&(ia, seed)| {
+        let trace = WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(ia)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(horizon)
+            .seed(seed)
+            .build();
+        let sim = Simulation::new(topo.clone());
+        let mut accepts = Vec::with_capacity(steps.len() + 1);
+        accepts.push(sim.run(&trace, &mut Greedy::fraction(1.0)).accept_rate);
+        for &step in &steps {
+            let mut w = WindowScheduler::new(step, BandwidthPolicy::MAX_RATE);
+            accepts.push(sim.run(&trace, &mut w).accept_rate);
+        }
+        accepts
+    });
+    let mut labels = vec!["greedy".to_string()];
+    labels.extend(window_steps.iter().map(|s| format!("window({s})")));
+    collect_series(&labels, interarrivals, seeds.len(), &per_job)
+        .into_iter()
+        .map(|(ia, scheduler, accept)| Fig5Row {
+            interarrival: ia,
+            scheduler,
+            accept,
+        })
+        .collect()
+}
+
+/// Render Figure 5 rows.
+pub fn fig5_table(rows: &[Fig5Row]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "FIG5 — flexible requests, heavy load: accept rate vs mean inter-arrival (f = 1)",
+        &["interarrival", "scheduler", "accept"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.2}", r.interarrival),
+            r.scheduler.clone(),
+            pm(r.accept.mean, r.accept.ci95()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// FIG 6 / FIG 7 — bandwidth policies (f factor) for greedy / window
+// ---------------------------------------------------------------------
+
+/// One cell of Figure 6 or 7.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Mean inter-arrival time in seconds (x-axis).
+    pub interarrival: f64,
+    /// Policy label (series): `min-bw` or `f=…`.
+    pub policy: String,
+    /// Accept-rate summary.
+    pub accept: Summary,
+}
+
+/// Policy grid used in Figures 6 and 7: MIN BW plus three f levels.
+pub fn paper_policies() -> Vec<BandwidthPolicy> {
+    vec![
+        BandwidthPolicy::MinRate,
+        BandwidthPolicy::FractionOfMax(0.5),
+        BandwidthPolicy::FractionOfMax(0.8),
+        BandwidthPolicy::FractionOfMax(1.0),
+    ]
+}
+
+/// Figure 6: the GREEDY heuristic under each bandwidth policy.
+pub fn fig6(seeds: &[u64], interarrivals: &[f64], horizon: f64) -> Vec<PolicyRow> {
+    policy_sweep(seeds, interarrivals, horizon, None)
+}
+
+/// Figure 7: the WINDOW heuristic (given `t_step`) under each policy.
+pub fn fig7(seeds: &[u64], interarrivals: &[f64], step: f64, horizon: f64) -> Vec<PolicyRow> {
+    policy_sweep(seeds, interarrivals, horizon, Some(step))
+}
+
+fn policy_sweep(
+    seeds: &[u64],
+    interarrivals: &[f64],
+    horizon: f64,
+    window_step: Option<f64>,
+) -> Vec<PolicyRow> {
+    let topo = Topology::paper_default();
+    let policies = paper_policies();
+    let jobs: Vec<(f64, u64)> = interarrivals
+        .iter()
+        .flat_map(|&ia| seeds.iter().map(move |&s| (ia, s)))
+        .collect();
+    let per_job = parallel_map(jobs, default_threads(), |&(ia, seed)| {
+        let trace = WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(ia)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(horizon)
+            .seed(seed)
+            .build();
+        let sim = Simulation::new(topo.clone());
+        policies
+            .iter()
+            .map(|&p| match window_step {
+                None => sim.run(&trace, &mut Greedy::new(p)).accept_rate,
+                Some(step) => {
+                    let mut w = WindowScheduler::new(step, p);
+                    sim.run(&trace, &mut w).accept_rate
+                }
+            })
+            .collect::<Vec<f64>>()
+    });
+    let labels: Vec<String> = policies.iter().map(|p| p.label()).collect();
+    collect_series(&labels, interarrivals, seeds.len(), &per_job)
+        .into_iter()
+        .map(|(ia, policy, accept)| PolicyRow {
+            interarrival: ia,
+            policy,
+            accept,
+        })
+        .collect()
+}
+
+/// Render Figure 6/7 rows.
+pub fn policy_table(title: &str, rows: &[PolicyRow]) -> ResultTable {
+    let mut t = ResultTable::new(title, &["interarrival", "policy", "accept"]);
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.2}", r.interarrival),
+            r.policy.clone(),
+            pm(r.accept.mean, r.accept.ci95()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// TUNE — accept-rate gain as a function of the tuning factor f
+// ---------------------------------------------------------------------
+
+/// One cell of the tuning-factor study (§5.3, final paragraphs).
+#[derive(Debug, Clone)]
+pub struct TuningRow {
+    /// The tuning factor (x-axis).
+    pub f: f64,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Accept-rate summary.
+    pub accept: Summary,
+    /// Mean transfer speedup (window length / actual duration).
+    pub speedup: Summary,
+}
+
+/// Sweep `f` from 0 (MIN BW) to 1 under a light load for greedy and
+/// window schedulers.
+pub fn tuning(
+    seeds: &[u64],
+    fs: &[f64],
+    interarrival: f64,
+    window_step: f64,
+    horizon: f64,
+) -> Vec<TuningRow> {
+    let topo = Topology::paper_default();
+    let jobs: Vec<u64> = seeds.to_vec();
+    let fs_owned = fs.to_vec();
+    let per_seed = parallel_map(jobs, default_threads(), |&seed| {
+        let trace = WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(interarrival)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(horizon)
+            .seed(seed)
+            .build();
+        let sim = Simulation::new(topo.clone());
+        let mut cells = Vec::new();
+        for &f in &fs_owned {
+            let policy = if f <= 0.0 {
+                BandwidthPolicy::MinRate
+            } else {
+                BandwidthPolicy::FractionOfMax(f)
+            };
+            let g = sim.run(&trace, &mut Greedy::new(policy));
+            let mut w = WindowScheduler::new(window_step, policy);
+            let wr = sim.run(&trace, &mut w);
+            cells.push((g.accept_rate, g.mean_speedup, wr.accept_rate, wr.mean_speedup));
+        }
+        cells
+    });
+    let mut rows = Vec::new();
+    for (fi, &f) in fs.iter().enumerate() {
+        let ga: Vec<f64> = per_seed.iter().map(|c| c[fi].0).collect();
+        let gs: Vec<f64> = per_seed.iter().map(|c| c[fi].1).collect();
+        let wa: Vec<f64> = per_seed.iter().map(|c| c[fi].2).collect();
+        let ws: Vec<f64> = per_seed.iter().map(|c| c[fi].3).collect();
+        rows.push(TuningRow {
+            f,
+            scheduler: "greedy".into(),
+            accept: Summary::of(&ga),
+            speedup: Summary::of(&gs),
+        });
+        rows.push(TuningRow {
+            f,
+            scheduler: format!("window({window_step})"),
+            accept: Summary::of(&wa),
+            speedup: Summary::of(&ws),
+        });
+    }
+    rows
+}
+
+/// Render tuning rows.
+pub fn tuning_table(rows: &[TuningRow]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "TUNE — accept rate and transfer speedup vs tuning factor f (underloaded)",
+        &["f", "scheduler", "accept", "speedup"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.2}", r.f),
+            r.scheduler.clone(),
+            pm(r.accept.mean, r.accept.ci95()),
+            pm(r.speedup.mean, r.speedup.ci95()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// OPT — heuristics vs branch-and-bound optimum on small rigid instances
+// ---------------------------------------------------------------------
+
+/// One row of the optimality-gap study.
+#[derive(Debug, Clone)]
+pub struct OptGapRow {
+    /// Number of requests per instance.
+    pub requests: usize,
+    /// Heuristic label.
+    pub heuristic: &'static str,
+    /// Mean of `heuristic accepted / optimal accepted` over the seeds.
+    pub mean_ratio: f64,
+    /// Worst observed ratio.
+    pub worst_ratio: f64,
+}
+
+/// Generate a small integer-grid rigid instance.
+fn small_rigid_trace(n: usize, seed: u64, topo: &Topology) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reqs = (0..n)
+        .map(|k| {
+            let i = rng.gen_range(0..topo.num_ingress() as u32);
+            let mut e = rng.gen_range(0..topo.num_egress() as u32);
+            if topo.num_egress() > 1 {
+                while e == i {
+                    e = rng.gen_range(0..topo.num_egress() as u32);
+                }
+            }
+            let start = rng.gen_range(0..12) as f64;
+            let dur = rng.gen_range(1..=5) as f64;
+            let bw = [25.0, 50.0, 75.0, 100.0][rng.gen_range(0..4)];
+            gridband_workload::Request::rigid(k as u64, Route::new(i, e), start, bw * dur, bw)
+        })
+        .collect();
+    Trace::new(reqs)
+}
+
+/// Compare each rigid heuristic against the exact optimum.
+pub fn optgap(seeds: &[u64], sizes: &[usize]) -> Vec<OptGapRow> {
+    let topo = Topology::uniform(3, 3, 100.0);
+    let jobs: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
+        .collect();
+    let per_job = parallel_map(jobs, default_threads(), |&(n, seed)| {
+        let trace = small_rigid_trace(n, seed, &topo);
+        let inst = ExactInstance::from_rigid_trace(&trace, &topo);
+        let opt = max_accepted(&inst).max(1);
+        let mut ratios: Vec<f64> = RigidHeuristic::ALL
+            .iter()
+            .map(|h| h.schedule(&trace, &topo).len() as f64 / opt as f64)
+            .collect();
+        // The ruin-and-recreate refinement seeded from CUMULATED-SLOTS.
+        let initial = RigidHeuristic::CumulatedSlots.schedule(&trace, &topo);
+        let improved = improve_rigid(&trace, &topo, &initial, ImproveConfig::default());
+        ratios.push(improved.len() as f64 / opt as f64);
+        ratios
+    });
+    let labels: Vec<&'static str> = RigidHeuristic::ALL
+        .iter()
+        .map(|h| h.label())
+        .chain(std::iter::once("cumulated+improve"))
+        .collect();
+    let mut rows = Vec::new();
+    for (ni, &n) in sizes.iter().enumerate() {
+        for (hi, label) in labels.iter().enumerate() {
+            let ratios: Vec<f64> = (0..seeds.len())
+                .map(|si| per_job[ni * seeds.len() + si][hi])
+                .collect();
+            rows.push(OptGapRow {
+                requests: n,
+                heuristic: label,
+                mean_ratio: gridband_workload::stats::mean(&ratios),
+                worst_ratio: ratios.iter().copied().fold(f64::INFINITY, f64::min),
+            });
+        }
+    }
+    rows
+}
+
+/// Render optimality-gap rows.
+pub fn optgap_table(rows: &[OptGapRow]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "OPT — heuristic accepted / optimal accepted (small rigid instances)",
+        &["requests", "heuristic", "mean ratio", "worst ratio"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.requests.to_string(),
+            r.heuristic.to_string(),
+            format!("{:.3}", r.mean_ratio),
+            format!("{:.3}", r.worst_ratio),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// NPC — executable Theorem 1 equivalence
+// ---------------------------------------------------------------------
+
+/// One random 3-DM instance checked both ways.
+#[derive(Debug, Clone)]
+pub struct NpcRow {
+    /// Coordinate-set cardinality.
+    pub n: usize,
+    /// Number of triples.
+    pub triples: usize,
+    /// Whether the 3-DM brute force found a perfect matching.
+    pub solvable: bool,
+    /// Whether the reduced scheduling instance reaches `K`.
+    pub reached_target: bool,
+    /// Branch-and-bound nodes explored on the reduction.
+    pub nodes: u64,
+}
+
+/// Exercise the Theorem 1 reduction over random instances; every row must
+/// have `solvable == reached_target`.
+pub fn npc(seeds: &[u64], ns: &[usize], per_seed: usize) -> Vec<NpcRow> {
+    let jobs: Vec<(usize, u64)> = ns
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
+        .collect();
+    let rows = parallel_map(jobs, default_threads(), |&(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(per_seed);
+        for trial in 0..per_seed {
+            let dm = ThreeDm::random(n, n, trial % 2 == 0, &mut rng);
+            let solvable = dm.solve().is_some();
+            let red = gridband_exact::reduce(&dm);
+            let sol = gridband_exact::solve(&red.instance, gridband_exact::BnbConfig::default());
+            out.push(NpcRow {
+                n,
+                triples: dm.triples.len(),
+                solvable,
+                reached_target: sol.accepted >= red.target,
+                nodes: sol.nodes,
+            });
+        }
+        out
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// Render NPC rows.
+pub fn npc_table(rows: &[NpcRow]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "NPC — Theorem 1: 3-DM solvable ⇔ reduction reaches K",
+        &["n", "|T|", "3DM solvable", "reaches K", "B&B nodes"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.n.to_string(),
+            r.triples.to_string(),
+            r.solvable.to_string(),
+            r.reached_target.to_string(),
+            r.nodes.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// MAXMIN — reservation scheduling vs statistical sharing
+// ---------------------------------------------------------------------
+
+/// One cell of the baseline comparison.
+#[derive(Debug, Clone)]
+pub struct MaxMinRow {
+    /// Mean inter-arrival time (x-axis; smaller = heavier).
+    pub interarrival: f64,
+    /// Max-min sharing: fraction of transfers completed by their deadline.
+    pub maxmin_on_time: Summary,
+    /// Max-min sharing: mean stretch of completed transfers.
+    pub maxmin_stretch: Summary,
+    /// Greedy reservation accept rate (accepted ⇒ on time by
+    /// construction).
+    pub greedy_accept: Summary,
+    /// Window reservation accept rate.
+    pub window_accept: Summary,
+}
+
+/// Compare deadline performance of statistical sharing against the
+/// reservation heuristics on identical traces.
+pub fn maxmin_cmp(
+    seeds: &[u64],
+    interarrivals: &[f64],
+    window_step: f64,
+    horizon: f64,
+) -> Vec<MaxMinRow> {
+    let topo = Topology::paper_default();
+    let jobs: Vec<(f64, u64)> = interarrivals
+        .iter()
+        .flat_map(|&ia| seeds.iter().map(move |&s| (ia, s)))
+        .collect();
+    let per_job = parallel_map(jobs, default_threads(), |&(ia, seed)| {
+        let trace = WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(ia)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(horizon)
+            .seed(seed)
+            .build();
+        let mm = run_maxmin(&trace, &topo, MaxMinConfig::default());
+        let sim = Simulation::new(topo.clone());
+        let g = sim.run(&trace, &mut Greedy::fraction(1.0));
+        let mut w = WindowScheduler::new(window_step, BandwidthPolicy::MAX_RATE);
+        let wr = sim.run(&trace, &mut w);
+        (
+            mm.on_time_rate,
+            mm.mean_stretch,
+            g.accept_rate,
+            wr.accept_rate,
+        )
+    });
+    let mut rows = Vec::new();
+    for (ii, &ia) in interarrivals.iter().enumerate() {
+        let slice: Vec<&(f64, f64, f64, f64)> = (0..seeds.len())
+            .map(|si| &per_job[ii * seeds.len() + si])
+            .collect();
+        let col = |f: fn(&(f64, f64, f64, f64)) -> f64| -> Summary {
+            Summary::of(&slice.iter().map(|x| f(x)).collect::<Vec<f64>>())
+        };
+        rows.push(MaxMinRow {
+            interarrival: ia,
+            maxmin_on_time: col(|x| x.0),
+            maxmin_stretch: col(|x| x.1),
+            greedy_accept: col(|x| x.2),
+            window_accept: col(|x| x.3),
+        });
+    }
+    rows
+}
+
+/// Render baseline-comparison rows.
+pub fn maxmin_table(rows: &[MaxMinRow]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "MAXMIN — on-time completion: statistical sharing vs reservation",
+        &[
+            "interarrival",
+            "maxmin on-time",
+            "maxmin stretch",
+            "greedy accept",
+            "window accept",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.2}", r.interarrival),
+            pm(r.maxmin_on_time.mean, r.maxmin_on_time.ci95()),
+            pm(r.maxmin_stretch.mean, r.maxmin_stretch.ci95()),
+            pm(r.greedy_accept.mean, r.greedy_accept.ci95()),
+            pm(r.window_accept.mean, r.window_accept.ci95()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------
+
+/// Re-shape per-job series vectors (outer: x × seed, inner: series) into
+/// `(x, series label, Summary)` rows.
+fn collect_series(
+    labels: &[String],
+    xs: &[f64],
+    n_seeds: usize,
+    per_job: &[Vec<f64>],
+) -> Vec<(f64, String, Summary)> {
+    let mut rows = Vec::new();
+    for (xi, &x) in xs.iter().enumerate() {
+        for (li, label) in labels.iter().enumerate() {
+            let vals: Vec<f64> = (0..n_seeds)
+                .map(|si| per_job[xi * n_seeds + si][li])
+                .collect();
+            rows.push((x, label.clone(), Summary::of(&vals)));
+        }
+    }
+    rows
+}
+
+/// Tiny deterministic instance used by unit tests of this module.
+#[allow(dead_code)]
+fn smoke_instance() -> ExactInstance {
+    ExactInstance {
+        topology: Topology::uniform(1, 1, 1.0),
+        requests: vec![ExactRequest::rigid(Route::new(0, 0), 1.0, 0.0, 1.0)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_smoke_produces_full_grid() {
+        let rows = fig4(&[1, 2], &[1.0, 4.0], 800.0);
+        assert_eq!(rows.len(), 2 * 4);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.accept.mean), "{r:?}");
+            assert!((0.0..=1.0 + 1e-9).contains(&r.util.mean), "{r:?}");
+            assert_eq!(r.accept.n, 2);
+        }
+        let t = fig4_table(&rows);
+        assert_eq!(t.rows.len(), 8);
+    }
+
+    #[test]
+    fn fig5_smoke_orders_series_consistently() {
+        let rows = fig5(&[3], &[2.0, 5.0], &[20.0, 100.0], 400.0);
+        assert_eq!(rows.len(), 2 * 3); // 2 x-values × (greedy + 2 windows)
+        assert!(rows.iter().any(|r| r.scheduler == "greedy"));
+        assert!(rows.iter().any(|r| r.scheduler == "window(100)"));
+        let t = fig5_table(&rows);
+        assert_eq!(t.rows.len(), rows.len());
+    }
+
+    #[test]
+    fn fig6_and_fig7_smoke() {
+        let rows6 = fig6(&[5], &[5.0], 400.0);
+        assert_eq!(rows6.len(), 4);
+        let rows7 = fig7(&[5], &[5.0], 50.0, 400.0);
+        assert_eq!(rows7.len(), 4);
+        let t = policy_table("t", &rows7);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn tuning_smoke() {
+        let rows = tuning(&[7], &[0.0, 1.0], 10.0, 50.0, 400.0);
+        assert_eq!(rows.len(), 4); // 2 f values × 2 schedulers
+        assert!(tuning_table(&rows).to_ascii().contains("TUNE"));
+    }
+
+    #[test]
+    fn optgap_ratios_are_at_most_one() {
+        let rows = optgap(&[1, 2], &[8]);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.mean_ratio <= 1.0 + 1e-9, "{r:?}");
+            assert!(r.worst_ratio <= r.mean_ratio + 1e-9);
+            assert!(r.worst_ratio > 0.0);
+        }
+        assert!(optgap_table(&rows).to_csv().contains("requests"));
+    }
+
+    #[test]
+    fn npc_equivalence_holds_on_every_row() {
+        let rows = npc(&[9], &[2, 3], 3);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.solvable, r.reached_target, "{r:?}");
+        }
+        assert!(npc_table(&rows).to_ascii().contains("NPC"));
+    }
+
+    #[test]
+    fn maxmin_smoke() {
+        let rows = maxmin_cmp(&[4], &[5.0], 50.0, 300.0);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!((0.0..=1.0).contains(&r.maxmin_on_time.mean));
+        assert!(maxmin_table(&rows).to_ascii().contains("MAXMIN"));
+    }
+}

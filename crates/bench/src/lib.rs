@@ -1,0 +1,27 @@
+//! # gridband-bench — the evaluation harness
+//!
+//! One experiment runner per figure of the paper (plus the extension
+//! studies listed in DESIGN.md), shared between:
+//!
+//! * the figure binaries (`fig4`, `fig5`, `fig6`, `fig7`, `tuning`,
+//!   `optgap`, `npc`, `maxmin` — `cargo run -p gridband-bench --release
+//!   --bin fig4`),
+//! * the `gridband` CLI subcommands, and
+//! * the criterion benches (`cargo bench`).
+//!
+//! Every runner takes explicit seeds, fans `(parameter, seed)` jobs out
+//! over worker threads, and reports mean ± 95% CI so reruns are directly
+//! comparable to EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod extensions;
+pub mod opts;
+pub mod sweep;
+pub mod table;
+
+pub use experiments::*;
+pub use extensions::*;
+pub use sweep::parallel_map;
+pub use table::ResultTable;

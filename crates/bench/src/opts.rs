@@ -1,0 +1,121 @@
+//! Minimal shared command-line options for the figure binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — a reduced grid (2 seeds, smaller horizons) for smoke
+//!   runs;
+//! * `--csv` — emit CSV instead of the aligned table;
+//! * `--seeds N` — number of replicate seeds (from the default seed list).
+
+use crate::experiments::DEFAULT_SEEDS;
+use crate::table::ResultTable;
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureOpts {
+    /// Reduced grid for smoke runs.
+    pub quick: bool,
+    /// CSV output instead of aligned text.
+    pub csv: bool,
+    /// Replicate seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl FigureOpts {
+    /// Parse from an iterator of arguments (excluding `argv[0]`). Unknown
+    /// flags abort with a usage message.
+    pub fn parse<I: Iterator<Item = String>>(args: I) -> FigureOpts {
+        let mut quick = false;
+        let mut csv = false;
+        let mut n_seeds: usize = DEFAULT_SEEDS.len();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--csv" => csv = true,
+                "--seeds" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--seeds requires a value"));
+                    n_seeds = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seeds takes an integer"));
+                    if n_seeds == 0 || n_seeds > DEFAULT_SEEDS.len() {
+                        usage(&format!(
+                            "--seeds must be 1..={}",
+                            DEFAULT_SEEDS.len()
+                        ));
+                    }
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if quick {
+            n_seeds = n_seeds.min(2);
+        }
+        FigureOpts {
+            quick,
+            csv,
+            seeds: DEFAULT_SEEDS[..n_seeds].to_vec(),
+        }
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> FigureOpts {
+        FigureOpts::parse(std::env::args().skip(1))
+    }
+
+    /// Print a table in the selected format, prefixed by the seed list.
+    pub fn emit(&self, table: &ResultTable) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("seeds: {:?}", self.seeds);
+            print!("{}", table.to_ascii());
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <figure-bin> [--quick] [--csv] [--seeds N]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> FigureOpts {
+        FigureOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert!(!o.quick);
+        assert!(!o.csv);
+        assert_eq!(o.seeds, DEFAULT_SEEDS.to_vec());
+    }
+
+    #[test]
+    fn quick_caps_seeds() {
+        let o = parse(&["--quick"]);
+        assert!(o.quick);
+        assert_eq!(o.seeds.len(), 2);
+    }
+
+    #[test]
+    fn seeds_flag() {
+        let o = parse(&["--seeds", "3"]);
+        assert_eq!(o.seeds, DEFAULT_SEEDS[..3].to_vec());
+    }
+
+    #[test]
+    fn csv_flag() {
+        assert!(parse(&["--csv"]).csv);
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain-text and CSV rendering of experiment result tables.
+
+/// A rectangular result table with a title and column headers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Table caption (experiment id + parameters).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells; each must match `headers` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} ≠ header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned monospace table.
+    pub fn to_ascii(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..ncols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[c], width = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+        ));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; cells containing commas or quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimal places (accept rates, utilizations).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a `mean ± ci` pair.
+pub fn pm(mean: f64, ci: f64) -> String {
+    format!("{mean:.3}±{ci:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_alignment() {
+        let mut t = ResultTable::new("demo", &["x", "value"]);
+        t.push_row(vec!["1".into(), "0.5".into()]);
+        t.push_row(vec!["100".into(), "0.25".into()]);
+        let s = t.to_ascii();
+        assert!(s.contains("# demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, 2 rows, plus the title line.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = ResultTable::new("q", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = ResultTable::new("bad", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pm(0.5, 0.011), "0.500±0.011");
+    }
+}

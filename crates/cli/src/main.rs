@@ -1,0 +1,376 @@
+//! `gridband` — the command-line experiment runner.
+//!
+//! ```text
+//! gridband fig4|fig5|fig6|fig7|tuning|optgap|npc|maxmin [--quick] [--csv] [--seeds N]
+//! gridband run   [--topo paper|grid5000|MxNxCAP] [--sched greedy|window:STEP]
+//!                [--policy min|f:X] [--interarrival S | --load L]
+//!                [--slack LO:HI] [--horizon S] [--seed N] [--json]
+//!                [--timeline FILE.csv] [--diurnal DEPTH:PERIOD]
+//! gridband trace [--load L | --interarrival S] [--horizon S] [--seed N] [--out FILE]
+//! gridband stats FILE
+//! ```
+
+use gridband_algos::{AdaptiveGreedy, BandwidthPolicy, BookAhead, Greedy, WindowScheduler};
+use gridband_bench::opts::FigureOpts;
+use gridband_bench::{experiments as exp, extensions as ext, table::ResultTable};
+use gridband_sim::{Simulation, Timeline};
+use gridband_workload::Trace;
+
+mod runcfg;
+use runcfg::{RunConfig, Scheduler};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage(0);
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "fig4" | "fig5" | "fig6" | "fig7" | "tuning" | "optgap" | "npc" | "maxmin"
+        | "bookahead" | "distributed" | "longlived" | "hotspot" | "mice" | "retry"
+        | "malleable" | "sensitivity" => figure(&cmd, args),
+        "run" => run_custom(args),
+        "compare" => compare(args),
+        "trace" => gen_trace(args),
+        "stats" => trace_stats(args),
+        "--help" | "-h" | "help" => usage(0),
+        other => {
+            eprintln!("error: unknown command {other}");
+            usage(2);
+        }
+    }
+}
+
+
+/// Print a CLI error and exit with status 2.
+fn fail(msg: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "gridband — bandwidth sharing in grid environments (HPDC'06 reproduction)
+
+commands:
+  fig4|fig5|fig6|fig7       regenerate a paper figure   [--quick] [--csv] [--seeds N]
+  tuning|optgap|npc|maxmin  extension studies           (same flags)
+  bookahead|distributed|longlived|hotspot|mice|retry|malleable  extension studies
+  run                       one custom simulation       (gridband run --help)
+  compare                   several schedulers on one workload
+                            (--scheds greedy,window:50,bookahead + run flags)
+  trace                     generate a workload trace JSON
+  stats FILE                summarize a trace file"
+    );
+    std::process::exit(code);
+}
+
+fn figure(cmd: &str, args: Vec<String>) {
+    let opts = FigureOpts::parse(args.into_iter());
+    let emit = |t: ResultTable| opts.emit(&t);
+    match cmd {
+        "fig4" => {
+            let (loads, horizon): (Vec<f64>, f64) = if opts.quick {
+                (vec![1.0, 4.0, 8.0], 1_500.0)
+            } else {
+                (vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0], 4_000.0)
+            };
+            emit(exp::fig4_table(&exp::fig4(&opts.seeds, &loads, horizon)));
+        }
+        "fig5" => {
+            let (ias, steps, horizon): (Vec<f64>, Vec<f64>, f64) = if opts.quick {
+                (vec![0.5, 2.0], vec![20.0, 100.0], 400.0)
+            } else {
+                (
+                    vec![0.1, 0.25, 0.5, 1.0, 2.0, 5.0],
+                    vec![10.0, 50.0, 100.0, 400.0],
+                    1_000.0,
+                )
+            };
+            emit(exp::fig5_table(&exp::fig5(&opts.seeds, &ias, &steps, horizon)));
+        }
+        "fig6" | "fig7" => {
+            let (heavy, light, horizon): (Vec<f64>, Vec<f64>, f64) = if opts.quick {
+                (vec![0.5, 2.0], vec![5.0, 15.0], 500.0)
+            } else {
+                (
+                    vec![0.1, 0.25, 0.5, 1.0, 2.0, 5.0],
+                    vec![3.0, 5.0, 8.0, 12.0, 16.0, 20.0],
+                    1_500.0,
+                )
+            };
+            for (pane, ias) in [("left/heavy", &heavy), ("right/light", &light)] {
+                let rows = if cmd == "fig6" {
+                    exp::fig6(&opts.seeds, ias, horizon)
+                } else {
+                    exp::fig7(&opts.seeds, ias, 400.0, horizon)
+                };
+                emit(exp::policy_table(
+                    &format!("{} {pane} — accept rate per policy", cmd.to_uppercase()),
+                    &rows,
+                ));
+            }
+        }
+        "tuning" => {
+            let (fs, horizon): (Vec<f64>, f64) = if opts.quick {
+                (vec![0.0, 0.5, 1.0], 1_000.0)
+            } else {
+                ((0..=10).map(|k| k as f64 / 10.0).collect(), 4_000.0)
+            };
+            emit(exp::tuning_table(&exp::tuning(
+                &opts.seeds,
+                &fs,
+                15.0,
+                50.0,
+                horizon,
+            )));
+        }
+        "optgap" => {
+            let sizes: Vec<usize> = if opts.quick {
+                vec![8, 12]
+            } else {
+                vec![8, 12, 16, 20]
+            };
+            emit(exp::optgap_table(&exp::optgap(&opts.seeds, &sizes)));
+        }
+        "npc" => {
+            let (ns, per_seed) = if opts.quick {
+                (vec![2, 3], 2)
+            } else {
+                (vec![2, 3, 4], 4)
+            };
+            let rows = exp::npc(&opts.seeds, &ns, per_seed);
+            let ok = rows.iter().all(|r| r.solvable == r.reached_target);
+            emit(exp::npc_table(&rows));
+            assert!(ok, "Theorem 1 equivalence violated — this is a bug");
+        }
+        "maxmin" => {
+            let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+                (vec![1.0, 10.0], 400.0)
+            } else {
+                (vec![0.5, 1.0, 2.0, 5.0, 10.0, 20.0], 1_500.0)
+            };
+            emit(exp::maxmin_table(&exp::maxmin_cmp(
+                &opts.seeds,
+                &ias,
+                100.0,
+                horizon,
+            )));
+        }
+        "bookahead" => {
+            let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+                (vec![0.5, 2.0], 400.0)
+            } else {
+                (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0], 1_200.0)
+            };
+            emit(ext::bookahead_table(&ext::bookahead(&opts.seeds, &ias, horizon)));
+        }
+        "distributed" => {
+            let (delays, horizon): (Vec<f64>, f64) = if opts.quick {
+                (vec![0.0, 1.0], 400.0)
+            } else {
+                (vec![0.0, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0], 1_200.0)
+            };
+            emit(ext::distributed_table(&ext::distributed(
+                &opts.seeds,
+                &delays,
+                horizon,
+            )));
+        }
+        "longlived" => {
+            let sizes: Vec<usize> = if opts.quick {
+                vec![40, 120]
+            } else {
+                vec![20, 40, 80, 160, 320]
+            };
+            emit(ext::longlived_table(&ext::longlived(&opts.seeds, &sizes)));
+        }
+        "hotspot" => {
+            let n = if opts.quick { 60 } else { 300 };
+            emit(ext::hotspot_table(&ext::hotspot(&opts.seeds, n)));
+        }
+        "mice" => {
+            let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+                (vec![0.5, 10.0], 300.0)
+            } else {
+                (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0], 1_000.0)
+            };
+            emit(ext::mice_table(&ext::mice(&opts.seeds, &ias, horizon)));
+        }
+        "retry" => {
+            let (attempts, horizon): (Vec<usize>, f64) = if opts.quick {
+                (vec![1, 3], 300.0)
+            } else {
+                (vec![1, 2, 3, 5, 8], 1_200.0)
+            };
+            emit(ext::retry_table(&ext::retry_study(
+                &opts.seeds,
+                &attempts,
+                30.0,
+                horizon,
+            )));
+        }
+        "malleable" => {
+            let (ias, horizon): (Vec<f64>, f64) = if opts.quick {
+                (vec![0.5, 2.0], 300.0)
+            } else {
+                (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0], 1_200.0)
+            };
+            emit(ext::malleable_table(&ext::malleable(&opts.seeds, &ias, horizon)));
+        }
+        "sensitivity" => {
+            let horizon = if opts.quick { 400.0 } else { 1_500.0 };
+            emit(ext::sensitivity_table(&ext::sensitivity(&opts.seeds, horizon)));
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn run_custom(args: Vec<String>) {
+    let cfg = RunConfig::parse(args);
+    let trace = cfg.build_trace();
+    let sim = Simulation::new(cfg.topology.clone());
+    let report = match &cfg.scheduler {
+        Scheduler::Greedy => sim.run(&trace, &mut Greedy::new(cfg.policy)),
+        Scheduler::Window(step) => {
+            let mut w = WindowScheduler::new(*step, cfg.policy);
+            sim.run(&trace, &mut w)
+        }
+    };
+    if let Some(path) = &cfg.timeline {
+        let tl = Timeline::sample(
+            &trace,
+            &cfg.topology,
+            &report.assignments,
+            trace.first_start(),
+            trace.horizon(),
+            (trace.horizon() - trace.first_start()).max(1.0) / 500.0,
+        );
+        std::fs::write(path, tl.to_csv())
+            .unwrap_or_else(|e| fail(format_args!("cannot write {path}: {e}")));
+        eprintln!("timeline written to {path} (peak {:.0} MB/s)", tl.peak());
+    }
+    if cfg.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        println!(
+            "trace: {} requests, offered load {:.2}",
+            trace.len(),
+            report.offered_load
+        );
+        println!("{}", report.summary());
+        for f in [0.5, 0.8, 1.0] {
+            println!(
+                "  guaranteed rate at f={f:.1}: {:.3}",
+                report.guaranteed_rate(&trace, f)
+            );
+        }
+    }
+}
+
+fn compare(mut args: Vec<String>) {
+    // Extract --scheds LIST; remaining flags configure the workload.
+    let mut scheds = vec![
+        "greedy".to_string(),
+        "minrate".to_string(),
+        "adaptive".to_string(),
+        "window:50".to_string(),
+        "window:400".to_string(),
+        "bookahead".to_string(),
+    ];
+    if let Some(pos) = args.iter().position(|a| a == "--scheds") {
+        if pos + 1 >= args.len() {
+            fail(format_args!("--scheds requires a comma-separated list"));
+        }
+        scheds = args[pos + 1].split(',').map(|s| s.to_string()).collect();
+        args.drain(pos..=pos + 1);
+    }
+    let cfg = RunConfig::parse(args);
+    let trace = cfg.build_trace();
+    let sim = Simulation::new(cfg.topology.clone());
+    println!(
+        "workload: {} requests, offered load {:.2}, policy {}",
+        trace.len(),
+        trace.offered_load(&cfg.topology),
+        cfg.policy
+    );
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>12}",
+        "scheduler", "accept", "util", "speedup", "start delay"
+    );
+    for spec in &scheds {
+        let report = match spec.as_str() {
+            "greedy" => sim.run(&trace, &mut Greedy::new(cfg.policy)),
+            "bookahead" => sim.run(&trace, &mut BookAhead::new(cfg.policy)),
+            "minrate" => sim.run(&trace, &mut Greedy::new(BandwidthPolicy::MinRate)),
+            "adaptive" => sim.run(&trace, &mut AdaptiveGreedy::full_range()),
+            w if w.starts_with("window:") => {
+                let step: f64 = w["window:".len()..]
+                    .parse()
+                    .unwrap_or_else(|_| fail(format_args!("bad window step in {w}")));
+                let mut c = WindowScheduler::new(step, cfg.policy);
+                sim.run(&trace, &mut c)
+            }
+            other => fail(format_args!(
+                "unknown scheduler {other} (greedy|minrate|adaptive|window:STEP|bookahead)"
+            )),
+        };
+        println!(
+            "{:<14} {:>7.1}% {:>7.1}% {:>8.2}x {:>11.1}s",
+            spec,
+            100.0 * report.accept_rate,
+            100.0 * report.resource_util,
+            report.mean_speedup,
+            report.mean_start_delay
+        );
+    }
+}
+
+fn gen_trace(args: Vec<String>) {
+    let cfg = RunConfig::parse(args);
+    let trace = cfg.build_trace();
+    match &cfg.out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(format_args!("cannot create {path}: {e}")));
+            trace
+                .write_json(file)
+                .unwrap_or_else(|e| fail(format_args!("writing {path} failed: {e}")));
+            eprintln!("wrote {} requests to {path}", trace.len());
+        }
+        None => println!("{}", trace.to_json()),
+    }
+}
+
+fn trace_stats(args: Vec<String>) {
+    let Some(path) = args.first() else {
+        eprintln!("usage: gridband stats FILE");
+        std::process::exit(2);
+    };
+    let file = std::fs::File::open(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot open {path}: {e}")));
+    let trace = Trace::read_json(file)
+        .unwrap_or_else(|e| fail(format_args!("{path} is not a valid trace: {e}")));
+    let s = trace.stats();
+    println!("requests:       {}", s.count);
+    println!("total volume:   {:.1} GB", s.total_volume / 1000.0);
+    println!("mean MinRate:   {:.1} MB/s", s.mean_min_rate);
+    println!("mean MaxRate:   {:.1} MB/s", s.mean_max_rate);
+    println!("mean slack:     {:.2}", s.mean_slack);
+    println!("mean window:    {:.0} s", s.mean_window);
+    println!("rigid requests: {}", s.rigid_count);
+    println!("horizon:        {:.0} s", s.horizon);
+    // Lint against the paper topology (the default platform) so obvious
+    // workload problems surface right here.
+    let findings = gridband_workload::lint::lint(&trace, &gridband_net::Topology::paper_default());
+    if findings.is_empty() {
+        println!("lint:           clean");
+    } else {
+        for f in findings {
+            println!("lint {}:   [{}] {}", f.severity, f.code, f.message);
+        }
+    }
+}

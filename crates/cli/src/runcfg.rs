@@ -1,0 +1,204 @@
+//! Argument parsing for `gridband run` / `gridband trace`.
+
+use gridband_algos::BandwidthPolicy;
+use gridband_net::Topology;
+use gridband_workload::{ArrivalProcess, Dist, Trace, WorkloadBuilder};
+
+/// Which scheduler a custom run uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheduler {
+    /// Algorithm 2 (decide on arrival).
+    Greedy,
+    /// Algorithm 3 with the given `t_step`.
+    Window(f64),
+}
+
+/// Fully parsed configuration of a custom run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub topology: Topology,
+    pub scheduler: Scheduler,
+    pub policy: BandwidthPolicy,
+    pub load: Option<f64>,
+    pub interarrival: Option<f64>,
+    pub slack: (f64, f64),
+    pub horizon: f64,
+    pub seed: u64,
+    pub json: bool,
+    pub out: Option<String>,
+    pub timeline: Option<String>,
+    pub diurnal: Option<(f64, f64)>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            topology: Topology::paper_default(),
+            scheduler: Scheduler::Greedy,
+            policy: BandwidthPolicy::MAX_RATE,
+            load: None,
+            interarrival: None,
+            slack: (2.0, 4.0),
+            horizon: 2_000.0,
+            seed: 42,
+            json: false,
+            out: None,
+            timeline: None,
+            diurnal: None,
+        }
+    }
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: gridband run [--topo paper|grid5000|MxNxCAP|@file.json] [--sched greedy|window:STEP]
+                    [--policy min|f:X] [--interarrival S | --load L] [--slack LO:HI]
+                    [--horizon S] [--seed N] [--json] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_topo(s: &str) -> Topology {
+    match s {
+        "paper" => Topology::paper_default(),
+        "grid5000" => Topology::grid5000_like(),
+        file if file.starts_with('@') => {
+            let path = &file[1..];
+            let data = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| bail(&format!("cannot read topology {path}: {e}")));
+            serde_json::from_str(&data)
+                .unwrap_or_else(|e| bail(&format!("invalid topology JSON in {path}: {e}")))
+        }
+        custom => {
+            // MxNxCAP, e.g. 4x6x500
+            let parts: Vec<&str> = custom.split('x').collect();
+            if parts.len() != 3 {
+                bail("topology must be paper, grid5000, or MxNxCAP (e.g. 4x6x500)");
+            }
+            let m: usize = parts[0].parse().unwrap_or_else(|_| bail("bad M"));
+            let n: usize = parts[1].parse().unwrap_or_else(|_| bail("bad N"));
+            let cap: f64 = parts[2].parse().unwrap_or_else(|_| bail("bad CAP"));
+            Topology::uniform(m, n, cap)
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parse flags; aborts the process with a usage message on errors.
+    pub fn parse(args: Vec<String>) -> RunConfig {
+        let mut cfg = RunConfig::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut val = |name: &str| -> String {
+                it.next().unwrap_or_else(|| bail(&format!("{name} needs a value")))
+            };
+            match a.as_str() {
+                "--topo" => cfg.topology = parse_topo(&val("--topo")),
+                "--sched" => {
+                    let v = val("--sched");
+                    cfg.scheduler = if v == "greedy" {
+                        Scheduler::Greedy
+                    } else if let Some(step) = v.strip_prefix("window:") {
+                        Scheduler::Window(
+                            step.parse().unwrap_or_else(|_| bail("bad window step")),
+                        )
+                    } else {
+                        bail("--sched takes greedy or window:STEP")
+                    };
+                }
+                "--policy" => {
+                    let v = val("--policy");
+                    cfg.policy = if v == "min" {
+                        BandwidthPolicy::MinRate
+                    } else if let Some(f) = v.strip_prefix("f:") {
+                        BandwidthPolicy::FractionOfMax(
+                            f.parse().unwrap_or_else(|_| bail("bad f value")),
+                        )
+                    } else {
+                        bail("--policy takes min or f:X")
+                    };
+                }
+                "--load" => {
+                    cfg.load = Some(val("--load").parse().unwrap_or_else(|_| bail("bad load")))
+                }
+                "--interarrival" => {
+                    cfg.interarrival = Some(
+                        val("--interarrival")
+                            .parse()
+                            .unwrap_or_else(|_| bail("bad interarrival")),
+                    )
+                }
+                "--slack" => {
+                    let v = val("--slack");
+                    let (lo, hi) = v
+                        .split_once(':')
+                        .unwrap_or_else(|| bail("--slack takes LO:HI"));
+                    cfg.slack = (
+                        lo.parse().unwrap_or_else(|_| bail("bad slack lo")),
+                        hi.parse().unwrap_or_else(|_| bail("bad slack hi")),
+                    );
+                    if cfg.slack.0 < 1.0 || cfg.slack.1 < cfg.slack.0 {
+                        bail("slack must satisfy 1 <= LO <= HI");
+                    }
+                }
+                "--horizon" => {
+                    cfg.horizon = val("--horizon").parse().unwrap_or_else(|_| bail("bad horizon"))
+                }
+                "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| bail("bad seed")),
+                "--json" => cfg.json = true,
+                "--out" => cfg.out = Some(val("--out")),
+                "--timeline" => cfg.timeline = Some(val("--timeline")),
+                "--diurnal" => {
+                    let v = val("--diurnal");
+                    let (d, p) = v
+                        .split_once(':')
+                        .unwrap_or_else(|| bail("--diurnal takes DEPTH:PERIOD"));
+                    cfg.diurnal = Some((
+                        d.parse().unwrap_or_else(|_| bail("bad diurnal depth")),
+                        p.parse().unwrap_or_else(|_| bail("bad diurnal period")),
+                    ));
+                }
+                "--help" | "-h" => bail(""),
+                other => bail(&format!("unknown flag {other}")),
+            }
+        }
+        if cfg.load.is_some() && cfg.interarrival.is_some() {
+            bail("--load and --interarrival are mutually exclusive");
+        }
+        cfg
+    }
+
+    /// Build the workload this configuration describes.
+    pub fn build_trace(&self) -> Trace {
+        let mut b = WorkloadBuilder::new(self.topology.clone())
+            .horizon(self.horizon)
+            .seed(self.seed);
+        b = match (self.load, self.interarrival) {
+            (Some(l), None) => b.target_load(l),
+            (None, Some(ia)) => b.mean_interarrival(ia),
+            (None, None) => b.mean_interarrival(2.0),
+            (Some(_), Some(_)) => unreachable!("rejected in parse"),
+        };
+        if let Some((depth, period)) = self.diurnal {
+            let base = match (self.load, self.interarrival) {
+                (None, Some(ia)) => ia,
+                _ => 2.0,
+            };
+            b = b.arrival(ArrivalProcess::Diurnal {
+                mean_interarrival: base,
+                depth,
+                period,
+            });
+        }
+        b = if self.slack == (1.0, 1.0) {
+            b.slack(Dist::Fixed(1.0))
+        } else {
+            b.slack(Dist::Uniform {
+                lo: self.slack.0,
+                hi: self.slack.1,
+            })
+        };
+        b.build()
+    }
+}

@@ -1,0 +1,163 @@
+//! Subprocess tests of the `gridband` binary: every subcommand must
+//! parse, run, and print what its contract promises.
+
+use std::process::{Command, Output};
+
+fn gridband(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gridband"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let out = gridband(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    for cmd in ["fig4", "tuning", "run", "compare", "trace", "stats"] {
+        assert!(text.contains(cmd), "help missing {cmd}:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = gridband(&["fig99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn run_prints_summary_and_guarantees() {
+    let out = gridband(&[
+        "run",
+        "--interarrival",
+        "5",
+        "--horizon",
+        "200",
+        "--seed",
+        "3",
+        "--sched",
+        "window:20",
+        "--policy",
+        "f:0.8",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("offered load"), "{text}");
+    assert!(text.contains("window[t_step=20"), "{text}");
+    assert!(text.contains("guaranteed rate at f=0.8"), "{text}");
+}
+
+#[test]
+fn run_json_is_machine_readable() {
+    let out = gridband(&[
+        "run",
+        "--interarrival",
+        "5",
+        "--horizon",
+        "150",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_str(&stdout(&out)).expect("stdout is a JSON report");
+    assert!(v.get("accept_rate").is_some());
+    assert!(v.get("assignments").is_some());
+}
+
+#[test]
+fn trace_and_stats_round_trip() {
+    let dir = std::env::temp_dir().join("gridband-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.json");
+    let path_s = path.to_str().unwrap();
+    let out = gridband(&[
+        "trace",
+        "--interarrival",
+        "5",
+        "--horizon",
+        "200",
+        "--seed",
+        "9",
+        "--out",
+        path_s,
+    ]);
+    assert!(out.status.success());
+    let out = gridband(&["stats", path_s]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("requests:"), "{text}");
+    assert!(text.contains("mean MaxRate:"), "{text}");
+}
+
+#[test]
+fn compare_lists_each_requested_scheduler() {
+    let out = gridband(&[
+        "compare",
+        "--scheds",
+        "greedy,window:30",
+        "--interarrival",
+        "5",
+        "--horizon",
+        "150",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("greedy"), "{text}");
+    assert!(text.contains("window:30"), "{text}");
+    assert!(text.contains("accept"), "{text}");
+}
+
+#[test]
+fn figure_quick_csv_has_headers() {
+    let out = gridband(&["fig5", "--quick", "--csv", "--seeds", "1"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let first = text.lines().next().unwrap_or("");
+    assert_eq!(first, "interarrival,scheduler,accept", "{text}");
+    assert!(text.lines().count() > 3);
+}
+
+#[test]
+fn custom_topology_string_is_honoured() {
+    let out = gridband(&[
+        "run",
+        "--topo",
+        "2x3x250",
+        "--interarrival",
+        "10",
+        "--horizon",
+        "100",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    // 2×250 + 3×250 halved = 625 → load denominator reflects it; just
+    // check the run produced a well-formed report.
+    assert!(v["total_requests"].as_u64().is_some());
+}
+
+#[test]
+fn timeline_export_writes_csv() {
+    let dir = std::env::temp_dir().join("gridband-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tl.csv");
+    let path_s = path.to_str().unwrap();
+    let out = gridband(&[
+        "run",
+        "--interarrival",
+        "5",
+        "--horizon",
+        "150",
+        "--timeline",
+        path_s,
+    ]);
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&path).expect("timeline file written");
+    assert!(csv.starts_with("time,total,in0"), "{}", &csv[..60.min(csv.len())]);
+}

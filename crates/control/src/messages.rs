@@ -1,0 +1,147 @@
+//! Signaling messages of the overlay control plane.
+//!
+//! §5.4: "this bandwidth sharing approach can reutilize most of the RSVP
+//! protocol features (client side and RSVP request format). The main
+//! difference lies in how the reservation requests are routed and
+//! processed" — requests travel from the client to its ingress access
+//! router, which coordinates with the egress access router and answers
+//! the client directly with a scheduled window and rate.
+//!
+//! The message vocabulary below mirrors that exchange: a client `Resv`,
+//! an inter-router `Hold`/`HoldAck`, a final `Commit`/`Release`, and the
+//! client-facing `Reply`.
+
+use gridband_net::units::{Bandwidth, Time};
+use gridband_net::{EgressId, IngressId};
+use gridband_workload::{Request, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an in-flight signaling transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+/// A message on the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Client → ingress router: reserve for this request.
+    Resv {
+        /// Transaction id.
+        txn: TxnId,
+        /// The transfer being requested.
+        request: Request,
+    },
+    /// Ingress → egress router: tentatively hold `bw` on `[start, end)`.
+    Hold {
+        /// Transaction id.
+        txn: TxnId,
+        /// Egress port whose capacity is held.
+        egress: EgressId,
+        /// Bandwidth to hold (MB/s).
+        bw: Bandwidth,
+        /// Hold start.
+        start: Time,
+        /// Hold end.
+        end: Time,
+    },
+    /// Egress → ingress: hold granted or refused.
+    HoldAck {
+        /// Transaction id.
+        txn: TxnId,
+        /// Whether the egress-side hold succeeded.
+        granted: bool,
+    },
+    /// Ingress → egress: the transaction is final — keep the hold.
+    Commit {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Ingress → egress: abandon the hold (admission failed elsewhere).
+    Release {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Local timer at the ingress router: abandon the transaction's hold
+    /// if it is still unresolved (lossy-channel recovery).
+    IngressTimeout {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Local timer at the egress router: release the transaction's hold
+    /// if no commit arrived (lossy-channel recovery).
+    EgressTimeout {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Ingress router → client: the decision, with the scheduled window
+    /// and rate on acceptance.
+    Reply {
+        /// Transaction id.
+        txn: TxnId,
+        /// The request this answers.
+        request: RequestId,
+        /// Granted bandwidth (`None` = rejected).
+        granted: Option<Grant>,
+    },
+}
+
+/// The scheduled window and rate returned to an accepted client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grant {
+    /// Assigned bandwidth (MB/s).
+    pub bw: Bandwidth,
+    /// Assigned transmission start.
+    pub start: Time,
+    /// Assigned transmission end.
+    pub finish: Time,
+}
+
+/// Addressed envelope: which router (or client) a message is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The access router in front of ingress port `i`.
+    IngressRouter(IngressId),
+    /// The access router in front of egress port `e`.
+    EgressRouter(EgressId),
+    /// The requesting client (identified by its request).
+    Client(RequestId),
+}
+
+/// A message queued for delivery at a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Delivery time.
+    pub at: Time,
+    /// Destination.
+    pub to: Endpoint,
+    /// Payload.
+    pub msg: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::TimeWindow;
+
+    #[test]
+    fn messages_serialize() {
+        let req = Request::new(1, Route::new(0, 1), TimeWindow::new(0.0, 10.0), 100.0, 50.0);
+        let m = Message::Resv {
+            txn: TxnId(7),
+            request: req,
+        };
+        let js = serde_json::to_string(&m).unwrap();
+        let back: Message = serde_json::from_str(&js).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn endpoints_hash_distinctly() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Endpoint::IngressRouter(IngressId(0)));
+        set.insert(Endpoint::EgressRouter(EgressId(0)));
+        set.insert(Endpoint::Client(RequestId(0)));
+        assert_eq!(set.len(), 3);
+    }
+}

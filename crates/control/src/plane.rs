@@ -1,0 +1,617 @@
+//! The distributed reservation protocol over access routers.
+//!
+//! §5.4 sketches the deployment: the client's request reaches its
+//! **ingress access router**, which coordinates with the egress access
+//! router and "returns directly a scheduled time window and allocated
+//! rate to the client". §7 lists "fully distributed allocation
+//! algorithms to study the scalability of the approach" as future work —
+//! this module implements that study.
+//!
+//! Protocol (per transaction, with one-way delay `d`):
+//!
+//! 1. `t`      — client emits `Resv`;
+//! 2. `t + d`  — ingress router receives it, computes the bandwidth via
+//!    its policy with the *predicted* transmission start `t + 4d` (when
+//!    the grant will reach the client), tentatively holds its local
+//!    capacity, and emits `Hold`;
+//! 3. `t + 2d` — egress router holds (or refuses) its side, `HoldAck`;
+//! 4. `t + 3d` — ingress commits or releases; `Reply` leaves;
+//! 5. `t + 4d` — client learns the verdict; accepted transfers start.
+//!
+//! Holds are placed *immediately* in each router's local capacity
+//! profile, so concurrent transactions can never over-commit a port —
+//! the distributed-safety invariant the tests check. The price of
+//! distribution is latency (4 d per decision) and the admission
+//! pessimism of in-flight holds; with `d = 0` the protocol is exactly
+//! the centralized GREEDY heuristic (also checked by the tests).
+//!
+//! ## Message loss
+//!
+//! [`ControlPlane::with_loss`] drops `Hold` and `HoldAck` frames with a
+//! seeded probability — the failure mode that actually threatens a
+//! two-phase reservation. Safety then rests on **hold timeouts**: each
+//! router abandons an unresolved hold after `hold_timeout` seconds
+//! (which must exceed the round trip `2d`), releasing the capacity.
+//! `Commit` and client-facing frames are modelled as reliable —
+//! idempotent retransmission is standard — so a granted reply is never
+//! contradicted. Loss therefore costs accept rate (timeouts masquerade
+//! as rejections) and transient capacity pessimism (an orphaned egress
+//! hold blocks competitors until its timeout), but never feasibility.
+
+use crate::messages::{Endpoint, Envelope, Grant, Message, TxnId};
+use gridband_algos::BandwidthPolicy;
+use gridband_net::units::Time;
+use gridband_net::{CapacityProfile, EgressId, Topology};
+use gridband_sim::Assignment;
+use gridband_workload::{Request, RequestId, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Outcome statistics of a control-plane run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlReport {
+    /// Accepted grants as schedule assignments (verifiable with
+    /// `gridband_sim::verify_schedule`).
+    pub assignments: Vec<Assignment>,
+    /// Rejected request ids (including signaling-timeout casualties).
+    pub rejected: Vec<RequestId>,
+    /// Total control messages sent (lost ones included).
+    pub messages: usize,
+    /// Messages dropped by the lossy channel.
+    pub lost_messages: usize,
+    /// Decision latency for a loss-free transaction (request emission →
+    /// client reply), seconds.
+    pub decision_latency: Time,
+}
+
+impl ControlReport {
+    /// Accept rate over the trace that produced this report.
+    pub fn accept_rate(&self) -> f64 {
+        let total = self.assignments.len() + self.rejected.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.assignments.len() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingTxn {
+    request: Request,
+    bw: f64,
+    start: Time,
+    finish: Time,
+    resolved: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EgressHold {
+    egress: EgressId,
+    bw: f64,
+    start: Time,
+    end: Time,
+    committed: bool,
+    released: bool,
+}
+
+/// The overlay control plane: one router per access port, a message bus
+/// with uniform one-way delay and optional loss, and a bandwidth policy
+/// applied at the ingress routers.
+pub struct ControlPlane {
+    topo: Topology,
+    delay: Time,
+    policy: BandwidthPolicy,
+    loss: f64,
+    hold_timeout: Time,
+    loss_seed: u64,
+}
+
+impl ControlPlane {
+    /// A lossless control plane over `topo` with one-way signaling delay
+    /// `delay` seconds and the given bandwidth policy at the ingress
+    /// routers.
+    pub fn new(topo: Topology, delay: Time, policy: BandwidthPolicy) -> Self {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        ControlPlane {
+            topo,
+            delay,
+            policy,
+            loss: 0.0,
+            hold_timeout: f64::INFINITY,
+            loss_seed: 0,
+        }
+    }
+
+    /// Drop `Hold`/`HoldAck` frames with probability `loss`; unresolved
+    /// holds are abandoned after `hold_timeout` seconds (must exceed the
+    /// `2 × delay` round trip). Deterministic per `seed`.
+    pub fn with_loss(mut self, loss: f64, hold_timeout: Time, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must lie in [0, 1)");
+        assert!(
+            hold_timeout > 2.0 * self.delay,
+            "hold_timeout {hold_timeout} must exceed the round trip {}",
+            2.0 * self.delay
+        );
+        self.loss = loss;
+        self.hold_timeout = hold_timeout;
+        self.loss_seed = seed;
+        self
+    }
+
+    /// Play a trace through the distributed protocol.
+    pub fn run(&self, trace: &Trace) -> ControlReport {
+        let d = self.delay;
+        let mut rng = StdRng::seed_from_u64(self.loss_seed);
+        let mut ingress: Vec<CapacityProfile> = self
+            .topo
+            .ingress_ids()
+            .map(|i| CapacityProfile::new(self.topo.ingress_cap(i)))
+            .collect();
+        let mut egress: Vec<CapacityProfile> = self
+            .topo
+            .egress_ids()
+            .map(|e| CapacityProfile::new(self.topo.egress_cap(e)))
+            .collect();
+        let mut pending: HashMap<TxnId, PendingTxn> = HashMap::new();
+        let mut egress_holds: HashMap<TxnId, EgressHold> = HashMap::new();
+
+        // Time-ordered message bus with FIFO tie-breaking.
+        let mut bus: Vec<(usize, Envelope)> = Vec::new();
+        let mut seq = 0usize;
+        let push = |bus: &mut Vec<(usize, Envelope)>, seq: &mut usize, env: Envelope| {
+            bus.push((*seq, env));
+            *seq += 1;
+        };
+        for (k, r) in trace.iter().enumerate() {
+            push(
+                &mut bus,
+                &mut seq,
+                Envelope {
+                    at: r.start(),
+                    to: Endpoint::IngressRouter(r.route.ingress),
+                    msg: Message::Resv {
+                        txn: TxnId(k as u64),
+                        request: *r,
+                    },
+                },
+            );
+        }
+
+        let mut assignments = Vec::new();
+        let mut rejected = Vec::new();
+        let mut messages = trace.len(); // the Resv messages themselves
+        let mut lost_messages = 0usize;
+
+        // Process the bus in (time, seq) order; new messages always carry
+        // later timestamps, so a sorted sweep with a cursor works.
+        let mut cursor = 0usize;
+        loop {
+            bus[cursor..].sort_by(|a, b| {
+                a.1.at
+                    .partial_cmp(&b.1.at)
+                    .expect("finite times")
+                    .then(a.0.cmp(&b.0))
+            });
+            if cursor >= bus.len() {
+                break;
+            }
+            let (_, env) = bus[cursor];
+            cursor += 1;
+            let now = env.at;
+            match env.msg {
+                Message::Resv { txn, request } => {
+                    let start = now + 3.0 * d;
+                    let verdict = self.policy.assign(&request, start).and_then(|bw| {
+                        let finish = request.completion_at(start, bw);
+                        let iidx = request.route.ingress.index();
+                        ingress[iidx]
+                            .allocate(start, finish, bw)
+                            .ok()
+                            .map(|()| (bw, finish))
+                    });
+                    match verdict {
+                        Some((bw, finish)) => {
+                            pending.insert(
+                                txn,
+                                PendingTxn {
+                                    request,
+                                    bw,
+                                    start,
+                                    finish,
+                                    resolved: false,
+                                },
+                            );
+                            messages += 1;
+                            if self.loss > 0.0 && rng.gen_range(0.0..1.0) < self.loss {
+                                lost_messages += 1;
+                            } else {
+                                push(
+                                    &mut bus,
+                                    &mut seq,
+                                    Envelope {
+                                        at: now + d,
+                                        to: Endpoint::EgressRouter(request.route.egress),
+                                        msg: Message::Hold {
+                                            txn,
+                                            egress: request.route.egress,
+                                            bw,
+                                            start,
+                                            end: finish,
+                                        },
+                                    },
+                                );
+                            }
+                            if self.hold_timeout.is_finite() {
+                                push(
+                                    &mut bus,
+                                    &mut seq,
+                                    Envelope {
+                                        at: now + self.hold_timeout,
+                                        to: Endpoint::IngressRouter(request.route.ingress),
+                                        msg: Message::IngressTimeout { txn },
+                                    },
+                                );
+                            }
+                        }
+                        None => {
+                            messages += 1;
+                            push(
+                                &mut bus,
+                                &mut seq,
+                                Envelope {
+                                    at: now + d,
+                                    to: Endpoint::Client(request.id),
+                                    msg: Message::Reply {
+                                        txn,
+                                        request: request.id,
+                                        granted: None,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+                Message::Hold {
+                    txn,
+                    egress: e,
+                    bw,
+                    start,
+                    end,
+                } => {
+                    let granted = egress[e.index()].allocate(start, end, bw).is_ok();
+                    if granted {
+                        egress_holds.insert(
+                            txn,
+                            EgressHold {
+                                egress: e,
+                                bw,
+                                start,
+                                end,
+                                committed: false,
+                                released: false,
+                            },
+                        );
+                        if self.hold_timeout.is_finite() {
+                            push(
+                                &mut bus,
+                                &mut seq,
+                                Envelope {
+                                    at: now + self.hold_timeout,
+                                    to: Endpoint::EgressRouter(e),
+                                    msg: Message::EgressTimeout { txn },
+                                },
+                            );
+                        }
+                    }
+                    messages += 1;
+                    if self.loss > 0.0 && rng.gen_range(0.0..1.0) < self.loss {
+                        lost_messages += 1;
+                    } else {
+                        let back_to = pending
+                            .get(&txn)
+                            .expect("hold for unknown txn")
+                            .request
+                            .route
+                            .ingress;
+                        push(
+                            &mut bus,
+                            &mut seq,
+                            Envelope {
+                                at: now + d,
+                                to: Endpoint::IngressRouter(back_to),
+                                msg: Message::HoldAck { txn, granted },
+                            },
+                        );
+                    }
+                }
+                Message::HoldAck { txn, granted } => {
+                    let p = *pending.get(&txn).expect("ack for unknown txn");
+                    if p.resolved {
+                        // The ingress already timed out; a late egress
+                        // grant will be reaped by its own timeout.
+                        continue;
+                    }
+                    let req = p.request;
+                    if granted {
+                        // Commit (reliable): pin the egress hold.
+                        if let Some(h) = egress_holds.get_mut(&txn) {
+                            h.committed = true;
+                        }
+                        messages += 2; // Commit + Reply
+                        push(
+                            &mut bus,
+                            &mut seq,
+                            Envelope {
+                                at: now + d,
+                                to: Endpoint::Client(req.id),
+                                msg: Message::Reply {
+                                    txn,
+                                    request: req.id,
+                                    granted: Some(Grant {
+                                        bw: p.bw,
+                                        start: p.start,
+                                        finish: p.finish,
+                                    }),
+                                },
+                            },
+                        );
+                    } else {
+                        ingress[req.route.ingress.index()]
+                            .release(p.start, p.finish, p.bw)
+                            .expect("hold was placed");
+                        messages += 1;
+                        push(
+                            &mut bus,
+                            &mut seq,
+                            Envelope {
+                                at: now + d,
+                                to: Endpoint::Client(req.id),
+                                msg: Message::Reply {
+                                    txn,
+                                    request: req.id,
+                                    granted: None,
+                                },
+                            },
+                        );
+                    }
+                    pending.get_mut(&txn).expect("checked").resolved = true;
+                }
+                Message::IngressTimeout { txn } => {
+                    // May fire after the Reply already removed the txn.
+                    if let Some(&p) = pending.get(&txn) {
+                        if !p.resolved {
+                            // No ack in time: abandon the local hold and
+                            // tell the client. A granted-but-lost ack
+                            // leaves an orphaned egress hold; its own
+                            // timeout reaps it.
+                            ingress[p.request.route.ingress.index()]
+                                .release(p.start, p.finish, p.bw)
+                                .expect("hold was placed");
+                            pending.get_mut(&txn).expect("checked").resolved = true;
+                            messages += 1;
+                            push(
+                                &mut bus,
+                                &mut seq,
+                                Envelope {
+                                    at: now + d,
+                                    to: Endpoint::Client(p.request.id),
+                                    msg: Message::Reply {
+                                        txn,
+                                        request: p.request.id,
+                                        granted: None,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+                Message::EgressTimeout { txn } => {
+                    if let Some(h) = egress_holds.get_mut(&txn) {
+                        if !h.committed && !h.released {
+                            egress[h.egress.index()]
+                                .release(h.start, h.end, h.bw)
+                                .expect("hold was placed");
+                            h.released = true;
+                        }
+                    }
+                }
+                Message::Reply { txn, request, granted } => {
+                    match granted {
+                        Some(g) => assignments.push(Assignment {
+                            id: request,
+                            bw: g.bw,
+                            start: g.start,
+                            finish: g.finish,
+                        }),
+                        None => rejected.push(request),
+                    }
+                    pending.remove(&txn);
+                }
+                Message::Commit { .. } | Message::Release { .. } => {
+                    // Counted in `messages` where emitted; state changes
+                    // happen at HoldAck (commit is reliable).
+                }
+            }
+        }
+        assert!(
+            pending.is_empty(),
+            "transactions left unresolved: {}",
+            pending.len()
+        );
+        // Post-mortem safety: every uncommitted egress hold must have
+        // been reaped by its timeout (trivially true without losses).
+        debug_assert!(egress_holds
+            .values()
+            .all(|h| h.committed || h.released || self.loss == 0.0));
+        assignments.sort_by_key(|a| a.id);
+        rejected.sort();
+        ControlReport {
+            assignments,
+            rejected,
+            messages,
+            lost_messages,
+            decision_latency: 4.0 * d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_algos::Greedy;
+    use gridband_net::Route;
+    use gridband_sim::{verify_schedule, Simulation};
+    use gridband_workload::{Dist, WorkloadBuilder};
+
+    fn trace(seed: u64, topo: &Topology) -> Trace {
+        WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(1.0)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(400.0)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn zero_delay_matches_centralized_greedy() {
+        let topo = Topology::paper_default();
+        let t = trace(3, &topo);
+        let plane = ControlPlane::new(topo.clone(), 0.0, BandwidthPolicy::MAX_RATE);
+        let dist = plane.run(&t);
+        let central = Simulation::new(topo.clone()).run(&t, &mut Greedy::fraction(1.0));
+        let d_ids: Vec<RequestId> = dist.assignments.iter().map(|a| a.id).collect();
+        let c_ids: Vec<RequestId> = central.assignments.iter().map(|a| a.id).collect();
+        assert_eq!(d_ids, c_ids, "accept sets must coincide at d = 0");
+        verify_schedule(&t, &topo, &dist.assignments).expect("distributed schedule feasible");
+        assert_eq!(dist.lost_messages, 0);
+    }
+
+    #[test]
+    fn schedules_remain_feasible_under_delay() {
+        let topo = Topology::paper_default();
+        let t = trace(5, &topo);
+        for delay in [0.05, 0.5, 2.0] {
+            let plane = ControlPlane::new(topo.clone(), delay, BandwidthPolicy::MAX_RATE);
+            let rep = plane.run(&t);
+            verify_schedule(&t, &topo, &rep.assignments)
+                .unwrap_or_else(|v| panic!("delay {delay}: {v:?}"));
+            assert_eq!(
+                rep.assignments.len() + rep.rejected.len(),
+                t.len(),
+                "every transaction resolves"
+            );
+            assert_eq!(rep.decision_latency, 4.0 * delay);
+        }
+    }
+
+    #[test]
+    fn message_budget_is_bounded_per_request() {
+        let topo = Topology::paper_default();
+        let t = trace(7, &topo);
+        let plane = ControlPlane::new(topo.clone(), 0.1, BandwidthPolicy::MAX_RATE);
+        let rep = plane.run(&t);
+        // Worst case: Resv + Hold + HoldAck + Commit + Reply = 5.
+        assert!(rep.messages <= 5 * t.len(), "{} messages", rep.messages);
+        assert!(rep.messages >= 2 * t.len(), "at least Resv + Reply each");
+    }
+
+    #[test]
+    fn concurrent_transactions_cannot_overcommit_a_port() {
+        // Two clients race for the same egress with d large enough that
+        // both decisions are in flight together; the early egress-side
+        // hold must make the second transaction fail.
+        let topo = Topology::uniform(2, 1, 100.0);
+        let reqs = vec![
+            Request::new(
+                0,
+                Route::new(0, 0),
+                gridband_workload::TimeWindow::new(0.0, 100.0),
+                3_000.0,
+                60.0,
+            ),
+            Request::new(
+                1,
+                Route::new(1, 0),
+                gridband_workload::TimeWindow::new(0.1, 100.2),
+                3_000.0,
+                60.0,
+            ),
+        ];
+        let t = Trace::new(reqs);
+        let plane = ControlPlane::new(topo.clone(), 5.0, BandwidthPolicy::MAX_RATE);
+        let rep = plane.run(&t);
+        assert_eq!(rep.assignments.len(), 1, "only one 60 MB/s flow fits");
+        verify_schedule(&t, &topo, &rep.assignments).expect("feasible");
+    }
+
+    #[test]
+    fn latency_can_cost_acceptances() {
+        // A tight-deadline request dies while signalling round-trips.
+        let topo = Topology::uniform(1, 1, 100.0);
+        let t = Trace::new(vec![Request::new(
+            0,
+            Route::new(0, 0),
+            gridband_workload::TimeWindow::new(0.0, 11.0),
+            1_000.0,
+            100.0,
+        )]);
+        let fast = ControlPlane::new(topo.clone(), 0.0, BandwidthPolicy::MAX_RATE);
+        assert_eq!(fast.run(&t).assignments.len(), 1);
+        let slow = ControlPlane::new(topo.clone(), 1.0, BandwidthPolicy::MAX_RATE);
+        // Start slips to t = 3, needing 1000/8 = 125 > MaxRate: reject.
+        assert_eq!(slow.run(&t).assignments.len(), 0);
+    }
+
+    #[test]
+    fn loss_degrades_accepts_but_never_feasibility() {
+        let topo = Topology::paper_default();
+        let t = trace(11, &topo);
+        let lossless = ControlPlane::new(topo.clone(), 0.2, BandwidthPolicy::MAX_RATE);
+        let base = lossless.run(&t);
+        for loss in [0.1, 0.3, 0.6] {
+            let plane = ControlPlane::new(topo.clone(), 0.2, BandwidthPolicy::MAX_RATE)
+                .with_loss(loss, 2.0, 99);
+            let rep = plane.run(&t);
+            verify_schedule(&t, &topo, &rep.assignments)
+                .unwrap_or_else(|v| panic!("loss {loss}: {v:?}"));
+            assert_eq!(rep.assignments.len() + rep.rejected.len(), t.len());
+            assert!(rep.lost_messages > 0, "loss {loss} dropped nothing?");
+            assert!(
+                rep.assignments.len() <= base.assignments.len(),
+                "loss cannot create acceptances"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_loss_still_resolves_every_transaction() {
+        let topo = Topology::paper_default();
+        let t = trace(13, &topo);
+        let plane = ControlPlane::new(topo.clone(), 0.5, BandwidthPolicy::MAX_RATE)
+            .with_loss(0.9, 3.0, 7);
+        let rep = plane.run(&t);
+        assert_eq!(rep.assignments.len() + rep.rejected.len(), t.len());
+        verify_schedule(&t, &topo, &rep.assignments).expect("feasible under 90% loss");
+        // Nearly everything times out.
+        assert!(rep.accept_rate() < 0.1, "accept {}", rep.accept_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the round trip")]
+    fn timeout_shorter_than_round_trip_rejected() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        let _ = ControlPlane::new(topo, 2.0, BandwidthPolicy::MinRate).with_loss(0.1, 3.0, 0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        let plane = ControlPlane::new(topo, 0.1, BandwidthPolicy::MinRate);
+        let rep = plane.run(&Trace::new(vec![]));
+        assert!(rep.assignments.is_empty());
+        assert_eq!(rep.accept_rate(), 0.0);
+        assert_eq!(rep.messages, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Edge enforcement: token-bucket policing of reserved flows.
+//!
+//! §5.4: "To enforce the allocation policy, lightweight mechanisms are
+//! studied: local bandwidth control on the client side (token bucket
+//! based) and high performance data flow control at access point level.
+//! … This control ensures that the bulk data flows are conform to the
+//! scheduling, and, if not, that they are automatically dropped so as not
+//! to hurt other well behaving TCP flows."
+//!
+//! The paper prototyped this on IXP2400 network processors; here the
+//! enforcement is modelled at the fluid level: each reservation gets a
+//! token bucket sized to its granted rate, and traffic offered beyond the
+//! contract is dropped at the access point.
+
+use gridband_net::units::{Bandwidth, Time, Volume};
+use serde::{Deserialize, Serialize};
+
+/// A standard token bucket: `rate` tokens/s replenishment, capacity
+/// `burst` tokens; one token buys one MB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    /// Sustained rate (MB/s).
+    pub rate: Bandwidth,
+    /// Bucket depth (MB) — tolerated burstiness.
+    pub burst: Volume,
+    tokens: f64,
+    last: Time,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full at time `t0`.
+    pub fn new(rate: Bandwidth, burst: Volume, t0: Time) -> Self {
+        assert!(rate > 0.0 && burst > 0.0, "rate and burst must be positive");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: t0,
+        }
+    }
+
+    fn refill(&mut self, now: Time) {
+        assert!(now + 1e-9 >= self.last, "time went backwards in token bucket");
+        self.tokens = (self.tokens + (now - self.last) * self.rate).min(self.burst);
+        self.last = now;
+    }
+
+    /// Offer `volume` MB at time `now`; returns the conforming portion
+    /// (the rest is dropped at the access point).
+    pub fn offer(&mut self, now: Time, volume: Volume) -> Volume {
+        assert!(volume >= 0.0);
+        self.refill(now);
+        let admitted = volume.min(self.tokens);
+        self.tokens -= admitted;
+        admitted
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: Time) -> Volume {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Result of policing one flow over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicedFlow {
+    /// Volume the source offered (MB).
+    pub offered: Volume,
+    /// Volume admitted into the core (MB).
+    pub admitted: Volume,
+}
+
+impl PolicedFlow {
+    /// Fraction of offered traffic that was dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.admitted / self.offered
+        }
+    }
+}
+
+/// Police a set of constant-rate sources against their contracts over
+/// `[0, duration)`, sampling every `dt` seconds.
+///
+/// `flows` are `(contracted rate, actual sending rate)` pairs; each gets
+/// a bucket with `burst = contracted rate × dt` (one sampling interval of
+/// burst tolerance, the tightest sensible policing granularity).
+pub fn police_constant_sources(
+    flows: &[(Bandwidth, Bandwidth)],
+    duration: Time,
+    dt: Time,
+) -> Vec<PolicedFlow> {
+    assert!(duration > 0.0 && dt > 0.0 && dt <= duration);
+    let mut buckets: Vec<TokenBucket> = flows
+        .iter()
+        .map(|&(contract, _)| TokenBucket::new(contract, contract * dt, 0.0))
+        .collect();
+    let mut out: Vec<PolicedFlow> = flows
+        .iter()
+        .map(|_| PolicedFlow {
+            offered: 0.0,
+            admitted: 0.0,
+        })
+        .collect();
+    let steps = (duration / dt).round() as usize;
+    for k in 1..=steps {
+        let now = k as f64 * dt;
+        for ((bucket, flow), &(_, actual)) in
+            buckets.iter_mut().zip(out.iter_mut()).zip(flows.iter())
+        {
+            let offered = actual * dt;
+            flow.offered += offered;
+            flow.admitted += bucket.offer(now, offered);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conforming_flow_passes_untouched() {
+        let flows = [(50.0, 50.0)];
+        let out = police_constant_sources(&flows, 100.0, 1.0);
+        assert!((out[0].admitted - out[0].offered).abs() < 1e-6);
+        assert_eq!(out[0].drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn misbehaving_flow_is_clamped_to_contract() {
+        // Sends at 2× its contract: half the traffic must be dropped
+        // (modulo the initial burst allowance).
+        let flows = [(50.0, 100.0)];
+        let out = police_constant_sources(&flows, 100.0, 1.0);
+        let admitted_rate = out[0].admitted / 100.0;
+        assert!(
+            (admitted_rate - 50.0).abs() < 1.0,
+            "admitted {admitted_rate} MB/s"
+        );
+        assert!((out[0].drop_rate() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn under_sender_keeps_its_tokens_but_cannot_hoard_past_burst() {
+        let mut b = TokenBucket::new(10.0, 20.0, 0.0);
+        // Idle for a long time: bucket caps at burst.
+        assert_eq!(b.available(100.0), 20.0);
+        // A 30 MB burst only gets the 20 MB depth.
+        assert_eq!(b.offer(100.0, 30.0), 20.0);
+        // Immediately afterwards nothing is left.
+        assert_eq!(b.offer(100.0, 5.0), 0.0);
+        // One second later, 10 MB of tokens have returned.
+        assert!((b.offer(101.0, 15.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policing_isolates_neighbours() {
+        // One conforming and one misbehaving flow sharing a 100 MB/s
+        // port: after policing, the aggregate admitted rate fits the
+        // port, so the conforming flow's share is untouched.
+        let flows = [(50.0, 50.0), (50.0, 500.0)];
+        let out = police_constant_sources(&flows, 50.0, 0.5);
+        let rate0 = out[0].admitted / 50.0;
+        let rate1 = out[1].admitted / 50.0;
+        assert!((rate0 - 50.0).abs() < 1e-6, "conforming flow untouched");
+        assert!(rate1 <= 51.0, "cheater clamped to its contract");
+        assert!(rate0 + rate1 <= 102.0, "aggregate fits the port");
+        assert!(out[1].drop_rate() > 0.88);
+    }
+
+    #[test]
+    fn bucket_depth_must_cover_the_burst() {
+        // Alternating 0 / 100 MB bursts under a 50 MB/s contract (the
+        // long-run average conforms). A bucket as deep as the burst
+        // admits everything; a shallower one clips every burst.
+        let run = |depth: f64| -> f64 {
+            let mut bucket = TokenBucket::new(50.0, depth, 0.0);
+            let mut admitted = 0.0;
+            for k in 1..=100 {
+                let now = k as f64;
+                let offered = if k % 2 == 0 { 100.0 } else { 0.0 };
+                admitted += bucket.offer(now, offered);
+            }
+            admitted
+        };
+        // Deep bucket: all 50 × 100 MB bursts pass.
+        assert!((run(100.0) - 5_000.0).abs() < 1e-6);
+        // Shallow bucket (one refill interval): each burst is clipped to
+        // the 50 MB depth.
+        assert!((run(50.0) - 2_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn non_monotonic_time_rejected() {
+        let mut b = TokenBucket::new(1.0, 1.0, 10.0);
+        let _ = b.offer(5.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = TokenBucket::new(0.0, 1.0, 0.0);
+    }
+}

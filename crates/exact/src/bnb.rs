@@ -1,0 +1,247 @@
+//! Branch-and-bound exact solver for MAX-REQUESTS.
+//!
+//! Explores accept-at-each-candidate-start / reject decisions in depth-first
+//! order over a [`CapacityLedger`], pruning subtrees that cannot beat the
+//! incumbent (`accepted + remaining ≤ best`). Exponential in the worst
+//! case — MAX-REQUESTS-DEC is NP-complete (Theorem 1) — but comfortably
+//! exact for the instance sizes used to calibrate the heuristics
+//! (≈ 20 requests / a few dozen decision pairs).
+
+use crate::instance::ExactInstance;
+use gridband_net::units::Time;
+use gridband_net::CapacityLedger;
+
+/// Result of an exact optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// Maximum number of simultaneously schedulable requests.
+    pub accepted: usize,
+    /// Chosen start per request (`None` = rejected), same order as the
+    /// instance's request list.
+    pub starts: Vec<Option<Time>>,
+    /// Number of branch-and-bound nodes explored (diagnostic).
+    pub nodes: u64,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BnbConfig {
+    /// Abort (panic) after this many nodes; guards against accidentally
+    /// feeding a large instance to an exponential algorithm.
+    pub node_limit: u64,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            node_limit: 50_000_000,
+        }
+    }
+}
+
+struct Search<'a> {
+    inst: &'a ExactInstance,
+    ledger: CapacityLedger,
+    current: Vec<Option<Time>>,
+    /// `same_as_prev[i]` — request `i` is identical to request `i−1`
+    /// (route, bandwidth, duration, candidate starts). Identical requests
+    /// are interchangeable, so the search only explores canonical
+    /// decision sequences: within a run of identical requests, rejected
+    /// ones come last and accepted starts are non-decreasing. This breaks
+    /// the factorial symmetry of e.g. the 3-DM reduction's special
+    /// request groups.
+    same_as_prev: Vec<bool>,
+    best: usize,
+    best_starts: Vec<Option<Time>>,
+    nodes: u64,
+    limit: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, idx: usize, accepted: usize) {
+        self.nodes += 1;
+        assert!(
+            self.nodes <= self.limit,
+            "branch-and-bound node limit ({}) exceeded — instance too large for exact search",
+            self.limit
+        );
+        if idx == self.inst.requests.len() {
+            if accepted > self.best {
+                self.best = accepted;
+                self.best_starts = self.current.clone();
+            }
+            return;
+        }
+        // Bound: even accepting everything left cannot beat the incumbent.
+        let remaining = self.inst.requests.len() - idx;
+        if accepted + remaining <= self.best {
+            return;
+        }
+        let req = &self.inst.requests[idx];
+        // Symmetry breaking against an identical predecessor.
+        let (min_start, may_accept) = if self.same_as_prev[idx] {
+            match self.current[idx - 1] {
+                Some(s) => (s, true),        // starts non-decreasing
+                None => (f64::INFINITY, false), // prev rejected ⇒ reject too
+            }
+        } else {
+            (f64::NEG_INFINITY, true)
+        };
+        if may_accept {
+            // Branch 1..k: accept at each candidate start that fits.
+            for &s in &req.starts {
+                if s < min_start {
+                    continue;
+                }
+                if let Ok(id) = self
+                    .ledger
+                    .reserve(req.route, s, s + req.duration, req.bw)
+                {
+                    self.current[idx] = Some(s);
+                    self.dfs(idx + 1, accepted + 1);
+                    self.current[idx] = None;
+                    self.ledger.cancel(id).expect("reservation is live");
+                }
+            }
+        }
+        // Branch 0: reject.
+        self.dfs(idx + 1, accepted);
+    }
+}
+
+/// Solve MAX-REQUESTS exactly.
+pub fn solve(inst: &ExactInstance, config: BnbConfig) -> ExactSolution {
+    let n = inst.requests.len();
+    let same_as_prev = std::iter::once(false)
+        .chain(inst.requests.windows(2).map(|w| w[0] == w[1]))
+        .collect();
+    let mut search = Search {
+        inst,
+        ledger: CapacityLedger::new(inst.topology.clone()),
+        current: vec![None; n],
+        same_as_prev,
+        best: 0,
+        best_starts: vec![None; n],
+        nodes: 0,
+        limit: config.node_limit,
+    };
+    search.dfs(0, 0);
+    ExactSolution {
+        accepted: search.best,
+        starts: search.best_starts,
+        nodes: search.nodes,
+    }
+}
+
+/// Convenience: the optimal accepted count with default limits.
+pub fn max_accepted(inst: &ExactInstance) -> usize {
+    solve(inst, BnbConfig::default()).accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ExactRequest;
+    use gridband_net::{Route, Topology};
+
+    fn inst(topo: Topology, requests: Vec<ExactRequest>) -> ExactInstance {
+        ExactInstance {
+            topology: topo,
+            requests,
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let i = inst(Topology::uniform(1, 1, 1.0), vec![]);
+        let s = solve(&i, BnbConfig::default());
+        assert_eq!(s.accepted, 0);
+        assert!(s.starts.is_empty());
+    }
+
+    #[test]
+    fn all_fit() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        let reqs = (0..3)
+            .map(|k| ExactRequest::rigid(Route::new(0, 0), 3.0, k as f64, 1.0))
+            .collect();
+        let s = solve(&inst(topo, reqs), BnbConfig::default());
+        assert_eq!(s.accepted, 3);
+        assert!(s.starts.iter().all(|x| x.is_some()));
+    }
+
+    #[test]
+    fn capacity_forces_a_choice() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        // Three simultaneous rigid requests at 6 MB/s: only one fits.
+        let reqs = (0..3)
+            .map(|_| ExactRequest::rigid(Route::new(0, 0), 6.0, 0.0, 5.0))
+            .collect();
+        let s = solve(&inst(topo, reqs), BnbConfig::default());
+        assert_eq!(s.accepted, 1);
+    }
+
+    #[test]
+    fn flexible_starts_unlock_more_acceptances() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        // Two unit-duration bw-10 requests, both startable at steps 0..=1:
+        // rigid at 0 they'd clash; staggered they both run.
+        let reqs = vec![
+            ExactRequest::slotted(Route::new(0, 0), 10.0, 0, 2, 1),
+            ExactRequest::slotted(Route::new(0, 0), 10.0, 0, 2, 1),
+        ];
+        let s = solve(&inst(topo, reqs), BnbConfig::default());
+        assert_eq!(s.accepted, 2);
+        let starts: Vec<f64> = s.starts.iter().map(|x| x.unwrap()).collect();
+        assert_ne!(starts[0], starts[1]);
+    }
+
+    #[test]
+    fn beats_greedy_on_the_classic_trap() {
+        // A greedy accept-first-arrival schedule takes the long blocker
+        // and accepts 1; the optimum rejects it and accepts 2.
+        let topo = Topology::uniform(1, 1, 10.0);
+        let reqs = vec![
+            ExactRequest::rigid(Route::new(0, 0), 10.0, 0.0, 10.0), // blocker
+            ExactRequest::rigid(Route::new(0, 0), 10.0, 0.0, 4.0),
+            ExactRequest::rigid(Route::new(0, 0), 10.0, 5.0, 4.0),
+        ];
+        let s = solve(&inst(topo, reqs), BnbConfig::default());
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.starts[0], None, "the blocker must be rejected");
+    }
+
+    #[test]
+    fn ingress_and_egress_constraints_both_bind() {
+        let topo = Topology::new(&[10.0, 10.0], &[10.0, 5.0]);
+        // Two requests into egress 1 (cap 5) at bw 5: they cannot overlap;
+        // one can shift.
+        let reqs = vec![
+            ExactRequest::slotted(Route::new(0, 1), 5.0, 0, 2, 1),
+            ExactRequest::slotted(Route::new(1, 1), 5.0, 0, 2, 1),
+        ];
+        let s = solve(&inst(topo, reqs), BnbConfig::default());
+        assert_eq!(s.accepted, 2);
+    }
+
+    #[test]
+    fn node_count_is_reported_and_bounded() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        let reqs = (0..6)
+            .map(|k| ExactRequest::rigid(Route::new(0, 0), 4.0, (k % 2) as f64, 2.0))
+            .collect();
+        let s = solve(&inst(topo, reqs), BnbConfig::default());
+        assert!(s.nodes > 0);
+        assert!(s.nodes < 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "node limit")]
+    fn node_limit_guards_runaway_instances() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        let reqs = (0..12)
+            .map(|_| ExactRequest::slotted(Route::new(0, 0), 1.0, 0, 12, 1))
+            .collect();
+        let _ = solve(&inst(topo, reqs), BnbConfig { node_limit: 100 });
+    }
+}

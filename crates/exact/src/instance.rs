@@ -1,0 +1,150 @@
+//! Off-line instances for the exact solver.
+//!
+//! The NP-completeness proof (§3) works with requests that have a fixed
+//! bandwidth and duration but a *choice of start times* inside their
+//! window (the "special" requests of the 3-DM reduction can be scheduled
+//! at any step in `[1, n]`). [`ExactInstance`] captures exactly that
+//! search space:
+//!
+//! * a **rigid** request contributes a single candidate start (`t_s`);
+//! * a **slotted flexible** request contributes one candidate start per
+//!   feasible integer step.
+
+use gridband_net::units::{Bandwidth, Time};
+use gridband_net::{Route, Topology};
+use gridband_workload::{Request, Trace};
+
+/// One schedulable unit: fixed bandwidth and duration, enumerable starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactRequest {
+    /// Route through the edge.
+    pub route: Route,
+    /// Fixed bandwidth if accepted (MB/s).
+    pub bw: Bandwidth,
+    /// Fixed transmission duration (s).
+    pub duration: Time,
+    /// Candidate start times, ascending.
+    pub starts: Vec<Time>,
+}
+
+impl ExactRequest {
+    /// A rigid request: one start.
+    pub fn rigid(route: Route, bw: Bandwidth, start: Time, duration: Time) -> Self {
+        assert!(bw > 0.0 && duration > 0.0);
+        ExactRequest {
+            route,
+            bw,
+            duration,
+            starts: vec![start],
+        }
+    }
+
+    /// A unit-slotted request startable at each integer step of
+    /// `[window_start, window_end - duration]`.
+    pub fn slotted(route: Route, bw: Bandwidth, window_start: u32, window_end: u32, duration: u32) -> Self {
+        assert!(duration >= 1 && window_end >= window_start + duration);
+        let starts = (window_start..=window_end - duration)
+            .map(|t| t as Time)
+            .collect();
+        ExactRequest {
+            route,
+            bw,
+            duration: duration as Time,
+            starts,
+        }
+    }
+}
+
+/// A complete off-line problem: platform plus request set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactInstance {
+    /// The platform.
+    pub topology: Topology,
+    /// The request set.
+    pub requests: Vec<ExactRequest>,
+}
+
+impl ExactInstance {
+    /// Convert a rigid [`Trace`] (σ = t_s fixed) into an exact instance.
+    ///
+    /// Panics if any request is not rigid — exact search over continuous
+    /// bandwidth choices is out of scope (the decision problem the paper
+    /// proves NP-complete fixes `bw`).
+    pub fn from_rigid_trace(trace: &Trace, topo: &Topology) -> Self {
+        let requests = trace
+            .iter()
+            .map(|r: &Request| {
+                assert!(
+                    r.is_rigid(),
+                    "{} is flexible; the exact solver takes rigid traces",
+                    r.id
+                );
+                ExactRequest::rigid(r.route, r.min_rate(), r.start(), r.window.duration())
+            })
+            .collect();
+        ExactInstance {
+            topology: topo.clone(),
+            requests,
+        }
+    }
+
+    /// Total number of (request, start) decision pairs — a size measure
+    /// for the branch-and-bound search space.
+    pub fn decision_count(&self) -> usize {
+        self.requests.iter().map(|r| r.starts.len() + 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_workload::Request;
+
+    #[test]
+    fn rigid_request_has_one_start() {
+        let r = ExactRequest::rigid(Route::new(0, 0), 1.0, 5.0, 2.0);
+        assert_eq!(r.starts, vec![5.0]);
+    }
+
+    #[test]
+    fn slotted_request_enumerates_feasible_starts() {
+        // Window [1, 5], duration 1: starts 1, 2, 3, 4.
+        let r = ExactRequest::slotted(Route::new(0, 0), 1.0, 1, 5, 1);
+        assert_eq!(r.starts, vec![1.0, 2.0, 3.0, 4.0]);
+        // Duration 3: starts 1, 2.
+        let r = ExactRequest::slotted(Route::new(0, 0), 1.0, 1, 5, 3);
+        assert_eq!(r.starts, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_rigid_trace() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        let trace = Trace::new(vec![Request::rigid(0, Route::new(0, 0), 2.0, 100.0, 25.0)]);
+        let inst = ExactInstance::from_rigid_trace(&trace, &topo);
+        assert_eq!(inst.requests.len(), 1);
+        assert_eq!(inst.requests[0].bw, 25.0);
+        assert_eq!(inst.requests[0].duration, 4.0);
+        assert_eq!(inst.decision_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "flexible")]
+    fn flexible_trace_rejected() {
+        use gridband_workload::TimeWindow;
+        let topo = Topology::uniform(1, 1, 100.0);
+        let trace = Trace::new(vec![Request::new(
+            0,
+            Route::new(0, 0),
+            TimeWindow::new(0.0, 100.0),
+            100.0,
+            50.0,
+        )]);
+        let _ = ExactInstance::from_rigid_trace(&trace, &topo);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slotted_with_empty_window_panics() {
+        let _ = ExactRequest::slotted(Route::new(0, 0), 1.0, 3, 3, 1);
+    }
+}

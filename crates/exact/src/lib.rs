@@ -1,0 +1,40 @@
+//! # gridband-exact — exact solvers and NP-completeness artifacts
+//!
+//! Executable companion to §3 of the paper:
+//!
+//! * [`bnb`] — a branch-and-bound solver for MAX-REQUESTS, used as the
+//!   optimality yardstick for the heuristics on small instances;
+//! * [`threedm`] — 3-Dimensional Matching instances and the Theorem 1
+//!   reduction (3-DM ⇔ MAX-REQUESTS-DEC), testable in both directions;
+//! * [`singlepair`] — the polynomial single ingress–egress special case
+//!   (EDF greedy, proven optimal against branch-and-bound in the tests);
+//! * [`flow`] / [`longlived`] — Dinic max-flow and the polynomial optimum
+//!   for uniform **long-lived** requests (the companion-paper result the
+//!   paper contrasts with the NP-complete short-lived case).
+//!
+//! ```
+//! use gridband_exact::{max_accepted, reduce, ThreeDm};
+//!
+//! // Theorem 1, executably: this 3-DM instance has a perfect matching,
+//! // so its reduction must reach the target K.
+//! let dm = ThreeDm::new(2, vec![(0, 0, 0), (1, 1, 1), (0, 1, 1)]);
+//! assert!(dm.solve().is_some());
+//! let red = reduce(&dm);
+//! assert!(max_accepted(&red.instance) >= red.target);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bnb;
+pub mod flow;
+pub mod instance;
+pub mod longlived;
+pub mod singlepair;
+pub mod threedm;
+
+pub use bnb::{max_accepted, solve, BnbConfig, ExactSolution};
+pub use flow::{EdgeId, FlowNetwork};
+pub use longlived::{fcfs_uniform_longlived, optimal_uniform_longlived, verify_uniform_longlived};
+pub use instance::{ExactInstance, ExactRequest};
+pub use singlepair::{edf_unit_jobs, unit_jobs_instance, UnitJob};
+pub use threedm::{reduce, Reduction, ThreeDm};

@@ -1,0 +1,210 @@
+//! Optimal scheduling of **uniform long-lived requests** (§2.1/§3).
+//!
+//! Long-lived requests are indefinite flows: no window, no volume — each
+//! accepted request `r` permanently consumes `bw(r)` on both its ports.
+//! The general problem is NP-hard (companion report of the paper), but
+//! the *uniform* case — `bw(r) = b` for every request — is polynomial:
+//! each ingress point `i` can host `⌊B_in(i)/b⌋` flows and each egress
+//! point `e` can host `⌊B_out(e)/b⌋`, so MAX-REQUESTS becomes a
+//! degree-constrained bipartite subgraph problem, solved exactly by
+//! max-flow ([`crate::flow`]).
+//!
+//! A FCFS baseline is provided for contrast: greedy acceptance is *not*
+//! optimal here (an early request can burn the single slot of both its
+//! ports where two later requests would each have used one).
+
+use crate::flow::FlowNetwork;
+use gridband_net::units::Bandwidth;
+use gridband_net::{Route, Topology};
+
+/// Maximum number of uniform long-lived requests (bandwidth `b` each)
+/// that can be accepted simultaneously, plus one accept/reject flag per
+/// request (in input order).
+///
+/// Runs in polynomial time (max-flow on `M + N + 2` nodes).
+pub fn optimal_uniform_longlived(
+    topo: &Topology,
+    routes: &[Route],
+    b: Bandwidth,
+) -> (usize, Vec<bool>) {
+    assert!(b > 0.0, "uniform bandwidth must be positive");
+    for r in routes {
+        assert!(topo.contains_route(*r), "route {r} outside topology");
+    }
+    let m = topo.num_ingress();
+    let n = topo.num_egress();
+    // Nodes: 0 = source, 1..=m ingress, m+1..=m+n egress, m+n+1 = sink.
+    let source = 0;
+    let sink = m + n + 1;
+    let mut g = FlowNetwork::new(m + n + 2);
+    for i in topo.ingress_ids() {
+        let slots = (topo.ingress_cap(i) / b).floor() as i64;
+        g.add_edge(source, 1 + i.index(), slots);
+    }
+    for e in topo.egress_ids() {
+        let slots = (topo.egress_cap(e) / b).floor() as i64;
+        g.add_edge(1 + m + e.index(), sink, slots);
+    }
+    let edge_ids: Vec<_> = routes
+        .iter()
+        .map(|r| g.add_edge(1 + r.ingress.index(), 1 + m + r.egress.index(), 1))
+        .collect();
+    let max = g.max_flow(source, sink) as usize;
+    let accepted: Vec<bool> = edge_ids.iter().map(|&e| g.flow_on(e) > 0).collect();
+    debug_assert_eq!(accepted.iter().filter(|&&a| a).count(), max);
+    (max, accepted)
+}
+
+/// FCFS baseline: accept each request in order if both ports still have a
+/// free slot. Suboptimal in general — see the tests.
+pub fn fcfs_uniform_longlived(
+    topo: &Topology,
+    routes: &[Route],
+    b: Bandwidth,
+) -> (usize, Vec<bool>) {
+    assert!(b > 0.0);
+    let mut free_in: Vec<i64> = topo
+        .ingress_ids()
+        .map(|i| (topo.ingress_cap(i) / b).floor() as i64)
+        .collect();
+    let mut free_out: Vec<i64> = topo
+        .egress_ids()
+        .map(|e| (topo.egress_cap(e) / b).floor() as i64)
+        .collect();
+    let mut accepted = vec![false; routes.len()];
+    let mut count = 0;
+    for (k, r) in routes.iter().enumerate() {
+        let i = r.ingress.index();
+        let e = r.egress.index();
+        if free_in[i] > 0 && free_out[e] > 0 {
+            free_in[i] -= 1;
+            free_out[e] -= 1;
+            accepted[k] = true;
+            count += 1;
+        }
+    }
+    (count, accepted)
+}
+
+/// Validate an accept vector against the uniform capacity constraints.
+pub fn verify_uniform_longlived(
+    topo: &Topology,
+    routes: &[Route],
+    b: Bandwidth,
+    accepted: &[bool],
+) -> bool {
+    assert_eq!(routes.len(), accepted.len());
+    let mut used_in = vec![0.0f64; topo.num_ingress()];
+    let mut used_out = vec![0.0f64; topo.num_egress()];
+    for (r, &a) in routes.iter().zip(accepted) {
+        if a {
+            used_in[r.ingress.index()] += b;
+            used_out[r.egress.index()] += b;
+        }
+    }
+    topo.ingress_ids()
+        .all(|i| used_in[i.index()] <= topo.ingress_cap(i) + 1e-9)
+        && topo
+            .egress_ids()
+            .all(|e| used_out[e.index()] <= topo.egress_cap(e) + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn simple_all_fit() {
+        let topo = Topology::uniform(2, 2, 100.0);
+        let routes = vec![Route::new(0, 0), Route::new(1, 1), Route::new(0, 1)];
+        let (max, acc) = optimal_uniform_longlived(&topo, &routes, 50.0);
+        assert_eq!(max, 3);
+        assert!(acc.iter().all(|&a| a));
+        assert!(verify_uniform_longlived(&topo, &routes, 50.0, &acc));
+    }
+
+    #[test]
+    fn port_slots_bind() {
+        let topo = Topology::uniform(1, 2, 100.0);
+        // Ingress 0 has 2 slots at b=50; three requests want it.
+        let routes = vec![Route::new(0, 0), Route::new(0, 1), Route::new(0, 0)];
+        let (max, acc) = optimal_uniform_longlived(&topo, &routes, 50.0);
+        assert_eq!(max, 2);
+        assert!(verify_uniform_longlived(&topo, &routes, 50.0, &acc));
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_where_flow_is_not() {
+        // Capacity one slot per port; requests: (0,0), (0,1), (1,0).
+        // FCFS takes (0,0), blocking both others: 1 accepted.
+        // Optimal takes (0,1) and (1,0): 2 accepted.
+        let topo = Topology::uniform(2, 2, 10.0);
+        let routes = vec![Route::new(0, 0), Route::new(0, 1), Route::new(1, 0)];
+        let b = 10.0;
+        let (greedy, gacc) = fcfs_uniform_longlived(&topo, &routes, b);
+        let (opt, oacc) = optimal_uniform_longlived(&topo, &routes, b);
+        assert_eq!(greedy, 1);
+        assert_eq!(opt, 2);
+        assert!(verify_uniform_longlived(&topo, &routes, b, &gacc));
+        assert!(verify_uniform_longlived(&topo, &routes, b, &oacc));
+    }
+
+    #[test]
+    fn optimal_matches_branch_and_bound_on_random_instances() {
+        // Model long-lived flows as rigid requests over one shared long
+        // interval and cross-check against the generic exact solver.
+        use crate::instance::{ExactInstance, ExactRequest};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..15 {
+            let topo = Topology::uniform(3, 3, 100.0);
+            let b = 50.0; // 2 slots per port
+            let routes: Vec<Route> = (0..8)
+                .map(|_| Route::new(rng.gen_range(0..3), rng.gen_range(0..3)))
+                .collect();
+            let (opt, acc) = optimal_uniform_longlived(&topo, &routes, b);
+            assert!(verify_uniform_longlived(&topo, &routes, b, &acc));
+            let inst = ExactInstance {
+                topology: topo,
+                requests: routes
+                    .iter()
+                    .map(|&r| ExactRequest::rigid(r, b, 0.0, 1.0))
+                    .collect(),
+            };
+            let bnb = crate::bnb::max_accepted(&inst);
+            assert_eq!(opt, bnb, "flow vs B&B disagree on {routes:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let topo = Topology::uniform(4, 4, 100.0);
+            let b = [25.0, 50.0, 100.0][rng.gen_range(0..3)];
+            let routes: Vec<Route> = (0..20)
+                .map(|_| Route::new(rng.gen_range(0..4), rng.gen_range(0..4)))
+                .collect();
+            let (greedy, _) = fcfs_uniform_longlived(&topo, &routes, b);
+            let (opt, _) = optimal_uniform_longlived(&topo, &routes, b);
+            assert!(greedy <= opt);
+        }
+    }
+
+    #[test]
+    fn bandwidth_larger_than_ports_accepts_nothing() {
+        let topo = Topology::uniform(2, 2, 10.0);
+        let routes = vec![Route::new(0, 0)];
+        let (max, acc) = optimal_uniform_longlived(&topo, &routes, 11.0);
+        assert_eq!(max, 0);
+        assert!(!acc[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn bad_route_rejected() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        let _ = optimal_uniform_longlived(&topo, &[Route::new(5, 0)], 1.0);
+    }
+}

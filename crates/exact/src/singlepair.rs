@@ -1,0 +1,177 @@
+//! The polynomial special case: one ingress–egress pair.
+//!
+//! §3 notes that "if the platform reduces to a single ingress-egress pair,
+//! the problem is polynomial (a greedy algorithm is optimal)". For the
+//! uniform unit-size requests of MAX-REQUESTS-DEC this is unit-length job
+//! scheduling on `B = min(B_in, B_out)` identical machines with release
+//! times and deadlines, solved optimally by earliest-deadline-first over
+//! time steps.
+
+use crate::instance::{ExactInstance, ExactRequest};
+
+/// A unit job: startable at integer steps `release ..= deadline − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitJob {
+    /// First step at which the job may run.
+    pub release: u32,
+    /// Step by which the job must have *finished* (exclusive start bound).
+    pub deadline: u32,
+}
+
+/// EDF greedy: at each step, run the `capacity` released, unexpired jobs
+/// with the earliest deadlines. Returns the assigned start per job
+/// (`None` = rejected). Optimal for unit jobs on identical machines.
+pub fn edf_unit_jobs(jobs: &[UnitJob], capacity: usize) -> Vec<Option<u32>> {
+    assert!(capacity >= 1, "capacity must be at least 1");
+    let mut starts: Vec<Option<u32>> = vec![None; jobs.len()];
+    if jobs.is_empty() {
+        return starts;
+    }
+    let horizon = jobs.iter().map(|j| j.deadline).max().expect("non-empty");
+    // Job indices sorted by release for a moving pointer.
+    let mut by_release: Vec<usize> = (0..jobs.len()).collect();
+    by_release.sort_by_key(|&i| jobs[i].release);
+    let mut next = 0usize;
+    // Available pool (indices), kept sorted by deadline lazily.
+    let mut pool: Vec<usize> = Vec::new();
+    for t in 0..horizon {
+        while next < by_release.len() && jobs[by_release[next]].release <= t {
+            pool.push(by_release[next]);
+            next += 1;
+        }
+        pool.retain(|&i| jobs[i].deadline > t); // drop expired
+        pool.sort_by_key(|&i| jobs[i].deadline);
+        for &i in pool.iter().take(capacity) {
+            starts[i] = Some(t);
+        }
+        let scheduled: Vec<usize> = pool.drain(..pool.len().min(capacity)).collect();
+        debug_assert!(scheduled.iter().all(|&i| starts[i] == Some(t)));
+    }
+    starts
+}
+
+/// Convert unit jobs on one pair into an [`ExactInstance`] (for
+/// cross-checking EDF against branch-and-bound).
+pub fn unit_jobs_instance(jobs: &[UnitJob], capacity: usize) -> ExactInstance {
+    use gridband_net::{Route, Topology};
+    let topology = Topology::uniform(1, 1, capacity as f64);
+    let requests = jobs
+        .iter()
+        .map(|j| ExactRequest::slotted(Route::new(0, 0), 1.0, j.release, j.deadline, 1))
+        .collect();
+    ExactInstance {
+        topology,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::max_accepted;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn accepted(starts: &[Option<u32>]) -> usize {
+        starts.iter().filter(|s| s.is_some()).count()
+    }
+
+    #[test]
+    fn all_fit_when_capacity_suffices() {
+        let jobs = vec![
+            UnitJob { release: 0, deadline: 2 },
+            UnitJob { release: 0, deadline: 2 },
+        ];
+        let starts = edf_unit_jobs(&jobs, 2);
+        assert_eq!(accepted(&starts), 2);
+    }
+
+    #[test]
+    fn edf_staggers_within_windows() {
+        // Three jobs, capacity 1, windows allow a perfect staircase.
+        let jobs = vec![
+            UnitJob { release: 0, deadline: 3 },
+            UnitJob { release: 0, deadline: 2 },
+            UnitJob { release: 0, deadline: 1 },
+        ];
+        let starts = edf_unit_jobs(&jobs, 1);
+        assert_eq!(accepted(&starts), 3);
+        assert_eq!(starts[2], Some(0), "tightest deadline runs first");
+        assert_eq!(starts[1], Some(1));
+        assert_eq!(starts[0], Some(2));
+    }
+
+    #[test]
+    fn overload_drops_the_loosest_jobs() {
+        // Four jobs must finish by step 2 with capacity 1: two succeed.
+        let jobs = vec![
+            UnitJob { release: 0, deadline: 2 },
+            UnitJob { release: 0, deadline: 2 },
+            UnitJob { release: 0, deadline: 2 },
+            UnitJob { release: 0, deadline: 2 },
+        ];
+        assert_eq!(accepted(&edf_unit_jobs(&jobs, 1)), 2);
+    }
+
+    #[test]
+    fn schedule_respects_release_deadline_and_capacity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let jobs: Vec<UnitJob> = (0..40)
+            .map(|_| {
+                let release = rng.gen_range(0..10);
+                UnitJob {
+                    release,
+                    deadline: release + rng.gen_range(1..5),
+                }
+            })
+            .collect();
+        let cap = 3;
+        let starts = edf_unit_jobs(&jobs, cap);
+        let horizon = jobs.iter().map(|j| j.deadline).max().unwrap();
+        for (j, s) in jobs.iter().zip(&starts) {
+            if let Some(t) = s {
+                assert!(*t >= j.release && *t < j.deadline);
+            }
+        }
+        for t in 0..horizon {
+            let running = starts.iter().filter(|s| **s == Some(t)).count();
+            assert!(running <= cap, "{running} jobs at step {t}");
+        }
+    }
+
+    #[test]
+    fn edf_matches_branch_and_bound_on_random_instances() {
+        // The §3 claim: greedy is optimal on a single pair.
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..25 {
+            let n = 4 + trial % 5;
+            let cap = 1 + trial % 3;
+            let jobs: Vec<UnitJob> = (0..n)
+                .map(|_| {
+                    let release = rng.gen_range(0..4);
+                    UnitJob {
+                        release,
+                        deadline: release + rng.gen_range(1..4),
+                    }
+                })
+                .collect();
+            let greedy = accepted(&edf_unit_jobs(&jobs, cap));
+            let optimal = max_accepted(&unit_jobs_instance(&jobs, cap));
+            assert_eq!(
+                greedy, optimal,
+                "EDF suboptimal on {jobs:?} with capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_jobs() {
+        assert!(edf_unit_jobs(&[], 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = edf_unit_jobs(&[UnitJob { release: 0, deadline: 1 }], 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! 3-Dimensional Matching and the Theorem 1 reduction.
+//!
+//! §3 proves MAX-REQUESTS-DEC NP-complete by reduction from 3-DM: given
+//! disjoint sets `X, Y, Z` of cardinality `n` and triples
+//! `T ⊆ X × Y × Z`, does `T` contain a perfect matching — `n` triples that
+//! agree in no coordinate?
+//!
+//! This module makes the proof executable:
+//!
+//! * [`ThreeDm`] — instances, a brute-force solver for small `n`, and a
+//!   random generator (with or without a planted matching);
+//! * [`reduce`] — the paper's construction: `n+1` ingress/egress points
+//!   (regular ports of capacity 1, special ports of capacity `n−1`), one
+//!   rigid unit request per triple at the step of its `z` coordinate, and
+//!   `2n(n−1)` start-flexible special requests; the target is
+//!   `K = n + 2n(n−1)`;
+//! * equivalence tests (`B₁` solvable ⇔ `B₂` reaches `K`) live in the
+//!   crate's test suite and the NPC experiment binary.
+
+use crate::instance::{ExactInstance, ExactRequest};
+use gridband_net::{Route, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A 3-dimensional matching instance over `{0..n} × {0..n} × {0..n}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeDm {
+    /// Cardinality of each coordinate set.
+    pub n: usize,
+    /// The triple set `T` (indices into X, Y, Z).
+    pub triples: Vec<(usize, usize, usize)>,
+}
+
+impl ThreeDm {
+    /// Construct and validate an instance.
+    pub fn new(n: usize, triples: Vec<(usize, usize, usize)>) -> Self {
+        assert!(n >= 1, "3-DM needs n ≥ 1");
+        for &(x, y, z) in &triples {
+            assert!(x < n && y < n && z < n, "triple ({x},{y},{z}) out of range");
+        }
+        ThreeDm { n, triples }
+    }
+
+    /// Random instance: `extra` arbitrary triples, plus a planted perfect
+    /// matching when `plant` is true (guaranteeing solvability).
+    pub fn random<R: Rng + ?Sized>(n: usize, extra: usize, plant: bool, rng: &mut R) -> Self {
+        let mut triples = Vec::new();
+        if plant {
+            let mut ys: Vec<usize> = (0..n).collect();
+            let mut zs: Vec<usize> = (0..n).collect();
+            ys.shuffle(rng);
+            zs.shuffle(rng);
+            for x in 0..n {
+                triples.push((x, ys[x], zs[x]));
+            }
+        }
+        for _ in 0..extra {
+            triples.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+            ));
+        }
+        triples.sort();
+        triples.dedup();
+        triples.shuffle(rng);
+        ThreeDm::new(n, triples)
+    }
+
+    /// Brute-force search for a perfect matching (exponential; intended
+    /// for `n ≤ 6`). Returns the matching's triples if one exists.
+    pub fn solve(&self) -> Option<Vec<(usize, usize, usize)>> {
+        // Group triples by z; pick one per z with disjoint x and y.
+        let mut by_z: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); self.n];
+        for &t in &self.triples {
+            by_z[t.2].push(t);
+        }
+        let mut used_x = vec![false; self.n];
+        let mut used_y = vec![false; self.n];
+        let mut chosen = Vec::with_capacity(self.n);
+        fn dfs(
+            z: usize,
+            by_z: &[Vec<(usize, usize, usize)>],
+            used_x: &mut [bool],
+            used_y: &mut [bool],
+            chosen: &mut Vec<(usize, usize, usize)>,
+        ) -> bool {
+            if z == by_z.len() {
+                return true;
+            }
+            for &(x, y, zz) in &by_z[z] {
+                debug_assert_eq!(zz, z);
+                if !used_x[x] && !used_y[y] {
+                    used_x[x] = true;
+                    used_y[y] = true;
+                    chosen.push((x, y, z));
+                    if dfs(z + 1, by_z, used_x, used_y, chosen) {
+                        return true;
+                    }
+                    chosen.pop();
+                    used_x[x] = false;
+                    used_y[y] = false;
+                }
+            }
+            false
+        }
+        if dfs(0, &by_z, &mut used_x, &mut used_y, &mut chosen) {
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+
+    /// Whether a proposed set of triples is a perfect matching of this
+    /// instance.
+    pub fn is_matching(&self, proposal: &[(usize, usize, usize)]) -> bool {
+        if proposal.len() != self.n {
+            return false;
+        }
+        let mut ux = vec![false; self.n];
+        let mut uy = vec![false; self.n];
+        let mut uz = vec![false; self.n];
+        for t in proposal {
+            if !self.triples.contains(t) {
+                return false;
+            }
+            let (x, y, z) = *t;
+            if ux[x] || uy[y] || uz[z] {
+                return false;
+            }
+            ux[x] = true;
+            uy[y] = true;
+            uz[z] = true;
+        }
+        true
+    }
+}
+
+/// Output of the reduction: the scheduling instance and the acceptance
+/// target `K`.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The MAX-REQUESTS-DEC instance `B₂`.
+    pub instance: ExactInstance,
+    /// The bound `K = n + 2n(n−1)`: `B₁` has a matching iff at least `K`
+    /// requests of `B₂` can be accepted.
+    pub target: usize,
+    /// Indices (into `instance.requests`) of the regular requests, in the
+    /// same order as the 3-DM triples — used to read the matching back
+    /// out of a schedule.
+    pub regular: Vec<usize>,
+}
+
+/// The Theorem 1 construction: 3-DM instance `B₁` → scheduling instance
+/// `B₂`.
+pub fn reduce(dm: &ThreeDm) -> Reduction {
+    let n = dm.n;
+    // Ports 0..n-1 are regular (capacity 1); port n is special with
+    // capacity n−1. For n = 1 the special side is degenerate (no special
+    // requests exist); an epsilon capacity keeps the topology valid while
+    // admitting nothing.
+    let special_cap = if n > 1 { (n - 1) as f64 } else { 1e-9 };
+    let mut caps = vec![1.0; n];
+    caps.push(special_cap);
+    let topology = Topology::new(&caps, &caps);
+
+    let mut requests = Vec::new();
+    let mut regular = Vec::new();
+    // Regular requests: triple (x_i, y_j, z_k) → ingress i, egress j,
+    // window [k, k+1] — no start flexibility (time steps are 1-based in
+    // the paper; 0-based here).
+    for &(x, y, z) in &dm.triples {
+        regular.push(requests.len());
+        requests.push(ExactRequest::rigid(
+            Route::new(x as u32, y as u32),
+            1.0,
+            z as f64,
+            1.0,
+        ));
+    }
+    // Special requests: n−1 per regular ingress (to the special egress)
+    // and n−1 per regular egress (from the special ingress), each
+    // startable at any step 0..n−1.
+    if n > 1 {
+        for i in 0..n {
+            for _ in 0..n - 1 {
+                requests.push(ExactRequest::slotted(
+                    Route::new(i as u32, n as u32),
+                    1.0,
+                    0,
+                    n as u32,
+                    1,
+                ));
+            }
+        }
+        for e in 0..n {
+            for _ in 0..n - 1 {
+                requests.push(ExactRequest::slotted(
+                    Route::new(n as u32, e as u32),
+                    1.0,
+                    0,
+                    n as u32,
+                    1,
+                ));
+            }
+        }
+    }
+    let target = n + 2 * n * (n - 1);
+    Reduction {
+        instance: ExactInstance {
+            topology,
+            requests,
+        },
+        target,
+        regular,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::max_accepted;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_matching_found() {
+        let dm = ThreeDm::new(2, vec![(0, 0, 0), (1, 1, 1)]);
+        let m = dm.solve().expect("has a matching");
+        assert!(dm.is_matching(&m));
+    }
+
+    #[test]
+    fn unsolvable_instance_detected() {
+        // Both triples use x=0: no perfect matching of size 2.
+        let dm = ThreeDm::new(2, vec![(0, 0, 0), (0, 1, 1)]);
+        assert!(dm.solve().is_none());
+    }
+
+    #[test]
+    fn is_matching_rejects_bad_proposals() {
+        let dm = ThreeDm::new(2, vec![(0, 0, 0), (1, 1, 1), (0, 1, 1)]);
+        assert!(dm.is_matching(&[(0, 0, 0), (1, 1, 1)]));
+        assert!(!dm.is_matching(&[(0, 0, 0)]), "wrong size");
+        assert!(!dm.is_matching(&[(0, 0, 0), (0, 1, 1)]), "x collides");
+        assert!(!dm.is_matching(&[(0, 0, 0), (1, 0, 1)]), "not in T");
+    }
+
+    #[test]
+    fn planted_instances_are_solvable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 2..=5 {
+            let dm = ThreeDm::random(n, n, true, &mut rng);
+            assert!(dm.solve().is_some(), "planted n={n} must be solvable");
+        }
+    }
+
+    #[test]
+    fn reduction_shape_matches_the_proof() {
+        let dm = ThreeDm::new(3, vec![(0, 0, 0), (1, 1, 1), (2, 2, 2), (0, 1, 2)]);
+        let red = reduce(&dm);
+        // |T| + 2n(n−1) requests, K = n + 2n(n−1).
+        assert_eq!(red.instance.requests.len(), 4 + 2 * 3 * 2);
+        assert_eq!(red.target, 3 + 12);
+        assert_eq!(red.instance.topology.num_ingress(), 4);
+        assert_eq!(red.regular.len(), 4);
+        // Regular requests are rigid at their z step.
+        let r = &red.instance.requests[red.regular[3]];
+        assert_eq!(r.starts, vec![2.0]);
+    }
+
+    #[test]
+    fn equivalence_on_solvable_instance() {
+        // Identity matching exists.
+        let dm = ThreeDm::new(3, vec![(0, 0, 0), (1, 1, 1), (2, 2, 2)]);
+        assert!(dm.solve().is_some());
+        let red = reduce(&dm);
+        assert!(max_accepted(&red.instance) >= red.target);
+    }
+
+    #[test]
+    fn equivalence_on_unsolvable_instance() {
+        // Every triple uses z=0: at most one can be scheduled, and the
+        // matching requires n = 2 disjoint ones.
+        let dm = ThreeDm::new(2, vec![(0, 0, 0), (1, 1, 0)]);
+        assert!(dm.solve().is_none());
+        let red = reduce(&dm);
+        assert!(max_accepted(&red.instance) < red.target);
+    }
+
+    #[test]
+    fn equivalence_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..12 {
+            let n = 2 + (trial % 2); // n ∈ {2, 3}
+            let dm = ThreeDm::random(n, 2, trial % 3 == 0, &mut rng);
+            let solvable = dm.solve().is_some();
+            let red = reduce(&dm);
+            let reached = max_accepted(&red.instance) >= red.target;
+            assert_eq!(
+                solvable, reached,
+                "theorem equivalence failed on n={n}, T={:?}",
+                dm.triples
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_triple_rejected() {
+        let _ = ThreeDm::new(2, vec![(0, 0, 2)]);
+    }
+}

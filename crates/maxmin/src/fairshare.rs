@@ -1,0 +1,203 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! The Internet-style sharing the paper argues is ill-suited to bulk grid
+//! transfers (§1): every active flow's rate rises uniformly until its
+//! bottleneck port saturates or its host limit is reached (Bertsekas &
+//! Gallager's water-filling). This is the idealised steady state of a
+//! well-behaved TCP mix — no slow-start, no loss dynamics — i.e. the most
+//! charitable model of statistical sharing available to the comparison.
+
+use gridband_net::units::{Bandwidth, EPS};
+use gridband_net::{Route, Topology};
+
+/// One flow competing for edge capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairFlow {
+    /// The flow's fixed route.
+    pub route: Route,
+    /// Host-side rate cap (`MaxRate`), infinite if unconstrained.
+    pub cap: Bandwidth,
+}
+
+/// Compute the max-min fair allocation for `flows` on `topo`.
+///
+/// Returns one rate per flow, in input order. Runs in
+/// `O(iterations × (flows + ports))` with at most `flows` iterations
+/// (each iteration freezes at least one flow).
+pub fn max_min_rates(topo: &Topology, flows: &[FairFlow]) -> Vec<Bandwidth> {
+    let nf = flows.len();
+    let mut rates = vec![0.0f64; nf];
+    if nf == 0 {
+        return rates;
+    }
+    let mut frozen = vec![false; nf];
+    let mut residual_in: Vec<f64> = topo.ingress_ids().map(|i| topo.ingress_cap(i)).collect();
+    let mut residual_out: Vec<f64> = topo.egress_ids().map(|e| topo.egress_cap(e)).collect();
+
+    loop {
+        // Count unfrozen flows per port.
+        let mut cnt_in = vec![0usize; residual_in.len()];
+        let mut cnt_out = vec![0usize; residual_out.len()];
+        let mut unfrozen = 0;
+        for (k, f) in flows.iter().enumerate() {
+            if !frozen[k] {
+                unfrozen += 1;
+                cnt_in[f.route.ingress.index()] += 1;
+                cnt_out[f.route.egress.index()] += 1;
+            }
+        }
+        if unfrozen == 0 {
+            break;
+        }
+        // The uniform increment every unfrozen flow can still take.
+        let mut delta = f64::INFINITY;
+        for (i, &c) in cnt_in.iter().enumerate() {
+            if c > 0 {
+                delta = delta.min(residual_in[i] / c as f64);
+            }
+        }
+        for (e, &c) in cnt_out.iter().enumerate() {
+            if c > 0 {
+                delta = delta.min(residual_out[e] / c as f64);
+            }
+        }
+        for (k, f) in flows.iter().enumerate() {
+            if !frozen[k] {
+                delta = delta.min(f.cap - rates[k]);
+            }
+        }
+        debug_assert!(delta >= -EPS, "negative increment {delta}");
+        let delta = delta.max(0.0);
+
+        // Apply the increment and freeze whoever hit a limit.
+        for (k, f) in flows.iter().enumerate() {
+            if frozen[k] {
+                continue;
+            }
+            rates[k] += delta;
+            residual_in[f.route.ingress.index()] -= delta;
+            residual_out[f.route.egress.index()] -= delta;
+        }
+        let mut froze_any = false;
+        for (k, f) in flows.iter().enumerate() {
+            if frozen[k] {
+                continue;
+            }
+            let at_cap = rates[k] + EPS >= f.cap;
+            let in_sat = residual_in[f.route.ingress.index()] <= EPS;
+            let out_sat = residual_out[f.route.egress.index()] <= EPS;
+            if at_cap || in_sat || out_sat {
+                frozen[k] = true;
+                froze_any = true;
+            }
+        }
+        // Degenerate safety: if nothing froze despite a zero increment we
+        // would loop forever; freeze everything (can only happen through
+        // pathological float residue).
+        if !froze_any && delta <= EPS {
+            for fz in frozen.iter_mut() {
+                *fz = true;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(i: u32, e: u32, cap: f64) -> FairFlow {
+        FairFlow {
+            route: Route::new(i, e),
+            cap,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_or_cap() {
+        let topo = Topology::new(&[100.0], &[60.0]);
+        let r = max_min_rates(&topo, &[flow(0, 0, f64::INFINITY)]);
+        assert_eq!(r, vec![60.0]);
+        let r = max_min_rates(&topo, &[flow(0, 0, 25.0)]);
+        assert_eq!(r, vec![25.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_the_bottleneck() {
+        let topo = Topology::uniform(2, 1, 100.0);
+        let flows = [flow(0, 0, f64::INFINITY), flow(1, 0, f64::INFINITY)];
+        let r = max_min_rates(&topo, &flows);
+        assert!((r[0] - 50.0).abs() < 1e-9);
+        assert!((r[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_two_bottleneck_example() {
+        // Bertsekas–Gallager style: flows A (i0→e0), B (i0→e1), C (i1→e1).
+        // Ingress 0 cap 100 shared by A,B; egress 1 cap 150 shared by B,C.
+        // Max-min: A = B = 50 (ingress 0 bottleneck), C = 100 (remainder
+        // of egress 1).
+        let topo = Topology::new(&[100.0, 200.0], &[200.0, 150.0]);
+        let flows = [
+            flow(0, 0, f64::INFINITY),
+            flow(0, 1, f64::INFINITY),
+            flow(1, 1, f64::INFINITY),
+        ];
+        let r = max_min_rates(&topo, &flows);
+        assert!((r[0] - 50.0).abs() < 1e-9, "{r:?}");
+        assert!((r[1] - 50.0).abs() < 1e-9, "{r:?}");
+        assert!((r[2] - 100.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn capped_flow_releases_share_to_others() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // Two flows on one port; one capped at 20 → the other gets 80.
+        let flows = [flow(0, 0, 20.0), flow(0, 0, f64::INFINITY)];
+        let r = max_min_rates(&topo, &flows);
+        assert!((r[0] - 20.0).abs() < 1e-9);
+        assert!((r[1] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_maximal() {
+        // Random-ish mix: verify port sums ≤ caps and no flow can be
+        // raised without lowering a smaller one (max-min property checked
+        // via saturation: every flow is at cap or crosses a full port).
+        let topo = Topology::new(&[100.0, 50.0], &[80.0, 120.0]);
+        let flows = [
+            flow(0, 0, f64::INFINITY),
+            flow(0, 1, 30.0),
+            flow(1, 0, f64::INFINITY),
+            flow(1, 1, f64::INFINITY),
+        ];
+        let r = max_min_rates(&topo, &flows);
+        let mut used_in = [0.0; 2];
+        let mut used_out = [0.0; 2];
+        for (k, f) in flows.iter().enumerate() {
+            used_in[f.route.ingress.index()] += r[k];
+            used_out[f.route.egress.index()] += r[k];
+        }
+        for (i, &u) in used_in.iter().enumerate() {
+            assert!(u <= topo.ingress_cap(gridband_net::IngressId(i as u32)) + 1e-6);
+        }
+        for (e, &u) in used_out.iter().enumerate() {
+            assert!(u <= topo.egress_cap(gridband_net::EgressId(e as u32)) + 1e-6);
+        }
+        for (k, f) in flows.iter().enumerate() {
+            let at_cap = r[k] + 1e-6 >= f.cap;
+            let in_sat = used_in[f.route.ingress.index()] + 1e-6
+                >= topo.ingress_cap(f.route.ingress);
+            let out_sat =
+                used_out[f.route.egress.index()] + 1e-6 >= topo.egress_cap(f.route.egress);
+            assert!(at_cap || in_sat || out_sat, "flow {k} could still grow: {r:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let topo = Topology::uniform(1, 1, 10.0);
+        assert!(max_min_rates(&topo, &[]).is_empty());
+    }
+}

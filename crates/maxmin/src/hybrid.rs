@@ -1,0 +1,221 @@
+//! Mixed traffic classes: reserved bulk transfers + best-effort mice.
+//!
+//! §6 notes the elephants-vs-mice fairness debate and assumes "grid bulk
+//! data are separated from the rest of the traffic (mice)"; §5.4's
+//! enforcement claim is that policed reservations do not hurt
+//! "well-behaving TCP flows". This module quantifies both sides of that
+//! bargain: reserved transfers consume their scheduled bandwidth as hard
+//! allocations, and a population of best-effort flows shares whatever is
+//! left of each port max-min fairly.
+//!
+//! The headline question: how much best-effort capacity survives at a
+//! given reservation utilization, and how stable is it compared to a
+//! network where the bulk transfers compete statistically too?
+
+use crate::fairshare::{max_min_rates, FairFlow};
+use gridband_net::units::{Bandwidth, Time};
+use gridband_net::{Route, Topology};
+use gridband_sim::Assignment;
+use gridband_workload::{RequestId, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A long-running best-effort flow (a "mouse aggregate") on a fixed
+/// route.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestEffortFlow {
+    /// The flow's route.
+    pub route: Route,
+    /// Optional host cap (MB/s); `f64::INFINITY` for none.
+    pub cap: Bandwidth,
+}
+
+/// Best-effort throughput statistics over a sampled horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridReport {
+    /// Sample instants.
+    pub times: Vec<Time>,
+    /// Per-flow best-effort rate at each sample, indexed
+    /// `[flow][sample]` (MB/s).
+    pub rates: Vec<Vec<Bandwidth>>,
+    /// Mean best-effort rate per flow (MB/s).
+    pub mean_rates: Vec<Bandwidth>,
+    /// Smallest rate any best-effort flow ever got (MB/s) — the starvation
+    /// indicator.
+    pub min_rate: Bandwidth,
+}
+
+/// Compute the residual topology at time `t`: port capacities minus the
+/// bandwidth of reservations active at `t`.
+fn residual_topology(
+    topo: &Topology,
+    trace: &Trace,
+    assignments: &[Assignment],
+    t: Time,
+) -> Topology {
+    let by_id: HashMap<RequestId, &gridband_workload::Request> =
+        trace.iter().map(|r| (r.id, r)).collect();
+    let mut used_in = vec![0.0f64; topo.num_ingress()];
+    let mut used_out = vec![0.0f64; topo.num_egress()];
+    for a in assignments {
+        if a.start <= t && t < a.finish {
+            let r = by_id.get(&a.id).expect("assignment references trace");
+            used_in[r.route.ingress.index()] += a.bw;
+            used_out[r.route.egress.index()] += a.bw;
+        }
+    }
+    // Keep a floor above zero: ports must stay valid even when a
+    // reservation fills them entirely (best-effort gets ~nothing there).
+    const FLOOR: f64 = 1e-6;
+    let in_caps: Vec<f64> = topo
+        .ingress_ids()
+        .map(|i| (topo.ingress_cap(i) - used_in[i.index()]).max(FLOOR))
+        .collect();
+    let out_caps: Vec<f64> = topo
+        .egress_ids()
+        .map(|e| (topo.egress_cap(e) - used_out[e.index()]).max(FLOOR))
+        .collect();
+    Topology::new(&in_caps, &out_caps)
+}
+
+/// Sample the max-min best-effort rates under a reservation schedule
+/// every `step` seconds over `[t0, t1)`.
+pub fn hybrid_best_effort(
+    topo: &Topology,
+    trace: &Trace,
+    assignments: &[Assignment],
+    mice: &[BestEffortFlow],
+    t0: Time,
+    t1: Time,
+    step: Time,
+) -> HybridReport {
+    assert!(step > 0.0 && t1 > t0, "invalid sampling grid");
+    let flows: Vec<FairFlow> = mice
+        .iter()
+        .map(|m| FairFlow {
+            route: m.route,
+            cap: m.cap,
+        })
+        .collect();
+    let n = ((t1 - t0) / step).ceil() as usize;
+    let times: Vec<Time> = (0..n).map(|k| t0 + k as f64 * step).collect();
+    let mut rates: Vec<Vec<Bandwidth>> = vec![Vec::with_capacity(n); mice.len()];
+    for &t in &times {
+        let residual = residual_topology(topo, trace, assignments, t);
+        let sample = max_min_rates(&residual, &flows);
+        for (flow_rates, r) in rates.iter_mut().zip(sample) {
+            flow_rates.push(r);
+        }
+    }
+    let mean_rates: Vec<Bandwidth> = rates
+        .iter()
+        .map(|rs| gridband_workload::stats::mean(rs))
+        .collect();
+    let min_rate = rates
+        .iter()
+        .flat_map(|rs| rs.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    HybridReport {
+        times,
+        rates,
+        mean_rates,
+        min_rate: if min_rate.is_finite() { min_rate } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_workload::Request;
+
+    fn topo() -> Topology {
+        Topology::uniform(2, 2, 100.0)
+    }
+
+    fn bulk_schedule() -> (Trace, Vec<Assignment>) {
+        // One reserved transfer at 60 MB/s on i0→e0 over [10, 20).
+        let trace = Trace::new(vec![Request::rigid(0, Route::new(0, 0), 10.0, 600.0, 60.0)]);
+        let assignments = vec![Assignment {
+            id: RequestId(0),
+            bw: 60.0,
+            start: 10.0,
+            finish: 20.0,
+        }];
+        (trace, assignments)
+    }
+
+    #[test]
+    fn mice_get_full_port_when_no_reservation_is_active() {
+        let (trace, assignments) = bulk_schedule();
+        let mice = [BestEffortFlow {
+            route: Route::new(0, 0),
+            cap: f64::INFINITY,
+        }];
+        let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 0.0, 10.0, 1.0);
+        assert!(rep.rates[0].iter().all(|&r| (r - 100.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn reservation_squeezes_but_never_starves_other_routes() {
+        let (trace, assignments) = bulk_schedule();
+        let mice = [
+            // Same route as the reservation: gets the residual 40.
+            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+            // Disjoint route: untouched at 100.
+            BestEffortFlow { route: Route::new(1, 1), cap: f64::INFINITY },
+        ];
+        let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 10.0, 20.0, 1.0);
+        assert!(rep.rates[0].iter().all(|&r| (r - 40.0).abs() < 1e-6));
+        assert!(rep.rates[1].iter().all(|&r| (r - 100.0).abs() < 1e-6));
+        assert!((rep.mean_rates[0] - 40.0).abs() < 1e-6);
+        assert!((rep.min_rate - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_reservation_floors_best_effort_near_zero() {
+        let trace = Trace::new(vec![Request::rigid(0, Route::new(0, 0), 0.0, 1000.0, 100.0)]);
+        let assignments = vec![Assignment {
+            id: RequestId(0),
+            bw: 100.0,
+            start: 0.0,
+            finish: 10.0,
+        }];
+        let mice = [BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY }];
+        let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 0.0, 10.0, 1.0);
+        assert!(rep.mean_rates[0] < 1e-3, "{:?}", rep.mean_rates);
+    }
+
+    #[test]
+    fn mice_share_the_residual_fairly() {
+        let (trace, assignments) = bulk_schedule();
+        let mice = [
+            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+        ];
+        let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 10.0, 20.0, 2.0);
+        for k in 0..rep.times.len() {
+            assert!((rep.rates[0][k] - 20.0).abs() < 1e-6);
+            assert!((rep.rates[1][k] - 20.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn capped_mouse_leaves_headroom() {
+        let (trace, assignments) = bulk_schedule();
+        let mice = [
+            BestEffortFlow { route: Route::new(0, 0), cap: 5.0 },
+            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+        ];
+        let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 10.0, 20.0, 5.0);
+        assert!((rep.mean_rates[0] - 5.0).abs() < 1e-6);
+        assert!((rep.mean_rates[1] - 35.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_mice_population() {
+        let (trace, assignments) = bulk_schedule();
+        let rep = hybrid_best_effort(&topo(), &trace, &assignments, &[], 0.0, 5.0, 1.0);
+        assert!(rep.rates.is_empty());
+        assert_eq!(rep.min_rate, 0.0);
+    }
+}

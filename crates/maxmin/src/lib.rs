@@ -1,0 +1,50 @@
+//! # gridband-maxmin — the statistical-sharing (TCP-idealised) baseline
+//!
+//! The paper's opening argument (§1) is that Internet-style max-min
+//! bandwidth sharing misbehaves for bulk grid transfers: under overload
+//! every flow is throttled, transfer times become unpredictable, and the
+//! largest transfers miss their deadlines or fail outright. The authors
+//! observed this on testbeds; this crate reproduces it as a fluid model so
+//! the reservation heuristics have a baseline to beat:
+//!
+//! * [`max_min_rates`] — Bertsekas–Gallager progressive filling over the
+//!   same edge-capacity model the schedulers use (host `MaxRate` caps
+//!   included);
+//! * [`run_maxmin`] — an event-driven fluid simulation: every request
+//!   becomes a flow on arrival (no admission control), rates are
+//!   recomputed at each arrival/departure, and each flow's completion is
+//!   judged against its deadline.
+//!
+//! The headline output, [`MaxMinReport::on_time_rate`], is directly
+//! comparable to a scheduler's accept rate: a reservation-based accept
+//! *guarantees* on-time completion, a statistical flow merely hopes.
+//!
+//! [`hybrid_best_effort`] models the mixed regime of §5.4/§6: reserved
+//! bulk transfers hold their scheduled bandwidth while best-effort
+//! "mice" share each port's residual capacity max-min fairly — the
+//! quantitative form of "bulk flows … do not hurt well-behaving TCP
+//! flows".
+//!
+//! ```
+//! use gridband_maxmin::{max_min_rates, FairFlow};
+//! use gridband_net::{Route, Topology};
+//!
+//! // Two uncapped flows into one 100 MB/s port split it evenly.
+//! let topo = Topology::uniform(2, 1, 100.0);
+//! let flows = [
+//!     FairFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+//!     FairFlow { route: Route::new(1, 0), cap: f64::INFINITY },
+//! ];
+//! let rates = max_min_rates(&topo, &flows);
+//! assert!((rates[0] - 50.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fairshare;
+pub mod hybrid;
+pub mod sim;
+
+pub use fairshare::{max_min_rates, FairFlow};
+pub use hybrid::{hybrid_best_effort, BestEffortFlow, HybridReport};
+pub use sim::{run_maxmin, FlowOutcome, MaxMinConfig, MaxMinReport};

@@ -1,0 +1,327 @@
+//! Fluid simulation of statistical (max-min) sharing over a trace.
+//!
+//! Every request becomes a TCP-like flow the moment it arrives — there is
+//! no admission control, which is precisely the Internet model the paper
+//! contrasts with. Rates follow the max-min allocation and are recomputed
+//! at every arrival and departure; between events each flow drains its
+//! remaining volume linearly.
+//!
+//! A flow that has not finished by its deadline `t_f(r)` has *failed* from
+//! the grid application's point of view (the compute/storage co-allocation
+//! expired). [`MaxMinConfig::kill_at_deadline`] selects whether such flows
+//! are torn down (the paper's observed TCP behaviour: long transfers in
+//! overload abort) or allowed to limp to completion while being counted
+//! late.
+
+use crate::fairshare::{max_min_rates, FairFlow};
+use gridband_net::units::{Time, Volume, EPS};
+use gridband_net::Topology;
+use gridband_workload::{RequestId, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the statistical-sharing baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxMinConfig {
+    /// Tear a flow down when its deadline passes (counted as failed).
+    pub kill_at_deadline: bool,
+    /// Hard stop: flows still alive this long after the last deadline are
+    /// declared failed (guards against starvation-induced non-termination).
+    pub drain_grace: Time,
+}
+
+impl Default for MaxMinConfig {
+    fn default() -> Self {
+        MaxMinConfig {
+            kill_at_deadline: false,
+            drain_grace: 1e7,
+        }
+    }
+}
+
+/// Per-flow result of the baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// The request this flow carried.
+    pub id: RequestId,
+    /// Completion time, if the flow finished.
+    pub finished_at: Option<Time>,
+    /// Whether the volume was delivered by the deadline `t_f(r)`.
+    pub on_time: bool,
+    /// Volume left when the flow was torn down (0 when completed).
+    pub remaining: Volume,
+}
+
+/// Aggregate result of a max-min baseline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxMinReport {
+    /// Per-flow outcomes in request-id order.
+    pub outcomes: Vec<FlowOutcome>,
+    /// Fraction of requests whose volume arrived by their deadline — the
+    /// number to compare against a scheduler's accept rate (an accepted
+    /// reservation always meets its deadline by construction).
+    pub on_time_rate: f64,
+    /// Fraction of flows that completed at all.
+    pub completion_rate: f64,
+    /// Mean lateness `(completion − t_f)⁺` among completed flows (s).
+    pub mean_lateness: Time,
+    /// Mean stretch `actual duration / (vol / MaxRate)` among completed
+    /// flows (≥ 1; how much slower than the host could go).
+    pub mean_stretch: f64,
+}
+
+struct Active {
+    idx: usize,
+    remaining: Volume,
+    rate: f64,
+}
+
+/// Run the statistical-sharing baseline over a trace.
+pub fn run_maxmin(trace: &Trace, topo: &Topology, config: MaxMinConfig) -> MaxMinReport {
+    let reqs = trace.requests();
+    let n = reqs.len();
+    let mut outcomes: Vec<FlowOutcome> = reqs
+        .iter()
+        .map(|r| FlowOutcome {
+            id: r.id,
+            finished_at: None,
+            on_time: false,
+            remaining: r.volume,
+        })
+        .collect();
+    if n == 0 {
+        return summarize(trace, outcomes);
+    }
+
+    let hard_stop = trace.horizon() + config.drain_grace;
+    let mut active: Vec<Active> = Vec::new();
+    let mut next_arrival = 0usize; // reqs sorted by start
+    let mut now = reqs[0].start();
+
+    let recompute = |active: &mut Vec<Active>, topo: &Topology| {
+        let flows: Vec<FairFlow> = active
+            .iter()
+            .map(|a| FairFlow {
+                route: reqs[a.idx].route,
+                cap: reqs[a.idx].max_rate,
+            })
+            .collect();
+        let rates = max_min_rates(topo, &flows);
+        for (a, r) in active.iter_mut().zip(rates) {
+            a.rate = r;
+        }
+    };
+
+    loop {
+        // Next event: arrival, earliest completion, earliest kill-deadline,
+        // or the hard stop.
+        let t_arrival = (next_arrival < n).then(|| reqs[next_arrival].start());
+        let t_completion = active
+            .iter()
+            .filter(|a| a.rate > EPS)
+            .map(|a| now + a.remaining / a.rate)
+            .fold(f64::INFINITY, f64::min);
+        let t_deadline = if config.kill_at_deadline {
+            active
+                .iter()
+                .map(|a| reqs[a.idx].finish())
+                .filter(|&d| d > now + EPS)
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            f64::INFINITY
+        };
+        let mut t_next = t_completion.min(t_deadline).min(hard_stop);
+        if let Some(ta) = t_arrival {
+            t_next = t_next.min(ta);
+        }
+        if !t_next.is_finite() || (t_arrival.is_none() && active.is_empty()) {
+            break;
+        }
+
+        // Drain volumes over [now, t_next].
+        let dt = (t_next - now).max(0.0);
+        for a in active.iter_mut() {
+            a.remaining = (a.remaining - a.rate * dt).max(0.0);
+        }
+        now = t_next;
+
+        // Completions.
+        let mut changed = false;
+        active.retain(|a| {
+            if a.remaining <= 1e-6 {
+                let r = &reqs[a.idx];
+                outcomes[a.idx].finished_at = Some(now);
+                outcomes[a.idx].remaining = 0.0;
+                outcomes[a.idx].on_time = now <= r.finish() + EPS;
+                changed = true;
+                false
+            } else {
+                true
+            }
+        });
+        // Deadline kills.
+        if config.kill_at_deadline {
+            active.retain(|a| {
+                let r = &reqs[a.idx];
+                if now + EPS >= r.finish() {
+                    outcomes[a.idx].remaining = a.remaining;
+                    changed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Arrivals at exactly `now`.
+        while next_arrival < n && reqs[next_arrival].start() <= now + EPS {
+            active.push(Active {
+                idx: next_arrival,
+                remaining: reqs[next_arrival].volume,
+                rate: 0.0,
+            });
+            next_arrival += 1;
+            changed = true;
+        }
+        if now >= hard_stop {
+            for a in &active {
+                outcomes[a.idx].remaining = a.remaining;
+            }
+            break;
+        }
+        if changed {
+            recompute(&mut active, topo);
+        }
+    }
+    summarize(trace, outcomes)
+}
+
+fn summarize(trace: &Trace, outcomes: Vec<FlowOutcome>) -> MaxMinReport {
+    let n = outcomes.len().max(1);
+    let by_id: HashMap<RequestId, &gridband_workload::Request> =
+        trace.iter().map(|r| (r.id, r)).collect();
+    let on_time = outcomes.iter().filter(|o| o.on_time).count();
+    let completed = outcomes.iter().filter(|o| o.finished_at.is_some()).count();
+    let mut lateness = Vec::new();
+    let mut stretch = Vec::new();
+    for o in &outcomes {
+        if let Some(t) = o.finished_at {
+            let r = by_id.get(&o.id).expect("outcome references trace");
+            lateness.push((t - r.finish()).max(0.0));
+            stretch.push((t - r.start()) / r.min_duration());
+        }
+    }
+    MaxMinReport {
+        on_time_rate: on_time as f64 / n as f64,
+        completion_rate: completed as f64 / n as f64,
+        mean_lateness: gridband_workload::stats::mean(&lateness),
+        mean_stretch: gridband_workload::stats::mean(&stretch),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::{Request, TimeWindow};
+
+    fn flexible(id: u64, route: Route, start: f64, vol: f64, max: f64, slack: f64) -> Request {
+        let dur = slack * vol / max;
+        Request::new(id, route, TimeWindow::new(start, start + dur), vol, max)
+    }
+
+    #[test]
+    fn lone_flow_runs_at_its_cap() {
+        let topo = Topology::uniform(1, 1, 1000.0);
+        let trace = Trace::new(vec![flexible(0, Route::new(0, 0), 0.0, 500.0, 100.0, 2.0)]);
+        let rep = run_maxmin(&trace, &topo, MaxMinConfig::default());
+        assert_eq!(rep.completion_rate, 1.0);
+        assert_eq!(rep.on_time_rate, 1.0);
+        let o = rep.outcomes[0];
+        assert!((o.finished_at.unwrap() - 5.0).abs() < 1e-6, "{o:?}");
+        assert!((rep.mean_stretch - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_and_second_speeds_up_after_first_leaves() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // Both uncapped beyond port: each gets 50 while together.
+        // Flow 0: 250 MB → would finish at t=5 alone at 100... at 50 done
+        // at t=5. Flow 1: 500 MB: 50 until t=5 (250 done), then 100 →
+        // finishes at 7.5.
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.0, 250.0, 100.0, 10.0),
+            flexible(1, Route::new(0, 0), 0.0, 500.0, 100.0, 10.0),
+        ]);
+        let rep = run_maxmin(&trace, &topo, MaxMinConfig::default());
+        let t0 = rep.outcomes[0].finished_at.unwrap();
+        let t1 = rep.outcomes[1].finished_at.unwrap();
+        assert!((t0 - 5.0).abs() < 1e-6, "t0 = {t0}");
+        assert!((t1 - 7.5).abs() < 1e-6, "t1 = {t1}");
+        assert_eq!(rep.on_time_rate, 1.0);
+    }
+
+    #[test]
+    fn overload_makes_flows_miss_deadlines() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // Four tight flows (slack 1.2) sharing one port: each gets 25
+        // MB/s but needs ≥ 83 to be on time.
+        let trace = Trace::new(
+            (0..4)
+                .map(|k| flexible(k, Route::new(0, 0), 0.0, 1000.0, 100.0, 1.2))
+                .collect(),
+        );
+        let rep = run_maxmin(&trace, &topo, MaxMinConfig::default());
+        assert_eq!(rep.completion_rate, 1.0, "flows do finish eventually");
+        assert_eq!(rep.on_time_rate, 0.0, "but none on time");
+        assert!(rep.mean_lateness > 0.0);
+        assert!(rep.mean_stretch > 3.0);
+    }
+
+    #[test]
+    fn kill_at_deadline_tears_down_and_frees_capacity() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        // Flow 0 can never make its deadline once flow 1 joins; killing it
+        // at t_f lets flow 1 finish on time.
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.0, 1000.0, 100.0, 1.05),
+            flexible(1, Route::new(0, 0), 5.0, 1000.0, 100.0, 2.0),
+        ]);
+        let cfg = MaxMinConfig {
+            kill_at_deadline: true,
+            ..Default::default()
+        };
+        let rep = run_maxmin(&trace, &topo, cfg);
+        let o0 = rep.outcomes[0];
+        let o1 = rep.outcomes[1];
+        assert!(o0.finished_at.is_none(), "flow 0 killed: {o0:?}");
+        assert!(o0.remaining > 0.0);
+        assert!(o1.on_time, "flow 1 profits from the kill: {o1:?}");
+    }
+
+    #[test]
+    fn staggered_arrivals_recompute_rates() {
+        let topo = Topology::uniform(2, 1, 100.0);
+        // Shared egress. Flow 0 alone on [0,2): 100 MB/s × 2 s = 200 MB
+        // done; flow 1 arrives at 2: both at 50. Flow 0 has 300 left →
+        // finishes at t=8; flow 1 carried 300 by then, 200 left at the
+        // full 100 MB/s → finishes at t=10.
+        let trace = Trace::new(vec![
+            flexible(0, Route::new(0, 0), 0.0, 500.0, 100.0, 30.0),
+            flexible(1, Route::new(1, 0), 2.0, 500.0, 100.0, 30.0),
+        ]);
+        let rep = run_maxmin(&trace, &topo, MaxMinConfig::default());
+        let t0 = rep.outcomes[0].finished_at.unwrap();
+        let t1 = rep.outcomes[1].finished_at.unwrap();
+        assert!((t0 - 8.0).abs() < 1e-6, "t0 = {t0}");
+        assert!((t1 - 10.0).abs() < 1e-6, "t1 = {t1}");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let topo = Topology::uniform(1, 1, 100.0);
+        let rep = run_maxmin(&Trace::new(vec![]), &topo, MaxMinConfig::default());
+        assert!(rep.outcomes.is_empty());
+        assert_eq!(rep.on_time_rate, 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for topology construction and capacity bookkeeping.
+
+use crate::port::PortRef;
+use crate::units::{Bandwidth, Time};
+use std::fmt;
+
+/// Errors produced by the network-model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A reservation would drive a port above its capacity.
+    CapacityExceeded {
+        /// The saturated port.
+        port: PortRef,
+        /// Capacity of the port (MB/s).
+        capacity: Bandwidth,
+        /// Allocation level the operation would have reached (MB/s).
+        requested: Bandwidth,
+        /// Earliest time within the reservation interval at which the
+        /// overflow occurs.
+        at: Time,
+    },
+    /// A release did not match an existing allocation (double free or
+    /// mismatched interval/bandwidth).
+    ReleaseUnderflow {
+        /// The port whose profile would have gone negative.
+        port: PortRef,
+        /// Time at which the allocation would have gone negative.
+        at: Time,
+    },
+    /// An operation referenced a port index outside the topology.
+    UnknownPort(PortRef),
+    /// An operation referenced a reservation id that is not live.
+    UnknownReservation(u64),
+    /// An interval was empty or reversed, or a bandwidth was non-positive
+    /// or non-finite.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::CapacityExceeded {
+                port,
+                capacity,
+                requested,
+                at,
+            } => write!(
+                f,
+                "capacity exceeded on {port} at t={at}: requested {requested} MB/s > capacity {capacity} MB/s"
+            ),
+            NetError::ReleaseUnderflow { port, at } => {
+                write!(f, "release underflow on {port} at t={at} (double free?)")
+            }
+            NetError::UnknownPort(p) => write!(f, "unknown port {p}"),
+            NetError::UnknownReservation(id) => write!(f, "unknown reservation #{id}"),
+            NetError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Workspace-wide result alias for network operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::{EgressId, IngressId};
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = NetError::CapacityExceeded {
+            port: PortRef::In(IngressId(2)),
+            capacity: 1000.0,
+            requested: 1200.0,
+            at: 5.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("i2"), "{s}");
+        assert!(s.contains("1200"), "{s}");
+
+        let e = NetError::ReleaseUnderflow {
+            port: PortRef::Out(EgressId(1)),
+            at: 0.0,
+        };
+        assert!(e.to_string().contains("e1"));
+        assert!(NetError::UnknownReservation(9).to_string().contains("#9"));
+        assert!(NetError::InvalidArgument("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,381 @@
+//! The reservation ledger: coupled ingress/egress capacity accounting.
+//!
+//! A [`CapacityLedger`] owns one [`CapacityProfile`] per access point of a
+//! [`Topology`] and exposes the *transactional* operation the schedulers
+//! need: reserve `bw` MB/s on both endpoints of a route over `[t0, t1)`, or
+//! fail atomically. This is exactly the constraint set (1) of the paper —
+//! a request consumes its bandwidth at its ingress *and* its egress point
+//! simultaneously.
+
+use crate::error::{NetError, NetResult};
+use crate::port::{EgressId, IngressId, PortRef, Route};
+use crate::profile::CapacityProfile;
+use crate::topology::Topology;
+use crate::units::{Bandwidth, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque handle to a live reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReservationId(pub u64);
+
+/// A booked slice of edge capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// The route both ends of which are charged.
+    pub route: Route,
+    /// Start of the reservation (inclusive).
+    pub start: Time,
+    /// End of the reservation (exclusive).
+    pub end: Time,
+    /// Constant reserved bandwidth in MB/s.
+    pub bw: Bandwidth,
+}
+
+impl Reservation {
+    /// Bandwidth-seconds booked at one endpoint (`bw × duration`); equals
+    /// the transfer volume for an exactly-sized reservation.
+    pub fn area(&self) -> f64 {
+        self.bw * (self.end - self.start)
+    }
+}
+
+/// Capacity profiles for every port of a topology plus the set of live
+/// reservations, supporting atomic reserve / cancel.
+#[derive(Debug, Clone)]
+pub struct CapacityLedger {
+    topology: Topology,
+    ingress: Vec<CapacityProfile>,
+    egress: Vec<CapacityProfile>,
+    live: HashMap<u64, Reservation>,
+    next_id: u64,
+}
+
+impl CapacityLedger {
+    /// Fresh, fully-free ledger over a topology.
+    pub fn new(topology: Topology) -> Self {
+        let ingress = topology
+            .ingress_ids()
+            .map(|i| CapacityProfile::new(topology.ingress_cap(i)))
+            .collect();
+        let egress = topology
+            .egress_ids()
+            .map(|e| CapacityProfile::new(topology.egress_cap(e)))
+            .collect();
+        CapacityLedger {
+            topology,
+            ingress,
+            egress,
+            live: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The topology this ledger tracks.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Profile of one ingress port.
+    pub fn ingress_profile(&self, i: IngressId) -> &CapacityProfile {
+        &self.ingress[i.index()]
+    }
+
+    /// Profile of one egress port.
+    pub fn egress_profile(&self, e: EgressId) -> &CapacityProfile {
+        &self.egress[e.index()]
+    }
+
+    /// Number of currently live reservations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Iterate over live reservations (arbitrary order).
+    pub fn live_reservations(&self) -> impl Iterator<Item = (ReservationId, &Reservation)> {
+        self.live.iter().map(|(&id, r)| (ReservationId(id), r))
+    }
+
+    /// Look up a live reservation.
+    pub fn get(&self, id: ReservationId) -> Option<&Reservation> {
+        self.live.get(&id.0)
+    }
+
+    fn validate(&self, route: Route, start: Time, end: Time, bw: Bandwidth) -> NetResult<()> {
+        if !self.topology.contains_route(route) {
+            let bad = if route.ingress.index() >= self.topology.num_ingress() {
+                PortRef::In(route.ingress)
+            } else {
+                PortRef::Out(route.egress)
+            };
+            return Err(NetError::UnknownPort(bad));
+        }
+        if !(start.is_finite() && end.is_finite()) || end <= start {
+            return Err(NetError::InvalidArgument(format!(
+                "reservation interval [{start}, {end}) is empty or non-finite"
+            )));
+        }
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(NetError::InvalidArgument(format!(
+                "reservation bandwidth {bw} must be finite and positive"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether `bw` fits on both endpoints of `route` over `[start, end)`.
+    pub fn fits(&self, route: Route, start: Time, end: Time, bw: Bandwidth) -> bool {
+        self.topology.contains_route(route)
+            && self.ingress[route.ingress.index()].fits(start, end, bw)
+            && self.egress[route.egress.index()].fits(start, end, bw)
+    }
+
+    /// Largest constant bandwidth a new reservation on `route` could hold
+    /// throughout `[start, end)` (the min of the two ports' minimum free
+    /// bandwidth over the interval).
+    pub fn max_fit(&self, route: Route, start: Time, end: Time) -> Bandwidth {
+        self.ingress[route.ingress.index()]
+            .min_free(start, end)
+            .min(self.egress[route.egress.index()].min_free(start, end))
+    }
+
+    /// Atomically reserve `bw` on both endpoints over `[start, end)`.
+    ///
+    /// On failure nothing is booked and the error names the saturated port
+    /// and the earliest overflow instant.
+    pub fn reserve(
+        &mut self,
+        route: Route,
+        start: Time,
+        end: Time,
+        bw: Bandwidth,
+    ) -> NetResult<ReservationId> {
+        self.validate(route, start, end, bw)?;
+        let iidx = route.ingress.index();
+        let eidx = route.egress.index();
+        if let Err(at) = self.ingress[iidx].allocate(start, end, bw) {
+            return Err(NetError::CapacityExceeded {
+                port: PortRef::In(route.ingress),
+                capacity: self.ingress[iidx].capacity(),
+                requested: self.ingress[iidx].alloc_at(at) + bw,
+                at,
+            });
+        }
+        if let Err(at) = self.egress[eidx].allocate(start, end, bw) {
+            // Roll back the ingress booking to stay atomic.
+            self.ingress[iidx]
+                .release(start, end, bw)
+                .expect("rollback of a just-made allocation cannot fail");
+            return Err(NetError::CapacityExceeded {
+                port: PortRef::Out(route.egress),
+                capacity: self.egress[eidx].capacity(),
+                requested: self.egress[eidx].alloc_at(at) + bw,
+                at,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(
+            id,
+            Reservation {
+                route,
+                start,
+                end,
+                bw,
+            },
+        );
+        Ok(ReservationId(id))
+    }
+
+    /// Cancel a live reservation, freeing its capacity on both ports.
+    pub fn cancel(&mut self, id: ReservationId) -> NetResult<Reservation> {
+        let r = self
+            .live
+            .remove(&id.0)
+            .ok_or(NetError::UnknownReservation(id.0))?;
+        self.ingress[r.route.ingress.index()]
+            .release(r.start, r.end, r.bw)
+            .map_err(|at| NetError::ReleaseUnderflow {
+                port: PortRef::In(r.route.ingress),
+                at,
+            })?;
+        self.egress[r.route.egress.index()]
+            .release(r.start, r.end, r.bw)
+            .map_err(|at| NetError::ReleaseUnderflow {
+                port: PortRef::Out(r.route.egress),
+                at,
+            })?;
+        Ok(r)
+    }
+
+    /// Shrink a live reservation's end time (early completion). The freed
+    /// tail `[new_end, end)` is released on both ports.
+    pub fn truncate(&mut self, id: ReservationId, new_end: Time) -> NetResult<()> {
+        let r = *self
+            .live
+            .get(&id.0)
+            .ok_or(NetError::UnknownReservation(id.0))?;
+        if new_end >= r.end {
+            return Ok(()); // nothing to free
+        }
+        if new_end <= r.start {
+            self.cancel(id)?;
+            return Ok(());
+        }
+        self.ingress[r.route.ingress.index()]
+            .release(new_end, r.end, r.bw)
+            .map_err(|at| NetError::ReleaseUnderflow {
+                port: PortRef::In(r.route.ingress),
+                at,
+            })?;
+        self.egress[r.route.egress.index()]
+            .release(new_end, r.end, r.bw)
+            .map_err(|at| NetError::ReleaseUnderflow {
+                port: PortRef::Out(r.route.egress),
+                at,
+            })?;
+        self.live.get_mut(&id.0).expect("checked above").end = new_end;
+        Ok(())
+    }
+
+    /// Total bandwidth-seconds reserved across all ingress ports over
+    /// `[t0, t1)`. Because every reservation charges exactly one ingress and
+    /// one egress port, the egress total is identical; utilization reports
+    /// use the ingress side.
+    pub fn reserved_area(&self, t0: Time, t1: Time) -> f64 {
+        self.ingress.iter().map(|p| p.integral_alloc(t0, t1)).sum()
+    }
+
+    /// Instantaneous total allocated bandwidth at `t` (ingress side).
+    pub fn allocated_at(&self, t: Time) -> Bandwidth {
+        self.ingress.iter().map(|p| p.alloc_at(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CapacityLedger {
+        CapacityLedger::new(Topology::uniform(2, 2, 100.0))
+    }
+
+    #[test]
+    fn reserve_charges_both_endpoints() {
+        let mut l = small();
+        let id = l.reserve(Route::new(0, 1), 0.0, 10.0, 60.0).unwrap();
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(5.0), 60.0);
+        assert_eq!(l.egress_profile(EgressId(1)).alloc_at(5.0), 60.0);
+        assert_eq!(l.ingress_profile(IngressId(1)).alloc_at(5.0), 0.0);
+        assert_eq!(l.live_count(), 1);
+        assert_eq!(l.get(id).unwrap().bw, 60.0);
+    }
+
+    #[test]
+    fn egress_contention_blocks_even_when_ingress_is_free() {
+        let mut l = small();
+        l.reserve(Route::new(0, 0), 0.0, 10.0, 70.0).unwrap();
+        // Different ingress, same egress: only 30 MB/s left there.
+        let err = l.reserve(Route::new(1, 0), 0.0, 10.0, 40.0).unwrap_err();
+        match err {
+            NetError::CapacityExceeded { port, .. } => {
+                assert_eq!(port, PortRef::Out(EgressId(0)));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // Failed reserve must leave the free ingress untouched (atomicity).
+        assert!(l.ingress_profile(IngressId(1)).is_empty());
+        // A fitting retry succeeds.
+        l.reserve(Route::new(1, 0), 0.0, 10.0, 30.0).unwrap();
+    }
+
+    #[test]
+    fn cancel_frees_capacity() {
+        let mut l = small();
+        let id = l.reserve(Route::new(0, 0), 0.0, 10.0, 100.0).unwrap();
+        assert!(!l.fits(Route::new(0, 1), 0.0, 10.0, 1.0));
+        l.cancel(id).unwrap();
+        assert!(l.fits(Route::new(0, 1), 0.0, 10.0, 100.0));
+        assert_eq!(l.live_count(), 0);
+        assert!(matches!(
+            l.cancel(id),
+            Err(NetError::UnknownReservation(_))
+        ));
+    }
+
+    #[test]
+    fn truncate_releases_the_tail_only() {
+        let mut l = small();
+        let id = l.reserve(Route::new(0, 0), 0.0, 10.0, 80.0).unwrap();
+        l.truncate(id, 4.0).unwrap();
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(2.0), 80.0);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(5.0), 0.0);
+        assert_eq!(l.get(id).unwrap().end, 4.0);
+        // Truncating to before the start cancels outright.
+        let id2 = l.reserve(Route::new(1, 1), 5.0, 9.0, 10.0).unwrap();
+        l.truncate(id2, 5.0).unwrap();
+        assert!(l.get(id2).is_none());
+        // Extending via truncate is a no-op.
+        l.truncate(id, 100.0).unwrap();
+        assert_eq!(l.get(id).unwrap().end, 4.0);
+    }
+
+    #[test]
+    fn max_fit_reports_route_bottleneck_over_time() {
+        let mut l = small();
+        l.reserve(Route::new(0, 0), 0.0, 5.0, 40.0).unwrap();
+        l.reserve(Route::new(1, 0), 5.0, 10.0, 90.0).unwrap();
+        // Route 0->0 over [0,10): ingress free = 60 (first half), egress free
+        // = min(60, 10) = 10 because of the second reservation.
+        assert_eq!(l.max_fit(Route::new(0, 0), 0.0, 10.0), 10.0);
+        assert_eq!(l.max_fit(Route::new(0, 1), 0.0, 10.0), 60.0);
+    }
+
+    #[test]
+    fn unknown_route_is_reported() {
+        let mut l = small();
+        assert!(matches!(
+            l.reserve(Route::new(5, 0), 0.0, 1.0, 1.0),
+            Err(NetError::UnknownPort(PortRef::In(_)))
+        ));
+        assert!(matches!(
+            l.reserve(Route::new(0, 5), 0.0, 1.0, 1.0),
+            Err(NetError::UnknownPort(PortRef::Out(_)))
+        ));
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let mut l = small();
+        assert!(matches!(
+            l.reserve(Route::new(0, 0), 5.0, 5.0, 1.0),
+            Err(NetError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            l.reserve(Route::new(0, 0), 0.0, 1.0, -3.0),
+            Err(NetError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn reserved_area_and_allocated_at() {
+        let mut l = small();
+        l.reserve(Route::new(0, 0), 0.0, 10.0, 50.0).unwrap();
+        l.reserve(Route::new(1, 1), 0.0, 4.0, 25.0).unwrap();
+        assert!((l.reserved_area(0.0, 10.0) - (500.0 + 100.0)).abs() < 1e-9);
+        assert_eq!(l.allocated_at(2.0), 75.0);
+        assert_eq!(l.allocated_at(8.0), 50.0);
+    }
+
+    #[test]
+    fn reservation_area() {
+        let r = Reservation {
+            route: Route::new(0, 0),
+            start: 2.0,
+            end: 7.0,
+            bw: 10.0,
+        };
+        assert_eq!(r.area(), 50.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Access-point (port) identifiers and descriptors.
+//!
+//! The paper's network model (§2) reduces the grid to its edge: *M* ingress
+//! points where traffic enters the well-provisioned core and *N* egress
+//! points where it leaves. Each point has a fixed capacity `B_in(i)` /
+//! `B_out(e)` and is the only place contention can occur.
+
+use crate::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a port is an entry or exit point of the overlay core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Traffic enters the core here (`B_in` constraint).
+    Ingress,
+    /// Traffic leaves the core here (`B_out` constraint).
+    Egress,
+}
+
+impl Direction {
+    /// Human-readable lowercase name, used in error messages and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Ingress => "ingress",
+            Direction::Egress => "egress",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Index of an ingress point within a [`Topology`](crate::Topology).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct IngressId(pub u32);
+
+/// Index of an egress point within a [`Topology`](crate::Topology).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct EgressId(pub u32);
+
+impl IngressId {
+    /// The port index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EgressId {
+    /// The port index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IngressId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for EgressId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A direction-tagged port reference, convenient for diagnostics that may
+/// point at either side of a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortRef {
+    /// An ingress port.
+    In(IngressId),
+    /// An egress port.
+    Out(EgressId),
+}
+
+impl PortRef {
+    /// Direction of the referenced port.
+    pub fn direction(self) -> Direction {
+        match self {
+            PortRef::In(_) => Direction::Ingress,
+            PortRef::Out(_) => Direction::Egress,
+        }
+    }
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortRef::In(i) => write!(f, "{i}"),
+            PortRef::Out(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A unidirectional source→destination pair, the fixed "route" of a request.
+///
+/// The paper assumes a fully-meshed overlay, so a route is entirely
+/// determined by its endpoints; no path search is involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    /// Entry point into the core.
+    pub ingress: IngressId,
+    /// Exit point from the core.
+    pub egress: EgressId,
+}
+
+impl Route {
+    /// Build a route from raw port indices.
+    pub fn new(ingress: u32, egress: u32) -> Self {
+        Route {
+            ingress: IngressId(ingress),
+            egress: EgressId(egress),
+        }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.ingress, self.egress)
+    }
+}
+
+/// Static description of one access point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    /// Link capacity in MB/s (`B_in` or `B_out`).
+    pub capacity: Bandwidth,
+}
+
+impl Port {
+    /// A port with the given capacity (must be finite and positive).
+    pub fn new(capacity: Bandwidth) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "port capacity must be finite and positive, got {capacity}"
+        );
+        Port { capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(IngressId(3).to_string(), "i3");
+        assert_eq!(EgressId(7).to_string(), "e7");
+        assert_eq!(Route::new(1, 2).to_string(), "i1->e2");
+        assert_eq!(PortRef::In(IngressId(0)).to_string(), "i0");
+    }
+
+    #[test]
+    fn portref_direction() {
+        assert_eq!(PortRef::In(IngressId(0)).direction(), Direction::Ingress);
+        assert_eq!(PortRef::Out(EgressId(0)).direction(), Direction::Egress);
+        assert_eq!(Direction::Ingress.as_str(), "ingress");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn port_rejects_nonpositive_capacity() {
+        let _ = Port::new(0.0);
+    }
+
+    #[test]
+    fn route_equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Route::new(0, 1));
+        set.insert(Route::new(0, 1));
+        set.insert(Route::new(1, 0));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,532 @@
+//! Piecewise-constant capacity allocation profiles.
+//!
+//! A [`CapacityProfile`] tracks, for one access port, the total bandwidth
+//! reserved as a function of time. This is the data structure behind the
+//! constraint set (1) of the paper: at every instant `t`, the sum of the
+//! bandwidths of accepted requests crossing a port must stay below the port
+//! capacity.
+//!
+//! The profile is a step function stored as sorted breakpoints. Allocations
+//! and releases are half-open intervals `[t0, t1)`, mirroring the paper's
+//! convention `σ(r) ≤ t < τ(r)`: a transfer finishing at `t1` and another
+//! starting at `t1` never overlap.
+//!
+//! Complexity: with `k` breakpoints, point queries are `O(log k)`, interval
+//! operations `O(k)` in the worst case. Simulation workloads keep `k`
+//! proportional to the number of concurrently reserved transfers, which is
+//! small (hundreds), so this is far from the bottleneck.
+
+use crate::units::{approx_le, definitely_gt, snap_nonneg, Bandwidth, Time, EPS};
+use serde::{Deserialize, Serialize};
+
+/// One step of the profile: the allocation level holds from `time` until the
+/// next breakpoint (or forever, for the last one).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Breakpoint {
+    /// Start of the step.
+    pub time: Time,
+    /// Total allocated bandwidth on `[time, next.time)` in MB/s.
+    pub alloc: Bandwidth,
+}
+
+/// Time-indexed allocation ledger for a single port.
+///
+/// Invariants (checked by `debug_assert` and by the property tests):
+/// * breakpoints are strictly increasing in time;
+/// * every `alloc` is ≥ 0 and ≤ `capacity` (+ε);
+/// * the level before the first breakpoint and after the last one is 0;
+/// * adjacent breakpoints never carry the same level (the representation is
+///   canonical).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityProfile {
+    capacity: Bandwidth,
+    points: Vec<Breakpoint>,
+}
+
+impl CapacityProfile {
+    /// An empty profile for a port of the given capacity.
+    pub fn new(capacity: Bandwidth) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be finite and positive, got {capacity}"
+        );
+        CapacityProfile {
+            capacity,
+            points: Vec::new(),
+        }
+    }
+
+    /// The port capacity this profile enforces.
+    #[inline]
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// Number of breakpoints currently stored (diagnostic).
+    #[inline]
+    pub fn breakpoint_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing is currently allocated at any time.
+    pub fn is_empty(&self) -> bool {
+        self.points.iter().all(|p| p.alloc == 0.0)
+    }
+
+    /// The breakpoints of the step function, for inspection and plotting.
+    pub fn breakpoints(&self) -> &[Breakpoint] {
+        &self.points
+    }
+
+    fn check_interval(t0: Time, t1: Time, bw: Bandwidth) -> Result<(), String> {
+        if !t0.is_finite() || !t1.is_finite() {
+            return Err(format!("non-finite interval [{t0}, {t1})"));
+        }
+        if t1 - t0 <= EPS {
+            return Err(format!("empty or reversed interval [{t0}, {t1})"));
+        }
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(format!("bandwidth must be finite and positive, got {bw}"));
+        }
+        Ok(())
+    }
+
+    /// Index of the last breakpoint with `time <= t`, if any.
+    fn step_index(&self, t: Time) -> Option<usize> {
+        match self
+            .points
+            .binary_search_by(|p| p.time.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Total bandwidth allocated at instant `t`.
+    pub fn alloc_at(&self, t: Time) -> Bandwidth {
+        self.step_index(t).map_or(0.0, |i| self.points[i].alloc)
+    }
+
+    /// Remaining free bandwidth at instant `t`.
+    pub fn free_at(&self, t: Time) -> Bandwidth {
+        snap_nonneg(self.capacity - self.alloc_at(t))
+    }
+
+    /// Maximum allocation over `[t0, t1)`.
+    pub fn max_alloc(&self, t0: Time, t1: Time) -> Bandwidth {
+        let mut max = self.alloc_at(t0);
+        let start = self.step_index(t0).map_or(0, |i| i + 1);
+        for p in &self.points[start..] {
+            if p.time >= t1 {
+                break;
+            }
+            if p.alloc > max {
+                max = p.alloc;
+            }
+        }
+        max
+    }
+
+    /// Minimum free bandwidth over `[t0, t1)` — the largest constant rate a
+    /// new reservation could add over that interval.
+    pub fn min_free(&self, t0: Time, t1: Time) -> Bandwidth {
+        snap_nonneg(self.capacity - self.max_alloc(t0, t1))
+    }
+
+    /// Whether an extra `bw` fits everywhere on `[t0, t1)` (ε-tolerant).
+    pub fn fits(&self, t0: Time, t1: Time, bw: Bandwidth) -> bool {
+        approx_le(self.max_alloc(t0, t1) + bw, self.capacity)
+    }
+
+    /// Ensure a breakpoint exists exactly at `t`, splitting the enclosing
+    /// step if needed. Returns its index.
+    fn ensure_breakpoint(&mut self, t: Time) -> usize {
+        match self
+            .points
+            .binary_search_by(|p| p.time.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                let level = if i == 0 { 0.0 } else { self.points[i - 1].alloc };
+                self.points.insert(i, Breakpoint { time: t, alloc: level });
+                i
+            }
+        }
+    }
+
+    /// Remove redundant breakpoints (equal consecutive levels, zero head).
+    fn canonicalize(&mut self) {
+        let mut prev_level = 0.0_f64;
+        self.points.retain(|p| {
+            let keep = p.alloc != prev_level;
+            if keep {
+                prev_level = p.alloc;
+            }
+            keep
+        });
+    }
+
+    /// Add `bw` on `[t0, t1)`, failing without modification if the port
+    /// capacity would be exceeded anywhere in the interval.
+    ///
+    /// Returns the earliest overflow time on failure.
+    pub fn allocate(&mut self, t0: Time, t1: Time, bw: Bandwidth) -> Result<(), Time> {
+        if let Err(msg) = Self::check_interval(t0, t1, bw) {
+            panic!("CapacityProfile::allocate: {msg}");
+        }
+        // Feasibility scan first so failure leaves the profile untouched.
+        if definitely_gt(self.alloc_at(t0) + bw, self.capacity) {
+            return Err(t0);
+        }
+        let start = self.step_index(t0).map_or(0, |i| i + 1);
+        for p in &self.points[start..] {
+            if p.time >= t1 {
+                break;
+            }
+            if definitely_gt(p.alloc + bw, self.capacity) {
+                return Err(p.time);
+            }
+        }
+        self.apply_delta(t0, t1, bw);
+        Ok(())
+    }
+
+    /// Subtract `bw` on `[t0, t1)`, failing (without modification) if the
+    /// allocation would go negative — which means the release does not match
+    /// a prior allocation.
+    pub fn release(&mut self, t0: Time, t1: Time, bw: Bandwidth) -> Result<(), Time> {
+        if let Err(msg) = Self::check_interval(t0, t1, bw) {
+            panic!("CapacityProfile::release: {msg}");
+        }
+        if definitely_gt(bw - self.alloc_at(t0), 0.0) {
+            return Err(t0);
+        }
+        let start = self.step_index(t0).map_or(0, |i| i + 1);
+        for p in &self.points[start..] {
+            if p.time >= t1 {
+                break;
+            }
+            if definitely_gt(bw - p.alloc, 0.0) {
+                return Err(p.time);
+            }
+        }
+        self.apply_delta(t0, t1, -bw);
+        Ok(())
+    }
+
+    /// Threshold below which an allocation level is floating-point residue
+    /// from add/subtract round-trips, not a real reservation. Three orders
+    /// of magnitude under [`EPS`] and six under the smallest rate the
+    /// workloads generate (10 MB/s).
+    const LEVEL_SNAP: f64 = 1e-9;
+
+    /// Unchecked signed adjustment of the level on `[t0, t1)`.
+    fn apply_delta(&mut self, t0: Time, t1: Time, delta: Bandwidth) {
+        let i0 = self.ensure_breakpoint(t0);
+        let i1 = self.ensure_breakpoint(t1);
+        for p in &mut self.points[i0..i1] {
+            let mut level = snap_nonneg(p.alloc + delta);
+            if level < Self::LEVEL_SNAP {
+                level = 0.0;
+            }
+            p.alloc = level;
+        }
+        self.canonicalize();
+        self.debug_check();
+    }
+
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for w in self.points.windows(2) {
+                debug_assert!(w[0].time < w[1].time, "breakpoints out of order");
+                debug_assert!(w[0].alloc != w[1].alloc, "non-canonical profile");
+            }
+            for p in &self.points {
+                debug_assert!(p.alloc >= 0.0, "negative allocation {}", p.alloc);
+                debug_assert!(
+                    approx_le(p.alloc, self.capacity),
+                    "allocation {} exceeds capacity {}",
+                    p.alloc,
+                    self.capacity
+                );
+            }
+            if let Some(last) = self.points.last() {
+                debug_assert!(last.alloc == 0.0, "profile does not return to zero");
+            }
+        }
+    }
+
+    /// `∫ alloc(t) dt` over `[t0, t1)` — reserved bandwidth-seconds, used for
+    /// utilization accounting.
+    pub fn integral_alloc(&self, t0: Time, t1: Time) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut seg_start = t0;
+        let mut level = self.alloc_at(t0);
+        let start = self.step_index(t0).map_or(0, |i| i + 1);
+        for p in &self.points[start..] {
+            if p.time >= t1 {
+                break;
+            }
+            total += level * (p.time - seg_start);
+            seg_start = p.time;
+            level = p.alloc;
+        }
+        total += level * (t1 - seg_start);
+        total
+    }
+
+    /// Fraction of `[t0, t1)` during which the allocation is at or above
+    /// `threshold` (e.g. `busy_fraction(t0, t1, 0.9 × capacity)` — how
+    /// long the port ran ≥ 90% full). Capacity planning helper.
+    pub fn busy_fraction(&self, t0: Time, t1: Time, threshold: Bandwidth) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut busy = 0.0;
+        let mut seg_start = t0;
+        let mut level = self.alloc_at(t0);
+        let start = self.step_index(t0).map_or(0, |i| i + 1);
+        for p in &self.points[start..] {
+            if p.time >= t1 {
+                break;
+            }
+            if level + EPS >= threshold {
+                busy += p.time - seg_start;
+            }
+            seg_start = p.time;
+            level = p.alloc;
+        }
+        if level + EPS >= threshold {
+            busy += t1 - seg_start;
+        }
+        busy / (t1 - t0)
+    }
+
+    /// Earliest start `s ∈ [after, deadline]` such that `bw` fits on
+    /// `[s, s + duration)` and `s + duration ≤ horizon`, or `None`.
+    ///
+    /// `deadline` bounds the *start* time; pass `f64::INFINITY` for an
+    /// unconstrained search. Used by book-ahead extensions (the paper's
+    /// heuristics always start at the request/decision time, but the profile
+    /// supports full advance reservation).
+    pub fn earliest_fit(
+        &self,
+        after: Time,
+        duration: Time,
+        bw: Bandwidth,
+        latest_start: Time,
+    ) -> Option<Time> {
+        assert!(duration > 0.0 && bw > 0.0);
+        let mut candidate = after;
+        loop {
+            if candidate > latest_start + EPS {
+                return None;
+            }
+            // Find the first conflicting breakpoint within the window.
+            let end = candidate + duration;
+            let mut conflict: Option<Time> = None;
+            if definitely_gt(self.alloc_at(candidate) + bw, self.capacity) {
+                conflict = Some(candidate);
+            } else {
+                let start = self.step_index(candidate).map_or(0, |i| i + 1);
+                for p in &self.points[start..] {
+                    if p.time >= end {
+                        break;
+                    }
+                    if definitely_gt(p.alloc + bw, self.capacity) {
+                        conflict = Some(p.time);
+                        break;
+                    }
+                }
+            }
+            match conflict {
+                None => return Some(candidate),
+                Some(t_conf) => {
+                    // Restart just after the conflicting step ends.
+                    let next = self
+                        .points
+                        .iter()
+                        .find(|p| p.time > t_conf && approx_le(p.alloc + bw, self.capacity))
+                        .map(|p| p.time);
+                    match next {
+                        Some(t) => candidate = t,
+                        None => return None,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CapacityProfile {
+        CapacityProfile::new(100.0)
+    }
+
+    #[test]
+    fn empty_profile_is_all_free() {
+        let p = profile();
+        assert_eq!(p.alloc_at(0.0), 0.0);
+        assert_eq!(p.free_at(123.0), 100.0);
+        assert_eq!(p.min_free(0.0, 1e9), 100.0);
+        assert!(p.is_empty());
+        assert_eq!(p.breakpoint_count(), 0);
+    }
+
+    #[test]
+    fn single_allocation_shapes_the_step_function() {
+        let mut p = profile();
+        p.allocate(10.0, 20.0, 40.0).unwrap();
+        assert_eq!(p.alloc_at(9.999), 0.0);
+        assert_eq!(p.alloc_at(10.0), 40.0);
+        assert_eq!(p.alloc_at(19.999), 40.0);
+        assert_eq!(p.alloc_at(20.0), 0.0, "half-open interval");
+        assert_eq!(p.free_at(15.0), 60.0);
+    }
+
+    #[test]
+    fn stacked_allocations_sum() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 30.0).unwrap();
+        p.allocate(5.0, 15.0, 30.0).unwrap();
+        assert_eq!(p.alloc_at(2.0), 30.0);
+        assert_eq!(p.alloc_at(7.0), 60.0);
+        assert_eq!(p.alloc_at(12.0), 30.0);
+        assert_eq!(p.max_alloc(0.0, 15.0), 60.0);
+        assert_eq!(p.min_free(0.0, 15.0), 40.0);
+    }
+
+    #[test]
+    fn overflow_is_rejected_atomically() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 80.0).unwrap();
+        let before = p.clone();
+        let err = p.allocate(5.0, 20.0, 30.0);
+        assert_eq!(err, Err(5.0), "overflow detected at the stacked step");
+        assert_eq!(p, before, "failed allocate must not modify the profile");
+        // Non-overlapping retry succeeds.
+        p.allocate(10.0, 20.0, 30.0).unwrap();
+    }
+
+    #[test]
+    fn exact_capacity_fill_is_allowed() {
+        let mut p = profile();
+        p.allocate(0.0, 5.0, 60.0).unwrap();
+        p.allocate(0.0, 5.0, 40.0).unwrap();
+        assert_eq!(p.free_at(2.0), 0.0);
+        assert!(p.allocate(0.0, 5.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn release_restores_previous_state() {
+        let mut p = profile();
+        let initial = p.clone();
+        p.allocate(0.0, 10.0, 25.0).unwrap();
+        p.allocate(3.0, 6.0, 25.0).unwrap();
+        p.release(3.0, 6.0, 25.0).unwrap();
+        p.release(0.0, 10.0, 25.0).unwrap();
+        assert_eq!(p, initial, "canonical form makes round-trips exact");
+    }
+
+    #[test]
+    fn release_underflow_is_rejected() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 25.0).unwrap();
+        assert!(p.release(0.0, 12.0, 25.0).is_err(), "tail not allocated");
+        assert!(p.release(0.0, 10.0, 30.0).is_err(), "too much bandwidth");
+        // Profile unchanged by the failures.
+        assert_eq!(p.alloc_at(5.0), 25.0);
+        p.release(0.0, 10.0, 25.0).unwrap();
+    }
+
+    #[test]
+    fn fits_is_consistent_with_allocate() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 70.0).unwrap();
+        assert!(p.fits(0.0, 10.0, 30.0));
+        assert!(!p.fits(0.0, 10.0, 31.0));
+        assert!(p.fits(10.0, 20.0, 100.0));
+    }
+
+    #[test]
+    fn integral_alloc_measures_reserved_area() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 50.0).unwrap();
+        p.allocate(5.0, 10.0, 20.0).unwrap();
+        // 5s * 50 + 5s * 70 = 600
+        assert!((p.integral_alloc(0.0, 10.0) - 600.0).abs() < 1e-9);
+        // Sub-interval and over-extended queries.
+        assert!((p.integral_alloc(4.0, 6.0) - (50.0 + 70.0)).abs() < 1e-9);
+        assert!((p.integral_alloc(0.0, 20.0) - 600.0).abs() < 1e-9);
+        assert_eq!(p.integral_alloc(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn earliest_fit_skips_busy_periods() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 90.0).unwrap();
+        p.allocate(15.0, 20.0, 90.0).unwrap();
+        // 20 MB/s for 4s doesn't fit inside [0,10) or [15,20) but fits in the gap.
+        assert_eq!(p.earliest_fit(0.0, 4.0, 20.0, f64::INFINITY), Some(10.0));
+        // ...but a 6s transfer does not fit in the 5s gap; must wait until 20.
+        assert_eq!(p.earliest_fit(0.0, 6.0, 20.0, f64::INFINITY), Some(20.0));
+        // A thin transfer fits immediately.
+        assert_eq!(p.earliest_fit(0.0, 100.0, 10.0, f64::INFINITY), Some(0.0));
+        // Latest-start bound is honoured.
+        assert_eq!(p.earliest_fit(0.0, 6.0, 20.0, 12.0), None);
+    }
+
+    #[test]
+    fn adjacent_intervals_share_capacity_cleanly() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 100.0).unwrap();
+        // A transfer starting exactly when the previous ends fits.
+        p.allocate(10.0, 20.0, 100.0).unwrap();
+        assert_eq!(p.max_alloc(0.0, 20.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or reversed")]
+    fn reversed_interval_panics() {
+        profile().allocate(5.0, 4.0, 1.0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        profile().allocate(0.0, 1.0, 0.0).unwrap();
+    }
+
+    #[test]
+    fn busy_fraction_measures_time_above_threshold() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 90.0).unwrap(); // ≥ 80 for 10 s
+        p.allocate(10.0, 20.0, 50.0).unwrap(); // below 80 for 10 s
+        assert!((p.busy_fraction(0.0, 20.0, 80.0) - 0.5).abs() < 1e-12);
+        assert!((p.busy_fraction(0.0, 20.0, 40.0) - 1.0).abs() < 1e-12);
+        assert_eq!(p.busy_fraction(20.0, 30.0, 1.0), 0.0);
+        assert_eq!(p.busy_fraction(5.0, 5.0, 1.0), 0.0);
+        // Threshold 0 counts everything.
+        assert_eq!(p.busy_fraction(0.0, 20.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn canonical_representation_prunes_redundant_points() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 10.0).unwrap();
+        p.allocate(10.0, 20.0, 10.0).unwrap();
+        // Same level across the seam: one step only.
+        assert_eq!(p.breakpoint_count(), 2);
+        p.release(0.0, 20.0, 10.0).unwrap();
+        assert_eq!(p.breakpoint_count(), 0);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Static grid-edge topology: the set of ingress and egress points.
+//!
+//! Matches §2 of the paper: the core is lossless and over-provisioned, so the
+//! model is fully described by the two capacity vectors `B_in` and `B_out`.
+//! Constructors are provided for the paper's evaluation setup (10×10 ports at
+//! 1 GB/s) and for a heterogeneous Grid'5000-like platform used by the
+//! examples.
+
+use crate::port::{EgressId, IngressId, Port, Route};
+use crate::units::{gbps, Bandwidth};
+use serde::{Deserialize, Serialize};
+
+/// The grid edge: `M` ingress points and `N` egress points with capacities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    ingress: Vec<Port>,
+    egress: Vec<Port>,
+}
+
+impl Topology {
+    /// Build a topology from explicit capacity vectors (MB/s).
+    ///
+    /// Panics if either side is empty or any capacity is non-positive.
+    pub fn new(ingress_caps: &[Bandwidth], egress_caps: &[Bandwidth]) -> Self {
+        assert!(
+            !ingress_caps.is_empty() && !egress_caps.is_empty(),
+            "topology needs at least one ingress and one egress point"
+        );
+        Topology {
+            ingress: ingress_caps.iter().map(|&c| Port::new(c)).collect(),
+            egress: egress_caps.iter().map(|&c| Port::new(c)).collect(),
+        }
+    }
+
+    /// Uniform topology: `m` ingress and `n` egress points, all at `cap` MB/s.
+    pub fn uniform(m: usize, n: usize, cap: Bandwidth) -> Self {
+        Topology::new(&vec![cap; m], &vec![cap; n])
+    }
+
+    /// The exact evaluation platform of §4.3: 10 ingress and 10 egress
+    /// points, each with a capacity of 1 GB/s.
+    pub fn paper_default() -> Self {
+        Topology::uniform(10, 10, gbps(1.0))
+    }
+
+    /// A heterogeneous 8-site platform loosely modelled on Grid'5000 (the
+    /// project that motivated the paper): large sites get 10 Gb/s-class
+    /// access links, small sites 1 Gb/s-class, expressed here in MB/s.
+    pub fn grid5000_like() -> Self {
+        // Eight sites; ingress and egress capacities are symmetrical per
+        // site. 10 Gb/s ≈ 1250 MB/s, 1 Gb/s ≈ 125 MB/s.
+        let caps = [1250.0, 1250.0, 1250.0, 625.0, 625.0, 125.0, 125.0, 125.0];
+        Topology::new(&caps, &caps)
+    }
+
+    /// Number of ingress points (`M`).
+    #[inline]
+    pub fn num_ingress(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Number of egress points (`N`).
+    #[inline]
+    pub fn num_egress(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// Capacity `B_in(i)` of an ingress point.
+    #[inline]
+    pub fn ingress_cap(&self, i: IngressId) -> Bandwidth {
+        self.ingress[i.index()].capacity
+    }
+
+    /// Capacity `B_out(e)` of an egress point.
+    #[inline]
+    pub fn egress_cap(&self, e: EgressId) -> Bandwidth {
+        self.egress[e.index()].capacity
+    }
+
+    /// All ingress ids, in index order.
+    pub fn ingress_ids(&self) -> impl Iterator<Item = IngressId> + '_ {
+        (0..self.ingress.len() as u32).map(IngressId)
+    }
+
+    /// All egress ids, in index order.
+    pub fn egress_ids(&self) -> impl Iterator<Item = EgressId> + '_ {
+        (0..self.egress.len() as u32).map(EgressId)
+    }
+
+    /// Whether a route's endpoints exist in this topology.
+    pub fn contains_route(&self, route: Route) -> bool {
+        route.ingress.index() < self.ingress.len() && route.egress.index() < self.egress.len()
+    }
+
+    /// The bottleneck capacity of a route:
+    /// `min(B_in(ingress), B_out(egress))` — the paper's `b_min` used in the
+    /// CUMULATED-SLOTS cost factor.
+    pub fn route_bottleneck(&self, route: Route) -> Bandwidth {
+        self.ingress_cap(route.ingress).min(self.egress_cap(route.egress))
+    }
+
+    /// `Σ_i B_in(i)`.
+    pub fn total_ingress_cap(&self) -> Bandwidth {
+        self.ingress.iter().map(|p| p.capacity).sum()
+    }
+
+    /// `Σ_e B_out(e)`.
+    pub fn total_egress_cap(&self) -> Bandwidth {
+        self.egress.iter().map(|p| p.capacity).sum()
+    }
+
+    /// The paper's system-capacity normalizer:
+    /// `(Σ B_in + Σ B_out) / 2`. Both the load definition (§4.3) and
+    /// RESOURCE-UTIL (§2.2) divide by this quantity.
+    pub fn half_total_cap(&self) -> Bandwidth {
+        0.5 * (self.total_ingress_cap() + self.total_egress_cap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_4_3() {
+        let t = Topology::paper_default();
+        assert_eq!(t.num_ingress(), 10);
+        assert_eq!(t.num_egress(), 10);
+        assert_eq!(t.ingress_cap(IngressId(0)), 1000.0);
+        assert_eq!(t.egress_cap(EgressId(9)), 1000.0);
+        assert_eq!(t.total_ingress_cap(), 10_000.0);
+        assert_eq!(t.half_total_cap(), 10_000.0);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let t = Topology::uniform(3, 5, 200.0);
+        assert_eq!(t.num_ingress(), 3);
+        assert_eq!(t.num_egress(), 5);
+        assert_eq!(t.half_total_cap(), 0.5 * (600.0 + 1000.0));
+    }
+
+    #[test]
+    fn heterogeneous_capacities_and_bottleneck() {
+        let t = Topology::new(&[100.0, 500.0], &[300.0]);
+        let r = Route::new(1, 0);
+        assert_eq!(t.route_bottleneck(r), 300.0);
+        let r = Route::new(0, 0);
+        assert_eq!(t.route_bottleneck(r), 100.0);
+    }
+
+    #[test]
+    fn route_containment() {
+        let t = Topology::uniform(2, 2, 10.0);
+        assert!(t.contains_route(Route::new(1, 1)));
+        assert!(!t.contains_route(Route::new(2, 0)));
+        assert!(!t.contains_route(Route::new(0, 2)));
+    }
+
+    #[test]
+    fn id_iterators_cover_all_ports() {
+        let t = Topology::uniform(4, 6, 10.0);
+        assert_eq!(t.ingress_ids().count(), 4);
+        assert_eq!(t.egress_ids().count(), 6);
+        assert_eq!(t.ingress_ids().last(), Some(IngressId(3)));
+    }
+
+    #[test]
+    fn grid5000_like_is_heterogeneous_and_symmetric() {
+        let t = Topology::grid5000_like();
+        assert_eq!(t.num_ingress(), 8);
+        assert_eq!(t.num_egress(), 8);
+        assert_eq!(t.total_ingress_cap(), t.total_egress_cap());
+        assert!(t.ingress_cap(IngressId(0)) > t.ingress_cap(IngressId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_topology_rejected() {
+        let _ = Topology::new(&[], &[100.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topology::grid5000_like();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

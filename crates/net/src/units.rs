@@ -1,0 +1,138 @@
+//! Numeric units and tolerant floating-point comparisons.
+//!
+//! The whole workspace uses the same conventions, chosen to match the paper's
+//! evaluation section (§4.3, §5.3):
+//!
+//! * **bandwidth** is measured in megabytes per second (`MB/s`),
+//! * **volume** in megabytes (`MB`),
+//! * **time** in seconds.
+//!
+//! A 1 GB/s access port is therefore `1000.0` bandwidth units, and the paper's
+//! request volumes (10 GB – 1 TB) range from `1e4` to `1e6` volume units.
+//!
+//! Fluid-model arithmetic accumulates rounding error when many reservations
+//! are stacked on a port, so every capacity comparison in the workspace goes
+//! through the tolerant helpers defined here rather than raw `<=`.
+
+/// Bandwidth in MB/s.
+pub type Bandwidth = f64;
+/// Data volume in MB.
+pub type Volume = f64;
+/// Simulated time in seconds.
+pub type Time = f64;
+
+/// Megabytes per gigabyte (decimal, as in the paper's "1GB/s" ports).
+pub const MB_PER_GB: f64 = 1_000.0;
+/// Megabytes per terabyte.
+pub const MB_PER_TB: f64 = 1_000_000.0;
+/// Seconds per minute.
+pub const SECS_PER_MIN: f64 = 60.0;
+/// Seconds per hour.
+pub const SECS_PER_HOUR: f64 = 3_600.0;
+/// Seconds per day.
+pub const SECS_PER_DAY: f64 = 86_400.0;
+
+/// Absolute tolerance used for capacity and time comparisons.
+///
+/// Expressed in the same unit as the compared quantities; `1e-6` MB/s is six
+/// orders of magnitude below the smallest rate the paper generates (10 MB/s),
+/// and `1e-6` s is far below any simulated event spacing.
+pub const EPS: f64 = 1e-6;
+
+/// `a <= b` up to [`EPS`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// `a >= b` up to [`EPS`].
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// `a == b` up to [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// `a < b` by more than [`EPS`].
+#[inline]
+pub fn definitely_lt(a: f64, b: f64) -> bool {
+    a + EPS < b
+}
+
+/// `a > b` by more than [`EPS`].
+#[inline]
+pub fn definitely_gt(a: f64, b: f64) -> bool {
+    a > b + EPS
+}
+
+/// Clamp a tiny negative value (rounding residue) to exactly zero.
+///
+/// Panics in debug builds if the value is *substantially* negative, which
+/// would indicate a bookkeeping bug rather than floating-point noise.
+#[inline]
+pub fn snap_nonneg(x: f64) -> f64 {
+    debug_assert!(x > -1e-3, "value {x} is too negative to be rounding noise");
+    if x < 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
+/// Convert gigabytes to the workspace volume unit (MB).
+#[inline]
+pub fn gb(x: f64) -> Volume {
+    x * MB_PER_GB
+}
+
+/// Convert terabytes to the workspace volume unit (MB).
+#[inline]
+pub fn tb(x: f64) -> Volume {
+    x * MB_PER_TB
+}
+
+/// Convert GB/s to the workspace bandwidth unit (MB/s).
+#[inline]
+pub fn gbps(x: f64) -> Bandwidth {
+    x * MB_PER_GB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerant_comparisons_accept_rounding_noise() {
+        assert!(approx_le(1.0 + 1e-9, 1.0));
+        assert!(approx_ge(1.0 - 1e-9, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-9));
+        assert!(!approx_le(1.0 + 1e-3, 1.0));
+        assert!(!approx_eq(1.0, 1.001));
+    }
+
+    #[test]
+    fn strict_comparisons_require_a_real_gap() {
+        assert!(definitely_lt(1.0, 2.0));
+        assert!(!definitely_lt(1.0, 1.0 + 1e-9));
+        assert!(definitely_gt(2.0, 1.0));
+        assert!(!definitely_gt(1.0 + 1e-9, 1.0));
+    }
+
+    #[test]
+    fn snap_nonneg_zeroes_noise_only() {
+        assert_eq!(snap_nonneg(-1e-9), 0.0);
+        assert_eq!(snap_nonneg(0.5), 0.5);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(gb(1.0), 1000.0);
+        assert_eq!(tb(1.0), 1_000_000.0);
+        assert_eq!(gbps(1.0), 1000.0);
+        assert_eq!(tb(1.0), gb(1000.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the capacity-profile and ledger invariants.
+//!
+//! These are the safety net under every scheduler in the workspace: if the
+//! profile arithmetic is wrong, every simulation result is wrong.
+
+use gridband_net::units::{approx_le, EPS};
+use gridband_net::{CapacityLedger, CapacityProfile, Route, Topology};
+use proptest::prelude::*;
+
+/// An allocation request with a sane shape: times in [0, 1000), bw in
+/// (0, 100].
+fn arb_alloc() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.0f64..1000.0, 0.1f64..200.0, 0.1f64..100.0)
+        .prop_map(|(t0, len, bw)| (t0, t0 + len, bw))
+}
+
+proptest! {
+    /// Allocate-then-release always returns the profile to its prior state.
+    #[test]
+    fn alloc_release_round_trip(ops in prop::collection::vec(arb_alloc(), 1..40)) {
+        let mut p = CapacityProfile::new(1_000.0);
+        let mut applied = Vec::new();
+        for (t0, t1, bw) in ops {
+            if p.allocate(t0, t1, bw).is_ok() {
+                applied.push((t0, t1, bw));
+            }
+        }
+        // Release in reverse order.
+        for (t0, t1, bw) in applied.into_iter().rev() {
+            prop_assert!(p.release(t0, t1, bw).is_ok());
+        }
+        prop_assert!(p.is_empty());
+        prop_assert_eq!(p.breakpoint_count(), 0);
+    }
+
+    /// The profile never reports an allocation above capacity, no matter the
+    /// sequence of accepted operations.
+    #[test]
+    fn capacity_never_exceeded(ops in prop::collection::vec(arb_alloc(), 1..60)) {
+        let cap = 150.0;
+        let mut p = CapacityProfile::new(cap);
+        for (t0, t1, bw) in ops {
+            let _ = p.allocate(t0, t1, bw);
+            prop_assert!(approx_le(p.max_alloc(0.0, 2_000.0), cap));
+        }
+    }
+
+    /// `fits` is exactly the precondition of `allocate` succeeding.
+    #[test]
+    fn fits_predicts_allocate(
+        ops in prop::collection::vec(arb_alloc(), 1..30),
+        probe in arb_alloc(),
+    ) {
+        let mut p = CapacityProfile::new(200.0);
+        for (t0, t1, bw) in ops {
+            let _ = p.allocate(t0, t1, bw);
+        }
+        let (t0, t1, bw) = probe;
+        let predicted = p.fits(t0, t1, bw);
+        let actual = p.clone().allocate(t0, t1, bw).is_ok();
+        prop_assert_eq!(predicted, actual);
+    }
+
+    /// `min_free` really is the largest additional constant bandwidth that
+    /// fits over an interval.
+    #[test]
+    fn min_free_is_tight(ops in prop::collection::vec(arb_alloc(), 1..30)) {
+        let mut p = CapacityProfile::new(300.0);
+        for (t0, t1, bw) in ops {
+            let _ = p.allocate(t0, t1, bw);
+        }
+        let free = p.min_free(0.0, 1500.0);
+        if free > EPS {
+            prop_assert!(p.fits(0.0, 1500.0, free));
+        }
+        prop_assert!(!p.fits(0.0, 1500.0, free + 1.0));
+    }
+
+    /// Integral of the allocation equals the sum of accepted areas clipped
+    /// to the query window (here: window covers everything).
+    #[test]
+    fn integral_equals_sum_of_areas(ops in prop::collection::vec(arb_alloc(), 1..30)) {
+        let mut p = CapacityProfile::new(10_000.0); // never rejects
+        let mut expected = 0.0;
+        for (t0, t1, bw) in ops {
+            p.allocate(t0, t1, bw).unwrap();
+            expected += bw * (t1 - t0);
+        }
+        let got = p.integral_alloc(0.0, 2_000.0);
+        prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0),
+            "integral {} vs expected {}", got, expected);
+    }
+
+    /// Ledger reservations keep both endpoint profiles within capacity and
+    /// cancelling everything empties every profile.
+    #[test]
+    fn ledger_atomicity_and_drain(
+        ops in prop::collection::vec(
+            (0u32..4, 0u32..4, arb_alloc()), 1..50
+        )
+    ) {
+        let topo = Topology::uniform(4, 4, 250.0);
+        let mut ledger = CapacityLedger::new(topo.clone());
+        let mut ids = Vec::new();
+        for (i, e, (t0, t1, bw)) in ops {
+            if let Ok(id) = ledger.reserve(Route::new(i, e), t0, t1, bw) {
+                ids.push(id);
+            }
+            for p in topo.ingress_ids() {
+                prop_assert!(approx_le(
+                    ledger.ingress_profile(p).max_alloc(0.0, 2_000.0), 250.0));
+            }
+            for p in topo.egress_ids() {
+                prop_assert!(approx_le(
+                    ledger.egress_profile(p).max_alloc(0.0, 2_000.0), 250.0));
+            }
+        }
+        prop_assert_eq!(ledger.live_count(), ids.len());
+        for id in ids {
+            ledger.cancel(id).unwrap();
+        }
+        prop_assert_eq!(ledger.live_count(), 0);
+        for p in topo.ingress_ids() {
+            prop_assert!(ledger.ingress_profile(p).is_empty());
+        }
+        for p in topo.egress_ids() {
+            prop_assert!(ledger.egress_profile(p).is_empty());
+        }
+    }
+
+    /// `earliest_fit` returns a feasible start, and no feasible start exists
+    /// strictly before it at breakpoint granularity.
+    #[test]
+    fn earliest_fit_is_feasible_and_minimal(
+        ops in prop::collection::vec(arb_alloc(), 1..20),
+        dur in 1.0f64..50.0,
+        bw in 1.0f64..120.0,
+    ) {
+        let mut p = CapacityProfile::new(150.0);
+        for (t0, t1, b) in ops {
+            let _ = p.allocate(t0, t1, b);
+        }
+        if let Some(s) = p.earliest_fit(0.0, dur, bw, 5_000.0) {
+            prop_assert!(p.fits(s, s + dur, bw), "returned start must fit");
+            // Minimality: starting at 0 or at any breakpoint before s fails.
+            if s > 0.0 {
+                prop_assert!(!p.fits(0.0, dur, bw));
+            }
+            for bp in p.breakpoints() {
+                if bp.time < s - EPS && bp.time >= 0.0 {
+                    prop_assert!(!p.fits(bp.time, bp.time + dur, bw));
+                }
+            }
+        } else {
+            // No fit found: at least time 0 must genuinely fail.
+            prop_assert!(!p.fits(0.0, dur, bw));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The admission-control interface implemented by every online heuristic.
+//!
+//! The paper's schedulers are *on-line* (§5): "we take decisions either on
+//! the fly (on a pure greedy basis) or after a short delay (scheduling
+//! within each time interval)". The [`AdmissionController`] trait captures
+//! both modes: greedy controllers answer at arrival, interval-based ones
+//! defer and answer at the next tick.
+
+use gridband_net::units::{Bandwidth, Time};
+use gridband_net::CapacityLedger;
+use gridband_workload::{Request, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// Verdict on one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Admit: transmit at constant `bw` on `[start, finish)`.
+    Accept {
+        /// Assigned bandwidth `bw(r)` in MB/s.
+        bw: Bandwidth,
+        /// Assigned start `σ(r)`.
+        start: Time,
+        /// Assigned finish `τ(r) = σ(r) + vol(r)/bw(r)`.
+        finish: Time,
+    },
+    /// Refuse the request outright.
+    Reject,
+    /// Postpone the verdict to a later tick (interval-based heuristics).
+    Defer,
+    /// Refuse *for now* but re-present the request at time `at` (§2.3's
+    /// "stand the risk of being rejected and try later"). The original
+    /// window is unchanged — the retry must still meet `t_f(r)` — so the
+    /// runner requires `now < at < t_f(r)`.
+    Retry {
+        /// When the request is offered to the controller again.
+        at: Time,
+    },
+}
+
+impl Decision {
+    /// Build an `Accept` for `req` transmitting at `bw` from `start`,
+    /// deriving the finish time from the volume.
+    pub fn accept_at(req: &Request, start: Time, bw: Bandwidth) -> Decision {
+        Decision::Accept {
+            bw,
+            start,
+            finish: req.completion_at(start, bw),
+        }
+    }
+
+    /// Whether this is an `Accept`.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Decision::Accept { .. })
+    }
+}
+
+/// An online bandwidth-sharing policy plugged into the simulation runner.
+///
+/// Contract:
+/// * the controller only sees a request when it arrives (`t = t_s(r)`);
+/// * an `Accept` must satisfy the request (volume delivered inside the
+///   window, `bw ≤ MaxRate`) **and** fit the ledger — the runner reserves
+///   the capacity and panics if the controller over-commits, because a
+///   constraint-violating heuristic would invalidate every measurement;
+/// * a `Defer` must eventually be resolved by `on_tick` or `on_end`.
+pub trait AdmissionController {
+    /// Human-readable policy name used in reports and figures.
+    fn name(&self) -> String;
+
+    /// Tick period for interval-based controllers (`t_step` in Algorithm
+    /// 3); `None` disables ticks.
+    fn tick_period(&self) -> Option<Time> {
+        None
+    }
+
+    /// A request arrives at `now == req.start()`. The ledger is read-only:
+    /// the runner applies the returned decision.
+    fn on_arrival(&mut self, req: &Request, ledger: &CapacityLedger, now: Time) -> Decision;
+
+    /// Periodic tick at `now`; resolve deferred candidates. Returned
+    /// decisions are applied in order, so later entries may rely on
+    /// capacity consumed by earlier ones only if the controller tracked it
+    /// itself (the ledger reflects each acceptance as it is applied —
+    /// controllers receive it again on the next call).
+    fn on_tick(&mut self, _ledger: &CapacityLedger, _now: Time) -> Vec<(RequestId, Decision)> {
+        Vec::new()
+    }
+
+    /// An accepted transfer finished at `now` (bandwidth already freed).
+    fn on_departure(&mut self, _req: &Request, _now: Time) {}
+
+    /// End of the run: resolve any still-deferred candidates.
+    fn on_end(&mut self, _ledger: &CapacityLedger, _now: Time) -> Vec<(RequestId, Decision)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::TimeWindow;
+
+    #[test]
+    fn accept_at_derives_finish_from_volume() {
+        let r = Request::new(
+            1,
+            Route::new(0, 1),
+            TimeWindow::new(0.0, 100.0),
+            1000.0,
+            50.0,
+        );
+        let d = Decision::accept_at(&r, 10.0, 25.0);
+        match d {
+            Decision::Accept { bw, start, finish } => {
+                assert_eq!(bw, 25.0);
+                assert_eq!(start, 10.0);
+                assert_eq!(finish, 50.0);
+            }
+            _ => panic!("expected accept"),
+        }
+        assert!(d.is_accept());
+        assert!(!Decision::Reject.is_accept());
+        assert!(!Decision::Defer.is_accept());
+    }
+}

@@ -1,0 +1,163 @@
+//! The discrete-event core: a time-ordered event queue with deterministic
+//! tie-breaking.
+
+use gridband_net::units::Time;
+use gridband_workload::RequestId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events driving a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A request (index into the trace) arrives at the network edge.
+    Arrival(usize),
+    /// Periodic scheduling tick (interval-based heuristics).
+    Tick,
+    /// A previously deferred-by-retry request is offered again.
+    Retry(RequestId),
+    /// An accepted transfer finishes and releases its bandwidth.
+    Departure(RequestId),
+}
+
+impl SimEvent {
+    /// Ordering class: at equal timestamps departures are processed first
+    /// (bandwidth is reclaimed before new admissions — the half-open
+    /// interval convention), then ticks, then arrivals.
+    fn class(&self) -> u8 {
+        match self {
+            SimEvent::Departure(_) => 0,
+            SimEvent::Tick => 1,
+            SimEvent::Arrival(_) => 2,
+            // Retries queue behind fresh arrivals at the same instant.
+            SimEvent::Retry(_) => 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: Time,
+    seq: u64,
+    event: SimEvent,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse to get earliest-first.
+        self.time
+            .partial_cmp(&other.time)
+            .expect("finite event times")
+            .then(self.event.class().cmp(&other.event.class()))
+            .then(self.seq.cmp(&other.seq))
+            .reverse()
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of timestamped events with FIFO tie-breaking within a class.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn push(&mut self, time: Time, event: SimEvent) {
+        assert!(time.is_finite(), "event time must be finite");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, SimEvent)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, SimEvent::Arrival(1));
+        q.push(1.0, SimEvent::Arrival(0));
+        q.push(3.0, SimEvent::Tick);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1.0, SimEvent::Arrival(0))));
+        assert_eq!(q.pop(), Some((3.0, SimEvent::Tick)));
+        assert_eq!(q.pop(), Some((5.0, SimEvent::Arrival(1))));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn departures_precede_ticks_precede_arrivals_at_equal_times() {
+        let mut q = EventQueue::new();
+        q.push(2.0, SimEvent::Arrival(0));
+        q.push(2.0, SimEvent::Departure(RequestId(9)));
+        q.push(2.0, SimEvent::Tick);
+        assert_eq!(q.pop().unwrap().1, SimEvent::Departure(RequestId(9)));
+        assert_eq!(q.pop().unwrap().1, SimEvent::Tick);
+        assert_eq!(q.pop().unwrap().1, SimEvent::Arrival(0));
+    }
+
+    #[test]
+    fn fifo_within_same_time_and_class() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(1.0, SimEvent::Arrival(i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().1, SimEvent::Arrival(i));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(4.0, SimEvent::Tick);
+        assert_eq!(q.peek_time(), Some(4.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_rejected() {
+        EventQueue::new().push(f64::NAN, SimEvent::Tick);
+    }
+}

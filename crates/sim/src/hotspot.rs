@@ -1,0 +1,220 @@
+//! Hot-spot analysis of the grid edge.
+//!
+//! §7 names "relieving tentative hot spots in the network, that is,
+//! ingress/egress points that are heavily demanded" as the next problem.
+//! This module provides the measurement side: per-port demand and grant
+//! accounting over a finished schedule, plus a concentration index (Gini
+//! coefficient) that summarizes how skewed the load is across ports.
+
+use crate::report::Assignment;
+use gridband_net::units::Volume;
+use gridband_net::{PortRef, Topology};
+use gridband_workload::{RequestId, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Demand and grant figures for one access port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortLoad {
+    /// Which port.
+    pub port: PortRef,
+    /// Volume requested through this port (accepted or not), MB.
+    pub demanded: Volume,
+    /// Volume actually granted through this port, MB.
+    pub granted: Volume,
+    /// `demanded / (capacity × span)` — how oversubscribed the port was.
+    pub demand_ratio: f64,
+}
+
+impl PortLoad {
+    /// Granted share of the demand through this port.
+    pub fn grant_ratio(&self) -> f64 {
+        if self.demanded <= 0.0 {
+            1.0
+        } else {
+            self.granted / self.demanded
+        }
+    }
+}
+
+/// Aggregate hot-spot report for a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotspotReport {
+    /// Per-port figures, ingress ports first, then egress.
+    pub ports: Vec<PortLoad>,
+    /// Gini coefficient of demanded volume across ports (0 = perfectly
+    /// even, → 1 = all demand on one port).
+    pub demand_gini: f64,
+    /// The most-demanded port.
+    pub hottest: PortRef,
+}
+
+impl HotspotReport {
+    /// Analyze a trace and the schedule some policy produced for it.
+    pub fn analyze(trace: &Trace, topo: &Topology, assignments: &[Assignment]) -> Self {
+        let accepted: HashMap<RequestId, ()> =
+            assignments.iter().map(|a| (a.id, ())).collect();
+        let span = (trace.horizon() - trace.first_start()).max(1e-9);
+
+        let mut dem_in = vec![0.0f64; topo.num_ingress()];
+        let mut dem_out = vec![0.0f64; topo.num_egress()];
+        let mut grant_in = vec![0.0f64; topo.num_ingress()];
+        let mut grant_out = vec![0.0f64; topo.num_egress()];
+        for r in trace {
+            dem_in[r.route.ingress.index()] += r.volume;
+            dem_out[r.route.egress.index()] += r.volume;
+            if accepted.contains_key(&r.id) {
+                grant_in[r.route.ingress.index()] += r.volume;
+                grant_out[r.route.egress.index()] += r.volume;
+            }
+        }
+
+        let mut ports = Vec::with_capacity(topo.num_ingress() + topo.num_egress());
+        for i in topo.ingress_ids() {
+            ports.push(PortLoad {
+                port: PortRef::In(i),
+                demanded: dem_in[i.index()],
+                granted: grant_in[i.index()],
+                demand_ratio: dem_in[i.index()] / (topo.ingress_cap(i) * span),
+            });
+        }
+        for e in topo.egress_ids() {
+            ports.push(PortLoad {
+                port: PortRef::Out(e),
+                demanded: dem_out[e.index()],
+                granted: grant_out[e.index()],
+                demand_ratio: dem_out[e.index()] / (topo.egress_cap(e) * span),
+            });
+        }
+        let demands: Vec<f64> = ports.iter().map(|p| p.demanded).collect();
+        let hottest = ports
+            .iter()
+            .max_by(|a, b| {
+                a.demand_ratio
+                    .partial_cmp(&b.demand_ratio)
+                    .expect("finite ratios")
+            })
+            .expect("at least one port")
+            .port;
+        HotspotReport {
+            demand_gini: gini(&demands),
+            hottest,
+            ports,
+        }
+    }
+
+    /// Ports sorted hottest-first by demand ratio.
+    pub fn ranking(&self) -> Vec<&PortLoad> {
+        let mut v: Vec<&PortLoad> = self.ports.iter().collect();
+        v.sort_by(|a, b| {
+            b.demand_ratio
+                .partial_cmp(&a.demand_ratio)
+                .expect("finite ratios")
+        });
+        v
+    }
+}
+
+/// Gini coefficient of a non-negative sample; 0.0 for empty or all-zero
+/// input.
+pub fn gini(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    if sum <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    // G = (2·Σ i·x_i) / (n·Σ x) − (n+1)/n  with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::Request;
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12, "uniform → 0");
+        // All mass on one of many: → (n−1)/n.
+        let g = gini(&[0.0, 0.0, 0.0, 12.0]);
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+        // Known value: {1,2,3,4} has G = 0.25.
+        assert!((gini(&[1.0, 2.0, 3.0, 4.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_demand_is_detected() {
+        let topo = Topology::uniform(2, 2, 100.0);
+        // All traffic enters at ingress 0.
+        let trace = Trace::new(vec![
+            Request::rigid(0, Route::new(0, 0), 0.0, 500.0, 50.0),
+            Request::rigid(1, Route::new(0, 1), 0.0, 500.0, 50.0),
+            Request::rigid(2, Route::new(0, 0), 5.0, 500.0, 50.0),
+        ]);
+        let rep = HotspotReport::analyze(&trace, &topo, &[]);
+        assert_eq!(rep.hottest, PortRef::In(gridband_net::IngressId(0)));
+        assert!(rep.demand_gini > 0.3, "gini {}", rep.demand_gini);
+        let ranking = rep.ranking();
+        assert_eq!(ranking[0].port, rep.hottest);
+        assert_eq!(ranking[0].demanded, 1500.0);
+        // Nothing accepted: grant ratios are 0 where demand exists.
+        assert_eq!(ranking[0].grant_ratio(), 0.0);
+        // Idle ingress 1 has trivially perfect grant ratio.
+        let idle = rep
+            .ports
+            .iter()
+            .find(|p| p.port == PortRef::In(gridband_net::IngressId(1)))
+            .unwrap();
+        assert_eq!(idle.grant_ratio(), 1.0);
+    }
+
+    #[test]
+    fn grants_are_attributed_to_both_sides() {
+        let topo = Topology::uniform(2, 2, 100.0);
+        let trace = Trace::new(vec![Request::rigid(0, Route::new(1, 0), 0.0, 500.0, 50.0)]);
+        let a = Assignment {
+            id: RequestId(0),
+            bw: 50.0,
+            start: 0.0,
+            finish: 10.0,
+        };
+        let rep = HotspotReport::analyze(&trace, &topo, &[a]);
+        let granted: Vec<&PortLoad> =
+            rep.ports.iter().filter(|p| p.granted > 0.0).collect();
+        assert_eq!(granted.len(), 2);
+        assert!(granted
+            .iter()
+            .all(|p| p.grant_ratio() == 1.0 && p.granted == 500.0));
+    }
+
+    #[test]
+    fn balanced_demand_has_low_gini() {
+        let topo = Topology::uniform(4, 4, 100.0);
+        let reqs: Vec<Request> = (0..8)
+            .map(|k| {
+                Request::rigid(
+                    k,
+                    Route::new((k % 4) as u32, ((k + 1) % 4) as u32),
+                    k as f64,
+                    400.0,
+                    40.0,
+                )
+            })
+            .collect();
+        let rep = HotspotReport::analyze(&Trace::new(reqs), &topo, &[]);
+        assert!(rep.demand_gini < 0.05, "gini {}", rep.demand_gini);
+    }
+}

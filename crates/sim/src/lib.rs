@@ -1,0 +1,61 @@
+//! # gridband-sim — discrete-event fluid simulation of grid transfers
+//!
+//! The simulation substrate behind the paper's evaluation (§4.4, §5.3):
+//! transfers are session-level fluid flows (packet dynamics are out of
+//! scope, exactly as the paper's model prescribes), driven by a
+//! deterministic discrete-event loop.
+//!
+//! * [`EventQueue`] / [`SimEvent`] — the event core, with departures
+//!   processed before arrivals at equal timestamps so capacity freed by a
+//!   finishing transfer is immediately reusable;
+//! * [`AdmissionController`] — the online policy interface (greedy
+//!   controllers answer at arrival, interval-based ones defer to ticks);
+//! * [`Simulation`] — the runner: owns the ledger, applies decisions,
+//!   schedules departures, and **verifies** the resulting schedule;
+//! * [`SimReport`] — accept rate (MAX-REQUESTS), demand-scaled resource
+//!   utilization (RESOURCE-UTIL) and auxiliary statistics;
+//! * [`verify_schedule`] — an independent from-scratch feasibility check
+//!   usable on any schedule, online or offline.
+//!
+//! ```
+//! use gridband_sim::{AdmissionController, Decision, Simulation};
+//! use gridband_net::{CapacityLedger, Topology, Route};
+//! use gridband_workload::{Request, Trace};
+//!
+//! /// Accept anything that fits at the host rate.
+//! struct TakeAll;
+//! impl AdmissionController for TakeAll {
+//!     fn name(&self) -> String { "take-all".into() }
+//!     fn on_arrival(&mut self, r: &Request, ledger: &CapacityLedger, now: f64) -> Decision {
+//!         let finish = r.completion_at(now, r.max_rate);
+//!         if ledger.fits(r.route, now, finish, r.max_rate) {
+//!             Decision::accept_at(r, now, r.max_rate)
+//!         } else {
+//!             Decision::Reject
+//!         }
+//!     }
+//! }
+//!
+//! let topo = Topology::uniform(1, 1, 100.0);
+//! let trace = Trace::new(vec![Request::rigid(0, Route::new(0, 0), 0.0, 500.0, 50.0)]);
+//! let report = Simulation::new(topo).run(&trace, &mut TakeAll);
+//! assert_eq!(report.accepted_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod event;
+pub mod hotspot;
+pub mod report;
+pub mod timeline;
+pub mod runner;
+pub mod verify;
+
+pub use admission::{AdmissionController, Decision};
+pub use hotspot::{gini, HotspotReport, PortLoad};
+pub use event::{EventQueue, SimEvent};
+pub use report::{Assignment, Outcome, SimReport};
+pub use runner::Simulation;
+pub use timeline::Timeline;
+pub use verify::{assert_feasible, verify_schedule, Violation};

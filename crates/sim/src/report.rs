@@ -1,0 +1,372 @@
+//! Experiment outputs: per-request outcomes and the paper's two metrics.
+//!
+//! * **accept rate** — accepted requests over total requests
+//!   (MAX-REQUESTS, §2.2);
+//! * **resource utilization** — granted resources over *demanded-capped*
+//!   resources (RESOURCE-UTIL, §2.2). The paper's `B^scaled` terms exclude
+//!   capacity nobody asked for; in a time-extended simulation we apply the
+//!   same idea to bandwidth-time areas: each port contributes
+//!   `min(capacity × span, demanded volume through it)` to the denominator,
+//!   and the numerator is the volume of accepted transfers.
+
+use gridband_net::units::{approx_ge, Bandwidth, Time, Volume};
+use gridband_net::Topology;
+use gridband_workload::{Request, RequestId, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The concrete allocation given to one accepted request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The request this assignment satisfies.
+    pub id: RequestId,
+    /// Assigned constant bandwidth `bw(r)` (MB/s).
+    pub bw: Bandwidth,
+    /// Assigned start `σ(r)`.
+    pub start: Time,
+    /// Assigned finish `τ(r)`.
+    pub finish: Time,
+}
+
+impl Assignment {
+    /// Volume carried by the assignment.
+    pub fn volume(&self) -> Volume {
+        self.bw * (self.finish - self.start)
+    }
+}
+
+/// Outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Admitted with the recorded allocation.
+    Accepted(Assignment),
+    /// Refused.
+    Rejected,
+}
+
+/// Full result of one scheduling run (online or offline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the policy that produced the schedule.
+    pub policy: String,
+    /// Total number of requests offered (`K`).
+    pub total_requests: usize,
+    /// Accepted assignments, in request-id order.
+    pub assignments: Vec<Assignment>,
+    /// Ids of rejected requests, in request-id order.
+    pub rejected: Vec<RequestId>,
+    /// Accept rate — the MAX-REQUESTS objective.
+    pub accept_rate: f64,
+    /// RESOURCE-UTIL with demand-scaled denominators (see module docs).
+    pub resource_util: f64,
+    /// Offered load of the trace on this topology (for context).
+    pub offered_load: f64,
+    /// Fraction of offered volume that was carried.
+    pub volume_carried_fraction: f64,
+    /// Mean transfer duration among accepted requests (s).
+    pub mean_transfer_time: Time,
+    /// Mean of `window length / transfer duration` among accepted requests
+    /// (≥ 1 when transfers finish faster than the window allows —
+    /// the "grid application benefit" of §2.3).
+    pub mean_speedup: f64,
+    /// Mean wait between a request's arrival `t_s` and its assigned start
+    /// `σ` among accepted requests (s) — the user-visible response-time
+    /// price of interval-based and book-ahead scheduling (0 for pure
+    /// greedy).
+    pub mean_start_delay: Time,
+    /// Demand span `[first t_s, max t_f]` used for utilization (s).
+    pub span: Time,
+}
+
+impl SimReport {
+    /// Assemble a report from the accepted assignments of a run.
+    ///
+    /// `assignments` must reference ids in `trace`; requests absent from it
+    /// are counted as rejected.
+    pub fn from_assignments(
+        policy: impl Into<String>,
+        trace: &Trace,
+        topo: &Topology,
+        mut assignments: Vec<Assignment>,
+    ) -> SimReport {
+        assignments.sort_by_key(|a| a.id);
+        let by_id: HashMap<RequestId, &Assignment> =
+            assignments.iter().map(|a| (a.id, a)).collect();
+        assert_eq!(by_id.len(), assignments.len(), "duplicate assignment ids");
+
+        let total = trace.len();
+        let accepted = assignments.len();
+        let rejected: Vec<RequestId> = trace
+            .iter()
+            .filter(|r| !by_id.contains_key(&r.id))
+            .map(|r| r.id)
+            .collect();
+
+        let span_start = if total > 0 { trace.first_start() } else { 0.0 };
+        let span_end = trace.horizon();
+        let span = (span_end - span_start).max(1e-9);
+
+        // Demanded volume per port (all requests, accepted or not).
+        let mut demand_in = vec![0.0f64; topo.num_ingress()];
+        let mut demand_out = vec![0.0f64; topo.num_egress()];
+        for r in trace {
+            demand_in[r.route.ingress.index()] += r.volume;
+            demand_out[r.route.egress.index()] += r.volume;
+        }
+        let denom: f64 = 0.5
+            * (topo
+                .ingress_ids()
+                .map(|i| (topo.ingress_cap(i) * span).min(demand_in[i.index()]))
+                .sum::<f64>()
+                + topo
+                    .egress_ids()
+                    .map(|e| (topo.egress_cap(e) * span).min(demand_out[e.index()]))
+                    .sum::<f64>());
+        let carried: Volume = assignments.iter().map(|a| a.volume()).sum();
+        let offered: Volume = trace.iter().map(|r| r.volume).sum();
+
+        let durations: Vec<f64> = assignments.iter().map(|a| a.finish - a.start).collect();
+        let mean_transfer_time = gridband_workload::stats::mean(&durations);
+        let speedups: Vec<f64> = trace
+            .iter()
+            .filter_map(|r| {
+                by_id
+                    .get(&r.id)
+                    .map(|a| r.window.duration() / (a.finish - a.start).max(1e-9))
+            })
+            .collect();
+        let start_delays: Vec<f64> = trace
+            .iter()
+            .filter_map(|r| by_id.get(&r.id).map(|a| (a.start - r.start()).max(0.0)))
+            .collect();
+
+        SimReport {
+            policy: policy.into(),
+            total_requests: total,
+            accept_rate: if total == 0 {
+                0.0
+            } else {
+                accepted as f64 / total as f64
+            },
+            resource_util: if denom > 0.0 { carried / denom } else { 0.0 },
+            offered_load: trace.offered_load(topo),
+            volume_carried_fraction: if offered > 0.0 { carried / offered } else { 0.0 },
+            mean_transfer_time,
+            mean_speedup: gridband_workload::stats::mean(&speedups),
+            mean_start_delay: gridband_workload::stats::mean(&start_delays),
+            span,
+            assignments,
+            rejected,
+        }
+    }
+
+    /// Number of accepted requests.
+    pub fn accepted_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The paper's `#guaranteed` (§2.3): accepted requests whose bandwidth
+    /// meets `bw ≥ max(f × MaxRate, MinRate)`, as a fraction of the total
+    /// offered requests ("refined accept rate").
+    pub fn guaranteed_rate(&self, trace: &Trace, f: f64) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        let by_id: HashMap<RequestId, &Request> =
+            trace.iter().map(|r| (r.id, r)).collect();
+        let n = self
+            .assignments
+            .iter()
+            .filter(|a| {
+                let r = by_id.get(&a.id).expect("assignment references trace");
+                approx_ge(a.bw, (f * r.max_rate).max(r.min_rate()))
+            })
+            .count();
+        n as f64 / self.total_requests as f64
+    }
+
+    /// Look up the outcome of one request.
+    pub fn outcome_of(&self, id: RequestId) -> Outcome {
+        match self.assignments.binary_search_by_key(&id, |a| a.id) {
+            Ok(i) => Outcome::Accepted(self.assignments[i]),
+            Err(_) => Outcome::Rejected,
+        }
+    }
+
+    /// Per-request outcome export:
+    /// `id,outcome,bw,start,finish` (rejected rows carry empty cells).
+    pub fn to_csv(&self, trace: &Trace) -> String {
+        let mut out = String::from("id,outcome,bw_mbps,start,finish\n");
+        for r in trace {
+            match self.outcome_of(r.id) {
+                Outcome::Accepted(a) => out.push_str(&format!(
+                    "{},accepted,{},{},{}\n",
+                    r.id.0, a.bw, a.start, a.finish
+                )),
+                Outcome::Rejected => out.push_str(&format!("{},rejected,,,\n", r.id.0)),
+            }
+        }
+        out
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: accept {:.1}% ({}/{}), util {:.1}%, load {:.2}, mean transfer {:.0}s",
+            self.policy,
+            100.0 * self.accept_rate,
+            self.accepted_count(),
+            self.total_requests,
+            100.0 * self.resource_util,
+            self.offered_load,
+            self.mean_transfer_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::TimeWindow;
+
+    fn trace() -> Trace {
+        // Two requests on disjoint routes: 1000 MB over [0, 10] (MinRate
+        // 100) and 500 MB over [0, 20] (MinRate 25, MaxRate 100).
+        Trace::new(vec![
+            Request::new(0, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 1000.0, 100.0),
+            Request::new(1, Route::new(1, 1), TimeWindow::new(0.0, 20.0), 500.0, 100.0),
+        ])
+    }
+
+    fn topo() -> Topology {
+        Topology::uniform(2, 2, 100.0)
+    }
+
+    #[test]
+    fn accept_all_metrics() {
+        let t = trace();
+        let rep = SimReport::from_assignments(
+            "test",
+            &t,
+            &topo(),
+            vec![
+                Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 },
+                Assignment { id: RequestId(1), bw: 50.0, start: 0.0, finish: 10.0 },
+            ],
+        );
+        assert_eq!(rep.accept_rate, 1.0);
+        assert_eq!(rep.accepted_count(), 2);
+        assert!(rep.rejected.is_empty());
+        assert_eq!(rep.volume_carried_fraction, 1.0);
+        // span = 20; denominators: ports 0: min(100*20, 1000)=1000 each
+        // side; ports 1: min(2000, 500)=500; denom = ½(1500+1500)=1500;
+        // carried = 1500 -> util 1.0.
+        assert!((rep.resource_util - 1.0).abs() < 1e-9);
+        assert_eq!(rep.mean_transfer_time, 10.0);
+        // speedups: 10/10 = 1 and 20/10 = 2.
+        assert!((rep.mean_speedup - 1.5).abs() < 1e-9);
+        // Both start exactly at their arrival.
+        assert_eq!(rep.mean_start_delay, 0.0);
+    }
+
+    #[test]
+    fn start_delay_measures_deferred_starts() {
+        let t = trace();
+        let rep = SimReport::from_assignments(
+            "deferred",
+            &t,
+            &topo(),
+            vec![
+                Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 },
+                // Request 1 (t_s = 0) starts 6 s late.
+                Assignment { id: RequestId(1), bw: 50.0, start: 6.0, finish: 16.0 },
+            ],
+        );
+        assert!((rep.mean_start_delay - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reject_all() {
+        let t = trace();
+        let rep = SimReport::from_assignments("none", &t, &topo(), vec![]);
+        assert_eq!(rep.accept_rate, 0.0);
+        assert_eq!(rep.resource_util, 0.0);
+        assert_eq!(rep.rejected.len(), 2);
+        assert_eq!(rep.mean_transfer_time, 0.0);
+        assert!(matches!(rep.outcome_of(RequestId(0)), Outcome::Rejected));
+    }
+
+    #[test]
+    fn guaranteed_rate_counts_f_fraction() {
+        let t = trace();
+        let rep = SimReport::from_assignments(
+            "g",
+            &t,
+            &topo(),
+            vec![
+                // Request 0 at its MinRate=MaxRate=100: guaranteed at any f.
+                Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 },
+                // Request 1 at 50 = 0.5×MaxRate.
+                Assignment { id: RequestId(1), bw: 50.0, start: 0.0, finish: 10.0 },
+            ],
+        );
+        assert_eq!(rep.guaranteed_rate(&t, 0.5), 1.0);
+        assert_eq!(rep.guaranteed_rate(&t, 0.8), 0.5);
+        // f=0 degenerates to bw ≥ MinRate: both qualify.
+        assert_eq!(rep.guaranteed_rate(&t, 0.0), 1.0);
+    }
+
+    #[test]
+    fn outcome_lookup() {
+        let t = trace();
+        let a = Assignment { id: RequestId(1), bw: 25.0, start: 0.0, finish: 20.0 };
+        let rep = SimReport::from_assignments("o", &t, &topo(), vec![a]);
+        assert!(matches!(rep.outcome_of(RequestId(1)), Outcome::Accepted(x) if x == a));
+        assert!(matches!(rep.outcome_of(RequestId(0)), Outcome::Rejected));
+        assert_eq!(a.volume(), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_assignments_rejected() {
+        let t = trace();
+        let a = Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 };
+        let _ = SimReport::from_assignments("dup", &t, &topo(), vec![a, a]);
+    }
+
+    #[test]
+    fn csv_export_covers_every_request() {
+        let t = trace();
+        let rep = SimReport::from_assignments(
+            "csv",
+            &t,
+            &topo(),
+            vec![Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 }],
+        );
+        let csv = rep.to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "id,outcome,bw_mbps,start,finish");
+        assert_eq!(lines[1], "0,accepted,100,0,10");
+        assert_eq!(lines[2], "1,rejected,,,");
+    }
+
+    #[test]
+    fn summary_mentions_policy_and_rates() {
+        let t = trace();
+        let rep = SimReport::from_assignments("mypolicy", &t, &topo(), vec![]);
+        let s = rep.summary();
+        assert!(s.contains("mypolicy"));
+        assert!(s.contains("0/2"));
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new(vec![]);
+        let rep = SimReport::from_assignments("e", &t, &topo(), vec![]);
+        assert_eq!(rep.accept_rate, 0.0);
+        assert_eq!(rep.total_requests, 0);
+        assert_eq!(rep.guaranteed_rate(&t, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Sampled utilization timelines for plotting and capacity planning.
+//!
+//! Rebuilds the port allocation profiles from a finished schedule and
+//! samples them on a regular grid — the data behind "bandwidth over time"
+//! plots and the input a grid operator would use to spot when and where
+//! the edge saturates.
+
+use crate::report::Assignment;
+use gridband_net::units::{Bandwidth, Time};
+use gridband_net::{CapacityLedger, Topology};
+use gridband_workload::{RequestId, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sampled utilization series over `[t0, t1)` with fixed step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Sample instants.
+    pub times: Vec<Time>,
+    /// Total allocated bandwidth across all ingress ports at each sample
+    /// (MB/s) — egress totals are identical by construction.
+    pub total_alloc: Vec<Bandwidth>,
+    /// Per-ingress-port allocation at each sample, indexed
+    /// `[port][sample]`.
+    pub per_ingress: Vec<Vec<Bandwidth>>,
+    /// Per-egress-port allocation at each sample.
+    pub per_egress: Vec<Vec<Bandwidth>>,
+    /// System capacity normalizer `(ΣB_in + ΣB_out)/2` (MB/s).
+    pub half_total_cap: Bandwidth,
+}
+
+impl Timeline {
+    /// Build a timeline by replaying `assignments` onto fresh profiles
+    /// and sampling every `step` seconds over `[t0, t1)`.
+    pub fn sample(
+        trace: &Trace,
+        topo: &Topology,
+        assignments: &[Assignment],
+        t0: Time,
+        t1: Time,
+        step: Time,
+    ) -> Timeline {
+        assert!(step > 0.0 && t1 > t0, "invalid sampling grid");
+        let by_id: HashMap<RequestId, &gridband_workload::Request> =
+            trace.iter().map(|r| (r.id, r)).collect();
+        let mut ledger = CapacityLedger::new(topo.clone());
+        for a in assignments {
+            let req = by_id.get(&a.id).expect("assignment references trace");
+            ledger
+                .reserve(req.route, a.start, a.finish, a.bw)
+                .expect("schedule was verified feasible");
+        }
+        let n = ((t1 - t0) / step).ceil() as usize;
+        let times: Vec<Time> = (0..n).map(|k| t0 + k as f64 * step).collect();
+        let per_ingress: Vec<Vec<Bandwidth>> = topo
+            .ingress_ids()
+            .map(|i| {
+                times
+                    .iter()
+                    .map(|&t| ledger.ingress_profile(i).alloc_at(t))
+                    .collect()
+            })
+            .collect();
+        let per_egress: Vec<Vec<Bandwidth>> = topo
+            .egress_ids()
+            .map(|e| {
+                times
+                    .iter()
+                    .map(|&t| ledger.egress_profile(e).alloc_at(t))
+                    .collect()
+            })
+            .collect();
+        let total_alloc: Vec<Bandwidth> = (0..n)
+            .map(|k| per_ingress.iter().map(|p| p[k]).sum())
+            .collect();
+        Timeline {
+            times,
+            total_alloc,
+            per_ingress,
+            per_egress,
+            half_total_cap: topo.half_total_cap(),
+        }
+    }
+
+    /// Peak total allocation over the sampled window.
+    pub fn peak(&self) -> Bandwidth {
+        self.total_alloc.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean system utilization over the samples
+    /// (`total_alloc / half_total_cap`).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        self.total_alloc.iter().sum::<f64>()
+            / (self.times.len() as f64 * self.half_total_cap)
+    }
+
+    /// Render as CSV: `time,total,in0,in1,…,e0,e1,…`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,total");
+        for i in 0..self.per_ingress.len() {
+            out.push_str(&format!(",in{i}"));
+        }
+        for e in 0..self.per_egress.len() {
+            out.push_str(&format!(",out{e}"));
+        }
+        out.push('\n');
+        for (k, &t) in self.times.iter().enumerate() {
+            out.push_str(&format!("{t},{}", self.total_alloc[k]));
+            for p in &self.per_ingress {
+                out.push_str(&format!(",{}", p[k]));
+            }
+            for p in &self.per_egress {
+                out.push_str(&format!(",{}", p[k]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::Request;
+
+    fn setup() -> (Trace, Topology, Vec<Assignment>) {
+        let topo = Topology::uniform(2, 2, 100.0);
+        let trace = Trace::new(vec![
+            Request::rigid(0, Route::new(0, 0), 0.0, 500.0, 50.0), // [0, 10) @50
+            Request::rigid(1, Route::new(1, 1), 5.0, 300.0, 30.0), // [5, 15) @30
+        ]);
+        let assignments = vec![
+            Assignment { id: RequestId(0), bw: 50.0, start: 0.0, finish: 10.0 },
+            Assignment { id: RequestId(1), bw: 30.0, start: 5.0, finish: 15.0 },
+        ];
+        (trace, topo, assignments)
+    }
+
+    #[test]
+    fn samples_follow_the_step_function() {
+        let (trace, topo, assignments) = setup();
+        let tl = Timeline::sample(&trace, &topo, &assignments, 0.0, 20.0, 1.0);
+        assert_eq!(tl.times.len(), 20);
+        assert_eq!(tl.total_alloc[0], 50.0);
+        assert_eq!(tl.total_alloc[7], 80.0); // both active
+        assert_eq!(tl.total_alloc[12], 30.0);
+        assert_eq!(tl.total_alloc[16], 0.0);
+        assert_eq!(tl.peak(), 80.0);
+        // Per-port attribution.
+        assert_eq!(tl.per_ingress[0][7], 50.0);
+        assert_eq!(tl.per_ingress[1][7], 30.0);
+        assert_eq!(tl.per_egress[0][7], 50.0);
+    }
+
+    #[test]
+    fn mean_utilization_integrates() {
+        let (trace, topo, assignments) = setup();
+        let tl = Timeline::sample(&trace, &topo, &assignments, 0.0, 20.0, 1.0);
+        // Area: 50×10 + 30×10 = 800 MB over 20 samples of half-cap 200.
+        let expected = 800.0 / (20.0 * 200.0);
+        assert!((tl.mean_utilization() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let (trace, topo, assignments) = setup();
+        let tl = Timeline::sample(&trace, &topo, &assignments, 0.0, 4.0, 2.0);
+        let csv = tl.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time,total,in0,in1,out0,out1");
+        assert!(lines[1].starts_with("0,50"));
+    }
+
+    #[test]
+    fn empty_schedule_is_flat_zero() {
+        let (trace, topo, _) = setup();
+        let tl = Timeline::sample(&trace, &topo, &[], 0.0, 5.0, 1.0);
+        assert!(tl.total_alloc.iter().all(|&x| x == 0.0));
+        assert_eq!(tl.mean_utilization(), 0.0);
+        assert_eq!(tl.peak(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling grid")]
+    fn bad_grid_rejected() {
+        let (trace, topo, assignments) = setup();
+        let _ = Timeline::sample(&trace, &topo, &assignments, 5.0, 5.0, 1.0);
+    }
+}

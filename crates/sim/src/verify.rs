@@ -1,0 +1,250 @@
+//! Independent schedule verification.
+//!
+//! Every scheduler in the workspace — heuristic, exact, or baseline — can
+//! have its output re-checked here against the paper's constraint set (1)
+//! from scratch: fresh capacity profiles, no shared state with the
+//! scheduler. Tests and the simulation runner both use this to guarantee
+//! that reported accept rates describe *feasible* schedules.
+
+use crate::report::Assignment;
+use gridband_net::units::{approx_ge, approx_le, EPS};
+use gridband_net::{CapacityLedger, PortRef, Topology};
+use gridband_workload::{RequestId, Trace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A constraint violated by a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An assignment references a request id absent from the trace.
+    UnknownRequest(RequestId),
+    /// Two assignments cover the same request.
+    Duplicate(RequestId),
+    /// Transmission lies outside the requested window
+    /// (`σ < t_s` or `τ > t_f`).
+    WindowViolated {
+        /// Offending request.
+        id: RequestId,
+        /// Assigned start.
+        start: f64,
+        /// Assigned finish.
+        finish: f64,
+    },
+    /// Assigned bandwidth above `MaxRate` (or non-positive).
+    RateViolated {
+        /// Offending request.
+        id: RequestId,
+        /// Assigned bandwidth.
+        bw: f64,
+        /// The request's host limit.
+        max_rate: f64,
+    },
+    /// Delivered volume differs from the requested volume.
+    VolumeMismatch {
+        /// Offending request.
+        id: RequestId,
+        /// `bw × (finish − start)`.
+        delivered: f64,
+        /// `vol(r)`.
+        requested: f64,
+    },
+    /// The per-port capacity constraint fails somewhere.
+    CapacityViolated {
+        /// Saturated port.
+        port: PortRef,
+        /// Earliest overflow instant.
+        at: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnknownRequest(id) => write!(f, "{id}: not in trace"),
+            Violation::Duplicate(id) => write!(f, "{id}: assigned twice"),
+            Violation::WindowViolated { id, start, finish } => {
+                write!(f, "{id}: transmission [{start}, {finish}) outside window")
+            }
+            Violation::RateViolated { id, bw, max_rate } => {
+                write!(f, "{id}: bw {bw} violates (0, MaxRate={max_rate}]")
+            }
+            Violation::VolumeMismatch {
+                id,
+                delivered,
+                requested,
+            } => write!(f, "{id}: delivered {delivered} MB ≠ requested {requested} MB"),
+            Violation::CapacityViolated { port, at } => {
+                write!(f, "capacity exceeded on {port} at t={at}")
+            }
+        }
+    }
+}
+
+/// Check a set of assignments against trace and topology; `Ok(())` means
+/// the schedule satisfies every constraint of §2.1.
+///
+/// Volume tolerance is relative (1e-6): fluid arithmetic may deliver the
+/// volume up to rounding.
+pub fn verify_schedule(
+    trace: &Trace,
+    topo: &Topology,
+    assignments: &[Assignment],
+) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    let by_id: HashMap<RequestId, &gridband_workload::Request> =
+        trace.iter().map(|r| (r.id, r)).collect();
+    let mut seen: HashMap<RequestId, ()> = HashMap::new();
+    let mut ledger = CapacityLedger::new(topo.clone());
+
+    for a in assignments {
+        let Some(req) = by_id.get(&a.id) else {
+            violations.push(Violation::UnknownRequest(a.id));
+            continue;
+        };
+        if seen.insert(a.id, ()).is_some() {
+            violations.push(Violation::Duplicate(a.id));
+            continue;
+        }
+        if !(approx_ge(a.start, req.start()) && approx_le(a.finish, req.finish())) {
+            violations.push(Violation::WindowViolated {
+                id: a.id,
+                start: a.start,
+                finish: a.finish,
+            });
+        }
+        if !(a.bw > 0.0 && approx_le(a.bw, req.max_rate)) {
+            violations.push(Violation::RateViolated {
+                id: a.id,
+                bw: a.bw,
+                max_rate: req.max_rate,
+            });
+        }
+        let delivered = a.bw * (a.finish - a.start);
+        if (delivered - req.volume).abs() > 1e-6 * req.volume.max(1.0) + EPS {
+            violations.push(Violation::VolumeMismatch {
+                id: a.id,
+                delivered,
+                requested: req.volume,
+            });
+        }
+        if let Err(e) = ledger.reserve(req.route, a.start, a.finish, a.bw) {
+            match e {
+                gridband_net::NetError::CapacityExceeded { port, at, .. } => {
+                    violations.push(Violation::CapacityViolated { port, at });
+                }
+                other => panic!("unexpected ledger error during verification: {other}"),
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Panic with a readable message if the schedule is infeasible. Used by the
+/// runner: an over-committing controller is a bug, not a measurement.
+pub fn assert_feasible(trace: &Trace, topo: &Topology, assignments: &[Assignment]) {
+    if let Err(vs) = verify_schedule(trace, topo, assignments) {
+        let lines: Vec<String> = vs.iter().take(10).map(|v| v.to_string()).collect();
+        panic!(
+            "infeasible schedule: {} violation(s), first ones:\n{}",
+            vs.len(),
+            lines.join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::Route;
+    use gridband_workload::{Request, TimeWindow};
+
+    fn setup() -> (Trace, Topology) {
+        let trace = Trace::new(vec![
+            Request::new(0, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 500.0, 100.0),
+            Request::new(1, Route::new(1, 0), TimeWindow::new(0.0, 10.0), 500.0, 100.0),
+        ]);
+        (trace, Topology::uniform(2, 2, 100.0))
+    }
+
+    fn a(id: u64, bw: f64, start: f64, finish: f64) -> Assignment {
+        Assignment {
+            id: RequestId(id),
+            bw,
+            start,
+            finish,
+        }
+    }
+
+    #[test]
+    fn feasible_schedule_passes() {
+        let (t, topo) = setup();
+        // Both route to egress 0 (cap 100): 50+50 exactly fills it.
+        let ok = verify_schedule(&t, &topo, &[a(0, 50.0, 0.0, 10.0), a(1, 50.0, 0.0, 10.0)]);
+        assert_eq!(ok, Ok(()));
+    }
+
+    #[test]
+    fn egress_capacity_violation_detected() {
+        let (t, topo) = setup();
+        // 100 + 100 on shared egress 0 exceeds its 100 MB/s. Each transfer
+        // delivers its volume in 5 s, within the window.
+        let err =
+            verify_schedule(&t, &topo, &[a(0, 100.0, 0.0, 5.0), a(1, 100.0, 0.0, 5.0)])
+                .unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::CapacityViolated { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn window_rate_and_volume_violations_detected() {
+        let (t, topo) = setup();
+        // Starts before the window.
+        let err = verify_schedule(&t, &topo, &[a(0, 50.0, -1.0, 9.0)]).unwrap_err();
+        assert!(err.iter().any(|v| matches!(v, Violation::WindowViolated { .. })));
+        // Exceeds MaxRate (delivered volume kept exact: 500 MB at 125 in 4s).
+        let err = verify_schedule(&t, &topo, &[a(0, 125.0, 0.0, 4.0)]).unwrap_err();
+        assert!(err.iter().any(|v| matches!(v, Violation::RateViolated { .. })));
+        // Wrong volume: 50 MB/s × 2 s = 100 ≠ 500.
+        let err = verify_schedule(&t, &topo, &[a(0, 50.0, 0.0, 2.0)]).unwrap_err();
+        assert!(err.iter().any(|v| matches!(v, Violation::VolumeMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_and_duplicate_ids_detected() {
+        let (t, topo) = setup();
+        let err = verify_schedule(&t, &topo, &[a(9, 50.0, 0.0, 10.0)]).unwrap_err();
+        assert_eq!(err, vec![Violation::UnknownRequest(RequestId(9))]);
+        let err = verify_schedule(
+            &t,
+            &topo,
+            &[a(0, 50.0, 0.0, 10.0), a(0, 50.0, 0.0, 10.0)],
+        )
+        .unwrap_err();
+        assert!(err.iter().any(|v| matches!(v, Violation::Duplicate(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible schedule")]
+    fn assert_feasible_panics_on_violation() {
+        let (t, topo) = setup();
+        assert_feasible(&t, &topo, &[a(0, 125.0, 0.0, 4.0)]);
+    }
+
+    #[test]
+    fn violations_render() {
+        for v in [
+            Violation::UnknownRequest(RequestId(1)),
+            Violation::Duplicate(RequestId(1)),
+            Violation::WindowViolated { id: RequestId(1), start: 0.0, finish: 1.0 },
+            Violation::RateViolated { id: RequestId(1), bw: 2.0, max_rate: 1.0 },
+            Violation::VolumeMismatch { id: RequestId(1), delivered: 1.0, requested: 2.0 },
+        ] {
+            assert!(v.to_string().contains("r1"), "{v}");
+        }
+    }
+}

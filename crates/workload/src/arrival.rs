@@ -1,0 +1,277 @@
+//! Arrival processes.
+//!
+//! "Flows arrive at the network edge according to a Poisson distribution"
+//! (§2.1): inter-arrival times are exponential with mean `1/λ`. The mean
+//! inter-arrival time is the x-axis of Figures 5–7, so it is the primary
+//! knob exposed here. A deterministic process is provided for tests and a
+//! uniform-jitter one for sensitivity studies.
+
+use gridband_net::units::Time;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stationary arrival process generating an increasing time sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson process: exponential inter-arrivals with the given mean (s).
+    Poisson {
+        /// Mean inter-arrival time `1/λ` in seconds.
+        mean_interarrival: Time,
+    },
+    /// Fixed spacing — useful for deterministic unit tests.
+    Deterministic {
+        /// Constant gap between consecutive arrivals (s).
+        interval: Time,
+    },
+    /// Uniform jitter on `[lo, hi]` between arrivals.
+    UniformGap {
+        /// Smallest gap (s).
+        lo: Time,
+        /// Largest gap (s).
+        hi: Time,
+    },
+    /// Sinusoidally modulated Poisson process (diurnal load pattern):
+    /// instantaneous rate `λ(t) = λ·(1 + depth·sin(2πt/period))`,
+    /// sampled by thinning. Grid workloads follow the working day; this
+    /// process lets experiments exercise schedulers across load swings
+    /// within one run.
+    Diurnal {
+        /// Baseline mean inter-arrival time `1/λ` (s).
+        mean_interarrival: Time,
+        /// Modulation depth in `[0, 1)` (0 = plain Poisson).
+        depth: f64,
+        /// Period of the modulation (s); e.g. 86 400 for a day.
+        period: Time,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson process with arrival **rate** λ (arrivals per second).
+    pub fn poisson_rate(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Poisson {
+            mean_interarrival: 1.0 / lambda,
+        }
+    }
+
+    /// Mean inter-arrival time of the process.
+    pub fn mean_interarrival(&self) -> Time {
+        match self {
+            ArrivalProcess::Poisson { mean_interarrival } => *mean_interarrival,
+            ArrivalProcess::Deterministic { interval } => *interval,
+            ArrivalProcess::UniformGap { lo, hi } => 0.5 * (lo + hi),
+            // The sinusoidal modulation integrates to zero over a period.
+            ArrivalProcess::Diurnal {
+                mean_interarrival, ..
+            } => *mean_interarrival,
+        }
+    }
+
+    /// Arrival rate λ (arrivals per second).
+    pub fn rate(&self) -> f64 {
+        1.0 / self.mean_interarrival()
+    }
+
+    /// Draw the gap to the next arrival given the current time `now`
+    /// (only the non-stationary [`ArrivalProcess::Diurnal`] process uses
+    /// `now`; for the others the gap distribution is time-invariant).
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R, now: Time) -> Time {
+        match self {
+            ArrivalProcess::Poisson { mean_interarrival } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (-u.ln() * mean_interarrival).max(1e-9)
+            }
+            ArrivalProcess::Deterministic { interval } => *interval,
+            ArrivalProcess::UniformGap { lo, hi } => rng.gen_range(*lo..=*hi),
+            ArrivalProcess::Diurnal {
+                mean_interarrival,
+                depth,
+                period,
+            } => {
+                assert!(
+                    (0.0..1.0).contains(depth),
+                    "modulation depth must lie in [0, 1), got {depth}"
+                );
+                assert!(*period > 0.0, "modulation period must be positive");
+                // Ogata thinning: propose from the envelope rate
+                // λ_max = λ(1+depth), accept with λ(t)/λ_max.
+                let lambda = 1.0 / mean_interarrival;
+                let lambda_max = lambda * (1.0 + depth);
+                let mut t = now;
+                loop {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += (-u.ln() / lambda_max).max(1e-9);
+                    let rate_t = lambda
+                        * (1.0 + depth * (2.0 * std::f64::consts::PI * t / period).sin());
+                    if rng.gen_range(0.0..1.0) * lambda_max <= rate_t {
+                        return t - now;
+                    }
+                }
+            }
+        }
+    }
+
+    /// All arrival instants in `[0, horizon)`.
+    pub fn arrivals_until<R: Rng + ?Sized>(&self, rng: &mut R, horizon: Time) -> Vec<Time> {
+        let mut t = 0.0;
+        let mut out = Vec::with_capacity((horizon / self.mean_interarrival()) as usize + 8);
+        loop {
+            t += self.next_gap(rng, t);
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_spacing() {
+        let p = ArrivalProcess::Deterministic { interval: 2.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let ts = p.arrivals_until(&mut rng, 10.0);
+        assert_eq!(ts, vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(p.rate(), 0.5);
+    }
+
+    #[test]
+    fn poisson_rate_matches_count() {
+        let p = ArrivalProcess::Poisson {
+            mean_interarrival: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(123);
+        let horizon = 10_000.0;
+        let ts = p.arrivals_until(&mut rng, horizon);
+        let expected = horizon / 0.5;
+        let n = ts.len() as f64;
+        // Poisson sd = sqrt(20_000) ≈ 141; allow 5 sigma.
+        assert!((n - expected).abs() < 750.0, "got {n} arrivals");
+        // Strictly increasing.
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        // Coefficient of variation of exponential gaps is 1 — this is what
+        // distinguishes Poisson from the other processes.
+        let p = ArrivalProcess::Poisson {
+            mean_interarrival: 2.0,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let gaps: Vec<f64> = (0..50_000).map(|_| p.next_gap(&mut rng, 0.0)).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var =
+            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
+        let cv = var.sqrt() / mean;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((cv - 1.0).abs() < 0.03, "cv {cv}");
+    }
+
+    #[test]
+    fn uniform_gap_bounds() {
+        let p = ArrivalProcess::UniformGap { lo: 1.0, hi: 3.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let g = p.next_gap(&mut rng, 0.0);
+            assert!((1.0..=3.0).contains(&g));
+        }
+        assert_eq!(p.mean_interarrival(), 2.0);
+    }
+
+    #[test]
+    fn poisson_rate_constructor() {
+        let p = ArrivalProcess::poisson_rate(4.0);
+        assert_eq!(p.mean_interarrival(), 0.25);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let p = ArrivalProcess::Poisson {
+            mean_interarrival: 1.0,
+        };
+        let a = p.arrivals_until(&mut StdRng::seed_from_u64(77), 100.0);
+        let b = p.arrivals_until(&mut StdRng::seed_from_u64(77), 100.0);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod diurnal_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_mean_rate_matches_baseline() {
+        let p = ArrivalProcess::Diurnal {
+            mean_interarrival: 0.5,
+            depth: 0.8,
+            period: 1_000.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        // Over whole periods the modulation cancels.
+        let ts = p.arrivals_until(&mut rng, 10_000.0);
+        let expected = 10_000.0 / 0.5;
+        assert!(
+            (ts.len() as f64 - expected).abs() < 0.05 * expected,
+            "{} arrivals vs {expected}",
+            ts.len()
+        );
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn diurnal_peak_beats_trough() {
+        let p = ArrivalProcess::Diurnal {
+            mean_interarrival: 0.2,
+            depth: 0.9,
+            period: 1_000.0,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let ts = p.arrivals_until(&mut rng, 20_000.0);
+        // Peak quarter of the sine: t mod period in [125, 375);
+        // trough quarter: [625, 875).
+        let phase = |t: f64| t % 1_000.0;
+        let peak = ts.iter().filter(|&&t| (125.0..375.0).contains(&phase(t))).count();
+        let trough = ts
+            .iter()
+            .filter(|&&t| (625.0..875.0).contains(&phase(t)))
+            .count();
+        assert!(
+            peak as f64 > 3.0 * trough as f64,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn zero_depth_is_plain_poisson_rate() {
+        let p = ArrivalProcess::Diurnal {
+            mean_interarrival: 1.0,
+            depth: 0.0,
+            period: 100.0,
+        };
+        assert_eq!(p.mean_interarrival(), 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = p.arrivals_until(&mut rng, 5_000.0).len() as f64;
+        assert!((n - 5_000.0).abs() < 300.0, "{n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn out_of_range_depth_rejected() {
+        let p = ArrivalProcess::Diurnal {
+            mean_interarrival: 1.0,
+            depth: 1.5,
+            period: 100.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = p.next_gap(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Stochastic workload synthesis with load targeting.
+//!
+//! [`WorkloadBuilder`] reproduces the paper's simulation settings:
+//!
+//! * §4.3 (rigid): Poisson arrivals, volumes from the discrete 10 GB–1 TB
+//!   set, host rate uniform in [10 MB/s, 1 GB/s], window exactly sized so
+//!   `MinRate = MaxRate`. The **system load** — time-averaged demanded
+//!   bandwidth over half the total port capacity — is the control knob.
+//! * §5.3 (flexible): same arrivals/volumes/rates, but the window carries
+//!   slack so the scheduler can pick `bw ∈ [MinRate, MaxRate]`; the control
+//!   knob is the mean inter-arrival time (the x-axis of Figures 5–7).
+
+use crate::arrival::ArrivalProcess;
+use crate::dist::Dist;
+use crate::request::{Request, TimeWindow};
+use crate::trace::Trace;
+use gridband_net::units::Time;
+use gridband_net::{Route, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configurable generator of request [`Trace`]s over a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    topology: Topology,
+    arrival: ArrivalProcess,
+    volumes: Dist,
+    max_rates: Dist,
+    slack: Dist,
+    horizon: Time,
+    avoid_loopback: bool,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Start from a topology with the paper's §4.3/§5.3 defaults:
+    /// Poisson arrivals (1 s mean), paper volume set, rates uniform in
+    /// [10, 1000] MB/s, rigid windows, 10 000 s horizon.
+    pub fn new(topology: Topology) -> Self {
+        WorkloadBuilder {
+            topology,
+            arrival: ArrivalProcess::Poisson {
+                mean_interarrival: 1.0,
+            },
+            volumes: Dist::paper_volumes(),
+            max_rates: Dist::paper_rates(),
+            slack: Dist::Fixed(1.0),
+            horizon: 10_000.0,
+            avoid_loopback: true,
+            seed: 0,
+        }
+    }
+
+    /// Set the arrival process.
+    pub fn arrival(mut self, p: ArrivalProcess) -> Self {
+        self.arrival = p;
+        self
+    }
+
+    /// Set the Poisson mean inter-arrival time (seconds) — the x-axis knob
+    /// of Figures 5–7.
+    pub fn mean_interarrival(mut self, secs: Time) -> Self {
+        assert!(secs > 0.0);
+        self.arrival = ArrivalProcess::Poisson {
+            mean_interarrival: secs,
+        };
+        self
+    }
+
+    /// Choose the Poisson arrival rate so that the expected offered load
+    /// (time-averaged demanded bandwidth / half total capacity) equals
+    /// `load`. Uses `λ = load × half_total_cap / E[volume]`.
+    pub fn target_load(mut self, load: f64) -> Self {
+        assert!(load > 0.0, "load must be positive");
+        let lambda = load * self.topology.half_total_cap() / self.volumes.mean();
+        self.arrival = ArrivalProcess::poisson_rate(lambda);
+        self
+    }
+
+    /// Set the volume distribution (MB).
+    pub fn volumes(mut self, d: Dist) -> Self {
+        self.volumes = d;
+        self
+    }
+
+    /// Set the host-limit (`MaxRate`) distribution (MB/s).
+    pub fn max_rates(mut self, d: Dist) -> Self {
+        self.max_rates = d;
+        self
+    }
+
+    /// Set the window-slack distribution. Slack `s ≥ 1` makes the window
+    /// `s × vol/MaxRate` long; `Fixed(1.0)` yields rigid requests.
+    pub fn slack(mut self, d: Dist) -> Self {
+        self.slack = d;
+        self
+    }
+
+    /// Generation horizon in seconds: arrivals are drawn in `[0, horizon)`.
+    pub fn horizon(mut self, secs: Time) -> Self {
+        assert!(secs > 0.0);
+        self.horizon = secs;
+        self
+    }
+
+    /// Whether a request may have the same site index on both sides
+    /// (`false` allows i → e with i == e; the paper draws "any pair of
+    /// different points", the default `true`).
+    pub fn avoid_loopback(mut self, avoid: bool) -> Self {
+        self.avoid_loopback = avoid;
+        self
+    }
+
+    /// RNG seed; every build with the same configuration and seed yields an
+    /// identical trace.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn sample_route<R: Rng + ?Sized>(&self, rng: &mut R) -> Route {
+        let m = self.topology.num_ingress() as u32;
+        let n = self.topology.num_egress() as u32;
+        loop {
+            let i = rng.gen_range(0..m);
+            let e = rng.gen_range(0..n);
+            if self.avoid_loopback && m > 1 && n > 1 && i == e {
+                continue;
+            }
+            return Route::new(i, e);
+        }
+    }
+
+    /// Generate the trace.
+    pub fn build(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let arrivals = self.arrival.arrivals_until(&mut rng, self.horizon);
+        let mut requests = Vec::with_capacity(arrivals.len());
+        for (k, t) in arrivals.into_iter().enumerate() {
+            let route = self.sample_route(&mut rng);
+            let volume = self.volumes.sample(&mut rng);
+            let max_rate = self.max_rates.sample(&mut rng);
+            let slack = self.slack.sample(&mut rng).max(1.0);
+            // Cap the assignable rate by the route bottleneck so no request
+            // is unschedulable by construction (the paper's host limits are
+            // at most the 1 GB/s port capacity; heterogeneous topologies
+            // need the explicit clamp).
+            let max_rate = max_rate.min(self.topology.route_bottleneck(route));
+            let window = TimeWindow::new(t, t + slack * volume / max_rate);
+            requests.push(Request::new(k as u64, route, window, volume, max_rate));
+        }
+        Trace::new(requests)
+    }
+
+    /// The paper's §4.3 rigid-request scenario at a given system load.
+    pub fn paper_rigid(topology: Topology, load: f64, seed: u64) -> Trace {
+        WorkloadBuilder::new(topology)
+            .target_load(load)
+            .slack(Dist::Fixed(1.0))
+            .seed(seed)
+            .build()
+    }
+
+    /// The paper's §5.3 flexible-request scenario at a given mean
+    /// inter-arrival time, with window slack uniform in [2, 4].
+    pub fn paper_flexible(
+        topology: Topology,
+        mean_interarrival: Time,
+        seed: u64,
+    ) -> Trace {
+        WorkloadBuilder::new(topology)
+            .mean_interarrival(mean_interarrival)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .seed(seed)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let topo = Topology::paper_default();
+        let a = WorkloadBuilder::new(topo.clone()).seed(1).horizon(500.0).build();
+        let b = WorkloadBuilder::new(topo.clone()).seed(1).horizon(500.0).build();
+        let c = WorkloadBuilder::new(topo).seed(2).horizon(500.0).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rigid_preset_produces_rigid_requests() {
+        let trace = WorkloadBuilder::paper_rigid(Topology::paper_default(), 2.0, 7);
+        assert!(!trace.is_empty());
+        assert!(trace.iter().all(|r| r.is_rigid()));
+        assert!(trace.iter().all(|r| r.max_rate <= 1000.0 + 1e-9));
+    }
+
+    #[test]
+    fn flexible_preset_has_slack() {
+        let trace =
+            WorkloadBuilder::paper_flexible(Topology::paper_default(), 2.0, 7);
+        assert!(!trace.is_empty());
+        assert!(trace.iter().all(|r| r.slack() >= 2.0 - 1e-9));
+        assert!(trace.iter().all(|r| r.slack() <= 4.0 + 1e-9));
+    }
+
+    #[test]
+    fn target_load_is_hit_within_sampling_error() {
+        let topo = Topology::paper_default();
+        for &load in &[0.5, 1.0, 3.0] {
+            let trace = WorkloadBuilder::new(topo.clone())
+                .target_load(load)
+                .horizon(20_000.0)
+                .seed(11)
+                .build();
+            let measured = trace.offered_load(&topo);
+            assert!(
+                (measured - load).abs() / load < 0.15,
+                "target {load}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn loopback_avoidance() {
+        let topo = Topology::paper_default();
+        let trace = WorkloadBuilder::new(topo.clone()).seed(3).horizon(2_000.0).build();
+        assert!(trace
+            .iter()
+            .all(|r| r.route.ingress.0 != r.route.egress.0));
+        let trace = WorkloadBuilder::new(topo)
+            .avoid_loopback(false)
+            .seed(3)
+            .horizon(2_000.0)
+            .build();
+        // With 10×10 ports, ~10% of pairs collide; seed 3 over ~2000
+        // arrivals will hit at least one.
+        assert!(trace.iter().any(|r| r.route.ingress.0 == r.route.egress.0));
+    }
+
+    #[test]
+    fn rates_clamped_to_bottleneck_on_heterogeneous_topologies() {
+        let topo = Topology::grid5000_like();
+        let trace = WorkloadBuilder::new(topo.clone()).seed(5).horizon(2_000.0).build();
+        for r in &trace {
+            assert!(r.max_rate <= topo.route_bottleneck(r.route) + 1e-9);
+            assert!(r.min_rate() <= r.max_rate + 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_requests_route_within_topology() {
+        let topo = Topology::uniform(3, 7, 500.0);
+        let trace = WorkloadBuilder::new(topo.clone()).seed(9).horizon(1_000.0).build();
+        assert!(trace.valid_for(&topo));
+    }
+}

@@ -1,0 +1,334 @@
+//! Sampling distributions for request volumes, rates and window slack.
+//!
+//! The paper's two evaluation setups are captured by named constructors:
+//!
+//! * §4.3 (rigid): volumes drawn uniformly from the discrete set
+//!   {10 GB, 20 GB, …, 90 GB, 100 GB, 200 GB, …, 900 GB, 1 TB};
+//! * §5.3 (flexible): host rates drawn uniformly in [10 MB/s, 1 GB/s], which
+//!   with the same volume set yields transmission times "from a couple of
+//!   minutes to about one day".
+//!
+//! Everything samples through the [`rand`] traits so workloads are exactly
+//! reproducible from a seed.
+
+use gridband_net::units::{gb, tb};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over positive reals used for volumes, rates and slack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always the same value.
+    Fixed(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Uniform over an explicit finite choice set.
+    Choice(Vec<f64>),
+    /// Log-uniform on `[lo, hi]`: uniform in `ln`, giving heavy spread
+    /// across orders of magnitude (useful for sensitivity studies).
+    LogUniform {
+        /// Lower bound (inclusive, > 0).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean (truncated at 1e-9 below).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Bounded Pareto on `[lo, hi]` with shape `alpha` — the classic
+    /// heavy-tailed file-size model (many small files, rare huge ones);
+    /// useful for sensitivity studies beyond the paper's discrete set.
+    BoundedPareto {
+        /// Shape parameter (> 0); smaller = heavier tail.
+        alpha: f64,
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound (≥ lo).
+        hi: f64,
+    },
+}
+
+impl Dist {
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Fixed(v) => *v,
+            Dist::Uniform { lo, hi } => rng.gen_range(*lo..=*hi),
+            Dist::Choice(vals) => {
+                assert!(!vals.is_empty(), "empty choice set");
+                vals[rng.gen_range(0..vals.len())]
+            }
+            Dist::LogUniform { lo, hi } => {
+                assert!(*lo > 0.0 && hi >= lo, "invalid log-uniform bounds");
+                let u = rng.gen_range(lo.ln()..=hi.ln());
+                u.exp()
+            }
+            Dist::Exponential { mean } => {
+                assert!(*mean > 0.0, "exponential mean must be positive");
+                // Inverse-CDF sampling; avoid ln(0).
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (-u.ln() * mean).max(1e-9)
+            }
+            Dist::BoundedPareto { alpha, lo, hi } => {
+                assert!(*alpha > 0.0 && *lo > 0.0 && hi >= lo, "invalid bounded Pareto");
+                // Inverse CDF of the bounded Pareto.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let la = lo.powf(*alpha);
+                let ha = hi.powf(*alpha);
+                (-(u * ha - u * la - ha) / (ha * la))
+                    .powf(-1.0 / alpha)
+                    .clamp(*lo, *hi)
+            }
+        }
+    }
+
+    /// Expected value of the distribution (exact, no sampling).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Fixed(v) => *v,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Choice(vals) => vals.iter().sum::<f64>() / vals.len() as f64,
+            Dist::LogUniform { lo, hi } => {
+                if (hi - lo).abs() < f64::EPSILON {
+                    *lo
+                } else {
+                    (hi - lo) / (hi / lo).ln()
+                }
+            }
+            Dist::Exponential { mean } => *mean,
+            Dist::BoundedPareto { alpha, lo, hi } => {
+                if (alpha - 1.0).abs() < 1e-12 {
+                    // α = 1: mean = ln(hi/lo) · lo·hi / (hi − lo).
+                    (hi / lo).ln() * lo * hi / (hi - lo)
+                } else {
+                    let la = lo.powf(*alpha);
+                    let ha = hi.powf(*alpha);
+                    (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0))
+                        * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
+                }
+            }
+        }
+    }
+
+    /// The paper's §4.3 volume set:
+    /// {10, 20, …, 90 GB} ∪ {100, 200, …, 900 GB} ∪ {1 TB}, in MB.
+    pub fn paper_volumes() -> Dist {
+        let mut vals: Vec<f64> = (1..=9).map(|k| gb(10.0 * k as f64)).collect();
+        vals.extend((1..=9).map(|k| gb(100.0 * k as f64)));
+        vals.push(tb(1.0));
+        Dist::Choice(vals)
+    }
+
+    /// The paper's §5.3 host-rate distribution: uniform on
+    /// [10 MB/s, 1 GB/s].
+    pub fn paper_rates() -> Dist {
+        Dist::Uniform {
+            lo: 10.0,
+            hi: 1000.0,
+        }
+    }
+}
+
+/// Convenience alias documenting intent at call sites.
+pub type VolumeDist = Dist;
+/// Convenience alias documenting intent at call sites.
+pub type RateDist = Dist;
+
+/// Validate that sampled values are usable as volumes/rates.
+pub fn assert_positive_sample(x: f64, what: &str) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "{what} sample must be positive, got {x}");
+    x
+}
+
+#[allow(unused_imports)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn paper_volume_set_has_19_values_spanning_10gb_to_1tb() {
+        let d = Dist::paper_volumes();
+        match &d {
+            Dist::Choice(vals) => {
+                assert_eq!(vals.len(), 19);
+                assert_eq!(vals[0], 10_000.0); // 10 GB in MB
+                assert_eq!(*vals.last().unwrap(), 1_000_000.0); // 1 TB
+            }
+            _ => panic!("expected Choice"),
+        }
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = d.sample(&mut r);
+            assert!((10_000.0..=1_000_000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_mean_matches() {
+        let d = Dist::Uniform { lo: 10.0, hi: 1000.0 };
+        let mut r = rng();
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!((10.0..=1000.0).contains(&x));
+            sum += x;
+        }
+        let emp_mean = sum / n as f64;
+        assert!((emp_mean - d.mean()).abs() < 15.0, "{emp_mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::Exponential { mean: 5.0 };
+        let mut r = rng();
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - 5.0).abs() < 0.15, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn log_uniform_spans_orders_of_magnitude() {
+        let d = Dist::LogUniform { lo: 1.0, hi: 1000.0 };
+        let mut r = rng();
+        let (mut low, mut high) = (0, 0);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut r);
+            assert!((1.0..=1000.0).contains(&x));
+            if x < 10.0 {
+                low += 1;
+            }
+            if x > 100.0 {
+                high += 1;
+            }
+        }
+        // Each decade carries ~1/3 of the mass.
+        assert!(low > 1_200 && high > 1_200, "low={low} high={high}");
+    }
+
+    #[test]
+    fn fixed_and_choice_sampling() {
+        let mut r = rng();
+        assert_eq!(Dist::Fixed(7.0).sample(&mut r), 7.0);
+        assert_eq!(Dist::Fixed(7.0).mean(), 7.0);
+        let c = Dist::Choice(vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.mean(), 2.0);
+        for _ in 0..50 {
+            assert!([1.0, 2.0, 3.0].contains(&c.sample(&mut r)));
+        }
+    }
+
+    #[test]
+    fn log_uniform_mean_formula() {
+        let d = Dist::LogUniform { lo: 1.0, hi: std::f64::consts::E };
+        // mean = (e - 1)/ln(e) = e - 1
+        assert!((d.mean() - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+        let degenerate = Dist::LogUniform { lo: 5.0, hi: 5.0 };
+        assert_eq!(degenerate.mean(), 5.0);
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let d = Dist::paper_rates();
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn assert_positive_sample_guards() {
+        let _ = assert_positive_sample(-1.0, "volume");
+    }
+}
+
+#[cfg(test)]
+mod pareto_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let d = Dist::BoundedPareto {
+            alpha: 1.2,
+            lo: 10.0,
+            hi: 10_000.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..=10_000.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn tail_is_heavy() {
+        // With α = 1.1 the top decade carries a visible share of samples,
+        // unlike e.g. a uniform in log space check: compare the fraction
+        // of mass above the 90th size percentile to an exponential-ish
+        // bound.
+        let d = Dist::BoundedPareto {
+            alpha: 1.1,
+            lo: 1.0,
+            hi: 1_000.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mut big = 0usize;
+        let mut small = 0usize;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            if x >= 100.0 {
+                big += 1;
+            }
+            if x < 2.0 {
+                small += 1;
+            }
+        }
+        // Most samples are tiny, but the tail is non-negligible:
+        // P(X ≥ 100) ≈ 0.58% for α = 1.1 on [1, 1000].
+        assert!(small > n / 2, "small {small}");
+        assert!(big > n / 250, "big {big}");
+        assert!(big < n / 50, "big {big} — tail heavier than the law allows");
+    }
+
+    #[test]
+    fn empirical_mean_matches_formula() {
+        let d = Dist::BoundedPareto {
+            alpha: 1.5,
+            lo: 10.0,
+            hi: 1_000.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum / n as f64;
+        let theory = d.mean();
+        assert!(
+            (emp - theory).abs() / theory < 0.03,
+            "empirical {emp} vs theory {theory}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # gridband-workload — requests, traces and stochastic workload synthesis
+//!
+//! Implements §2.1 of *“Optimal Bandwidth Sharing in Grid Environments”*
+//! (HPDC 2006): short-lived bulk-transfer requests with transmission
+//! windows, plus the Poisson workload machinery behind the paper's
+//! evaluation (§4.3, §5.3).
+//!
+//! * [`Request`] / [`TimeWindow`] — a transfer with route, window
+//!   `[t_s, t_f]`, volume and host limit `MaxRate`; `MinRate` is derived.
+//! * [`Dist`] — volume/rate/slack distributions, including the paper's
+//!   discrete 10 GB–1 TB volume set and the [10 MB/s, 1 GB/s] rate range.
+//! * [`ArrivalProcess`] — Poisson (and test) arrival processes.
+//! * [`WorkloadBuilder`] — seeded trace generation with **load targeting**
+//!   (`λ = load × capacity / E[vol]`), reproducing the §4.3 and §5.3 setups
+//!   via [`WorkloadBuilder::paper_rigid`] and
+//!   [`WorkloadBuilder::paper_flexible`].
+//! * [`Trace`] — a sorted request batch with offered-load measurement and
+//!   JSON (de)serialization.
+//!
+//! ```
+//! use gridband_workload::WorkloadBuilder;
+//! use gridband_net::Topology;
+//!
+//! let topo = Topology::paper_default();
+//! let trace = WorkloadBuilder::new(topo.clone())
+//!     .target_load(2.0)
+//!     .horizon(5_000.0)
+//!     .seed(42)
+//!     .build();
+//! assert!(trace.valid_for(&topo));
+//! let measured = trace.offered_load(&topo);
+//! assert!((measured - 2.0).abs() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod builder;
+pub mod dist;
+pub mod lint;
+pub mod ops;
+pub mod request;
+pub mod scenarios;
+pub mod stats;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use builder::WorkloadBuilder;
+pub use dist::{Dist, RateDist, VolumeDist};
+pub use request::{Request, RequestId, TimeWindow};
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,231 @@
+//! Trace linting: surface workload problems before they waste a run.
+//!
+//! A trace can be structurally valid (the type invariants hold) yet
+//! operationally hopeless — requests whose `MinRate` exceeds their route
+//! bottleneck can never be accepted, a single pair of sites may dominate
+//! the demand, or the windows may be so tight that every scheduler
+//! degenerates to rigid accept/reject. The linter reports such findings
+//! with severities so the CLI and tests can flag them.
+
+use crate::trace::Trace;
+use gridband_net::units::approx_le;
+use gridband_net::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: worth knowing, nothing is wrong.
+    Info,
+    /// The workload will behave oddly (e.g. unschedulable requests).
+    Warning,
+    /// The workload cannot be used with this topology at all.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// How serious it is.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `unroutable`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Lint a trace against a topology; findings are ordered most severe
+/// first.
+pub fn lint(trace: &Trace, topo: &Topology) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if trace.is_empty() {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            code: "empty",
+            message: "trace contains no requests".into(),
+        });
+        return findings;
+    }
+
+    // Errors: requests that cannot exist on this platform.
+    let unroutable = trace.iter().filter(|r| !r.routed_in(topo)).count();
+    if unroutable > 0 {
+        findings.push(Finding {
+            severity: Severity::Error,
+            code: "unroutable",
+            message: format!("{unroutable} request(s) reference ports outside the topology"),
+        });
+    }
+
+    // Warnings: structurally fine but unschedulable or degenerate.
+    let doomed = trace
+        .iter()
+        .filter(|r| r.routed_in(topo) && !approx_le(r.min_rate(), topo.route_bottleneck(r.route)))
+        .count();
+    if doomed > 0 {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            code: "minrate-above-bottleneck",
+            message: format!(
+                "{doomed} request(s) need more than their route bottleneck even at MinRate \
+                 — no scheduler can ever accept them"
+            ),
+        });
+    }
+    let rigid = trace.iter().filter(|r| r.is_rigid()).count();
+    if rigid == trace.len() {
+        findings.push(Finding {
+            severity: Severity::Info,
+            code: "all-rigid",
+            message: "every request is rigid (MinRate = MaxRate): bandwidth policies are moot"
+                .into(),
+        });
+    }
+
+    // Info: demand concentration and load.
+    let load = trace.offered_load(topo);
+    if load > 5.0 {
+        findings.push(Finding {
+            severity: Severity::Info,
+            code: "overload",
+            message: format!(
+                "offered load is {load:.1}× system capacity — most requests must be rejected"
+            ),
+        });
+    }
+    let mut per_in = vec![0.0f64; topo.num_ingress()];
+    for r in trace {
+        if r.routed_in(topo) {
+            per_in[r.route.ingress.index()] += r.volume;
+        }
+    }
+    let total: f64 = per_in.iter().sum();
+    if let Some((idx, &max)) = per_in
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+    {
+        if total > 0.0 && max / total > 0.5 && topo.num_ingress() > 2 {
+            findings.push(Finding {
+                severity: Severity::Info,
+                code: "hot-ingress",
+                message: format!(
+                    "ingress {idx} carries {:.0}% of the demanded volume — a hot spot",
+                    100.0 * max / total
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity));
+    findings
+}
+
+/// Highest severity among findings (`None` for a clean trace).
+pub fn worst_severity(findings: &[Finding]) -> Option<Severity> {
+    findings.iter().map(|f| f.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Request, TimeWindow};
+    use gridband_net::Route;
+
+    fn topo() -> Topology {
+        Topology::uniform(4, 4, 100.0)
+    }
+
+    #[test]
+    fn clean_trace_has_no_findings_above_info() {
+        let trace = Trace::new(vec![
+            Request::new(0, Route::new(0, 1), TimeWindow::new(0.0, 100.0), 1000.0, 50.0),
+            Request::new(1, Route::new(1, 2), TimeWindow::new(5.0, 80.0), 500.0, 50.0),
+            Request::new(2, Route::new(2, 3), TimeWindow::new(9.0, 90.0), 500.0, 50.0),
+        ]);
+        let findings = lint(&trace, &topo());
+        assert!(
+            worst_severity(&findings).map_or(true, |s| s <= Severity::Info),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unroutable_requests_are_errors() {
+        let trace = Trace::new(vec![Request::new(
+            0,
+            Route::new(9, 0),
+            TimeWindow::new(0.0, 10.0),
+            100.0,
+            50.0,
+        )]);
+        let findings = lint(&trace, &topo());
+        assert_eq!(worst_severity(&findings), Some(Severity::Error));
+        assert!(findings.iter().any(|f| f.code == "unroutable"));
+    }
+
+    #[test]
+    fn minrate_above_bottleneck_is_flagged() {
+        // MinRate 200 on a 100 MB/s route: MaxRate must be ≥ MinRate for
+        // the request to construct, so set MaxRate = 250.
+        let trace = Trace::new(vec![Request::new(
+            0,
+            Route::new(0, 1),
+            TimeWindow::new(0.0, 10.0),
+            2_000.0,
+            250.0,
+        )]);
+        let findings = lint(&trace, &topo());
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "minrate-above-bottleneck"), "{findings:?}");
+    }
+
+    #[test]
+    fn all_rigid_and_overload_are_informational() {
+        let trace = Trace::new(vec![
+            Request::rigid(0, Route::new(0, 1), 0.0, 50_000.0, 100.0),
+            Request::rigid(1, Route::new(1, 2), 0.1, 50_000.0, 100.0),
+        ]);
+        let findings = lint(&trace, &topo());
+        assert!(findings.iter().any(|f| f.code == "all-rigid"));
+        assert!(findings.iter().any(|f| f.code == "overload"), "{findings:?}");
+        assert_eq!(worst_severity(&findings), Some(Severity::Info));
+    }
+
+    #[test]
+    fn hot_ingress_detected() {
+        let reqs: Vec<Request> = (0..10)
+            .map(|k| {
+                Request::new(
+                    k,
+                    Route::new(0, 1 + (k % 3) as u32),
+                    TimeWindow::new(k as f64, k as f64 + 100.0),
+                    5_000.0,
+                    100.0,
+                )
+            })
+            .collect();
+        let findings = lint(&Trace::new(reqs), &topo());
+        assert!(findings.iter().any(|f| f.code == "hot-ingress"));
+    }
+
+    #[test]
+    fn empty_trace_warns() {
+        let findings = lint(&Trace::new(vec![]), &topo());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "empty");
+        assert_eq!(findings[0].severity.to_string(), "warning");
+    }
+}

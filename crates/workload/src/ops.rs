@@ -1,0 +1,154 @@
+//! Trace algebra: composing, slicing and exporting workloads.
+//!
+//! Experiment pipelines frequently need to overlay a campaign on
+//! background traffic, replay a shifted copy, or cut a warm-up prefix;
+//! these operations keep ids unique and start-time ordering intact.
+
+use crate::request::Request;
+use crate::trace::Trace;
+use gridband_net::units::Time;
+use gridband_net::Route;
+
+/// Merge traces into one, re-numbering ids to stay unique (requests keep
+/// their relative order and all other fields).
+pub fn merge(traces: &[&Trace]) -> Trace {
+    let mut all: Vec<Request> = Vec::with_capacity(traces.iter().map(|t| t.len()).sum());
+    let mut next_id = 0u64;
+    for t in traces {
+        for r in *t {
+            let mut r = *r;
+            r.id = crate::request::RequestId(next_id);
+            next_id += 1;
+            all.push(r);
+        }
+    }
+    Trace::new(all)
+}
+
+/// Shift every window by `dt` seconds (negative shifts allowed as long as
+/// windows stay finite).
+pub fn shift(trace: &Trace, dt: Time) -> Trace {
+    Trace::new(
+        trace
+            .iter()
+            .map(|r| {
+                Request::new(
+                    r.id.0,
+                    r.route,
+                    crate::request::TimeWindow::new(r.start() + dt, r.finish() + dt),
+                    r.volume,
+                    r.max_rate,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Keep only requests whose start lies in `[from, to)`.
+pub fn clip(trace: &Trace, from: Time, to: Time) -> Trace {
+    Trace::new(
+        trace
+            .iter()
+            .filter(|r| r.start() >= from && r.start() < to)
+            .copied()
+            .collect(),
+    )
+}
+
+/// Keep only requests on the given route.
+pub fn on_route(trace: &Trace, route: Route) -> Trace {
+    Trace::new(
+        trace
+            .iter()
+            .filter(|r| r.route == route)
+            .copied()
+            .collect(),
+    )
+}
+
+/// Render a trace as CSV (`id,ingress,egress,start,finish,volume,max_rate`).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("id,ingress,egress,start,finish,volume_mb,max_rate_mbps\n");
+    for r in trace {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            r.id.0,
+            r.route.ingress.0,
+            r.route.egress.0,
+            r.start(),
+            r.finish(),
+            r.volume,
+            r.max_rate
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TimeWindow;
+
+    fn req(id: u64, i: u32, e: u32, start: f64) -> Request {
+        Request::new(
+            id,
+            Route::new(i, e),
+            TimeWindow::new(start, start + 10.0),
+            100.0,
+            50.0,
+        )
+    }
+
+    #[test]
+    fn merge_renumbers_and_sorts() {
+        let a = Trace::new(vec![req(0, 0, 1, 5.0), req(1, 0, 1, 1.0)]);
+        let b = Trace::new(vec![req(0, 1, 0, 3.0)]);
+        let m = merge(&[&a, &b]);
+        assert_eq!(m.len(), 3);
+        // Ids unique and sorted output by start time.
+        let starts: Vec<f64> = m.iter().map(|r| r.start()).collect();
+        assert_eq!(starts, vec![1.0, 3.0, 5.0]);
+        let mut ids: Vec<u64> = m.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn shift_moves_windows_rigidly() {
+        let t = Trace::new(vec![req(0, 0, 1, 5.0)]);
+        let s = shift(&t, 100.0);
+        assert_eq!(s.requests()[0].start(), 105.0);
+        assert_eq!(s.requests()[0].finish(), 115.0);
+        assert_eq!(s.requests()[0].volume, 100.0);
+        // Negative shift.
+        let s = shift(&t, -2.0);
+        assert_eq!(s.requests()[0].start(), 3.0);
+    }
+
+    #[test]
+    fn clip_selects_by_start() {
+        let t = Trace::new(vec![req(0, 0, 1, 1.0), req(1, 0, 1, 5.0), req(2, 0, 1, 9.0)]);
+        let c = clip(&t, 2.0, 9.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.requests()[0].id.0, 1);
+    }
+
+    #[test]
+    fn on_route_filters() {
+        let t = Trace::new(vec![req(0, 0, 1, 1.0), req(1, 1, 0, 2.0)]);
+        let f = on_route(&t, Route::new(1, 0));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.requests()[0].id.0, 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = Trace::new(vec![req(7, 2, 3, 1.5)]);
+        let csv = to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("id,ingress"));
+        assert_eq!(lines[1], "7,2,3,1.5,11.5,100,50");
+    }
+}

@@ -1,0 +1,272 @@
+//! The data-transfer request model of §2.1.
+//!
+//! A request is a finite bulk transfer ("short-lived request"): a route, a
+//! transmission window `[t_s, t_f]`, a volume and a host-side rate limit
+//! `MaxRate`. The window induces `MinRate = vol / (t_f - t_s)`; a request
+//! with `MinRate = MaxRate` is **rigid** (accept as-is or reject), otherwise
+//! it is **flexible** and the scheduler picks `bw ∈ [MinRate, MaxRate]`.
+
+use gridband_net::units::{approx_eq, approx_le, Bandwidth, Time, Volume, EPS};
+use gridband_net::{Route, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a request within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A closed transmission window `[start, finish]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Requested start time `t_s(r)` (also the arrival time of the request).
+    pub start: Time,
+    /// Requested latest finish time `t_f(r)`.
+    pub finish: Time,
+}
+
+impl TimeWindow {
+    /// Construct a window; panics if reversed, empty, or non-finite.
+    pub fn new(start: Time, finish: Time) -> Self {
+        assert!(
+            start.is_finite() && finish.is_finite() && finish - start > EPS,
+            "invalid time window [{start}, {finish}]"
+        );
+        TimeWindow { start, finish }
+    }
+
+    /// Window length `t_f - t_s`.
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.finish - self.start
+    }
+
+    /// Whether `t` lies in `[start, finish)`.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        t >= self.start && t < self.finish
+    }
+
+    /// Whether two windows overlap on a set of positive measure.
+    pub fn overlaps(&self, other: &TimeWindow) -> bool {
+        self.start < other.finish && other.start < self.finish
+    }
+}
+
+/// A short-lived bulk data-transfer request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Trace-unique id.
+    pub id: RequestId,
+    /// Fixed source → destination route.
+    pub route: Route,
+    /// Requested transmission window `[t_s, t_f]`.
+    pub window: TimeWindow,
+    /// Transfer volume in MB.
+    pub volume: Volume,
+    /// Host transmission limit `MaxRate(r)` in MB/s.
+    pub max_rate: Bandwidth,
+}
+
+impl Request {
+    /// Construct a request, validating volume and rate positivity and the
+    /// basic feasibility `MinRate ≤ MaxRate` (the window is long enough for
+    /// the host to push the volume through at its maximum rate).
+    pub fn new(
+        id: u64,
+        route: Route,
+        window: TimeWindow,
+        volume: Volume,
+        max_rate: Bandwidth,
+    ) -> Self {
+        assert!(
+            volume.is_finite() && volume > 0.0,
+            "volume must be positive, got {volume}"
+        );
+        assert!(
+            max_rate.is_finite() && max_rate > 0.0,
+            "max_rate must be positive, got {max_rate}"
+        );
+        let r = Request {
+            id: RequestId(id),
+            route,
+            window,
+            volume,
+            max_rate,
+        };
+        assert!(
+            approx_le(r.min_rate(), max_rate * (1.0 + 1e-9)),
+            "infeasible request {id}: MinRate {} > MaxRate {}",
+            r.min_rate(),
+            max_rate
+        );
+        r
+    }
+
+    /// A **rigid** request: the window is sized so that
+    /// `MinRate = MaxRate = rate` exactly (§4: `σ(r) = t_s`, `τ(r) = t_f`).
+    pub fn rigid(id: u64, route: Route, start: Time, volume: Volume, rate: Bandwidth) -> Self {
+        let duration = volume / rate;
+        Request::new(
+            id,
+            route,
+            TimeWindow::new(start, start + duration),
+            volume,
+            rate,
+        )
+    }
+
+    /// `t_s(r)`.
+    #[inline]
+    pub fn start(&self) -> Time {
+        self.window.start
+    }
+
+    /// `t_f(r)`.
+    #[inline]
+    pub fn finish(&self) -> Time {
+        self.window.finish
+    }
+
+    /// `MinRate(r) = vol(r) / (t_f(r) − t_s(r))` — the smallest constant
+    /// bandwidth that completes the transfer within the window.
+    #[inline]
+    pub fn min_rate(&self) -> Bandwidth {
+        self.volume / self.window.duration()
+    }
+
+    /// `vol(r) / MaxRate(r)` — the transfer duration at full host rate.
+    #[inline]
+    pub fn min_duration(&self) -> Time {
+        self.volume / self.max_rate
+    }
+
+    /// Whether the request leaves the scheduler no bandwidth choice
+    /// (`MinRate ≈ MaxRate`).
+    pub fn is_rigid(&self) -> bool {
+        approx_eq(self.min_rate(), self.max_rate)
+    }
+
+    /// Window slack ratio `(t_f − t_s) / (vol / MaxRate)` — 1.0 for rigid
+    /// requests, larger values mean more scheduling freedom.
+    pub fn slack(&self) -> f64 {
+        self.window.duration() / self.min_duration()
+    }
+
+    /// The bandwidth required to finish by the deadline when starting at
+    /// `start_at` (≥ `MinRate` when starting late), or `None` if no rate
+    /// ≤ `MaxRate` can make the deadline.
+    pub fn required_rate_from(&self, start_at: Time) -> Option<Bandwidth> {
+        let remaining = self.finish() - start_at;
+        if remaining <= EPS {
+            return None;
+        }
+        let needed = self.volume / remaining;
+        if approx_le(needed, self.max_rate) {
+            Some(needed.min(self.max_rate))
+        } else {
+            None
+        }
+    }
+
+    /// Completion time when transmitted at constant `bw` from `start_at`.
+    pub fn completion_at(&self, start_at: Time, bw: Bandwidth) -> Time {
+        start_at + self.volume / bw
+    }
+
+    /// Validate the request against a topology (route exists).
+    pub fn routed_in(&self, topo: &Topology) -> bool {
+        topo.contains_route(self.route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        // 1000 MB over [0, 100] with MaxRate 50 -> MinRate 10, slack 5.
+        Request::new(1, Route::new(0, 1), TimeWindow::new(0.0, 100.0), 1000.0, 50.0)
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = req();
+        assert_eq!(r.min_rate(), 10.0);
+        assert_eq!(r.min_duration(), 20.0);
+        assert_eq!(r.slack(), 5.0);
+        assert!(!r.is_rigid());
+    }
+
+    #[test]
+    fn rigid_constructor_pins_the_window() {
+        let r = Request::rigid(2, Route::new(0, 0), 10.0, 500.0, 25.0);
+        assert_eq!(r.window.finish, 30.0);
+        assert!(r.is_rigid());
+        assert_eq!(r.min_rate(), 25.0);
+        assert_eq!(r.slack(), 1.0);
+    }
+
+    #[test]
+    fn required_rate_grows_as_start_slips() {
+        let r = req();
+        assert_eq!(r.required_rate_from(0.0), Some(10.0));
+        assert_eq!(r.required_rate_from(50.0), Some(20.0));
+        assert_eq!(r.required_rate_from(80.0), Some(50.0)); // exactly MaxRate
+        assert_eq!(r.required_rate_from(90.0), None); // needs 100 > MaxRate
+        assert_eq!(r.required_rate_from(100.0), None); // window closed
+    }
+
+    #[test]
+    fn completion_time() {
+        let r = req();
+        assert_eq!(r.completion_at(0.0, 50.0), 20.0);
+        assert_eq!(r.completion_at(30.0, 10.0), 130.0);
+    }
+
+    #[test]
+    fn window_predicates() {
+        let w = TimeWindow::new(5.0, 10.0);
+        assert!(w.contains(5.0));
+        assert!(!w.contains(10.0));
+        assert!(w.overlaps(&TimeWindow::new(9.0, 12.0)));
+        assert!(!w.overlaps(&TimeWindow::new(10.0, 12.0)));
+        assert_eq!(w.duration(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible request")]
+    fn infeasible_window_rejected() {
+        // 1000 MB in 10 s needs 100 MB/s but MaxRate is 50.
+        let _ = Request::new(3, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 1000.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time window")]
+    fn reversed_window_rejected() {
+        let _ = TimeWindow::new(10.0, 5.0);
+    }
+
+    #[test]
+    fn routed_in_topology() {
+        let t = Topology::uniform(2, 2, 100.0);
+        assert!(req().routed_in(&t));
+        let r = Request::new(4, Route::new(5, 0), TimeWindow::new(0.0, 10.0), 10.0, 10.0);
+        assert!(!r.routed_in(&t));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = req();
+        let js = serde_json::to_string(&r).unwrap();
+        let back: Request = serde_json::from_str(&js).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,245 @@
+//! Named workload scenarios.
+//!
+//! The paper's evaluation uses a single uniform random workload; real
+//! data grids have structure. This module provides parameterized,
+//! seeded generators for the traffic patterns the paper's introduction
+//! names — experiment output distribution, dataset replication,
+//! backups — so examples and sensitivity studies can exercise the
+//! schedulers on realistic shapes. Every generator returns an ordinary
+//! [`Trace`] and documents its knobs.
+
+use crate::arrival::ArrivalProcess;
+use crate::dist::Dist;
+use crate::request::{Request, TimeWindow};
+use crate::trace::Trace;
+use gridband_net::units::Time;
+use gridband_net::{Route, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tier-0 distribution: one producer site pushes every dataset to
+/// several consumer sites under a common deadline — the LHC-style
+/// pattern of the paper's data-grid motivation.
+///
+/// * `epoch`: seconds between dataset publications;
+/// * `fanout`: number of destination sites per dataset;
+/// * `deadline`: window length for every replication (s).
+pub fn tier0_distribution(
+    topo: &Topology,
+    producer: u32,
+    epochs: usize,
+    epoch: Time,
+    fanout: usize,
+    volume: Dist,
+    deadline: Time,
+    seed: u64,
+) -> Trace {
+    assert!(
+        (producer as usize) < topo.num_ingress(),
+        "producer outside topology"
+    );
+    assert!(fanout < topo.num_egress(), "fanout must leave other sites");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::new();
+    let mut id = 0u64;
+    for k in 0..epochs {
+        let t0 = k as f64 * epoch;
+        let vol = volume.sample(&mut rng);
+        let mut picked = Vec::new();
+        while picked.len() < fanout {
+            let dst = rng.gen_range(0..topo.num_egress() as u32);
+            if dst != producer && !picked.contains(&dst) {
+                picked.push(dst);
+            }
+        }
+        for dst in picked {
+            let route = Route::new(producer, dst);
+            let cap = topo.route_bottleneck(route);
+            // The window must admit the volume at the bottleneck.
+            let max_rate = cap.min((vol / deadline * 4.0).max(10.0)).min(cap);
+            let max_rate = max_rate.max(vol / deadline);
+            requests.push(Request::new(
+                id,
+                route,
+                TimeWindow::new(t0, t0 + deadline),
+                vol,
+                max_rate.min(cap),
+            ));
+            id += 1;
+        }
+    }
+    Trace::new(requests)
+}
+
+/// All-pairs shuffle: every site sends one equal-sized chunk to every
+/// other site inside a common window — the bulk-synchronous exchange of
+/// distributed analysis frameworks.
+pub fn allpairs_shuffle(
+    topo: &Topology,
+    chunk_mb: f64,
+    start: Time,
+    window: Time,
+    seed: u64,
+) -> Trace {
+    assert!(chunk_mb > 0.0 && window > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::new();
+    let mut id = 0u64;
+    for i in 0..topo.num_ingress() as u32 {
+        for e in 0..topo.num_egress() as u32 {
+            if i == e {
+                continue;
+            }
+            let route = Route::new(i, e);
+            let cap = topo.route_bottleneck(route);
+            let max_rate = (chunk_mb / window * rng.gen_range(2.0..6.0))
+                .max(chunk_mb / window)
+                .min(cap);
+            // Jitter the starts slightly so FCFS ordering is defined.
+            let jitter = rng.gen_range(0.0..window * 0.01);
+            requests.push(Request::new(
+                id,
+                route,
+                TimeWindow::new(start + jitter, start + window),
+                chunk_mb,
+                max_rate,
+            ));
+            id += 1;
+        }
+    }
+    Trace::new(requests)
+}
+
+/// Nightly backups: all sites stream to one archive site during a
+/// recurring backup window, modelled with a diurnal arrival peak.
+pub fn nightly_backup(
+    topo: &Topology,
+    archive: u32,
+    nights: usize,
+    day: Time,
+    mean_interarrival: Time,
+    volume: Dist,
+    seed: u64,
+) -> Trace {
+    assert!((archive as usize) < topo.num_egress());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = nights as f64 * day;
+    let arrivals = ArrivalProcess::Diurnal {
+        mean_interarrival,
+        depth: 0.9,
+        period: day,
+    }
+    .arrivals_until(&mut rng, horizon);
+    let mut requests = Vec::with_capacity(arrivals.len());
+    for (k, t) in arrivals.into_iter().enumerate() {
+        let mut src = rng.gen_range(0..topo.num_ingress() as u32);
+        if topo.num_ingress() > 1 {
+            while src == archive {
+                src = rng.gen_range(0..topo.num_ingress() as u32);
+            }
+        }
+        let route = Route::new(src, archive);
+        let cap = topo.route_bottleneck(route);
+        let vol = volume.sample(&mut rng);
+        let max_rate = rng.gen_range((cap * 0.05).max(1.0)..=cap);
+        let slack = rng.gen_range(2.0..5.0);
+        requests.push(Request::new(
+            k as u64,
+            route,
+            TimeWindow::new(t, t + slack * vol / max_rate),
+            vol,
+            max_rate,
+        ));
+    }
+    Trace::new(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::paper_default()
+    }
+
+    #[test]
+    fn tier0_shape() {
+        let t = tier0_distribution(
+            &topo(),
+            0,
+            5,
+            600.0,
+            3,
+            Dist::Fixed(100_000.0),
+            7_200.0,
+            1,
+        );
+        assert_eq!(t.len(), 15);
+        assert!(t.iter().all(|r| r.route.ingress.0 == 0));
+        assert!(t.iter().all(|r| r.route.egress.0 != 0));
+        assert!(t.iter().all(|r| (r.window.duration() - 7_200.0).abs() < 1e-9));
+        assert!(t.valid_for(&topo()));
+        // Deterministic per seed.
+        let t2 = tier0_distribution(
+            &topo(),
+            0,
+            5,
+            600.0,
+            3,
+            Dist::Fixed(100_000.0),
+            7_200.0,
+            1,
+        );
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn shuffle_covers_all_ordered_pairs() {
+        let topo = Topology::uniform(4, 4, 100.0);
+        let t = allpairs_shuffle(&topo, 1_000.0, 0.0, 600.0, 2);
+        assert_eq!(t.len(), 4 * 3);
+        // Every ordered pair exactly once.
+        use std::collections::HashSet;
+        let pairs: HashSet<(u32, u32)> = t
+            .iter()
+            .map(|r| (r.route.ingress.0, r.route.egress.0))
+            .collect();
+        assert_eq!(pairs.len(), 12);
+        assert!(t.iter().all(|r| r.finish() <= 600.0 + 1e-9));
+    }
+
+    #[test]
+    fn backup_concentrates_on_the_archive() {
+        let t = nightly_backup(
+            &topo(),
+            7,
+            2,
+            86_400.0,
+            120.0,
+            Dist::Fixed(50_000.0),
+            3,
+        );
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|r| r.route.egress.0 == 7));
+        assert!(t.iter().all(|r| r.route.ingress.0 != 7));
+        assert!(t.valid_for(&topo()));
+        // Roughly 2 days / 120 s arrivals.
+        let expected = 2.0 * 86_400.0 / 120.0;
+        assert!((t.len() as f64 - expected).abs() < 0.2 * expected, "{}", t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "producer outside")]
+    fn bad_producer_rejected() {
+        let _ = tier0_distribution(
+            &topo(),
+            99,
+            1,
+            1.0,
+            1,
+            Dist::Fixed(1.0),
+            10.0,
+            0,
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Request traces: an ordered batch of requests plus summary statistics and
+//! (de)serialization.
+
+use crate::request::Request;
+use gridband_net::units::{Bandwidth, Time, Volume};
+use gridband_net::Topology;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// An immutable batch of requests sorted by start time — the scheduler input
+/// `R = {r_1 … r_K}` of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Build a trace, sorting by `(t_s, id)` and checking id uniqueness.
+    pub fn new(mut requests: Vec<Request>) -> Self {
+        requests.sort_by(|a, b| {
+            a.start()
+                .partial_cmp(&b.start())
+                .expect("finite start times")
+                .then(a.id.cmp(&b.id))
+        });
+        for w in requests.windows(2) {
+            assert!(w[0].id != w[1].id, "duplicate request id {}", w[0].id);
+        }
+        Trace { requests }
+    }
+
+    /// The requests in start-time order.
+    #[inline]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests `K`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace carries no requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Iterate over requests in start-time order.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.requests.iter()
+    }
+
+    /// Latest requested finish time, i.e. the natural simulation horizon.
+    pub fn horizon(&self) -> Time {
+        self.requests
+            .iter()
+            .map(|r| r.finish())
+            .fold(0.0, f64::max)
+    }
+
+    /// Earliest start time.
+    pub fn first_start(&self) -> Time {
+        self.requests.iter().map(|r| r.start()).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether every request routes within `topo`.
+    pub fn valid_for(&self, topo: &Topology) -> bool {
+        self.requests.iter().all(|r| r.routed_in(topo))
+    }
+
+    /// The paper's **offered load** (§4.3): time-averaged total demanded
+    /// bandwidth (at `MinRate`) divided by half the total port capacity.
+    ///
+    /// `load = Σ_r MinRate(r)·(t_f−t_s) / (horizon · (ΣB_in + ΣB_out)/2)`
+    /// which equals the time average of
+    /// `Σ_{r active at t} MinRate(r) / half_total_cap`.
+    ///
+    /// Note `MinRate·(t_f−t_s) = vol(r)`, so the numerator is simply the
+    /// total volume of the trace — demanded work over available work.
+    pub fn offered_load(&self, topo: &Topology) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        // Demand accrues over the arrival period. Dividing by the maximum
+        // finish time instead would dilute the load whenever a late slow
+        // transfer extends far past the last arrival. For degenerate traces
+        // (a single burst), fall back to the longest window.
+        let first = self.requests.first().expect("non-empty").start();
+        let last = self.requests.last().expect("non-empty").start();
+        let span = if last > first {
+            last - first
+        } else {
+            // Degenerate trace (single burst): demand lasts as long as the
+            // longest window.
+            self.requests
+                .iter()
+                .map(|r| r.window.duration())
+                .fold(0.0, f64::max)
+        };
+        let volume: Volume = self.requests.iter().map(|r| r.volume).sum();
+        volume / (span * topo.half_total_cap())
+    }
+
+    /// Summary statistics of the trace.
+    pub fn stats(&self) -> TraceStats {
+        let n = self.len();
+        if n == 0 {
+            return TraceStats::default();
+        }
+        let total_volume: Volume = self.iter().map(|r| r.volume).sum();
+        let mean_min_rate: Bandwidth =
+            self.iter().map(|r| r.min_rate()).sum::<f64>() / n as f64;
+        let mean_max_rate: Bandwidth =
+            self.iter().map(|r| r.max_rate).sum::<f64>() / n as f64;
+        let mean_slack = self.iter().map(|r| r.slack()).sum::<f64>() / n as f64;
+        let mean_duration =
+            self.iter().map(|r| r.window.duration()).sum::<f64>() / n as f64;
+        let rigid = self.iter().filter(|r| r.is_rigid()).count();
+        TraceStats {
+            count: n,
+            total_volume,
+            mean_min_rate,
+            mean_max_rate,
+            mean_slack,
+            mean_window: mean_duration,
+            rigid_count: rigid,
+            horizon: self.horizon(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Write the trace as JSON to any sink.
+    pub fn write_json<W: Write>(&self, w: W) -> std::io::Result<()> {
+        serde_json::to_writer_pretty(w, self).map_err(std::io::Error::other)
+    }
+
+    /// Read a trace back from JSON.
+    pub fn read_json<R: Read>(r: R) -> std::io::Result<Trace> {
+        serde_json::from_reader(r).map_err(std::io::Error::other)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+/// Aggregate numbers describing a trace, printed by the CLI and recorded in
+/// experiment outputs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub count: usize,
+    /// Total volume (MB).
+    pub total_volume: Volume,
+    /// Mean `MinRate` (MB/s).
+    pub mean_min_rate: Bandwidth,
+    /// Mean `MaxRate` (MB/s).
+    pub mean_max_rate: Bandwidth,
+    /// Mean window slack ratio.
+    pub mean_slack: f64,
+    /// Mean window length (s).
+    pub mean_window: Time,
+    /// How many requests are rigid.
+    pub rigid_count: usize,
+    /// Latest finish time (s).
+    pub horizon: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TimeWindow;
+    use gridband_net::Route;
+
+    fn r(id: u64, start: f64, finish: f64, vol: f64, max: f64) -> Request {
+        Request::new(id, Route::new(0, 1), TimeWindow::new(start, finish), vol, max)
+    }
+
+    #[test]
+    fn trace_sorts_by_start_time() {
+        let t = Trace::new(vec![
+            r(2, 10.0, 20.0, 100.0, 50.0),
+            r(1, 0.0, 5.0, 100.0, 50.0),
+        ]);
+        assert_eq!(t.requests()[0].id.0, 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.horizon(), 20.0);
+        assert_eq!(t.first_start(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request id")]
+    fn duplicate_ids_rejected() {
+        let _ = Trace::new(vec![
+            r(1, 0.0, 5.0, 100.0, 50.0),
+            r(1, 0.0, 6.0, 100.0, 50.0),
+        ]);
+    }
+
+    #[test]
+    fn offered_load_is_volume_over_capacity_time() {
+        let topo = Topology::uniform(2, 2, 100.0); // half-total = 200 MB/s
+        // One request: 1000 MB over [0, 10]: load = 1000 / (10*200) = 0.5
+        let t = Trace::new(vec![r(1, 0.0, 10.0, 1000.0, 100.0)]);
+        assert!((t.offered_load(&topo) - 0.5).abs() < 1e-12);
+        // Two of them: load 1.0.
+        let t = Trace::new(vec![
+            r(1, 0.0, 10.0, 1000.0, 100.0),
+            r(2, 0.0, 10.0, 1000.0, 100.0),
+        ]);
+        assert!((t.offered_load(&topo) - 1.0).abs() < 1e-12);
+        assert_eq!(Trace::new(vec![]).offered_load(&topo), 0.0);
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let t = Trace::new(vec![
+            r(1, 0.0, 10.0, 100.0, 20.0), // MinRate 10, slack 2
+            r(2, 0.0, 20.0, 100.0, 10.0), // MinRate 5, slack 2, rigid? 100/20=5 != 10
+        ]);
+        let s = t.stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_volume, 200.0);
+        assert!((s.mean_min_rate - 7.5).abs() < 1e-12);
+        assert!((s.mean_max_rate - 15.0).abs() < 1e-12);
+        assert_eq!(s.rigid_count, 0);
+        assert_eq!(s.horizon, 20.0);
+        assert_eq!(Trace::new(vec![]).stats(), TraceStats::default());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::new(vec![r(1, 0.0, 10.0, 100.0, 20.0)]);
+        let js = t.to_json();
+        let back = Trace::read_json(js.as_bytes()).unwrap();
+        assert_eq!(t, back);
+        let mut buf = Vec::new();
+        t.write_json(&mut buf).unwrap();
+        assert_eq!(Trace::read_json(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn validity_against_topology() {
+        let t = Trace::new(vec![r(1, 0.0, 10.0, 100.0, 20.0)]);
+        assert!(t.valid_for(&Topology::uniform(1, 2, 100.0)));
+        assert!(!t.valid_for(&Topology::uniform(1, 1, 100.0)));
+    }
+}

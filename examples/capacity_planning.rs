@@ -1,0 +1,84 @@
+//! Capacity planning with structured scenarios: when does the edge
+//! saturate, which ports are the hot spots, and does a backup window
+//! survive the nightly peak?
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use gridband::prelude::*;
+use gridband::sim::Timeline;
+use gridband::workload::scenarios;
+use gridband::workload::Dist;
+
+fn main() {
+    let topo = Topology::grid5000_like();
+    let day = 86_400.0;
+
+    // Overlay three structured workloads on one platform:
+    // nightly backups into site 7, a tier-0 distribution from site 0, and
+    // an afternoon all-pairs shuffle.
+    let backups = scenarios::nightly_backup(
+        &topo,
+        7,
+        1,
+        day,
+        600.0,
+        Dist::Uniform { lo: 10_000.0, hi: 80_000.0 },
+        11,
+    );
+    let tier0 = scenarios::tier0_distribution(
+        &topo,
+        0,
+        8,
+        3.0 * 3_600.0,
+        3,
+        Dist::Uniform { lo: 50_000.0, hi: 200_000.0 },
+        2.0 * 3_600.0,
+        12,
+    );
+    let shuffle = scenarios::allpairs_shuffle(&topo, 5_000.0, 14.0 * 3_600.0, 3_600.0, 13);
+    let trace = gridband::workload::ops::merge(&[&backups, &tier0, &shuffle]);
+    println!(
+        "one day of traffic: {} transfers, {:.1} TB, offered load {:.2}",
+        trace.len(),
+        trace.stats().total_volume / 1e6,
+        trace.offered_load(&topo)
+    );
+
+    let sim = Simulation::new(topo.clone());
+    let mut sched = WindowScheduler::new(300.0, BandwidthPolicy::FractionOfMax(0.8));
+    let report = sim.run(&trace, &mut sched);
+    println!("{}", report.summary());
+
+    // Where does it hurt? Hot-spot ranking by demand ratio.
+    let hotspots = HotspotReport::analyze(&trace, &topo, &report.assignments);
+    println!("demand concentration (gini): {:.2}", hotspots.demand_gini);
+    println!("hottest ports (demand ratio | granted share):");
+    for p in hotspots.ranking().iter().take(4) {
+        println!(
+            "  {}: {:.2} | {:.0}%",
+            p.port,
+            p.demand_ratio,
+            100.0 * p.grant_ratio()
+        );
+    }
+
+    // When does it hurt? Sampled utilization over the day.
+    let tl = Timeline::sample(&trace, &topo, &report.assignments, 0.0, day, day / 96.0);
+    let peak = tl.peak();
+    let peak_at = tl
+        .times
+        .iter()
+        .zip(&tl.total_alloc)
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(t, _)| *t)
+        .unwrap_or(0.0);
+    println!(
+        "edge allocation: mean {:.0}%, peak {:.0} MB/s at t = {:.1} h",
+        100.0 * tl.mean_utilization(),
+        peak,
+        peak_at / 3_600.0
+    );
+    assert!(peak <= topo.total_ingress_cap() + 1e-6);
+}

@@ -1,0 +1,56 @@
+//! Operating the tuning factor f (§2.3, §5.3): the accept-rate /
+//! transfer-speed trade-off a grid manager actually turns.
+//!
+//! ```text
+//! cargo run --release --example tuning_factor
+//! ```
+//!
+//! Sweeps f from 0 (grant only the requested minimum) to 1 (grant the
+//! full host rate) on an underloaded platform, then reports the knee: the
+//! largest f whose accept-rate sacrifice stays under 10% of the MIN BW
+//! baseline.
+
+use gridband::prelude::*;
+
+fn run_at(f: f64, trace: &Trace, sim: &Simulation) -> SimReport {
+    let policy = if f <= 0.0 {
+        BandwidthPolicy::MinRate
+    } else {
+        BandwidthPolicy::FractionOfMax(f)
+    };
+    let mut w = WindowScheduler::new(50.0, policy);
+    sim.run(trace, &mut w)
+}
+
+fn main() {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(15.0)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(4_000.0)
+        .seed(7)
+        .build();
+    let sim = Simulation::new(topo);
+
+    println!("   f  accept  speedup  (window scheduler, underloaded)");
+    let baseline = run_at(0.0, &trace, &sim);
+    let mut knee = 0.0;
+    for k in 0..=10 {
+        let f = k as f64 / 10.0;
+        let rep = run_at(f, &trace, &sim);
+        println!(
+            "{f:4.1}  {:5.1}%  {:6.2}x",
+            100.0 * rep.accept_rate,
+            rep.mean_speedup
+        );
+        if rep.accept_rate >= 0.9 * baseline.accept_rate {
+            knee = f;
+        }
+    }
+    println!();
+    println!(
+        "suggested operating point: f = {knee:.1} — transfers finish faster \
+         (releasing CPUs and disks early, the §2.3 argument) while keeping \
+         ≥90% of the MIN BW accept rate"
+    );
+}

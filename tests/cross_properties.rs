@@ -1,0 +1,151 @@
+//! Property-based tests spanning crates: random workloads through every
+//! scheduler must always yield feasible, internally consistent results.
+
+use gridband::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random but well-formed flexible request set on a 3×3 grid.
+fn arb_requests() -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (
+            0u32..3,          // ingress
+            0u32..3,          // egress
+            0.0f64..200.0,    // start
+            10.0f64..5_000.0, // volume (MB)
+            10.0f64..100.0,   // max rate (MB/s)
+            1.0f64..5.0,      // slack
+        ),
+        1..40,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(k, (i, e, start, vol, rate, slack))| {
+                Request::new(
+                    k as u64,
+                    Route::new(i, e),
+                    TimeWindow::new(start, start + slack * vol / rate),
+                    vol,
+                    rate,
+                )
+            })
+            .collect()
+    })
+}
+
+fn topo() -> Topology {
+    Topology::uniform(3, 3, 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Greedy schedules over arbitrary workloads are always feasible and
+    /// partition the trace.
+    #[test]
+    fn greedy_always_feasible(reqs in arb_requests(), f in 0.1f64..=1.0) {
+        let trace = Trace::new(reqs);
+        let sim = Simulation::new(topo());
+        // The runner panics on any constraint violation, so completing is
+        // the assertion; re-verify independently anyway.
+        let rep = sim.run(&trace, &mut Greedy::fraction(f));
+        prop_assert!(verify_schedule(&trace, sim.topology(), &rep.assignments).is_ok());
+        prop_assert_eq!(rep.accepted_count() + rep.rejected.len(), trace.len());
+    }
+
+    /// Window schedules over arbitrary workloads are always feasible, for
+    /// any step size and policy.
+    #[test]
+    fn window_always_feasible(
+        reqs in arb_requests(),
+        step in 1.0f64..120.0,
+        min_policy in any::<bool>(),
+    ) {
+        let trace = Trace::new(reqs);
+        let sim = Simulation::new(topo());
+        let policy = if min_policy {
+            BandwidthPolicy::MinRate
+        } else {
+            BandwidthPolicy::MAX_RATE
+        };
+        let rep = sim.run(&trace, &mut WindowScheduler::new(step, policy));
+        prop_assert!(verify_schedule(&trace, sim.topology(), &rep.assignments).is_ok());
+        // Accepted transfers meet their deadlines with the right volume.
+        for a in &rep.assignments {
+            let r = trace.iter().find(|r| r.id == a.id).expect("in trace");
+            prop_assert!(a.finish <= r.finish() + 1e-6);
+            let delivered = a.bw * (a.finish - a.start);
+            prop_assert!((delivered - r.volume).abs() < 1e-6 * r.volume.max(1.0) + 1e-6);
+        }
+    }
+
+    /// The rigid heuristics accept subsets whose size never exceeds the
+    /// trivial per-port packing bound, and all of them verify.
+    #[test]
+    fn rigid_heuristics_always_feasible(reqs in arb_requests()) {
+        // Rigidify: pin every window to exactly vol/max_rate.
+        let rigid: Vec<Request> = reqs
+            .iter()
+            .map(|r| Request::rigid(r.id.0, r.route, r.start(), r.volume, r.max_rate))
+            .collect();
+        let trace = Trace::new(rigid);
+        for h in RigidHeuristic::ALL {
+            let assignments = h.schedule(&trace, &topo());
+            prop_assert!(verify_schedule(&trace, &topo(), &assignments).is_ok(),
+                "{} infeasible", h.label());
+        }
+    }
+
+    /// The max-min allocation is always feasible and saturated (no flow
+    /// can be raised unilaterally).
+    #[test]
+    fn maxmin_allocation_feasible_and_saturated(reqs in arb_requests()) {
+        use gridband::maxmin::{max_min_rates, FairFlow};
+        let topo = topo();
+        let flows: Vec<FairFlow> = reqs
+            .iter()
+            .map(|r| FairFlow { route: r.route, cap: r.max_rate })
+            .collect();
+        let rates = max_min_rates(&topo, &flows);
+        let mut used_in = [0.0f64; 3];
+        let mut used_out = vec![0.0f64; 3];
+        for (f, r) in flows.iter().zip(&rates) {
+            prop_assert!(*r >= 0.0 && *r <= f.cap + 1e-6);
+            used_in[f.route.ingress.index()] += r;
+            used_out[f.route.egress.index()] += r;
+        }
+        for u in used_in.iter().chain(&used_out) {
+            prop_assert!(*u <= 100.0 + 1e-6, "port overloaded: {u}");
+        }
+        for (f, r) in flows.iter().zip(&rates) {
+            let saturated = *r + 1e-6 >= f.cap
+                || used_in[f.route.ingress.index()] + 1e-6 >= 100.0
+                || used_out[f.route.egress.index()] + 1e-6 >= 100.0;
+            prop_assert!(saturated, "flow with rate {r} could still grow");
+        }
+    }
+
+    /// Exact solver dominance: branch-and-bound accepts at least as many
+    /// requests as every heuristic on rigidified instances.
+    #[test]
+    fn exact_dominates_heuristics(reqs in prop::collection::vec(
+        (0u32..2, 0u32..2, 0.0f64..20.0, 50.0f64..500.0, 25.0f64..100.0),
+        1..10,
+    )) {
+        use gridband::exact::{max_accepted, ExactInstance};
+        let topo = Topology::uniform(2, 2, 100.0);
+        let rigid: Vec<Request> = reqs
+            .into_iter()
+            .enumerate()
+            .map(|(k, (i, e, start, vol, rate))| {
+                Request::rigid(k as u64, Route::new(i, e), start, vol, rate)
+            })
+            .collect();
+        let trace = Trace::new(rigid);
+        let opt = max_accepted(&ExactInstance::from_rigid_trace(&trace, &topo));
+        for h in RigidHeuristic::ALL {
+            prop_assert!(h.schedule(&trace, &topo).len() <= opt);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end pipeline tests: workload synthesis → scheduling →
+//! independent verification → reporting, across every scheduler in the
+//! workspace.
+
+use gridband::prelude::*;
+
+fn flexible_trace(interarrival: f64, seed: u64, topo: &Topology) -> Trace {
+    WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(600.0)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn every_flexible_scheduler_yields_a_verified_schedule() {
+    let topo = Topology::paper_default();
+    let trace = flexible_trace(1.0, 5, &topo);
+    let sim = Simulation::new(topo.clone());
+
+    let reports = vec![
+        sim.run(&trace, &mut Greedy::min_rate()),
+        sim.run(&trace, &mut Greedy::fraction(0.5)),
+        sim.run(&trace, &mut Greedy::fraction(1.0)),
+        sim.run(&trace, &mut WindowScheduler::new(20.0, BandwidthPolicy::MinRate)),
+        sim.run(&trace, &mut WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE)),
+    ];
+    for rep in &reports {
+        // The runner verified already; verify once more from scratch.
+        verify_schedule(&trace, &topo, &rep.assignments)
+            .unwrap_or_else(|v| panic!("{}: {v:?}", rep.policy));
+        assert_eq!(
+            rep.accepted_count() + rep.rejected.len(),
+            trace.len(),
+            "{}: outcomes must partition the trace",
+            rep.policy
+        );
+        assert!(rep.accept_rate > 0.0 && rep.accept_rate <= 1.0);
+    }
+}
+
+#[test]
+fn every_rigid_heuristic_yields_a_verified_schedule() {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .target_load(3.0)
+        .horizon(1_200.0)
+        .seed(3)
+        .build();
+    for h in RigidHeuristic::ALL {
+        let assignments = h.schedule(&trace, &topo);
+        verify_schedule(&trace, &topo, &assignments)
+            .unwrap_or_else(|v| panic!("{}: {v:?}", h.label()));
+        // Rigid heuristics never alter the requested shape.
+        for a in &assignments {
+            let req = trace
+                .iter()
+                .find(|r| r.id == a.id)
+                .expect("assignment maps to a request");
+            assert_eq!(a.start, req.start());
+            assert_eq!(a.finish, req.finish());
+            assert!((a.bw - req.min_rate()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let topo = Topology::paper_default();
+    let trace = flexible_trace(0.5, 11, &topo);
+    let sim = Simulation::new(topo);
+    let a = sim.run(&trace, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE));
+    let b = sim.run(&trace, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE));
+    assert_eq!(a.assignments, b.assignments);
+    assert_eq!(a.rejected, b.rejected);
+    assert_eq!(a.accept_rate, b.accept_rate);
+}
+
+#[test]
+fn rigid_requests_make_policies_equivalent() {
+    // With slack = 1 every request is rigid (MinRate = MaxRate), so the
+    // bandwidth policy cannot matter.
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .target_load(2.0)
+        .slack(Dist::Fixed(1.0))
+        .horizon(800.0)
+        .seed(17)
+        .build();
+    assert!(trace.iter().all(|r| r.is_rigid()));
+    let sim = Simulation::new(topo);
+    let min = sim.run(&trace, &mut Greedy::min_rate());
+    let max = sim.run(&trace, &mut Greedy::fraction(1.0));
+    assert_assignments_equivalent(&min.assignments, &max.assignments);
+}
+
+/// Same accepted set; bandwidths may differ in the last ulp because the
+/// two policy paths clamp through `min(needed, MaxRate)` differently.
+fn assert_assignments_equivalent(a: &[Assignment], b: &[Assignment]) {
+    assert_eq!(a.len(), b.len(), "different accepted counts");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id);
+        assert!((x.bw - y.bw).abs() <= 1e-9 * x.bw.max(1.0), "{x:?} vs {y:?}");
+        assert!((x.start - y.start).abs() <= 1e-9);
+        assert!((x.finish - y.finish).abs() <= 1e-6 * x.finish.abs().max(1.0));
+    }
+}
+
+#[test]
+fn greedy_via_simulation_matches_fcfs_rigid_on_distinct_start_times() {
+    // On a rigid trace with strictly distinct start times, the online
+    // greedy controller and the offline FCFS function must agree (the
+    // only difference between them is the same-start tie-break).
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .target_load(4.0)
+        .slack(Dist::Fixed(1.0))
+        .horizon(800.0)
+        .seed(23)
+        .build();
+    let starts: Vec<f64> = trace.iter().map(|r| r.start()).collect();
+    let distinct = starts.windows(2).all(|w| w[0] != w[1]);
+    assert!(distinct, "Poisson arrivals are a.s. distinct");
+
+    let offline = fcfs_rigid(&trace, &topo);
+    let sim = Simulation::new(topo);
+    let online = sim.run(&trace, &mut Greedy::min_rate());
+    assert_assignments_equivalent(&online.assignments, &offline);
+}
+
+#[test]
+fn reports_survive_json_round_trips() {
+    let topo = Topology::paper_default();
+    let trace = flexible_trace(2.0, 31, &topo);
+    let sim = Simulation::new(topo);
+    let rep = sim.run(&trace, &mut Greedy::fraction(0.8));
+    let js = serde_json::to_string(&rep).expect("report serializes");
+    let back: SimReport = serde_json::from_str(&js).expect("report deserializes");
+    assert_eq!(rep, back);
+
+    // Traces round-trip through files too.
+    let dir = std::env::temp_dir().join("gridband-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    trace
+        .write_json(std::fs::File::create(&path).unwrap())
+        .unwrap();
+    let back = Trace::read_json(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(trace, back);
+}
+
+#[test]
+fn guaranteed_rate_is_monotone_in_f() {
+    let topo = Topology::paper_default();
+    let trace = flexible_trace(2.0, 41, &topo);
+    let sim = Simulation::new(topo);
+    let rep = sim.run(&trace, &mut Greedy::fraction(1.0));
+    let mut prev = f64::INFINITY;
+    for f in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let g = rep.guaranteed_rate(&trace, f);
+        assert!(g <= prev + 1e-12, "guaranteed rate must not grow with f");
+        assert!(g <= rep.accept_rate + 1e-12);
+        prev = g;
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over the extension subsystems: malleable
+//! packing, retries, the distributed control plane and edge policing.
+
+use gridband::algos::flexible::{schedule_malleable, verify_malleable};
+use gridband::control::{police_constant_sources, ControlPlane};
+use gridband::prelude::*;
+use proptest::prelude::*;
+
+fn arb_requests() -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (
+            0u32..3,
+            0u32..3,
+            0.0f64..150.0,
+            10.0f64..3_000.0,
+            10.0f64..100.0,
+            1.0f64..5.0,
+        ),
+        1..30,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(k, (i, e, start, vol, rate, slack))| {
+                Request::new(
+                    k as u64,
+                    Route::new(i, e),
+                    TimeWindow::new(start, start + slack * vol / rate),
+                    vol,
+                    rate,
+                )
+            })
+            .collect()
+    })
+}
+
+fn topo() -> Topology {
+    Topology::uniform(3, 3, 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Malleable schedules always verify, deliver exact volumes, and the
+    /// accepted set contains every request greedy would accept.
+    #[test]
+    fn malleable_always_feasible_and_dominates_greedy_pointwise(
+        reqs in arb_requests()
+    ) {
+        let trace = Trace::new(reqs);
+        let rep = schedule_malleable(&trace, &topo(), None);
+        prop_assert!(verify_malleable(&trace, &topo(), &rep).is_ok());
+        prop_assert_eq!(rep.accepted.len() + rep.rejected.len(), trace.len());
+        // Segments are time-ordered and inside the window.
+        for a in &rep.accepted {
+            let req = trace.iter().find(|r| r.id == a.id).expect("in trace");
+            for w in a.segments.windows(2) {
+                prop_assert!(w[0].end <= w[1].start + 1e-9);
+            }
+            prop_assert!(a.finish() <= req.finish() + 1e-6);
+        }
+    }
+
+    /// A floor policy can only shrink the accepted set.
+    #[test]
+    fn malleable_floor_is_monotone(reqs in arb_requests(), f in 0.1f64..=1.0) {
+        let trace = Trace::new(reqs);
+        let free = schedule_malleable(&trace, &topo(), None);
+        let floored =
+            schedule_malleable(&trace, &topo(), Some(BandwidthPolicy::FractionOfMax(f)));
+        prop_assert!(verify_malleable(&trace, &topo(), &floored).is_ok());
+        // Not a subset guarantee (packing order effects), but the count
+        // can never grow: every floored packing is also a free packing.
+        prop_assert!(floored.accepted.len() <= free.accepted.len() + trace.len() / 4,
+            "floored {} far above free {}", floored.accepted.len(), free.accepted.len());
+    }
+
+    /// The retry wrapper never produces an infeasible or double-booked
+    /// schedule, for any backoff/attempt budget.
+    #[test]
+    fn retry_schedules_stay_feasible(
+        reqs in arb_requests(),
+        backoff in 1.0f64..60.0,
+        attempts in 1usize..5,
+    ) {
+        let trace = Trace::new(reqs);
+        let sim = Simulation::new(topo());
+        let mut c = Retrying::new(
+            Greedy::fraction(1.0),
+            RetryPolicy { backoff, max_attempts: attempts },
+        );
+        // The runner panics on any double accept or capacity violation.
+        let rep = sim.run(&trace, &mut c);
+        prop_assert!(verify_schedule(&trace, sim.topology(), &rep.assignments).is_ok());
+        prop_assert_eq!(rep.accepted_count() + rep.rejected.len(), trace.len());
+    }
+
+    /// The distributed control plane never over-commits any port, for any
+    /// signaling delay, and resolves every transaction.
+    #[test]
+    fn control_plane_safe_under_any_delay(
+        reqs in arb_requests(),
+        delay in 0.0f64..10.0,
+    ) {
+        let trace = Trace::new(reqs);
+        let plane = ControlPlane::new(topo(), delay, BandwidthPolicy::MAX_RATE);
+        let rep = plane.run(&trace);
+        prop_assert!(verify_schedule(&trace, &topo(), &rep.assignments).is_ok());
+        prop_assert_eq!(rep.assignments.len() + rep.rejected.len(), trace.len());
+        // Message budget: between 2 (Resv+Reply) and 5 per request.
+        prop_assert!(rep.messages >= 2 * trace.len());
+        prop_assert!(rep.messages <= 5 * trace.len());
+    }
+
+    /// Token buckets never admit more than contract × time + burst.
+    #[test]
+    fn policing_respects_the_arrival_curve(
+        contract in 1.0f64..200.0,
+        actual in 1.0f64..500.0,
+        duration in 10.0f64..200.0,
+    ) {
+        let out = police_constant_sources(&[(contract, actual)], duration, 1.0);
+        let p = out[0];
+        prop_assert!(p.admitted <= p.offered + 1e-9);
+        // Arrival-curve bound: rate × duration + one bucket of burst.
+        prop_assert!(
+            p.admitted <= contract * duration + contract * 1.0 + 1e-6,
+            "admitted {} vs bound {}", p.admitted, contract * (duration + 1.0)
+        );
+        // A conforming source is never dropped.
+        if actual <= contract {
+            prop_assert!(p.drop_rate() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests of the extension subsystems working together:
+//! control plane ↔ scheduler equivalence, hybrid traffic, timelines,
+//! replica selection feeding the ordinary pipeline, and the long-lived
+//! optimum consistency.
+
+use gridband::control::{police_constant_sources, ControlPlane};
+use gridband::maxmin::{hybrid_best_effort, BestEffortFlow};
+use gridband::prelude::*;
+use gridband::sim::Timeline;
+
+fn topo() -> Topology {
+    Topology::paper_default()
+}
+
+fn workload(seed: u64, ia: f64, horizon: f64) -> Trace {
+    WorkloadBuilder::new(topo())
+        .mean_interarrival(ia)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(horizon)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn control_plane_schedule_feeds_the_standard_pipeline() {
+    // A schedule produced by the distributed protocol must flow through
+    // the same verification, reporting, timeline and hot-spot tooling as
+    // a centralized one.
+    let trace = workload(51, 2.0, 600.0);
+    let plane = ControlPlane::new(topo(), 0.25, BandwidthPolicy::FractionOfMax(0.8));
+    let rep = plane.run(&trace);
+    verify_schedule(&trace, &topo(), &rep.assignments).expect("feasible");
+
+    let sim_report = SimReport::from_assignments("control", &trace, &topo(), rep.assignments);
+    assert!(sim_report.accept_rate > 0.0);
+    // Decision latency shows up as a start delay ≥ 3 × one-way delay.
+    assert!(
+        sim_report.mean_start_delay >= 3.0 * 0.25 - 1e-9,
+        "mean start delay {}",
+        sim_report.mean_start_delay
+    );
+
+    let tl = Timeline::sample(
+        &trace,
+        &topo(),
+        &sim_report.assignments,
+        0.0,
+        600.0,
+        10.0,
+    );
+    assert!(tl.peak() > 0.0);
+    assert!(tl.peak() <= topo().total_ingress_cap() + 1e-6);
+
+    let hs = HotspotReport::analyze(&trace, &topo(), &sim_report.assignments);
+    assert!(hs.demand_gini >= 0.0 && hs.demand_gini < 1.0);
+}
+
+#[test]
+fn bookahead_reservations_show_up_in_the_future_of_the_timeline() {
+    let topo = Topology::uniform(1, 1, 100.0);
+    let trace = Trace::new(vec![
+        Request::new(0, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 1_000.0, 100.0),
+        Request::new(1, Route::new(0, 0), TimeWindow::new(1.0, 31.0), 1_000.0, 100.0),
+    ]);
+    let sim = Simulation::new(topo.clone());
+    let rep = sim.run(&trace, &mut BookAhead::new(BandwidthPolicy::MAX_RATE));
+    assert_eq!(rep.accepted_count(), 2);
+    let tl = Timeline::sample(&trace, &topo, &rep.assignments, 0.0, 25.0, 1.0);
+    // Port fully busy for the whole [0, 20) span: first transfer then the
+    // booked one, back to back.
+    assert!(tl.total_alloc[..20].iter().all(|&x| (x - 100.0).abs() < 1e-6));
+    assert_eq!(tl.total_alloc[22], 0.0);
+    // The report records the wait of the second transfer.
+    assert!((rep.mean_start_delay - 4.5).abs() < 1e-9); // (0 + 9)/2
+}
+
+#[test]
+fn hybrid_mice_fill_exactly_what_reservations_leave() {
+    let topo = Topology::uniform(2, 2, 100.0);
+    let trace = Trace::new(vec![Request::rigid(0, Route::new(0, 1), 0.0, 700.0, 70.0)]);
+    let sim = Simulation::new(topo.clone());
+    let rep = sim.run(&trace, &mut Greedy::fraction(1.0));
+    assert_eq!(rep.accepted_count(), 1);
+    let mice = [
+        BestEffortFlow { route: Route::new(0, 1), cap: f64::INFINITY },
+        BestEffortFlow { route: Route::new(1, 0), cap: f64::INFINITY },
+    ];
+    let hy = hybrid_best_effort(&topo, &trace, &rep.assignments, &mice, 0.0, 10.0, 1.0);
+    // While the 70 MB/s reservation runs, its route's mouse gets 30 and
+    // the disjoint one 100; reservation + mice never exceed any port.
+    for k in 0..hy.times.len() {
+        assert!((hy.rates[0][k] - 30.0).abs() < 1e-6, "{:?}", hy.rates[0]);
+        assert!((hy.rates[1][k] - 100.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn policing_keeps_the_admitted_aggregate_within_the_grant_sum() {
+    // Five flows, three of them cheating at various degrees.
+    let contracts = [100.0, 150.0, 200.0, 50.0, 75.0];
+    let actual = [100.0, 300.0, 200.0, 500.0, 80.0];
+    let flows: Vec<(f64, f64)> = contracts.iter().copied().zip(actual).collect();
+    let out = police_constant_sources(&flows, 120.0, 1.0);
+    let admitted_rate: f64 = out.iter().map(|p| p.admitted / 120.0).sum();
+    let grant_sum: f64 = contracts.iter().sum();
+    assert!(
+        admitted_rate <= grant_sum * 1.02,
+        "admitted {admitted_rate} vs grants {grant_sum}"
+    );
+    // Conforming flows unharmed.
+    assert_eq!(out[0].drop_rate(), 0.0);
+    assert_eq!(out[2].drop_rate(), 0.0);
+    assert!(out[3].drop_rate() > 0.85);
+}
+
+#[test]
+fn replica_selection_composes_with_every_scheduler() {
+    use gridband::net::IngressId;
+    let topo = topo();
+    // All primaries on site 0, replicas everywhere.
+    let reqs: Vec<ReplicatedRequest> = workload(9, 2.0, 400.0)
+        .iter()
+        .map(|r| {
+            let mut r = *r;
+            r.route = Route::new(0, r.route.egress.0);
+            ReplicatedRequest::new(r, (0..10).map(IngressId).collect())
+        })
+        .collect();
+    let balanced = select_replicas(&topo, &reqs, ReplicaStrategy::LeastDemand);
+    let sim = Simulation::new(topo.clone());
+    // Every scheduler family accepts the rebalanced trace feasibly (the
+    // runner verifies) and strictly beats the skewed primary placement.
+    let primary = select_replicas(&topo, &reqs, ReplicaStrategy::Primary);
+    for (label, accept_balanced, accept_primary) in [
+        (
+            "greedy",
+            sim.run(&balanced, &mut Greedy::fraction(1.0)).accept_rate,
+            sim.run(&primary, &mut Greedy::fraction(1.0)).accept_rate,
+        ),
+        (
+            "window",
+            sim.run(&balanced, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE))
+                .accept_rate,
+            sim.run(&primary, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE))
+                .accept_rate,
+        ),
+        (
+            "bookahead",
+            sim.run(&balanced, &mut BookAhead::new(BandwidthPolicy::MAX_RATE))
+                .accept_rate,
+            sim.run(&primary, &mut BookAhead::new(BandwidthPolicy::MAX_RATE))
+                .accept_rate,
+        ),
+    ] {
+        assert!(
+            accept_balanced > accept_primary,
+            "{label}: balanced {accept_balanced} ≤ primary {accept_primary}"
+        );
+    }
+}
+
+#[test]
+fn longlived_optimum_is_a_valid_simultaneous_schedule() {
+    use gridband::exact::verify_uniform_longlived;
+    let topo = Topology::grid5000_like();
+    let routes: Vec<Route> = (0..60)
+        .map(|k| Route::new((k % 8) as u32, ((k + 3) % 8) as u32))
+        .collect();
+    let b = 100.0;
+    let (opt, accepted) = optimal_uniform_longlived(&topo, &routes, b);
+    assert!(verify_uniform_longlived(&topo, &routes, b, &accepted));
+    assert_eq!(accepted.iter().filter(|&&a| a).count(), opt);
+    // Cross-check with the generic rigid machinery: the accepted flows,
+    // expressed as simultaneous rigid requests, verify on the ledger too.
+    let reqs: Vec<Request> = routes
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| accepted[*k])
+        .map(|(k, &route)| Request::rigid(k as u64, route, 0.0, b * 100.0, b))
+        .collect();
+    let trace = Trace::new(reqs);
+    let assignments: Vec<Assignment> = trace
+        .iter()
+        .map(|r| Assignment {
+            id: r.id,
+            bw: b,
+            start: 0.0,
+            finish: 100.0,
+        })
+        .collect();
+    verify_schedule(&trace, &topo, &assignments).expect("long-lived optimum feasible");
+}

@@ -1,0 +1,123 @@
+//! Cross-checks between independently implemented metrics: the same
+//! quantity computed through different code paths must agree.
+
+use gridband::net::CapacityLedger;
+use gridband::prelude::*;
+use gridband::sim::Timeline;
+
+fn setup() -> (Topology, Trace, SimReport) {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(2.0)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(600.0)
+        .seed(77)
+        .build();
+    let sim = Simulation::new(topo.clone());
+    let rep = sim.run(
+        &trace,
+        &mut WindowScheduler::new(30.0, BandwidthPolicy::FractionOfMax(0.8)),
+    );
+    (topo, trace, rep)
+}
+
+#[test]
+fn carried_volume_agrees_between_report_and_assignments() {
+    let (_, trace, rep) = setup();
+    let offered: f64 = trace.iter().map(|r| r.volume).sum();
+    let carried: f64 = rep.assignments.iter().map(|a| a.volume()).sum();
+    assert!(
+        (rep.volume_carried_fraction - carried / offered).abs() < 1e-12,
+        "report fraction {} vs recomputed {}",
+        rep.volume_carried_fraction,
+        carried / offered
+    );
+}
+
+#[test]
+fn ledger_area_agrees_with_assignment_volumes() {
+    let (topo, trace, rep) = setup();
+    let mut ledger = CapacityLedger::new(topo);
+    for a in &rep.assignments {
+        let req = trace.iter().find(|r| r.id == a.id).unwrap();
+        ledger.reserve(req.route, a.start, a.finish, a.bw).unwrap();
+    }
+    let horizon = rep
+        .assignments
+        .iter()
+        .map(|a| a.finish)
+        .fold(0.0f64, f64::max)
+        + 1.0;
+    let area = ledger.reserved_area(0.0, horizon);
+    let carried: f64 = rep.assignments.iter().map(|a| a.volume()).sum();
+    assert!(
+        (area - carried).abs() < 1e-6 * carried.max(1.0),
+        "ledger area {area} vs carried {carried}"
+    );
+}
+
+#[test]
+fn timeline_integral_agrees_with_carried_volume() {
+    let (topo, trace, rep) = setup();
+    // Fine sampling over the full activity span: the Riemann sum of the
+    // sampled total allocation must approach the carried volume.
+    let t1 = rep
+        .assignments
+        .iter()
+        .map(|a| a.finish)
+        .fold(0.0f64, f64::max);
+    let step = 0.25;
+    let tl = Timeline::sample(&trace, &topo, &rep.assignments, 0.0, t1 + 1.0, step);
+    let integral: f64 = tl.total_alloc.iter().sum::<f64>() * step;
+    let carried: f64 = rep.assignments.iter().map(|a| a.volume()).sum();
+    assert!(
+        (integral - carried).abs() < 0.02 * carried.max(1.0),
+        "timeline integral {integral} vs carried {carried}"
+    );
+}
+
+#[test]
+fn hotspot_grants_match_report_acceptances() {
+    let (topo, trace, rep) = setup();
+    let hs = HotspotReport::analyze(&trace, &topo, &rep.assignments);
+    let granted_in: f64 = hs
+        .ports
+        .iter()
+        .filter(|p| matches!(p.port, gridband::net::PortRef::In(_)))
+        .map(|p| p.granted)
+        .sum();
+    // Hotspot attributes each accepted request's *requested* volume to
+    // its ingress; the report's carried volume equals requested volume
+    // for every acceptance (exact delivery).
+    let carried: f64 = rep.assignments.iter().map(|a| a.volume()).sum();
+    assert!(
+        (granted_in - carried).abs() < 1e-6 * carried.max(1.0),
+        "hotspot grants {granted_in} vs carried {carried}"
+    );
+}
+
+#[test]
+fn busy_fraction_agrees_with_sampled_timeline() {
+    let (topo, trace, rep) = setup();
+    let mut ledger = CapacityLedger::new(topo.clone());
+    for a in &rep.assignments {
+        let req = trace.iter().find(|r| r.id == a.id).unwrap();
+        ledger.reserve(req.route, a.start, a.finish, a.bw).unwrap();
+    }
+    let port = gridband::net::IngressId(0);
+    let profile = ledger.ingress_profile(port);
+    let threshold = 0.5 * topo.ingress_cap(port);
+    let (t0, t1) = (0.0, 600.0);
+    let exact = profile.busy_fraction(t0, t1, threshold);
+    // Sampled estimate.
+    let n = 6_000;
+    let step = (t1 - t0) / n as f64;
+    let sampled = (0..n)
+        .filter(|k| profile.alloc_at(t0 + (*k as f64 + 0.5) * step) + 1e-9 >= threshold)
+        .count() as f64
+        / n as f64;
+    assert!(
+        (exact - sampled).abs() < 0.02,
+        "exact {exact} vs sampled {sampled}"
+    );
+}

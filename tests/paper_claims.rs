@@ -1,0 +1,279 @@
+//! Executable versions of the paper's qualitative claims — the "shape"
+//! assertions the reproduction must preserve. Each test names the section
+//! or figure it encodes.
+
+use gridband::maxmin::{run_maxmin, MaxMinConfig};
+use gridband::prelude::*;
+use gridband_workload::stats::mean;
+
+fn rigid_trace(load: f64, seed: u64, topo: &Topology) -> Trace {
+    WorkloadBuilder::new(topo.clone())
+        .target_load(load)
+        .horizon(2_500.0)
+        .seed(seed)
+        .build()
+}
+
+fn flexible_trace(ia: f64, seed: u64, horizon: f64, topo: &Topology) -> Trace {
+    WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(ia)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(horizon)
+        .seed(seed)
+        .build()
+}
+
+/// §4.4 / Figure 4: under load, the slots heuristics beat FCFS on accept
+/// rate (averaged over seeds — individual draws can tie).
+#[test]
+fn fig4_slots_beat_fcfs_under_load() {
+    let topo = Topology::paper_default();
+    let seeds = [1u64, 2, 3, 4];
+    let mut fcfs = Vec::new();
+    let mut minbw = Vec::new();
+    let mut cumulated = Vec::new();
+    for seed in seeds {
+        let trace = rigid_trace(6.0, seed, &topo);
+        fcfs.push(RigidHeuristic::Fcfs.report(&trace, &topo).accept_rate);
+        minbw.push(RigidHeuristic::MinBwSlots.report(&trace, &topo).accept_rate);
+        cumulated.push(
+            RigidHeuristic::CumulatedSlots
+                .report(&trace, &topo)
+                .accept_rate,
+        );
+    }
+    assert!(
+        mean(&minbw) > mean(&fcfs),
+        "minbw {} ≤ fcfs {}",
+        mean(&minbw),
+        mean(&fcfs)
+    );
+    assert!(
+        mean(&cumulated) > mean(&fcfs),
+        "cumulated {} ≤ fcfs {}",
+        mean(&cumulated),
+        mean(&fcfs)
+    );
+}
+
+/// §4.4 / Figure 4: MINVOL-SLOTS is the weak variant — its utilization
+/// falls clearly below MINBW-SLOTS and CUMULATED-SLOTS.
+#[test]
+fn fig4_minvol_utilization_is_worst() {
+    let topo = Topology::paper_default();
+    let seeds = [5u64, 6, 7];
+    let mut minvol = Vec::new();
+    let mut minbw = Vec::new();
+    let mut cumulated = Vec::new();
+    for seed in seeds {
+        let trace = rigid_trace(4.0, seed, &topo);
+        minvol.push(RigidHeuristic::MinVolSlots.report(&trace, &topo).resource_util);
+        minbw.push(RigidHeuristic::MinBwSlots.report(&trace, &topo).resource_util);
+        cumulated.push(
+            RigidHeuristic::CumulatedSlots
+                .report(&trace, &topo)
+                .resource_util,
+        );
+    }
+    assert!(mean(&minvol) < mean(&minbw), "{} vs {}", mean(&minvol), mean(&minbw));
+    assert!(mean(&minvol) < mean(&cumulated));
+}
+
+/// §4.4 / Figure 4: CUMULATED-SLOTS and MINBW-SLOTS "have very close
+/// performance" — within a few points of accept rate.
+#[test]
+fn fig4_cumulated_and_minbw_are_close() {
+    let topo = Topology::paper_default();
+    let seeds = [8u64, 9, 10];
+    let mut gap = Vec::new();
+    for seed in seeds {
+        let trace = rigid_trace(4.0, seed, &topo);
+        let a = RigidHeuristic::CumulatedSlots.report(&trace, &topo).accept_rate;
+        let b = RigidHeuristic::MinBwSlots.report(&trace, &topo).accept_rate;
+        gap.push((a - b).abs());
+    }
+    assert!(mean(&gap) < 0.08, "mean gap {}", mean(&gap));
+}
+
+/// §5.3 / Figure 5: in a heavily loaded network the interval-based
+/// heuristic beats greedy, and longer intervals help.
+#[test]
+fn fig5_window_beats_greedy_when_heavy() {
+    let topo = Topology::paper_default();
+    let seeds = [1u64, 2, 3, 4];
+    let mut greedy = Vec::new();
+    let mut win_short = Vec::new();
+    let mut win_long = Vec::new();
+    for seed in seeds {
+        let trace = flexible_trace(0.25, seed, 600.0, &topo);
+        let sim = Simulation::new(topo.clone());
+        greedy.push(sim.run(&trace, &mut Greedy::fraction(1.0)).accept_rate);
+        win_short.push(
+            sim.run(&trace, &mut WindowScheduler::new(10.0, BandwidthPolicy::MAX_RATE))
+                .accept_rate,
+        );
+        win_long.push(
+            sim.run(&trace, &mut WindowScheduler::new(100.0, BandwidthPolicy::MAX_RATE))
+                .accept_rate,
+        );
+    }
+    assert!(
+        mean(&win_long) > mean(&greedy),
+        "window(100) {} ≤ greedy {}",
+        mean(&win_long),
+        mean(&greedy)
+    );
+    assert!(
+        mean(&win_long) > mean(&win_short),
+        "window(100) {} ≤ window(10) {}",
+        mean(&win_long),
+        mean(&win_short)
+    );
+}
+
+/// §5.3 / Figure 6: when the network is lightly loaded, granting only the
+/// minimum bandwidth accepts more requests than granting the full host
+/// rate.
+#[test]
+fn fig6_min_bw_wins_when_light() {
+    let topo = Topology::paper_default();
+    let seeds = [1u64, 2, 3];
+    let mut min_bw = Vec::new();
+    let mut full = Vec::new();
+    for seed in seeds {
+        let trace = flexible_trace(12.0, seed, 3_000.0, &topo);
+        let sim = Simulation::new(topo.clone());
+        min_bw.push(sim.run(&trace, &mut Greedy::min_rate()).accept_rate);
+        full.push(sim.run(&trace, &mut Greedy::fraction(1.0)).accept_rate);
+    }
+    assert!(
+        mean(&min_bw) > mean(&full),
+        "min-bw {} ≤ f=1 {}",
+        mean(&min_bw),
+        mean(&full)
+    );
+}
+
+/// §5.3 / Figure 6: the MIN BW advantage shrinks (or reverses) under
+/// heavy load, because full-rate transfers leave the network sooner.
+#[test]
+fn fig6_min_bw_advantage_shrinks_when_heavy() {
+    let topo = Topology::paper_default();
+    let seeds = [4u64, 5, 6];
+    let mut light_gap = Vec::new();
+    let mut heavy_gap = Vec::new();
+    for seed in seeds {
+        let sim = Simulation::new(topo.clone());
+        let light = flexible_trace(12.0, seed, 3_000.0, &topo);
+        let a = sim.run(&light, &mut Greedy::min_rate()).accept_rate;
+        let b = sim.run(&light, &mut Greedy::fraction(1.0)).accept_rate;
+        light_gap.push(a - b);
+        let heavy = flexible_trace(0.25, seed, 600.0, &topo);
+        let a = sim.run(&heavy, &mut Greedy::min_rate()).accept_rate;
+        let b = sim.run(&heavy, &mut Greedy::fraction(1.0)).accept_rate;
+        heavy_gap.push(a - b);
+    }
+    assert!(
+        mean(&heavy_gap) < mean(&light_gap),
+        "heavy gap {} ≥ light gap {}",
+        mean(&heavy_gap),
+        mean(&light_gap)
+    );
+}
+
+/// §5.3 / Figure 7: the same policy ordering holds for the interval-based
+/// scheduler when lightly loaded.
+#[test]
+fn fig7_policy_ordering_under_window_scheduler() {
+    let topo = Topology::paper_default();
+    let seeds = [7u64, 8, 9];
+    let mut rates = [Vec::new(), Vec::new(), Vec::new()];
+    for seed in seeds {
+        let trace = flexible_trace(12.0, seed, 3_000.0, &topo);
+        let sim = Simulation::new(topo.clone());
+        for (k, policy) in [
+            BandwidthPolicy::MinRate,
+            BandwidthPolicy::FractionOfMax(0.5),
+            BandwidthPolicy::FractionOfMax(1.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut w = WindowScheduler::new(100.0, *policy);
+            rates[k].push(sim.run(&trace, &mut w).accept_rate);
+        }
+    }
+    let (minbw, f05, f10) = (mean(&rates[0]), mean(&rates[1]), mean(&rates[2]));
+    assert!(minbw > f05, "min-bw {minbw} ≤ f=0.5 {f05}");
+    assert!(f05 > f10, "f=0.5 {f05} ≤ f=1 {f10}");
+}
+
+/// §1 / §5.3: statistical (max-min) sharing degrades fast with load —
+/// on-time completion collapses and stretch explodes — while reservation
+/// guarantees hold for everything accepted.
+#[test]
+fn maxmin_baseline_degrades_with_load() {
+    let topo = Topology::paper_default();
+    let light = flexible_trace(10.0, 11, 1_000.0, &topo);
+    let heavy = flexible_trace(0.5, 11, 400.0, &topo);
+    let mm_light = run_maxmin(&light, &topo, MaxMinConfig::default());
+    let mm_heavy = run_maxmin(&heavy, &topo, MaxMinConfig::default());
+    assert!(
+        mm_heavy.on_time_rate < 0.5 * mm_light.on_time_rate,
+        "heavy on-time {} vs light {}",
+        mm_heavy.on_time_rate,
+        mm_light.on_time_rate
+    );
+    assert!(mm_heavy.mean_stretch > 2.0 * mm_light.mean_stretch);
+}
+
+/// §3 (yardstick): no heuristic exceeds the branch-and-bound optimum, and
+/// CUMULATED-SLOTS stays close on small instances.
+#[test]
+fn heuristics_bounded_by_optimum() {
+    use gridband::exact::{max_accepted, ExactInstance};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let topo = Topology::uniform(3, 3, 100.0);
+    let mut cumulated_ratio = Vec::new();
+    for seed in [1u64, 2, 3, 4, 5, 6] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reqs: Vec<Request> = (0..12)
+            .map(|k| {
+                let i = rng.gen_range(0..3u32);
+                let e = (i + rng.gen_range(1..3u32)) % 3;
+                let start = rng.gen_range(0..10) as f64;
+                let dur = rng.gen_range(1..=5) as f64;
+                let bw = [25.0, 50.0, 75.0][rng.gen_range(0..3)];
+                Request::rigid(k as u64, Route::new(i, e), start, bw * dur, bw)
+            })
+            .collect();
+        let trace = Trace::new(reqs);
+        let opt = max_accepted(&ExactInstance::from_rigid_trace(&trace, &topo));
+        for h in RigidHeuristic::ALL {
+            let acc = h.schedule(&trace, &topo).len();
+            assert!(acc <= opt, "{} beat the optimum?!", h.label());
+            if h == RigidHeuristic::CumulatedSlots {
+                cumulated_ratio.push(acc as f64 / opt.max(1) as f64);
+            }
+        }
+    }
+    assert!(
+        mean(&cumulated_ratio) > 0.85,
+        "cumulated mean ratio {}",
+        mean(&cumulated_ratio)
+    );
+}
+
+/// §2.3: higher f buys faster transfers — mean speedup grows with f even
+/// as the accept rate falls.
+#[test]
+fn tuning_factor_trades_accepts_for_speed() {
+    let topo = Topology::paper_default();
+    let trace = flexible_trace(12.0, 21, 3_000.0, &topo);
+    let sim = Simulation::new(topo);
+    let low = sim.run(&trace, &mut Greedy::fraction(0.2));
+    let high = sim.run(&trace, &mut Greedy::fraction(1.0));
+    assert!(high.mean_speedup > low.mean_speedup);
+    assert!(high.accept_rate <= low.accept_rate + 1e-9);
+}

@@ -1,0 +1,128 @@
+//! Structured scenarios through the full stack: generation → lint →
+//! every scheduler family → verification → analysis.
+
+use gridband::prelude::*;
+use gridband::workload::lint::{lint, worst_severity, Severity};
+use gridband::workload::scenarios;
+use gridband::workload::{ops, Dist};
+
+#[test]
+fn tier0_distribution_through_all_schedulers() {
+    let topo = Topology::paper_default();
+    let trace = scenarios::tier0_distribution(
+        &topo,
+        0,
+        10,
+        600.0,
+        4,
+        Dist::Uniform { lo: 50_000.0, hi: 150_000.0 },
+        3_600.0,
+        5,
+    );
+    assert!(
+        worst_severity(&lint(&trace, &topo)).map_or(true, |s| s < Severity::Error),
+        "scenario generator produced an unusable trace"
+    );
+    let sim = Simulation::new(topo.clone());
+    let greedy = sim.run(&trace, &mut Greedy::fraction(1.0));
+    let mut window = WindowScheduler::new(120.0, BandwidthPolicy::FractionOfMax(0.8));
+    let windowed = sim.run(&trace, &mut window);
+    let booked = sim.run(&trace, &mut BookAhead::new(BandwidthPolicy::MAX_RATE));
+    for rep in [&greedy, &windowed, &booked] {
+        verify_schedule(&trace, &topo, &rep.assignments)
+            .unwrap_or_else(|v| panic!("{}: {v:?}", rep.policy));
+        assert!(rep.accept_rate > 0.0, "{} accepted nothing", rep.policy);
+    }
+    // The single-producer pattern makes ingress 0 the hot spot.
+    let hs = HotspotReport::analyze(&trace, &topo, &greedy.assignments);
+    assert_eq!(
+        hs.hottest,
+        gridband::net::PortRef::In(gridband::net::IngressId(0)),
+        "tier-0 producer must dominate demand"
+    );
+}
+
+#[test]
+fn allpairs_shuffle_is_symmetric_and_schedulable() {
+    let topo = Topology::paper_default();
+    let trace = scenarios::allpairs_shuffle(&topo, 2_000.0, 0.0, 600.0, 7);
+    assert_eq!(trace.len(), 90); // 10 × 9 ordered pairs
+    let sim = Simulation::new(topo.clone());
+    let rep = sim.run(&trace, &mut Greedy::min_rate());
+    verify_schedule(&trace, &topo, &rep.assignments).unwrap();
+    // A symmetric shuffle at this size fits comfortably at MinRate:
+    // 9 × (2000/600) ≈ 30 MB/s per port.
+    assert_eq!(rep.accept_rate, 1.0, "{}", rep.summary());
+    // And demand is perfectly balanced.
+    let hs = HotspotReport::analyze(&trace, &topo, &rep.assignments);
+    assert!(hs.demand_gini < 0.01, "gini {}", hs.demand_gini);
+}
+
+#[test]
+fn nightly_backup_peaks_hit_the_archive_and_diurnal_structure_shows() {
+    let topo = Topology::paper_default();
+    let day = 8_640.0; // compressed day for test speed
+    let trace = scenarios::nightly_backup(
+        &topo,
+        9,
+        2,
+        day,
+        30.0,
+        Dist::Uniform { lo: 1_000.0, hi: 10_000.0 },
+        11,
+    );
+    let sim = Simulation::new(topo.clone());
+    let mut w = WindowScheduler::new(60.0, BandwidthPolicy::FractionOfMax(0.8));
+    let rep = sim.run(&trace, &mut w);
+    verify_schedule(&trace, &topo, &rep.assignments).unwrap();
+    // Archive egress is the hot spot…
+    let hs = HotspotReport::analyze(&trace, &topo, &rep.assignments);
+    assert_eq!(
+        hs.hottest,
+        gridband::net::PortRef::Out(gridband::net::EgressId(9))
+    );
+    // …and the accepted traffic shows the diurnal swing: the busiest
+    // sampled instant carries much more than the emptiest.
+    let tl = gridband::sim::Timeline::sample(
+        &trace,
+        &topo,
+        &rep.assignments,
+        0.0,
+        2.0 * day,
+        day / 48.0,
+    );
+    let peak = tl.peak();
+    let trough = tl
+        .total_alloc
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert!(peak > 3.0 * (trough + 1.0), "peak {peak} vs trough {trough}");
+}
+
+#[test]
+fn merged_scenarios_keep_every_request_distinct() {
+    let topo = Topology::paper_default();
+    let a = scenarios::allpairs_shuffle(&topo, 1_000.0, 0.0, 300.0, 1);
+    let b = scenarios::tier0_distribution(
+        &topo,
+        2,
+        3,
+        100.0,
+        2,
+        Dist::Fixed(10_000.0),
+        1_000.0,
+        2,
+    );
+    let merged = ops::merge(&[&a, &b]);
+    assert_eq!(merged.len(), a.len() + b.len());
+    // Schedulable end to end.
+    let sim = Simulation::new(topo.clone());
+    let rep = sim.run(&merged, &mut Greedy::fraction(0.5));
+    verify_schedule(&merged, &topo, &rep.assignments).unwrap();
+    assert_eq!(
+        rep.accepted_count() + rep.rejected.len(),
+        merged.len(),
+        "merge must not lose or duplicate requests"
+    );
+}

@@ -143,12 +143,7 @@ mod tests {
                 fn name(&self) -> String {
                     self.0.name()
                 }
-                fn on_arrival(
-                    &mut self,
-                    r: &Request,
-                    l: &CapacityLedger,
-                    t: Time,
-                ) -> Decision {
+                fn on_arrival(&mut self, r: &Request, l: &CapacityLedger, t: Time) -> Decision {
                     self.0.on_arrival(r, l, t)
                 }
             }
@@ -177,7 +172,10 @@ mod tests {
 
     #[test]
     fn name_and_bounds() {
-        assert_eq!(AdaptiveGreedy::new(0.2, 0.9).name(), "adaptive[f=0.20..0.90]");
+        assert_eq!(
+            AdaptiveGreedy::new(0.2, 0.9).name(),
+            "adaptive[f=0.20..0.90]"
+        );
     }
 
     #[test]

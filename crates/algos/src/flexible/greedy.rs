@@ -152,6 +152,9 @@ mod tests {
     fn names_include_policy() {
         assert_eq!(Greedy::min_rate().name(), "greedy[min-bw]");
         assert_eq!(Greedy::fraction(0.8).name(), "greedy[f=0.80]");
-        assert_eq!(Greedy::fraction(0.8).policy(), BandwidthPolicy::FractionOfMax(0.8));
+        assert_eq!(
+            Greedy::fraction(0.8).policy(),
+            BandwidthPolicy::FractionOfMax(0.8)
+        );
     }
 }

@@ -273,7 +273,13 @@ mod tests {
         // 20×10 + 100×9 = 1100 → finishes at 19.
         let trace = Trace::new(vec![
             flexible(0, Route::new(0, 0), 0.0, 800.0, 80.0, 1.0),
-            Request::new(1, Route::new(0, 0), TimeWindow::new(0.0, 20.0), 1_100.0, 100.0),
+            Request::new(
+                1,
+                Route::new(0, 0),
+                TimeWindow::new(0.0, 20.0),
+                1_100.0,
+                100.0,
+            ),
         ]);
         let rep = schedule_malleable(&trace, &topo, None);
         assert_eq!(rep.accepted.len(), 2);
@@ -297,7 +303,13 @@ mod tests {
         let mk = || {
             Trace::new(vec![
                 flexible(0, Route::new(0, 0), 0.0, 600.0, 60.0, 1.0), // [0,10) @60
-                Request::new(1, Route::new(0, 0), TimeWindow::new(0.0, 14.0), 800.0, 100.0),
+                Request::new(
+                    1,
+                    Route::new(0, 0),
+                    TimeWindow::new(0.0, 14.0),
+                    800.0,
+                    100.0,
+                ),
             ])
         };
         let rep = schedule_malleable(&mk(), &topo, None);
@@ -317,7 +329,13 @@ mod tests {
         let trace = Trace::new(vec![
             flexible(0, Route::new(0, 0), 0.0, 900.0, 90.0, 1.0), // [0,10) @90
             // Window [0, 12]: bound = 10×10 + 2×100 = 300 < 400.
-            Request::new(1, Route::new(0, 0), TimeWindow::new(0.0, 12.0), 400.0, 100.0),
+            Request::new(
+                1,
+                Route::new(0, 0),
+                TimeWindow::new(0.0, 12.0),
+                400.0,
+                100.0,
+            ),
         ]);
         let rep = schedule_malleable(&trace, &topo, None);
         assert_eq!(rep.accepted.len(), 1);
@@ -334,7 +352,13 @@ mod tests {
         let mk = || {
             Trace::new(vec![
                 flexible(0, Route::new(0, 0), 0.0, 800.0, 80.0, 1.0),
-                Request::new(1, Route::new(0, 0), TimeWindow::new(0.0, 20.0), 1_100.0, 100.0),
+                Request::new(
+                    1,
+                    Route::new(0, 0),
+                    TimeWindow::new(0.0, 20.0),
+                    1_100.0,
+                    100.0,
+                ),
             ])
         };
         let rep = schedule_malleable(&mk(), &topo, Some(BandwidthPolicy::FractionOfMax(0.5)));

@@ -10,6 +10,8 @@ pub mod window;
 
 pub use adaptive::AdaptiveGreedy;
 pub use bookahead::BookAhead;
-pub use malleable::{schedule_malleable, verify_malleable, MalleableAssignment, MalleableReport, Segment};
 pub use greedy::Greedy;
+pub use malleable::{
+    schedule_malleable, verify_malleable, MalleableAssignment, MalleableReport, Segment,
+};
 pub use window::WindowScheduler;

@@ -61,11 +61,7 @@ impl WindowScheduler {
         self.step
     }
 
-    fn decide_batch(
-        &mut self,
-        ledger: &CapacityLedger,
-        now: Time,
-    ) -> Vec<(RequestId, Decision)> {
+    fn decide_batch(&mut self, ledger: &CapacityLedger, now: Time) -> Vec<(RequestId, Decision)> {
         if self.pending.is_empty() {
             return Vec::new();
         }
@@ -117,11 +113,11 @@ impl WindowScheduler {
         };
 
         let accept = |req: &Request,
-                          bw: f64,
-                          finish: Time,
-                          ali: &mut [f64],
-                          ale: &mut [f64],
-                          out: &mut Vec<(RequestId, Decision)>| {
+                      bw: f64,
+                      finish: Time,
+                      ali: &mut [f64],
+                      ale: &mut [f64],
+                      out: &mut Vec<(RequestId, Decision)>| {
             ali[req.route.ingress.index()] += bw;
             ale[req.route.egress.index()] += bw;
             out.push((
@@ -280,8 +276,12 @@ mod tests {
         let greedy_rep = sim.run(&trace, &mut Greedy::fraction(1.0));
         let mut w = WindowScheduler::new(1.0, BandwidthPolicy::MAX_RATE);
         let window_rep = sim.run(&trace, &mut w);
-        assert!(window_rep.accepted_count() > greedy_rep.accepted_count(),
-            "window {} vs greedy {}", window_rep.accepted_count(), greedy_rep.accepted_count());
+        assert!(
+            window_rep.accepted_count() > greedy_rep.accepted_count(),
+            "window {} vs greedy {}",
+            window_rep.accepted_count(),
+            greedy_rep.accepted_count()
+        );
         assert_eq!(window_rep.accepted_count(), 9, "nine mice of cost ≤ 1");
     }
 

@@ -64,10 +64,9 @@ pub mod retry;
 pub mod rigid;
 
 pub use flexible::{AdaptiveGreedy, BookAhead, Greedy, WindowScheduler};
-pub use replica::{select_replicas, ReplicaStrategy, ReplicatedRequest};
-pub use retry::{Retrying, RetryPolicy};
 pub use policy::BandwidthPolicy;
+pub use replica::{select_replicas, ReplicaStrategy, ReplicatedRequest};
+pub use retry::{RetryPolicy, Retrying};
 pub use rigid::{
-    fcfs_rigid, improve_rigid, slots_schedule, ImproveConfig, RigidHeuristic, SlotCost,
-    SlotsConfig,
+    fcfs_rigid, improve_rigid, slots_schedule, ImproveConfig, RigidHeuristic, SlotCost, SlotsConfig,
 };

@@ -74,7 +74,13 @@ mod tests {
 
     fn req() -> Request {
         // 1000 MB over [0, 100], MaxRate 50 → MinRate 10.
-        Request::new(1, Route::new(0, 0), TimeWindow::new(0.0, 100.0), 1000.0, 50.0)
+        Request::new(
+            1,
+            Route::new(0, 0),
+            TimeWindow::new(0.0, 100.0),
+            1000.0,
+            50.0,
+        )
     }
 
     #[test]

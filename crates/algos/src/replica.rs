@@ -220,13 +220,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one replica")]
     fn empty_candidates_rejected() {
-        let req = Request::new(
-            0,
-            Route::new(0, 0),
-            TimeWindow::new(0.0, 10.0),
-            10.0,
-            10.0,
-        );
+        let req = Request::new(0, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 10.0, 10.0);
         let _ = ReplicatedRequest::new(req, vec![]);
     }
 }

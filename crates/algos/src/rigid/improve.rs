@@ -44,11 +44,7 @@ impl Default for ImproveConfig {
 
 /// Greedily pack `candidates` (indices into `reqs`, already ordered) on
 /// top of the ledger; returns the indices that fit.
-fn greedy_fill(
-    ledger: &mut CapacityLedger,
-    reqs: &[Request],
-    candidates: &[usize],
-) -> Vec<usize> {
+fn greedy_fill(ledger: &mut CapacityLedger, reqs: &[Request], candidates: &[usize]) -> Vec<usize> {
     let mut placed = Vec::new();
     for &i in candidates {
         let r = &reqs[i];
@@ -80,14 +76,15 @@ pub fn improve_rigid(
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Current accept set as indices into `reqs`, kept sorted.
-    let index_by_id: std::collections::HashMap<gridband_workload::RequestId, usize> = reqs
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (r.id, i))
-        .collect();
+    let index_by_id: std::collections::HashMap<gridband_workload::RequestId, usize> =
+        reqs.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
     let mut accepted: Vec<usize> = initial
         .iter()
-        .map(|a| *index_by_id.get(&a.id).expect("assignment maps to a request"))
+        .map(|a| {
+            *index_by_id
+                .get(&a.id)
+                .expect("assignment maps to a request")
+        })
         .collect();
     accepted.sort_unstable();
 
@@ -253,7 +250,7 @@ mod tests {
                     let e = rng.gen_range(0..2u32);
                     let start = rng.gen_range(0..8) as f64;
                     let dur = rng.gen_range(1..=4) as f64;
-                    let bw = [25.0, 50.0, 75.0][rng.gen_range(0..3)];
+                    let bw = [25.0, 50.0, 75.0][rng.gen_range(0..3usize)];
                     Request::rigid(k as u64, Route::new(i, e), start, bw * dur, bw)
                 })
                 .collect();

@@ -102,10 +102,7 @@ pub fn slots_schedule(trace: &Trace, topo: &Topology, config: SlotsConfig) -> Ve
     }
 
     // Interval breakpoints: every start and finish time.
-    let mut times: Vec<f64> = reqs
-        .iter()
-        .flat_map(|r| [r.start(), r.finish()])
-        .collect();
+    let mut times: Vec<f64> = reqs.iter().flat_map(|r| [r.start(), r.finish()]).collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     times.dedup();
 
@@ -160,10 +157,12 @@ pub fn slots_schedule(trace: &Trace, topo: &Topology, config: SlotsConfig) -> Ve
 
         if config.order_by_cost {
             active.sort_by(|&a, &b| {
-                let ca =
-                    config.cost.cost(&reqs[a], t2, topo.route_bottleneck(reqs[a].route));
-                let cb =
-                    config.cost.cost(&reqs[b], t2, topo.route_bottleneck(reqs[b].route));
+                let ca = config
+                    .cost
+                    .cost(&reqs[a], t2, topo.route_bottleneck(reqs[a].route));
+                let cb = config
+                    .cost
+                    .cost(&reqs[b], t2, topo.route_bottleneck(reqs[b].route));
                 ca.partial_cmp(&cb)
                     .expect("finite costs")
                     .then(reqs[a].id.cmp(&reqs[b].id))

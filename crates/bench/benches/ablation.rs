@@ -6,9 +6,7 @@
 //! in the bench log.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gridband_algos::{
-    slots_schedule, BandwidthPolicy, SlotCost, SlotsConfig, WindowScheduler,
-};
+use gridband_algos::{slots_schedule, BandwidthPolicy, SlotCost, SlotsConfig, WindowScheduler};
 use gridband_net::Topology;
 use gridband_sim::Simulation;
 use gridband_workload::{Dist, Trace, WorkloadBuilder};
@@ -62,7 +60,10 @@ fn slots_variants() -> Vec<(&'static str, SlotsConfig)> {
 fn bench_ablation(c: &mut Criterion) {
     let (rtrace, topo) = rigid_trace(42);
     PRINT_QUALITY.call_once(|| {
-        println!("\nablation quality (accept counts of {} requests):", rtrace.len());
+        println!(
+            "\nablation quality (accept counts of {} requests):",
+            rtrace.len()
+        );
         for (label, cfg) in slots_variants() {
             println!(
                 "  slots/{label}: {}",
@@ -72,10 +73,15 @@ fn bench_ablation(c: &mut Criterion) {
         let (ftrace, ftopo) = flexible_trace(42);
         let sim = Simulation::new(ftopo);
         let mut w = WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE);
-        println!("  window/min-cost: {}", sim.run(&ftrace, &mut w).accepted_count());
-        let mut w =
-            WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE).with_arrival_order();
-        println!("  window/fcfs:     {}", sim.run(&ftrace, &mut w).accepted_count());
+        println!(
+            "  window/min-cost: {}",
+            sim.run(&ftrace, &mut w).accepted_count()
+        );
+        let mut w = WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE).with_arrival_order();
+        println!(
+            "  window/fcfs:     {}",
+            sim.run(&ftrace, &mut w).accepted_count()
+        );
     });
 
     let mut group = c.benchmark_group("ablation_slots");
@@ -97,8 +103,7 @@ fn bench_ablation(c: &mut Criterion) {
     });
     group.bench_function("fcfs", |b| {
         b.iter(|| {
-            let mut w =
-                WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE).with_arrival_order();
+            let mut w = WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE).with_arrival_order();
             black_box(sim.run(&ftrace, &mut w).accepted_count())
         })
     });

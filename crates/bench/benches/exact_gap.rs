@@ -18,8 +18,14 @@ fn rigid_instance(n: usize, seed: u64) -> ExactInstance {
             let e = (i + rng.gen_range(1..3u32)) % 3;
             let start = rng.gen_range(0..12) as f64;
             let dur = rng.gen_range(1..=5) as f64;
-            let bw = [25.0, 50.0, 75.0, 100.0][rng.gen_range(0..4)];
-            Request::rigid(k as u64, gridband_net::Route::new(i, e), start, bw * dur, bw)
+            let bw = [25.0, 50.0, 75.0, 100.0][rng.gen_range(0..4usize)];
+            Request::rigid(
+                k as u64,
+                gridband_net::Route::new(i, e),
+                start,
+                bw * dur,
+                bw,
+            )
         })
         .collect();
     ExactInstance::from_rigid_trace(&Trace::new(reqs), &topo)
@@ -37,9 +43,11 @@ fn bench_bnb(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(11);
         let dm = ThreeDm::random(n, n, true, &mut rng);
         let red = reduce(&dm);
-        group.bench_with_input(BenchmarkId::new("threedm_reduction", n), &red.instance, |b, inst| {
-            b.iter(|| black_box(max_accepted(inst)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("threedm_reduction", n),
+            &red.instance,
+            |b, inst| b.iter(|| black_box(max_accepted(inst))),
+        );
     }
     group.finish();
 }

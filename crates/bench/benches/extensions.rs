@@ -79,8 +79,7 @@ fn bench_replica(c: &mut Criterion) {
                 10_000.0,
                 100.0,
             );
-            let cands: Vec<IngressId> =
-                (0..3).map(|_| IngressId(rng.gen_range(0..10))).collect();
+            let cands: Vec<IngressId> = (0..3).map(|_| IngressId(rng.gen_range(0..10))).collect();
             ReplicatedRequest::new(req, cands)
         })
         .collect();

@@ -24,9 +24,11 @@ fn bench_maxmin(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxmin");
     for &ia in &[1.0f64, 5.0] {
         let (trace, topo) = trace(ia, 42);
-        group.bench_with_input(BenchmarkId::new("fluid_sim", format!("ia{ia}")), &trace, |b, t| {
-            b.iter(|| black_box(run_maxmin(t, &topo, MaxMinConfig::default()).on_time_rate))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fluid_sim", format!("ia{ia}")),
+            &trace,
+            |b, t| b.iter(|| black_box(run_maxmin(t, &topo, MaxMinConfig::default()).on_time_rate)),
+        );
         let sim = Simulation::new(topo.clone()).without_verification();
         group.bench_with_input(
             BenchmarkId::new("window_reservation", format!("ia{ia}")),
@@ -48,9 +50,11 @@ fn bench_maxmin(c: &mut Criterion) {
                 cap: 10.0 + (k % 100) as f64 * 9.9,
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("progressive_filling", n), &flows, |b, f| {
-            b.iter(|| black_box(max_min_rates(&topo, f)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("progressive_filling", n),
+            &flows,
+            |b, f| b.iter(|| black_box(max_min_rates(&topo, f))),
+        );
     }
     group.finish();
 }

@@ -308,7 +308,12 @@ pub fn tuning(
             let g = sim.run(&trace, &mut Greedy::new(policy));
             let mut w = WindowScheduler::new(window_step, policy);
             let wr = sim.run(&trace, &mut w);
-            cells.push((g.accept_rate, g.mean_speedup, wr.accept_rate, wr.mean_speedup));
+            cells.push((
+                g.accept_rate,
+                g.mean_speedup,
+                wr.accept_rate,
+                wr.mean_speedup,
+            ));
         }
         cells
     });
@@ -382,7 +387,7 @@ fn small_rigid_trace(n: usize, seed: u64, topo: &Topology) -> Trace {
             }
             let start = rng.gen_range(0..12) as f64;
             let dur = rng.gen_range(1..=5) as f64;
-            let bw = [25.0, 50.0, 75.0, 100.0][rng.gen_range(0..4)];
+            let bw = [25.0, 50.0, 75.0, 100.0][rng.gen_range(0..4usize)];
             gridband_workload::Request::rigid(k as u64, Route::new(i, e), start, bw * dur, bw)
         })
         .collect();

@@ -4,14 +4,14 @@
 
 use crate::sweep::{default_threads, parallel_map};
 use crate::table::{pm, ResultTable};
+use gridband_algos::flexible::{schedule_malleable, verify_malleable};
 use gridband_algos::{
     select_replicas, BandwidthPolicy, BookAhead, Greedy, ReplicaStrategy, ReplicatedRequest,
     RetryPolicy, Retrying, WindowScheduler,
 };
-use gridband_algos::flexible::{schedule_malleable, verify_malleable};
 use gridband_control::ControlPlane;
-use gridband_maxmin::{hybrid_best_effort, BestEffortFlow};
 use gridband_exact::{fcfs_uniform_longlived, optimal_uniform_longlived};
+use gridband_maxmin::{hybrid_best_effort, BestEffortFlow};
 use gridband_net::{IngressId, Route, Topology};
 use gridband_sim::{HotspotReport, Simulation};
 use gridband_workload::stats::Summary;
@@ -54,8 +54,11 @@ pub fn bookahead(seeds: &[u64], interarrivals: &[f64], horizon: f64) -> Vec<Book
             sim.run(&trace, &mut Greedy::fraction(1.0)).accept_rate,
             sim.run(&trace, &mut BookAhead::new(BandwidthPolicy::MAX_RATE))
                 .accept_rate,
-            sim.run(&trace, &mut WindowScheduler::new(100.0, BandwidthPolicy::MAX_RATE))
-                .accept_rate,
+            sim.run(
+                &trace,
+                &mut WindowScheduler::new(100.0, BandwidthPolicy::MAX_RATE),
+            )
+            .accept_rate,
         ]
     });
     let labels = ["greedy", "bookahead", "window(100)"];
@@ -332,7 +335,7 @@ fn skewed_replicated(seed: u64, n: usize, topo: &Topology) -> Vec<ReplicatedRequ
         .map(|k| {
             let egress = rng.gen_range(1..m);
             let start = k as f64 * rng.gen_range(0.5..2.0);
-            let volume = [5_000.0, 20_000.0, 50_000.0][rng.gen_range(0..3)];
+            let volume = [5_000.0, 20_000.0, 50_000.0][rng.gen_range(0..3usize)];
             let max_rate = rng.gen_range(50.0..500.0);
             let slack = rng.gen_range(2.0..4.0);
             let req = Request::new(
@@ -539,7 +542,12 @@ pub fn mice(seeds: &[u64], interarrivals: &[f64], horizon: f64) -> Vec<MiceRow> 
 pub fn mice_table(rows: &[MiceRow]) -> ResultTable {
     let mut t = ResultTable::new(
         "MICE — best-effort residual throughput under reservation load",
-        &["interarrival", "bulk accept", "mice mean MB/s", "mice min MB/s"],
+        &[
+            "interarrival",
+            "bulk accept",
+            "mice mean MB/s",
+            "mice min MB/s",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -590,12 +598,7 @@ pub struct RetryRow {
 
 /// Accept-rate gain from client retries (greedy f = 1, moderate load
 /// where capacity gaps open between transfers, generous windows).
-pub fn retry_study(
-    seeds: &[u64],
-    attempts: &[usize],
-    backoff: f64,
-    horizon: f64,
-) -> Vec<RetryRow> {
+pub fn retry_study(seeds: &[u64], attempts: &[usize], backoff: f64, horizon: f64) -> Vec<RetryRow> {
     let topo = Topology::paper_default();
     let jobs: Vec<(usize, u64)> = attempts
         .iter()
@@ -661,7 +664,7 @@ mod retry_tests {
 
     #[test]
     fn more_attempts_never_hurt_much_and_usually_help() {
-        let rows = retry_study(&[5, 6], &[1, 3], 20.0, 300.0);
+        let rows = retry_study(&[5, 6, 7, 8], &[1, 3], 20.0, 300.0);
         assert_eq!(rows.len(), 2);
         assert!(
             rows[1].accept.mean >= rows[0].accept.mean,
@@ -802,10 +805,26 @@ pub fn sensitivity(seeds: &[u64], horizon: f64) -> Vec<SensitivityRow> {
         hi: 1_000_000.0,
     };
     let variants: Vec<(String, Dist, Dist)> = vec![
-        ("slack 1.0–1.5 (tight)".into(), Dist::Uniform { lo: 1.0, hi: 1.5 }, Dist::paper_volumes()),
-        ("slack 2–4 (paper runs)".into(), Dist::Uniform { lo: 2.0, hi: 4.0 }, Dist::paper_volumes()),
-        ("slack 4–8 (loose)".into(), Dist::Uniform { lo: 4.0, hi: 8.0 }, Dist::paper_volumes()),
-        ("volumes pareto(1.3)".into(), Dist::Uniform { lo: 2.0, hi: 4.0 }, heavy_tail),
+        (
+            "slack 1.0–1.5 (tight)".into(),
+            Dist::Uniform { lo: 1.0, hi: 1.5 },
+            Dist::paper_volumes(),
+        ),
+        (
+            "slack 2–4 (paper runs)".into(),
+            Dist::Uniform { lo: 2.0, hi: 4.0 },
+            Dist::paper_volumes(),
+        ),
+        (
+            "slack 4–8 (loose)".into(),
+            Dist::Uniform { lo: 4.0, hi: 8.0 },
+            Dist::paper_volumes(),
+        ),
+        (
+            "volumes pareto(1.3)".into(),
+            Dist::Uniform { lo: 2.0, hi: 4.0 },
+            heavy_tail,
+        ),
     ];
     let jobs: Vec<(usize, u64)> = (0..variants.len())
         .flat_map(|v| seeds.iter().map(move |&s| (v, s)))

@@ -41,10 +41,7 @@ impl FigureOpts {
                         .parse()
                         .unwrap_or_else(|_| usage("--seeds takes an integer"));
                     if n_seeds == 0 || n_seeds > DEFAULT_SEEDS.len() {
-                        usage(&format!(
-                            "--seeds must be 1..={}",
-                            DEFAULT_SEEDS.len()
-                        ));
+                        usage(&format!("--seeds must be 1..={}", DEFAULT_SEEDS.len()));
                     }
                 }
                 "--help" | "-h" => usage(""),

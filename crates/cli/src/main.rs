@@ -31,6 +31,7 @@ fn main() {
         | "malleable" | "sensitivity" => figure(&cmd, args),
         "run" => run_custom(args),
         "compare" => compare(args),
+        "serve" => serve(args),
         "trace" => gen_trace(args),
         "stats" => trace_stats(args),
         "--help" | "-h" | "help" => usage(0),
@@ -40,7 +41,6 @@ fn main() {
         }
     }
 }
-
 
 /// Print a CLI error and exit with status 2.
 fn fail(msg: std::fmt::Arguments<'_>) -> ! {
@@ -59,6 +59,8 @@ commands:
   run                       one custom simulation       (gridband run --help)
   compare                   several schedulers on one workload
                             (--scheds greedy,window:50,bookahead + run flags)
+  serve                     run the reservation daemon  (gridband serve --help)
+                            drive it with the `loadgen` binary from gridband-serve
   trace                     generate a workload trace JSON
   stats FILE                summarize a trace file"
     );
@@ -87,7 +89,12 @@ fn figure(cmd: &str, args: Vec<String>) {
                     1_000.0,
                 )
             };
-            emit(exp::fig5_table(&exp::fig5(&opts.seeds, &ias, &steps, horizon)));
+            emit(exp::fig5_table(&exp::fig5(
+                &opts.seeds,
+                &ias,
+                &steps,
+                horizon,
+            )));
         }
         "fig6" | "fig7" => {
             let (heavy, light, horizon): (Vec<f64>, Vec<f64>, f64) = if opts.quick {
@@ -163,7 +170,11 @@ fn figure(cmd: &str, args: Vec<String>) {
             } else {
                 (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0], 1_200.0)
             };
-            emit(ext::bookahead_table(&ext::bookahead(&opts.seeds, &ias, horizon)));
+            emit(ext::bookahead_table(&ext::bookahead(
+                &opts.seeds,
+                &ias,
+                horizon,
+            )));
         }
         "distributed" => {
             let (delays, horizon): (Vec<f64>, f64) = if opts.quick {
@@ -216,11 +227,18 @@ fn figure(cmd: &str, args: Vec<String>) {
             } else {
                 (vec![0.25, 0.5, 1.0, 2.0, 5.0, 10.0], 1_200.0)
             };
-            emit(ext::malleable_table(&ext::malleable(&opts.seeds, &ias, horizon)));
+            emit(ext::malleable_table(&ext::malleable(
+                &opts.seeds,
+                &ias,
+                horizon,
+            )));
         }
         "sensitivity" => {
             let horizon = if opts.quick { 400.0 } else { 1_500.0 };
-            emit(ext::sensitivity_table(&ext::sensitivity(&opts.seeds, horizon)));
+            emit(ext::sensitivity_table(&ext::sensitivity(
+                &opts.seeds,
+                horizon,
+            )));
         }
         _ => unreachable!(),
     }
@@ -350,8 +368,8 @@ fn trace_stats(args: Vec<String>) {
         eprintln!("usage: gridband stats FILE");
         std::process::exit(2);
     };
-    let file = std::fs::File::open(path)
-        .unwrap_or_else(|e| fail(format_args!("cannot open {path}: {e}")));
+    let file =
+        std::fs::File::open(path).unwrap_or_else(|e| fail(format_args!("cannot open {path}: {e}")));
     let trace = Trace::read_json(file)
         .unwrap_or_else(|e| fail(format_args!("{path} is not a valid trace: {e}")));
     let s = trace.stats();
@@ -372,5 +390,100 @@ fn trace_stats(args: Vec<String>) {
         for f in findings {
             println!("lint {}:   [{}] {}", f.severity, f.code, f.message);
         }
+    }
+}
+
+fn serve(args: Vec<String>) {
+    use gridband_serve::{EngineConfig, Server, ServerConfig, TimeMode};
+    use std::time::Duration;
+
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut topo = gridband_net::Topology::paper_default();
+    let mut step = 50.0f64;
+    let mut policy = BandwidthPolicy::MAX_RATE;
+    let mut mode = TimeMode::Virtual;
+    let mut queue = 1024usize;
+    let mut snapshot: Option<Duration> = None;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(format_args!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = val("--addr"),
+            "--topo" => topo = runcfg::parse_topo(&val("--topo")),
+            "--step" => {
+                step = val("--step")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --step: {e}")))
+            }
+            "--policy" => {
+                let v = val("--policy");
+                policy = if v == "min" {
+                    BandwidthPolicy::MinRate
+                } else if let Some(x) = v.strip_prefix("f:") {
+                    BandwidthPolicy::FractionOfMax(
+                        x.parse()
+                            .unwrap_or_else(|e| fail(format_args!("bad --policy: {e}"))),
+                    )
+                } else if v == "max" {
+                    BandwidthPolicy::MAX_RATE
+                } else {
+                    fail(format_args!("--policy must be min, max, or f:X"))
+                };
+            }
+            "--tick-ms" => {
+                let ms: u64 = val("--tick-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --tick-ms: {e}")));
+                mode = TimeMode::RealTime {
+                    tick: Duration::from_millis(ms),
+                };
+            }
+            "--queue" => {
+                queue = val("--queue")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --queue: {e}")))
+            }
+            "--snapshot-secs" => {
+                let s: u64 = val("--snapshot-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --snapshot-secs: {e}")));
+                snapshot = Some(Duration::from_secs(s));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gridband serve [--addr HOST:PORT] [--topo paper|grid5000|MxNxCAP]
+                      [--step S] [--policy min|max|f:X] [--tick-ms MS]
+                      [--queue N] [--snapshot-secs S]
+
+Runs the reservation daemon: JSON-lines over TCP, batched WINDOW
+admission every t_step. Without --tick-ms the clock is virtual
+(submission timestamps drive it — deterministic replay); with it a
+wall-clock ticker fires one admission round every MS milliseconds."
+                );
+                std::process::exit(0);
+            }
+            other => fail(format_args!("unknown serve flag {other}")),
+        }
+    }
+
+    let mut engine = EngineConfig::new(topo);
+    engine.step = step;
+    engine.policy = policy;
+    engine.mode = mode;
+    engine.queue_capacity = queue;
+    let mut cfg = ServerConfig::new(addr.clone(), engine);
+    cfg.snapshot_period = snapshot;
+    let server =
+        Server::bind(cfg).unwrap_or_else(|e| fail(format_args!("cannot bind {addr}: {e}")));
+    eprintln!(
+        "gridband serve: listening on {} (step {step}s)",
+        server.local_addr().map(|a| a.to_string()).unwrap_or(addr)
+    );
+    if let Err(e) = server.run() {
+        fail(format_args!("server error: {e}"));
     }
 }

@@ -59,7 +59,7 @@ fn bail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn parse_topo(s: &str) -> Topology {
+pub(crate) fn parse_topo(s: &str) -> Topology {
     match s {
         "paper" => Topology::paper_default(),
         "grid5000" => Topology::grid5000_like(),
@@ -91,7 +91,8 @@ impl RunConfig {
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             let mut val = |name: &str| -> String {
-                it.next().unwrap_or_else(|| bail(&format!("{name} needs a value")))
+                it.next()
+                    .unwrap_or_else(|| bail(&format!("{name} needs a value")))
             };
             match a.as_str() {
                 "--topo" => cfg.topology = parse_topo(&val("--topo")),
@@ -100,9 +101,7 @@ impl RunConfig {
                     cfg.scheduler = if v == "greedy" {
                         Scheduler::Greedy
                     } else if let Some(step) = v.strip_prefix("window:") {
-                        Scheduler::Window(
-                            step.parse().unwrap_or_else(|_| bail("bad window step")),
-                        )
+                        Scheduler::Window(step.parse().unwrap_or_else(|_| bail("bad window step")))
                     } else {
                         bail("--sched takes greedy or window:STEP")
                     };
@@ -143,7 +142,9 @@ impl RunConfig {
                     }
                 }
                 "--horizon" => {
-                    cfg.horizon = val("--horizon").parse().unwrap_or_else(|_| bail("bad horizon"))
+                    cfg.horizon = val("--horizon")
+                        .parse()
+                        .unwrap_or_else(|_| bail("bad horizon"))
                 }
                 "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| bail("bad seed")),
                 "--json" => cfg.json = true,

@@ -46,7 +46,11 @@ fn run_prints_summary_and_guarantees() {
         "--policy",
         "f:0.8",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("offered load"), "{text}");
     assert!(text.contains("window[t_step=20"), "{text}");
@@ -55,14 +59,7 @@ fn run_prints_summary_and_guarantees() {
 
 #[test]
 fn run_json_is_machine_readable() {
-    let out = gridband(&[
-        "run",
-        "--interarrival",
-        "5",
-        "--horizon",
-        "150",
-        "--json",
-    ]);
+    let out = gridband(&["run", "--interarrival", "5", "--horizon", "150", "--json"]);
     assert!(out.status.success());
     let v: serde_json::Value =
         serde_json::from_str(&stdout(&out)).expect("stdout is a JSON report");
@@ -106,7 +103,11 @@ fn compare_lists_each_requested_scheduler() {
         "--horizon",
         "150",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("greedy"), "{text}");
     assert!(text.contains("window:30"), "{text}");
@@ -159,5 +160,9 @@ fn timeline_export_writes_csv() {
     ]);
     assert!(out.status.success());
     let csv = std::fs::read_to_string(&path).expect("timeline file written");
-    assert!(csv.starts_with("time,total,in0"), "{}", &csv[..60.min(csv.len())]);
+    assert!(
+        csv.starts_with("time,total,in0"),
+        "{}",
+        &csv[..60.min(csv.len())]
+    );
 }

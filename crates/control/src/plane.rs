@@ -417,7 +417,11 @@ impl ControlPlane {
                         }
                     }
                 }
-                Message::Reply { txn, request, granted } => {
+                Message::Reply {
+                    txn,
+                    request,
+                    granted,
+                } => {
                     match granted {
                         Some(g) => assignments.push(Assignment {
                             id: request,
@@ -589,8 +593,8 @@ mod tests {
     fn heavy_loss_still_resolves_every_transaction() {
         let topo = Topology::paper_default();
         let t = trace(13, &topo);
-        let plane = ControlPlane::new(topo.clone(), 0.5, BandwidthPolicy::MAX_RATE)
-            .with_loss(0.9, 3.0, 7);
+        let plane =
+            ControlPlane::new(topo.clone(), 0.5, BandwidthPolicy::MAX_RATE).with_loss(0.9, 3.0, 7);
         let rep = plane.run(&t);
         assert_eq!(rep.assignments.len() + rep.rejected.len(), t.len());
         verify_schedule(&t, &topo, &rep.assignments).expect("feasible under 90% loss");

@@ -40,7 +40,10 @@ impl TokenBucket {
     }
 
     fn refill(&mut self, now: Time) {
-        assert!(now + 1e-9 >= self.last, "time went backwards in token bucket");
+        assert!(
+            now + 1e-9 >= self.last,
+            "time went backwards in token bucket"
+        );
         self.tokens = (self.tokens + (now - self.last) * self.rate).min(self.burst);
         self.last = now;
     }

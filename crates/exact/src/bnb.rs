@@ -81,7 +81,7 @@ impl Search<'_> {
         // Symmetry breaking against an identical predecessor.
         let (min_start, may_accept) = if self.same_as_prev[idx] {
             match self.current[idx - 1] {
-                Some(s) => (s, true),        // starts non-decreasing
+                Some(s) => (s, true),           // starts non-decreasing
                 None => (f64::INFINITY, false), // prev rejected ⇒ reject too
             }
         } else {
@@ -93,10 +93,7 @@ impl Search<'_> {
                 if s < min_start {
                     continue;
                 }
-                if let Ok(id) = self
-                    .ledger
-                    .reserve(req.route, s, s + req.duration, req.bw)
-                {
+                if let Ok(id) = self.ledger.reserve(req.route, s, s + req.duration, req.bw) {
                     self.current[idx] = Some(s);
                     self.dfs(idx + 1, accepted + 1);
                     self.current[idx] = None;

@@ -51,13 +51,24 @@ impl FlowNetwork {
     /// Add a directed edge `u → v` with the given capacity; returns a
     /// handle to query its flow after [`FlowNetwork::max_flow`].
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64) -> EdgeId {
-        assert!(u < self.len() && v < self.len(), "edge endpoints out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoints out of range"
+        );
         assert!(cap >= 0, "capacity must be non-negative");
         let id = self.edges.len();
-        self.edges.push(Edge { to: v, cap, flow: 0 });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            flow: 0,
+        });
         self.adj[u].push(id);
         // Residual edge.
-        self.edges.push(Edge { to: u, cap: 0, flow: 0 });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            flow: 0,
+        });
         self.adj[v].push(id + 1);
         EdgeId(id)
     }

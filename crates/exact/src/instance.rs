@@ -41,7 +41,13 @@ impl ExactRequest {
 
     /// A unit-slotted request startable at each integer step of
     /// `[window_start, window_end - duration]`.
-    pub fn slotted(route: Route, bw: Bandwidth, window_start: u32, window_end: u32, duration: u32) -> Self {
+    pub fn slotted(
+        route: Route,
+        bw: Bandwidth,
+        window_start: u32,
+        window_end: u32,
+        duration: u32,
+    ) -> Self {
         assert!(duration >= 1 && window_end >= window_start + duration);
         let starts = (window_start..=window_end - duration)
             .map(|t| t as Time)

@@ -34,7 +34,7 @@ pub mod threedm;
 
 pub use bnb::{max_accepted, solve, BnbConfig, ExactSolution};
 pub use flow::{EdgeId, FlowNetwork};
-pub use longlived::{fcfs_uniform_longlived, optimal_uniform_longlived, verify_uniform_longlived};
 pub use instance::{ExactInstance, ExactRequest};
+pub use longlived::{fcfs_uniform_longlived, optimal_uniform_longlived, verify_uniform_longlived};
 pub use singlepair::{edf_unit_jobs, unit_jobs_instance, UnitJob};
 pub use threedm::{reduce, Reduction, ThreeDm};

@@ -182,7 +182,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..20 {
             let topo = Topology::uniform(4, 4, 100.0);
-            let b = [25.0, 50.0, 100.0][rng.gen_range(0..3)];
+            let b = [25.0, 50.0, 100.0][rng.gen_range(0..3usize)];
             let routes: Vec<Route> = (0..20)
                 .map(|_| Route::new(rng.gen_range(0..4), rng.gen_range(0..4)))
                 .collect();

@@ -59,10 +59,7 @@ pub fn unit_jobs_instance(jobs: &[UnitJob], capacity: usize) -> ExactInstance {
         .iter()
         .map(|j| ExactRequest::slotted(Route::new(0, 0), 1.0, j.release, j.deadline, 1))
         .collect();
-    ExactInstance {
-        topology,
-        requests,
-    }
+    ExactInstance { topology, requests }
 }
 
 #[cfg(test)]
@@ -79,8 +76,14 @@ mod tests {
     #[test]
     fn all_fit_when_capacity_suffices() {
         let jobs = vec![
-            UnitJob { release: 0, deadline: 2 },
-            UnitJob { release: 0, deadline: 2 },
+            UnitJob {
+                release: 0,
+                deadline: 2,
+            },
+            UnitJob {
+                release: 0,
+                deadline: 2,
+            },
         ];
         let starts = edf_unit_jobs(&jobs, 2);
         assert_eq!(accepted(&starts), 2);
@@ -90,9 +93,18 @@ mod tests {
     fn edf_staggers_within_windows() {
         // Three jobs, capacity 1, windows allow a perfect staircase.
         let jobs = vec![
-            UnitJob { release: 0, deadline: 3 },
-            UnitJob { release: 0, deadline: 2 },
-            UnitJob { release: 0, deadline: 1 },
+            UnitJob {
+                release: 0,
+                deadline: 3,
+            },
+            UnitJob {
+                release: 0,
+                deadline: 2,
+            },
+            UnitJob {
+                release: 0,
+                deadline: 1,
+            },
         ];
         let starts = edf_unit_jobs(&jobs, 1);
         assert_eq!(accepted(&starts), 3);
@@ -105,10 +117,22 @@ mod tests {
     fn overload_drops_the_loosest_jobs() {
         // Four jobs must finish by step 2 with capacity 1: two succeed.
         let jobs = vec![
-            UnitJob { release: 0, deadline: 2 },
-            UnitJob { release: 0, deadline: 2 },
-            UnitJob { release: 0, deadline: 2 },
-            UnitJob { release: 0, deadline: 2 },
+            UnitJob {
+                release: 0,
+                deadline: 2,
+            },
+            UnitJob {
+                release: 0,
+                deadline: 2,
+            },
+            UnitJob {
+                release: 0,
+                deadline: 2,
+            },
+            UnitJob {
+                release: 0,
+                deadline: 2,
+            },
         ];
         assert_eq!(accepted(&edf_unit_jobs(&jobs, 1)), 2);
     }
@@ -121,7 +145,7 @@ mod tests {
                 let release = rng.gen_range(0..10);
                 UnitJob {
                     release,
-                    deadline: release + rng.gen_range(1..5),
+                    deadline: release + rng.gen_range(1u32..5),
                 }
             })
             .collect();
@@ -151,7 +175,7 @@ mod tests {
                     let release = rng.gen_range(0..4);
                     UnitJob {
                         release,
-                        deadline: release + rng.gen_range(1..4),
+                        deadline: release + rng.gen_range(1u32..4),
                     }
                 })
                 .collect();
@@ -172,6 +196,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
-        let _ = edf_unit_jobs(&[UnitJob { release: 0, deadline: 1 }], 0);
+        let _ = edf_unit_jobs(
+            &[UnitJob {
+                release: 0,
+                deadline: 1,
+            }],
+            0,
+        );
     }
 }

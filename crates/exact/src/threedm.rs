@@ -207,10 +207,7 @@ pub fn reduce(dm: &ThreeDm) -> Reduction {
     }
     let target = n + 2 * n * (n - 1);
     Reduction {
-        instance: ExactInstance {
-            topology,
-            requests,
-        },
+        instance: ExactInstance { topology, requests },
         target,
         regular,
     }

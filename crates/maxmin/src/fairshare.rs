@@ -187,11 +187,14 @@ mod tests {
         }
         for (k, f) in flows.iter().enumerate() {
             let at_cap = r[k] + 1e-6 >= f.cap;
-            let in_sat = used_in[f.route.ingress.index()] + 1e-6
-                >= topo.ingress_cap(f.route.ingress);
+            let in_sat =
+                used_in[f.route.ingress.index()] + 1e-6 >= topo.ingress_cap(f.route.ingress);
             let out_sat =
                 used_out[f.route.egress.index()] + 1e-6 >= topo.egress_cap(f.route.egress);
-            assert!(at_cap || in_sat || out_sat, "flow {k} could still grow: {r:?}");
+            assert!(
+                at_cap || in_sat || out_sat,
+                "flow {k} could still grow: {r:?}"
+            );
         }
     }
 

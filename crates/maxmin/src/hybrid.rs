@@ -160,9 +160,15 @@ mod tests {
         let (trace, assignments) = bulk_schedule();
         let mice = [
             // Same route as the reservation: gets the residual 40.
-            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+            BestEffortFlow {
+                route: Route::new(0, 0),
+                cap: f64::INFINITY,
+            },
             // Disjoint route: untouched at 100.
-            BestEffortFlow { route: Route::new(1, 1), cap: f64::INFINITY },
+            BestEffortFlow {
+                route: Route::new(1, 1),
+                cap: f64::INFINITY,
+            },
         ];
         let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 10.0, 20.0, 1.0);
         assert!(rep.rates[0].iter().all(|&r| (r - 40.0).abs() < 1e-6));
@@ -173,14 +179,23 @@ mod tests {
 
     #[test]
     fn full_reservation_floors_best_effort_near_zero() {
-        let trace = Trace::new(vec![Request::rigid(0, Route::new(0, 0), 0.0, 1000.0, 100.0)]);
+        let trace = Trace::new(vec![Request::rigid(
+            0,
+            Route::new(0, 0),
+            0.0,
+            1000.0,
+            100.0,
+        )]);
         let assignments = vec![Assignment {
             id: RequestId(0),
             bw: 100.0,
             start: 0.0,
             finish: 10.0,
         }];
-        let mice = [BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY }];
+        let mice = [BestEffortFlow {
+            route: Route::new(0, 0),
+            cap: f64::INFINITY,
+        }];
         let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 0.0, 10.0, 1.0);
         assert!(rep.mean_rates[0] < 1e-3, "{:?}", rep.mean_rates);
     }
@@ -189,8 +204,14 @@ mod tests {
     fn mice_share_the_residual_fairly() {
         let (trace, assignments) = bulk_schedule();
         let mice = [
-            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
-            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+            BestEffortFlow {
+                route: Route::new(0, 0),
+                cap: f64::INFINITY,
+            },
+            BestEffortFlow {
+                route: Route::new(0, 0),
+                cap: f64::INFINITY,
+            },
         ];
         let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 10.0, 20.0, 2.0);
         for k in 0..rep.times.len() {
@@ -203,8 +224,14 @@ mod tests {
     fn capped_mouse_leaves_headroom() {
         let (trace, assignments) = bulk_schedule();
         let mice = [
-            BestEffortFlow { route: Route::new(0, 0), cap: 5.0 },
-            BestEffortFlow { route: Route::new(0, 0), cap: f64::INFINITY },
+            BestEffortFlow {
+                route: Route::new(0, 0),
+                cap: 5.0,
+            },
+            BestEffortFlow {
+                route: Route::new(0, 0),
+                cap: f64::INFINITY,
+            },
         ];
         let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 10.0, 20.0, 5.0);
         assert!((rep.mean_rates[0] - 5.0).abs() < 1e-6);

@@ -86,6 +86,8 @@ mod tests {
         };
         assert!(e.to_string().contains("e1"));
         assert!(NetError::UnknownReservation(9).to_string().contains("#9"));
-        assert!(NetError::InvalidArgument("x".into()).to_string().contains('x'));
+        assert!(NetError::InvalidArgument("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

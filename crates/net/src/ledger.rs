@@ -298,10 +298,7 @@ mod tests {
         l.cancel(id).unwrap();
         assert!(l.fits(Route::new(0, 1), 0.0, 10.0, 100.0));
         assert_eq!(l.live_count(), 0);
-        assert!(matches!(
-            l.cancel(id),
-            Err(NetError::UnknownReservation(_))
-        ));
+        assert!(matches!(l.cancel(id), Err(NetError::UnknownReservation(_))));
     }
 
     #[test]

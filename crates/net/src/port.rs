@@ -35,15 +35,11 @@ impl fmt::Display for Direction {
 }
 
 /// Index of an ingress point within a [`Topology`](crate::Topology).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct IngressId(pub u32);
 
 /// Index of an egress point within a [`Topology`](crate::Topology).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EgressId(pub u32);
 
 impl IngressId {

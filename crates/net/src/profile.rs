@@ -148,8 +148,18 @@ impl CapacityProfile {
         {
             Ok(i) => i,
             Err(i) => {
-                let level = if i == 0 { 0.0 } else { self.points[i - 1].alloc };
-                self.points.insert(i, Breakpoint { time: t, alloc: level });
+                let level = if i == 0 {
+                    0.0
+                } else {
+                    self.points[i - 1].alloc
+                };
+                self.points.insert(
+                    i,
+                    Breakpoint {
+                        time: t,
+                        alloc: level,
+                    },
+                );
                 i
             }
         }

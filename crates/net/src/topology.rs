@@ -96,7 +96,8 @@ impl Topology {
     /// `min(B_in(ingress), B_out(egress))` — the paper's `b_min` used in the
     /// CUMULATED-SLOTS cost factor.
     pub fn route_bottleneck(&self, route: Route) -> Bandwidth {
-        self.ingress_cap(route.ingress).min(self.egress_cap(route.egress))
+        self.ingress_cap(route.ingress)
+            .min(self.egress_cap(route.egress))
     }
 
     /// `Σ_i B_in(i)`.

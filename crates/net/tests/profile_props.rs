@@ -10,8 +10,7 @@ use proptest::prelude::*;
 /// An allocation request with a sane shape: times in [0, 1000), bw in
 /// (0, 100].
 fn arb_alloc() -> impl Strategy<Value = (f64, f64, f64)> {
-    (0.0f64..1000.0, 0.1f64..200.0, 0.1f64..100.0)
-        .prop_map(|(t0, len, bw)| (t0, t0 + len, bw))
+    (0.0f64..1000.0, 0.1f64..200.0, 0.1f64..100.0).prop_map(|(t0, len, bw)| (t0, t0 + len, bw))
 }
 
 proptest! {

@@ -1,0 +1,261 @@
+//! Load generator for the reservation daemon.
+//!
+//! Replays a `gridband-workload` Poisson trace (the paper's §5.3 flexible
+//! workload) against a running `gridband serve` instance over TCP and
+//! reports the accept rate plus submit→decision latency percentiles.
+//!
+//! Usage:
+//!   loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S]
+//!           [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use gridband_net::Topology;
+use gridband_serve::metrics::LatencyHistogram;
+use gridband_serve::protocol::{encode_client, ClientMsg, ServerMsg, SubmitReq};
+use gridband_workload::WorkloadBuilder;
+
+struct Args {
+    addr: String,
+    requests: usize,
+    mean_interarrival: f64,
+    seed: u64,
+    topo: Topology,
+    json: bool,
+}
+
+fn parse_topo(spec: &str) -> Result<Topology, String> {
+    match spec {
+        "paper" => Ok(Topology::paper_default()),
+        "grid5000" => Ok(Topology::grid5000_like()),
+        other => {
+            let parts: Vec<&str> = other.split('x').collect();
+            if parts.len() == 3 {
+                let m: usize = parts[0].parse().map_err(|_| format!("bad topo {other}"))?;
+                let n: usize = parts[1].parse().map_err(|_| format!("bad topo {other}"))?;
+                let cap: f64 = parts[2].parse().map_err(|_| format!("bad topo {other}"))?;
+                Ok(Topology::uniform(m, n, cap))
+            } else {
+                Err(format!(
+                    "unknown topology {other} (want paper|grid5000|MxNxCAP)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7421".to_string(),
+        requests: 2000,
+        mean_interarrival: 1.0,
+        seed: 42,
+        topo: Topology::paper_default(),
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = val("--addr")?,
+            "--requests" => {
+                args.requests = val("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?
+            }
+            "--mean-interarrival" => {
+                args.mean_interarrival = val("--mean-interarrival")?
+                    .parse()
+                    .map_err(|e| format!("bad --mean-interarrival: {e}"))?
+            }
+            "--seed" => {
+                args.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--topo" => args.topo = parse_topo(&val("--topo")?)?,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S] \
+                     [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    // Scale the horizon with the request count so the builder generates
+    // enough arrivals, then truncate to exactly `--requests`.
+    let horizon = (args.requests as f64 * args.mean_interarrival * 1.25).max(100.0);
+    let trace = WorkloadBuilder::new(args.topo.clone())
+        .mean_interarrival(args.mean_interarrival)
+        .slack(gridband_workload::Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(horizon)
+        .seed(args.seed)
+        .build();
+    let requests: Vec<_> = trace.iter().take(args.requests).cloned().collect();
+    if requests.len() < args.requests {
+        eprintln!(
+            "loadgen: trace produced only {} arrivals in horizon {horizon}; sending those",
+            requests.len()
+        );
+    }
+    if requests.is_empty() {
+        return Err("no requests generated".to_string());
+    }
+
+    let stream =
+        TcpStream::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+    let n = requests.len();
+
+    // Reader: collect one decision per submission plus the final stats.
+    type ReaderResult = Result<(Vec<(u64, ServerMsg, Instant)>, Option<ServerMsg>), String>;
+    let reader = std::thread::spawn(move || -> ReaderResult {
+        let mut decisions = Vec::with_capacity(n);
+        let mut stats = None;
+        let mut lines = BufReader::new(stream);
+        let mut line = String::new();
+        while decisions.len() < n || stats.is_none() {
+            line.clear();
+            match lines.read_line(&mut line) {
+                Ok(0) => return Err("server closed the connection early".to_string()),
+                Ok(_) => {}
+                Err(e) => return Err(format!("read: {e}")),
+            }
+            let msg = gridband_serve::protocol::decode_server(line.trim())
+                .map_err(|e| format!("bad server line: {e}"))?;
+            match msg {
+                ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } => {
+                    decisions.push((id, msg, Instant::now()));
+                }
+                ServerMsg::Stats(_) => stats = Some(msg),
+                ServerMsg::Draining { .. } => {}
+                ServerMsg::Error { code, message } => {
+                    return Err(format!("server error {code}: {message}"));
+                }
+                _ => {}
+            }
+        }
+        Ok((decisions, stats))
+    });
+
+    // Writer: stream the whole trace, then drain, then ask for stats.
+    let started = Instant::now();
+    let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
+    for req in &requests {
+        let msg = ClientMsg::Submit(SubmitReq {
+            id: req.id.0,
+            ingress: req.route.ingress.0,
+            egress: req.route.egress.0,
+            volume: req.volume,
+            max_rate: req.max_rate,
+            start: Some(req.start()),
+            deadline: Some(req.finish()),
+        });
+        sent_at.insert(req.id.0, Instant::now());
+        let mut line = encode_client(&msg);
+        line.push('\n');
+        write_half
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+    }
+    for msg in [ClientMsg::Drain, ClientMsg::Stats] {
+        let mut line = encode_client(&msg);
+        line.push('\n');
+        write_half
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+    }
+    write_half.flush().map_err(|e| e.to_string())?;
+
+    let (decisions, stats) = reader.join().map_err(|_| "reader panicked".to_string())??;
+    let wall = started.elapsed();
+
+    let lat = LatencyHistogram::new();
+    let mut accepted = 0usize;
+    for (id, msg, at) in &decisions {
+        if matches!(msg, ServerMsg::Accepted { .. }) {
+            accepted += 1;
+        }
+        if let Some(t0) = sent_at.get(id) {
+            lat.record(at.duration_since(*t0));
+        }
+    }
+    let decided = decisions.len();
+    let accept_rate = accepted as f64 / decided.max(1) as f64;
+
+    if args.json {
+        let report = serde_json::to_string_pretty(&LoadgenReport {
+            requests: decided as u64,
+            accepted: accepted as u64,
+            accept_rate,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            p50_ms: lat.quantile_ms(0.50),
+            p95_ms: lat.quantile_ms(0.95),
+            p99_ms: lat.quantile_ms(0.99),
+        })
+        .map_err(|e| e.to_string())?;
+        println!("{report}");
+    } else {
+        println!("requests  {decided}");
+        println!("accepted  {accepted}  ({:.1}%)", accept_rate * 100.0);
+        println!("wall      {:.1} ms", wall.as_secs_f64() * 1e3);
+        println!(
+            "latency   p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms",
+            lat.quantile_ms(0.50),
+            lat.quantile_ms(0.95),
+            lat.quantile_ms(0.99)
+        );
+        if let Some(ServerMsg::Stats(s)) = stats {
+            println!(
+                "server    accepted {} / rejected {} / ticks {} / gc {}",
+                s.accepted, s.rejected, s.ticks, s.gc_reclaimed
+            );
+        }
+    }
+    if accepted == 0 {
+        return Err("zero requests accepted — check topology/workload match".to_string());
+    }
+    Ok(())
+}
+
+#[derive(serde::Serialize)]
+struct LoadgenReport {
+    requests: u64,
+    accepted: u64,
+    accept_rate: f64,
+    wall_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}

@@ -1,0 +1,926 @@
+//! The single-writer admission engine.
+//!
+//! One thread owns the [`CapacityLedger`] and a [`WindowScheduler`];
+//! everything else talks to it through a bounded command channel. This is
+//! the daemon-shaped version of Algorithm 3: submissions received during
+//! one `t_step` interval are decided together at the interval boundary
+//! against the live ledger, exactly as the offline simulation decides
+//! them — a property the loopback test in `tests/` checks end to end.
+//!
+//! Two clocks are supported:
+//!
+//! * [`TimeMode::Virtual`] — the clock is driven by submission timestamps:
+//!   before an arrival at `s` is enqueued, every admission round due at or
+//!   before `s` fires. This replays the offline event ordering
+//!   (tick-before-arrival at equal times) and makes runs deterministic.
+//! * [`TimeMode::RealTime`] — a ticker thread fires a round every
+//!   `tick` of wall time, advancing the virtual clock by `t_step`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use gridband_algos::BandwidthPolicy;
+use gridband_algos::WindowScheduler;
+use gridband_net::units::EPS;
+use gridband_net::{CapacityLedger, ReservationId, Route, Topology};
+use gridband_sim::{AdmissionController, Decision};
+use gridband_workload::{Request, TimeWindow};
+
+use crate::metrics::MetricsRegistry;
+use crate::protocol::{ClientMsg, RejectReason, ReqState, ServerMsg, SubmitReq};
+
+/// How the engine's clock advances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeMode {
+    /// Submission timestamps drive the clock (deterministic replay).
+    Virtual,
+    /// A ticker thread fires a round every `tick` of wall time.
+    RealTime {
+        /// Wall-clock interval between admission rounds.
+        tick: Duration,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Port topology the ledger tracks.
+    pub topology: Topology,
+    /// Admission interval `t_step` in virtual seconds.
+    pub step: f64,
+    /// Bandwidth granted on acceptance.
+    pub policy: BandwidthPolicy,
+    /// Clock mode.
+    pub mode: TimeMode,
+    /// Command-queue bound; `try_submit` reports backpressure beyond it.
+    pub queue_capacity: usize,
+    /// Deadline default: `start + default_slack × volume / max_rate` when
+    /// a submission omits its deadline.
+    pub default_slack: f64,
+    /// Decided-request history kept for `Query` (older entries evicted).
+    pub history_capacity: usize,
+}
+
+impl EngineConfig {
+    /// Defaults matching the paper's flexible experiments: WINDOW with
+    /// `t_step = 50 s`, MAX BW policy, virtual clock.
+    pub fn new(topology: Topology) -> Self {
+        EngineConfig {
+            topology,
+            step: 50.0,
+            policy: BandwidthPolicy::MAX_RATE,
+            mode: TimeMode::Virtual,
+            queue_capacity: 1024,
+            default_slack: 3.0,
+            history_capacity: 1 << 20,
+        }
+    }
+}
+
+/// A command delivered to the engine thread.
+pub enum Command {
+    /// A client request plus the channel its replies go to.
+    Client {
+        /// The decoded request.
+        msg: ClientMsg,
+        /// Per-connection outbound queue.
+        reply: Sender<ServerMsg>,
+    },
+    /// Fire one admission round (real-time ticker).
+    Tick,
+    /// Decide everything pending, then exit the engine loop.
+    Shutdown,
+}
+
+struct PendingEntry {
+    req: Request,
+    reply: Sender<ServerMsg>,
+    submitted_at: Instant,
+    cancelled: bool,
+}
+
+/// Handle to a running engine thread.
+pub struct Engine {
+    tx: Sender<Command>,
+    metrics: Arc<MetricsRegistry>,
+    step: f64,
+    ticker_stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start the engine (and, in real-time mode, its ticker).
+    pub fn spawn(config: EngineConfig) -> Engine {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let (tx, rx) = channel::bounded(config.queue_capacity);
+        let step = config.step;
+        let ticker_stop = Arc::new(AtomicBool::new(false));
+
+        let ticker = match config.mode {
+            TimeMode::Virtual => None,
+            TimeMode::RealTime { tick } => {
+                let tx = tx.clone();
+                let stop = ticker_stop.clone();
+                Some(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        if stop.load(Ordering::Relaxed) || tx.send(Command::Tick).is_err() {
+                            break;
+                        }
+                    }
+                }))
+            }
+        };
+
+        let m = metrics.clone();
+        let thread = std::thread::spawn(move || EngineLoop::new(config, m, rx).run());
+        Engine {
+            tx,
+            metrics,
+            step,
+            ticker_stop,
+            thread: Some(thread),
+            ticker: None,
+        }
+        .with_ticker(ticker)
+    }
+
+    fn with_ticker(mut self, ticker: Option<std::thread::JoinHandle<()>>) -> Self {
+        self.ticker = ticker;
+        self
+    }
+
+    /// A sender connections use to enqueue commands.
+    pub fn sender(&self) -> Sender<Command> {
+        self.tx.clone()
+    }
+
+    /// Shared metrics registry.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.metrics.clone()
+    }
+
+    /// The engine's `t_step` (used for queue-full retry hints).
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Enqueue without blocking; `Err` means the queue is full (the
+    /// caller should report [`RejectReason::QueueFull`]).
+    pub fn try_command(&self, cmd: Command) -> Result<(), Command> {
+        match self.tx.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(c)) | Err(TrySendError::Disconnected(c)) => Err(c),
+        }
+    }
+
+    /// Decide everything pending and stop the engine thread.
+    pub fn shutdown(mut self) {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct EngineLoop {
+    config: EngineConfig,
+    metrics: Arc<MetricsRegistry>,
+    rx: Receiver<Command>,
+    ledger: CapacityLedger,
+    sched: WindowScheduler,
+    now: f64,
+    next_tick: f64,
+    pending: HashMap<u64, PendingEntry>,
+    /// Decided states, with FIFO eviction beyond `history_capacity`.
+    states: HashMap<u64, ReqState>,
+    history: std::collections::VecDeque<u64>,
+    /// Accepted client id → live reservation (for `Cancel` / GC).
+    accepted_res: HashMap<u64, ReservationId>,
+    res_owner: HashMap<u64, u64>,
+    draining: bool,
+}
+
+impl EngineLoop {
+    fn new(config: EngineConfig, metrics: Arc<MetricsRegistry>, rx: Receiver<Command>) -> Self {
+        assert!(config.step > 0.0, "t_step must be positive");
+        let ledger = CapacityLedger::new(config.topology.clone());
+        let sched = WindowScheduler::new(config.step, config.policy);
+        let next_tick = config.step;
+        EngineLoop {
+            config,
+            metrics,
+            rx,
+            ledger,
+            sched,
+            now: 0.0,
+            next_tick,
+            pending: HashMap::new(),
+            states: HashMap::new(),
+            history: std::collections::VecDeque::new(),
+            accepted_res: HashMap::new(),
+            res_owner: HashMap::new(),
+            draining: false,
+        }
+    }
+
+    fn run(mut self) {
+        while let Ok(cmd) = self.rx.recv() {
+            match cmd {
+                Command::Client { msg, reply } => self.handle_client(msg, reply),
+                Command::Tick => {
+                    let t = self.next_tick;
+                    self.run_round(t);
+                }
+                Command::Shutdown => {
+                    if !self.pending.is_empty() {
+                        let t = self.next_tick;
+                        self.run_round(t);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn handle_client(&mut self, msg: ClientMsg, reply: Sender<ServerMsg>) {
+        match msg {
+            ClientMsg::Submit(s) => self.handle_submit(s, reply),
+            ClientMsg::Cancel { id } => self.handle_cancel(id, reply),
+            ClientMsg::Query { id } => {
+                MetricsRegistry::inc(&self.metrics.queries);
+                let state = if self.pending.contains_key(&id) {
+                    ReqState::Pending
+                } else {
+                    self.states.get(&id).copied().unwrap_or(ReqState::Unknown)
+                };
+                let _ = reply.send(ServerMsg::Status { id, state });
+            }
+            ClientMsg::Stats => {
+                let snap = self.metrics.snapshot(
+                    self.pending.len() as u64,
+                    self.ledger.live_count() as u64,
+                    self.now,
+                );
+                let _ = reply.send(ServerMsg::Stats(snap));
+            }
+            ClientMsg::Drain => {
+                self.draining = true;
+                let n = self.pending.len() as u64;
+                if n > 0 {
+                    let t = self.next_tick;
+                    self.run_round(t);
+                }
+                let _ = reply.send(ServerMsg::Draining { pending: n });
+            }
+        }
+    }
+
+    fn handle_submit(&mut self, s: SubmitReq, reply: Sender<ServerMsg>) {
+        MetricsRegistry::inc(&self.metrics.submitted);
+        if self.draining {
+            MetricsRegistry::inc(&self.metrics.refused_early);
+            let _ = reply.send(ServerMsg::Rejected {
+                id: s.id,
+                reason: RejectReason::ShuttingDown,
+                retry_after: None,
+            });
+            return;
+        }
+        // In virtual mode the clock advances with the submissions: fire
+        // every round due before (or exactly at) this arrival, preserving
+        // the offline tick-before-arrival order at equal timestamps.
+        let start = s.start.unwrap_or(self.now).max(self.now);
+        if self.config.mode == TimeMode::Virtual {
+            while self.next_tick <= start {
+                let t = self.next_tick;
+                self.run_round(t);
+            }
+        }
+        self.now = self.now.max(start);
+
+        match self.validate(&s, start) {
+            Ok(req) => {
+                // WindowScheduler always defers; keep the reply routing so
+                // the round that decides this request can answer.
+                let d = self.sched.on_arrival(&req, &self.ledger, self.now);
+                debug_assert!(matches!(d, Decision::Defer));
+                self.pending.insert(
+                    s.id,
+                    PendingEntry {
+                        req,
+                        reply,
+                        submitted_at: Instant::now(),
+                        cancelled: false,
+                    },
+                );
+            }
+            Err(reason) => {
+                MetricsRegistry::inc(&self.metrics.refused_early);
+                self.record_state(s.id, ReqState::Rejected);
+                let _ = reply.send(ServerMsg::Rejected {
+                    id: s.id,
+                    reason,
+                    retry_after: None,
+                });
+            }
+        }
+    }
+
+    /// Non-panicking mirror of `Request::new`'s contract; a daemon must
+    /// survive hostile input that would assert in the library constructor.
+    fn validate(&self, s: &SubmitReq, start: f64) -> Result<Request, RejectReason> {
+        if self.pending.contains_key(&s.id)
+            || self.states.contains_key(&s.id)
+            || self.accepted_res.contains_key(&s.id)
+        {
+            return Err(RejectReason::Invalid);
+        }
+        if !(s.volume.is_finite()
+            && s.volume > 0.0
+            && s.max_rate.is_finite()
+            && s.max_rate > 0.0
+            && start.is_finite())
+        {
+            return Err(RejectReason::Invalid);
+        }
+        let route = Route::new(s.ingress, s.egress);
+        if !self.config.topology.contains_route(route) {
+            return Err(RejectReason::UnknownRoute);
+        }
+        let deadline = match s.deadline {
+            Some(d) => d,
+            None => start + self.config.default_slack * s.volume / s.max_rate,
+        };
+        if !deadline.is_finite() || deadline - start <= EPS {
+            return Err(RejectReason::Invalid);
+        }
+        let min_rate = s.volume / (deadline - start);
+        if min_rate > s.max_rate * (1.0 + 1e-9) {
+            // The window was never feasible at MaxRate.
+            return Err(RejectReason::DeadlineUnreachable);
+        }
+        Ok(Request::new(
+            s.id,
+            route,
+            TimeWindow::new(start, deadline),
+            s.volume,
+            s.max_rate,
+        ))
+    }
+
+    fn handle_cancel(&mut self, id: u64, reply: Sender<ServerMsg>) {
+        let freed = if let Some(rid) = self.accepted_res.remove(&id) {
+            self.res_owner.remove(&rid.0);
+            let ok = self.ledger.cancel(rid).is_ok();
+            if ok {
+                MetricsRegistry::inc(&self.metrics.cancelled);
+                self.record_state(id, ReqState::Cancelled);
+            }
+            ok
+        } else if let Some(entry) = self.pending.get_mut(&id) {
+            // Still undecided: tombstone it. The deciding round frees any
+            // reservation it would get and suppresses the decision reply.
+            entry.cancelled = true;
+            MetricsRegistry::inc(&self.metrics.cancelled);
+            true
+        } else {
+            false
+        };
+        let _ = reply.send(ServerMsg::CancelResult { id, freed });
+    }
+
+    /// One admission round at virtual time `t`: GC expired reservations,
+    /// let the scheduler decide the batch, apply and answer each decision.
+    fn run_round(&mut self, t: f64) {
+        debug_assert!(t >= self.now - EPS, "round time going backwards");
+        self.now = t;
+        self.next_tick = t + self.config.step;
+        MetricsRegistry::inc(&self.metrics.ticks);
+
+        // Reservations whose interval ended are dead weight in the ledger
+        // profiles: cancelling them only edits past time segments, so
+        // admission decisions (which only read the profile from `t` on)
+        // are unaffected while breakpoint memory stays bounded.
+        let expired: Vec<ReservationId> = self
+            .ledger
+            .live_reservations()
+            .filter(|(_, r)| r.end <= t)
+            .map(|(id, _)| id)
+            .collect();
+        for rid in expired {
+            if self.ledger.cancel(rid).is_ok() {
+                MetricsRegistry::inc(&self.metrics.gc_reclaimed);
+                if let Some(owner) = self.res_owner.remove(&rid.0) {
+                    self.accepted_res.remove(&owner);
+                }
+            }
+        }
+
+        for (rid, decision) in self.sched.on_tick(&self.ledger, t) {
+            self.apply_decision(rid.0, decision, t);
+        }
+    }
+
+    fn apply_decision(&mut self, id: u64, decision: Decision, t: f64) {
+        let Some(entry) = self.pending.remove(&id) else {
+            return; // scheduler answered an id we no longer track
+        };
+        self.metrics
+            .decision_latency
+            .record(entry.submitted_at.elapsed());
+        match decision {
+            Decision::Accept { bw, start, finish } => {
+                match self.ledger.reserve(entry.req.route, start, finish, bw) {
+                    Ok(rid) => {
+                        if entry.cancelled {
+                            // Cancelled while pending: free immediately.
+                            let _ = self.ledger.cancel(rid);
+                            self.record_state(id, ReqState::Cancelled);
+                            return;
+                        }
+                        MetricsRegistry::inc(&self.metrics.accepted);
+                        self.accepted_res.insert(id, rid);
+                        self.res_owner.insert(rid.0, id);
+                        self.record_state(id, ReqState::Accepted);
+                        let _ = entry.reply.send(ServerMsg::Accepted {
+                            id,
+                            bw,
+                            start,
+                            finish,
+                        });
+                    }
+                    Err(_) => {
+                        // The scheduler's scalar view disagreed with the
+                        // profile at reservation time; surface as a
+                        // saturation rejection rather than crashing.
+                        self.reject(id, &entry, RejectReason::Saturated, t);
+                    }
+                }
+            }
+            Decision::Reject => {
+                let reason = if entry.req.required_rate_from(t).is_none() {
+                    RejectReason::DeadlineUnreachable
+                } else {
+                    RejectReason::Saturated
+                };
+                self.reject(id, &entry, reason, t);
+            }
+            Decision::Retry { at } => {
+                // WindowScheduler never emits this; map it to a rejection
+                // carrying the scheduler's own retry hint.
+                let entry_finish = entry.req.finish();
+                self.record_state(id, ReqState::Rejected);
+                MetricsRegistry::inc(&self.metrics.rejected);
+                if !entry.cancelled {
+                    let retry_after = (at < entry_finish).then_some(at);
+                    let _ = entry.reply.send(ServerMsg::Rejected {
+                        id,
+                        reason: RejectReason::Saturated,
+                        retry_after,
+                    });
+                }
+            }
+            Decision::Defer => {
+                // Still undecided: put the entry back.
+                self.pending.insert(id, entry);
+            }
+        }
+    }
+
+    fn reject(&mut self, id: u64, entry: &PendingEntry, reason: RejectReason, t: f64) {
+        MetricsRegistry::inc(&self.metrics.rejected);
+        self.record_state(id, ReqState::Rejected);
+        if entry.cancelled {
+            return;
+        }
+        let retry_after = match reason {
+            RejectReason::Saturated => self.retry_hint(&entry.req, t),
+            _ => None,
+        };
+        let _ = entry.reply.send(ServerMsg::Rejected {
+            id,
+            reason,
+            retry_after,
+        });
+    }
+
+    /// Backpressure hint: the earliest time a port of this route frees
+    /// capacity (the soonest-ending overlapping reservation), bounded to
+    /// the next round; `None` when no retry can still meet the deadline.
+    fn retry_hint(&self, req: &Request, t: f64) -> Option<f64> {
+        let mut earliest: Option<f64> = None;
+        for (_, r) in self.ledger.live_reservations() {
+            if r.end > t
+                && (r.route.ingress == req.route.ingress || r.route.egress == req.route.egress)
+            {
+                earliest = Some(earliest.map_or(r.end, |e: f64| e.min(r.end)));
+            }
+        }
+        let hint = earliest.unwrap_or(self.next_tick).max(self.next_tick);
+        // A retry decided after the deadline-feasible window is pointless.
+        let latest_useful = req.finish() - req.volume / req.max_rate;
+        (hint < latest_useful).then_some(hint)
+    }
+
+    fn record_state(&mut self, id: u64, state: ReqState) {
+        if !self.states.contains_key(&id) {
+            self.history.push_back(id);
+            if self.history.len() > self.config.history_capacity {
+                if let Some(old) = self.history.pop_front() {
+                    self.states.remove(&old);
+                }
+            }
+        }
+        self.states.insert(id, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(id: u64, start: f64, volume: f64, max_rate: f64, deadline: f64) -> ClientMsg {
+        ClientMsg::Submit(SubmitReq {
+            id,
+            ingress: 0,
+            egress: 0,
+            volume,
+            max_rate,
+            start: Some(start),
+            deadline: Some(deadline),
+        })
+    }
+
+    fn engine_1x1(cap: f64, step: f64) -> Engine {
+        let mut cfg = EngineConfig::new(Topology::uniform(1, 1, cap));
+        cfg.step = step;
+        Engine::spawn(cfg)
+    }
+
+    fn rpc(engine: &Engine, msg: ClientMsg) -> ServerMsg {
+        let (tx, rx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client { msg, reply: tx })
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("engine reply")
+    }
+
+    #[test]
+    fn submit_is_decided_at_the_next_round() {
+        let engine = engine_1x1(100.0, 10.0);
+        let (tx, rx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: submit(1, 0.0, 500.0, 100.0, 30.0),
+                reply: tx.clone(),
+            })
+            .unwrap();
+        // No decision yet: the round at t=10 has not fired.
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        // A later submission past the tick drives the clock forward.
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: submit(2, 12.0, 100.0, 100.0, 40.0),
+                reply: tx,
+            })
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            ServerMsg::Accepted {
+                id,
+                bw,
+                start,
+                finish,
+            } => {
+                assert_eq!(id, 1);
+                assert_eq!(start, 10.0);
+                // Decided at t=10 with deadline 30: required 25, MAX BW
+                // grants the full host rate.
+                assert_eq!(bw, 100.0);
+                assert_eq!(finish, 15.0);
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn saturated_rejection_carries_a_retry_hint() {
+        let engine = engine_1x1(100.0, 10.0);
+        // Fill the port for [10, 110): 10_000 MB at 100 MB/s.
+        let a = rpc_all_no_drain(&engine, vec![submit(1, 0.0, 10_000.0, 100.0, 200.0)], 12.0);
+        assert!(matches!(a[0], ServerMsg::Accepted { .. }), "{:?}", a[0]);
+        // Competing request with a roomy deadline: rejected now, retry
+        // possible once the big transfer ends.
+        let b = rpc_all_no_drain(&engine, vec![submit(2, 15.0, 100.0, 100.0, 500.0)], 22.0);
+        match &b[0] {
+            ServerMsg::Rejected {
+                reason,
+                retry_after,
+                ..
+            } => {
+                assert_eq!(*reason, RejectReason::Saturated);
+                let hint = retry_after.expect("retryable rejection must carry a hint");
+                assert!(hint >= 110.0, "hint {hint} must not precede the free-up");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    /// Submit all messages, then drain, returning one decision per submit
+    /// in submission order.
+    fn rpc_all(engine: &Engine, msgs: Vec<ClientMsg>) -> Vec<ServerMsg> {
+        let (tx, rx) = channel::unbounded();
+        let n = msgs.len();
+        for msg in msgs {
+            engine
+                .sender()
+                .send(Command::Client {
+                    msg,
+                    reply: tx.clone(),
+                })
+                .unwrap();
+        }
+        let (dtx, drx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: ClientMsg::Drain,
+                reply: dtx,
+            })
+            .unwrap();
+        drx.recv_timeout(Duration::from_secs(5))
+            .expect("drain reply");
+        // Note: this marks the engine as draining; only use at end of test
+        // or with engines whose rounds already fired.
+        (0..n)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).expect("decision"))
+            .collect()
+    }
+
+    #[test]
+    fn invalid_submissions_bounce_without_panicking() {
+        let engine = engine_1x1(100.0, 10.0);
+        let bad = vec![
+            // Negative volume.
+            ClientMsg::Submit(SubmitReq {
+                id: 1,
+                ingress: 0,
+                egress: 0,
+                volume: -5.0,
+                max_rate: 10.0,
+                start: Some(0.0),
+                deadline: Some(10.0),
+            }),
+            // NaN rate.
+            ClientMsg::Submit(SubmitReq {
+                id: 2,
+                ingress: 0,
+                egress: 0,
+                volume: 10.0,
+                max_rate: f64::NAN,
+                start: Some(0.0),
+                deadline: Some(10.0),
+            }),
+            // Route outside the 1×1 topology.
+            ClientMsg::Submit(SubmitReq {
+                id: 3,
+                ingress: 7,
+                egress: 0,
+                volume: 10.0,
+                max_rate: 10.0,
+                start: Some(0.0),
+                deadline: Some(10.0),
+            }),
+            // Deadline before start.
+            ClientMsg::Submit(SubmitReq {
+                id: 4,
+                ingress: 0,
+                egress: 0,
+                volume: 10.0,
+                max_rate: 10.0,
+                start: Some(20.0),
+                deadline: Some(10.0),
+            }),
+            // Infeasible even at MaxRate. (The clock is at 20 by now: the
+            // id-4 submission above advanced it to its start time.)
+            ClientMsg::Submit(SubmitReq {
+                id: 5,
+                ingress: 0,
+                egress: 0,
+                volume: 1000.0,
+                max_rate: 1.0,
+                start: Some(20.0),
+                deadline: Some(30.0),
+            }),
+        ];
+        let want = [
+            RejectReason::Invalid,
+            RejectReason::Invalid,
+            RejectReason::UnknownRoute,
+            RejectReason::Invalid,
+            RejectReason::DeadlineUnreachable,
+        ];
+        for (msg, want) in bad.into_iter().zip(want) {
+            match rpc(&engine, msg) {
+                ServerMsg::Rejected {
+                    reason,
+                    retry_after,
+                    ..
+                } => {
+                    assert_eq!(reason, want);
+                    assert_eq!(retry_after, None);
+                }
+                other => panic!("expected early rejection, got {other:?}"),
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn duplicate_ids_are_invalid() {
+        let engine = engine_1x1(100.0, 10.0);
+        let msgs = vec![
+            submit(1, 0.0, 100.0, 100.0, 50.0),
+            submit(1, 1.0, 100.0, 100.0, 50.0),
+        ];
+        let (tx, rx) = channel::unbounded();
+        for msg in msgs {
+            engine
+                .sender()
+                .send(Command::Client {
+                    msg,
+                    reply: tx.clone(),
+                })
+                .unwrap();
+        }
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            ServerMsg::Rejected {
+                id: 1,
+                reason: RejectReason::Invalid,
+                ..
+            } => {}
+            other => panic!("expected duplicate-id rejection, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cancel_frees_capacity_for_later_requests() {
+        let engine = engine_1x1(100.0, 10.0);
+        let a = rpc_all_no_drain(&engine, vec![submit(1, 0.0, 20_000.0, 100.0, 400.0)], 12.0);
+        assert!(matches!(a[0], ServerMsg::Accepted { .. }));
+        match rpc(&engine, ClientMsg::Cancel { id: 1 }) {
+            ServerMsg::CancelResult { freed, .. } => assert!(freed),
+            other => panic!("expected cancel result, got {other:?}"),
+        }
+        // The port is free again: an otherwise-blocked transfer fits.
+        let b = rpc_all_no_drain(&engine, vec![submit(2, 20.0, 9_000.0, 100.0, 400.0)], 32.0);
+        assert!(matches!(b[0], ServerMsg::Accepted { .. }), "{:?}", b[0]);
+        match rpc(&engine, ClientMsg::Query { id: 1 }) {
+            ServerMsg::Status { state, .. } => assert_eq!(state, ReqState::Cancelled),
+            other => panic!("expected status, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    /// Submit, then advance the virtual clock past the deciding round by
+    /// submitting (and discarding) a probe at `probe_time`.
+    fn rpc_all_no_drain(engine: &Engine, msgs: Vec<ClientMsg>, probe_time: f64) -> Vec<ServerMsg> {
+        let (tx, rx) = channel::unbounded();
+        let n = msgs.len();
+        for msg in msgs {
+            engine
+                .sender()
+                .send(Command::Client {
+                    msg,
+                    reply: tx.clone(),
+                })
+                .unwrap();
+        }
+        // Probe with an unroutable submission: advances the clock, never
+        // reaches the scheduler.
+        let probe = ClientMsg::Submit(SubmitReq {
+            id: u64::MAX,
+            ingress: u32::MAX,
+            egress: 0,
+            volume: 1.0,
+            max_rate: 1.0,
+            start: Some(probe_time),
+            deadline: None,
+        });
+        let (ptx, prx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: probe,
+                reply: ptx,
+            })
+            .unwrap();
+        prx.recv_timeout(Duration::from_secs(5))
+            .expect("probe reply");
+        (0..n)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).expect("decision"))
+            .collect()
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let engine = engine_1x1(100.0, 10.0);
+        let d = rpc_all(&engine, vec![submit(1, 0.0, 100.0, 100.0, 50.0)]);
+        assert!(matches!(d[0], ServerMsg::Accepted { .. }));
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => {
+                assert_eq!(s.submitted, 1);
+                assert_eq!(s.accepted, 1);
+                assert_eq!(s.rejected, 0);
+                assert_eq!(s.decision_latency.count, 1);
+                assert!(s.ticks >= 1);
+                assert_eq!(s.accept_rate(), 1.0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn draining_engine_refuses_new_work() {
+        let engine = engine_1x1(100.0, 10.0);
+        match rpc(&engine, ClientMsg::Drain) {
+            ServerMsg::Draining { pending } => assert_eq!(pending, 0),
+            other => panic!("expected draining, got {other:?}"),
+        }
+        match rpc(&engine, submit(9, 0.0, 100.0, 100.0, 50.0)) {
+            ServerMsg::Rejected {
+                reason: RejectReason::ShuttingDown,
+                ..
+            } => {}
+            other => panic!("expected shutting-down rejection, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn realtime_mode_fires_rounds_from_wall_clock() {
+        let mut cfg = EngineConfig::new(Topology::uniform(1, 1, 100.0));
+        cfg.step = 5.0;
+        cfg.mode = TimeMode::RealTime {
+            tick: Duration::from_millis(20),
+        };
+        let engine = Engine::spawn(cfg);
+        let (tx, rx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: ClientMsg::Submit(SubmitReq {
+                    id: 1,
+                    ingress: 0,
+                    egress: 0,
+                    volume: 100.0,
+                    max_rate: 100.0,
+                    start: None,
+                    // Must outlive the first wall-clock round at t = step;
+                    // the default-slack window [0, 3] would already be past.
+                    deadline: Some(60.0),
+                }),
+                reply: tx,
+            })
+            .unwrap();
+        // The ticker (20 ms wall) must decide it without any further
+        // submissions driving the clock.
+        match rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("ticker-driven decision")
+        {
+            ServerMsg::Accepted { id: 1, .. } => {}
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+}

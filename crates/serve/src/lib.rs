@@ -1,0 +1,17 @@
+//! `gridband-serve`: a long-running bandwidth-reservation daemon.
+//!
+//! Exposes the WINDOW batched-admission scheduler as a network service:
+//! clients submit transfer requests over a JSON-lines TCP protocol, the
+//! engine batches them into `t_step` admission rounds against a live
+//! capacity ledger, and decisions (with `retry_after` backpressure on
+//! rejection) stream back per connection.
+
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig, TimeMode};
+pub use metrics::MetricsRegistry;
+pub use protocol::{ClientMsg, RejectReason, ServerMsg, SubmitReq, WireRequest, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,275 @@
+//! Lock-free daemon metrics: atomic counters plus log2-bucketed latency
+//! histograms, snapshotted into a serializable [`StatsSnapshot`] for the
+//! `Stats` RPC and the periodic JSON dump.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `k` holds samples in
+/// `[2^k, 2^(k+1))` microseconds, so 40 buckets span ~1 µs to ~13 days.
+const BUCKETS: usize = 40;
+
+/// Concurrent histogram of durations with power-of-two microsecond
+/// buckets. Recording is one atomic add; percentiles are approximate
+/// (upper bucket bound), which is plenty for service latency reporting.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) in milliseconds: the upper
+    /// bound of the bucket containing the `q`-th sample.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (k, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket k is 2^k µs (bucket 0 is [0, 1)).
+                return (1u64 << k) as f64 / 1000.0;
+            }
+        }
+        (1u64 << (BUCKETS - 1)) as f64 / 1000.0
+    }
+
+    /// Mean sample in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64 / 1000.0
+        }
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count(),
+            mean_ms: self.mean_ms(),
+            p50_ms: self.quantile_ms(0.50),
+            p95_ms: self.quantile_ms(0.95),
+            p99_ms: self.quantile_ms(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of one latency histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms, bucket upper bound).
+    pub p50_ms: f64,
+    /// 95th percentile latency (ms, bucket upper bound).
+    pub p95_ms: f64,
+    /// 99th percentile latency (ms, bucket upper bound).
+    pub p99_ms: f64,
+}
+
+/// All daemon counters and histograms. One instance is shared (via `Arc`)
+/// between the listener, every connection thread, and the engine.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Submissions received (before validation).
+    pub submitted: AtomicU64,
+    /// Submissions admitted by an admission round.
+    pub accepted: AtomicU64,
+    /// Submissions refused by an admission round.
+    pub rejected: AtomicU64,
+    /// Submissions refused before queueing (validation, queue-full, drain).
+    pub refused_early: AtomicU64,
+    /// Cancel requests that freed a live reservation.
+    pub cancelled: AtomicU64,
+    /// Query requests served.
+    pub queries: AtomicU64,
+    /// Submissions bounced because the engine queue was full.
+    pub queue_full: AtomicU64,
+    /// Lines that failed to parse or carried a bad version.
+    pub protocol_errors: AtomicU64,
+    /// Connections accepted over the daemon lifetime.
+    pub connections: AtomicU64,
+    /// Admission rounds (ticks) executed.
+    pub ticks: AtomicU64,
+    /// Expired reservations garbage-collected from the ledger.
+    pub gc_reclaimed: AtomicU64,
+    /// Submit → decision latency.
+    pub decision_latency: LatencyHistogram,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: bump a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Assemble the serializable snapshot, filling in the engine-owned
+    /// gauges passed by the caller.
+    pub fn snapshot(
+        &self,
+        pending: u64,
+        live_reservations: u64,
+        virtual_time: f64,
+    ) -> StatsSnapshot {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: ld(&self.submitted),
+            accepted: ld(&self.accepted),
+            rejected: ld(&self.rejected),
+            refused_early: ld(&self.refused_early),
+            cancelled: ld(&self.cancelled),
+            queries: ld(&self.queries),
+            queue_full: ld(&self.queue_full),
+            protocol_errors: ld(&self.protocol_errors),
+            connections: ld(&self.connections),
+            ticks: ld(&self.ticks),
+            gc_reclaimed: ld(&self.gc_reclaimed),
+            pending,
+            live_reservations,
+            virtual_time,
+            decision_latency: self.decision_latency.snapshot(),
+        }
+    }
+}
+
+/// Serializable metrics snapshot returned by the `Stats` RPC and written
+/// by the periodic JSON dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Submissions received.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub accepted: u64,
+    /// Submissions refused by an admission round.
+    pub rejected: u64,
+    /// Submissions refused before queueing.
+    pub refused_early: u64,
+    /// Reservations freed by `Cancel`.
+    pub cancelled: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// Queue-full bounces.
+    pub queue_full: u64,
+    /// Parse/version failures.
+    pub protocol_errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Admission rounds executed.
+    pub ticks: u64,
+    /// Expired reservations garbage-collected.
+    pub gc_reclaimed: u64,
+    /// Submissions awaiting the next round.
+    pub pending: u64,
+    /// Live (unexpired, uncancelled) reservations.
+    pub live_reservations: u64,
+    /// Engine virtual clock (seconds).
+    pub virtual_time: f64,
+    /// Submit → decision latency distribution.
+    pub decision_latency: LatencySnapshot,
+}
+
+impl StatsSnapshot {
+    /// Accept rate among decided submissions (0 when none decided).
+    pub fn accept_rate(&self) -> f64 {
+        let decided = self.accepted + self.rejected;
+        if decided == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / decided as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let h = LatencyHistogram::new();
+        for micros in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            for _ in 0..10 {
+                h.record(Duration::from_micros(micros));
+            }
+        }
+        assert_eq!(h.count(), 60);
+        let p50 = h.quantile_ms(0.50);
+        let p95 = h.quantile_ms(0.95);
+        let p99 = h.quantile_ms(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        assert!(p99 >= 100.0, "p99 must reach the top decade, got {p99}");
+        assert!(h.mean_ms() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_computes_accept_rate() {
+        let m = MetricsRegistry::new();
+        m.submitted.store(10, Ordering::Relaxed);
+        m.accepted.store(6, Ordering::Relaxed);
+        m.rejected.store(2, Ordering::Relaxed);
+        m.decision_latency.record(Duration::from_millis(3));
+        let snap = m.snapshot(2, 6, 123.0);
+        assert_eq!(snap.accept_rate(), 0.75);
+        assert_eq!(snap.pending, 2);
+        let js = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn quantile_handles_single_sample() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(500));
+        // 500 µs lands in bucket [256, 512) µs → upper bound 0.512 ms.
+        assert_eq!(h.quantile_ms(0.5), 0.512);
+        assert_eq!(h.quantile_ms(1.0), 0.512);
+    }
+}

@@ -1,0 +1,271 @@
+//! Versioned JSON-lines wire protocol of the reservation daemon.
+//!
+//! Every message is one JSON document on one line, newline-terminated.
+//! Client → server messages are wrapped in a [`WireRequest`] envelope that
+//! carries the protocol version; server → client messages are bare
+//! [`ServerMsg`] values. Unknown versions and malformed lines produce a
+//! [`ServerMsg::Error`] reply instead of dropping the connection, so a
+//! client can tell a protocol mistake from a network failure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::StatsSnapshot;
+
+/// Protocol version spoken by this build. Bump on any wire-incompatible
+/// change to [`ClientMsg`] or [`ServerMsg`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Client → server envelope: version plus payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Protocol version the client speaks; must equal [`PROTOCOL_VERSION`].
+    pub v: u32,
+    /// The request itself.
+    pub body: ClientMsg,
+}
+
+impl WireRequest {
+    /// Wrap a message in the current-version envelope.
+    pub fn new(body: ClientMsg) -> Self {
+        WireRequest {
+            v: PROTOCOL_VERSION,
+            body,
+        }
+    }
+}
+
+/// A transfer submission: the request model of §2.1 as wire data.
+///
+/// `start`/`deadline` are in the daemon's virtual clock (seconds). A
+/// missing `start` means "now"; a missing `deadline` means `start +
+/// slack × volume / max_rate` with the server's default slack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitReq {
+    /// Client-chosen request id, unique per daemon lifetime.
+    pub id: u64,
+    /// Ingress port index of the route.
+    pub ingress: u32,
+    /// Egress port index of the route.
+    pub egress: u32,
+    /// Transfer volume in MB.
+    pub volume: f64,
+    /// Host-side rate cap `MaxRate` in MB/s.
+    pub max_rate: f64,
+    /// Requested start `t_s` (virtual seconds); `None` = now.
+    pub start: Option<f64>,
+    /// Latest finish `t_f` (virtual seconds); `None` = server default.
+    pub deadline: Option<f64>,
+}
+
+/// Client → server request payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientMsg {
+    /// Submit a transfer for batched admission.
+    Submit(SubmitReq),
+    /// Cancel a previously accepted transfer, freeing its reservation.
+    Cancel {
+        /// Id used at submission.
+        id: u64,
+    },
+    /// Ask for the current state of a request.
+    Query {
+        /// Id used at submission.
+        id: u64,
+    },
+    /// Fetch the daemon's metrics snapshot.
+    Stats,
+    /// Stop admitting, decide everything still pending, report the count.
+    Drain,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The admission round could not fit the request (port saturated).
+    Saturated,
+    /// No rate ≤ `MaxRate` can meet the deadline any more.
+    DeadlineUnreachable,
+    /// The submission failed validation (field values or duplicate id).
+    Invalid,
+    /// The engine's submission queue is full — back off and retry.
+    QueueFull,
+    /// The route references a port outside the topology.
+    UnknownRoute,
+    /// The daemon is draining and admits no new work.
+    ShuttingDown,
+}
+
+/// Lifecycle state reported by `Query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReqState {
+    /// Waiting for the next admission round.
+    Pending,
+    /// Admitted; the reservation is (or was) live.
+    Accepted,
+    /// Refused.
+    Rejected,
+    /// Cancelled by the client after acceptance.
+    Cancelled,
+    /// The daemon has no record of this id.
+    Unknown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// The submission was admitted with this allocation.
+    Accepted {
+        /// Id used at submission.
+        id: u64,
+        /// Granted constant bandwidth in MB/s.
+        bw: f64,
+        /// Assigned start `σ` (virtual seconds).
+        start: f64,
+        /// Assigned finish `τ` (virtual seconds).
+        finish: f64,
+    },
+    /// The submission was refused.
+    Rejected {
+        /// Id used at submission.
+        id: u64,
+        /// Why.
+        reason: RejectReason,
+        /// Earliest virtual time at which resubmitting could help
+        /// (backpressure hint); `None` when retrying cannot succeed.
+        retry_after: Option<f64>,
+    },
+    /// Reply to `Cancel`.
+    CancelResult {
+        /// Id used at submission.
+        id: u64,
+        /// Whether a live reservation was actually freed.
+        freed: bool,
+    },
+    /// Reply to `Query`.
+    Status {
+        /// Id used at submission.
+        id: u64,
+        /// Current lifecycle state.
+        state: ReqState,
+    },
+    /// Reply to `Stats`.
+    Stats(StatsSnapshot),
+    /// Reply to `Drain`: pending submissions decided by the final round.
+    Draining {
+        /// Number of requests that were still pending.
+        pending: u64,
+    },
+    /// Protocol-level failure (parse error, bad version, oversized line).
+    Error {
+        /// Machine-readable code ("bad-version", "parse", "line-too-long").
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Serialize a server message as one wire line (no trailing newline).
+pub fn encode_server(msg: &ServerMsg) -> String {
+    serde_json::to_string(msg).expect("ServerMsg serialization is infallible")
+}
+
+/// Serialize a client request as one wire line (no trailing newline).
+pub fn encode_client(msg: &ClientMsg) -> String {
+    serde_json::to_string(&WireRequest::new(msg.clone()))
+        .expect("WireRequest serialization is infallible")
+}
+
+/// Parse and version-check one client line.
+///
+/// The `Err` payload is the ready-to-send `ServerMsg::Error` reply; boxing
+/// it would push the unboxing onto every caller for no real win.
+#[allow(clippy::result_large_err)]
+pub fn decode_client(line: &str) -> Result<ClientMsg, ServerMsg> {
+    let wire: WireRequest = serde_json::from_str(line).map_err(|e| ServerMsg::Error {
+        code: "parse".to_string(),
+        message: format!("malformed request: {e}"),
+    })?;
+    if wire.v != PROTOCOL_VERSION {
+        return Err(ServerMsg::Error {
+            code: "bad-version".to_string(),
+            message: format!(
+                "protocol version {} not supported (server speaks {PROTOCOL_VERSION})",
+                wire.v
+            ),
+        });
+    }
+    Ok(wire.body)
+}
+
+/// Parse one server line (client side).
+pub fn decode_server(line: &str) -> Result<ServerMsg, serde_json::Error> {
+    serde_json::from_str(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let msg = ClientMsg::Submit(SubmitReq {
+            id: 7,
+            ingress: 1,
+            egress: 2,
+            volume: 1000.0,
+            max_rate: 50.0,
+            start: Some(12.5),
+            deadline: None,
+        });
+        let line = encode_client(&msg);
+        assert_eq!(decode_client(&line).unwrap(), msg);
+    }
+
+    #[test]
+    fn version_mismatch_is_an_error_reply() {
+        let line = r#"{"v": 99, "body": "Stats"}"#;
+        match decode_client(line) {
+            Err(ServerMsg::Error { code, .. }) => assert_eq!(code, "bad-version"),
+            other => panic!("expected bad-version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error_reply() {
+        match decode_client("{nope") {
+            Err(ServerMsg::Error { code, .. }) => assert_eq!(code, "parse"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let msgs = vec![
+            ServerMsg::Accepted {
+                id: 1,
+                bw: 25.0,
+                start: 10.0,
+                finish: 50.0,
+            },
+            ServerMsg::Rejected {
+                id: 2,
+                reason: RejectReason::Saturated,
+                retry_after: Some(60.0),
+            },
+            ServerMsg::CancelResult { id: 3, freed: true },
+            ServerMsg::Status {
+                id: 4,
+                state: ReqState::Pending,
+            },
+            ServerMsg::Draining { pending: 5 },
+            ServerMsg::Error {
+                code: "parse".into(),
+                message: "bad".into(),
+            },
+        ];
+        for msg in msgs {
+            let line = encode_server(&msg);
+            assert_eq!(decode_server(&line).unwrap(), msg, "line {line}");
+        }
+    }
+}

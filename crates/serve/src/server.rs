@@ -1,0 +1,508 @@
+//! TCP front end: line-framed JSON over per-connection reader/writer
+//! threads, all decisions funnelled through the engine's bounded command
+//! queue.
+//!
+//! Connection anatomy: one reader thread parses newline-framed requests
+//! and enqueues engine commands carrying the connection's reply sender;
+//! one writer thread serializes whatever lands on that reply channel back
+//! onto the socket. Because replies are asynchronous (a submission is
+//! answered at the *next admission round*, not inline), a client may have
+//! many requests in flight; replies carry the request id for correlation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, RecvTimeoutError};
+
+use crate::engine::{Command, Engine, EngineConfig};
+use crate::metrics::MetricsRegistry;
+use crate::protocol::{decode_client, encode_server, RejectReason, ServerMsg};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7421`.
+    pub addr: String,
+    /// Engine configuration.
+    pub engine: EngineConfig,
+    /// Per-connection socket read timeout; a connection idle longer than
+    /// this (with no requests in flight) is closed.
+    pub read_timeout: Duration,
+    /// Maximum accepted request-line length in bytes.
+    pub max_line_len: usize,
+    /// Per-connection bound on undelivered replies before the writer
+    /// drops the connection as stuck.
+    pub reply_capacity: usize,
+    /// Period of the metrics snapshot dumped to stderr as one JSON line;
+    /// `None` disables the dump.
+    pub snapshot_period: Option<Duration>,
+}
+
+impl ServerConfig {
+    /// Reasonable defaults on the given address.
+    pub fn new(addr: impl Into<String>, engine: EngineConfig) -> Self {
+        ServerConfig {
+            addr: addr.into(),
+            engine,
+            read_timeout: Duration::from_secs(300),
+            max_line_len: 64 * 1024,
+            reply_capacity: 64 * 1024,
+            snapshot_period: None,
+        }
+    }
+}
+
+/// A bound listener plus its running engine.
+pub struct Server {
+    listener: TcpListener,
+    engine: Engine,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle for stopping a server from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Ask the accept loop to exit. Existing connections finish their
+    /// in-flight requests; the engine decides its pending batch.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Nudge the (blocking) accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind the listener and start the engine.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let engine = Engine::spawn(config.engine.clone());
+        Ok(Server {
+            listener,
+            engine,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Handle to stop `run` from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            stop: self.stop.clone(),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept connections until shut down, then drain the engine.
+    /// Blocks the calling thread.
+    pub fn run(self) -> std::io::Result<()> {
+        let metrics = self.engine.metrics();
+        let snapshot_stop = self.stop.clone();
+        let snapshotter = self.config.snapshot_period.map(|period| {
+            let engine_tx = self.engine.sender();
+            std::thread::spawn(move || {
+                while !snapshot_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    if snapshot_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Route through the engine so pending/live gauges are
+                    // consistent with the ledger.
+                    let (tx, rx) = channel::bounded(1);
+                    if engine_tx
+                        .send(Command::Client {
+                            msg: crate::protocol::ClientMsg::Stats,
+                            reply: tx,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    if let Ok(ServerMsg::Stats(snap)) = rx.recv() {
+                        if let Ok(js) = serde_json::to_string(&snap) {
+                            eprintln!("{js}");
+                        }
+                    }
+                }
+            })
+        });
+
+        let mut conn_threads = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    MetricsRegistry::inc(&metrics.connections);
+                    let engine_tx = self.engine.sender();
+                    let engine_step = self.engine.step();
+                    let metrics = metrics.clone();
+                    let cfg = ConnConfig {
+                        read_timeout: self.config.read_timeout,
+                        max_line_len: self.config.max_line_len,
+                        reply_capacity: self.config.reply_capacity,
+                        engine_step,
+                    };
+                    conn_threads.push(std::thread::spawn(move || {
+                        handle_connection(stream, engine_tx, metrics, cfg)
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(e) => return Err(e),
+            }
+            // Opportunistically reap finished connection threads.
+            conn_threads.retain(|t| !t.is_finished());
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        if let Some(t) = snapshotter {
+            let _ = t.join();
+        }
+        self.engine.shutdown();
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ConnConfig {
+    read_timeout: Duration,
+    max_line_len: usize,
+    reply_capacity: usize,
+    engine_step: f64,
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine_tx: channel::Sender<Command>,
+    metrics: Arc<MetricsRegistry>,
+    cfg: ConnConfig,
+) {
+    let peer = stream.peer_addr().ok();
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::bounded::<ServerMsg>(cfg.reply_capacity);
+
+    // Writer: serialize replies until the channel closes (reader done and
+    // every in-flight engine command answered or dropped).
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(write_half);
+        loop {
+            match reply_rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(msg) => {
+                    if out.write_all(encode_server(&msg).as_bytes()).is_err()
+                        || out.write_all(b"\n").is_err()
+                    {
+                        break;
+                    }
+                    // Flush when the queue went empty: batches bursts,
+                    // keeps single replies prompt.
+                    if reply_rx.is_empty() && out.flush().is_err() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if out.flush().is_err() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let _ = out.flush();
+                    break;
+                }
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bounded read: take() caps how much one request line may consume.
+        let mut limited = (&mut reader).take(cfg.max_line_len as u64 + 1);
+        match limited.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(n) if n > cfg.max_line_len => {
+                MetricsRegistry::inc(&metrics.protocol_errors);
+                let _ = reply_tx.send(ServerMsg::Error {
+                    code: "line-too-long".to_string(),
+                    message: format!("request line exceeds {} bytes", cfg.max_line_len),
+                });
+                break; // framing is lost; close the connection
+            }
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match decode_client(trimmed) {
+                    Ok(msg) => {
+                        if !forward_to_engine(&engine_tx, &reply_tx, &metrics, &cfg, msg) {
+                            break; // engine gone; close
+                        }
+                    }
+                    Err(err_reply) => {
+                        MetricsRegistry::inc(&metrics.protocol_errors);
+                        let _ = reply_tx.send(err_reply);
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break; // idle past the read timeout
+            }
+            Err(_) => break,
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+    let _ = peer; // reserved for future per-peer logging
+}
+
+/// How long a control message (Cancel/Query/Stats/Drain) waits for queue
+/// space before the connection reports overload. Submissions never wait.
+const CONTROL_RETRY: Duration = Duration::from_secs(5);
+
+/// Forward one decoded request to the engine. Returns `false` when the
+/// engine is gone and the connection should close.
+///
+/// Backpressure policy on a full command queue: submissions bounce
+/// immediately with a `retry_after` hint — the client is the right place
+/// to pace a firehose of new work. Control messages instead retry for up
+/// to [`CONTROL_RETRY`]: they are rare, a client typically sends them
+/// once right after a burst of submissions (exactly when the queue peaks),
+/// and the engine drains the queue continuously, so a short wait converts
+/// a spurious `overloaded` error into a normal reply.
+fn forward_to_engine(
+    engine_tx: &channel::Sender<Command>,
+    reply_tx: &channel::Sender<ServerMsg>,
+    metrics: &MetricsRegistry,
+    cfg: &ConnConfig,
+    msg: crate::protocol::ClientMsg,
+) -> bool {
+    let is_submit = matches!(msg, crate::protocol::ClientMsg::Submit(_));
+    let mut cmd = Command::Client {
+        msg,
+        reply: reply_tx.clone(),
+    };
+    let give_up_at = Instant::now() + CONTROL_RETRY;
+    loop {
+        match engine_tx.try_send(cmd) {
+            Ok(()) => return true,
+            Err(channel::TrySendError::Full(c)) => {
+                if !is_submit && Instant::now() < give_up_at {
+                    cmd = c;
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                MetricsRegistry::inc(&metrics.queue_full);
+                if let Command::Client {
+                    msg: crate::protocol::ClientMsg::Submit(s),
+                    ..
+                } = c
+                {
+                    let _ = reply_tx.send(ServerMsg::Rejected {
+                        id: s.id,
+                        reason: RejectReason::QueueFull,
+                        retry_after: Some(cfg.engine_step),
+                    });
+                } else {
+                    let _ = reply_tx.send(ServerMsg::Error {
+                        code: "overloaded".to_string(),
+                        message: "engine queue full, retry".to_string(),
+                    });
+                }
+                return true;
+            }
+            Err(channel::TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_client, ClientMsg, SubmitReq};
+    use gridband_net::Topology;
+
+    fn start_server() -> (ShutdownHandle, SocketAddr, std::thread::JoinHandle<()>) {
+        let mut engine = EngineConfig::new(Topology::uniform(2, 2, 100.0));
+        engine.step = 10.0;
+        let server = Server::bind(ServerConfig::new("127.0.0.1:0", engine)).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle().expect("handle");
+        let join = std::thread::spawn(move || server.run().expect("server run"));
+        (handle, addr, join)
+    }
+
+    fn send_line(stream: &mut TcpStream, msg: &ClientMsg) {
+        let mut line = encode_client(msg);
+        line.push('\n');
+        stream.write_all(line.as_bytes()).expect("write");
+    }
+
+    fn read_reply(reader: &mut BufReader<TcpStream>) -> ServerMsg {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        crate::protocol::decode_server(line.trim()).expect("decode")
+    }
+
+    #[test]
+    fn submit_over_tcp_gets_a_decision() {
+        let (handle, addr, join) = start_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        send_line(
+            &mut stream,
+            &ClientMsg::Submit(SubmitReq {
+                id: 1,
+                ingress: 0,
+                egress: 1,
+                volume: 500.0,
+                max_rate: 100.0,
+                start: Some(0.0),
+                deadline: Some(60.0),
+            }),
+        );
+        // Drive the deciding round via a drain (single-shot test server).
+        send_line(&mut stream, &ClientMsg::Drain);
+
+        let first = read_reply(&mut reader);
+        match first {
+            ServerMsg::Accepted {
+                id: 1, bw, start, ..
+            } => {
+                assert_eq!(start, 10.0);
+                assert_eq!(bw, 100.0);
+            }
+            other => panic!("expected acceptance first, got {other:?}"),
+        }
+        match read_reply(&mut reader) {
+            ServerMsg::Draining { pending } => assert_eq!(pending, 1),
+            other => panic!("expected draining ack, got {other:?}"),
+        }
+
+        drop(reader);
+        drop(stream);
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+
+    #[test]
+    fn malformed_and_versioned_lines_get_error_replies() {
+        let (handle, addr, join) = start_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        stream.write_all(b"this is not json\n").unwrap();
+        match read_reply(&mut reader) {
+            ServerMsg::Error { code, .. } => assert_eq!(code, "parse"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        stream
+            .write_all(b"{\"v\": 42, \"body\": \"Stats\"}\n")
+            .unwrap();
+        match read_reply(&mut reader) {
+            ServerMsg::Error { code, .. } => assert_eq!(code, "bad-version"),
+            other => panic!("expected version error, got {other:?}"),
+        }
+
+        // The connection survives protocol errors: a valid query works.
+        send_line(&mut stream, &ClientMsg::Query { id: 404 });
+        match read_reply(&mut reader) {
+            ServerMsg::Status { id: 404, state } => {
+                assert_eq!(state, crate::protocol::ReqState::Unknown);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+
+        drop(reader);
+        drop(stream);
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+
+    #[test]
+    fn oversized_line_closes_the_connection_with_an_error() {
+        let mut engine = EngineConfig::new(Topology::uniform(1, 1, 100.0));
+        engine.step = 10.0;
+        let mut cfg = ServerConfig::new("127.0.0.1:0", engine);
+        cfg.max_line_len = 128;
+        let server = Server::bind(cfg).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || server.run().expect("run"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let long = "x".repeat(1024);
+        stream.write_all(long.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        match read_reply(&mut reader) {
+            ServerMsg::Error { code, .. } => assert_eq!(code, "line-too-long"),
+            other => panic!("expected line-too-long, got {other:?}"),
+        }
+        // Server closes its side after a framing loss.
+        let mut rest = String::new();
+        let n = reader.read_line(&mut rest).unwrap_or(0);
+        assert_eq!(n, 0, "connection should be closed, got {rest:?}");
+
+        drop(reader);
+        drop(stream);
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let (handle, addr, join) = start_server();
+        let mut workers = Vec::new();
+        for k in 0..4u64 {
+            workers.push(std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                send_line(&mut stream, &ClientMsg::Query { id: k });
+                matches!(read_reply(&mut reader), ServerMsg::Status { .. })
+            }));
+        }
+        for w in workers {
+            assert!(w.join().expect("worker"), "query must get a status reply");
+        }
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+}

@@ -1,0 +1,222 @@
+//! The daemon is the offline WINDOW scheduler behind a socket: replaying a
+//! workload trace through a real TCP loopback connection in virtual-clock
+//! mode must reproduce the offline `Simulation` run decision-for-decision
+//! — same accepted set, same bandwidth, same start and finish times.
+//!
+//! This is the core correctness claim of the serve subsystem: admission
+//! rounds fire at the same tick times (tick-before-arrival at equal
+//! timestamps, drain = one final round), and ledger GC only edits past
+//! profile segments, so none of the daemon machinery may change what the
+//! paper's Algorithm 3 decides.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gridband_algos::{BandwidthPolicy, WindowScheduler};
+use gridband_net::Topology;
+use gridband_serve::protocol::{encode_client, ClientMsg, ServerMsg, SubmitReq};
+use gridband_serve::{EngineConfig, Server, ServerConfig, TimeMode};
+use gridband_sim::Simulation;
+use gridband_workload::{Dist, WorkloadBuilder};
+
+const STEP: f64 = 50.0;
+
+fn run_daemon_over_tcp(
+    trace: &gridband_workload::Trace,
+    topo: Topology,
+) -> HashMap<u64, (f64, f64, f64)> {
+    let mut engine = EngineConfig::new(topo);
+    engine.step = STEP;
+    engine.policy = BandwidthPolicy::MAX_RATE;
+    engine.mode = TimeMode::Virtual;
+    engine.queue_capacity = trace.len() + 16;
+    let server = Server::bind(ServerConfig::new("127.0.0.1:0", engine)).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Stream the whole trace in arrival order, then drain.
+    for r in trace {
+        let msg = ClientMsg::Submit(SubmitReq {
+            id: r.id.0,
+            ingress: r.route.ingress.0,
+            egress: r.route.egress.0,
+            volume: r.volume,
+            max_rate: r.max_rate,
+            start: Some(r.start()),
+            deadline: Some(r.finish()),
+        });
+        writeln!(writer, "{}", encode_client(&msg)).expect("write");
+    }
+    writeln!(writer, "{}", encode_client(&ClientMsg::Drain)).expect("write");
+    writer.flush().expect("flush");
+
+    let mut accepted = HashMap::new();
+    let mut decided = 0usize;
+    let mut line = String::new();
+    while decided < trace.len() {
+        line.clear();
+        assert!(
+            reader.read_line(&mut line).expect("read") > 0,
+            "server closed early"
+        );
+        match gridband_serve::protocol::decode_server(line.trim()).expect("server line") {
+            ServerMsg::Accepted {
+                id,
+                bw,
+                start,
+                finish,
+            } => {
+                accepted.insert(id, (bw, start, finish));
+                decided += 1;
+            }
+            ServerMsg::Rejected { .. } => decided += 1,
+            ServerMsg::Draining { .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    drop(reader);
+    drop(writer);
+    handle.shutdown();
+    join.join().expect("server thread").expect("server run");
+    accepted
+}
+
+#[test]
+fn daemon_matches_offline_window_run() {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(1.0)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(300.0)
+        .seed(7)
+        .build();
+    assert!(trace.len() > 100, "workload too small to be meaningful");
+
+    let offline = Simulation::new(topo.clone()).run(
+        &trace,
+        &mut WindowScheduler::new(STEP, BandwidthPolicy::MAX_RATE),
+    );
+    let daemon = run_daemon_over_tcp(&trace, topo);
+
+    assert_eq!(
+        daemon.len(),
+        offline.assignments.len(),
+        "daemon accepted {} requests, offline accepted {}",
+        daemon.len(),
+        offline.assignments.len()
+    );
+    // A WINDOW run on this workload must accept and reject someone,
+    // otherwise the equivalence below is vacuous.
+    assert!(
+        !offline.assignments.is_empty(),
+        "offline run accepted nothing"
+    );
+    assert!(offline.accept_rate < 1.0, "offline run rejected nothing");
+
+    for a in &offline.assignments {
+        let (bw, start, finish) = daemon
+            .get(&a.id.0)
+            .unwrap_or_else(|| panic!("request {} accepted offline, refused by daemon", a.id.0));
+        assert!(
+            (bw - a.bw).abs() < 1e-9
+                && (start - a.start).abs() < 1e-9
+                && (finish - a.finish).abs() < 1e-9,
+            "request {}: daemon gave ({bw}, {start}, {finish}), offline ({}, {}, {})",
+            a.id.0,
+            a.bw,
+            a.start,
+            a.finish
+        );
+    }
+}
+
+#[test]
+fn daemon_equivalence_holds_across_seeds_and_steps() {
+    for (seed, step) in [(1u64, 20.0f64), (2, 100.0)] {
+        let topo = Topology::paper_default();
+        let trace = WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(2.0)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(200.0)
+            .seed(seed)
+            .build();
+
+        let offline = Simulation::new(topo.clone()).run(
+            &trace,
+            &mut WindowScheduler::new(step, BandwidthPolicy::MAX_RATE),
+        );
+
+        let mut engine = EngineConfig::new(topo);
+        engine.step = step;
+        engine.policy = BandwidthPolicy::MAX_RATE;
+        engine.mode = TimeMode::Virtual;
+        engine.queue_capacity = trace.len() + 16;
+        let server = Server::bind(ServerConfig::new("127.0.0.1:0", engine)).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle().expect("handle");
+        let join = std::thread::spawn(move || server.run());
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        for r in &trace {
+            let msg = ClientMsg::Submit(SubmitReq {
+                id: r.id.0,
+                ingress: r.route.ingress.0,
+                egress: r.route.egress.0,
+                volume: r.volume,
+                max_rate: r.max_rate,
+                start: Some(r.start()),
+                deadline: Some(r.finish()),
+            });
+            writeln!(writer, "{}", encode_client(&msg)).expect("write");
+        }
+        writeln!(writer, "{}", encode_client(&ClientMsg::Drain)).expect("write");
+        writer.flush().expect("flush");
+
+        let mut accepted_ids = Vec::new();
+        let mut decided = 0usize;
+        let mut line = String::new();
+        while decided < trace.len() {
+            line.clear();
+            assert!(
+                reader.read_line(&mut line).expect("read") > 0,
+                "server closed early"
+            );
+            match gridband_serve::protocol::decode_server(line.trim()).expect("server line") {
+                ServerMsg::Accepted { id, .. } => {
+                    accepted_ids.push(id);
+                    decided += 1;
+                }
+                ServerMsg::Rejected { .. } => decided += 1,
+                ServerMsg::Draining { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        drop(reader);
+        drop(writer);
+        handle.shutdown();
+        join.join().expect("server thread").expect("server run");
+
+        let mut offline_ids: Vec<u64> = offline.assignments.iter().map(|a| a.id.0).collect();
+        accepted_ids.sort_unstable();
+        offline_ids.sort_unstable();
+        assert_eq!(
+            accepted_ids, offline_ids,
+            "seed {seed} step {step}: accepted sets diverge"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests: every wire message survives an encode → decode
+//! round-trip bit-for-bit. The daemon and its clients only ever exchange
+//! these lines, so this pins the whole protocol surface.
+
+use gridband_serve::metrics::{LatencySnapshot, StatsSnapshot};
+use gridband_serve::protocol::{
+    decode_client, decode_server, encode_client, encode_server, ClientMsg, RejectReason, ReqState,
+    ServerMsg, SubmitReq,
+};
+use proptest::prelude::*;
+
+/// A finite, JSON-exact `f64`: round-trips through the wire format.
+fn wire_f64() -> impl Strategy<Value = f64> {
+    (0.0f64..1e9).prop_map(|v| (v * 1e3).round() / 1e3)
+}
+
+fn submit_req() -> impl Strategy<Value = SubmitReq> {
+    (
+        (0u64..1_000_000, 0u32..64, 0u32..64),
+        (wire_f64(), wire_f64()),
+        (0u8..4, wire_f64(), wire_f64()),
+    )
+        .prop_map(
+            |((id, ingress, egress), (volume, max_rate), (opt, start, deadline))| {
+                SubmitReq {
+                    id,
+                    ingress,
+                    egress,
+                    volume,
+                    max_rate,
+                    // Cycle through all four Some/None combinations.
+                    start: (opt & 1 == 0).then_some(start),
+                    deadline: (opt & 2 == 0).then_some(deadline),
+                }
+            },
+        )
+}
+
+fn client_msg() -> impl Strategy<Value = ClientMsg> {
+    (0u8..5, submit_req()).prop_map(|(variant, sub)| match variant {
+        0 => ClientMsg::Submit(sub),
+        1 => ClientMsg::Cancel { id: sub.id },
+        2 => ClientMsg::Query { id: sub.id },
+        3 => ClientMsg::Stats,
+        _ => ClientMsg::Drain,
+    })
+}
+
+fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
+    (
+        (
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+        ),
+        (
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+        ),
+        (0u64..1000, wire_f64(), wire_f64()),
+    )
+        .prop_map(
+            |(
+                (submitted, accepted, rejected, refused_early, cancelled, queries),
+                (queue_full, protocol_errors, connections, ticks, gc_reclaimed, pending),
+                (count, virtual_time, mean_ms),
+            )| StatsSnapshot {
+                submitted,
+                accepted,
+                rejected,
+                refused_early,
+                cancelled,
+                queries,
+                queue_full,
+                protocol_errors,
+                connections,
+                ticks,
+                gc_reclaimed,
+                pending,
+                live_reservations: count,
+                virtual_time,
+                decision_latency: LatencySnapshot {
+                    count,
+                    mean_ms,
+                    p50_ms: mean_ms,
+                    p95_ms: mean_ms * 2.0,
+                    p99_ms: mean_ms * 4.0,
+                },
+            },
+        )
+}
+
+fn server_msg() -> impl Strategy<Value = ServerMsg> {
+    (
+        (0u8..7, 0u64..1_000_000, 0u8..6, 0u8..5),
+        (wire_f64(), wire_f64(), wire_f64()),
+        stats_snapshot(),
+    )
+        .prop_map(
+            |((variant, id, reason, state), (bw, start, finish), stats)| {
+                let reason = match reason {
+                    0 => RejectReason::Saturated,
+                    1 => RejectReason::DeadlineUnreachable,
+                    2 => RejectReason::Invalid,
+                    3 => RejectReason::QueueFull,
+                    4 => RejectReason::UnknownRoute,
+                    _ => RejectReason::ShuttingDown,
+                };
+                let state = match state {
+                    0 => ReqState::Pending,
+                    1 => ReqState::Accepted,
+                    2 => ReqState::Rejected,
+                    3 => ReqState::Cancelled,
+                    _ => ReqState::Unknown,
+                };
+                match variant {
+                    0 => ServerMsg::Accepted {
+                        id,
+                        bw,
+                        start,
+                        finish,
+                    },
+                    1 => ServerMsg::Rejected {
+                        id,
+                        reason,
+                        retry_after: (id % 2 == 0).then_some(start),
+                    },
+                    2 => ServerMsg::CancelResult {
+                        id,
+                        freed: id % 2 == 0,
+                    },
+                    3 => ServerMsg::Status { id, state },
+                    4 => ServerMsg::Stats(stats),
+                    5 => ServerMsg::Draining { pending: id },
+                    _ => ServerMsg::Error {
+                        code: format!("code-{}", id % 7),
+                        message: format!("detail {id}"),
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn client_messages_round_trip(msg in client_msg()) {
+        let line = encode_client(&msg);
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line");
+        let back = decode_client(&line).expect("decode own encoding");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn server_messages_round_trip(msg in server_msg()) {
+        let line = encode_server(&msg);
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line");
+        let back = decode_server(&line).expect("decode own encoding");
+        prop_assert_eq!(back, msg);
+    }
+}

@@ -52,8 +52,7 @@ pub struct HotspotReport {
 impl HotspotReport {
     /// Analyze a trace and the schedule some policy produced for it.
     pub fn analyze(trace: &Trace, topo: &Topology, assignments: &[Assignment]) -> Self {
-        let accepted: HashMap<RequestId, ()> =
-            assignments.iter().map(|a| (a.id, ())).collect();
+        let accepted: HashMap<RequestId, ()> = assignments.iter().map(|a| (a.id, ())).collect();
         let span = (trace.horizon() - trace.first_start()).max(1e-9);
 
         let mut dem_in = vec![0.0f64; topo.num_ingress()];
@@ -192,8 +191,7 @@ mod tests {
             finish: 10.0,
         };
         let rep = HotspotReport::analyze(&trace, &topo, &[a]);
-        let granted: Vec<&PortLoad> =
-            rep.ports.iter().filter(|p| p.granted > 0.0).collect();
+        let granted: Vec<&PortLoad> = rep.ports.iter().filter(|p| p.granted > 0.0).collect();
         assert_eq!(granted.len(), 2);
         assert!(granted
             .iter()

@@ -48,13 +48,13 @@ pub mod admission;
 pub mod event;
 pub mod hotspot;
 pub mod report;
-pub mod timeline;
 pub mod runner;
+pub mod timeline;
 pub mod verify;
 
 pub use admission::{AdmissionController, Decision};
-pub use hotspot::{gini, HotspotReport, PortLoad};
 pub use event::{EventQueue, SimEvent};
+pub use hotspot::{gini, HotspotReport, PortLoad};
 pub use report::{Assignment, Outcome, SimReport};
 pub use runner::Simulation;
 pub use timeline::Timeline;

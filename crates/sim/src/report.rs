@@ -150,7 +150,11 @@ impl SimReport {
             },
             resource_util: if denom > 0.0 { carried / denom } else { 0.0 },
             offered_load: trace.offered_load(topo),
-            volume_carried_fraction: if offered > 0.0 { carried / offered } else { 0.0 },
+            volume_carried_fraction: if offered > 0.0 {
+                carried / offered
+            } else {
+                0.0
+            },
             mean_transfer_time,
             mean_speedup: gridband_workload::stats::mean(&speedups),
             mean_start_delay: gridband_workload::stats::mean(&start_delays),
@@ -172,8 +176,7 @@ impl SimReport {
         if self.total_requests == 0 {
             return 0.0;
         }
-        let by_id: HashMap<RequestId, &Request> =
-            trace.iter().map(|r| (r.id, r)).collect();
+        let by_id: HashMap<RequestId, &Request> = trace.iter().map(|r| (r.id, r)).collect();
         let n = self
             .assignments
             .iter()
@@ -234,8 +237,20 @@ mod tests {
         // Two requests on disjoint routes: 1000 MB over [0, 10] (MinRate
         // 100) and 500 MB over [0, 20] (MinRate 25, MaxRate 100).
         Trace::new(vec![
-            Request::new(0, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 1000.0, 100.0),
-            Request::new(1, Route::new(1, 1), TimeWindow::new(0.0, 20.0), 500.0, 100.0),
+            Request::new(
+                0,
+                Route::new(0, 0),
+                TimeWindow::new(0.0, 10.0),
+                1000.0,
+                100.0,
+            ),
+            Request::new(
+                1,
+                Route::new(1, 1),
+                TimeWindow::new(0.0, 20.0),
+                500.0,
+                100.0,
+            ),
         ])
     }
 
@@ -251,8 +266,18 @@ mod tests {
             &t,
             &topo(),
             vec![
-                Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 },
-                Assignment { id: RequestId(1), bw: 50.0, start: 0.0, finish: 10.0 },
+                Assignment {
+                    id: RequestId(0),
+                    bw: 100.0,
+                    start: 0.0,
+                    finish: 10.0,
+                },
+                Assignment {
+                    id: RequestId(1),
+                    bw: 50.0,
+                    start: 0.0,
+                    finish: 10.0,
+                },
             ],
         );
         assert_eq!(rep.accept_rate, 1.0);
@@ -278,9 +303,19 @@ mod tests {
             &t,
             &topo(),
             vec![
-                Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 },
+                Assignment {
+                    id: RequestId(0),
+                    bw: 100.0,
+                    start: 0.0,
+                    finish: 10.0,
+                },
                 // Request 1 (t_s = 0) starts 6 s late.
-                Assignment { id: RequestId(1), bw: 50.0, start: 6.0, finish: 16.0 },
+                Assignment {
+                    id: RequestId(1),
+                    bw: 50.0,
+                    start: 6.0,
+                    finish: 16.0,
+                },
             ],
         );
         assert!((rep.mean_start_delay - 3.0).abs() < 1e-12);
@@ -306,9 +341,19 @@ mod tests {
             &topo(),
             vec![
                 // Request 0 at its MinRate=MaxRate=100: guaranteed at any f.
-                Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 },
+                Assignment {
+                    id: RequestId(0),
+                    bw: 100.0,
+                    start: 0.0,
+                    finish: 10.0,
+                },
                 // Request 1 at 50 = 0.5×MaxRate.
-                Assignment { id: RequestId(1), bw: 50.0, start: 0.0, finish: 10.0 },
+                Assignment {
+                    id: RequestId(1),
+                    bw: 50.0,
+                    start: 0.0,
+                    finish: 10.0,
+                },
             ],
         );
         assert_eq!(rep.guaranteed_rate(&t, 0.5), 1.0);
@@ -320,7 +365,12 @@ mod tests {
     #[test]
     fn outcome_lookup() {
         let t = trace();
-        let a = Assignment { id: RequestId(1), bw: 25.0, start: 0.0, finish: 20.0 };
+        let a = Assignment {
+            id: RequestId(1),
+            bw: 25.0,
+            start: 0.0,
+            finish: 20.0,
+        };
         let rep = SimReport::from_assignments("o", &t, &topo(), vec![a]);
         assert!(matches!(rep.outcome_of(RequestId(1)), Outcome::Accepted(x) if x == a));
         assert!(matches!(rep.outcome_of(RequestId(0)), Outcome::Rejected));
@@ -331,7 +381,12 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_assignments_rejected() {
         let t = trace();
-        let a = Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 };
+        let a = Assignment {
+            id: RequestId(0),
+            bw: 100.0,
+            start: 0.0,
+            finish: 10.0,
+        };
         let _ = SimReport::from_assignments("dup", &t, &topo(), vec![a, a]);
     }
 
@@ -342,7 +397,12 @@ mod tests {
             "csv",
             &t,
             &topo(),
-            vec![Assignment { id: RequestId(0), bw: 100.0, start: 0.0, finish: 10.0 }],
+            vec![Assignment {
+                id: RequestId(0),
+                bw: 100.0,
+                start: 0.0,
+                finish: 10.0,
+            }],
         );
         let csv = rep.to_csv(&t);
         let lines: Vec<&str> = csv.lines().collect();

@@ -11,8 +11,8 @@ use crate::report::{Assignment, SimReport};
 use crate::verify::assert_feasible;
 use gridband_net::units::{approx_ge, approx_le, Time, EPS};
 use gridband_net::CapacityLedger;
-use gridband_workload::{Request, RequestId, Trace};
 use gridband_net::Topology;
+use gridband_workload::{Request, RequestId, Trace};
 use std::collections::HashMap;
 
 /// Configuration of one simulation run.
@@ -72,11 +72,11 @@ impl Simulation {
         }
 
         let apply = |id: RequestId,
-                         decision: Decision,
-                         now: Time,
-                         ledger: &mut CapacityLedger,
-                         queue: &mut EventQueue,
-                         assignments: &mut Vec<Assignment>| {
+                     decision: Decision,
+                     now: Time,
+                     ledger: &mut CapacityLedger,
+                     queue: &mut EventQueue,
+                     assignments: &mut Vec<Assignment>| {
             match decision {
                 Decision::Defer => {}
                 Decision::Reject => {}
@@ -176,12 +176,7 @@ mod tests {
         fn name(&self) -> String {
             "accept-at-minrate".into()
         }
-        fn on_arrival(
-            &mut self,
-            req: &Request,
-            ledger: &CapacityLedger,
-            now: Time,
-        ) -> Decision {
+        fn on_arrival(&mut self, req: &Request, ledger: &CapacityLedger, now: Time) -> Decision {
             let bw = req.min_rate();
             if ledger.fits(req.route, now, req.completion_at(now, bw), bw) {
                 Decision::accept_at(req, now, bw)

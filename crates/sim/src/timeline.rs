@@ -93,8 +93,7 @@ impl Timeline {
         if self.times.is_empty() {
             return 0.0;
         }
-        self.total_alloc.iter().sum::<f64>()
-            / (self.times.len() as f64 * self.half_total_cap)
+        self.total_alloc.iter().sum::<f64>() / (self.times.len() as f64 * self.half_total_cap)
     }
 
     /// Render as CSV: `time,total,in0,in1,…,e0,e1,…`.
@@ -134,8 +133,18 @@ mod tests {
             Request::rigid(1, Route::new(1, 1), 5.0, 300.0, 30.0), // [5, 15) @30
         ]);
         let assignments = vec![
-            Assignment { id: RequestId(0), bw: 50.0, start: 0.0, finish: 10.0 },
-            Assignment { id: RequestId(1), bw: 30.0, start: 5.0, finish: 15.0 },
+            Assignment {
+                id: RequestId(0),
+                bw: 50.0,
+                start: 0.0,
+                finish: 10.0,
+            },
+            Assignment {
+                id: RequestId(1),
+                bw: 30.0,
+                start: 5.0,
+                finish: 15.0,
+            },
         ];
         (trace, topo, assignments)
     }

@@ -72,7 +72,10 @@ impl fmt::Display for Violation {
                 id,
                 delivered,
                 requested,
-            } => write!(f, "{id}: delivered {delivered} MB ≠ requested {requested} MB"),
+            } => write!(
+                f,
+                "{id}: delivered {delivered} MB ≠ requested {requested} MB"
+            ),
             Violation::CapacityViolated { port, at } => {
                 write!(f, "capacity exceeded on {port} at t={at}")
             }
@@ -164,8 +167,20 @@ mod tests {
 
     fn setup() -> (Trace, Topology) {
         let trace = Trace::new(vec![
-            Request::new(0, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 500.0, 100.0),
-            Request::new(1, Route::new(1, 0), TimeWindow::new(0.0, 10.0), 500.0, 100.0),
+            Request::new(
+                0,
+                Route::new(0, 0),
+                TimeWindow::new(0.0, 10.0),
+                500.0,
+                100.0,
+            ),
+            Request::new(
+                1,
+                Route::new(1, 0),
+                TimeWindow::new(0.0, 10.0),
+                500.0,
+                100.0,
+            ),
         ]);
         (trace, Topology::uniform(2, 2, 100.0))
     }
@@ -192,12 +207,13 @@ mod tests {
         let (t, topo) = setup();
         // 100 + 100 on shared egress 0 exceeds its 100 MB/s. Each transfer
         // delivers its volume in 5 s, within the window.
-        let err =
-            verify_schedule(&t, &topo, &[a(0, 100.0, 0.0, 5.0), a(1, 100.0, 0.0, 5.0)])
-                .unwrap_err();
-        assert!(err
-            .iter()
-            .any(|v| matches!(v, Violation::CapacityViolated { .. })), "{err:?}");
+        let err = verify_schedule(&t, &topo, &[a(0, 100.0, 0.0, 5.0), a(1, 100.0, 0.0, 5.0)])
+            .unwrap_err();
+        assert!(
+            err.iter()
+                .any(|v| matches!(v, Violation::CapacityViolated { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -205,13 +221,19 @@ mod tests {
         let (t, topo) = setup();
         // Starts before the window.
         let err = verify_schedule(&t, &topo, &[a(0, 50.0, -1.0, 9.0)]).unwrap_err();
-        assert!(err.iter().any(|v| matches!(v, Violation::WindowViolated { .. })));
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::WindowViolated { .. })));
         // Exceeds MaxRate (delivered volume kept exact: 500 MB at 125 in 4s).
         let err = verify_schedule(&t, &topo, &[a(0, 125.0, 0.0, 4.0)]).unwrap_err();
-        assert!(err.iter().any(|v| matches!(v, Violation::RateViolated { .. })));
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::RateViolated { .. })));
         // Wrong volume: 50 MB/s × 2 s = 100 ≠ 500.
         let err = verify_schedule(&t, &topo, &[a(0, 50.0, 0.0, 2.0)]).unwrap_err();
-        assert!(err.iter().any(|v| matches!(v, Violation::VolumeMismatch { .. })));
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::VolumeMismatch { .. })));
     }
 
     #[test]
@@ -219,12 +241,8 @@ mod tests {
         let (t, topo) = setup();
         let err = verify_schedule(&t, &topo, &[a(9, 50.0, 0.0, 10.0)]).unwrap_err();
         assert_eq!(err, vec![Violation::UnknownRequest(RequestId(9))]);
-        let err = verify_schedule(
-            &t,
-            &topo,
-            &[a(0, 50.0, 0.0, 10.0), a(0, 50.0, 0.0, 10.0)],
-        )
-        .unwrap_err();
+        let err = verify_schedule(&t, &topo, &[a(0, 50.0, 0.0, 10.0), a(0, 50.0, 0.0, 10.0)])
+            .unwrap_err();
         assert!(err.iter().any(|v| matches!(v, Violation::Duplicate(_))));
     }
 
@@ -240,9 +258,21 @@ mod tests {
         for v in [
             Violation::UnknownRequest(RequestId(1)),
             Violation::Duplicate(RequestId(1)),
-            Violation::WindowViolated { id: RequestId(1), start: 0.0, finish: 1.0 },
-            Violation::RateViolated { id: RequestId(1), bw: 2.0, max_rate: 1.0 },
-            Violation::VolumeMismatch { id: RequestId(1), delivered: 1.0, requested: 2.0 },
+            Violation::WindowViolated {
+                id: RequestId(1),
+                start: 0.0,
+                finish: 1.0,
+            },
+            Violation::RateViolated {
+                id: RequestId(1),
+                bw: 2.0,
+                max_rate: 1.0,
+            },
+            Violation::VolumeMismatch {
+                id: RequestId(1),
+                delivered: 1.0,
+                requested: 2.0,
+            },
         ] {
             assert!(v.to_string().contains("r1"), "{v}");
         }

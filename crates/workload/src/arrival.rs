@@ -101,8 +101,8 @@ impl ArrivalProcess {
                 loop {
                     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                     t += (-u.ln() / lambda_max).max(1e-9);
-                    let rate_t = lambda
-                        * (1.0 + depth * (2.0 * std::f64::consts::PI * t / period).sin());
+                    let rate_t =
+                        lambda * (1.0 + depth * (2.0 * std::f64::consts::PI * t / period).sin());
                     if rng.gen_range(0.0..1.0) * lambda_max <= rate_t {
                         return t - now;
                     }
@@ -167,8 +167,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let gaps: Vec<f64> = (0..50_000).map(|_| p.next_gap(&mut rng, 0.0)).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let var =
-            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
         let cv = var.sqrt() / mean;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((cv - 1.0).abs() < 0.03, "cv {cv}");
@@ -239,7 +238,10 @@ mod diurnal_tests {
         // Peak quarter of the sine: t mod period in [125, 375);
         // trough quarter: [625, 875).
         let phase = |t: f64| t % 1_000.0;
-        let peak = ts.iter().filter(|&&t| (125.0..375.0).contains(&phase(t))).count();
+        let peak = ts
+            .iter()
+            .filter(|&&t| (125.0..375.0).contains(&phase(t)))
+            .count();
         let trough = ts
             .iter()
             .filter(|&&t| (625.0..875.0).contains(&phase(t)))

@@ -163,11 +163,7 @@ impl WorkloadBuilder {
 
     /// The paper's §5.3 flexible-request scenario at a given mean
     /// inter-arrival time, with window slack uniform in [2, 4].
-    pub fn paper_flexible(
-        topology: Topology,
-        mean_interarrival: Time,
-        seed: u64,
-    ) -> Trace {
+    pub fn paper_flexible(topology: Topology, mean_interarrival: Time, seed: u64) -> Trace {
         WorkloadBuilder::new(topology)
             .mean_interarrival(mean_interarrival)
             .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
@@ -183,8 +179,14 @@ mod tests {
     #[test]
     fn build_is_deterministic_per_seed() {
         let topo = Topology::paper_default();
-        let a = WorkloadBuilder::new(topo.clone()).seed(1).horizon(500.0).build();
-        let b = WorkloadBuilder::new(topo.clone()).seed(1).horizon(500.0).build();
+        let a = WorkloadBuilder::new(topo.clone())
+            .seed(1)
+            .horizon(500.0)
+            .build();
+        let b = WorkloadBuilder::new(topo.clone())
+            .seed(1)
+            .horizon(500.0)
+            .build();
         let c = WorkloadBuilder::new(topo).seed(2).horizon(500.0).build();
         assert_eq!(a, b);
         assert_ne!(a, c);
@@ -200,8 +202,7 @@ mod tests {
 
     #[test]
     fn flexible_preset_has_slack() {
-        let trace =
-            WorkloadBuilder::paper_flexible(Topology::paper_default(), 2.0, 7);
+        let trace = WorkloadBuilder::paper_flexible(Topology::paper_default(), 2.0, 7);
         assert!(!trace.is_empty());
         assert!(trace.iter().all(|r| r.slack() >= 2.0 - 1e-9));
         assert!(trace.iter().all(|r| r.slack() <= 4.0 + 1e-9));
@@ -227,10 +228,11 @@ mod tests {
     #[test]
     fn loopback_avoidance() {
         let topo = Topology::paper_default();
-        let trace = WorkloadBuilder::new(topo.clone()).seed(3).horizon(2_000.0).build();
-        assert!(trace
-            .iter()
-            .all(|r| r.route.ingress.0 != r.route.egress.0));
+        let trace = WorkloadBuilder::new(topo.clone())
+            .seed(3)
+            .horizon(2_000.0)
+            .build();
+        assert!(trace.iter().all(|r| r.route.ingress.0 != r.route.egress.0));
         let trace = WorkloadBuilder::new(topo)
             .avoid_loopback(false)
             .seed(3)
@@ -244,7 +246,10 @@ mod tests {
     #[test]
     fn rates_clamped_to_bottleneck_on_heterogeneous_topologies() {
         let topo = Topology::grid5000_like();
-        let trace = WorkloadBuilder::new(topo.clone()).seed(5).horizon(2_000.0).build();
+        let trace = WorkloadBuilder::new(topo.clone())
+            .seed(5)
+            .horizon(2_000.0)
+            .build();
         for r in &trace {
             assert!(r.max_rate <= topo.route_bottleneck(r.route) + 1e-9);
             assert!(r.min_rate() <= r.max_rate + 1e-9);
@@ -254,7 +259,10 @@ mod tests {
     #[test]
     fn all_requests_route_within_topology() {
         let topo = Topology::uniform(3, 7, 500.0);
-        let trace = WorkloadBuilder::new(topo.clone()).seed(9).horizon(1_000.0).build();
+        let trace = WorkloadBuilder::new(topo.clone())
+            .seed(9)
+            .horizon(1_000.0)
+            .build();
         assert!(trace.valid_for(&topo));
     }
 }

@@ -77,7 +77,10 @@ impl Dist {
                 (-u.ln() * mean).max(1e-9)
             }
             Dist::BoundedPareto { alpha, lo, hi } => {
-                assert!(*alpha > 0.0 && *lo > 0.0 && hi >= lo, "invalid bounded Pareto");
+                assert!(
+                    *alpha > 0.0 && *lo > 0.0 && hi >= lo,
+                    "invalid bounded Pareto"
+                );
                 // Inverse CDF of the bounded Pareto.
                 let u: f64 = rng.gen_range(0.0..1.0);
                 let la = lo.powf(*alpha);
@@ -110,7 +113,8 @@ impl Dist {
                 } else {
                     let la = lo.powf(*alpha);
                     let ha = hi.powf(*alpha);
-                    (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0))
+                    (la / (1.0 - la / ha))
+                        * (alpha / (alpha - 1.0))
                         * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
                 }
             }
@@ -143,7 +147,10 @@ pub type RateDist = Dist;
 
 /// Validate that sampled values are usable as volumes/rates.
 pub fn assert_positive_sample(x: f64, what: &str) -> f64 {
-    assert!(x.is_finite() && x > 0.0, "{what} sample must be positive, got {x}");
+    assert!(
+        x.is_finite() && x > 0.0,
+        "{what} sample must be positive, got {x}"
+    );
     x
 }
 
@@ -179,7 +186,10 @@ mod tests {
 
     #[test]
     fn uniform_stays_in_bounds_and_mean_matches() {
-        let d = Dist::Uniform { lo: 10.0, hi: 1000.0 };
+        let d = Dist::Uniform {
+            lo: 10.0,
+            hi: 1000.0,
+        };
         let mut r = rng();
         let n = 20_000;
         let mut sum = 0.0;
@@ -189,7 +199,11 @@ mod tests {
             sum += x;
         }
         let emp_mean = sum / n as f64;
-        assert!((emp_mean - d.mean()).abs() < 15.0, "{emp_mean} vs {}", d.mean());
+        assert!(
+            (emp_mean - d.mean()).abs() < 15.0,
+            "{emp_mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -204,7 +218,10 @@ mod tests {
 
     #[test]
     fn log_uniform_spans_orders_of_magnitude() {
-        let d = Dist::LogUniform { lo: 1.0, hi: 1000.0 };
+        let d = Dist::LogUniform {
+            lo: 1.0,
+            hi: 1000.0,
+        };
         let mut r = rng();
         let (mut low, mut high) = (0, 0);
         for _ in 0..5_000 {
@@ -235,7 +252,10 @@ mod tests {
 
     #[test]
     fn log_uniform_mean_formula() {
-        let d = Dist::LogUniform { lo: 1.0, hi: std::f64::consts::E };
+        let d = Dist::LogUniform {
+            lo: 1.0,
+            hi: std::f64::consts::E,
+        };
         // mean = (e - 1)/ln(e) = e - 1
         assert!((d.mean() - (std::f64::consts::E - 1.0)).abs() < 1e-12);
         let degenerate = Dist::LogUniform { lo: 5.0, hi: 5.0 };

@@ -10,11 +10,11 @@
 use crate::trace::Trace;
 use gridband_net::units::approx_le;
 use gridband_net::Topology;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use std::fmt;
 
 /// Severity of a lint finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
 pub enum Severity {
     /// Informational: worth knowing, nothing is wrong.
     Info,
@@ -35,7 +35,7 @@ impl fmt::Display for Severity {
 }
 
 /// One lint finding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Finding {
     /// How serious it is.
     pub severity: Severity,
@@ -128,7 +128,7 @@ pub fn lint(trace: &Trace, topo: &Topology) -> Vec<Finding> {
         }
     }
 
-    findings.sort_by(|a, b| b.severity.cmp(&a.severity));
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
     findings
 }
 
@@ -150,13 +150,19 @@ mod tests {
     #[test]
     fn clean_trace_has_no_findings_above_info() {
         let trace = Trace::new(vec![
-            Request::new(0, Route::new(0, 1), TimeWindow::new(0.0, 100.0), 1000.0, 50.0),
+            Request::new(
+                0,
+                Route::new(0, 1),
+                TimeWindow::new(0.0, 100.0),
+                1000.0,
+                50.0,
+            ),
             Request::new(1, Route::new(1, 2), TimeWindow::new(5.0, 80.0), 500.0, 50.0),
             Request::new(2, Route::new(2, 3), TimeWindow::new(9.0, 90.0), 500.0, 50.0),
         ]);
         let findings = lint(&trace, &topo());
         assert!(
-            worst_severity(&findings).map_or(true, |s| s <= Severity::Info),
+            worst_severity(&findings).is_none_or(|s| s <= Severity::Info),
             "{findings:?}"
         );
     }
@@ -187,9 +193,12 @@ mod tests {
             250.0,
         )]);
         let findings = lint(&trace, &topo());
-        assert!(findings
-            .iter()
-            .any(|f| f.code == "minrate-above-bottleneck"), "{findings:?}");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.code == "minrate-above-bottleneck"),
+            "{findings:?}"
+        );
     }
 
     #[test]
@@ -200,7 +209,10 @@ mod tests {
         ]);
         let findings = lint(&trace, &topo());
         assert!(findings.iter().any(|f| f.code == "all-rigid"));
-        assert!(findings.iter().any(|f| f.code == "overload"), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.code == "overload"),
+            "{findings:?}"
+        );
         assert_eq!(worst_severity(&findings), Some(Severity::Info));
     }
 

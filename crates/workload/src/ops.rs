@@ -57,13 +57,7 @@ pub fn clip(trace: &Trace, from: Time, to: Time) -> Trace {
 
 /// Keep only requests on the given route.
 pub fn on_route(trace: &Trace, route: Route) -> Trace {
-    Trace::new(
-        trace
-            .iter()
-            .filter(|r| r.route == route)
-            .copied()
-            .collect(),
-    )
+    Trace::new(trace.iter().filter(|r| r.route == route).copied().collect())
 }
 
 /// Render a trace as CSV (`id,ingress,egress,start,finish,volume,max_rate`).
@@ -128,7 +122,11 @@ mod tests {
 
     #[test]
     fn clip_selects_by_start() {
-        let t = Trace::new(vec![req(0, 0, 1, 1.0), req(1, 0, 1, 5.0), req(2, 0, 1, 9.0)]);
+        let t = Trace::new(vec![
+            req(0, 0, 1, 1.0),
+            req(1, 0, 1, 5.0),
+            req(2, 0, 1, 9.0),
+        ]);
         let c = clip(&t, 2.0, 9.0);
         assert_eq!(c.len(), 1);
         assert_eq!(c.requests()[0].id.0, 1);

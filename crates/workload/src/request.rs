@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique identifier of a request within a trace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RequestId(pub u64);
 
 impl fmt::Display for RequestId {
@@ -193,7 +191,13 @@ mod tests {
 
     fn req() -> Request {
         // 1000 MB over [0, 100] with MaxRate 50 -> MinRate 10, slack 5.
-        Request::new(1, Route::new(0, 1), TimeWindow::new(0.0, 100.0), 1000.0, 50.0)
+        Request::new(
+            1,
+            Route::new(0, 1),
+            TimeWindow::new(0.0, 100.0),
+            1000.0,
+            50.0,
+        )
     }
 
     #[test]
@@ -245,7 +249,13 @@ mod tests {
     #[should_panic(expected = "infeasible request")]
     fn infeasible_window_rejected() {
         // 1000 MB in 10 s needs 100 MB/s but MaxRate is 50.
-        let _ = Request::new(3, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 1000.0, 50.0);
+        let _ = Request::new(
+            3,
+            Route::new(0, 0),
+            TimeWindow::new(0.0, 10.0),
+            1000.0,
+            50.0,
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 /// * `epoch`: seconds between dataset publications;
 /// * `fanout`: number of destination sites per dataset;
 /// * `deadline`: window length for every replication (s).
+#[allow(clippy::too_many_arguments)]
 pub fn tier0_distribution(
     topo: &Topology,
     producer: u32,
@@ -92,7 +93,7 @@ pub fn allpairs_shuffle(
             }
             let route = Route::new(i, e);
             let cap = topo.route_bottleneck(route);
-            let max_rate = (chunk_mb / window * rng.gen_range(2.0..6.0))
+            let max_rate = (chunk_mb / window * rng.gen_range(2.0f64..6.0))
                 .max(chunk_mb / window)
                 .min(cap);
             // Jitter the starts slightly so FCFS ordering is defined.
@@ -164,32 +165,16 @@ mod tests {
 
     #[test]
     fn tier0_shape() {
-        let t = tier0_distribution(
-            &topo(),
-            0,
-            5,
-            600.0,
-            3,
-            Dist::Fixed(100_000.0),
-            7_200.0,
-            1,
-        );
+        let t = tier0_distribution(&topo(), 0, 5, 600.0, 3, Dist::Fixed(100_000.0), 7_200.0, 1);
         assert_eq!(t.len(), 15);
         assert!(t.iter().all(|r| r.route.ingress.0 == 0));
         assert!(t.iter().all(|r| r.route.egress.0 != 0));
-        assert!(t.iter().all(|r| (r.window.duration() - 7_200.0).abs() < 1e-9));
+        assert!(t
+            .iter()
+            .all(|r| (r.window.duration() - 7_200.0).abs() < 1e-9));
         assert!(t.valid_for(&topo()));
         // Deterministic per seed.
-        let t2 = tier0_distribution(
-            &topo(),
-            0,
-            5,
-            600.0,
-            3,
-            Dist::Fixed(100_000.0),
-            7_200.0,
-            1,
-        );
+        let t2 = tier0_distribution(&topo(), 0, 5, 600.0, 3, Dist::Fixed(100_000.0), 7_200.0, 1);
         assert_eq!(t, t2);
     }
 
@@ -210,36 +195,23 @@ mod tests {
 
     #[test]
     fn backup_concentrates_on_the_archive() {
-        let t = nightly_backup(
-            &topo(),
-            7,
-            2,
-            86_400.0,
-            120.0,
-            Dist::Fixed(50_000.0),
-            3,
-        );
+        let t = nightly_backup(&topo(), 7, 2, 86_400.0, 120.0, Dist::Fixed(50_000.0), 3);
         assert!(!t.is_empty());
         assert!(t.iter().all(|r| r.route.egress.0 == 7));
         assert!(t.iter().all(|r| r.route.ingress.0 != 7));
         assert!(t.valid_for(&topo()));
         // Roughly 2 days / 120 s arrivals.
         let expected = 2.0 * 86_400.0 / 120.0;
-        assert!((t.len() as f64 - expected).abs() < 0.2 * expected, "{}", t.len());
+        assert!(
+            (t.len() as f64 - expected).abs() < 0.2 * expected,
+            "{}",
+            t.len()
+        );
     }
 
     #[test]
     #[should_panic(expected = "producer outside")]
     fn bad_producer_rejected() {
-        let _ = tier0_distribution(
-            &topo(),
-            99,
-            1,
-            1.0,
-            1,
-            Dist::Fixed(1.0),
-            10.0,
-            0,
-        );
+        let _ = tier0_distribution(&topo(), 99, 1, 1.0, 1, Dist::Fixed(1.0), 10.0, 0);
     }
 }

@@ -54,15 +54,15 @@ impl Trace {
 
     /// Latest requested finish time, i.e. the natural simulation horizon.
     pub fn horizon(&self) -> Time {
-        self.requests
-            .iter()
-            .map(|r| r.finish())
-            .fold(0.0, f64::max)
+        self.requests.iter().map(|r| r.finish()).fold(0.0, f64::max)
     }
 
     /// Earliest start time.
     pub fn first_start(&self) -> Time {
-        self.requests.iter().map(|r| r.start()).fold(f64::INFINITY, f64::min)
+        self.requests
+            .iter()
+            .map(|r| r.start())
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Whether every request routes within `topo`.
@@ -110,13 +110,10 @@ impl Trace {
             return TraceStats::default();
         }
         let total_volume: Volume = self.iter().map(|r| r.volume).sum();
-        let mean_min_rate: Bandwidth =
-            self.iter().map(|r| r.min_rate()).sum::<f64>() / n as f64;
-        let mean_max_rate: Bandwidth =
-            self.iter().map(|r| r.max_rate).sum::<f64>() / n as f64;
+        let mean_min_rate: Bandwidth = self.iter().map(|r| r.min_rate()).sum::<f64>() / n as f64;
+        let mean_max_rate: Bandwidth = self.iter().map(|r| r.max_rate).sum::<f64>() / n as f64;
         let mean_slack = self.iter().map(|r| r.slack()).sum::<f64>() / n as f64;
-        let mean_duration =
-            self.iter().map(|r| r.window.duration()).sum::<f64>() / n as f64;
+        let mean_duration = self.iter().map(|r| r.window.duration()).sum::<f64>() / n as f64;
         let rigid = self.iter().filter(|r| r.is_rigid()).count();
         TraceStats {
             count: n,
@@ -183,7 +180,13 @@ mod tests {
     use gridband_net::Route;
 
     fn r(id: u64, start: f64, finish: f64, vol: f64, max: f64) -> Request {
-        Request::new(id, Route::new(0, 1), TimeWindow::new(start, finish), vol, max)
+        Request::new(
+            id,
+            Route::new(0, 1),
+            TimeWindow::new(start, finish),
+            vol,
+            max,
+        )
     }
 
     #[test]
@@ -210,7 +213,7 @@ mod tests {
     #[test]
     fn offered_load_is_volume_over_capacity_time() {
         let topo = Topology::uniform(2, 2, 100.0); // half-total = 200 MB/s
-        // One request: 1000 MB over [0, 10]: load = 1000 / (10*200) = 0.5
+                                                   // One request: 1000 MB over [0, 10]: load = 1000 / (10*200) = 0.5
         let t = Trace::new(vec![r(1, 0.0, 10.0, 1000.0, 100.0)]);
         assert!((t.offered_load(&topo) - 0.5).abs() < 1e-12);
         // Two of them: load 1.0.

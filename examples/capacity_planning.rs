@@ -24,7 +24,10 @@ fn main() {
         1,
         day,
         600.0,
-        Dist::Uniform { lo: 10_000.0, hi: 80_000.0 },
+        Dist::Uniform {
+            lo: 10_000.0,
+            hi: 80_000.0,
+        },
         11,
     );
     let tier0 = scenarios::tier0_distribution(
@@ -33,7 +36,10 @@ fn main() {
         8,
         3.0 * 3_600.0,
         3,
-        Dist::Uniform { lo: 50_000.0, hi: 200_000.0 },
+        Dist::Uniform {
+            lo: 50_000.0,
+            hi: 200_000.0,
+        },
         2.0 * 3_600.0,
         12,
     );

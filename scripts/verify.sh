@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: run the full verification
+# gate. Any failure stops the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt ==" >&2
+cargo fmt --all -- --check
+
+echo "== clippy ==" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) ==" >&2
+cargo build --workspace --release
+
+echo "== test ==" >&2
+cargo test --workspace
+
+echo "verify: all green" >&2

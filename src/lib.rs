@@ -50,15 +50,12 @@ pub use gridband_workload as workload;
 pub mod prelude {
     pub use gridband_algos::{
         fcfs_rigid, improve_rigid, select_replicas, slots_schedule, AdaptiveGreedy,
-        BandwidthPolicy, BookAhead,
-        Greedy, ImproveConfig,
-        ReplicaStrategy, ReplicatedRequest, RetryPolicy, Retrying, RigidHeuristic, SlotCost,
-        SlotsConfig, WindowScheduler,
+        BandwidthPolicy, BookAhead, Greedy, ImproveConfig, ReplicaStrategy, ReplicatedRequest,
+        RetryPolicy, Retrying, RigidHeuristic, SlotCost, SlotsConfig, WindowScheduler,
     };
     pub use gridband_control::{ControlPlane, TokenBucket};
     pub use gridband_exact::{
-        max_accepted, optimal_uniform_longlived, verify_uniform_longlived, ExactInstance,
-        ThreeDm,
+        max_accepted, optimal_uniform_longlived, verify_uniform_longlived, ExactInstance, ThreeDm,
     };
     pub use gridband_maxmin::{run_maxmin, MaxMinConfig};
     pub use gridband_net::{CapacityLedger, Route, Topology};

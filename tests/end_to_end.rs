@@ -23,8 +23,14 @@ fn every_flexible_scheduler_yields_a_verified_schedule() {
         sim.run(&trace, &mut Greedy::min_rate()),
         sim.run(&trace, &mut Greedy::fraction(0.5)),
         sim.run(&trace, &mut Greedy::fraction(1.0)),
-        sim.run(&trace, &mut WindowScheduler::new(20.0, BandwidthPolicy::MinRate)),
-        sim.run(&trace, &mut WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE)),
+        sim.run(
+            &trace,
+            &mut WindowScheduler::new(20.0, BandwidthPolicy::MinRate),
+        ),
+        sim.run(
+            &trace,
+            &mut WindowScheduler::new(50.0, BandwidthPolicy::MAX_RATE),
+        ),
     ];
     for rep in &reports {
         // The runner verified already; verify once more from scratch.
@@ -70,8 +76,14 @@ fn simulation_is_deterministic() {
     let topo = Topology::paper_default();
     let trace = flexible_trace(0.5, 11, &topo);
     let sim = Simulation::new(topo);
-    let a = sim.run(&trace, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE));
-    let b = sim.run(&trace, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE));
+    let a = sim.run(
+        &trace,
+        &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE),
+    );
+    let b = sim.run(
+        &trace,
+        &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE),
+    );
     assert_eq!(a.assignments, b.assignments);
     assert_eq!(a.rejected, b.rejected);
     assert_eq!(a.accept_rate, b.accept_rate);
@@ -101,7 +113,10 @@ fn assert_assignments_equivalent(a: &[Assignment], b: &[Assignment]) {
     assert_eq!(a.len(), b.len(), "different accepted counts");
     for (x, y) in a.iter().zip(b) {
         assert_eq!(x.id, y.id);
-        assert!((x.bw - y.bw).abs() <= 1e-9 * x.bw.max(1.0), "{x:?} vs {y:?}");
+        assert!(
+            (x.bw - y.bw).abs() <= 1e-9 * x.bw.max(1.0),
+            "{x:?} vs {y:?}"
+        );
         assert!((x.start - y.start).abs() <= 1e-9);
         assert!((x.finish - y.finish).abs() <= 1e-6 * x.finish.abs().max(1.0));
     }

@@ -40,14 +40,7 @@ fn control_plane_schedule_feeds_the_standard_pipeline() {
         sim_report.mean_start_delay
     );
 
-    let tl = Timeline::sample(
-        &trace,
-        &topo(),
-        &sim_report.assignments,
-        0.0,
-        600.0,
-        10.0,
-    );
+    let tl = Timeline::sample(&trace, &topo(), &sim_report.assignments, 0.0, 600.0, 10.0);
     assert!(tl.peak() > 0.0);
     assert!(tl.peak() <= topo().total_ingress_cap() + 1e-6);
 
@@ -59,8 +52,20 @@ fn control_plane_schedule_feeds_the_standard_pipeline() {
 fn bookahead_reservations_show_up_in_the_future_of_the_timeline() {
     let topo = Topology::uniform(1, 1, 100.0);
     let trace = Trace::new(vec![
-        Request::new(0, Route::new(0, 0), TimeWindow::new(0.0, 10.0), 1_000.0, 100.0),
-        Request::new(1, Route::new(0, 0), TimeWindow::new(1.0, 31.0), 1_000.0, 100.0),
+        Request::new(
+            0,
+            Route::new(0, 0),
+            TimeWindow::new(0.0, 10.0),
+            1_000.0,
+            100.0,
+        ),
+        Request::new(
+            1,
+            Route::new(0, 0),
+            TimeWindow::new(1.0, 31.0),
+            1_000.0,
+            100.0,
+        ),
     ]);
     let sim = Simulation::new(topo.clone());
     let rep = sim.run(&trace, &mut BookAhead::new(BandwidthPolicy::MAX_RATE));
@@ -68,7 +73,9 @@ fn bookahead_reservations_show_up_in_the_future_of_the_timeline() {
     let tl = Timeline::sample(&trace, &topo, &rep.assignments, 0.0, 25.0, 1.0);
     // Port fully busy for the whole [0, 20) span: first transfer then the
     // booked one, back to back.
-    assert!(tl.total_alloc[..20].iter().all(|&x| (x - 100.0).abs() < 1e-6));
+    assert!(tl.total_alloc[..20]
+        .iter()
+        .all(|&x| (x - 100.0).abs() < 1e-6));
     assert_eq!(tl.total_alloc[22], 0.0);
     // The report records the wait of the second transfer.
     assert!((rep.mean_start_delay - 4.5).abs() < 1e-9); // (0 + 9)/2
@@ -82,8 +89,14 @@ fn hybrid_mice_fill_exactly_what_reservations_leave() {
     let rep = sim.run(&trace, &mut Greedy::fraction(1.0));
     assert_eq!(rep.accepted_count(), 1);
     let mice = [
-        BestEffortFlow { route: Route::new(0, 1), cap: f64::INFINITY },
-        BestEffortFlow { route: Route::new(1, 0), cap: f64::INFINITY },
+        BestEffortFlow {
+            route: Route::new(0, 1),
+            cap: f64::INFINITY,
+        },
+        BestEffortFlow {
+            route: Route::new(1, 0),
+            cap: f64::INFINITY,
+        },
     ];
     let hy = hybrid_best_effort(&topo, &trace, &rep.assignments, &mice, 0.0, 10.0, 1.0);
     // While the 70 MB/s reservation runs, its route's mouse gets 30 and
@@ -139,10 +152,16 @@ fn replica_selection_composes_with_every_scheduler() {
         ),
         (
             "window",
-            sim.run(&balanced, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE))
-                .accept_rate,
-            sim.run(&primary, &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE))
-                .accept_rate,
+            sim.run(
+                &balanced,
+                &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE),
+            )
+            .accept_rate,
+            sim.run(
+                &primary,
+                &mut WindowScheduler::new(30.0, BandwidthPolicy::MAX_RATE),
+            )
+            .accept_rate,
         ),
         (
             "bookahead",

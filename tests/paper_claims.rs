@@ -67,15 +67,28 @@ fn fig4_minvol_utilization_is_worst() {
     let mut cumulated = Vec::new();
     for seed in seeds {
         let trace = rigid_trace(4.0, seed, &topo);
-        minvol.push(RigidHeuristic::MinVolSlots.report(&trace, &topo).resource_util);
-        minbw.push(RigidHeuristic::MinBwSlots.report(&trace, &topo).resource_util);
+        minvol.push(
+            RigidHeuristic::MinVolSlots
+                .report(&trace, &topo)
+                .resource_util,
+        );
+        minbw.push(
+            RigidHeuristic::MinBwSlots
+                .report(&trace, &topo)
+                .resource_util,
+        );
         cumulated.push(
             RigidHeuristic::CumulatedSlots
                 .report(&trace, &topo)
                 .resource_util,
         );
     }
-    assert!(mean(&minvol) < mean(&minbw), "{} vs {}", mean(&minvol), mean(&minbw));
+    assert!(
+        mean(&minvol) < mean(&minbw),
+        "{} vs {}",
+        mean(&minvol),
+        mean(&minbw)
+    );
     assert!(mean(&minvol) < mean(&cumulated));
 }
 
@@ -88,7 +101,9 @@ fn fig4_cumulated_and_minbw_are_close() {
     let mut gap = Vec::new();
     for seed in seeds {
         let trace = rigid_trace(4.0, seed, &topo);
-        let a = RigidHeuristic::CumulatedSlots.report(&trace, &topo).accept_rate;
+        let a = RigidHeuristic::CumulatedSlots
+            .report(&trace, &topo)
+            .accept_rate;
         let b = RigidHeuristic::MinBwSlots.report(&trace, &topo).accept_rate;
         gap.push((a - b).abs());
     }
@@ -109,12 +124,18 @@ fn fig5_window_beats_greedy_when_heavy() {
         let sim = Simulation::new(topo.clone());
         greedy.push(sim.run(&trace, &mut Greedy::fraction(1.0)).accept_rate);
         win_short.push(
-            sim.run(&trace, &mut WindowScheduler::new(10.0, BandwidthPolicy::MAX_RATE))
-                .accept_rate,
+            sim.run(
+                &trace,
+                &mut WindowScheduler::new(10.0, BandwidthPolicy::MAX_RATE),
+            )
+            .accept_rate,
         );
         win_long.push(
-            sim.run(&trace, &mut WindowScheduler::new(100.0, BandwidthPolicy::MAX_RATE))
-                .accept_rate,
+            sim.run(
+                &trace,
+                &mut WindowScheduler::new(100.0, BandwidthPolicy::MAX_RATE),
+            )
+            .accept_rate,
         );
     }
     assert!(
@@ -244,7 +265,7 @@ fn heuristics_bounded_by_optimum() {
                 let e = (i + rng.gen_range(1..3u32)) % 3;
                 let start = rng.gen_range(0..10) as f64;
                 let dur = rng.gen_range(1..=5) as f64;
-                let bw = [25.0, 50.0, 75.0][rng.gen_range(0..3)];
+                let bw = [25.0, 50.0, 75.0][rng.gen_range(0..3usize)];
                 Request::rigid(k as u64, Route::new(i, e), start, bw * dur, bw)
             })
             .collect();

@@ -15,12 +15,15 @@ fn tier0_distribution_through_all_schedulers() {
         10,
         600.0,
         4,
-        Dist::Uniform { lo: 50_000.0, hi: 150_000.0 },
+        Dist::Uniform {
+            lo: 50_000.0,
+            hi: 150_000.0,
+        },
         3_600.0,
         5,
     );
     assert!(
-        worst_severity(&lint(&trace, &topo)).map_or(true, |s| s < Severity::Error),
+        worst_severity(&lint(&trace, &topo)).is_none_or(|s| s < Severity::Error),
         "scenario generator produced an unusable trace"
     );
     let sim = Simulation::new(topo.clone());
@@ -68,7 +71,10 @@ fn nightly_backup_peaks_hit_the_archive_and_diurnal_structure_shows() {
         2,
         day,
         30.0,
-        Dist::Uniform { lo: 1_000.0, hi: 10_000.0 },
+        Dist::Uniform {
+            lo: 1_000.0,
+            hi: 10_000.0,
+        },
         11,
     );
     let sim = Simulation::new(topo.clone());
@@ -92,28 +98,18 @@ fn nightly_backup_peaks_hit_the_archive_and_diurnal_structure_shows() {
         day / 48.0,
     );
     let peak = tl.peak();
-    let trough = tl
-        .total_alloc
-        .iter()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
-    assert!(peak > 3.0 * (trough + 1.0), "peak {peak} vs trough {trough}");
+    let trough = tl.total_alloc.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        peak > 3.0 * (trough + 1.0),
+        "peak {peak} vs trough {trough}"
+    );
 }
 
 #[test]
 fn merged_scenarios_keep_every_request_distinct() {
     let topo = Topology::paper_default();
     let a = scenarios::allpairs_shuffle(&topo, 1_000.0, 0.0, 300.0, 1);
-    let b = scenarios::tier0_distribution(
-        &topo,
-        2,
-        3,
-        100.0,
-        2,
-        Dist::Fixed(10_000.0),
-        1_000.0,
-        2,
-    );
+    let b = scenarios::tier0_distribution(&topo, 2, 3, 100.0, 2, Dist::Fixed(10_000.0), 1_000.0, 2);
     let merged = ops::merge(&[&a, &b]);
     assert_eq!(merged.len(), a.len() + b.len());
     // Schedulable end to end.

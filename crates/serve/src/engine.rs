@@ -62,6 +62,10 @@ pub struct EngineConfig {
     pub default_slack: f64,
     /// Decided-request history kept for `Query` (older entries evicted).
     pub history_capacity: usize,
+    /// Furthest a submission's `start` may lie ahead of the virtual
+    /// clock; anything beyond is rejected as `Invalid`. Bounds the
+    /// clock catch-up work a single hostile submission can demand.
+    pub max_horizon: f64,
 }
 
 impl EngineConfig {
@@ -76,6 +80,7 @@ impl EngineConfig {
             queue_capacity: 1024,
             default_slack: 3.0,
             history_capacity: 1 << 20,
+            max_horizon: 1e6,
         }
     }
 }
@@ -275,7 +280,7 @@ impl EngineLoop {
                 } else {
                     self.states.get(&id).copied().unwrap_or(ReqState::Unknown)
                 };
-                let _ = reply.send(ServerMsg::Status { id, state });
+                self.send_reply(&reply, ServerMsg::Status { id, state });
             }
             ClientMsg::Stats => {
                 let snap = self.metrics.snapshot(
@@ -283,7 +288,7 @@ impl EngineLoop {
                     self.ledger.live_count() as u64,
                     self.now,
                 );
-                let _ = reply.send(ServerMsg::Stats(snap));
+                self.send_reply(&reply, ServerMsg::Stats(snap));
             }
             ClientMsg::Drain => {
                 self.draining = true;
@@ -292,7 +297,7 @@ impl EngineLoop {
                     let t = self.next_tick;
                     self.run_round(t);
                 }
-                let _ = reply.send(ServerMsg::Draining { pending: n });
+                self.send_reply(&reply, ServerMsg::Draining { pending: n });
             }
         }
     }
@@ -301,24 +306,56 @@ impl EngineLoop {
         MetricsRegistry::inc(&self.metrics.submitted);
         if self.draining {
             MetricsRegistry::inc(&self.metrics.refused_early);
-            let _ = reply.send(ServerMsg::Rejected {
-                id: s.id,
-                reason: RejectReason::ShuttingDown,
-                retry_after: None,
-            });
+            self.send_reply(
+                &reply,
+                ServerMsg::Rejected {
+                    id: s.id,
+                    reason: RejectReason::ShuttingDown,
+                    retry_after: None,
+                },
+            );
             return;
         }
-        // In virtual mode the clock advances with the submissions: fire
-        // every round due before (or exactly at) this arrival, preserving
-        // the offline tick-before-arrival order at equal timestamps.
         let start = s.start.unwrap_or(self.now).max(self.now);
+        // Sanity-check the clock-driving field before it drives the clock:
+        // `{"start":1e300}` parses as a perfectly valid f64, and without
+        // this bound the catch-up loop below would run ~start/step rounds,
+        // freezing the single engine thread — and every client — forever.
+        if !start.is_finite() || start > self.now + self.config.max_horizon {
+            MetricsRegistry::inc(&self.metrics.refused_early);
+            self.record_state(s.id, ReqState::Rejected);
+            self.send_reply(
+                &reply,
+                ServerMsg::Rejected {
+                    id: s.id,
+                    reason: RejectReason::Invalid,
+                    retry_after: None,
+                },
+            );
+            return;
+        }
         if self.config.mode == TimeMode::Virtual {
+            // The clock advances with the submissions: fire every round
+            // due before (or exactly at) this arrival, preserving the
+            // offline tick-before-arrival order at equal timestamps.
             while self.next_tick <= start {
+                // With nothing pending a round is pure bookkeeping (GC
+                // folds into the last round anyway), so jump straight to
+                // the final round due at or before `start`.
+                if self.pending.is_empty() {
+                    let behind = ((start - self.next_tick) / self.config.step).floor();
+                    if behind >= 1.0 {
+                        self.next_tick += behind * self.config.step;
+                    }
+                }
                 let t = self.next_tick;
                 self.run_round(t);
             }
+            // Only submissions drive the clock in virtual mode. In real
+            // time the ticker owns `now`; advancing it here would push it
+            // past `next_tick` and make the next round run backwards.
+            self.now = self.now.max(start);
         }
-        self.now = self.now.max(start);
 
         match self.validate(&s, start) {
             Ok(req) => {
@@ -339,11 +376,14 @@ impl EngineLoop {
             Err(reason) => {
                 MetricsRegistry::inc(&self.metrics.refused_early);
                 self.record_state(s.id, ReqState::Rejected);
-                let _ = reply.send(ServerMsg::Rejected {
-                    id: s.id,
-                    reason,
-                    retry_after: None,
-                });
+                self.send_reply(
+                    &reply,
+                    ServerMsg::Rejected {
+                        id: s.id,
+                        reason,
+                        retry_after: None,
+                    },
+                );
             }
         }
     }
@@ -402,13 +442,18 @@ impl EngineLoop {
         } else if let Some(entry) = self.pending.get_mut(&id) {
             // Still undecided: tombstone it. The deciding round frees any
             // reservation it would get and suppresses the decision reply.
-            entry.cancelled = true;
-            MetricsRegistry::inc(&self.metrics.cancelled);
-            true
+            // Only the first cancel takes effect; repeats report
+            // `freed: false` and leave the metric alone.
+            let first = !entry.cancelled;
+            if first {
+                entry.cancelled = true;
+                MetricsRegistry::inc(&self.metrics.cancelled);
+            }
+            first
         } else {
             false
         };
-        let _ = reply.send(ServerMsg::CancelResult { id, freed });
+        self.send_reply(&reply, ServerMsg::CancelResult { id, freed });
     }
 
     /// One admission round at virtual time `t`: GC expired reservations,
@@ -464,12 +509,15 @@ impl EngineLoop {
                         self.accepted_res.insert(id, rid);
                         self.res_owner.insert(rid.0, id);
                         self.record_state(id, ReqState::Accepted);
-                        let _ = entry.reply.send(ServerMsg::Accepted {
-                            id,
-                            bw,
-                            start,
-                            finish,
-                        });
+                        self.send_reply(
+                            &entry.reply,
+                            ServerMsg::Accepted {
+                                id,
+                                bw,
+                                start,
+                                finish,
+                            },
+                        );
                     }
                     Err(_) => {
                         // The scheduler's scalar view disagreed with the
@@ -495,11 +543,14 @@ impl EngineLoop {
                 MetricsRegistry::inc(&self.metrics.rejected);
                 if !entry.cancelled {
                     let retry_after = (at < entry_finish).then_some(at);
-                    let _ = entry.reply.send(ServerMsg::Rejected {
-                        id,
-                        reason: RejectReason::Saturated,
-                        retry_after,
-                    });
+                    self.send_reply(
+                        &entry.reply,
+                        ServerMsg::Rejected {
+                            id,
+                            reason: RejectReason::Saturated,
+                            retry_after,
+                        },
+                    );
                 }
             }
             Decision::Defer => {
@@ -519,11 +570,25 @@ impl EngineLoop {
             RejectReason::Saturated => self.retry_hint(&entry.req, t),
             _ => None,
         };
-        let _ = entry.reply.send(ServerMsg::Rejected {
-            id,
-            reason,
-            retry_after,
-        });
+        self.send_reply(
+            &entry.reply,
+            ServerMsg::Rejected {
+                id,
+                reason,
+                retry_after,
+            },
+        );
+    }
+
+    /// Deliver a reply without ever blocking the engine. Reply channels
+    /// are bounded and client-paced: a client that stops reading its
+    /// socket fills its channel, and a blocking send there would stall
+    /// admission for every connection. Full ⇒ drop the reply and count
+    /// it; the client can recover the state via `Query`.
+    fn send_reply(&self, reply: &Sender<ServerMsg>, msg: ServerMsg) {
+        if let Err(TrySendError::Full(_)) = reply.try_send(msg) {
+            MetricsRegistry::inc(&self.metrics.replies_dropped);
+        }
     }
 
     /// Backpressure hint: the earliest time a port of this route frees
@@ -883,6 +948,130 @@ mod tests {
             } => {}
             other => panic!("expected shutting-down rejection, got {other:?}"),
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn hostile_far_future_start_is_rejected_not_spun_on() {
+        let engine = engine_1x1(100.0, 10.0);
+        // `1e300` parses as a perfectly valid f64; without the horizon
+        // check the catch-up loop would run ~1e299 rounds and freeze the
+        // engine thread (and with it, every client) forever.
+        match rpc(&engine, submit(1, 1e300, 100.0, 100.0, 1e300 + 50.0)) {
+            ServerMsg::Rejected {
+                reason: RejectReason::Invalid,
+                ..
+            } => {}
+            other => panic!("expected invalid rejection, got {other:?}"),
+        }
+        // Infinity survives JSON-free construction paths too.
+        match rpc(&engine, submit(2, f64::INFINITY, 100.0, 100.0, 50.0)) {
+            ServerMsg::Rejected {
+                reason: RejectReason::Invalid,
+                ..
+            } => {}
+            other => panic!("expected invalid rejection, got {other:?}"),
+        }
+        // The engine is still alive and serving.
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => assert_eq!(s.refused_early, 2),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn within_horizon_catch_up_fast_forwards_over_empty_rounds() {
+        let engine = engine_1x1(100.0, 10.0);
+        // ~100k rounds ahead but inside the horizon: the empty-round
+        // fast-forward makes this O(1) instead of round-by-round.
+        let d = rpc_all(&engine, vec![submit(1, 999_900.0, 100.0, 100.0, 999_990.0)]);
+        assert!(matches!(d[0], ServerMsg::Accepted { .. }), "{:?}", d[0]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn realtime_future_start_does_not_move_the_clock() {
+        let mut cfg = EngineConfig::new(Topology::uniform(1, 1, 100.0));
+        cfg.step = 5.0;
+        cfg.mode = TimeMode::RealTime {
+            tick: Duration::from_millis(10),
+        };
+        let engine = Engine::spawn(cfg);
+        let (tx, _rx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: submit(1, 400.0, 100.0, 100.0, 800.0),
+                reply: tx,
+            })
+            .unwrap();
+        // Let several ticker rounds fire. Before the fix the submission
+        // pushed `now` to 400 past `next_tick`, so the first round hit
+        // the round-time-going-backwards debug_assert and killed the
+        // engine thread.
+        std::thread::sleep(Duration::from_millis(100));
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => {
+                assert!(s.ticks >= 1, "ticker must have fired");
+                assert!(
+                    s.virtual_time < 400.0,
+                    "submission timestamps must not drive the real-time clock, now={}",
+                    s.virtual_time
+                );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn duplicate_cancels_of_a_pending_request_count_once() {
+        let engine = engine_1x1(100.0, 10.0);
+        let (tx, _rx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: submit(1, 0.0, 100.0, 100.0, 50.0),
+                reply: tx,
+            })
+            .unwrap();
+        match rpc(&engine, ClientMsg::Cancel { id: 1 }) {
+            ServerMsg::CancelResult { freed, .. } => assert!(freed, "first cancel takes effect"),
+            other => panic!("expected cancel result, got {other:?}"),
+        }
+        match rpc(&engine, ClientMsg::Cancel { id: 1 }) {
+            ServerMsg::CancelResult { freed, .. } => assert!(!freed, "repeat cancel is a no-op"),
+            other => panic!("expected cancel result, got {other:?}"),
+        }
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => assert_eq!(s.cancelled, 1),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_reply_channels_drop_instead_of_blocking_the_engine() {
+        let engine = engine_1x1(100.0, 10.0);
+        // A zero-capacity channel nobody reads: a blocking send to it
+        // would wedge the engine thread for every connection.
+        let (tx, rx) = channel::bounded::<ServerMsg>(0);
+        for id in 0..3 {
+            engine
+                .sender()
+                .send(Command::Client {
+                    msg: ClientMsg::Query { id },
+                    reply: tx.clone(),
+                })
+                .unwrap();
+        }
+        // The engine stays responsive and accounts for the drops.
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => assert_eq!(s.replies_dropped, 3),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(rx);
         engine.shutdown();
     }
 

@@ -116,7 +116,8 @@ pub struct MetricsRegistry {
     pub rejected: AtomicU64,
     /// Submissions refused before queueing (validation, queue-full, drain).
     pub refused_early: AtomicU64,
-    /// Cancel requests that freed a live reservation.
+    /// Cancels that took effect: freed a live reservation or voided a
+    /// still-pending submission (repeats are not counted).
     pub cancelled: AtomicU64,
     /// Query requests served.
     pub queries: AtomicU64,
@@ -130,6 +131,9 @@ pub struct MetricsRegistry {
     pub ticks: AtomicU64,
     /// Expired reservations garbage-collected from the ledger.
     pub gc_reclaimed: AtomicU64,
+    /// Engine replies dropped because a connection's reply queue was
+    /// full (a client submitting without reading its socket).
+    pub replies_dropped: AtomicU64,
     /// Submit → decision latency.
     pub decision_latency: LatencyHistogram,
 }
@@ -165,6 +169,7 @@ impl MetricsRegistry {
             connections: ld(&self.connections),
             ticks: ld(&self.ticks),
             gc_reclaimed: ld(&self.gc_reclaimed),
+            replies_dropped: ld(&self.replies_dropped),
             pending,
             live_reservations,
             virtual_time,
@@ -185,7 +190,7 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Submissions refused before queueing.
     pub refused_early: u64,
-    /// Reservations freed by `Cancel`.
+    /// Cancels that took effect (reservation freed or pending voided).
     pub cancelled: u64,
     /// Queries served.
     pub queries: u64,
@@ -199,6 +204,8 @@ pub struct StatsSnapshot {
     pub ticks: u64,
     /// Expired reservations garbage-collected.
     pub gc_reclaimed: u64,
+    /// Replies dropped on full per-connection reply queues.
+    pub replies_dropped: u64,
     /// Submissions awaiting the next round.
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.

@@ -138,7 +138,9 @@ pub enum ServerMsg {
     CancelResult {
         /// Id used at submission.
         id: u64,
-        /// Whether a live reservation was actually freed.
+        /// Whether this cancel took effect: it freed a live reservation
+        /// or voided a still-pending submission. `false` for unknown
+        /// ids, already-decided requests, and repeated cancels.
         freed: bool,
     },
     /// Reply to `Query`.

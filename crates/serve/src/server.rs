@@ -33,8 +33,10 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Maximum accepted request-line length in bytes.
     pub max_line_len: usize,
-    /// Per-connection bound on undelivered replies before the writer
-    /// drops the connection as stuck.
+    /// Per-connection bound on undelivered replies. When it fills (a
+    /// client submitting without reading its socket) the engine drops
+    /// further replies for that connection, counting them in the
+    /// `replies_dropped` stat, rather than ever blocking on the client.
     pub reply_capacity: usize,
     /// Period of the metrics snapshot dumped to stderr as one JSON line;
     /// `None` disables the dump.
@@ -71,8 +73,9 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Ask the accept loop to exit. Existing connections finish their
-    /// in-flight requests; the engine decides its pending batch.
+    /// Ask the accept loop to exit. Live connection sockets are shut
+    /// down so blocked readers unblock immediately, and the engine
+    /// decides its pending batch before `run` returns.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
         // Nudge the (blocking) accept loop awake.
@@ -140,7 +143,9 @@ impl Server {
             })
         });
 
-        let mut conn_threads = Vec::new();
+        // Each entry keeps a clone of the connection's socket so shutdown
+        // can unblock a reader parked in a (minutes-long) timed read.
+        let mut conns: Vec<(Option<TcpStream>, std::thread::JoinHandle<()>)> = Vec::new();
         for stream in self.listener.incoming() {
             if self.stop.load(Ordering::Relaxed) {
                 break;
@@ -157,23 +162,36 @@ impl Server {
                         reply_capacity: self.config.reply_capacity,
                         engine_step,
                     };
-                    conn_threads.push(std::thread::spawn(move || {
+                    let sock = stream.try_clone().ok();
+                    let thread = std::thread::spawn(move || {
                         handle_connection(stream, engine_tx, metrics, cfg)
-                    }));
+                    });
+                    conns.push((sock, thread));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
                 Err(e) => return Err(e),
             }
             // Opportunistically reap finished connection threads.
-            conn_threads.retain(|t| !t.is_finished());
+            conns.retain(|(_, t)| !t.is_finished());
         }
-        for t in conn_threads {
+        // Shutdown order matters. First close the sockets: idle readers
+        // would otherwise sit in a blocking read until `read_timeout`
+        // (minutes) before noticing. Then stop the engine: its drain
+        // round answers pending work and drops the per-connection reply
+        // senders it holds, which is what lets writer threads (blocked
+        // until their channel disconnects) exit. Only then join.
+        for (sock, _) in &conns {
+            if let Some(sock) = sock {
+                let _ = sock.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        self.engine.shutdown();
+        for (_, t) in conns {
             let _ = t.join();
         }
         if let Some(t) = snapshotter {
             let _ = t.join();
         }
-        self.engine.shutdown();
         Ok(())
     }
 }
@@ -482,6 +500,31 @@ mod tests {
         drop(stream);
         handle.shutdown();
         join.join().expect("server thread");
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_connections_promptly() {
+        let mut engine = EngineConfig::new(Topology::uniform(1, 1, 100.0));
+        engine.step = 10.0;
+        let mut cfg = ServerConfig::new("127.0.0.1:0", engine);
+        cfg.read_timeout = Duration::from_secs(30);
+        let server = Server::bind(cfg).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || server.run().expect("run"));
+
+        // An idle client: its reader thread sits in a blocking read.
+        let stream = TcpStream::connect(addr).expect("connect");
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        handle.shutdown();
+        join.join().expect("server thread");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "shutdown took {:?}; it must not wait out the 30 s read timeout",
+            t0.elapsed()
+        );
+        drop(stream);
     }
 
     #[test]

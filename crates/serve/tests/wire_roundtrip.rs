@@ -64,13 +64,13 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
             0u64..1000,
             0u64..1000,
         ),
-        (0u64..1000, wire_f64(), wire_f64()),
+        (0u64..1000, 0u64..1000, wire_f64(), wire_f64()),
     )
         .prop_map(
             |(
                 (submitted, accepted, rejected, refused_early, cancelled, queries),
                 (queue_full, protocol_errors, connections, ticks, gc_reclaimed, pending),
-                (count, virtual_time, mean_ms),
+                (replies_dropped, count, virtual_time, mean_ms),
             )| StatsSnapshot {
                 submitted,
                 accepted,
@@ -83,6 +83,7 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 connections,
                 ticks,
                 gc_reclaimed,
+                replies_dropped,
                 pending,
                 live_reservations: count,
                 virtual_time,

@@ -20,6 +20,13 @@
 //! arrival `t_s`, the bandwidth needed to meet its deadline grows while it
 //! waits; the policy output is re-clamped at decision time and a candidate
 //! whose deadline has become unreachable is rejected outright.
+//!
+//! The decisions returned by one tick form a self-consistent batch (the
+//! scheduler tracks the capacity its own accepts consume via the scalar
+//! `ali`/`ale` vectors), so callers — the simulation runner and the serve
+//! engine — book the round's accepts with one
+//! [`CapacityLedger::reserve_all`] call, touching each port's query index
+//! once per round instead of once per accept.
 
 use crate::policy::BandwidthPolicy;
 use gridband_net::units::Time;

@@ -2,7 +2,7 @@
 //! structure under every scheduler.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gridband_net::{CapacityLedger, CapacityProfile, Route, Topology};
+use gridband_net::{Breakpoint, CapacityLedger, CapacityProfile, ReserveRequest, Route, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +46,61 @@ fn bench_profile(c: &mut Criterion) {
     group.finish();
 }
 
+/// Build a canonical profile with exactly `k` breakpoints (alternating
+/// busy/idle steps) without paying the O(k²) incremental-allocate cost.
+fn big_profile(k: usize, capacity: f64, seed: u64) -> CapacityProfile {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be even so the tail is idle"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(k);
+    let mut t = 0.0;
+    for i in 0..k {
+        t += rng.gen_range(0.5..5.0);
+        let alloc = if i % 2 == 0 {
+            rng.gen_range(1.0..capacity * 0.8)
+        } else {
+            0.0
+        };
+        points.push(Breakpoint { time: t, alloc });
+    }
+    CapacityProfile::from_breakpoints(capacity, points).unwrap()
+}
+
+/// Indexed (segment-tree) queries against their linear reference scans,
+/// from small profiles up to 10⁵ breakpoints. The indexed path must win
+/// by growing margins; the linear path is kept only as an oracle.
+fn bench_indexed_vs_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexed_vs_linear");
+    for &k in &[100usize, 1_000, 10_000, 100_000] {
+        let p = big_profile(k, 1_000.0, 42);
+        let span = p.breakpoints().last().unwrap().time;
+        // Probe a window in the middle third so both endpoints fall
+        // strictly inside the populated region.
+        let (t0, t1) = (span * 0.33, span * 0.67);
+        group.bench_with_input(BenchmarkId::new("max_alloc/indexed", k), &p, |b, p| {
+            b.iter(|| black_box(p.max_alloc(black_box(t0), black_box(t1))))
+        });
+        group.bench_with_input(BenchmarkId::new("max_alloc/linear", k), &p, |b, p| {
+            b.iter(|| black_box(p.max_alloc_linear(black_box(t0), black_box(t1))))
+        });
+        group.bench_with_input(BenchmarkId::new("fits/indexed", k), &p, |b, p| {
+            b.iter(|| black_box(p.fits(black_box(t0), black_box(t1), 150.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("fits/linear", k), &p, |b, p| {
+            b.iter(|| black_box(p.fits_linear(black_box(t0), black_box(t1), 150.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("earliest_fit/indexed", k), &p, |b, p| {
+            b.iter(|| black_box(p.earliest_fit(black_box(t0), 10.0, 900.0, f64::INFINITY)))
+        });
+        group.bench_with_input(BenchmarkId::new("earliest_fit/linear", k), &p, |b, p| {
+            b.iter(|| black_box(p.earliest_fit_linear(black_box(t0), 10.0, 900.0, f64::INFINITY)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_ledger(c: &mut Criterion) {
     let topo = Topology::paper_default();
     let ops = random_ops(1_000, 13);
@@ -62,6 +117,23 @@ fn bench_ledger(c: &mut Criterion) {
             black_box(ok)
         })
     });
+    c.bench_function("ledger/reserve_all_1000", |b| {
+        let batch: Vec<ReserveRequest> = ops
+            .iter()
+            .enumerate()
+            .map(|(k, &(t0, t1, bw))| ReserveRequest {
+                route: Route::new((k % 10) as u32, ((k + 3) % 10) as u32),
+                start: t0,
+                end: t1,
+                bw,
+            })
+            .collect();
+        b.iter(|| {
+            let mut l = CapacityLedger::new(topo.clone());
+            let ok = l.reserve_all(&batch).iter().filter(|r| r.is_ok()).count();
+            black_box(ok)
+        })
+    });
 }
 
 criterion_group! {
@@ -70,6 +142,6 @@ criterion_group! {
         .sample_size(20)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_profile, bench_ledger
+    targets = bench_profile, bench_indexed_vs_linear, bench_ledger
 }
 criterion_main!(benches);

@@ -1,0 +1,520 @@
+//! Admission hot-path benchmark: produces `BENCH_admission.json`.
+//!
+//! Three sections, all driven from one binary so the numbers in the
+//! committed JSON are reproducible with a single command
+//! (`scripts/bench.sh`):
+//!
+//! 1. **micro** — linear reference scans vs the segment-tree-indexed
+//!    queries (`max_alloc` / `fits` / `earliest_fit`) on profiles with
+//!    10²–10⁵ breakpoints, reporting per-query ns and the speedup;
+//! 2. **differential** — a quick inline replay of random
+//!    allocate/release traces asserting the indexed answers are
+//!    bit-identical to the linear ones (mismatches must be 0; the full
+//!    property suite lives in `crates/net/tests/indexed_differential.rs`);
+//! 3. **end_to_end** — the §5.3 flexible workload pushed through the
+//!    interval scheduler with batched `reserve_all` admission rounds
+//!    (p50/p99 round latency, decisions/sec) and through the greedy
+//!    per-arrival path, each cross-checked against `Simulation::run` so
+//!    the timed driver provably makes the same accept decisions.
+//!
+//! Flags: `--smoke` (reduced sizes, a few seconds), `--out=FILE`
+//! (default `BENCH_admission.json`).
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use gridband_algos::{BandwidthPolicy, Greedy, WindowScheduler};
+use gridband_net::{Breakpoint, CapacityLedger, CapacityProfile, ReserveRequest, Topology};
+use gridband_sim::{AdmissionController, Decision, Simulation};
+use gridband_workload::{Dist, Request, Trace, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+// ---------------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    micro: Vec<MicroRow>,
+    differential: Differential,
+    end_to_end: Vec<EndToEndRow>,
+}
+
+#[derive(Serialize)]
+struct MicroRow {
+    query: String,
+    breakpoints: usize,
+    linear_ns: f64,
+    indexed_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Differential {
+    trials: usize,
+    queries: usize,
+    mismatches: usize,
+}
+
+#[derive(Serialize)]
+struct LatencyUs {
+    p50: f64,
+    p99: f64,
+    max: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEndRow {
+    scheduler: String,
+    mean_interarrival: f64,
+    horizon: f64,
+    seed: u64,
+    requests: usize,
+    accepted: usize,
+    accept_rate: f64,
+    rounds: usize,
+    decisions_per_sec: f64,
+    round_latency_us: LatencyUs,
+    matches_offline_sim: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Micro: indexed vs linear profile queries
+// ---------------------------------------------------------------------------
+
+/// A canonical profile with exactly `k` breakpoints (alternating busy and
+/// idle steps), bulk-loaded so construction stays O(k log k).
+fn big_profile(k: usize, capacity: f64, seed: u64) -> CapacityProfile {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(k);
+    let mut t = 0.0;
+    for i in 0..k {
+        t += rng.gen_range(0.5..5.0);
+        let alloc = if i % 2 == 0 {
+            rng.gen_range(1.0..capacity * 0.8)
+        } else {
+            0.0
+        };
+        points.push(Breakpoint { time: t, alloc });
+    }
+    CapacityProfile::from_breakpoints(capacity, points).expect("generated profile is canonical")
+}
+
+/// Mean ns/call of `f` over `iters` calls (after one warm-up call).
+fn time_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn micro_section(sizes: &[usize], iters: usize) -> Vec<MicroRow> {
+    let mut rows = Vec::new();
+    for &k in sizes {
+        let p = big_profile(k, 1_000.0, 42);
+        let span = p.breakpoints().last().unwrap().time;
+        // Probe windows spread over the middle of the populated region so
+        // the linear scan cannot early-exit on an empty suffix.
+        let probes: Vec<(f64, f64)> = (0..32)
+            .map(|i| {
+                let t0 = span * (0.10 + 0.02 * i as f64);
+                (t0, t0 + span * 0.25)
+            })
+            .collect();
+        let mut i = 0usize;
+        let mut next = move || {
+            i = (i + 1) % 32;
+            i
+        };
+        let mut push = |query: &str, linear_ns: f64, indexed_ns: f64| {
+            rows.push(MicroRow {
+                query: query.to_string(),
+                breakpoints: k,
+                linear_ns,
+                indexed_ns,
+                speedup: linear_ns / indexed_ns,
+            });
+        };
+        let lin = time_ns(iters, || {
+            let (a, b) = probes[next()];
+            p.max_alloc_linear(a, b)
+        });
+        let idx = time_ns(iters, || {
+            let (a, b) = probes[next()];
+            p.max_alloc(a, b)
+        });
+        push("max_alloc", lin, idx);
+        let lin = time_ns(iters, || {
+            let (a, b) = probes[next()];
+            p.fits_linear(a, b, 150.0)
+        });
+        let idx = time_ns(iters, || {
+            let (a, b) = probes[next()];
+            p.fits(a, b, 150.0)
+        });
+        push("fits", lin, idx);
+        // A bandwidth high enough that nearly every busy step conflicts:
+        // the search has to walk the whole tail, which is the worst case
+        // for the linear restart scan.
+        let lin = time_ns(iters, || {
+            let (a, _) = probes[next()];
+            p.earliest_fit_linear(a, 10.0, 900.0, f64::INFINITY)
+        });
+        let idx = time_ns(iters, || {
+            let (a, _) = probes[next()];
+            p.earliest_fit(a, 10.0, 900.0, f64::INFINITY)
+        });
+        push("earliest_fit", lin, idx);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Differential: indexed answers must equal the linear reference exactly
+// ---------------------------------------------------------------------------
+
+fn differential_section(trials: usize) -> Differential {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut queries = 0usize;
+    let mut mismatches = 0usize;
+    for _ in 0..trials {
+        let mut p = CapacityProfile::new(150.0);
+        let mut live: Vec<(f64, f64, f64)> = Vec::new();
+        for _ in 0..60 {
+            let t0 = rng.gen_range(0.0..300.0);
+            let t1 = t0 + rng.gen_range(0.5..40.0);
+            let bw = rng.gen_range(0.1..120.0);
+            if rng.gen_range(0u32..10) < 3 && !live.is_empty() {
+                let (a0, a1, ab) = live.pop().unwrap();
+                p.release(a0, a1, ab).expect("releasing a live allocation");
+            } else if p.allocate(t0, t1, bw).is_ok() {
+                live.push((t0, t1, bw));
+            }
+            let (q0, q1) = (rng.gen_range(0.0..300.0), t1);
+            queries += 4;
+            if p.max_alloc(q0, q1) != p.max_alloc_linear(q0, q1) {
+                mismatches += 1;
+            }
+            if p.min_free(q0, q1) != p.min_free_linear(q0, q1) {
+                mismatches += 1;
+            }
+            if p.fits(q0, q1, bw) != p.fits_linear(q0, q1, bw) {
+                mismatches += 1;
+            }
+            if p.earliest_fit(q0, 5.0, bw, f64::INFINITY)
+                != p.earliest_fit_linear(q0, 5.0, bw, f64::INFINITY)
+            {
+                mismatches += 1;
+            }
+        }
+    }
+    Differential {
+        trials,
+        queries,
+        mismatches,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: §5.3 workload through the batched admission rounds
+// ---------------------------------------------------------------------------
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[pos] as f64
+}
+
+fn latency_summary(mut ns: Vec<u64>) -> LatencyUs {
+    ns.sort_unstable();
+    LatencyUs {
+        p50: percentile(&ns, 0.50) / 1_000.0,
+        p99: percentile(&ns, 0.99) / 1_000.0,
+        max: ns.last().copied().unwrap_or(0) as f64 / 1_000.0,
+    }
+}
+
+fn paper_flexible_trace(topo: &Topology, interarrival: f64, horizon: f64, seed: u64) -> Trace {
+    WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(horizon)
+        .seed(seed)
+        .build()
+}
+
+/// Drive the interval scheduler round by round, timing `on_tick` plus the
+/// batched `reserve_all` per round. Arrival ordering replicates the event
+/// queue exactly (at equal timestamps departures < ticks < arrivals, and
+/// the scheduler ignores departures), so the accept count must match
+/// `Simulation::run` bit for bit.
+fn run_window_rounds(
+    topo: &Topology,
+    trace: &Trace,
+    step: f64,
+    interarrival: f64,
+    horizon: f64,
+    seed: u64,
+) -> EndToEndRow {
+    let mut sched = WindowScheduler::new(step, BandwidthPolicy::MAX_RATE);
+    let mut ledger = CapacityLedger::new(topo.clone());
+    let by_id: HashMap<u64, &Request> = trace.iter().map(|r| (r.id.0, r)).collect();
+    let reqs = trace.requests();
+    let mut next = 0usize;
+    let mut accepted = 0usize;
+    let mut decided = 0usize;
+    let mut round_ns: Vec<u64> = Vec::new();
+    let mut t = step;
+    while t <= trace.horizon() + step {
+        while next < reqs.len() && reqs[next].start() < t {
+            let d = sched.on_arrival(&reqs[next], &ledger, reqs[next].start());
+            assert!(
+                matches!(d, Decision::Defer),
+                "interval scheduler must defer at arrival"
+            );
+            next += 1;
+        }
+        let t0 = Instant::now();
+        let decisions = sched.on_tick(&ledger, t);
+        let batch: Vec<ReserveRequest> = decisions
+            .iter()
+            .filter_map(|(rid, d)| match *d {
+                Decision::Accept { bw, start, finish } => Some(ReserveRequest {
+                    route: by_id[&rid.0].route,
+                    start,
+                    end: finish,
+                    bw,
+                }),
+                _ => None,
+            })
+            .collect();
+        let results = ledger.reserve_all(&batch);
+        round_ns.push(t0.elapsed().as_nanos() as u64);
+        for r in &results {
+            r.as_ref().expect("scheduler over-committed a batch");
+        }
+        accepted += results.len();
+        decided += decisions.len();
+        t += step;
+    }
+    assert_eq!(next, reqs.len(), "driver left arrivals unfed");
+    assert!(
+        sched.on_end(&ledger, trace.horizon()).is_empty(),
+        "rounds left deferred requests behind"
+    );
+    let total_s: f64 = round_ns.iter().sum::<u64>() as f64 / 1e9;
+    // Cross-check against the untimed event-driven simulator.
+    let offline = Simulation::new(topo.clone()).run(
+        trace,
+        &mut WindowScheduler::new(step, BandwidthPolicy::MAX_RATE),
+    );
+    EndToEndRow {
+        scheduler: format!("window({step})"),
+        mean_interarrival: interarrival,
+        horizon,
+        seed,
+        requests: reqs.len(),
+        accepted,
+        accept_rate: accepted as f64 / reqs.len().max(1) as f64,
+        rounds: round_ns.len(),
+        decisions_per_sec: if total_s > 0.0 {
+            decided as f64 / total_s
+        } else {
+            0.0
+        },
+        round_latency_us: latency_summary(round_ns),
+        matches_offline_sim: offline.accepted_count() == accepted,
+    }
+}
+
+/// Drive the greedy controller per arrival (decision + reservation timed
+/// together), cross-checked the same way.
+fn run_greedy_arrivals(
+    topo: &Topology,
+    trace: &Trace,
+    interarrival: f64,
+    horizon: f64,
+    seed: u64,
+) -> EndToEndRow {
+    let mut greedy = Greedy::fraction(1.0);
+    let mut ledger = CapacityLedger::new(topo.clone());
+    let mut accepted = 0usize;
+    let mut ns: Vec<u64> = Vec::new();
+    for req in trace.iter() {
+        let t0 = Instant::now();
+        let d = greedy.on_arrival(req, &ledger, req.start());
+        if let Decision::Accept { bw, start, finish } = d {
+            ledger
+                .reserve(req.route, start, finish, bw)
+                .expect("greedy over-committed");
+            accepted += 1;
+        }
+        ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let total_s: f64 = ns.iter().sum::<u64>() as f64 / 1e9;
+    let offline = Simulation::new(topo.clone()).run(trace, &mut Greedy::fraction(1.0));
+    EndToEndRow {
+        scheduler: "greedy".to_string(),
+        mean_interarrival: interarrival,
+        horizon,
+        seed,
+        requests: trace.len(),
+        accepted,
+        accept_rate: accepted as f64 / trace.len().max(1) as f64,
+        rounds: ns.len(),
+        decisions_per_sec: if total_s > 0.0 {
+            trace.len() as f64 / total_s
+        } else {
+            0.0
+        },
+        round_latency_us: latency_summary(ns),
+        matches_offline_sim: offline.accepted_count() == accepted,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// main
+// ---------------------------------------------------------------------------
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: admission [--smoke] [--out=FILE]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_admission.json".to_string();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(""),
+            other => {
+                if let Some(f) = other.strip_prefix("--out=") {
+                    out = f.to_string();
+                } else {
+                    usage(&format!("unknown flag {other}"));
+                }
+            }
+        }
+    }
+
+    let (sizes, iters, trials): (&[usize], usize, usize) = if smoke {
+        (&[100, 10_000], 2_000, 8)
+    } else {
+        (&[100, 1_000, 10_000, 100_000], 10_000, 64)
+    };
+    let (horizon, seeds): (f64, &[u64]) = if smoke {
+        (300.0, &[1])
+    } else {
+        (2_000.0, &[1, 2, 3])
+    };
+    let interarrival = 2.0; // §5.3 heavy-load point
+    let step = 5.0;
+
+    eprintln!("admission bench: micro (indexed vs linear) ...");
+    let micro = micro_section(sizes, iters);
+    for r in &micro {
+        eprintln!(
+            "  {:>12} k={:<7} linear {:>10.0} ns  indexed {:>8.0} ns  speedup {:>6.1}x",
+            r.query, r.breakpoints, r.linear_ns, r.indexed_ns, r.speedup
+        );
+    }
+
+    eprintln!("admission bench: differential ({trials} traces) ...");
+    let differential = differential_section(trials);
+    eprintln!(
+        "  {} queries, {} mismatches",
+        differential.queries, differential.mismatches
+    );
+
+    eprintln!("admission bench: end-to-end §5.3 workload ...");
+    let topo = Topology::paper_default();
+    let mut end_to_end = Vec::new();
+    for &seed in seeds {
+        let trace = paper_flexible_trace(&topo, interarrival, horizon, seed);
+        end_to_end.push(run_window_rounds(
+            &topo,
+            &trace,
+            step,
+            interarrival,
+            horizon,
+            seed,
+        ));
+        end_to_end.push(run_greedy_arrivals(
+            &topo,
+            &trace,
+            interarrival,
+            horizon,
+            seed,
+        ));
+    }
+    for r in &end_to_end {
+        eprintln!(
+            "  {:>10} seed {}: {}/{} accepted ({:.3}), {:>9.0} decisions/s, round p50 {:.1} us p99 {:.1} us, matches sim: {}",
+            r.scheduler,
+            r.seed,
+            r.accepted,
+            r.requests,
+            r.accept_rate,
+            r.decisions_per_sec,
+            r.round_latency_us.p50,
+            r.round_latency_us.p99,
+            r.matches_offline_sim
+        );
+    }
+
+    let report = Report {
+        schema: "gridband/bench-admission/v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        micro,
+        differential,
+        end_to_end,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out}");
+
+    // Hard gates: the JSON is only useful if the equivalence and speedup
+    // claims hold, so fail loudly instead of committing bad numbers.
+    let mut failed = false;
+    if report.differential.mismatches > 0 {
+        eprintln!(
+            "FAIL: indexed/linear mismatches: {}",
+            report.differential.mismatches
+        );
+        failed = true;
+    }
+    for r in &report.end_to_end {
+        if !r.matches_offline_sim {
+            eprintln!(
+                "FAIL: {} seed {} diverged from Simulation::run",
+                r.scheduler, r.seed
+            );
+            failed = true;
+        }
+    }
+    for r in &report.micro {
+        if r.breakpoints >= 10_000 && r.speedup < 5.0 {
+            eprintln!(
+                "FAIL: {} at k={} speedup {:.1}x < 5x",
+                r.query, r.breakpoints, r.speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -6,12 +6,20 @@
 //! fail atomically. This is exactly the constraint set (1) of the paper —
 //! a request consumes its bandwidth at its ingress *and* its egress point
 //! simultaneously.
+//!
+//! Admission rounds (the WINDOW scheduler in `crates/algos`, the serve
+//! daemon's engine) accept many requests at one decision instant. The
+//! batched [`CapacityLedger::reserve_all`] entry point books a whole round
+//! with the same sequential semantics as repeated
+//! [`reserve`](CapacityLedger::reserve) calls, but defers the per-port
+//! query-index rebuild so each touched port's index is rebuilt once per
+//! round instead of once per reservation.
 
 use crate::error::{NetError, NetResult};
 use crate::port::{EgressId, IngressId, PortRef, Route};
 use crate::profile::CapacityProfile;
 use crate::topology::Topology;
-use crate::units::{Bandwidth, Time};
+use crate::units::{Bandwidth, Time, EPS};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -38,6 +46,20 @@ impl Reservation {
     pub fn area(&self) -> f64 {
         self.bw * (self.end - self.start)
     }
+}
+
+/// Parameters of one reservation inside a [`CapacityLedger::reserve_all`]
+/// batch — the same four arguments [`CapacityLedger::reserve`] takes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReserveRequest {
+    /// The route both ends of which are charged.
+    pub route: Route,
+    /// Start of the reservation (inclusive).
+    pub start: Time,
+    /// End of the reservation (exclusive).
+    pub end: Time,
+    /// Constant reserved bandwidth in MB/s.
+    pub bw: Bandwidth,
 }
 
 /// Capacity profiles for every port of a topology plus the set of live
@@ -151,10 +173,47 @@ impl CapacityLedger {
         end: Time,
         bw: Bandwidth,
     ) -> NetResult<ReservationId> {
+        self.reserve_inner(route, start, end, bw, false)
+    }
+
+    /// Atomically book a whole admission round: each entry is reserved with
+    /// exactly the semantics of a sequential [`reserve`](Self::reserve)
+    /// call (in batch order, later entries see capacity consumed by earlier
+    /// ones), but every touched port's query index is rebuilt once at the
+    /// end of the batch instead of once per reservation.
+    ///
+    /// Returns one result per entry, in order. A failed entry books
+    /// nothing; successes before and after it stand.
+    pub fn reserve_all(&mut self, batch: &[ReserveRequest]) -> Vec<NetResult<ReservationId>> {
+        let out = batch
+            .iter()
+            .map(|r| self.reserve_inner(r.route, r.start, r.end, r.bw, true))
+            .collect();
+        for p in self.ingress.iter_mut().chain(self.egress.iter_mut()) {
+            p.commit_index();
+        }
+        out
+    }
+
+    fn reserve_inner(
+        &mut self,
+        route: Route,
+        start: Time,
+        end: Time,
+        bw: Bandwidth,
+        deferred: bool,
+    ) -> NetResult<ReservationId> {
         self.validate(route, start, end, bw)?;
         let iidx = route.ingress.index();
         let eidx = route.egress.index();
-        if let Err(at) = self.ingress[iidx].allocate(start, end, bw) {
+        let alloc = |p: &mut CapacityProfile, t0, t1, b| {
+            if deferred {
+                p.allocate_deferred(t0, t1, b)
+            } else {
+                p.allocate(t0, t1, b)
+            }
+        };
+        if let Err(at) = alloc(&mut self.ingress[iidx], start, end, bw) {
             return Err(NetError::CapacityExceeded {
                 port: PortRef::In(route.ingress),
                 capacity: self.ingress[iidx].capacity(),
@@ -162,11 +221,14 @@ impl CapacityLedger {
                 at,
             });
         }
-        if let Err(at) = self.egress[eidx].allocate(start, end, bw) {
+        if let Err(at) = alloc(&mut self.egress[eidx], start, end, bw) {
             // Roll back the ingress booking to stay atomic.
-            self.ingress[iidx]
-                .release(start, end, bw)
-                .expect("rollback of a just-made allocation cannot fail");
+            let rolled_back = if deferred {
+                self.ingress[iidx].release_deferred(start, end, bw)
+            } else {
+                self.ingress[iidx].release(start, end, bw)
+            };
+            rolled_back.expect("rollback of a just-made allocation cannot fail");
             return Err(NetError::CapacityExceeded {
                 port: PortRef::Out(route.egress),
                 capacity: self.egress[eidx].capacity(),
@@ -189,10 +251,16 @@ impl CapacityLedger {
     }
 
     /// Cancel a live reservation, freeing its capacity on both ports.
+    ///
+    /// A failing release (possible only if a port profile was corrupted
+    /// behind the ledger's back) leaves the ledger unchanged: the
+    /// reservation stays live and any partial release is rolled back, so
+    /// capacity is never charged for a reservation the ledger has
+    /// forgotten.
     pub fn cancel(&mut self, id: ReservationId) -> NetResult<Reservation> {
-        let r = self
+        let r = *self
             .live
-            .remove(&id.0)
+            .get(&id.0)
             .ok_or(NetError::UnknownReservation(id.0))?;
         self.ingress[r.route.ingress.index()]
             .release(r.start, r.end, r.bw)
@@ -200,26 +268,40 @@ impl CapacityLedger {
                 port: PortRef::In(r.route.ingress),
                 at,
             })?;
-        self.egress[r.route.egress.index()]
-            .release(r.start, r.end, r.bw)
-            .map_err(|at| NetError::ReleaseUnderflow {
+        if let Err(at) = self.egress[r.route.egress.index()].release(r.start, r.end, r.bw) {
+            // Re-charge the ingress so the failed cancel is a no-op.
+            self.ingress[r.route.ingress.index()]
+                .allocate(r.start, r.end, r.bw)
+                .expect("rollback of a just-made release cannot overflow");
+            return Err(NetError::ReleaseUnderflow {
                 port: PortRef::Out(r.route.egress),
                 at,
-            })?;
+            });
+        }
+        self.live.remove(&id.0);
         Ok(r)
     }
 
     /// Shrink a live reservation's end time (early completion). The freed
     /// tail `[new_end, end)` is released on both ports.
+    ///
+    /// Tails shorter than [`EPS`] are below the ledger's time resolution:
+    /// a `new_end` within ε of the current end is a no-op, and a `new_end`
+    /// within ε of the start cancels the reservation outright (a live
+    /// reservation must never be shorter than ε, or releasing it later
+    /// would be impossible).
     pub fn truncate(&mut self, id: ReservationId, new_end: Time) -> NetResult<()> {
         let r = *self
             .live
             .get(&id.0)
             .ok_or(NetError::UnknownReservation(id.0))?;
-        if new_end >= r.end {
-            return Ok(()); // nothing to free
+        if new_end.is_nan() {
+            return Err(NetError::InvalidArgument("truncate to NaN end time".into()));
         }
-        if new_end <= r.start {
+        if r.end - new_end <= EPS {
+            return Ok(()); // nothing to free (or a sub-ε sliver of it)
+        }
+        if new_end <= r.start + EPS {
             self.cancel(id)?;
             return Ok(());
         }
@@ -316,6 +398,132 @@ mod tests {
         // Extending via truncate is a no-op.
         l.truncate(id, 100.0).unwrap();
         assert_eq!(l.get(id).unwrap().end, 4.0);
+    }
+
+    #[test]
+    fn truncate_with_sub_epsilon_tail_is_a_noop() {
+        let mut l = small();
+        let id = l.reserve(Route::new(0, 0), 0.0, 10.0, 50.0).unwrap();
+        // Freed tail shorter than EPS: used to panic inside
+        // CapacityProfile::release ("empty or reversed interval").
+        l.truncate(id, 10.0 - EPS / 2.0).unwrap();
+        assert_eq!(l.get(id).unwrap().end, 10.0, "sub-ε truncate is a no-op");
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(9.5), 50.0);
+        // Exactly at the end is also a no-op.
+        l.truncate(id, 10.0).unwrap();
+        assert_eq!(l.get(id).unwrap().end, 10.0);
+        // NaN is rejected, not forwarded to the profiles.
+        assert!(matches!(
+            l.truncate(id, f64::NAN),
+            Err(NetError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn truncate_to_sub_epsilon_duration_cancels() {
+        let mut l = small();
+        let id = l.reserve(Route::new(0, 0), 0.0, 10.0, 50.0).unwrap();
+        // The would-be remaining reservation [0, EPS/2) is below the time
+        // resolution; keeping it live would make it impossible to release.
+        l.truncate(id, EPS / 2.0).unwrap();
+        assert!(l.get(id).is_none());
+        assert!(l.ingress_profile(IngressId(0)).is_empty());
+        assert!(l.egress_profile(EgressId(0)).is_empty());
+    }
+
+    #[test]
+    fn failed_cancel_keeps_the_reservation_and_its_capacity() {
+        let mut l = small();
+        let id = l.reserve(Route::new(0, 1), 0.0, 10.0, 60.0).unwrap();
+        // Corrupt the egress profile behind the ledger's back so the
+        // egress-side release of the cancel fails.
+        l.egress[1].release(0.0, 10.0, 60.0).unwrap();
+        let err = l.cancel(id).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::ReleaseUnderflow {
+                port: PortRef::Out(_),
+                ..
+            }
+        ));
+        // The failed cancel must be a no-op: the reservation is still live
+        // and the ingress is still charged (no phantom capacity leak).
+        assert!(l.get(id).is_some());
+        assert_eq!(l.live_count(), 1);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(5.0), 60.0);
+        // Restore the egress side; now the cancel goes through.
+        l.egress[1].allocate(0.0, 10.0, 60.0).unwrap();
+        l.cancel(id).unwrap();
+        assert!(l.get(id).is_none());
+        assert!(l.ingress_profile(IngressId(0)).is_empty());
+    }
+
+    #[test]
+    fn reserve_all_matches_sequential_reserves() {
+        let batch = [
+            ReserveRequest {
+                route: Route::new(0, 0),
+                start: 0.0,
+                end: 10.0,
+                bw: 60.0,
+            },
+            ReserveRequest {
+                route: Route::new(1, 0),
+                start: 0.0,
+                end: 10.0,
+                bw: 50.0, // fails: egress 0 has only 40 left
+            },
+            ReserveRequest {
+                route: Route::new(1, 1),
+                start: 5.0,
+                end: 15.0,
+                bw: 40.0,
+            },
+            ReserveRequest {
+                route: Route::new(0, 0),
+                start: 10.0,
+                end: 20.0,
+                bw: 100.0,
+            },
+        ];
+        let mut batched = small();
+        let batched_results = batched.reserve_all(&batch);
+        let mut seq = small();
+        let seq_results: Vec<_> = batch
+            .iter()
+            .map(|r| seq.reserve(r.route, r.start, r.end, r.bw))
+            .collect();
+        assert_eq!(batched_results.len(), seq_results.len());
+        for (b, s) in batched_results.iter().zip(&seq_results) {
+            assert_eq!(b.is_ok(), s.is_ok());
+            if let (Ok(bid), Ok(sid)) = (b, s) {
+                assert_eq!(bid, sid, "ids are assigned in the same order");
+            }
+        }
+        assert_eq!(batched.live_count(), seq.live_count());
+        for i in 0..2 {
+            assert_eq!(
+                batched.ingress_profile(IngressId(i)),
+                seq.ingress_profile(IngressId(i))
+            );
+            assert_eq!(
+                batched.egress_profile(EgressId(i)),
+                seq.egress_profile(EgressId(i))
+            );
+        }
+        // The committed indexes answer queries identically to the
+        // sequentially-built ledger.
+        assert_eq!(
+            batched.max_fit(Route::new(1, 0), 0.0, 20.0),
+            seq.max_fit(Route::new(1, 0), 0.0, 20.0)
+        );
+    }
+
+    #[test]
+    fn empty_reserve_all_is_a_noop() {
+        let mut l = small();
+        assert!(l.reserve_all(&[]).is_empty());
+        assert_eq!(l.live_count(), 0);
     }
 
     #[test]

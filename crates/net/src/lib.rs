@@ -16,10 +16,16 @@
 //!
 //! * [`Topology`] — the static capacity vectors `B_in` / `B_out`;
 //! * [`CapacityProfile`] — a piecewise-constant reservation profile for one
-//!   port, supporting atomic allocate/release and feasibility queries;
+//!   port, supporting atomic allocate/release and feasibility queries; the
+//!   queries (`max_alloc`, `fits`, `min_free`, `earliest_fit`) run in
+//!   O(log k) over an implicit segment tree kept alongside the breakpoint
+//!   vector, with the original linear scans retained as `*_linear` test
+//!   oracles;
 //! * [`CapacityLedger`] — the pair-wise transactional layer: reserving a
 //!   route charges its ingress **and** egress port atomically, which is the
-//!   paper's constraint set (1).
+//!   paper's constraint set (1). Admission rounds book a whole batch with
+//!   [`CapacityLedger::reserve_all`], which defers the per-port index
+//!   rebuilds to one commit per round.
 //!
 //! Everything is deterministic and allocation-light; schedulers in
 //! `gridband-algos` and the simulator in `gridband-sim` are built on top.
@@ -45,7 +51,7 @@ pub mod topology;
 pub mod units;
 
 pub use error::{NetError, NetResult};
-pub use ledger::{CapacityLedger, Reservation, ReservationId};
+pub use ledger::{CapacityLedger, Reservation, ReservationId, ReserveRequest};
 pub use port::{Direction, EgressId, IngressId, Port, PortRef, Route};
 pub use profile::{Breakpoint, CapacityProfile};
 pub use topology::Topology;

@@ -11,13 +11,31 @@
 //! convention `σ(r) ≤ t < τ(r)`: a transfer finishing at `t1` and another
 //! starting at `t1` never overlap.
 //!
-//! Complexity: with `k` breakpoints, point queries are `O(log k)`, interval
-//! operations `O(k)` in the worst case. Simulation workloads keep `k`
-//! proportional to the number of concurrently reserved transfers, which is
-//! small (hundreds), so this is far from the bottleneck.
+//! # Indexed queries
+//!
+//! Alongside the breakpoint vector the profile maintains an implicit
+//! segment tree ([`ProfileIndex`]) holding the running interval-max and
+//! interval-min of `alloc`. With `k` breakpoints this makes the admission
+//! hot path — [`max_alloc`](CapacityProfile::max_alloc),
+//! [`min_free`](CapacityProfile::min_free),
+//! [`fits`](CapacityProfile::fits) and
+//! [`earliest_fit`](CapacityProfile::earliest_fit) — `O(log k)` per query
+//! (`earliest_fit` is `O(log k)` per busy period skipped) instead of the
+//! previous `O(k)` scans. Mutations (`allocate` / `release`) remain `O(k)`
+//! — they splice the breakpoint vector and then rebuild the index — and the
+//! `pub(crate)` `*_deferred` variants let [`crate::CapacityLedger`] batch a
+//! whole admission round and rebuild each touched index once
+//! ([`crate::CapacityLedger::reserve_all`]).
+//!
+//! The pre-index linear scans are kept as `*_linear` reference
+//! implementations. They are the ground truth for the differential property
+//! tests (`tests/indexed_differential.rs`) and the baseline for the perf
+//! harness in `crates/bench`; the indexed queries are required to return
+//! bit-identical answers (same ε-comparisons, applied to the same IEEE
+//! values, in a different order — max/min are order-independent).
 
 use crate::units::{approx_le, definitely_gt, snap_nonneg, Bandwidth, Time, EPS};
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Deserialize, Error as SerdeError, Serialize, Value};
 
 /// One step of the profile: the allocation level holds from `time` until the
 /// next breakpoint (or forever, for the last one).
@@ -29,6 +47,118 @@ pub struct Breakpoint {
     pub alloc: Bandwidth,
 }
 
+/// Implicit segment tree over the breakpoint allocation levels.
+///
+/// Leaves `[size, size + k)` hold `points[i].alloc` (padded to the next
+/// power of two with `-∞` for `max` and `+∞` for `min`); internal node `n`
+/// aggregates its children `2n` / `2n + 1`. Both aggregates are kept
+/// because the two hot-path predicates are monotone in opposite
+/// directions: "some step overflows" prunes on the subtree *max*, while
+/// "some step fits" prunes on the subtree *min*.
+#[derive(Debug, Clone, Default)]
+struct ProfileIndex {
+    /// Number of leaves (a power of two), 0 for an empty profile.
+    size: usize,
+    /// `max[n]` = maximum `alloc` in node `n`'s leaf range.
+    max: Vec<f64>,
+    /// `min[n]` = minimum `alloc` in node `n`'s leaf range.
+    min: Vec<f64>,
+}
+
+impl ProfileIndex {
+    /// Rebuild both aggregate arrays from scratch. `O(k)`.
+    fn rebuild(&mut self, points: &[Breakpoint]) {
+        let n = points.len();
+        if n == 0 {
+            self.size = 0;
+            self.max.clear();
+            self.min.clear();
+            return;
+        }
+        let size = n.next_power_of_two();
+        self.size = size;
+        self.max.clear();
+        self.max.resize(2 * size, f64::NEG_INFINITY);
+        self.min.clear();
+        self.min.resize(2 * size, f64::INFINITY);
+        for (i, p) in points.iter().enumerate() {
+            self.max[size + i] = p.alloc;
+            self.min[size + i] = p.alloc;
+        }
+        for i in (1..size).rev() {
+            self.max[i] = self.max[2 * i].max(self.max[2 * i + 1]);
+            self.min[i] = self.min[2 * i].min(self.min[2 * i + 1]);
+        }
+    }
+
+    /// Maximum `alloc` over leaf indices `[l, r)`, `-∞` if the range is
+    /// empty. `O(log k)`.
+    fn range_max(&self, mut l: usize, mut r: usize) -> f64 {
+        let mut acc = f64::NEG_INFINITY;
+        r = r.min(self.size);
+        if l >= r {
+            return acc;
+        }
+        l += self.size;
+        r += self.size;
+        while l < r {
+            if l & 1 == 1 {
+                acc = acc.max(self.max[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                acc = acc.max(self.max[r]);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        acc
+    }
+
+    /// First leaf index in `[l, r)` whose level satisfies `pred`, pruning
+    /// subtrees by their *max* — correct for predicates that are monotone
+    /// increasing in the level (e.g. "overflows"). `O(log k)` amortized.
+    fn first_by_max(&self, l: usize, r: usize, pred: impl Fn(f64) -> bool + Copy) -> Option<usize> {
+        if self.size == 0 || l >= r {
+            return None;
+        }
+        self.descend(1, 0, self.size, (l, r.min(self.size)), &self.max, &pred)
+    }
+
+    /// First leaf index in `[l, r)` whose level satisfies `pred`, pruning
+    /// subtrees by their *min* — correct for predicates that are monotone
+    /// decreasing in the level (e.g. "fits"). `O(log k)` amortized.
+    fn first_by_min(&self, l: usize, r: usize, pred: impl Fn(f64) -> bool + Copy) -> Option<usize> {
+        if self.size == 0 || l >= r {
+            return None;
+        }
+        self.descend(1, 0, self.size, (l, r.min(self.size)), &self.min, &pred)
+    }
+
+    /// Leftmost leaf of `node` (covering `[nl, nr)`) inside the query range
+    /// `q` whose level satisfies `pred`; prunes on `pred(agg[node])`.
+    fn descend(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        q: (usize, usize),
+        agg: &[f64],
+        pred: &impl Fn(f64) -> bool,
+    ) -> Option<usize> {
+        if nr <= q.0 || q.1 <= nl || !pred(agg[node]) {
+            return None;
+        }
+        if nr - nl == 1 {
+            return Some(nl);
+        }
+        let mid = nl + (nr - nl) / 2;
+        self.descend(2 * node, nl, mid, q, agg, pred)
+            .or_else(|| self.descend(2 * node + 1, mid, nr, q, agg, pred))
+    }
+}
+
 /// Time-indexed allocation ledger for a single port.
 ///
 /// Invariants (checked by `debug_assert` and by the property tests):
@@ -36,11 +166,43 @@ pub struct Breakpoint {
 /// * every `alloc` is ≥ 0 and ≤ `capacity` (+ε);
 /// * the level before the first breakpoint and after the last one is 0;
 /// * adjacent breakpoints never carry the same level (the representation is
-///   canonical).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///   canonical);
+/// * the segment-tree index mirrors the breakpoint vector except inside a
+///   deferred batch (see [`crate::CapacityLedger::reserve_all`]).
+#[derive(Debug, Clone)]
 pub struct CapacityProfile {
     capacity: Bandwidth,
     points: Vec<Breakpoint>,
+    index: ProfileIndex,
+    dirty: bool,
+}
+
+/// Equality is over the logical step function (capacity + breakpoints); the
+/// index is derived data.
+impl PartialEq for CapacityProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.points == other.points
+    }
+}
+
+impl Serialize for CapacityProfile {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("capacity".into(), self.capacity.to_value()),
+            ("points".into(), self.points.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CapacityProfile {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| SerdeError::ty("object", v, "CapacityProfile"))?;
+        let capacity: f64 = de_field(entries, "capacity")?;
+        let points: Vec<Breakpoint> = de_field(entries, "points")?;
+        CapacityProfile::from_breakpoints(capacity, points).map_err(SerdeError::msg)
+    }
 }
 
 impl CapacityProfile {
@@ -53,7 +215,70 @@ impl CapacityProfile {
         CapacityProfile {
             capacity,
             points: Vec::new(),
+            index: ProfileIndex::default(),
+            dirty: false,
         }
+    }
+
+    /// A profile from an already-canonical breakpoint vector, in `O(k)` —
+    /// the bulk-load constructor for benchmarks, tests and deserialization
+    /// (building the same profile through repeated
+    /// [`allocate`](Self::allocate) calls would be `O(k²)`).
+    ///
+    /// Rejects vectors that violate the canonical-form invariants listed on
+    /// [`CapacityProfile`].
+    pub fn from_breakpoints(capacity: Bandwidth, points: Vec<Breakpoint>) -> Result<Self, String> {
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(format!(
+                "capacity must be finite and positive, got {capacity}"
+            ));
+        }
+        let mut prev_time = f64::NEG_INFINITY;
+        let mut prev_level = 0.0_f64;
+        for p in &points {
+            if !p.time.is_finite() {
+                return Err(format!("non-finite breakpoint time {}", p.time));
+            }
+            if p.time <= prev_time {
+                return Err(format!(
+                    "breakpoint times not strictly increasing at {}",
+                    p.time
+                ));
+            }
+            if !p.alloc.is_finite() || p.alloc < 0.0 {
+                return Err(format!("allocation level {} out of range", p.alloc));
+            }
+            if !approx_le(p.alloc, capacity) {
+                return Err(format!(
+                    "allocation level {} exceeds capacity {capacity}",
+                    p.alloc
+                ));
+            }
+            if p.alloc == prev_level {
+                return Err(format!(
+                    "non-canonical profile: repeated level {} at {}",
+                    p.alloc, p.time
+                ));
+            }
+            prev_time = p.time;
+            prev_level = p.alloc;
+        }
+        if let Some(last) = points.last() {
+            if last.alloc != 0.0 {
+                return Err(format!(
+                    "profile does not return to zero (trailing level {})",
+                    last.alloc
+                ));
+            }
+        }
+        let mut index = ProfileIndex::default();
+        index.rebuild(&points);
+        Ok(CapacityProfile {
+            capacity,
+            points,
+            index,
+            dirty: false,
+        })
     }
 
     /// The port capacity this profile enforces.
@@ -103,6 +328,33 @@ impl CapacityProfile {
         }
     }
 
+    /// Rebuild the index from the breakpoint vector and clear the dirty
+    /// flag.
+    fn rebuild_index(&mut self) {
+        self.index.rebuild(&self.points);
+        self.dirty = false;
+    }
+
+    /// Rebuild the index if a deferred mutation left it stale. Called by
+    /// [`crate::CapacityLedger::reserve_all`] once per touched port at the
+    /// end of a batch.
+    pub(crate) fn commit_index(&mut self) {
+        if self.dirty {
+            self.rebuild_index();
+        }
+    }
+
+    /// Indexed queries must not run against a stale index; the `*_deferred`
+    /// mutation paths are `pub(crate)` and every crate-internal batch ends
+    /// with [`Self::commit_index`], so a failure here is a ledger bug.
+    #[inline]
+    fn assert_index_fresh(&self) {
+        debug_assert!(
+            !self.dirty,
+            "indexed query on a profile with a deferred (stale) index"
+        );
+    }
+
     /// Total bandwidth allocated at instant `t`.
     pub fn alloc_at(&self, t: Time) -> Bandwidth {
         self.step_index(t).map_or(0.0, |i| self.points[i].alloc)
@@ -113,8 +365,33 @@ impl CapacityProfile {
         snap_nonneg(self.capacity - self.alloc_at(t))
     }
 
-    /// Maximum allocation over `[t0, t1)`.
+    /// The leaf range `[lo, hi)` of breakpoints whose steps start strictly
+    /// inside `(t0, t1)`; together with the level at `t0` it covers
+    /// `[t0, t1)`.
+    #[inline]
+    fn interior_range(&self, t0: Time, t1: Time) -> (usize, usize) {
+        let lo = self.step_index(t0).map_or(0, |i| i + 1);
+        let hi = self.points.partition_point(|p| p.time < t1);
+        (lo, hi)
+    }
+
+    /// Maximum allocation over `[t0, t1)`. `O(log k)` via the index.
     pub fn max_alloc(&self, t0: Time, t1: Time) -> Bandwidth {
+        self.assert_index_fresh();
+        let base = self.alloc_at(t0);
+        let (lo, hi) = self.interior_range(t0, t1);
+        let m = self.index.range_max(lo, hi);
+        if m > base {
+            m
+        } else {
+            base
+        }
+    }
+
+    /// Reference implementation of [`max_alloc`](Self::max_alloc): the
+    /// original `O(k)` scan, kept as ground truth for the differential
+    /// property tests and as the baseline for the perf harness.
+    pub fn max_alloc_linear(&self, t0: Time, t1: Time) -> Bandwidth {
         let mut max = self.alloc_at(t0);
         let start = self.step_index(t0).map_or(0, |i| i + 1);
         for p in &self.points[start..] {
@@ -129,14 +406,27 @@ impl CapacityProfile {
     }
 
     /// Minimum free bandwidth over `[t0, t1)` — the largest constant rate a
-    /// new reservation could add over that interval.
+    /// new reservation could add over that interval. `O(log k)`.
     pub fn min_free(&self, t0: Time, t1: Time) -> Bandwidth {
         snap_nonneg(self.capacity - self.max_alloc(t0, t1))
     }
 
+    /// Reference implementation of [`min_free`](Self::min_free) (see
+    /// [`max_alloc_linear`](Self::max_alloc_linear)).
+    pub fn min_free_linear(&self, t0: Time, t1: Time) -> Bandwidth {
+        snap_nonneg(self.capacity - self.max_alloc_linear(t0, t1))
+    }
+
     /// Whether an extra `bw` fits everywhere on `[t0, t1)` (ε-tolerant).
+    /// `O(log k)`.
     pub fn fits(&self, t0: Time, t1: Time, bw: Bandwidth) -> bool {
         approx_le(self.max_alloc(t0, t1) + bw, self.capacity)
+    }
+
+    /// Reference implementation of [`fits`](Self::fits) (see
+    /// [`max_alloc_linear`](Self::max_alloc_linear)).
+    pub fn fits_linear(&self, t0: Time, t1: Time, bw: Bandwidth) -> bool {
+        approx_le(self.max_alloc_linear(t0, t1) + bw, self.capacity)
     }
 
     /// Ensure a breakpoint exists exactly at `t`, splitting the enclosing
@@ -182,10 +472,35 @@ impl CapacityProfile {
     ///
     /// Returns the earliest overflow time on failure.
     pub fn allocate(&mut self, t0: Time, t1: Time, bw: Bandwidth) -> Result<(), Time> {
+        self.allocate_inner(t0, t1, bw, false)
+    }
+
+    /// [`allocate`](Self::allocate) without the index rebuild: marks the
+    /// index dirty instead. Batch callers must finish with
+    /// [`Self::commit_index`] before any indexed query runs.
+    pub(crate) fn allocate_deferred(
+        &mut self,
+        t0: Time,
+        t1: Time,
+        bw: Bandwidth,
+    ) -> Result<(), Time> {
+        self.allocate_inner(t0, t1, bw, true)
+    }
+
+    fn allocate_inner(
+        &mut self,
+        t0: Time,
+        t1: Time,
+        bw: Bandwidth,
+        deferred: bool,
+    ) -> Result<(), Time> {
         if let Err(msg) = Self::check_interval(t0, t1, bw) {
             panic!("CapacityProfile::allocate: {msg}");
         }
         // Feasibility scan first so failure leaves the profile untouched.
+        // Deliberately linear over the breakpoint vector (not the index):
+        // it stays correct mid-batch while the index is dirty, and the
+        // subsequent splice is O(k) anyway.
         if definitely_gt(self.alloc_at(t0) + bw, self.capacity) {
             return Err(t0);
         }
@@ -198,7 +513,7 @@ impl CapacityProfile {
                 return Err(p.time);
             }
         }
-        self.apply_delta(t0, t1, bw);
+        self.apply_delta(t0, t1, bw, deferred);
         Ok(())
     }
 
@@ -206,6 +521,27 @@ impl CapacityProfile {
     /// allocation would go negative — which means the release does not match
     /// a prior allocation.
     pub fn release(&mut self, t0: Time, t1: Time, bw: Bandwidth) -> Result<(), Time> {
+        self.release_inner(t0, t1, bw, false)
+    }
+
+    /// [`release`](Self::release) without the index rebuild (see
+    /// [`Self::allocate_deferred`]).
+    pub(crate) fn release_deferred(
+        &mut self,
+        t0: Time,
+        t1: Time,
+        bw: Bandwidth,
+    ) -> Result<(), Time> {
+        self.release_inner(t0, t1, bw, true)
+    }
+
+    fn release_inner(
+        &mut self,
+        t0: Time,
+        t1: Time,
+        bw: Bandwidth,
+        deferred: bool,
+    ) -> Result<(), Time> {
         if let Err(msg) = Self::check_interval(t0, t1, bw) {
             panic!("CapacityProfile::release: {msg}");
         }
@@ -221,7 +557,7 @@ impl CapacityProfile {
                 return Err(p.time);
             }
         }
-        self.apply_delta(t0, t1, -bw);
+        self.apply_delta(t0, t1, -bw, deferred);
         Ok(())
     }
 
@@ -232,7 +568,7 @@ impl CapacityProfile {
     const LEVEL_SNAP: f64 = 1e-9;
 
     /// Unchecked signed adjustment of the level on `[t0, t1)`.
-    fn apply_delta(&mut self, t0: Time, t1: Time, delta: Bandwidth) {
+    fn apply_delta(&mut self, t0: Time, t1: Time, delta: Bandwidth, deferred: bool) {
         let i0 = self.ensure_breakpoint(t0);
         let i1 = self.ensure_breakpoint(t1);
         for p in &mut self.points[i0..i1] {
@@ -244,6 +580,11 @@ impl CapacityProfile {
         }
         self.canonicalize();
         self.debug_check();
+        if deferred {
+            self.dirty = true;
+        } else {
+            self.rebuild_index();
+        }
     }
 
     fn debug_check(&self) {
@@ -269,7 +610,8 @@ impl CapacityProfile {
     }
 
     /// `∫ alloc(t) dt` over `[t0, t1)` — reserved bandwidth-seconds, used for
-    /// utilization accounting.
+    /// utilization accounting. `O(k)`: every step in range contributes, so
+    /// there is nothing for an index to skip.
     pub fn integral_alloc(&self, t0: Time, t1: Time) -> f64 {
         if t1 <= t0 {
             return 0.0;
@@ -292,7 +634,7 @@ impl CapacityProfile {
 
     /// Fraction of `[t0, t1)` during which the allocation is at or above
     /// `threshold` (e.g. `busy_fraction(t0, t1, 0.9 × capacity)` — how
-    /// long the port ran ≥ 90% full). Capacity planning helper.
+    /// long the port ran ≥ 90% full). Capacity planning helper, `O(k)`.
     pub fn busy_fraction(&self, t0: Time, t1: Time, threshold: Bandwidth) -> f64 {
         if t1 <= t0 {
             return 0.0;
@@ -317,13 +659,20 @@ impl CapacityProfile {
         busy / (t1 - t0)
     }
 
-    /// Earliest start `s ∈ [after, deadline]` such that `bw` fits on
-    /// `[s, s + duration)` and `s + duration ≤ horizon`, or `None`.
+    /// Earliest start `s ∈ [after, latest_start]` such that `bw` fits on
+    /// `[s, s + duration)`, or `None`.
     ///
-    /// `deadline` bounds the *start* time; pass `f64::INFINITY` for an
-    /// unconstrained search. Used by book-ahead extensions (the paper's
-    /// heuristics always start at the request/decision time, but the profile
-    /// supports full advance reservation).
+    /// `latest_start` bounds the *start* time; pass `f64::INFINITY` for an
+    /// unconstrained search. A non-finite `after` or a NaN `latest_start`
+    /// yields `None` (there is no meaningful earliest start). Used by
+    /// book-ahead extensions (the paper's heuristics always start at the
+    /// request/decision time, but the profile supports full advance
+    /// reservation).
+    ///
+    /// `O(log k)` per busy period skipped: conflicts and restart points are
+    /// both located by segment-tree descent, and the restart scan is
+    /// bounded by `latest_start` — it never walks breakpoints past the
+    /// deadline.
     pub fn earliest_fit(
         &self,
         after: Time,
@@ -332,12 +681,67 @@ impl CapacityProfile {
         latest_start: Time,
     ) -> Option<Time> {
         assert!(duration > 0.0 && bw > 0.0);
+        if !after.is_finite() || latest_start.is_nan() {
+            return None;
+        }
+        self.assert_index_fresh();
+        // Restart candidates past this leaf index start after the deadline
+        // and would only be rejected by the loop guard below.
+        let bound = self
+            .points
+            .partition_point(|p| p.time <= latest_start + EPS);
         let mut candidate = after;
         loop {
             if candidate > latest_start + EPS {
                 return None;
             }
             // Find the first conflicting breakpoint within the window.
+            let end = candidate + duration;
+            let conflict = if definitely_gt(self.alloc_at(candidate) + bw, self.capacity) {
+                Some(candidate)
+            } else {
+                let (lo, hi) = self.interior_range(candidate, end);
+                self.index
+                    .first_by_max(lo, hi, |a| definitely_gt(a + bw, self.capacity))
+                    .map(|i| self.points[i].time)
+            };
+            match conflict {
+                None => return Some(candidate),
+                Some(t_conf) => {
+                    // Restart at the first later step where the level fits.
+                    let from = self.points.partition_point(|p| p.time <= t_conf);
+                    match self
+                        .index
+                        .first_by_min(from, bound, |a| approx_le(a + bw, self.capacity))
+                    {
+                        Some(i) => candidate = self.points[i].time,
+                        None => return None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference implementation of [`earliest_fit`](Self::earliest_fit):
+    /// `O(k)` scans, same ε-semantics and the same input validation and
+    /// deadline-bounded restart. Ground truth for the differential property
+    /// tests and the perf-harness baseline.
+    pub fn earliest_fit_linear(
+        &self,
+        after: Time,
+        duration: Time,
+        bw: Bandwidth,
+        latest_start: Time,
+    ) -> Option<Time> {
+        assert!(duration > 0.0 && bw > 0.0);
+        if !after.is_finite() || latest_start.is_nan() {
+            return None;
+        }
+        let mut candidate = after;
+        loop {
+            if candidate > latest_start + EPS {
+                return None;
+            }
             let end = candidate + duration;
             let mut conflict: Option<Time> = None;
             if definitely_gt(self.alloc_at(candidate) + bw, self.capacity) {
@@ -357,10 +761,10 @@ impl CapacityProfile {
             match conflict {
                 None => return Some(candidate),
                 Some(t_conf) => {
-                    // Restart just after the conflicting step ends.
                     let next = self
                         .points
                         .iter()
+                        .take_while(|p| p.time <= latest_start + EPS)
                         .find(|p| p.time > t_conf && approx_le(p.alloc + bw, self.capacity))
                         .map(|p| p.time);
                     match next {
@@ -495,6 +899,49 @@ mod tests {
     }
 
     #[test]
+    fn earliest_fit_rejects_non_finite_inputs() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 90.0).unwrap();
+        // An infinite `after` used to slip through the deadline guard and
+        // come back as Some(inf); NaN used to panic inside the breakpoint
+        // binary search.
+        assert_eq!(
+            p.earliest_fit(f64::INFINITY, 1.0, 20.0, f64::INFINITY),
+            None
+        );
+        assert_eq!(p.earliest_fit(f64::NEG_INFINITY, 1.0, 20.0, 5.0), None);
+        assert_eq!(p.earliest_fit(f64::NAN, 1.0, 20.0, 5.0), None);
+        // NaN deadline means "no valid start exists", not "unbounded".
+        assert_eq!(p.earliest_fit(0.0, 1.0, 20.0, f64::NAN), None);
+        // The linear reference applies the same validation.
+        assert_eq!(
+            p.earliest_fit_linear(f64::INFINITY, 1.0, 20.0, f64::INFINITY),
+            None
+        );
+        assert_eq!(p.earliest_fit_linear(f64::NAN, 1.0, 20.0, 5.0), None);
+        assert_eq!(p.earliest_fit_linear(0.0, 1.0, 20.0, f64::NAN), None);
+    }
+
+    #[test]
+    fn earliest_fit_restart_scan_respects_deadline() {
+        // Busy head, then a long alternating tail after the deadline. The
+        // restart scan must stop at the deadline instead of walking (or
+        // worse, using) post-deadline breakpoints.
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 95.0).unwrap();
+        for i in 0..50 {
+            let t0 = 20.0 + 2.0 * i as f64;
+            p.allocate(t0, t0 + 1.0, 50.0).unwrap();
+        }
+        // Fits only after t=10, but the deadline is 5: no valid start.
+        assert_eq!(p.earliest_fit(0.0, 4.0, 20.0, 5.0), None);
+        assert_eq!(p.earliest_fit_linear(0.0, 4.0, 20.0, 5.0), None);
+        // With a permissive deadline the gap at 10 is found.
+        assert_eq!(p.earliest_fit(0.0, 4.0, 20.0, 1e9), Some(10.0));
+        assert_eq!(p.earliest_fit_linear(0.0, 4.0, 20.0, 1e9), Some(10.0));
+    }
+
+    #[test]
     fn adjacent_intervals_share_capacity_cleanly() {
         let mut p = profile();
         p.allocate(0.0, 10.0, 100.0).unwrap();
@@ -538,5 +985,122 @@ mod tests {
         p.release(0.0, 20.0, 10.0).unwrap();
         assert_eq!(p.breakpoint_count(), 0);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn from_breakpoints_accepts_canonical_vectors() {
+        let pts = vec![
+            Breakpoint {
+                time: 0.0,
+                alloc: 30.0,
+            },
+            Breakpoint {
+                time: 5.0,
+                alloc: 60.0,
+            },
+            Breakpoint {
+                time: 10.0,
+                alloc: 0.0,
+            },
+        ];
+        let p = CapacityProfile::from_breakpoints(100.0, pts).unwrap();
+        // Identical to the profile built by allocate calls.
+        let mut q = profile();
+        q.allocate(0.0, 10.0, 30.0).unwrap();
+        q.allocate(5.0, 10.0, 30.0).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.max_alloc(0.0, 10.0), 60.0);
+    }
+
+    #[test]
+    fn from_breakpoints_rejects_invalid_vectors() {
+        let bp = |time, alloc| Breakpoint { time, alloc };
+        // Out-of-order times.
+        assert!(
+            CapacityProfile::from_breakpoints(100.0, vec![bp(5.0, 10.0), bp(1.0, 0.0)]).is_err()
+        );
+        // Repeated level (non-canonical).
+        assert!(
+            CapacityProfile::from_breakpoints(100.0, vec![bp(0.0, 10.0), bp(5.0, 10.0)]).is_err()
+        );
+        // Zero head (non-canonical).
+        assert!(CapacityProfile::from_breakpoints(100.0, vec![bp(0.0, 0.0)]).is_err());
+        // Trailing non-zero level.
+        assert!(CapacityProfile::from_breakpoints(100.0, vec![bp(0.0, 10.0)]).is_err());
+        // Over capacity.
+        assert!(
+            CapacityProfile::from_breakpoints(100.0, vec![bp(0.0, 150.0), bp(1.0, 0.0)]).is_err()
+        );
+        // Non-finite time.
+        assert!(
+            CapacityProfile::from_breakpoints(100.0, vec![bp(f64::NAN, 10.0), bp(1.0, 0.0)])
+                .is_err()
+        );
+        assert!(CapacityProfile::from_breakpoints(f64::INFINITY, vec![]).is_err());
+    }
+
+    #[test]
+    fn indexed_queries_match_linear_reference() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 30.0).unwrap();
+        p.allocate(2.0, 8.0, 40.0).unwrap();
+        p.allocate(6.0, 14.0, 25.0).unwrap();
+        p.release(2.0, 8.0, 40.0).unwrap();
+        p.allocate(12.0, 20.0, 70.0).unwrap();
+        let windows = [
+            (0.0, 1.0),
+            (0.0, 20.0),
+            (-5.0, 3.0),
+            (7.5, 12.5),
+            (13.0, 30.0),
+            (25.0, 26.0),
+        ];
+        for &(a, b) in &windows {
+            assert_eq!(p.max_alloc(a, b), p.max_alloc_linear(a, b), "[{a}, {b})");
+            assert_eq!(p.min_free(a, b), p.min_free_linear(a, b), "[{a}, {b})");
+            for bw in [1.0, 10.0, 70.0, 100.0] {
+                assert_eq!(p.fits(a, b, bw), p.fits_linear(a, b, bw), "[{a}, {b}) {bw}");
+            }
+        }
+        for bw in [5.0, 20.0, 75.0] {
+            for dur in [0.5, 3.0, 9.0] {
+                assert_eq!(
+                    p.earliest_fit(0.0, dur, bw, 100.0),
+                    p.earliest_fit_linear(0.0, dur, bw, 100.0),
+                    "bw={bw} dur={dur}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_profile() {
+        let mut p = profile();
+        p.allocate(1.5, 7.25, 33.5).unwrap();
+        p.allocate(4.0, 9.0, 12.5).unwrap();
+        let v = p.to_value();
+        let q = CapacityProfile::from_value(&v).unwrap();
+        assert_eq!(p, q);
+        // The rebuilt index answers queries.
+        assert_eq!(q.max_alloc(0.0, 10.0), p.max_alloc_linear(0.0, 10.0));
+        // Corrupted documents are rejected, not trusted.
+        let bad = Value::Object(vec![
+            ("capacity".into(), 100.0.to_value()),
+            (
+                "points".into(),
+                vec![
+                    Breakpoint {
+                        time: 5.0,
+                        alloc: 10.0,
+                    },
+                    Breakpoint {
+                        time: 1.0,
+                        alloc: 0.0,
+                    },
+                ]
+                .to_value(),
+            ),
+        ]);
+        assert!(CapacityProfile::from_value(&bad).is_err());
     }
 }

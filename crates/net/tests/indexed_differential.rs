@@ -1,0 +1,213 @@
+//! Differential property tests: the segment-tree-indexed profile queries
+//! must give **bit-identical** answers to the `*_linear` reference scans,
+//! and the batched ledger path must be indistinguishable from sequential
+//! reserves.
+//!
+//! Equivalence here is non-negotiable: the indexed hot path replaces the
+//! linear implementation underneath every scheduler, so any divergence —
+//! including at ε-scale float boundaries — would silently change the
+//! paper-reproduction accept rates. Times are therefore generated on a
+//! coarse grid *plus ε-scale jitter* so the ε-tolerant comparisons
+//! (`approx_le` / `definitely_gt`) are exercised right at their edges.
+
+use gridband_net::units::EPS;
+use gridband_net::{
+    CapacityLedger, CapacityProfile, EgressId, IngressId, ReserveRequest, Route, Topology,
+};
+use proptest::prelude::*;
+
+/// A time on a coarse grid, nudged by a handful of ε/2 steps so interval
+/// endpoints land exactly on, just under, and just over each other.
+fn arb_jittered_time() -> impl Strategy<Value = f64> {
+    (0u32..60, -3i32..=3).prop_map(|(g, j)| g as f64 * 5.0 + j as f64 * (EPS / 2.0))
+}
+
+/// (t0, t1, bw) with a length comfortably above EPS (sub-ε intervals are a
+/// contract violation `allocate` panics on) but whose endpoints still carry
+/// ε-scale jitter relative to other operations.
+fn arb_op() -> impl Strategy<Value = (f64, f64, f64)> {
+    (arb_jittered_time(), 0.5f64..40.0, -3i32..=3, 0.1f64..120.0)
+        .prop_map(|(t0, len, j, bw)| (t0, t0 + len + j as f64 * (EPS / 2.0), bw))
+}
+
+/// The canonical-form invariants of a profile, checked from the outside
+/// through the public breakpoint view.
+fn assert_canonical(p: &CapacityProfile) {
+    let pts = p.breakpoints();
+    let mut prev_level = 0.0f64;
+    let mut prev_time = f64::NEG_INFINITY;
+    for b in pts {
+        assert!(b.time.is_finite(), "non-finite breakpoint time");
+        assert!(b.time > prev_time, "times not strictly increasing");
+        assert!(b.alloc >= 0.0, "negative level {}", b.alloc);
+        assert!(
+            b.alloc != prev_level,
+            "repeated level {} at {} (non-canonical)",
+            b.alloc,
+            b.time
+        );
+        prev_time = b.time;
+        prev_level = b.alloc;
+    }
+    if let Some(last) = pts.last() {
+        assert!(last.alloc == 0.0, "profile does not return to zero");
+    }
+}
+
+/// Compare every indexed query against its linear reference on a set of
+/// probe windows. Equality is exact (`==` on f64): same IEEE values in,
+/// same comparison expressions, so the answers must be bit-identical.
+fn assert_queries_match(p: &CapacityProfile, probes: &[(f64, f64, f64)]) {
+    for &(t0, t1, bw) in probes {
+        assert_eq!(
+            p.max_alloc(t0, t1),
+            p.max_alloc_linear(t0, t1),
+            "max_alloc [{t0}, {t1})"
+        );
+        assert_eq!(
+            p.min_free(t0, t1),
+            p.min_free_linear(t0, t1),
+            "min_free [{t0}, {t1})"
+        );
+        assert_eq!(
+            p.fits(t0, t1, bw),
+            p.fits_linear(t0, t1, bw),
+            "fits [{t0}, {t1}) bw={bw}"
+        );
+        let dur = (t1 - t0).max(0.25);
+        for latest in [t1, 5_000.0, f64::INFINITY] {
+            assert_eq!(
+                p.earliest_fit(t0, dur, bw, latest),
+                p.earliest_fit_linear(t0, dur, bw, latest),
+                "earliest_fit after={t0} dur={dur} bw={bw} latest={latest}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// After every mutation of a random allocate/release trace, the indexed
+    /// queries agree bit-for-bit with the linear reference and the profile
+    /// stays canonical.
+    #[test]
+    fn indexed_matches_linear_on_random_traces(
+        ops in prop::collection::vec((arb_op(), 0u32..10), 1..50),
+        probes in prop::collection::vec(arb_op(), 1..8),
+    ) {
+        let mut p = CapacityProfile::new(150.0);
+        let mut applied: Vec<(f64, f64, f64)> = Vec::new();
+        for ((t0, t1, bw), action) in ops {
+            // Mix releases of *previously accepted* allocations with fresh
+            // allocations; failed ops must leave everything untouched too.
+            if action < 3 && !applied.is_empty() {
+                let (a0, a1, ab) = applied.pop().unwrap();
+                prop_assert!(p.release(a0, a1, ab).is_ok());
+            } else if p.allocate(t0, t1, bw).is_ok() {
+                applied.push((t0, t1, bw));
+            }
+            assert_canonical(&p);
+            assert_queries_match(&p, &probes);
+        }
+    }
+
+    /// Bulk-loading a canonical breakpoint vector gives exactly the same
+    /// profile (and the same query answers) as replaying the allocations.
+    #[test]
+    fn from_breakpoints_equals_replayed_allocations(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        probes in prop::collection::vec(arb_op(), 1..6),
+    ) {
+        let mut p = CapacityProfile::new(200.0);
+        for (t0, t1, bw) in ops {
+            let _ = p.allocate(t0, t1, bw);
+        }
+        let rebuilt =
+            CapacityProfile::from_breakpoints(p.capacity(), p.breakpoints().to_vec()).unwrap();
+        prop_assert_eq!(&rebuilt, &p);
+        assert_queries_match(&rebuilt, &probes);
+    }
+
+    /// A batched `reserve_all` is indistinguishable from the same sequence
+    /// of sequential `reserve` calls: same per-request accept/reject, same
+    /// ids, identical port profiles — even with ε-jittered intervals and
+    /// interleaved truncates/cancels between rounds.
+    #[test]
+    fn reserve_all_equals_sequential_reserve(
+        rounds in prop::collection::vec(
+            prop::collection::vec((0u32..3, 0u32..3, arb_op()), 1..6),
+            1..8
+        ),
+        truncate_sel in prop::collection::vec((0usize..64, 0i32..8), 0..6),
+    ) {
+        let topo = Topology::uniform(3, 3, 220.0);
+        let mut batched = CapacityLedger::new(topo.clone());
+        let mut sequential = CapacityLedger::new(topo);
+        let mut accepted = Vec::new();
+        for round in &rounds {
+            let batch: Vec<ReserveRequest> = round
+                .iter()
+                .map(|&(i, e, (t0, t1, bw))| ReserveRequest {
+                    route: Route::new(i, e),
+                    start: t0,
+                    end: t1,
+                    bw,
+                })
+                .collect();
+            let batch_results = batched.reserve_all(&batch);
+            for (req, b) in batch.iter().zip(&batch_results) {
+                let s = sequential.reserve(req.route, req.start, req.end, req.bw);
+                prop_assert_eq!(b.is_ok(), s.is_ok(), "accept/reject diverged");
+                if let (Ok(bid), Ok(sid)) = (b, &s) {
+                    prop_assert_eq!(bid, sid, "reservation ids diverged");
+                    accepted.push(*bid);
+                }
+            }
+        }
+        // Interleave ε-scale truncates (and outright cancels) applied to
+        // both ledgers identically.
+        for (sel, eps_steps) in truncate_sel {
+            if accepted.is_empty() {
+                break;
+            }
+            let id = accepted[sel % accepted.len()];
+            if let Some(r) = batched.get(id).copied() {
+                let new_end = r.end - eps_steps as f64 * (EPS / 2.0);
+                let b = batched.truncate(id, new_end);
+                let s = sequential.truncate(id, new_end);
+                prop_assert_eq!(b.is_ok(), s.is_ok());
+            }
+        }
+        prop_assert_eq!(batched.live_count(), sequential.live_count());
+        for i in 0..3u32 {
+            let (bi, si) = (
+                batched.ingress_profile(IngressId(i)),
+                sequential.ingress_profile(IngressId(i)),
+            );
+            prop_assert_eq!(bi, si, "ingress profile {} diverged", i);
+            assert_canonical(bi);
+            let (be, se) = (
+                batched.egress_profile(EgressId(i)),
+                sequential.egress_profile(EgressId(i)),
+            );
+            prop_assert_eq!(be, se, "egress profile {} diverged", i);
+            assert_canonical(be);
+        }
+    }
+
+    /// Serialization round-trips the profile exactly, and the rebuilt index
+    /// still answers like the linear reference.
+    #[test]
+    fn serde_round_trip_matches(
+        ops in prop::collection::vec(arb_op(), 1..30),
+        probes in prop::collection::vec(arb_op(), 1..6),
+    ) {
+        let mut p = CapacityProfile::new(180.0);
+        for (t0, t1, bw) in ops {
+            let _ = p.allocate(t0, t1, bw);
+        }
+        let json = serde_json::to_string(&p).unwrap();
+        let q: CapacityProfile = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&q, &p);
+        assert_queries_match(&q, &probes);
+    }
+}

@@ -25,7 +25,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use gridband_algos::BandwidthPolicy;
 use gridband_algos::WindowScheduler;
 use gridband_net::units::EPS;
-use gridband_net::{CapacityLedger, ReservationId, Route, Topology};
+use gridband_net::{CapacityLedger, NetResult, ReservationId, ReserveRequest, Route, Topology};
 use gridband_sim::{AdmissionController, Decision};
 use gridband_workload::{Request, TimeWindow};
 
@@ -483,21 +483,69 @@ impl EngineLoop {
             }
         }
 
-        for (rid, decision) in self.sched.on_tick(&self.ledger, t) {
-            self.apply_decision(rid.0, decision, t);
+        // Book every accept of the round through the ledger's batched
+        // entry point: one query-index rebuild per touched port per round
+        // instead of one per reservation. Results are consumed in decision
+        // order, so the outcome is identical to sequential `reserve` calls.
+        let decisions = self.sched.on_tick(&self.ledger, t);
+        let mut in_batch = Vec::with_capacity(decisions.len());
+        let mut batch = Vec::new();
+        for &(rid, d) in &decisions {
+            let added = if let Decision::Accept { bw, start, finish } = d {
+                match self.pending.get(&rid.0) {
+                    Some(entry) => {
+                        batch.push(ReserveRequest {
+                            route: entry.req.route,
+                            start,
+                            end: finish,
+                            bw,
+                        });
+                        true
+                    }
+                    None => false,
+                }
+            } else {
+                false
+            };
+            in_batch.push(added);
+        }
+        let mut results = self.ledger.reserve_all(&batch).into_iter();
+        for ((rid, decision), booked) in decisions.into_iter().zip(in_batch) {
+            let prebooked = if booked { results.next() } else { None };
+            self.apply_decision(rid.0, decision, t, prebooked);
         }
     }
 
-    fn apply_decision(&mut self, id: u64, decision: Decision, t: f64) {
+    /// Apply one scheduler decision. For accepts decided in a batched
+    /// round, `prebooked` carries the reservation outcome from
+    /// [`CapacityLedger::reserve_all`]; otherwise the reservation is made
+    /// here.
+    fn apply_decision(
+        &mut self,
+        id: u64,
+        decision: Decision,
+        t: f64,
+        prebooked: Option<NetResult<ReservationId>>,
+    ) {
         let Some(entry) = self.pending.remove(&id) else {
-            return; // scheduler answered an id we no longer track
+            // Scheduler answered an id we no longer track. If the batch
+            // already booked capacity for it (e.g. a duplicate decision),
+            // free it again.
+            if let Some(Ok(rid)) = prebooked {
+                let _ = self.ledger.cancel(rid);
+            }
+            return;
         };
         self.metrics
             .decision_latency
             .record(entry.submitted_at.elapsed());
         match decision {
             Decision::Accept { bw, start, finish } => {
-                match self.ledger.reserve(entry.req.route, start, finish, bw) {
+                let outcome = match prebooked {
+                    Some(r) => r,
+                    None => self.ledger.reserve(entry.req.route, start, finish, bw),
+                };
+                match outcome {
                     Ok(rid) => {
                         if entry.cancelled {
                             // Cancelled while pending: free immediately.

@@ -11,6 +11,7 @@ use crate::report::{Assignment, SimReport};
 use crate::verify::assert_feasible;
 use gridband_net::units::{approx_ge, approx_le, Time, EPS};
 use gridband_net::CapacityLedger;
+use gridband_net::ReserveRequest;
 use gridband_net::Topology;
 use gridband_workload::{Request, RequestId, Trace};
 use std::collections::HashMap;
@@ -71,6 +72,26 @@ impl Simulation {
             }
         }
 
+        // Check an accept decision's shape against the request contract;
+        // returns the route for the reservation.
+        let validate_accept = |id: RequestId, bw: f64, start: Time, finish: Time, now: Time| {
+            let req = by_id.get(&id).expect("controller invented a request id");
+            assert!(
+                approx_ge(start, req.start()) && start + EPS >= now - EPS,
+                "{id}: accepted start {start} before arrival/decision time"
+            );
+            assert!(
+                approx_le(finish, req.finish()),
+                "{id}: finish {finish} misses deadline {}",
+                req.finish()
+            );
+            assert!(
+                bw > 0.0 && approx_le(bw, req.max_rate * (1.0 + 1e-9)),
+                "{id}: bw {bw} outside (0, MaxRate]"
+            );
+            req.route
+        };
+
         let apply = |id: RequestId,
                      decision: Decision,
                      now: Time,
@@ -90,22 +111,9 @@ impl Simulation {
                     queue.push(at, SimEvent::Retry(id));
                 }
                 Decision::Accept { bw, start, finish } => {
-                    let req = by_id.get(&id).expect("controller invented a request id");
-                    assert!(
-                        approx_ge(start, req.start()) && start + EPS >= now - EPS,
-                        "{id}: accepted start {start} before arrival/decision time"
-                    );
-                    assert!(
-                        approx_le(finish, req.finish()),
-                        "{id}: finish {finish} misses deadline {}",
-                        req.finish()
-                    );
-                    assert!(
-                        bw > 0.0 && approx_le(bw, req.max_rate * (1.0 + 1e-9)),
-                        "{id}: bw {bw} outside (0, MaxRate]"
-                    );
+                    let route = validate_accept(id, bw, start, finish, now);
                     ledger
-                        .reserve(req.route, start, finish, bw)
+                        .reserve(route, start, finish, bw)
                         .unwrap_or_else(|e| {
                             panic!("{}: controller over-committed: {e}", controller_name(id))
                         });
@@ -116,6 +124,53 @@ impl Simulation {
                         start,
                         finish,
                     });
+                }
+            }
+        };
+
+        // Apply one admission round's decisions, booking all accepts
+        // through the ledger's batched entry point so each touched port's
+        // query index is rebuilt once per round. Semantically identical to
+        // applying the decisions one by one.
+        let apply_round = |decisions: Vec<(RequestId, Decision)>,
+                           now: Time,
+                           ledger: &mut CapacityLedger,
+                           queue: &mut EventQueue,
+                           assignments: &mut Vec<Assignment>| {
+            let batch: Vec<ReserveRequest> = decisions
+                .iter()
+                .filter_map(|&(id, d)| match d {
+                    Decision::Accept { bw, start, finish } => {
+                        let route = validate_accept(id, bw, start, finish, now);
+                        Some(ReserveRequest {
+                            route,
+                            start,
+                            end: finish,
+                            bw,
+                        })
+                    }
+                    _ => None,
+                })
+                .collect();
+            let mut results = ledger.reserve_all(&batch).into_iter();
+            for (id, d) in decisions {
+                match d {
+                    Decision::Accept { bw, start, finish } => {
+                        results
+                            .next()
+                            .expect("one reservation result per accept")
+                            .unwrap_or_else(|e| {
+                                panic!("{}: controller over-committed: {e}", controller_name(id))
+                            });
+                        queue.push(finish, SimEvent::Departure(id));
+                        assignments.push(Assignment {
+                            id,
+                            bw,
+                            start,
+                            finish,
+                        });
+                    }
+                    other => apply(id, other, now, ledger, queue, assignments),
                 }
             }
         };
@@ -131,9 +186,8 @@ impl Simulation {
                     apply(req.id, d, now, &mut ledger, &mut queue, &mut assignments);
                 }
                 SimEvent::Tick => {
-                    for (id, d) in controller.on_tick(&ledger, now) {
-                        apply(id, d, now, &mut ledger, &mut queue, &mut assignments);
-                    }
+                    let decisions = controller.on_tick(&ledger, now);
+                    apply_round(decisions, now, &mut ledger, &mut queue, &mut assignments);
                 }
                 SimEvent::Retry(id) => {
                     let req = by_id.get(&id).expect("retry for unknown request");
@@ -148,9 +202,8 @@ impl Simulation {
         }
         // Flush any still-deferred candidates.
         let end = horizon.max(last_time);
-        for (id, d) in controller.on_end(&ledger, end) {
-            apply(id, d, end, &mut ledger, &mut queue, &mut assignments);
-        }
+        let final_round = controller.on_end(&ledger, end);
+        apply_round(final_round, end, &mut ledger, &mut queue, &mut assignments);
 
         if self.verify {
             assert_feasible(trace, &self.topo, &assignments);

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_admission.json: micro indexed-vs-linear profile query
+# timings, an indexed/linear differential check, and the §5.3 end-to-end
+# admission rounds (decisions/sec, p50/p99 round latency), cross-checked
+# against the event-driven simulator.
+#
+# Usage:
+#   scripts/bench.sh                # full run, writes BENCH_admission.json
+#   scripts/bench.sh --smoke        # reduced sizes, a few seconds
+#   scripts/bench.sh --out=FILE     # write elsewhere
+#
+# The binary exits non-zero if the equivalence or speedup gates fail, so
+# this script doubles as a CI smoke check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --quiet -p gridband-bench --bin admission -- "$@"

@@ -16,4 +16,7 @@ cargo build --workspace --release
 echo "== test ==" >&2
 cargo test --workspace
 
+echo "== bench smoke ==" >&2
+scripts/bench.sh --smoke --out=target/BENCH_admission.smoke.json
+
 echo "verify: all green" >&2

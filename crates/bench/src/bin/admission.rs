@@ -43,6 +43,19 @@ struct Report {
     micro: Vec<MicroRow>,
     differential: Differential,
     end_to_end: Vec<EndToEndRow>,
+    durability: Vec<DurabilityRow>,
+}
+
+#[derive(Serialize)]
+struct DurabilityRow {
+    device: String,
+    fsync: String,
+    records: usize,
+    record_bytes: usize,
+    appends_per_sec: f64,
+    mb_per_sec: f64,
+    recovery_ms: f64,
+    recovered_records: usize,
 }
 
 #[derive(Serialize)]
@@ -382,6 +395,109 @@ fn run_greedy_arrivals(
 }
 
 // ---------------------------------------------------------------------------
+// Durability: WAL append throughput and recovery time (gridband-store)
+// ---------------------------------------------------------------------------
+
+/// A WAL record shaped like a real admission round: eight acceptances
+/// with plausible routes and windows, so the serialized size matches
+/// what the serve engine appends per round under load.
+fn typical_round_record() -> Vec<u8> {
+    use gridband_store::{RoundDecision, WalRecord};
+    let decisions = (0..8)
+        .map(|i| RoundDecision::Accept {
+            id: 1_000 + i,
+            ingress: (i % 4) as u32,
+            egress: (i % 3) as u32,
+            bw: 80.0 + i as f64,
+            start: 50.0 * i as f64,
+            finish: 50.0 * i as f64 + 125.5,
+            cancelled: false,
+        })
+        .collect();
+    WalRecord::Round {
+        t: 400.0,
+        decisions,
+    }
+    .encode()
+}
+
+/// Append `records` round records through one store (one `round_barrier`
+/// per append, matching the engine's per-round commit), then time a cold
+/// `Store::open` + full decode of the log.
+fn durability_one(
+    dir: std::sync::Arc<dyn gridband_store::Dir>,
+    device: &str,
+    fsync: gridband_store::FsyncPolicy,
+    records: usize,
+) -> DurabilityRow {
+    use gridband_store::{Store, WalRecord};
+    let payload = typical_round_record();
+    let (mut store, _) = Store::open(dir.clone(), fsync).expect("open fresh store");
+    let t0 = Instant::now();
+    for _ in 0..records {
+        store.append(&payload).expect("append");
+        store.round_barrier().expect("barrier");
+    }
+    let append_s = t0.elapsed().as_secs_f64();
+    drop(store);
+
+    let t0 = Instant::now();
+    let (_store, recovered) = Store::open(dir, fsync).expect("reopen");
+    let mut decoded = 0usize;
+    for (offset, bytes) in &recovered.records {
+        black_box(WalRecord::decode("wal", *offset, bytes).expect("decode"));
+        decoded += 1;
+    }
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(decoded, records, "recovery must see every committed round");
+
+    let total_bytes = (payload.len() + 8) * records;
+    DurabilityRow {
+        device: device.to_string(),
+        fsync: fsync.to_string(),
+        records,
+        record_bytes: payload.len(),
+        appends_per_sec: records as f64 / append_s.max(1e-9),
+        mb_per_sec: total_bytes as f64 / 1e6 / append_s.max(1e-9),
+        recovery_ms,
+        recovered_records: decoded,
+    }
+}
+
+fn durability_section(records: usize) -> Vec<DurabilityRow> {
+    use gridband_store::{FsyncPolicy, MemDir};
+    let mut rows = Vec::new();
+    for fsync in [FsyncPolicy::Off, FsyncPolicy::Round] {
+        rows.push(durability_one(
+            std::sync::Arc::new(MemDir::new()),
+            "mem",
+            fsync,
+            records,
+        ));
+    }
+    // Real disk: fsync cost dominates, so scale the per-append policy
+    // down to keep the bench bounded.
+    let fs_root = std::path::Path::new("target").join("bench-wal");
+    for (fsync, n) in [
+        (FsyncPolicy::Off, records),
+        (FsyncPolicy::Round, records / 4),
+        (FsyncPolicy::Always, records / 20),
+    ] {
+        let dir = fs_root.join(format!("{fsync}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = gridband_store::FsDir::new(&dir).expect("create bench WAL dir under target/");
+        rows.push(durability_one(
+            std::sync::Arc::new(fs),
+            "fs",
+            fsync,
+            n.max(1),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // main
 // ---------------------------------------------------------------------------
 
@@ -475,12 +591,23 @@ fn main() {
         );
     }
 
+    eprintln!("admission bench: WAL durability ...");
+    let wal_records = if smoke { 2_000 } else { 20_000 };
+    let durability = durability_section(wal_records);
+    for r in &durability {
+        eprintln!(
+            "  {:>3}/{:<6} {:>7} records: {:>9.0} appends/s ({:>6.1} MB/s), recovery {:>7.2} ms",
+            r.device, r.fsync, r.records, r.appends_per_sec, r.mb_per_sec, r.recovery_ms
+        );
+    }
+
     let report = Report {
         schema: "gridband/bench-admission/v1".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         micro,
         differential,
         end_to_end,
+        durability,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write report");

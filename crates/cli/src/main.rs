@@ -404,6 +404,9 @@ fn serve(args: Vec<String>) {
     let mut mode = TimeMode::Virtual;
     let mut queue = 1024usize;
     let mut snapshot: Option<Duration> = None;
+    let mut wal_dir: Option<String> = None;
+    let mut fsync = gridband_serve::FsyncPolicy::Round;
+    let mut snapshot_every = 64u64;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -453,16 +456,36 @@ fn serve(args: Vec<String>) {
                     .unwrap_or_else(|e| fail(format_args!("bad --snapshot-secs: {e}")));
                 snapshot = Some(Duration::from_secs(s));
             }
+            "--wal-dir" => wal_dir = Some(val("--wal-dir")),
+            "--fsync" => {
+                fsync = val("--fsync")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --fsync: {e}")));
+            }
+            "--snapshot-every" => {
+                snapshot_every = val("--snapshot-every")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --snapshot-every: {e}")));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gridband serve [--addr HOST:PORT] [--topo paper|grid5000|MxNxCAP]
                       [--step S] [--policy min|max|f:X] [--tick-ms MS]
                       [--queue N] [--snapshot-secs S]
+                      [--wal-dir DIR] [--fsync always|round|off]
+                      [--snapshot-every ROUNDS]
 
 Runs the reservation daemon: JSON-lines over TCP, batched WINDOW
 admission every t_step. Without --tick-ms the clock is virtual
 (submission timestamps drive it — deterministic replay); with it a
-wall-clock ticker fires one admission round every MS milliseconds."
+wall-clock ticker fires one admission round every MS milliseconds.
+
+With --wal-dir every admission round is committed to a checksummed
+write-ahead log in DIR before its replies go out, a state snapshot is
+installed (and the log truncated) every ROUNDS rounds (default 64),
+and a restarted daemon recovers its exact pre-crash commitments.
+--fsync sets when the log is flushed to disk: per append (always),
+once per round before replies (round, the default), or never (off)."
                 );
                 std::process::exit(0);
             }
@@ -475,6 +498,16 @@ wall-clock ticker fires one admission round every MS milliseconds."
     engine.policy = policy;
     engine.mode = mode;
     engine.queue_capacity = queue;
+    if let Some(dir) = wal_dir {
+        let fs = gridband_serve::FsDir::new(&dir)
+            .unwrap_or_else(|e| fail(format_args!("cannot open --wal-dir {dir}: {e}")));
+        engine.store = Some(gridband_serve::StoreConfig {
+            dir: std::sync::Arc::new(fs),
+            fsync,
+            snapshot_every,
+        });
+        eprintln!("gridband serve: write-ahead log in {dir} (fsync {fsync}, snapshot every {snapshot_every} rounds)");
+    }
     let mut cfg = ServerConfig::new(addr.clone(), engine);
     cfg.snapshot_period = snapshot;
     let server =

@@ -62,6 +62,23 @@ pub struct ReserveRequest {
     pub bw: Bandwidth,
 }
 
+/// Serializable image of a whole ledger — every port profile, the live
+/// reservation table, and the id counter — produced by
+/// [`CapacityLedger::export_state`] and consumed by
+/// [`CapacityLedger::restore_state`]. This is what the serve daemon's
+/// durability layer snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerState {
+    /// Ingress port profiles, in port order.
+    pub ingress: Vec<CapacityProfile>,
+    /// Egress port profiles, in port order.
+    pub egress: Vec<CapacityProfile>,
+    /// Live reservations as `(id, reservation)`, sorted by id.
+    pub live: Vec<(u64, Reservation)>,
+    /// Next reservation id the ledger will assign.
+    pub next_id: u64,
+}
+
 /// Capacity profiles for every port of a topology plus the set of live
 /// reservations, supporting atomic reserve / cancel.
 #[derive(Debug, Clone)]
@@ -333,6 +350,125 @@ impl CapacityLedger {
     pub fn allocated_at(&self, t: Time) -> Bandwidth {
         self.ingress.iter().map(|p| p.alloc_at(t)).sum()
     }
+
+    /// Export the ledger's full state for snapshotting: every port
+    /// profile verbatim (so a restore is bit-identical — *not* rebuilt
+    /// by replaying reservations, whose float-addition order would
+    /// differ), the live reservation table sorted by id, and the id
+    /// counter.
+    pub fn export_state(&self) -> LedgerState {
+        let mut live: Vec<(u64, Reservation)> = self.live.iter().map(|(&id, &r)| (id, r)).collect();
+        live.sort_by_key(|&(id, _)| id);
+        LedgerState {
+            ingress: self.ingress.clone(),
+            egress: self.egress.clone(),
+            live,
+            next_id: self.next_id,
+        }
+    }
+
+    /// Replace this ledger's state with a previously exported image.
+    ///
+    /// The image is validated before anything is touched — on error the
+    /// ledger is unchanged. Checks: profile vectors match the topology's
+    /// port counts and capacities; reservation ids are strictly
+    /// increasing and below `next_id`; every reservation is well-formed
+    /// and routed inside the topology; and, per port, the profile's
+    /// integral equals the summed area of the live reservations charging
+    /// it (within ε) — a damaged image can therefore never materialize
+    /// phantom capacity that no live reservation accounts for.
+    pub fn restore_state(&mut self, state: LedgerState) -> NetResult<()> {
+        if state.ingress.len() != self.topology.num_ingress()
+            || state.egress.len() != self.topology.num_egress()
+        {
+            return Err(NetError::InvalidArgument(format!(
+                "state has {}x{} ports, topology has {}x{}",
+                state.ingress.len(),
+                state.egress.len(),
+                self.topology.num_ingress(),
+                self.topology.num_egress()
+            )));
+        }
+        for (i, p) in state.ingress.iter().enumerate() {
+            if p.capacity() != self.topology.ingress_cap(IngressId(i as u32)) {
+                return Err(NetError::InvalidArgument(format!(
+                    "ingress {i} capacity {} does not match topology",
+                    p.capacity()
+                )));
+            }
+        }
+        for (e, p) in state.egress.iter().enumerate() {
+            if p.capacity() != self.topology.egress_cap(EgressId(e as u32)) {
+                return Err(NetError::InvalidArgument(format!(
+                    "egress {e} capacity {} does not match topology",
+                    p.capacity()
+                )));
+            }
+        }
+        let mut prev: Option<u64> = None;
+        for &(id, r) in &state.live {
+            if prev.is_some_and(|p| id <= p) {
+                return Err(NetError::InvalidArgument(format!(
+                    "live reservations not sorted by id at #{id}"
+                )));
+            }
+            prev = Some(id);
+            if id >= state.next_id {
+                return Err(NetError::InvalidArgument(format!(
+                    "live reservation #{id} not below next_id {}",
+                    state.next_id
+                )));
+            }
+            self.validate(r.route, r.start, r.end, r.bw)?;
+        }
+        // Conservation check: each port's booked bandwidth-seconds must
+        // be exactly the live reservations charging it (expired ones
+        // were released by GC before any snapshot).
+        let span = |profiles: &[CapacityProfile]| {
+            profiles
+                .iter()
+                .flat_map(|p| p.breakpoints().iter().map(|b| b.time))
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), t| {
+                    (lo.min(t), hi.max(t))
+                })
+        };
+        let (lo_i, hi_i) = span(&state.ingress);
+        let (lo_e, hi_e) = span(&state.egress);
+        let (lo, hi) = (lo_i.min(lo_e), hi_i.max(hi_e));
+        if lo < hi {
+            for (dir, profiles) in [("ingress", &state.ingress), ("egress", &state.egress)] {
+                for (idx, p) in profiles.iter().enumerate() {
+                    let booked = p.integral_alloc(lo, hi);
+                    let owed: f64 = state
+                        .live
+                        .iter()
+                        .map(|&(_, r)| {
+                            let charged = match dir {
+                                "ingress" => r.route.ingress.index() == idx,
+                                _ => r.route.egress.index() == idx,
+                            };
+                            if charged {
+                                r.area()
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum();
+                    let tol = EPS * (1.0 + booked.abs().max(owed.abs()));
+                    if (booked - owed).abs() > tol {
+                        return Err(NetError::InvalidArgument(format!(
+                            "{dir} {idx} books {booked} MB but live reservations account for {owed} MB"
+                        )));
+                    }
+                }
+            }
+        }
+        self.ingress = state.ingress;
+        self.egress = state.egress;
+        self.live = state.live.into_iter().collect();
+        self.next_id = state.next_id;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -571,6 +707,81 @@ mod tests {
         assert!((l.reserved_area(0.0, 10.0) - (500.0 + 100.0)).abs() < 1e-9);
         assert_eq!(l.allocated_at(2.0), 75.0);
         assert_eq!(l.allocated_at(8.0), 50.0);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_bit_identical() {
+        let mut l = small();
+        l.reserve(Route::new(0, 1), 0.0, 10.0, 33.3).unwrap();
+        let id = l.reserve(Route::new(1, 0), 2.0, 8.0, 41.7).unwrap();
+        l.reserve(Route::new(0, 0), 5.0, 15.0, 12.5).unwrap();
+        l.cancel(id).unwrap();
+        let state = l.export_state();
+
+        let mut restored = small();
+        restored.restore_state(state.clone()).unwrap();
+        for i in 0..2 {
+            assert_eq!(
+                restored.ingress_profile(IngressId(i)),
+                l.ingress_profile(IngressId(i))
+            );
+            assert_eq!(
+                restored.egress_profile(EgressId(i)),
+                l.egress_profile(EgressId(i))
+            );
+        }
+        assert_eq!(restored.live_count(), l.live_count());
+        // Id continuity: the next reservation gets the same id in both.
+        let a = l.reserve(Route::new(0, 0), 20.0, 21.0, 1.0).unwrap();
+        let b = restored.reserve(Route::new(0, 0), 20.0, 21.0, 1.0).unwrap();
+        assert_eq!(a, b);
+        // Exported live table is sorted by id.
+        assert!(state.live.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_and_inconsistent_state() {
+        let mut l = small();
+        l.reserve(Route::new(0, 0), 0.0, 10.0, 50.0).unwrap();
+        let good = l.export_state();
+
+        // Wrong topology shape.
+        let mut other = CapacityLedger::new(Topology::uniform(3, 2, 100.0));
+        assert!(matches!(
+            other.restore_state(good.clone()),
+            Err(NetError::InvalidArgument(_))
+        ));
+        // Wrong capacity.
+        let mut cap = CapacityLedger::new(Topology::uniform(2, 2, 200.0));
+        assert!(matches!(
+            cap.restore_state(good.clone()),
+            Err(NetError::InvalidArgument(_))
+        ));
+        // Live id at/above next_id.
+        let mut bad = good.clone();
+        bad.next_id = 0;
+        assert!(matches!(
+            small().restore_state(bad),
+            Err(NetError::InvalidArgument(_))
+        ));
+        // Phantom capacity: profiles charge bandwidth no reservation owns.
+        let mut phantom = good.clone();
+        phantom.live.clear();
+        assert!(matches!(
+            small().restore_state(phantom),
+            Err(NetError::InvalidArgument(_))
+        ));
+        // A failed restore leaves the target untouched.
+        let mut target = small();
+        let mut bad2 = good.clone();
+        bad2.live.clear();
+        let _ = target.restore_state(bad2);
+        assert!(target.ingress_profile(IngressId(0)).is_empty());
+        assert_eq!(target.live_count(), 0);
+        // The intact image restores fine.
+        let mut ok = small();
+        ok.restore_state(good).unwrap();
+        assert_eq!(ok.live_count(), 1);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod topology;
 pub mod units;
 
 pub use error::{NetError, NetResult};
-pub use ledger::{CapacityLedger, Reservation, ReservationId, ReserveRequest};
+pub use ledger::{CapacityLedger, LedgerState, Reservation, ReservationId, ReserveRequest};
 pub use port::{Direction, EgressId, IngressId, Port, PortRef, Route};
 pub use profile::{Breakpoint, CapacityProfile};
 pub use topology::Topology;

@@ -1,0 +1,125 @@
+//! Property test for the snapshot satellite: a ledger exported with
+//! [`CapacityLedger::export_state`], serialized to JSON, parsed back and
+//! restored into a fresh ledger must answer every indexed query exactly
+//! (`==` on f64) like the original — the serve daemon's recovery path
+//! rides on this being bit-identical, not merely approximately equal.
+
+use gridband_net::{
+    CapacityLedger, EgressId, IngressId, LedgerState, ReservationId, Route, Topology,
+};
+use proptest::prelude::*;
+
+/// One workload op: reserve (route, window, bw) or cancel an earlier
+/// reservation (by index into the ids issued so far).
+#[derive(Debug, Clone)]
+enum Op {
+    Reserve {
+        i: u32,
+        e: u32,
+        t0: f64,
+        len: f64,
+        bw: f64,
+    },
+    Cancel {
+        idx: usize,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The shim has no `prop_oneof`; a leading discriminant weights the
+    // choice 4:1 reserve-to-cancel.
+    (0u32..5, 0u32..3, 0u32..3, 0u32..40, 1u32..30, 0.1f64..45.0).prop_map(
+        |(kind, i, e, t0, len, bw)| {
+            if kind == 0 {
+                Op::Cancel { idx: t0 as usize }
+            } else {
+                Op::Reserve {
+                    i,
+                    e,
+                    t0: t0 as f64 * 2.5,
+                    len: len as f64 * 2.5,
+                    bw,
+                }
+            }
+        },
+    )
+}
+
+fn build(ops: &[Op]) -> CapacityLedger {
+    let mut ledger = CapacityLedger::new(Topology::uniform(3, 3, 100.0));
+    let mut issued: Vec<ReservationId> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Reserve { i, e, t0, len, bw } => {
+                if let Ok(id) = ledger.reserve(Route::new(i, e), t0, t0 + len, bw) {
+                    issued.push(id);
+                }
+            }
+            Op::Cancel { idx } => {
+                if !issued.is_empty() {
+                    let id = issued[idx % issued.len()];
+                    let _ = ledger.cancel(id); // repeats fail harmlessly
+                }
+            }
+        }
+    }
+    ledger
+}
+
+proptest! {
+    #[test]
+    fn exported_state_round_trips_through_json_bit_identically(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        probes in proptest::collection::vec((0u32..45, 1u32..30, 0.1f64..110.0), 4..9),
+    ) {
+        let original = build(&ops);
+        let state = original.export_state();
+
+        // Serde round trip (what a snapshot file actually stores).
+        let json = serde_json::to_string(&state).expect("serialize");
+        let parsed: LedgerState = serde_json::from_str(&json).expect("parse");
+        prop_assert_eq!(&parsed, &state, "JSON round trip must be lossless");
+
+        let mut restored = CapacityLedger::new(Topology::uniform(3, 3, 100.0));
+        restored.restore_state(parsed).expect("restore");
+
+        // Profiles are bit-identical...
+        for p in 0..3u32 {
+            prop_assert_eq!(
+                restored.ingress_profile(IngressId(p)),
+                original.ingress_profile(IngressId(p))
+            );
+            prop_assert_eq!(
+                restored.egress_profile(EgressId(p)),
+                original.egress_profile(EgressId(p))
+            );
+        }
+        prop_assert_eq!(restored.live_count(), original.live_count());
+
+        // ...and so are the indexed queries schedulers actually ask.
+        for &(t0, len, bw) in &probes {
+            let (t0, t1) = (t0 as f64 * 2.5, t0 as f64 * 2.5 + len as f64 * 2.5);
+            for i in 0..3u32 {
+                for e in 0..3u32 {
+                    let route = Route::new(i, e);
+                    prop_assert_eq!(
+                        restored.max_fit(route, t0, t1),
+                        original.max_fit(route, t0, t1),
+                        "max_fit {:?} [{}, {})", route, t0, t1
+                    );
+                    prop_assert_eq!(
+                        restored.fits(route, t0, t1, bw),
+                        original.fits(route, t0, t1, bw),
+                        "fits {:?} [{}, {}) bw={}", route, t0, t1, bw
+                    );
+                }
+            }
+        }
+
+        // Reservation-id continuity: the next booking gets the same id.
+        let mut a = original.clone();
+        let ra = a.reserve(Route::new(0, 0), 500.0, 501.0, 1.0).expect("free future slot");
+        let rb = restored.reserve(Route::new(0, 0), 500.0, 501.0, 1.0).expect("free future slot");
+        prop_assert_eq!(ra, rb);
+    }
+}

@@ -7,6 +7,22 @@
 //! Usage:
 //!   loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S]
 //!           [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]
+//!           [--kill-after N --state FILE | --resume --state FILE]
+//!
+//! Kill/recover/continue demo against a WAL-backed daemon:
+//!
+//!   loadgen --kill-after 500 --state resume.json   # phase 1, then
+//!   # SIGKILL the daemon, restart it with the same --wal-dir, and:
+//!   loadgen --resume --state resume.json           # phase 2
+//!
+//! Phase 1 submits the first N requests and stops *without* draining, so
+//! in-flight submissions stay undecided — exactly what a crash loses.
+//! Phase 2 first re-queries every decision the daemon already made and
+//! fails loudly if any flipped (recovered commitments must be durable),
+//! then resubmits the undecided tail plus the rest of the trace and
+//! finishes normally. The demo assumes a virtual-clock daemon: decisions
+//! only happen when submissions drive the clock, so "no reply within the
+//! quiet window" in phase 1 means "still pending", not "still deciding".
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -16,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use gridband_net::Topology;
 use gridband_serve::metrics::LatencyHistogram;
-use gridband_serve::protocol::{encode_client, ClientMsg, ServerMsg, SubmitReq};
+use gridband_serve::protocol::{encode_client, ClientMsg, ReqState, ServerMsg, SubmitReq};
 use gridband_workload::WorkloadBuilder;
 
 struct Args {
@@ -24,8 +40,11 @@ struct Args {
     requests: usize,
     mean_interarrival: f64,
     seed: u64,
-    topo: Topology,
+    topo_spec: String,
     json: bool,
+    kill_after: Option<usize>,
+    resume: bool,
+    state: String,
 }
 
 fn parse_topo(spec: &str) -> Result<Topology, String> {
@@ -54,8 +73,11 @@ fn parse_args() -> Result<Args, String> {
         requests: 2000,
         mean_interarrival: 1.0,
         seed: 42,
-        topo: Topology::paper_default(),
+        topo_spec: "paper".to_string(),
         json: false,
+        kill_after: None,
+        resume: false,
+        state: "loadgen-resume.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,19 +99,59 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
-            "--topo" => args.topo = parse_topo(&val("--topo")?)?,
+            "--topo" => {
+                let spec = val("--topo")?;
+                parse_topo(&spec)?;
+                args.topo_spec = spec;
+            }
             "--json" => args.json = true,
+            "--kill-after" => {
+                args.kill_after = Some(
+                    val("--kill-after")?
+                        .parse()
+                        .map_err(|e| format!("bad --kill-after: {e}"))?,
+                )
+            }
+            "--resume" => args.resume = true,
+            "--state" => args.state = val("--state")?,
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S] \
-                     [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]"
+                     [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]\n        \
+                     [--kill-after N --state FILE | --resume --state FILE]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if args.resume && args.kill_after.is_some() {
+        return Err("--resume and --kill-after are mutually exclusive".to_string());
+    }
     Ok(args)
+}
+
+/// What a `--kill-after` run leaves behind for `--resume`: the workload
+/// parameters (so the identical trace regenerates) plus every decision
+/// the daemon already replied to.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ResumeState {
+    requests: usize,
+    mean_interarrival: f64,
+    seed: u64,
+    topo: String,
+    /// How many trace requests phase 1 submitted.
+    submitted: usize,
+    accepted: Vec<AcceptedRec>,
+    rejected: Vec<u64>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct AcceptedRec {
+    id: u64,
+    bw: f64,
+    start: f64,
+    finish: f64,
 }
 
 fn main() -> ExitCode {
@@ -100,7 +162,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(args) {
+    let result = if args.resume {
+        run_resume(args)
+    } else {
+        run(args)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("loadgen: {e}");
@@ -109,34 +176,82 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: Args) -> Result<(), String> {
+fn build_requests(
+    requests: usize,
+    mean_interarrival: f64,
+    seed: u64,
+    topo_spec: &str,
+) -> Result<Vec<gridband_workload::Request>, String> {
+    let topo = parse_topo(topo_spec)?;
     // Scale the horizon with the request count so the builder generates
-    // enough arrivals, then truncate to exactly `--requests`.
-    let horizon = (args.requests as f64 * args.mean_interarrival * 1.25).max(100.0);
-    let trace = WorkloadBuilder::new(args.topo.clone())
-        .mean_interarrival(args.mean_interarrival)
+    // enough arrivals, then truncate to exactly `requests`.
+    let horizon = (requests as f64 * mean_interarrival * 1.25).max(100.0);
+    let trace = WorkloadBuilder::new(topo)
+        .mean_interarrival(mean_interarrival)
         .slack(gridband_workload::Dist::Uniform { lo: 2.0, hi: 4.0 })
         .horizon(horizon)
-        .seed(args.seed)
+        .seed(seed)
         .build();
-    let requests: Vec<_> = trace.iter().take(args.requests).cloned().collect();
-    if requests.len() < args.requests {
+    let out: Vec<_> = trace.iter().take(requests).cloned().collect();
+    if out.len() < requests {
         eprintln!(
             "loadgen: trace produced only {} arrivals in horizon {horizon}; sending those",
-            requests.len()
+            out.len()
         );
     }
-    if requests.is_empty() {
+    if out.is_empty() {
         return Err("no requests generated".to_string());
     }
+    Ok(out)
+}
+
+fn send_line(w: &mut TcpStream, msg: &ClientMsg) -> Result<(), String> {
+    let mut line = encode_client(msg);
+    line.push('\n');
+    w.write_all(line.as_bytes())
+        .map_err(|e| format!("write: {e}"))
+}
+
+fn submit_msg(req: &gridband_workload::Request) -> ClientMsg {
+    ClientMsg::Submit(SubmitReq {
+        id: req.id.0,
+        ingress: req.route.ingress.0,
+        egress: req.route.egress.0,
+        volume: req.volume,
+        max_rate: req.max_rate,
+        start: Some(req.start()),
+        deadline: Some(req.finish()),
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let requests = build_requests(
+        args.requests,
+        args.mean_interarrival,
+        args.seed,
+        &args.topo_spec,
+    )?;
+    let kill_at = args
+        .kill_after
+        .unwrap_or(requests.len())
+        .min(requests.len());
+    let to_send = &requests[..kill_at];
+    let killing = args.kill_after.is_some();
 
     let stream =
         TcpStream::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    // In kill mode nobody drains, so "the server went quiet" is the end
+    // condition rather than a decision count.
+    let quiet = if killing {
+        Duration::from_millis(1500)
+    } else {
+        Duration::from_secs(60)
+    };
     stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
+        .set_read_timeout(Some(quiet))
         .map_err(|e| e.to_string())?;
     let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
-    let n = requests.len();
+    let n = to_send.len();
 
     // Reader: collect one decision per submission plus the final stats.
     type ReaderResult = Result<(Vec<(u64, ServerMsg, Instant)>, Option<ServerMsg>), String>;
@@ -145,11 +260,25 @@ fn run(args: Args) -> Result<(), String> {
         let mut stats = None;
         let mut lines = BufReader::new(stream);
         let mut line = String::new();
-        while decisions.len() < n || stats.is_none() {
+        while killing || decisions.len() < n || stats.is_none() {
             line.clear();
             match lines.read_line(&mut line) {
-                Ok(0) => return Err("server closed the connection early".to_string()),
+                Ok(0) => {
+                    if killing {
+                        break; // daemon gone mid-run: keep what we have
+                    }
+                    return Err("server closed the connection early".to_string());
+                }
                 Ok(_) => {}
+                Err(e)
+                    if killing
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    break; // quiet: everything still unreplied is pending
+                }
                 Err(e) => return Err(format!("read: {e}")),
             }
             let msg = gridband_serve::protocol::decode_server(line.trim())
@@ -169,38 +298,217 @@ fn run(args: Args) -> Result<(), String> {
         Ok((decisions, stats))
     });
 
-    // Writer: stream the whole trace, then drain, then ask for stats.
+    // Writer: stream the trace prefix; in a full run, drain and ask for
+    // stats; in a kill run, stop cold.
     let started = Instant::now();
     let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
-    for req in &requests {
-        let msg = ClientMsg::Submit(SubmitReq {
-            id: req.id.0,
-            ingress: req.route.ingress.0,
-            egress: req.route.egress.0,
-            volume: req.volume,
-            max_rate: req.max_rate,
-            start: Some(req.start()),
-            deadline: Some(req.finish()),
-        });
+    for req in to_send {
         sent_at.insert(req.id.0, Instant::now());
-        let mut line = encode_client(&msg);
-        line.push('\n');
-        write_half
-            .write_all(line.as_bytes())
-            .map_err(|e| format!("write: {e}"))?;
+        send_line(&mut write_half, &submit_msg(req))?;
     }
-    for msg in [ClientMsg::Drain, ClientMsg::Stats] {
-        let mut line = encode_client(&msg);
-        line.push('\n');
-        write_half
-            .write_all(line.as_bytes())
-            .map_err(|e| format!("write: {e}"))?;
+    if !killing {
+        for msg in [ClientMsg::Drain, ClientMsg::Stats] {
+            send_line(&mut write_half, &msg)?;
+        }
     }
     write_half.flush().map_err(|e| e.to_string())?;
 
     let (decisions, stats) = reader.join().map_err(|_| "reader panicked".to_string())??;
     let wall = started.elapsed();
 
+    if killing {
+        let mut state = ResumeState {
+            requests: args.requests,
+            mean_interarrival: args.mean_interarrival,
+            seed: args.seed,
+            topo: args.topo_spec.clone(),
+            submitted: n,
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+        };
+        for (id, msg, _) in &decisions {
+            match msg {
+                ServerMsg::Accepted {
+                    bw, start, finish, ..
+                } => state.accepted.push(AcceptedRec {
+                    id: *id,
+                    bw: *bw,
+                    start: *start,
+                    finish: *finish,
+                }),
+                _ => state.rejected.push(*id),
+            }
+        }
+        let json = serde_json::to_string_pretty(&state).map_err(|e| e.to_string())?;
+        std::fs::write(&args.state, json)
+            .map_err(|e| format!("cannot write {}: {e}", args.state))?;
+        println!(
+            "killed after {} submissions: {} accepted, {} rejected, {} still pending",
+            n,
+            state.accepted.len(),
+            state.rejected.len(),
+            n - decisions.len()
+        );
+        println!(
+            "state saved to {} — restart the daemon, then `loadgen --resume --state {}`",
+            args.state, args.state
+        );
+        return Ok(());
+    }
+
+    report(&args, decisions, stats, sent_at, wall)
+}
+
+fn run_resume(args: Args) -> Result<(), String> {
+    let raw = std::fs::read_to_string(&args.state)
+        .map_err(|e| format!("cannot read {}: {e}", args.state))?;
+    let state: ResumeState = serde_json::from_str(&raw)
+        .map_err(|e| format!("{} is not a resume state: {e}", args.state))?;
+    let requests = build_requests(
+        state.requests,
+        state.mean_interarrival,
+        state.seed,
+        &state.topo,
+    )?;
+    let decided: std::collections::HashSet<u64> = state
+        .accepted
+        .iter()
+        .map(|a| a.id)
+        .chain(state.rejected.iter().copied())
+        .collect();
+    let to_send: Vec<_> = requests
+        .iter()
+        .filter(|r| !decided.contains(&r.id.0))
+        .collect();
+
+    let stream =
+        TcpStream::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+
+    // Phase 2a: every commitment the daemon replied to before the kill
+    // must have survived its restart.
+    let prev: HashMap<u64, &AcceptedRec> = state.accepted.iter().map(|a| (a.id, a)).collect();
+    let n_query = state.accepted.len();
+    for rec in &state.accepted {
+        send_line(&mut write_half, &ClientMsg::Query { id: rec.id })?;
+    }
+    write_half.flush().map_err(|e| e.to_string())?;
+    let mut lines = BufReader::new(stream);
+    let mut line = String::new();
+    let mut verified = 0usize;
+    for _ in 0..n_query {
+        line.clear();
+        lines
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        let msg = gridband_serve::protocol::decode_server(line.trim())
+            .map_err(|e| format!("bad server line: {e}"))?;
+        let ServerMsg::Status { id, state, alloc } = msg else {
+            return Err(format!("expected a status reply, got {msg:?}"));
+        };
+        if state != ReqState::Accepted {
+            return Err(format!(
+                "request {id} was accepted before the kill but reports {state:?} after recovery"
+            ));
+        }
+        // `alloc` is absent once the reservation's window has passed and
+        // the ledger reclaimed it; when present it must match exactly.
+        if let Some((bw, start, finish)) = alloc {
+            let want = prev[&id];
+            if bw != want.bw || start != want.start || finish != want.finish {
+                return Err(format!(
+                    "request {id} alloc changed across recovery: \
+                     had ({}, {}, {}), daemon now reports ({bw}, {start}, {finish})",
+                    want.bw, want.start, want.finish
+                ));
+            }
+            verified += 1;
+        }
+    }
+    eprintln!(
+        "resume: {} pre-kill acceptances intact ({verified} with live allocations verified)",
+        n_query
+    );
+
+    // Phase 2b: resubmit the undecided tail and the rest of the trace in
+    // original order, then drain.
+    let started = Instant::now();
+    let n = to_send.len();
+    let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
+    let mut stream2 = lines.into_inner();
+    for req in &to_send {
+        sent_at.insert(req.id.0, Instant::now());
+        send_line(&mut stream2, &submit_msg(req))?;
+    }
+    for msg in [ClientMsg::Drain, ClientMsg::Stats] {
+        send_line(&mut stream2, &msg)?;
+    }
+    stream2.flush().map_err(|e| e.to_string())?;
+
+    let mut lines = BufReader::new(stream2);
+    let mut decisions: Vec<(u64, ServerMsg, Instant)> = Vec::with_capacity(n);
+    let mut stats = None;
+    while decisions.len() < n || stats.is_none() {
+        line.clear();
+        match lines.read_line(&mut line) {
+            Ok(0) => return Err("server closed the connection early".to_string()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read: {e}")),
+        }
+        let msg = gridband_serve::protocol::decode_server(line.trim())
+            .map_err(|e| format!("bad server line: {e}"))?;
+        match msg {
+            ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } => {
+                decisions.push((id, msg, Instant::now()));
+            }
+            ServerMsg::Stats(_) => stats = Some(msg),
+            ServerMsg::Draining { .. } => {}
+            ServerMsg::Error { code, message } => {
+                return Err(format!("server error {code}: {message}"));
+            }
+            _ => {}
+        }
+    }
+    let wall = started.elapsed();
+
+    // Merge the pre-kill decisions into the report so the totals cover
+    // the whole trace.
+    for rec in &state.accepted {
+        decisions.push((
+            rec.id,
+            ServerMsg::Accepted {
+                id: rec.id,
+                bw: rec.bw,
+                start: rec.start,
+                finish: rec.finish,
+            },
+            started,
+        ));
+    }
+    for id in &state.rejected {
+        decisions.push((
+            *id,
+            ServerMsg::Rejected {
+                id: *id,
+                reason: gridband_serve::protocol::RejectReason::Saturated,
+                retry_after: None,
+            },
+            started,
+        ));
+    }
+    report(&args, decisions, stats, sent_at, wall)
+}
+
+fn report(
+    args: &Args,
+    decisions: Vec<(u64, ServerMsg, Instant)>,
+    stats: Option<ServerMsg>,
+    sent_at: HashMap<u64, Instant>,
+    wall: Duration,
+) -> Result<(), String> {
     let lat = LatencyHistogram::new();
     let mut accepted = 0usize;
     for (id, msg, at) in &decisions {
@@ -238,8 +546,8 @@ fn run(args: Args) -> Result<(), String> {
         );
         if let Some(ServerMsg::Stats(s)) = stats {
             println!(
-                "server    accepted {} / rejected {} / ticks {} / gc {}",
-                s.accepted, s.rejected, s.ticks, s.gc_reclaimed
+                "server    accepted {} / rejected {} / ticks {} / gc {} / wal {} appends",
+                s.accepted, s.rejected, s.ticks, s.gc_reclaimed, s.wal_appends
             );
         }
     }

@@ -27,6 +27,10 @@ use gridband_algos::WindowScheduler;
 use gridband_net::units::EPS;
 use gridband_net::{CapacityLedger, NetResult, ReservationId, ReserveRequest, Route, Topology};
 use gridband_sim::{AdmissionController, Decision};
+use gridband_store::{
+    EngineSnapshot, Recovered, RequestOutcome, RoundDecision, Store, StoreConfig, StoreError,
+    StoreResult, WalRecord,
+};
 use gridband_workload::{Request, TimeWindow};
 
 use crate::metrics::MetricsRegistry;
@@ -66,6 +70,9 @@ pub struct EngineConfig {
     /// clock; anything beyond is rejected as `Invalid`. Bounds the
     /// clock catch-up work a single hostile submission can demand.
     pub max_horizon: f64,
+    /// Durability: when set, the engine recovers from (and writes
+    /// through) a WAL + snapshot store. `None` runs fully in memory.
+    pub store: Option<StoreConfig>,
 }
 
 impl EngineConfig {
@@ -81,6 +88,7 @@ impl EngineConfig {
             default_slack: 3.0,
             history_capacity: 1 << 20,
             max_horizon: 1e6,
+            store: None,
         }
     }
 }
@@ -98,6 +106,14 @@ pub enum Command {
     Tick,
     /// Decide everything pending, then exit the engine loop.
     Shutdown,
+    /// Exit immediately: no drain round, pending submissions unreplied.
+    /// Used to emulate a crash at a round boundary in recovery tests.
+    Halt,
+    /// Export the engine's durable state (what a snapshot would hold).
+    Export {
+        /// Channel the snapshot is sent on.
+        reply: Sender<EngineSnapshot>,
+    },
 }
 
 struct PendingEntry {
@@ -119,13 +135,27 @@ pub struct Engine {
 
 impl Engine {
     /// Start the engine (and, in real-time mode, its ticker).
+    ///
+    /// Panics if the configured store cannot be opened or recovered; use
+    /// [`Engine::try_spawn`] to handle that as an error.
     pub fn spawn(config: EngineConfig) -> Engine {
+        Engine::try_spawn(config).expect("engine store open/recovery failed")
+    }
+
+    /// Start the engine, recovering durable state first when a store is
+    /// configured. Recovery runs on the caller's thread, so a corrupt
+    /// store surfaces here — before the daemon starts accepting work —
+    /// rather than as a dead engine thread.
+    pub fn try_spawn(config: EngineConfig) -> Result<Engine, StoreError> {
         let metrics = Arc::new(MetricsRegistry::new());
         let (tx, rx) = channel::bounded(config.queue_capacity);
         let step = config.step;
+        let mode = config.mode;
         let ticker_stop = Arc::new(AtomicBool::new(false));
 
-        let ticker = match config.mode {
+        let engine_loop = EngineLoop::new(config, metrics.clone(), rx)?;
+
+        let ticker = match mode {
             TimeMode::Virtual => None,
             TimeMode::RealTime { tick } => {
                 let tx = tx.clone();
@@ -141,9 +171,8 @@ impl Engine {
             }
         };
 
-        let m = metrics.clone();
-        let thread = std::thread::spawn(move || EngineLoop::new(config, m, rx).run());
-        Engine {
+        let thread = std::thread::spawn(move || engine_loop.run());
+        Ok(Engine {
             tx,
             metrics,
             step,
@@ -151,7 +180,7 @@ impl Engine {
             thread: Some(thread),
             ticker: None,
         }
-        .with_ticker(ticker)
+        .with_ticker(ticker))
     }
 
     fn with_ticker(mut self, ticker: Option<std::thread::JoinHandle<()>>) -> Self {
@@ -194,6 +223,21 @@ impl Engine {
             let _ = t.join();
         }
     }
+
+    /// Stop the engine *without* a drain round: pending submissions are
+    /// dropped unreplied, exactly as a crash at a round boundary would
+    /// leave them. Recovery tests restart a store-backed engine after
+    /// this and expect it to resume from its last durable round.
+    pub fn kill(mut self) {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+        let _ = self.tx.send(Command::Halt);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 impl Drop for Engine {
@@ -225,15 +269,36 @@ struct EngineLoop {
     accepted_res: HashMap<u64, ReservationId>,
     res_owner: HashMap<u64, u64>,
     draining: bool,
+    /// Write-ahead log (None = in-memory engine).
+    store: Option<Store>,
+    /// Install a snapshot every this many rounds (0 = never).
+    snapshot_every: u64,
+    rounds: u64,
+    rounds_since_snapshot: u64,
+    /// Decisions of the round in flight, in decision order; becomes the
+    /// round's single WAL record.
+    round_log: Vec<RoundDecision>,
+    /// Replies of the round in flight, held back until the round record
+    /// is durable. Decisions are never externalized before they would
+    /// survive a crash.
+    round_replies: Vec<(Sender<ServerMsg>, ServerMsg)>,
+    /// A store write failed: the engine stops decided-but-undurable work
+    /// from leaking out and exits its loop.
+    dead: bool,
 }
 
 impl EngineLoop {
-    fn new(config: EngineConfig, metrics: Arc<MetricsRegistry>, rx: Receiver<Command>) -> Self {
+    fn new(
+        config: EngineConfig,
+        metrics: Arc<MetricsRegistry>,
+        rx: Receiver<Command>,
+    ) -> StoreResult<Self> {
         assert!(config.step > 0.0, "t_step must be positive");
         let ledger = CapacityLedger::new(config.topology.clone());
         let sched = WindowScheduler::new(config.step, config.policy);
         let next_tick = config.step;
-        EngineLoop {
+        let store_cfg = config.store.clone();
+        let mut this = EngineLoop {
             config,
             metrics,
             rx,
@@ -247,11 +312,163 @@ impl EngineLoop {
             accepted_res: HashMap::new(),
             res_owner: HashMap::new(),
             draining: false,
+            store: None,
+            snapshot_every: 0,
+            rounds: 0,
+            rounds_since_snapshot: 0,
+            round_log: Vec::new(),
+            round_replies: Vec::new(),
+            dead: false,
+        };
+        if let Some(cfg) = store_cfg {
+            let (store, recovered) = Store::open(cfg.dir, cfg.fsync)?;
+            this.snapshot_every = cfg.snapshot_every;
+            this.recover(recovered)?;
+            this.store = Some(store);
+        }
+        Ok(this)
+    }
+
+    /// Rebuild the pre-crash engine from what [`Store::open`] found:
+    /// restore the snapshot verbatim, then replay the WAL tail.
+    fn recover(&mut self, recovered: Recovered) -> StoreResult<()> {
+        let snap_file = format!("snap-{}", recovered.gen);
+        let wal_file = format!("wal-{}", recovered.gen);
+        if let Some(payload) = &recovered.snapshot {
+            let snap = EngineSnapshot::decode(&snap_file, payload)?;
+            self.ledger.restore_state(snap.ledger).map_err(|e| {
+                StoreError::corrupt(&snap_file, 0, format!("ledger state rejected: {e}"))
+            })?;
+            self.now = snap.now;
+            self.next_tick = snap.next_tick;
+            self.rounds = snap.rounds;
+            self.metrics.ticks.store(snap.rounds, Ordering::Relaxed);
+            for (id, outcome) in snap.states {
+                let state = match outcome {
+                    RequestOutcome::Accepted => ReqState::Accepted,
+                    RequestOutcome::Rejected => ReqState::Rejected,
+                    RequestOutcome::Cancelled => ReqState::Cancelled,
+                };
+                self.record_state(id, state);
+            }
+            for (id, rid) in snap.accepted {
+                self.accepted_res.insert(id, ReservationId(rid));
+                self.res_owner.insert(rid, id);
+            }
+        }
+        for (offset, payload) in &recovered.records {
+            let record = WalRecord::decode(&wal_file, *offset, payload)?;
+            self.replay(record, &wal_file, *offset)?;
+            MetricsRegistry::inc(&self.metrics.recovery_replayed_records);
+        }
+        Ok(())
+    }
+
+    /// Re-apply one logged record. Replay mirrors the live paths exactly
+    /// — same GC rule, same sequential reservation order — so the
+    /// rebuilt ledger is bit-identical to the pre-crash one (batched and
+    /// sequential booking are equivalent by `reserve_all`'s contract).
+    fn replay(&mut self, record: WalRecord, file: &str, offset: u64) -> StoreResult<()> {
+        match record {
+            WalRecord::Round { t, decisions } => {
+                self.now = t;
+                self.next_tick = t + self.config.step;
+                self.rounds += 1;
+                MetricsRegistry::inc(&self.metrics.ticks);
+                self.gc_expired(t);
+                for d in decisions {
+                    match d {
+                        RoundDecision::Accept {
+                            id,
+                            ingress,
+                            egress,
+                            bw,
+                            start,
+                            finish,
+                            cancelled,
+                        } => {
+                            let rid = self
+                                .ledger
+                                .reserve(Route::new(ingress, egress), start, finish, bw)
+                                .map_err(|e| {
+                                    StoreError::corrupt(
+                                        file,
+                                        offset,
+                                        format!("logged acceptance no longer fits: {e}"),
+                                    )
+                                })?;
+                            if cancelled {
+                                // Tombstoned acceptance: book then free, so
+                                // reservation-id allocation stays in sync.
+                                let _ = self.ledger.cancel(rid);
+                                MetricsRegistry::inc(&self.metrics.cancelled);
+                                self.record_state(id, ReqState::Cancelled);
+                            } else {
+                                MetricsRegistry::inc(&self.metrics.accepted);
+                                self.accepted_res.insert(id, rid);
+                                self.res_owner.insert(rid.0, id);
+                                self.record_state(id, ReqState::Accepted);
+                            }
+                        }
+                        RoundDecision::Reject { id } => {
+                            MetricsRegistry::inc(&self.metrics.rejected);
+                            self.record_state(id, ReqState::Rejected);
+                        }
+                    }
+                }
+            }
+            WalRecord::Cancel { id } => {
+                if let Some(rid) = self.accepted_res.remove(&id) {
+                    self.res_owner.remove(&rid.0);
+                    if self.ledger.cancel(rid).is_ok() {
+                        MetricsRegistry::inc(&self.metrics.cancelled);
+                        self.record_state(id, ReqState::Cancelled);
+                    }
+                }
+            }
+            WalRecord::EarlyReject { id } => {
+                MetricsRegistry::inc(&self.metrics.refused_early);
+                self.record_state(id, ReqState::Rejected);
+            }
+        }
+        Ok(())
+    }
+
+    /// The durable slice of engine state (what a snapshot persists).
+    fn export_snapshot(&self) -> EngineSnapshot {
+        let mut accepted: Vec<(u64, u64)> = self
+            .accepted_res
+            .iter()
+            .map(|(&id, rid)| (id, rid.0))
+            .collect();
+        accepted.sort_unstable();
+        let states = self
+            .history
+            .iter()
+            .filter_map(|id| {
+                let outcome = match self.states.get(id)? {
+                    ReqState::Accepted => RequestOutcome::Accepted,
+                    ReqState::Rejected => RequestOutcome::Rejected,
+                    ReqState::Cancelled => RequestOutcome::Cancelled,
+                    ReqState::Pending | ReqState::Unknown => return None,
+                };
+                Some((*id, outcome))
+            })
+            .collect();
+        EngineSnapshot {
+            version: gridband_store::SNAPSHOT_VERSION,
+            now: self.now,
+            next_tick: self.next_tick,
+            rounds: self.rounds,
+            ledger: self.ledger.export_state(),
+            accepted,
+            states,
         }
     }
 
     fn run(mut self) {
-        while let Ok(cmd) = self.rx.recv() {
+        while !self.dead {
+            let Ok(cmd) = self.rx.recv() else { break };
             match cmd {
                 Command::Client { msg, reply } => self.handle_client(msg, reply),
                 Command::Tick => {
@@ -264,6 +481,10 @@ impl EngineLoop {
                         self.run_round(t);
                     }
                     break;
+                }
+                Command::Halt => break,
+                Command::Export { reply } => {
+                    let _ = reply.try_send(self.export_snapshot());
                 }
             }
         }
@@ -280,7 +501,12 @@ impl EngineLoop {
                 } else {
                     self.states.get(&id).copied().unwrap_or(ReqState::Unknown)
                 };
-                self.send_reply(&reply, ServerMsg::Status { id, state });
+                let alloc = self
+                    .accepted_res
+                    .get(&id)
+                    .and_then(|rid| self.ledger.get(*rid))
+                    .map(|r| (r.bw, r.start, r.end));
+                self.send_reply(&reply, ServerMsg::Status { id, state, alloc });
             }
             ClientMsg::Stats => {
                 let snap = self.metrics.snapshot(
@@ -296,6 +522,9 @@ impl EngineLoop {
                 if n > 0 {
                     let t = self.next_tick;
                     self.run_round(t);
+                    if self.dead {
+                        return;
+                    }
                 }
                 self.send_reply(&reply, ServerMsg::Draining { pending: n });
             }
@@ -324,6 +553,9 @@ impl EngineLoop {
         if !start.is_finite() || start > self.now + self.config.max_horizon {
             MetricsRegistry::inc(&self.metrics.refused_early);
             self.record_state(s.id, ReqState::Rejected);
+            if !self.log_event(WalRecord::EarlyReject { id: s.id }) {
+                return;
+            }
             self.send_reply(
                 &reply,
                 ServerMsg::Rejected {
@@ -350,6 +582,9 @@ impl EngineLoop {
                 }
                 let t = self.next_tick;
                 self.run_round(t);
+                if self.dead {
+                    return;
+                }
             }
             // Only submissions drive the clock in virtual mode. In real
             // time the ticker owns `now`; advancing it here would push it
@@ -376,6 +611,9 @@ impl EngineLoop {
             Err(reason) => {
                 MetricsRegistry::inc(&self.metrics.refused_early);
                 self.record_state(s.id, ReqState::Rejected);
+                if !self.log_event(WalRecord::EarlyReject { id: s.id }) {
+                    return;
+                }
                 self.send_reply(
                     &reply,
                     ServerMsg::Rejected {
@@ -437,6 +675,11 @@ impl EngineLoop {
             if ok {
                 MetricsRegistry::inc(&self.metrics.cancelled);
                 self.record_state(id, ReqState::Cancelled);
+                // Log before replying: a crash after the reply must not
+                // resurrect capacity the client was told is freed.
+                if !self.log_event(WalRecord::Cancel { id }) {
+                    return;
+                }
             }
             ok
         } else if let Some(entry) = self.pending.get_mut(&id) {
@@ -456,18 +699,12 @@ impl EngineLoop {
         self.send_reply(&reply, ServerMsg::CancelResult { id, freed });
     }
 
-    /// One admission round at virtual time `t`: GC expired reservations,
-    /// let the scheduler decide the batch, apply and answer each decision.
-    fn run_round(&mut self, t: f64) {
-        debug_assert!(t >= self.now - EPS, "round time going backwards");
-        self.now = t;
-        self.next_tick = t + self.config.step;
-        MetricsRegistry::inc(&self.metrics.ticks);
-
-        // Reservations whose interval ended are dead weight in the ledger
-        // profiles: cancelling them only edits past time segments, so
-        // admission decisions (which only read the profile from `t` on)
-        // are unaffected while breakpoint memory stays bounded.
+    /// Reservations whose interval ended are dead weight in the ledger
+    /// profiles: cancelling them only edits past time segments, so
+    /// admission decisions (which only read the profile from `t` on)
+    /// are unaffected while breakpoint memory stays bounded. Shared by
+    /// live rounds and WAL replay so both walk identical ledger states.
+    fn gc_expired(&mut self, t: f64) {
         let expired: Vec<ReservationId> = self
             .ledger
             .live_reservations()
@@ -482,6 +719,22 @@ impl EngineLoop {
                 }
             }
         }
+    }
+
+    /// One admission round at virtual time `t`: GC expired reservations,
+    /// let the scheduler decide the batch, apply each decision, make the
+    /// round durable, then answer. Replies are buffered until the round's
+    /// WAL record (and, per policy, its fsync) lands: a decision a crash
+    /// could forget is never externalized. On a store failure the round's
+    /// replies are dropped and the engine halts.
+    fn run_round(&mut self, t: f64) {
+        debug_assert!(t >= self.now - EPS, "round time going backwards");
+        self.now = t;
+        self.next_tick = t + self.config.step;
+        self.rounds += 1;
+        MetricsRegistry::inc(&self.metrics.ticks);
+        self.gc_expired(t);
+        debug_assert!(self.round_log.is_empty() && self.round_replies.is_empty());
 
         // Book every accept of the round through the ledger's batched
         // entry point: one query-index rebuild per touched port per round
@@ -513,6 +766,91 @@ impl EngineLoop {
         for ((rid, decision), booked) in decisions.into_iter().zip(in_batch) {
             let prebooked = if booked { results.next() } else { None };
             self.apply_decision(rid.0, decision, t, prebooked);
+        }
+
+        if !self.commit_round(t) {
+            // The round is decided in memory but not durable; replies
+            // must not leak. Clients resubmit after the daemon restarts
+            // and recovery re-runs the round identically.
+            self.round_replies.clear();
+            self.dead = true;
+            return;
+        }
+        let replies = std::mem::take(&mut self.round_replies);
+        for (reply, msg) in replies {
+            self.send_reply(&reply, msg);
+        }
+    }
+
+    /// Persist the round just decided: append its WAL record, honor the
+    /// fsync policy, and install a snapshot when one is due. Returns
+    /// `false` (after logging to stderr) on any store failure.
+    fn commit_round(&mut self, t: f64) -> bool {
+        let Some(mut store) = self.store.take() else {
+            self.round_log.clear();
+            return true;
+        };
+        let record = WalRecord::Round {
+            t,
+            decisions: std::mem::take(&mut self.round_log),
+        };
+        let appended = store
+            .append(&record.encode())
+            .and_then(|a| store.round_barrier().map(|b| (a, b)));
+        let ok = match appended {
+            Ok((a, barrier)) => {
+                MetricsRegistry::inc(&self.metrics.wal_appends);
+                MetricsRegistry::add(&self.metrics.wal_bytes, a.bytes);
+                if let Some(d) = a.fsync.or(barrier) {
+                    self.metrics.fsync.record(d);
+                }
+                self.rounds_since_snapshot += 1;
+                if self.snapshot_every > 0 && self.rounds_since_snapshot >= self.snapshot_every {
+                    match store.install_snapshot(&self.export_snapshot().encode()) {
+                        Ok(_) => {
+                            MetricsRegistry::inc(&self.metrics.snapshots_written);
+                            self.rounds_since_snapshot = 0;
+                            true
+                        }
+                        Err(e) => {
+                            eprintln!("gridband-serve: snapshot install failed, halting: {e}");
+                            false
+                        }
+                    }
+                } else {
+                    true
+                }
+            }
+            Err(e) => {
+                eprintln!("gridband-serve: WAL append failed, halting: {e}");
+                false
+            }
+        };
+        self.store = Some(store);
+        ok
+    }
+
+    /// Append a non-round record (cancel / early-reject) to the WAL.
+    /// Returns `false` (and marks the engine dead) on failure, in which
+    /// case the caller must withhold its reply.
+    fn log_event(&mut self, record: WalRecord) -> bool {
+        let Some(store) = self.store.as_mut() else {
+            return true;
+        };
+        match store.append(&record.encode()) {
+            Ok(a) => {
+                MetricsRegistry::inc(&self.metrics.wal_appends);
+                MetricsRegistry::add(&self.metrics.wal_bytes, a.bytes);
+                if let Some(d) = a.fsync {
+                    self.metrics.fsync.record(d);
+                }
+                true
+            }
+            Err(e) => {
+                eprintln!("gridband-serve: WAL append failed, halting: {e}");
+                self.dead = true;
+                false
+            }
         }
     }
 
@@ -547,6 +885,15 @@ impl EngineLoop {
                 };
                 match outcome {
                     Ok(rid) => {
+                        self.round_log.push(RoundDecision::Accept {
+                            id,
+                            ingress: entry.req.route.ingress.0,
+                            egress: entry.req.route.egress.0,
+                            bw,
+                            start,
+                            finish,
+                            cancelled: entry.cancelled,
+                        });
                         if entry.cancelled {
                             // Cancelled while pending: free immediately.
                             let _ = self.ledger.cancel(rid);
@@ -557,15 +904,15 @@ impl EngineLoop {
                         self.accepted_res.insert(id, rid);
                         self.res_owner.insert(rid.0, id);
                         self.record_state(id, ReqState::Accepted);
-                        self.send_reply(
-                            &entry.reply,
+                        self.round_replies.push((
+                            entry.reply.clone(),
                             ServerMsg::Accepted {
                                 id,
                                 bw,
                                 start,
                                 finish,
                             },
-                        );
+                        ));
                     }
                     Err(_) => {
                         // The scheduler's scalar view disagreed with the
@@ -589,16 +936,17 @@ impl EngineLoop {
                 let entry_finish = entry.req.finish();
                 self.record_state(id, ReqState::Rejected);
                 MetricsRegistry::inc(&self.metrics.rejected);
+                self.round_log.push(RoundDecision::Reject { id });
                 if !entry.cancelled {
                     let retry_after = (at < entry_finish).then_some(at);
-                    self.send_reply(
-                        &entry.reply,
+                    self.round_replies.push((
+                        entry.reply.clone(),
                         ServerMsg::Rejected {
                             id,
                             reason: RejectReason::Saturated,
                             retry_after,
                         },
-                    );
+                    ));
                 }
             }
             Decision::Defer => {
@@ -611,6 +959,7 @@ impl EngineLoop {
     fn reject(&mut self, id: u64, entry: &PendingEntry, reason: RejectReason, t: f64) {
         MetricsRegistry::inc(&self.metrics.rejected);
         self.record_state(id, ReqState::Rejected);
+        self.round_log.push(RoundDecision::Reject { id });
         if entry.cancelled {
             return;
         }
@@ -618,14 +967,14 @@ impl EngineLoop {
             RejectReason::Saturated => self.retry_hint(&entry.req, t),
             _ => None,
         };
-        self.send_reply(
-            &entry.reply,
+        self.round_replies.push((
+            entry.reply.clone(),
             ServerMsg::Rejected {
                 id,
                 reason,
                 retry_after,
             },
-        );
+        ));
     }
 
     /// Deliver a reply without ever blocking the engine. Reply channels

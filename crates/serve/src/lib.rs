@@ -5,6 +5,12 @@
 //! engine batches them into `t_step` admission rounds against a live
 //! capacity ledger, and decisions (with `retry_after` backpressure on
 //! rejection) stream back per connection.
+//!
+//! With a [`StoreConfig`] in the engine config, every admission round is
+//! written through a checksummed write-ahead log (`gridband-store`)
+//! before its replies go out, periodic snapshots truncate the log, and a
+//! restarted daemon recovers its exact pre-crash commitments — see the
+//! recovery-equivalence tests in `tests/`.
 
 pub mod engine;
 pub mod metrics;
@@ -12,6 +18,7 @@ pub mod protocol;
 pub mod server;
 
 pub use engine::{Engine, EngineConfig, TimeMode};
+pub use gridband_store::{FsDir, FsyncPolicy, MemDir, StoreConfig, StoreError};
 pub use metrics::MetricsRegistry;
 pub use protocol::{ClientMsg, RejectReason, ServerMsg, SubmitReq, WireRequest, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

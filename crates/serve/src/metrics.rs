@@ -134,8 +134,18 @@ pub struct MetricsRegistry {
     /// Engine replies dropped because a connection's reply queue was
     /// full (a client submitting without reading its socket).
     pub replies_dropped: AtomicU64,
+    /// Records appended to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Framed bytes appended to the write-ahead log.
+    pub wal_bytes: AtomicU64,
+    /// Snapshots installed (each truncates the log).
+    pub snapshots_written: AtomicU64,
+    /// WAL records replayed during recovery at startup.
+    pub recovery_replayed_records: AtomicU64,
     /// Submit → decision latency.
     pub decision_latency: LatencyHistogram,
+    /// WAL fsync latency (per append or per round, by policy).
+    pub fsync: LatencyHistogram,
 }
 
 impl MetricsRegistry {
@@ -146,6 +156,11 @@ impl MetricsRegistry {
     /// Convenience: bump a counter by one.
     pub fn inc(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience: bump a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Assemble the serializable snapshot, filling in the engine-owned
@@ -170,10 +185,15 @@ impl MetricsRegistry {
             ticks: ld(&self.ticks),
             gc_reclaimed: ld(&self.gc_reclaimed),
             replies_dropped: ld(&self.replies_dropped),
+            wal_appends: ld(&self.wal_appends),
+            wal_bytes: ld(&self.wal_bytes),
+            snapshots_written: ld(&self.snapshots_written),
+            recovery_replayed_records: ld(&self.recovery_replayed_records),
             pending,
             live_reservations,
             virtual_time,
             decision_latency: self.decision_latency.snapshot(),
+            fsync: self.fsync.snapshot(),
         }
     }
 }
@@ -206,6 +226,14 @@ pub struct StatsSnapshot {
     pub gc_reclaimed: u64,
     /// Replies dropped on full per-connection reply queues.
     pub replies_dropped: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Framed bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Snapshots installed.
+    pub snapshots_written: u64,
+    /// WAL records replayed during recovery at startup.
+    pub recovery_replayed_records: u64,
     /// Submissions awaiting the next round.
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.
@@ -214,6 +242,8 @@ pub struct StatsSnapshot {
     pub virtual_time: f64,
     /// Submit → decision latency distribution.
     pub decision_latency: LatencySnapshot,
+    /// WAL fsync latency distribution.
+    pub fsync: LatencySnapshot,
 }
 
 impl StatsSnapshot {
@@ -263,9 +293,16 @@ mod tests {
         m.accepted.store(6, Ordering::Relaxed);
         m.rejected.store(2, Ordering::Relaxed);
         m.decision_latency.record(Duration::from_millis(3));
+        MetricsRegistry::inc(&m.wal_appends);
+        MetricsRegistry::add(&m.wal_bytes, 128);
+        m.fsync.record(Duration::from_micros(700));
         let snap = m.snapshot(2, 6, 123.0);
         assert_eq!(snap.accept_rate(), 0.75);
         assert_eq!(snap.pending, 2);
+        assert_eq!(snap.wal_appends, 1);
+        assert_eq!(snap.wal_bytes, 128);
+        assert_eq!(snap.fsync.count, 1);
+        assert!(snap.fsync.p99_ms > 0.0);
         let js = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&js).unwrap();
         assert_eq!(back, snap);

@@ -149,6 +149,11 @@ pub enum ServerMsg {
         id: u64,
         /// Current lifecycle state.
         state: ReqState,
+        /// The live allocation `(bw, σ, τ)` for accepted requests whose
+        /// reservation has not yet expired; `None` otherwise. Decoders
+        /// treat a missing or `null` field as `None`, so pre-alloc
+        /// `Status` lines still parse.
+        alloc: Option<(f64, f64, f64)>,
     },
     /// Reply to `Stats`.
     Stats(StatsSnapshot),
@@ -258,6 +263,12 @@ mod tests {
             ServerMsg::Status {
                 id: 4,
                 state: ReqState::Pending,
+                alloc: None,
+            },
+            ServerMsg::Status {
+                id: 5,
+                state: ReqState::Accepted,
+                alloc: Some((25.0, 10.0, 50.0)),
             },
             ServerMsg::Draining { pending: 5 },
             ServerMsg::Error {

@@ -84,10 +84,13 @@ impl ShutdownHandle {
 }
 
 impl Server {
-    /// Bind the listener and start the engine.
+    /// Bind the listener and start the engine. A store that fails to
+    /// open or recover (corrupt WAL, unwritable directory) surfaces
+    /// here as `InvalidData`, before the listener accepts any client.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let engine = Engine::spawn(config.engine.clone());
+        let engine = Engine::try_spawn(config.engine.clone())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         Ok(Server {
             listener,
             engine,
@@ -456,7 +459,7 @@ mod tests {
         // The connection survives protocol errors: a valid query works.
         send_line(&mut stream, &ClientMsg::Query { id: 404 });
         match read_reply(&mut reader) {
-            ServerMsg::Status { id: 404, state } => {
+            ServerMsg::Status { id: 404, state, .. } => {
                 assert_eq!(state, crate::protocol::ReqState::Unknown);
             }
             other => panic!("expected status, got {other:?}"),

@@ -84,6 +84,10 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 ticks,
                 gc_reclaimed,
                 replies_dropped,
+                wal_appends: ticks,
+                wal_bytes: ticks * 48,
+                snapshots_written: ticks / 10,
+                recovery_replayed_records: gc_reclaimed,
                 pending,
                 live_reservations: count,
                 virtual_time,
@@ -93,6 +97,13 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                     p50_ms: mean_ms,
                     p95_ms: mean_ms * 2.0,
                     p99_ms: mean_ms * 4.0,
+                },
+                fsync: LatencySnapshot {
+                    count: ticks,
+                    mean_ms,
+                    p50_ms: mean_ms,
+                    p95_ms: mean_ms * 3.0,
+                    p99_ms: mean_ms * 5.0,
                 },
             },
         )
@@ -137,7 +148,11 @@ fn server_msg() -> impl Strategy<Value = ServerMsg> {
                         id,
                         freed: id % 2 == 0,
                     },
-                    3 => ServerMsg::Status { id, state },
+                    3 => ServerMsg::Status {
+                        id,
+                        state,
+                        alloc: (id % 3 == 0).then_some((bw, start, finish)),
+                    },
                     4 => ServerMsg::Stats(stats),
                     5 => ServerMsg::Draining { pending: id },
                     _ => ServerMsg::Error {

@@ -1,0 +1,398 @@
+//! The directory abstraction the store writes through.
+//!
+//! [`Store`](crate::Store) never touches the filesystem directly; it
+//! goes through a [`Dir`], so the same WAL/snapshot/recovery logic runs
+//! against the real disk ([`FsDir`]) and against an in-memory fake
+//! ([`MemDir`]) whose *write budget* can be exhausted mid-record to
+//! inject exactly the torn-write crashes the recovery path must survive.
+//!
+//! All methods take `&self`: a `Dir` lives behind `Arc<dyn Dir>` inside
+//! a cloneable engine config, and the implementations synchronize
+//! internally.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A flat directory of named files supporting the operations the store
+/// needs: append-only writes, whole-file reads, fsync, atomic replace,
+/// truncate and delete.
+pub trait Dir: Send + Sync + fmt::Debug {
+    /// Read a whole file. `ErrorKind::NotFound` if it does not exist.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Names of all files currently present.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Append `data` to `name`, creating the file if missing.
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Flush `name`'s data durably (fsync). A no-op for files that do
+    /// not exist.
+    fn sync(&self, name: &str) -> io::Result<()>;
+
+    /// Atomically and durably replace `name`'s contents: after this
+    /// returns, a crash observes either the old bytes or the new bytes,
+    /// never a mixture, and the new bytes survive the crash.
+    fn replace(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Delete a file; deleting a missing file is a no-op.
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// Truncate a file to `len` bytes (used to drop a torn WAL tail so
+    /// later appends extend a valid log).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// FsDir
+// ---------------------------------------------------------------------------
+
+/// A [`Dir`] over a real filesystem directory. Append handles are cached
+/// so every WAL append does not reopen the file.
+pub struct FsDir {
+    path: PathBuf,
+    handles: Mutex<HashMap<String, File>>,
+}
+
+impl fmt::Debug for FsDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FsDir").field("path", &self.path).finish()
+    }
+}
+
+impl FsDir {
+    /// Open (creating if needed) the directory at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> io::Result<FsDir> {
+        let path = path.into();
+        fs::create_dir_all(&path)?;
+        Ok(FsDir {
+            path,
+            handles: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The directory this `FsDir` writes into.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn file_path(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+
+    /// Fsync the directory itself so renames/creates/unlinks are durable.
+    fn sync_dir(&self) -> io::Result<()> {
+        File::open(&self.path)?.sync_all()
+    }
+}
+
+impl Dir for FsDir {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(self.file_path(name))?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut handles = self.handles.lock().expect("FsDir lock poisoned");
+        if !handles.contains_key(name) {
+            let f = OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(self.file_path(name))?;
+            handles.insert(name.to_string(), f);
+        }
+        handles
+            .get_mut(name)
+            .expect("inserted above")
+            .write_all(data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let mut handles = self.handles.lock().expect("FsDir lock poisoned");
+        match handles.get(name) {
+            Some(f) => f.sync_data(),
+            None => match File::open(self.file_path(name)) {
+                Ok(f) => {
+                    f.sync_data()?;
+                    handles.insert(name.to_string(), f);
+                    Ok(())
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    fn replace(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let tmp_name = format!(".tmp.{name}");
+        let tmp = self.file_path(&tmp_name);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        // A cached handle would keep pointing at the unlinked old inode
+        // after the rename; drop it so the next append reopens.
+        self.handles
+            .lock()
+            .expect("FsDir lock poisoned")
+            .remove(name);
+        fs::rename(&tmp, self.file_path(name))?;
+        self.sync_dir()
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.handles
+            .lock()
+            .expect("FsDir lock poisoned")
+            .remove(name);
+        match fs::remove_file(self.file_path(name)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        // Drop any append handle first: its kernel offset would be past
+        // the new end, and O_APPEND re-seeks on write anyway — reopening
+        // keeps the behaviour obvious.
+        self.handles
+            .lock()
+            .expect("FsDir lock poisoned")
+            .remove(name);
+        let f = OpenOptions::new().write(true).open(self.file_path(name))?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemDir
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemInner {
+    files: HashMap<String, Vec<u8>>,
+    /// Remaining bytes the fault injector allows to be written. `None`
+    /// means unlimited. When a write exceeds the budget, only the
+    /// budgeted prefix lands (a torn write) and the call errors.
+    write_budget: Option<u64>,
+}
+
+/// An in-memory [`Dir`] for tests and benchmarks, with torn-write fault
+/// injection via [`set_write_budget`](MemDir::set_write_budget).
+///
+/// Because a process kill does not lose bytes the kernel already
+/// accepted, `MemDir` keeps everything written — crash simulation is
+/// simply "stop the engine, reopen a `Store` over the same `MemDir`".
+/// Torn writes (the mid-`write(2)` crash) are injected with the budget.
+#[derive(Debug, Default)]
+pub struct MemDir {
+    inner: Mutex<MemInner>,
+}
+
+impl MemDir {
+    /// An empty in-memory directory.
+    pub fn new() -> MemDir {
+        MemDir::default()
+    }
+
+    /// Allow only `budget` more bytes of writes; the write that crosses
+    /// the limit lands partially (torn) and fails, and every later write
+    /// fails outright. [`clear_write_budget`](Self::clear_write_budget)
+    /// lifts the limit.
+    pub fn set_write_budget(&self, budget: u64) {
+        self.inner
+            .lock()
+            .expect("MemDir lock poisoned")
+            .write_budget = Some(budget);
+    }
+
+    /// Remove any write budget (writes succeed again).
+    pub fn clear_write_budget(&self) {
+        self.inner
+            .lock()
+            .expect("MemDir lock poisoned")
+            .write_budget = None;
+    }
+
+    /// Current contents of `name`, if present (test inspection).
+    pub fn contents(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .expect("MemDir lock poisoned")
+            .files
+            .get(name)
+            .cloned()
+    }
+
+    /// Overwrite `name` directly, bypassing budgets (test setup: torn
+    /// tails, bit flips).
+    pub fn put(&self, name: &str, data: Vec<u8>) {
+        self.inner
+            .lock()
+            .expect("MemDir lock poisoned")
+            .files
+            .insert(name.to_string(), data);
+    }
+
+    /// Take `budget` bytes out of the write budget; returns how many of
+    /// `want` bytes may land and whether the write must fail.
+    fn charge(inner: &mut MemInner, want: u64) -> (usize, bool) {
+        match inner.write_budget {
+            None => (want as usize, false),
+            Some(left) => {
+                let allowed = left.min(want);
+                inner.write_budget = Some(left - allowed);
+                (allowed as usize, allowed < want)
+            }
+        }
+    }
+}
+
+impl Dir for MemDir {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner
+            .lock()
+            .expect("MemDir lock poisoned")
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no file `{name}`")))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self
+            .inner
+            .lock()
+            .expect("MemDir lock poisoned")
+            .files
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("MemDir lock poisoned");
+        let (landed, torn) = Self::charge(&mut inner, data.len() as u64);
+        let file = inner.files.entry(name.to_string()).or_default();
+        file.extend_from_slice(&data[..landed]);
+        if torn {
+            Err(io::Error::other("injected torn write (budget exhausted)"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn sync(&self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn replace(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("MemDir lock poisoned");
+        let (_, torn) = Self::charge(&mut inner, data.len() as u64);
+        if torn {
+            // The real-filesystem contract is write-tmp-then-rename: a
+            // torn write dies in the tmp file and the target keeps its
+            // old contents.
+            return Err(io::Error::other("injected torn write (budget exhausted)"));
+        }
+        inner.files.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.inner
+            .lock()
+            .expect("MemDir lock poisoned")
+            .files
+            .remove(name);
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("MemDir lock poisoned");
+        match inner.files.get_mut(name) {
+            Some(f) => {
+                f.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no file `{name}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memdir_append_read_roundtrip() {
+        let d = MemDir::new();
+        d.append("a", b"hel").unwrap();
+        d.append("a", b"lo").unwrap();
+        assert_eq!(d.read("a").unwrap(), b"hello");
+        assert!(d.read("missing").is_err());
+        let mut names = d.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a"]);
+    }
+
+    #[test]
+    fn memdir_budget_injects_torn_writes() {
+        let d = MemDir::new();
+        d.append("w", b"0123").unwrap();
+        d.set_write_budget(3);
+        // 6 bytes wanted, 3 allowed: the prefix lands, the call fails.
+        assert!(d.append("w", b"abcdef").is_err());
+        assert_eq!(d.read("w").unwrap(), b"0123abc");
+        // Budget exhausted: nothing more lands.
+        assert!(d.append("w", b"x").is_err());
+        assert_eq!(d.read("w").unwrap(), b"0123abc");
+        d.clear_write_budget();
+        d.append("w", b"!").unwrap();
+        assert_eq!(d.read("w").unwrap(), b"0123abc!");
+    }
+
+    #[test]
+    fn memdir_torn_replace_keeps_old_contents() {
+        let d = MemDir::new();
+        d.replace("s", b"old").unwrap();
+        d.set_write_budget(2);
+        assert!(d.replace("s", b"newer").is_err());
+        assert_eq!(d.read("s").unwrap(), b"old");
+    }
+
+    #[test]
+    fn memdir_truncate_and_remove() {
+        let d = MemDir::new();
+        d.append("f", b"abcdef").unwrap();
+        d.truncate("f", 2).unwrap();
+        assert_eq!(d.read("f").unwrap(), b"ab");
+        d.remove("f").unwrap();
+        assert!(d.read("f").is_err());
+        d.remove("f").unwrap(); // idempotent
+    }
+}

@@ -1,0 +1,73 @@
+//! Failure modes of the durability layer.
+
+use std::fmt;
+use std::io;
+
+/// Shorthand result type for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The backing directory failed an I/O operation.
+    Io {
+        /// File the operation targeted (store-relative name).
+        file: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A persisted record is damaged in a way recovery must not paper
+    /// over: a checksum mismatch *before* the end of the log, an invalid
+    /// length prefix, a bad magic header, an undecodable payload, or a
+    /// snapshot that no longer replays against the topology. (A damaged
+    /// *final* record is a torn write and is dropped cleanly instead.)
+    Corrupt {
+        /// File the damage was found in (store-relative name).
+        file: String,
+        /// Byte offset of the damaged record within the file.
+        offset: u64,
+        /// What exactly failed to parse or verify.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Helper: wrap an I/O error with the file it concerned.
+    pub fn io(file: &str, source: io::Error) -> Self {
+        StoreError::Io {
+            file: file.to_string(),
+            source,
+        }
+    }
+
+    /// Helper: a corruption report.
+    pub fn corrupt(file: &str, offset: u64, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            file: file.to_string(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { file, source } => write!(f, "store io error on `{file}`: {source}"),
+            StoreError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt record in `{file}` at offset {offset}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}

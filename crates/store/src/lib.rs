@@ -1,0 +1,44 @@
+//! `gridband-store`: the durability subsystem of the reservation daemon.
+//!
+//! A crash or restart of `gridband-serve` must not silently void the
+//! bandwidth commitments its admission rounds handed out. This crate
+//! gives the engine a write-ahead log of *round outcomes* plus periodic
+//! snapshots of its full state, and a recovery path that rebuilds the
+//! exact pre-crash engine:
+//!
+//! * [`dir`] — the [`Dir`](dir::Dir) filesystem abstraction. Production
+//!   uses [`FsDir`](dir::FsDir); tests use [`MemDir`](dir::MemDir),
+//!   which can cut writes mid-record to inject torn-write crashes.
+//! * [`wal`] — length-prefixed, CRC32-checksummed record framing and the
+//!   scan that classifies damage: a torn *tail* (incomplete record, or a
+//!   checksum mismatch on the final record) is dropped cleanly, while a
+//!   corrupt *mid-log* record fails with [`StoreError::Corrupt`] and its
+//!   exact byte offset.
+//! * [`store`] — [`Store`](store::Store): generation-numbered WAL +
+//!   snapshot files, fsync policies, and log truncation once a snapshot
+//!   is durable.
+//! * [`records`] — the typed payloads the serve engine logs: one
+//!   [`WalRecord::Round`](records::WalRecord::Round) per admission round
+//!   (its whole decision batch in one atomic record), plus cancels and
+//!   early rejects, and the [`EngineSnapshot`](records::EngineSnapshot)
+//!   state image.
+//!
+//! The correctness bar, proven by `gridband-serve`'s
+//! recovery-equivalence tests: a daemon killed at any round boundary or
+//! torn-write point and then recovered decides the rest of the workload
+//! *bit-identically* to a never-killed daemon — same accepted set, same
+//! per-request `bw/σ/τ`, same final port profiles.
+
+#![warn(missing_docs)]
+
+pub mod dir;
+pub mod error;
+pub mod records;
+pub mod store;
+pub mod wal;
+
+pub use dir::{Dir, FsDir, MemDir};
+pub use error::{StoreError, StoreResult};
+pub use records::{EngineSnapshot, RequestOutcome, RoundDecision, WalRecord, SNAPSHOT_VERSION};
+pub use store::{Append, FsyncPolicy, Recovered, Store, StoreConfig};
+pub use wal::crc32;

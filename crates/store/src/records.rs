@@ -1,0 +1,263 @@
+//! Typed payloads the serve engine writes through the [`Store`].
+//!
+//! The central design decision is that one admission round is **one**
+//! WAL record: [`WalRecord::Round`] carries the round's virtual time and
+//! its *entire* decision batch. A crash while the record is in flight
+//! therefore drops the whole round atomically — recovery lands exactly
+//! at the end of round `k − 1`, clients resubmit their unreplied
+//! requests, and the re-run round re-decides them bit-identically (the
+//! policies in `gridband-algos` depend only on decision-time state, see
+//! the recovery-equivalence tests in `gridband-serve`). There is never a
+//! half-applied round to reconcile.
+//!
+//! Payloads are serialized as JSON (via the vendored `serde_json`, whose
+//! float formatting round-trips `f64` bit-exactly) and framed/checksummed
+//! by the [`wal`](crate::wal) layer. Corruption that survives the CRC —
+//! possible only through version drift or a writer bug — is still
+//! reported as a precise [`StoreError::Corrupt`] with the record's byte
+//! offset, never a panic.
+//!
+//! [`Store`]: crate::store::Store
+
+use crate::error::{StoreError, StoreResult};
+use gridband_net::LedgerState;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp inside [`EngineSnapshot`]; bump on layout changes so a
+/// newer daemon refuses (rather than misreads) an older image.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One admission decision inside a [`WalRecord::Round`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RoundDecision {
+    /// The request was admitted with an assigned `(bw, σ, τ)`.
+    Accept {
+        /// Engine-assigned request id.
+        id: u64,
+        /// Ingress port index of the booked route.
+        ingress: u32,
+        /// Egress port index of the booked route.
+        egress: u32,
+        /// Assigned constant bandwidth (MB/s).
+        bw: f64,
+        /// Assigned start instant σ (virtual seconds).
+        start: f64,
+        /// Assigned finish instant τ (virtual seconds).
+        finish: f64,
+        /// The client cancelled while the request was still pending; the
+        /// acceptance was immediately voided. Replay must book then
+        /// cancel so reservation-id allocation stays in sync.
+        cancelled: bool,
+    },
+    /// The request was rejected in this round.
+    Reject {
+        /// Engine-assigned request id.
+        id: u64,
+    },
+}
+
+/// One durable event in the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// An admission round completed: the virtual round time and every
+    /// decision it produced, in decision order, as one atomic record.
+    Round {
+        /// Virtual time of the round tick.
+        t: f64,
+        /// The round's full decision batch, in the order decided.
+        decisions: Vec<RoundDecision>,
+    },
+    /// A live (already accepted) reservation was cancelled between
+    /// rounds, freeing its capacity.
+    Cancel {
+        /// Request id whose reservation was cancelled.
+        id: u64,
+    },
+    /// A request was refused before ever reaching a round (invalid,
+    /// unknown route, queue full). Logged so recovery keeps the request
+    /// id counter and outcome history in sync.
+    EarlyReject {
+        /// Engine-assigned request id.
+        id: u64,
+    },
+}
+
+/// Terminal outcome of a request, kept in the snapshot so `Query`
+/// replies survive recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Admitted (and still live or already finished).
+    Accepted,
+    /// Rejected.
+    Rejected,
+    /// Cancelled by the client.
+    Cancelled,
+}
+
+/// A complete image of the engine's durable state at a round boundary.
+///
+/// The ledger is carried as an exported [`LedgerState`] — port profiles
+/// verbatim, **not** rebuilt by replaying reservations — so the restored
+/// breakpoint vectors are bit-identical to the originals regardless of
+/// float-addition order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Layout version; must equal [`SNAPSHOT_VERSION`].
+    pub version: u32,
+    /// Virtual clock at the snapshot instant.
+    pub now: f64,
+    /// Next scheduled round tick.
+    pub next_tick: f64,
+    /// Rounds executed so far.
+    pub rounds: u64,
+    /// Full capacity-ledger state (profiles + live reservations).
+    pub ledger: LedgerState,
+    /// Map of request id → live reservation id.
+    pub accepted: Vec<(u64, u64)>,
+    /// Terminal outcomes, oldest first (bounded by the engine's history
+    /// capacity).
+    pub states: Vec<(u64, RequestOutcome)>,
+}
+
+fn decode_json<T: Deserialize>(
+    kind: &str,
+    file: &str,
+    offset: u64,
+    payload: &[u8],
+) -> StoreResult<T> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| StoreError::corrupt(file, offset, format!("{kind} payload is not UTF-8")))?;
+    serde_json::from_str(text).map_err(|e| {
+        StoreError::corrupt(file, offset, format!("{kind} payload does not parse: {e}"))
+    })
+}
+
+impl WalRecord {
+    /// Serialize to the byte payload handed to [`Store::append`].
+    ///
+    /// [`Store::append`]: crate::store::Store::append
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("WAL record serialization is infallible")
+            .into_bytes()
+    }
+
+    /// Decode a payload recovered from the WAL. `file`/`offset` locate
+    /// the record for the [`StoreError::Corrupt`] this returns when a
+    /// CRC-valid payload does not parse.
+    pub fn decode(file: &str, offset: u64, payload: &[u8]) -> StoreResult<Self> {
+        decode_json("WAL record", file, offset, payload)
+    }
+}
+
+impl EngineSnapshot {
+    /// Serialize to the byte payload handed to [`Store::install_snapshot`].
+    ///
+    /// [`Store::install_snapshot`]: crate::store::Store::install_snapshot
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("snapshot serialization is infallible")
+            .into_bytes()
+    }
+
+    /// Decode a recovered snapshot payload, checking the version stamp.
+    pub fn decode(file: &str, payload: &[u8]) -> StoreResult<Self> {
+        let snap: EngineSnapshot = decode_json("snapshot", file, 0, payload)?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(StoreError::corrupt(
+                file,
+                0,
+                format!(
+                    "snapshot version {} (this build reads {})",
+                    snap.version, SNAPSHOT_VERSION
+                ),
+            ));
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_net::{CapacityLedger, Route, Topology};
+
+    fn sample_round() -> WalRecord {
+        WalRecord::Round {
+            t: 12.5,
+            decisions: vec![
+                RoundDecision::Accept {
+                    id: 3,
+                    ingress: 0,
+                    egress: 1,
+                    bw: 12.437_218_9,
+                    start: 12.5,
+                    finish: 97.062_5,
+                    cancelled: false,
+                },
+                RoundDecision::Reject { id: 4 },
+                RoundDecision::Accept {
+                    id: 5,
+                    ingress: 1,
+                    egress: 0,
+                    bw: 0.1 + 0.2, // deliberately non-representable sum
+                    start: 12.5,
+                    finish: 50.0,
+                    cancelled: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn wal_record_round_trips_bit_exactly() {
+        for rec in [
+            sample_round(),
+            WalRecord::Cancel { id: 7 },
+            WalRecord::EarlyReject { id: 9 },
+        ] {
+            let bytes = rec.encode();
+            let back = WalRecord::decode("w", 8, &bytes).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_checks_version() {
+        let mut ledger = CapacityLedger::new(Topology::uniform(2, 2, 100.0));
+        ledger.reserve(Route::new(0, 1), 0.0, 10.0, 33.3).unwrap();
+        let snap = EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            now: 10.0,
+            next_tick: 15.0,
+            rounds: 2,
+            ledger: ledger.export_state(),
+            accepted: vec![(3, 0)],
+            states: vec![(1, RequestOutcome::Rejected), (3, RequestOutcome::Accepted)],
+        };
+        let bytes = snap.encode();
+        let back = EngineSnapshot::decode("s", &bytes).unwrap();
+        assert_eq!(back, snap);
+
+        let mut stale = snap.clone();
+        stale.version = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            EngineSnapshot::decode("s", &stale.encode()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_payloads_are_corrupt_not_panics() {
+        for junk in [&b"\xFF\xFE"[..], b"{\"Round\":", b"42", b"{\"Nope\":{}}"] {
+            match WalRecord::decode("w", 16, junk) {
+                Err(StoreError::Corrupt { offset: 16, .. }) => {}
+                other => panic!("expected Corrupt at 16, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            EngineSnapshot::decode("s", b"not json"),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

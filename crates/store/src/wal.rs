@@ -1,0 +1,335 @@
+//! Record framing for the write-ahead log and snapshot files.
+//!
+//! A framed record is `[len: u32 LE][crc32: u32 LE][payload]` where the
+//! checksum covers the payload. Files open with an 8-byte magic header
+//! naming the format, so a WAL is never confused with a snapshot (or
+//! with unrelated junk in the directory).
+//!
+//! # Damage classification
+//!
+//! [`scan_wal`] embodies the recovery contract:
+//!
+//! * a record whose header or payload does not fit in the remaining
+//!   bytes is a **torn tail** — the crash cut an in-flight `write(2)`
+//!   short. The valid prefix is kept, the tail dropped, recovery is
+//!   clean;
+//! * a checksum mismatch on the **final** record (it extends exactly to
+//!   end of file) is the same torn-tail case and is dropped cleanly;
+//! * a checksum mismatch (or impossible length) with more bytes after
+//!   it is **mid-log corruption** — bytes the writer had already moved
+//!   past were altered. That is never survivable-by-dropping: recovery
+//!   fails with [`StoreError::Corrupt`] naming the exact offset.
+
+use crate::error::{StoreError, StoreResult};
+use std::sync::OnceLock;
+
+/// Magic header starting every WAL file.
+pub const MAGIC_WAL: &[u8; 8] = b"GBWAL01\n";
+/// Magic header starting every snapshot file.
+pub const MAGIC_SNAP: &[u8; 8] = b"GBSNAP1\n";
+/// Bytes of framing overhead per record (length prefix + checksum).
+pub const RECORD_HEADER: usize = 8;
+/// Upper bound on a single record's payload. A writer never exceeds it,
+/// so a larger length prefix can only come from corruption.
+pub const MAX_RECORD: u32 = 1 << 26; // 64 MiB
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/`crc32fast` polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frame one payload: `[len][crc][payload]`.
+///
+/// Panics if the payload exceeds [`MAX_RECORD`] — the engine's round
+/// records are orders of magnitude smaller, so this is a logic error,
+/// not an input condition.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_RECORD as usize,
+        "record payload of {} bytes exceeds MAX_RECORD",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Each intact record: `(byte offset of its header, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Bytes of the file covered by the magic plus intact records; a
+    /// torn tail (if any) starts here and should be truncated away
+    /// before new records are appended.
+    pub valid_len: u64,
+    /// Whether a torn tail was dropped.
+    pub truncated: bool,
+}
+
+/// Scan a WAL file's bytes, applying the damage classification above.
+/// `file` is only used for error reporting.
+pub fn scan_wal(file: &str, data: &[u8]) -> StoreResult<WalScan> {
+    // The magic itself can be torn by a crash during file creation.
+    if data.len() < MAGIC_WAL.len() {
+        if *data == MAGIC_WAL[..data.len()] {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                truncated: !data.is_empty(),
+            });
+        }
+        return Err(StoreError::corrupt(file, 0, "bad WAL magic header"));
+    }
+    if data[..MAGIC_WAL.len()] != MAGIC_WAL[..] {
+        return Err(StoreError::corrupt(file, 0, "bad WAL magic header"));
+    }
+
+    let mut records = Vec::new();
+    let mut off = MAGIC_WAL.len();
+    loop {
+        let remaining = data.len() - off;
+        if remaining == 0 {
+            return Ok(WalScan {
+                records,
+                valid_len: off as u64,
+                truncated: false,
+            });
+        }
+        if remaining < RECORD_HEADER {
+            return Ok(WalScan {
+                records,
+                valid_len: off as u64,
+                truncated: true,
+            });
+        }
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"));
+        if len > MAX_RECORD {
+            // A writer never produces such a length; the header bytes
+            // were altered after being written.
+            return Err(StoreError::corrupt(
+                file,
+                off as u64,
+                format!("record length {len} exceeds MAX_RECORD"),
+            ));
+        }
+        let want_crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("4 bytes"));
+        let body_end = off + RECORD_HEADER + len as usize;
+        if body_end > data.len() {
+            // Payload cut short: torn tail.
+            return Ok(WalScan {
+                records,
+                valid_len: off as u64,
+                truncated: true,
+            });
+        }
+        let payload = &data[off + RECORD_HEADER..body_end];
+        if crc32(payload) != want_crc {
+            if body_end == data.len() {
+                // Final record damaged: a torn write of the payload's
+                // tail bytes. Drop it cleanly.
+                return Ok(WalScan {
+                    records,
+                    valid_len: off as u64,
+                    truncated: true,
+                });
+            }
+            return Err(StoreError::corrupt(
+                file,
+                off as u64,
+                "checksum mismatch before end of log",
+            ));
+        }
+        records.push((off as u64, payload.to_vec()));
+        off = body_end;
+    }
+}
+
+/// Parse a snapshot file: magic plus exactly one framed record.
+///
+/// Snapshots are written atomically (tmp + fsync + rename), so unlike a
+/// WAL tail they are never legitimately torn: *any* damage is reported
+/// as [`StoreError::Corrupt`].
+pub fn parse_snapshot(file: &str, data: &[u8]) -> StoreResult<Vec<u8>> {
+    if data.len() < MAGIC_SNAP.len() || data[..MAGIC_SNAP.len()] != MAGIC_SNAP[..] {
+        return Err(StoreError::corrupt(file, 0, "bad snapshot magic header"));
+    }
+    let off = MAGIC_SNAP.len();
+    if data.len() - off < RECORD_HEADER {
+        return Err(StoreError::corrupt(
+            file,
+            off as u64,
+            "snapshot record header missing",
+        ));
+    }
+    let len = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"));
+    let want_crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("4 bytes"));
+    let body_end = off + RECORD_HEADER + len as usize;
+    if len > MAX_RECORD || body_end != data.len() {
+        return Err(StoreError::corrupt(
+            file,
+            off as u64,
+            "snapshot length does not match file size",
+        ));
+    }
+    let payload = &data[off + RECORD_HEADER..body_end];
+    if crc32(payload) != want_crc {
+        return Err(StoreError::corrupt(
+            file,
+            off as u64,
+            "snapshot checksum mismatch",
+        ));
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wal_with(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut data = MAGIC_WAL.to_vec();
+        for p in payloads {
+            data.extend_from_slice(&frame_record(p));
+        }
+        data
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn scan_recovers_all_intact_records() {
+        let data = wal_with(&[b"one", b"two", b"three"]);
+        let scan = scan_wal("w", &data).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0].1, b"one");
+        assert_eq!(scan.records[2].1, b"three");
+        assert_eq!(scan.valid_len, data.len() as u64);
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_cleanly() {
+        let full = wal_with(&[b"aaaa", b"bbbb"]);
+        // Cut anywhere inside the second record (header or payload).
+        for cut in (full.len() - 11)..full.len() - 1 {
+            let scan = scan_wal("w", &full[..cut]).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert!(scan.truncated, "cut at {cut}");
+            assert_eq!(scan.valid_len as usize, full.len() - 12, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn damaged_final_record_is_torn_not_corrupt() {
+        let mut data = wal_with(&[b"aaaa", b"bbbb"]);
+        let n = data.len();
+        data[n - 1] ^= 0xFF; // flip a payload byte of the last record
+        let scan = scan_wal("w", &data).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated);
+    }
+
+    #[test]
+    fn damaged_mid_log_record_is_corrupt_with_offset() {
+        let mut data = wal_with(&[b"aaaa", b"bbbb"]);
+        // Flip a payload byte of the FIRST record: damage before EOF.
+        data[MAGIC_WAL.len() + RECORD_HEADER] ^= 0x01;
+        match scan_wal("w", &data) {
+            Err(StoreError::Corrupt { offset, .. }) => {
+                assert_eq!(offset, MAGIC_WAL.len() as u64);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_length_is_corrupt() {
+        let mut data = wal_with(&[b"aaaa"]);
+        let off = MAGIC_WAL.len();
+        data[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            scan_wal("w", &data),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt_and_partial_magic_is_torn() {
+        assert!(matches!(
+            scan_wal("w", b"NOTMAGIC"),
+            Err(StoreError::Corrupt { offset: 0, .. })
+        ));
+        let scan = scan_wal("w", &MAGIC_WAL[..3]).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, 0);
+        let scan = scan_wal("w", b"").unwrap();
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn empty_payload_records_are_legal() {
+        let data = wal_with(&[b"", b"x"]);
+        let scan = scan_wal("w", &data).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].1, b"");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_damage() {
+        let mut data = MAGIC_SNAP.to_vec();
+        data.extend_from_slice(&frame_record(b"state"));
+        assert_eq!(parse_snapshot("s", &data).unwrap(), b"state");
+
+        let mut flipped = data.clone();
+        let n = flipped.len();
+        flipped[n - 1] ^= 0x10;
+        assert!(matches!(
+            parse_snapshot("s", &flipped),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Trailing junk after the single record is also corruption.
+        let mut long = data.clone();
+        long.push(0);
+        assert!(matches!(
+            parse_snapshot("s", &long),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            parse_snapshot("s", b"short"),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end [`FsDir`] lifecycle on a real filesystem: the durability
+//! path production runs, exercised under `CARGO_TARGET_TMPDIR` (inside
+//! `target/`, so nothing escapes the workspace).
+
+use gridband_store::{FsDir, FsyncPolicy, Store, StoreError};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir); // stale state from earlier runs
+    dir
+}
+
+#[test]
+fn fsdir_full_lifecycle_survives_reopen() {
+    let path = tmp("lifecycle");
+    let dir = Arc::new(FsDir::new(&path).unwrap());
+    let (mut store, rec) = Store::open(dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(rec.gen, 0);
+    assert!(rec.snapshot.is_none());
+
+    assert!(store.append(b"round-1").unwrap().fsync.is_some());
+    store.append(b"round-2").unwrap();
+    store.install_snapshot(b"STATE@2").unwrap();
+    store.append(b"round-3").unwrap();
+    drop(store);
+
+    // A brand-new FsDir over the same path sees everything.
+    let dir = Arc::new(FsDir::new(&path).unwrap());
+    let (mut store, rec) = Store::open(dir, FsyncPolicy::Round).unwrap();
+    assert_eq!(rec.gen, 1);
+    assert_eq!(rec.snapshot.as_deref(), Some(b"STATE@2".as_slice()));
+    let payloads: Vec<_> = rec.records.iter().map(|(_, p)| p.as_slice()).collect();
+    assert_eq!(payloads, vec![b"round-3".as_slice()]);
+    assert!(!rec.truncated_tail);
+
+    // Only the live generation remains on disk (plus nothing else).
+    let mut names: Vec<_> = std::fs::read_dir(&path)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["snap-1", "wal-1"]);
+
+    store.append(b"round-4").unwrap();
+    assert!(store.round_barrier().unwrap().is_some());
+}
+
+#[test]
+fn fsdir_truncates_torn_tail_and_sweeps_tmp_files() {
+    let path = tmp("torn");
+    let dir = Arc::new(FsDir::new(&path).unwrap());
+    let (mut store, _) = Store::open(dir, FsyncPolicy::Off).unwrap();
+    store.append(b"keep-me").unwrap();
+    store.append(b"torn-record").unwrap();
+    drop(store);
+
+    // Simulate a crash mid-append (cut the final payload short) plus an
+    // interrupted atomic replace leaving a temp file behind.
+    let wal = path.join("wal-0");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+    std::fs::write(path.join(".tmp.snap-9"), b"half-written").unwrap();
+
+    let dir = Arc::new(FsDir::new(&path).unwrap());
+    let (mut store, rec) = Store::open(dir, FsyncPolicy::Off).unwrap();
+    assert!(rec.truncated_tail);
+    let payloads: Vec<_> = rec.records.iter().map(|(_, p)| p.as_slice()).collect();
+    assert_eq!(payloads, vec![b"keep-me".as_slice()]);
+    assert!(!path.join(".tmp.snap-9").exists(), "tmp leftovers swept");
+
+    // The repaired log extends cleanly.
+    store.append(b"after-repair").unwrap();
+    drop(store);
+    let dir = Arc::new(FsDir::new(&path).unwrap());
+    let (_, rec) = Store::open(dir, FsyncPolicy::Off).unwrap();
+    assert!(!rec.truncated_tail);
+    let payloads: Vec<_> = rec.records.iter().map(|(_, p)| p.as_slice()).collect();
+    assert_eq!(
+        payloads,
+        vec![b"keep-me".as_slice(), b"after-repair".as_slice()]
+    );
+}
+
+#[test]
+fn fsdir_reports_mid_log_corruption_with_file_and_offset() {
+    let path = tmp("corrupt");
+    let dir = Arc::new(FsDir::new(&path).unwrap());
+    let (mut store, _) = Store::open(dir, FsyncPolicy::Off).unwrap();
+    store.append(b"first").unwrap();
+    store.append(b"second").unwrap();
+    drop(store);
+
+    let wal = path.join("wal-0");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes[8 + 8] ^= 0x80; // first payload byte of the first record
+    std::fs::write(&wal, bytes).unwrap();
+
+    let dir = Arc::new(FsDir::new(&path).unwrap());
+    match Store::open(dir, FsyncPolicy::Off) {
+        Err(StoreError::Corrupt { file, offset, .. }) => {
+            assert_eq!(file, "wal-0");
+            assert_eq!(offset, 8);
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}

@@ -19,4 +19,7 @@ cargo test --workspace
 echo "== bench smoke ==" >&2
 scripts/bench.sh --smoke --out=target/BENCH_admission.smoke.json
 
+echo "== recovery smoke ==" >&2
+scripts/recovery_smoke.sh
+
 echo "verify: all green" >&2

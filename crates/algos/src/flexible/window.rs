@@ -27,12 +27,63 @@
 //! engine — book the round's accepts with one
 //! [`CapacityLedger::reserve_all`] call, touching each port's query index
 //! once per round instead of once per accept.
+//!
+//! **Shard-parallel rounds.** Two candidates of one batch interact only
+//! through a shared ingress or egress port, so the batch splits into the
+//! connected components of its port-conflict graph
+//! ([`gridband_net::partition_routes`]) — independent shards with
+//! disjoint port sets. With [`WindowScheduler::with_threads`] (or
+//! `GRIDBAND_ADMIT_THREADS`) the selection loop runs per shard on a
+//! scoped thread pool, and the shard outcomes are merged by the canonical
+//! `(cost, original index)` key — the same total order the sequential
+//! loop follows — so decisions, tie-breaks, and every downstream booking
+//! are **bit-identical** to the sequential path (which `threads = 1`
+//! runs unchanged, with no partitioning at all). The equivalence is
+//! enforced by the differential suite in
+//! `crates/algos/tests/parallel_differential.rs`.
 
 use crate::policy::BandwidthPolicy;
 use gridband_net::units::Time;
-use gridband_net::CapacityLedger;
+use gridband_net::{partition_routes, CapacityLedger, Route, Topology};
 use gridband_sim::{AdmissionController, Decision};
 use gridband_workload::{Request, RequestId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One policy-resolved candidate of a decision batch. `orig` is its
+/// position among the batch's candidates — the canonical tie-break key,
+/// stable across any partitioning of the batch.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    orig: usize,
+    req: Request,
+    bw: f64,
+    finish: Time,
+}
+
+/// One shard-local accept, keyed for the cross-shard merge. The key
+/// `(cost, orig)` is strictly increasing along a shard's pick sequence
+/// (costs only grow as accepts land; equal costs resolve by `orig`,
+/// which the min-selection would have taken earlier), and unique across
+/// shards (distinct `orig`), so merging shard streams by key reproduces
+/// the sequential pick order exactly.
+#[derive(Debug, Clone, Copy)]
+struct Pick {
+    cost: f64,
+    orig: usize,
+}
+
+/// Outcome of running Algorithm 3's selection loop over one shard:
+/// the picks in selection order, plus the terminal break event — the
+/// `(cost, orig)` of the shard's cheapest remaining candidate when it no
+/// longer fit. A `None` break means the shard accepted all its members.
+#[derive(Debug, Clone)]
+struct ShardRun {
+    picks: Vec<Pick>,
+    brk: Option<Pick>,
+    /// FCFS-mode decisions `(orig, accepted)`, in member (= arrival)
+    /// order; empty in cost mode.
+    fcfs: Vec<(usize, bool)>,
+}
 
 /// Algorithm 3: interval-based admission with saturation-cost selection.
 #[derive(Debug, Clone)]
@@ -40,18 +91,26 @@ pub struct WindowScheduler {
     step: Time,
     policy: BandwidthPolicy,
     order_by_cost: bool,
+    threads: usize,
+    last_shards: usize,
+    last_largest_shard: usize,
     pending: Vec<Request>,
 }
 
 impl WindowScheduler {
     /// Interval scheduler with period `t_step` seconds and the given
-    /// bandwidth policy.
+    /// bandwidth policy. Admission parallelism defaults to
+    /// [`gridband_net::default_admit_threads`] (the
+    /// `GRIDBAND_ADMIT_THREADS` environment variable, 1 when unset).
     pub fn new(step: Time, policy: BandwidthPolicy) -> Self {
         assert!(step > 0.0, "t_step must be positive");
         WindowScheduler {
             step,
             policy,
             order_by_cost: true,
+            threads: gridband_net::default_admit_threads(),
+            last_shards: 0,
+            last_largest_shard: 0,
             pending: Vec::new(),
         }
     }
@@ -63,6 +122,30 @@ impl WindowScheduler {
         self
     }
 
+    /// Decide batches shard-parallel on up to `threads` OS threads
+    /// (`0` and `1` both mean sequential). Decisions are bit-identical
+    /// for every thread count; see [`Self::decide_batch`]'s internals.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Configured admission parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of conflict-graph shards the most recent decision batch
+    /// split into (0 before any batch; 1 when run sequentially).
+    pub fn last_round_shards(&self) -> usize {
+        self.last_shards
+    }
+
+    /// Candidate count of the largest shard in the most recent batch.
+    pub fn last_round_largest_shard(&self) -> usize {
+        self.last_largest_shard
+    }
+
     /// The interval length `t_step`.
     pub fn step(&self) -> Time {
         self.step
@@ -70,6 +153,8 @@ impl WindowScheduler {
 
     fn decide_batch(&mut self, ledger: &CapacityLedger, now: Time) -> Vec<(RequestId, Decision)> {
         if self.pending.is_empty() {
+            self.last_shards = 0;
+            self.last_largest_shard = 0;
             return Vec::new();
         }
         let mut out = Vec::with_capacity(self.pending.len());
@@ -80,96 +165,300 @@ impl WindowScheduler {
         // (and exact, for batch acceptances starting at `now`) view of the
         // future.
         let topo = ledger.topology();
-        let mut ali: Vec<f64> = topo
+        let ali: Vec<f64> = topo
             .ingress_ids()
             .map(|i| ledger.ingress_profile(i).alloc_at(now))
             .collect();
-        let mut ale: Vec<f64> = topo
+        let ale: Vec<f64> = topo
             .egress_ids()
             .map(|e| ledger.egress_profile(e).alloc_at(now))
             .collect();
 
         // Resolve each candidate's bandwidth at the decision time; those
         // whose deadline became unreachable are rejected immediately.
-        let mut candidates: Vec<(Request, f64, Time)> = Vec::new();
+        // The policy reads only the request and `now` — never port state —
+        // so this pass is identical under every shard layout.
+        let mut candidates: Vec<Candidate> = Vec::new();
         for req in self.pending.drain(..) {
             match self.policy.assign(&req, now) {
                 Some(bw) => {
                     let finish = req.completion_at(now, bw);
-                    candidates.push((req, bw, finish));
+                    candidates.push(Candidate {
+                        orig: candidates.len(),
+                        req,
+                        bw,
+                        finish,
+                    });
                 }
                 None => out.push((req.id, Decision::Reject)),
             }
         }
-
-        let cost_of = |ali: &[f64], ale: &[f64], req: &Request, bw: f64| -> f64 {
-            let i = req.route.ingress;
-            let e = req.route.egress;
-            let in_util = (ali[i.index()] + bw) / topo.ingress_cap(i);
-            let out_util = (ale[e.index()] + bw) / topo.egress_cap(e);
-            in_util.max(out_util)
-        };
-        // Acceptance must use the ledger's *absolute* tolerance — a
-        // relative slack on the cost (≤ 1 + ε) would overshoot port
-        // capacity by ε × B and be rejected at reservation time.
-        let fits = |ali: &[f64], ale: &[f64], req: &Request, bw: f64| -> bool {
-            let i = req.route.ingress;
-            let e = req.route.egress;
-            gridband_net::units::approx_le(ali[i.index()] + bw, topo.ingress_cap(i))
-                && gridband_net::units::approx_le(ale[e.index()] + bw, topo.egress_cap(e))
+        self.last_shards = usize::from(!candidates.is_empty());
+        self.last_largest_shard = candidates.len();
+        let accept_of = |c: &Candidate| Decision::Accept {
+            bw: c.bw,
+            start: now,
+            finish: c.finish,
         };
 
-        let accept = |req: &Request,
-                      bw: f64,
-                      finish: Time,
-                      ali: &mut [f64],
-                      ale: &mut [f64],
-                      out: &mut Vec<(RequestId, Decision)>| {
-            ali[req.route.ingress.index()] += bw;
-            ale[req.route.egress.index()] += bw;
-            out.push((
-                req.id,
-                Decision::Accept {
-                    bw,
-                    start: now,
-                    finish,
-                },
-            ));
-        };
-
-        if self.order_by_cost {
-            // Paper: repeatedly admit the minimum-cost candidate until the
-            // cheapest one would saturate a port.
-            while !candidates.is_empty() {
-                let (best_idx, _) = candidates
+        if self.threads > 1 && candidates.len() > 1 {
+            // Shard-parallel path: split the batch into the connected
+            // components of its port-conflict graph, run the selection
+            // loop per component concurrently, merge canonically.
+            let partition = partition_routes(
+                &candidates
                     .iter()
-                    .enumerate()
-                    .map(|(k, (req, bw, _))| (k, cost_of(&ali, &ale, req, *bw)))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
-                    .expect("non-empty");
-                if !fits(&ali, &ale, &candidates[best_idx].0, candidates[best_idx].1) {
-                    // The cheapest candidate saturates a port (cost > 1):
-                    // reject everything left.
-                    for (req, _, _) in candidates.drain(..) {
-                        out.push((req.id, Decision::Reject));
+                    .map(|c| c.req.route)
+                    .collect::<Vec<Route>>(),
+            );
+            self.last_shards = partition.len();
+            self.last_largest_shard = partition.largest();
+            let components = partition.components();
+            let ncomp = components.len();
+            let runs: Vec<ShardRun> = if ncomp == 1 {
+                // One giant component: nothing to parallelize.
+                let (mut ali, mut ale) = (ali, ale);
+                vec![run_shard(
+                    topo,
+                    &candidates,
+                    &components[0].members,
+                    self.order_by_cost,
+                    &mut ali,
+                    &mut ale,
+                )]
+            } else {
+                let slots: Vec<std::sync::Mutex<Option<ShardRun>>> =
+                    (0..ncomp).map(|_| std::sync::Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                let order_by_cost = self.order_by_cost;
+                let result = crossbeam::thread::scope(|scope| {
+                    for _ in 0..self.threads.min(ncomp) {
+                        scope.spawn(|_| loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= ncomp {
+                                break;
+                            }
+                            // Full clones of the scalar trackers: a shard
+                            // only ever reads/writes its own component's
+                            // ports, so clones keep port indexing direct
+                            // without any cross-shard visibility.
+                            let mut ali_l = ali.clone();
+                            let mut ale_l = ale.clone();
+                            let run = run_shard(
+                                topo,
+                                &candidates,
+                                &components[k].members,
+                                order_by_cost,
+                                &mut ali_l,
+                                &mut ale_l,
+                            );
+                            *slots[k].lock().expect("shard slot poisoned") = Some(run);
+                        });
                     }
-                    break;
+                });
+                if let Err(panic) = result {
+                    std::panic::resume_unwind(panic);
                 }
-                let (req, bw, finish) = candidates.swap_remove(best_idx);
-                accept(&req, bw, finish, &mut ali, &mut ale, &mut out);
+                slots
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .expect("shard slot poisoned")
+                            .expect("every shard ran")
+                    })
+                    .collect()
+            };
+
+            if self.order_by_cost {
+                // K-way merge of the shard pick streams by `(cost, orig)`.
+                // Each stream is strictly increasing in that key and the
+                // shards are independent, so at every step the smallest
+                // head equals the candidate the sequential loop would
+                // select next. A `brk` head with the smallest key means
+                // the sequential loop's cheapest remaining candidate no
+                // longer fits — the global stop: reject everything not
+                // yet accepted (shard picks past that point never booked
+                // anything; they are simply discarded).
+                let mut cursor = vec![0usize; runs.len()];
+                let mut taken = vec![false; candidates.len()];
+                let mut broke = false;
+                loop {
+                    let mut best: Option<(f64, usize, usize, bool)> = None;
+                    for (s, run) in runs.iter().enumerate() {
+                        let head = if cursor[s] < run.picks.len() {
+                            Some((run.picks[cursor[s]], false))
+                        } else {
+                            run.brk.map(|p| (p, true))
+                        };
+                        if let Some((p, is_brk)) = head {
+                            if best.is_none_or(|(c, o, _, _)| (p.cost, p.orig) < (c, o)) {
+                                best = Some((p.cost, p.orig, s, is_brk));
+                            }
+                        }
+                    }
+                    match best {
+                        None => break,
+                        Some((_, orig, s, false)) => {
+                            cursor[s] += 1;
+                            taken[orig] = true;
+                            let c = &candidates[orig];
+                            out.push((c.req.id, accept_of(c)));
+                        }
+                        Some((_, _, _, true)) => {
+                            broke = true;
+                            break;
+                        }
+                    }
+                }
+                if broke {
+                    for c in &candidates {
+                        if !taken[c.orig] {
+                            out.push((c.req.id, Decision::Reject));
+                        }
+                    }
+                }
+            } else {
+                // FCFS: each shard decided its members in arrival order;
+                // a decision depends only on earlier same-port accepts,
+                // which live in the same shard. Merging by `orig` is the
+                // sequential order.
+                let mut decisions: Vec<(usize, bool)> =
+                    runs.iter().flat_map(|r| r.fcfs.iter().copied()).collect();
+                decisions.sort_unstable_by_key(|&(orig, _)| orig);
+                for (orig, accepted) in decisions {
+                    let c = &candidates[orig];
+                    if accepted {
+                        out.push((c.req.id, accept_of(c)));
+                    } else {
+                        out.push((c.req.id, Decision::Reject));
+                    }
+                }
             }
         } else {
-            // Ablation: FCFS within the interval.
-            for (req, bw, finish) in candidates.drain(..) {
-                if fits(&ali, &ale, &req, bw) {
-                    accept(&req, bw, finish, &mut ali, &mut ale, &mut out);
-                } else {
-                    out.push((req.id, Decision::Reject));
+            // Sequential reference path: the whole batch as one shard,
+            // no partitioning, no merge — this is what the differential
+            // layer compares the parallel path against.
+            let members: Vec<usize> = (0..candidates.len()).collect();
+            let (mut ali, mut ale) = (ali, ale);
+            let run = run_shard(
+                topo,
+                &candidates,
+                &members,
+                self.order_by_cost,
+                &mut ali,
+                &mut ale,
+            );
+            if self.order_by_cost {
+                let mut taken = vec![false; candidates.len()];
+                for p in &run.picks {
+                    taken[p.orig] = true;
+                    let c = &candidates[p.orig];
+                    out.push((c.req.id, accept_of(c)));
+                }
+                if run.brk.is_some() {
+                    for c in &candidates {
+                        if !taken[c.orig] {
+                            out.push((c.req.id, Decision::Reject));
+                        }
+                    }
+                }
+            } else {
+                for (orig, accepted) in run.fcfs {
+                    let c = &candidates[orig];
+                    if accepted {
+                        out.push((c.req.id, accept_of(c)));
+                    } else {
+                        out.push((c.req.id, Decision::Reject));
+                    }
                 }
             }
         }
         out
     }
+}
+
+/// Saturation cost of admitting `bw` on `route` given the scalar
+/// allocation views: the larger of the two ports' post-accept
+/// utilizations.
+fn cost_of(topo: &Topology, ali: &[f64], ale: &[f64], route: Route, bw: f64) -> f64 {
+    let in_util = (ali[route.ingress.index()] + bw) / topo.ingress_cap(route.ingress);
+    let out_util = (ale[route.egress.index()] + bw) / topo.egress_cap(route.egress);
+    in_util.max(out_util)
+}
+
+/// Acceptance must use the ledger's *absolute* tolerance — a relative
+/// slack on the cost (≤ 1 + ε) would overshoot port capacity by ε × B
+/// and be rejected at reservation time.
+fn fits(topo: &Topology, ali: &[f64], ale: &[f64], route: Route, bw: f64) -> bool {
+    gridband_net::units::approx_le(
+        ali[route.ingress.index()] + bw,
+        topo.ingress_cap(route.ingress),
+    ) && gridband_net::units::approx_le(
+        ale[route.egress.index()] + bw,
+        topo.egress_cap(route.egress),
+    )
+}
+
+/// Run Algorithm 3's selection loop over one shard (`members` indexes
+/// into `candidates`; the whole batch is one shard on the sequential
+/// path). Selection is by minimum `(cost, orig)` — the candidate's
+/// original batch position breaks exact cost ties, making the pick
+/// order independent of how the remaining-candidate vector is stored
+/// and therefore identical across shard layouts.
+fn run_shard(
+    topo: &Topology,
+    candidates: &[Candidate],
+    members: &[usize],
+    order_by_cost: bool,
+    ali: &mut [f64],
+    ale: &mut [f64],
+) -> ShardRun {
+    let mut run = ShardRun {
+        picks: Vec::new(),
+        brk: None,
+        fcfs: Vec::new(),
+    };
+    if !order_by_cost {
+        // FCFS within the interval (ablation): members ascend in `orig`.
+        run.fcfs = members
+            .iter()
+            .map(|&orig| {
+                let c = &candidates[orig];
+                let ok = fits(topo, ali, ale, c.req.route, c.bw);
+                if ok {
+                    ali[c.req.route.ingress.index()] += c.bw;
+                    ale[c.req.route.egress.index()] += c.bw;
+                }
+                (orig, ok)
+            })
+            .collect();
+        return run;
+    }
+    // Paper: repeatedly admit the minimum-cost candidate until the
+    // cheapest one would saturate a port (then everything left is
+    // rejected — here recorded as the terminal break event).
+    let mut remaining: Vec<usize> = members.to_vec();
+    while !remaining.is_empty() {
+        let (pos, orig, cost) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &orig)| {
+                let c = &candidates[orig];
+                (pos, orig, cost_of(topo, ali, ale, c.req.route, c.bw))
+            })
+            .min_by(|a, b| (a.2, a.1).partial_cmp(&(b.2, b.1)).expect("finite costs"))
+            .expect("non-empty");
+        let c = &candidates[orig];
+        if !fits(topo, ali, ale, c.req.route, c.bw) {
+            run.brk = Some(Pick { cost, orig });
+            break;
+        }
+        ali[c.req.route.ingress.index()] += c.bw;
+        ale[c.req.route.egress.index()] += c.bw;
+        run.picks.push(Pick { cost, orig });
+        remaining.swap_remove(pos);
+    }
+    run
 }
 
 impl AdmissionController for WindowScheduler {

@@ -1,0 +1,324 @@
+//! The differential test layer for shard-parallel admission rounds.
+//!
+//! Contract under test: for every thread count, every policy, and every
+//! workload, the parallel path is **bit-identical** to the sequential
+//! one — the same decisions in the same order, the same accepted set
+//! with the same `(bw, start, finish)` triples, the same reservation
+//! ids, the same port profiles after booking, and the same report
+//! metrics. Equality is always `==` (exact IEEE bits), never tolerance.
+//!
+//! `threads = 1` runs the plain sequential loop with no partitioning or
+//! merging at all, so the comparisons here are against a genuine
+//! reference implementation, not the parallel code with one worker.
+//!
+//! Layers:
+//! * a fixed seed-grid sweep (seeds × {1,2,4,8} threads × {WINDOW,
+//!   arrival-order} policies) over multi-site workloads;
+//! * scheduler-level checks that pin the *decision vector order* and the
+//!   booked ledger state, not just aggregate reports;
+//! * adversarial shapes — one giant component, all singletons, exact
+//!   cost ties across shards — where a wrong merge would first diverge;
+//! * proptest traces with ε-jittered windows so the merge is exercised
+//!   right at the `approx_le` acceptance edges.
+
+use gridband_algos::{BandwidthPolicy, WindowScheduler};
+use gridband_net::units::EPS;
+use gridband_net::{CapacityLedger, LedgerState, ReserveRequest, Route, Topology};
+use gridband_sim::{AdmissionController, Decision, SimReport, Simulation};
+use gridband_workload::{Request, RequestId, TimeWindow, Trace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_GRID: [usize; 3] = [2, 4, 8];
+
+fn flexible(id: u64, route: Route, start: f64, vol: f64, max: f64, slack: f64) -> Request {
+    let dur = slack * vol / max;
+    Request::new(id, route, TimeWindow::new(start, start + dur), vol, max)
+}
+
+/// A multi-site workload in the spirit of §5.3: `sites` independent
+/// site pairs, mostly site-local routes (so rounds decompose into many
+/// components) plus occasional cross-site transfers that fuse
+/// components together.
+fn multi_site_trace(seed: u64, sites: u32, n: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reqs = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        let site = rng.gen_range(0..sites);
+        let (ingress, egress) = if rng.gen_bool(0.85) {
+            (site, site)
+        } else {
+            (site, rng.gen_range(0..sites))
+        };
+        // Grid-quantized shapes keep every derived float reproducible
+        // and give plenty of *exact* cost ties between requests.
+        let start = rng.gen_range(0..40) as f64 * 2.5;
+        let vol = rng.gen_range(1..=8) as f64 * 125.0;
+        let max = rng.gen_range(1..=4) as f64 * 20.0;
+        let slack = 1.0 + rng.gen_range(0..4) as f64;
+        reqs.push(flexible(
+            id,
+            Route::new(ingress, egress),
+            start,
+            vol,
+            max,
+            slack,
+        ));
+    }
+    Trace::new(reqs)
+}
+
+fn run_sim(topo: &Topology, trace: &Trace, threads: usize, fcfs: bool) -> SimReport {
+    let mut sched = WindowScheduler::new(10.0, BandwidthPolicy::MAX_RATE).with_threads(threads);
+    if fcfs {
+        sched = sched.with_arrival_order();
+    }
+    Simulation::new(topo.clone())
+        .with_admit_threads(threads)
+        .run(trace, &mut sched)
+}
+
+/// Seed-grid sweep: whole-simulation reports (decisions, allocations,
+/// derived metrics) must be `==` across the full thread grid, for both
+/// the cost-ordered WINDOW policy and the arrival-order ablation.
+#[test]
+fn seed_grid_parallel_equals_sequential() {
+    let topo = Topology::uniform(8, 8, 100.0);
+    for seed in [11u64, 22, 33] {
+        let trace = multi_site_trace(seed, 8, 60);
+        for fcfs in [false, true] {
+            let reference = run_sim(&topo, &trace, 1, fcfs);
+            for &t in &THREAD_GRID {
+                let parallel = run_sim(&topo, &trace, t, fcfs);
+                assert_eq!(
+                    parallel, reference,
+                    "seed {seed} fcfs {fcfs}: {t}-thread run diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Drive one decision batch at the scheduler level and compare the raw
+/// decision vectors — order included — then book the accepts through
+/// `reserve_all_threaded` at the same thread count and compare ledgers.
+/// This is strictly stronger than comparing reports (which re-sort).
+fn assert_batch_identical(topo: &Topology, reqs: &[Request], fcfs: bool) {
+    let now = 10.0;
+    let decide = |threads: usize| -> (Vec<(RequestId, Decision)>, LedgerState, usize, usize) {
+        let mut sched = WindowScheduler::new(10.0, BandwidthPolicy::MAX_RATE).with_threads(threads);
+        if fcfs {
+            sched = sched.with_arrival_order();
+        }
+        let ledger = CapacityLedger::new(topo.clone());
+        for r in reqs {
+            let d = sched.on_arrival(r, &ledger, r.start());
+            assert_eq!(d, Decision::Defer);
+        }
+        let decisions = sched.on_tick(&ledger, now);
+
+        // Book this round's accepts at the same parallelism and capture
+        // the resulting ledger bit-for-bit.
+        let mut booking = CapacityLedger::new(topo.clone());
+        let batch: Vec<ReserveRequest> = decisions
+            .iter()
+            .filter_map(|&(id, d)| match d {
+                Decision::Accept { bw, start, finish } => {
+                    let req = reqs.iter().find(|r| r.id == id).expect("known id");
+                    Some(ReserveRequest {
+                        route: req.route,
+                        start,
+                        end: finish,
+                        bw,
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+        for res in booking.reserve_all_threaded(&batch, threads) {
+            res.expect("scheduler-admitted batch must book");
+        }
+        (
+            decisions,
+            booking.export_state(),
+            sched.last_round_shards(),
+            sched.last_round_largest_shard(),
+        )
+    };
+
+    let (ref_decisions, ref_state, _, _) = decide(1);
+    for &t in &THREAD_GRID {
+        let (decisions, state, shards, largest) = decide(t);
+        assert_eq!(
+            decisions, ref_decisions,
+            "{t}-thread decision vector diverged"
+        );
+        assert_eq!(state, ref_state, "{t}-thread booked ledger diverged");
+        // The gauges may be 0 only when the policy pass left no
+        // candidates at all (every request rejected outright).
+        let any_accept = decisions
+            .iter()
+            .any(|&(_, d)| matches!(d, Decision::Accept { .. }));
+        assert!(
+            (shards >= 1 && largest >= 1) || !any_accept,
+            "gauges unset on a parallel round with accepts"
+        );
+    }
+}
+
+/// Adversarial: every request shares ingress 0 — the partitioner must
+/// fold the whole batch into one giant component and the "parallel" run
+/// must still match the reference exactly.
+#[test]
+fn one_giant_component_stays_identical() {
+    let topo = Topology::uniform(4, 16, 100.0);
+    let reqs: Vec<Request> = (0..16u64)
+        .map(|k| flexible(k, Route::new(0, k as u32), 0.5, 500.0, 25.0, 3.0))
+        .collect();
+    for fcfs in [false, true] {
+        assert_batch_identical(&topo, &reqs, fcfs);
+    }
+    // The gauges must report the single shard.
+    let mut sched = WindowScheduler::new(10.0, BandwidthPolicy::MAX_RATE).with_threads(4);
+    let ledger = CapacityLedger::new(topo);
+    for r in &reqs {
+        sched.on_arrival(r, &ledger, r.start());
+    }
+    let _ = sched.on_tick(&ledger, 10.0);
+    assert_eq!(sched.last_round_shards(), 1);
+    assert_eq!(sched.last_round_largest_shard(), 16);
+}
+
+/// Adversarial: fully disjoint port pairs — maximal shard count, each
+/// shard a singleton. Decisions (trivially order-sensitive in the merged
+/// output) must still come out in the canonical order.
+#[test]
+fn all_singletons_stay_identical() {
+    let topo = Topology::uniform(16, 16, 100.0);
+    let reqs: Vec<Request> = (0..16u64)
+        .map(|k| flexible(k, Route::new(k as u32, k as u32), 0.5, 500.0, 25.0, 3.0))
+        .collect();
+    for fcfs in [false, true] {
+        assert_batch_identical(&topo, &reqs, fcfs);
+    }
+    let mut sched = WindowScheduler::new(10.0, BandwidthPolicy::MAX_RATE).with_threads(4);
+    let ledger = CapacityLedger::new(topo);
+    for r in &reqs {
+        sched.on_arrival(r, &ledger, r.start());
+    }
+    let _ = sched.on_tick(&ledger, 10.0);
+    assert_eq!(sched.last_round_shards(), 16);
+    assert_eq!(sched.last_round_largest_shard(), 1);
+}
+
+/// Adversarial: exact cost ties across shards. Identical requests on
+/// disjoint uniform routes have *bit-equal* saturation costs, so the
+/// cross-shard merge is decided purely by the canonical original-index
+/// tie-break; any other ordering (shard index, thread finish order)
+/// would reorder the output vector.
+#[test]
+fn exact_cross_shard_cost_ties_merge_canonically() {
+    let topo = Topology::uniform(6, 6, 100.0);
+    // Three per route so each shard also exercises its own tie-break and
+    // a rising-cost pick sequence; port capacity admits all of them.
+    let mut reqs = Vec::new();
+    for k in 0..18u64 {
+        let site = (k % 6) as u32;
+        reqs.push(flexible(k, Route::new(site, site), 0.5, 250.0, 25.0, 4.0));
+    }
+    for fcfs in [false, true] {
+        assert_batch_identical(&topo, &reqs, fcfs);
+    }
+}
+
+/// Adversarial: ties *plus* saturation — capacity admits exactly two of
+/// three equal-cost requests per route, so the global break event lands
+/// in the middle of a tie run and every shard holds rejected members.
+#[test]
+fn break_event_amid_ties_stays_identical() {
+    let topo = Topology::uniform(4, 4, 50.0);
+    let mut reqs = Vec::new();
+    for k in 0..12u64 {
+        let site = (k % 4) as u32;
+        reqs.push(flexible(k, Route::new(site, site), 0.5, 250.0, 25.0, 4.0));
+    }
+    for fcfs in [false, true] {
+        assert_batch_identical(&topo, &reqs, fcfs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random multi-round workloads with ε-jittered windows: full
+    /// simulations must be `==` across the thread grid for both
+    /// policies. Jitter puts candidate costs and the `approx_le` fit
+    /// checks right at their ε edges — where a merge that re-evaluates
+    /// (rather than replays) the sequential order would first diverge.
+    #[test]
+    fn random_traces_parallel_equals_sequential(
+        seed in 0u64..1_000_000,
+        n in 1usize..48,
+        sites in 2u32..9,
+        jitter in prop::collection::vec(-3i32..=3, 48..49),
+        fcfs in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reqs = Vec::with_capacity(n);
+        for id in 0..n as u64 {
+            let site = rng.gen_range(0..sites);
+            let egress = if rng.gen_bool(0.8) { site } else { rng.gen_range(0..sites) };
+            let start = rng.gen_range(0..30) as f64 * 3.0
+                + (jitter[id as usize] + 3) as f64 * (EPS / 2.0);
+            let vol = rng.gen_range(1..=6) as f64 * 150.0;
+            let max = rng.gen_range(1..=4) as f64 * 15.0;
+            // Jitter only widens the window (a shrink below slack 1.0
+            // would trip the MinRate ≤ MaxRate feasibility assert).
+            let slack = 1.0 + rng.gen_range(0..3) as f64
+                + (jitter[n - 1 - id as usize] + 3) as f64 * (EPS / 2.0);
+            reqs.push(flexible(id, Route::new(site, egress), start, vol, max, slack));
+        }
+        let trace = Trace::new(reqs);
+        let topo = Topology::uniform(sites as usize, sites as usize, 90.0);
+        for fcfs in [fcfs, !fcfs] {
+            let reference = run_sim(&topo, &trace, 1, fcfs);
+            for &t in &THREAD_GRID {
+                let parallel = run_sim(&topo, &trace, t, fcfs);
+                prop_assert_eq!(
+                    &parallel, &reference,
+                    "seed {} n {} sites {} fcfs {}: {}-thread run diverged",
+                    seed, n, sites, fcfs, t
+                );
+            }
+        }
+    }
+
+    /// Single decision batches over arbitrary route multisets: the raw
+    /// decision vector and the threaded booking must match the
+    /// sequential reference bit-for-bit, whatever the component shape.
+    #[test]
+    fn random_batches_decide_identically(
+        routes in prop::collection::vec((0u32..5, 0u32..5), 1..24),
+        shapes in prop::collection::vec((1u32..=6, 1u32..=4, 0u32..3), 24..25),
+        fcfs in any::<bool>(),
+    ) {
+        let topo = Topology::uniform(5, 5, 80.0);
+        let reqs: Vec<Request> = routes
+            .iter()
+            .zip(&shapes)
+            .enumerate()
+            .map(|(k, (&(i, e), &(v, m, s)))| {
+                flexible(
+                    k as u64,
+                    Route::new(i, e),
+                    0.5,
+                    v as f64 * 120.0,
+                    m as f64 * 20.0,
+                    1.0 + s as f64,
+                )
+            })
+            .collect();
+        assert_batch_identical(&topo, &reqs, fcfs);
+    }
+}

@@ -15,7 +15,15 @@
 //!    interval scheduler with batched `reserve_all` admission rounds
 //!    (p50/p99 round latency, decisions/sec) and through the greedy
 //!    per-arrival path, each cross-checked against `Simulation::run` so
-//!    the timed driver provably makes the same accept decisions.
+//!    the timed driver provably makes the same accept decisions;
+//! 4. **parallel** — shard-parallel admission rounds on a multi-site
+//!    §5.3 workload (site-local routes, so each round decomposes into
+//!    one conflict-graph component per site): rounds/sec and p50/p99
+//!    round latency at 1/2/4/8 threads for both the cost-ordered WINDOW
+//!    policy and the arrival-order (GREEDY) ablation, with every
+//!    threaded run differentially compared round-by-round — decisions
+//!    and final port profiles — against the sequential reference
+//!    (mismatches must be 0).
 //!
 //! Flags: `--smoke` (reduced sizes, a few seconds), `--out=FILE`
 //! (default `BENCH_admission.json`).
@@ -40,10 +48,39 @@ use serde::Serialize;
 struct Report {
     schema: String,
     mode: String,
+    /// CPUs available to the bench process: the ceiling on any real
+    /// parallel speedup. On a single-core host the `parallel` rows
+    /// legitimately show speedup < 1 (spawn overhead, no parallelism).
+    host_cpus: usize,
     micro: Vec<MicroRow>,
     differential: Differential,
     end_to_end: Vec<EndToEndRow>,
+    parallel: Vec<ParallelRow>,
     durability: Vec<DurabilityRow>,
+}
+
+#[derive(Serialize)]
+struct ParallelRow {
+    policy: String,
+    threads: usize,
+    seed: u64,
+    requests: usize,
+    rounds: usize,
+    accepted: usize,
+    mean_shards: f64,
+    rounds_per_sec: f64,
+    round_latency_us: LatencyUs,
+    /// Rounds/sec relative to the 1-thread run of the same (policy,
+    /// seed) — 1.0 for the reference row itself.
+    speedup_vs_sequential: f64,
+    /// Rounds whose decision vector differed from the sequential
+    /// reference, plus 1 if the final port profiles differed. Gated to 0.
+    mismatches: usize,
+    /// For `threads == 1` rows only (`null` otherwise): p99 round
+    /// latency (µs) of the same workload driven through the pre-shard
+    /// plain path (default scheduler + `reserve_all`). Gates the
+    /// no-regression claim.
+    plain_baseline_p99_us: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -395,6 +432,180 @@ fn run_greedy_arrivals(
 }
 
 // ---------------------------------------------------------------------------
+// Parallel: shard-parallel rounds vs the sequential reference
+// ---------------------------------------------------------------------------
+
+/// A multi-component §5.3 workload: `sites` independent site pairs with
+/// strictly site-local routes, so every admission round's conflict graph
+/// decomposes into (up to) one component per site and the shard-parallel
+/// path has genuine work to spread. Rates are small against the port
+/// capacity so rounds carry long pick sequences before saturating.
+fn multi_site_trace(topo: &Topology, n: usize, horizon: f64, seed: u64) -> Trace {
+    let sites = topo.num_ingress().min(topo.num_egress()) as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reqs = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        let s = rng.gen_range(0..sites);
+        let start = rng.gen_range(0.0..horizon);
+        let vol = rng.gen_range(2..=8) as f64 * 250.0;
+        let max = rng.gen_range(1..=4) as f64 * 6.0;
+        let slack = rng.gen_range(2.0..4.0);
+        let dur = slack * vol / max;
+        reqs.push(Request::new(
+            id,
+            gridband_net::Route::new(s, s),
+            gridband_workload::TimeWindow::new(start, start + dur),
+            vol,
+            max,
+        ));
+    }
+    Trace::new(reqs)
+}
+
+/// One full run of the round loop at a given parallelism: decisions per
+/// round, final ledger state, and per-round wall time. Identical driver
+/// for every thread count, so timing differences are the shard path.
+struct ParallelRun {
+    decisions: Vec<Vec<(gridband_workload::RequestId, Decision)>>,
+    state: gridband_net::LedgerState,
+    round_ns: Vec<u64>,
+    accepted: usize,
+    shards_sum: usize,
+}
+
+fn run_parallel_rounds(
+    topo: &Topology,
+    trace: &Trace,
+    step: f64,
+    threads: Option<usize>,
+    fcfs: bool,
+) -> ParallelRun {
+    // `None` is the plain pre-shard path: a default scheduler (no
+    // `with_threads` call at all) and plain `reserve_all`, so the
+    // threads=1 no-regression gate compares against exactly what runs
+    // when nobody opts into parallelism.
+    let mut sched = WindowScheduler::new(step, BandwidthPolicy::MAX_RATE);
+    if let Some(n) = threads {
+        sched = sched.with_threads(n);
+    }
+    if fcfs {
+        sched = sched.with_arrival_order();
+    }
+    let mut ledger = CapacityLedger::new(topo.clone());
+    let by_id: HashMap<u64, &Request> = trace.iter().map(|r| (r.id.0, r)).collect();
+    let reqs = trace.requests();
+    let mut next = 0usize;
+    let mut run = ParallelRun {
+        decisions: Vec::new(),
+        state: ledger.export_state(),
+        round_ns: Vec::new(),
+        accepted: 0,
+        shards_sum: 0,
+    };
+    let mut t = step;
+    while t <= trace.horizon() + step {
+        while next < reqs.len() && reqs[next].start() < t {
+            let _ = sched.on_arrival(&reqs[next], &ledger, reqs[next].start());
+            next += 1;
+        }
+        let t0 = Instant::now();
+        let decisions = sched.on_tick(&ledger, t);
+        let batch: Vec<ReserveRequest> = decisions
+            .iter()
+            .filter_map(|(rid, d)| match *d {
+                Decision::Accept { bw, start, finish } => Some(ReserveRequest {
+                    route: by_id[&rid.0].route,
+                    start,
+                    end: finish,
+                    bw,
+                }),
+                _ => None,
+            })
+            .collect();
+        let results = match threads {
+            Some(n) => ledger.reserve_all_threaded(&batch, n),
+            None => ledger.reserve_all(&batch),
+        };
+        run.round_ns.push(t0.elapsed().as_nanos() as u64);
+        for r in &results {
+            r.as_ref().expect("scheduler over-committed a batch");
+        }
+        run.accepted += results.len();
+        run.shards_sum += sched.last_round_shards();
+        run.decisions.push(decisions);
+        t += step;
+    }
+    assert_eq!(next, reqs.len(), "driver left arrivals unfed");
+    run.state = ledger.export_state();
+    run
+}
+
+fn parallel_section(
+    thread_grid: &[usize],
+    seeds: &[u64],
+    n: usize,
+    rounds: usize,
+) -> Vec<ParallelRow> {
+    let topo = Topology::paper_default();
+    let step = 50.0;
+    let horizon = rounds as f64 * step;
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        let trace = multi_site_trace(&topo, n, horizon, seed);
+        for (policy, fcfs) in [("window", false), ("greedy", true)] {
+            // The plain pre-shard path on the same workload: the
+            // threads=1 row is gated against this p99.
+            let plain = run_parallel_rounds(&topo, &trace, step, None, fcfs);
+            let plain_p99 = latency_summary(plain.round_ns.clone()).p99;
+            let reference = run_parallel_rounds(&topo, &trace, step, Some(1), fcfs);
+            assert_eq!(
+                (&plain.decisions, &plain.state),
+                (&reference.decisions, &reference.state),
+                "plain path and threads=1 diverged ({policy}, seed {seed})"
+            );
+            let ref_total_s = reference.round_ns.iter().sum::<u64>() as f64 / 1e9;
+            let ref_rps = reference.round_ns.len() as f64 / ref_total_s.max(1e-9);
+            for &threads in thread_grid {
+                let threaded;
+                let run = if threads == 1 {
+                    // The reference IS the threads=1 run; re-running
+                    // would only duplicate the timing sample.
+                    &reference
+                } else {
+                    threaded = run_parallel_rounds(&topo, &trace, step, Some(threads), fcfs);
+                    &threaded
+                };
+                let mut mismatches = run
+                    .decisions
+                    .iter()
+                    .zip(&reference.decisions)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                mismatches += usize::from(run.decisions.len() != reference.decisions.len());
+                mismatches += usize::from(run.state != reference.state);
+                let total_s = run.round_ns.iter().sum::<u64>() as f64 / 1e9;
+                let rps = run.round_ns.len() as f64 / total_s.max(1e-9);
+                rows.push(ParallelRow {
+                    policy: policy.to_string(),
+                    threads,
+                    seed,
+                    requests: trace.len(),
+                    rounds: run.round_ns.len(),
+                    accepted: run.accepted,
+                    mean_shards: run.shards_sum as f64 / run.round_ns.len().max(1) as f64,
+                    rounds_per_sec: rps,
+                    round_latency_us: latency_summary(run.round_ns.clone()),
+                    speedup_vs_sequential: rps / ref_rps.max(1e-9),
+                    mismatches,
+                    plain_baseline_p99_us: (threads == 1).then_some(plain_p99),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Durability: WAL append throughput and recovery time (gridband-store)
 // ---------------------------------------------------------------------------
 
@@ -591,6 +802,24 @@ fn main() {
         );
     }
 
+    eprintln!("admission bench: shard-parallel admission rounds ...");
+    let (par_n, par_rounds): (usize, usize) = if smoke { (1_200, 10) } else { (12_000, 40) };
+    let parallel = parallel_section(&[1, 2, 4, 8], seeds, par_n, par_rounds);
+    for r in &parallel {
+        eprintln!(
+            "  {:>6} seed {} t={}: {:>6.1} rounds/s ({:>5.2}x), p99 {:>9.1} us, mean shards {:>4.1}, accepted {}, mismatches {}",
+            r.policy,
+            r.seed,
+            r.threads,
+            r.rounds_per_sec,
+            r.speedup_vs_sequential,
+            r.round_latency_us.p99,
+            r.mean_shards,
+            r.accepted,
+            r.mismatches
+        );
+    }
+
     eprintln!("admission bench: WAL durability ...");
     let wal_records = if smoke { 2_000 } else { 20_000 };
     let durability = durability_section(wal_records);
@@ -602,11 +831,13 @@ fn main() {
     }
 
     let report = Report {
-        schema: "gridband/bench-admission/v1".to_string(),
+        schema: "gridband/bench-admission/v2".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         micro,
         differential,
         end_to_end,
+        parallel,
         durability,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -630,6 +861,27 @@ fn main() {
                 r.scheduler, r.seed
             );
             failed = true;
+        }
+    }
+    for r in &report.parallel {
+        if r.mismatches > 0 {
+            eprintln!(
+                "FAIL: {} seed {} at {} threads diverged from the sequential reference ({} mismatches)",
+                r.policy, r.seed, r.threads, r.mismatches
+            );
+            failed = true;
+        }
+        // No-regression gate for the default path: threads=1 must stay
+        // within noise of the pre-shard plain driver. 1.5x plus a small
+        // absolute slop tolerates scheduler jitter on short rounds.
+        if let Some(baseline) = r.plain_baseline_p99_us {
+            if r.round_latency_us.p99 > 1.5 * baseline + 200.0 {
+                eprintln!(
+                    "FAIL: {} seed {} threads=1 p99 {:.1} us regressed vs plain path {:.1} us",
+                    r.policy, r.seed, r.round_latency_us.p99, baseline
+                );
+                failed = true;
+            }
         }
     }
     for r in &report.micro {

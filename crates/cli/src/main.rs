@@ -407,6 +407,7 @@ fn serve(args: Vec<String>) {
     let mut wal_dir: Option<String> = None;
     let mut fsync = gridband_serve::FsyncPolicy::Round;
     let mut snapshot_every = 64u64;
+    let mut admit_threads = gridband_net::default_admit_threads();
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -467,13 +468,19 @@ fn serve(args: Vec<String>) {
                     .parse()
                     .unwrap_or_else(|e| fail(format_args!("bad --snapshot-every: {e}")));
             }
+            "--admit-threads" => {
+                admit_threads = val("--admit-threads")
+                    .parse::<usize>()
+                    .unwrap_or_else(|e| fail(format_args!("bad --admit-threads: {e}")))
+                    .max(1);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gridband serve [--addr HOST:PORT] [--topo paper|grid5000|MxNxCAP]
                       [--step S] [--policy min|max|f:X] [--tick-ms MS]
                       [--queue N] [--snapshot-secs S]
                       [--wal-dir DIR] [--fsync always|round|off]
-                      [--snapshot-every ROUNDS]
+                      [--snapshot-every ROUNDS] [--admit-threads N]
 
 Runs the reservation daemon: JSON-lines over TCP, batched WINDOW
 admission every t_step. Without --tick-ms the clock is virtual
@@ -485,7 +492,11 @@ write-ahead log in DIR before its replies go out, a state snapshot is
 installed (and the log truncated) every ROUNDS rounds (default 64),
 and a restarted daemon recovers its exact pre-crash commitments.
 --fsync sets when the log is flushed to disk: per append (always),
-once per round before replies (round, the default), or never (off)."
+once per round before replies (round, the default), or never (off).
+
+--admit-threads N runs each admission round shard-parallel on up to N
+OS threads (default: GRIDBAND_ADMIT_THREADS, else 1). Decisions are
+bit-identical for every N, so WAL records and recovery are unaffected."
                 );
                 std::process::exit(0);
             }
@@ -498,6 +509,7 @@ once per round before replies (round, the default), or never (off)."
     engine.policy = policy;
     engine.mode = mode;
     engine.queue_capacity = queue;
+    engine.admit_threads = admit_threads;
     if let Some(dir) = wal_dir {
         let fs = gridband_serve::FsDir::new(&dir)
             .unwrap_or_else(|e| fail(format_args!("cannot open --wal-dir {dir}: {e}")));

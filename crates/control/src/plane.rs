@@ -618,4 +618,83 @@ mod tests {
         assert_eq!(rep.accept_rate(), 0.0);
         assert_eq!(rep.messages, 0);
     }
+
+    #[test]
+    fn undersized_port_rejects_cleanly_at_the_ingress_hold() {
+        // The request's rate exceeds the ingress port outright: the hold
+        // fails at step 2, the client gets a plain rejection (one Resv +
+        // one Reply), and no egress-side state is ever created.
+        let topo = Topology::new(&[1.0], &[1000.0]);
+        let t = Trace::new(vec![Request::new(
+            0,
+            Route::new(0, 0),
+            gridband_workload::TimeWindow::new(0.0, 100.0),
+            500.0,
+            50.0,
+        )]);
+        let plane = ControlPlane::new(topo.clone(), 0.5, BandwidthPolicy::MAX_RATE);
+        let rep = plane.run(&t);
+        assert!(rep.assignments.is_empty());
+        assert_eq!(rep.rejected, vec![RequestId(0)]);
+        assert_eq!(rep.messages, 2, "Resv + Reply, no Hold round trip");
+        verify_schedule(&t, &topo, &rep.assignments).expect("empty schedule feasible");
+    }
+
+    #[test]
+    fn saturated_egress_rejects_and_releases_the_ingress_hold() {
+        // Ingress side grants, egress side refuses: the protocol must
+        // walk the full Hold/HoldAck round trip and then release the
+        // ingress hold so a later feasible request still fits.
+        let topo = Topology::new(&[100.0, 100.0], &[60.0]);
+        let reqs = vec![
+            Request::new(
+                0,
+                Route::new(0, 0),
+                gridband_workload::TimeWindow::new(0.0, 150.0),
+                6_000.0,
+                60.0,
+            ),
+            Request::new(
+                1,
+                Route::new(1, 0),
+                gridband_workload::TimeWindow::new(0.5, 150.5),
+                6_000.0,
+                60.0,
+            ),
+            // After the loser's holds are gone, a small transfer on the
+            // same ingress must still be admitted.
+            Request::new(
+                2,
+                Route::new(1, 0),
+                gridband_workload::TimeWindow::new(150.0, 450.0),
+                600.0,
+                20.0,
+            ),
+        ];
+        let t = Trace::new(reqs);
+        let plane = ControlPlane::new(topo.clone(), 0.1, BandwidthPolicy::MAX_RATE);
+        let rep = plane.run(&t);
+        let ids: Vec<u64> = rep.assignments.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids, vec![0, 2], "winner and the post-release request");
+        assert_eq!(rep.rejected, vec![RequestId(1)]);
+        verify_schedule(&t, &topo, &rep.assignments).expect("feasible");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request id")]
+    fn duplicate_client_ids_are_rejected_at_trace_construction() {
+        // The plane keys transactions by batch position, so two requests
+        // sharing one client id would conflate their replies; the trace
+        // constructor guards that invariant before the protocol runs.
+        let mk = |start: f64| {
+            Request::new(
+                7,
+                Route::new(0, 0),
+                gridband_workload::TimeWindow::new(start, start + 50.0),
+                100.0,
+                10.0,
+            )
+        };
+        let _ = Trace::new(vec![mk(0.0), mk(1.0)]);
+    }
 }

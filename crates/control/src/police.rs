@@ -210,4 +210,36 @@ mod tests {
     fn zero_rate_rejected() {
         let _ = TokenBucket::new(0.0, 1.0, 0.0);
     }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_burst_rejected() {
+        // A depthless bucket would drop every packet of a conforming
+        // flow; like a zero rate it is a configuration error, not a
+        // policing outcome.
+        let _ = TokenBucket::new(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn empty_and_idle_flow_sets_are_no_ops() {
+        assert!(police_constant_sources(&[], 10.0, 1.0).is_empty());
+        // A reservation that never sends: nothing offered, nothing
+        // dropped — drop_rate must report 0, not NaN.
+        let out = police_constant_sources(&[(50.0, 0.0)], 10.0, 1.0);
+        assert_eq!(out[0].offered, 0.0);
+        assert_eq!(out[0].admitted, 0.0);
+        assert_eq!(out[0].drop_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration > 0.0 && dt > 0.0 && dt <= duration")]
+    fn sampling_interval_longer_than_the_run_rejected() {
+        let _ = police_constant_sources(&[(50.0, 50.0)], 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration > 0.0")]
+    fn zero_duration_rejected() {
+        let _ = police_constant_sources(&[(50.0, 50.0)], 0.0, 1.0);
+    }
 }

@@ -245,4 +245,71 @@ mod tests {
         assert!(rep.rates.is_empty());
         assert_eq!(rep.min_rate, 0.0);
     }
+
+    #[test]
+    #[should_panic(expected = "assignment references trace")]
+    fn assignment_for_unknown_reservation_panics() {
+        // An active assignment whose id is not in the trace means the
+        // caller mixed schedules from different runs; the residual
+        // computation must refuse loudly rather than skew capacities.
+        let (trace, _) = bulk_schedule();
+        let phantom = vec![Assignment {
+            id: RequestId(99),
+            bw: 10.0,
+            start: 0.0,
+            finish: 50.0,
+        }];
+        let mice = [BestEffortFlow {
+            route: Route::new(0, 0),
+            cap: f64::INFINITY,
+        }];
+        let _ = hybrid_best_effort(&topo(), &trace, &phantom, &mice, 0.0, 10.0, 1.0);
+    }
+
+    #[test]
+    fn overcommitted_port_floors_at_epsilon_instead_of_underflowing() {
+        // Two reservations whose rates *sum* past the port capacity
+        // (possible when the caller feeds an infeasible hand-made
+        // schedule): the residual must clamp at the floor, not go
+        // negative and panic inside the max-min solver.
+        let trace = Trace::new(vec![
+            Request::rigid(0, Route::new(0, 0), 0.0, 700.0, 70.0),
+            Request::rigid(1, Route::new(0, 1), 0.0, 700.0, 70.0),
+        ]);
+        let assignments = vec![
+            Assignment {
+                id: RequestId(0),
+                bw: 70.0,
+                start: 0.0,
+                finish: 10.0,
+            },
+            Assignment {
+                id: RequestId(1),
+                bw: 70.0,
+                start: 0.0,
+                finish: 10.0,
+            },
+        ];
+        let mice = [BestEffortFlow {
+            route: Route::new(0, 0),
+            cap: f64::INFINITY,
+        }];
+        let rep = hybrid_best_effort(&topo(), &trace, &assignments, &mice, 0.0, 10.0, 1.0);
+        assert!(rep.mean_rates[0] < 1e-3, "{:?}", rep.mean_rates);
+        assert!(rep.min_rate >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling grid")]
+    fn zero_step_sampling_rejected() {
+        let (trace, assignments) = bulk_schedule();
+        let _ = hybrid_best_effort(&topo(), &trace, &assignments, &[], 0.0, 10.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling grid")]
+    fn empty_sampling_window_rejected() {
+        let (trace, assignments) = bulk_schedule();
+        let _ = hybrid_best_effort(&topo(), &trace, &assignments, &[], 10.0, 10.0, 1.0);
+    }
 }

@@ -45,13 +45,19 @@
 
 pub mod error;
 pub mod ledger;
+pub mod partition;
 pub mod port;
 pub mod profile;
 pub mod topology;
 pub mod units;
 
 pub use error::{NetError, NetResult};
-pub use ledger::{CapacityLedger, LedgerState, Reservation, ReservationId, ReserveRequest};
+pub use ledger::{
+    CapacityLedger, LedgerState, Reservation, ReservationId, ReserveRequest, SubLedger,
+};
+pub use partition::{
+    default_admit_threads, partition_indexed, partition_routes, Component, Partition,
+};
 pub use port::{Direction, EgressId, IngressId, Port, PortRef, Route};
 pub use profile::{Breakpoint, CapacityProfile};
 pub use topology::Topology;

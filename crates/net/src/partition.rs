@@ -1,0 +1,238 @@
+//! Conflict-graph partitioning of admission batches.
+//!
+//! Two requests of one admission round can only compete for capacity
+//! through a shared ingress or egress port — the coupling constraint (1)
+//! of the paper ties a request to exactly its two endpoints and nothing
+//! else. The port-conflict graph of a batch (requests and ports as nodes,
+//! a request adjacent to its two ports) therefore decomposes the round
+//! into connected components that are *fully independent*: no port is
+//! visible from two components, so any per-component computation — cost
+//! ordering, feasibility checks, profile bookings — commutes with the
+//! other components' work.
+//!
+//! [`partition_routes`] finds those components with a union-find over the
+//! port nodes. The result is canonical (components ordered by their
+//! smallest batch index, members ascending within a component), so every
+//! consumer — the shard-parallel scheduler in `crates/algos`, the
+//! threaded [`crate::CapacityLedger::reserve_all_threaded`] — sees the
+//! same decomposition regardless of thread count or scheduling.
+
+use crate::port::Route;
+
+/// One connected component of a batch's port-conflict graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Batch indices of the member requests, ascending.
+    pub members: Vec<usize>,
+    /// Distinct ingress port indices the members touch, ascending.
+    pub ingress: Vec<u32>,
+    /// Distinct egress port indices the members touch, ascending.
+    pub egress: Vec<u32>,
+}
+
+/// Canonical decomposition of a batch into independent components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    components: Vec<Component>,
+}
+
+impl Partition {
+    /// The components, ordered by their smallest member index.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Member count of the largest component (0 for an empty batch).
+    pub fn largest(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| c.members.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Partition `(batch index, route)` pairs into connected components of
+/// the port-conflict graph. Indices need not be dense or sorted; they are
+/// carried through verbatim (the threaded ledger path uses this to skip
+/// entries that already failed validation).
+pub fn partition_indexed(items: &[(usize, Route)]) -> Partition {
+    if items.is_empty() {
+        return Partition {
+            components: Vec::new(),
+        };
+    }
+    // Dense node ids: one per distinct ingress port, then one per
+    // distinct egress port. Sorting the distinct port lists keeps the
+    // node numbering (and with it nothing observable — components are
+    // re-canonicalized below) independent of batch order.
+    let mut in_ports: Vec<u32> = items.iter().map(|&(_, r)| r.ingress.0).collect();
+    let mut out_ports: Vec<u32> = items.iter().map(|&(_, r)| r.egress.0).collect();
+    in_ports.sort_unstable();
+    in_ports.dedup();
+    out_ports.sort_unstable();
+    out_ports.dedup();
+    let in_node = |p: u32| in_ports.binary_search(&p).expect("ingress port indexed");
+    let out_node =
+        |p: u32| in_ports.len() + out_ports.binary_search(&p).expect("egress port indexed");
+
+    let mut uf = UnionFind::new(in_ports.len() + out_ports.len());
+    for &(_, route) in items {
+        uf.union(in_node(route.ingress.0), out_node(route.egress.0));
+    }
+
+    // Group members by component root, keyed by first appearance so the
+    // final order is by smallest member index.
+    let mut root_slot: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut components: Vec<Component> = Vec::new();
+    let mut ordered: Vec<(usize, Route)> = items.to_vec();
+    ordered.sort_by_key(|&(idx, _)| idx);
+    for (idx, route) in ordered {
+        let root = uf.find(in_node(route.ingress.0));
+        let slot = *root_slot.entry(root).or_insert_with(|| {
+            components.push(Component {
+                members: Vec::new(),
+                ingress: Vec::new(),
+                egress: Vec::new(),
+            });
+            components.len() - 1
+        });
+        let c = &mut components[slot];
+        c.members.push(idx);
+        c.ingress.push(route.ingress.0);
+        c.egress.push(route.egress.0);
+    }
+    for c in &mut components {
+        c.ingress.sort_unstable();
+        c.ingress.dedup();
+        c.egress.sort_unstable();
+        c.egress.dedup();
+    }
+    Partition { components }
+}
+
+/// Partition a batch of routes (batch index = position).
+pub fn partition_routes(routes: &[Route]) -> Partition {
+    let items: Vec<(usize, Route)> = routes.iter().copied().enumerate().collect();
+    partition_indexed(&items)
+}
+
+/// The process-wide default admission parallelism, read from the
+/// `GRIDBAND_ADMIT_THREADS` environment variable (unset, empty, `0`, or
+/// unparsable all mean 1 = sequential). Schedulers, the simulation
+/// runner, and the serve engine all take their default from here, so one
+/// environment variable turns every existing equivalence suite into a
+/// parallel-correctness gate.
+pub fn default_admit_threads() -> usize {
+    std::env::var("GRIDBAND_ADMIT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routes(pairs: &[(u32, u32)]) -> Vec<Route> {
+        pairs.iter().map(|&(i, e)| Route::new(i, e)).collect()
+    }
+
+    #[test]
+    fn disjoint_routes_form_singletons() {
+        let p = partition_routes(&routes(&[(0, 0), (1, 1), (2, 2)]));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.largest(), 1);
+        for (k, c) in p.components().iter().enumerate() {
+            assert_eq!(c.members, vec![k]);
+        }
+    }
+
+    #[test]
+    fn shared_ingress_and_shared_egress_both_connect() {
+        // 0 and 1 share ingress 5; 1 and 2 share egress 7 → one component
+        // of three, plus a singleton.
+        let p = partition_routes(&routes(&[(5, 7), (5, 3), (2, 7), (9, 9)]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.components()[0].members, vec![0, 1, 2]);
+        assert_eq!(p.components()[0].ingress, vec![2, 5]);
+        assert_eq!(p.components()[0].egress, vec![3, 7]);
+        assert_eq!(p.components()[1].members, vec![3]);
+    }
+
+    #[test]
+    fn components_are_ordered_by_smallest_member() {
+        let p = partition_routes(&routes(&[(3, 3), (0, 0), (3, 1), (0, 2)]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.components()[0].members, vec![0, 2]);
+        assert_eq!(p.components()[1].members, vec![1, 3]);
+    }
+
+    #[test]
+    fn indexed_partition_carries_sparse_indices() {
+        let items = vec![(4usize, Route::new(1, 1)), (9usize, Route::new(1, 2))];
+        let p = partition_indexed(&items);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.components()[0].members, vec![4, 9]);
+    }
+
+    #[test]
+    fn empty_batch_partitions_to_nothing() {
+        let p = partition_routes(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.largest(), 0);
+    }
+
+    #[test]
+    fn env_default_parses_and_clamps() {
+        // Note: avoid mutating the process environment (other tests read
+        // it); just exercise the parse contract indirectly.
+        assert!(default_admit_threads() >= 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the admission-batch partitioner and the ledger
+//! split/merge machinery underneath shard-parallel rounds.
+//!
+//! The shard-parallel path is only sound if two things hold exactly:
+//!
+//! 1. [`partition_routes`] returns the *true* connected components of the
+//!    port-conflict graph — members cover the batch exactly once, no port
+//!    is visible from two components, and every component is internally
+//!    connected (no over-splitting that would merely be "disjoint-ish").
+//! 2. [`CapacityLedger::split`] / [`CapacityLedger::merge`] move port
+//!    profiles out and back without perturbing a single breakpoint, so a
+//!    split→merge with no bookings in between is a perfect no-op.
+//!
+//! Both are asserted with exact equality — bit-identity of the parallel
+//! admission path is built on these two facts.
+
+use gridband_net::units::EPS;
+use gridband_net::{partition_routes, CapacityLedger, Partition, Route, Topology};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+fn arb_route(ports: u32) -> impl Strategy<Value = Route> {
+    (0..ports, 0..ports).prop_map(|(i, e)| Route::new(i, e))
+}
+
+/// Check that `partition` is exactly the connected-component decomposition
+/// of `routes`' port-conflict graph, in canonical order.
+fn assert_true_components(routes: &[Route], partition: &Partition) {
+    // Members cover 0..n exactly once, components ordered by smallest
+    // member, members ascending within each component.
+    let mut seen = BTreeSet::new();
+    let mut prev_first = None;
+    for c in partition.components() {
+        assert!(!c.members.is_empty(), "empty component");
+        assert!(
+            c.members.windows(2).all(|w| w[0] < w[1]),
+            "members not strictly ascending"
+        );
+        if let Some(p) = prev_first {
+            assert!(
+                c.members[0] > p,
+                "components not ordered by smallest member"
+            );
+        }
+        prev_first = Some(c.members[0]);
+        for &m in &c.members {
+            assert!(seen.insert(m), "member {m} appears in two components");
+        }
+        // Port lists are exactly the ports the members touch.
+        let ins: BTreeSet<u32> = c.members.iter().map(|&m| routes[m].ingress.0).collect();
+        let outs: BTreeSet<u32> = c.members.iter().map(|&m| routes[m].egress.0).collect();
+        assert_eq!(c.ingress, ins.into_iter().collect::<Vec<_>>());
+        assert_eq!(c.egress, outs.into_iter().collect::<Vec<_>>());
+    }
+    assert_eq!(
+        seen,
+        (0..routes.len()).collect::<BTreeSet<_>>(),
+        "union of members != batch"
+    );
+
+    // No port shared across components — on either side.
+    let mut in_owner: HashSet<u32> = HashSet::new();
+    let mut out_owner: HashSet<u32> = HashSet::new();
+    for c in partition.components() {
+        for &p in &c.ingress {
+            assert!(
+                in_owner.insert(p),
+                "ingress {p} visible from two components"
+            );
+        }
+        for &p in &c.egress {
+            assert!(
+                out_owner.insert(p),
+                "egress {p} visible from two components"
+            );
+        }
+    }
+
+    // Each component is internally connected: BFS over members joined by a
+    // shared ingress or egress port must reach every member. Without this,
+    // an over-splitting partitioner (e.g. one singleton per request) would
+    // pass the disjointness checks while silently changing shard counts.
+    for c in partition.components() {
+        let n = c.members.len();
+        let mut reached = vec![false; n];
+        reached[0] = true;
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(a) = queue.pop_front() {
+            let ra = routes[c.members[a]];
+            for b in 0..n {
+                if reached[b] {
+                    continue;
+                }
+                let rb = routes[c.members[b]];
+                if ra.ingress == rb.ingress || ra.egress == rb.egress {
+                    reached[b] = true;
+                    queue.push_back(b);
+                }
+            }
+        }
+        // Direct adjacency is port-sharing; connectivity is its closure.
+        // BFS above explores the closure because every newly reached node
+        // re-enters the queue.
+        assert!(
+            reached.iter().all(|&r| r),
+            "component {:?} is not connected",
+            c.members
+        );
+    }
+}
+
+proptest! {
+    /// The partitioner returns the genuine connected components of the
+    /// port-conflict graph for arbitrary batches, including heavy port
+    /// reuse (few ports, many requests) and near-disjoint ones.
+    #[test]
+    fn partitioner_yields_true_components(
+        routes in prop::collection::vec(arb_route(12), 0..40),
+    ) {
+        let p = partition_routes(&routes);
+        assert_true_components(&routes, &p);
+        // Component count is bounded by both the batch and the port space.
+        prop_assert!(p.len() <= routes.len());
+        if routes.is_empty() {
+            prop_assert!(p.is_empty());
+        } else {
+            prop_assert!(p.largest() >= 1);
+        }
+    }
+
+    /// Adversarial shapes: routing everything through one ingress must
+    /// produce a single giant component; fully distinct port pairs must
+    /// produce all singletons.
+    #[test]
+    fn extreme_batches_partition_as_expected(n in 1usize..32) {
+        let giant: Vec<Route> = (0..n as u32).map(|e| Route::new(0, e)).collect();
+        let p = partition_routes(&giant);
+        prop_assert_eq!(p.len(), 1);
+        prop_assert_eq!(p.largest(), n);
+
+        let singles: Vec<Route> = (0..n as u32).map(|k| Route::new(k, k)).collect();
+        let p = partition_routes(&singles);
+        prop_assert_eq!(p.len(), n);
+        prop_assert_eq!(p.largest(), 1);
+    }
+
+    /// split → merge with arbitrary prior bookings restores the ledger
+    /// bit-for-bit, while the split itself genuinely moves the partition's
+    /// port profiles out (leaving empty same-capacity placeholders).
+    #[test]
+    fn split_merge_round_trips_the_ledger(
+        books in prop::collection::vec(
+            ((0u32..4, 0u32..4), (0u32..40, 1u32..20, 1u32..100)),
+            0..25
+        ),
+        batch in prop::collection::vec(arb_route(4), 1..12),
+        shuffle_seed in 0usize..4,
+    ) {
+        let mut ledger = CapacityLedger::new(Topology::uniform(4, 4, 150.0));
+        for ((i, e), (t0, len, bw)) in books {
+            let _ = ledger.reserve(
+                Route::new(i, e),
+                t0 as f64,
+                t0 as f64 + len as f64 + EPS,
+                bw as f64,
+            );
+        }
+        let before = ledger.export_state();
+        let partition = partition_routes(&batch);
+        let mut shards = ledger.split(&partition);
+
+        // Every port named by the partition now reads as an untouched
+        // fresh profile on the parent and lives in exactly one shard.
+        for (c, shard) in partition.components().iter().zip(&shards) {
+            for &p in &c.ingress {
+                prop_assert!(shard.ingress_profile(p).is_some());
+                prop_assert_eq!(
+                    ledger.ingress_profile(gridband_net::IngressId(p)).breakpoints().len(),
+                    0
+                );
+            }
+            for &p in &c.egress {
+                prop_assert!(shard.egress_profile(p).is_some());
+                prop_assert_eq!(
+                    ledger.egress_profile(gridband_net::EgressId(p)).breakpoints().len(),
+                    0
+                );
+            }
+        }
+
+        // Merge order must not matter: rotate the shard vector.
+        if !shards.is_empty() {
+            let k = shuffle_seed % shards.len();
+            shards.rotate_left(k);
+        }
+        ledger.merge(shards);
+        prop_assert_eq!(ledger.export_state(), before);
+    }
+}

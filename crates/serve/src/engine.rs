@@ -70,6 +70,10 @@ pub struct EngineConfig {
     /// clock; anything beyond is rejected as `Invalid`. Bounds the
     /// clock catch-up work a single hostile submission can demand.
     pub max_horizon: f64,
+    /// Admission rounds run shard-parallel on up to this many OS threads
+    /// (1 = sequential; decisions are bit-identical either way, so WAL
+    /// records and recovery are thread-count-independent).
+    pub admit_threads: usize,
     /// Durability: when set, the engine recovers from (and writes
     /// through) a WAL + snapshot store. `None` runs fully in memory.
     pub store: Option<StoreConfig>,
@@ -88,6 +92,7 @@ impl EngineConfig {
             default_slack: 3.0,
             history_capacity: 1 << 20,
             max_horizon: 1e6,
+            admit_threads: gridband_net::default_admit_threads(),
             store: None,
         }
     }
@@ -295,7 +300,11 @@ impl EngineLoop {
     ) -> StoreResult<Self> {
         assert!(config.step > 0.0, "t_step must be positive");
         let ledger = CapacityLedger::new(config.topology.clone());
-        let sched = WindowScheduler::new(config.step, config.policy);
+        let sched = WindowScheduler::new(config.step, config.policy)
+            .with_threads(config.admit_threads.max(1));
+        metrics
+            .admit_threads
+            .store(config.admit_threads.max(1) as u64, Ordering::Relaxed);
         let next_tick = config.step;
         let store_cfg = config.store.clone();
         let mut this = EngineLoop {
@@ -741,6 +750,18 @@ impl EngineLoop {
         // instead of one per reservation. Results are consumed in decision
         // order, so the outcome is identical to sequential `reserve` calls.
         let decisions = self.sched.on_tick(&self.ledger, t);
+        // Gauges track the most recent round *with candidates*: an empty
+        // round (nothing pending at the tick) leaves the previous values
+        // in place instead of blanking them to zero.
+        if self.sched.last_round_shards() > 0 {
+            self.metrics
+                .shards
+                .store(self.sched.last_round_shards() as u64, Ordering::Relaxed);
+            self.metrics.largest_shard.store(
+                self.sched.last_round_largest_shard() as u64,
+                Ordering::Relaxed,
+            );
+        }
         let mut in_batch = Vec::with_capacity(decisions.len());
         let mut batch = Vec::new();
         for &(rid, d) in &decisions {
@@ -762,7 +783,10 @@ impl EngineLoop {
             };
             in_batch.push(added);
         }
-        let mut results = self.ledger.reserve_all(&batch).into_iter();
+        let mut results = self
+            .ledger
+            .reserve_all_threaded(&batch, self.config.admit_threads.max(1))
+            .into_iter();
         for ((rid, decision), booked) in decisions.into_iter().zip(in_batch) {
             let prebooked = if booked { results.next() } else { None };
             self.apply_decision(rid.0, decision, t, prebooked);

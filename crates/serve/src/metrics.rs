@@ -142,6 +142,13 @@ pub struct MetricsRegistry {
     pub snapshots_written: AtomicU64,
     /// WAL records replayed during recovery at startup.
     pub recovery_replayed_records: AtomicU64,
+    /// Configured admission parallelism (gauge; 1 = sequential).
+    pub admit_threads: AtomicU64,
+    /// Conflict-graph shards of the most recent admission round (gauge).
+    pub shards: AtomicU64,
+    /// Candidate count of the largest shard in the most recent round
+    /// (gauge).
+    pub largest_shard: AtomicU64,
     /// Submit → decision latency.
     pub decision_latency: LatencyHistogram,
     /// WAL fsync latency (per append or per round, by policy).
@@ -189,6 +196,9 @@ impl MetricsRegistry {
             wal_bytes: ld(&self.wal_bytes),
             snapshots_written: ld(&self.snapshots_written),
             recovery_replayed_records: ld(&self.recovery_replayed_records),
+            admit_threads: ld(&self.admit_threads),
+            shards: ld(&self.shards),
+            largest_shard: ld(&self.largest_shard),
             pending,
             live_reservations,
             virtual_time,
@@ -234,6 +244,12 @@ pub struct StatsSnapshot {
     pub snapshots_written: u64,
     /// WAL records replayed during recovery at startup.
     pub recovery_replayed_records: u64,
+    /// Configured admission parallelism (1 = sequential).
+    pub admit_threads: u64,
+    /// Conflict-graph shards of the most recent admission round.
+    pub shards: u64,
+    /// Candidate count of the largest shard in the most recent round.
+    pub largest_shard: u64,
     /// Submissions awaiting the next round.
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.

@@ -111,6 +111,11 @@ pub enum ReqState {
 }
 
 /// Server → client messages.
+///
+/// `Stats` dominates the enum's size, but these values are transient —
+/// decoded, inspected, dropped — never stored in bulk, so indirection
+/// would buy nothing (and the vendored serde shim has no `Box` impls).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServerMsg {
     /// The submission was admitted with this allocation.

@@ -88,6 +88,9 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 wal_bytes: ticks * 48,
                 snapshots_written: ticks / 10,
                 recovery_replayed_records: gc_reclaimed,
+                admit_threads: 1 + ticks % 8,
+                shards: pending % 16,
+                largest_shard: pending % 16,
                 pending,
                 live_reservations: count,
                 virtual_time,

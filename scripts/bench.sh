@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_admission.json: micro indexed-vs-linear profile query
-# timings, an indexed/linear differential check, and the §5.3 end-to-end
-# admission rounds (decisions/sec, p50/p99 round latency), cross-checked
-# against the event-driven simulator.
+# timings, an indexed/linear differential check, the §5.3 end-to-end
+# admission rounds (decisions/sec, p50/p99 round latency) cross-checked
+# against the event-driven simulator, and the shard-parallel thread sweep
+# (rounds/sec and p99 at 1/2/4/8 threads, every threaded run compared
+# round-by-round against the sequential reference — mismatches gate to 0).
 #
 # Usage:
 #   scripts/bench.sh                # full run, writes BENCH_admission.json

@@ -57,6 +57,32 @@ struct Report {
     end_to_end: Vec<EndToEndRow>,
     parallel: Vec<ParallelRow>,
     durability: Vec<DurabilityRow>,
+    replication: ReplicationReport,
+}
+
+#[derive(Serialize)]
+struct ReplicationReport {
+    requests: usize,
+    batches: usize,
+    records_shipped: u64,
+    bytes_shipped: u64,
+    records_applied: u64,
+    beacons_checked: u64,
+    /// Beacon hash mismatches on the follower. Gated to 0: a non-zero
+    /// value means the standby's engine state drifted from the primary's.
+    divergence: u64,
+    resyncs: u64,
+    /// Per-batch replication lag: from the primary's rounds being
+    /// durable (drain acked) to the follower acking the identical
+    /// (generation, offset) position over TCP loopback.
+    lag_us: LatencyUs,
+    /// Wall time from "primary is dead" through wire promotion to the
+    /// first decision served by the promoted follower.
+    failover_ms: f64,
+    probe_decided: bool,
+    /// Follower store is byte-for-byte the primary's durable WAL prefix
+    /// (same generation, same snapshot bytes). Gated.
+    store_mirrored: bool,
 }
 
 #[derive(Serialize)]
@@ -709,6 +735,272 @@ fn durability_section(records: usize) -> Vec<DurabilityRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Replication: WAL shipping lag and failover time (gridband-replica)
+// ---------------------------------------------------------------------------
+
+/// A live primary engine + `WalShipper` streaming over TCP loopback to a
+/// follower daemon (`Replica`). Submissions go in batches; after each
+/// drain we time how long the follower takes to ack the primary's exact
+/// WAL position. Then the primary is killed, the follower promoted over
+/// the wire, and a probe request timed through to its first decision.
+fn replication_section(smoke: bool) -> ReplicationReport {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use gridband_replica::{Replica, ReplicaConfig, ShipperConfig, WalShipper};
+    use gridband_serve::engine::Command;
+    use gridband_serve::protocol::{decode_server, encode_client};
+    use gridband_serve::{
+        ClientMsg, Engine, EngineConfig, FsyncPolicy, MemDir, ServerMsg, StoreConfig, SubmitReq,
+    };
+    use gridband_store::wal::{scan_records, MAGIC_WAL};
+    use gridband_store::Dir;
+
+    let step = 10.0;
+    let topo = Topology::uniform(4, 4, 120.0);
+    let requests: usize = if smoke { 48 } else { 240 };
+    let batch = 6usize;
+    let history = 1usize << 20;
+
+    let config = |dir: Arc<MemDir>| {
+        let mut cfg = EngineConfig::new(topo.clone());
+        cfg.step = step;
+        cfg.history_capacity = history;
+        cfg.store = Some(StoreConfig {
+            dir,
+            fsync: FsyncPolicy::Round,
+            snapshot_every: 16,
+        });
+        cfg
+    };
+
+    let primary_dir = Arc::new(MemDir::new());
+    let engine = Engine::spawn(config(primary_dir.clone()));
+
+    let follower_dir = Arc::new(MemDir::new());
+    let replica = Replica::bind(
+        ReplicaConfig {
+            engine: config(follower_dir.clone()),
+            promote_after: None,
+        },
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+    )
+    .expect("follower binds loopback listeners");
+    let client_addr = replica.client_addr().expect("client listener requested");
+
+    let shipper = WalShipper::spawn(
+        ShipperConfig {
+            dir: primary_dir.clone(),
+            topology: topo.clone(),
+            step,
+            history_capacity: history,
+            beacon_every: 8,
+        },
+        replica.repl_addr().to_string(),
+        engine.metrics(),
+    );
+
+    let metrics = engine.metrics();
+    let mut rng = StdRng::seed_from_u64(97);
+    let mut clock = 0.0f64;
+    let mut lag_ns: Vec<u64> = Vec::new();
+    let mut replies = Vec::new();
+    let mut sent = 0usize;
+    // A batch's rounds reach the follower either as WAL records or — when
+    // they land on a snapshot rotation — as a freshly shipped snapshot,
+    // so progress is the sum of both.
+    let progress = |m: &gridband_serve::MetricsRegistry| {
+        m.repl_records_shipped.load(Ordering::Relaxed)
+            + m.repl_snapshots_shipped.load(Ordering::Relaxed)
+    };
+    while sent < requests {
+        let shipped_before = progress(&metrics);
+        let t0 = Instant::now();
+        let n = batch.min(requests - sent);
+        for i in 0..n {
+            // The last submit of every batch jumps the virtual clock past
+            // a round boundary, so the engine decides (and logs) the
+            // batch's earlier arrivals without an explicit drain — a
+            // drain here would fast-forward time past the next batch's
+            // start times and starve the WAL of fresh rounds.
+            clock += if i == n - 1 {
+                step + rng.gen_range(1.0..4.0)
+            } else {
+                rng.gen_range(1.0..6.0)
+            };
+            sent += 1;
+            let volume = rng.gen_range(50.0..400.0);
+            let max_rate = rng.gen_range(10.0..60.0);
+            let (tx, rx) = crossbeam::channel::unbounded();
+            engine
+                .sender()
+                .send(Command::Client {
+                    msg: ClientMsg::Submit(SubmitReq {
+                        id: sent as u64,
+                        ingress: rng.gen_range(0..4),
+                        egress: rng.gen_range(0..4),
+                        volume,
+                        max_rate,
+                        start: Some(clock),
+                        deadline: Some(clock + rng.gen_range(1.5..3.0) * volume / max_rate),
+                    }),
+                    reply: tx,
+                })
+                .expect("primary engine alive");
+            replies.push(rx);
+        }
+        // Lag: from the batch going in to the follower acking the
+        // primary's exact WAL position — engine decision latency plus
+        // ship/apply/ack over loopback.
+        let deadline = t0 + Duration::from_secs(30);
+        loop {
+            let shipped = progress(&metrics);
+            if shipped > shipped_before && metrics.repl_synced.load(Ordering::Relaxed) == 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "follower never caught up over loopback (shipped {} -> {}, synced {}, applied {}, resyncs {})",
+                shipped_before,
+                shipped,
+                metrics.repl_synced.load(Ordering::Relaxed),
+                replica.metrics().repl_records_applied.load(Ordering::Relaxed),
+                replica.metrics().repl_resyncs.load(Ordering::Relaxed),
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        lag_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    // Flush the tail: decide everything still pending, then wait for the
+    // shipped count to go quiet with the follower in sync.
+    let (tx, rx) = crossbeam::channel::unbounded();
+    engine
+        .sender()
+        .send(Command::Client {
+            msg: ClientMsg::Drain,
+            reply: tx,
+        })
+        .expect("primary engine alive");
+    rx.recv_timeout(Duration::from_secs(30)).expect("drain ack");
+    for rx in &replies {
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("primary decision");
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let before = progress(&metrics);
+        std::thread::sleep(Duration::from_millis(250));
+        if progress(&metrics) == before && metrics.repl_synced.load(Ordering::Relaxed) == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "final sync never settled");
+    }
+
+    // Kill the primary; the follower must now hold its durable prefix.
+    engine.kill();
+    shipper.shutdown();
+    let store_mirrored = {
+        let latest = |d: &dyn Dir, prefix: &str| -> Option<String> {
+            d.list()
+                .expect("list store dir")
+                .into_iter()
+                .filter(|f| f.starts_with(prefix))
+                .max()
+        };
+        let snaps_equal = match (
+            latest(primary_dir.as_ref(), "snap-"),
+            latest(follower_dir.as_ref(), "snap-"),
+        ) {
+            (Some(ps), Some(fs)) => {
+                ps == fs && primary_dir.read(&ps).ok() == follower_dir.read(&fs).ok()
+            }
+            (a, b) => a == b,
+        };
+        let wals_equal = match (
+            latest(primary_dir.as_ref(), "wal-"),
+            latest(follower_dir.as_ref(), "wal-"),
+        ) {
+            (Some(pw), Some(fw)) if pw == fw => {
+                let p = primary_dir.read(&pw).expect("primary WAL readable");
+                let f = follower_dir.read(&fw).expect("follower WAL readable");
+                let scan = scan_records(&pw, &p, MAGIC_WAL.len()).expect("primary WAL scans");
+                f.len() as u64 == scan.valid_len && f[..] == p[..scan.valid_len as usize]
+            }
+            (a, b) => a == b,
+        };
+        snaps_equal && wals_equal
+    };
+
+    // Failover: promote over the wire, then push one probe through to a
+    // decision — the clock runs from the instant the primary is gone.
+    let t0 = Instant::now();
+    let stream = TcpStream::connect(client_addr).expect("connect to follower");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut writer = stream;
+    let send = |w: &mut TcpStream, msg: &ClientMsg| {
+        let mut line = encode_client(msg);
+        line.push('\n');
+        w.write_all(line.as_bytes()).expect("send to follower");
+    };
+    let recv = |r: &mut BufReader<TcpStream>| -> ServerMsg {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("read follower reply");
+        decode_server(line.trim()).expect("parse follower reply")
+    };
+    send(&mut writer, &ClientMsg::Promote);
+    let promoted = matches!(recv(&mut reader), ServerMsg::Promoted { .. });
+    let probe_id = requests as u64 + 1;
+    send(
+        &mut writer,
+        &ClientMsg::Submit(SubmitReq {
+            id: probe_id,
+            ingress: 0,
+            egress: 1,
+            volume: 20.0,
+            max_rate: 10.0,
+            start: Some(clock + step),
+            deadline: Some(clock + step + 10.0),
+        }),
+    );
+    send(&mut writer, &ClientMsg::Drain);
+    let mut probe_decided = false;
+    for _ in 0..2 {
+        match recv(&mut reader) {
+            ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } if id == probe_id => {
+                probe_decided = true
+            }
+            _ => {}
+        }
+    }
+    let failover_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let rm = replica.metrics();
+    let report = ReplicationReport {
+        requests,
+        batches: lag_ns.len(),
+        records_shipped: metrics.repl_records_shipped.load(Ordering::Relaxed),
+        bytes_shipped: metrics.repl_bytes_shipped.load(Ordering::Relaxed),
+        records_applied: rm.repl_records_applied.load(Ordering::Relaxed),
+        beacons_checked: rm.repl_beacons_checked.load(Ordering::Relaxed),
+        divergence: rm.repl_divergence.load(Ordering::Relaxed),
+        resyncs: rm.repl_resyncs.load(Ordering::Relaxed),
+        lag_us: latency_summary(lag_ns),
+        failover_ms,
+        probe_decided: promoted && probe_decided,
+        store_mirrored,
+    };
+    replica.shutdown();
+    report
+}
+
+// ---------------------------------------------------------------------------
 // main
 // ---------------------------------------------------------------------------
 
@@ -830,6 +1122,20 @@ fn main() {
         );
     }
 
+    eprintln!("admission bench: WAL-streaming replication ...");
+    let replication = replication_section(smoke);
+    eprintln!(
+        "  {} requests in {} batches: lag p50 {:.1} us p99 {:.1} us, {} records shipped, failover {:.1} ms, divergence {}, mirrored {}",
+        replication.requests,
+        replication.batches,
+        replication.lag_us.p50,
+        replication.lag_us.p99,
+        replication.records_shipped,
+        replication.failover_ms,
+        replication.divergence,
+        replication.store_mirrored
+    );
+
     let report = Report {
         schema: "gridband/bench-admission/v2".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
@@ -839,6 +1145,7 @@ fn main() {
         end_to_end,
         parallel,
         durability,
+        replication,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write report");
@@ -882,6 +1189,30 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+    }
+    // Replication gates: the lag/failover numbers only mean something if
+    // the follower provably tracked the primary bit for bit.
+    {
+        let r = &report.replication;
+        if r.divergence > 0 {
+            eprintln!(
+                "FAIL: follower diverged from the primary ({} beacon mismatches)",
+                r.divergence
+            );
+            failed = true;
+        }
+        if r.beacons_checked == 0 {
+            eprintln!("FAIL: no replication beacons were verified — divergence gate is vacuous");
+            failed = true;
+        }
+        if !r.store_mirrored {
+            eprintln!("FAIL: follower store is not the primary's durable WAL prefix");
+            failed = true;
+        }
+        if !r.probe_decided {
+            eprintln!("FAIL: promoted follower never decided the probe request");
+            failed = true;
         }
     }
     for r in &report.micro {

@@ -32,6 +32,7 @@ fn main() {
         "run" => run_custom(args),
         "compare" => compare(args),
         "serve" => serve(args),
+        "promote" => promote(args),
         "trace" => gen_trace(args),
         "stats" => trace_stats(args),
         "--help" | "-h" | "help" => usage(0),
@@ -61,6 +62,7 @@ commands:
                             (--scheds greedy,window:50,bookahead + run flags)
   serve                     run the reservation daemon  (gridband serve --help)
                             drive it with the `loadgen` binary from gridband-serve
+  promote [--addr H:P]      promote a hot-standby follower to primary
   trace                     generate a workload trace JSON
   stats FILE                summarize a trace file"
     );
@@ -408,6 +410,9 @@ fn serve(args: Vec<String>) {
     let mut fsync = gridband_serve::FsyncPolicy::Round;
     let mut snapshot_every = 64u64;
     let mut admit_threads = gridband_net::default_admit_threads();
+    let mut replicate_to: Option<String> = None;
+    let mut follow: Option<String> = None;
+    let mut promote_after: Option<Duration> = None;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -474,6 +479,14 @@ fn serve(args: Vec<String>) {
                     .unwrap_or_else(|e| fail(format_args!("bad --admit-threads: {e}")))
                     .max(1);
             }
+            "--replicate-to" => replicate_to = Some(val("--replicate-to")),
+            "--follow" => follow = Some(val("--follow")),
+            "--promote-after" => {
+                let s: u64 = val("--promote-after")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --promote-after: {e}")));
+                promote_after = Some(Duration::from_secs(s));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gridband serve [--addr HOST:PORT] [--topo paper|grid5000|MxNxCAP]
@@ -481,6 +494,8 @@ fn serve(args: Vec<String>) {
                       [--queue N] [--snapshot-secs S]
                       [--wal-dir DIR] [--fsync always|round|off]
                       [--snapshot-every ROUNDS] [--admit-threads N]
+                      [--replicate-to HOST:PORT]
+                      [--follow HOST:PORT [--promote-after SECS]]
 
 Runs the reservation daemon: JSON-lines over TCP, batched WINDOW
 admission every t_step. Without --tick-ms the clock is virtual
@@ -496,7 +511,16 @@ once per round before replies (round, the default), or never (off).
 
 --admit-threads N runs each admission round shard-parallel on up to N
 OS threads (default: GRIDBAND_ADMIT_THREADS, else 1). Decisions are
-bit-identical for every N, so WAL records and recovery are unaffected."
+bit-identical for every N, so WAL records and recovery are unaffected.
+
+--replicate-to streams the WAL to a hot-standby follower listening at
+HOST:PORT (requires --wal-dir); the daemon runs as the primary.
+--follow runs this daemon as the follower instead: it listens for the
+primary's replication stream on HOST:PORT, mirrors the WAL into
+--wal-dir (required), serves read-only Query/Stats on --addr, and
+rejects submissions with `not-primary`. `gridband promote --addr ...`
+(or --promote-after SECS of primary silence) turns it into a primary
+that resumes from the exact round the old primary last logged."
                 );
                 std::process::exit(0);
             }
@@ -504,6 +528,11 @@ bit-identical for every N, so WAL records and recovery are unaffected."
         }
     }
 
+    if replicate_to.is_some() && follow.is_some() {
+        fail(format_args!(
+            "--replicate-to (primary) and --follow (follower) are mutually exclusive"
+        ));
+    }
     let mut engine = EngineConfig::new(topo);
     engine.step = step;
     engine.policy = policy;
@@ -520,6 +549,51 @@ bit-identical for every N, so WAL records and recovery are unaffected."
         });
         eprintln!("gridband serve: write-ahead log in {dir} (fsync {fsync}, snapshot every {snapshot_every} rounds)");
     }
+
+    if let Some(repl_addr) = follow {
+        // Follower mode: mirror the primary's WAL, serve read-only
+        // queries on --addr, promote on command or primary silence.
+        if engine.store.is_none() {
+            fail(format_args!("--follow requires --wal-dir"));
+        }
+        let replica = gridband_replica::Replica::bind(
+            gridband_replica::ReplicaConfig {
+                engine,
+                promote_after,
+            },
+            &repl_addr,
+            Some(&addr),
+        )
+        .unwrap_or_else(|e| fail(format_args!("cannot start follower: {e}")));
+        eprintln!(
+            "gridband serve: follower — replication on {}, read-only clients on {}{}",
+            replica.repl_addr(),
+            replica.client_addr().map(|a| a.to_string()).unwrap_or(addr),
+            match promote_after {
+                Some(d) => format!(", auto-promote after {}s of silence", d.as_secs()),
+                None => String::new(),
+            }
+        );
+        replica.run();
+        return;
+    }
+
+    if replicate_to.is_some() && engine.store.is_none() {
+        fail(format_args!("--replicate-to requires --wal-dir"));
+    }
+    if replicate_to.is_some() {
+        engine.role = gridband_serve::Role::Primary;
+    }
+    let shipper_cfg = engine
+        .store
+        .as_ref()
+        .map(|store| gridband_replica::ShipperConfig {
+            dir: store.dir.clone(),
+            topology: engine.topology.clone(),
+            step: engine.step,
+            history_capacity: engine.history_capacity,
+            beacon_every: 16,
+        });
     let mut cfg = ServerConfig::new(addr.clone(), engine);
     cfg.snapshot_period = snapshot;
     let server =
@@ -528,7 +602,62 @@ bit-identical for every N, so WAL records and recovery are unaffected."
         "gridband serve: listening on {} (step {step}s)",
         server.local_addr().map(|a| a.to_string()).unwrap_or(addr)
     );
+    let _shipper = replicate_to.map(|target| {
+        eprintln!("gridband serve: primary — shipping WAL to {target}");
+        gridband_replica::WalShipper::spawn(
+            shipper_cfg.expect("--replicate-to requires --wal-dir"),
+            target,
+            server.metrics(),
+        )
+    });
     if let Err(e) = server.run() {
         fail(format_args!("server error: {e}"));
+    }
+}
+
+/// `gridband promote [--addr HOST:PORT]`: ask a follower daemon to
+/// finish recovery and start accepting submissions.
+fn promote(args: Vec<String>) {
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .unwrap_or_else(|| fail(format_args!("--addr needs a value")))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: gridband promote [--addr HOST:PORT]");
+                std::process::exit(0);
+            }
+            other => fail(format_args!("unknown promote flag {other}")),
+        }
+    }
+    let stream = std::net::TcpStream::connect(&addr)
+        .unwrap_or_else(|e| fail(format_args!("cannot connect to {addr}: {e}")));
+    let mut line = gridband_serve::protocol::encode_client(&gridband_serve::ClientMsg::Promote);
+    line.push('\n');
+    let mut write_half = stream
+        .try_clone()
+        .unwrap_or_else(|e| fail(format_args!("socket clone failed: {e}")));
+    write_half
+        .write_all(line.as_bytes())
+        .unwrap_or_else(|e| fail(format_args!("cannot send promote: {e}")));
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .unwrap_or_else(|e| fail(format_args!("no reply from {addr}: {e}")));
+    match gridband_serve::protocol::decode_server(reply.trim()) {
+        Ok(gridband_serve::ServerMsg::Promoted { rounds }) => {
+            println!("promoted: accepting submissions (resumed at round {rounds})");
+        }
+        Ok(gridband_serve::ServerMsg::Error { code, message }) => {
+            fail(format_args!("promotion refused ({code}): {message}"));
+        }
+        Ok(other) => fail(format_args!("unexpected reply: {other:?}")),
+        Err(e) => fail(format_args!("unparseable reply: {e}")),
     }
 }

@@ -1,0 +1,43 @@
+//! WAL-streaming replication: hot-standby followers with bit-identical
+//! failover.
+//!
+//! The serve daemon's durability story ends at its own disk: the
+//! write-ahead log survives a crash of the process, but not of the
+//! machine. This crate extends it across machines. A primary-side
+//! [`WalShipper`] tails the store directory — the same `GBWAL01` /
+//! `GBSNAP1` files, the same generations — and streams snapshot-then-
+//! records to a follower over a length-prefixed, CRC-checked protocol.
+//! The follower writes an *identical* local store and replays every
+//! record through the same engine-state code the primary's recovery
+//! uses, so at any instant its standby state is the state a restarted
+//! primary would recover to.
+//!
+//! Bit-identical is a claim, not a hope: the shipper interleaves
+//! divergence beacons — hashes of the full engine snapshot at a store
+//! position — and the follower verifies each one it is positioned for.
+//! The replication equivalence suite kills the primary at every round
+//! boundary (and inside torn records, and under dropped / duplicated /
+//! reordered / truncated frames) and proves the promoted follower makes
+//! exactly the decisions an uninterrupted primary would have made.
+//!
+//! Module map:
+//! - [`proto`]: the framed wire protocol ([`ShipMsg`] / [`FollowerMsg`]).
+//! - [`link`]: transport abstraction — [`TcpLink`] for real sockets,
+//!   [`MemLink`] for tests, [`FaultLink`] for injected drops,
+//!   duplicates, reorders, truncations, and partitions.
+//! - [`shipper`]: primary side — sans-IO [`ShipperCore`] plus the
+//!   threaded [`WalShipper`].
+//! - [`follower`]: follower side — sans-IO [`FollowerCore`] plus the
+//!   threaded [`Replica`] daemon with promotion.
+
+pub mod follower;
+pub mod link;
+pub mod proto;
+pub mod shipper;
+
+pub use follower::{FollowerConfig, FollowerCore, Replica, ReplicaConfig};
+pub use link::{FaultInjector, FaultLink, FaultPlan, Link, MemLink, Recv, TcpLink};
+pub use proto::{
+    decode_frame, encode_frame, FollowerMsg, FrameError, ShipMsg, REPL_PROTOCOL_VERSION,
+};
+pub use shipper::{ShipperConfig, ShipperCore, WalShipper};

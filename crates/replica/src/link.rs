@@ -1,0 +1,374 @@
+//! Transport abstraction for replication sessions.
+//!
+//! The shipper and follower cores are sans-IO; everything that actually
+//! moves bytes sits behind [`Link`]. Three implementations:
+//!
+//! * [`TcpLink`] — production: length-prefixed frames over a TCP
+//!   stream, with an internal reassembly buffer (a frame may arrive
+//!   split across reads or coalesced with its neighbours).
+//! * [`MemLink`] — tests: a crossbeam channel pair delivering whole
+//!   frames in-process.
+//! * [`FaultLink`] — tests: wraps any link and runs every outgoing
+//!   frame through a deterministic [`FaultInjector`] that drops,
+//!   duplicates, reorders, truncates, or partitions.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use gridband_store::wal::{MAX_RECORD, RECORD_HEADER};
+
+/// Outcome of a [`Link::recv`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// One whole frame, header included.
+    Frame(Vec<u8>),
+    /// The timeout expired with no complete frame available.
+    Idle,
+    /// The peer is gone; no more frames will arrive.
+    Closed,
+}
+
+/// A bidirectional, frame-oriented transport.
+pub trait Link: Send {
+    /// Send one whole frame (as produced by
+    /// [`encode_frame`](crate::proto::encode_frame)).
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Wait up to `timeout` for the next frame.
+    fn recv(&mut self, timeout: Duration) -> io::Result<Recv>;
+}
+
+/// Frame transport over a TCP stream.
+///
+/// TCP gives a reliable byte pipe, not a frame pipe: `recv` reassembles
+/// frames from the stream using the 4-byte length prefix. A declared
+/// length beyond the store's record bound is unrecoverable framing loss
+/// (there is no way to find the next frame boundary) and surfaces as an
+/// error; the session layer drops the connection and reconnects.
+pub struct TcpLink {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TcpLink {
+    /// Wrap a connected stream.
+    pub fn new(stream: TcpStream) -> TcpLink {
+        let _ = stream.set_nodelay(true);
+        TcpLink {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Pop one complete frame off the reassembly buffer, if present.
+    fn take_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buf.len() < RECORD_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        if len > MAX_RECORD as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame declares {len} bytes; stream framing is lost"),
+            ));
+        }
+        let total = RECORD_HEADER + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf[..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+impl Link for TcpLink {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.stream.write_all(frame)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> io::Result<Recv> {
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(Recv::Frame(frame));
+            }
+            // A zero timeout means "non-blocking poll"; set_read_timeout
+            // rejects Duration::ZERO, so round up to something tiny.
+            self.stream
+                .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+            let mut chunk = [0u8; 64 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Recv::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Recv::Idle)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// In-process frame transport: each side sends into the other's queue.
+pub struct MemLink {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl MemLink {
+    /// A connected pair of endpoints.
+    pub fn pair() -> (MemLink, MemLink) {
+        let (a_tx, a_rx) = channel::unbounded();
+        let (b_tx, b_rx) = channel::unbounded();
+        (
+            MemLink { tx: a_tx, rx: b_rx },
+            MemLink { tx: b_tx, rx: a_rx },
+        )
+    }
+}
+
+impl Link for MemLink {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> io::Result<Recv> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Recv::Frame(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(Recv::Idle),
+            Err(RecvTimeoutError::Disconnected) => Ok(Recv::Closed),
+        }
+    }
+}
+
+/// A deterministic schedule of transit faults, keyed on the 1-based
+/// count of frames pushed through the injector. All-zero (the default)
+/// injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Drop every n-th frame (0 = never).
+    pub drop_every: u64,
+    /// Deliver every n-th frame twice (0 = never).
+    pub dup_every: u64,
+    /// Hold every n-th frame and deliver it *after* its successor
+    /// (0 = never).
+    pub reorder_every: u64,
+    /// Cut every n-th frame to half its length (0 = never).
+    pub truncate_every: u64,
+    /// Drop *every* frame whose count falls in this inclusive range —
+    /// a transient network partition.
+    pub partition: Option<(u64, u64)>,
+}
+
+/// Applies a [`FaultPlan`] to a stream of frames. Deterministic: the
+/// same plan over the same frame sequence yields the same deliveries,
+/// so every fault schedule in the tests is exactly reproducible.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    count: u64,
+    held: Option<Vec<u8>>,
+}
+
+impl FaultInjector {
+    /// An injector following `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            count: 0,
+            held: None,
+        }
+    }
+
+    /// Push one frame through; returns what actually gets delivered (0,
+    /// 1, or 2 frames, possibly including a previously held one). Each
+    /// frame matches at most one fault, checked in order: partition,
+    /// drop, truncate, dup, reorder.
+    pub fn push(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
+        self.count += 1;
+        let n = self.count;
+        let hit = |every: u64| every != 0 && n.is_multiple_of(every);
+        let mut out = Vec::new();
+        if let Some((a, b)) = self.plan.partition {
+            if n >= a && n <= b {
+                return out;
+            }
+        }
+        if hit(self.plan.drop_every) {
+            return out;
+        }
+        if hit(self.plan.truncate_every) {
+            out.push(frame[..frame.len() / 2].to_vec());
+        } else if hit(self.plan.dup_every) {
+            out.push(frame.to_vec());
+            out.push(frame.to_vec());
+        } else if hit(self.plan.reorder_every) {
+            // Swap with the next frame: hold this one, release on the
+            // next push (or on flush).
+            if let Some(prev) = self.held.replace(frame.to_vec()) {
+                out.push(prev);
+            }
+            return out;
+        } else {
+            out.push(frame.to_vec());
+        }
+        if let Some(held) = self.held.take() {
+            out.push(held);
+        }
+        out
+    }
+
+    /// Release a frame still held for reordering (end of a burst).
+    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+        self.held.take().into_iter().collect()
+    }
+}
+
+/// A [`Link`] that runs every *outgoing* frame through a
+/// [`FaultInjector`]. Intended over [`MemLink`] (frame-preserving);
+/// over [`TcpLink`] a truncated frame poisons the byte stream, exactly
+/// as a real half-written send before a connection loss would.
+pub struct FaultLink<L: Link> {
+    inner: L,
+    injector: FaultInjector,
+}
+
+impl<L: Link> FaultLink<L> {
+    /// Wrap `inner`, faulting its sends per `plan`.
+    pub fn new(inner: L, plan: FaultPlan) -> FaultLink<L> {
+        FaultLink {
+            inner,
+            injector: FaultInjector::new(plan),
+        }
+    }
+}
+
+impl<L: Link> Link for FaultLink<L> {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        for f in self.injector.push(frame) {
+            self.inner.send(&f)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Duration) -> io::Result<Recv> {
+        self.inner.recv(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{decode_frame, encode_frame, ShipMsg};
+
+    fn frame(seq: u64) -> Vec<u8> {
+        encode_frame(&ShipMsg::Heartbeat {
+            seq,
+            gen: 0,
+            offset: 8,
+        })
+    }
+
+    fn seq_of(f: &[u8]) -> u64 {
+        match decode_frame::<ShipMsg>(f).expect("intact frame") {
+            ShipMsg::Heartbeat { seq, .. } => seq,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_link_delivers_frames_in_order() {
+        let (mut a, mut b) = MemLink::pair();
+        a.send(&frame(1)).unwrap();
+        a.send(&frame(2)).unwrap();
+        for want in [1, 2] {
+            match b.recv(Duration::from_millis(100)).unwrap() {
+                Recv::Frame(f) => assert_eq!(seq_of(&f), want),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+        assert_eq!(b.recv(Duration::from_millis(10)).unwrap(), Recv::Idle);
+        drop(a);
+        assert_eq!(b.recv(Duration::from_millis(10)).unwrap(), Recv::Closed);
+    }
+
+    #[test]
+    fn injector_drops_and_duplicates_on_schedule() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            drop_every: 3,
+            dup_every: 4,
+            ..FaultPlan::default()
+        });
+        let mut delivered = Vec::new();
+        for seq in 1..=8 {
+            for f in inj.push(&frame(seq)) {
+                delivered.push(seq_of(&f));
+            }
+        }
+        // 3 and 6 dropped; 4 and 8 doubled.
+        assert_eq!(delivered, vec![1, 2, 4, 4, 5, 7, 8, 8]);
+    }
+
+    #[test]
+    fn injector_reorders_adjacent_frames() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            reorder_every: 2,
+            ..FaultPlan::default()
+        });
+        let mut delivered = Vec::new();
+        for seq in 1..=4 {
+            for f in inj.push(&frame(seq)) {
+                delivered.push(seq_of(&f));
+            }
+        }
+        for f in inj.flush() {
+            delivered.push(seq_of(&f));
+        }
+        assert_eq!(delivered, vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn injector_truncates_and_partitions() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            truncate_every: 2,
+            partition: Some((3, 4)),
+            ..FaultPlan::default()
+        });
+        let whole = frame(1);
+        let out = inj.push(&whole);
+        assert_eq!(out, vec![whole.clone()]);
+        let out = inj.push(&whole);
+        assert_eq!(out[0].len(), whole.len() / 2, "truncated to half");
+        assert!(decode_frame::<ShipMsg>(&out[0]).is_err());
+        assert!(inj.push(&whole).is_empty(), "partition eats frame 3");
+        assert!(inj.push(&whole).is_empty(), "partition eats frame 4");
+        assert_eq!(inj.push(&whole), vec![whole.clone()], "partition healed");
+    }
+
+    #[test]
+    fn fault_link_applies_the_plan_to_sends() {
+        let (a, mut b) = MemLink::pair();
+        let mut faulty = FaultLink::new(
+            a,
+            FaultPlan {
+                drop_every: 2,
+                ..FaultPlan::default()
+            },
+        );
+        for seq in 1..=4 {
+            faulty.send(&frame(seq)).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Recv::Frame(f) = b.recv(Duration::from_millis(10)).unwrap() {
+            got.push(seq_of(&f));
+        }
+        assert_eq!(got, vec![1, 3]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Replication wire protocol: framed, CRC-checked JSON messages.
+//!
+//! Every frame on a replication link reuses the store's WAL framing —
+//! `[len: u32 LE][crc32: u32 LE][payload]` — with a JSON-serialized
+//! message as the payload. The receiver re-verifies the CRC before
+//! parsing, so a frame damaged in transit is classified (and counted)
+//! as damage, never misapplied. Record and snapshot messages carry a
+//! *second* CRC over the store payload itself: the bytes the follower
+//! writes to its local WAL are verified independently of the envelope
+//! that delivered them.
+//!
+//! Sequencing is two-level. Each frame carries a per-connection `seq`
+//! (strictly increasing; the follower discards any frame at or below
+//! the highest seq it has seen, which kills duplicates and reorders).
+//! Content messages additionally carry the `(gen, offset)` store
+//! position they apply at; the follower's own cursor — not the seq —
+//! decides whether a record is applied, a duplicate, or a gap that
+//! needs a [`FollowerMsg::Resync`].
+
+use gridband_store::wal::{crc32, frame_record, MAX_RECORD, RECORD_HEADER};
+use serde::{Deserialize, Serialize};
+
+/// Version of the replication protocol spoken by this build. Checked in
+/// the [`ShipMsg::Hello`] / [`FollowerMsg::Subscribe`] handshake; bump
+/// on any wire-incompatible change.
+pub const REPL_PROTOCOL_VERSION: u32 = 1;
+
+/// Primary → follower messages.
+///
+/// Store payloads travel as `String` rather than raw bytes: WAL records
+/// and snapshots are JSON text already, and the vendored serde has no
+/// byte-array representation that round-trips more compactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShipMsg {
+    /// First frame of every connection: what the shipper speaks.
+    Hello {
+        /// Replication protocol version ([`REPL_PROTOCOL_VERSION`]).
+        protocol: u32,
+        /// The primary engine's `t_step`; a follower configured with a
+        /// different step would replay a different round schedule, so a
+        /// mismatch aborts the session instead of diverging later.
+        step: f64,
+    },
+    /// A snapshot opening generation `gen`: the follower installs it
+    /// (replacing everything it holds) before any of that generation's
+    /// records.
+    Snapshot {
+        /// Per-connection frame sequence number.
+        seq: u64,
+        /// Generation the snapshot opens.
+        gen: u64,
+        /// CRC32 of the snapshot payload bytes.
+        crc: u32,
+        /// The snapshot payload (JSON text, as stored).
+        payload: String,
+    },
+    /// One WAL record, shipped byte-for-byte.
+    Record {
+        /// Per-connection frame sequence number.
+        seq: u64,
+        /// Generation of the WAL holding the record.
+        gen: u64,
+        /// Byte offset of the record's header in `wal-<gen>` — the
+        /// follower applies it only when this equals its own cursor.
+        offset: u64,
+        /// CRC32 of the record payload bytes.
+        crc: u32,
+        /// The record payload (JSON text, as stored).
+        payload: String,
+    },
+    /// Divergence check: a hash of the shipper's mirrored engine state
+    /// at a store position. A follower at the same position must hash
+    /// to the same value or the stream is corrupt.
+    Beacon {
+        /// Per-connection frame sequence number.
+        seq: u64,
+        /// Generation of the position the beacon describes.
+        gen: u64,
+        /// WAL offset *after* the last shipped record.
+        offset: u64,
+        /// Rounds the mirrored engine state has executed.
+        rounds: u64,
+        /// CRC32 of the mirrored state's encoded [`EngineSnapshot`].
+        ///
+        /// [`EngineSnapshot`]: gridband_store::EngineSnapshot
+        state_crc: u32,
+    },
+    /// Idle keep-alive carrying the shipper's position, so a follower
+    /// that missed frames can notice the gap and ask for a resync.
+    Heartbeat {
+        /// Per-connection frame sequence number.
+        seq: u64,
+        /// Generation of the shipper's position.
+        gen: u64,
+        /// WAL offset of the shipper's position.
+        offset: u64,
+    },
+}
+
+/// Follower → primary messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FollowerMsg {
+    /// Reply to [`ShipMsg::Hello`]: where the follower's local store
+    /// ends, i.e. where shipping should resume.
+    Subscribe {
+        /// Replication protocol version the follower speaks.
+        protocol: u32,
+        /// Generation of the follower's local store.
+        gen: u64,
+        /// Length of the follower's local `wal-<gen>` (its cursor).
+        offset: u64,
+    },
+    /// Progress report: the highest frame seq seen and the follower's
+    /// store position after applying it.
+    Ack {
+        /// Highest frame sequence number received on this connection.
+        seq: u64,
+        /// Generation of the follower's position.
+        gen: u64,
+        /// WAL offset of the follower's position.
+        offset: u64,
+        /// Rounds the follower's standby state has executed.
+        rounds: u64,
+    },
+    /// The follower detected a gap (a frame it needed never arrived):
+    /// re-ship everything from this position.
+    Resync {
+        /// Generation to resume from.
+        gen: u64,
+        /// WAL offset to resume from.
+        offset: u64,
+    },
+}
+
+/// Why an incoming frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame is shorter than its header claims, its CRC does not
+    /// match, or the payload fails to parse: transit damage.
+    Damaged(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Damaged(why) => write!(f, "damaged frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Frame a message for the wire: `[len][crc][json]`, same layout as a
+/// store WAL record.
+pub fn encode_frame<T: Serialize>(msg: &T) -> Vec<u8> {
+    let json = serde_json::to_string(msg).expect("replication message serialization is infallible");
+    frame_record(json.as_bytes())
+}
+
+/// Verify and parse one whole frame (header included).
+pub fn decode_frame<T: Deserialize>(frame: &[u8]) -> Result<T, FrameError> {
+    if frame.len() < RECORD_HEADER {
+        return Err(FrameError::Damaged(format!(
+            "{} bytes is shorter than the frame header",
+            frame.len()
+        )));
+    }
+    let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+    let want_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    if len > MAX_RECORD as usize {
+        return Err(FrameError::Damaged(format!(
+            "declared length {len} exceeds the record bound"
+        )));
+    }
+    if frame.len() != RECORD_HEADER + len {
+        return Err(FrameError::Damaged(format!(
+            "frame is {} bytes, header declares {}",
+            frame.len(),
+            RECORD_HEADER + len
+        )));
+    }
+    let payload = &frame[RECORD_HEADER..];
+    if crc32(payload) != want_crc {
+        return Err(FrameError::Damaged("payload checksum mismatch".to_string()));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| FrameError::Damaged("payload is not UTF-8".to_string()))?;
+    serde_json::from_str(text)
+        .map_err(|e| FrameError::Damaged(format!("payload does not parse: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ship_messages_round_trip_through_frames() {
+        let msgs = vec![
+            ShipMsg::Hello {
+                protocol: REPL_PROTOCOL_VERSION,
+                step: 10.0,
+            },
+            ShipMsg::Snapshot {
+                seq: 1,
+                gen: 2,
+                crc: 0xDEAD_BEEF,
+                payload: "{\"state\":1}".to_string(),
+            },
+            ShipMsg::Record {
+                seq: 2,
+                gen: 2,
+                offset: 8,
+                crc: 7,
+                payload: "{\"Round\":{}}".to_string(),
+            },
+            ShipMsg::Beacon {
+                seq: 3,
+                gen: 2,
+                offset: 40,
+                rounds: 5,
+                state_crc: 123,
+            },
+            ShipMsg::Heartbeat {
+                seq: 4,
+                gen: 2,
+                offset: 40,
+            },
+        ];
+        for msg in msgs {
+            let frame = encode_frame(&msg);
+            let back: ShipMsg = decode_frame(&frame).expect("decode own frame");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn follower_messages_round_trip_through_frames() {
+        let msgs = vec![
+            FollowerMsg::Subscribe {
+                protocol: REPL_PROTOCOL_VERSION,
+                gen: 0,
+                offset: 8,
+            },
+            FollowerMsg::Ack {
+                seq: 9,
+                gen: 1,
+                offset: 90,
+                rounds: 4,
+            },
+            FollowerMsg::Resync { gen: 1, offset: 8 },
+        ];
+        for msg in msgs {
+            let frame = encode_frame(&msg);
+            let back: FollowerMsg = decode_frame(&frame).expect("decode own frame");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn damage_is_detected_not_misparsed() {
+        let frame = encode_frame(&ShipMsg::Heartbeat {
+            seq: 1,
+            gen: 0,
+            offset: 8,
+        });
+        // Truncated frame.
+        assert!(matches!(
+            decode_frame::<ShipMsg>(&frame[..frame.len() / 2]),
+            Err(FrameError::Damaged(_))
+        ));
+        // Flipped payload bit: CRC catches it.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame::<ShipMsg>(&bad),
+            Err(FrameError::Damaged(_))
+        ));
+        // Header shorter than 8 bytes.
+        assert!(matches!(
+            decode_frame::<ShipMsg>(&frame[..5]),
+            Err(FrameError::Damaged(_))
+        ));
+        // Absurd declared length.
+        let mut huge = frame;
+        huge[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_frame::<ShipMsg>(&huge),
+            Err(FrameError::Damaged(_))
+        ));
+    }
+}

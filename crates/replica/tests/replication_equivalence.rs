@@ -1,0 +1,809 @@
+//! Replication equivalence: kill the primary at any point — a round
+//! boundary, inside a torn record, under a hostile link — promote the
+//! follower, finish the workload against it, and the merged outcome must
+//! be bit-identical to a run where the primary never died: same
+//! decisions with the same `bw`/`start`/`finish` on every acceptance,
+//! same rejection reasons, same final engine snapshot, and a follower
+//! store that is byte-for-byte the primary's durable WAL prefix.
+//!
+//! The failover client protocol extends the recovery one: replies the
+//! primary sent before dying are durable (log-before-reply); everything
+//! unanswered is resubmitted, in original order, to the promoted
+//! follower. Promotion happens after the replication stream has drained,
+//! so the follower resumes from the exact round the primary last logged.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver};
+use gridband_net::Topology;
+use gridband_replica::{
+    encode_frame, FaultInjector, FaultPlan, FollowerConfig, FollowerCore, Replica, ReplicaConfig,
+    ShipperConfig, ShipperCore, WalShipper,
+};
+use gridband_serve::engine::Command;
+use gridband_serve::protocol::{decode_server, encode_client};
+use gridband_serve::{
+    ClientMsg, Engine, EngineConfig, FsyncPolicy, MemDir, MetricsRegistry, RejectReason, Role,
+    ServerMsg, StoreConfig, SubmitReq,
+};
+use gridband_store::wal::{scan_records, MAGIC_WAL};
+use gridband_store::{Dir, EngineSnapshot};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const STEP: f64 = 10.0;
+const EVENTS: usize = 36;
+const HISTORY: usize = 1 << 20;
+
+fn topology() -> Topology {
+    Topology::uniform(3, 3, 100.0)
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Submit(SubmitReq),
+    Cancel { id: u64 },
+}
+
+/// The recovery suite's workload: Poisson-ish arrivals on a 3×3
+/// topology, with occasional cancels of requests that are guaranteed
+/// already decided.
+fn workload(seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(EVENTS);
+    let mut clock = 0.0f64;
+    let mut submitted: Vec<(u64, f64)> = Vec::new();
+    let mut cancelled: Vec<u64> = Vec::new();
+    for i in 0..EVENTS {
+        let cancel_target = if i % 6 == 5 {
+            submitted
+                .iter()
+                .find(|(id, start)| *start < clock - 2.0 * STEP && !cancelled.contains(id))
+                .map(|(id, _)| *id)
+        } else {
+            None
+        };
+        if let Some(id) = cancel_target {
+            cancelled.push(id);
+            events.push(Event::Cancel { id });
+            continue;
+        }
+        clock += rng.gen_range(1.0..8.0);
+        let id = i as u64 + 1;
+        let volume = rng.gen_range(50.0..400.0);
+        let max_rate = rng.gen_range(20.0..90.0);
+        let slack = rng.gen_range(1.2..3.5);
+        events.push(Event::Submit(SubmitReq {
+            id,
+            ingress: rng.gen_range(0u32..3),
+            egress: rng.gen_range(0u32..3),
+            volume,
+            max_rate,
+            start: Some(clock),
+            deadline: Some(clock + slack * volume / max_rate),
+        }));
+        submitted.push((id, clock));
+    }
+    events
+}
+
+fn config(dir: Arc<MemDir>, snapshot_every: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::new(topology());
+    cfg.step = STEP;
+    cfg.history_capacity = HISTORY;
+    cfg.store = Some(StoreConfig {
+        dir,
+        fsync: FsyncPolicy::Round,
+        snapshot_every,
+    });
+    cfg
+}
+
+fn shipper_cfg(dir: Arc<MemDir>) -> ShipperConfig {
+    ShipperConfig {
+        dir,
+        topology: topology(),
+        step: STEP,
+        history_capacity: HISTORY,
+        beacon_every: 1,
+    }
+}
+
+fn follower_cfg(dir: Arc<MemDir>) -> FollowerConfig {
+    FollowerConfig {
+        dir,
+        topology: topology(),
+        step: STEP,
+        history_capacity: HISTORY,
+        fsync: FsyncPolicy::Round,
+    }
+}
+
+/// Reply channels of one client session.
+#[derive(Default)]
+struct Session {
+    submits: Vec<(u64, Receiver<ServerMsg>)>,
+    cancels: Vec<(usize, Receiver<ServerMsg>)>,
+}
+
+impl Session {
+    fn send(&mut self, engine: &Engine, idx: usize, event: &Event) -> bool {
+        let (tx, rx) = channel::unbounded();
+        let msg = match event {
+            Event::Submit(s) => {
+                self.submits.push((s.id, rx));
+                ClientMsg::Submit(s.clone())
+            }
+            Event::Cancel { id } => {
+                self.cancels.push((idx, rx));
+                ClientMsg::Cancel { id: *id }
+            }
+        };
+        engine
+            .sender()
+            .send(Command::Client { msg, reply: tx })
+            .is_ok()
+    }
+
+    fn harvest(
+        &mut self,
+        decisions: &mut BTreeMap<u64, ServerMsg>,
+        acked_cancels: &mut Vec<usize>,
+    ) {
+        for (id, rx) in &self.submits {
+            if let Ok(msg) = rx.try_recv() {
+                let prev = decisions.insert(*id, msg);
+                assert!(prev.is_none(), "two decisions for request {id}");
+            }
+        }
+        for (idx, rx) in &self.cancels {
+            if rx.try_recv().is_ok() {
+                acked_cancels.push(*idx);
+            }
+        }
+    }
+}
+
+fn drain(engine: &Engine) {
+    let (tx, rx) = channel::unbounded();
+    engine
+        .sender()
+        .send(Command::Client {
+            msg: ClientMsg::Drain,
+            reply: tx,
+        })
+        .expect("engine alive for drain");
+    rx.recv_timeout(Duration::from_secs(10)).expect("drain ack");
+}
+
+fn export(engine: &Engine) -> EngineSnapshot {
+    let (tx, rx) = channel::unbounded();
+    engine
+        .sender()
+        .send(Command::Export { reply: tx })
+        .expect("engine alive for export");
+    rx.recv_timeout(Duration::from_secs(10)).expect("export")
+}
+
+fn run_uninterrupted(
+    events: &[Event],
+    snapshot_every: u64,
+) -> (BTreeMap<u64, ServerMsg>, EngineSnapshot) {
+    let dir = Arc::new(MemDir::new());
+    let engine = Engine::spawn(config(dir, snapshot_every));
+    let mut session = Session::default();
+    for (idx, event) in events.iter().enumerate() {
+        assert!(session.send(&engine, idx, event), "engine died mid-run");
+    }
+    drain(&engine);
+    let mut decisions = BTreeMap::new();
+    session.harvest(&mut decisions, &mut Vec::new());
+    let snap = export(&engine);
+    engine.shutdown();
+    (decisions, snap)
+}
+
+/// How the primary dies.
+#[derive(Clone, Copy, Debug)]
+enum Kill {
+    /// `Engine::kill()` after this many events: every decided round is
+    /// committed, the crash lands on a record boundary.
+    Clean(usize),
+    /// After this many events the store device accepts only a few more
+    /// bytes: the next append tears mid-record.
+    Torn(usize),
+}
+
+/// Drive the sans-IO cores until the follower has everything the
+/// primary's store durably holds, pushing every primary→follower frame
+/// through the fault injector. Returns the follower's metrics (the
+/// shipper's are folded into `shipper_metrics`).
+fn replicate(
+    primary_dir: Arc<MemDir>,
+    follower_dir: Arc<MemDir>,
+    plan: FaultPlan,
+) -> (Arc<MetricsRegistry>, Arc<MetricsRegistry>) {
+    let sm = Arc::new(MetricsRegistry::new());
+    let fm = Arc::new(MetricsRegistry::new());
+    let mut shipper = ShipperCore::new(shipper_cfg(primary_dir), sm.clone());
+    let mut follower = FollowerCore::open(follower_cfg(follower_dir), fm.clone())
+        .expect("follower opens its local store");
+    let mut inj = FaultInjector::new(plan);
+    follower.reset_session();
+
+    let mut to_follower: VecDeque<Vec<u8>> = VecDeque::new();
+    for f in inj.push(&encode_frame(&shipper.hello())) {
+        to_follower.push_back(f);
+    }
+    let mut quiet = 0u32;
+    for _ in 0..10_000 {
+        // Deliver primary → follower (the faulty direction).
+        let mut to_shipper = Vec::new();
+        while let Some(frame) = to_follower.pop_front() {
+            to_shipper.extend(
+                follower
+                    .handle_frame(&frame)
+                    .expect("follower must survive the fault schedule"),
+            );
+        }
+        // Deliver follower → primary (reliable) and poll the tail.
+        let mut produced = Vec::new();
+        for reply in &to_shipper {
+            produced.extend(
+                shipper
+                    .handle_frame(&encode_frame(reply))
+                    .expect("shipper must survive follower feedback"),
+            );
+        }
+        produced.extend(shipper.pump().expect("primary store is intact"));
+        if produced.is_empty() {
+            // Nothing in flight: release any reorder-held frame, then
+            // probe with a heartbeat (which is how real gaps surface).
+            for f in inj.flush() {
+                to_follower.push_back(f);
+            }
+            if to_follower.is_empty() {
+                if shipper.subscribed() && shipper.position() == Some(follower.cursor()) {
+                    return (sm, fm);
+                }
+                for f in inj.push(&encode_frame(&shipper.tick())) {
+                    to_follower.push_back(f);
+                }
+                quiet += 1;
+                assert!(quiet < 2_000, "replication failed to converge");
+            }
+        } else {
+            quiet = 0;
+            for msg in &produced {
+                for f in inj.push(&encode_frame(msg)) {
+                    to_follower.push_back(f);
+                }
+            }
+        }
+    }
+    panic!("replication did not converge within the iteration bound");
+}
+
+/// The follower's store must be byte-for-byte the primary's durable
+/// prefix: same latest generation, same snapshot bytes, and a WAL equal
+/// to the primary's valid prefix (the primary may additionally hold a
+/// torn tail that was never durable).
+fn assert_store_mirrors(primary: &MemDir, follower: &MemDir, ctx: &str) {
+    let latest = |d: &MemDir, prefix: &str| -> Option<String> {
+        d.list()
+            .expect("list dir")
+            .into_iter()
+            .filter(|f| f.starts_with(prefix))
+            .max()
+    };
+    let p_wal = latest(primary, "wal-");
+    let f_wal = latest(follower, "wal-");
+    assert_eq!(p_wal, f_wal, "{ctx}: WAL generations differ");
+    let p_snap = latest(primary, "snap-");
+    let f_snap = latest(follower, "snap-");
+    assert_eq!(p_snap, f_snap, "{ctx}: snapshot generations differ");
+    if let (Some(ps), Some(fs)) = (&p_snap, &f_snap) {
+        assert_eq!(
+            primary.contents(ps),
+            follower.contents(fs),
+            "{ctx}: snapshot bytes differ"
+        );
+    }
+    let (Some(pw), Some(fw)) = (&p_wal, &f_wal) else {
+        return;
+    };
+    let p_bytes = primary.contents(pw).expect("primary WAL readable");
+    let f_bytes = follower.contents(fw).expect("follower WAL readable");
+    let scan = scan_records(pw, &p_bytes, MAGIC_WAL.len()).expect("primary WAL scans");
+    assert_eq!(
+        f_bytes.len() as u64,
+        scan.valid_len,
+        "{ctx}: follower WAL length is not the primary's valid prefix"
+    );
+    assert_eq!(
+        f_bytes[..],
+        p_bytes[..scan.valid_len as usize],
+        "{ctx}: follower WAL bytes diverge from the primary's"
+    );
+}
+
+/// The full drill: run a prefix on the primary, kill it per `kill`,
+/// replicate the surviving store to a follower across `plan`, promote
+/// the follower, finish the workload against it, and compare everything
+/// against the uninterrupted run.
+fn assert_failover_equivalent(seed: u64, kill: Kill, snapshot_every: u64, plan: FaultPlan) {
+    let ctx = format!("seed {seed} {kill:?} snap_every {snapshot_every}");
+    let events = workload(seed);
+    let (want_decisions, want_snap) = run_uninterrupted(&events, snapshot_every);
+
+    // Phase 1: the primary runs a prefix and dies.
+    let primary_dir = Arc::new(MemDir::new());
+    let engine = Engine::spawn(config(primary_dir.clone(), snapshot_every));
+    let mut session = Session::default();
+    match kill {
+        Kill::Clean(after) => {
+            for (idx, event) in events.iter().enumerate().take(after) {
+                assert!(session.send(&engine, idx, event), "primary died too early");
+            }
+        }
+        Kill::Torn(after) => {
+            for (idx, event) in events.iter().enumerate().take(after) {
+                assert!(session.send(&engine, idx, event), "primary died too early");
+            }
+            primary_dir.set_write_budget(12);
+            for (idx, event) in events.iter().enumerate().skip(after) {
+                if !session.send(&engine, idx, event) {
+                    break;
+                }
+            }
+        }
+    }
+    engine.kill();
+    primary_dir.clear_write_budget();
+    let mut decisions = BTreeMap::new();
+    let mut acked_cancels = Vec::new();
+    session.harvest(&mut decisions, &mut acked_cancels);
+
+    // Phase 2: stream the surviving store to a fresh follower across the
+    // fault plan, to full sync.
+    let follower_dir = Arc::new(MemDir::new());
+    let (sm, fm) = replicate(primary_dir.clone(), follower_dir.clone(), plan);
+    assert_eq!(
+        fm.repl_divergence.load(Ordering::Relaxed),
+        0,
+        "{ctx}: divergence beacons fired"
+    );
+    let shipped = sm.repl_records_shipped.load(Ordering::Relaxed);
+    if shipped > 0 {
+        assert!(
+            fm.repl_beacons_checked.load(Ordering::Relaxed) > 0,
+            "{ctx}: records were shipped but no beacon was ever checked"
+        );
+    }
+    assert_store_mirrors(&primary_dir, &follower_dir, &ctx);
+
+    // Phase 3: promote — recover an engine over the follower's store —
+    // and finish the workload via the resubmission protocol.
+    let mut cfg = config(follower_dir, snapshot_every);
+    cfg.role = Role::Primary;
+    let engine =
+        Engine::try_spawn(cfg).expect("promoted follower must recover from its mirrored store");
+    let mut session = Session::default();
+    for (idx, event) in events.iter().enumerate() {
+        let answered = match event {
+            Event::Submit(s) => decisions.contains_key(&s.id),
+            Event::Cancel { .. } => acked_cancels.contains(&idx),
+        };
+        if !answered {
+            assert!(session.send(&engine, idx, event), "promoted engine died");
+        }
+    }
+    drain(&engine);
+    session.harvest(&mut decisions, &mut Vec::new());
+    let got_snap = export(&engine);
+    engine.shutdown();
+
+    assert_eq!(
+        decisions, want_decisions,
+        "{ctx}: failover decisions diverge from the uninterrupted run"
+    );
+    assert_eq!(
+        got_snap, want_snap,
+        "{ctx}: final engine state diverges after failover"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Clean kills at every event boundary, three seeds.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_kill_point_fails_over_bit_identically_seed_11() {
+    for k in 0..=EVENTS {
+        assert_failover_equivalent(11, Kill::Clean(k), 0, FaultPlan::default());
+    }
+}
+
+#[test]
+fn every_kill_point_fails_over_bit_identically_seed_22() {
+    // Frequent snapshots: failover crosses snapshot install + tail replay.
+    for k in 0..=EVENTS {
+        assert_failover_equivalent(22, Kill::Clean(k), 3, FaultPlan::default());
+    }
+}
+
+#[test]
+fn every_kill_point_fails_over_bit_identically_seed_33() {
+    for k in 0..=EVENTS {
+        assert_failover_equivalent(33, Kill::Clean(k), 5, FaultPlan::default());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Torn final records: the tear is never shipped, the follower holds the
+// valid prefix, and failover still matches the uninterrupted run.
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_primary_tails_fail_over_bit_identically() {
+    for (seed, snapshot_every) in [(11u64, 0u64), (22, 3), (33, 1)] {
+        for k in [4, 9, 14, 19, 24, 29, 34] {
+            assert_failover_equivalent(seed, Kill::Torn(k), snapshot_every, FaultPlan::default());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hostile links: deterministic drop / duplicate / reorder / truncate /
+// partition schedules. Lost frames are re-requested, duplicates and
+// stale seqs discarded, and the outcome still bit-identical.
+// ---------------------------------------------------------------------
+
+fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "drop",
+            FaultPlan {
+                drop_every: 3,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "dup",
+            FaultPlan {
+                dup_every: 4,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "reorder",
+            FaultPlan {
+                reorder_every: 5,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "truncate",
+            FaultPlan {
+                truncate_every: 7,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "partition",
+            FaultPlan {
+                partition: Some((10, 25)),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "combined",
+            FaultPlan {
+                drop_every: 5,
+                dup_every: 7,
+                reorder_every: 11,
+                truncate_every: 13,
+                partition: Some((20, 30)),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn faulty_links_still_fail_over_bit_identically() {
+    for (name, plan) in fault_plans() {
+        for k in [12, 27, EVENTS] {
+            eprintln!("fault plan {name}, kill at {k}");
+            assert_failover_equivalent(44, Kill::Clean(k), 3, plan);
+        }
+    }
+}
+
+#[test]
+fn fault_schedules_actually_engage() {
+    // Guard against a fault injector that silently stopped injecting:
+    // the duplicate plan must produce discarded frames, the truncate
+    // plan damaged frames, and the drop plan resync round-trips.
+    let events = workload(44);
+    let primary_dir = Arc::new(MemDir::new());
+    let engine = Engine::spawn(config(primary_dir.clone(), 0));
+    let mut session = Session::default();
+    for (idx, event) in events.iter().enumerate() {
+        assert!(session.send(&engine, idx, event));
+    }
+    drain(&engine);
+    engine.kill();
+
+    let dup = FaultPlan {
+        dup_every: 2,
+        ..FaultPlan::default()
+    };
+    let (_, fm) = replicate(primary_dir.clone(), Arc::new(MemDir::new()), dup);
+    assert!(
+        fm.repl_frames_discarded.load(Ordering::Relaxed) > 0,
+        "duplicated frames must be discarded by the seq guard"
+    );
+
+    // Odd periods: an even period with `beacon_every: 1` aligns the
+    // fault parity with the strict record/beacon alternation so that
+    // every record (and never a beacon) is hit — a zero-measure
+    // adversary no retransmission protocol without randomized timing can
+    // beat. Real links mix frame kinds; the acceptance schedules (3, 4,
+    // 5, 7, partitions) are covered above.
+    let truncate = FaultPlan {
+        truncate_every: 3,
+        ..FaultPlan::default()
+    };
+    let (_, fm) = replicate(primary_dir.clone(), Arc::new(MemDir::new()), truncate);
+    assert!(
+        fm.repl_frames_damaged.load(Ordering::Relaxed) > 0,
+        "truncated frames must be detected as damage"
+    );
+
+    let drop = FaultPlan {
+        drop_every: 3,
+        ..FaultPlan::default()
+    };
+    let (_, fm) = replicate(primary_dir, Arc::new(MemDir::new()), drop);
+    assert!(
+        fm.repl_resyncs.load(Ordering::Relaxed) > 0,
+        "dropped records must force resync round-trips"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The threaded daemons over real sockets: WalShipper → Replica, live
+// catch-up, read-only service while following, promotion over the wire,
+// and a finished workload identical to the uninterrupted run.
+// ---------------------------------------------------------------------
+
+/// One-line client protocol helper over a TCP stream.
+struct WireClient {
+    stream: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl WireClient {
+    fn connect(addr: std::net::SocketAddr) -> WireClient {
+        let stream = std::net::TcpStream::connect(addr).expect("connect to replica");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        let reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        WireClient { stream, reader }
+    }
+
+    fn send(&mut self, msg: &ClientMsg) {
+        use std::io::Write;
+        let mut line = encode_client(msg);
+        line.push('\n');
+        self.stream
+            .write_all(line.as_bytes())
+            .expect("write request");
+    }
+
+    fn recv(&mut self) -> ServerMsg {
+        use std::io::BufRead;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        decode_server(line.trim()).expect("parse reply")
+    }
+}
+
+#[test]
+fn tcp_failover_promotes_and_finishes_bit_identically() {
+    let events = workload(55);
+    let (want_decisions, want_snap) = run_uninterrupted(&events, 0);
+
+    // The primary: a store-backed engine plus a shipper.
+    let primary_dir = Arc::new(MemDir::new());
+    let engine = Engine::spawn(config(primary_dir.clone(), 0));
+
+    // The follower daemon with both listeners on ephemeral ports.
+    let follower_dir = Arc::new(MemDir::new());
+    let replica = Replica::bind(
+        ReplicaConfig {
+            engine: config(follower_dir.clone(), 0),
+            promote_after: None,
+        },
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+    )
+    .expect("replica binds");
+    let client_addr = replica.client_addr().expect("client listener requested");
+
+    let shipper = WalShipper::spawn(
+        {
+            let mut cfg = shipper_cfg(primary_dir.clone());
+            cfg.beacon_every = 4;
+            cfg
+        },
+        replica.repl_addr().to_string(),
+        engine.metrics(),
+    );
+
+    // Run a prefix on the primary and wait for the follower to catch up.
+    let mut session = Session::default();
+    let prefix = 24;
+    for (idx, event) in events.iter().enumerate().take(prefix) {
+        assert!(session.send(&engine, idx, event), "primary died too early");
+    }
+    let metrics = engine.metrics();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while metrics.repl_synced.load(Ordering::Relaxed) != 1 {
+        assert!(
+            Instant::now() < deadline,
+            "follower never caught up over TCP"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Read-only service while following.
+    {
+        let mut client = WireClient::connect(client_addr);
+        client.send(&ClientMsg::Stats);
+        match client.recv() {
+            ServerMsg::Stats(stats) => {
+                assert_eq!(stats.role, "follower");
+                assert!(stats.repl_records_applied > 0, "standby applied records");
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        client.send(&ClientMsg::Submit(SubmitReq {
+            id: 9_999,
+            ingress: 0,
+            egress: 1,
+            volume: 10.0,
+            max_rate: 10.0,
+            start: None,
+            deadline: None,
+        }));
+        match client.recv() {
+            ServerMsg::Rejected { id, reason, .. } => {
+                assert_eq!(id, 9_999);
+                assert_eq!(reason, RejectReason::NotPrimary);
+            }
+            other => panic!("expected NotPrimary rejection, got {other:?}"),
+        }
+    }
+
+    // Kill the primary mid-workload.
+    engine.kill();
+    shipper.shutdown();
+    let mut decisions = BTreeMap::new();
+    let mut acked_cancels = Vec::new();
+    session.harvest(&mut decisions, &mut acked_cancels);
+
+    // Promote over the wire (twice: the second must be idempotent), then
+    // finish the workload through the promoted daemon.
+    let mut client = WireClient::connect(client_addr);
+    client.send(&ClientMsg::Promote);
+    let rounds = match client.recv() {
+        ServerMsg::Promoted { rounds } => rounds,
+        other => panic!("expected Promoted, got {other:?}"),
+    };
+    client.send(&ClientMsg::Promote);
+    match client.recv() {
+        ServerMsg::Promoted { rounds: again } => assert_eq!(again, rounds),
+        other => panic!("expected idempotent Promoted, got {other:?}"),
+    }
+
+    let mut outstanding = 0usize;
+    for (idx, event) in events.iter().enumerate() {
+        match event {
+            Event::Submit(s) => {
+                if !decisions.contains_key(&s.id) {
+                    client.send(&ClientMsg::Submit(s.clone()));
+                    outstanding += 1;
+                }
+            }
+            Event::Cancel { id } => {
+                if !acked_cancels.contains(&idx) {
+                    client.send(&ClientMsg::Cancel { id: *id });
+                    outstanding += 1;
+                }
+            }
+        }
+    }
+    client.send(&ClientMsg::Drain);
+    outstanding += 1;
+    for _ in 0..outstanding {
+        match client.recv() {
+            msg @ (ServerMsg::Accepted { .. } | ServerMsg::Rejected { .. }) => {
+                let id = match &msg {
+                    ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } => *id,
+                    _ => unreachable!(),
+                };
+                let prev = decisions.insert(id, msg);
+                assert!(
+                    prev.is_none(),
+                    "two decisions for request {id} after failover"
+                );
+            }
+            ServerMsg::CancelResult { .. } | ServerMsg::Draining { .. } => {}
+            other => panic!("unexpected reply finishing the workload: {other:?}"),
+        }
+    }
+    drop(client);
+    assert_eq!(
+        decisions, want_decisions,
+        "TCP failover: decisions diverge from the uninterrupted run"
+    );
+
+    replica.shutdown();
+    let engine = Engine::try_spawn(config(follower_dir, 0))
+        .expect("the promoted store must recover once more");
+    let got_snap = export(&engine);
+    engine.shutdown();
+    assert_eq!(
+        got_snap, want_snap,
+        "TCP failover: final engine state diverges from the uninterrupted run"
+    );
+}
+
+#[test]
+fn auto_promotion_fires_after_primary_silence() {
+    let follower_dir = Arc::new(MemDir::new());
+    let replica = Replica::bind(
+        ReplicaConfig {
+            engine: config(follower_dir, 0),
+            promote_after: Some(Duration::from_millis(200)),
+        },
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+    )
+    .expect("replica binds");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !replica.is_promoted() {
+        assert!(Instant::now() < deadline, "auto-promotion never fired");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The promoted daemon accepts submissions.
+    let mut client = WireClient::connect(replica.client_addr().unwrap());
+    client.send(&ClientMsg::Submit(SubmitReq {
+        id: 1,
+        ingress: 0,
+        egress: 1,
+        volume: 10.0,
+        max_rate: 50.0,
+        start: None,
+        deadline: None,
+    }));
+    client.send(&ClientMsg::Drain);
+    let mut decided = false;
+    for _ in 0..2 {
+        match client.recv() {
+            ServerMsg::Accepted { id: 1, .. } => decided = true,
+            ServerMsg::Rejected { id: 1, .. } => decided = true,
+            ServerMsg::Draining { .. } => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert!(
+        decided,
+        "submission to the auto-promoted daemon was decided"
+    );
+    replica.shutdown();
+}

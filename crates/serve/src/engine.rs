@@ -25,16 +25,17 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use gridband_algos::BandwidthPolicy;
 use gridband_algos::WindowScheduler;
 use gridband_net::units::EPS;
-use gridband_net::{CapacityLedger, NetResult, ReservationId, ReserveRequest, Route, Topology};
+use gridband_net::{NetResult, ReservationId, ReserveRequest, Route, Topology};
 use gridband_sim::{AdmissionController, Decision};
 use gridband_store::{
-    EngineSnapshot, Recovered, RequestOutcome, RoundDecision, Store, StoreConfig, StoreError,
-    StoreResult, WalRecord,
+    EngineSnapshot, Recovered, RoundDecision, Store, StoreConfig, StoreError, StoreResult,
+    WalRecord,
 };
 use gridband_workload::{Request, TimeWindow};
 
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{MetricsRegistry, Role};
 use crate::protocol::{ClientMsg, RejectReason, ReqState, ServerMsg, SubmitReq};
+use crate::state::{EngineState, ReplayTally};
 
 /// How the engine's clock advances.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +78,10 @@ pub struct EngineConfig {
     /// Durability: when set, the engine recovers from (and writes
     /// through) a WAL + snapshot store. `None` runs fully in memory.
     pub store: Option<StoreConfig>,
+    /// Replication role this engine reports in `Stats` (`Solo` unless
+    /// the daemon was started with `--replicate-to` or promoted from a
+    /// follower).
+    pub role: Role,
 }
 
 impl EngineConfig {
@@ -94,6 +99,7 @@ impl EngineConfig {
             max_horizon: 1e6,
             admit_threads: gridband_net::default_admit_threads(),
             store: None,
+            role: Role::Solo,
         }
     }
 }
@@ -153,6 +159,7 @@ impl Engine {
     /// rather than as a dead engine thread.
     pub fn try_spawn(config: EngineConfig) -> Result<Engine, StoreError> {
         let metrics = Arc::new(MetricsRegistry::new());
+        metrics.set_role(config.role);
         let (tx, rx) = channel::bounded(config.queue_capacity);
         let step = config.step;
         let mode = config.mode;
@@ -262,23 +269,16 @@ struct EngineLoop {
     config: EngineConfig,
     metrics: Arc<MetricsRegistry>,
     rx: Receiver<Command>,
-    ledger: CapacityLedger,
+    /// The durable slice: ledger, clock, decided-request maps. Shared
+    /// (as a type) with recovery replay and the replication mirrors.
+    st: EngineState,
     sched: WindowScheduler,
-    now: f64,
-    next_tick: f64,
     pending: HashMap<u64, PendingEntry>,
-    /// Decided states, with FIFO eviction beyond `history_capacity`.
-    states: HashMap<u64, ReqState>,
-    history: std::collections::VecDeque<u64>,
-    /// Accepted client id → live reservation (for `Cancel` / GC).
-    accepted_res: HashMap<u64, ReservationId>,
-    res_owner: HashMap<u64, u64>,
     draining: bool,
     /// Write-ahead log (None = in-memory engine).
     store: Option<Store>,
     /// Install a snapshot every this many rounds (0 = never).
     snapshot_every: u64,
-    rounds: u64,
     rounds_since_snapshot: u64,
     /// Decisions of the round in flight, in decision order; becomes the
     /// round's single WAL record.
@@ -299,31 +299,27 @@ impl EngineLoop {
         rx: Receiver<Command>,
     ) -> StoreResult<Self> {
         assert!(config.step > 0.0, "t_step must be positive");
-        let ledger = CapacityLedger::new(config.topology.clone());
+        let st = EngineState::new(
+            config.topology.clone(),
+            config.step,
+            config.history_capacity,
+        );
         let sched = WindowScheduler::new(config.step, config.policy)
             .with_threads(config.admit_threads.max(1));
         metrics
             .admit_threads
             .store(config.admit_threads.max(1) as u64, Ordering::Relaxed);
-        let next_tick = config.step;
         let store_cfg = config.store.clone();
         let mut this = EngineLoop {
             config,
             metrics,
             rx,
-            ledger,
+            st,
             sched,
-            now: 0.0,
-            next_tick,
             pending: HashMap::new(),
-            states: HashMap::new(),
-            history: std::collections::VecDeque::new(),
-            accepted_res: HashMap::new(),
-            res_owner: HashMap::new(),
             draining: false,
             store: None,
             snapshot_every: 0,
-            rounds: 0,
             rounds_since_snapshot: 0,
             round_log: Vec::new(),
             round_replies: Vec::new(),
@@ -339,140 +335,30 @@ impl EngineLoop {
     }
 
     /// Rebuild the pre-crash engine from what [`Store::open`] found:
-    /// restore the snapshot verbatim, then replay the WAL tail.
+    /// restore the snapshot verbatim, then replay the WAL tail. The
+    /// heavy lifting lives in [`EngineState`], shared with the
+    /// replication mirrors; this wrapper only folds the replay tally
+    /// into the live metrics.
     fn recover(&mut self, recovered: Recovered) -> StoreResult<()> {
         let snap_file = format!("snap-{}", recovered.gen);
         let wal_file = format!("wal-{}", recovered.gen);
         if let Some(payload) = &recovered.snapshot {
             let snap = EngineSnapshot::decode(&snap_file, payload)?;
-            self.ledger.restore_state(snap.ledger).map_err(|e| {
-                StoreError::corrupt(&snap_file, 0, format!("ledger state rejected: {e}"))
-            })?;
-            self.now = snap.now;
-            self.next_tick = snap.next_tick;
-            self.rounds = snap.rounds;
-            self.metrics.ticks.store(snap.rounds, Ordering::Relaxed);
-            for (id, outcome) in snap.states {
-                let state = match outcome {
-                    RequestOutcome::Accepted => ReqState::Accepted,
-                    RequestOutcome::Rejected => ReqState::Rejected,
-                    RequestOutcome::Cancelled => ReqState::Cancelled,
-                };
-                self.record_state(id, state);
-            }
-            for (id, rid) in snap.accepted {
-                self.accepted_res.insert(id, ReservationId(rid));
-                self.res_owner.insert(rid, id);
-            }
+            self.st.restore(snap, &snap_file)?;
         }
+        let mut tally = ReplayTally::default();
         for (offset, payload) in &recovered.records {
             let record = WalRecord::decode(&wal_file, *offset, payload)?;
-            self.replay(record, &wal_file, *offset)?;
+            self.st.apply(record, &wal_file, *offset, &mut tally)?;
             MetricsRegistry::inc(&self.metrics.recovery_replayed_records);
         }
+        self.metrics.ticks.store(self.st.rounds, Ordering::Relaxed);
+        MetricsRegistry::add(&self.metrics.accepted, tally.accepted);
+        MetricsRegistry::add(&self.metrics.rejected, tally.rejected);
+        MetricsRegistry::add(&self.metrics.cancelled, tally.cancelled);
+        MetricsRegistry::add(&self.metrics.refused_early, tally.refused_early);
+        MetricsRegistry::add(&self.metrics.gc_reclaimed, tally.gc_reclaimed);
         Ok(())
-    }
-
-    /// Re-apply one logged record. Replay mirrors the live paths exactly
-    /// — same GC rule, same sequential reservation order — so the
-    /// rebuilt ledger is bit-identical to the pre-crash one (batched and
-    /// sequential booking are equivalent by `reserve_all`'s contract).
-    fn replay(&mut self, record: WalRecord, file: &str, offset: u64) -> StoreResult<()> {
-        match record {
-            WalRecord::Round { t, decisions } => {
-                self.now = t;
-                self.next_tick = t + self.config.step;
-                self.rounds += 1;
-                MetricsRegistry::inc(&self.metrics.ticks);
-                self.gc_expired(t);
-                for d in decisions {
-                    match d {
-                        RoundDecision::Accept {
-                            id,
-                            ingress,
-                            egress,
-                            bw,
-                            start,
-                            finish,
-                            cancelled,
-                        } => {
-                            let rid = self
-                                .ledger
-                                .reserve(Route::new(ingress, egress), start, finish, bw)
-                                .map_err(|e| {
-                                    StoreError::corrupt(
-                                        file,
-                                        offset,
-                                        format!("logged acceptance no longer fits: {e}"),
-                                    )
-                                })?;
-                            if cancelled {
-                                // Tombstoned acceptance: book then free, so
-                                // reservation-id allocation stays in sync.
-                                let _ = self.ledger.cancel(rid);
-                                MetricsRegistry::inc(&self.metrics.cancelled);
-                                self.record_state(id, ReqState::Cancelled);
-                            } else {
-                                MetricsRegistry::inc(&self.metrics.accepted);
-                                self.accepted_res.insert(id, rid);
-                                self.res_owner.insert(rid.0, id);
-                                self.record_state(id, ReqState::Accepted);
-                            }
-                        }
-                        RoundDecision::Reject { id } => {
-                            MetricsRegistry::inc(&self.metrics.rejected);
-                            self.record_state(id, ReqState::Rejected);
-                        }
-                    }
-                }
-            }
-            WalRecord::Cancel { id } => {
-                if let Some(rid) = self.accepted_res.remove(&id) {
-                    self.res_owner.remove(&rid.0);
-                    if self.ledger.cancel(rid).is_ok() {
-                        MetricsRegistry::inc(&self.metrics.cancelled);
-                        self.record_state(id, ReqState::Cancelled);
-                    }
-                }
-            }
-            WalRecord::EarlyReject { id } => {
-                MetricsRegistry::inc(&self.metrics.refused_early);
-                self.record_state(id, ReqState::Rejected);
-            }
-        }
-        Ok(())
-    }
-
-    /// The durable slice of engine state (what a snapshot persists).
-    fn export_snapshot(&self) -> EngineSnapshot {
-        let mut accepted: Vec<(u64, u64)> = self
-            .accepted_res
-            .iter()
-            .map(|(&id, rid)| (id, rid.0))
-            .collect();
-        accepted.sort_unstable();
-        let states = self
-            .history
-            .iter()
-            .filter_map(|id| {
-                let outcome = match self.states.get(id)? {
-                    ReqState::Accepted => RequestOutcome::Accepted,
-                    ReqState::Rejected => RequestOutcome::Rejected,
-                    ReqState::Cancelled => RequestOutcome::Cancelled,
-                    ReqState::Pending | ReqState::Unknown => return None,
-                };
-                Some((*id, outcome))
-            })
-            .collect();
-        EngineSnapshot {
-            version: gridband_store::SNAPSHOT_VERSION,
-            now: self.now,
-            next_tick: self.next_tick,
-            rounds: self.rounds,
-            ledger: self.ledger.export_state(),
-            accepted,
-            states,
-        }
     }
 
     fn run(mut self) {
@@ -481,19 +367,19 @@ impl EngineLoop {
             match cmd {
                 Command::Client { msg, reply } => self.handle_client(msg, reply),
                 Command::Tick => {
-                    let t = self.next_tick;
+                    let t = self.st.next_tick;
                     self.run_round(t);
                 }
                 Command::Shutdown => {
                     if !self.pending.is_empty() {
-                        let t = self.next_tick;
+                        let t = self.st.next_tick;
                         self.run_round(t);
                     }
                     break;
                 }
                 Command::Halt => break,
                 Command::Export { reply } => {
-                    let _ = reply.try_send(self.export_snapshot());
+                    let _ = reply.try_send(self.st.export());
                 }
             }
         }
@@ -508,20 +394,16 @@ impl EngineLoop {
                 let state = if self.pending.contains_key(&id) {
                     ReqState::Pending
                 } else {
-                    self.states.get(&id).copied().unwrap_or(ReqState::Unknown)
+                    self.st.state_of(id).unwrap_or(ReqState::Unknown)
                 };
-                let alloc = self
-                    .accepted_res
-                    .get(&id)
-                    .and_then(|rid| self.ledger.get(*rid))
-                    .map(|r| (r.bw, r.start, r.end));
+                let alloc = self.st.alloc_of(id);
                 self.send_reply(&reply, ServerMsg::Status { id, state, alloc });
             }
             ClientMsg::Stats => {
                 let snap = self.metrics.snapshot(
                     self.pending.len() as u64,
-                    self.ledger.live_count() as u64,
-                    self.now,
+                    self.st.ledger.live_count() as u64,
+                    self.st.now,
                 );
                 self.send_reply(&reply, ServerMsg::Stats(snap));
             }
@@ -529,13 +411,27 @@ impl EngineLoop {
                 self.draining = true;
                 let n = self.pending.len() as u64;
                 if n > 0 {
-                    let t = self.next_tick;
+                    let t = self.st.next_tick;
                     self.run_round(t);
                     if self.dead {
                         return;
                     }
                 }
                 self.send_reply(&reply, ServerMsg::Draining { pending: n });
+            }
+            ClientMsg::Promote => {
+                // Promotion is a follower-side operation; an engine that
+                // is already deciding rounds has nothing to promote into.
+                self.send_reply(
+                    &reply,
+                    ServerMsg::Error {
+                        code: "not-follower".to_string(),
+                        message: format!(
+                            "this daemon is {} — only a follower can be promoted",
+                            self.metrics.get_role().as_str()
+                        ),
+                    },
+                );
             }
         }
     }
@@ -554,14 +450,14 @@ impl EngineLoop {
             );
             return;
         }
-        let start = s.start.unwrap_or(self.now).max(self.now);
+        let start = s.start.unwrap_or(self.st.now).max(self.st.now);
         // Sanity-check the clock-driving field before it drives the clock:
         // `{"start":1e300}` parses as a perfectly valid f64, and without
         // this bound the catch-up loop below would run ~start/step rounds,
         // freezing the single engine thread — and every client — forever.
-        if !start.is_finite() || start > self.now + self.config.max_horizon {
+        if !start.is_finite() || start > self.st.now + self.config.max_horizon {
             MetricsRegistry::inc(&self.metrics.refused_early);
-            self.record_state(s.id, ReqState::Rejected);
+            self.st.record_state(s.id, ReqState::Rejected);
             if !self.log_event(WalRecord::EarlyReject { id: s.id }) {
                 return;
             }
@@ -579,17 +475,17 @@ impl EngineLoop {
             // The clock advances with the submissions: fire every round
             // due before (or exactly at) this arrival, preserving the
             // offline tick-before-arrival order at equal timestamps.
-            while self.next_tick <= start {
+            while self.st.next_tick <= start {
                 // With nothing pending a round is pure bookkeeping (GC
                 // folds into the last round anyway), so jump straight to
                 // the final round due at or before `start`.
                 if self.pending.is_empty() {
-                    let behind = ((start - self.next_tick) / self.config.step).floor();
+                    let behind = ((start - self.st.next_tick) / self.config.step).floor();
                     if behind >= 1.0 {
-                        self.next_tick += behind * self.config.step;
+                        self.st.next_tick += behind * self.config.step;
                     }
                 }
-                let t = self.next_tick;
+                let t = self.st.next_tick;
                 self.run_round(t);
                 if self.dead {
                     return;
@@ -598,14 +494,14 @@ impl EngineLoop {
             // Only submissions drive the clock in virtual mode. In real
             // time the ticker owns `now`; advancing it here would push it
             // past `next_tick` and make the next round run backwards.
-            self.now = self.now.max(start);
+            self.st.now = self.st.now.max(start);
         }
 
         match self.validate(&s, start) {
             Ok(req) => {
                 // WindowScheduler always defers; keep the reply routing so
                 // the round that decides this request can answer.
-                let d = self.sched.on_arrival(&req, &self.ledger, self.now);
+                let d = self.sched.on_arrival(&req, &self.st.ledger, self.st.now);
                 debug_assert!(matches!(d, Decision::Defer));
                 self.pending.insert(
                     s.id,
@@ -619,7 +515,7 @@ impl EngineLoop {
             }
             Err(reason) => {
                 MetricsRegistry::inc(&self.metrics.refused_early);
-                self.record_state(s.id, ReqState::Rejected);
+                self.st.record_state(s.id, ReqState::Rejected);
                 if !self.log_event(WalRecord::EarlyReject { id: s.id }) {
                     return;
                 }
@@ -638,10 +534,7 @@ impl EngineLoop {
     /// Non-panicking mirror of `Request::new`'s contract; a daemon must
     /// survive hostile input that would assert in the library constructor.
     fn validate(&self, s: &SubmitReq, start: f64) -> Result<Request, RejectReason> {
-        if self.pending.contains_key(&s.id)
-            || self.states.contains_key(&s.id)
-            || self.accepted_res.contains_key(&s.id)
-        {
+        if self.pending.contains_key(&s.id) || self.st.knows(s.id) {
             return Err(RejectReason::Invalid);
         }
         if !(s.volume.is_finite()
@@ -678,19 +571,14 @@ impl EngineLoop {
     }
 
     fn handle_cancel(&mut self, id: u64, reply: Sender<ServerMsg>) {
-        let freed = if let Some(rid) = self.accepted_res.remove(&id) {
-            self.res_owner.remove(&rid.0);
-            let ok = self.ledger.cancel(rid).is_ok();
-            if ok {
-                MetricsRegistry::inc(&self.metrics.cancelled);
-                self.record_state(id, ReqState::Cancelled);
-                // Log before replying: a crash after the reply must not
-                // resurrect capacity the client was told is freed.
-                if !self.log_event(WalRecord::Cancel { id }) {
-                    return;
-                }
+        let freed = if self.st.cancel_live(id) {
+            MetricsRegistry::inc(&self.metrics.cancelled);
+            // Log before replying: a crash after the reply must not
+            // resurrect capacity the client was told is freed.
+            if !self.log_event(WalRecord::Cancel { id }) {
+                return;
             }
-            ok
+            true
         } else if let Some(entry) = self.pending.get_mut(&id) {
             // Still undecided: tombstone it. The deciding round frees any
             // reservation it would get and suppresses the decision reply.
@@ -708,28 +596,6 @@ impl EngineLoop {
         self.send_reply(&reply, ServerMsg::CancelResult { id, freed });
     }
 
-    /// Reservations whose interval ended are dead weight in the ledger
-    /// profiles: cancelling them only edits past time segments, so
-    /// admission decisions (which only read the profile from `t` on)
-    /// are unaffected while breakpoint memory stays bounded. Shared by
-    /// live rounds and WAL replay so both walk identical ledger states.
-    fn gc_expired(&mut self, t: f64) {
-        let expired: Vec<ReservationId> = self
-            .ledger
-            .live_reservations()
-            .filter(|(_, r)| r.end <= t)
-            .map(|(id, _)| id)
-            .collect();
-        for rid in expired {
-            if self.ledger.cancel(rid).is_ok() {
-                MetricsRegistry::inc(&self.metrics.gc_reclaimed);
-                if let Some(owner) = self.res_owner.remove(&rid.0) {
-                    self.accepted_res.remove(&owner);
-                }
-            }
-        }
-    }
-
     /// One admission round at virtual time `t`: GC expired reservations,
     /// let the scheduler decide the batch, apply each decision, make the
     /// round durable, then answer. Replies are buffered until the round's
@@ -737,19 +603,18 @@ impl EngineLoop {
     /// could forget is never externalized. On a store failure the round's
     /// replies are dropped and the engine halts.
     fn run_round(&mut self, t: f64) {
-        debug_assert!(t >= self.now - EPS, "round time going backwards");
-        self.now = t;
-        self.next_tick = t + self.config.step;
-        self.rounds += 1;
+        debug_assert!(t >= self.st.now - EPS, "round time going backwards");
+        self.st.begin_round(t);
         MetricsRegistry::inc(&self.metrics.ticks);
-        self.gc_expired(t);
+        let reclaimed = self.st.gc_expired(t);
+        MetricsRegistry::add(&self.metrics.gc_reclaimed, reclaimed);
         debug_assert!(self.round_log.is_empty() && self.round_replies.is_empty());
 
         // Book every accept of the round through the ledger's batched
         // entry point: one query-index rebuild per touched port per round
         // instead of one per reservation. Results are consumed in decision
         // order, so the outcome is identical to sequential `reserve` calls.
-        let decisions = self.sched.on_tick(&self.ledger, t);
+        let decisions = self.sched.on_tick(&self.st.ledger, t);
         // Gauges track the most recent round *with candidates*: an empty
         // round (nothing pending at the tick) leaves the previous values
         // in place instead of blanking them to zero.
@@ -784,6 +649,7 @@ impl EngineLoop {
             in_batch.push(added);
         }
         let mut results = self
+            .st
             .ledger
             .reserve_all_threaded(&batch, self.config.admit_threads.max(1))
             .into_iter();
@@ -818,19 +684,18 @@ impl EngineLoop {
             t,
             decisions: std::mem::take(&mut self.round_log),
         };
-        let appended = store
-            .append(&record.encode())
-            .and_then(|a| store.round_barrier().map(|b| (a, b)));
-        let ok = match appended {
-            Ok((a, barrier)) => {
+        // One framed write + one fsync for the whole round, whatever the
+        // policy: `append_batch` is itself a round barrier.
+        let ok = match store.append_batch(&[&record.encode()]) {
+            Ok(a) => {
                 MetricsRegistry::inc(&self.metrics.wal_appends);
                 MetricsRegistry::add(&self.metrics.wal_bytes, a.bytes);
-                if let Some(d) = a.fsync.or(barrier) {
+                if let Some(d) = a.fsync {
                     self.metrics.fsync.record(d);
                 }
                 self.rounds_since_snapshot += 1;
                 if self.snapshot_every > 0 && self.rounds_since_snapshot >= self.snapshot_every {
-                    match store.install_snapshot(&self.export_snapshot().encode()) {
+                    match store.install_snapshot(&self.st.export().encode()) {
                         Ok(_) => {
                             MetricsRegistry::inc(&self.metrics.snapshots_written);
                             self.rounds_since_snapshot = 0;
@@ -894,7 +759,7 @@ impl EngineLoop {
             // already booked capacity for it (e.g. a duplicate decision),
             // free it again.
             if let Some(Ok(rid)) = prebooked {
-                let _ = self.ledger.cancel(rid);
+                let _ = self.st.ledger.cancel(rid);
             }
             return;
         };
@@ -905,7 +770,7 @@ impl EngineLoop {
             Decision::Accept { bw, start, finish } => {
                 let outcome = match prebooked {
                     Some(r) => r,
-                    None => self.ledger.reserve(entry.req.route, start, finish, bw),
+                    None => self.st.ledger.reserve(entry.req.route, start, finish, bw),
                 };
                 match outcome {
                     Ok(rid) => {
@@ -920,14 +785,13 @@ impl EngineLoop {
                         });
                         if entry.cancelled {
                             // Cancelled while pending: free immediately.
-                            let _ = self.ledger.cancel(rid);
-                            self.record_state(id, ReqState::Cancelled);
+                            let _ = self.st.ledger.cancel(rid);
+                            self.st.record_state(id, ReqState::Cancelled);
                             return;
                         }
                         MetricsRegistry::inc(&self.metrics.accepted);
-                        self.accepted_res.insert(id, rid);
-                        self.res_owner.insert(rid.0, id);
-                        self.record_state(id, ReqState::Accepted);
+                        self.st.note_accept(id, rid);
+                        self.st.record_state(id, ReqState::Accepted);
                         self.round_replies.push((
                             entry.reply.clone(),
                             ServerMsg::Accepted {
@@ -958,7 +822,7 @@ impl EngineLoop {
                 // WindowScheduler never emits this; map it to a rejection
                 // carrying the scheduler's own retry hint.
                 let entry_finish = entry.req.finish();
-                self.record_state(id, ReqState::Rejected);
+                self.st.record_state(id, ReqState::Rejected);
                 MetricsRegistry::inc(&self.metrics.rejected);
                 self.round_log.push(RoundDecision::Reject { id });
                 if !entry.cancelled {
@@ -982,7 +846,7 @@ impl EngineLoop {
 
     fn reject(&mut self, id: u64, entry: &PendingEntry, reason: RejectReason, t: f64) {
         MetricsRegistry::inc(&self.metrics.rejected);
-        self.record_state(id, ReqState::Rejected);
+        self.st.record_state(id, ReqState::Rejected);
         self.round_log.push(RoundDecision::Reject { id });
         if entry.cancelled {
             return;
@@ -1017,29 +881,17 @@ impl EngineLoop {
     /// the next round; `None` when no retry can still meet the deadline.
     fn retry_hint(&self, req: &Request, t: f64) -> Option<f64> {
         let mut earliest: Option<f64> = None;
-        for (_, r) in self.ledger.live_reservations() {
+        for (_, r) in self.st.ledger.live_reservations() {
             if r.end > t
                 && (r.route.ingress == req.route.ingress || r.route.egress == req.route.egress)
             {
                 earliest = Some(earliest.map_or(r.end, |e: f64| e.min(r.end)));
             }
         }
-        let hint = earliest.unwrap_or(self.next_tick).max(self.next_tick);
+        let hint = earliest.unwrap_or(self.st.next_tick).max(self.st.next_tick);
         // A retry decided after the deadline-feasible window is pointless.
         let latest_useful = req.finish() - req.volume / req.max_rate;
         (hint < latest_useful).then_some(hint)
-    }
-
-    fn record_state(&mut self, id: u64, state: ReqState) {
-        if !self.states.contains_key(&id) {
-            self.history.push_back(id);
-            if self.history.len() > self.config.history_capacity {
-                if let Some(old) = self.history.pop_front() {
-                    self.states.remove(&old);
-                }
-            }
-        }
-        self.states.insert(id, state);
     }
 }
 

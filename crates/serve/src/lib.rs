@@ -16,9 +16,11 @@ pub mod engine;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod state;
 
 pub use engine::{Engine, EngineConfig, TimeMode};
 pub use gridband_store::{FsDir, FsyncPolicy, MemDir, StoreConfig, StoreError};
-pub use metrics::MetricsRegistry;
+pub use metrics::{MetricsRegistry, Role};
 pub use protocol::{ClientMsg, RejectReason, ServerMsg, SubmitReq, WireRequest, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};
+pub use state::{EngineState, ReplayTally};

@@ -4,7 +4,59 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use crate::protocol::PROTOCOL_VERSION;
+
+/// Which replication role this daemon is playing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Standalone daemon: no replication configured.
+    #[default]
+    Solo,
+    /// Serving clients and shipping its WAL to a follower.
+    Primary,
+    /// Mirroring a primary's WAL; read-only until promoted.
+    Follower,
+}
+
+impl Role {
+    /// Wire string for the `Stats` reply (`solo`/`primary`/`follower`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Solo => "solo",
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+        }
+    }
+
+    fn from_u64(v: u64) -> Role {
+        match v {
+            1 => Role::Primary,
+            2 => Role::Follower,
+            _ => Role::Solo,
+        }
+    }
+
+    fn as_u64(self) -> u64 {
+        match self {
+            Role::Solo => 0,
+            Role::Primary => 1,
+            Role::Follower => 2,
+        }
+    }
+}
+
+/// Process start time with a `Default` impl, so [`MetricsRegistry`] can
+/// keep deriving `Default`.
+#[derive(Debug)]
+struct StartClock(Instant);
+
+impl Default for StartClock {
+    fn default() -> Self {
+        StartClock(Instant::now())
+    }
+}
 
 /// Number of power-of-two latency buckets: bucket `k` holds samples in
 /// `[2^k, 2^(k+1))` microseconds, so 40 buckets span ~1 µs to ~13 days.
@@ -153,6 +205,41 @@ pub struct MetricsRegistry {
     pub decision_latency: LatencyHistogram,
     /// WAL fsync latency (per append or per round, by policy).
     pub fsync: LatencyHistogram,
+    /// Replication role (see [`Role`]; gauge, stored as its `as_u64`).
+    pub role: AtomicU64,
+    /// Primary side: WAL records shipped to the follower.
+    pub repl_records_shipped: AtomicU64,
+    /// Primary side: framed record bytes shipped.
+    pub repl_bytes_shipped: AtomicU64,
+    /// Primary side: snapshots shipped (initial sync and re-syncs).
+    pub repl_snapshots_shipped: AtomicU64,
+    /// Primary side: sequence number of the last frame sent (gauge).
+    pub repl_shipped_seq: AtomicU64,
+    /// Primary side: sequence number of the last follower ack (gauge).
+    pub repl_acked_seq: AtomicU64,
+    /// Primary side: 1 while the follower's last ack matched our ship
+    /// cursor exactly — everything durable has been applied remotely —
+    /// 0 whenever new content goes out (gauge).
+    pub repl_synced: AtomicU64,
+    /// Follower side: records applied to the local mirror.
+    pub repl_records_applied: AtomicU64,
+    /// Follower side: framed record bytes applied.
+    pub repl_bytes_applied: AtomicU64,
+    /// Follower side: snapshots installed from the stream.
+    pub repl_snapshots_applied: AtomicU64,
+    /// Follower side: resync requests sent after a gap or loss.
+    pub repl_resyncs: AtomicU64,
+    /// Follower side: duplicate/stale frames discarded.
+    pub repl_frames_discarded: AtomicU64,
+    /// Follower side: frames dropped for CRC or decode damage.
+    pub repl_frames_damaged: AtomicU64,
+    /// Follower side: state-hash beacons verified against local replay.
+    pub repl_beacons_checked: AtomicU64,
+    /// Follower side: beacon mismatches — replica state diverged from
+    /// the primary. Must stay 0; anything else is a replication bug.
+    pub repl_divergence: AtomicU64,
+    /// Process start, for `uptime_s`.
+    started: StartClock,
 }
 
 impl MetricsRegistry {
@@ -170,6 +257,21 @@ impl MetricsRegistry {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Set the replication role reported by `Stats`.
+    pub fn set_role(&self, role: Role) {
+        self.role.store(role.as_u64(), Ordering::Relaxed);
+    }
+
+    /// The replication role last set (default [`Role::Solo`]).
+    pub fn get_role(&self) -> Role {
+        Role::from_u64(self.role.load(Ordering::Relaxed))
+    }
+
+    /// Seconds since this registry (≈ the daemon) was created.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.0.elapsed().as_secs()
+    }
+
     /// Assemble the serializable snapshot, filling in the engine-owned
     /// gauges passed by the caller.
     pub fn snapshot(
@@ -180,6 +282,9 @@ impl MetricsRegistry {
     ) -> StatsSnapshot {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
+            role: self.get_role().as_str().to_string(),
+            uptime_s: self.uptime_s(),
+            protocol_version: PROTOCOL_VERSION,
             submitted: ld(&self.submitted),
             accepted: ld(&self.accepted),
             rejected: ld(&self.rejected),
@@ -199,6 +304,20 @@ impl MetricsRegistry {
             admit_threads: ld(&self.admit_threads),
             shards: ld(&self.shards),
             largest_shard: ld(&self.largest_shard),
+            repl_records_shipped: ld(&self.repl_records_shipped),
+            repl_bytes_shipped: ld(&self.repl_bytes_shipped),
+            repl_snapshots_shipped: ld(&self.repl_snapshots_shipped),
+            repl_shipped_seq: ld(&self.repl_shipped_seq),
+            repl_acked_seq: ld(&self.repl_acked_seq),
+            repl_synced: ld(&self.repl_synced),
+            repl_records_applied: ld(&self.repl_records_applied),
+            repl_bytes_applied: ld(&self.repl_bytes_applied),
+            repl_snapshots_applied: ld(&self.repl_snapshots_applied),
+            repl_resyncs: ld(&self.repl_resyncs),
+            repl_frames_discarded: ld(&self.repl_frames_discarded),
+            repl_frames_damaged: ld(&self.repl_frames_damaged),
+            repl_beacons_checked: ld(&self.repl_beacons_checked),
+            repl_divergence: ld(&self.repl_divergence),
             pending,
             live_reservations,
             virtual_time,
@@ -212,6 +331,12 @@ impl MetricsRegistry {
 /// by the periodic JSON dump.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
+    /// Replication role: `solo`, `primary`, or `follower`.
+    pub role: String,
+    /// Seconds this daemon has been up.
+    pub uptime_s: u64,
+    /// Wire protocol version the daemon speaks.
+    pub protocol_version: u32,
     /// Submissions received.
     pub submitted: u64,
     /// Submissions admitted.
@@ -250,6 +375,34 @@ pub struct StatsSnapshot {
     pub shards: u64,
     /// Candidate count of the largest shard in the most recent round.
     pub largest_shard: u64,
+    /// Primary: WAL records shipped to the follower.
+    pub repl_records_shipped: u64,
+    /// Primary: framed record bytes shipped.
+    pub repl_bytes_shipped: u64,
+    /// Primary: snapshots shipped.
+    pub repl_snapshots_shipped: u64,
+    /// Primary: sequence number of the last frame sent.
+    pub repl_shipped_seq: u64,
+    /// Primary: sequence number of the last follower ack.
+    pub repl_acked_seq: u64,
+    /// Primary: 1 when the follower has applied everything shipped.
+    pub repl_synced: u64,
+    /// Follower: records applied to the local mirror.
+    pub repl_records_applied: u64,
+    /// Follower: framed record bytes applied.
+    pub repl_bytes_applied: u64,
+    /// Follower: snapshots installed from the stream.
+    pub repl_snapshots_applied: u64,
+    /// Follower: resync requests sent.
+    pub repl_resyncs: u64,
+    /// Follower: duplicate/stale frames discarded.
+    pub repl_frames_discarded: u64,
+    /// Follower: frames dropped for CRC/decode damage.
+    pub repl_frames_damaged: u64,
+    /// Follower: state-hash beacons verified.
+    pub repl_beacons_checked: u64,
+    /// Follower: beacon mismatches (must be 0).
+    pub repl_divergence: u64,
     /// Submissions awaiting the next round.
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.
@@ -263,6 +416,11 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Replication lag in frames: shipped but not yet acknowledged.
+    pub fn repl_lag(&self) -> u64 {
+        self.repl_shipped_seq.saturating_sub(self.repl_acked_seq)
+    }
+
     /// Accept rate among decided submissions (0 when none decided).
     pub fn accept_rate(&self) -> f64 {
         let decided = self.accepted + self.rejected;
@@ -322,6 +480,23 @@ mod tests {
         let js = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&js).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn role_uptime_and_protocol_ride_in_the_snapshot() {
+        let m = MetricsRegistry::new();
+        let snap = m.snapshot(0, 0, 0.0);
+        assert_eq!(snap.role, "solo");
+        assert_eq!(snap.protocol_version, PROTOCOL_VERSION);
+        m.set_role(Role::Follower);
+        assert_eq!(m.get_role(), Role::Follower);
+        assert_eq!(m.snapshot(0, 0, 0.0).role, "follower");
+        m.set_role(Role::Primary);
+        let snap = m.snapshot(0, 0, 0.0);
+        assert_eq!(snap.role, "primary");
+        m.repl_shipped_seq.store(12, Ordering::Relaxed);
+        m.repl_acked_seq.store(9, Ordering::Relaxed);
+        assert_eq!(m.snapshot(0, 0, 0.0).repl_lag(), 3);
     }
 
     #[test]

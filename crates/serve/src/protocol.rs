@@ -76,6 +76,10 @@ pub enum ClientMsg {
     Stats,
     /// Stop admitting, decide everything still pending, report the count.
     Drain,
+    /// Ask a follower to finish recovery and take over as primary.
+    /// Primaries and solo daemons answer with an `Error` reply; a
+    /// repeated promote of an already-promoted follower is idempotent.
+    Promote,
 }
 
 /// Why a submission was refused.
@@ -93,6 +97,8 @@ pub enum RejectReason {
     UnknownRoute,
     /// The daemon is draining and admits no new work.
     ShuttingDown,
+    /// This daemon is a follower: it serves reads only until promoted.
+    NotPrimary,
 }
 
 /// Lifecycle state reported by `Query`.
@@ -166,6 +172,12 @@ pub enum ServerMsg {
     Draining {
         /// Number of requests that were still pending.
         pending: u64,
+    },
+    /// Reply to `Promote`: the follower finished recovery and now
+    /// accepts submissions.
+    Promoted {
+        /// Admission rounds the promoted engine resumed at.
+        rounds: u64,
     },
     /// Protocol-level failure (parse error, bad version, oversized line).
     Error {
@@ -247,6 +259,41 @@ mod tests {
         match decode_client("{nope") {
             Err(ServerMsg::Error { code, .. }) => assert_eq!(code, "parse"),
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reply_with_unknown_extra_fields_still_decodes() {
+        // Forward compatibility: a newer server may add fields to the
+        // Stats snapshot; an older client's decoder must ignore them
+        // rather than failing the whole reply.
+        let m = crate::metrics::MetricsRegistry::new();
+        m.set_role(crate::metrics::Role::Primary);
+        let snap = m.snapshot(3, 7, 42.0);
+        let line = encode_server(&ServerMsg::Stats(snap.clone()));
+        // Inject unknown fields right inside the snapshot object.
+        let needle = "{\"Stats\":{";
+        assert!(line.starts_with(needle), "unexpected encoding: {line}");
+        let extended = format!(
+            "{}\"future_counter\":123,\"future_nested\":{{\"a\":[1,2,3]}},{}",
+            needle,
+            &line[needle.len()..]
+        );
+        match decode_server(&extended) {
+            Ok(ServerMsg::Stats(got)) => assert_eq!(got, snap),
+            other => panic!("extended Stats reply must decode, got {other:?}"),
+        }
+        // Nested structs tolerate additions too.
+        let hist = "\"decision_latency\":{";
+        let at = extended.find(hist).expect("histogram field present") + hist.len();
+        let nested = format!(
+            "{}\"future_pctile\":9.5,{}",
+            &extended[..at],
+            &extended[at..]
+        );
+        match decode_server(&nested) {
+            Ok(ServerMsg::Stats(got)) => assert_eq!(got, snap),
+            other => panic!("nested-extended Stats reply must decode, got {other:?}"),
         }
     }
 

@@ -104,6 +104,13 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The running engine's metrics registry. A WAL shipper running
+    /// beside the server reports into this, so `Stats` replies carry
+    /// replication progress alongside admission counters.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.engine.metrics()
+    }
+
     /// Handle to stop `run` from another thread.
     pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
         Ok(ShutdownHandle {

@@ -1,0 +1,429 @@
+//! The durable slice of the engine, factored out of the engine loop.
+//!
+//! [`EngineState`] is everything an admission engine must carry across a
+//! crash: the capacity ledger, the virtual clock, and the decided-request
+//! maps. It owns the snapshot restore and WAL replay paths, so every
+//! component that rebuilds engine state from a log — the engine's own
+//! startup recovery, the replication shipper's beacon mirror, and the
+//! follower's hot standby — walks the exact same code and lands on the
+//! exact same bytes. Divergence between those consumers would be a
+//! correctness bug; sharing the type makes it a compile-time non-issue.
+//!
+//! The struct is deliberately metrics-free: live metrics belong to the
+//! engine loop, while replay reports its counts through [`ReplayTally`]
+//! so each consumer can fold them into its own registry (or ignore them).
+
+use std::collections::{HashMap, VecDeque};
+
+use gridband_net::{CapacityLedger, ReservationId, Route, Topology};
+use gridband_store::{
+    EngineSnapshot, RequestOutcome, RoundDecision, StoreError, StoreResult, WalRecord,
+    SNAPSHOT_VERSION,
+};
+
+use crate::protocol::ReqState;
+
+/// Counts accumulated while replaying a snapshot + WAL tail. The replay
+/// path itself touches no metrics registry; callers fold these into
+/// whatever accounting they keep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayTally {
+    /// Round records replayed.
+    pub rounds: u64,
+    /// Acceptances re-applied (tombstoned ones count as cancelled).
+    pub accepted: u64,
+    /// Rejections re-applied.
+    pub rejected: u64,
+    /// Cancels re-applied (including accept tombstones).
+    pub cancelled: u64,
+    /// Early rejects re-applied.
+    pub refused_early: u64,
+    /// Expired reservations garbage-collected during replay.
+    pub gc_reclaimed: u64,
+}
+
+/// The engine state that snapshots persist and WAL replay rebuilds.
+///
+/// Fields the engine's hot paths read every round are public; the
+/// decided-request maps stay private behind the accessors so the
+/// record-state/eviction invariant (`history` mirrors `states`' keys in
+/// FIFO order) cannot be broken from outside.
+#[derive(Debug)]
+pub struct EngineState {
+    /// Live port capacity profiles and reservations.
+    pub ledger: CapacityLedger,
+    /// Virtual clock (seconds).
+    pub now: f64,
+    /// When the next admission round fires.
+    pub next_tick: f64,
+    /// Admission rounds executed over the state's lifetime.
+    pub rounds: u64,
+    /// Admission interval `t_step`.
+    step: f64,
+    /// Decided-request history bound (older entries evicted FIFO).
+    history_capacity: usize,
+    /// Decided states for `Query`.
+    states: HashMap<u64, ReqState>,
+    /// FIFO eviction order of `states`.
+    history: VecDeque<u64>,
+    /// Accepted client id → live reservation (for `Cancel` / GC).
+    accepted_res: HashMap<u64, ReservationId>,
+    /// Reverse map: reservation id → client id.
+    res_owner: HashMap<u64, u64>,
+}
+
+impl EngineState {
+    /// Fresh state at virtual time zero; the first round fires at `step`.
+    pub fn new(topology: Topology, step: f64, history_capacity: usize) -> Self {
+        assert!(step > 0.0, "t_step must be positive");
+        EngineState {
+            ledger: CapacityLedger::new(topology),
+            now: 0.0,
+            next_tick: step,
+            rounds: 0,
+            step,
+            history_capacity,
+            states: HashMap::new(),
+            history: VecDeque::new(),
+            accepted_res: HashMap::new(),
+            res_owner: HashMap::new(),
+        }
+    }
+
+    /// The admission interval this state was built with.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Restore a decoded snapshot verbatim. `file` names the snapshot
+    /// file for error attribution.
+    pub fn restore(&mut self, snap: EngineSnapshot, file: &str) -> StoreResult<()> {
+        self.ledger
+            .restore_state(snap.ledger)
+            .map_err(|e| StoreError::corrupt(file, 0, format!("ledger state rejected: {e}")))?;
+        self.now = snap.now;
+        self.next_tick = snap.next_tick;
+        self.rounds = snap.rounds;
+        for (id, outcome) in snap.states {
+            let state = match outcome {
+                RequestOutcome::Accepted => ReqState::Accepted,
+                RequestOutcome::Rejected => ReqState::Rejected,
+                RequestOutcome::Cancelled => ReqState::Cancelled,
+            };
+            self.record_state(id, state);
+        }
+        for (id, rid) in snap.accepted {
+            self.accepted_res.insert(id, ReservationId(rid));
+            self.res_owner.insert(rid, id);
+        }
+        Ok(())
+    }
+
+    /// Re-apply one logged record. Replay mirrors the live engine paths
+    /// exactly — same GC rule, same sequential reservation order — so the
+    /// rebuilt ledger is bit-identical to the one that wrote the log
+    /// (batched and sequential booking are equivalent by `reserve_all`'s
+    /// contract). `file`/`offset` attribute corruption errors.
+    pub fn apply(
+        &mut self,
+        record: WalRecord,
+        file: &str,
+        offset: u64,
+        tally: &mut ReplayTally,
+    ) -> StoreResult<()> {
+        match record {
+            WalRecord::Round { t, decisions } => {
+                self.begin_round(t);
+                tally.rounds += 1;
+                tally.gc_reclaimed += self.gc_expired(t);
+                for d in decisions {
+                    match d {
+                        RoundDecision::Accept {
+                            id,
+                            ingress,
+                            egress,
+                            bw,
+                            start,
+                            finish,
+                            cancelled,
+                        } => {
+                            let rid = self
+                                .ledger
+                                .reserve(Route::new(ingress, egress), start, finish, bw)
+                                .map_err(|e| {
+                                    StoreError::corrupt(
+                                        file,
+                                        offset,
+                                        format!("logged acceptance no longer fits: {e}"),
+                                    )
+                                })?;
+                            if cancelled {
+                                // Tombstoned acceptance: book then free, so
+                                // reservation-id allocation stays in sync.
+                                let _ = self.ledger.cancel(rid);
+                                tally.cancelled += 1;
+                                self.record_state(id, ReqState::Cancelled);
+                            } else {
+                                tally.accepted += 1;
+                                self.note_accept(id, rid);
+                                self.record_state(id, ReqState::Accepted);
+                            }
+                        }
+                        RoundDecision::Reject { id } => {
+                            tally.rejected += 1;
+                            self.record_state(id, ReqState::Rejected);
+                        }
+                    }
+                }
+            }
+            WalRecord::Cancel { id } => {
+                if self.cancel_live(id) {
+                    tally.cancelled += 1;
+                }
+            }
+            WalRecord::EarlyReject { id } => {
+                tally.refused_early += 1;
+                self.record_state(id, ReqState::Rejected);
+            }
+        }
+        Ok(())
+    }
+
+    /// The durable image of this state (what a snapshot persists, and
+    /// what replication beacons hash).
+    pub fn export(&self) -> EngineSnapshot {
+        let mut accepted: Vec<(u64, u64)> = self
+            .accepted_res
+            .iter()
+            .map(|(&id, rid)| (id, rid.0))
+            .collect();
+        accepted.sort_unstable();
+        let states = self
+            .history
+            .iter()
+            .filter_map(|id| {
+                let outcome = match self.states.get(id)? {
+                    ReqState::Accepted => RequestOutcome::Accepted,
+                    ReqState::Rejected => RequestOutcome::Rejected,
+                    ReqState::Cancelled => RequestOutcome::Cancelled,
+                    ReqState::Pending | ReqState::Unknown => return None,
+                };
+                Some((*id, outcome))
+            })
+            .collect();
+        EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            now: self.now,
+            next_tick: self.next_tick,
+            rounds: self.rounds,
+            ledger: self.ledger.export_state(),
+            accepted,
+            states,
+        }
+    }
+
+    /// Advance the clock into the round at `t`.
+    pub fn begin_round(&mut self, t: f64) {
+        self.now = t;
+        self.next_tick = t + self.step;
+        self.rounds += 1;
+    }
+
+    /// Cancel every reservation whose interval ended at or before `t`,
+    /// returning how many were reclaimed. Expired reservations are dead
+    /// weight in the ledger profiles: cancelling them only edits past
+    /// time segments, so admission decisions (which only read the
+    /// profile from `t` on) are unaffected while breakpoint memory stays
+    /// bounded. Shared by live rounds and WAL replay so both walk
+    /// identical ledger states.
+    pub fn gc_expired(&mut self, t: f64) -> u64 {
+        let expired: Vec<ReservationId> = self
+            .ledger
+            .live_reservations()
+            .filter(|(_, r)| r.end <= t)
+            .map(|(id, _)| id)
+            .collect();
+        let mut reclaimed = 0;
+        for rid in expired {
+            if self.ledger.cancel(rid).is_ok() {
+                reclaimed += 1;
+                if let Some(owner) = self.res_owner.remove(&rid.0) {
+                    self.accepted_res.remove(&owner);
+                }
+            }
+        }
+        reclaimed
+    }
+
+    /// Record a decided state, evicting the oldest entry beyond the
+    /// history bound.
+    pub fn record_state(&mut self, id: u64, state: ReqState) {
+        if !self.states.contains_key(&id) {
+            self.history.push_back(id);
+            if self.history.len() > self.history_capacity {
+                if let Some(old) = self.history.pop_front() {
+                    self.states.remove(&old);
+                }
+            }
+        }
+        self.states.insert(id, state);
+    }
+
+    /// Whether this id has already been decided (or holds a live
+    /// reservation that outlived its history entry).
+    pub fn knows(&self, id: u64) -> bool {
+        self.states.contains_key(&id) || self.accepted_res.contains_key(&id)
+    }
+
+    /// Decided state of `id`, if still in history.
+    pub fn state_of(&self, id: u64) -> Option<ReqState> {
+        self.states.get(&id).copied()
+    }
+
+    /// Live allocation `(bw, σ, τ)` of an accepted, unexpired request.
+    pub fn alloc_of(&self, id: u64) -> Option<(f64, f64, f64)> {
+        self.accepted_res
+            .get(&id)
+            .and_then(|rid| self.ledger.get(*rid))
+            .map(|r| (r.bw, r.start, r.end))
+    }
+
+    /// Register a booked acceptance in the id maps.
+    pub fn note_accept(&mut self, id: u64, rid: ReservationId) {
+        self.accepted_res.insert(id, rid);
+        self.res_owner.insert(rid.0, id);
+    }
+
+    /// Cancel a live reservation by client id. Returns `true` iff a
+    /// reservation was freed (and the state recorded as cancelled);
+    /// unknown, already-decided, and already-cancelled ids return
+    /// `false` without touching anything the caller can observe.
+    pub fn cancel_live(&mut self, id: u64) -> bool {
+        let Some(rid) = self.accepted_res.remove(&id) else {
+            return false;
+        };
+        self.res_owner.remove(&rid.0);
+        if self.ledger.cancel(rid).is_ok() {
+            self.record_state(id, ReqState::Cancelled);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> EngineState {
+        EngineState::new(Topology::uniform(2, 2, 100.0), 10.0, 1 << 10)
+    }
+
+    #[test]
+    fn replay_round_trips_through_export_and_restore() {
+        let mut a = state();
+        let mut tally = ReplayTally::default();
+        let record = WalRecord::Round {
+            t: 10.0,
+            decisions: vec![
+                RoundDecision::Accept {
+                    id: 1,
+                    ingress: 0,
+                    egress: 1,
+                    bw: 50.0,
+                    start: 10.0,
+                    finish: 30.0,
+                    cancelled: false,
+                },
+                RoundDecision::Reject { id: 2 },
+            ],
+        };
+        a.apply(record, "wal-0", 8, &mut tally).unwrap();
+        assert_eq!(tally.rounds, 1);
+        assert_eq!(tally.accepted, 1);
+        assert_eq!(tally.rejected, 1);
+        assert_eq!(a.state_of(1), Some(ReqState::Accepted));
+        assert!(a.alloc_of(1).is_some());
+
+        let snap = a.export();
+        let mut b = state();
+        b.restore(snap.clone(), "snap-0").unwrap();
+        assert_eq!(b.export(), snap);
+        assert_eq!(b.now, 10.0);
+        assert_eq!(b.next_tick, 20.0);
+        assert_eq!(b.rounds, 1);
+        assert!(b.knows(1) && b.knows(2) && !b.knows(3));
+    }
+
+    #[test]
+    fn cancel_live_frees_once_and_gc_reclaims_expired() {
+        let mut s = state();
+        let mut tally = ReplayTally::default();
+        s.apply(
+            WalRecord::Round {
+                t: 10.0,
+                decisions: vec![RoundDecision::Accept {
+                    id: 1,
+                    ingress: 0,
+                    egress: 0,
+                    bw: 25.0,
+                    start: 10.0,
+                    finish: 20.0,
+                    cancelled: false,
+                }],
+            },
+            "wal-0",
+            8,
+            &mut tally,
+        )
+        .unwrap();
+        assert!(s.cancel_live(1));
+        assert!(!s.cancel_live(1), "repeat cancel is a no-op");
+        assert_eq!(s.state_of(1), Some(ReqState::Cancelled));
+
+        s.apply(
+            WalRecord::Round {
+                t: 20.0,
+                decisions: vec![RoundDecision::Accept {
+                    id: 2,
+                    ingress: 1,
+                    egress: 1,
+                    bw: 25.0,
+                    start: 20.0,
+                    finish: 25.0,
+                    cancelled: false,
+                }],
+            },
+            "wal-0",
+            64,
+            &mut tally,
+        )
+        .unwrap();
+        // The round at t=30 garbage-collects the reservation that ended
+        // at 25; replay counts it in the tally.
+        s.apply(
+            WalRecord::Round {
+                t: 30.0,
+                decisions: vec![],
+            },
+            "wal-0",
+            128,
+            &mut tally,
+        )
+        .unwrap();
+        assert_eq!(tally.gc_reclaimed, 1);
+        assert!(s.alloc_of(2).is_none(), "expired reservation is gone");
+        assert_eq!(s.state_of(2), Some(ReqState::Accepted));
+    }
+
+    #[test]
+    fn history_eviction_keeps_the_newest_states() {
+        let mut s = EngineState::new(Topology::uniform(1, 1, 100.0), 10.0, 2);
+        s.record_state(1, ReqState::Rejected);
+        s.record_state(2, ReqState::Rejected);
+        s.record_state(3, ReqState::Rejected);
+        assert!(!s.knows(1), "oldest entry evicted");
+        assert!(s.knows(2) && s.knows(3));
+    }
+}

@@ -37,11 +37,12 @@ fn submit_req() -> impl Strategy<Value = SubmitReq> {
 }
 
 fn client_msg() -> impl Strategy<Value = ClientMsg> {
-    (0u8..5, submit_req()).prop_map(|(variant, sub)| match variant {
+    (0u8..6, submit_req()).prop_map(|(variant, sub)| match variant {
         0 => ClientMsg::Submit(sub),
         1 => ClientMsg::Cancel { id: sub.id },
         2 => ClientMsg::Query { id: sub.id },
         3 => ClientMsg::Stats,
+        4 => ClientMsg::Promote,
         _ => ClientMsg::Drain,
     })
 }
@@ -72,6 +73,13 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 (queue_full, protocol_errors, connections, ticks, gc_reclaimed, pending),
                 (replies_dropped, count, virtual_time, mean_ms),
             )| StatsSnapshot {
+                role: match submitted % 3 {
+                    0 => "solo".to_string(),
+                    1 => "primary".to_string(),
+                    _ => "follower".to_string(),
+                },
+                uptime_s: ticks * 3,
+                protocol_version: 1 + (queries % 4) as u32,
                 submitted,
                 accepted,
                 rejected,
@@ -91,6 +99,20 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 admit_threads: 1 + ticks % 8,
                 shards: pending % 16,
                 largest_shard: pending % 16,
+                repl_records_shipped: accepted + rejected,
+                repl_bytes_shipped: (accepted + rejected) * 96,
+                repl_snapshots_shipped: ticks / 100,
+                repl_shipped_seq: accepted + rejected + 2,
+                repl_acked_seq: accepted + rejected,
+                repl_synced: queries % 2,
+                repl_records_applied: accepted + rejected,
+                repl_bytes_applied: (accepted + rejected) * 96,
+                repl_snapshots_applied: ticks / 100,
+                repl_resyncs: queue_full % 3,
+                repl_frames_discarded: queue_full % 5,
+                repl_frames_damaged: queue_full % 2,
+                repl_beacons_checked: ticks / 4,
+                repl_divergence: 0,
                 pending,
                 live_reservations: count,
                 virtual_time,
@@ -114,7 +136,7 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
 
 fn server_msg() -> impl Strategy<Value = ServerMsg> {
     (
-        (0u8..7, 0u64..1_000_000, 0u8..6, 0u8..5),
+        (0u8..8, 0u64..1_000_000, 0u8..7, 0u8..5),
         (wire_f64(), wire_f64(), wire_f64()),
         stats_snapshot(),
     )
@@ -126,6 +148,7 @@ fn server_msg() -> impl Strategy<Value = ServerMsg> {
                     2 => RejectReason::Invalid,
                     3 => RejectReason::QueueFull,
                     4 => RejectReason::UnknownRoute,
+                    5 => RejectReason::NotPrimary,
                     _ => RejectReason::ShuttingDown,
                 };
                 let state = match state {
@@ -158,6 +181,7 @@ fn server_msg() -> impl Strategy<Value = ServerMsg> {
                     },
                     4 => ServerMsg::Stats(stats),
                     5 => ServerMsg::Draining { pending: id },
+                    6 => ServerMsg::Promoted { rounds: id },
                     _ => ServerMsg::Error {
                         code: format!("code-{}", id % 7),
                         message: format!("detail {id}"),

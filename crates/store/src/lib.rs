@@ -17,6 +17,10 @@
 //! * [`store`] — [`Store`](store::Store): generation-numbered WAL +
 //!   snapshot files, fsync policies, and log truncation once a snapshot
 //!   is durable.
+//! * [`tail`] — [`WalTail`](tail::WalTail): a read-only cursor that
+//!   tails a live store for newly installed snapshots and appended
+//!   records, tolerating in-flight torn tails; the primary-side source
+//!   of `gridband-replica`'s WAL shipping stream.
 //! * [`records`] — the typed payloads the serve engine logs: one
 //!   [`WalRecord::Round`](records::WalRecord::Round) per admission round
 //!   (its whole decision batch in one atomic record), plus cancels and
@@ -35,10 +39,12 @@ pub mod dir;
 pub mod error;
 pub mod records;
 pub mod store;
+pub mod tail;
 pub mod wal;
 
 pub use dir::{Dir, FsDir, MemDir};
 pub use error::{StoreError, StoreResult};
 pub use records::{EngineSnapshot, RequestOutcome, RoundDecision, WalRecord, SNAPSHOT_VERSION};
-pub use store::{Append, FsyncPolicy, Recovered, Store, StoreConfig};
+pub use store::{snap_name, wal_name, Append, FsyncPolicy, Recovered, Store, StoreConfig};
+pub use tail::{TailCursor, TailEvent, WalTail};
 pub use wal::crc32;

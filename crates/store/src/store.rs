@@ -118,16 +118,18 @@ pub struct Store {
     dirty: bool,
 }
 
-fn wal_name(gen: u64) -> String {
+/// File name of generation `gen`'s write-ahead log.
+pub fn wal_name(gen: u64) -> String {
     format!("wal-{gen}")
 }
 
-fn snap_name(gen: u64) -> String {
+/// File name of the snapshot opening generation `gen`.
+pub fn snap_name(gen: u64) -> String {
     format!("snap-{gen}")
 }
 
 /// Parse `wal-<n>` / `snap-<n>` names; returns (is_snap, gen).
-fn parse_name(name: &str) -> Option<(bool, u64)> {
+pub(crate) fn parse_name(name: &str) -> Option<(bool, u64)> {
     if let Some(n) = name.strip_prefix("wal-") {
         return n.parse().ok().map(|g| (false, g));
     }
@@ -253,6 +255,40 @@ impl Store {
         })
     }
 
+    /// Append a batch of records as one write and one durability point:
+    /// every payload is framed, the frames land in a single `Dir::append`
+    /// call, and the file is flushed **once** under both
+    /// [`FsyncPolicy::Always`] and [`FsyncPolicy::Round`] (a batch *is* a
+    /// round barrier — anything appended earlier and still unflushed
+    /// rides along, exactly as [`Store::round_barrier`] would flush it).
+    /// The resulting file bytes are identical to sequential
+    /// [`Store::append`] calls of the same payloads.
+    pub fn append_batch(&mut self, payloads: &[&[u8]]) -> StoreResult<Append> {
+        let file = wal_name(self.gen);
+        let mut frames = Vec::with_capacity(
+            payloads
+                .iter()
+                .map(|p| crate::wal::RECORD_HEADER + p.len())
+                .sum(),
+        );
+        for payload in payloads {
+            frames.extend_from_slice(&frame_record(payload));
+        }
+        self.dir
+            .append(&file, &frames)
+            .map_err(|e| StoreError::io(&file, e))?;
+        self.dirty = true;
+        let fsync = if self.fsync != FsyncPolicy::Off {
+            Some(self.sync_wal()?)
+        } else {
+            None
+        };
+        Ok(Append {
+            bytes: frames.len() as u64,
+            fsync,
+        })
+    }
+
     /// Round barrier: under [`FsyncPolicy::Round`], flush everything
     /// appended since the last barrier. Returns the fsync latency when
     /// a flush happened. Call this *before* externalizing the round's
@@ -343,6 +379,54 @@ mod tests {
         let (mut store, _) = Store::open(mem(), FsyncPolicy::Off).unwrap();
         assert!(store.append(b"x").unwrap().fsync.is_none());
         assert!(store.round_barrier().unwrap().is_none());
+    }
+
+    #[test]
+    fn append_batch_is_byte_identical_to_sequential_appends() {
+        let payloads: Vec<&[u8]> = vec![b"round one", b"", b"a longer third record payload"];
+        let seq_dir = mem();
+        let (mut seq, _) = Store::open(seq_dir.clone(), FsyncPolicy::Round).unwrap();
+        let mut seq_bytes = 0;
+        for p in &payloads {
+            seq_bytes += seq.append(p).unwrap().bytes;
+        }
+        seq.round_barrier().unwrap();
+
+        let batch_dir = mem();
+        let (mut batch, _) = Store::open(batch_dir.clone(), FsyncPolicy::Round).unwrap();
+        let a = batch.append_batch(&payloads).unwrap();
+        assert_eq!(a.bytes, seq_bytes);
+        assert!(a.fsync.is_some(), "Round policy flushes the batch once");
+        assert!(
+            batch.round_barrier().unwrap().is_none(),
+            "the batch flush already cleared the dirty flag"
+        );
+
+        assert_eq!(
+            seq_dir.contents("wal-0").unwrap(),
+            batch_dir.contents("wal-0").unwrap(),
+            "batched and sequential appends must produce identical WAL bytes"
+        );
+
+        // Both logs recover the same records.
+        let (_, rec) = Store::open(batch_dir, FsyncPolicy::Round).unwrap();
+        let got: Vec<_> = rec.records.iter().map(|(_, p)| p.as_slice()).collect();
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn append_batch_flushes_earlier_unflushed_appends() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Round).unwrap();
+        store.append(b"event before the round").unwrap();
+        let a = store.append_batch(&[b"the round record"]).unwrap();
+        assert!(a.fsync.is_some());
+        assert!(store.round_barrier().unwrap().is_none(), "nothing dirty");
+        // Off never flushes, Always flushes the batch once.
+        let (mut off, _) = Store::open(mem(), FsyncPolicy::Off).unwrap();
+        assert!(off.append_batch(&[b"x", b"y"]).unwrap().fsync.is_none());
+        let (mut always, _) = Store::open(mem(), FsyncPolicy::Always).unwrap();
+        assert!(always.append_batch(&[b"x", b"y"]).unwrap().fsync.is_some());
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Cursor-based record tailing over a live store directory.
+//!
+//! A [`WalTail`] reads the same `snap-<G>` / `wal-<G>` files a
+//! [`Store`](crate::Store) writes, but *concurrently* with the writer
+//! and without ever mutating the directory: it is the primary-side
+//! source of a replication stream. Each [`WalTail::poll`] emits the
+//! events that appeared since the cursor's position:
+//!
+//! * [`TailEvent::Snapshot`] when a newer generation opened — the
+//!   follower must install this snapshot before any of that
+//!   generation's records;
+//! * [`TailEvent::Record`] for every intact record appended past the
+//!   cursor.
+//!
+//! Because the writer may be mid-`write(2)` when we read, a torn tail
+//! is *normal* here (unlike recovery): the scan simply stops at the
+//! last intact record and the next poll retries. Mid-log corruption is
+//! still fatal, exactly as in recovery.
+
+use crate::dir::Dir;
+use crate::error::{StoreError, StoreResult};
+use crate::store::{parse_name, snap_name, wal_name};
+use crate::wal::{parse_snapshot, scan_records, MAGIC_WAL};
+use std::sync::Arc;
+
+/// Position of a [`WalTail`] inside the store's file sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailCursor {
+    /// Generation whose WAL the cursor is inside.
+    pub gen: u64,
+    /// Byte offset of the next unread record's header in `wal-<gen>`
+    /// (at least the magic length).
+    pub offset: u64,
+}
+
+/// One event observed by [`WalTail::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailEvent {
+    /// A generation (newer than the cursor's) opened with this snapshot
+    /// payload. The cursor moves to the start of `wal-<gen>`.
+    Snapshot {
+        /// Generation the snapshot opens.
+        gen: u64,
+        /// Decoded (CRC-verified) snapshot payload.
+        payload: Vec<u8>,
+    },
+    /// One intact record appended past the cursor.
+    Record {
+        /// Generation of the WAL holding the record.
+        gen: u64,
+        /// Byte offset of the record's header in that WAL.
+        offset: u64,
+        /// The record payload (CRC already verified).
+        payload: Vec<u8>,
+    },
+}
+
+/// A read-only cursor tailing a store directory for new snapshots and
+/// records.
+#[derive(Debug)]
+pub struct WalTail {
+    dir: Arc<dyn Dir>,
+    /// `None` until positioned: the next poll ships the latest
+    /// snapshot (or, for a fresh generation-0 store, starts at the top
+    /// of `wal-0`).
+    cursor: Option<TailCursor>,
+}
+
+impl WalTail {
+    /// Tail `dir` from scratch: the first poll emits the newest
+    /// snapshot (when one exists) and everything after it.
+    pub fn new(dir: Arc<dyn Dir>) -> WalTail {
+        WalTail { dir, cursor: None }
+    }
+
+    /// Current position, if the tail has been positioned.
+    pub fn cursor(&self) -> Option<TailCursor> {
+        self.cursor
+    }
+
+    /// Position the cursor explicitly (e.g. to resume a follower that
+    /// already holds a prefix of the log). The offset must be a record
+    /// boundary in `wal-<gen>`; [`WalTail::poll`] emits everything
+    /// after it.
+    pub fn seek(&mut self, gen: u64, offset: u64) {
+        self.cursor = Some(TailCursor { gen, offset });
+    }
+
+    /// Forget the position: the next poll re-ships the latest snapshot
+    /// and the records after it, as for a brand-new follower.
+    pub fn rewind(&mut self) {
+        self.cursor = None;
+    }
+
+    /// The newest generation visible in the directory: the highest one
+    /// with a snapshot, else the highest WAL (a fresh store has
+    /// `wal-0` and no snapshot).
+    fn latest_gen(&self, names: &[String]) -> (u64, bool) {
+        let mut best_snap: Option<u64> = None;
+        let mut best_wal: Option<u64> = None;
+        for name in names {
+            match parse_name(name) {
+                Some((true, g)) => best_snap = Some(best_snap.map_or(g, |b: u64| b.max(g))),
+                Some((false, g)) => best_wal = Some(best_wal.map_or(g, |b: u64| b.max(g))),
+                None => {}
+            }
+        }
+        match best_snap {
+            Some(g) => (g, true),
+            None => (best_wal.unwrap_or(0), false),
+        }
+    }
+
+    /// Read every event that appeared since the cursor. An empty vec
+    /// means "nothing new yet"; a torn tail (the writer mid-append, or
+    /// a crashed writer's final record) is silently retried on the
+    /// next poll. Mid-log damage is a [`StoreError::Corrupt`].
+    pub fn poll(&mut self) -> StoreResult<Vec<TailEvent>> {
+        let names = self.dir.list().map_err(|e| StoreError::io(".", e))?;
+        let (latest, has_snap) = self.latest_gen(&names);
+        let mut events = Vec::new();
+
+        let need_snapshot = match self.cursor {
+            None => true,
+            Some(c) => c.gen < latest,
+        };
+        if need_snapshot {
+            if has_snap {
+                let file = snap_name(latest);
+                let data = match self.dir.read(&file) {
+                    Ok(d) => d,
+                    // Deleted between list() and read(): a snapshot
+                    // install is racing us; the next poll sees the new
+                    // generation.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(events),
+                    Err(e) => return Err(StoreError::io(&file, e)),
+                };
+                let payload = parse_snapshot(&file, &data)?;
+                events.push(TailEvent::Snapshot {
+                    gen: latest,
+                    payload,
+                });
+            } else if latest > 0 {
+                // A generation above 0 always has its snapshot installed
+                // before anything else; its absence is a racing install.
+                return Ok(events);
+            }
+            self.cursor = Some(TailCursor {
+                gen: latest,
+                offset: MAGIC_WAL.len() as u64,
+            });
+        }
+
+        let cursor = self.cursor.expect("positioned above");
+        let file = wal_name(cursor.gen);
+        let data = match self.dir.read(&file) {
+            Ok(d) => d,
+            // The WAL of a just-installed generation may not exist yet
+            // (snapshot first, WAL second); nothing to read until it does.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(events),
+            Err(e) => return Err(StoreError::io(&file, e)),
+        };
+        if (data.len() as u64) < cursor.offset {
+            // Shorter than where we already read to: either the magic is
+            // still being written or the read raced a replace. Retry.
+            return Ok(events);
+        }
+        if cursor.offset == MAGIC_WAL.len() as u64 && data[..MAGIC_WAL.len()] != MAGIC_WAL[..] {
+            return Err(StoreError::corrupt(&file, 0, "bad WAL magic header"));
+        }
+        let scan = scan_records(&file, &data, cursor.offset as usize)?;
+        for (offset, payload) in scan.records {
+            events.push(TailEvent::Record {
+                gen: cursor.gen,
+                offset,
+                payload,
+            });
+        }
+        self.cursor = Some(TailCursor {
+            gen: cursor.gen,
+            offset: scan.valid_len,
+        });
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dir::MemDir;
+    use crate::store::{FsyncPolicy, Store};
+    use crate::wal::RECORD_HEADER;
+
+    fn mem() -> Arc<MemDir> {
+        Arc::new(MemDir::new())
+    }
+
+    fn records_of(events: &[TailEvent]) -> Vec<Vec<u8>> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                TailEvent::Record { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tails_a_fresh_store_record_by_record() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        let mut tail = WalTail::new(dir);
+        assert!(tail.poll().unwrap().is_empty());
+
+        store.append(b"one").unwrap();
+        store.append(b"two").unwrap();
+        let ev = tail.poll().unwrap();
+        assert_eq!(records_of(&ev), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(tail.poll().unwrap().is_empty(), "no re-delivery");
+
+        store.append(b"three").unwrap();
+        let ev = tail.poll().unwrap();
+        assert_eq!(records_of(&ev), vec![b"three".to_vec()]);
+    }
+
+    #[test]
+    fn snapshot_install_emits_snapshot_then_new_records() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        let mut tail = WalTail::new(dir);
+        store.append(b"old").unwrap();
+        assert_eq!(tail.poll().unwrap().len(), 1);
+
+        store.install_snapshot(b"STATE").unwrap();
+        store.append(b"new").unwrap();
+        let ev = tail.poll().unwrap();
+        assert_eq!(
+            ev,
+            vec![
+                TailEvent::Snapshot {
+                    gen: 1,
+                    payload: b"STATE".to_vec()
+                },
+                TailEvent::Record {
+                    gen: 1,
+                    offset: MAGIC_WAL.len() as u64,
+                    payload: b"new".to_vec()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fresh_tail_of_an_old_store_starts_from_the_latest_snapshot() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        store.append(b"gone").unwrap();
+        store.install_snapshot(b"S1").unwrap();
+        store.install_snapshot(b"S2").unwrap();
+        store.append(b"kept").unwrap();
+        let mut tail = WalTail::new(dir);
+        let ev = tail.poll().unwrap();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(
+            ev[0],
+            TailEvent::Snapshot {
+                gen: 2,
+                payload: b"S2".to_vec()
+            }
+        );
+        assert_eq!(records_of(&ev), vec![b"kept".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_is_retried_not_fatal() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        store.append(b"whole").unwrap();
+        let mut tail = WalTail::new(dir.clone());
+
+        // Simulate a writer mid-append: a full record plus a torn one.
+        let mut raw = dir.contents("wal-0").unwrap();
+        let intact_len = raw.len();
+        raw.extend_from_slice(&crate::wal::frame_record(b"half")[..7]);
+        dir.put("wal-0", raw.clone());
+        let ev = tail.poll().unwrap();
+        assert_eq!(records_of(&ev), vec![b"whole".to_vec()]);
+        assert_eq!(
+            tail.cursor().unwrap().offset,
+            intact_len as u64,
+            "cursor stops before the torn bytes"
+        );
+
+        // The writer finishes the append; the tail resumes cleanly.
+        raw.truncate(intact_len);
+        raw.extend_from_slice(&crate::wal::frame_record(b"half"));
+        dir.put("wal-0", raw);
+        let ev = tail.poll().unwrap();
+        assert_eq!(records_of(&ev), vec![b"half".to_vec()]);
+    }
+
+    #[test]
+    fn seek_resumes_mid_log() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        store.append(b"first").unwrap();
+        store.append(b"second").unwrap();
+        let boundary = MAGIC_WAL.len() + RECORD_HEADER + b"first".len();
+        let mut tail = WalTail::new(dir);
+        tail.seek(0, boundary as u64);
+        let ev = tail.poll().unwrap();
+        assert_eq!(records_of(&ev), vec![b"second".to_vec()]);
+    }
+
+    #[test]
+    fn rewind_re_ships_the_latest_snapshot() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        store.install_snapshot(b"S").unwrap();
+        store.append(b"r").unwrap();
+        let mut tail = WalTail::new(dir);
+        assert_eq!(tail.poll().unwrap().len(), 2);
+        assert!(tail.poll().unwrap().is_empty());
+        tail.rewind();
+        let ev = tail.poll().unwrap();
+        assert_eq!(ev.len(), 2, "rewind replays snapshot + records");
+        assert!(matches!(ev[0], TailEvent::Snapshot { gen: 1, .. }));
+    }
+
+    #[test]
+    fn mid_log_corruption_is_fatal_for_the_tail_too() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        store.append(b"first").unwrap();
+        store.append(b"second").unwrap();
+        let mut raw = dir.contents("wal-0").unwrap();
+        raw[MAGIC_WAL.len() + RECORD_HEADER] ^= 0x01;
+        dir.put("wal-0", raw);
+        let mut tail = WalTail::new(dir);
+        assert!(matches!(tail.poll(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn seek_past_a_stale_generation_jumps_to_the_new_snapshot() {
+        let dir = mem();
+        let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+        store.append(b"old").unwrap();
+        let mut tail = WalTail::new(dir.clone());
+        assert_eq!(tail.poll().unwrap().len(), 1);
+        store.install_snapshot(b"NEW").unwrap();
+        store.append(b"fresh").unwrap();
+        // The tail's cursor still points into generation 0; the poll
+        // notices generation 1 and re-bases on its snapshot.
+        let ev = tail.poll().unwrap();
+        assert!(matches!(ev[0], TailEvent::Snapshot { gen: 1, .. }));
+        assert_eq!(records_of(&ev), vec![b"fresh".to_vec()]);
+    }
+}

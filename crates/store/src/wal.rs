@@ -110,11 +110,18 @@ pub fn scan_wal(file: &str, data: &[u8]) -> StoreResult<WalScan> {
     if data[..MAGIC_WAL.len()] != MAGIC_WAL[..] {
         return Err(StoreError::corrupt(file, 0, "bad WAL magic header"));
     }
+    scan_records(file, data, MAGIC_WAL.len())
+}
 
+/// Scan the framed records of a WAL starting at byte offset `start`
+/// (which must lie on a record boundary past the magic). Used by
+/// [`scan_wal`] for whole-file recovery and by the tailing API to pick
+/// up records appended since a previous scan.
+pub fn scan_records(file: &str, data: &[u8], start: usize) -> StoreResult<WalScan> {
     let mut records = Vec::new();
-    let mut off = MAGIC_WAL.len();
+    let mut off = start;
     loop {
-        let remaining = data.len() - off;
+        let remaining = data.len().saturating_sub(off);
         if remaining == 0 {
             return Ok(WalScan {
                 records,

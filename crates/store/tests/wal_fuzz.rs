@@ -7,7 +7,7 @@
 
 use gridband_net::{CapacityLedger, Route, Topology};
 use gridband_store::{
-    EngineSnapshot, FsyncPolicy, MemDir, RoundDecision, Store, StoreError, WalRecord,
+    Dir, EngineSnapshot, FsyncPolicy, MemDir, RoundDecision, Store, StoreError, WalRecord,
     SNAPSHOT_VERSION,
 };
 use std::sync::Arc;
@@ -148,6 +148,58 @@ fn every_single_bit_flip_in_the_snapshot_is_corrupt() {
             Ok(_) => panic!("flip at byte {byte} of the snapshot went unnoticed"),
             Err(other) => panic!("flip at {byte}: unexpected error kind {other}"),
         }
+    }
+}
+
+#[test]
+fn cross_generation_recovery_resumes_at_the_new_generation() {
+    // Lifecycle under test: a store already holding generation-1 state
+    // installs a fresh snapshot (opening generation 2), appends more
+    // rounds, then crashes mid-append of the final record. Recovery
+    // must come back *in generation 2* — snapshot plus only the intact
+    // gen-2 records — with the torn record dropped cleanly, for every
+    // possible tear point inside that final record.
+    let records = sample_records();
+    let dir = Arc::new(MemDir::new());
+    let (mut store, _) = Store::open(dir.clone(), FsyncPolicy::Off).unwrap();
+    store.install_snapshot(&sample_snapshot().encode()).unwrap();
+    store.append(&records[0].encode()).unwrap();
+    store.append(&records[1].encode()).unwrap();
+    store.install_snapshot(&sample_snapshot().encode()).unwrap();
+    assert_eq!(store.generation(), 2);
+    for rec in &records {
+        store.append(&rec.encode()).unwrap();
+    }
+    let full = dir.contents("wal-2").unwrap();
+    let last_len = records.last().unwrap().encode().len() + 8; // header + payload
+    let intact_len = full.len() - last_len;
+
+    for cut in intact_len + 1..full.len() {
+        let d = Arc::new(MemDir::new());
+        d.put("snap-2", dir.contents("snap-2").unwrap());
+        d.put("wal-2", full[..cut].to_vec());
+        // A stale generation-1 straggler must not confuse recovery.
+        d.put(
+            "wal-1",
+            dir.contents("wal-2").unwrap()[..intact_len].to_vec(),
+        );
+        let (_, rec) = Store::open(d.clone(), FsyncPolicy::Off).unwrap();
+        assert_eq!(rec.gen, 2, "cut at {cut}: tail must start at the new gen");
+        assert!(rec.truncated_tail, "cut at {cut}");
+        let got: Vec<WalRecord> = rec
+            .records
+            .iter()
+            .map(|(off, p)| WalRecord::decode("wal-2", *off, p).unwrap())
+            .collect();
+        assert_eq!(
+            got,
+            records[..records.len() - 1],
+            "cut at {cut}: torn final record must be dropped, earlier ones kept"
+        );
+        // The decoded snapshot opens the new generation.
+        EngineSnapshot::decode("snap-2", &rec.snapshot.unwrap()).unwrap();
+        // Stale-generation files are swept.
+        assert!(!d.list().unwrap().contains(&"wal-1".to_string()));
     }
 }
 

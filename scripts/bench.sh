@@ -4,7 +4,10 @@
 # admission rounds (decisions/sec, p50/p99 round latency) cross-checked
 # against the event-driven simulator, and the shard-parallel thread sweep
 # (rounds/sec and p99 at 1/2/4/8 threads, every threaded run compared
-# round-by-round against the sequential reference — mismatches gate to 0).
+# round-by-round against the sequential reference — mismatches gate to 0),
+# plus the WAL-streaming replication group (batch-to-standby sync lag,
+# failover-to-first-decision time, hard-gated on zero divergence and a
+# byte-identical follower store).
 #
 # Usage:
 #   scripts/bench.sh                # full run, writes BENCH_admission.json

@@ -29,4 +29,7 @@ scripts/bench.sh --smoke --out=target/BENCH_admission.smoke.json
 echo "== recovery smoke ==" >&2
 scripts/recovery_smoke.sh
 
+echo "== failover smoke ==" >&2
+scripts/failover_smoke.sh
+
 echo "verify: all green" >&2

@@ -23,7 +23,18 @@
 //!    policy and the arrival-order (GREEDY) ablation, with every
 //!    threaded run differentially compared round-by-round — decisions
 //!    and final port profiles — against the sequential reference
-//!    (mismatches must be 0).
+//!    (mismatches must be 0);
+//! 5. **durability** — WAL append throughput and cold-recovery time per
+//!    fsync policy on memory and disk-backed stores;
+//! 6. **replication** — a live primary shipping its WAL over TCP
+//!    loopback to a hot standby (per-batch sync lag, wire failover
+//!    time), gated on zero beacon divergence and a byte-identical
+//!    mirrored store;
+//! 7. **cluster** — a topology-sharded router over in-process shard
+//!    engines: submissions/sec and per-submission latency across shard
+//!    counts {1,2,4} and cross-shard fractions {0%,10%,50%}, gated on
+//!    zero divergence from a solo run (partition-respecting rows) and
+//!    zero conservation violations everywhere.
 //!
 //! Flags: `--smoke` (reduced sizes, a few seconds), `--out=FILE`
 //! (default `BENCH_admission.json`).
@@ -58,6 +69,32 @@ struct Report {
     parallel: Vec<ParallelRow>,
     durability: Vec<DurabilityRow>,
     replication: ReplicationReport,
+    cluster: Vec<ClusterRow>,
+}
+
+#[derive(Serialize)]
+struct ClusterRow {
+    shards: usize,
+    cross_fraction: f64,
+    requests: usize,
+    singles: u64,
+    crosses: u64,
+    granted: usize,
+    cross_grants: u64,
+    timeouts: u64,
+    /// Router-side submission throughput: fire-and-forget forwards and
+    /// full two-phase exchanges averaged together.
+    submissions_per_sec: f64,
+    /// Per-submission router latency — a forward is microseconds, a
+    /// cross-shard transaction is two to four blocking hold calls.
+    submit_latency_us: LatencyUs,
+    /// For cross_fraction == 0 rows (`null` otherwise): decisions that
+    /// differ from a 1-shard cluster run of the identical trace. Gated
+    /// to 0 — partition-respecting sharding must be invisible.
+    divergence_vs_solo: Option<usize>,
+    /// Ledger violations (port over-commit, orphaned uncommitted hold)
+    /// across every shard after the run. Gated to 0.
+    conservation_violations: usize,
 }
 
 #[derive(Serialize)]
@@ -1001,6 +1038,143 @@ fn replication_section(smoke: bool) -> ReplicationReport {
 }
 
 // ---------------------------------------------------------------------------
+// Cluster: topology-sharded routing throughput (gridband-cluster)
+// ---------------------------------------------------------------------------
+
+/// Remap a workload's egress ports so a deterministic `cross` fraction
+/// of requests straddles the shard cut of an N-shard map (the rest are
+/// pinned to the ingress owner's own egress block).
+fn cluster_trace(
+    base: &Trace,
+    topo: &Topology,
+    map: &gridband_cluster::ShardMap,
+    cross: f64,
+) -> Trace {
+    let n_egress = topo.num_egress() as u32;
+    let requests = base
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let shard = map.ingress_owner(r.route.ingress.0);
+            let want_cross =
+                map.shards() > 1 && (i.wrapping_mul(2_654_435_761) % 1000) as f64 / 1000.0 < cross;
+            let pool: Vec<u32> = (0..n_egress)
+                .filter(|&e| (map.egress_owner(e) == shard) != want_cross)
+                .collect();
+            let egress = if pool.is_empty() {
+                r.route.egress.0
+            } else {
+                pool[(r.id.0 as usize) % pool.len()]
+            };
+            Request::new(
+                r.id.0,
+                gridband_net::Route::new(r.route.ingress.0, egress),
+                r.window,
+                r.volume,
+                r.max_rate,
+            )
+        })
+        .collect();
+    Trace::new(requests)
+}
+
+/// Route `trace` through an in-process N-shard cluster, timing every
+/// `submit`. Returns the report, per-submission latencies, and the
+/// conservation-violation count across all shard ledgers.
+fn cluster_run(
+    topo: &Topology,
+    trace: &Trace,
+    shards: usize,
+) -> (gridband_cluster::ClusterReport, Vec<u64>, usize) {
+    use gridband_cluster::{conservation_violations, Cluster, ClusterConfig, EngineShards};
+    let mut cfg = ClusterConfig::new(topo.clone(), shards);
+    cfg.step = 50.0;
+    cfg.queue_capacity = trace.len() + 16;
+    let engines = EngineShards::spawn(&cfg);
+    let mut cluster = Cluster::in_process(&cfg, &engines);
+    let mut ns = Vec::with_capacity(trace.len());
+    for r in trace.iter() {
+        let req = gridband_serve::SubmitReq {
+            id: r.id.0,
+            ingress: r.route.ingress.0,
+            egress: r.route.egress.0,
+            volume: r.volume,
+            max_rate: r.max_rate,
+            start: Some(r.start()),
+            deadline: Some(r.finish()),
+        };
+        let t0 = Instant::now();
+        cluster.submit(req).expect("cluster submit");
+        ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let flush =
+        trace.iter().map(|r| r.finish()).fold(0.0f64, f64::max) + cfg.hold_timeout + 2.0 * cfg.step;
+    cluster.advance_to(flush).expect("cluster advance");
+    let violations: usize = (0..engines.len())
+        .map(|s| conservation_violations(&engines.export(s), topo).len())
+        .sum();
+    let report = cluster.finish().expect("cluster finish");
+    engines.shutdown();
+    (report, ns, violations)
+}
+
+fn cluster_section(smoke: bool) -> Vec<ClusterRow> {
+    use gridband_cluster::{Decision, ShardMap};
+    let topo = Topology::uniform(8, 8, 100.0);
+    let (interarrival, horizon) = if smoke { (1.0, 200.0) } else { (0.5, 600.0) };
+    let base = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(horizon)
+        .seed(17)
+        .build();
+
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let crosses: &[f64] = if shards == 1 {
+            &[0.0]
+        } else {
+            &[0.0, 0.1, 0.5]
+        };
+        for &cross in crosses {
+            let map = ShardMap::new(&topo, shards);
+            let trace = cluster_trace(&base, &topo, &map, cross);
+            let (report, ns, violations) = cluster_run(&topo, &trace, shards);
+            let divergence = (cross == 0.0 && shards > 1).then(|| {
+                let (solo, _, _) = cluster_run(&topo, &trace, 1);
+                report
+                    .decisions
+                    .iter()
+                    .filter(|(id, d)| solo.decisions.get(id) != Some(d))
+                    .count()
+                    + solo.decisions.len().abs_diff(report.decisions.len())
+            });
+            let granted = report
+                .decisions
+                .values()
+                .filter(|d| matches!(d, Decision::Granted { .. }))
+                .count();
+            let total_s = ns.iter().sum::<u64>() as f64 / 1e9;
+            rows.push(ClusterRow {
+                shards,
+                cross_fraction: cross,
+                requests: trace.len(),
+                singles: report.singles,
+                crosses: report.crosses,
+                granted,
+                cross_grants: report.cross_grants,
+                timeouts: report.timeouts,
+                submissions_per_sec: trace.len() as f64 / total_s.max(1e-9),
+                submit_latency_us: latency_summary(ns),
+                divergence_vs_solo: divergence,
+                conservation_violations: violations,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // main
 // ---------------------------------------------------------------------------
 
@@ -1136,8 +1310,26 @@ fn main() {
         replication.store_mirrored
     );
 
+    eprintln!("admission bench: topology-sharded cluster routing ...");
+    let cluster = cluster_section(smoke);
+    for r in &cluster {
+        eprintln!(
+            "  {} shard(s) cross {:>4.0}%: {:>8.0} submissions/s, p50 {:>7.1} us p99 {:>9.1} us, {} granted ({} cross), {} timeouts, divergence {:?}, violations {}",
+            r.shards,
+            r.cross_fraction * 100.0,
+            r.submissions_per_sec,
+            r.submit_latency_us.p50,
+            r.submit_latency_us.p99,
+            r.granted,
+            r.cross_grants,
+            r.timeouts,
+            r.divergence_vs_solo,
+            r.conservation_violations
+        );
+    }
+
     let report = Report {
-        schema: "gridband/bench-admission/v2".to_string(),
+        schema: "gridband/bench-admission/v3".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         micro,
@@ -1146,6 +1338,7 @@ fn main() {
         parallel,
         durability,
         replication,
+        cluster,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write report");
@@ -1212,6 +1405,26 @@ fn main() {
         }
         if !r.probe_decided {
             eprintln!("FAIL: promoted follower never decided the probe request");
+            failed = true;
+        }
+    }
+    // Cluster gates: sharding must be invisible on partition-respecting
+    // workloads and may never break port conservation.
+    for r in &report.cluster {
+        if matches!(r.divergence_vs_solo, Some(n) if n > 0) {
+            eprintln!(
+                "FAIL: {}-shard cluster diverged from solo on a partition-respecting trace ({:?} decisions)",
+                r.shards, r.divergence_vs_solo
+            );
+            failed = true;
+        }
+        if r.conservation_violations > 0 {
+            eprintln!(
+                "FAIL: {}-shard cluster at cross {:.0}% violated conservation {} times",
+                r.shards,
+                r.cross_fraction * 100.0,
+                r.conservation_violations
+            );
             failed = true;
         }
     }

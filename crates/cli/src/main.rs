@@ -32,6 +32,7 @@ fn main() {
         "run" => run_custom(args),
         "compare" => compare(args),
         "serve" => serve(args),
+        "cluster" => cluster(args),
         "promote" => promote(args),
         "trace" => gen_trace(args),
         "stats" => trace_stats(args),
@@ -62,6 +63,8 @@ commands:
                             (--scheds greedy,window:50,bookahead + run flags)
   serve                     run the reservation daemon  (gridband serve --help)
                             drive it with the `loadgen` binary from gridband-serve
+  cluster                   route a workload over topology shards
+                            (gridband cluster --help)
   promote [--addr H:P]      promote a hot-standby follower to primary
   trace                     generate a workload trace JSON
   stats FILE                summarize a trace file"
@@ -413,6 +416,7 @@ fn serve(args: Vec<String>) {
     let mut replicate_to: Option<String> = None;
     let mut follow: Option<String> = None;
     let mut promote_after: Option<Duration> = None;
+    let mut shard_of: Option<(usize, usize)> = None;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -481,6 +485,22 @@ fn serve(args: Vec<String>) {
             }
             "--replicate-to" => replicate_to = Some(val("--replicate-to")),
             "--follow" => follow = Some(val("--follow")),
+            "--shard-of" => {
+                let v = val("--shard-of");
+                let (i, n) = v
+                    .split_once('/')
+                    .unwrap_or_else(|| fail(format_args!("--shard-of wants I/N, got {v}")));
+                let i: usize = i
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --shard-of index: {e}")));
+                let n: usize = n
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --shard-of count: {e}")));
+                if n == 0 || i >= n {
+                    fail(format_args!("--shard-of wants I/N with I < N, got {v}"));
+                }
+                shard_of = Some((i, n));
+            }
             "--promote-after" => {
                 let s: u64 = val("--promote-after")
                     .parse()
@@ -496,6 +516,7 @@ fn serve(args: Vec<String>) {
                       [--snapshot-every ROUNDS] [--admit-threads N]
                       [--replicate-to HOST:PORT]
                       [--follow HOST:PORT [--promote-after SECS]]
+                      [--shard-of I/N]
 
 Runs the reservation daemon: JSON-lines over TCP, batched WINDOW
 admission every t_step. Without --tick-ms the clock is virtual
@@ -520,7 +541,14 @@ primary's replication stream on HOST:PORT, mirrors the WAL into
 --wal-dir (required), serves read-only Query/Stats on --addr, and
 rejects submissions with `not-primary`. `gridband promote --addr ...`
 (or --promote-after SECS of primary silence) turns it into a primary
-that resumes from the exact round the old primary last logged."
+that resumes from the exact round the old primary last logged.
+
+--shard-of I/N runs this daemon as shard I of an N-way topology-sharded
+cluster: it owns contiguous blocks of the ingress and egress port space
+and expects a `gridband cluster` router in front, which forwards
+single-shard submissions whole and coordinates cross-shard ones with
+two-phase holds. Composes with --wal-dir and --replicate-to: each shard
+keeps its own WAL and may stream it to its own standby."
                 );
                 std::process::exit(0);
             }
@@ -584,6 +612,19 @@ that resumes from the exact round the old primary last logged."
     if replicate_to.is_some() {
         engine.role = gridband_serve::Role::Primary;
     }
+    if let Some((i, n)) = shard_of {
+        engine.role = gridband_serve::Role::Shard;
+        let map = gridband_cluster::ShardMap::new(&engine.topology, n);
+        let ports = |v: Vec<u32>| match (v.first(), v.last()) {
+            (Some(lo), Some(hi)) => format!("{lo}-{hi}"),
+            _ => "none".to_string(),
+        };
+        eprintln!(
+            "gridband serve: shard {i}/{n} — ingress {}, egress {}",
+            ports(map.ingress_ports(i).collect()),
+            ports(map.egress_ports(i).collect()),
+        );
+    }
     let shipper_cfg = engine
         .store
         .as_ref()
@@ -612,6 +653,241 @@ that resumes from the exact round the old primary last logged."
     });
     if let Err(e) = server.run() {
         fail(format_args!("server error: {e}"));
+    }
+}
+
+/// `gridband cluster`: route a generated workload over N topology
+/// shards — in-process engines by default, real `serve --shard-of`
+/// daemons with --connect — and report decisions plus conservation.
+fn cluster(args: Vec<String>) {
+    use gridband_cluster::{
+        conservation_violations, Cluster, ClusterConfig, Decision, EngineShards, LossSchedule,
+        ShardMap, TcpShardLink,
+    };
+    use gridband_serve::SubmitReq;
+    use gridband_workload::{Dist, Request, WorkloadBuilder};
+
+    let mut shards = 2usize;
+    let mut shards_given = false;
+    let mut topo = gridband_net::Topology::paper_default();
+    let mut step = 50.0f64;
+    let mut horizon = 200.0f64;
+    let mut seed = 7u64;
+    let mut interarrival = 1.0f64;
+    let mut cross = 0.1f64;
+    let mut loss = 0.0f64;
+    let mut loss_seed = 0u64;
+    let mut drop_releases = false;
+    let mut connect: Option<String> = None;
+    let mut decisions = false;
+    let mut map_shards: Option<usize> = None;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(format_args!("{name} needs a value")))
+        };
+        let num = |name: &str, v: String| -> f64 {
+            v.parse()
+                .unwrap_or_else(|e| fail(format_args!("bad {name}: {e}")))
+        };
+        match flag.as_str() {
+            "--shards" => {
+                shards = num("--shards", val("--shards")) as usize;
+                shards_given = true;
+            }
+            "--topo" => topo = runcfg::parse_topo(&val("--topo")),
+            "--step" => step = num("--step", val("--step")),
+            "--horizon" => horizon = num("--horizon", val("--horizon")),
+            "--seed" => seed = num("--seed", val("--seed")) as u64,
+            "--interarrival" => interarrival = num("--interarrival", val("--interarrival")),
+            "--cross" => cross = num("--cross", val("--cross")),
+            "--loss" => loss = num("--loss", val("--loss")),
+            "--loss-seed" => loss_seed = num("--loss-seed", val("--loss-seed")) as u64,
+            "--drop-releases" => drop_releases = true,
+            "--connect" => connect = Some(val("--connect")),
+            "--decisions" => decisions = true,
+            "--map" => map_shards = Some(num("--map", val("--map")) as usize),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gridband cluster [--shards N] [--topo paper|grid5000|MxNxCAP]
+                        [--step S] [--horizon S] [--seed N] [--interarrival S]
+                        [--cross F] [--loss P] [--loss-seed N] [--drop-releases]
+                        [--connect H:P,H:P,...] [--decisions]
+
+Generates a workload, steers a --cross fraction of it across the shard
+cut (the rest stays partition-respecting), and routes it through a
+topology-sharded cluster: single-shard submissions are forwarded whole,
+cross-shard ones run the two-phase hold/commit protocol. By default the
+shards are in-process engines and every shard's ledger is checked for
+conservation (no port over-commit, no orphaned hold) after the run;
+with --connect the router drives real `gridband serve --shard-of I/N`
+daemons instead (one address per shard, in shard order).
+
+--loss drops each prepare leg with probability P (seeded by
+--loss-seed); --drop-releases extends the loss to release legs, leaving
+orphaned holds for the shard-side expiry sweep. --decisions prints one
+line per request (sorted by id) for diffing runs against each other,
+e.g. a 4-shard cluster against --shards 1. For such a diff, pin the
+workload with --map N: the trace is remapped against an N-shard map no
+matter how many shards actually run it, so both runs see the same
+requests (`--shards 1 --map 4 --cross 0` is the solo baseline of a
+partition-respecting 4-shard run)."
+                );
+                std::process::exit(0);
+            }
+            other => fail(format_args!("unknown cluster flag {other}")),
+        }
+    }
+    if let Some(c) = &connect {
+        let n = c.split(',').filter(|a| !a.is_empty()).count();
+        if shards_given && n != shards {
+            fail(format_args!(
+                "--connect lists {n} shard addresses but --shards says {shards}"
+            ));
+        }
+        shards = n;
+    }
+    if shards == 0 {
+        fail(format_args!("a cluster needs at least one shard"));
+    }
+
+    // Workload: remap each request's egress so that an exact --cross
+    // fraction (deterministically chosen) straddles the shard cut.
+    // --map pins the cut the workload is built against, so runs with
+    // different live shard counts can share one trace.
+    let wl_shards = map_shards.unwrap_or(shards);
+    let map = ShardMap::new(&topo, wl_shards);
+    let base = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(horizon)
+        .seed(seed)
+        .build();
+    let n_egress = topo.num_egress() as u32;
+    let requests: Vec<Request> = base
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let shard = map.ingress_owner(r.route.ingress.0);
+            let want_cross =
+                wl_shards > 1 && (i.wrapping_mul(2_654_435_761) % 1000) as f64 / 1000.0 < cross;
+            let pool: Vec<u32> = (0..n_egress)
+                .filter(|&e| (map.egress_owner(e) == shard) != want_cross)
+                .collect();
+            let egress = if pool.is_empty() {
+                r.route.egress.0
+            } else {
+                pool[(r.id.0 as usize) % pool.len()]
+            };
+            Request::new(
+                r.id.0,
+                gridband_net::Route::new(r.route.ingress.0, egress),
+                r.window,
+                r.volume,
+                r.max_rate,
+            )
+        })
+        .collect();
+    let trace = gridband_workload::Trace::new(requests);
+    let submit = |r: &Request| SubmitReq {
+        id: r.id.0,
+        ingress: r.route.ingress.0,
+        egress: r.route.egress.0,
+        volume: r.volume,
+        max_rate: r.max_rate,
+        start: Some(r.start()),
+        deadline: Some(r.finish()),
+    };
+    let flush = trace.iter().map(|r| r.finish()).fold(0.0f64, f64::max);
+
+    let mut cfg = ClusterConfig::new(topo.clone(), shards);
+    cfg.step = step;
+    cfg.queue_capacity = trace.len() + 16;
+    cfg.loss = loss;
+    cfg.loss_seed = loss_seed;
+    cfg.drop_releases = drop_releases;
+
+    let or_die = |r: Result<(), String>| r.unwrap_or_else(|e| fail(format_args!("{e}")));
+    let (report, violations) = if let Some(c) = &connect {
+        let links: Vec<TcpShardLink> = c
+            .split(',')
+            .filter(|a| !a.is_empty())
+            .map(|a| TcpShardLink::connect(a).unwrap_or_else(|e| fail(format_args!("{e}"))))
+            .collect();
+        let mut cl = Cluster::new(
+            ShardMap::new(&topo, shards),
+            links,
+            LossSchedule::new(loss, loss_seed),
+            drop_releases,
+        );
+        for r in trace.iter() {
+            or_die(cl.submit(submit(r)));
+        }
+        or_die(cl.advance_to(flush + cfg.hold_timeout + 2.0 * step));
+        let report = cl.finish().unwrap_or_else(|e| fail(format_args!("{e}")));
+        (report, Vec::new())
+    } else {
+        let engines = EngineShards::spawn(&cfg);
+        let mut cl = Cluster::in_process(&cfg, &engines);
+        for r in trace.iter() {
+            or_die(cl.submit(submit(r)));
+        }
+        // Advance past every window plus the hold timeout so the expiry
+        // sweep has reclaimed anything a lost release orphaned.
+        or_die(cl.advance_to(flush + cfg.hold_timeout + 2.0 * step));
+        let mut violations = Vec::new();
+        for s in 0..engines.len() {
+            violations.extend(conservation_violations(&engines.export(s), &topo));
+        }
+        let report = cl.finish().unwrap_or_else(|e| fail(format_args!("{e}")));
+        engines.shutdown();
+        (report, violations)
+    };
+
+    let granted = report
+        .decisions
+        .values()
+        .filter(|d| matches!(d, Decision::Granted { .. }))
+        .count();
+    eprintln!(
+        "cluster: {shards} shards, {} requests — {granted} granted ({} cross), {} denied, {} timed out",
+        trace.len(),
+        report.cross_grants,
+        report.decisions.len() - granted - report.timeouts as usize,
+        report.timeouts,
+    );
+    eprintln!(
+        "routing: {} single-shard, {} cross-shard; protocol legs dropped: {}",
+        report.singles, report.crosses, report.dropped_legs
+    );
+    if decisions {
+        for (id, d) in &report.decisions {
+            match d {
+                Decision::Granted { bw, start, finish } => {
+                    println!("{id} granted {bw} {start} {finish}")
+                }
+                Decision::Denied(reason) => println!("{id} denied {reason:?}"),
+                Decision::TimedOut => println!("{id} timeout"),
+            }
+        }
+    }
+    for v in &violations {
+        eprintln!("CONSERVATION VIOLATION: {v}");
+    }
+    if connect.is_none() {
+        eprintln!(
+            "conservation: {}",
+            if violations.is_empty() {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,65 @@
+//! `gridband-cluster`: a topology-sharded multi-primary cluster.
+//!
+//! One reservation engine scales a long way, but a grid's ports are
+//! naturally partitionable: a request touches exactly its ingress and
+//! its egress port, so contiguous blocks of ports can be owned by
+//! independent shard primaries — each a full `gridband-serve` engine
+//! with its own WAL and (optionally) its own hot standby. This crate
+//! adds the missing piece, the router in front:
+//!
+//! * [`ShardMap`] — static, arithmetic port ownership ([`Placement`]
+//!   classifies each route as single- or cross-shard);
+//! * [`Cluster`] — the router: single-shard submissions are forwarded
+//!   verbatim and decided by the owning shard's admission rounds
+//!   (bit-identical to a solo daemon on partition-respecting
+//!   workloads); cross-shard submissions run §5.4's two-phase
+//!   hold/commit as a real inter-node protocol, coordinated by the
+//!   sans-IO `HoldTxn` machine shared with `gridband-control`;
+//! * [`ShardLink`] — the transport seam: [`EngineLink`] drives
+//!   in-process engines (tests, bench), [`TcpShardLink`] drives real
+//!   `gridband serve --shard-of` daemons over the JSON-lines protocol;
+//! * [`LossSchedule`] — seeded loss on the prepare legs, so the safety
+//!   claims are tested under the failures that matter;
+//! * [`conservation_violations`] — the checker behind those claims: no
+//!   port over-commit, no uncommitted hold outliving its expiry.
+//!
+//! ```
+//! use gridband_cluster::{Cluster, ClusterConfig, EngineShards};
+//! use gridband_net::Topology;
+//! use gridband_serve::SubmitReq;
+//!
+//! let cfg = ClusterConfig::new(Topology::uniform(4, 4, 100.0), 2);
+//! let shards = EngineShards::spawn(&cfg);
+//! let mut cluster = Cluster::in_process(&cfg, &shards);
+//! // Ingress 0 and egress 3 are owned by different shards: this runs
+//! // the two-phase protocol. Ingress 0 → egress 1 would stay local.
+//! cluster
+//!     .submit(SubmitReq {
+//!         id: 1,
+//!         ingress: 0,
+//!         egress: 3,
+//!         volume: 500.0,
+//!         max_rate: 50.0,
+//!         start: Some(0.0),
+//!         deadline: Some(100.0),
+//!     })
+//!     .unwrap();
+//! let report = cluster.finish().unwrap();
+//! assert_eq!(report.crosses, 1);
+//! assert_eq!(report.cross_grants, 1);
+//! shards.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod loss;
+pub mod router;
+pub mod shard;
+
+pub use link::{EngineLink, ShardLink, TcpShardLink};
+pub use loss::LossSchedule;
+pub use router::{
+    conservation_violations, Cluster, ClusterConfig, ClusterReport, Decision, EngineShards,
+};
+pub use shard::{Placement, ShardMap};

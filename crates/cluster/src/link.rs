@@ -1,0 +1,240 @@
+//! Transport between the cluster router and a shard primary.
+//!
+//! The router's protocol logic ([`crate::Cluster`]) is transport-blind:
+//! it forwards submissions fire-and-forget, issues one blocking hold
+//! call at a time, and collects round decisions as they arrive. This
+//! module owns the two transports behind that contract:
+//!
+//! * [`EngineLink`] — a command channel straight into an in-process
+//!   [`Engine`] thread (what the equivalence tests and the bench use);
+//! * [`TcpShardLink`] — the daemon's JSON-lines client protocol over a
+//!   socket (what `gridband cluster --connect` uses against real
+//!   `gridband serve --shard-of` processes).
+//!
+//! Both rely on the same ordering facts: a shard engine handles
+//! commands strictly in order and answers hold operations and `Stats`
+//! immediately, while `Submit` replies ride the same stream later, when
+//! an admission round decides them. With at most one blocking call
+//! outstanding, the first non-decision reply on the stream is therefore
+//! *the* call reply; decision replies overtaken by it are buffered, not
+//! lost.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gridband_serve::engine::Command;
+use gridband_serve::protocol::{decode_server, encode_client};
+use gridband_serve::{ClientMsg, Engine, ServerMsg};
+
+/// How long a blocking call may wait before the shard is declared dead.
+const CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Router-side handle to one shard primary.
+pub trait ShardLink {
+    /// Forward a message whose reply (if any) arrives later on the
+    /// decision stream.
+    fn send(&mut self, msg: ClientMsg) -> Result<(), String>;
+
+    /// Send a message the shard answers immediately (hold operations,
+    /// `Stats`) and block for that answer. Decision replies arriving
+    /// first are buffered for [`ShardLink::poll_decisions`].
+    fn call(&mut self, msg: ClientMsg) -> Result<ServerMsg, String>;
+
+    /// Drain buffered round decisions without blocking.
+    fn poll_decisions(&mut self) -> Result<Vec<ServerMsg>, String>;
+
+    /// Block up to `timeout` for one more decision; `None` on timeout.
+    fn recv_decision(&mut self, timeout: Duration) -> Result<Option<ServerMsg>, String>;
+}
+
+fn is_decision(msg: &ServerMsg) -> bool {
+    matches!(msg, ServerMsg::Accepted { .. } | ServerMsg::Rejected { .. })
+}
+
+// ---------------------------------------------------------------------------
+// EngineLink
+// ---------------------------------------------------------------------------
+
+/// In-process link: a clone of the engine's command sender plus one
+/// reply channel all of this link's commands answer to.
+pub struct EngineLink {
+    tx: Sender<Command>,
+    reply_tx: Sender<ServerMsg>,
+    reply_rx: Receiver<ServerMsg>,
+    buffered: VecDeque<ServerMsg>,
+}
+
+impl EngineLink {
+    /// A link into `engine`'s command queue.
+    pub fn new(engine: &Engine) -> EngineLink {
+        let (reply_tx, reply_rx) = unbounded();
+        EngineLink {
+            tx: engine.sender(),
+            reply_tx,
+            reply_rx,
+            buffered: VecDeque::new(),
+        }
+    }
+
+    /// Point this link at a replacement engine (shard failover). The
+    /// reply channel is kept: decisions the dead engine already sent
+    /// remain readable.
+    pub fn reattach(&mut self, engine: &Engine) {
+        self.tx = engine.sender();
+    }
+
+    fn push(&mut self, msg: ClientMsg) -> Result<(), String> {
+        self.tx
+            .send(Command::Client {
+                msg,
+                reply: self.reply_tx.clone(),
+            })
+            .map_err(|_| "shard engine is gone".to_string())
+    }
+}
+
+impl ShardLink for EngineLink {
+    fn send(&mut self, msg: ClientMsg) -> Result<(), String> {
+        self.push(msg)
+    }
+
+    fn call(&mut self, msg: ClientMsg) -> Result<ServerMsg, String> {
+        self.push(msg)?;
+        loop {
+            match self.reply_rx.recv_timeout(CALL_TIMEOUT) {
+                Ok(reply) if is_decision(&reply) => self.buffered.push_back(reply),
+                Ok(reply) => return Ok(reply),
+                Err(_) => return Err("shard engine did not answer a hold call".to_string()),
+            }
+        }
+    }
+
+    fn poll_decisions(&mut self) -> Result<Vec<ServerMsg>, String> {
+        let mut out: Vec<ServerMsg> = self.buffered.drain(..).collect();
+        for msg in self.reply_rx.try_iter() {
+            if is_decision(&msg) {
+                out.push(msg);
+            }
+        }
+        Ok(out)
+    }
+
+    fn recv_decision(&mut self, timeout: Duration) -> Result<Option<ServerMsg>, String> {
+        if let Some(msg) = self.buffered.pop_front() {
+            return Ok(Some(msg));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.reply_rx.recv_timeout(left) {
+                Ok(msg) if is_decision(&msg) => return Ok(Some(msg)),
+                // Drain acknowledgements and other non-decisions pass by.
+                Ok(_) => continue,
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TcpShardLink
+// ---------------------------------------------------------------------------
+
+/// JSON-lines link to a `gridband serve` shard daemon.
+pub struct TcpShardLink {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    buffered: VecDeque<ServerMsg>,
+}
+
+impl TcpShardLink {
+    /// Connect to a shard daemon's client address.
+    pub fn connect(addr: &str) -> Result<TcpShardLink, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to shard {addr}: {e}"))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone shard stream: {e}"))?;
+        Ok(TcpShardLink {
+            writer,
+            reader: BufReader::new(stream),
+            buffered: VecDeque::new(),
+        })
+    }
+
+    fn read_msg(&mut self, timeout: Option<Duration>) -> Result<Option<ServerMsg>, String> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("set_read_timeout: {e}"))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("shard closed the connection".to_string()),
+            Ok(_) => decode_server(line.trim())
+                .map(Some)
+                .map_err(|e| format!("bad shard reply: {e}")),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(format!("shard read failed: {e}")),
+        }
+    }
+}
+
+impl ShardLink for TcpShardLink {
+    fn send(&mut self, msg: ClientMsg) -> Result<(), String> {
+        writeln!(self.writer, "{}", encode_client(&msg)).map_err(|e| format!("shard write: {e}"))
+    }
+
+    fn call(&mut self, msg: ClientMsg) -> Result<ServerMsg, String> {
+        self.send(msg)?;
+        let deadline = std::time::Instant::now() + CALL_TIMEOUT;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err("shard did not answer a hold call".to_string());
+            }
+            match self.read_msg(Some(left))? {
+                Some(reply) if is_decision(&reply) => self.buffered.push_back(reply),
+                Some(reply) => return Ok(reply),
+                None => continue,
+            }
+        }
+    }
+
+    fn poll_decisions(&mut self) -> Result<Vec<ServerMsg>, String> {
+        let mut out: Vec<ServerMsg> = self.buffered.drain(..).collect();
+        // A short socket poll: anything already queued by the daemon is
+        // drained, then the first timeout ends the sweep.
+        while let Some(msg) = self.read_msg(Some(Duration::from_millis(1)))? {
+            if is_decision(&msg) {
+                out.push(msg);
+            }
+        }
+        Ok(out)
+    }
+
+    fn recv_decision(&mut self, timeout: Duration) -> Result<Option<ServerMsg>, String> {
+        if let Some(msg) = self.buffered.pop_front() {
+            return Ok(Some(msg));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            match self.read_msg(Some(left))? {
+                Some(msg) if is_decision(&msg) => return Ok(Some(msg)),
+                Some(_) => continue,
+                None => return Ok(None),
+            }
+        }
+    }
+}

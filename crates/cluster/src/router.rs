@@ -1,0 +1,586 @@
+//! The cluster router: classification, forwarding, and the two-phase
+//! cross-shard admission protocol.
+//!
+//! One router instance fronts `N` shard primaries. Every submission is
+//! classified against the [`ShardMap`]:
+//!
+//! * **single-shard** — both endpoint ports owned by one shard: the
+//!   request is forwarded verbatim and decided by that shard's own
+//!   admission rounds, exactly as a solo daemon would decide it. On a
+//!   partition-respecting workload the union of shard decisions is
+//!   bit-identical to a single node's (`tests/cluster_equivalence.rs`
+//!   proves it), because requests on disjoint ports never contend.
+//! * **cross-shard** — the endpoints are owned by different shards: the
+//!   router runs §5.4's two-phase protocol as a real inter-node
+//!   exchange. The ingress shard computes the earliest max-rate window
+//!   on its port and pins it (`HoldOpen` → `HoldOpened`), the egress
+//!   shard confirms the same window on its port (`HoldAttach` →
+//!   `HoldAck`), and the router commits both halves or releases
+//!   whatever may be held. The decision logic is the shared sans-IO
+//!   [`HoldTxn`] machine — the same one `gridband-control`'s simulated
+//!   plane runs — so a lost frame resolves identically here and there:
+//!   pessimistic release, never over-commit.
+//!
+//! Every hold placement, commit, and release is a WAL record on the
+//! shard that owns the port, so crash recovery and WAL-streaming
+//! replication compose with clustering unchanged.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crossbeam::channel::bounded;
+use gridband_algos::BandwidthPolicy;
+use gridband_control::{HoldInput, HoldOutcome, HoldTxn, HoldWindow};
+use gridband_net::{IngressId, Topology};
+use gridband_serve::engine::Command;
+use gridband_serve::{
+    ClientMsg, Engine, EngineConfig, MetricsRegistry, RejectReason, Role, ServerMsg, StoreConfig,
+    SubmitReq, TimeMode,
+};
+use gridband_store::EngineSnapshot;
+
+use crate::link::{EngineLink, ShardLink};
+use crate::loss::LossSchedule;
+use crate::shard::{Placement, ShardMap};
+
+/// Sentinel transaction id for the clock-advance no-op (`HoldRelease`
+/// of a transaction no engine will ever hold).
+const CLOCK_TXN: u64 = u64::MAX;
+
+/// How long the final drain may wait per decision before the run is
+/// declared wedged.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Cluster-wide configuration for an in-process shard set.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Port topology, shared by every shard (ownership is by index).
+    pub topology: Topology,
+    /// Number of shard primaries.
+    pub shards: usize,
+    /// Admission interval `t_step` of every shard engine.
+    pub step: f64,
+    /// Bandwidth policy of every shard engine.
+    pub policy: BandwidthPolicy,
+    /// Virtual seconds an uncommitted hold survives on a shard.
+    pub hold_timeout: f64,
+    /// Per-engine command queue bound.
+    pub queue_capacity: usize,
+    /// Probability each `HoldOpen`/`HoldAttach` leg (request or reply)
+    /// is lost.
+    pub loss: f64,
+    /// Seed of the loss schedule.
+    pub loss_seed: u64,
+    /// Whether release legs are also subject to loss. Off by default —
+    /// the paper's protocol only loses prepare legs — but turning it on
+    /// orphans holds on purpose so the shard-side expiry sweep (and the
+    /// `holds_expired` counter) carries the conservation guarantee.
+    pub drop_releases: bool,
+    /// Per-shard durability; empty means all shards run in memory.
+    /// When non-empty the length must equal `shards`.
+    pub stores: Vec<Option<StoreConfig>>,
+}
+
+impl ClusterConfig {
+    /// Defaults matching [`EngineConfig::new`], lossless, in memory.
+    pub fn new(topology: Topology, shards: usize) -> ClusterConfig {
+        let base = EngineConfig::new(topology.clone());
+        ClusterConfig {
+            topology,
+            shards,
+            step: base.step,
+            policy: base.policy,
+            hold_timeout: base.hold_timeout,
+            queue_capacity: base.queue_capacity,
+            loss: 0.0,
+            loss_seed: 0,
+            drop_releases: false,
+            stores: Vec::new(),
+        }
+    }
+
+    /// The engine configuration shard `s` runs.
+    pub fn engine_config(&self, s: usize) -> EngineConfig {
+        let mut cfg = EngineConfig::new(self.topology.clone());
+        cfg.step = self.step;
+        cfg.policy = self.policy;
+        cfg.mode = TimeMode::Virtual;
+        cfg.queue_capacity = self.queue_capacity;
+        cfg.hold_timeout = self.hold_timeout;
+        cfg.role = Role::Shard;
+        cfg.store = self.stores.get(s).cloned().flatten();
+        cfg
+    }
+}
+
+/// The set of in-process shard engines a router fronts.
+pub struct EngineShards {
+    engines: Vec<Engine>,
+}
+
+impl EngineShards {
+    /// Spawn one engine per shard.
+    pub fn spawn(cfg: &ClusterConfig) -> EngineShards {
+        assert!(
+            cfg.stores.is_empty() || cfg.stores.len() == cfg.shards,
+            "stores must be empty or one per shard"
+        );
+        let engines = (0..cfg.shards)
+            .map(|s| Engine::spawn(cfg.engine_config(s)))
+            .collect();
+        EngineShards { engines }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the set is empty (it never is for a spawned cluster).
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The shard engines' handles.
+    pub fn engine(&self, s: usize) -> &Engine {
+        &self.engines[s]
+    }
+
+    /// One router link per shard.
+    pub fn links(&self) -> Vec<EngineLink> {
+        self.engines.iter().map(EngineLink::new).collect()
+    }
+
+    /// Metrics registry of shard `s`.
+    pub fn metrics(&self, s: usize) -> std::sync::Arc<MetricsRegistry> {
+        self.engines[s].metrics()
+    }
+
+    /// Durable-state snapshot of shard `s` (what its next WAL snapshot
+    /// would hold).
+    pub fn export(&self, s: usize) -> EngineSnapshot {
+        let (tx, rx) = bounded(1);
+        self.engines[s]
+            .sender()
+            .send(Command::Export { reply: tx })
+            .expect("shard engine is gone");
+        rx.recv_timeout(DRAIN_TIMEOUT).expect("export reply")
+    }
+
+    /// Replace shard `s`'s engine (failover: the caller killed the old
+    /// primary and recovered a successor from its WAL or a standby's
+    /// mirror). Returns the old handle so the caller controls how it
+    /// dies.
+    pub fn replace(&mut self, s: usize, engine: Engine) -> Engine {
+        std::mem::replace(&mut self.engines[s], engine)
+    }
+
+    /// Drain and stop every shard engine.
+    pub fn shutdown(self) {
+        for e in self.engines {
+            e.shutdown();
+        }
+    }
+}
+
+/// The router's verdict on one submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Admitted with this constant-bandwidth window.
+    Granted {
+        /// Bandwidth (MB/s).
+        bw: f64,
+        /// Start (virtual seconds).
+        start: f64,
+        /// Finish (virtual seconds).
+        finish: f64,
+    },
+    /// Refused by a shard (or by the egress half of a cross-shard
+    /// attach).
+    Denied(RejectReason),
+    /// A cross-shard protocol leg was lost and the transaction resolved
+    /// by timeout: rejected pessimistically, all possibly-live holds
+    /// ordered released.
+    TimedOut,
+}
+
+/// What a finished cluster run decided, plus protocol counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Final decision per request id.
+    pub decisions: BTreeMap<u64, Decision>,
+    /// Submissions decided by a single shard.
+    pub singles: u64,
+    /// Submissions that ran the cross-shard protocol.
+    pub crosses: u64,
+    /// Cross-shard transactions that committed.
+    pub cross_grants: u64,
+    /// Cross-shard transactions resolved by timeout.
+    pub timeouts: u64,
+    /// Protocol legs the loss schedule dropped.
+    pub dropped_legs: u64,
+}
+
+/// The router. Generic over the shard transport: tests and the bench
+/// run it over [`EngineLink`]s, `gridband cluster --connect` over
+/// [`crate::TcpShardLink`]s.
+pub struct Cluster<L: ShardLink> {
+    map: ShardMap,
+    links: Vec<L>,
+    loss: LossSchedule,
+    drop_releases: bool,
+    /// Router-side virtual clock: the latest submission start seen,
+    /// stamped onto cross-shard protocol messages as `at`.
+    clock: f64,
+    /// Forwarded single-shard submissions per shard, in arrival order,
+    /// kept until decided (failover resubmits the undecided tail).
+    forwarded: Vec<Vec<SubmitReq>>,
+    decisions: BTreeMap<u64, Decision>,
+    singles: u64,
+    crosses: u64,
+    cross_grants: u64,
+    timeouts: u64,
+}
+
+impl Cluster<EngineLink> {
+    /// A router over an in-process shard set.
+    pub fn in_process(cfg: &ClusterConfig, shards: &EngineShards) -> Cluster<EngineLink> {
+        Cluster::new(
+            ShardMap::new(&cfg.topology, cfg.shards),
+            shards.links(),
+            LossSchedule::new(cfg.loss, cfg.loss_seed),
+            cfg.drop_releases,
+        )
+    }
+
+    /// Swap the link of shard `s` onto a replacement engine and resubmit
+    /// every forwarded submission the dead primary never decided, in
+    /// original arrival order. Decisions the old primary already sent
+    /// are kept (its WAL made them durable before any reply went out,
+    /// so the successor recovered them too and would reject a resubmit
+    /// as a duplicate).
+    pub fn failover(&mut self, s: usize, engine: &Engine) -> Result<(), String> {
+        self.collect_ready()?;
+        self.links[s].reattach(engine);
+        let undecided: Vec<SubmitReq> = self.forwarded[s]
+            .iter()
+            .filter(|r| !self.decisions.contains_key(&r.id))
+            .cloned()
+            .collect();
+        for req in undecided {
+            self.links[s].send(ClientMsg::Submit(req))?;
+        }
+        Ok(())
+    }
+}
+
+impl<L: ShardLink> Cluster<L> {
+    /// A router over arbitrary shard links. `links.len()` must equal
+    /// the map's shard count.
+    pub fn new(
+        map: ShardMap,
+        links: Vec<L>,
+        loss: LossSchedule,
+        drop_releases: bool,
+    ) -> Cluster<L> {
+        assert_eq!(links.len(), map.shards(), "one link per shard");
+        let forwarded = (0..links.len()).map(|_| Vec::new()).collect();
+        Cluster {
+            map,
+            links,
+            loss,
+            drop_releases,
+            clock: 0.0,
+            forwarded,
+            decisions: BTreeMap::new(),
+            singles: 0,
+            crosses: 0,
+            cross_grants: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// The map this router classifies against.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Route one submission: forward it whole or run the two-phase
+    /// protocol, depending on where its ports live.
+    pub fn submit(&mut self, req: SubmitReq) -> Result<(), String> {
+        if let Some(start) = req.start {
+            if start.is_finite() {
+                self.clock = self.clock.max(start);
+            }
+        }
+        match self.map.placement(req.ingress, req.egress) {
+            Placement::Single(s) => {
+                self.singles += 1;
+                self.links[s].send(ClientMsg::Submit(req.clone()))?;
+                self.forwarded[s].push(req);
+                // Keep the reply buffers small on long workloads.
+                self.collect_shard(s)?;
+                Ok(())
+            }
+            Placement::Cross { ingress, egress } => self.two_phase(req, ingress, egress),
+        }
+    }
+
+    /// §5.4 as an inter-node protocol. The router is the coordinator;
+    /// the sans-IO [`HoldTxn`] machine decides what every reply, denial,
+    /// or lost leg means, and this method only moves messages.
+    fn two_phase(&mut self, req: SubmitReq, a: usize, b: usize) -> Result<(), String> {
+        let txn = req.id;
+        let at = self.clock;
+        self.crosses += 1;
+        let mut fsm = HoldTxn::new();
+        let mut deny = None;
+
+        // Leg 1: prepare the ingress half. Loss can eat the request
+        // (nothing held) or the reply (the ingress holds, we never
+        // learn the window) — the machine treats both as Timeout.
+        let opened = if self.loss.drop_next() {
+            None
+        } else {
+            let reply = self.links[a].call(ClientMsg::HoldOpen(req.clone()))?;
+            if self.loss.drop_next() {
+                None
+            } else {
+                Some(reply)
+            }
+        };
+        let input = match opened {
+            Some(ServerMsg::HoldOpened {
+                bw, start, finish, ..
+            }) => HoldInput::Opened(HoldWindow { bw, start, finish }),
+            Some(ServerMsg::HoldDenied { reason, .. }) => {
+                deny = Some(reason);
+                HoldInput::OpenDenied
+            }
+            Some(other) => return Err(format!("shard {a}: unexpected HoldOpen reply {other:?}")),
+            None => HoldInput::Timeout,
+        };
+
+        let decision = match fsm.on(input) {
+            HoldOutcome::Attach(w) => self.attach_phase(&mut fsm, txn, req.egress, w, at, a, b)?,
+            HoldOutcome::Reject => Decision::Denied(deny.unwrap_or(RejectReason::Invalid)),
+            HoldOutcome::Release { egress_may_hold } => {
+                debug_assert!(!egress_may_hold, "no attach was ever sent");
+                self.release(a, txn, at)?;
+                self.timeouts += 1;
+                Decision::TimedOut
+            }
+            HoldOutcome::Commit(_) | HoldOutcome::Stale => unreachable!("first input"),
+        };
+        self.decisions.insert(txn, decision);
+        Ok(())
+    }
+
+    /// Leg 2 and resolution: attach the egress half, then commit both
+    /// or release whatever may be held.
+    #[allow(clippy::too_many_arguments)]
+    fn attach_phase(
+        &mut self,
+        fsm: &mut HoldTxn,
+        txn: u64,
+        egress: u32,
+        w: HoldWindow,
+        at: f64,
+        a: usize,
+        b: usize,
+    ) -> Result<Decision, String> {
+        let acked = if self.loss.drop_next() {
+            None
+        } else {
+            let reply = self.links[b].call(ClientMsg::HoldAttach {
+                txn,
+                egress,
+                bw: w.bw,
+                start: w.start,
+                finish: w.finish,
+                at,
+            })?;
+            if self.loss.drop_next() {
+                None
+            } else {
+                Some(reply)
+            }
+        };
+        let input = match acked {
+            Some(ServerMsg::HoldAck { ok, .. }) => HoldInput::Ack { granted: ok },
+            Some(ServerMsg::HoldDenied { .. }) => HoldInput::Ack { granted: false },
+            Some(other) => return Err(format!("shard {b}: unexpected HoldAttach reply {other:?}")),
+            None => HoldInput::Timeout,
+        };
+        let timed_out = input == HoldInput::Timeout;
+        match fsm.on(input) {
+            HoldOutcome::Commit(w) => {
+                // Commit legs are reliable: the grant is already
+                // promised to the client once both holds exist, so a
+                // coordinator retries commits until they land — modeled
+                // here as loss-exempt delivery.
+                let _ = self.links[a].call(ClientMsg::HoldCommit { txn, at })?;
+                let _ = self.links[b].call(ClientMsg::HoldCommit { txn, at })?;
+                self.cross_grants += 1;
+                Ok(Decision::Granted {
+                    bw: w.bw,
+                    start: w.start,
+                    finish: w.finish,
+                })
+            }
+            HoldOutcome::Release { egress_may_hold } => {
+                self.release(a, txn, at)?;
+                if egress_may_hold {
+                    self.release(b, txn, at)?;
+                }
+                if timed_out {
+                    self.timeouts += 1;
+                    Ok(Decision::TimedOut)
+                } else {
+                    Ok(Decision::Denied(RejectReason::Saturated))
+                }
+            }
+            HoldOutcome::Attach(_) | HoldOutcome::Reject | HoldOutcome::Stale => {
+                unreachable!("second input")
+            }
+        }
+    }
+
+    /// Release a possibly-held half. A release for a hold the shard
+    /// never placed (or already swept) acks `false`, which is fine;
+    /// with `drop_releases` the leg itself may vanish, leaving the
+    /// shard's expiry sweep to reclaim the hold.
+    fn release(&mut self, shard: usize, txn: u64, at: f64) -> Result<(), String> {
+        if self.drop_releases && self.loss.drop_next() {
+            return Ok(());
+        }
+        let _ = self.links[shard].call(ClientMsg::HoldRelease { txn, at })?;
+        Ok(())
+    }
+
+    /// Push every shard's virtual clock to `t`: rounds fire, pending
+    /// work is decided, expired holds are swept — exactly what a
+    /// later submission arriving at `t` would trigger, minus the
+    /// submission. (A `HoldRelease` of a transaction nobody holds is
+    /// the protocol's no-op; its `at` still advances the clock.)
+    pub fn advance_to(&mut self, t: f64) -> Result<(), String> {
+        self.clock = self.clock.max(t);
+        for s in 0..self.links.len() {
+            let _ = self.links[s].call(ClientMsg::HoldRelease {
+                txn: CLOCK_TXN,
+                at: t,
+            })?;
+        }
+        self.collect_ready()
+    }
+
+    fn record(&mut self, msg: ServerMsg) {
+        match msg {
+            ServerMsg::Accepted {
+                id,
+                bw,
+                start,
+                finish,
+            } => {
+                self.decisions
+                    .insert(id, Decision::Granted { bw, start, finish });
+            }
+            ServerMsg::Rejected { id, reason, .. } => {
+                self.decisions.insert(id, Decision::Denied(reason));
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_shard(&mut self, s: usize) -> Result<(), String> {
+        for msg in self.links[s].poll_decisions()? {
+            self.record(msg);
+        }
+        Ok(())
+    }
+
+    /// Sweep decisions that have already arrived, without blocking.
+    pub fn collect_ready(&mut self) -> Result<(), String> {
+        for s in 0..self.links.len() {
+            self.collect_shard(s)?;
+        }
+        Ok(())
+    }
+
+    /// Drain every shard (one final round decides all pending
+    /// submissions), wait for every forwarded submission's decision,
+    /// and report.
+    pub fn finish(mut self) -> Result<ClusterReport, String> {
+        for link in &mut self.links {
+            link.send(ClientMsg::Drain)?;
+        }
+        self.collect_ready()?;
+        for s in 0..self.links.len() {
+            while self.forwarded[s]
+                .iter()
+                .any(|r| !self.decisions.contains_key(&r.id))
+            {
+                match self.links[s].recv_decision(DRAIN_TIMEOUT)? {
+                    Some(msg) => self.record(msg),
+                    None => {
+                        return Err(format!(
+                            "shard {s} never decided {} forwarded submissions",
+                            self.forwarded[s]
+                                .iter()
+                                .filter(|r| !self.decisions.contains_key(&r.id))
+                                .count()
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(ClusterReport {
+            decisions: self.decisions,
+            singles: self.singles,
+            crosses: self.crosses,
+            cross_grants: self.cross_grants,
+            timeouts: self.timeouts,
+            dropped_legs: self.loss.dropped(),
+        })
+    }
+}
+
+/// Check a shard snapshot for the two invariants the cross-shard
+/// protocol must preserve no matter what was lost in flight: no port's
+/// capacity profile above its limit, and no uncommitted hold alive past
+/// its expiry. Returns human-readable violations (empty = clean).
+pub fn conservation_violations(snap: &EngineSnapshot, topo: &Topology) -> Vec<String> {
+    let mut out = Vec::new();
+    let eps = 1e-9;
+    for (i, prof) in snap.ledger.ingress.iter().enumerate() {
+        let cap = topo.ingress_cap(IngressId(i as u32));
+        for bp in prof.breakpoints() {
+            if bp.alloc > cap + eps {
+                out.push(format!(
+                    "ingress {i} over-committed: {} > {cap} at t={}",
+                    bp.alloc, bp.time
+                ));
+            }
+        }
+    }
+    for (e, prof) in snap.ledger.egress.iter().enumerate() {
+        let cap = topo.egress_cap(gridband_net::EgressId(e as u32));
+        for bp in prof.breakpoints() {
+            if bp.alloc > cap + eps {
+                out.push(format!(
+                    "egress {e} over-committed: {} > {cap} at t={}",
+                    bp.alloc, bp.time
+                ));
+            }
+        }
+    }
+    for h in &snap.holds {
+        if !h.committed && h.expires <= snap.now {
+            out.push(format!(
+                "uncommitted hold txn {} outlived its expiry ({} <= now {})",
+                h.txn, h.expires, snap.now
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,166 @@
+//! Static port-ownership sharding of a topology.
+//!
+//! The coupling constraint of the paper ties a request to exactly its
+//! two endpoint ports, so a topology splits cleanly along port lines:
+//! give each shard primary a contiguous block of ingress ports and a
+//! contiguous block of egress ports, and a request whose two endpoints
+//! land on one shard can be decided entirely locally — the other shards
+//! cannot see, let alone contend for, its ports. Only requests whose
+//! ingress and egress are owned by *different* shards need coordination
+//! (the two-phase hold/commit protocol in [`crate::Cluster`]).
+
+use gridband_net::{Route, Topology};
+
+/// Where a request's two endpoint ports live relative to a shard map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Both ports are owned by this shard: forward the submission
+    /// verbatim and let the shard's engine decide it in its own rounds.
+    Single(usize),
+    /// The endpoints are owned by different shards: the router must run
+    /// the two-phase hold/commit protocol across both.
+    Cross {
+        /// Shard owning the ingress port.
+        ingress: usize,
+        /// Shard owning the egress port.
+        egress: usize,
+    },
+}
+
+/// Deterministic block partition of a topology's ports over `shards`
+/// primaries.
+///
+/// Ports are split into contiguous blocks of `ceil(n / shards)`: port
+/// `p` is owned by `min(p / ceil(n / shards), shards - 1)`. The rule is
+/// pure arithmetic — every router and every test computes the same
+/// ownership with no shared state, which is what makes the sharding
+/// *static*: no rebalancing, no ownership handoff, no config epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    num_ingress: usize,
+    num_egress: usize,
+}
+
+impl ShardMap {
+    /// Split `topo`'s ports over `shards` primaries (`shards >= 1`).
+    ///
+    /// More shards than ports on a side leaves the tail shards without
+    /// ports on that side; that is legal (they simply never own a
+    /// single-shard request) but usually a configuration smell, so it
+    /// is allowed rather than asserted away.
+    pub fn new(topo: &Topology, shards: usize) -> ShardMap {
+        assert!(shards >= 1, "a cluster needs at least one shard");
+        ShardMap {
+            shards,
+            num_ingress: topo.num_ingress(),
+            num_egress: topo.num_egress(),
+        }
+    }
+
+    /// Number of shards in the map.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn owner(port: usize, ports: usize, shards: usize) -> usize {
+        assert!(port < ports, "port {port} outside topology ({ports})");
+        let block = ports.div_ceil(shards);
+        (port / block).min(shards - 1)
+    }
+
+    /// Shard owning ingress port `port`.
+    pub fn ingress_owner(&self, port: u32) -> usize {
+        Self::owner(port as usize, self.num_ingress, self.shards)
+    }
+
+    /// Shard owning egress port `port`.
+    pub fn egress_owner(&self, port: u32) -> usize {
+        Self::owner(port as usize, self.num_egress, self.shards)
+    }
+
+    /// Classify a route against this map.
+    pub fn placement(&self, ingress: u32, egress: u32) -> Placement {
+        let i = self.ingress_owner(ingress);
+        let e = self.egress_owner(egress);
+        if i == e {
+            Placement::Single(i)
+        } else {
+            Placement::Cross {
+                ingress: i,
+                egress: e,
+            }
+        }
+    }
+
+    /// Whether a route is decided by one shard alone.
+    pub fn respects(&self, route: Route) -> bool {
+        matches!(
+            self.placement(route.ingress.0, route.egress.0),
+            Placement::Single(_)
+        )
+    }
+
+    /// Ingress ports owned by `shard`, ascending.
+    pub fn ingress_ports(&self, shard: usize) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_ingress as u32).filter(move |&p| self.ingress_owner(p) == shard)
+    }
+
+    /// Egress ports owned by `shard`, ascending.
+    pub fn egress_ports(&self, shard: usize) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_egress as u32).filter(move |&p| self.egress_owner(p) == shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let topo = Topology::uniform(4, 6, 100.0);
+        let map = ShardMap::new(&topo, 1);
+        for i in 0..4 {
+            for e in 0..6 {
+                assert_eq!(map.placement(i, e), Placement::Single(0));
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_cover_all_ports() {
+        let topo = Topology::uniform(5, 5, 100.0);
+        let map = ShardMap::new(&topo, 2);
+        // ceil(5/2) = 3: shard 0 owns ports 0..3, shard 1 owns 3..5.
+        assert_eq!(
+            (0..5u32).map(|p| map.ingress_owner(p)).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1, 1]
+        );
+        assert_eq!(map.placement(0, 0), Placement::Single(0));
+        assert_eq!(map.placement(4, 4), Placement::Single(1));
+        assert_eq!(
+            map.placement(0, 4),
+            Placement::Cross {
+                ingress: 0,
+                egress: 1
+            }
+        );
+    }
+
+    #[test]
+    fn more_shards_than_ports_leaves_tail_shards_empty() {
+        let topo = Topology::uniform(2, 2, 100.0);
+        let map = ShardMap::new(&topo, 4);
+        assert_eq!(map.ingress_owner(0), 0);
+        assert_eq!(map.ingress_owner(1), 1);
+        assert_eq!(map.ingress_ports(3).count(), 0);
+        assert_eq!(map.egress_ports(2).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_port_panics() {
+        let topo = Topology::uniform(2, 2, 100.0);
+        ShardMap::new(&topo, 2).ingress_owner(2);
+    }
+}

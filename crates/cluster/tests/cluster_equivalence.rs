@@ -1,0 +1,426 @@
+//! The cluster's three safety claims, end to end against real engines.
+//!
+//! (a) **Partition-respecting bit-identity**: when every request's two
+//!     ports live on one shard, the union of shard decisions is exactly
+//!     — same accepted set, same `(bw, start, finish)` to the bit —
+//!     what the offline `Simulation` + WINDOW run decides, and every
+//!     owned port's capacity profile matches a single-node cluster run
+//!     breakpoint for breakpoint.
+//! (b) **Conservation under loss**: with prepare legs (and optionally
+//!     release legs) dropped by a seeded schedule, no shard ever
+//!     over-commits a port and no uncommitted hold outlives its expiry
+//!     — lost transactions resolve by pessimistic release or by the
+//!     shard-side expiry sweep, never by a dangling reservation.
+//! (c) **Failover transparency**: killing one shard primary mid-workload
+//!     and promoting an engine recovered from its WAL-streamed mirror
+//!     yields exactly the decisions of an uninterrupted cluster run.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use gridband_algos::{BandwidthPolicy, WindowScheduler};
+use gridband_cluster::{
+    conservation_violations, Cluster, ClusterConfig, ClusterReport, Decision, EngineShards,
+    ShardMap,
+};
+use gridband_net::{CapacityProfile, Route, Topology};
+use gridband_replica::{encode_frame, FollowerConfig, FollowerCore, ShipperConfig, ShipperCore};
+use gridband_serve::{Engine, FsyncPolicy, MemDir, MetricsRegistry, StoreConfig, SubmitReq};
+use gridband_sim::Simulation;
+use gridband_store::EngineSnapshot;
+use gridband_workload::{Dist, Request, Trace, WorkloadBuilder};
+
+const STEP: f64 = 50.0;
+const HISTORY: usize = 1 << 20;
+
+fn topology() -> Topology {
+    // 8×8 so shard counts 2 and 4 split the port range evenly.
+    Topology::uniform(8, 8, 100.0)
+}
+
+fn build_trace(seed: u64) -> Trace {
+    WorkloadBuilder::new(topology())
+        .mean_interarrival(1.0)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(300.0)
+        .seed(seed)
+        .build()
+}
+
+/// Remap every request's egress onto a port owned by the same shard as
+/// its ingress: the workload becomes partition-respecting by
+/// construction while keeping its arrival order, windows, and volumes.
+fn remap_partition(trace: &Trace, map: &ShardMap) -> Trace {
+    let requests = trace
+        .iter()
+        .map(|r| {
+            let shard = map.ingress_owner(r.route.ingress.0);
+            let owned: Vec<u32> = map.egress_ports(shard).collect();
+            assert!(!owned.is_empty(), "shard {shard} owns no egress ports");
+            let egress = owned[(r.id.0 as usize) % owned.len()];
+            Request::new(
+                r.id.0,
+                Route::new(r.route.ingress.0, egress),
+                r.window,
+                r.volume,
+                r.max_rate,
+            )
+        })
+        .collect();
+    Trace::new(requests)
+}
+
+fn to_req(r: &Request) -> SubmitReq {
+    SubmitReq {
+        id: r.id.0,
+        ingress: r.route.ingress.0,
+        egress: r.route.egress.0,
+        volume: r.volume,
+        max_rate: r.max_rate,
+        start: Some(r.start()),
+        deadline: Some(r.finish()),
+    }
+}
+
+fn cluster_config(shards: usize, trace_len: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(topology(), shards);
+    cfg.step = STEP;
+    cfg.queue_capacity = trace_len + 16;
+    cfg
+}
+
+/// Feed a trace through a fresh in-process cluster, advance every shard
+/// clock to `t_cmp`, snapshot each shard, then drain and report.
+fn run_cluster(
+    trace: &Trace,
+    cfg: &ClusterConfig,
+    t_cmp: f64,
+) -> (ClusterReport, Vec<EngineSnapshot>) {
+    let shards = EngineShards::spawn(cfg);
+    let mut cluster = Cluster::in_process(cfg, &shards);
+    for r in trace.iter() {
+        cluster.submit(to_req(r)).expect("submit");
+    }
+    cluster.advance_to(t_cmp).expect("advance");
+    let snaps = (0..shards.len()).map(|s| shards.export(s)).collect();
+    let report = cluster.finish().expect("finish");
+    shards.shutdown();
+    (report, snaps)
+}
+
+fn breakpoints(p: &CapacityProfile) -> Vec<(f64, f64)> {
+    p.breakpoints().iter().map(|b| (b.time, b.alloc)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// (a) Partition-respecting workloads are bit-identical to a single node.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn partition_respecting_cluster_matches_single_node() {
+    let topo = topology();
+    for seed in [11u64, 12, 13] {
+        for shards in [2usize, 4] {
+            let map = ShardMap::new(&topo, shards);
+            let trace = remap_partition(&build_trace(seed), &map);
+            assert!(trace.len() > 100, "workload too small to be meaningful");
+            let t_cmp = trace.iter().map(|r| r.start()).fold(0.0f64, f64::max) + 2.0 * STEP;
+
+            let offline = Simulation::new(topo.clone()).run(
+                &trace,
+                &mut WindowScheduler::new(STEP, BandwidthPolicy::MAX_RATE),
+            );
+            assert!(!offline.assignments.is_empty(), "offline accepted nothing");
+            assert!(offline.accept_rate < 1.0, "offline rejected nothing");
+
+            let (report, snaps) = run_cluster(&trace, &cluster_config(shards, trace.len()), t_cmp);
+            let (solo_report, solo_snaps) =
+                run_cluster(&trace, &cluster_config(1, trace.len()), t_cmp);
+
+            // Every submission stayed on one shard.
+            assert_eq!(report.crosses, 0, "remapped trace ran the protocol");
+            assert_eq!(report.singles as usize, trace.len());
+
+            // Decision-for-decision against the offline WINDOW run,
+            // exact to the bit.
+            for a in &offline.assignments {
+                match report.decisions.get(&a.id.0) {
+                    Some(Decision::Granted { bw, start, finish }) => assert!(
+                        *bw == a.bw && *start == a.start && *finish == a.finish,
+                        "seed {seed} shards {shards} request {}: cluster gave \
+                         ({bw}, {start}, {finish}), offline ({}, {}, {})",
+                        a.id.0,
+                        a.bw,
+                        a.start,
+                        a.finish
+                    ),
+                    other => panic!(
+                        "seed {seed} shards {shards} request {}: accepted offline, \
+                         cluster said {other:?}",
+                        a.id.0
+                    ),
+                }
+            }
+            let accepted: std::collections::BTreeSet<u64> =
+                offline.assignments.iter().map(|a| a.id.0).collect();
+            for r in trace.iter() {
+                if !accepted.contains(&r.id.0) {
+                    assert!(
+                        matches!(report.decisions.get(&r.id.0), Some(Decision::Denied(_))),
+                        "seed {seed} shards {shards} request {}: rejected offline, \
+                         cluster said {:?}",
+                        r.id.0,
+                        report.decisions.get(&r.id.0)
+                    );
+                }
+            }
+
+            // The N-shard and 1-shard clusters agree on everything,
+            // including rejection reasons.
+            assert_eq!(
+                report.decisions, solo_report.decisions,
+                "seed {seed} shards {shards}: decision maps diverge from single node"
+            );
+
+            // Owned-port capacity profiles are breakpoint-identical to
+            // the single node's at the same virtual time.
+            for p in 0..topo.num_ingress() as u32 {
+                let owner = map.ingress_owner(p);
+                assert_eq!(
+                    breakpoints(&snaps[owner].ledger.ingress[p as usize]),
+                    breakpoints(&solo_snaps[0].ledger.ingress[p as usize]),
+                    "seed {seed} shards {shards}: ingress {p} profile diverges"
+                );
+            }
+            for p in 0..topo.num_egress() as u32 {
+                let owner = map.egress_owner(p);
+                assert_eq!(
+                    breakpoints(&snaps[owner].ledger.egress[p as usize]),
+                    breakpoints(&solo_snaps[0].ledger.egress[p as usize]),
+                    "seed {seed} shards {shards}: egress {p} profile diverges"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (b) Cross-shard conservation under seeded message loss.
+// ---------------------------------------------------------------------------
+
+fn conservation_run(drop_releases: bool) {
+    let topo = topology();
+    let trace = build_trace(21);
+    assert!(trace.len() > 100, "workload too small to be meaningful");
+    let max_deadline = trace.iter().map(|r| r.finish()).fold(0.0f64, f64::max);
+
+    let mut cfg = cluster_config(2, trace.len());
+    cfg.loss = 0.2;
+    cfg.loss_seed = 9;
+    cfg.drop_releases = drop_releases;
+    // Past this point every uncommitted hold has expired and been swept.
+    let flush = max_deadline + cfg.hold_timeout + 2.0 * STEP;
+
+    let shards = EngineShards::spawn(&cfg);
+    let mut cluster = Cluster::in_process(&cfg, &shards);
+    for r in trace.iter() {
+        cluster.submit(to_req(r)).expect("submit");
+    }
+    cluster.advance_to(flush).expect("flush");
+    let snaps: Vec<EngineSnapshot> = (0..shards.len()).map(|s| shards.export(s)).collect();
+    let metrics: Vec<Arc<MetricsRegistry>> = (0..shards.len()).map(|s| shards.metrics(s)).collect();
+    let report = cluster.finish().expect("finish");
+    shards.shutdown();
+
+    // The loss schedule must actually have bitten, and both resolution
+    // paths must have fired, or the invariants below are vacuous.
+    assert!(
+        report.crosses > 0,
+        "no cross-shard traffic on a random 8×8 trace"
+    );
+    assert!(report.cross_grants > 0, "loss 0.2 starved every grant");
+    assert!(report.dropped_legs > 0, "loss schedule dropped nothing");
+    assert!(report.timeouts > 0, "no transaction resolved by timeout");
+
+    use std::sync::atomic::Ordering;
+    let committed: u64 = metrics
+        .iter()
+        .map(|m| m.holds_committed.load(Ordering::Relaxed))
+        .sum();
+    assert_eq!(
+        committed,
+        2 * report.cross_grants,
+        "every grant commits exactly its two halves"
+    );
+    if drop_releases {
+        let expired: u64 = metrics
+            .iter()
+            .map(|m| m.holds_expired.load(Ordering::Relaxed))
+            .sum();
+        assert!(expired > 0, "dropped releases never orphaned a hold");
+    }
+
+    for (s, snap) in snaps.iter().enumerate() {
+        let violations = conservation_violations(snap, &topo);
+        assert!(
+            violations.is_empty(),
+            "shard {s} (drop_releases={drop_releases}) violates conservation:\n{}",
+            violations.join("\n")
+        );
+        // Past the flush horizon nothing uncommitted may still be held.
+        assert!(
+            snap.holds.iter().all(|h| h.committed),
+            "shard {s}: uncommitted hold survived the flush horizon"
+        );
+    }
+}
+
+#[test]
+fn cross_shard_loss_never_breaks_conservation() {
+    conservation_run(false);
+}
+
+#[test]
+fn dropped_releases_resolve_through_the_expiry_sweep() {
+    conservation_run(true);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Shard failover through the WAL-streamed mirror.
+// ---------------------------------------------------------------------------
+
+fn shipper_cfg(dir: Arc<MemDir>) -> ShipperConfig {
+    ShipperConfig {
+        dir,
+        topology: topology(),
+        step: STEP,
+        history_capacity: HISTORY,
+        beacon_every: 1,
+    }
+}
+
+fn follower_cfg(dir: Arc<MemDir>) -> FollowerConfig {
+    FollowerConfig {
+        dir,
+        topology: topology(),
+        step: STEP,
+        history_capacity: HISTORY,
+        fsync: FsyncPolicy::Round,
+    }
+}
+
+/// Pump the sans-IO shipper/follower pair losslessly until the mirror
+/// holds everything the primary's store durably holds.
+fn mirror(primary: Arc<MemDir>, standby: Arc<MemDir>) {
+    let sm = Arc::new(MetricsRegistry::new());
+    let fm = Arc::new(MetricsRegistry::new());
+    let mut shipper = ShipperCore::new(shipper_cfg(primary), sm);
+    let mut follower =
+        FollowerCore::open(follower_cfg(standby), fm).expect("follower opens its store");
+    follower.reset_session();
+
+    let mut to_follower: VecDeque<Vec<u8>> = VecDeque::new();
+    to_follower.push_back(encode_frame(&shipper.hello()));
+    for _ in 0..10_000 {
+        let mut replies = Vec::new();
+        while let Some(frame) = to_follower.pop_front() {
+            replies.extend(follower.handle_frame(&frame).expect("follower"));
+        }
+        let mut produced = Vec::new();
+        for reply in &replies {
+            produced.extend(shipper.handle_frame(&encode_frame(reply)).expect("shipper"));
+        }
+        produced.extend(shipper.pump().expect("pump"));
+        if produced.is_empty() {
+            if shipper.subscribed() && shipper.position() == Some(follower.cursor()) {
+                return;
+            }
+            produced.push(shipper.tick());
+        }
+        for msg in &produced {
+            to_follower.push_back(encode_frame(msg));
+        }
+    }
+    panic!("mirror did not converge");
+}
+
+fn durable_config(shards: usize, trace_len: usize, dirs: &[Arc<MemDir>]) -> ClusterConfig {
+    let mut cfg = cluster_config(shards, trace_len);
+    cfg.stores = dirs
+        .iter()
+        .map(|d| {
+            Some(StoreConfig {
+                dir: d.clone(),
+                fsync: FsyncPolicy::Round,
+                snapshot_every: 8,
+            })
+        })
+        .collect();
+    cfg
+}
+
+/// A synchronous round-trip to shard `s`: when the reply comes back,
+/// every command sent before it — in particular the fed submissions —
+/// has been fully processed and durably logged.
+fn barrier(shards: &EngineShards, s: usize) {
+    let mut link = gridband_cluster::EngineLink::new(shards.engine(s));
+    use gridband_cluster::ShardLink;
+    link.call(gridband_serve::ClientMsg::Stats)
+        .expect("stats barrier");
+}
+
+#[test]
+fn shard_failover_matches_uninterrupted_run() {
+    let trace = build_trace(31);
+    assert!(trace.len() > 100, "workload too small to be meaningful");
+    let k = trace.len() / 2;
+    let requests: Vec<&Request> = trace.iter().collect();
+
+    // Reference: the same cluster, never interrupted.
+    let ref_dirs: Vec<Arc<MemDir>> = (0..2).map(|_| Arc::new(MemDir::new())).collect();
+    let ref_cfg = durable_config(2, trace.len(), &ref_dirs);
+    let ref_shards = EngineShards::spawn(&ref_cfg);
+    let mut reference = Cluster::in_process(&ref_cfg, &ref_shards);
+    for r in &requests {
+        reference.submit(to_req(r)).expect("submit");
+    }
+    let ref_report = reference.finish().expect("finish");
+    ref_shards.shutdown();
+
+    // Failover run: feed the first half, mirror shard 0's WAL to a
+    // standby store, kill the primary, promote an engine recovered from
+    // the mirror, resubmit the undecided tail, feed the rest.
+    let dirs: Vec<Arc<MemDir>> = (0..2).map(|_| Arc::new(MemDir::new())).collect();
+    let standby = Arc::new(MemDir::new());
+    let cfg = durable_config(2, trace.len(), &dirs);
+    let mut shards = EngineShards::spawn(&cfg);
+    let mut cluster = Cluster::in_process(&cfg, &shards);
+    for r in &requests[..k] {
+        cluster.submit(to_req(r)).expect("submit");
+    }
+    barrier(&shards, 0);
+    mirror(dirs[0].clone(), standby.clone());
+
+    let mut promoted_cfg = cfg.engine_config(0);
+    promoted_cfg.store = Some(StoreConfig {
+        dir: standby,
+        fsync: FsyncPolicy::Round,
+        snapshot_every: 8,
+    });
+    let promoted = Engine::try_spawn(promoted_cfg).expect("promote over the mirror");
+    shards.replace(0, promoted).kill();
+    cluster.failover(0, shards.engine(0)).expect("failover");
+
+    for r in &requests[k..] {
+        cluster.submit(to_req(r)).expect("submit");
+    }
+    let report = cluster.finish().expect("finish");
+    shards.shutdown();
+
+    assert_eq!(report.singles, ref_report.singles);
+    assert_eq!(report.crosses, ref_report.crosses);
+    assert_eq!(
+        report.decisions, ref_report.decisions,
+        "failover run diverged from the uninterrupted cluster"
+    );
+}

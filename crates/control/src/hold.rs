@@ -1,0 +1,258 @@
+//! Sans-IO coordinator state machine for one two-phase cross-shard
+//! hold transaction.
+//!
+//! §5.4's protocol — ingress holds, egress confirms, ingress commits or
+//! releases — appears twice in this codebase: once in the in-process
+//! latency study ([`crate::ControlPlane`], where "routers" are profile
+//! arrays and messages ride a simulated bus) and once as a real
+//! inter-node protocol (the `gridband-cluster` router coordinating
+//! shard primaries over engine channels or TCP). The decision logic —
+//! *what* happens when an ack, a denial, or a timeout arrives, and what
+//! must be cleaned up — is identical in both; only the transport
+//! differs. This module owns that logic in sans-IO form: callers feed
+//! [`HoldInput`]s and execute the returned [`HoldOutcome`]s, and the
+//! machine guarantees every transaction resolves exactly once and names
+//! exactly the holds that still need releasing.
+
+/// Where a transaction stands in the two-phase protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldPhase {
+    /// Prepare sent to the ingress owner; no capacity held yet (from
+    /// the coordinator's point of view).
+    AwaitOpen,
+    /// Ingress granted a candidate window (its hold is live); attach
+    /// sent to the egress owner.
+    AwaitAck,
+    /// Both halves committed; the client was granted the window.
+    Committed,
+    /// Resolved without a grant; any surviving holds were ordered
+    /// released.
+    Released,
+}
+
+/// A candidate allocation window, as the ingress owner proposed it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldWindow {
+    /// Granted bandwidth (MB/s).
+    pub bw: f64,
+    /// Transfer start (virtual seconds).
+    pub start: f64,
+    /// Transfer finish (virtual seconds).
+    pub finish: f64,
+}
+
+/// An event delivered to the coordinator for one transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HoldInput {
+    /// The ingress owner placed its hold and proposes this window.
+    Opened(HoldWindow),
+    /// The ingress owner refused outright (nothing is held anywhere).
+    OpenDenied,
+    /// The egress owner's answer to the attach.
+    Ack {
+        /// Whether the egress hold was placed.
+        granted: bool,
+    },
+    /// The coordinator's patience ran out (a prepare or ack frame was
+    /// lost, or the peer is down).
+    Timeout,
+}
+
+/// What the caller must do next. Exactly one outcome per input; inputs
+/// arriving after resolution yield [`HoldOutcome::Stale`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HoldOutcome {
+    /// Send the attach carrying this window to the egress owner.
+    Attach(HoldWindow),
+    /// Send commits to both owners and grant the client this window.
+    Commit(HoldWindow),
+    /// Reject the client and send releases for the holds that may be
+    /// live: always the ingress half, and the egress half too when the
+    /// ack was lost rather than negative (`egress_may_hold`) — a
+    /// release for a hold the peer never placed is acked `false` and
+    /// harmless, while a skipped release would leak capacity until the
+    /// peer's own expiry sweep.
+    Release {
+        /// Whether the egress owner might also be holding capacity.
+        egress_may_hold: bool,
+    },
+    /// Reject the client; no capacity was ever held.
+    Reject,
+    /// The transaction was already resolved; ignore the input.
+    Stale,
+}
+
+/// Sans-IO state machine for one transaction. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldTxn {
+    phase: HoldPhase,
+    window: Option<HoldWindow>,
+}
+
+impl HoldTxn {
+    /// A transaction whose prepare was just sent to the ingress owner.
+    pub fn new() -> Self {
+        HoldTxn {
+            phase: HoldPhase::AwaitOpen,
+            window: None,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> HoldPhase {
+        self.phase
+    }
+
+    /// The proposed window, once the ingress owner granted one.
+    pub fn window(&self) -> Option<HoldWindow> {
+        self.window
+    }
+
+    /// Whether the transaction has resolved (committed or released).
+    pub fn resolved(&self) -> bool {
+        matches!(self.phase, HoldPhase::Committed | HoldPhase::Released)
+    }
+
+    /// Advance the machine by one input.
+    pub fn on(&mut self, input: HoldInput) -> HoldOutcome {
+        match (self.phase, input) {
+            (HoldPhase::AwaitOpen, HoldInput::Opened(w)) => {
+                self.phase = HoldPhase::AwaitAck;
+                self.window = Some(w);
+                HoldOutcome::Attach(w)
+            }
+            (HoldPhase::AwaitOpen, HoldInput::OpenDenied) => {
+                self.phase = HoldPhase::Released;
+                HoldOutcome::Reject
+            }
+            (HoldPhase::AwaitOpen, HoldInput::Timeout) => {
+                // The prepare (or its grant) was lost. The ingress may
+                // have placed a hold we never heard about; order a
+                // release so its capacity frees now instead of at its
+                // expiry sweep.
+                self.phase = HoldPhase::Released;
+                HoldOutcome::Release {
+                    egress_may_hold: false,
+                }
+            }
+            (HoldPhase::AwaitAck, HoldInput::Ack { granted: true }) => {
+                self.phase = HoldPhase::Committed;
+                HoldOutcome::Commit(self.window.expect("window set on open"))
+            }
+            (HoldPhase::AwaitAck, HoldInput::Ack { granted: false }) => {
+                // The egress refused and holds nothing; only the
+                // ingress half needs releasing.
+                self.phase = HoldPhase::Released;
+                HoldOutcome::Release {
+                    egress_may_hold: false,
+                }
+            }
+            (HoldPhase::AwaitAck, HoldInput::Timeout) => {
+                // The attach or its ack was lost: the egress may hold
+                // capacity it was never told to drop.
+                self.phase = HoldPhase::Released;
+                HoldOutcome::Release {
+                    egress_may_hold: true,
+                }
+            }
+            // Anything after resolution — late acks racing a timeout,
+            // duplicate timers — is ignored; the first resolution won.
+            (HoldPhase::Committed | HoldPhase::Released, _) => HoldOutcome::Stale,
+            // An ack can only follow an attach, which only follows an
+            // open grant; a transport delivering one earlier is broken,
+            // but a coordinator must not panic on a hostile peer.
+            (HoldPhase::AwaitOpen, HoldInput::Ack { .. }) => HoldOutcome::Stale,
+            (HoldPhase::AwaitAck, HoldInput::Opened(_) | HoldInput::OpenDenied) => {
+                HoldOutcome::Stale
+            }
+        }
+    }
+}
+
+impl Default for HoldTxn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> HoldWindow {
+        HoldWindow {
+            bw: 50.0,
+            start: 10.0,
+            finish: 30.0,
+        }
+    }
+
+    #[test]
+    fn happy_path_opens_attaches_commits() {
+        let mut txn = HoldTxn::new();
+        assert_eq!(txn.phase(), HoldPhase::AwaitOpen);
+        assert_eq!(
+            txn.on(HoldInput::Opened(window())),
+            HoldOutcome::Attach(window())
+        );
+        assert_eq!(txn.phase(), HoldPhase::AwaitAck);
+        assert_eq!(
+            txn.on(HoldInput::Ack { granted: true }),
+            HoldOutcome::Commit(window())
+        );
+        assert!(txn.resolved());
+        // A late duplicate ack is ignored, not double-committed.
+        assert_eq!(txn.on(HoldInput::Ack { granted: true }), HoldOutcome::Stale);
+    }
+
+    #[test]
+    fn denial_and_refusal_release_exactly_what_is_held() {
+        let mut denied = HoldTxn::new();
+        assert_eq!(denied.on(HoldInput::OpenDenied), HoldOutcome::Reject);
+        assert!(denied.resolved());
+
+        let mut refused = HoldTxn::new();
+        refused.on(HoldInput::Opened(window()));
+        assert_eq!(
+            refused.on(HoldInput::Ack { granted: false }),
+            HoldOutcome::Release {
+                egress_may_hold: false
+            }
+        );
+    }
+
+    #[test]
+    fn timeouts_release_pessimistically() {
+        // Timeout before the open resolves: the ingress may hold.
+        let mut t0 = HoldTxn::new();
+        assert_eq!(
+            t0.on(HoldInput::Timeout),
+            HoldOutcome::Release {
+                egress_may_hold: false
+            }
+        );
+        // Timeout waiting for the ack: the egress may hold too.
+        let mut t1 = HoldTxn::new();
+        t1.on(HoldInput::Opened(window()));
+        assert_eq!(
+            t1.on(HoldInput::Timeout),
+            HoldOutcome::Release {
+                egress_may_hold: true
+            }
+        );
+        // A late positive ack after the timeout is stale — the client
+        // was already told no, and a grant now would contradict it.
+        assert_eq!(t1.on(HoldInput::Ack { granted: true }), HoldOutcome::Stale);
+    }
+
+    #[test]
+    fn out_of_order_inputs_from_a_hostile_peer_are_ignored() {
+        let mut txn = HoldTxn::new();
+        assert_eq!(txn.on(HoldInput::Ack { granted: true }), HoldOutcome::Stale);
+        assert_eq!(txn.phase(), HoldPhase::AwaitOpen);
+        txn.on(HoldInput::Opened(window()));
+        assert_eq!(txn.on(HoldInput::Opened(window())), HoldOutcome::Stale);
+        assert_eq!(txn.on(HoldInput::OpenDenied), HoldOutcome::Stale);
+        assert_eq!(txn.phase(), HoldPhase::AwaitAck);
+    }
+}

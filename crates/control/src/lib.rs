@@ -7,6 +7,9 @@
 //! enforces the grants so misbehaving flows cannot hurt conforming ones.
 //!
 //! * [`Message`] / [`Envelope`] — the signaling vocabulary;
+//! * [`HoldTxn`] — the sans-IO two-phase coordinator state machine,
+//!   shared with the `gridband-cluster` router (same decision logic,
+//!   different transport);
 //! * [`ControlPlane`] — the distributed two-phase hold/commit protocol
 //!   with configurable one-way delay; at zero delay it coincides exactly
 //!   with the centralized GREEDY heuristic, and under delay it stays
@@ -32,10 +35,12 @@
 
 #![warn(missing_docs)]
 
+pub mod hold;
 pub mod messages;
 pub mod plane;
 pub mod police;
 
+pub use hold::{HoldInput, HoldOutcome, HoldPhase, HoldTxn, HoldWindow};
 pub use messages::{Endpoint, Envelope, Grant, Message, TxnId};
 pub use plane::{ControlPlane, ControlReport};
 pub use police::{police_constant_sources, PolicedFlow, TokenBucket};

@@ -38,6 +38,7 @@
 //! as rejections) and transient capacity pessimism (an orphaned egress
 //! hold blocks competitors until its timeout), but never feasibility.
 
+use crate::hold::{HoldInput, HoldOutcome, HoldTxn, HoldWindow};
 use crate::messages::{Endpoint, Envelope, Grant, Message, TxnId};
 use gridband_algos::BandwidthPolicy;
 use gridband_net::units::Time;
@@ -60,6 +61,11 @@ pub struct ControlReport {
     pub messages: usize,
     /// Messages dropped by the lossy channel.
     pub lost_messages: usize,
+    /// Egress holds orphaned by a lost `HoldAck` and reaped by their
+    /// timeout. Each one is transient capacity pessimism: the port
+    /// stayed blocked for competitors until the timer fired, even
+    /// though the transaction it served was already dead.
+    pub holds_expired: usize,
     /// Decision latency for a loss-free transaction (request emission →
     /// client reply), seconds.
     pub decision_latency: Time,
@@ -83,7 +89,10 @@ struct PendingTxn {
     bw: f64,
     start: Time,
     finish: Time,
-    resolved: bool,
+    /// Shared two-phase coordinator state (the ingress router is both
+    /// coordinator and ingress holder here, so the machine starts in
+    /// `AwaitAck` — `Opened` is fed the moment the local hold lands).
+    fsm: HoldTxn,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -183,6 +192,7 @@ impl ControlPlane {
         let mut rejected = Vec::new();
         let mut messages = trace.len(); // the Resv messages themselves
         let mut lost_messages = 0usize;
+        let mut holds_expired = 0usize;
 
         // Process the bus in (time, seq) order; new messages always carry
         // later timestamps, so a sorted sweep with a cursor works.
@@ -213,6 +223,10 @@ impl ControlPlane {
                     });
                     match verdict {
                         Some((bw, finish)) => {
+                            let mut fsm = HoldTxn::new();
+                            let attach =
+                                fsm.on(HoldInput::Opened(HoldWindow { bw, start, finish }));
+                            debug_assert!(matches!(attach, HoldOutcome::Attach(_)));
                             pending.insert(
                                 txn,
                                 PendingTxn {
@@ -220,7 +234,7 @@ impl ControlPlane {
                                     bw,
                                     start,
                                     finish,
-                                    resolved: false,
+                                    fsm,
                                 },
                             );
                             messages += 1;
@@ -328,68 +342,87 @@ impl ControlPlane {
                 }
                 Message::HoldAck { txn, granted } => {
                     let p = *pending.get(&txn).expect("ack for unknown txn");
-                    if p.resolved {
+                    if p.fsm.resolved() {
                         // The ingress already timed out; a late egress
                         // grant will be reaped by its own timeout.
                         continue;
                     }
                     let req = p.request;
-                    if granted {
-                        // Commit (reliable): pin the egress hold.
-                        if let Some(h) = egress_holds.get_mut(&txn) {
-                            h.committed = true;
+                    match pending
+                        .get_mut(&txn)
+                        .expect("checked")
+                        .fsm
+                        .on(HoldInput::Ack { granted })
+                    {
+                        HoldOutcome::Commit(w) => {
+                            // Commit (reliable): pin the egress hold.
+                            if let Some(h) = egress_holds.get_mut(&txn) {
+                                h.committed = true;
+                            }
+                            messages += 2; // Commit + Reply
+                            push(
+                                &mut bus,
+                                &mut seq,
+                                Envelope {
+                                    at: now + d,
+                                    to: Endpoint::Client(req.id),
+                                    msg: Message::Reply {
+                                        txn,
+                                        request: req.id,
+                                        granted: Some(Grant {
+                                            bw: w.bw,
+                                            start: w.start,
+                                            finish: w.finish,
+                                        }),
+                                    },
+                                },
+                            );
                         }
-                        messages += 2; // Commit + Reply
-                        push(
-                            &mut bus,
-                            &mut seq,
-                            Envelope {
-                                at: now + d,
-                                to: Endpoint::Client(req.id),
-                                msg: Message::Reply {
-                                    txn,
-                                    request: req.id,
-                                    granted: Some(Grant {
-                                        bw: p.bw,
-                                        start: p.start,
-                                        finish: p.finish,
-                                    }),
+                        HoldOutcome::Release { .. } => {
+                            // A negative ack: the egress holds nothing,
+                            // only the local half needs freeing.
+                            ingress[req.route.ingress.index()]
+                                .release(p.start, p.finish, p.bw)
+                                .expect("hold was placed");
+                            messages += 1;
+                            push(
+                                &mut bus,
+                                &mut seq,
+                                Envelope {
+                                    at: now + d,
+                                    to: Endpoint::Client(req.id),
+                                    msg: Message::Reply {
+                                        txn,
+                                        request: req.id,
+                                        granted: None,
+                                    },
                                 },
-                            },
-                        );
-                    } else {
-                        ingress[req.route.ingress.index()]
-                            .release(p.start, p.finish, p.bw)
-                            .expect("hold was placed");
-                        messages += 1;
-                        push(
-                            &mut bus,
-                            &mut seq,
-                            Envelope {
-                                at: now + d,
-                                to: Endpoint::Client(req.id),
-                                msg: Message::Reply {
-                                    txn,
-                                    request: req.id,
-                                    granted: None,
-                                },
-                            },
-                        );
+                            );
+                        }
+                        other => {
+                            unreachable!("ack in AwaitAck yields commit/release, got {other:?}")
+                        }
                     }
-                    pending.get_mut(&txn).expect("checked").resolved = true;
                 }
                 Message::IngressTimeout { txn } => {
                     // May fire after the Reply already removed the txn.
                     if let Some(&p) = pending.get(&txn) {
-                        if !p.resolved {
+                        if !p.fsm.resolved() {
                             // No ack in time: abandon the local hold and
-                            // tell the client. A granted-but-lost ack
-                            // leaves an orphaned egress hold; its own
-                            // timeout reaps it.
+                            // tell the client. The machine flags that a
+                            // granted-but-lost ack may have left an
+                            // orphaned egress hold; this model sends no
+                            // release for it (its own timer reaps it —
+                            // the pessimism `holds_expired` measures).
+                            let out = pending
+                                .get_mut(&txn)
+                                .expect("checked")
+                                .fsm
+                                .on(HoldInput::Timeout);
+                            debug_assert!(matches!(out, HoldOutcome::Release { .. }));
                             ingress[p.request.route.ingress.index()]
                                 .release(p.start, p.finish, p.bw)
                                 .expect("hold was placed");
-                            pending.get_mut(&txn).expect("checked").resolved = true;
                             messages += 1;
                             push(
                                 &mut bus,
@@ -414,6 +447,7 @@ impl ControlPlane {
                                 .release(h.start, h.end, h.bw)
                                 .expect("hold was placed");
                             h.released = true;
+                            holds_expired += 1;
                         }
                     }
                 }
@@ -456,6 +490,7 @@ impl ControlPlane {
             rejected,
             messages,
             lost_messages,
+            holds_expired,
             decision_latency: 4.0 * d,
         }
     }
@@ -574,6 +609,8 @@ mod tests {
         let t = trace(11, &topo);
         let lossless = ControlPlane::new(topo.clone(), 0.2, BandwidthPolicy::MAX_RATE);
         let base = lossless.run(&t);
+        assert_eq!(base.holds_expired, 0, "no losses, no orphaned holds");
+        let mut expired_total = 0;
         for loss in [0.1, 0.3, 0.6] {
             let plane = ControlPlane::new(topo.clone(), 0.2, BandwidthPolicy::MAX_RATE)
                 .with_loss(loss, 2.0, 99);
@@ -586,7 +623,15 @@ mod tests {
                 rep.assignments.len() <= base.assignments.len(),
                 "loss cannot create acceptances"
             );
+            // An orphaned egress hold exists only where an ack was
+            // granted and then lost; it can never outnumber the drops.
+            assert!(rep.holds_expired <= rep.lost_messages);
+            expired_total += rep.holds_expired;
         }
+        assert!(
+            expired_total > 0,
+            "lossy runs must surface orphaned-hold pessimism"
+        );
     }
 
     #[test]

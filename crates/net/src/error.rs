@@ -31,6 +31,8 @@ pub enum NetError {
     UnknownPort(PortRef),
     /// An operation referenced a reservation id that is not live.
     UnknownReservation(u64),
+    /// An operation referenced a hold id that is not live.
+    UnknownHold(u64),
     /// An interval was empty or reversed, or a bandwidth was non-positive
     /// or non-finite.
     InvalidArgument(String),
@@ -53,6 +55,7 @@ impl fmt::Display for NetError {
             }
             NetError::UnknownPort(p) => write!(f, "unknown port {p}"),
             NetError::UnknownReservation(id) => write!(f, "unknown reservation #{id}"),
+            NetError::UnknownHold(id) => write!(f, "unknown hold #{id}"),
             NetError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

@@ -30,6 +30,40 @@ use std::sync::Mutex;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ReservationId(pub u64);
 
+/// Opaque handle to a live capacity hold (see [`PortHold`]).
+///
+/// Holds are numbered by their own counter, independent of reservation
+/// ids, so adding or releasing holds never perturbs the reservation
+/// numbering that differential tests compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HoldId(pub u64);
+
+/// A single-port capacity hold: the §5.4 two-phase admission primitive.
+///
+/// Unlike a [`Reservation`], which charges both endpoints of a route, a
+/// hold pins `bw` on exactly one port — the ingress shard holds its side
+/// while it asks the egress shard to hold the other. A hold occupies real
+/// capacity (concurrent transactions cannot over-commit the port) until
+/// it is released or upgraded into a reservation by the commit step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortHold {
+    /// The single port charged by this hold.
+    pub port: PortRef,
+    /// Start of the held window (inclusive).
+    pub start: Time,
+    /// End of the held window (exclusive).
+    pub end: Time,
+    /// Held constant bandwidth in MB/s.
+    pub bw: Bandwidth,
+}
+
+impl PortHold {
+    /// Bandwidth-seconds pinned by this hold (`bw × duration`).
+    pub fn area(&self) -> f64 {
+        self.bw * (self.end - self.start)
+    }
+}
+
 /// A booked slice of edge capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Reservation {
@@ -80,6 +114,10 @@ pub struct LedgerState {
     pub live: Vec<(u64, Reservation)>,
     /// Next reservation id the ledger will assign.
     pub next_id: u64,
+    /// Live capacity holds as `(id, hold)`, sorted by id.
+    pub holds: Vec<(u64, PortHold)>,
+    /// Next hold id the ledger will assign.
+    pub next_hold_id: u64,
 }
 
 /// Capacity profiles for every port of a topology plus the set of live
@@ -91,6 +129,8 @@ pub struct CapacityLedger {
     egress: Vec<CapacityProfile>,
     live: HashMap<u64, Reservation>,
     next_id: u64,
+    holds: HashMap<u64, PortHold>,
+    next_hold_id: u64,
 }
 
 impl CapacityLedger {
@@ -110,6 +150,8 @@ impl CapacityLedger {
             egress,
             live: HashMap::new(),
             next_id: 0,
+            holds: HashMap::new(),
+            next_hold_id: 0,
         }
     }
 
@@ -341,6 +383,94 @@ impl CapacityLedger {
         Ok(())
     }
 
+    /// Number of currently live holds.
+    pub fn hold_count(&self) -> usize {
+        self.holds.len()
+    }
+
+    /// Iterate over live holds (arbitrary order).
+    pub fn live_holds(&self) -> impl Iterator<Item = (HoldId, &PortHold)> {
+        self.holds.iter().map(|(&id, h)| (HoldId(id), h))
+    }
+
+    /// Look up a live hold.
+    pub fn get_hold(&self, id: HoldId) -> Option<&PortHold> {
+        self.holds.get(&id.0)
+    }
+
+    /// Pin `bw` MB/s on a single port over `[start, end)` — the prepare
+    /// step of a §5.4 two-phase cross-shard admission. The held capacity
+    /// is charged into the port's profile immediately, so concurrent
+    /// transactions (and ordinary reservations) see it and cannot
+    /// over-commit the port. Pair with [`release_hold`](Self::release_hold)
+    /// — either directly (abort/timeout) or as part of the commit step,
+    /// which releases the holds and books the definitive two-port
+    /// reservation in their place.
+    pub fn hold(
+        &mut self,
+        port: PortRef,
+        start: Time,
+        end: Time,
+        bw: Bandwidth,
+    ) -> NetResult<HoldId> {
+        if !(start.is_finite() && end.is_finite()) || end <= start {
+            return Err(NetError::InvalidArgument(format!(
+                "hold interval [{start}, {end}) is empty or non-finite"
+            )));
+        }
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(NetError::InvalidArgument(format!(
+                "hold bandwidth {bw} must be finite and positive"
+            )));
+        }
+        let profile = match port {
+            PortRef::In(i) if i.index() < self.topology.num_ingress() => {
+                &mut self.ingress[i.index()]
+            }
+            PortRef::Out(e) if e.index() < self.topology.num_egress() => {
+                &mut self.egress[e.index()]
+            }
+            _ => return Err(NetError::UnknownPort(port)),
+        };
+        if let Err(at) = profile.allocate(start, end, bw) {
+            return Err(NetError::CapacityExceeded {
+                port,
+                capacity: profile.capacity(),
+                requested: profile.alloc_at(at) + bw,
+                at,
+            });
+        }
+        let id = self.next_hold_id;
+        self.next_hold_id += 1;
+        self.holds.insert(
+            id,
+            PortHold {
+                port,
+                start,
+                end,
+                bw,
+            },
+        );
+        Ok(HoldId(id))
+    }
+
+    /// Release a live hold, freeing its pinned capacity.
+    ///
+    /// Like [`cancel`](Self::cancel), a failing release (corrupted
+    /// profile) leaves the ledger unchanged: the hold stays live.
+    pub fn release_hold(&mut self, id: HoldId) -> NetResult<PortHold> {
+        let h = *self.holds.get(&id.0).ok_or(NetError::UnknownHold(id.0))?;
+        let profile = match h.port {
+            PortRef::In(i) => &mut self.ingress[i.index()],
+            PortRef::Out(e) => &mut self.egress[e.index()],
+        };
+        profile
+            .release(h.start, h.end, h.bw)
+            .map_err(|at| NetError::ReleaseUnderflow { port: h.port, at })?;
+        self.holds.remove(&id.0);
+        Ok(h)
+    }
+
     /// Total bandwidth-seconds reserved across all ingress ports over
     /// `[t0, t1)`. Because every reservation charges exactly one ingress and
     /// one egress port, the egress total is identical; utilization reports
@@ -362,11 +492,15 @@ impl CapacityLedger {
     pub fn export_state(&self) -> LedgerState {
         let mut live: Vec<(u64, Reservation)> = self.live.iter().map(|(&id, &r)| (id, r)).collect();
         live.sort_by_key(|&(id, _)| id);
+        let mut holds: Vec<(u64, PortHold)> = self.holds.iter().map(|(&id, &h)| (id, h)).collect();
+        holds.sort_by_key(|&(id, _)| id);
         LedgerState {
             ingress: self.ingress.clone(),
             egress: self.egress.clone(),
             live,
             next_id: self.next_id,
+            holds,
+            next_hold_id: self.next_hold_id,
         }
     }
 
@@ -424,9 +558,43 @@ impl CapacityLedger {
             }
             self.validate(r.route, r.start, r.end, r.bw)?;
         }
+        let mut prev_hold: Option<u64> = None;
+        for &(id, h) in &state.holds {
+            if prev_hold.is_some_and(|p| id <= p) {
+                return Err(NetError::InvalidArgument(format!(
+                    "live holds not sorted by id at #{id}"
+                )));
+            }
+            prev_hold = Some(id);
+            if id >= state.next_hold_id {
+                return Err(NetError::InvalidArgument(format!(
+                    "live hold #{id} not below next_hold_id {}",
+                    state.next_hold_id
+                )));
+            }
+            let known = match h.port {
+                PortRef::In(i) => i.index() < self.topology.num_ingress(),
+                PortRef::Out(e) => e.index() < self.topology.num_egress(),
+            };
+            if !known {
+                return Err(NetError::UnknownPort(h.port));
+            }
+            if !(h.start.is_finite() && h.end.is_finite()) || h.end <= h.start {
+                return Err(NetError::InvalidArgument(format!(
+                    "hold interval [{}, {}) is empty or non-finite",
+                    h.start, h.end
+                )));
+            }
+            if !h.bw.is_finite() || h.bw <= 0.0 {
+                return Err(NetError::InvalidArgument(format!(
+                    "hold bandwidth {} must be finite and positive",
+                    h.bw
+                )));
+            }
+        }
         // Conservation check: each port's booked bandwidth-seconds must
-        // be exactly the live reservations charging it (expired ones
-        // were released by GC before any snapshot).
+        // be exactly the live reservations plus live holds charging it
+        // (expired ones were released by GC before any snapshot).
         let span = |profiles: &[CapacityProfile]| {
             profiles
                 .iter()
@@ -442,7 +610,7 @@ impl CapacityLedger {
             for (dir, profiles) in [("ingress", &state.ingress), ("egress", &state.egress)] {
                 for (idx, p) in profiles.iter().enumerate() {
                     let booked = p.integral_alloc(lo, hi);
-                    let owed: f64 = state
+                    let reserved: f64 = state
                         .live
                         .iter()
                         .map(|&(_, r)| {
@@ -457,10 +625,27 @@ impl CapacityLedger {
                             }
                         })
                         .sum();
+                    let held: f64 = state
+                        .holds
+                        .iter()
+                        .map(|&(_, h)| {
+                            let charged = match (dir, h.port) {
+                                ("ingress", PortRef::In(i)) => i.index() == idx,
+                                ("egress", PortRef::Out(e)) => e.index() == idx,
+                                _ => false,
+                            };
+                            if charged {
+                                h.area()
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum();
+                    let owed = reserved + held;
                     let tol = EPS * (1.0 + booked.abs().max(owed.abs()));
                     if (booked - owed).abs() > tol {
                         return Err(NetError::InvalidArgument(format!(
-                            "{dir} {idx} books {booked} MB but live reservations account for {owed} MB"
+                            "{dir} {idx} books {booked} MB but live reservations and holds account for {owed} MB"
                         )));
                     }
                 }
@@ -470,6 +655,8 @@ impl CapacityLedger {
         self.egress = state.egress;
         self.live = state.live.into_iter().collect();
         self.next_id = state.next_id;
+        self.holds = state.holds.into_iter().collect();
+        self.next_hold_id = state.next_hold_id;
         Ok(())
     }
 
@@ -1117,6 +1304,112 @@ mod tests {
         let mut ok = small();
         ok.restore_state(good).unwrap();
         assert_eq!(ok.live_count(), 1);
+    }
+
+    #[test]
+    fn hold_pins_one_port_only() {
+        let mut l = small();
+        let id = l.hold(PortRef::In(IngressId(0)), 0.0, 10.0, 60.0).unwrap();
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(5.0), 60.0);
+        assert!(l.egress_profile(EgressId(0)).is_empty());
+        assert_eq!(l.hold_count(), 1);
+        assert_eq!(l.get_hold(id).unwrap().bw, 60.0);
+        // The pinned capacity is visible to ordinary admission.
+        assert!(!l.fits(Route::new(0, 0), 0.0, 10.0, 50.0));
+        assert!(l.fits(Route::new(0, 0), 0.0, 10.0, 40.0));
+        l.release_hold(id).unwrap();
+        assert_eq!(l.hold_count(), 0);
+        assert!(l.ingress_profile(IngressId(0)).is_empty());
+        assert!(l.fits(Route::new(0, 0), 0.0, 10.0, 100.0));
+        assert!(matches!(l.release_hold(id), Err(NetError::UnknownHold(_))));
+    }
+
+    #[test]
+    fn concurrent_holds_cannot_over_commit_a_port() {
+        let mut l = small();
+        l.hold(PortRef::Out(EgressId(1)), 0.0, 10.0, 70.0).unwrap();
+        let err = l
+            .hold(PortRef::Out(EgressId(1)), 5.0, 15.0, 40.0)
+            .unwrap_err();
+        match err {
+            NetError::CapacityExceeded { port, .. } => {
+                assert_eq!(port, PortRef::Out(EgressId(1)));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // A fitting second hold coexists.
+        l.hold(PortRef::Out(EgressId(1)), 5.0, 15.0, 30.0).unwrap();
+        assert_eq!(l.hold_count(), 2);
+    }
+
+    #[test]
+    fn hold_rejects_bad_arguments() {
+        let mut l = small();
+        assert!(matches!(
+            l.hold(PortRef::In(IngressId(7)), 0.0, 1.0, 1.0),
+            Err(NetError::UnknownPort(_))
+        ));
+        assert!(matches!(
+            l.hold(PortRef::In(IngressId(0)), 5.0, 5.0, 1.0),
+            Err(NetError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            l.hold(PortRef::In(IngressId(0)), 0.0, 1.0, -2.0),
+            Err(NetError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn hold_ids_do_not_disturb_reservation_numbering() {
+        let mut l = small();
+        let h = l.hold(PortRef::In(IngressId(0)), 0.0, 5.0, 10.0).unwrap();
+        let r = l.reserve(Route::new(1, 1), 0.0, 5.0, 10.0).unwrap();
+        assert_eq!(h, HoldId(0));
+        assert_eq!(r, ReservationId(0), "hold ids come from their own counter");
+    }
+
+    #[test]
+    fn export_restore_roundtrips_holds() {
+        let mut l = small();
+        l.reserve(Route::new(0, 1), 0.0, 10.0, 33.3).unwrap();
+        let gone = l.hold(PortRef::In(IngressId(1)), 1.0, 4.0, 20.0).unwrap();
+        l.hold(PortRef::Out(EgressId(0)), 2.0, 6.0, 15.0).unwrap();
+        l.release_hold(gone).unwrap();
+        let state = l.export_state();
+        assert_eq!(state.holds.len(), 1);
+        assert_eq!(state.next_hold_id, 2);
+
+        let mut restored = small();
+        restored.restore_state(state.clone()).unwrap();
+        assert_eq!(restored.export_state(), state);
+        // Hold id continuity after restore.
+        let h = restored
+            .hold(PortRef::In(IngressId(0)), 0.0, 1.0, 1.0)
+            .unwrap();
+        assert_eq!(h, HoldId(2));
+    }
+
+    #[test]
+    fn restore_counts_holds_in_the_conservation_check() {
+        let mut l = small();
+        l.hold(PortRef::In(IngressId(0)), 0.0, 10.0, 25.0).unwrap();
+        let good = l.export_state();
+        // Intact image restores.
+        small().restore_state(good.clone()).unwrap();
+        // Dropping the hold leaves phantom booked capacity: rejected.
+        let mut phantom = good.clone();
+        phantom.holds.clear();
+        assert!(matches!(
+            small().restore_state(phantom),
+            Err(NetError::InvalidArgument(_))
+        ));
+        // A hold id at/above next_hold_id is rejected.
+        let mut bad = good;
+        bad.next_hold_id = 0;
+        assert!(matches!(
+            small().restore_state(bad),
+            Err(NetError::InvalidArgument(_))
+        ));
     }
 
     #[test]

@@ -878,6 +878,20 @@ fn dispatch(shared: &Arc<Shared>, msg: ClientMsg, reply_tx: &Sender<ServerMsg>) 
                         retry_after: None,
                     }
                 }
+                // A follower holds no capacity: the two-phase prepare is
+                // denied outright and its acks report `ok: false`, so a
+                // cluster router talking to a not-yet-promoted standby
+                // backs off instead of half-committing.
+                ClientMsg::HoldOpen(req) => ServerMsg::HoldDenied {
+                    txn: req.id,
+                    reason: RejectReason::NotPrimary,
+                },
+                ClientMsg::HoldAttach { txn, .. }
+                | ClientMsg::HoldCommit { txn, .. }
+                | ClientMsg::HoldRelease { txn, .. } => ServerMsg::HoldAck {
+                    txn: *txn,
+                    ok: false,
+                },
                 ClientMsg::Cancel { .. } | ClientMsg::Drain => ServerMsg::Error {
                     code: "not-primary".to_string(),
                     message: "this daemon is a follower; promote it or talk to the primary"

@@ -11,7 +11,10 @@
 //!
 //! [`WalShipper`] is the threaded wrapper the daemon runs: it dials the
 //! follower, speaks the handshake, pumps the tail, and reconnects with
-//! exponential backoff when the link drops. The primary's engine never
+//! exponential backoff when the link drops. When the store publishes a
+//! [`DirSignal`](gridband_store::DirSignal) (both `FsDir` and `MemDir`
+//! do), an idle session blocks on it and wakes the instant the engine
+//! appends, instead of discovering new records on a fixed poll timer. The primary's engine never
 //! waits on any of this — replication is asynchronous by design; the
 //! `repl_synced` gauge tells operators (and the failover smoke test)
 //! when the follower has caught up.
@@ -352,6 +355,13 @@ impl ShipperCore {
 
 /// How often the threaded shipper sends a heartbeat on an idle link.
 const HEARTBEAT: Duration = Duration::from_millis(200);
+/// Socket wait when follower traffic is expected (pre-subscription
+/// frames, acks for in-flight content): the link itself wakes the loop,
+/// so this only bounds how late a concurrent WAL append is noticed.
+const SOCKET_POLL: Duration = Duration::from_millis(50);
+/// Socket drain when the link is quiet and the loop is about to block
+/// on the store's append signal instead.
+const SOCKET_SKIM: Duration = Duration::from_millis(1);
 /// Initial reconnect backoff; doubles per failed dial up to [`BACKOFF_MAX`].
 const BACKOFF_MIN: Duration = Duration::from_millis(100);
 /// Reconnect backoff ceiling.
@@ -436,26 +446,52 @@ fn run_session(
     stop: &AtomicBool,
 ) -> SessionEnd {
     let mut core = ShipperCore::new(cfg.clone(), metrics.clone());
+    let signal = cfg.dir.signal();
     if link.send(&encode_frame(&core.hello())).is_err() {
         return SessionEnd::Disconnected;
     }
     let mut last_sent = Instant::now();
     while !stop.load(Ordering::Relaxed) {
-        match link.recv(Duration::from_millis(50)) {
-            Ok(Recv::Frame(frame)) => match core.handle_frame(&frame) {
-                Ok(msgs) => {
-                    for msg in &msgs {
-                        if link.send(&encode_frame(msg)).is_err() {
-                            return SessionEnd::Disconnected;
+        // Sample the write sequence *before* draining the tail: an
+        // append landing after this sample bumps the sequence past
+        // `seen`, so the blocking wait below returns immediately — the
+        // wakeup cannot be lost between the pump and the sleep.
+        let seen = signal.map(|s| s.seq());
+        // Decide what to sleep on this iteration. The follower acks
+        // every content frame, so `acked < shipped` means a frame is due
+        // on the socket any moment; before subscription the next event
+        // is a socket frame too. In both cases the socket is the thing
+        // to wait on. Once subscribed, drained, and fully acked, the
+        // only possible next events are a WAL append (the dir signal)
+        // and the heartbeat deadline — sleep on the condvar instead of
+        // burning fixed poll cycles.
+        let acked = metrics.repl_acked_seq.load(Ordering::Relaxed);
+        let shipped = metrics.repl_shipped_seq.load(Ordering::Relaxed);
+        let socket_bound = signal.is_none() || !core.subscribed() || acked < shipped;
+        let recv_wait = if socket_bound {
+            SOCKET_POLL
+        } else {
+            SOCKET_SKIM
+        };
+        let mut active = false;
+        match link.recv(recv_wait) {
+            Ok(Recv::Frame(frame)) => {
+                active = true;
+                match core.handle_frame(&frame) {
+                    Ok(msgs) => {
+                        for msg in &msgs {
+                            if link.send(&encode_frame(msg)).is_err() {
+                                return SessionEnd::Disconnected;
+                            }
+                            last_sent = Instant::now();
                         }
-                        last_sent = Instant::now();
+                    }
+                    Err(e) => {
+                        eprintln!("gridband-replica: shipping halted: {e}");
+                        return SessionEnd::Fatal;
                     }
                 }
-                Err(e) => {
-                    eprintln!("gridband-replica: shipping halted: {e}");
-                    return SessionEnd::Fatal;
-                }
-            },
+            }
             Ok(Recv::Idle) => {}
             Ok(Recv::Closed) | Err(_) => return SessionEnd::Disconnected,
         }
@@ -468,6 +504,7 @@ fn run_session(
                             return SessionEnd::Disconnected;
                         }
                         last_sent = Instant::now();
+                        active = true;
                     }
                 } else {
                     for msg in &msgs {
@@ -476,11 +513,24 @@ fn run_session(
                         }
                         last_sent = Instant::now();
                     }
+                    active = true;
                 }
             }
             Err(e) => {
                 eprintln!("gridband-replica: shipping halted: {e}");
                 return SessionEnd::Fatal;
+            }
+        }
+        if active || socket_bound {
+            continue;
+        }
+        if let (Some(sig), Some(seen)) = (signal, seen) {
+            // Fully idle: sleep until the next append or until the
+            // heartbeat is due, whichever comes first. A `stop` during
+            // the wait is seen after at most one heartbeat interval.
+            let wait = HEARTBEAT.saturating_sub(last_sent.elapsed());
+            if !wait.is_zero() {
+                sig.wait_past(seen, wait);
             }
         }
     }

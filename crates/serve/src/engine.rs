@@ -25,7 +25,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use gridband_algos::BandwidthPolicy;
 use gridband_algos::WindowScheduler;
 use gridband_net::units::EPS;
-use gridband_net::{NetResult, ReservationId, ReserveRequest, Route, Topology};
+use gridband_net::{EgressId, NetResult, PortRef, ReservationId, ReserveRequest, Route, Topology};
 use gridband_sim::{AdmissionController, Decision};
 use gridband_store::{
     EngineSnapshot, Recovered, RoundDecision, Store, StoreConfig, StoreError, StoreResult,
@@ -71,6 +71,11 @@ pub struct EngineConfig {
     /// clock; anything beyond is rejected as `Invalid`. Bounds the
     /// clock catch-up work a single hostile submission can demand.
     pub max_horizon: f64,
+    /// Virtual seconds an uncommitted two-phase hold may live before
+    /// the expiry sweep releases it: a lost `HoldAck` or a commit that
+    /// never arrives must surface as a timeout, not as capacity pinned
+    /// forever.
+    pub hold_timeout: f64,
     /// Admission rounds run shard-parallel on up to this many OS threads
     /// (1 = sequential; decisions are bit-identical either way, so WAL
     /// records and recovery are thread-count-independent).
@@ -97,6 +102,7 @@ impl EngineConfig {
             default_slack: 3.0,
             history_capacity: 1 << 20,
             max_horizon: 1e6,
+            hold_timeout: 100.0,
             admit_threads: gridband_net::default_admit_threads(),
             store: None,
             role: Role::Solo,
@@ -358,6 +364,12 @@ impl EngineLoop {
         MetricsRegistry::add(&self.metrics.cancelled, tally.cancelled);
         MetricsRegistry::add(&self.metrics.refused_early, tally.refused_early);
         MetricsRegistry::add(&self.metrics.gc_reclaimed, tally.gc_reclaimed);
+        MetricsRegistry::add(&self.metrics.holds_placed, tally.holds_placed);
+        MetricsRegistry::add(&self.metrics.holds_committed, tally.holds_committed);
+        // Replay cannot tell an explicit release from an expiry sweep —
+        // both are `HoldRelease` records — so recovered counts land in
+        // the released bucket.
+        MetricsRegistry::add(&self.metrics.holds_released, tally.holds_released);
         Ok(())
     }
 
@@ -389,6 +401,17 @@ impl EngineLoop {
         match msg {
             ClientMsg::Submit(s) => self.handle_submit(s, reply),
             ClientMsg::Cancel { id } => self.handle_cancel(id, reply),
+            ClientMsg::HoldOpen(s) => self.handle_hold_open(s, reply),
+            ClientMsg::HoldAttach {
+                txn,
+                egress,
+                bw,
+                start,
+                finish,
+                at,
+            } => self.handle_hold_attach(txn, egress, bw, start, finish, at, reply),
+            ClientMsg::HoldCommit { txn, at } => self.handle_hold_commit(txn, at, reply),
+            ClientMsg::HoldRelease { txn, at } => self.handle_hold_release(txn, at, reply),
             ClientMsg::Query { id } => {
                 MetricsRegistry::inc(&self.metrics.queries);
                 let state = if self.pending.contains_key(&id) {
@@ -471,30 +494,8 @@ impl EngineLoop {
             );
             return;
         }
-        if self.config.mode == TimeMode::Virtual {
-            // The clock advances with the submissions: fire every round
-            // due before (or exactly at) this arrival, preserving the
-            // offline tick-before-arrival order at equal timestamps.
-            while self.st.next_tick <= start {
-                // With nothing pending a round is pure bookkeeping (GC
-                // folds into the last round anyway), so jump straight to
-                // the final round due at or before `start`.
-                if self.pending.is_empty() {
-                    let behind = ((start - self.st.next_tick) / self.config.step).floor();
-                    if behind >= 1.0 {
-                        self.st.next_tick += behind * self.config.step;
-                    }
-                }
-                let t = self.st.next_tick;
-                self.run_round(t);
-                if self.dead {
-                    return;
-                }
-            }
-            // Only submissions drive the clock in virtual mode. In real
-            // time the ticker owns `now`; advancing it here would push it
-            // past `next_tick` and make the next round run backwards.
-            self.st.now = self.st.now.max(start);
+        if !self.advance_virtual_clock(start) {
+            return;
         }
 
         match self.validate(&s, start) {
@@ -529,6 +530,251 @@ impl EngineLoop {
                 );
             }
         }
+    }
+
+    /// Drive the virtual clock to `to`: fire every round due before (or
+    /// exactly at) that instant, preserving the offline
+    /// tick-before-arrival order at equal timestamps. Returns `false`
+    /// when a round hit a store failure and the engine must halt
+    /// without replying. In real time the ticker owns `now`; advancing
+    /// it here would push it past `next_tick` and make the next round
+    /// run backwards, so this is a no-op there.
+    fn advance_virtual_clock(&mut self, to: f64) -> bool {
+        if self.config.mode != TimeMode::Virtual {
+            return true;
+        }
+        while self.st.next_tick <= to {
+            // With nothing pending a round is pure bookkeeping (GC folds
+            // into the last round anyway), so jump straight to the final
+            // round due at or before `to`. Live holds veto the jump: the
+            // expiry sweep must see every round boundary to release a
+            // timed-out hold at the round it actually expires.
+            if self.pending.is_empty() && self.st.hold_count() == 0 {
+                let behind = ((to - self.st.next_tick) / self.config.step).floor();
+                if behind >= 1.0 {
+                    self.st.next_tick += behind * self.config.step;
+                }
+            }
+            let t = self.st.next_tick;
+            self.run_round(t);
+            if self.dead {
+                return false;
+            }
+        }
+        self.st.now = self.st.now.max(to);
+        true
+    }
+
+    /// Ingress half of a cross-shard admission: compute the earliest
+    /// max-rate window on the ingress port inside the request's feasible
+    /// range and pin it with a single-port hold. The egress shard
+    /// confirms (or refutes) the same window via `HoldAttach`; each side
+    /// only ever charges the port it owns.
+    fn handle_hold_open(&mut self, s: SubmitReq, reply: Sender<ServerMsg>) {
+        let txn = s.id;
+        if self.draining {
+            self.send_reply(
+                &reply,
+                ServerMsg::HoldDenied {
+                    txn,
+                    reason: RejectReason::ShuttingDown,
+                },
+            );
+            return;
+        }
+        let start = s.start.unwrap_or(self.st.now).max(self.st.now);
+        if !start.is_finite() || start > self.st.now + self.config.max_horizon {
+            self.send_reply(
+                &reply,
+                ServerMsg::HoldDenied {
+                    txn,
+                    reason: RejectReason::Invalid,
+                },
+            );
+            return;
+        }
+        if !self.advance_virtual_clock(start) {
+            return;
+        }
+        if self.st.hold_of(txn).is_some() {
+            self.send_reply(
+                &reply,
+                ServerMsg::HoldDenied {
+                    txn,
+                    reason: RejectReason::Invalid,
+                },
+            );
+            return;
+        }
+        let req = match self.validate(&s, start) {
+            Ok(req) => req,
+            Err(reason) => {
+                self.send_reply(&reply, ServerMsg::HoldDenied { txn, reason });
+                return;
+            }
+        };
+        let duration = req.volume / req.max_rate;
+        let latest_start = req.finish() - duration;
+        let candidate = self
+            .st
+            .ledger
+            .ingress_profile(req.route.ingress)
+            .earliest_fit(start, duration, req.max_rate, latest_start);
+        let Some(t0) = candidate else {
+            self.send_reply(
+                &reply,
+                ServerMsg::HoldDenied {
+                    txn,
+                    reason: RejectReason::Saturated,
+                },
+            );
+            return;
+        };
+        let expires = self.st.now + self.config.hold_timeout;
+        let port = PortRef::In(req.route.ingress);
+        let (bw, finish) = (req.max_rate, t0 + duration);
+        match self.st.place_hold(txn, port, bw, t0, finish, expires) {
+            Ok(_) => {
+                MetricsRegistry::inc(&self.metrics.holds_placed);
+                // Log before replying: a crash after the reply must not
+                // forget capacity the ingress told its peer is pinned.
+                if !self.log_event(WalRecord::HoldPlace {
+                    txn,
+                    port,
+                    bw,
+                    start: t0,
+                    finish,
+                    expires,
+                }) {
+                    return;
+                }
+                self.send_reply(
+                    &reply,
+                    ServerMsg::HoldOpened {
+                        txn,
+                        bw,
+                        start: t0,
+                        finish,
+                        expires,
+                    },
+                );
+            }
+            Err(_) => {
+                self.send_reply(
+                    &reply,
+                    ServerMsg::HoldDenied {
+                        txn,
+                        reason: RejectReason::Saturated,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Egress half of a cross-shard admission: pin the window the
+    /// ingress shard proposed on the local egress port. A `false` ack
+    /// tells the ingress to release its half.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_hold_attach(
+        &mut self,
+        txn: u64,
+        egress: u32,
+        bw: f64,
+        start: f64,
+        finish: f64,
+        at: f64,
+        reply: Sender<ServerMsg>,
+    ) {
+        let shaped = !self.draining
+            && at.is_finite()
+            && at <= self.st.now + self.config.max_horizon
+            && bw.is_finite()
+            && bw > 0.0
+            && start.is_finite()
+            && finish.is_finite()
+            && finish > start;
+        if !shaped {
+            self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
+            return;
+        }
+        if !self.advance_virtual_clock(at.max(self.st.now)) {
+            return;
+        }
+        if self.st.hold_of(txn).is_some() {
+            self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
+            return;
+        }
+        let port = PortRef::Out(EgressId(egress));
+        let expires = self.st.now + self.config.hold_timeout;
+        match self.st.place_hold(txn, port, bw, start, finish, expires) {
+            Ok(_) => {
+                MetricsRegistry::inc(&self.metrics.holds_placed);
+                if !self.log_event(WalRecord::HoldPlace {
+                    txn,
+                    port,
+                    bw,
+                    start,
+                    finish,
+                    expires,
+                }) {
+                    return;
+                }
+                self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: true });
+            }
+            Err(_) => self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false }),
+        }
+    }
+
+    /// Second phase, success: mark the local hold committed. It stays
+    /// charged on its port for its full window (GC reclaims it when the
+    /// window passes) and becomes exempt from the expiry sweep.
+    fn handle_hold_commit(&mut self, txn: u64, at: f64, reply: Sender<ServerMsg>) {
+        if !(at.is_finite() && at <= self.st.now + self.config.max_horizon) {
+            self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
+            return;
+        }
+        if !self.advance_virtual_clock(at.max(self.st.now)) {
+            return;
+        }
+        if self.st.hold_of(txn).is_none() {
+            // The expiry sweep may have won the race; the coordinator
+            // treats a failed commit as a loss it must reconcile.
+            self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
+            return;
+        }
+        // Log before the in-memory flip: replay must re-commit exactly
+        // the holds the live engine committed.
+        if !self.log_event(WalRecord::HoldCommit { txn }) {
+            return;
+        }
+        let ok = self.st.commit_hold(txn);
+        debug_assert!(ok);
+        MetricsRegistry::inc(&self.metrics.holds_committed);
+        self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: true });
+    }
+
+    /// Second phase, failure: drop the local hold and free its pinned
+    /// capacity. Unknown transactions ack `false` — the expiry sweep
+    /// may already have reclaimed the hold, which is not an error.
+    fn handle_hold_release(&mut self, txn: u64, at: f64, reply: Sender<ServerMsg>) {
+        if !(at.is_finite() && at <= self.st.now + self.config.max_horizon) {
+            self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
+            return;
+        }
+        if !self.advance_virtual_clock(at.max(self.st.now)) {
+            return;
+        }
+        if self.st.hold_of(txn).is_none() {
+            self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
+            return;
+        }
+        if !self.log_event(WalRecord::HoldRelease { txn }) {
+            return;
+        }
+        let ok = self.st.release_hold(txn);
+        debug_assert!(ok);
+        MetricsRegistry::inc(&self.metrics.holds_released);
+        self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: true });
     }
 
     /// Non-panicking mirror of `Request::new`'s contract; a daemon must
@@ -604,6 +850,20 @@ impl EngineLoop {
     /// replies are dropped and the engine halts.
     fn run_round(&mut self, t: f64) {
         debug_assert!(t >= self.st.now - EPS, "round time going backwards");
+        // Sweep uncommitted holds whose timeout elapsed before anything
+        // else sees the round: a lost `HoldAck` or a commit that never
+        // arrived surfaces here as reclaimed capacity. Each release is
+        // its own WAL record, appended ahead of the round record so
+        // replay frees the capacity in the same order the live round
+        // did.
+        for txn in self.st.expired_holds(t) {
+            if !self.log_event(WalRecord::HoldRelease { txn }) {
+                return;
+            }
+            let ok = self.st.release_hold(txn);
+            debug_assert!(ok);
+            MetricsRegistry::inc(&self.metrics.holds_expired);
+        }
         self.st.begin_round(t);
         MetricsRegistry::inc(&self.metrics.ticks);
         let reclaimed = self.st.gc_expired(t);
@@ -1345,6 +1605,141 @@ mod tests {
             other => panic!("expected stats, got {other:?}"),
         }
         drop(rx);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn hold_open_attach_commit_pins_capacity_until_the_window_ends() {
+        let mut cfg = EngineConfig::new(Topology::uniform(2, 2, 100.0));
+        cfg.step = 10.0;
+        let engine = Engine::spawn(cfg);
+        // Ingress half: earliest max-rate window on ingress 0.
+        let open = rpc(
+            &engine,
+            ClientMsg::HoldOpen(SubmitReq {
+                id: 1,
+                ingress: 0,
+                egress: 1,
+                volume: 1000.0,
+                max_rate: 100.0,
+                start: Some(0.0),
+                deadline: Some(100.0),
+            }),
+        );
+        let (bw, start, finish) = match open {
+            ServerMsg::HoldOpened {
+                txn: 1,
+                bw,
+                start,
+                finish,
+                ..
+            } => (bw, start, finish),
+            other => panic!("expected hold, got {other:?}"),
+        };
+        assert_eq!((bw, start, finish), (100.0, 0.0, 10.0));
+        // Egress half. In a cluster the two halves live on different
+        // shard engines; here one engine plays both roles, so the
+        // attach needs its own transaction id (the hold table is keyed
+        // by txn, one hold per txn per engine).
+        match rpc(
+            &engine,
+            ClientMsg::HoldAttach {
+                txn: 2,
+                egress: 1,
+                bw,
+                start,
+                finish,
+                at: 0.0,
+            },
+        ) {
+            ServerMsg::HoldAck { txn: 2, ok } => assert!(ok),
+            other => panic!("expected ack, got {other:?}"),
+        }
+        for txn in [1, 2] {
+            match rpc(&engine, ClientMsg::HoldCommit { txn, at: 0.0 }) {
+                ServerMsg::HoldAck { ok, .. } => assert!(ok),
+                other => panic!("expected ack, got {other:?}"),
+            }
+        }
+        // The window is pinned: a full-port transfer overlapping it on
+        // the same ingress is rejected, one after it fits.
+        let d = rpc_all_no_drain(
+            &engine,
+            vec![ClientMsg::Submit(SubmitReq {
+                id: 3,
+                ingress: 0,
+                egress: 0,
+                volume: 1000.0,
+                max_rate: 100.0,
+                start: Some(0.0),
+                deadline: Some(10.0),
+            })],
+            12.0,
+        );
+        assert!(matches!(d[0], ServerMsg::Rejected { .. }), "{:?}", d[0]);
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => {
+                assert_eq!(s.holds_placed, 2);
+                assert_eq!(s.holds_committed, 2);
+                assert_eq!(s.holds_expired, 0);
+                assert_eq!(s.role, "solo");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn uncommitted_holds_expire_and_free_their_capacity() {
+        let mut cfg = EngineConfig::new(Topology::uniform(1, 1, 100.0));
+        cfg.step = 10.0;
+        cfg.hold_timeout = 15.0;
+        let engine = Engine::spawn(cfg);
+        match rpc(
+            &engine,
+            ClientMsg::HoldOpen(SubmitReq {
+                id: 1,
+                ingress: 0,
+                egress: 0,
+                volume: 4000.0,
+                max_rate: 100.0,
+                start: Some(0.0),
+                deadline: Some(200.0),
+            }),
+        ) {
+            ServerMsg::HoldOpened { txn: 1, .. } => {}
+            other => panic!("expected hold, got {other:?}"),
+        }
+        // No commit arrives. The round at t=20 is the first past
+        // expires = 15; its sweep releases the hold, so a transfer
+        // needing the whole port fits afterwards.
+        let d = rpc_all_no_drain(
+            &engine,
+            vec![ClientMsg::Submit(SubmitReq {
+                id: 2,
+                ingress: 0,
+                egress: 0,
+                volume: 3000.0,
+                max_rate: 100.0,
+                start: Some(20.0),
+                deadline: Some(80.0),
+            })],
+            32.0,
+        );
+        assert!(matches!(d[0], ServerMsg::Accepted { .. }), "{:?}", d[0]);
+        // A release after the sweep acks `false`: the hold is gone.
+        match rpc(&engine, ClientMsg::HoldRelease { txn: 1, at: 30.0 }) {
+            ServerMsg::HoldAck { txn: 1, ok } => assert!(!ok),
+            other => panic!("expected ack, got {other:?}"),
+        }
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => {
+                assert_eq!(s.holds_placed, 1);
+                assert_eq!(s.holds_expired, 1);
+                assert_eq!(s.holds_committed, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
         engine.shutdown();
     }
 

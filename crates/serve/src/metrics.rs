@@ -18,15 +18,21 @@ pub enum Role {
     Primary,
     /// Mirroring a primary's WAL; read-only until promoted.
     Follower,
+    /// One shard primary of a topology-sharded cluster: serving the
+    /// routed slice of the port space (and possibly replicating to its
+    /// own standby).
+    Shard,
 }
 
 impl Role {
-    /// Wire string for the `Stats` reply (`solo`/`primary`/`follower`).
+    /// Wire string for the `Stats` reply
+    /// (`solo`/`primary`/`follower`/`shard`).
     pub fn as_str(self) -> &'static str {
         match self {
             Role::Solo => "solo",
             Role::Primary => "primary",
             Role::Follower => "follower",
+            Role::Shard => "shard",
         }
     }
 
@@ -34,6 +40,7 @@ impl Role {
         match v {
             1 => Role::Primary,
             2 => Role::Follower,
+            3 => Role::Shard,
             _ => Role::Solo,
         }
     }
@@ -43,6 +50,7 @@ impl Role {
             Role::Solo => 0,
             Role::Primary => 1,
             Role::Follower => 2,
+            Role::Shard => 3,
         }
     }
 }
@@ -238,6 +246,15 @@ pub struct MetricsRegistry {
     /// Follower side: beacon mismatches — replica state diverged from
     /// the primary. Must stay 0; anything else is a replication bug.
     pub repl_divergence: AtomicU64,
+    /// Two-phase holds placed on this shard (prepare steps).
+    pub holds_placed: AtomicU64,
+    /// Two-phase holds committed.
+    pub holds_committed: AtomicU64,
+    /// Two-phase holds released by an explicit abort.
+    pub holds_released: AtomicU64,
+    /// Two-phase holds released by the expiry sweep — a lost `HoldAck`
+    /// or commit surfaced as a timeout rather than a rejection.
+    pub holds_expired: AtomicU64,
     /// Process start, for `uptime_s`.
     started: StartClock,
 }
@@ -318,6 +335,10 @@ impl MetricsRegistry {
             repl_frames_damaged: ld(&self.repl_frames_damaged),
             repl_beacons_checked: ld(&self.repl_beacons_checked),
             repl_divergence: ld(&self.repl_divergence),
+            holds_placed: ld(&self.holds_placed),
+            holds_committed: ld(&self.holds_committed),
+            holds_released: ld(&self.holds_released),
+            holds_expired: ld(&self.holds_expired),
             pending,
             live_reservations,
             virtual_time,
@@ -331,7 +352,7 @@ impl MetricsRegistry {
 /// by the periodic JSON dump.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
-    /// Replication role: `solo`, `primary`, or `follower`.
+    /// Replication role: `solo`, `primary`, `follower`, or `shard`.
     pub role: String,
     /// Seconds this daemon has been up.
     pub uptime_s: u64,
@@ -403,6 +424,14 @@ pub struct StatsSnapshot {
     pub repl_beacons_checked: u64,
     /// Follower: beacon mismatches (must be 0).
     pub repl_divergence: u64,
+    /// Two-phase holds placed on this shard.
+    pub holds_placed: u64,
+    /// Two-phase holds committed.
+    pub holds_committed: u64,
+    /// Two-phase holds released by an explicit abort.
+    pub holds_released: u64,
+    /// Two-phase holds released by the expiry sweep (timeouts).
+    pub holds_expired: u64,
     /// Submissions awaiting the next round.
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.
@@ -491,6 +520,9 @@ mod tests {
         m.set_role(Role::Follower);
         assert_eq!(m.get_role(), Role::Follower);
         assert_eq!(m.snapshot(0, 0, 0.0).role, "follower");
+        m.set_role(Role::Shard);
+        assert_eq!(m.get_role(), Role::Shard);
+        assert_eq!(m.snapshot(0, 0, 0.0).role, "shard");
         m.set_role(Role::Primary);
         let snap = m.snapshot(0, 0, 0.0);
         assert_eq!(snap.role, "primary");

@@ -62,6 +62,48 @@ pub struct SubmitReq {
 pub enum ClientMsg {
     /// Submit a transfer for batched admission.
     Submit(SubmitReq),
+    /// Open the ingress half of a §5.4 two-phase cross-shard admission:
+    /// compute the earliest candidate window on the local ingress port
+    /// and pin it with a capacity hold. The `id` is the cluster-wide
+    /// transaction id. Answered immediately (not round-batched) with
+    /// `HoldOpened` or `HoldDenied`.
+    HoldOpen(SubmitReq),
+    /// Pin an already-computed window on the local egress port — the
+    /// remote half of a transaction opened on another shard. Answered
+    /// with `HoldAck { ok: true }` or `HoldDenied`.
+    HoldAttach {
+        /// Cluster-wide transaction id.
+        txn: u64,
+        /// Egress port index the hold charges.
+        egress: u32,
+        /// Held constant bandwidth (MB/s).
+        bw: f64,
+        /// Start of the held window (virtual seconds).
+        start: f64,
+        /// End of the held window (virtual seconds).
+        finish: f64,
+        /// Sender's virtual clock, so the receiving shard's clock (and
+        /// its hold-expiry sweep) advances even on pure cross-shard
+        /// traffic.
+        at: f64,
+    },
+    /// Commit the hold for `txn`: it stays charged for its full window
+    /// and is no longer subject to expiry. Answered with `HoldAck`.
+    HoldCommit {
+        /// Cluster-wide transaction id.
+        txn: u64,
+        /// Sender's virtual clock (same role as in `HoldAttach`).
+        at: f64,
+    },
+    /// Release the hold for `txn` (abort). Answered with `HoldAck`;
+    /// releasing an unknown transaction acks `ok: false` (the expiry
+    /// sweep may have beaten the abort — that is not an error).
+    HoldRelease {
+        /// Cluster-wide transaction id.
+        txn: u64,
+        /// Sender's virtual clock (same role as in `HoldAttach`).
+        at: f64,
+    },
     /// Cancel a previously accepted transfer, freeing its reservation.
     Cancel {
         /// Id used at submission.
@@ -166,6 +208,34 @@ pub enum ServerMsg {
         /// `Status` lines still parse.
         alloc: Option<(f64, f64, f64)>,
     },
+    /// Reply to `HoldOpen`: the candidate window was computed and its
+    /// ingress half is pinned.
+    HoldOpened {
+        /// Cluster-wide transaction id.
+        txn: u64,
+        /// Candidate constant bandwidth (MB/s).
+        bw: f64,
+        /// Candidate start σ (virtual seconds).
+        start: f64,
+        /// Candidate finish τ (virtual seconds).
+        finish: f64,
+        /// Virtual deadline after which the uncommitted hold is swept.
+        expires: f64,
+    },
+    /// Reply to `HoldOpen`/`HoldAttach`: the hold could not be placed.
+    HoldDenied {
+        /// Cluster-wide transaction id.
+        txn: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Reply to `HoldAttach`/`HoldCommit`/`HoldRelease`.
+    HoldAck {
+        /// Cluster-wide transaction id.
+        txn: u64,
+        /// Whether the operation took effect.
+        ok: bool,
+    },
     /// Reply to `Stats`.
     Stats(StatsSnapshot),
     /// Reply to `Drain`: pending submissions decided by the final round.
@@ -246,6 +316,35 @@ mod tests {
     }
 
     #[test]
+    fn hold_messages_round_trip() {
+        let msgs = vec![
+            ClientMsg::HoldOpen(SubmitReq {
+                id: 42,
+                ingress: 0,
+                egress: 3,
+                volume: 500.0,
+                max_rate: 25.0,
+                start: Some(10.0),
+                deadline: Some(100.0),
+            }),
+            ClientMsg::HoldAttach {
+                txn: 42,
+                egress: 3,
+                bw: 25.0,
+                start: 10.0,
+                finish: 30.0,
+                at: 10.0,
+            },
+            ClientMsg::HoldCommit { txn: 42, at: 12.0 },
+            ClientMsg::HoldRelease { txn: 42, at: 12.0 },
+        ];
+        for msg in msgs {
+            let line = encode_client(&msg);
+            assert_eq!(decode_client(&line).unwrap(), msg, "line {line}");
+        }
+    }
+
+    #[test]
     fn version_mismatch_is_an_error_reply() {
         let line = r#"{"v": 99, "body": "Stats"}"#;
         match decode_client(line) {
@@ -323,6 +422,18 @@ mod tests {
                 alloc: Some((25.0, 10.0, 50.0)),
             },
             ServerMsg::Draining { pending: 5 },
+            ServerMsg::HoldOpened {
+                txn: 6,
+                bw: 12.5,
+                start: 10.0,
+                finish: 30.0,
+                expires: 110.0,
+            },
+            ServerMsg::HoldDenied {
+                txn: 7,
+                reason: RejectReason::Saturated,
+            },
+            ServerMsg::HoldAck { txn: 8, ok: true },
             ServerMsg::Error {
                 code: "parse".into(),
                 message: "bad".into(),

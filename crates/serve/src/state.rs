@@ -13,11 +13,13 @@
 //! engine loop, while replay reports its counts through [`ReplayTally`]
 //! so each consumer can fold them into its own registry (or ignore them).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use gridband_net::{CapacityLedger, ReservationId, Route, Topology};
+use gridband_net::{
+    CapacityLedger, HoldId, NetResult, PortHold, PortRef, ReservationId, Route, Topology,
+};
 use gridband_store::{
-    EngineSnapshot, RequestOutcome, RoundDecision, StoreError, StoreResult, WalRecord,
+    EngineSnapshot, HoldState, RequestOutcome, RoundDecision, StoreError, StoreResult, WalRecord,
     SNAPSHOT_VERSION,
 };
 
@@ -38,8 +40,29 @@ pub struct ReplayTally {
     pub cancelled: u64,
     /// Early rejects re-applied.
     pub refused_early: u64,
-    /// Expired reservations garbage-collected during replay.
+    /// Expired reservations (and ended holds) garbage-collected during
+    /// replay.
     pub gc_reclaimed: u64,
+    /// Two-phase holds re-placed.
+    pub holds_placed: u64,
+    /// Two-phase holds re-committed.
+    pub holds_committed: u64,
+    /// Two-phase holds re-released.
+    pub holds_released: u64,
+}
+
+/// Engine-side bookkeeping for one live two-phase hold: which ledger
+/// hold charges its capacity, when it times out, and whether it has been
+/// committed (committed holds are exempt from the expiry sweep and stay
+/// charged for their full window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineHold {
+    /// Ledger hold pinning the capacity.
+    pub hold: HoldId,
+    /// Virtual deadline after which an uncommitted hold is swept.
+    pub expires: f64,
+    /// Whether the cross-shard transaction committed this hold.
+    pub committed: bool,
 }
 
 /// The engine state that snapshots persist and WAL replay rebuilds.
@@ -70,6 +93,10 @@ pub struct EngineState {
     accepted_res: HashMap<u64, ReservationId>,
     /// Reverse map: reservation id → client id.
     res_owner: HashMap<u64, u64>,
+    /// Live two-phase holds by transaction id. A `BTreeMap` so the
+    /// expiry sweep and snapshot export walk holds in one deterministic
+    /// order — a prerequisite for bit-identical replay.
+    holds: BTreeMap<u64, EngineHold>,
 }
 
 impl EngineState {
@@ -87,6 +114,7 @@ impl EngineState {
             history: VecDeque::new(),
             accepted_res: HashMap::new(),
             res_owner: HashMap::new(),
+            holds: BTreeMap::new(),
         }
     }
 
@@ -115,6 +143,26 @@ impl EngineState {
         for (id, rid) in snap.accepted {
             self.accepted_res.insert(id, ReservationId(rid));
             self.res_owner.insert(rid, id);
+        }
+        for h in snap.holds {
+            if self.ledger.get_hold(HoldId(h.hold)).is_none() {
+                return Err(StoreError::corrupt(
+                    file,
+                    0,
+                    format!(
+                        "hold table references ledger hold #{} which is not live",
+                        h.hold
+                    ),
+                ));
+            }
+            self.holds.insert(
+                h.txn,
+                EngineHold {
+                    hold: HoldId(h.hold),
+                    expires: h.expires,
+                    committed: h.committed,
+                },
+            );
         }
         Ok(())
     }
@@ -185,6 +233,53 @@ impl EngineState {
                 tally.refused_early += 1;
                 self.record_state(id, ReqState::Rejected);
             }
+            WalRecord::HoldPlace {
+                txn,
+                port,
+                bw,
+                start,
+                finish,
+                expires,
+            } => {
+                // The live engine logs a HoldPlace only after the hold
+                // took effect, so replay re-places it strictly.
+                if self.holds.contains_key(&txn) {
+                    return Err(StoreError::corrupt(
+                        file,
+                        offset,
+                        format!("duplicate hold for txn #{txn}"),
+                    ));
+                }
+                self.place_hold(txn, port, bw, start, finish, expires)
+                    .map_err(|e| {
+                        StoreError::corrupt(
+                            file,
+                            offset,
+                            format!("logged hold no longer fits: {e}"),
+                        )
+                    })?;
+                tally.holds_placed += 1;
+            }
+            WalRecord::HoldCommit { txn } => {
+                if !self.commit_hold(txn) {
+                    return Err(StoreError::corrupt(
+                        file,
+                        offset,
+                        format!("commit of unknown hold txn #{txn}"),
+                    ));
+                }
+                tally.holds_committed += 1;
+            }
+            WalRecord::HoldRelease { txn } => {
+                if !self.release_hold(txn) {
+                    return Err(StoreError::corrupt(
+                        file,
+                        offset,
+                        format!("release of unknown hold txn #{txn}"),
+                    ));
+                }
+                tally.holds_released += 1;
+            }
         }
         Ok(())
     }
@@ -211,6 +306,16 @@ impl EngineState {
                 Some((*id, outcome))
             })
             .collect();
+        let holds = self
+            .holds
+            .iter()
+            .map(|(&txn, h)| HoldState {
+                txn,
+                hold: h.hold.0,
+                expires: h.expires,
+                committed: h.committed,
+            })
+            .collect();
         EngineSnapshot {
             version: SNAPSHOT_VERSION,
             now: self.now,
@@ -219,6 +324,7 @@ impl EngineState {
             ledger: self.ledger.export_state(),
             accepted,
             states,
+            holds,
         }
     }
 
@@ -252,7 +358,90 @@ impl EngineState {
                 }
             }
         }
+        // Holds whose window has fully passed are equally dead weight,
+        // committed or not; release them in ascending txn order so live
+        // rounds and replay free them in the same sequence.
+        let ended: Vec<u64> = self
+            .holds
+            .iter()
+            .filter(|(_, h)| self.ledger.get_hold(h.hold).is_none_or(|ph| ph.end <= t))
+            .map(|(&txn, _)| txn)
+            .collect();
+        for txn in ended {
+            if self.release_hold(txn) {
+                reclaimed += 1;
+            }
+        }
         reclaimed
+    }
+
+    /// Place a two-phase hold for `txn`: pin `bw` on `port` over
+    /// `[start, finish)` in the ledger and register it in the hold
+    /// table. Shared by the live engine and WAL replay so both perform
+    /// the identical ledger operation.
+    pub fn place_hold(
+        &mut self,
+        txn: u64,
+        port: PortRef,
+        bw: f64,
+        start: f64,
+        finish: f64,
+        expires: f64,
+    ) -> NetResult<HoldId> {
+        let hid = self.ledger.hold(port, start, finish, bw)?;
+        self.holds.insert(
+            txn,
+            EngineHold {
+                hold: hid,
+                expires,
+                committed: false,
+            },
+        );
+        Ok(hid)
+    }
+
+    /// Mark `txn`'s hold committed (exempt from the expiry sweep) and
+    /// record the transaction as accepted. Returns `false` for unknown
+    /// transactions.
+    pub fn commit_hold(&mut self, txn: u64) -> bool {
+        let Some(h) = self.holds.get_mut(&txn) else {
+            return false;
+        };
+        h.committed = true;
+        self.record_state(txn, ReqState::Accepted);
+        true
+    }
+
+    /// Release `txn`'s hold, freeing its pinned capacity. Returns
+    /// `false` for unknown transactions.
+    pub fn release_hold(&mut self, txn: u64) -> bool {
+        let Some(h) = self.holds.remove(&txn) else {
+            return false;
+        };
+        self.ledger.release_hold(h.hold).is_ok()
+    }
+
+    /// The live hold for `txn`, if any: the ledger's port/window/bw plus
+    /// the engine-side expiry bookkeeping.
+    pub fn hold_of(&self, txn: u64) -> Option<(PortHold, EngineHold)> {
+        let eh = self.holds.get(&txn)?;
+        let ph = self.ledger.get_hold(eh.hold)?;
+        Some((*ph, *eh))
+    }
+
+    /// Number of live two-phase holds.
+    pub fn hold_count(&self) -> usize {
+        self.holds.len()
+    }
+
+    /// Transactions whose holds are uncommitted and past `expires` at
+    /// time `t`, in ascending txn order (the expiry sweep's work list).
+    pub fn expired_holds(&self, t: f64) -> Vec<u64> {
+        self.holds
+            .iter()
+            .filter(|(_, h)| !h.committed && h.expires <= t)
+            .map(|(&txn, _)| txn)
+            .collect()
     }
 
     /// Record a decided state, evicting the oldest entry beyond the
@@ -415,6 +604,115 @@ mod tests {
         assert_eq!(tally.gc_reclaimed, 1);
         assert!(s.alloc_of(2).is_none(), "expired reservation is gone");
         assert_eq!(s.state_of(2), Some(ReqState::Accepted));
+    }
+
+    #[test]
+    fn hold_replay_round_trips_through_export_and_restore() {
+        let mut a = state();
+        let mut tally = ReplayTally::default();
+        let place = |txn: u64, port, expires| WalRecord::HoldPlace {
+            txn,
+            port,
+            bw: 40.0,
+            start: 10.0,
+            finish: 30.0,
+            expires,
+        };
+        a.apply(
+            place(5, PortRef::In(gridband_net::IngressId(0)), 25.0),
+            "wal-0",
+            8,
+            &mut tally,
+        )
+        .unwrap();
+        a.apply(
+            place(6, PortRef::Out(gridband_net::EgressId(1)), 25.0),
+            "wal-0",
+            64,
+            &mut tally,
+        )
+        .unwrap();
+        a.apply(WalRecord::HoldCommit { txn: 5 }, "wal-0", 128, &mut tally)
+            .unwrap();
+        a.apply(WalRecord::HoldRelease { txn: 6 }, "wal-0", 192, &mut tally)
+            .unwrap();
+        assert_eq!(
+            (
+                tally.holds_placed,
+                tally.holds_committed,
+                tally.holds_released
+            ),
+            (2, 1, 1)
+        );
+        assert_eq!(a.hold_count(), 1);
+        assert_eq!(a.state_of(5), Some(ReqState::Accepted));
+        let (ph, eh) = a.hold_of(5).unwrap();
+        assert_eq!(ph.bw, 40.0);
+        assert!(eh.committed);
+
+        // Snapshot round-trip carries the hold table.
+        let snap = a.export();
+        let mut b = state();
+        b.restore(snap.clone(), "snap-0").unwrap();
+        assert_eq!(b.export(), snap);
+        assert_eq!(b.hold_count(), 1);
+
+        // A snapshot whose hold table references a dead ledger hold is
+        // rejected, not silently mis-restored.
+        let mut bad = snap.clone();
+        bad.holds[0].hold += 7;
+        assert!(b2_restore_fails(bad));
+
+        // GC releases the committed hold once its window has passed.
+        assert_eq!(a.gc_expired(30.0), 1);
+        assert_eq!(a.hold_count(), 0);
+        assert!(a
+            .ledger
+            .ingress_profile(gridband_net::IngressId(0))
+            .is_empty());
+    }
+
+    fn b2_restore_fails(snap: EngineSnapshot) -> bool {
+        state().restore(snap, "snap-bad").is_err()
+    }
+
+    #[test]
+    fn expired_holds_lists_only_uncommitted_past_deadline() {
+        let mut s = state();
+        s.place_hold(
+            1,
+            PortRef::In(gridband_net::IngressId(0)),
+            10.0,
+            0.0,
+            50.0,
+            20.0,
+        )
+        .unwrap();
+        s.place_hold(
+            2,
+            PortRef::In(gridband_net::IngressId(1)),
+            10.0,
+            0.0,
+            50.0,
+            20.0,
+        )
+        .unwrap();
+        s.place_hold(
+            3,
+            PortRef::Out(gridband_net::EgressId(0)),
+            10.0,
+            0.0,
+            50.0,
+            40.0,
+        )
+        .unwrap();
+        assert!(s.commit_hold(2));
+        assert_eq!(s.expired_holds(10.0), Vec::<u64>::new());
+        // txn 2 is committed, txn 3 not yet due: only txn 1 expires.
+        assert_eq!(s.expired_holds(25.0), vec![1]);
+        assert_eq!(s.expired_holds(45.0), vec![1, 3]);
+        assert!(s.release_hold(1));
+        assert!(!s.release_hold(1), "double release is refused");
     }
 
     #[test]

@@ -37,12 +37,29 @@ fn submit_req() -> impl Strategy<Value = SubmitReq> {
 }
 
 fn client_msg() -> impl Strategy<Value = ClientMsg> {
-    (0u8..6, submit_req()).prop_map(|(variant, sub)| match variant {
+    (0u8..10, submit_req()).prop_map(|(variant, sub)| match variant {
         0 => ClientMsg::Submit(sub),
         1 => ClientMsg::Cancel { id: sub.id },
         2 => ClientMsg::Query { id: sub.id },
         3 => ClientMsg::Stats,
         4 => ClientMsg::Promote,
+        5 => ClientMsg::HoldOpen(sub),
+        6 => ClientMsg::HoldAttach {
+            txn: sub.id,
+            egress: sub.egress,
+            bw: sub.max_rate,
+            start: sub.start.unwrap_or(0.5),
+            finish: sub.deadline.unwrap_or(1.5),
+            at: sub.volume,
+        },
+        7 => ClientMsg::HoldCommit {
+            txn: sub.id,
+            at: sub.volume,
+        },
+        8 => ClientMsg::HoldRelease {
+            txn: sub.id,
+            at: sub.volume,
+        },
         _ => ClientMsg::Drain,
     })
 }
@@ -113,6 +130,10 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 repl_frames_damaged: queue_full % 2,
                 repl_beacons_checked: ticks / 4,
                 repl_divergence: 0,
+                holds_placed: cancelled + queries,
+                holds_committed: cancelled,
+                holds_released: queries / 2,
+                holds_expired: queries % 7,
                 pending,
                 live_reservations: count,
                 virtual_time,
@@ -136,7 +157,7 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
 
 fn server_msg() -> impl Strategy<Value = ServerMsg> {
     (
-        (0u8..8, 0u64..1_000_000, 0u8..7, 0u8..5),
+        (0u8..9, 0u64..1_000_000, 0u8..7, 0u8..5),
         (wire_f64(), wire_f64(), wire_f64()),
         stats_snapshot(),
     )
@@ -181,7 +202,21 @@ fn server_msg() -> impl Strategy<Value = ServerMsg> {
                     },
                     4 => ServerMsg::Stats(stats),
                     5 => ServerMsg::Draining { pending: id },
-                    6 => ServerMsg::Promoted { rounds: id },
+                    6 => match id % 3 {
+                        0 => ServerMsg::HoldOpened {
+                            txn: id,
+                            bw,
+                            start,
+                            finish,
+                            expires: finish,
+                        },
+                        1 => ServerMsg::HoldDenied { txn: id, reason },
+                        _ => ServerMsg::HoldAck {
+                            txn: id,
+                            ok: id % 2 == 0,
+                        },
+                    },
+                    7 => ServerMsg::Promoted { rounds: id },
                     _ => ServerMsg::Error {
                         code: format!("code-{}", id % 7),
                         message: format!("detail {id}"),

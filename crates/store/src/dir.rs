@@ -15,7 +15,63 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic write-sequence condvar published by a [`Dir`].
+///
+/// Every mutating operation bumps the sequence and wakes waiters, so a
+/// log tailer (the WAL shipper) can *block* until the directory changes
+/// instead of polling on a timer. The sequence carries no meaning beyond
+/// "something was written since you last looked": waiters re-scan the
+/// directory and go back to sleep on spurious wakeups.
+#[derive(Debug, Default)]
+pub struct DirSignal {
+    seq: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl DirSignal {
+    /// A fresh signal at sequence 0.
+    pub fn new() -> DirSignal {
+        DirSignal::default()
+    }
+
+    /// Current write sequence. Sample this *before* scanning the
+    /// directory, then pass it to [`wait_past`](Self::wait_past): a write
+    /// landing between the scan and the wait bumps the sequence past the
+    /// sample, so the wait returns immediately instead of losing the
+    /// wakeup.
+    pub fn seq(&self) -> u64 {
+        *self.seq.lock().expect("DirSignal lock poisoned")
+    }
+
+    /// Bump the sequence and wake all waiters.
+    pub fn notify(&self) {
+        let mut seq = self.seq.lock().expect("DirSignal lock poisoned");
+        *seq += 1;
+        self.cond.notify_all();
+    }
+
+    /// Block until the sequence advances past `seen` or `timeout`
+    /// elapses; returns the sequence at wakeup.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut seq = self.seq.lock().expect("DirSignal lock poisoned");
+        while *seq <= seen {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(seq, left)
+                .expect("DirSignal lock poisoned");
+            seq = guard;
+        }
+        *seq
+    }
+}
 
 /// A flat directory of named files supporting the operations the store
 /// needs: append-only writes, whole-file reads, fsync, atomic replace,
@@ -45,6 +101,13 @@ pub trait Dir: Send + Sync + fmt::Debug {
     /// Truncate a file to `len` bytes (used to drop a torn WAL tail so
     /// later appends extend a valid log).
     fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+
+    /// The write-wakeup signal for this directory, if the implementation
+    /// publishes one. Tailers use it to sleep until the next write
+    /// instead of polling; `None` (the default) means "poll".
+    fn signal(&self) -> Option<&DirSignal> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -56,6 +119,7 @@ pub trait Dir: Send + Sync + fmt::Debug {
 pub struct FsDir {
     path: PathBuf,
     handles: Mutex<HashMap<String, File>>,
+    signal: DirSignal,
 }
 
 impl fmt::Debug for FsDir {
@@ -72,6 +136,7 @@ impl FsDir {
         Ok(FsDir {
             path,
             handles: Mutex::new(HashMap::new()),
+            signal: DirSignal::new(),
         })
     }
 
@@ -122,7 +187,10 @@ impl Dir for FsDir {
         handles
             .get_mut(name)
             .expect("inserted above")
-            .write_all(data)
+            .write_all(data)?;
+        drop(handles);
+        self.signal.notify();
+        Ok(())
     }
 
     fn sync(&self, name: &str) -> io::Result<()> {
@@ -156,7 +224,9 @@ impl Dir for FsDir {
             .expect("FsDir lock poisoned")
             .remove(name);
         fs::rename(&tmp, self.file_path(name))?;
-        self.sync_dir()
+        self.sync_dir()?;
+        self.signal.notify();
+        Ok(())
     }
 
     fn remove(&self, name: &str) -> io::Result<()> {
@@ -165,7 +235,11 @@ impl Dir for FsDir {
             .expect("FsDir lock poisoned")
             .remove(name);
         match fs::remove_file(self.file_path(name)) {
-            Ok(()) => self.sync_dir(),
+            Ok(()) => {
+                self.sync_dir()?;
+                self.signal.notify();
+                Ok(())
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
@@ -181,7 +255,13 @@ impl Dir for FsDir {
             .remove(name);
         let f = OpenOptions::new().write(true).open(self.file_path(name))?;
         f.set_len(len)?;
-        f.sync_data()
+        f.sync_data()?;
+        self.signal.notify();
+        Ok(())
+    }
+
+    fn signal(&self) -> Option<&DirSignal> {
+        Some(&self.signal)
     }
 }
 
@@ -208,6 +288,7 @@ struct MemInner {
 #[derive(Debug, Default)]
 pub struct MemDir {
     inner: Mutex<MemInner>,
+    signal: DirSignal,
 }
 
 impl MemDir {
@@ -253,6 +334,7 @@ impl MemDir {
             .expect("MemDir lock poisoned")
             .files
             .insert(name.to_string(), data);
+        self.signal.notify();
     }
 
     /// Take `budget` bytes out of the write budget; returns how many of
@@ -296,6 +378,10 @@ impl Dir for MemDir {
         let (landed, torn) = Self::charge(&mut inner, data.len() as u64);
         let file = inner.files.entry(name.to_string()).or_default();
         file.extend_from_slice(&data[..landed]);
+        drop(inner);
+        // Notify even on a torn write: a prefix landed, and waking a
+        // tailer that finds nothing new is harmless.
+        self.signal.notify();
         if torn {
             Err(io::Error::other("injected torn write (budget exhausted)"))
         } else {
@@ -317,6 +403,8 @@ impl Dir for MemDir {
             return Err(io::Error::other("injected torn write (budget exhausted)"));
         }
         inner.files.insert(name.to_string(), data.to_vec());
+        drop(inner);
+        self.signal.notify();
         Ok(())
     }
 
@@ -326,6 +414,7 @@ impl Dir for MemDir {
             .expect("MemDir lock poisoned")
             .files
             .remove(name);
+        self.signal.notify();
         Ok(())
     }
 
@@ -334,6 +423,8 @@ impl Dir for MemDir {
         match inner.files.get_mut(name) {
             Some(f) => {
                 f.truncate(len as usize);
+                drop(inner);
+                self.signal.notify();
                 Ok(())
             }
             None => Err(io::Error::new(
@@ -341,6 +432,10 @@ impl Dir for MemDir {
                 format!("no file `{name}`"),
             )),
         }
+    }
+
+    fn signal(&self) -> Option<&DirSignal> {
+        Some(&self.signal)
     }
 }
 
@@ -383,6 +478,67 @@ mod tests {
         d.set_write_budget(2);
         assert!(d.replace("s", b"newer").is_err());
         assert_eq!(d.read("s").unwrap(), b"old");
+    }
+
+    #[test]
+    fn dir_signal_bumps_on_every_mutation() {
+        let d = MemDir::new();
+        let sig = d.signal().expect("MemDir publishes a signal");
+        let s0 = sig.seq();
+        d.append("a", b"x").unwrap();
+        assert!(sig.seq() > s0);
+        let s1 = sig.seq();
+        d.replace("a", b"y").unwrap();
+        d.truncate("a", 0).unwrap();
+        d.remove("a").unwrap();
+        assert!(sig.seq() >= s1 + 3);
+        // Reads do not notify.
+        let s2 = sig.seq();
+        let _ = d.list().unwrap();
+        assert_eq!(sig.seq(), s2);
+    }
+
+    #[test]
+    fn dir_signal_wait_past_sees_concurrent_writes() {
+        use std::sync::Arc;
+        let d = Arc::new(MemDir::new());
+        let seen = d.signal().unwrap().seq();
+        let writer = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                d.append("w", b"payload").unwrap();
+            })
+        };
+        // Blocks until the writer lands (well inside the timeout).
+        let now = d.signal().unwrap().wait_past(seen, Duration::from_secs(5));
+        assert!(now > seen);
+        writer.join().unwrap();
+        // A stale `seen` returns immediately without sleeping.
+        let t0 = Instant::now();
+        let again = d.signal().unwrap().wait_past(seen, Duration::from_secs(5));
+        assert!(again > seen);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // And an up-to-date `seen` times out rather than hanging.
+        let cur = d.signal().unwrap().seq();
+        let t1 = Instant::now();
+        let after = d
+            .signal()
+            .unwrap()
+            .wait_past(cur, Duration::from_millis(30));
+        assert_eq!(after, cur);
+        assert!(t1.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn fsdir_publishes_a_signal_too() {
+        let tmp = std::env::temp_dir().join(format!("gridband-dirsignal-{}", std::process::id()));
+        let d = FsDir::new(&tmp).unwrap();
+        let sig = d.signal().expect("FsDir publishes a signal");
+        let s0 = sig.seq();
+        d.append("wal", b"rec").unwrap();
+        assert!(sig.seq() > s0);
+        std::fs::remove_dir_all(&tmp).ok();
     }
 
     #[test]

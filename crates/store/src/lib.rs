@@ -42,9 +42,11 @@ pub mod store;
 pub mod tail;
 pub mod wal;
 
-pub use dir::{Dir, FsDir, MemDir};
+pub use dir::{Dir, DirSignal, FsDir, MemDir};
 pub use error::{StoreError, StoreResult};
-pub use records::{EngineSnapshot, RequestOutcome, RoundDecision, WalRecord, SNAPSHOT_VERSION};
+pub use records::{
+    EngineSnapshot, HoldState, RequestOutcome, RoundDecision, WalRecord, SNAPSHOT_VERSION,
+};
 pub use store::{snap_name, wal_name, Append, FsyncPolicy, Recovered, Store, StoreConfig};
 pub use tail::{TailCursor, TailEvent, WalTail};
 pub use wal::crc32;

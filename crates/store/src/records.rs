@@ -20,12 +20,15 @@
 //! [`Store`]: crate::store::Store
 
 use crate::error::{StoreError, StoreResult};
-use gridband_net::LedgerState;
+use gridband_net::{LedgerState, PortRef};
 use serde::{Deserialize, Serialize};
 
 /// Version stamp inside [`EngineSnapshot`]; bump on layout changes so a
 /// newer daemon refuses (rather than misreads) an older image.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: the ledger carries live capacity holds and the snapshot carries
+/// the engine's hold table (two-phase cross-shard admission).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One admission decision inside a [`WalRecord::Round`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,6 +83,35 @@ pub enum WalRecord {
         /// Engine-assigned request id.
         id: u64,
     },
+    /// A two-phase cross-shard hold was placed on one local port (the
+    /// prepare step of §5.4 admission). Logged *after* the hold took
+    /// effect, so replay re-places it unconditionally.
+    HoldPlace {
+        /// Cluster-wide transaction id (the client's request id).
+        txn: u64,
+        /// The single local port the hold charges.
+        port: PortRef,
+        /// Held constant bandwidth (MB/s).
+        bw: f64,
+        /// Start of the held window (virtual seconds, inclusive).
+        start: f64,
+        /// End of the held window (virtual seconds, exclusive).
+        finish: f64,
+        /// Virtual deadline after which an uncommitted hold is swept.
+        expires: f64,
+    },
+    /// The hold for `txn` was committed: it stays charged on its port
+    /// for its full window and is no longer subject to expiry.
+    HoldCommit {
+        /// Transaction id of the committed hold.
+        txn: u64,
+    },
+    /// The hold for `txn` was released (abort, timeout, or expiry
+    /// sweep), freeing its pinned capacity.
+    HoldRelease {
+        /// Transaction id of the released hold.
+        txn: u64,
+    },
 }
 
 /// Terminal outcome of a request, kept in the snapshot so `Query`
@@ -117,6 +149,23 @@ pub struct EngineSnapshot {
     /// Terminal outcomes, oldest first (bounded by the engine's history
     /// capacity).
     pub states: Vec<(u64, RequestOutcome)>,
+    /// Live two-phase holds by transaction id, sorted by `txn`.
+    pub holds: Vec<HoldState>,
+}
+
+/// One live two-phase hold in an [`EngineSnapshot`]: the engine-side
+/// bookkeeping that pairs a cluster transaction with the ledger hold
+/// charging its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HoldState {
+    /// Cluster-wide transaction id.
+    pub txn: u64,
+    /// Ledger hold id charging the capacity.
+    pub hold: u64,
+    /// Virtual deadline after which an uncommitted hold is swept.
+    pub expires: f64,
+    /// Whether the hold has been committed (exempt from expiry).
+    pub committed: bool,
 }
 
 fn decode_json<T: Deserialize>(
@@ -215,6 +264,16 @@ mod tests {
             sample_round(),
             WalRecord::Cancel { id: 7 },
             WalRecord::EarlyReject { id: 9 },
+            WalRecord::HoldPlace {
+                txn: 11,
+                port: gridband_net::PortRef::In(gridband_net::IngressId(2)),
+                bw: 0.1 + 0.2, // deliberately non-representable sum
+                start: 12.5,
+                finish: 42.75,
+                expires: 62.5,
+            },
+            WalRecord::HoldCommit { txn: 11 },
+            WalRecord::HoldRelease { txn: 12 },
         ] {
             let bytes = rec.encode();
             let back = WalRecord::decode("w", 8, &bytes).unwrap();
@@ -226,6 +285,14 @@ mod tests {
     fn snapshot_round_trips_and_checks_version() {
         let mut ledger = CapacityLedger::new(Topology::uniform(2, 2, 100.0));
         ledger.reserve(Route::new(0, 1), 0.0, 10.0, 33.3).unwrap();
+        ledger
+            .hold(
+                gridband_net::PortRef::Out(gridband_net::EgressId(0)),
+                10.0,
+                20.0,
+                12.5,
+            )
+            .unwrap();
         let snap = EngineSnapshot {
             version: SNAPSHOT_VERSION,
             now: 10.0,
@@ -234,6 +301,12 @@ mod tests {
             ledger: ledger.export_state(),
             accepted: vec![(3, 0)],
             states: vec![(1, RequestOutcome::Rejected), (3, RequestOutcome::Accepted)],
+            holds: vec![HoldState {
+                txn: 9,
+                hold: 0,
+                expires: 20.0,
+                committed: false,
+            }],
         };
         let bytes = snap.encode();
         let back = EngineSnapshot::decode("s", &bytes).unwrap();

@@ -62,6 +62,7 @@ fn sample_snapshot() -> EngineSnapshot {
         ledger: ledger.export_state(),
         accepted: vec![],
         states: vec![],
+        holds: vec![],
     }
 }
 

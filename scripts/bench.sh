@@ -7,7 +7,9 @@
 # round-by-round against the sequential reference — mismatches gate to 0),
 # plus the WAL-streaming replication group (batch-to-standby sync lag,
 # failover-to-first-decision time, hard-gated on zero divergence and a
-# byte-identical follower store).
+# byte-identical follower store) and the topology-sharded cluster group
+# (shards × cross-fraction router throughput, hard-gated on zero
+# divergence vs a solo run and zero conservation violations).
 #
 # Usage:
 #   scripts/bench.sh                # full run, writes BENCH_admission.json

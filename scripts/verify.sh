@@ -32,4 +32,7 @@ scripts/recovery_smoke.sh
 echo "== failover smoke ==" >&2
 scripts/failover_smoke.sh
 
+echo "== cluster smoke ==" >&2
+scripts/cluster_smoke.sh
+
 echo "verify: all green" >&2

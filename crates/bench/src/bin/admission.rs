@@ -34,14 +34,31 @@
 //!    engines: submissions/sec and per-submission latency across shard
 //!    counts {1,2,4} and cross-shard fractions {0%,10%,50%}, gated on
 //!    zero divergence from a solo run (partition-respecting rows) and
-//!    zero conservation violations everywhere.
+//!    zero conservation violations everywhere;
+//! 8. **wire** — the same workload replayed against live daemons over
+//!    the JSON-lines protocol and the length-prefixed binary frame
+//!    codec: submissions/sec and submit-to-decision latency per codec
+//!    under concurrent connections, hard-gated on zero bit-level
+//!    decision divergence between the codecs and on the binary path's
+//!    p99 beating the JSON baseline.
 //!
 //! Flags: `--smoke` (reduced sizes, a few seconds), `--out=FILE`
 //! (default `BENCH_admission.json`).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hint::black_box;
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use gridband_serve::protocol::{decode_server, encode_client};
+use gridband_serve::wire::{
+    decode_server_payload, encode_client_frame, FrameBuf, WireMode, WIRE_MAGIC,
+};
+use gridband_serve::{
+    ClientMsg, EngineConfig, Server, ServerConfig, ServerMsg, SubmitReq, TimeMode,
+};
 
 use gridband_algos::{BandwidthPolicy, Greedy, WindowScheduler};
 use gridband_net::{Breakpoint, CapacityLedger, CapacityProfile, ReserveRequest, Topology};
@@ -70,6 +87,38 @@ struct Report {
     durability: Vec<DurabilityRow>,
     replication: ReplicationReport,
     cluster: Vec<ClusterRow>,
+    wire: WireReport,
+}
+
+#[derive(Serialize)]
+struct WireReport {
+    requests: usize,
+    connections: usize,
+    /// Grants in the single-connection JSON replay. Reported so the
+    /// divergence gate is visibly non-vacuous: a trace that is all
+    /// grants or all rejections would compare nothing interesting.
+    granted: usize,
+    /// Decisions that differ — grant `f64`s compared as raw IEEE-754
+    /// bit patterns — between single-connection JSON and binary replays
+    /// of the identical trace. Gated to 0: the binary codec must be a
+    /// pure re-encoding of the protocol, not a reinterpretation.
+    codec_divergence: usize,
+    rows: Vec<WireRow>,
+}
+
+#[derive(Serialize)]
+struct WireRow {
+    wire: String,
+    requests: usize,
+    granted: usize,
+    /// Wall-clock submission throughput across all concurrent
+    /// connections, first submit written to last decision read.
+    submissions_per_sec: f64,
+    /// Per-request submit-to-decision sojourn with pipelined readers,
+    /// so both codec legs (client encode + server decode on the way in,
+    /// server encode + client decode on the way back) sit inside the
+    /// measurement. Gated: binary p99 must beat the JSON p99.
+    decision_latency_us: LatencyUs,
 }
 
 #[derive(Serialize)]
@@ -885,7 +934,7 @@ fn replication_section(smoke: bool) -> ReplicationReport {
                         start: Some(clock),
                         deadline: Some(clock + rng.gen_range(1.5..3.0) * volume / max_rate),
                     }),
-                    reply: tx,
+                    reply: tx.into(),
                 })
                 .expect("primary engine alive");
             replies.push(rx);
@@ -919,7 +968,7 @@ fn replication_section(smoke: bool) -> ReplicationReport {
         .sender()
         .send(Command::Client {
             msg: ClientMsg::Drain,
-            reply: tx,
+            reply: tx.into(),
         })
         .expect("primary engine alive");
     rx.recv_timeout(Duration::from_secs(30)).expect("drain ack");
@@ -1175,6 +1224,279 @@ fn cluster_section(smoke: bool) -> Vec<ClusterRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Wire: JSON-lines vs binary frame codec over live TCP (gridband-serve)
+// ---------------------------------------------------------------------------
+
+/// One request's decision, bit-exact: grants keep the raw bit patterns
+/// of their three `f64`s so equality here is byte equality on the wire.
+#[derive(Debug, PartialEq)]
+enum WireOutcome {
+    Granted { bw: u64, start: u64, finish: u64 },
+    Denied(String),
+}
+
+fn wire_submit(r: &Request) -> ClientMsg {
+    ClientMsg::Submit(SubmitReq {
+        id: r.id.0,
+        ingress: r.route.ingress.0,
+        egress: r.route.egress.0,
+        volume: r.volume,
+        max_rate: r.max_rate,
+        start: Some(r.start()),
+        deadline: Some(r.finish()),
+    })
+}
+
+fn wire_send(w: &mut TcpStream, wire: WireMode, msg: &ClientMsg) {
+    match wire {
+        WireMode::Json => {
+            let mut line = encode_client(msg);
+            line.push('\n');
+            w.write_all(line.as_bytes()).expect("send to wire daemon");
+        }
+        WireMode::Binary => w
+            .write_all(&encode_client_frame(msg))
+            .expect("send to wire daemon"),
+    }
+}
+
+/// Reply reader for one connection in either dialect.
+struct WireRx {
+    reader: BufReader<TcpStream>,
+    frames: FrameBuf,
+    wire: WireMode,
+}
+
+impl WireRx {
+    fn new(stream: TcpStream, wire: WireMode) -> Self {
+        WireRx {
+            reader: BufReader::new(stream),
+            frames: FrameBuf::new(),
+            wire,
+        }
+    }
+
+    fn next(&mut self) -> ServerMsg {
+        match self.wire {
+            WireMode::Json => {
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line).expect("read wire reply");
+                assert!(n > 0, "wire daemon closed the connection early");
+                decode_server(line.trim()).expect("decode wire reply")
+            }
+            WireMode::Binary => loop {
+                if let Some(payload) = self.frames.next_frame().expect("sound frame stream") {
+                    return decode_server_payload(&payload).expect("decode wire reply");
+                }
+                let mut buf = [0u8; 4096];
+                let n = self.reader.read(&mut buf).expect("read wire reply");
+                assert!(n > 0, "wire daemon closed the connection early");
+                self.frames.extend(&buf[..n]);
+            },
+        }
+    }
+}
+
+/// A fresh virtual-clock daemon on loopback, queue sized so no submit
+/// ever bounces with `QueueFull` and pollutes the decision comparison.
+fn wire_daemon(
+    topo: &Topology,
+    queue: usize,
+) -> (
+    std::net::SocketAddr,
+    gridband_serve::server::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let mut engine = EngineConfig::new(topo.clone());
+    engine.step = 50.0;
+    engine.policy = BandwidthPolicy::MAX_RATE;
+    engine.mode = TimeMode::Virtual;
+    engine.queue_capacity = queue;
+    let server = Server::bind(ServerConfig::new("127.0.0.1:0", engine)).expect("bind wire daemon");
+    let addr = server.local_addr().expect("wire daemon addr");
+    let handle = server.shutdown_handle().expect("wire shutdown handle");
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+/// Replay `trace` over one connection in the given dialect and collect
+/// every decision bit-exactly.
+fn wire_replay(topo: &Topology, trace: &Trace, wire: WireMode) -> BTreeMap<u64, WireOutcome> {
+    let (addr, handle, join) = wire_daemon(topo, trace.len() + 64);
+    let mut w = TcpStream::connect(addr).expect("connect wire daemon");
+    w.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    let mut rx = WireRx::new(w.try_clone().expect("clone stream"), wire);
+    if wire == WireMode::Binary {
+        w.write_all(&WIRE_MAGIC).expect("binary preamble");
+    }
+    for r in trace.iter() {
+        wire_send(&mut w, wire, &wire_submit(r));
+    }
+    wire_send(&mut w, wire, &ClientMsg::Drain);
+    w.flush().expect("flush submits");
+    let mut out = BTreeMap::new();
+    while out.len() < trace.len() {
+        match rx.next() {
+            ServerMsg::Accepted {
+                id,
+                bw,
+                start,
+                finish,
+            } => {
+                out.insert(
+                    id,
+                    WireOutcome::Granted {
+                        bw: bw.to_bits(),
+                        start: start.to_bits(),
+                        finish: finish.to_bits(),
+                    },
+                );
+            }
+            ServerMsg::Rejected { id, reason, .. } => {
+                out.insert(id, WireOutcome::Denied(format!("{reason:?}")));
+            }
+            ServerMsg::Draining { .. } => {}
+            other => panic!("unexpected wire reply {other:?}"),
+        }
+    }
+    drop(rx);
+    drop(w);
+    handle.shutdown();
+    join.join()
+        .expect("wire daemon thread")
+        .expect("wire daemon");
+    out
+}
+
+/// Replay `trace` split round-robin across `connections` concurrent
+/// connections, a pipelined reader per connection, timing every
+/// submit-to-decision sojourn plus the whole run's wall clock.
+fn wire_loaded(topo: &Topology, trace: &Trace, connections: usize, wire: WireMode) -> WireRow {
+    let (addr, handle, join) = wire_daemon(topo, trace.len() + 64);
+    let chunks: Vec<Vec<Request>> = (0..connections)
+        .map(|c| trace.iter().skip(c).step_by(connections).copied().collect())
+        .collect();
+    let barrier = Arc::new(Barrier::new(connections));
+    let t0 = Instant::now();
+    let workers: Vec<_> = chunks
+        .into_iter()
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut w = TcpStream::connect(addr).expect("connect wire daemon");
+                w.set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("set read timeout");
+                if wire == WireMode::Binary {
+                    w.write_all(&WIRE_MAGIC).expect("binary preamble");
+                }
+                let expect = chunk.len();
+                let rstream = w.try_clone().expect("clone stream");
+                let reader = std::thread::spawn(move || {
+                    let mut rx = WireRx::new(rstream, wire);
+                    let mut decided = Vec::with_capacity(expect);
+                    while decided.len() < expect {
+                        match rx.next() {
+                            ServerMsg::Accepted { id, .. } => {
+                                decided.push((id, Instant::now(), true))
+                            }
+                            ServerMsg::Rejected { id, .. } => {
+                                decided.push((id, Instant::now(), false))
+                            }
+                            ServerMsg::Draining { .. } => {}
+                            other => panic!("unexpected wire reply {other:?}"),
+                        }
+                    }
+                    decided
+                });
+                let mut submitted = Vec::with_capacity(chunk.len());
+                for r in &chunk {
+                    submitted.push((r.id.0, Instant::now()));
+                    wire_send(&mut w, wire, &wire_submit(r));
+                }
+                w.flush().expect("flush submits");
+                barrier.wait();
+                if ci == 0 {
+                    // Exactly one Drain, after every connection has
+                    // finished submitting: a second one would flip the
+                    // engine into its draining state mid-stream and turn
+                    // live submits into `Drained` rejections.
+                    wire_send(&mut w, wire, &ClientMsg::Drain);
+                    w.flush().expect("flush drain");
+                }
+                let decided = reader.join().expect("wire reader thread");
+                (submitted, decided)
+            })
+        })
+        .collect();
+
+    let mut lat_ns = Vec::with_capacity(trace.len());
+    let mut granted = 0usize;
+    for worker in workers {
+        let (submitted, decided) = worker.join().expect("wire worker thread");
+        let at: HashMap<u64, Instant> = submitted.into_iter().collect();
+        for (id, when, ok) in decided {
+            granted += usize::from(ok);
+            lat_ns.push((when - at[&id]).as_nanos() as u64);
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    handle.shutdown();
+    join.join()
+        .expect("wire daemon thread")
+        .expect("wire daemon");
+    WireRow {
+        wire: wire.to_string(),
+        requests: trace.len(),
+        granted,
+        submissions_per_sec: trace.len() as f64 / elapsed.max(1e-9),
+        decision_latency_us: latency_summary(lat_ns),
+    }
+}
+
+fn wire_section(smoke: bool) -> WireReport {
+    let topo = Topology::uniform(8, 8, 120.0);
+    let (interarrival, horizon, connections) = if smoke {
+        (1.0, 300.0, 4)
+    } else {
+        (0.5, 2_000.0, 8)
+    };
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(horizon)
+        .seed(29)
+        .build();
+
+    // Differential first: one connection per codec, same trace, same
+    // fresh deterministic engine — any decision delta is a codec bug.
+    let json = wire_replay(&topo, &trace, WireMode::Json);
+    let binary = wire_replay(&topo, &trace, WireMode::Binary);
+    let granted = json
+        .values()
+        .filter(|d| matches!(d, WireOutcome::Granted { .. }))
+        .count();
+    let codec_divergence = json
+        .iter()
+        .filter(|(id, d)| binary.get(*id) != Some(*d))
+        .count()
+        + json.len().abs_diff(binary.len());
+
+    let rows = vec![
+        wire_loaded(&topo, &trace, connections, WireMode::Json),
+        wire_loaded(&topo, &trace, connections, WireMode::Binary),
+    ];
+    WireReport {
+        requests: trace.len(),
+        connections,
+        granted,
+        codec_divergence,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // main
 // ---------------------------------------------------------------------------
 
@@ -1328,8 +1650,26 @@ fn main() {
         );
     }
 
+    eprintln!("admission bench: wire codec comparison ...");
+    let wire = wire_section(smoke);
+    eprintln!(
+        "  {} requests, divergence {} ({} granted in the reference replay)",
+        wire.requests, wire.codec_divergence, wire.granted
+    );
+    for r in &wire.rows {
+        eprintln!(
+            "  {:>6} x{} conns: {:>8.0} submissions/s, decision p50 {:>9.1} us p99 {:>9.1} us, {} granted",
+            r.wire,
+            wire.connections,
+            r.submissions_per_sec,
+            r.decision_latency_us.p50,
+            r.decision_latency_us.p99,
+            r.granted
+        );
+    }
+
     let report = Report {
-        schema: "gridband/bench-admission/v3".to_string(),
+        schema: "gridband/bench-admission/v4".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         micro,
@@ -1339,6 +1679,7 @@ fn main() {
         durability,
         replication,
         cluster,
+        wire,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write report");
@@ -1426,6 +1767,46 @@ fn main() {
                 r.conservation_violations
             );
             failed = true;
+        }
+    }
+    // Wire gates: the binary codec must be a pure re-encoding (zero
+    // bit-level decision divergence, non-vacuously) and must actually
+    // pay for itself on the decision path.
+    {
+        let w = &report.wire;
+        if w.codec_divergence > 0 {
+            eprintln!(
+                "FAIL: binary and JSON codecs diverged on {} of {} decisions",
+                w.codec_divergence, w.requests
+            );
+            failed = true;
+        }
+        if w.granted == 0 || w.granted == w.requests {
+            eprintln!(
+                "FAIL: wire differential is vacuous ({} of {} granted — need a mix)",
+                w.granted, w.requests
+            );
+            failed = true;
+        }
+        let p99 = |name: &str| {
+            w.rows
+                .iter()
+                .find(|r| r.wire == name)
+                .map(|r| r.decision_latency_us.p99)
+        };
+        match (p99("json"), p99("binary")) {
+            (Some(j), Some(b)) => {
+                if b >= j {
+                    eprintln!(
+                        "FAIL: binary decision p99 {b:.1} us does not beat JSON p99 {j:.1} us"
+                    );
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!("FAIL: wire section is missing a codec row");
+                failed = true;
+            }
         }
     }
     for r in &report.micro {

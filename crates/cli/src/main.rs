@@ -413,6 +413,7 @@ fn serve(args: Vec<String>) {
     let mut fsync = gridband_serve::FsyncPolicy::Round;
     let mut snapshot_every = 64u64;
     let mut admit_threads = gridband_net::default_admit_threads();
+    let mut io_threads = 2usize;
     let mut replicate_to: Option<String> = None;
     let mut follow: Option<String> = None;
     let mut promote_after: Option<Duration> = None;
@@ -483,6 +484,12 @@ fn serve(args: Vec<String>) {
                     .unwrap_or_else(|e| fail(format_args!("bad --admit-threads: {e}")))
                     .max(1);
             }
+            "--io-threads" => {
+                io_threads = val("--io-threads")
+                    .parse::<usize>()
+                    .unwrap_or_else(|e| fail(format_args!("bad --io-threads: {e}")))
+                    .max(1);
+            }
             "--replicate-to" => replicate_to = Some(val("--replicate-to")),
             "--follow" => follow = Some(val("--follow")),
             "--shard-of" => {
@@ -514,12 +521,18 @@ fn serve(args: Vec<String>) {
                       [--queue N] [--snapshot-secs S]
                       [--wal-dir DIR] [--fsync always|round|off]
                       [--snapshot-every ROUNDS] [--admit-threads N]
-                      [--replicate-to HOST:PORT]
+                      [--io-threads N] [--replicate-to HOST:PORT]
                       [--follow HOST:PORT [--promote-after SECS]]
                       [--shard-of I/N]
 
-Runs the reservation daemon: JSON-lines over TCP, batched WINDOW
-admission every t_step. Without --tick-ms the clock is virtual
+Runs the reservation daemon: batched WINDOW admission every t_step,
+served over TCP. Every connection speaks either the JSON-lines compat
+protocol or the length-prefixed binary frame codec — the daemon
+auto-detects from the first bytes (binary clients open with the
+GBWIR01 preamble), so one port serves both and no flag is needed.
+Connections are multiplexed by a readiness-driven poll loop;
+--io-threads N sizes the reader pool (default 2).
+Without --tick-ms the clock is virtual
 (submission timestamps drive it — deterministic replay); with it a
 wall-clock ticker fires one admission round every MS milliseconds.
 
@@ -637,6 +650,7 @@ keeps its own WAL and may stream it to its own standby."
         });
     let mut cfg = ServerConfig::new(addr.clone(), engine);
     cfg.snapshot_period = snapshot;
+    cfg.io_threads = io_threads;
     let server =
         Server::bind(cfg).unwrap_or_else(|e| fail(format_args!("cannot bind {addr}: {e}")));
     eprintln!(
@@ -681,6 +695,7 @@ fn cluster(args: Vec<String>) {
     let mut connect: Option<String> = None;
     let mut decisions = false;
     let mut map_shards: Option<usize> = None;
+    let mut wire = gridband_serve::wire::WireMode::Json;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -709,12 +724,17 @@ fn cluster(args: Vec<String>) {
             "--connect" => connect = Some(val("--connect")),
             "--decisions" => decisions = true,
             "--map" => map_shards = Some(num("--map", val("--map")) as usize),
+            "--wire" => {
+                wire = val("--wire")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --wire: {e}")))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gridband cluster [--shards N] [--topo paper|grid5000|MxNxCAP]
                         [--step S] [--horizon S] [--seed N] [--interarrival S]
                         [--cross F] [--loss P] [--loss-seed N] [--drop-releases]
-                        [--connect H:P,H:P,...] [--decisions]
+                        [--connect H:P,H:P,...] [--wire json|binary] [--decisions]
 
 Generates a workload, steers a --cross fraction of it across the shard
 cut (the rest stays partition-respecting), and routes it through a
@@ -723,7 +743,9 @@ cross-shard ones run the two-phase hold/commit protocol. By default the
 shards are in-process engines and every shard's ledger is checked for
 conservation (no port over-commit, no orphaned hold) after the run;
 with --connect the router drives real `gridband serve --shard-of I/N`
-daemons instead (one address per shard, in shard order).
+daemons instead (one address per shard, in shard order), speaking the
+JSON-lines protocol or, with --wire binary, the binary frame codec
+(decisions are byte-identical either way).
 
 --loss drops each prepare leg with probability P (seeded by
 --loss-seed); --drop-releases extends the loss to release legs, leaving
@@ -756,41 +778,23 @@ partition-respecting 4-shard run)."
     // Workload: remap each request's egress so that an exact --cross
     // fraction (deterministically chosen) straddles the shard cut.
     // --map pins the cut the workload is built against, so runs with
-    // different live shard counts can share one trace.
+    // different live shard counts can share one trace; without it the
+    // map defaults to the live shard count.
     let wl_shards = map_shards.unwrap_or(shards);
-    let map = ShardMap::new(&topo, wl_shards);
+    if decisions && map_shards.is_none() {
+        eprintln!(
+            "warning: --decisions without --map steers the workload against the live \
+             {shards}-shard map; a diff against a run with a different shard count would \
+             compare different traces. Pin --map N on both runs to share one trace."
+        );
+    }
     let base = WorkloadBuilder::new(topo.clone())
         .mean_interarrival(interarrival)
         .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
         .horizon(horizon)
         .seed(seed)
         .build();
-    let n_egress = topo.num_egress() as u32;
-    let requests: Vec<Request> = base
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            let shard = map.ingress_owner(r.route.ingress.0);
-            let want_cross =
-                wl_shards > 1 && (i.wrapping_mul(2_654_435_761) % 1000) as f64 / 1000.0 < cross;
-            let pool: Vec<u32> = (0..n_egress)
-                .filter(|&e| (map.egress_owner(e) == shard) != want_cross)
-                .collect();
-            let egress = if pool.is_empty() {
-                r.route.egress.0
-            } else {
-                pool[(r.id.0 as usize) % pool.len()]
-            };
-            Request::new(
-                r.id.0,
-                gridband_net::Route::new(r.route.ingress.0, egress),
-                r.window,
-                r.volume,
-                r.max_rate,
-            )
-        })
-        .collect();
-    let trace = gridband_workload::Trace::new(requests);
+    let trace = gridband_cluster::steer(&base, &topo, wl_shards, cross);
     let submit = |r: &Request| SubmitReq {
         id: r.id.0,
         ingress: r.route.ingress.0,
@@ -814,7 +818,9 @@ partition-respecting 4-shard run)."
         let links: Vec<TcpShardLink> = c
             .split(',')
             .filter(|a| !a.is_empty())
-            .map(|a| TcpShardLink::connect(a).unwrap_or_else(|e| fail(format_args!("{e}"))))
+            .map(|a| {
+                TcpShardLink::connect_with(a, wire).unwrap_or_else(|e| fail(format_args!("{e}")))
+            })
             .collect();
         let mut cl = Cluster::new(
             ShardMap::new(&topo, shards),

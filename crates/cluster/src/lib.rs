@@ -56,6 +56,7 @@ pub mod link;
 pub mod loss;
 pub mod router;
 pub mod shard;
+pub mod steer;
 
 pub use link::{EngineLink, ShardLink, TcpShardLink};
 pub use loss::LossSchedule;
@@ -63,3 +64,4 @@ pub use router::{
     conservation_violations, Cluster, ClusterConfig, ClusterReport, Decision, EngineShards,
 };
 pub use shard::{Placement, ShardMap};
+pub use steer::steer;

@@ -20,13 +20,16 @@
 //! lost.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gridband_serve::engine::Command;
 use gridband_serve::protocol::{decode_server, encode_client};
+use gridband_serve::wire::{
+    decode_server_payload, encode_client_frame, FrameBuf, WireMode, WIRE_MAGIC,
+};
 use gridband_serve::{ClientMsg, Engine, ServerMsg};
 
 /// How long a blocking call may wait before the shard is declared dead.
@@ -90,7 +93,7 @@ impl EngineLink {
         self.tx
             .send(Command::Client {
                 msg,
-                reply: self.reply_tx.clone(),
+                reply: self.reply_tx.clone().into(),
             })
             .map_err(|_| "shard engine is gone".to_string())
     }
@@ -143,24 +146,43 @@ impl ShardLink for EngineLink {
 // TcpShardLink
 // ---------------------------------------------------------------------------
 
-/// JSON-lines link to a `gridband serve` shard daemon.
+/// Socket link to a `gridband serve` shard daemon, speaking either the
+/// JSON-lines compat dialect or the binary frame codec (selected at
+/// connect time; the daemon auto-detects from the first bytes).
 pub struct TcpShardLink {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    mode: WireMode,
+    /// Partial binary frames between reads (unused in JSON mode).
+    frames: FrameBuf,
     buffered: VecDeque<ServerMsg>,
 }
 
 impl TcpShardLink {
-    /// Connect to a shard daemon's client address.
+    /// Connect to a shard daemon's client address, JSON-lines dialect.
     pub fn connect(addr: &str) -> Result<TcpShardLink, String> {
+        TcpShardLink::connect_with(addr, WireMode::Json)
+    }
+
+    /// Connect with an explicit wire dialect. In binary mode the magic
+    /// preamble goes out before any frame, so the daemon settles the
+    /// codec immediately.
+    pub fn connect_with(addr: &str, mode: WireMode) -> Result<TcpShardLink, String> {
         let stream =
             TcpStream::connect(addr).map_err(|e| format!("cannot connect to shard {addr}: {e}"))?;
-        let writer = stream
+        let mut writer = stream
             .try_clone()
             .map_err(|e| format!("cannot clone shard stream: {e}"))?;
+        if mode == WireMode::Binary {
+            writer
+                .write_all(&WIRE_MAGIC)
+                .map_err(|e| format!("cannot send wire preamble: {e}"))?;
+        }
         Ok(TcpShardLink {
             writer,
             reader: BufReader::new(stream),
+            mode,
+            frames: FrameBuf::new(),
             buffered: VecDeque::new(),
         })
     }
@@ -170,26 +192,60 @@ impl TcpShardLink {
             .get_ref()
             .set_read_timeout(timeout)
             .map_err(|e| format!("set_read_timeout: {e}"))?;
-        let mut line = String::new();
-        match self.reader.read_line(&mut line) {
-            Ok(0) => Err("shard closed the connection".to_string()),
-            Ok(_) => decode_server(line.trim())
-                .map(Some)
-                .map_err(|e| format!("bad shard reply: {e}")),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(None)
+        match self.mode {
+            WireMode::Json => {
+                let mut line = String::new();
+                match self.reader.read_line(&mut line) {
+                    Ok(0) => Err("shard closed the connection".to_string()),
+                    Ok(_) => decode_server(line.trim())
+                        .map(Some)
+                        .map_err(|e| format!("bad shard reply: {e}")),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        Ok(None)
+                    }
+                    Err(e) => Err(format!("shard read failed: {e}")),
+                }
             }
-            Err(e) => Err(format!("shard read failed: {e}")),
+            WireMode::Binary => loop {
+                if let Some(payload) = self
+                    .frames
+                    .next_frame()
+                    .map_err(|e| format!("bad shard frame: {e}"))?
+                {
+                    return decode_server_payload(&payload)
+                        .map(Some)
+                        .map_err(|e| format!("bad shard reply: {e}"));
+                }
+                let mut buf = [0u8; 4096];
+                match self.reader.read(&mut buf) {
+                    Ok(0) => return Err("shard closed the connection".to_string()),
+                    Ok(n) => self.frames.extend(&buf[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return Ok(None);
+                    }
+                    Err(e) => return Err(format!("shard read failed: {e}")),
+                }
+            },
         }
     }
 }
 
 impl ShardLink for TcpShardLink {
     fn send(&mut self, msg: ClientMsg) -> Result<(), String> {
-        writeln!(self.writer, "{}", encode_client(&msg)).map_err(|e| format!("shard write: {e}"))
+        match self.mode {
+            WireMode::Json => writeln!(self.writer, "{}", encode_client(&msg))
+                .map_err(|e| format!("shard write: {e}")),
+            WireMode::Binary => self
+                .writer
+                .write_all(&encode_client_frame(&msg))
+                .map_err(|e| format!("shard write: {e}")),
+        }
     }
 
     fn call(&mut self, msg: ClientMsg) -> Result<ServerMsg, String> {

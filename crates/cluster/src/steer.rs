@@ -1,0 +1,129 @@
+//! Cross-shard workload steering.
+//!
+//! The cluster experiments need a workload in which a *chosen* fraction
+//! of the requests straddle the shard cut: each request's egress is
+//! remapped so it lands on (or off) its ingress shard deterministically.
+//! This used to live inline in the CLI, which hid a foot-gun: the
+//! remapping depends on the shard map it is built against, so two runs
+//! with different live shard counts silently steered *different traces*
+//! and any decision diff between them was meaningless. Centralizing the
+//! steering here makes that dependency explicit — [`steer`] takes the
+//! map's shard count as a parameter, and the same `(base trace,
+//! map_shards, cross)` triple always yields the same trace no matter how
+//! many shards actually execute it.
+
+use gridband_net::{Route, Topology};
+use gridband_workload::{Request, Trace};
+
+use crate::shard::ShardMap;
+
+/// Deterministic per-request coin weighted by `cross`: request `i`
+/// (by position in the base trace) is steered across the cut iff this
+/// returns true. Knuth multiplicative hash so the choice is spread
+/// evenly over the trace rather than clustered at the front.
+pub fn wants_cross(i: usize, cross: f64) -> bool {
+    (i.wrapping_mul(2_654_435_761) % 1000) as f64 / 1000.0 < cross
+}
+
+/// Remap each request's egress so that a `cross` fraction of the trace
+/// straddles the cut of an `map_shards`-way [`ShardMap`] over `topo`,
+/// and the rest is partition-respecting. The result depends only on the
+/// arguments — in particular on `map_shards`, *not* on how many shards
+/// later run the trace — so diffing runs with different live shard
+/// counts is sound exactly when they were steered with the same
+/// `map_shards`.
+pub fn steer(base: &Trace, topo: &Topology, map_shards: usize, cross: f64) -> Trace {
+    let map = ShardMap::new(topo, map_shards);
+    let n_egress = topo.num_egress() as u32;
+    let requests: Vec<Request> = base
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let shard = map.ingress_owner(r.route.ingress.0);
+            let want_cross = map_shards > 1 && wants_cross(i, cross);
+            let pool: Vec<u32> = (0..n_egress)
+                .filter(|&e| (map.egress_owner(e) == shard) != want_cross)
+                .collect();
+            let egress = if pool.is_empty() {
+                r.route.egress.0
+            } else {
+                pool[(r.id.0 as usize) % pool.len()]
+            };
+            Request::new(
+                r.id.0,
+                Route::new(r.route.ingress.0, egress),
+                r.window,
+                r.volume,
+                r.max_rate,
+            )
+        })
+        .collect();
+    Trace::new(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridband_workload::{Dist, WorkloadBuilder};
+
+    fn base_trace(topo: &Topology) -> Trace {
+        WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(1.0)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(120.0)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn steering_depends_on_the_map_not_the_runner() {
+        // The regression behind the CLI's --map default: the steered
+        // trace must be a pure function of (base, map_shards, cross).
+        // Two calls with the same map agree request-for-request ...
+        let topo = Topology::uniform(8, 8, 100.0);
+        let base = base_trace(&topo);
+        let a = steer(&base, &topo, 4, 0.25);
+        let b = steer(&base, &topo, 4, 0.25);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.route.egress, y.route.egress, "request {:?}", x.id);
+        }
+        // ... while a different map yields a genuinely different trace,
+        // which is why diffing a `--shards 1` run against a `--shards 4`
+        // run without pinning --map compares apples to oranges.
+        let solo = steer(&base, &topo, 1, 0.25);
+        assert!(
+            a.iter()
+                .zip(solo.iter())
+                .any(|(x, y)| x.route.egress != y.route.egress),
+            "a 4-shard map must steer differently from a 1-shard map"
+        );
+    }
+
+    #[test]
+    fn steered_fraction_matches_the_request() {
+        let topo = Topology::uniform(8, 8, 100.0);
+        let base = base_trace(&topo);
+        let map = ShardMap::new(&topo, 4);
+        let steered = steer(&base, &topo, 4, 0.3);
+        let crossers = steered
+            .iter()
+            .filter(|r| map.ingress_owner(r.route.ingress.0) != map.egress_owner(r.route.egress.0))
+            .count();
+        let frac = crossers as f64 / steered.len() as f64;
+        assert!(
+            (frac - 0.3).abs() < 0.1,
+            "asked for 30% cross-shard, steered {frac:.2}"
+        );
+        // cross = 0 keeps every request partition-respecting.
+        let local = steer(&base, &topo, 4, 0.0);
+        for r in local.iter() {
+            assert_eq!(
+                map.ingress_owner(r.route.ingress.0),
+                map.egress_owner(r.route.egress.0),
+                "request {:?} must stay on its ingress shard",
+                r.id
+            );
+        }
+    }
+}

@@ -260,6 +260,28 @@ fn conservation_run(drop_releases: bool) {
         assert!(expired > 0, "dropped releases never orphaned a hold");
     }
 
+    // Strict hold accounting: past the flush horizon every hold has
+    // resolved through exactly one of the three exits, so the ledger
+    // balances *per shard*, not just in aggregate. (This is the
+    // identity the engine GC used to break by releasing ended holds
+    // without counting them.)
+    for (s, m) in metrics.iter().enumerate() {
+        let placed = m.holds_placed.load(Ordering::Relaxed);
+        let committed = m.holds_committed.load(Ordering::Relaxed);
+        let released = m.holds_released.load(Ordering::Relaxed);
+        let expired = m.holds_expired.load(Ordering::Relaxed);
+        assert!(
+            placed > 0,
+            "shard {s}: no holds placed — identity is vacuous"
+        );
+        assert_eq!(
+            placed,
+            committed + released + expired,
+            "shard {s} (drop_releases={drop_releases}): hold ledger does not balance: \
+             {placed} placed != {committed} committed + {released} released + {expired} expired"
+        );
+    }
+
     for (s, snap) in snaps.iter().enumerate() {
         let violations = conservation_violations(snap, &topo);
         assert!(

@@ -923,7 +923,7 @@ fn forward(
     };
     let mut cmd = Command::Client {
         msg,
-        reply: reply_tx.clone(),
+        reply: reply_tx.clone().into(),
     };
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {

@@ -143,7 +143,10 @@ impl Session {
         };
         engine
             .sender()
-            .send(Command::Client { msg, reply: tx })
+            .send(Command::Client {
+                msg,
+                reply: tx.into(),
+            })
             .is_ok()
     }
 
@@ -172,7 +175,7 @@ fn drain(engine: &Engine) {
         .sender()
         .send(Command::Client {
             msg: ClientMsg::Drain,
-            reply: tx,
+            reply: tx.into(),
         })
         .expect("engine alive for drain");
     rx.recv_timeout(Duration::from_secs(10)).expect("drain ack");

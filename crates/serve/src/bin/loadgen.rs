@@ -7,7 +7,12 @@
 //! Usage:
 //!   loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S]
 //!           [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]
+//!           [--wire json|binary]
 //!           [--kill-after N --state FILE | --resume --state FILE]
+//!
+//! --wire binary speaks the daemon's length-prefixed binary codec
+//! (GBWIR01 preamble + CRC-checked frames) instead of JSON lines; the
+//! decisions are byte-identical, only the encoding changes.
 //!
 //! Kill/recover/continue demo against a WAL-backed daemon:
 //!
@@ -25,7 +30,7 @@
 //! quiet window" in phase 1 means "still pending", not "still deciding".
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -33,6 +38,9 @@ use std::time::{Duration, Instant};
 use gridband_net::Topology;
 use gridband_serve::metrics::LatencyHistogram;
 use gridband_serve::protocol::{encode_client, ClientMsg, ReqState, ServerMsg, SubmitReq};
+use gridband_serve::wire::{
+    decode_server_payload, encode_client_frame, FrameBuf, WireMode, WIRE_MAGIC,
+};
 use gridband_workload::WorkloadBuilder;
 
 struct Args {
@@ -45,6 +53,7 @@ struct Args {
     kill_after: Option<usize>,
     resume: bool,
     state: String,
+    wire: WireMode,
 }
 
 fn parse_topo(spec: &str) -> Result<Topology, String> {
@@ -78,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         kill_after: None,
         resume: false,
         state: "loadgen-resume.json".to_string(),
+        wire: WireMode::Json,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,11 +124,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--resume" => args.resume = true,
             "--state" => args.state = val("--state")?,
+            "--wire" => args.wire = val("--wire")?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S] \
                      [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]\n        \
-                     [--kill-after N --state FILE | --resume --state FILE]"
+                     [--wire json|binary] [--kill-after N --state FILE | --resume --state FILE]"
                 );
                 std::process::exit(0);
             }
@@ -205,11 +216,69 @@ fn build_requests(
     Ok(out)
 }
 
-fn send_line(w: &mut TcpStream, msg: &ClientMsg) -> Result<(), String> {
-    let mut line = encode_client(msg);
-    line.push('\n');
-    w.write_all(line.as_bytes())
-        .map_err(|e| format!("write: {e}"))
+fn send_msg(w: &mut TcpStream, wire: WireMode, msg: &ClientMsg) -> Result<(), String> {
+    match wire {
+        WireMode::Json => {
+            let mut line = encode_client(msg);
+            line.push('\n');
+            w.write_all(line.as_bytes())
+        }
+        WireMode::Binary => w.write_all(&encode_client_frame(msg)),
+    }
+    .map_err(|e| format!("write: {e}"))
+}
+
+/// Codec-generic reply reader: one `ServerMsg` per call, from either
+/// JSON lines or binary frames. Timeouts surface as `WouldBlock`/
+/// `TimedOut` errors, a clean close as `Ok(None)`, so callers keep the
+/// same end-of-run logic in both dialects.
+struct MsgReader {
+    reader: BufReader<TcpStream>,
+    wire: WireMode,
+    frames: FrameBuf,
+    line: String,
+}
+
+impl MsgReader {
+    fn new(stream: TcpStream, wire: WireMode) -> MsgReader {
+        MsgReader {
+            reader: BufReader::new(stream),
+            wire,
+            frames: FrameBuf::new(),
+            line: String::new(),
+        }
+    }
+
+    fn next_msg(&mut self) -> Result<Option<ServerMsg>, std::io::Error> {
+        let bad = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        match self.wire {
+            WireMode::Json => {
+                self.line.clear();
+                match self.reader.read_line(&mut self.line)? {
+                    0 => Ok(None),
+                    _ => gridband_serve::protocol::decode_server(self.line.trim())
+                        .map(Some)
+                        .map_err(|e| bad(format!("bad server line: {e}"))),
+                }
+            }
+            WireMode::Binary => loop {
+                if let Some(payload) = self
+                    .frames
+                    .next_frame()
+                    .map_err(|e| bad(format!("bad server frame: {e}")))?
+                {
+                    return decode_server_payload(&payload)
+                        .map(Some)
+                        .map_err(|e| bad(format!("bad server payload: {e}")));
+                }
+                let mut buf = [0u8; 4096];
+                match self.reader.read(&mut buf)? {
+                    0 => return Ok(None),
+                    n => self.frames.extend(&buf[..n]),
+                }
+            },
+        }
+    }
 }
 
 fn submit_msg(req: &gridband_workload::Request) -> ClientMsg {
@@ -251,25 +320,29 @@ fn run(args: Args) -> Result<(), String> {
         .set_read_timeout(Some(quiet))
         .map_err(|e| e.to_string())?;
     let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+    if args.wire == WireMode::Binary {
+        write_half
+            .write_all(&WIRE_MAGIC)
+            .map_err(|e| format!("preamble: {e}"))?;
+    }
     let n = to_send.len();
+    let wire = args.wire;
 
     // Reader: collect one decision per submission plus the final stats.
     type ReaderResult = Result<(Vec<(u64, ServerMsg, Instant)>, Option<ServerMsg>), String>;
     let reader = std::thread::spawn(move || -> ReaderResult {
         let mut decisions = Vec::with_capacity(n);
         let mut stats = None;
-        let mut lines = BufReader::new(stream);
-        let mut line = String::new();
+        let mut msgs = MsgReader::new(stream, wire);
         while killing || decisions.len() < n || stats.is_none() {
-            line.clear();
-            match lines.read_line(&mut line) {
-                Ok(0) => {
+            let msg = match msgs.next_msg() {
+                Ok(Some(msg)) => msg,
+                Ok(None) => {
                     if killing {
                         break; // daemon gone mid-run: keep what we have
                     }
                     return Err("server closed the connection early".to_string());
                 }
-                Ok(_) => {}
                 Err(e)
                     if killing
                         && matches!(
@@ -280,9 +353,7 @@ fn run(args: Args) -> Result<(), String> {
                     break; // quiet: everything still unreplied is pending
                 }
                 Err(e) => return Err(format!("read: {e}")),
-            }
-            let msg = gridband_serve::protocol::decode_server(line.trim())
-                .map_err(|e| format!("bad server line: {e}"))?;
+            };
             match msg {
                 ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } => {
                     decisions.push((id, msg, Instant::now()));
@@ -304,11 +375,11 @@ fn run(args: Args) -> Result<(), String> {
     let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
     for req in to_send {
         sent_at.insert(req.id.0, Instant::now());
-        send_line(&mut write_half, &submit_msg(req))?;
+        send_msg(&mut write_half, args.wire, &submit_msg(req))?;
     }
     if !killing {
         for msg in [ClientMsg::Drain, ClientMsg::Stats] {
-            send_line(&mut write_half, &msg)?;
+            send_msg(&mut write_half, args.wire, &msg)?;
         }
     }
     write_half.flush().map_err(|e| e.to_string())?;
@@ -387,25 +458,27 @@ fn run_resume(args: Args) -> Result<(), String> {
         .set_read_timeout(Some(Duration::from_secs(60)))
         .map_err(|e| e.to_string())?;
     let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+    if args.wire == WireMode::Binary {
+        write_half
+            .write_all(&WIRE_MAGIC)
+            .map_err(|e| format!("preamble: {e}"))?;
+    }
+    let mut msgs = MsgReader::new(stream, args.wire);
 
     // Phase 2a: every commitment the daemon replied to before the kill
     // must have survived its restart.
     let prev: HashMap<u64, &AcceptedRec> = state.accepted.iter().map(|a| (a.id, a)).collect();
     let n_query = state.accepted.len();
     for rec in &state.accepted {
-        send_line(&mut write_half, &ClientMsg::Query { id: rec.id })?;
+        send_msg(&mut write_half, args.wire, &ClientMsg::Query { id: rec.id })?;
     }
     write_half.flush().map_err(|e| e.to_string())?;
-    let mut lines = BufReader::new(stream);
-    let mut line = String::new();
     let mut verified = 0usize;
     for _ in 0..n_query {
-        line.clear();
-        lines
-            .read_line(&mut line)
-            .map_err(|e| format!("read: {e}"))?;
-        let msg = gridband_serve::protocol::decode_server(line.trim())
-            .map_err(|e| format!("bad server line: {e}"))?;
+        let msg = msgs
+            .next_msg()
+            .map_err(|e| format!("read: {e}"))?
+            .ok_or_else(|| "server closed the connection early".to_string())?;
         let ServerMsg::Status { id, state, alloc } = msg else {
             return Err(format!("expected a status reply, got {msg:?}"));
         };
@@ -438,28 +511,22 @@ fn run_resume(args: Args) -> Result<(), String> {
     let started = Instant::now();
     let n = to_send.len();
     let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
-    let mut stream2 = lines.into_inner();
     for req in &to_send {
         sent_at.insert(req.id.0, Instant::now());
-        send_line(&mut stream2, &submit_msg(req))?;
+        send_msg(&mut write_half, args.wire, &submit_msg(req))?;
     }
     for msg in [ClientMsg::Drain, ClientMsg::Stats] {
-        send_line(&mut stream2, &msg)?;
+        send_msg(&mut write_half, args.wire, &msg)?;
     }
-    stream2.flush().map_err(|e| e.to_string())?;
+    write_half.flush().map_err(|e| e.to_string())?;
 
-    let mut lines = BufReader::new(stream2);
     let mut decisions: Vec<(u64, ServerMsg, Instant)> = Vec::with_capacity(n);
     let mut stats = None;
     while decisions.len() < n || stats.is_none() {
-        line.clear();
-        match lines.read_line(&mut line) {
-            Ok(0) => return Err("server closed the connection early".to_string()),
-            Ok(_) => {}
-            Err(e) => return Err(format!("read: {e}")),
-        }
-        let msg = gridband_serve::protocol::decode_server(line.trim())
-            .map_err(|e| format!("bad server line: {e}"))?;
+        let msg = msgs
+            .next_msg()
+            .map_err(|e| format!("read: {e}"))?
+            .ok_or_else(|| "server closed the connection early".to_string())?;
         match msg {
             ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } => {
                 decisions.push((id, msg, Instant::now()));

@@ -110,14 +110,56 @@ impl EngineConfig {
     }
 }
 
+/// Where a connection's replies go: a bounded channel plus an optional
+/// waker. The poll-loop server parks its reader threads in `poll(2)`;
+/// without the waker a reply could sit in the channel until the next
+/// timeout. The engine rings the waker after every successful send so
+/// the owning thread wakes and writes the reply out immediately.
+/// Thread-per-connection callers (tests, benches, `EngineLink`) build
+/// one straight from a `Sender` via `From` and never pay for a waker.
+#[derive(Clone)]
+pub struct ReplySink {
+    tx: Sender<ServerMsg>,
+    waker: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl ReplySink {
+    /// A sink that wakes `waker` after each reply lands in the channel.
+    pub fn with_waker(tx: Sender<ServerMsg>, waker: Arc<dyn Fn() + Send + Sync>) -> ReplySink {
+        ReplySink {
+            tx,
+            waker: Some(waker),
+        }
+    }
+
+    /// Non-blocking send, mirroring [`Sender::try_send`]; rings the
+    /// waker only when the message was actually enqueued. The error is
+    /// as large as the message on purpose: `Full`/`Disconnected` hand
+    /// the rejected reply back so callers can retry or account for it.
+    #[allow(clippy::result_large_err)]
+    pub fn try_send(&self, msg: ServerMsg) -> Result<(), TrySendError<ServerMsg>> {
+        self.tx.try_send(msg)?;
+        if let Some(waker) = &self.waker {
+            waker();
+        }
+        Ok(())
+    }
+}
+
+impl From<Sender<ServerMsg>> for ReplySink {
+    fn from(tx: Sender<ServerMsg>) -> ReplySink {
+        ReplySink { tx, waker: None }
+    }
+}
+
 /// A command delivered to the engine thread.
 pub enum Command {
-    /// A client request plus the channel its replies go to.
+    /// A client request plus the sink its replies go to.
     Client {
         /// The decoded request.
         msg: ClientMsg,
         /// Per-connection outbound queue.
-        reply: Sender<ServerMsg>,
+        reply: ReplySink,
     },
     /// Fire one admission round (real-time ticker).
     Tick,
@@ -135,7 +177,7 @@ pub enum Command {
 
 struct PendingEntry {
     req: Request,
-    reply: Sender<ServerMsg>,
+    reply: ReplySink,
     submitted_at: Instant,
     cancelled: bool,
 }
@@ -292,7 +334,7 @@ struct EngineLoop {
     /// Replies of the round in flight, held back until the round record
     /// is durable. Decisions are never externalized before they would
     /// survive a crash.
-    round_replies: Vec<(Sender<ServerMsg>, ServerMsg)>,
+    round_replies: Vec<(ReplySink, ServerMsg)>,
     /// A store write failed: the engine stops decided-but-undurable work
     /// from leaking out and exits its loop.
     dead: bool,
@@ -397,7 +439,7 @@ impl EngineLoop {
         }
     }
 
-    fn handle_client(&mut self, msg: ClientMsg, reply: Sender<ServerMsg>) {
+    fn handle_client(&mut self, msg: ClientMsg, reply: ReplySink) {
         match msg {
             ClientMsg::Submit(s) => self.handle_submit(s, reply),
             ClientMsg::Cancel { id } => self.handle_cancel(id, reply),
@@ -459,7 +501,7 @@ impl EngineLoop {
         }
     }
 
-    fn handle_submit(&mut self, s: SubmitReq, reply: Sender<ServerMsg>) {
+    fn handle_submit(&mut self, s: SubmitReq, reply: ReplySink) {
         MetricsRegistry::inc(&self.metrics.submitted);
         if self.draining {
             MetricsRegistry::inc(&self.metrics.refused_early);
@@ -467,7 +509,7 @@ impl EngineLoop {
                 &reply,
                 ServerMsg::Rejected {
                     id: s.id,
-                    reason: RejectReason::ShuttingDown,
+                    reason: RejectReason::Drained,
                     retry_after: None,
                 },
             );
@@ -570,14 +612,14 @@ impl EngineLoop {
     /// range and pin it with a single-port hold. The egress shard
     /// confirms (or refutes) the same window via `HoldAttach`; each side
     /// only ever charges the port it owns.
-    fn handle_hold_open(&mut self, s: SubmitReq, reply: Sender<ServerMsg>) {
+    fn handle_hold_open(&mut self, s: SubmitReq, reply: ReplySink) {
         let txn = s.id;
         if self.draining {
             self.send_reply(
                 &reply,
                 ServerMsg::HoldDenied {
                     txn,
-                    reason: RejectReason::ShuttingDown,
+                    reason: RejectReason::Drained,
                 },
             );
             return;
@@ -683,7 +725,7 @@ impl EngineLoop {
         start: f64,
         finish: f64,
         at: f64,
-        reply: Sender<ServerMsg>,
+        reply: ReplySink,
     ) {
         let shaped = !self.draining
             && at.is_finite()
@@ -728,7 +770,7 @@ impl EngineLoop {
     /// Second phase, success: mark the local hold committed. It stays
     /// charged on its port for its full window (GC reclaims it when the
     /// window passes) and becomes exempt from the expiry sweep.
-    fn handle_hold_commit(&mut self, txn: u64, at: f64, reply: Sender<ServerMsg>) {
+    fn handle_hold_commit(&mut self, txn: u64, at: f64, reply: ReplySink) {
         if !(at.is_finite() && at <= self.st.now + self.config.max_horizon) {
             self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
             return;
@@ -756,7 +798,7 @@ impl EngineLoop {
     /// Second phase, failure: drop the local hold and free its pinned
     /// capacity. Unknown transactions ack `false` — the expiry sweep
     /// may already have reclaimed the hold, which is not an error.
-    fn handle_hold_release(&mut self, txn: u64, at: f64, reply: Sender<ServerMsg>) {
+    fn handle_hold_release(&mut self, txn: u64, at: f64, reply: ReplySink) {
         if !(at.is_finite() && at <= self.st.now + self.config.max_horizon) {
             self.send_reply(&reply, ServerMsg::HoldAck { txn, ok: false });
             return;
@@ -816,7 +858,7 @@ impl EngineLoop {
         ))
     }
 
-    fn handle_cancel(&mut self, id: u64, reply: Sender<ServerMsg>) {
+    fn handle_cancel(&mut self, id: u64, reply: ReplySink) {
         let freed = if self.st.cancel_live(id) {
             MetricsRegistry::inc(&self.metrics.cancelled);
             // Log before replying: a crash after the reply must not
@@ -866,8 +908,12 @@ impl EngineLoop {
         }
         self.st.begin_round(t);
         MetricsRegistry::inc(&self.metrics.ticks);
-        let reclaimed = self.st.gc_expired(t);
-        MetricsRegistry::add(&self.metrics.gc_reclaimed, reclaimed);
+        let sweep = self.st.gc_expired(t);
+        MetricsRegistry::add(&self.metrics.gc_reclaimed, sweep.reclaimed);
+        // An uncommitted hold whose window ended is a release the client
+        // never sent; count it so `holds_placed` always balances against
+        // `holds_committed + holds_released + holds_expired`.
+        MetricsRegistry::add(&self.metrics.holds_released, sweep.holds_released);
         debug_assert!(self.round_log.is_empty() && self.round_replies.is_empty());
 
         // Book every accept of the round through the ledger's batched
@@ -1130,7 +1176,7 @@ impl EngineLoop {
     /// socket fills its channel, and a blocking send there would stall
     /// admission for every connection. Full ⇒ drop the reply and count
     /// it; the client can recover the state via `Query`.
-    fn send_reply(&self, reply: &Sender<ServerMsg>, msg: ServerMsg) {
+    fn send_reply(&self, reply: &ReplySink, msg: ServerMsg) {
         if let Err(TrySendError::Full(_)) = reply.try_send(msg) {
             MetricsRegistry::inc(&self.metrics.replies_dropped);
         }
@@ -1181,7 +1227,10 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         engine
             .sender()
-            .send(Command::Client { msg, reply: tx })
+            .send(Command::Client {
+                msg,
+                reply: tx.into(),
+            })
             .unwrap();
         rx.recv_timeout(Duration::from_secs(5))
             .expect("engine reply")
@@ -1195,7 +1244,7 @@ mod tests {
             .sender()
             .send(Command::Client {
                 msg: submit(1, 0.0, 500.0, 100.0, 30.0),
-                reply: tx.clone(),
+                reply: tx.clone().into(),
             })
             .unwrap();
         // No decision yet: the round at t=10 has not fired.
@@ -1205,7 +1254,7 @@ mod tests {
             .sender()
             .send(Command::Client {
                 msg: submit(2, 12.0, 100.0, 100.0, 40.0),
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
@@ -1261,7 +1310,7 @@ mod tests {
                 .sender()
                 .send(Command::Client {
                     msg,
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
         }
@@ -1270,7 +1319,7 @@ mod tests {
             .sender()
             .send(Command::Client {
                 msg: ClientMsg::Drain,
-                reply: dtx,
+                reply: dtx.into(),
             })
             .unwrap();
         drx.recv_timeout(Duration::from_secs(5))
@@ -1374,7 +1423,7 @@ mod tests {
                 .sender()
                 .send(Command::Client {
                     msg,
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
         }
@@ -1418,7 +1467,7 @@ mod tests {
                 .sender()
                 .send(Command::Client {
                     msg,
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
         }
@@ -1438,7 +1487,7 @@ mod tests {
             .sender()
             .send(Command::Client {
                 msg: probe,
-                reply: ptx,
+                reply: ptx.into(),
             })
             .unwrap();
         prx.recv_timeout(Duration::from_secs(5))
@@ -1476,10 +1525,10 @@ mod tests {
         }
         match rpc(&engine, submit(9, 0.0, 100.0, 100.0, 50.0)) {
             ServerMsg::Rejected {
-                reason: RejectReason::ShuttingDown,
+                reason: RejectReason::Drained,
                 ..
             } => {}
-            other => panic!("expected shutting-down rejection, got {other:?}"),
+            other => panic!("expected drained rejection, got {other:?}"),
         }
         engine.shutdown();
     }
@@ -1536,7 +1585,7 @@ mod tests {
             .sender()
             .send(Command::Client {
                 msg: submit(1, 400.0, 100.0, 100.0, 800.0),
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         // Let several ticker rounds fire. Before the fix the submission
@@ -1566,7 +1615,7 @@ mod tests {
             .sender()
             .send(Command::Client {
                 msg: submit(1, 0.0, 100.0, 100.0, 50.0),
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         match rpc(&engine, ClientMsg::Cancel { id: 1 }) {
@@ -1595,7 +1644,7 @@ mod tests {
                 .sender()
                 .send(Command::Client {
                     msg: ClientMsg::Query { id },
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
         }
@@ -1766,7 +1815,7 @@ mod tests {
                     // the default-slack window [0, 3] would already be past.
                     deadline: Some(60.0),
                 }),
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         // The ticker (20 ms wall) must decide it without any further

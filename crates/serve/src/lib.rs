@@ -17,10 +17,11 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod state;
+pub mod wire;
 
 pub use engine::{Engine, EngineConfig, TimeMode};
 pub use gridband_store::{FsDir, FsyncPolicy, MemDir, StoreConfig, StoreError};
 pub use metrics::{MetricsRegistry, Role};
 pub use protocol::{ClientMsg, RejectReason, ServerMsg, SubmitReq, WireRequest, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};
-pub use state::{EngineState, ReplayTally};
+pub use state::{EngineState, GcSweep, ReplayTally};

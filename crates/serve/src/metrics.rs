@@ -187,6 +187,12 @@ pub struct MetricsRegistry {
     pub protocol_errors: AtomicU64,
     /// Connections accepted over the daemon lifetime.
     pub connections: AtomicU64,
+    /// Connections that spoke the JSON-lines codec (counted at the
+    /// moment the first bytes settled the auto-detection).
+    pub conns_json: AtomicU64,
+    /// Connections that spoke the binary codec (sent the `GBWIR01\n`
+    /// preamble).
+    pub conns_binary: AtomicU64,
     /// Admission rounds (ticks) executed.
     pub ticks: AtomicU64,
     /// Expired reservations garbage-collected from the ledger.
@@ -311,6 +317,8 @@ impl MetricsRegistry {
             queue_full: ld(&self.queue_full),
             protocol_errors: ld(&self.protocol_errors),
             connections: ld(&self.connections),
+            conns_json: ld(&self.conns_json),
+            conns_binary: ld(&self.conns_binary),
             ticks: ld(&self.ticks),
             gc_reclaimed: ld(&self.gc_reclaimed),
             replies_dropped: ld(&self.replies_dropped),
@@ -376,6 +384,10 @@ pub struct StatsSnapshot {
     pub protocol_errors: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Connections that spoke the JSON-lines codec.
+    pub conns_json: u64,
+    /// Connections that spoke the binary codec.
+    pub conns_binary: u64,
     /// Admission rounds executed.
     pub ticks: u64,
     /// Expired reservations garbage-collected.

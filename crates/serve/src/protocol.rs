@@ -137,10 +137,15 @@ pub enum RejectReason {
     QueueFull,
     /// The route references a port outside the topology.
     UnknownRoute,
-    /// The daemon is draining and admits no new work.
+    /// Kept for wire compatibility: older daemons reported this while
+    /// draining. Current engines reply [`RejectReason::Drained`].
     ShuttingDown,
     /// This daemon is a follower: it serves reads only until promoted.
     NotPrimary,
+    /// The daemon has been drained: every pending request is decided and
+    /// no new work is admitted until the daemon is restarted over its
+    /// WAL directory (see README § Durability).
+    Drained,
 }
 
 /// Lifecycle state reported by `Query`.

@@ -1,25 +1,38 @@
-//! TCP front end: line-framed JSON over per-connection reader/writer
-//! threads, all decisions funnelled through the engine's bounded command
-//! queue.
+//! TCP front end: a readiness-driven poll loop over nonblocking
+//! connections, all decisions funnelled through the engine's bounded
+//! command queue.
 //!
-//! Connection anatomy: one reader thread parses newline-framed requests
-//! and enqueues engine commands carrying the connection's reply sender;
-//! one writer thread serializes whatever lands on that reply channel back
-//! onto the socket. Because replies are asynchronous (a submission is
-//! answered at the *next admission round*, not inline), a client may have
-//! many requests in flight; replies carry the request id for correlation.
+//! The acceptor thread blocks in `accept` and hands each socket to one
+//! of a small pool of I/O loop threads (round-robin). Each loop thread
+//! parks in `poll(2)` over its connections plus a wake pipe: readable
+//! sockets are drained and batch-decoded straight into the engine
+//! queue, and replies landing on a connection's bounded reply channel
+//! ring the wake pipe (via the engine-side [`ReplySink`] waker) so the
+//! loop wakes and writes them from the per-connection outbound buffer.
+//! No thread ever blocks on a client.
+//!
+//! Two codecs share the port. A connection whose first bytes are the
+//! [`crate::wire::WIRE_MAGIC`] preamble speaks the binary frame format
+//! of [`crate::wire`]; anything else (JSON-lines always starts with
+//! `{`) falls back to the line-framed JSON of [`crate::protocol`].
+//! Because replies are asynchronous (a submission is answered at the
+//! *next admission round*, not inline), a client may have many requests
+//! in flight; replies carry the request id for correlation.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, RecvTimeoutError};
+use crossbeam::channel::{self, Receiver, Sender};
 
-use crate::engine::{Command, Engine, EngineConfig};
+use crate::engine::{Command, Engine, EngineConfig, ReplySink};
 use crate::metrics::MetricsRegistry;
-use crate::protocol::{decode_client, encode_server, RejectReason, ServerMsg};
+use crate::protocol::{decode_client, encode_server, ClientMsg, RejectReason, ServerMsg};
+use crate::wire::{decode_client_payload, encode_server_frame, FrameBuf, WireError, WIRE_MAGIC};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -28,10 +41,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// Engine configuration.
     pub engine: EngineConfig,
-    /// Per-connection socket read timeout; a connection idle longer than
-    /// this (with no requests in flight) is closed.
+    /// Idle bound: a connection that has sent no bytes for this long
+    /// (with nothing left to write to it) is closed.
     pub read_timeout: Duration,
-    /// Maximum accepted request-line length in bytes.
+    /// Maximum accepted JSON request-line length in bytes.
     pub max_line_len: usize,
     /// Per-connection bound on undelivered replies. When it fills (a
     /// client submitting without reading its socket) the engine drops
@@ -41,6 +54,10 @@ pub struct ServerConfig {
     /// Period of the metrics snapshot dumped to stderr as one JSON line;
     /// `None` disables the dump.
     pub snapshot_period: Option<Duration>,
+    /// I/O loop threads sharing the connection load. Two is plenty: the
+    /// loops only shuffle bytes; every decision still serializes through
+    /// the single engine thread.
+    pub io_threads: usize,
 }
 
 impl ServerConfig {
@@ -53,6 +70,7 @@ impl ServerConfig {
             max_line_len: 64 * 1024,
             reply_capacity: 64 * 1024,
             snapshot_period: None,
+            io_threads: 2,
         }
     }
 }
@@ -73,9 +91,9 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Ask the accept loop to exit. Live connection sockets are shut
-    /// down so blocked readers unblock immediately, and the engine
-    /// decides its pending batch before `run` returns.
+    /// Ask the accept loop to exit. The I/O loops are woken and close
+    /// their connections immediately, and the engine decides its pending
+    /// batch before `run` returns.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
         // Nudge the (blocking) accept loop awake.
@@ -137,8 +155,8 @@ impl Server {
                     let (tx, rx) = channel::bounded(1);
                     if engine_tx
                         .send(Command::Client {
-                            msg: crate::protocol::ClientMsg::Stats,
-                            reply: tx,
+                            msg: ClientMsg::Stats,
+                            reply: tx.into(),
                         })
                         .is_err()
                     {
@@ -153,9 +171,35 @@ impl Server {
             })
         });
 
-        // Each entry keeps a clone of the connection's socket so shutdown
-        // can unblock a reader parked in a (minutes-long) timed read.
-        let mut conns: Vec<(Option<TcpStream>, std::thread::JoinHandle<()>)> = Vec::new();
+        // Spin up the I/O loop pool.
+        let cfg = ConnConfig {
+            read_timeout: self.config.read_timeout,
+            max_line_len: self.config.max_line_len,
+            reply_capacity: self.config.reply_capacity,
+            engine_step: self.engine.step(),
+        };
+        let mut loops = Vec::new();
+        let mut threads = Vec::new();
+        for _ in 0..self.config.io_threads.max(1) {
+            let (conn_tx, conn_rx) = channel::unbounded::<TcpStream>();
+            let (wake_w, wake_r) = UnixStream::pair()?;
+            wake_w.set_nonblocking(true)?;
+            wake_r.set_nonblocking(true)?;
+            let waker = Arc::new(WakePipe(wake_w));
+            let io = IoLoop {
+                conn_rx,
+                wake_r,
+                waker: waker.clone(),
+                stop: self.stop.clone(),
+                engine_tx: self.engine.sender(),
+                metrics: metrics.clone(),
+                cfg,
+            };
+            threads.push(std::thread::spawn(move || io.run()));
+            loops.push((conn_tx, waker));
+        }
+
+        let mut next = 0usize;
         for stream in self.listener.incoming() {
             if self.stop.load(Ordering::Relaxed) {
                 break;
@@ -163,42 +207,32 @@ impl Server {
             match stream {
                 Ok(stream) => {
                     MetricsRegistry::inc(&metrics.connections);
-                    let engine_tx = self.engine.sender();
-                    let engine_step = self.engine.step();
-                    let metrics = metrics.clone();
-                    let cfg = ConnConfig {
-                        read_timeout: self.config.read_timeout,
-                        max_line_len: self.config.max_line_len,
-                        reply_capacity: self.config.reply_capacity,
-                        engine_step,
-                    };
-                    let sock = stream.try_clone().ok();
-                    let thread = std::thread::spawn(move || {
-                        handle_connection(stream, engine_tx, metrics, cfg)
-                    });
-                    conns.push((sock, thread));
+                    let (conn_tx, waker) = &loops[next % loops.len()];
+                    next += 1;
+                    if conn_tx.send(stream).is_ok() {
+                        waker.wake();
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
                 Err(e) => return Err(e),
             }
-            // Opportunistically reap finished connection threads.
-            conns.retain(|(_, t)| !t.is_finished());
         }
-        // Shutdown order matters. First close the sockets: idle readers
-        // would otherwise sit in a blocking read until `read_timeout`
-        // (minutes) before noticing. Then stop the engine: its drain
-        // round answers pending work and drops the per-connection reply
-        // senders it holds, which is what lets writer threads (blocked
-        // until their channel disconnects) exit. Only then join.
-        for (sock, _) in &conns {
-            if let Some(sock) = sock {
-                let _ = sock.shutdown(std::net::Shutdown::Both);
-            }
+        // Shutdown order matters. First stop the I/O loops: they close
+        // every connection socket, so no client observes a reply that
+        // post-dates the shutdown request. Then stop the engine: its
+        // drain round decides pending work (making it durable) and drops
+        // the per-connection reply sinks it holds. Only then join the
+        // snapshotter.
+        for (conn_tx, waker) in &loops {
+            // Dropping the sender is not enough: the loop blocks in
+            // poll(2), not on the channel. Ring the pipe.
+            drop(conn_tx.clone());
+            waker.wake();
         }
-        self.engine.shutdown();
-        for (_, t) in conns {
+        for t in threads {
             let _ = t.join();
         }
+        self.engine.shutdown();
         if let Some(t) = snapshotter {
             let _ = t.join();
         }
@@ -214,155 +248,512 @@ struct ConnConfig {
     engine_step: f64,
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    engine_tx: channel::Sender<Command>,
-    metrics: Arc<MetricsRegistry>,
-    cfg: ConnConfig,
-) {
-    let peer = stream.peer_addr().ok();
-    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = channel::bounded::<ServerMsg>(cfg.reply_capacity);
+/// Write end of an I/O loop's wake pipe. The engine thread rings it
+/// (through a [`ReplySink`] waker) after parking a reply; the loop
+/// thread drains it at the top of every iteration. Nonblocking: once
+/// the pipe buffer holds a byte the loop is guaranteed to wake, so a
+/// `WouldBlock` here means the wake is already pending.
+struct WakePipe(UnixStream);
 
-    // Writer: serialize replies until the channel closes (reader done and
-    // every in-flight engine command answered or dropped).
-    let writer = std::thread::spawn(move || {
-        let mut out = std::io::BufWriter::new(write_half);
+impl WakePipe {
+    fn wake(&self) {
+        let _ = (&self.0).write(&[1u8]);
+    }
+}
+
+// --------------------------------------------------------------------
+// poll(2): the only readiness primitive the platform libc always has.
+// Hand-rolled because the container carries no event-loop crate; the
+// struct layout is fixed by POSIX.
+// --------------------------------------------------------------------
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: std::os::raw::c_int,
+    events: std::os::raw::c_short,
+    revents: std::os::raw::c_short,
+}
+
+const POLLIN: std::os::raw::c_short = 0x001;
+const POLLOUT: std::os::raw::c_short = 0x004;
+const POLLERR: std::os::raw::c_short = 0x008;
+const POLLHUP: std::os::raw::c_short = 0x010;
+const POLLNVAL: std::os::raw::c_short = 0x020;
+
+extern "C" {
+    fn poll(
+        fds: *mut PollFd,
+        nfds: std::os::raw::c_ulong,
+        timeout: std::os::raw::c_int,
+    ) -> std::os::raw::c_int;
+}
+
+fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of
+    // `#[repr(C)]` pollfd-layout structs for the duration of the call.
+    unsafe {
+        poll(
+            fds.as_mut_ptr(),
+            fds.len() as std::os::raw::c_ulong,
+            timeout_ms,
+        )
+    }
+}
+
+/// Which dialect a connection speaks, settled by its first bytes.
+enum Codec {
+    /// Too few bytes to tell yet; they are buffered here.
+    Detecting(Vec<u8>),
+    /// Newline-framed JSON (the compat dialect).
+    Json(Vec<u8>),
+    /// `[len][crc32][payload]` binary frames behind the magic preamble.
+    Binary(FrameBuf),
+}
+
+struct Conn {
+    sock: TcpStream,
+    codec: Codec,
+    /// Loop-side reply sender for parse errors and queue-full bounces;
+    /// dropped at read-EOF so the reply channel disconnects once the
+    /// engine has answered everything in flight.
+    reply_tx: Option<Sender<ServerMsg>>,
+    reply_rx: Receiver<ServerMsg>,
+    /// Outbound bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    last_read: Instant,
+    read_closed: bool,
+    /// All reply senders (ours and the engine's) are gone and drained.
+    replies_done: bool,
+    /// Unrecoverable socket or framing state: close without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(sock: TcpStream, reply_capacity: usize) -> std::io::Result<Conn> {
+        sock.set_nonblocking(true)?;
+        let (reply_tx, reply_rx) = channel::bounded(reply_capacity);
+        Ok(Conn {
+            sock,
+            codec: Codec::Detecting(Vec::new()),
+            reply_tx: Some(reply_tx),
+            reply_rx,
+            out: Vec::new(),
+            out_pos: 0,
+            last_read: Instant::now(),
+            read_closed: false,
+            replies_done: false,
+            dead: false,
+        })
+    }
+
+    /// Queue a loop-side reply (protocol error, backpressure bounce)
+    /// through the same channel the engine uses, so a client observes
+    /// replies in the order its requests were handled.
+    fn push_reply(&mut self, metrics: &MetricsRegistry, msg: ServerMsg) {
+        if let Some(tx) = &self.reply_tx {
+            if tx.try_send(msg).is_err() {
+                MetricsRegistry::inc(&metrics.replies_dropped);
+            }
+        }
+    }
+
+    /// Stop reading: drop our reply sender so the channel disconnects
+    /// once the engine finishes, flush what remains, then close.
+    fn close_after_flush(&mut self) {
+        self.read_closed = true;
+        self.reply_tx = None;
+    }
+
+    /// Move every queued reply into the outbound buffer, encoded for
+    /// this connection's codec.
+    fn drain_replies(&mut self) {
         loop {
-            match reply_rx.recv_timeout(Duration::from_millis(200)) {
+            match self.reply_rx.try_recv() {
                 Ok(msg) => {
-                    if out.write_all(encode_server(&msg).as_bytes()).is_err()
-                        || out.write_all(b"\n").is_err()
-                    {
-                        break;
-                    }
-                    // Flush when the queue went empty: batches bursts,
-                    // keeps single replies prompt.
-                    if reply_rx.is_empty() && out.flush().is_err() {
-                        break;
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if out.flush().is_err() {
-                        break;
+                    match &self.codec {
+                        Codec::Binary(_) => self.out.extend_from_slice(&encode_server_frame(&msg)),
+                        // JSON is also the answer dialect while still
+                        // detecting: only protocol errors can arise then.
+                        Codec::Json(_) | Codec::Detecting(_) => {
+                            self.out.extend_from_slice(encode_server(&msg).as_bytes());
+                            self.out.push(b'\n');
+                        }
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    let _ = out.flush();
+                Err(channel::TryRecvError::Empty) => break,
+                Err(channel::TryRecvError::Disconnected) => {
+                    self.replies_done = true;
                     break;
                 }
             }
         }
-    });
+    }
 
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // Bounded read: take() caps how much one request line may consume.
-        let mut limited = (&mut reader).take(cfg.max_line_len as u64 + 1);
-        match limited.read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(n) if n > cfg.max_line_len => {
-                MetricsRegistry::inc(&metrics.protocol_errors);
-                let _ = reply_tx.send(ServerMsg::Error {
-                    code: "line-too-long".to_string(),
-                    message: format!("request line exceeds {} bytes", cfg.max_line_len),
-                });
-                break; // framing is lost; close the connection
-            }
-            Ok(_) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
+    /// Push buffered bytes into the socket until it stops accepting.
+    fn flush_out(&mut self) {
+        while self.out_pos < self.out.len() {
+            match (&self.sock).write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
                 }
-                match decode_client(trimmed) {
-                    Ok(msg) => {
-                        if !forward_to_engine(&engine_tx, &reply_tx, &metrics, &cfg, msg) {
-                            break; // engine gone; close
-                        }
-                    }
-                    Err(err_reply) => {
-                        MetricsRegistry::inc(&metrics.protocol_errors);
-                        let _ = reply_tx.send(err_reply);
-                    }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                break; // idle past the read timeout
-            }
-            Err(_) => break,
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > 4096 && self.out_pos * 2 > self.out.len() {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
         }
     }
-    drop(reply_tx);
-    let _ = writer.join();
-    let _ = peer; // reserved for future per-peer logging
+
+    /// True when the connection has nothing left to do and can be
+    /// dropped: reads are over and every reply has been written out.
+    fn finished(&self) -> bool {
+        self.dead || (self.read_closed && self.replies_done && self.out_pos == self.out.len())
+    }
+}
+
+struct IoLoop {
+    conn_rx: Receiver<TcpStream>,
+    wake_r: UnixStream,
+    waker: Arc<WakePipe>,
+    stop: Arc<AtomicBool>,
+    engine_tx: Sender<Command>,
+    metrics: Arc<MetricsRegistry>,
+    cfg: ConnConfig,
 }
 
 /// How long a control message (Cancel/Query/Stats/Drain) waits for queue
 /// space before the connection reports overload. Submissions never wait.
 const CONTROL_RETRY: Duration = Duration::from_secs(5);
 
-/// Forward one decoded request to the engine. Returns `false` when the
-/// engine is gone and the connection should close.
-///
-/// Backpressure policy on a full command queue: submissions bounce
-/// immediately with a `retry_after` hint — the client is the right place
-/// to pace a firehose of new work. Control messages instead retry for up
-/// to [`CONTROL_RETRY`]: they are rare, a client typically sends them
-/// once right after a burst of submissions (exactly when the queue peaks),
-/// and the engine drains the queue continuously, so a short wait converts
-/// a spurious `overloaded` error into a normal reply.
-fn forward_to_engine(
-    engine_tx: &channel::Sender<Command>,
-    reply_tx: &channel::Sender<ServerMsg>,
-    metrics: &MetricsRegistry,
-    cfg: &ConnConfig,
-    msg: crate::protocol::ClientMsg,
-) -> bool {
-    let is_submit = matches!(msg, crate::protocol::ClientMsg::Submit(_));
-    let mut cmd = Command::Client {
-        msg,
-        reply: reply_tx.clone(),
-    };
-    let give_up_at = Instant::now() + CONTROL_RETRY;
-    loop {
-        match engine_tx.try_send(cmd) {
-            Ok(()) => return true,
-            Err(channel::TrySendError::Full(c)) => {
-                if !is_submit && Instant::now() < give_up_at {
-                    cmd = c;
-                    std::thread::sleep(Duration::from_millis(2));
+impl IoLoop {
+    fn run(self) {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        let wake_fn: Arc<dyn Fn() + Send + Sync> = {
+            let waker = self.waker.clone();
+            Arc::new(move || waker.wake())
+        };
+        loop {
+            // Adopt sockets the acceptor handed over.
+            while let Ok(sock) = self.conn_rx.try_recv() {
+                if let Ok(conn) = Conn::new(sock, self.cfg.reply_capacity) {
+                    conns.push(conn);
+                }
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+
+            let mut fds = Vec::with_capacity(1 + conns.len());
+            fds.push(PollFd {
+                fd: self.wake_r.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            for c in &conns {
+                let mut events = 0;
+                if !c.read_closed {
+                    events |= POLLIN;
+                }
+                if c.out_pos < c.out.len() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd: c.sock.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+            }
+            // 1 s cap: the idle reaper and the stop flag are checked at
+            // least this often even with no traffic at all.
+            poll_fds(&mut fds, 1000);
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+
+            // Drain the wake pipe; its only meaning is "look again".
+            if fds[0].revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+                let mut buf = [0u8; 256];
+                while matches!((&self.wake_r).read(&mut buf), Ok(n) if n > 0) {}
+            }
+
+            for (i, c) in conns.iter_mut().enumerate() {
+                let revents = fds[1 + i].revents;
+                if revents & POLLNVAL != 0 {
+                    c.dead = true;
                     continue;
                 }
-                MetricsRegistry::inc(&metrics.queue_full);
-                if let Command::Client {
-                    msg: crate::protocol::ClientMsg::Submit(s),
-                    ..
-                } = c
-                {
-                    let _ = reply_tx.send(ServerMsg::Rejected {
-                        id: s.id,
-                        reason: RejectReason::QueueFull,
-                        retry_after: Some(cfg.engine_step),
-                    });
-                } else {
-                    let _ = reply_tx.send(ServerMsg::Error {
-                        code: "overloaded".to_string(),
-                        message: "engine queue full, retry".to_string(),
-                    });
+                if revents & (POLLIN | POLLERR | POLLHUP) != 0 && !c.read_closed {
+                    self.read_ready(c, &mut scratch, &wake_fn);
                 }
-                return true;
+                c.drain_replies();
+                c.flush_out();
+                if !c.read_closed && c.last_read.elapsed() > self.cfg.read_timeout {
+                    // Idle past the bound: stop reading, deliver what is
+                    // still owed, then close.
+                    c.close_after_flush();
+                    c.drain_replies();
+                    c.flush_out();
+                }
             }
-            Err(channel::TrySendError::Disconnected(_)) => return false,
+            conns.retain(|c| {
+                if c.finished() {
+                    let _ = c.sock.shutdown(std::net::Shutdown::Both);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for c in &conns {
+            let _ = c.sock.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Drain a readable socket and decode every complete request.
+    fn read_ready(&self, c: &mut Conn, scratch: &mut [u8], wake_fn: &Arc<dyn Fn() + Send + Sync>) {
+        loop {
+            match (&c.sock).read(scratch) {
+                Ok(0) => {
+                    c.close_after_flush();
+                    return;
+                }
+                Ok(n) => {
+                    c.last_read = Instant::now();
+                    self.feed(c, &scratch[..n], wake_fn);
+                    if c.read_closed || c.dead {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Route freshly read bytes through the connection's codec state.
+    fn feed(&self, c: &mut Conn, mut bytes: &[u8], wake_fn: &Arc<dyn Fn() + Send + Sync>) {
+        if let Codec::Detecting(buf) = &mut c.codec {
+            buf.extend_from_slice(bytes);
+            if buf.len() < WIRE_MAGIC.len() && WIRE_MAGIC.starts_with(buf) {
+                return; // genuinely ambiguous: wait for more bytes
+            }
+            let settled = std::mem::take(buf);
+            if settled.starts_with(&WIRE_MAGIC) {
+                MetricsRegistry::inc(&self.metrics.conns_binary);
+                let mut fb = FrameBuf::new();
+                fb.extend(&settled[WIRE_MAGIC.len()..]);
+                c.codec = Codec::Binary(fb);
+            } else {
+                MetricsRegistry::inc(&self.metrics.conns_json);
+                c.codec = Codec::Json(settled);
+            }
+            bytes = &[]; // everything is inside the codec state now
+        }
+        match &mut c.codec {
+            Codec::Detecting(_) => unreachable!("settled above"),
+            Codec::Json(_) => self.feed_json(c, bytes, wake_fn),
+            Codec::Binary(_) => self.feed_binary(c, bytes, wake_fn),
+        }
+    }
+
+    fn feed_json(&self, c: &mut Conn, bytes: &[u8], wake_fn: &Arc<dyn Fn() + Send + Sync>) {
+        let Codec::Json(buf) = &mut c.codec else {
+            return;
+        };
+        buf.extend_from_slice(bytes);
+        loop {
+            let Codec::Json(buf) = &mut c.codec else {
+                return;
+            };
+            let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+                if buf.len() > self.cfg.max_line_len {
+                    MetricsRegistry::inc(&self.metrics.protocol_errors);
+                    let max = self.cfg.max_line_len;
+                    c.push_reply(
+                        &self.metrics,
+                        ServerMsg::Error {
+                            code: "line-too-long".to_string(),
+                            message: format!("request line exceeds {max} bytes"),
+                        },
+                    );
+                    c.close_after_flush(); // framing is lost
+                }
+                return;
+            };
+            if nl > self.cfg.max_line_len {
+                MetricsRegistry::inc(&self.metrics.protocol_errors);
+                let max = self.cfg.max_line_len;
+                c.push_reply(
+                    &self.metrics,
+                    ServerMsg::Error {
+                        code: "line-too-long".to_string(),
+                        message: format!("request line exceeds {max} bytes"),
+                    },
+                );
+                c.close_after_flush();
+                return;
+            }
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            let reply = match std::str::from_utf8(&line) {
+                Ok(s) if s.trim().is_empty() => continue,
+                Ok(s) => match decode_client(s.trim()) {
+                    Ok(msg) => {
+                        if !self.forward(c, msg, wake_fn) {
+                            c.dead = true; // engine gone
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(err_reply) => err_reply,
+                },
+                Err(_) => ServerMsg::Error {
+                    code: "parse".to_string(),
+                    message: "request line is not UTF-8".to_string(),
+                },
+            };
+            MetricsRegistry::inc(&self.metrics.protocol_errors);
+            c.push_reply(&self.metrics, reply);
+        }
+    }
+
+    fn feed_binary(&self, c: &mut Conn, bytes: &[u8], wake_fn: &Arc<dyn Fn() + Send + Sync>) {
+        {
+            let Codec::Binary(fb) = &mut c.codec else {
+                return;
+            };
+            fb.extend(bytes);
+        }
+        loop {
+            let Codec::Binary(fb) = &mut c.codec else {
+                return;
+            };
+            match fb.next_frame() {
+                Ok(None) => return,
+                Ok(Some(payload)) => match decode_client_payload(&payload) {
+                    Ok(msg) => {
+                        if !self.forward(c, msg, wake_fn) {
+                            c.dead = true;
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        // The frame itself was sound, so framing is
+                        // intact and the connection survives.
+                        MetricsRegistry::inc(&self.metrics.protocol_errors);
+                        let code = match e {
+                            WireError::BadVersion(_) => "bad-version",
+                            _ => "parse",
+                        };
+                        c.push_reply(
+                            &self.metrics,
+                            ServerMsg::Error {
+                                code: code.to_string(),
+                                message: e.to_string(),
+                            },
+                        );
+                    }
+                },
+                Err(e) => {
+                    // Bad length prefix or CRC: the byte stream can no
+                    // longer be split into frames. Report and close.
+                    MetricsRegistry::inc(&self.metrics.protocol_errors);
+                    c.push_reply(
+                        &self.metrics,
+                        ServerMsg::Error {
+                            code: "frame".to_string(),
+                            message: e.to_string(),
+                        },
+                    );
+                    c.close_after_flush();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Forward one decoded request to the engine. Returns `false` when
+    /// the engine is gone and the connection should close.
+    ///
+    /// Backpressure policy on a full command queue: submissions bounce
+    /// immediately with a `retry_after` hint — the client is the right
+    /// place to pace a firehose of new work. Control messages instead
+    /// wait up to [`CONTROL_RETRY`]: they are rare, a client typically
+    /// sends them once right after a burst of submissions (exactly when
+    /// the queue peaks), and the engine drains the queue continuously,
+    /// so a short wait converts a spurious `overloaded` error into a
+    /// normal reply.
+    fn forward(&self, c: &mut Conn, msg: ClientMsg, wake_fn: &Arc<dyn Fn() + Send + Sync>) -> bool {
+        let Some(reply_tx) = &c.reply_tx else {
+            return true; // read side already closed; drop the request
+        };
+        let reply = ReplySink::with_waker(reply_tx.clone(), wake_fn.clone());
+        let is_submit = matches!(msg, ClientMsg::Submit(_));
+        let cmd = Command::Client { msg, reply };
+        if is_submit {
+            match self.engine_tx.try_send(cmd) {
+                Ok(()) => true,
+                Err(channel::TrySendError::Full(cmd)) => {
+                    MetricsRegistry::inc(&self.metrics.queue_full);
+                    if let Command::Client {
+                        msg: ClientMsg::Submit(s),
+                        ..
+                    } = cmd
+                    {
+                        c.push_reply(
+                            &self.metrics,
+                            ServerMsg::Rejected {
+                                id: s.id,
+                                reason: RejectReason::QueueFull,
+                                retry_after: Some(self.cfg.engine_step),
+                            },
+                        );
+                    }
+                    true
+                }
+                Err(channel::TrySendError::Disconnected(_)) => false,
+            }
+        } else {
+            let give_up_at = Instant::now() + CONTROL_RETRY;
+            let mut cmd = cmd;
+            loop {
+                match self.engine_tx.try_send(cmd) {
+                    Ok(()) => return true,
+                    Err(channel::TrySendError::Full(back)) => {
+                        if Instant::now() >= give_up_at || self.stop.load(Ordering::Relaxed) {
+                            MetricsRegistry::inc(&self.metrics.queue_full);
+                            c.push_reply(
+                                &self.metrics,
+                                ServerMsg::Error {
+                                    code: "overloaded".to_string(),
+                                    message: "engine queue full, retry".to_string(),
+                                },
+                            );
+                            return true;
+                        }
+                        cmd = back;
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(channel::TrySendError::Disconnected(_)) => return false,
+                }
+            }
         }
     }
 }
@@ -371,7 +762,10 @@ fn forward_to_engine(
 mod tests {
     use super::*;
     use crate::protocol::{encode_client, ClientMsg, SubmitReq};
+    use crate::wire::{decode_server_payload, encode_client_frame};
     use gridband_net::Topology;
+    use std::io::BufRead;
+    use std::io::BufReader;
 
     fn start_server() -> (ShutdownHandle, SocketAddr, std::thread::JoinHandle<()>) {
         let mut engine = EngineConfig::new(Topology::uniform(2, 2, 100.0));
@@ -393,6 +787,19 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).expect("read");
         crate::protocol::decode_server(line.trim()).expect("decode")
+    }
+
+    /// Read one binary server frame off the socket.
+    fn read_frame(stream: &mut TcpStream, fb: &mut FrameBuf) -> ServerMsg {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(payload) = fb.next_frame().expect("sound frame") {
+                return decode_server_payload(&payload).expect("decode server payload");
+            }
+            let n = stream.read(&mut buf).expect("read");
+            assert!(n > 0, "connection closed mid-frame");
+            fb.extend(&buf[..n]);
+        }
     }
 
     #[test]
@@ -441,6 +848,65 @@ mod tests {
     }
 
     #[test]
+    fn binary_submit_over_tcp_gets_the_same_decision() {
+        let (handle, addr, join) = start_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&WIRE_MAGIC).expect("preamble");
+        stream
+            .write_all(&encode_client_frame(&ClientMsg::Submit(SubmitReq {
+                id: 1,
+                ingress: 0,
+                egress: 1,
+                volume: 500.0,
+                max_rate: 100.0,
+                start: Some(0.0),
+                deadline: Some(60.0),
+            })))
+            .expect("submit frame");
+        stream
+            .write_all(&encode_client_frame(&ClientMsg::Drain))
+            .expect("drain frame");
+
+        let mut fb = FrameBuf::new();
+        match read_frame(&mut stream, &mut fb) {
+            ServerMsg::Accepted {
+                id: 1, bw, start, ..
+            } => {
+                assert_eq!(start, 10.0);
+                assert_eq!(bw, 100.0);
+            }
+            other => panic!("expected acceptance first, got {other:?}"),
+        }
+        match read_frame(&mut stream, &mut fb) {
+            ServerMsg::Draining { pending } => assert_eq!(pending, 1),
+            other => panic!("expected draining ack, got {other:?}"),
+        }
+
+        // The codec was counted: this was a binary connection.
+        let mut probe = TcpStream::connect(addr).expect("connect probe");
+        probe
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(probe.try_clone().unwrap());
+        send_line(&mut probe, &ClientMsg::Stats);
+        match read_reply(&mut reader) {
+            ServerMsg::Stats(s) => {
+                assert_eq!(s.conns_binary, 1);
+                assert!(s.conns_json >= 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        drop(stream);
+        drop(probe);
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+
+    #[test]
     fn malformed_and_versioned_lines_get_error_replies() {
         let (handle, addr, join) = start_server();
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -473,6 +939,34 @@ mod tests {
         }
 
         drop(reader);
+        drop(stream);
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+
+    #[test]
+    fn corrupt_binary_frame_gets_an_error_and_a_close() {
+        let (handle, addr, join) = start_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&WIRE_MAGIC).expect("preamble");
+        let mut frame = encode_client_frame(&ClientMsg::Stats);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x20; // CRC now fails
+        stream.write_all(&frame).expect("torn frame");
+
+        let mut fb = FrameBuf::new();
+        match read_frame(&mut stream, &mut fb) {
+            ServerMsg::Error { code, .. } => assert_eq!(code, "frame"),
+            other => panic!("expected frame error, got {other:?}"),
+        }
+        // Framing is lost: the server closes its side.
+        let mut rest = [0u8; 16];
+        let n = stream.read(&mut rest).unwrap_or(0);
+        assert_eq!(n, 0, "connection should be closed");
+
         drop(stream);
         handle.shutdown();
         join.join().expect("server thread");
@@ -523,7 +1017,7 @@ mod tests {
         let handle = server.shutdown_handle().unwrap();
         let join = std::thread::spawn(move || server.run().expect("run"));
 
-        // An idle client: its reader thread sits in a blocking read.
+        // An idle client: no request, no codec, nothing to poll for.
         let stream = TcpStream::connect(addr).expect("connect");
         std::thread::sleep(Duration::from_millis(50));
         let t0 = Instant::now();
@@ -547,9 +1041,18 @@ mod tests {
                 stream
                     .set_read_timeout(Some(Duration::from_secs(10)))
                     .unwrap();
-                let mut reader = BufReader::new(stream.try_clone().unwrap());
-                send_line(&mut stream, &ClientMsg::Query { id: k });
-                matches!(read_reply(&mut reader), ServerMsg::Status { .. })
+                if k % 2 == 0 {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    send_line(&mut stream, &ClientMsg::Query { id: k });
+                    matches!(read_reply(&mut reader), ServerMsg::Status { .. })
+                } else {
+                    stream.write_all(&WIRE_MAGIC).expect("preamble");
+                    stream
+                        .write_all(&encode_client_frame(&ClientMsg::Query { id: k }))
+                        .expect("query frame");
+                    let mut fb = FrameBuf::new();
+                    matches!(read_frame(&mut stream, &mut fb), ServerMsg::Status { .. })
+                }
             }));
         }
         for w in workers {

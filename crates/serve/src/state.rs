@@ -45,9 +45,27 @@ pub struct ReplayTally {
     pub gc_reclaimed: u64,
     /// Two-phase holds re-placed.
     pub holds_placed: u64,
+    /// Two-phase holds re-released: explicit `HoldRelease` records plus
+    /// uncommitted holds the round GC swept (see [`GcSweep`]).
+    pub holds_released: u64,
     /// Two-phase holds re-committed.
     pub holds_committed: u64,
-    /// Two-phase holds re-released.
+}
+
+/// What one [`EngineState::gc_expired`] sweep reclaimed, split so
+/// callers can account hold releases separately from plain reservation
+/// GC. Every hold is placed exactly once and ends exactly once —
+/// committed, explicitly released, expired, or GC-released — so at
+/// quiescence `holds_placed == holds_committed + holds_released +
+/// holds_expired` holds as a strict metric identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcSweep {
+    /// Everything reclaimed: expired reservations plus ended holds
+    /// (committed or not). Feeds the `gc_reclaimed` counter.
+    pub reclaimed: u64,
+    /// Ended holds that were still *uncommitted* when GC released them.
+    /// These are real releases — without counting them the hold ledger
+    /// silently leaks terminations and the identity above breaks.
     pub holds_released: u64,
 }
 
@@ -183,7 +201,9 @@ impl EngineState {
             WalRecord::Round { t, decisions } => {
                 self.begin_round(t);
                 tally.rounds += 1;
-                tally.gc_reclaimed += self.gc_expired(t);
+                let sweep = self.gc_expired(t);
+                tally.gc_reclaimed += sweep.reclaimed;
+                tally.holds_released += sweep.holds_released;
                 for d in decisions {
                     match d {
                         RoundDecision::Accept {
@@ -336,23 +356,23 @@ impl EngineState {
     }
 
     /// Cancel every reservation whose interval ended at or before `t`,
-    /// returning how many were reclaimed. Expired reservations are dead
+    /// returning what was reclaimed. Expired reservations are dead
     /// weight in the ledger profiles: cancelling them only edits past
     /// time segments, so admission decisions (which only read the
     /// profile from `t` on) are unaffected while breakpoint memory stays
     /// bounded. Shared by live rounds and WAL replay so both walk
     /// identical ledger states.
-    pub fn gc_expired(&mut self, t: f64) -> u64 {
+    pub fn gc_expired(&mut self, t: f64) -> GcSweep {
         let expired: Vec<ReservationId> = self
             .ledger
             .live_reservations()
             .filter(|(_, r)| r.end <= t)
             .map(|(id, _)| id)
             .collect();
-        let mut reclaimed = 0;
+        let mut sweep = GcSweep::default();
         for rid in expired {
             if self.ledger.cancel(rid).is_ok() {
-                reclaimed += 1;
+                sweep.reclaimed += 1;
                 if let Some(owner) = self.res_owner.remove(&rid.0) {
                     self.accepted_res.remove(&owner);
                 }
@@ -360,7 +380,9 @@ impl EngineState {
         }
         // Holds whose window has fully passed are equally dead weight,
         // committed or not; release them in ascending txn order so live
-        // rounds and replay free them in the same sequence.
+        // rounds and replay free them in the same sequence. A hold that
+        // was still uncommitted is a genuine release and is reported as
+        // such — a committed hold already terminated via its commit.
         let ended: Vec<u64> = self
             .holds
             .iter()
@@ -368,11 +390,15 @@ impl EngineState {
             .map(|(&txn, _)| txn)
             .collect();
         for txn in ended {
+            let committed = self.holds.get(&txn).is_some_and(|h| h.committed);
             if self.release_hold(txn) {
-                reclaimed += 1;
+                sweep.reclaimed += 1;
+                if !committed {
+                    sweep.holds_released += 1;
+                }
             }
         }
-        reclaimed
+        sweep
     }
 
     /// Place a two-phase hold for `txn`: pin `bw` on `port` over
@@ -602,6 +628,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tally.gc_reclaimed, 1);
+        assert_eq!(tally.holds_released, 0, "reservation GC is not a release");
         assert!(s.alloc_of(2).is_none(), "expired reservation is gone");
         assert_eq!(s.state_of(2), Some(ReqState::Accepted));
     }
@@ -663,13 +690,78 @@ mod tests {
         bad.holds[0].hold += 7;
         assert!(b2_restore_fails(bad));
 
-        // GC releases the committed hold once its window has passed.
-        assert_eq!(a.gc_expired(30.0), 1);
+        // GC releases the committed hold once its window has passed —
+        // reclaimed, but not a release: the hold terminated via commit.
+        assert_eq!(
+            a.gc_expired(30.0),
+            GcSweep {
+                reclaimed: 1,
+                holds_released: 0
+            }
+        );
         assert_eq!(a.hold_count(), 0);
         assert!(a
             .ledger
             .ingress_profile(gridband_net::IngressId(0))
             .is_empty());
+    }
+
+    #[test]
+    fn gc_counts_uncommitted_ended_holds_as_released() {
+        // A hold whose *window* passes before its expiry deadline is
+        // reclaimed by GC while still uncommitted. That termination must
+        // surface as a release, or `holds_placed == holds_committed +
+        // holds_released + holds_expired` silently leaks.
+        let mut s = state();
+        s.place_hold(
+            9,
+            PortRef::In(gridband_net::IngressId(0)),
+            40.0,
+            10.0,
+            30.0,
+            1_000.0, // expiry far beyond the window end
+        )
+        .unwrap();
+        assert_eq!(s.expired_holds(30.0), Vec::<u64>::new());
+        assert_eq!(
+            s.gc_expired(30.0),
+            GcSweep {
+                reclaimed: 1,
+                holds_released: 1
+            }
+        );
+        assert_eq!(s.hold_count(), 0);
+
+        // Replay of a Round record walks the same path and lands the
+        // release in the tally.
+        let mut r = state();
+        let mut tally = ReplayTally::default();
+        r.apply(
+            WalRecord::HoldPlace {
+                txn: 9,
+                port: PortRef::In(gridband_net::IngressId(0)),
+                bw: 40.0,
+                start: 10.0,
+                finish: 30.0,
+                expires: 1_000.0,
+            },
+            "wal-0",
+            8,
+            &mut tally,
+        )
+        .unwrap();
+        r.apply(
+            WalRecord::Round {
+                t: 30.0,
+                decisions: vec![],
+            },
+            "wal-0",
+            64,
+            &mut tally,
+        )
+        .unwrap();
+        assert_eq!((tally.holds_placed, tally.holds_released), (1, 1));
+        assert_eq!(tally.gc_reclaimed, 1);
     }
 
     fn b2_restore_fails(snap: EngineSnapshot) -> bool {

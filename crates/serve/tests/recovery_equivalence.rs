@@ -113,7 +113,10 @@ impl Session {
         };
         engine
             .sender()
-            .send(Command::Client { msg, reply: tx })
+            .send(Command::Client {
+                msg,
+                reply: tx.into(),
+            })
             .is_ok()
     }
 
@@ -145,7 +148,7 @@ fn drain(engine: &Engine) {
         .sender()
         .send(Command::Client {
             msg: ClientMsg::Drain,
-            reply: tx,
+            reply: tx.into(),
         })
         .expect("engine alive for drain");
     rx.recv_timeout(Duration::from_secs(10)).expect("drain ack");

@@ -1,0 +1,188 @@
+//! Codec differential: the binary wire protocol must be a pure
+//! re-encoding of the JSON-lines protocol. Replaying the same workload
+//! trace against two fresh virtual-clock daemons — one connection per
+//! codec — must produce *byte-identical* decisions: the same accepted
+//! set and bit-for-bit equal `f64` grants (`bw`, `start`, `finish`).
+//! Bit-equality is the point: the binary codec ships IEEE-754 bit
+//! patterns while JSON round-trips through decimal text, and the
+//! admission engine is deterministic, so any divergence here is a codec
+//! bug, not noise.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gridband_algos::BandwidthPolicy;
+use gridband_net::Topology;
+use gridband_serve::protocol::{encode_client, ClientMsg, ServerMsg, SubmitReq};
+use gridband_serve::wire::{
+    decode_server_payload, encode_client_frame, FrameBuf, WireMode, WIRE_MAGIC,
+};
+use gridband_serve::{EngineConfig, Server, ServerConfig, TimeMode};
+use gridband_workload::{Dist, Trace, WorkloadBuilder};
+
+const STEP: f64 = 50.0;
+
+/// One request's decision, bit-exact: accepted grants keep the raw bit
+/// patterns of their three `f64`s, rejections record the reason's debug
+/// form. Equality of two of these is byte equality of the decision.
+#[derive(Debug, PartialEq, Eq)]
+enum Decision {
+    Granted { bw: u64, start: u64, finish: u64 },
+    Denied(String),
+}
+
+fn submit_msg(r: &gridband_workload::Request) -> ClientMsg {
+    ClientMsg::Submit(SubmitReq {
+        id: r.id.0,
+        ingress: r.route.ingress.0,
+        egress: r.route.egress.0,
+        volume: r.volume,
+        max_rate: r.max_rate,
+        start: Some(r.start()),
+        deadline: Some(r.finish()),
+    })
+}
+
+/// Replay `trace` against a fresh daemon over one TCP connection in the
+/// given dialect; collect every decision.
+fn run_trace(trace: &Trace, topo: Topology, wire: WireMode) -> BTreeMap<u64, Decision> {
+    let mut engine = EngineConfig::new(topo);
+    engine.step = STEP;
+    engine.policy = BandwidthPolicy::MAX_RATE;
+    engine.mode = TimeMode::Virtual;
+    engine.queue_capacity = trace.len() + 16;
+    let server = Server::bind(ServerConfig::new("127.0.0.1:0", engine)).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+
+    match wire {
+        WireMode::Json => {
+            for r in trace {
+                writeln!(writer, "{}", encode_client(&submit_msg(r))).expect("write");
+            }
+            writeln!(writer, "{}", encode_client(&ClientMsg::Drain)).expect("write");
+        }
+        WireMode::Binary => {
+            writer.write_all(&WIRE_MAGIC).expect("preamble");
+            for r in trace {
+                writer
+                    .write_all(&encode_client_frame(&submit_msg(r)))
+                    .expect("write");
+            }
+            writer
+                .write_all(&encode_client_frame(&ClientMsg::Drain))
+                .expect("write");
+        }
+    }
+    writer.flush().expect("flush");
+
+    let mut decisions = BTreeMap::new();
+    let mut reader = BufReader::new(stream);
+    let mut frames = FrameBuf::new();
+    let mut next_msg = |reader: &mut BufReader<TcpStream>| -> ServerMsg {
+        match wire {
+            WireMode::Json => {
+                let mut line = String::new();
+                assert!(reader.read_line(&mut line).expect("read") > 0, "early EOF");
+                gridband_serve::protocol::decode_server(line.trim()).expect("server line")
+            }
+            WireMode::Binary => loop {
+                if let Some(payload) = frames.next_frame().expect("sound frame") {
+                    return decode_server_payload(&payload).expect("server payload");
+                }
+                let mut buf = [0u8; 4096];
+                let n = reader.read(&mut buf).expect("read");
+                assert!(n > 0, "early EOF");
+                frames.extend(&buf[..n]);
+            },
+        }
+    };
+    while decisions.len() < trace.len() {
+        match next_msg(&mut reader) {
+            ServerMsg::Accepted {
+                id,
+                bw,
+                start,
+                finish,
+            } => {
+                decisions.insert(
+                    id,
+                    Decision::Granted {
+                        bw: bw.to_bits(),
+                        start: start.to_bits(),
+                        finish: finish.to_bits(),
+                    },
+                );
+            }
+            ServerMsg::Rejected { id, reason, .. } => {
+                decisions.insert(id, Decision::Denied(format!("{reason:?}")));
+            }
+            ServerMsg::Draining { .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    drop(reader);
+    drop(writer);
+    handle.shutdown();
+    join.join().expect("server thread").expect("server run");
+    decisions
+}
+
+#[test]
+fn binary_and_json_codecs_decide_byte_identically() {
+    let topo = Topology::paper_default();
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(1.0)
+        .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+        .horizon(300.0)
+        .seed(7)
+        .build();
+    assert!(trace.len() > 100, "workload too small to be meaningful");
+
+    let json = run_trace(&trace, topo.clone(), WireMode::Json);
+    let binary = run_trace(&trace, topo, WireMode::Binary);
+
+    assert_eq!(json.len(), trace.len());
+    assert_eq!(binary.len(), trace.len());
+    let grants = json
+        .values()
+        .filter(|d| matches!(d, Decision::Granted { .. }))
+        .count();
+    assert!(grants > 0, "no grants — the equivalence would be vacuous");
+    assert!(grants < trace.len(), "no rejections — ditto");
+
+    let mut divergences = 0;
+    for (id, jd) in &json {
+        let bd = binary.get(id).expect("binary run missed a decision");
+        if jd != bd {
+            divergences += 1;
+            eprintln!("request {id}: json {jd:?} != binary {bd:?}");
+        }
+    }
+    assert_eq!(divergences, 0, "codec decisions diverge");
+}
+
+#[test]
+fn codec_equivalence_holds_across_seeds() {
+    for seed in [1u64, 3] {
+        let topo = Topology::uniform(4, 4, 250.0);
+        let trace = WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(0.5)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(150.0)
+            .seed(seed)
+            .build();
+        let json = run_trace(&trace, topo.clone(), WireMode::Json);
+        let binary = run_trace(&trace, topo, WireMode::Binary);
+        assert_eq!(json, binary, "seed {seed}: codec decisions diverge");
+    }
+}

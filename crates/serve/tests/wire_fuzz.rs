@@ -1,0 +1,182 @@
+//! Fuzz-style sweep over the binary wire codec, mirroring the WAL's
+//! `wal_fuzz` discipline: every prefix of a valid frame stream, and
+//! every single-bit flip of it, must either decode a clean prefix of
+//! the original messages or stop with a typed [`WireError`] — never a
+//! panic, never a phantom or altered message, and never an allocation
+//! driven by a hostile length prefix. The server's reader pool feeds
+//! raw socket bytes straight into this code, so "any byte sequence has
+//! a defined outcome" is a load-bearing property, not hygiene.
+
+use gridband_serve::protocol::{ClientMsg, SubmitReq};
+use gridband_serve::wire::{
+    decode_client_payload, decode_server_payload, encode_client_frame, FrameBuf, WireError,
+    MAX_FRAME,
+};
+
+/// A realistic stream: the message shapes a client actually sends,
+/// including the awkward `f64`s (subnormals of JSON: non-terminating
+/// decimals) the bit-pattern encoding must carry.
+fn sample_msgs() -> Vec<ClientMsg> {
+    vec![
+        ClientMsg::Submit(SubmitReq {
+            id: 1,
+            ingress: 0,
+            egress: 3,
+            volume: 123.456_789_012_345,
+            max_rate: 0.1 + 0.2,
+            start: Some(5.0),
+            deadline: Some(31.25),
+        }),
+        ClientMsg::HoldOpen(SubmitReq {
+            id: 2,
+            ingress: 1,
+            egress: 2,
+            volume: 1e9,
+            max_rate: f64::MAX,
+            start: None,
+            deadline: Some(f64::INFINITY),
+        }),
+        ClientMsg::HoldAttach {
+            txn: 2,
+            egress: 2,
+            bw: 50.0,
+            start: 0.0,
+            finish: 100.0,
+            at: 10.0,
+        },
+        ClientMsg::HoldCommit { txn: 2, at: 12.5 },
+        ClientMsg::Cancel { id: 1 },
+        ClientMsg::Query { id: u64::MAX },
+        ClientMsg::Stats,
+        ClientMsg::Drain,
+    ]
+}
+
+fn sample_stream() -> Vec<u8> {
+    sample_msgs()
+        .iter()
+        .flat_map(encode_client_frame)
+        .collect()
+}
+
+/// Run the full reader-pool decode path over `bytes`: split frames,
+/// decode payloads, stop at the first error. Returns the messages that
+/// decoded cleanly before it.
+fn decode_stream(bytes: &[u8]) -> (Vec<ClientMsg>, Option<WireError>) {
+    let mut fb = FrameBuf::new();
+    fb.extend(bytes);
+    let mut out = Vec::new();
+    loop {
+        match fb.next_frame() {
+            Ok(Some(payload)) => match decode_client_payload(&payload) {
+                Ok(msg) => out.push(msg),
+                Err(e) => return (out, Some(e)),
+            },
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(e)),
+        }
+    }
+}
+
+#[test]
+fn every_stream_prefix_decodes_a_clean_message_prefix() {
+    let stream = sample_stream();
+    let originals = sample_msgs();
+    for cut in 0..=stream.len() {
+        let (got, err) = decode_stream(&stream[..cut]);
+        assert!(
+            err.is_none(),
+            "cut at {cut}: a truncated stream is just incomplete, got {err:?}"
+        );
+        assert!(
+            got.len() <= originals.len() && got == originals[..got.len()],
+            "cut at {cut}: decoded messages are not a prefix of the originals"
+        );
+    }
+    let (all, err) = decode_stream(&stream);
+    assert!(err.is_none());
+    assert_eq!(all, originals, "the full stream decodes everything");
+}
+
+#[test]
+fn every_single_bit_flip_decodes_a_prefix_or_reports_an_error() {
+    let stream = sample_stream();
+    let originals = sample_msgs();
+    for byte in 0..stream.len() {
+        for bit in 0..8 {
+            let mut damaged = stream.clone();
+            damaged[byte] ^= 1 << bit;
+            // Any outcome but a panic or a non-prefix result is legal:
+            // the flip is either caught (CRC, length bound, version,
+            // tag, field bounds) or it tore the stream short.
+            let (got, _err) = decode_stream(&damaged);
+            assert!(
+                got.len() <= originals.len() && got == originals[..got.len()],
+                "flip {byte}.{bit}: damaged stream yielded a phantom or altered message"
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_mid_frame_then_continued_stream_decodes_everything() {
+    // The poll loop hands the codec arbitrary read() chunk boundaries;
+    // feeding the same stream one byte at a time must decode the same
+    // messages as one big extend.
+    let stream = sample_stream();
+    let originals = sample_msgs();
+    let mut fb = FrameBuf::new();
+    let mut got = Vec::new();
+    for b in &stream {
+        fb.extend(std::slice::from_ref(b));
+        while let Some(payload) = fb.next_frame().expect("valid stream") {
+            got.push(decode_client_payload(&payload).expect("valid payload"));
+        }
+    }
+    assert_eq!(got, originals);
+}
+
+#[test]
+fn oversized_length_prefix_is_an_error_before_any_payload_arrives() {
+    // A hostile header alone — no payload bytes behind it — must be
+    // rejected from the 8 header bytes, not after buffering `len` bytes.
+    let mut header = Vec::new();
+    header.extend_from_slice(&(((MAX_FRAME + 1) as u32).to_le_bytes()));
+    header.extend_from_slice(&0u32.to_le_bytes());
+    let mut fb = FrameBuf::new();
+    fb.extend(&header);
+    match fb.next_frame() {
+        Err(WireError::TooLarge(n)) => assert_eq!(n, MAX_FRAME + 1),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_decoders_never_panic_on_byte_soup() {
+    // Deterministic pseudo-random byte strings straight into both
+    // payload decoders (framing already stripped): every outcome must
+    // be a value or a WireError.
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut soup = Vec::with_capacity(512);
+    for len in 0..512usize {
+        soup.truncate(0);
+        for _ in 0..len {
+            // xorshift64*
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            soup.push((x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8);
+        }
+        let _ = decode_client_payload(&soup);
+        let _ = decode_server_payload(&soup);
+    }
+    // And every 1-byte and 2-byte prefix of the tag space exhaustively.
+    for a in 0..=u8::MAX {
+        let _ = decode_client_payload(&[a]);
+        let _ = decode_server_payload(&[a]);
+        for b in [0u8, 1, 7, 255] {
+            let _ = decode_client_payload(&[a, b]);
+            let _ = decode_server_payload(&[a, b]);
+        }
+    }
+}

@@ -1,11 +1,17 @@
 //! Property tests: every wire message survives an encode → decode
-//! round-trip bit-for-bit. The daemon and its clients only ever exchange
-//! these lines, so this pins the whole protocol surface.
+//! round-trip bit-for-bit — through the JSON-lines protocol *and*
+//! through the binary frame codec, over the same message strategies.
+//! The daemon and its clients only ever exchange these two encodings,
+//! so this pins the whole protocol surface in both dialects.
 
 use gridband_serve::metrics::{LatencySnapshot, StatsSnapshot};
 use gridband_serve::protocol::{
     decode_client, decode_server, encode_client, encode_server, ClientMsg, RejectReason, ReqState,
     ServerMsg, SubmitReq,
+};
+use gridband_serve::wire::{
+    decode_client_payload, decode_server_payload, encode_client_frame, encode_server_frame,
+    FrameBuf,
 };
 use proptest::prelude::*;
 
@@ -106,6 +112,8 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 queue_full,
                 protocol_errors,
                 connections,
+                conns_json: connections / 2,
+                conns_binary: connections - connections / 2,
                 ticks,
                 gc_reclaimed,
                 replies_dropped,
@@ -157,7 +165,7 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
 
 fn server_msg() -> impl Strategy<Value = ServerMsg> {
     (
-        (0u8..9, 0u64..1_000_000, 0u8..7, 0u8..5),
+        (0u8..9, 0u64..1_000_000, 0u8..8, 0u8..5),
         (wire_f64(), wire_f64(), wire_f64()),
         stats_snapshot(),
     )
@@ -170,6 +178,7 @@ fn server_msg() -> impl Strategy<Value = ServerMsg> {
                     3 => RejectReason::QueueFull,
                     4 => RejectReason::UnknownRoute,
                     5 => RejectReason::NotPrimary,
+                    6 => RejectReason::Drained,
                     _ => RejectReason::ShuttingDown,
                 };
                 let state = match state {
@@ -241,5 +250,52 @@ proptest! {
         prop_assert!(!line.contains('\n'), "wire lines must be single-line");
         let back = decode_server(&line).expect("decode own encoding");
         prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn client_messages_round_trip_in_binary(msg in client_msg()) {
+        // Through the full framing path, not just the payload codec:
+        // the splitter must hand back exactly the payload that went in.
+        let mut fb = FrameBuf::new();
+        fb.extend(&encode_client_frame(&msg));
+        let payload = fb.next_frame().expect("frame ok").expect("one frame");
+        let back = decode_client_payload(&payload).expect("decode own encoding");
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(fb.next_frame().expect("no error"), None);
+    }
+
+    #[test]
+    fn server_messages_round_trip_in_binary(msg in server_msg()) {
+        let mut fb = FrameBuf::new();
+        fb.extend(&encode_server_frame(&msg));
+        let payload = fb.next_frame().expect("frame ok").expect("one frame");
+        let back = decode_server_payload(&payload).expect("decode own encoding");
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(fb.next_frame().expect("no error"), None);
+    }
+
+    #[test]
+    fn binary_f64s_round_trip_bit_exactly(msg in client_msg(), bits in any::<u64>()) {
+        // The JSON strategies stick to decimal-exact values; the binary
+        // codec promises more — any bit pattern survives. Splice an
+        // arbitrary f64 into a Submit and round-trip it.
+        let v = f64::from_bits(bits);
+        let patched = match msg {
+            ClientMsg::Submit(mut s) => { s.volume = v; ClientMsg::Submit(s) }
+            ClientMsg::HoldOpen(mut s) => { s.max_rate = v; ClientMsg::HoldOpen(s) }
+            other => other,
+        };
+        let back = decode_client_payload(
+            &gridband_serve::wire::encode_client_payload(&patched),
+        ).expect("decode own encoding");
+        match (&patched, &back) {
+            (ClientMsg::Submit(a), ClientMsg::Submit(b)) => {
+                prop_assert_eq!(a.volume.to_bits(), b.volume.to_bits());
+            }
+            (ClientMsg::HoldOpen(a), ClientMsg::HoldOpen(b)) => {
+                prop_assert_eq!(a.max_rate.to_bits(), b.max_rate.to_bits());
+            }
+            _ => prop_assert_eq!(back, patched),
+        }
     }
 }

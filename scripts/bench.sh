@@ -9,7 +9,11 @@
 # failover-to-first-decision time, hard-gated on zero divergence and a
 # byte-identical follower store) and the topology-sharded cluster group
 # (shards × cross-fraction router throughput, hard-gated on zero
-# divergence vs a solo run and zero conservation violations).
+# divergence vs a solo run and zero conservation violations) and the
+# wire group (JSON-lines vs the binary frame codec against live daemons:
+# submissions/sec and submit-to-decision p50/p99 per codec, hard-gated
+# on zero bit-level decision divergence between the codecs and on the
+# binary p99 beating the JSON baseline).
 #
 # Usage:
 #   scripts/bench.sh                # full run, writes BENCH_admission.json

@@ -35,4 +35,7 @@ scripts/failover_smoke.sh
 echo "== cluster smoke ==" >&2
 scripts/cluster_smoke.sh
 
+echo "== wire smoke ==" >&2
+scripts/wire_smoke.sh
+
 echo "verify: all green" >&2

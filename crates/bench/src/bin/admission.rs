@@ -88,6 +88,45 @@ struct Report {
     replication: ReplicationReport,
     cluster: Vec<ClusterRow>,
     wire: WireReport,
+    qos: Vec<QosRow>,
+}
+
+#[derive(Serialize)]
+struct QosRow {
+    seed: u64,
+    /// `G:S:B` class-mix weights the trace was annotated with.
+    classes: String,
+    requests: usize,
+    accepted: usize,
+    /// Admission decisions — grant `f64`s compared as raw IEEE-754 bit
+    /// patterns — that differ between the boosted and unboosted runs of
+    /// the identical trace. Gated to 0: redistribution is an overlay
+    /// and must be invisible to admission.
+    decision_divergence: usize,
+    /// Rounds that granted at least one boost. Gated > 0 so the
+    /// invariant gates below are non-vacuous.
+    boost_rounds: u64,
+    /// Volume moved above guarantees (MB).
+    boosted_mb: f64,
+    /// Transfers that finished before their guaranteed finish.
+    early_releases: u64,
+    /// Transfers finishing *after* their guaranteed finish. Gated to 0.
+    finish_violations: u64,
+    /// Rounds whose planned boosts exceeded some port's residual.
+    /// Gated to 0.
+    oversubscriptions: u64,
+    /// Mean accepted-transfer completion time (virtual s from scheduled
+    /// start) at guaranteed rates — what every transfer gets without
+    /// the overlay.
+    mean_completion_s_baseline: f64,
+    /// Same, with boosts applied.
+    mean_completion_s_boosted: f64,
+    /// `baseline - boosted`; gated > 0 — redistribution must actually
+    /// shorten completions on the §5.3 workload.
+    improvement_s: f64,
+    /// Mean completion-time improvement split by service class
+    /// (`[Gold, Silver, BestEffort]`; 0 where a class has no accepts).
+    improvement_by_class_s: Vec<f64>,
 }
 
 #[derive(Serialize)]
@@ -933,6 +972,7 @@ fn replication_section(smoke: bool) -> ReplicationReport {
                         max_rate,
                         start: Some(clock),
                         deadline: Some(clock + rng.gen_range(1.5..3.0) * volume / max_rate),
+                        class: Default::default(),
                     }),
                     reply: tx.into(),
                 })
@@ -1053,6 +1093,7 @@ fn replication_section(smoke: bool) -> ReplicationReport {
             max_rate: 10.0,
             start: Some(clock + step),
             deadline: Some(clock + step + 10.0),
+            class: Default::default(),
         }),
     );
     send(&mut writer, &ClientMsg::Drain);
@@ -1151,6 +1192,7 @@ fn cluster_run(
             max_rate: r.max_rate,
             start: Some(r.start()),
             deadline: Some(r.finish()),
+            class: Default::default(),
         };
         let t0 = Instant::now();
         cluster.submit(req).expect("cluster submit");
@@ -1244,6 +1286,7 @@ fn wire_submit(r: &Request) -> ClientMsg {
         max_rate: r.max_rate,
         start: Some(r.start()),
         deadline: Some(r.finish()),
+        class: Default::default(),
     })
 }
 
@@ -1500,6 +1543,178 @@ fn wire_section(smoke: bool) -> WireReport {
 // main
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// QoS: leftover-bandwidth redistribution on the §5.3 workload
+// ---------------------------------------------------------------------------
+
+/// One WINDOW round-driven replay under `MinRate` (minimal guarantees
+/// leave residual headroom), optionally shadowed by the redistribution
+/// overlay. Returns the bit-exact decision log — `(id, accepted, bw,
+/// start, finish)` with grants as raw IEEE-754 bits — plus each accepted
+/// transfer's `(start, finish)` window.
+#[allow(clippy::type_complexity)]
+fn qos_replay(
+    topo: &Topology,
+    trace: &Trace,
+    step: f64,
+    classes: &HashMap<u64, gridband_qos::ServiceClass>,
+    mut overlay: Option<&mut gridband_qos::Redistributor>,
+) -> (Vec<(u64, u8, u64, u64, u64)>, HashMap<u64, (f64, f64)>) {
+    let mut sched = WindowScheduler::new(step, BandwidthPolicy::MinRate);
+    let mut ledger = CapacityLedger::new(topo.clone());
+    let by_id: HashMap<u64, &Request> = trace.iter().map(|r| (r.id.0, r)).collect();
+    let reqs = trace.requests();
+    let mut next = 0usize;
+    let mut log = Vec::new();
+    let mut windows: HashMap<u64, (f64, f64)> = HashMap::new();
+    // Keep ticking until every arrival is decided *and* every accepted
+    // transfer's guaranteed window has elapsed, so the overlay sees each
+    // transfer through to completion. The extra tail rounds decide
+    // nothing, so both replays share one admission history.
+    let mut last_finish = 0.0f64;
+    let mut t = step;
+    while t <= trace.horizon() + step || t <= last_finish + step {
+        while next < reqs.len() && reqs[next].start() < t {
+            let d = sched.on_arrival(&reqs[next], &ledger, reqs[next].start());
+            assert!(
+                matches!(d, Decision::Defer),
+                "interval scheduler must defer at arrival"
+            );
+            next += 1;
+        }
+        let decisions = sched.on_tick(&ledger, t);
+        let batch: Vec<ReserveRequest> = decisions
+            .iter()
+            .filter_map(|(rid, d)| match *d {
+                Decision::Accept { bw, start, finish } => Some(ReserveRequest {
+                    route: by_id[&rid.0].route,
+                    start,
+                    end: finish,
+                    bw,
+                }),
+                _ => None,
+            })
+            .collect();
+        for r in &ledger.reserve_all(&batch) {
+            r.as_ref().expect("scheduler over-committed a batch");
+        }
+        for (rid, d) in &decisions {
+            match *d {
+                Decision::Accept { bw, start, finish } => {
+                    log.push((rid.0, 1, bw.to_bits(), start.to_bits(), finish.to_bits()));
+                    windows.insert(rid.0, (start, finish));
+                    last_finish = last_finish.max(finish);
+                    if let Some(q) = overlay.as_deref_mut() {
+                        let req = by_id[&rid.0];
+                        q.on_accept(gridband_qos::AcceptedTransfer {
+                            id: rid.0,
+                            ingress: req.route.ingress.0 as usize,
+                            egress: req.route.egress.0 as usize,
+                            class: classes[&rid.0],
+                            bw,
+                            start,
+                            finish,
+                            max_rate: req.max_rate,
+                            volume: req.volume,
+                        });
+                    }
+                }
+                _ => log.push((rid.0, 0, 0, 0, 0)),
+            }
+        }
+        if let Some(q) = overlay.as_deref_mut() {
+            let (rin, rout) = ledger.residuals(t, t + step);
+            q.round(t, t + step, &rin, &rout);
+        }
+        t += step;
+    }
+    assert_eq!(next, reqs.len(), "driver left arrivals unfed");
+    assert!(
+        sched.on_end(&ledger, trace.horizon()).is_empty(),
+        "rounds left deferred requests behind"
+    );
+    if let Some(q) = overlay {
+        q.finish(t);
+    }
+    (log, windows)
+}
+
+fn qos_run(topo: &Topology, trace: &Trace, step: f64, seed: u64, mix: &str) -> QosRow {
+    use gridband_qos::{ClassMix, QosConfig, Redistributor, ServiceClass};
+
+    let parsed: ClassMix = mix.parse().expect("class mix");
+    let classes: HashMap<u64, ServiceClass> = trace
+        .requests()
+        .iter()
+        .zip(parsed.annotate(trace, seed))
+        .map(|(r, c)| (r.id.0, c))
+        .collect();
+
+    let (plain_log, _) = qos_replay(topo, trace, step, &classes, None);
+    let mut q = Redistributor::new(topo.num_ingress(), topo.num_egress(), QosConfig::default());
+    let (boosted_log, windows) = qos_replay(topo, trace, step, &classes, Some(&mut q));
+
+    let decision_divergence = plain_log
+        .iter()
+        .zip(&boosted_log)
+        .filter(|(a, b)| a != b)
+        .count()
+        + plain_log.len().abs_diff(boosted_log.len());
+
+    let stats = q.stats();
+    let mut base_sum = 0.0f64;
+    let mut boost_sum = 0.0f64;
+    let mut class_gain = [0.0f64; 3];
+    let mut class_n = [0usize; 3];
+    let completions = q.completions();
+    for c in completions {
+        let (start, finish) = windows[&c.id];
+        base_sum += finish - start;
+        boost_sum += c.done_at - start;
+        class_gain[c.class.index()] += c.guaranteed_finish - c.done_at;
+        class_n[c.class.index()] += 1;
+    }
+    let n = completions.len().max(1) as f64;
+    let baseline = base_sum / n;
+    let boosted = boost_sum / n;
+    QosRow {
+        seed,
+        classes: mix.to_string(),
+        requests: trace.len(),
+        accepted: windows.len(),
+        decision_divergence,
+        boost_rounds: stats.boost_rounds,
+        boosted_mb: stats.boosted_bytes,
+        early_releases: stats.early_releases,
+        finish_violations: stats.finish_violations,
+        oversubscriptions: stats.oversubscriptions,
+        mean_completion_s_baseline: baseline,
+        mean_completion_s_boosted: boosted,
+        improvement_s: baseline - boosted,
+        improvement_by_class_s: (0..3)
+            .map(|k| {
+                if class_n[k] == 0 {
+                    0.0
+                } else {
+                    class_gain[k] / class_n[k] as f64
+                }
+            })
+            .collect(),
+    }
+}
+
+fn qos_section(seeds: &[u64], interarrival: f64, horizon: f64, step: f64) -> Vec<QosRow> {
+    let topo = Topology::paper_default();
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        let trace = paper_flexible_trace(&topo, interarrival, horizon, seed);
+        for mix in ["1:1:1", "4:2:1"] {
+            rows.push(qos_run(&topo, &trace, step, seed, mix));
+        }
+    }
+    rows
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
@@ -1668,8 +1883,29 @@ fn main() {
         );
     }
 
+    eprintln!("admission bench: QoS leftover-bandwidth redistribution ...");
+    let qos = qos_section(seeds, interarrival, horizon, step);
+    for r in &qos {
+        eprintln!(
+            "  seed {} mix {:>6}: {}/{} accepted, {} boost rounds ({:.0} MB resold), \
+             mean completion {:.1}s -> {:.1}s (-{:.2}s), divergence {}, violations {}/{}",
+            r.seed,
+            r.classes,
+            r.accepted,
+            r.requests,
+            r.boost_rounds,
+            r.boosted_mb,
+            r.mean_completion_s_baseline,
+            r.mean_completion_s_boosted,
+            r.improvement_s,
+            r.decision_divergence,
+            r.finish_violations,
+            r.oversubscriptions
+        );
+    }
+
     let report = Report {
-        schema: "gridband/bench-admission/v4".to_string(),
+        schema: "gridband/bench-admission/v5".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         micro,
@@ -1680,6 +1916,7 @@ fn main() {
         replication,
         cluster,
         wire,
+        qos,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write report");
@@ -1807,6 +2044,39 @@ fn main() {
                 eprintln!("FAIL: wire section is missing a codec row");
                 failed = true;
             }
+        }
+    }
+    // QoS gates: the overlay must be invisible to admission (bit-exact
+    // decisions), must never delay a guaranteed finish or oversubscribe
+    // a port, and must measurably shorten completions — non-vacuously.
+    for r in &report.qos {
+        if r.decision_divergence > 0 {
+            eprintln!(
+                "FAIL: QoS seed {} mix {} changed {} admission decisions",
+                r.seed, r.classes, r.decision_divergence
+            );
+            failed = true;
+        }
+        if r.finish_violations > 0 || r.oversubscriptions > 0 {
+            eprintln!(
+                "FAIL: QoS seed {} mix {} broke conservation: {} finish violations, {} oversubscriptions",
+                r.seed, r.classes, r.finish_violations, r.oversubscriptions
+            );
+            failed = true;
+        }
+        if r.boost_rounds == 0 {
+            eprintln!(
+                "FAIL: QoS seed {} mix {} never boosted — invariant gates are vacuous",
+                r.seed, r.classes
+            );
+            failed = true;
+        }
+        if r.improvement_s <= 0.0 {
+            eprintln!(
+                "FAIL: QoS seed {} mix {} did not improve mean completion time ({:.3}s)",
+                r.seed, r.classes, r.improvement_s
+            );
+            failed = true;
         }
     }
     for r in &report.micro {

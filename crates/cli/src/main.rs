@@ -418,6 +418,7 @@ fn serve(args: Vec<String>) {
     let mut follow: Option<String> = None;
     let mut promote_after: Option<Duration> = None;
     let mut shard_of: Option<(usize, usize)> = None;
+    let mut qos: Option<gridband_qos::QosConfig> = None;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -514,6 +515,43 @@ fn serve(args: Vec<String>) {
                     .unwrap_or_else(|e| fail(format_args!("bad --promote-after: {e}")));
                 promote_after = Some(Duration::from_secs(s));
             }
+            "--qos" => {
+                qos.get_or_insert_with(gridband_qos::QosConfig::default);
+            }
+            "--qos-allowance" => {
+                let s: f64 = val("--qos-allowance")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --qos-allowance: {e}")));
+                if !(s.is_finite() && s >= 0.0) {
+                    fail(format_args!("--qos-allowance must be finite and >= 0"));
+                }
+                qos.get_or_insert_with(gridband_qos::QosConfig::default)
+                    .allowance_horizon = s;
+            }
+            "--qos-tenant-cap" => {
+                let v = val("--qos-tenant-cap");
+                let (rate, burst) = match v.split_once(':') {
+                    Some((r, b)) => (r.to_string(), Some(b.to_string())),
+                    None => (v, None),
+                };
+                let rate: f64 = rate
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --qos-tenant-cap rate: {e}")));
+                let burst: Option<f64> = burst.map(|b| {
+                    b.parse()
+                        .unwrap_or_else(|e| fail(format_args!("bad --qos-tenant-cap burst: {e}")))
+                });
+                if !(rate.is_finite() && rate > 0.0)
+                    || burst.is_some_and(|b| !(b.is_finite() && b > 0.0))
+                {
+                    fail(format_args!(
+                        "--qos-tenant-cap wants RATE[:BURST], both > 0"
+                    ));
+                }
+                let cfg = qos.get_or_insert_with(gridband_qos::QosConfig::default);
+                cfg.tenant_rate = Some(rate);
+                cfg.tenant_burst = burst;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gridband serve [--addr HOST:PORT] [--topo paper|grid5000|MxNxCAP]
@@ -524,6 +562,8 @@ fn serve(args: Vec<String>) {
                       [--io-threads N] [--replicate-to HOST:PORT]
                       [--follow HOST:PORT [--promote-after SECS]]
                       [--shard-of I/N]
+                      [--qos] [--qos-allowance SECS]
+                      [--qos-tenant-cap RATE[:BURST]]
 
 Runs the reservation daemon: batched WINDOW admission every t_step,
 served over TCP. Every connection speaks either the JSON-lines compat
@@ -561,7 +601,17 @@ cluster: it owns contiguous blocks of the ingress and egress port space
 and expects a `gridband cluster` router in front, which forwards
 single-shard submissions whole and coordinates cross-shard ones with
 two-phase holds. Composes with --wal-dir and --replicate-to: each shard
-keeps its own WAL and may stream it to its own standby."
+keeps its own WAL and may stream it to its own standby.
+
+--qos turns on the leftover-bandwidth redistribution overlay: after
+each round commits, per-port residual capacity is resold to live
+transfers by class-priority progressive filling (Gold > Silver >
+BestEffort, classes carried on submits), capped per transfer by its
+MaxRate. Boosts never change an admission decision or delay any
+guaranteed finish — the overlay only reads the ledger. --qos-allowance
+SECS bounds how much banked fair-share credit a transfer may hold
+(default 200); --qos-tenant-cap RATE[:BURST] token-bucket-polices each
+ingress port's total boost rate (MB/s, bucket depth in MB)."
                 );
                 std::process::exit(0);
             }
@@ -580,6 +630,7 @@ keeps its own WAL and may stream it to its own standby."
     engine.mode = mode;
     engine.queue_capacity = queue;
     engine.admit_threads = admit_threads;
+    engine.qos = qos;
     if let Some(dir) = wal_dir {
         let fs = gridband_serve::FsDir::new(&dir)
             .unwrap_or_else(|e| fail(format_args!("cannot open --wal-dir {dir}: {e}")));
@@ -803,6 +854,7 @@ partition-respecting 4-shard run)."
         max_rate: r.max_rate,
         start: Some(r.start()),
         deadline: Some(r.finish()),
+        class: Default::default(),
     };
     let flush = trace.iter().map(|r| r.finish()).fold(0.0f64, f64::max);
 

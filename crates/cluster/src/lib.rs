@@ -42,6 +42,7 @@
 //!         max_rate: 50.0,
 //!         start: Some(0.0),
 //!         deadline: Some(100.0),
+//!         class: Default::default(),
 //!     })
 //!     .unwrap();
 //! let report = cluster.finish().unwrap();

@@ -79,6 +79,10 @@ pub struct ClusterConfig {
     /// Per-shard durability; empty means all shards run in memory.
     /// When non-empty the length must equal `shards`.
     pub stores: Vec<Option<StoreConfig>>,
+    /// Leftover-bandwidth redistribution overlay, run independently by
+    /// every shard over the ports it owns. Pure overlay: admission
+    /// decisions are identical with or without it.
+    pub qos: Option<gridband_qos::QosConfig>,
 }
 
 impl ClusterConfig {
@@ -96,6 +100,7 @@ impl ClusterConfig {
             loss_seed: 0,
             drop_releases: false,
             stores: Vec::new(),
+            qos: None,
         }
     }
 
@@ -109,6 +114,7 @@ impl ClusterConfig {
         cfg.hold_timeout = self.hold_timeout;
         cfg.role = Role::Shard;
         cfg.store = self.stores.get(s).cloned().flatten();
+        cfg.qos = self.qos;
         cfg
     }
 }

@@ -79,6 +79,7 @@ fn to_req(r: &Request) -> SubmitReq {
         max_rate: r.max_rate,
         start: Some(r.start()),
         deadline: Some(r.finish()),
+        class: Default::default(),
     }
 }
 
@@ -201,6 +202,64 @@ fn partition_respecting_cluster_matches_single_node() {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (a') The QoS overlay is invisible to cluster admission.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn qos_overlay_is_invisible_to_cluster_decisions() {
+    // A sharded cluster with redistribution enabled must decide exactly
+    // what the same cluster decides without it — the overlay only reads
+    // each shard's ledger — while actually boosting (MinRate admission
+    // leaves headroom) and never recording a violation.
+    let topo = topology();
+    let map = ShardMap::new(&topo, 2);
+    let trace = remap_partition(&build_trace(41), &map);
+    assert!(trace.len() > 100, "workload too small to be meaningful");
+    let t_cmp = trace.iter().map(|r| r.start()).fold(0.0f64, f64::max) + 2.0 * STEP;
+
+    let mut plain_cfg = cluster_config(2, trace.len());
+    plain_cfg.policy = BandwidthPolicy::MinRate;
+    let mut boosted_cfg = plain_cfg.clone();
+    boosted_cfg.qos = Some(gridband_qos::QosConfig::default());
+
+    let (plain_report, _) = run_cluster(&trace, &plain_cfg, t_cmp);
+
+    let shards = EngineShards::spawn(&boosted_cfg);
+    let mut cluster = Cluster::in_process(&boosted_cfg, &shards);
+    for r in trace.iter() {
+        cluster.submit(to_req(r)).expect("submit");
+    }
+    cluster.advance_to(t_cmp).expect("advance");
+    let metrics: Vec<Arc<MetricsRegistry>> = (0..shards.len()).map(|s| shards.metrics(s)).collect();
+    let report = cluster.finish().expect("finish");
+    shards.shutdown();
+
+    assert_eq!(
+        report.decisions, plain_report.decisions,
+        "QoS changed a sharded admission decision"
+    );
+
+    use std::sync::atomic::Ordering;
+    let boosts: u64 = metrics
+        .iter()
+        .map(|m| m.qos_boost_rounds.load(Ordering::Relaxed))
+        .sum();
+    assert!(boosts > 0, "no shard ever resold residual capacity");
+    for (s, m) in metrics.iter().enumerate() {
+        assert_eq!(
+            m.qos_finish_violations.load(Ordering::Relaxed),
+            0,
+            "shard {s}: a boost delayed a guaranteed finish"
+        );
+        assert_eq!(
+            m.qos_oversubscriptions.load(Ordering::Relaxed),
+            0,
+            "shard {s}: a boost oversubscribed a port"
+        );
     }
 }
 

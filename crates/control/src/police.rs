@@ -63,6 +63,33 @@ impl TokenBucket {
         self.refill(now);
         self.tokens
     }
+
+    /// Change the sustained rate mid-flight (a QoS boost being raised or
+    /// revoked between rounds). The bucket first refills at the *old*
+    /// rate up to `now`, so already-accrued credit is honoured; the
+    /// balance carries over unchanged — never below zero, never above
+    /// `burst` — and only accrues at the new rate from `now` on.
+    pub fn set_rate(&mut self, rate: Bandwidth, now: Time) {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate and burst must be positive"
+        );
+        self.refill(now);
+        self.rate = rate;
+    }
+
+    /// Change the bucket depth mid-flight. A shallower bucket clips an
+    /// accrued balance down to the new depth immediately; a deeper one
+    /// keeps the balance and merely allows more to accrue.
+    pub fn set_burst(&mut self, burst: Volume, now: Time) {
+        assert!(
+            burst.is_finite() && burst > 0.0,
+            "rate and burst must be positive"
+        );
+        self.refill(now);
+        self.burst = burst;
+        self.tokens = self.tokens.min(burst);
+    }
 }
 
 /// Result of policing one flow over a run.
@@ -196,6 +223,72 @@ mod tests {
         // Shallow bucket (one refill interval): each burst is clipped to
         // the 50 MB depth.
         assert!((run(50.0) - 2_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_raise_then_revoke_keeps_balance_lawful() {
+        // A boost being granted one round and revoked the next: the
+        // bucket must honour credit accrued at each rate in turn and
+        // never go negative or above its depth.
+        let mut b = TokenBucket::new(10.0, 40.0, 0.0);
+        assert_eq!(b.offer(0.0, 40.0), 40.0); // drain the initial fill
+        b.set_rate(30.0, 1.0); // 1 s at 10 MB/s accrued first
+        assert!((b.available(1.0) - 10.0).abs() < 1e-9);
+        // 1 s at the boosted rate.
+        assert!((b.available(2.0) - 40.0).abs() < 1e-9, "capped at burst");
+        assert_eq!(b.offer(2.0, 25.0), 25.0);
+        b.set_rate(10.0, 2.0); // boost revoked
+        assert!((b.available(2.5) - 20.0).abs() < 1e-9, "15 + 0.5 s × 10");
+        // Over-offering after the revoke admits only the balance.
+        assert_eq!(b.offer(2.5, 100.0), 20.0);
+        assert_eq!(b.offer(2.5, 1.0), 0.0, "no negative balance");
+    }
+
+    #[test]
+    fn rapid_rate_flapping_never_overflows_or_underflows() {
+        let mut b = TokenBucket::new(5.0, 10.0, 0.0);
+        let rates = [50.0, 5.0, 100.0, 1.0, 25.0, 5.0];
+        for (k, &r) in rates.iter().cycle().take(120).enumerate() {
+            let now = 0.1 * (k + 1) as f64;
+            b.set_rate(r, now);
+            let avail = b.available(now);
+            assert!((0.0..=10.0).contains(&avail), "balance {avail} at {now}");
+            let got = b.offer(now, 3.0);
+            assert!(got >= 0.0 && got <= avail + 1e-12);
+            assert!(b.available(now) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn burst_shrink_clips_hoarded_credit() {
+        let mut b = TokenBucket::new(10.0, 100.0, 0.0);
+        assert_eq!(b.available(50.0), 100.0);
+        b.set_burst(30.0, 50.0);
+        assert_eq!(b.available(50.0), 30.0, "hoard clipped to new depth");
+        b.set_burst(200.0, 50.0);
+        assert_eq!(b.available(50.0), 30.0, "deepening keeps the balance");
+        assert_eq!(b.available(60.0), 130.0, "then refills toward new cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_change_rejected() {
+        let mut b = TokenBucket::new(1.0, 1.0, 0.0);
+        b.set_rate(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_burst_change_rejected() {
+        let mut b = TokenBucket::new(1.0, 1.0, 0.0);
+        b.set_burst(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rate_change_in_the_past_rejected() {
+        let mut b = TokenBucket::new(1.0, 1.0, 10.0);
+        b.set_rate(2.0, 5.0);
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! Gallager's water-filling). This is the idealised steady state of a
 //! well-behaved TCP mix — no slow-start, no loss dynamics — i.e. the most
 //! charitable model of statistical sharing available to the comparison.
+//!
+//! Two entry points share one fill core:
+//!
+//! * [`max_min_rates`] — flows on a [`Topology`], residuals seeded from
+//!   the port capacities. The §1 statistical-sharing oracle.
+//! * [`progressive_fill`] — flows over **arbitrary per-port residual
+//!   vectors**. This is what `gridband-qos` feeds with each round's
+//!   leftover capacity to resell slack without touching the guaranteed
+//!   ledger.
 
 use gridband_net::units::{Bandwidth, EPS};
 use gridband_net::{Route, Topology};
@@ -19,22 +28,89 @@ pub struct FairFlow {
     pub cap: Bandwidth,
 }
 
+/// One flow in the generalized fill: endpoint port *indices* into the
+/// caller's residual vectors plus a per-flow rate cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillFlow {
+    /// Index into the ingress residual vector.
+    pub ingress: usize,
+    /// Index into the egress residual vector.
+    pub egress: usize,
+    /// Per-flow rate cap; zero, negative or NaN means the flow cannot
+    /// take anything, infinite means unconstrained.
+    pub cap: Bandwidth,
+}
+
 /// Compute the max-min fair allocation for `flows` on `topo`.
 ///
 /// Returns one rate per flow, in input order. Runs in
 /// `O(iterations × (flows + ports))` with at most `flows` iterations
 /// (each iteration freezes at least one flow).
 pub fn max_min_rates(topo: &Topology, flows: &[FairFlow]) -> Vec<Bandwidth> {
+    let residual_in: Vec<f64> = topo.ingress_ids().map(|i| topo.ingress_cap(i)).collect();
+    let residual_out: Vec<f64> = topo.egress_ids().map(|e| topo.egress_cap(e)).collect();
+    let fill: Vec<FillFlow> = flows
+        .iter()
+        .map(|f| FillFlow {
+            ingress: f.route.ingress.index(),
+            egress: f.route.egress.index(),
+            cap: f.cap,
+        })
+        .collect();
+    progressive_fill(&residual_in, &residual_out, &fill)
+}
+
+/// Progressive filling over arbitrary per-port residual capacity.
+///
+/// All unfrozen flows rise uniformly; a flow freezes when it reaches its
+/// cap or either endpoint's residual is exhausted. Degenerate inputs are
+/// handled without spinning: zero (or negative) residuals freeze their
+/// flows at 0 on the first pass, non-positive and NaN caps pin the flow
+/// to 0, and a hard bound of `flows + 1` iterations backstops float
+/// residue — the result is always feasible even if a pathological input
+/// cuts filling short.
+///
+/// Every flow's port indices must be in range for the residual slices.
+pub fn progressive_fill(
+    residual_in: &[f64],
+    residual_out: &[f64],
+    flows: &[FillFlow],
+) -> Vec<Bandwidth> {
     let nf = flows.len();
     let mut rates = vec![0.0f64; nf];
     if nf == 0 {
         return rates;
     }
+    for f in flows {
+        assert!(
+            f.ingress < residual_in.len() && f.egress < residual_out.len(),
+            "flow port ({}, {}) out of range for residual vectors ({}, {})",
+            f.ingress,
+            f.egress,
+            residual_in.len(),
+            residual_out.len()
+        );
+    }
+    // Clamp away negative residue (a caller subtracting floats can dip
+    // a hair below zero) and pin unusable flows before the loop, so a
+    // zero-capacity port or an all-flows-capped input terminates on the
+    // first pass instead of shaving epsilon slivers forever.
+    let mut residual_in: Vec<f64> = residual_in.iter().map(|r| r.max(0.0)).collect();
+    let mut residual_out: Vec<f64> = residual_out.iter().map(|r| r.max(0.0)).collect();
     let mut frozen = vec![false; nf];
-    let mut residual_in: Vec<f64> = topo.ingress_ids().map(|i| topo.ingress_cap(i)).collect();
-    let mut residual_out: Vec<f64> = topo.egress_ids().map(|e| topo.egress_cap(e)).collect();
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    for (k, f) in flows.iter().enumerate() {
+        // `!(cap > EPS)` also catches NaN, which would otherwise poison
+        // the increment and stall every comparison below.
+        if !(f.cap > EPS) || residual_in[f.ingress] <= EPS || residual_out[f.egress] <= EPS {
+            frozen[k] = true;
+        }
+    }
 
-    loop {
+    // Each iteration freezes at least one flow, so `nf` passes suffice;
+    // the `+ 1` margin plus the no-progress break below make the loop
+    // provably finite even on adversarial float inputs.
+    for _ in 0..=nf {
         // Count unfrozen flows per port.
         let mut cnt_in = vec![0usize; residual_in.len()];
         let mut cnt_out = vec![0usize; residual_out.len()];
@@ -42,8 +118,8 @@ pub fn max_min_rates(topo: &Topology, flows: &[FairFlow]) -> Vec<Bandwidth> {
         for (k, f) in flows.iter().enumerate() {
             if !frozen[k] {
                 unfrozen += 1;
-                cnt_in[f.route.ingress.index()] += 1;
-                cnt_out[f.route.egress.index()] += 1;
+                cnt_in[f.ingress] += 1;
+                cnt_out[f.egress] += 1;
             }
         }
         if unfrozen == 0 {
@@ -75,8 +151,8 @@ pub fn max_min_rates(topo: &Topology, flows: &[FairFlow]) -> Vec<Bandwidth> {
                 continue;
             }
             rates[k] += delta;
-            residual_in[f.route.ingress.index()] -= delta;
-            residual_out[f.route.egress.index()] -= delta;
+            residual_in[f.ingress] = (residual_in[f.ingress] - delta).max(0.0);
+            residual_out[f.egress] = (residual_out[f.egress] - delta).max(0.0);
         }
         let mut froze_any = false;
         for (k, f) in flows.iter().enumerate() {
@@ -84,20 +160,18 @@ pub fn max_min_rates(topo: &Topology, flows: &[FairFlow]) -> Vec<Bandwidth> {
                 continue;
             }
             let at_cap = rates[k] + EPS >= f.cap;
-            let in_sat = residual_in[f.route.ingress.index()] <= EPS;
-            let out_sat = residual_out[f.route.egress.index()] <= EPS;
+            let in_sat = residual_in[f.ingress] <= EPS;
+            let out_sat = residual_out[f.egress] <= EPS;
             if at_cap || in_sat || out_sat {
                 frozen[k] = true;
                 froze_any = true;
             }
         }
-        // Degenerate safety: if nothing froze despite a zero increment we
-        // would loop forever; freeze everything (can only happen through
-        // pathological float residue).
+        // Degenerate safety: if nothing froze despite a vanishing
+        // increment we would loop forever; freeze everything (can only
+        // happen through pathological float residue).
         if !froze_any && delta <= EPS {
-            for fz in frozen.iter_mut() {
-                *fz = true;
-            }
+            break;
         }
     }
     rates
@@ -202,5 +276,86 @@ mod tests {
     fn empty_input() {
         let topo = Topology::uniform(1, 1, 10.0);
         assert!(max_min_rates(&topo, &[]).is_empty());
+    }
+
+    fn fill(i: usize, e: usize, cap: f64) -> FillFlow {
+        FillFlow {
+            ingress: i,
+            egress: e,
+            cap,
+        }
+    }
+
+    #[test]
+    fn fill_zero_capacity_ports_terminate_at_zero() {
+        // A dead ingress pins its flows without starving the live one.
+        let r = progressive_fill(
+            &[0.0, 40.0],
+            &[100.0],
+            &[fill(0, 0, f64::INFINITY), fill(1, 0, f64::INFINITY)],
+        );
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 40.0).abs() < 1e-9, "{r:?}");
+        // All ports dead: every flow sits at zero.
+        let r = progressive_fill(&[0.0], &[0.0], &[fill(0, 0, 5.0), fill(0, 0, 5.0)]);
+        assert_eq!(r, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fill_all_flows_capped_terminates() {
+        // Ports never saturate; every flow must stop at its own cap.
+        let r = progressive_fill(
+            &[1e9],
+            &[1e9],
+            &[fill(0, 0, 3.0), fill(0, 0, 7.0), fill(0, 0, 0.5)],
+        );
+        assert!((r[0] - 3.0).abs() < 1e-9, "{r:?}");
+        assert!((r[1] - 7.0).abs() < 1e-9, "{r:?}");
+        assert!((r[2] - 0.5).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn fill_nonpositive_and_nan_caps_pin_to_zero() {
+        let r = progressive_fill(
+            &[100.0],
+            &[100.0],
+            &[
+                fill(0, 0, 0.0),
+                fill(0, 0, -5.0),
+                fill(0, 0, f64::NAN),
+                fill(0, 0, f64::INFINITY),
+            ],
+        );
+        assert_eq!(&r[..3], &[0.0, 0.0, 0.0]);
+        assert!((r[3] - 100.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn fill_negative_residual_is_clamped() {
+        // A caller's float subtraction can leave -1e-12 on a port; the
+        // fill must treat it as empty, not spin on it.
+        let r = progressive_fill(&[-1e-12], &[50.0], &[fill(0, 0, 10.0)]);
+        assert_eq!(r, vec![0.0]);
+    }
+
+    #[test]
+    fn fill_matches_topology_entry_point() {
+        let topo = Topology::new(&[100.0, 200.0], &[200.0, 150.0]);
+        let fair = [
+            flow(0, 0, f64::INFINITY),
+            flow(0, 1, f64::INFINITY),
+            flow(1, 1, 80.0),
+        ];
+        let via_topo = max_min_rates(&topo, &fair);
+        let via_fill = progressive_fill(
+            &[100.0, 200.0],
+            &[200.0, 150.0],
+            &[
+                fill(0, 0, f64::INFINITY),
+                fill(0, 1, f64::INFINITY),
+                fill(1, 1, 80.0),
+            ],
+        );
+        assert_eq!(via_topo, via_fill);
     }
 }

@@ -45,6 +45,6 @@ pub mod fairshare;
 pub mod hybrid;
 pub mod sim;
 
-pub use fairshare::{max_min_rates, FairFlow};
+pub use fairshare::{max_min_rates, progressive_fill, FairFlow, FillFlow};
 pub use hybrid::{hybrid_best_effort, BestEffortFlow, HybridReport};
 pub use sim::{run_maxmin, FlowOutcome, MaxMinConfig, MaxMinReport};

@@ -1,0 +1,110 @@
+//! Property tests for the progressive-fill core against a brute-force
+//! water-filling oracle.
+//!
+//! The oracle raises every unfrozen flow by a tiny fixed epsilon per
+//! step — no closed-form increments, no per-iteration minima — so it
+//! shares no code path with `progressive_fill` beyond the definition of
+//! max-min fairness itself. On small instances the two must agree to
+//! within the oracle's own step size.
+
+use gridband_maxmin::{progressive_fill, FillFlow};
+use proptest::prelude::*;
+
+/// Brute-force water filling: raise all live flows by `eps` until each
+/// is capped or crosses an exhausted port.
+fn oracle(residual_in: &[f64], residual_out: &[f64], flows: &[FillFlow], eps: f64) -> Vec<f64> {
+    let mut rates = vec![0.0; flows.len()];
+    let mut used_in = vec![0.0; residual_in.len()];
+    let mut used_out = vec![0.0; residual_out.len()];
+    let mut live: Vec<usize> = (0..flows.len()).collect();
+    while !live.is_empty() {
+        live.retain(|&k| {
+            let f = &flows[k];
+            let fits = rates[k] + eps <= f.cap
+                && used_in[f.ingress] + eps <= residual_in[f.ingress].max(0.0)
+                && used_out[f.egress] + eps <= residual_out[f.egress].max(0.0);
+            if fits {
+                rates[k] += eps;
+                used_in[f.ingress] += eps;
+                used_out[f.egress] += eps;
+            }
+            fits
+        });
+    }
+    rates
+}
+
+/// A port residual: dead (zero) a quarter of the time, else 0.5–10.
+fn port() -> impl Strategy<Value = f64> {
+    (0u8..4, 0.5f64..10.0).prop_map(|(dead, v)| if dead == 0 { 0.0 } else { v })
+}
+
+fn small_instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<FillFlow>)> {
+    (
+        prop::collection::vec(port(), 1..4),
+        prop::collection::vec(port(), 1..4),
+        prop::collection::vec((0usize..8, 0usize..8, 0.2f64..8.0, any::<bool>()), 1..6),
+    )
+        .prop_map(|(rin, rout, raw)| {
+            let flows = raw
+                .into_iter()
+                .map(|(i, e, cap, uncapped)| FillFlow {
+                    ingress: i % rin.len(),
+                    egress: e % rout.len(),
+                    cap: if uncapped { f64::INFINITY } else { cap },
+                })
+                .collect();
+            (rin, rout, flows)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The closed-form fill agrees with the epsilon oracle.
+    #[test]
+    fn fill_matches_brute_force_oracle((rin, rout, flows) in small_instance()) {
+        let eps = 1e-3;
+        let fast = progressive_fill(&rin, &rout, &flows);
+        let slow = oracle(&rin, &rout, &flows, eps);
+        for (k, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            // The oracle undershoots by up to eps per limit it crosses;
+            // shared ports compound that across flows, hence the slack.
+            let tol = eps * (flows.len() as f64 + 2.0);
+            prop_assert!(
+                (f - s).abs() <= tol,
+                "flow {k}: fill {f} vs oracle {s} (tol {tol}) on {flows:?}"
+            );
+        }
+    }
+
+    /// Feasibility and maximality hold on every instance, including
+    /// zero-capacity ports and all-flows-capped inputs (termination is
+    /// implicit: the test would hang otherwise).
+    #[test]
+    fn fill_is_feasible_and_maximal((rin, rout, flows) in small_instance()) {
+        let rates = progressive_fill(&rin, &rout, &flows);
+        let mut used_in = vec![0.0; rin.len()];
+        let mut used_out = vec![0.0; rout.len()];
+        for (k, f) in flows.iter().enumerate() {
+            prop_assert!(rates[k] >= 0.0);
+            prop_assert!(rates[k] <= f.cap + 1e-6);
+            used_in[f.ingress] += rates[k];
+            used_out[f.egress] += rates[k];
+        }
+        for (i, &u) in used_in.iter().enumerate() {
+            prop_assert!(u <= rin[i].max(0.0) + 1e-6, "ingress {i}: {u} > {}", rin[i]);
+        }
+        for (e, &u) in used_out.iter().enumerate() {
+            prop_assert!(u <= rout[e].max(0.0) + 1e-6, "egress {e}: {u} > {}", rout[e]);
+        }
+        // Maximality: every flow is at cap or touches a saturated port
+        // (up to the fill's own freeze threshold).
+        for (k, f) in flows.iter().enumerate() {
+            let at_cap = rates[k] + 1e-5 >= f.cap;
+            let in_sat = used_in[f.ingress] + 1e-5 >= rin[f.ingress].max(0.0);
+            let out_sat = used_out[f.egress] + 1e-5 >= rout[f.egress].max(0.0);
+            prop_assert!(at_cap || in_sat || out_sat, "flow {k} starved: {rates:?}");
+        }
+    }
+}

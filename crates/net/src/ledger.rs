@@ -224,6 +224,22 @@ impl CapacityLedger {
             .min(self.egress[route.egress.index()].min_free(start, end))
     }
 
+    /// Per-port residual capacity over `[t0, t1)`: for every ingress and
+    /// egress port, the minimum free bandwidth across the interval (the
+    /// port capacity minus the peak committed allocation, holds
+    /// included). This is the leftover pool a post-admission
+    /// redistribution pass may resell for that interval without ever
+    /// touching a guaranteed profile; taking the interval *minimum*
+    /// keeps any constant rate granted from it feasible at every
+    /// instant, even across mid-interval breakpoints.
+    ///
+    /// Runs one indexed `min_free` query per port.
+    pub fn residuals(&self, t0: Time, t1: Time) -> (Vec<Bandwidth>, Vec<Bandwidth>) {
+        let ins = self.ingress.iter().map(|p| p.min_free(t0, t1)).collect();
+        let outs = self.egress.iter().map(|p| p.min_free(t0, t1)).collect();
+        (ins, outs)
+    }
+
     /// Atomically reserve `bw` on both endpoints over `[start, end)`.
     ///
     /// On failure nothing is booked and the error names the saturated port
@@ -954,6 +970,26 @@ mod tests {
         assert!(l.ingress_profile(IngressId(1)).is_empty());
         // A fitting retry succeeds.
         l.reserve(Route::new(1, 0), 0.0, 10.0, 30.0).unwrap();
+    }
+
+    #[test]
+    fn residuals_report_interval_minimum_free_per_port() {
+        let mut l = small();
+        l.reserve(Route::new(0, 1), 0.0, 10.0, 60.0).unwrap();
+        l.reserve(Route::new(0, 0), 5.0, 15.0, 30.0).unwrap();
+        // [0, 10): ingress 0 peaks at 90 (both overlap on [5, 10)).
+        let (ins, outs) = l.residuals(0.0, 10.0);
+        assert_eq!(ins, vec![10.0, 100.0]);
+        assert_eq!(outs, vec![70.0, 40.0]);
+        // [10, 20): only the second reservation's tail is left.
+        let (ins, outs) = l.residuals(10.0, 20.0);
+        assert_eq!(ins, vec![70.0, 100.0]);
+        assert_eq!(outs, vec![70.0, 100.0]);
+        // Holds count against the pool too.
+        l.hold(PortRef::In(IngressId(1)), 10.0, 12.0, 50.0).unwrap();
+        let (ins, outs) = l.residuals(10.0, 20.0);
+        assert_eq!(ins, vec![70.0, 50.0]);
+        assert_eq!(outs, vec![70.0, 100.0]);
     }
 
     #[test]

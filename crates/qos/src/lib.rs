@@ -1,0 +1,49 @@
+//! # gridband-qos — leftover-bandwidth redistribution with service classes
+//!
+//! The paper's admission model (§2, §5) is binary: a transfer either
+//! gets its constant guaranteed rate or nothing, and unreserved port
+//! capacity idles. This crate resells that slack. Each admission round,
+//! after the WINDOW/GREEDY decision has committed, a [`Redistributor`]
+//! reads the per-port residual capacity of the upcoming interval from
+//! the `CapacityLedger` and spreads it across live transfers by
+//! progressive filling ([`gridband_maxmin::progressive_fill`]) — §1's
+//! max-min statistical sharing, but applied *only to capacity no
+//! guarantee wants*.
+//!
+//! Three mechanisms ride on the fill:
+//!
+//! * **Service classes** ([`ServiceClass`]): the pool is filled in
+//!   strict priority order — gold drinks first, silver next, best-effort
+//!   rides only on what is left.
+//! * **Accumulated allowance**: every active transfer banks a fair
+//!   share of each round's pool whether or not it could use it, capped
+//!   at a configurable horizon; a round's boost spends the bank. A
+//!   transfer starved behind a saturated port accrues credit and
+//!   catches up when capacity appears, instead of losing its share
+//!   forever.
+//! * **Per-tenant policing**: a token bucket per ingress port
+//!   ([`gridband_control::TokenBucket`]) caps the boost volume any one
+//!   tenant can draw, folded into the fill as an extra port constraint.
+//!
+//! Boosted rates are an **overlay**. The guaranteed profile in the
+//! ledger is never touched: admission decisions with the overlay on are
+//! byte-identical to a run without it, by construction. A transfer that
+//! finishes early under boost goes silent — its remaining guaranteed
+//! reservation stays charged in the ledger but stops moving bytes, and
+//! the redistributor resells exactly that silence as a *credit* in
+//! later rounds. The invariant, checked every round and counted in
+//! [`QosStats`]:
+//!
+//! > Redistribution never delays any admitted request's guaranteed
+//! > finish time and never oversubscribes a port.
+
+#![warn(missing_docs)]
+
+pub mod redistribute;
+pub mod verify;
+
+pub use gridband_workload::{ClassMix, ServiceClass};
+pub use redistribute::{
+    AcceptedTransfer, Boost, Completion, QosConfig, QosStats, Redistributor, RoundPlan,
+};
+pub use verify::{check_completions, check_round};

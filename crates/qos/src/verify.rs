@@ -1,0 +1,158 @@
+//! The conservation verifier.
+//!
+//! Redistribution is only safe if two things hold every round:
+//!
+//! 1. **No port oversubscription** — the boosts granted on a port,
+//!    together with the still-active guaranteed rates, never exceed its
+//!    capacity. Because boosts are drawn from the ledger's residual
+//!    (capacity minus every guaranteed charge, holds included) plus the
+//!    guaranteed rates of transfers that already finished and went
+//!    silent, the equivalent check is: per port,
+//!    `Σ boosts ≤ residual + credits`.
+//! 2. **No guaranteed finish delayed** — a boost only ever *adds* rate
+//!    on top of an untouched guaranteed profile, so every transfer
+//!    completes at or before the finish time its admission decision
+//!    promised.
+//!
+//! [`Redistributor::round`](crate::Redistributor::round) runs
+//! [`check_round`] itself and counts failures in
+//! [`QosStats::oversubscriptions`](crate::QosStats::oversubscriptions);
+//! tests and the bench run both checks independently.
+
+use crate::redistribute::{Completion, RoundPlan};
+
+/// Feasibility slack (MB/s) for summed float rates.
+const TOL_RATE: f64 = 1e-6;
+/// Slack (virtual seconds) for the finish-time comparison.
+const TOL_TIME: f64 = 1e-6;
+
+/// Check one round's plan for port oversubscription. Returns one
+/// human-readable violation per offending port (empty = clean).
+pub fn check_round(plan: &RoundPlan) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut used_in = vec![0.0f64; plan.residual_in.len()];
+    let mut used_out = vec![0.0f64; plan.residual_out.len()];
+    for b in &plan.boosts {
+        if !(b.rate.is_finite() && b.rate >= 0.0) {
+            out.push(format!("boost for {} has unlawful rate {}", b.id, b.rate));
+            continue;
+        }
+        used_in[b.ingress] += b.rate;
+        used_out[b.egress] += b.rate;
+    }
+    for (p, &u) in used_in.iter().enumerate() {
+        let limit = plan.residual_in[p].max(0.0) + plan.credits_in[p];
+        if u > limit + TOL_RATE {
+            out.push(format!(
+                "ingress {p} oversubscribed in [{}, {}): boosts {u} > residual {} + credits {}",
+                plan.t0, plan.t1, plan.residual_in[p], plan.credits_in[p]
+            ));
+        }
+    }
+    for (p, &u) in used_out.iter().enumerate() {
+        let limit = plan.residual_out[p].max(0.0) + plan.credits_out[p];
+        if u > limit + TOL_RATE {
+            out.push(format!(
+                "egress {p} oversubscribed in [{}, {}): boosts {u} > residual {} + credits {}",
+                plan.t0, plan.t1, plan.residual_out[p], plan.credits_out[p]
+            ));
+        }
+    }
+    out
+}
+
+/// Check that no observed completion landed after its guaranteed
+/// finish. Returns one violation per late transfer (empty = clean).
+pub fn check_completions(completions: &[Completion]) -> Vec<String> {
+    completions
+        .iter()
+        .filter(|c| c.done_at > c.guaranteed_finish + TOL_TIME)
+        .map(|c| {
+            format!(
+                "transfer {} finished at {} — after its guaranteed {}",
+                c.id, c.done_at, c.guaranteed_finish
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redistribute::Boost;
+    use gridband_workload::ServiceClass;
+
+    fn plan(boosts: Vec<Boost>, residual: f64, credit: f64) -> RoundPlan {
+        RoundPlan {
+            t0: 0.0,
+            t1: 10.0,
+            boosts,
+            residual_in: vec![residual],
+            residual_out: vec![residual],
+            credits_in: vec![credit],
+            credits_out: vec![credit],
+        }
+    }
+
+    fn boost(id: u64, rate: f64) -> Boost {
+        Boost {
+            id,
+            ingress: 0,
+            egress: 0,
+            class: ServiceClass::Silver,
+            rate,
+        }
+    }
+
+    #[test]
+    fn feasible_plans_pass() {
+        assert!(check_round(&plan(vec![], 0.0, 0.0)).is_empty());
+        assert!(check_round(&plan(vec![boost(1, 30.0), boost(2, 20.0)], 50.0, 0.0)).is_empty());
+        // Credits extend the pool past the ledger residual.
+        assert!(check_round(&plan(vec![boost(1, 60.0)], 50.0, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn oversubscription_is_reported_per_port() {
+        let v = check_round(&plan(vec![boost(1, 30.0), boost(2, 30.0)], 50.0, 0.0));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("ingress 0"), "{v:?}");
+        assert!(v[1].contains("egress 0"), "{v:?}");
+    }
+
+    #[test]
+    fn unlawful_rates_are_reported() {
+        assert_eq!(
+            check_round(&plan(vec![boost(1, f64::NAN)], 50.0, 0.0)).len(),
+            1
+        );
+        assert_eq!(check_round(&plan(vec![boost(1, -1.0)], 50.0, 0.0)).len(), 1);
+    }
+
+    #[test]
+    fn late_completions_are_reported() {
+        let cs = [
+            Completion {
+                id: 1,
+                class: ServiceClass::Gold,
+                done_at: 5.0,
+                guaranteed_finish: 10.0,
+            },
+            Completion {
+                id: 2,
+                class: ServiceClass::Silver,
+                done_at: 10.0 + 1e-9,
+                guaranteed_finish: 10.0,
+            },
+            Completion {
+                id: 3,
+                class: ServiceClass::Silver,
+                done_at: 11.0,
+                guaranteed_finish: 10.0,
+            },
+        ];
+        let v = check_completions(&cs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("transfer 3"), "{v:?}");
+    }
+}

@@ -83,6 +83,7 @@ fn workload(seed: u64) -> Vec<Event> {
             max_rate,
             start: Some(clock),
             deadline: Some(clock + slack * volume / max_rate),
+            class: Default::default(),
         }));
         submitted.push((id, clock));
     }
@@ -682,6 +683,7 @@ fn tcp_failover_promotes_and_finishes_bit_identically() {
             max_rate: 10.0,
             start: None,
             deadline: None,
+            class: Default::default(),
         }));
         match client.recv() {
             ServerMsg::Rejected { id, reason, .. } => {
@@ -793,6 +795,7 @@ fn auto_promotion_fires_after_primary_silence() {
         max_rate: 50.0,
         start: None,
         deadline: None,
+        class: Default::default(),
     }));
     client.send(&ClientMsg::Drain);
     let mut decided = false;

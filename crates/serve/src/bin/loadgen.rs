@@ -41,7 +41,7 @@ use gridband_serve::protocol::{encode_client, ClientMsg, ReqState, ServerMsg, Su
 use gridband_serve::wire::{
     decode_server_payload, encode_client_frame, FrameBuf, WireMode, WIRE_MAGIC,
 };
-use gridband_workload::WorkloadBuilder;
+use gridband_workload::{ClassMix, ServiceClass, WorkloadBuilder};
 
 struct Args {
     addr: String,
@@ -54,6 +54,13 @@ struct Args {
     resume: bool,
     state: String,
     wire: WireMode,
+    /// `G:S:B` service-class weights; classes are assigned per request id
+    /// by a seeded hash, so the same flags replay the same classes.
+    classes_spec: String,
+    classes: ClassMix,
+    /// Dump every decision, sorted by id, to this file — two runs that
+    /// made the same decisions produce byte-identical dumps.
+    decisions: Option<String>,
 }
 
 fn parse_topo(spec: &str) -> Result<Topology, String> {
@@ -88,6 +95,9 @@ fn parse_args() -> Result<Args, String> {
         resume: false,
         state: "loadgen-resume.json".to_string(),
         wire: WireMode::Json,
+        classes_spec: "0:1:0".to_string(),
+        classes: ClassMix::all_silver(),
+        decisions: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -125,11 +135,18 @@ fn parse_args() -> Result<Args, String> {
             "--resume" => args.resume = true,
             "--state" => args.state = val("--state")?,
             "--wire" => args.wire = val("--wire")?.parse()?,
+            "--classes" => {
+                let spec = val("--classes")?;
+                args.classes = spec.parse()?;
+                args.classes_spec = spec;
+            }
+            "--decisions" => args.decisions = Some(val("--decisions")?),
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S] \
                      [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]\n        \
-                     [--wire json|binary] [--kill-after N --state FILE | --resume --state FILE]"
+                     [--wire json|binary] [--classes G:S:B] [--decisions FILE]\n        \
+                     [--kill-after N --state FILE | --resume --state FILE]"
                 );
                 std::process::exit(0);
             }
@@ -151,6 +168,9 @@ struct ResumeState {
     mean_interarrival: f64,
     seed: u64,
     topo: String,
+    /// `G:S:B` class weights phase 1 ran with, so phase 2 reassigns the
+    /// identical class to every resubmitted id.
+    classes: String,
     /// How many trace requests phase 1 submitted.
     submitted: usize,
     accepted: Vec<AcceptedRec>,
@@ -281,7 +301,7 @@ impl MsgReader {
     }
 }
 
-fn submit_msg(req: &gridband_workload::Request) -> ClientMsg {
+fn submit_msg(req: &gridband_workload::Request, class: ServiceClass) -> ClientMsg {
     ClientMsg::Submit(SubmitReq {
         id: req.id.0,
         ingress: req.route.ingress.0,
@@ -290,6 +310,7 @@ fn submit_msg(req: &gridband_workload::Request) -> ClientMsg {
         max_rate: req.max_rate,
         start: Some(req.start()),
         deadline: Some(req.finish()),
+        class,
     })
 }
 
@@ -375,7 +396,8 @@ fn run(args: Args) -> Result<(), String> {
     let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
     for req in to_send {
         sent_at.insert(req.id.0, Instant::now());
-        send_msg(&mut write_half, args.wire, &submit_msg(req))?;
+        let class = args.classes.class_for(req.id.0, args.seed);
+        send_msg(&mut write_half, args.wire, &submit_msg(req, class))?;
     }
     if !killing {
         for msg in [ClientMsg::Drain, ClientMsg::Stats] {
@@ -393,6 +415,7 @@ fn run(args: Args) -> Result<(), String> {
             mean_interarrival: args.mean_interarrival,
             seed: args.seed,
             topo: args.topo_spec.clone(),
+            classes: args.classes_spec.clone(),
             submitted: n,
             accepted: Vec::new(),
             rejected: Vec::new(),
@@ -427,7 +450,15 @@ fn run(args: Args) -> Result<(), String> {
         return Ok(());
     }
 
-    report(&args, decisions, stats, sent_at, wall)
+    report(
+        &args,
+        &args.classes,
+        args.seed,
+        decisions,
+        stats,
+        sent_at,
+        wall,
+    )
 }
 
 fn run_resume(args: Args) -> Result<(), String> {
@@ -435,6 +466,7 @@ fn run_resume(args: Args) -> Result<(), String> {
         .map_err(|e| format!("cannot read {}: {e}", args.state))?;
     let state: ResumeState = serde_json::from_str(&raw)
         .map_err(|e| format!("{} is not a resume state: {e}", args.state))?;
+    let mix: ClassMix = state.classes.parse()?;
     let requests = build_requests(
         state.requests,
         state.mean_interarrival,
@@ -513,7 +545,8 @@ fn run_resume(args: Args) -> Result<(), String> {
     let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
     for req in &to_send {
         sent_at.insert(req.id.0, Instant::now());
-        send_msg(&mut write_half, args.wire, &submit_msg(req))?;
+        let class = mix.class_for(req.id.0, state.seed);
+        send_msg(&mut write_half, args.wire, &submit_msg(req, class))?;
     }
     for msg in [ClientMsg::Drain, ClientMsg::Stats] {
         send_msg(&mut write_half, args.wire, &msg)?;
@@ -566,28 +599,64 @@ fn run_resume(args: Args) -> Result<(), String> {
             started,
         ));
     }
-    report(&args, decisions, stats, sent_at, wall)
+    report(&args, &mix, state.seed, decisions, stats, sent_at, wall)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report(
     args: &Args,
+    mix: &ClassMix,
+    seed: u64,
     decisions: Vec<(u64, ServerMsg, Instant)>,
     stats: Option<ServerMsg>,
     sent_at: HashMap<u64, Instant>,
     wall: Duration,
 ) -> Result<(), String> {
+    if let Some(path) = &args.decisions {
+        dump_decisions(path, &decisions)?;
+    }
     let lat = LatencyHistogram::new();
+    let class_lat = [
+        LatencyHistogram::new(),
+        LatencyHistogram::new(),
+        LatencyHistogram::new(),
+    ];
+    let mut class_n = [0u64; 3];
+    let mut class_acc = [0u64; 3];
     let mut accepted = 0usize;
     for (id, msg, at) in &decisions {
+        let c = mix.class_for(*id, seed).index();
+        class_n[c] += 1;
         if matches!(msg, ServerMsg::Accepted { .. }) {
             accepted += 1;
+            class_acc[c] += 1;
         }
         if let Some(t0) = sent_at.get(id) {
             lat.record(at.duration_since(*t0));
+            class_lat[c].record(at.duration_since(*t0));
         }
     }
     let decided = decisions.len();
     let accept_rate = accepted as f64 / decided.max(1) as f64;
+    let stats = match stats {
+        Some(ServerMsg::Stats(s)) => Some(s),
+        _ => None,
+    };
+    let classes: Vec<ClassReport> = ServiceClass::ALL
+        .iter()
+        .filter(|class| class_n[class.index()] > 0)
+        .map(|class| {
+            let c = class.index();
+            ClassReport {
+                class: class.name().to_string(),
+                requests: class_n[c],
+                accepted: class_acc[c],
+                accept_rate: class_acc[c] as f64 / class_n[c] as f64,
+                p50_ms: class_lat[c].quantile_ms(0.50),
+                p99_ms: class_lat[c].quantile_ms(0.99),
+            }
+        })
+        .collect();
 
     if args.json {
         let report = serde_json::to_string_pretty(&LoadgenReport {
@@ -598,6 +667,12 @@ fn report(
             p50_ms: lat.quantile_ms(0.50),
             p95_ms: lat.quantile_ms(0.95),
             p99_ms: lat.quantile_ms(0.99),
+            classes,
+            qos_boost_rounds: stats.as_ref().map_or(0, |s| s.qos_boost_rounds),
+            qos_boosted_mb: stats.as_ref().map_or(0, |s| s.qos_boosted_mb),
+            qos_early_releases: stats.as_ref().map_or(0, |s| s.qos_early_releases),
+            qos_finish_violations: stats.as_ref().map_or(0, |s| s.qos_finish_violations),
+            qos_oversubscriptions: stats.as_ref().map_or(0, |s| s.qos_oversubscriptions),
         })
         .map_err(|e| e.to_string())?;
         println!("{report}");
@@ -611,10 +686,34 @@ fn report(
             lat.quantile_ms(0.95),
             lat.quantile_ms(0.99)
         );
-        if let Some(ServerMsg::Stats(s)) = stats {
+        // Only break out classes when the mix actually produced more
+        // than one, so classless runs keep their old output.
+        if classes.len() > 1 {
+            for c in &classes {
+                println!(
+                    "  {:<10} {:>6} requests  {:>6} accepted ({:.1}%)  p50 {:.3} ms  p99 {:.3} ms",
+                    c.class,
+                    c.requests,
+                    c.accepted,
+                    c.accept_rate * 100.0,
+                    c.p50_ms,
+                    c.p99_ms
+                );
+            }
+        }
+        if let Some(s) = &stats {
             println!(
                 "server    accepted {} / rejected {} / ticks {} / gc {} / wal {} appends",
                 s.accepted, s.rejected, s.ticks, s.gc_reclaimed, s.wal_appends
+            );
+            println!(
+                "qos       boost_rounds {} / boosted_mb {} / early_releases {} / \
+                 finish_violations {} / oversubscriptions {}",
+                s.qos_boost_rounds,
+                s.qos_boosted_mb,
+                s.qos_early_releases,
+                s.qos_finish_violations,
+                s.qos_oversubscriptions
             );
         }
     }
@@ -622,6 +721,40 @@ fn report(
         return Err("zero requests accepted — check topology/workload match".to_string());
     }
     Ok(())
+}
+
+/// Write one line per decision, sorted by request id: `A id bw start
+/// finish` for acceptances, `R id reason` for rejections. Two runs whose
+/// daemons decided identically produce byte-identical files, which is how
+/// the QoS smoke test proves the overlay never changed an admission.
+fn dump_decisions(path: &str, decisions: &[(u64, ServerMsg, Instant)]) -> Result<(), String> {
+    let mut sorted: Vec<&(u64, ServerMsg, Instant)> = decisions.iter().collect();
+    sorted.sort_by_key(|(id, _, _)| *id);
+    let mut out = String::with_capacity(sorted.len() * 48);
+    for (id, msg, _) in sorted {
+        match msg {
+            ServerMsg::Accepted {
+                bw, start, finish, ..
+            } => {
+                out.push_str(&format!("A {id} {bw} {start} {finish}\n"));
+            }
+            ServerMsg::Rejected { reason, .. } => {
+                out.push_str(&format!("R {id} {reason:?}\n"));
+            }
+            _ => {}
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[derive(serde::Serialize)]
+struct ClassReport {
+    class: String,
+    requests: u64,
+    accepted: u64,
+    accept_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -633,4 +766,10 @@ struct LoadgenReport {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    classes: Vec<ClassReport>,
+    qos_boost_rounds: u64,
+    qos_boosted_mb: u64,
+    qos_early_releases: u64,
+    qos_finish_violations: u64,
+    qos_oversubscriptions: u64,
 }

@@ -26,6 +26,7 @@ use gridband_algos::BandwidthPolicy;
 use gridband_algos::WindowScheduler;
 use gridband_net::units::EPS;
 use gridband_net::{EgressId, NetResult, PortRef, ReservationId, ReserveRequest, Route, Topology};
+use gridband_qos::{AcceptedTransfer, QosConfig, Redistributor};
 use gridband_sim::{AdmissionController, Decision};
 use gridband_store::{
     EngineSnapshot, Recovered, RoundDecision, Store, StoreConfig, StoreError, StoreResult,
@@ -87,6 +88,13 @@ pub struct EngineConfig {
     /// the daemon was started with `--replicate-to` or promoted from a
     /// follower).
     pub role: Role,
+    /// QoS leftover-bandwidth redistribution overlay. `None` (the
+    /// default) disables it. The overlay never touches the ledger, so
+    /// admission decisions are identical either way; it only affects
+    /// effective transfer rates and the `qos_*` metrics. Its state is
+    /// volatile — not in the WAL or snapshots — so a restarted engine
+    /// simply starts reselling from its next round.
+    pub qos: Option<QosConfig>,
 }
 
 impl EngineConfig {
@@ -106,6 +114,7 @@ impl EngineConfig {
             admit_threads: gridband_net::default_admit_threads(),
             store: None,
             role: Role::Solo,
+            qos: None,
         }
     }
 }
@@ -180,6 +189,8 @@ struct PendingEntry {
     reply: ReplySink,
     submitted_at: Instant,
     cancelled: bool,
+    /// Service class for the QoS overlay; admission never reads it.
+    class: gridband_workload::ServiceClass,
 }
 
 /// Handle to a running engine thread.
@@ -338,6 +349,8 @@ struct EngineLoop {
     /// A store write failed: the engine stops decided-but-undurable work
     /// from leaking out and exits its loop.
     dead: bool,
+    /// Leftover-bandwidth redistribution overlay (None = disabled).
+    qos: Option<Redistributor>,
 }
 
 impl EngineLoop {
@@ -358,6 +371,13 @@ impl EngineLoop {
             .admit_threads
             .store(config.admit_threads.max(1) as u64, Ordering::Relaxed);
         let store_cfg = config.store.clone();
+        let qos = config.qos.map(|cfg| {
+            Redistributor::new(
+                config.topology.num_ingress(),
+                config.topology.num_egress(),
+                cfg,
+            )
+        });
         let mut this = EngineLoop {
             config,
             metrics,
@@ -372,6 +392,7 @@ impl EngineLoop {
             round_log: Vec::new(),
             round_replies: Vec::new(),
             dead: false,
+            qos,
         };
         if let Some(cfg) = store_cfg {
             let (store, recovered) = Store::open(cfg.dir, cfg.fsync)?;
@@ -553,6 +574,7 @@ impl EngineLoop {
                         reply,
                         submitted_at: Instant::now(),
                         cancelled: false,
+                        class: s.class,
                     },
                 );
             }
@@ -866,6 +888,11 @@ impl EngineLoop {
             if !self.log_event(WalRecord::Cancel { id }) {
                 return;
             }
+            // The overlay must stop boosting a transfer whose guarantee
+            // is gone — its residual claim died with the reservation.
+            if let Some(q) = self.qos.as_mut() {
+                q.on_cancel(id);
+            }
             true
         } else if let Some(entry) = self.pending.get_mut(&id) {
             // Still undecided: tombstone it. The deciding round frees any
@@ -976,6 +1003,29 @@ impl EngineLoop {
         for (reply, msg) in replies {
             self.send_reply(&reply, msg);
         }
+        self.qos_round(t);
+    }
+
+    /// Resell the upcoming interval's leftover capacity. Runs strictly
+    /// after the round's decisions committed: the overlay reads the
+    /// post-round residuals and never feeds back into admission, so a
+    /// run with QoS on decides byte-identically to one without.
+    fn qos_round(&mut self, t: f64) {
+        let Some(q) = self.qos.as_mut() else { return };
+        let t1 = self.st.next_tick;
+        let (rin, rout) = self.st.ledger.residuals(t, t1);
+        q.round(t, t1, &rin, &rout);
+        let qs = q.stats();
+        let m = &self.metrics;
+        m.qos_boost_rounds.store(qs.boost_rounds, Ordering::Relaxed);
+        m.qos_boosted_mb
+            .store(qs.boosted_bytes as u64, Ordering::Relaxed);
+        m.qos_early_releases
+            .store(qs.early_releases, Ordering::Relaxed);
+        m.qos_finish_violations
+            .store(qs.finish_violations, Ordering::Relaxed);
+        m.qos_oversubscriptions
+            .store(qs.oversubscriptions, Ordering::Relaxed);
     }
 
     /// Persist the round just decided: append its WAL record, honor the
@@ -1096,6 +1146,28 @@ impl EngineLoop {
                             return;
                         }
                         MetricsRegistry::inc(&self.metrics.accepted);
+                        MetricsRegistry::inc(match entry.class {
+                            gridband_workload::ServiceClass::Gold => &self.metrics.accepted_gold,
+                            gridband_workload::ServiceClass::Silver => {
+                                &self.metrics.accepted_silver
+                            }
+                            gridband_workload::ServiceClass::BestEffort => {
+                                &self.metrics.accepted_besteffort
+                            }
+                        });
+                        if let Some(q) = self.qos.as_mut() {
+                            q.on_accept(AcceptedTransfer {
+                                id,
+                                ingress: entry.req.route.ingress.0 as usize,
+                                egress: entry.req.route.egress.0 as usize,
+                                class: entry.class,
+                                bw,
+                                start,
+                                finish,
+                                max_rate: entry.req.max_rate,
+                                volume: entry.req.volume,
+                            });
+                        }
                         self.st.note_accept(id, rid);
                         self.st.record_state(id, ReqState::Accepted);
                         self.round_replies.push((
@@ -1214,6 +1286,7 @@ mod tests {
             max_rate,
             start: Some(start),
             deadline: Some(deadline),
+            class: Default::default(),
         })
     }
 
@@ -1344,6 +1417,7 @@ mod tests {
                 max_rate: 10.0,
                 start: Some(0.0),
                 deadline: Some(10.0),
+                class: Default::default(),
             }),
             // NaN rate.
             ClientMsg::Submit(SubmitReq {
@@ -1354,6 +1428,7 @@ mod tests {
                 max_rate: f64::NAN,
                 start: Some(0.0),
                 deadline: Some(10.0),
+                class: Default::default(),
             }),
             // Route outside the 1×1 topology.
             ClientMsg::Submit(SubmitReq {
@@ -1364,6 +1439,7 @@ mod tests {
                 max_rate: 10.0,
                 start: Some(0.0),
                 deadline: Some(10.0),
+                class: Default::default(),
             }),
             // Deadline before start.
             ClientMsg::Submit(SubmitReq {
@@ -1374,6 +1450,7 @@ mod tests {
                 max_rate: 10.0,
                 start: Some(20.0),
                 deadline: Some(10.0),
+                class: Default::default(),
             }),
             // Infeasible even at MaxRate. (The clock is at 20 by now: the
             // id-4 submission above advanced it to its start time.)
@@ -1385,6 +1462,7 @@ mod tests {
                 max_rate: 1.0,
                 start: Some(20.0),
                 deadline: Some(30.0),
+                class: Default::default(),
             }),
         ];
         let want = [
@@ -1481,6 +1559,7 @@ mod tests {
             max_rate: 1.0,
             start: Some(probe_time),
             deadline: None,
+            class: Default::default(),
         });
         let (ptx, prx) = channel::unbounded();
         engine
@@ -1673,6 +1752,7 @@ mod tests {
                 max_rate: 100.0,
                 start: Some(0.0),
                 deadline: Some(100.0),
+                class: Default::default(),
             }),
         );
         let (bw, start, finish) = match open {
@@ -1722,6 +1802,7 @@ mod tests {
                 max_rate: 100.0,
                 start: Some(0.0),
                 deadline: Some(10.0),
+                class: Default::default(),
             })],
             12.0,
         );
@@ -1754,6 +1835,7 @@ mod tests {
                 max_rate: 100.0,
                 start: Some(0.0),
                 deadline: Some(200.0),
+                class: Default::default(),
             }),
         ) {
             ServerMsg::HoldOpened { txn: 1, .. } => {}
@@ -1772,6 +1854,7 @@ mod tests {
                 max_rate: 100.0,
                 start: Some(20.0),
                 deadline: Some(80.0),
+                class: Default::default(),
             })],
             32.0,
         );
@@ -1786,6 +1869,125 @@ mod tests {
                 assert_eq!(s.holds_placed, 1);
                 assert_eq!(s.holds_expired, 1);
                 assert_eq!(s.holds_committed, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn qos_overlay_never_changes_decisions_and_reports_boosts() {
+        // Same workload against a plain engine and a QoS-enabled one
+        // (MinRate policy, so guarantees leave headroom): the decision
+        // streams must be identical — the overlay is invisible to
+        // admission — while only the boosted engine reports boosts.
+        let with_class = |id: u64,
+                          start: f64,
+                          volume: f64,
+                          deadline: f64,
+                          class: gridband_workload::ServiceClass| {
+            ClientMsg::Submit(SubmitReq {
+                id,
+                ingress: 0,
+                egress: 0,
+                volume,
+                max_rate: 80.0,
+                start: Some(start),
+                deadline: Some(deadline),
+                class,
+            })
+        };
+        let workload = || {
+            vec![
+                with_class(1, 0.0, 400.0, 60.0, gridband_workload::ServiceClass::Gold),
+                with_class(
+                    2,
+                    0.0,
+                    300.0,
+                    80.0,
+                    gridband_workload::ServiceClass::BestEffort,
+                ),
+                with_class(3, 5.0, 200.0, 90.0, gridband_workload::ServiceClass::Silver),
+            ]
+        };
+        let spawn = |qos: bool| {
+            let mut cfg = EngineConfig::new(Topology::uniform(1, 1, 100.0));
+            cfg.step = 10.0;
+            cfg.policy = BandwidthPolicy::MinRate;
+            if qos {
+                cfg.qos = Some(gridband_qos::QosConfig::default());
+            }
+            Engine::spawn(cfg)
+        };
+        let plain = spawn(false);
+        let boosted = spawn(true);
+        let a = rpc_all_no_drain(&plain, workload(), 95.0);
+        let b = rpc_all_no_drain(&boosted, workload(), 95.0);
+        assert_eq!(a, b, "QoS must not change any admission decision");
+        assert!(a.iter().all(|d| matches!(d, ServerMsg::Accepted { .. })));
+
+        match rpc(&plain, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => {
+                assert_eq!(s.qos_boost_rounds, 0);
+                assert_eq!(s.qos_boosted_mb, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        match rpc(&boosted, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => {
+                assert!(s.qos_boost_rounds >= 1, "residual must have been resold");
+                assert!(s.qos_boosted_mb > 0, "boosts must have moved bytes");
+                assert!(
+                    s.qos_early_releases >= 1,
+                    "a boosted transfer finishes early"
+                );
+                assert_eq!(s.qos_finish_violations, 0);
+                assert_eq!(s.qos_oversubscriptions, 0);
+                assert_eq!(s.accepted_gold, 1);
+                assert_eq!(s.accepted_silver, 1);
+                assert_eq!(s.accepted_besteffort, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        plain.shutdown();
+        boosted.shutdown();
+    }
+
+    #[test]
+    fn cancel_withdraws_the_transfer_from_the_overlay() {
+        // Cancel an accepted transfer on a QoS engine, then let more
+        // rounds fire: the verifier must stay clean (the overlay
+        // dropped the dead transfer rather than boosting a ghost).
+        let mut cfg = EngineConfig::new(Topology::uniform(1, 1, 100.0));
+        cfg.step = 10.0;
+        cfg.policy = BandwidthPolicy::MinRate;
+        cfg.qos = Some(gridband_qos::QosConfig::default());
+        let engine = Engine::spawn(cfg);
+        let d = rpc_all_no_drain(
+            &engine,
+            vec![ClientMsg::Submit(SubmitReq {
+                id: 1,
+                ingress: 0,
+                egress: 0,
+                volume: 500.0,
+                max_rate: 100.0,
+                start: Some(0.0),
+                deadline: Some(100.0),
+                class: Default::default(),
+            })],
+            12.0,
+        );
+        assert!(matches!(d[0], ServerMsg::Accepted { .. }), "{:?}", d[0]);
+        match rpc(&engine, ClientMsg::Cancel { id: 1 }) {
+            ServerMsg::CancelResult { freed, .. } => assert!(freed),
+            other => panic!("expected cancel result, got {other:?}"),
+        }
+        let probe = rpc_all_no_drain(&engine, vec![], 55.0);
+        assert!(probe.is_empty());
+        match rpc(&engine, ClientMsg::Stats) {
+            ServerMsg::Stats(s) => {
+                assert_eq!(s.qos_finish_violations, 0);
+                assert_eq!(s.qos_oversubscriptions, 0);
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -1814,6 +2016,7 @@ mod tests {
                     // Must outlive the first wall-clock round at t = step;
                     // the default-slack window [0, 3] would already be past.
                     deadline: Some(60.0),
+                    class: Default::default(),
                 }),
                 reply: tx.into(),
             })

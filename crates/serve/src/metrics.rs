@@ -261,6 +261,26 @@ pub struct MetricsRegistry {
     /// Two-phase holds released by the expiry sweep — a lost `HoldAck`
     /// or commit surfaced as a timeout rather than a rejection.
     pub holds_expired: AtomicU64,
+    /// Accepted submissions whose class was `Gold`.
+    pub accepted_gold: AtomicU64,
+    /// Accepted submissions whose class was `Silver` (the default).
+    pub accepted_silver: AtomicU64,
+    /// Accepted submissions whose class was `BestEffort`.
+    pub accepted_besteffort: AtomicU64,
+    /// QoS overlay: rounds that granted at least one boost.
+    pub qos_boost_rounds: AtomicU64,
+    /// QoS overlay: megabytes moved above guaranteed rates (gauge,
+    /// rounded down from the redistributor's running total).
+    pub qos_boosted_mb: AtomicU64,
+    /// QoS overlay: transfers that finished before their guaranteed
+    /// finish thanks to boosting.
+    pub qos_early_releases: AtomicU64,
+    /// QoS overlay: guaranteed-finish violations detected by the
+    /// conservation verifier. Must stay 0; anything else is a bug.
+    pub qos_finish_violations: AtomicU64,
+    /// QoS overlay: port oversubscriptions detected by the conservation
+    /// verifier. Must stay 0; anything else is a bug.
+    pub qos_oversubscriptions: AtomicU64,
     /// Process start, for `uptime_s`.
     started: StartClock,
 }
@@ -347,6 +367,14 @@ impl MetricsRegistry {
             holds_committed: ld(&self.holds_committed),
             holds_released: ld(&self.holds_released),
             holds_expired: ld(&self.holds_expired),
+            accepted_gold: ld(&self.accepted_gold),
+            accepted_silver: ld(&self.accepted_silver),
+            accepted_besteffort: ld(&self.accepted_besteffort),
+            qos_boost_rounds: ld(&self.qos_boost_rounds),
+            qos_boosted_mb: ld(&self.qos_boosted_mb),
+            qos_early_releases: ld(&self.qos_early_releases),
+            qos_finish_violations: ld(&self.qos_finish_violations),
+            qos_oversubscriptions: ld(&self.qos_oversubscriptions),
             pending,
             live_reservations,
             virtual_time,
@@ -444,6 +472,22 @@ pub struct StatsSnapshot {
     pub holds_released: u64,
     /// Two-phase holds released by the expiry sweep (timeouts).
     pub holds_expired: u64,
+    /// Accepted submissions whose class was `Gold`.
+    pub accepted_gold: u64,
+    /// Accepted submissions whose class was `Silver`.
+    pub accepted_silver: u64,
+    /// Accepted submissions whose class was `BestEffort`.
+    pub accepted_besteffort: u64,
+    /// QoS rounds that granted at least one boost.
+    pub qos_boost_rounds: u64,
+    /// Megabytes moved above guaranteed rates (rounded down).
+    pub qos_boosted_mb: u64,
+    /// Transfers finished early under boost (reservation resold).
+    pub qos_early_releases: u64,
+    /// Guaranteed-finish violations found by the verifier (must be 0).
+    pub qos_finish_violations: u64,
+    /// Port oversubscriptions found by the verifier (must be 0).
+    pub qos_oversubscriptions: u64,
     /// Submissions awaiting the next round.
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.

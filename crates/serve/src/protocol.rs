@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
+pub use gridband_workload::ServiceClass;
+
 use crate::metrics::StatsSnapshot;
 
 /// Protocol version spoken by this build. Bump on any wire-incompatible
@@ -55,6 +57,10 @@ pub struct SubmitReq {
     pub start: Option<f64>,
     /// Latest finish `t_f` (virtual seconds); `None` = server default.
     pub deadline: Option<f64>,
+    /// Service class for the QoS redistribution overlay. Decoders
+    /// default an absent field to [`ServiceClass::Silver`], so
+    /// pre-class clients keep working; admission itself is class-blind.
+    pub class: ServiceClass,
 }
 
 /// Client → server request payloads.
@@ -315,6 +321,7 @@ mod tests {
             max_rate: 50.0,
             start: Some(12.5),
             deadline: None,
+            class: Default::default(),
         });
         let line = encode_client(&msg);
         assert_eq!(decode_client(&line).unwrap(), msg);
@@ -331,6 +338,7 @@ mod tests {
                 max_rate: 25.0,
                 start: Some(10.0),
                 deadline: Some(100.0),
+                class: Default::default(),
             }),
             ClientMsg::HoldAttach {
                 txn: 42,

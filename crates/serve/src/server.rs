@@ -821,6 +821,7 @@ mod tests {
                 max_rate: 100.0,
                 start: Some(0.0),
                 deadline: Some(60.0),
+                class: Default::default(),
             }),
         );
         // Drive the deciding round via a drain (single-shot test server).
@@ -864,6 +865,7 @@ mod tests {
                 max_rate: 100.0,
                 start: Some(0.0),
                 deadline: Some(60.0),
+                class: Default::default(),
             })))
             .expect("submit frame");
         stream

@@ -25,7 +25,7 @@
 //! declared frame length (bounded by [`MAX_FRAME`]).
 
 use crate::metrics::{LatencySnapshot, StatsSnapshot};
-use crate::protocol::{ClientMsg, RejectReason, ReqState, ServerMsg, SubmitReq};
+use crate::protocol::{ClientMsg, RejectReason, ReqState, ServerMsg, ServiceClass, SubmitReq};
 use gridband_store::crc32;
 
 /// Connection preamble a binary client sends before its first frame.
@@ -295,6 +295,12 @@ impl<'a> Reader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
     }
+    /// Whether undecoded bytes remain — how [`get_submit`] tells a
+    /// pre-class frame (fields exhausted) from a current one (class
+    /// byte still to read).
+    fn has_more(&self) -> bool {
+        self.pos < self.b.len()
+    }
     /// Every decode ends here: trailing bytes are an error, so a frame
     /// can never smuggle undecoded content past the codec.
     fn done(self) -> Result<(), WireError> {
@@ -370,6 +376,11 @@ fn put_submit(w: &mut Writer, s: &SubmitReq) {
     w.f64(s.max_rate);
     w.opt_f64(s.start);
     w.opt_f64(s.deadline);
+    // The service class travels as a trailing byte. Submit fields are
+    // terminal in both messages that carry them, so a decoder reads the
+    // byte when present and defaults an exhausted (pre-class) payload
+    // to Silver — same version tolerance as the JSON codec.
+    w.u8(s.class.code());
 }
 
 fn get_submit(r: &mut Reader) -> Result<SubmitReq, WireError> {
@@ -381,6 +392,12 @@ fn get_submit(r: &mut Reader) -> Result<SubmitReq, WireError> {
         max_rate: r.f64()?,
         start: r.opt_f64()?,
         deadline: r.opt_f64()?,
+        class: if r.has_more() {
+            ServiceClass::from_code(r.u8()?)
+                .ok_or(WireError::Malformed("unknown service class code"))?
+        } else {
+            ServiceClass::default()
+        },
     })
 }
 
@@ -544,6 +561,14 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         s.holds_committed,
         s.holds_released,
         s.holds_expired,
+        s.accepted_gold,
+        s.accepted_silver,
+        s.accepted_besteffort,
+        s.qos_boost_rounds,
+        s.qos_boosted_mb,
+        s.qos_early_releases,
+        s.qos_finish_violations,
+        s.qos_oversubscriptions,
         s.pending,
         s.live_reservations,
     ] {
@@ -558,7 +583,7 @@ fn get_stats(r: &mut Reader) -> Result<StatsSnapshot, WireError> {
     let role = r.string()?;
     let uptime_s = r.u64()?;
     let protocol_version = r.u32()?;
-    let mut c = [0u64; 41];
+    let mut c = [0u64; 49];
     for v in c.iter_mut() {
         *v = r.u64()?;
     }
@@ -605,8 +630,16 @@ fn get_stats(r: &mut Reader) -> Result<StatsSnapshot, WireError> {
         holds_committed: c[36],
         holds_released: c[37],
         holds_expired: c[38],
-        pending: c[39],
-        live_reservations: c[40],
+        accepted_gold: c[39],
+        accepted_silver: c[40],
+        accepted_besteffort: c[41],
+        qos_boost_rounds: c[42],
+        qos_boosted_mb: c[43],
+        qos_early_releases: c[44],
+        qos_finish_violations: c[45],
+        qos_oversubscriptions: c[46],
+        pending: c[47],
+        live_reservations: c[48],
         virtual_time: r.f64()?,
         decision_latency: get_latency(r)?,
         fsync: get_latency(r)?,
@@ -776,6 +809,7 @@ mod tests {
                 max_rate: 100.0,
                 start: Some(0.25),
                 deadline: None,
+                class: Default::default(),
             }),
             ClientMsg::HoldOpen(SubmitReq {
                 id: 8,
@@ -785,6 +819,7 @@ mod tests {
                 max_rate: 2.5,
                 start: None,
                 deadline: Some(9.75),
+                class: Default::default(),
             }),
             ClientMsg::HoldAttach {
                 txn: 9,
@@ -896,6 +931,53 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn pre_class_submit_payload_decodes_as_silver() {
+        // A frame from a client built before service classes existed:
+        // same fields, no trailing class byte.
+        let msg = ClientMsg::Submit(SubmitReq {
+            id: 7,
+            ingress: 1,
+            egress: 2,
+            volume: 500.0,
+            max_rate: 100.0,
+            start: Some(0.25),
+            deadline: None,
+            class: ServiceClass::Gold,
+        });
+        let mut payload = encode_client_payload(&msg);
+        let trimmed = payload.len() - 1;
+        payload.truncate(trimmed);
+        match decode_client_payload(&payload).unwrap() {
+            ClientMsg::Submit(s) => {
+                assert_eq!(s.class, ServiceClass::Silver);
+                assert_eq!(s.id, 7);
+                assert_eq!(s.volume, 500.0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_class_code_is_malformed() {
+        let msg = ClientMsg::HoldOpen(SubmitReq {
+            id: 9,
+            ingress: 0,
+            egress: 0,
+            volume: 1.0,
+            max_rate: 1.0,
+            start: None,
+            deadline: None,
+            class: ServiceClass::BestEffort,
+        });
+        let mut payload = encode_client_payload(&msg);
+        *payload.last_mut().unwrap() = 9;
+        assert!(matches!(
+            decode_client_payload(&payload),
+            Err(WireError::Malformed("unknown service class code"))
+        ));
     }
 
     #[test]

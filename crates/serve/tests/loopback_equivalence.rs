@@ -54,6 +54,7 @@ fn run_daemon_over_tcp(
             max_rate: r.max_rate,
             start: Some(r.start()),
             deadline: Some(r.finish()),
+            class: Default::default(),
         });
         writeln!(writer, "{}", encode_client(&msg)).expect("write");
     }
@@ -181,6 +182,7 @@ fn daemon_equivalence_holds_across_seeds_and_steps() {
                 max_rate: r.max_rate,
                 start: Some(r.start()),
                 deadline: Some(r.finish()),
+                class: Default::default(),
             });
             writeln!(writer, "{}", encode_client(&msg)).expect("write");
         }

@@ -53,6 +53,7 @@ fn run_daemon(
             max_rate: r.max_rate,
             start: Some(r.start()),
             deadline: Some(r.finish()),
+            class: Default::default(),
         });
         writeln!(writer, "{}", encode_client(&msg)).expect("write");
     }

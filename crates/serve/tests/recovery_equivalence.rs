@@ -70,6 +70,7 @@ fn workload(seed: u64) -> Vec<Event> {
             max_rate,
             start: Some(clock),
             deadline: Some(clock + slack * volume / max_rate),
+            class: Default::default(),
         }));
         submitted.push((id, clock));
     }

@@ -42,6 +42,7 @@ fn submit_msg(r: &gridband_workload::Request) -> ClientMsg {
         max_rate: r.max_rate,
         start: Some(r.start()),
         deadline: Some(r.finish()),
+        class: Default::default(),
     })
 }
 

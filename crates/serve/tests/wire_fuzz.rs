@@ -26,6 +26,7 @@ fn sample_msgs() -> Vec<ClientMsg> {
             max_rate: 0.1 + 0.2,
             start: Some(5.0),
             deadline: Some(31.25),
+            class: Default::default(),
         }),
         ClientMsg::HoldOpen(SubmitReq {
             id: 2,
@@ -35,6 +36,7 @@ fn sample_msgs() -> Vec<ClientMsg> {
             max_rate: f64::MAX,
             start: None,
             deadline: Some(f64::INFINITY),
+            class: Default::default(),
         }),
         ClientMsg::HoldAttach {
             txn: 2,
@@ -53,10 +55,7 @@ fn sample_msgs() -> Vec<ClientMsg> {
 }
 
 fn sample_stream() -> Vec<u8> {
-    sample_msgs()
-        .iter()
-        .flat_map(encode_client_frame)
-        .collect()
+    sample_msgs().iter().flat_map(encode_client_frame).collect()
 }
 
 /// Run the full reader-pool decode path over `bytes`: split frames,

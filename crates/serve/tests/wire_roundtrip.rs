@@ -7,7 +7,7 @@
 use gridband_serve::metrics::{LatencySnapshot, StatsSnapshot};
 use gridband_serve::protocol::{
     decode_client, decode_server, encode_client, encode_server, ClientMsg, RejectReason, ReqState,
-    ServerMsg, SubmitReq,
+    ServerMsg, ServiceClass, SubmitReq,
 };
 use gridband_serve::wire::{
     decode_client_payload, decode_server_payload, encode_client_frame, encode_server_frame,
@@ -37,6 +37,7 @@ fn submit_req() -> impl Strategy<Value = SubmitReq> {
                     // Cycle through all four Some/None combinations.
                     start: (opt & 1 == 0).then_some(start),
                     deadline: (opt & 2 == 0).then_some(deadline),
+                    class: ServiceClass::ALL[(id % 3) as usize],
                 }
             },
         )
@@ -142,6 +143,14 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 holds_committed: cancelled,
                 holds_released: queries / 2,
                 holds_expired: queries % 7,
+                accepted_gold: accepted / 3,
+                accepted_silver: accepted / 2,
+                accepted_besteffort: accepted - accepted / 2 - accepted / 3,
+                qos_boost_rounds: ticks / 2,
+                qos_boosted_mb: gc_reclaimed * 17,
+                qos_early_releases: accepted / 5,
+                qos_finish_violations: 0,
+                qos_oversubscriptions: 0,
                 pending,
                 live_reservations: count,
                 virtual_time,

@@ -1,0 +1,309 @@
+//! Service classes for leftover-bandwidth redistribution.
+//!
+//! Admission itself is class-blind — every request gets the same
+//! guaranteed-rate treatment the paper specifies — but the QoS overlay
+//! (`gridband-qos`) resells unreserved port capacity in strict class
+//! order: `Gold` transfers drink first, `Silver` next, and `BestEffort`
+//! rides only on what is left. The class travels on `Submit` in both
+//! codecs; a request that does not name one is `Silver`.
+
+use serde::{Deserialize, Serialize};
+
+/// Priority tier of a transfer in the redistribution overlay.
+///
+/// Ordering is by priority: `Gold < Silver < BestEffort` sorts
+/// highest-priority first, so `ServiceClass::ALL` iterates in fill
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ServiceClass {
+    /// Fills first from every round's leftover pool.
+    Gold,
+    /// The default tier; fills from what gold left.
+    #[default]
+    Silver,
+    /// Rides only on capacity neither paid tier wanted.
+    BestEffort,
+}
+
+impl ServiceClass {
+    /// Every class, highest priority first — the fill order.
+    pub const ALL: [ServiceClass; 3] = [
+        ServiceClass::Gold,
+        ServiceClass::Silver,
+        ServiceClass::BestEffort,
+    ];
+
+    /// Stable wire code (`GBWIR01` submit trailer).
+    pub fn code(self) -> u8 {
+        match self {
+            ServiceClass::Gold => 0,
+            ServiceClass::Silver => 1,
+            ServiceClass::BestEffort => 2,
+        }
+    }
+
+    /// Decode a wire code; `None` for bytes no release has assigned.
+    pub fn from_code(code: u8) -> Option<ServiceClass> {
+        match code {
+            0 => Some(ServiceClass::Gold),
+            1 => Some(ServiceClass::Silver),
+            2 => Some(ServiceClass::BestEffort),
+            _ => None,
+        }
+    }
+
+    /// Index into per-class arrays (`ALL[self.index()] == self`).
+    pub fn index(self) -> usize {
+        self.code() as usize
+    }
+
+    /// Lower-case name, stable for reports and flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceClass::Gold => "gold",
+            ServiceClass::Silver => "silver",
+            ServiceClass::BestEffort => "besteffort",
+        }
+    }
+}
+
+// Manual serde impls (same encoding the derive would emit: the variant
+// name as a JSON string) so the missing-field hook can default to
+// `Silver` — a pre-class client's `Submit` must keep decoding.
+impl Serialize for ServiceClass {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(
+            match self {
+                ServiceClass::Gold => "Gold",
+                ServiceClass::Silver => "Silver",
+                ServiceClass::BestEffort => "BestEffort",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for ServiceClass {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::String(s) => match s.as_str() {
+                "Gold" => Ok(ServiceClass::Gold),
+                "Silver" => Ok(ServiceClass::Silver),
+                "BestEffort" => Ok(ServiceClass::BestEffort),
+                other => Err(serde::Error::msg(format!(
+                    "unknown service class `{other}`"
+                ))),
+            },
+            other => Err(serde::Error::ty("string", other, "ServiceClass")),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, serde::Error> {
+        Ok(ServiceClass::Silver)
+    }
+}
+
+impl std::fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ServiceClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "g" | "gold" => Ok(ServiceClass::Gold),
+            "s" | "silver" => Ok(ServiceClass::Silver),
+            "b" | "besteffort" | "best-effort" | "best_effort" => Ok(ServiceClass::BestEffort),
+            other => Err(format!("unknown service class {other:?}")),
+        }
+    }
+}
+
+/// A weighted class mix (`G:S:B`), assigning classes to request ids
+/// deterministically: the same mix, seed and id always yield the same
+/// class, on any host — which is what lets a boosted and an unboosted
+/// run replay byte-identical workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    /// Non-negative weights in `ServiceClass::ALL` order; at least one
+    /// must be positive.
+    pub weights: [f64; 3],
+}
+
+impl ClassMix {
+    /// Everything silver — the behaviour of a classless workload.
+    pub fn all_silver() -> ClassMix {
+        ClassMix {
+            weights: [0.0, 1.0, 0.0],
+        }
+    }
+
+    /// The class of request `id` under seed `seed`.
+    ///
+    /// Uses a splitmix64 hash of `(seed, id)` mapped to `[0, 1)` and
+    /// bucketed by cumulative weight, so assignment is i.i.d. across
+    /// ids but a pure function of the inputs.
+    pub fn class_for(&self, id: u64, seed: u64) -> ServiceClass {
+        let total: f64 = self.weights.iter().sum();
+        assert!(
+            total > 0.0 && self.weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
+            "class mix weights must be non-negative with a positive sum"
+        );
+        let mut x = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let mut acc = 0.0;
+        for (k, &w) in self.weights.iter().enumerate() {
+            acc += w / total;
+            if u < acc {
+                return ServiceClass::ALL[k];
+            }
+        }
+        ServiceClass::BestEffort
+    }
+
+    /// Annotate a trace: one class per request, in trace order.
+    pub fn annotate(&self, trace: &crate::Trace, seed: u64) -> Vec<ServiceClass> {
+        trace
+            .requests()
+            .iter()
+            .map(|r| self.class_for(r.id.0, seed))
+            .collect()
+    }
+}
+
+impl std::str::FromStr for ClassMix {
+    type Err = String;
+
+    /// Parse `G:S:B` weights, e.g. `1:2:1`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("class mix {s:?} must be G:S:B, e.g. 1:2:1"));
+        }
+        let mut weights = [0.0f64; 3];
+        for (k, p) in parts.iter().enumerate() {
+            let w: f64 = p
+                .parse()
+                .map_err(|_| format!("class mix weight {p:?} is not a number"))?;
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(format!("class mix weight {w} must be finite and >= 0"));
+            }
+            weights[k] = w;
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return Err(format!("class mix {s:?} has no positive weight"));
+        }
+        Ok(ClassMix { weights })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadBuilder;
+    use gridband_net::Topology;
+
+    #[test]
+    fn codes_round_trip_and_absent_defaults_silver() {
+        for c in ServiceClass::ALL {
+            assert_eq!(ServiceClass::from_code(c.code()), Some(c));
+            assert_eq!(ServiceClass::ALL[c.index()], c);
+        }
+        assert_eq!(ServiceClass::from_code(7), None);
+        assert_eq!(ServiceClass::default(), ServiceClass::Silver);
+    }
+
+    #[test]
+    fn serde_round_trips_and_missing_field_is_silver() {
+        for c in ServiceClass::ALL {
+            let v = c.to_value();
+            assert_eq!(ServiceClass::from_value(&v).unwrap(), c);
+        }
+        assert!(ServiceClass::from_value(&serde::Value::String("Platinum".into())).is_err());
+        // The version-tolerance hook: a JSON object with no `class`
+        // field must decode as Silver, not error.
+        assert_eq!(
+            serde::de_field::<ServiceClass>(&[], "class").unwrap(),
+            ServiceClass::Silver
+        );
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for c in ServiceClass::ALL {
+            assert_eq!(c.name().parse::<ServiceClass>().unwrap(), c);
+        }
+        assert_eq!("G".parse::<ServiceClass>().unwrap(), ServiceClass::Gold);
+        assert!("platinum".parse::<ServiceClass>().is_err());
+    }
+
+    #[test]
+    fn priority_order_sorts_gold_first() {
+        let mut v = vec![
+            ServiceClass::BestEffort,
+            ServiceClass::Gold,
+            ServiceClass::Silver,
+        ];
+        v.sort();
+        assert_eq!(v, ServiceClass::ALL.to_vec());
+    }
+
+    #[test]
+    fn mix_parses_and_rejects_junk() {
+        let m: ClassMix = "1:2:1".parse().unwrap();
+        assert_eq!(m.weights, [1.0, 2.0, 1.0]);
+        assert!("1:2".parse::<ClassMix>().is_err());
+        assert!("1:x:1".parse::<ClassMix>().is_err());
+        assert!("0:0:0".parse::<ClassMix>().is_err());
+        assert!("-1:2:1".parse::<ClassMix>().is_err());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_roughly_weighted() {
+        let m: ClassMix = "1:2:1".parse().unwrap();
+        let mut counts = [0usize; 3];
+        for id in 0..4000u64 {
+            let c = m.class_for(id, 42);
+            assert_eq!(c, m.class_for(id, 42), "same inputs, same class");
+            counts[c.index()] += 1;
+        }
+        // 25/50/25 split with generous slack.
+        assert!((800..1200).contains(&counts[0]), "{counts:?}");
+        assert!((1700..2300).contains(&counts[1]), "{counts:?}");
+        assert!((800..1200).contains(&counts[2]), "{counts:?}");
+        // A different seed reshuffles at least some ids.
+        assert!((0..4000u64).any(|id| m.class_for(id, 42) != m.class_for(id, 43)));
+    }
+
+    #[test]
+    fn degenerate_mixes_pin_the_class() {
+        let gold: ClassMix = "1:0:0".parse().unwrap();
+        let best: ClassMix = "0:0:1".parse().unwrap();
+        for id in 0..100u64 {
+            assert_eq!(gold.class_for(id, 1), ServiceClass::Gold);
+            assert_eq!(best.class_for(id, 1), ServiceClass::BestEffort);
+        }
+    }
+
+    #[test]
+    fn trace_annotation_matches_per_id_assignment() {
+        let topo = Topology::paper_default();
+        let trace = WorkloadBuilder::new(topo)
+            .mean_interarrival(5.0)
+            .horizon(200.0)
+            .seed(7)
+            .build();
+        let m: ClassMix = "1:1:1".parse().unwrap();
+        let classes = m.annotate(&trace, 9);
+        assert_eq!(classes.len(), trace.requests().len());
+        for (r, c) in trace.requests().iter().zip(&classes) {
+            assert_eq!(*c, m.class_for(r.id.0, 9));
+        }
+    }
+}

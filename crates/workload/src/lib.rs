@@ -36,6 +36,7 @@
 
 pub mod arrival;
 pub mod builder;
+pub mod class;
 pub mod dist;
 pub mod lint;
 pub mod ops;
@@ -46,6 +47,7 @@ pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use builder::WorkloadBuilder;
+pub use class::{ClassMix, ServiceClass};
 pub use dist::{Dist, RateDist, VolumeDist};
 pub use request::{Request, RequestId, TimeWindow};
 pub use trace::{Trace, TraceStats};

@@ -38,4 +38,7 @@ scripts/cluster_smoke.sh
 echo "== wire smoke ==" >&2
 scripts/wire_smoke.sh
 
+echo "== qos smoke ==" >&2
+scripts/qos_smoke.sh
+
 echo "verify: all green" >&2

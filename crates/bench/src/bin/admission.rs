@@ -40,7 +40,13 @@
 //!    codec: submissions/sec and submit-to-decision latency per codec
 //!    under concurrent connections, hard-gated on zero bit-level
 //!    decision divergence between the codecs and on the binary path's
-//!    p99 beating the JSON baseline.
+//!    p99 beating the JSON baseline;
+//! 9. **soak** — ≥10⁶ requests of sustained open-ended load on a raw
+//!    `CapacityLedger` with the watermark GC sweeping behind a lagging
+//!    horizon: per-quintile breakpoint counts, RSS, and round-p99
+//!    hard-gated flat, and every decision on a shared prefix gated
+//!    bit-identical to a never-collecting reference ledger (GC must not
+//!    change any answer at or after the watermark).
 //!
 //! Flags: `--smoke` (reduced sizes, a few seconds), `--out=FILE`
 //! (default `BENCH_admission.json`).
@@ -61,7 +67,10 @@ use gridband_serve::{
 };
 
 use gridband_algos::{BandwidthPolicy, Greedy, WindowScheduler};
-use gridband_net::{Breakpoint, CapacityLedger, CapacityProfile, ReserveRequest, Topology};
+use gridband_net::{
+    Breakpoint, CapacityLedger, CapacityProfile, EgressId, IngressId, NetError, NetResult, PortRef,
+    ReservationId, ReserveRequest, Route, Topology,
+};
 use gridband_sim::{AdmissionController, Decision, Simulation};
 use gridband_workload::{Dist, Request, Trace, WorkloadBuilder};
 use rand::rngs::StdRng;
@@ -89,6 +98,54 @@ struct Report {
     cluster: Vec<ClusterRow>,
     wire: WireReport,
     qos: Vec<QosRow>,
+    soak: SoakReport,
+}
+
+#[derive(Serialize)]
+struct SoakReport {
+    /// Requests pushed through the GC'd long-horizon run.
+    requests: usize,
+    rounds: usize,
+    batch: usize,
+    step_s: f64,
+    gc_horizon_s: f64,
+    accepted: usize,
+    accept_rate: f64,
+    /// Fully-past reservations the watermark sweeps removed. Gated > 0
+    /// so the flatness gates below are non-vacuous.
+    reservations_collected: u64,
+    /// Profile breakpoints dropped by watermark truncation. Gated > 0.
+    breakpoints_dropped: u64,
+    /// Ledger-wide breakpoint count when the run ended.
+    breakpoints_final: usize,
+    /// Breakpoint count sampled at the end of each fifth of the run.
+    /// Gated flat: the last quintile must not exceed twice the first
+    /// (plus a small absolute slop) — the memory-leak signature GC
+    /// exists to kill is monotone growth across the whole run.
+    quintile_breakpoints: Vec<usize>,
+    /// `VmRSS` (KB) sampled at the same points (0s off-Linux, which
+    /// skips the RSS gate). The GC'd run executes *before* the
+    /// never-collecting reference so these samples sit on a clean heap.
+    quintile_rss_kb: Vec<u64>,
+    /// p99 `reserve_all` round latency (µs) per fifth of the run. Gated
+    /// flat: latency creep means truncation is not keeping the scanned
+    /// window bounded.
+    quintile_round_p99_us: Vec<f64>,
+    /// Order-sensitive FNV-1a fold of every admission decision in the
+    /// fifth (hex). Deterministic — virtual clock, seeded trace — so a
+    /// changed hash in a future run means changed decisions.
+    quintile_decision_hash: Vec<String>,
+    /// Length of the shared prefix replayed by the never-collecting
+    /// reference ledger.
+    reference_requests: usize,
+    /// Where the reference's breakpoint count ended up — the unbounded
+    /// growth the GC'd run avoids.
+    reference_breakpoints_final: usize,
+    /// Decisions on the shared prefix that differ between the GC'd run
+    /// and the reference, compared fingerprint-by-fingerprint (grant id,
+    /// or rejecting port + overflow instant bits). Gated to 0: GC must
+    /// never change any answer at or after the watermark.
+    divergence: usize,
 }
 
 #[derive(Serialize)]
@@ -1715,6 +1772,200 @@ fn qos_section(seeds: &[u64], interarrival: f64, horizon: f64, step: f64) -> Vec
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Soak: watermark GC under sustained load on the raw ledger — flat
+// memory and latency over ≥10⁶ requests, decisions bit-identical to a
+// never-collecting reference on the shared prefix
+// ---------------------------------------------------------------------------
+
+const SOAK_STEP: f64 = 1.0;
+const SOAK_HORIZON: f64 = 5.0;
+const SOAK_BATCH: usize = 1_000;
+const SOAK_SEED: u64 = 0x50_4B_17;
+/// Rounds between watermark sweeps. Deliberately > 1: with a sweep every
+/// round, every expired reservation is collected the moment it ages out
+/// and the wholesale-truncation path (entries entirely below the cut)
+/// never runs — sweeping on a coarser cadence exercises both collection
+/// paths, which the non-vacuity gate checks.
+const SOAK_GC_EVERY: usize = 8;
+
+/// FNV-1a fingerprint of one admission decision: the grant's reservation
+/// id, or the rejecting port plus the raw IEEE-754 bits of the overflow
+/// instant. Two runs that decided identically produce identical
+/// fingerprints; any drift — even one ulp in a reject's overflow time —
+/// flips them.
+fn soak_fingerprint(seq: u64, res: &NetResult<ReservationId>) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    eat(seq);
+    match res {
+        Ok(id) => {
+            eat(1);
+            eat(id.0);
+        }
+        Err(NetError::CapacityExceeded { port, at, .. }) => {
+            eat(2);
+            eat(match port {
+                PortRef::In(p) => p.0 as u64,
+                PortRef::Out(p) => 0x8000_0000 | p.0 as u64,
+            });
+            eat(at.to_bits());
+        }
+        Err(_) => eat(3),
+    }
+    h
+}
+
+/// Resident set size in KB from `/proc/self/status`, 0 where that file
+/// does not exist (non-Linux hosts skip the RSS gate).
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+struct SoakRun {
+    accepted: usize,
+    fingerprints: Vec<u64>,
+    quintile_breakpoints: Vec<usize>,
+    quintile_rss_kb: Vec<u64>,
+    quintile_round_p99_us: Vec<f64>,
+    quintile_decision_hash: Vec<String>,
+    final_breakpoints: usize,
+    breakpoints_dropped: u64,
+    reservations_collected: u64,
+}
+
+/// Drive `rounds` admission rounds of [`SOAK_BATCH`] requests each
+/// against a raw [`CapacityLedger`] — no engine, no eager cancellation,
+/// so expired reservations pile up until (and unless) the watermark
+/// sweep collects them. The request stream is a pure function of
+/// [`SOAK_SEED`], so a GC'd run and a reference run replay the identical
+/// trace. Fingerprints of the first `fp_cap` decisions are kept for the
+/// cross-run divergence count.
+fn soak_run(rounds: usize, gc: bool, fp_cap: usize) -> SoakRun {
+    assert_eq!(rounds % 5, 0, "quintile accounting wants rounds % 5 == 0");
+    let topo = Topology::uniform(4, 4, 1_000.0);
+    let ports = topo.num_ingress() as u32;
+    let mut ledger = CapacityLedger::new(topo);
+    let mut rng = StdRng::seed_from_u64(SOAK_SEED);
+    let quintile = rounds / 5;
+    let mut out = SoakRun {
+        accepted: 0,
+        fingerprints: Vec::with_capacity(fp_cap),
+        quintile_breakpoints: Vec::with_capacity(5),
+        quintile_rss_kb: Vec::with_capacity(5),
+        quintile_round_p99_us: Vec::with_capacity(5),
+        quintile_decision_hash: Vec::with_capacity(5),
+        final_breakpoints: 0,
+        breakpoints_dropped: 0,
+        reservations_collected: 0,
+    };
+    let mut round_ns: Vec<u64> = Vec::with_capacity(quintile);
+    let mut qhash = 0u64;
+    for r in 0..rounds {
+        let now = r as f64 * SOAK_STEP;
+        // Arrivals always book ahead of `now`, so no decision ever reads
+        // the region behind the watermark — the precondition for GC
+        // being answer-preserving in the first place.
+        let batch: Vec<ReserveRequest> = (0..SOAK_BATCH)
+            .map(|_| {
+                let start = now + rng.gen_range(0.1..3.0);
+                ReserveRequest {
+                    route: Route {
+                        ingress: IngressId(rng.gen_range(0..ports)),
+                        egress: EgressId(rng.gen_range(0..ports)),
+                    },
+                    start,
+                    end: start + rng.gen_range(0.3..2.5),
+                    bw: rng.gen_range(10.0..80.0),
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        let results = ledger.reserve_all(&batch);
+        round_ns.push(t0.elapsed().as_nanos() as u64);
+        for (i, res) in results.iter().enumerate() {
+            if res.is_ok() {
+                out.accepted += 1;
+            }
+            let fp = soak_fingerprint((r * SOAK_BATCH + i) as u64, res);
+            qhash = qhash.rotate_left(1) ^ fp;
+            if out.fingerprints.len() < fp_cap {
+                out.fingerprints.push(fp);
+            }
+        }
+        if gc && (r + 1) % SOAK_GC_EVERY == 0 {
+            let w = now - SOAK_HORIZON;
+            if w > 0.0 {
+                let stats = ledger.gc(w);
+                out.breakpoints_dropped += stats.breakpoints_dropped as u64;
+                out.reservations_collected += stats.reservations_collected as u64;
+            }
+        }
+        if (r + 1) % quintile == 0 {
+            out.quintile_breakpoints.push(ledger.breakpoint_count());
+            out.quintile_rss_kb.push(rss_kb());
+            out.quintile_round_p99_us
+                .push(latency_summary(std::mem::take(&mut round_ns)).p99);
+            out.quintile_decision_hash.push(format!("{qhash:016x}"));
+            qhash = 0;
+        }
+    }
+    out.final_breakpoints = ledger.breakpoint_count();
+    out
+}
+
+fn soak_section(smoke: bool) -> SoakReport {
+    // ≥10⁶ requests even in smoke: flatness over a long horizon is the
+    // whole claim. The reference replays a prefix only — it is O(live
+    // breakpoints) per booking with nothing ever released, so the full
+    // trace would be quadratic by construction.
+    let (rounds, ref_rounds) = if smoke { (1_000, 25) } else { (2_000, 50) };
+    let fp_cap = ref_rounds * SOAK_BATCH;
+    // GC'd run first: its RSS samples must sit on a clean heap, not on
+    // top of whatever the never-collecting reference grew.
+    let gc = soak_run(rounds, true, fp_cap);
+    let reference = soak_run(ref_rounds, false, fp_cap);
+    let divergence = gc
+        .fingerprints
+        .iter()
+        .zip(&reference.fingerprints)
+        .filter(|(a, b)| a != b)
+        .count()
+        + gc.fingerprints.len().abs_diff(reference.fingerprints.len());
+    let requests = rounds * SOAK_BATCH;
+    SoakReport {
+        requests,
+        rounds,
+        batch: SOAK_BATCH,
+        step_s: SOAK_STEP,
+        gc_horizon_s: SOAK_HORIZON,
+        accepted: gc.accepted,
+        accept_rate: gc.accepted as f64 / requests.max(1) as f64,
+        reservations_collected: gc.reservations_collected,
+        breakpoints_dropped: gc.breakpoints_dropped,
+        breakpoints_final: gc.final_breakpoints,
+        quintile_breakpoints: gc.quintile_breakpoints,
+        quintile_rss_kb: gc.quintile_rss_kb,
+        quintile_round_p99_us: gc.quintile_round_p99_us,
+        quintile_decision_hash: gc.quintile_decision_hash,
+        reference_requests: reference.fingerprints.len(),
+        reference_breakpoints_final: reference.final_breakpoints,
+        divergence,
+    }
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
@@ -1904,8 +2155,27 @@ fn main() {
         );
     }
 
+    eprintln!("admission bench: long-horizon GC soak ...");
+    let soak = soak_section(smoke);
+    eprintln!(
+        "  {} requests in {} rounds: {} accepted, {} reservations collected, \
+         {} breakpoints dropped, final {} (reference grew to {}), divergence {}",
+        soak.requests,
+        soak.rounds,
+        soak.accepted,
+        soak.reservations_collected,
+        soak.breakpoints_dropped,
+        soak.breakpoints_final,
+        soak.reference_breakpoints_final,
+        soak.divergence
+    );
+    eprintln!(
+        "  quintiles: breakpoints {:?}, rss KB {:?}, round p99 us {:?}",
+        soak.quintile_breakpoints, soak.quintile_rss_kb, soak.quintile_round_p99_us
+    );
+
     let report = Report {
-        schema: "gridband/bench-admission/v5".to_string(),
+        schema: "gridband/bench-admission/v6".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         micro,
@@ -1917,6 +2187,7 @@ fn main() {
         cluster,
         wire,
         qos,
+        soak,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write report");
@@ -2077,6 +2348,73 @@ fn main() {
                 r.seed, r.classes, r.improvement_s
             );
             failed = true;
+        }
+    }
+    // Soak gates: the watermark must provably change nothing (zero
+    // divergence, non-vacuously) while holding breakpoints, RSS, and
+    // round p99 flat across the whole long-horizon run.
+    {
+        let s = &report.soak;
+        if s.divergence > 0 {
+            eprintln!(
+                "FAIL: GC'd soak diverged from the never-collecting reference on {} of {} shared decisions",
+                s.divergence, s.reference_requests
+            );
+            failed = true;
+        }
+        if s.reference_requests == 0 {
+            eprintln!("FAIL: soak divergence gate is vacuous — the reference replayed nothing");
+            failed = true;
+        }
+        if s.reservations_collected == 0 || s.breakpoints_dropped == 0 {
+            eprintln!(
+                "FAIL: soak GC collected nothing ({} reservations, {} breakpoints) — flatness gates are vacuous",
+                s.reservations_collected, s.breakpoints_dropped
+            );
+            failed = true;
+        }
+        if s.accepted == 0 || s.accepted == s.requests {
+            eprintln!(
+                "FAIL: soak trace is vacuous ({} of {} accepted — need a mix)",
+                s.accepted, s.requests
+            );
+            failed = true;
+        }
+        match (
+            s.quintile_breakpoints.first(),
+            s.quintile_breakpoints.last(),
+        ) {
+            (Some(&first), Some(&last)) if last > 2 * first + 128 => {
+                eprintln!(
+                    "FAIL: soak breakpoint count grew {first} -> {last} across the run — GC is not holding memory flat"
+                );
+                failed = true;
+            }
+            (None, _) | (_, None) => {
+                eprintln!("FAIL: soak recorded no breakpoint quintiles");
+                failed = true;
+            }
+            _ => {}
+        }
+        if let (Some(&first), Some(&last)) = (s.quintile_rss_kb.first(), s.quintile_rss_kb.last()) {
+            // 0 means /proc/self/status is unavailable; skip off-Linux.
+            if first > 0 && last > first + 32_768 {
+                eprintln!("FAIL: soak RSS grew {first} KB -> {last} KB across the run (> 32 MB)");
+                failed = true;
+            }
+        }
+        if let (Some(&first), Some(&last)) = (
+            s.quintile_round_p99_us.first(),
+            s.quintile_round_p99_us.last(),
+        ) {
+            // Generous: flat-with-noise passes, the linear creep of an
+            // uncollected ledger cannot.
+            if last > 2.0 * first + 2_000.0 {
+                eprintln!(
+                    "FAIL: soak round p99 crept {first:.1} us -> {last:.1} us across the run"
+                );
+                failed = true;
+            }
         }
     }
     for r in &report.micro {

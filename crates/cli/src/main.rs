@@ -412,6 +412,7 @@ fn serve(args: Vec<String>) {
     let mut wal_dir: Option<String> = None;
     let mut fsync = gridband_serve::FsyncPolicy::Round;
     let mut snapshot_every = 64u64;
+    let mut gc_horizon: Option<f64> = None;
     let mut admit_threads = gridband_net::default_admit_threads();
     let mut io_threads = 2usize;
     let mut replicate_to: Option<String> = None;
@@ -478,6 +479,15 @@ fn serve(args: Vec<String>) {
                 snapshot_every = val("--snapshot-every")
                     .parse()
                     .unwrap_or_else(|e| fail(format_args!("bad --snapshot-every: {e}")));
+            }
+            "--gc-horizon" => {
+                let s: f64 = val("--gc-horizon")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("bad --gc-horizon: {e}")));
+                if !(s.is_finite() && s >= 0.0) {
+                    fail(format_args!("--gc-horizon must be finite and >= 0"));
+                }
+                gc_horizon = Some(s);
             }
             "--admit-threads" => {
                 admit_threads = val("--admit-threads")
@@ -558,7 +568,8 @@ fn serve(args: Vec<String>) {
                       [--step S] [--policy min|max|f:X] [--tick-ms MS]
                       [--queue N] [--snapshot-secs S]
                       [--wal-dir DIR] [--fsync always|round|off]
-                      [--snapshot-every ROUNDS] [--admit-threads N]
+                      [--snapshot-every ROUNDS] [--gc-horizon SECS]
+                      [--admit-threads N]
                       [--io-threads N] [--replicate-to HOST:PORT]
                       [--follow HOST:PORT [--promote-after SECS]]
                       [--shard-of I/N]
@@ -582,6 +593,15 @@ installed (and the log truncated) every ROUNDS rounds (default 64),
 and a restarted daemon recovers its exact pre-crash commitments.
 --fsync sets when the log is flushed to disk: per append (always),
 once per round before replies (round, the default), or never (off).
+
+--gc-horizon SECS garbage-collects the capacity ledger behind a
+watermark lagging SECS of virtual time behind each round: expired
+reservations are dropped and fully-past profile segments truncated, so
+memory stays flat over unbounded runs. Each watermark advance is
+committed to the WAL before it is applied, so recovery — and any
+replication follower — replays to the identical compacted state, and
+no answer at or after the watermark ever changes. Off by default
+(the ledger keeps its full history).
 
 --admit-threads N runs each admission round shard-parallel on up to N
 OS threads (default: GRIDBAND_ADMIT_THREADS, else 1). Decisions are
@@ -630,6 +650,7 @@ ingress port's total boost rate (MB/s, bucket depth in MB)."
     engine.mode = mode;
     engine.queue_capacity = queue;
     engine.admit_threads = admit_threads;
+    engine.gc_horizon = gc_horizon;
     engine.qos = qos;
     if let Some(dir) = wal_dir {
         let fs = gridband_serve::FsDir::new(&dir)
@@ -744,6 +765,7 @@ fn cluster(args: Vec<String>) {
     let mut loss_seed = 0u64;
     let mut drop_releases = false;
     let mut connect: Option<String> = None;
+    let mut gc_horizon: Option<f64> = None;
     let mut decisions = false;
     let mut map_shards: Option<usize> = None;
     let mut wire = gridband_serve::wire::WireMode::Json;
@@ -773,6 +795,13 @@ fn cluster(args: Vec<String>) {
             "--loss-seed" => loss_seed = num("--loss-seed", val("--loss-seed")) as u64,
             "--drop-releases" => drop_releases = true,
             "--connect" => connect = Some(val("--connect")),
+            "--gc-horizon" => {
+                let s = num("--gc-horizon", val("--gc-horizon"));
+                if !(s.is_finite() && s >= 0.0) {
+                    fail(format_args!("--gc-horizon must be finite and >= 0"));
+                }
+                gc_horizon = Some(s);
+            }
             "--decisions" => decisions = true,
             "--map" => map_shards = Some(num("--map", val("--map")) as usize),
             "--wire" => {
@@ -786,6 +815,7 @@ fn cluster(args: Vec<String>) {
                         [--step S] [--horizon S] [--seed N] [--interarrival S]
                         [--cross F] [--loss P] [--loss-seed N] [--drop-releases]
                         [--connect H:P,H:P,...] [--wire json|binary] [--decisions]
+                        [--gc-horizon SECS]
 
 Generates a workload, steers a --cross fraction of it across the shard
 cut (the rest stays partition-respecting), and routes it through a
@@ -806,7 +836,12 @@ e.g. a 4-shard cluster against --shards 1. For such a diff, pin the
 workload with --map N: the trace is remapped against an N-shard map no
 matter how many shards actually run it, so both runs see the same
 requests (`--shards 1 --map 4 --cross 0` is the solo baseline of a
-partition-respecting 4-shard run)."
+partition-respecting 4-shard run).
+
+--gc-horizon SECS has each in-process shard garbage-collect its ledger
+behind a watermark lagging SECS behind its clock (see `gridband serve
+--help`); decisions are identical with or without it. Ignored with
+--connect — real daemons own their GC via their own --gc-horizon."
                 );
                 std::process::exit(0);
             }
@@ -864,6 +899,7 @@ partition-respecting 4-shard run)."
     cfg.loss = loss;
     cfg.loss_seed = loss_seed;
     cfg.drop_releases = drop_releases;
+    cfg.gc_horizon = gc_horizon;
 
     let or_die = |r: Result<(), String>| r.unwrap_or_else(|e| fail(format_args!("{e}")));
     let (report, violations) = if let Some(c) = &connect {

@@ -83,6 +83,11 @@ pub struct ClusterConfig {
     /// every shard over the ports it owns. Pure overlay: admission
     /// decisions are identical with or without it.
     pub qos: Option<gridband_qos::QosConfig>,
+    /// Ledger GC horizon of every shard engine: each shard advances its
+    /// own watermark `now - horizon` and truncates independently (shards
+    /// share no profiles, so per-shard watermarks need no coordination).
+    /// `None` (the default) never truncates.
+    pub gc_horizon: Option<f64>,
 }
 
 impl ClusterConfig {
@@ -101,6 +106,7 @@ impl ClusterConfig {
             drop_releases: false,
             stores: Vec::new(),
             qos: None,
+            gc_horizon: None,
         }
     }
 
@@ -115,6 +121,7 @@ impl ClusterConfig {
         cfg.role = Role::Shard;
         cfg.store = self.stores.get(s).cloned().flatten();
         cfg.qos = self.qos;
+        cfg.gc_horizon = self.gc_horizon;
         cfg
     }
 }

@@ -118,6 +118,22 @@ pub struct LedgerState {
     pub holds: Vec<(u64, PortHold)>,
     /// Next hold id the ledger will assign.
     pub next_hold_id: u64,
+    /// GC watermark of the exported ledger; `None` if
+    /// [`CapacityLedger::gc`] never ran. (An `Option` rather than a bare
+    /// float because the in-memory "never collected" sentinel is `-∞`,
+    /// which JSON cannot represent.)
+    pub watermark: Option<Time>,
+}
+
+/// What one [`CapacityLedger::gc`] sweep reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Breakpoints dropped from port profiles by the truncation.
+    pub breakpoints_dropped: usize,
+    /// Fully-past reservations removed from the live table.
+    pub reservations_collected: usize,
+    /// Fully-past holds removed from the hold table.
+    pub holds_collected: usize,
 }
 
 /// Capacity profiles for every port of a topology plus the set of live
@@ -131,6 +147,10 @@ pub struct CapacityLedger {
     next_id: u64,
     holds: HashMap<u64, PortHold>,
     next_hold_id: u64,
+    /// High-water mark of [`Self::gc`]; `-∞` until the first sweep. All
+    /// history strictly before the *effective* truncation point derived
+    /// from it has been forgotten.
+    watermark: f64,
 }
 
 impl CapacityLedger {
@@ -152,6 +172,7 @@ impl CapacityLedger {
             next_id: 0,
             holds: HashMap::new(),
             next_hold_id: 0,
+            watermark: f64::NEG_INFINITY,
         }
     }
 
@@ -487,6 +508,114 @@ impl CapacityLedger {
         Ok(h)
     }
 
+    /// The GC watermark, or `None` if [`gc`](Self::gc) never ran.
+    pub fn watermark(&self) -> Option<Time> {
+        self.watermark.is_finite().then_some(self.watermark)
+    }
+
+    /// Total breakpoints across every port profile (diagnostic — the
+    /// quantity watermark GC keeps bounded).
+    pub fn breakpoint_count(&self) -> usize {
+        self.ingress
+            .iter()
+            .chain(self.egress.iter())
+            .map(|p| p.breakpoint_count())
+            .sum()
+    }
+
+    /// Collect everything that is fully in the past: reservations and
+    /// holds whose end is at or before `watermark` leave the live tables,
+    /// and every port profile drops its breakpoints before the *effective
+    /// truncation point* — `min(watermark, earliest start of any surviving
+    /// reservation or hold)`. Capping the truncation at the earliest
+    /// surviving start is what keeps GC answer-preserving: the profile
+    /// charge of a live reservation is never partially forgotten, so
+    /// [`cancel`](Self::cancel) / [`truncate`](Self::truncate) /
+    /// [`release_hold`](Self::release_hold) keep releasing full intervals
+    /// and the restore-time conservation check stays exact.
+    ///
+    /// Expiry uses the **exact** comparison `end <= watermark`, not the
+    /// ε-tolerant [`approx_le`](crate::units::approx_le): a reservation
+    /// ending within ε *after* the watermark is still live, still owed its
+    /// (sub-ε) future charge, and must not be collected — an ε-tolerant
+    /// sweep here drops it from the live table while its charge past the
+    /// truncation point survives, materializing phantom capacity (see the
+    /// `gc_epsilon_edge_*` regression tests).
+    ///
+    /// Watermarks only move forward: a non-finite watermark or one at or
+    /// below the previous sweep's is a no-op. Every query (`max_alloc`,
+    /// `fits`, `min_free`, `earliest_fit`, both indexed and `*_linear`)
+    /// answers identically to the un-GC'd ledger for all times at or after
+    /// the watermark.
+    pub fn gc(&mut self, watermark: Time) -> GcStats {
+        let mut stats = GcStats::default();
+        if !watermark.is_finite() || watermark <= self.watermark {
+            return stats;
+        }
+        self.watermark = watermark;
+        let mut cut = watermark;
+        for r in self.live.values() {
+            if r.end > watermark {
+                cut = cut.min(r.start);
+            }
+        }
+        for h in self.holds.values() {
+            if h.end > watermark {
+                cut = cut.min(h.start);
+            }
+        }
+        // Expired entries in ascending id order: the order of the releases
+        // below fixes the order of float operations on each profile, and
+        // replay equivalence needs it deterministic.
+        let mut expired: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, r)| r.end <= watermark)
+            .map(|(&id, _)| id)
+            .collect();
+        expired.sort_unstable();
+        for id in expired {
+            let r = self.live.remove(&id).expect("selected above");
+            if r.end > cut {
+                // Charge reaches past the truncation point: release it the
+                // ordinary way (it is still fully intact in the profiles).
+                // Charge entirely below the cut just vanishes with the
+                // truncation — no release needed.
+                self.ingress[r.route.ingress.index()]
+                    .release(r.start, r.end, r.bw)
+                    .expect("live reservation charge must be releasable");
+                self.egress[r.route.egress.index()]
+                    .release(r.start, r.end, r.bw)
+                    .expect("live reservation charge must be releasable");
+            }
+            stats.reservations_collected += 1;
+        }
+        let mut expired_holds: Vec<u64> = self
+            .holds
+            .iter()
+            .filter(|(_, h)| h.end <= watermark)
+            .map(|(&id, _)| id)
+            .collect();
+        expired_holds.sort_unstable();
+        for id in expired_holds {
+            let h = self.holds.remove(&id).expect("selected above");
+            if h.end > cut {
+                let profile = match h.port {
+                    PortRef::In(i) => &mut self.ingress[i.index()],
+                    PortRef::Out(e) => &mut self.egress[e.index()],
+                };
+                profile
+                    .release(h.start, h.end, h.bw)
+                    .expect("live hold charge must be releasable");
+            }
+            stats.holds_collected += 1;
+        }
+        for p in self.ingress.iter_mut().chain(self.egress.iter_mut()) {
+            stats.breakpoints_dropped += p.truncate_before(cut);
+        }
+        stats
+    }
+
     /// Total bandwidth-seconds reserved across all ingress ports over
     /// `[t0, t1)`. Because every reservation charges exactly one ingress and
     /// one egress port, the egress total is identical; utilization reports
@@ -517,6 +646,7 @@ impl CapacityLedger {
             next_id: self.next_id,
             holds,
             next_hold_id: self.next_hold_id,
+            watermark: self.watermark(),
         }
     }
 
@@ -555,6 +685,13 @@ impl CapacityLedger {
                 return Err(NetError::InvalidArgument(format!(
                     "egress {e} capacity {} does not match topology",
                     p.capacity()
+                )));
+            }
+        }
+        if let Some(w) = state.watermark {
+            if !w.is_finite() {
+                return Err(NetError::InvalidArgument(format!(
+                    "non-finite GC watermark {w}"
                 )));
             }
         }
@@ -673,6 +810,7 @@ impl CapacityLedger {
         self.next_id = state.next_id;
         self.holds = state.holds.into_iter().collect();
         self.next_hold_id = state.next_hold_id;
+        self.watermark = state.watermark.unwrap_or(f64::NEG_INFINITY);
         Ok(())
     }
 
@@ -1446,6 +1584,121 @@ mod tests {
             small().restore_state(bad),
             Err(NetError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn gc_collects_fully_past_state() {
+        let mut l = small();
+        l.reserve(Route::new(0, 0), 0.0, 10.0, 30.0).unwrap();
+        l.reserve(Route::new(1, 1), 5.0, 15.0, 20.0).unwrap();
+        let live = l.reserve(Route::new(0, 1), 30.0, 40.0, 50.0).unwrap();
+        let h = l.hold(PortRef::In(IngressId(1)), 2.0, 8.0, 10.0).unwrap();
+        assert_eq!(l.watermark(), None);
+        let stats = l.gc(20.0);
+        assert_eq!(stats.reservations_collected, 2);
+        assert_eq!(stats.holds_collected, 1);
+        assert!(stats.breakpoints_dropped > 0);
+        assert_eq!(l.watermark(), Some(20.0));
+        assert_eq!(l.live_count(), 1);
+        assert_eq!(l.hold_count(), 0);
+        assert!(l.get(live).is_some());
+        assert!(l.get_hold(h).is_none());
+        // Future answers are intact; past history is forgotten.
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(35.0), 50.0);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(5.0), 0.0);
+        // The survivor cancels cleanly and the image round-trips.
+        let state = l.export_state();
+        assert_eq!(state.watermark, Some(20.0));
+        let mut restored = small();
+        restored.restore_state(state).unwrap();
+        assert_eq!(restored.export_state(), l.export_state());
+        l.cancel(live).unwrap();
+        assert!(l.ingress_profile(IngressId(0)).is_empty());
+    }
+
+    #[test]
+    fn gc_watermark_is_monotone_and_rejects_non_finite() {
+        let mut l = small();
+        l.reserve(Route::new(0, 0), 0.0, 10.0, 30.0).unwrap();
+        assert_eq!(l.gc(f64::NAN), GcStats::default());
+        assert_eq!(l.gc(f64::INFINITY), GcStats::default());
+        let first = l.gc(12.0);
+        assert_eq!(first.reservations_collected, 1);
+        // Re-running at or below the current watermark is a no-op.
+        assert_eq!(l.gc(12.0), GcStats::default());
+        assert_eq!(l.gc(5.0), GcStats::default());
+        assert_eq!(l.watermark(), Some(12.0));
+    }
+
+    #[test]
+    fn gc_truncation_never_cuts_into_a_live_reservation() {
+        // A long-running reservation straddling the watermark caps the
+        // truncation point at its own start: its charge stays whole.
+        let mut l = small();
+        l.reserve(Route::new(0, 0), 0.0, 5.0, 20.0).unwrap();
+        let straddler = l.reserve(Route::new(0, 0), 3.0, 100.0, 40.0).unwrap();
+        let stats = l.gc(50.0);
+        assert_eq!(stats.reservations_collected, 1);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(3.0), 40.0);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(60.0), 40.0);
+        // The expired reservation's charge reached past the cut (its end,
+        // 5.0, is after the straddler's start, 3.0) and was released — no
+        // phantom capacity anywhere.
+        let state = l.export_state();
+        small().restore_state(state).unwrap();
+        l.cancel(straddler).unwrap();
+        assert!(l.ingress_profile(IngressId(0)).is_empty());
+        assert!(l.egress_profile(EgressId(0)).is_empty());
+    }
+
+    #[test]
+    fn gc_epsilon_edge_keeps_reservations_ending_just_past_the_watermark() {
+        // Regression: a reservation ending within EPS *after* the
+        // watermark is still live and still owed its sub-ε future charge.
+        // A naive ε-tolerant sweep (`approx_le(r.end, watermark)`)
+        // collects it while the profiles keep its charge past the cut —
+        // phantom capacity that fails the restore conservation check and
+        // breaks cancel. The exact comparison must keep it.
+        let w = 10.0;
+        let end = w + EPS / 2.0;
+        let mut l = small();
+        let id = l.reserve(Route::new(0, 0), 0.0, end, 50.0).unwrap();
+        let stats = l.gc(w);
+        assert_eq!(
+            stats.reservations_collected, 0,
+            "a reservation ending after the watermark (even within ε) must stay live"
+        );
+        assert!(l.get(id).is_some());
+        // Its whole charge survives (the cut was capped at its start), the
+        // exported image passes the conservation check, and it is still
+        // cancellable.
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(5.0), 50.0);
+        small().restore_state(l.export_state()).unwrap();
+        l.cancel(id).unwrap();
+        assert!(l.ingress_profile(IngressId(0)).is_empty());
+        // Exactly at the watermark is fully past and is collected.
+        let mut m = small();
+        m.reserve(Route::new(0, 0), 0.0, w, 50.0).unwrap();
+        let stats = m.gc(w);
+        assert_eq!(stats.reservations_collected, 1);
+        assert_eq!(m.live_count(), 0);
+        assert!(m.ingress_profile(IngressId(0)).is_empty());
+        small().restore_state(m.export_state()).unwrap();
+    }
+
+    #[test]
+    fn gc_epsilon_edge_holds_mirror_reservations() {
+        let w = 10.0;
+        let mut l = small();
+        let id = l
+            .hold(PortRef::Out(EgressId(1)), 0.0, w + EPS / 2.0, 25.0)
+            .unwrap();
+        let stats = l.gc(w);
+        assert_eq!(stats.holds_collected, 0);
+        assert!(l.get_hold(id).is_some());
+        small().restore_state(l.export_state()).unwrap();
+        l.release_hold(id).unwrap();
+        assert!(l.egress_profile(EgressId(1)).is_empty());
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub mod units;
 
 pub use error::{NetError, NetResult};
 pub use ledger::{
-    CapacityLedger, HoldId, LedgerState, PortHold, Reservation, ReservationId, ReserveRequest,
-    SubLedger,
+    CapacityLedger, GcStats, HoldId, LedgerState, PortHold, Reservation, ReservationId,
+    ReserveRequest, SubLedger,
 };
 pub use partition::{
     default_admit_threads, partition_indexed, partition_routes, Component, Partition,

@@ -609,6 +609,44 @@ impl CapacityProfile {
         }
     }
 
+    /// Drop every breakpoint strictly before `watermark`, preserving the
+    /// step function on `[watermark, ∞)` bit-for-bit: if the step spanning
+    /// the watermark carries a non-zero level, its start moves to the
+    /// watermark so `alloc_at(t)` is unchanged for every `t ≥ watermark`.
+    /// History before the watermark is forgotten — queries there will
+    /// report level 0, which is exactly the contract of GC.
+    ///
+    /// Returns the number of breakpoints dropped. A non-finite watermark
+    /// is a no-op (`-∞` is the "never collected" sentinel). `O(k)` with a
+    /// single index rebuild, intended to run once per engine round.
+    pub fn truncate_before(&mut self, watermark: Time) -> usize {
+        if !watermark.is_finite() {
+            return 0;
+        }
+        let mut cut = self.points.partition_point(|p| p.time < watermark);
+        if cut == 0 {
+            return 0;
+        }
+        let exact = self.points.get(cut).is_some_and(|p| p.time == watermark);
+        let carry = self.points[cut - 1].alloc;
+        let before = self.points.len();
+        if !exact && carry != 0.0 {
+            // The step spanning the watermark keeps its level: slide its
+            // start up to the watermark and drop everything before it.
+            self.points[cut - 1].time = watermark;
+            cut -= 1;
+        }
+        self.points.drain(..cut);
+        // A head breakpoint at level 0 is redundant (the level before the
+        // first breakpoint is 0 by invariant) and would be non-canonical.
+        if self.points.first().is_some_and(|p| p.alloc == 0.0) {
+            self.points.remove(0);
+        }
+        self.debug_check();
+        self.rebuild_index();
+        before - self.points.len()
+    }
+
     /// `∫ alloc(t) dt` over `[t0, t1)` — reserved bandwidth-seconds, used for
     /// utilization accounting. `O(k)`: every step in range contributes, so
     /// there is nothing for an index to skip.
@@ -1071,6 +1109,71 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn truncate_before_preserves_future_answers() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 30.0).unwrap();
+        p.allocate(5.0, 15.0, 20.0).unwrap();
+        p.allocate(20.0, 30.0, 60.0).unwrap();
+        let reference = p.clone();
+        // Watermark mid-step: the spanning step's level must carry over.
+        let dropped = p.truncate_before(7.0);
+        assert!(dropped > 0);
+        assert_eq!(p.alloc_at(7.0), 50.0);
+        for t in [7.0, 9.999, 10.0, 12.0, 15.0, 20.0, 25.0, 30.0, 40.0] {
+            assert_eq!(p.alloc_at(t), reference.alloc_at(t), "alloc_at({t})");
+        }
+        assert_eq!(p.max_alloc(7.0, 40.0), reference.max_alloc(7.0, 40.0));
+        assert_eq!(
+            p.earliest_fit(7.0, 5.0, 60.0, 1e9),
+            reference.earliest_fit(7.0, 5.0, 60.0, 1e9)
+        );
+        // History is forgotten.
+        assert_eq!(p.alloc_at(2.0), 0.0);
+        // The result is canonical: it survives from_breakpoints.
+        CapacityProfile::from_breakpoints(p.capacity(), p.breakpoints().to_vec()).unwrap();
+    }
+
+    #[test]
+    fn truncate_before_edge_cases() {
+        let mut p = profile();
+        p.allocate(0.0, 10.0, 30.0).unwrap();
+        // Non-finite watermark (the "never collected" sentinel): no-op.
+        assert_eq!(p.truncate_before(f64::NEG_INFINITY), 0);
+        assert_eq!(p.truncate_before(f64::NAN), 0);
+        // Watermark before all history: no-op.
+        assert_eq!(p.truncate_before(-5.0), 0);
+        assert_eq!(p.breakpoint_count(), 2);
+        // Watermark exactly on a breakpoint: the breakpoint is kept, the
+        // earlier ones dropped.
+        let mut q = profile();
+        q.allocate(0.0, 10.0, 30.0).unwrap();
+        q.allocate(10.0, 20.0, 50.0).unwrap();
+        assert_eq!(q.truncate_before(10.0), 1);
+        assert_eq!(q.alloc_at(10.0), 50.0);
+        assert_eq!(q.alloc_at(20.0), 0.0);
+        CapacityProfile::from_breakpoints(q.capacity(), q.breakpoints().to_vec()).unwrap();
+        // Watermark exactly on the trailing zero: everything goes.
+        let mut r = profile();
+        r.allocate(0.0, 10.0, 30.0).unwrap();
+        assert_eq!(r.truncate_before(10.0), 2);
+        assert_eq!(r.breakpoint_count(), 0);
+        assert!(r.is_empty());
+        // Watermark past all history: everything goes.
+        let mut s = profile();
+        s.allocate(0.0, 10.0, 30.0).unwrap();
+        assert_eq!(s.truncate_before(11.0), 2);
+        assert_eq!(s.breakpoint_count(), 0);
+        // Zero-level gap at the watermark: no head is materialized.
+        let mut g = profile();
+        g.allocate(0.0, 10.0, 30.0).unwrap();
+        g.allocate(20.0, 30.0, 40.0).unwrap();
+        assert_eq!(g.truncate_before(15.0), 2);
+        assert_eq!(g.breakpoints()[0].time, 20.0);
+        assert_eq!(g.alloc_at(25.0), 40.0);
+        CapacityProfile::from_breakpoints(g.capacity(), g.breakpoints().to_vec()).unwrap();
     }
 
     #[test]

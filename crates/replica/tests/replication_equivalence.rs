@@ -90,10 +90,11 @@ fn workload(seed: u64) -> Vec<Event> {
     events
 }
 
-fn config(dir: Arc<MemDir>, snapshot_every: u64) -> EngineConfig {
+fn config(dir: Arc<MemDir>, snapshot_every: u64, gc_horizon: Option<f64>) -> EngineConfig {
     let mut cfg = EngineConfig::new(topology());
     cfg.step = STEP;
     cfg.history_capacity = HISTORY;
+    cfg.gc_horizon = gc_horizon;
     cfg.store = Some(StoreConfig {
         dir,
         fsync: FsyncPolicy::Round,
@@ -194,9 +195,10 @@ fn export(engine: &Engine) -> EngineSnapshot {
 fn run_uninterrupted(
     events: &[Event],
     snapshot_every: u64,
+    gc_horizon: Option<f64>,
 ) -> (BTreeMap<u64, ServerMsg>, EngineSnapshot) {
     let dir = Arc::new(MemDir::new());
-    let engine = Engine::spawn(config(dir, snapshot_every));
+    let engine = Engine::spawn(config(dir, snapshot_every, gc_horizon));
     let mut session = Session::default();
     for (idx, event) in events.iter().enumerate() {
         assert!(session.send(&engine, idx, event), "engine died mid-run");
@@ -338,13 +340,36 @@ fn assert_store_mirrors(primary: &MemDir, follower: &MemDir, ctx: &str) {
 /// the follower, finish the workload against it, and compare everything
 /// against the uninterrupted run.
 fn assert_failover_equivalent(seed: u64, kill: Kill, snapshot_every: u64, plan: FaultPlan) {
-    let ctx = format!("seed {seed} {kill:?} snap_every {snapshot_every}");
+    assert_failover_equivalent_gc(seed, kill, snapshot_every, plan, None)
+}
+
+/// Like [`assert_failover_equivalent`], with the primary (and the
+/// reference run, and the promoted follower) GC-ing its ledger behind a
+/// watermark. The `WalRecord::Gc` records ship like any other record;
+/// both standby mirrors — the shipper's beacon mirror and the
+/// follower's — replay them, so a compaction the follower missed would
+/// fire a divergence beacon long before the final snapshot comparison.
+fn assert_failover_equivalent_gc(
+    seed: u64,
+    kill: Kill,
+    snapshot_every: u64,
+    plan: FaultPlan,
+    gc_horizon: Option<f64>,
+) {
+    let ctx = format!("seed {seed} {kill:?} snap_every {snapshot_every} gc {gc_horizon:?}");
     let events = workload(seed);
-    let (want_decisions, want_snap) = run_uninterrupted(&events, snapshot_every);
+    let (want_decisions, want_snap) = run_uninterrupted(&events, snapshot_every, gc_horizon);
+    if gc_horizon.is_some() {
+        assert!(
+            want_snap.ledger.watermark.is_some(),
+            "{ctx}: the GC'd reference run never advanced a watermark — \
+             the scenario exercises nothing"
+        );
+    }
 
     // Phase 1: the primary runs a prefix and dies.
     let primary_dir = Arc::new(MemDir::new());
-    let engine = Engine::spawn(config(primary_dir.clone(), snapshot_every));
+    let engine = Engine::spawn(config(primary_dir.clone(), snapshot_every, gc_horizon));
     let mut session = Session::default();
     match kill {
         Kill::Clean(after) => {
@@ -390,7 +415,7 @@ fn assert_failover_equivalent(seed: u64, kill: Kill, snapshot_every: u64, plan: 
 
     // Phase 3: promote — recover an engine over the follower's store —
     // and finish the workload via the resubmission protocol.
-    let mut cfg = config(follower_dir, snapshot_every);
+    let mut cfg = config(follower_dir, snapshot_every, gc_horizon);
     cfg.role = Role::Primary;
     let engine =
         Engine::try_spawn(cfg).expect("promoted follower must recover from its mirrored store");
@@ -456,6 +481,65 @@ fn torn_primary_tails_fail_over_bit_identically() {
         for k in [4, 9, 14, 19, 24, 29, 34] {
             assert_failover_equivalent(seed, Kill::Torn(k), snapshot_every, FaultPlan::default());
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watermark GC on the primary: `WalRecord::Gc` ships like any other
+// record, both standby mirrors replay it, and the follower lands on the
+// same compacted store bytes — snapshot and WAL — as the primary.
+// `assert_store_mirrors` pins the bytes; the zero-divergence check pins
+// the replayed (compacted) state at every beacon along the way.
+// ---------------------------------------------------------------------
+
+/// Two rounds behind `now`: old enough that truncation only ever sees
+/// fully-expired segments, young enough that the 36-event workload
+/// advances the watermark many times.
+const GC_HORIZON: f64 = 2.0 * STEP;
+
+#[test]
+fn gc_watermark_records_fail_over_bit_identically() {
+    for k in 0..=EVENTS {
+        assert_failover_equivalent_gc(
+            11,
+            Kill::Clean(k),
+            0,
+            FaultPlan::default(),
+            Some(GC_HORIZON),
+        );
+    }
+}
+
+#[test]
+fn gc_watermark_records_fail_over_bit_identically_with_snapshots() {
+    // Frequent snapshots: the follower receives *compacted* snapshot
+    // bytes (expired reservations dropped, profiles truncated) plus a
+    // WAL tail that still carries Gc records.
+    for k in 0..=EVENTS {
+        assert_failover_equivalent_gc(
+            22,
+            Kill::Clean(k),
+            3,
+            FaultPlan::default(),
+            Some(GC_HORIZON),
+        );
+    }
+}
+
+#[test]
+fn gc_watermark_records_survive_torn_tails_and_faulty_links() {
+    for k in [9, 19, 29] {
+        assert_failover_equivalent_gc(33, Kill::Torn(k), 3, FaultPlan::default(), Some(GC_HORIZON));
+    }
+    let hostile = FaultPlan {
+        drop_every: 5,
+        dup_every: 7,
+        reorder_every: 11,
+        truncate_every: 13,
+        partition: Some((20, 30)),
+    };
+    for k in [12, 27, EVENTS] {
+        assert_failover_equivalent_gc(44, Kill::Clean(k), 3, hostile, Some(GC_HORIZON));
     }
 }
 
@@ -532,7 +616,7 @@ fn fault_schedules_actually_engage() {
     // plan damaged frames, and the drop plan resync round-trips.
     let events = workload(44);
     let primary_dir = Arc::new(MemDir::new());
-    let engine = Engine::spawn(config(primary_dir.clone(), 0));
+    let engine = Engine::spawn(config(primary_dir.clone(), 0, None));
     let mut session = Session::default();
     for (idx, event) in events.iter().enumerate() {
         assert!(session.send(&engine, idx, event));
@@ -619,17 +703,17 @@ impl WireClient {
 #[test]
 fn tcp_failover_promotes_and_finishes_bit_identically() {
     let events = workload(55);
-    let (want_decisions, want_snap) = run_uninterrupted(&events, 0);
+    let (want_decisions, want_snap) = run_uninterrupted(&events, 0, None);
 
     // The primary: a store-backed engine plus a shipper.
     let primary_dir = Arc::new(MemDir::new());
-    let engine = Engine::spawn(config(primary_dir.clone(), 0));
+    let engine = Engine::spawn(config(primary_dir.clone(), 0, None));
 
     // The follower daemon with both listeners on ephemeral ports.
     let follower_dir = Arc::new(MemDir::new());
     let replica = Replica::bind(
         ReplicaConfig {
-            engine: config(follower_dir.clone(), 0),
+            engine: config(follower_dir.clone(), 0, None),
             promote_after: None,
         },
         "127.0.0.1:0",
@@ -758,7 +842,7 @@ fn tcp_failover_promotes_and_finishes_bit_identically() {
     );
 
     replica.shutdown();
-    let engine = Engine::try_spawn(config(follower_dir, 0))
+    let engine = Engine::try_spawn(config(follower_dir, 0, None))
         .expect("the promoted store must recover once more");
     let got_snap = export(&engine);
     engine.shutdown();
@@ -773,7 +857,7 @@ fn auto_promotion_fires_after_primary_silence() {
     let follower_dir = Arc::new(MemDir::new());
     let replica = Replica::bind(
         ReplicaConfig {
-            engine: config(follower_dir, 0),
+            engine: config(follower_dir, 0, None),
             promote_after: Some(Duration::from_millis(200)),
         },
         "127.0.0.1:0",

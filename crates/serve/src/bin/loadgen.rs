@@ -7,12 +7,26 @@
 //! Usage:
 //!   loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S]
 //!           [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]
-//!           [--wire json|binary]
+//!           [--wire json|binary] [--open-loop --rate R]
 //!           [--kill-after N --state FILE | --resume --state FILE]
 //!
 //! --wire binary speaks the daemon's length-prefixed binary codec
 //! (GBWIR01 preamble + CRC-checked frames) instead of JSON lines; the
 //! decisions are byte-identical, only the encoding changes.
+//!
+//! By default submissions are written as fast as the socket accepts them
+//! (closed-loop: the daemon's backpressure paces the client). With
+//! --open-loop --rate R the writer paces itself instead: request i has
+//! the *intended* send time `start + i/R` seconds, the writer sleeps
+//! until that instant and never skips a send when it falls behind — the
+//! backlog is part of the measured load, exactly what an open system
+//! sees. Latency is then reported two ways: *raw* (decision minus the
+//! moment the bytes actually left) and *corrected* (decision minus the
+//! intended send time). The corrected number charges queueing delay the
+//! client itself induced back to the server — the standard guard against
+//! coordinated omission, where a stalled sender hides the server's worst
+//! latencies by not sending while they happen. In closed-loop runs the
+//! two are identical by construction.
 //!
 //! Kill/recover/continue demo against a WAL-backed daemon:
 //!
@@ -41,7 +55,7 @@ use gridband_serve::protocol::{encode_client, ClientMsg, ReqState, ServerMsg, Su
 use gridband_serve::wire::{
     decode_server_payload, encode_client_frame, FrameBuf, WireMode, WIRE_MAGIC,
 };
-use gridband_workload::{ClassMix, ServiceClass, WorkloadBuilder};
+use gridband_workload::{ClassMix, OpenLoopSchedule, ServiceClass, WorkloadBuilder};
 
 struct Args {
     addr: String,
@@ -61,6 +75,9 @@ struct Args {
     /// Dump every decision, sorted by id, to this file — two runs that
     /// made the same decisions produce byte-identical dumps.
     decisions: Option<String>,
+    /// Open-loop send rate (requests/second of wall time); `None` is the
+    /// classic closed-loop blast.
+    rate: Option<f64>,
 }
 
 fn parse_topo(spec: &str) -> Result<Topology, String> {
@@ -98,7 +115,9 @@ fn parse_args() -> Result<Args, String> {
         classes_spec: "0:1:0".to_string(),
         classes: ClassMix::all_silver(),
         decisions: None,
+        rate: None,
     };
+    let mut open_loop = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -141,11 +160,20 @@ fn parse_args() -> Result<Args, String> {
                 args.classes_spec = spec;
             }
             "--decisions" => args.decisions = Some(val("--decisions")?),
+            "--open-loop" => open_loop = true,
+            "--rate" => {
+                args.rate = Some(
+                    val("--rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --rate: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S] \
                      [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]\n        \
                      [--wire json|binary] [--classes G:S:B] [--decisions FILE]\n        \
+                     [--open-loop --rate R]\n        \
                      [--kill-after N --state FILE | --resume --state FILE]"
                 );
                 std::process::exit(0);
@@ -155,6 +183,17 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.resume && args.kill_after.is_some() {
         return Err("--resume and --kill-after are mutually exclusive".to_string());
+    }
+    match (open_loop, args.rate) {
+        (true, None) => return Err("--open-loop needs --rate R (requests/second)".to_string()),
+        (true, Some(r)) if !(r.is_finite() && r > 0.0) => {
+            return Err("--rate must be finite and > 0".to_string())
+        }
+        (false, Some(_)) => return Err("--rate only applies with --open-loop".to_string()),
+        _ => {}
+    }
+    if open_loop && (args.resume || args.kill_after.is_some()) {
+        return Err("--open-loop does not combine with --kill-after/--resume".to_string());
     }
     Ok(args)
 }
@@ -390,12 +429,25 @@ fn run(args: Args) -> Result<(), String> {
         Ok((decisions, stats))
     });
 
-    // Writer: stream the trace prefix; in a full run, drain and ask for
+    // Writer: stream the trace prefix — paced when open-loop, as fast
+    // as the socket accepts otherwise; in a full run, drain and ask for
     // stats; in a kill run, stop cold.
     let started = Instant::now();
-    let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
-    for req in to_send {
-        sent_at.insert(req.id.0, Instant::now());
+    let mut sent_at: HashMap<u64, (Instant, Instant)> = HashMap::with_capacity(n);
+    let mut order: Vec<u64> = Vec::with_capacity(n);
+    for (i, req) in to_send.iter().enumerate() {
+        let intended = args.rate.map(|rate| {
+            let t = started + Duration::from_secs_f64(OpenLoopSchedule::per_second(rate).offset(i));
+            // Behind schedule: send immediately, never skip — the
+            // intended timestamp keeps the delay on the books.
+            if let Some(wait) = t.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            t
+        });
+        let actual = Instant::now();
+        sent_at.insert(req.id.0, (actual, intended.unwrap_or(actual)));
+        order.push(req.id.0);
         let class = args.classes.class_for(req.id.0, args.seed);
         send_msg(&mut write_half, args.wire, &submit_msg(req, class))?;
     }
@@ -457,6 +509,7 @@ fn run(args: Args) -> Result<(), String> {
         decisions,
         stats,
         sent_at,
+        &order,
         wall,
     )
 }
@@ -542,9 +595,12 @@ fn run_resume(args: Args) -> Result<(), String> {
     // original order, then drain.
     let started = Instant::now();
     let n = to_send.len();
-    let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(n);
+    let mut sent_at: HashMap<u64, (Instant, Instant)> = HashMap::with_capacity(n);
+    let mut order: Vec<u64> = Vec::with_capacity(n);
     for req in &to_send {
-        sent_at.insert(req.id.0, Instant::now());
+        let now = Instant::now();
+        sent_at.insert(req.id.0, (now, now));
+        order.push(req.id.0);
         let class = mix.class_for(req.id.0, state.seed);
         send_msg(&mut write_half, args.wire, &submit_msg(req, class))?;
     }
@@ -599,7 +655,9 @@ fn run_resume(args: Args) -> Result<(), String> {
             started,
         ));
     }
-    report(&args, &mix, state.seed, decisions, stats, sent_at, wall)
+    report(
+        &args, &mix, state.seed, decisions, stats, sent_at, &order, wall,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -609,13 +667,25 @@ fn report(
     seed: u64,
     decisions: Vec<(u64, ServerMsg, Instant)>,
     stats: Option<ServerMsg>,
-    sent_at: HashMap<u64, Instant>,
+    sent_at: HashMap<u64, (Instant, Instant)>,
+    order: &[u64],
     wall: Duration,
 ) -> Result<(), String> {
     if let Some(path) = &args.decisions {
         dump_decisions(path, &decisions)?;
     }
     let lat = LatencyHistogram::new();
+    let corrected = LatencyHistogram::new();
+    // Corrected latency bucketed by send-order quintile: a flat sequence
+    // of quintile p99s over a long run is the soak harness's "no latency
+    // creep" signal, immune to a one-off warmup spike polluting a single
+    // whole-run percentile.
+    let quintile: [LatencyHistogram; 5] = std::array::from_fn(|_| LatencyHistogram::new());
+    let qpos: HashMap<u64, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, OpenLoopSchedule::quintile(i, order.len())))
+        .collect();
     let class_lat = [
         LatencyHistogram::new(),
         LatencyHistogram::new(),
@@ -631,9 +701,13 @@ fn report(
             accepted += 1;
             class_acc[c] += 1;
         }
-        if let Some(t0) = sent_at.get(id) {
-            lat.record(at.duration_since(*t0));
-            class_lat[c].record(at.duration_since(*t0));
+        if let Some((actual, intended)) = sent_at.get(id) {
+            lat.record(at.duration_since(*actual));
+            corrected.record(at.duration_since(*intended));
+            class_lat[c].record(at.duration_since(*actual));
+            if let Some(q) = qpos.get(id) {
+                quintile[*q].record(at.duration_since(*intended));
+            }
         }
     }
     let decided = decisions.len();
@@ -667,6 +741,11 @@ fn report(
             p50_ms: lat.quantile_ms(0.50),
             p95_ms: lat.quantile_ms(0.95),
             p99_ms: lat.quantile_ms(0.99),
+            corrected_p50_ms: corrected.quantile_ms(0.50),
+            corrected_p95_ms: corrected.quantile_ms(0.95),
+            corrected_p99_ms: corrected.quantile_ms(0.99),
+            quintile_corrected_p99_ms: quintile.iter().map(|h| h.quantile_ms(0.99)).collect(),
+            open_loop_rate: args.rate,
             classes,
             qos_boost_rounds: stats.as_ref().map_or(0, |s| s.qos_boost_rounds),
             qos_boosted_mb: stats.as_ref().map_or(0, |s| s.qos_boosted_mb),
@@ -686,6 +765,14 @@ fn report(
             lat.quantile_ms(0.95),
             lat.quantile_ms(0.99)
         );
+        if args.rate.is_some() {
+            println!(
+                "corrected p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms  (from intended send times)",
+                corrected.quantile_ms(0.50),
+                corrected.quantile_ms(0.95),
+                corrected.quantile_ms(0.99)
+            );
+        }
         // Only break out classes when the mix actually produced more
         // than one, so classless runs keep their old output.
         if classes.len() > 1 {
@@ -766,6 +853,16 @@ struct LoadgenReport {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    /// Intended-start-corrected percentiles (see the module docs on
+    /// coordinated omission); equal to the raw ones in closed-loop runs.
+    corrected_p50_ms: f64,
+    corrected_p95_ms: f64,
+    corrected_p99_ms: f64,
+    /// Corrected p99 of each send-order fifth of the run — the soak
+    /// smoke gate compares the last against the first.
+    quintile_corrected_p99_ms: Vec<f64>,
+    /// The --rate this run paced itself at; `null` for closed-loop.
+    open_loop_rate: Option<f64>,
     classes: Vec<ClassReport>,
     qos_boost_rounds: u64,
     qos_boosted_mb: u64,

@@ -81,6 +81,15 @@ pub struct EngineConfig {
     /// (1 = sequential; decisions are bit-identical either way, so WAL
     /// records and recovery are thread-count-independent).
     pub admit_threads: usize,
+    /// Watermark GC lag in virtual seconds: after each round at `t` the
+    /// engine advances a GC watermark to `t - gc_horizon`, truncating
+    /// profile history and expired reservations older than that. The
+    /// lag keeps a grace window of recent history around (for late
+    /// cancels and diagnostics); `None` (the default) never truncates.
+    /// Each advance is logged as a [`WalRecord::Gc`] record so recovery
+    /// and followers compact at exactly the same point in the decision
+    /// stream.
+    pub gc_horizon: Option<f64>,
     /// Durability: when set, the engine recovers from (and writes
     /// through) a WAL + snapshot store. `None` runs fully in memory.
     pub store: Option<StoreConfig>,
@@ -112,6 +121,7 @@ impl EngineConfig {
             max_horizon: 1e6,
             hold_timeout: 100.0,
             admit_threads: gridband_net::default_admit_threads(),
+            gc_horizon: None,
             store: None,
             role: Role::Solo,
             qos: None,
@@ -360,6 +370,12 @@ impl EngineLoop {
         rx: Receiver<Command>,
     ) -> StoreResult<Self> {
         assert!(config.step > 0.0, "t_step must be positive");
+        if let Some(h) = config.gc_horizon {
+            assert!(
+                h.is_finite() && h >= 0.0,
+                "gc_horizon must be finite and >= 0"
+            );
+        }
         let st = EngineState::new(
             config.topology.clone(),
             config.step,
@@ -427,6 +443,13 @@ impl EngineLoop {
         MetricsRegistry::add(&self.metrics.cancelled, tally.cancelled);
         MetricsRegistry::add(&self.metrics.refused_early, tally.refused_early);
         MetricsRegistry::add(&self.metrics.gc_reclaimed, tally.gc_reclaimed);
+        MetricsRegistry::add(&self.metrics.gc_truncated_bps, tally.gc_truncated_bps);
+        if let Some(w) = self.st.ledger.watermark() {
+            self.metrics.gc_watermark.set(w);
+        }
+        self.metrics
+            .breakpoints_live
+            .store(self.st.ledger.breakpoint_count() as u64, Ordering::Relaxed);
         MetricsRegistry::add(&self.metrics.holds_placed, tally.holds_placed);
         MetricsRegistry::add(&self.metrics.holds_committed, tally.holds_committed);
         // Replay cannot tell an explicit release from an expiry sweep —
@@ -1003,7 +1026,43 @@ impl EngineLoop {
         for (reply, msg) in replies {
             self.send_reply(&reply, msg);
         }
+        self.gc_round(t);
+        if self.dead {
+            return;
+        }
+        self.metrics
+            .breakpoints_live
+            .store(self.st.ledger.breakpoint_count() as u64, Ordering::Relaxed);
         self.qos_round(t);
+    }
+
+    /// Advance the GC watermark behind the round that just committed,
+    /// truncating profile history older than `t - gc_horizon`. The `Gc`
+    /// record lands strictly *after* the round's record, so replay
+    /// (recovery and followers) compacts at exactly the same point in
+    /// the decision stream as the live engine did.
+    fn gc_round(&mut self, t: f64) {
+        let Some(h) = self.config.gc_horizon else {
+            return;
+        };
+        let w = t - h;
+        if !w.is_finite() || w <= 0.0 {
+            return;
+        }
+        if self.st.ledger.watermark().is_some_and(|cur| w <= cur) {
+            return;
+        }
+        // Log before applying, mirroring every other mutation: state the
+        // WAL cannot reproduce must never exist in memory.
+        if !self.log_event(WalRecord::Gc { watermark: w }) {
+            return;
+        }
+        let stats = self.st.apply_gc(w);
+        MetricsRegistry::add(
+            &self.metrics.gc_truncated_bps,
+            stats.breakpoints_dropped as u64,
+        );
+        self.metrics.gc_watermark.set(w);
     }
 
     /// Resell the upcoming interval's leftover capacity. Runs strictly

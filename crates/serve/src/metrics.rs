@@ -66,6 +66,31 @@ impl Default for StartClock {
     }
 }
 
+/// A gauge holding an optional virtual time as raw f64 bits. The unset
+/// state is negative infinity (not zero — `0.0` is a legitimate time),
+/// matching the ledger's in-memory watermark sentinel.
+#[derive(Debug)]
+pub struct TimeGauge(AtomicU64);
+
+impl Default for TimeGauge {
+    fn default() -> Self {
+        TimeGauge(AtomicU64::new(f64::NEG_INFINITY.to_bits()))
+    }
+}
+
+impl TimeGauge {
+    /// Store a new value (callers only ever pass finite times).
+    pub fn set(&self, t: f64) {
+        self.0.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The stored time, or `None` while unset.
+    pub fn get(&self) -> Option<f64> {
+        let t = f64::from_bits(self.0.load(Ordering::Relaxed));
+        t.is_finite().then_some(t)
+    }
+}
+
 /// Number of power-of-two latency buckets: bucket `k` holds samples in
 /// `[2^k, 2^(k+1))` microseconds, so 40 buckets span ~1 µs to ~13 days.
 const BUCKETS: usize = 40;
@@ -197,6 +222,15 @@ pub struct MetricsRegistry {
     pub ticks: AtomicU64,
     /// Expired reservations garbage-collected from the ledger.
     pub gc_reclaimed: AtomicU64,
+    /// Profile breakpoints dropped by watermark GC over the daemon
+    /// lifetime (live sweeps plus recovery replay).
+    pub gc_truncated_bps: AtomicU64,
+    /// Breakpoints currently held across all port profiles (gauge,
+    /// refreshed each admission round). The soak gate watches this stay
+    /// flat under watermark GC.
+    pub breakpoints_live: AtomicU64,
+    /// Current GC watermark (gauge; unset until the first sweep).
+    pub gc_watermark: TimeGauge,
     /// Engine replies dropped because a connection's reply queue was
     /// full (a client submitting without reading its socket).
     pub replies_dropped: AtomicU64,
@@ -377,7 +411,10 @@ impl MetricsRegistry {
             qos_oversubscriptions: ld(&self.qos_oversubscriptions),
             pending,
             live_reservations,
+            gc_truncated_bps: ld(&self.gc_truncated_bps),
+            breakpoints_live: ld(&self.breakpoints_live),
             virtual_time,
+            gc_watermark: self.gc_watermark.get(),
             decision_latency: self.decision_latency.snapshot(),
             fsync: self.fsync.snapshot(),
         }
@@ -492,8 +529,15 @@ pub struct StatsSnapshot {
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.
     pub live_reservations: u64,
+    /// Profile breakpoints dropped by watermark GC.
+    pub gc_truncated_bps: u64,
+    /// Breakpoints currently held across all port profiles.
+    pub breakpoints_live: u64,
     /// Engine virtual clock (seconds).
     pub virtual_time: f64,
+    /// Current GC watermark (absent until the first sweep, or when
+    /// `--gc-horizon` is off).
+    pub gc_watermark: Option<f64>,
     /// Submit → decision latency distribution.
     pub decision_latency: LatencySnapshot,
     /// WAL fsync latency distribution.

@@ -43,6 +43,8 @@ pub struct ReplayTally {
     /// Expired reservations (and ended holds) garbage-collected during
     /// replay.
     pub gc_reclaimed: u64,
+    /// Profile breakpoints dropped by replayed watermark-GC records.
+    pub gc_truncated_bps: u64,
     /// Two-phase holds re-placed.
     pub holds_placed: u64,
     /// Two-phase holds re-released: explicit `HoldRelease` records plus
@@ -300,6 +302,17 @@ impl EngineState {
                 }
                 tally.holds_released += 1;
             }
+            WalRecord::Gc { watermark } => {
+                if !watermark.is_finite() {
+                    return Err(StoreError::corrupt(
+                        file,
+                        offset,
+                        format!("non-finite GC watermark {watermark}"),
+                    ));
+                }
+                let stats = self.apply_gc(watermark);
+                tally.gc_truncated_bps += stats.breakpoints_dropped as u64;
+            }
         }
         Ok(())
     }
@@ -399,6 +412,32 @@ impl EngineState {
             }
         }
         sweep
+    }
+
+    /// Advance the ledger's GC watermark to `watermark`, truncating
+    /// fully-past profile history and collecting expired entries. Shared
+    /// by the live engine's post-round sweep and `Gc`-record replay so a
+    /// recovered (or follower) store lands on the identical compacted
+    /// bytes.
+    ///
+    /// The watermark lags the clock (`now - gc_horizon`), so the
+    /// per-round expiry sweep has normally already cancelled anything
+    /// ending at or before it; the owner-map scrub below is a safety net
+    /// for the degenerate `gc_horizon = 0` case, keeping `accepted_res`
+    /// and `res_owner` from pointing at collected reservations.
+    pub fn apply_gc(&mut self, watermark: f64) -> gridband_net::GcStats {
+        let stale: Vec<u64> = self
+            .ledger
+            .live_reservations()
+            .filter(|(_, r)| r.end <= watermark)
+            .map(|(id, _)| id.0)
+            .collect();
+        for rid in stale {
+            if let Some(owner) = self.res_owner.remove(&rid) {
+                self.accepted_res.remove(&owner);
+            }
+        }
+        self.ledger.gc(watermark)
     }
 
     /// Place a two-phase hold for `txn`: pin `bw` on `port` over

@@ -571,10 +571,13 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         s.qos_oversubscriptions,
         s.pending,
         s.live_reservations,
+        s.gc_truncated_bps,
+        s.breakpoints_live,
     ] {
         w.u64(v);
     }
     w.f64(s.virtual_time);
+    w.opt_f64(s.gc_watermark);
     put_latency(w, &s.decision_latency);
     put_latency(w, &s.fsync);
 }
@@ -583,7 +586,7 @@ fn get_stats(r: &mut Reader) -> Result<StatsSnapshot, WireError> {
     let role = r.string()?;
     let uptime_s = r.u64()?;
     let protocol_version = r.u32()?;
-    let mut c = [0u64; 49];
+    let mut c = [0u64; 51];
     for v in c.iter_mut() {
         *v = r.u64()?;
     }
@@ -640,7 +643,10 @@ fn get_stats(r: &mut Reader) -> Result<StatsSnapshot, WireError> {
         qos_oversubscriptions: c[46],
         pending: c[47],
         live_reservations: c[48],
+        gc_truncated_bps: c[49],
+        breakpoints_live: c[50],
         virtual_time: r.f64()?,
+        gc_watermark: r.opt_f64()?,
         decision_latency: get_latency(r)?,
         fsync: get_latency(r)?,
     })

@@ -153,7 +153,10 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 qos_oversubscriptions: 0,
                 pending,
                 live_reservations: count,
+                gc_truncated_bps: gc_reclaimed * 9,
+                breakpoints_live: ticks * 5 + 7,
                 virtual_time,
+                gc_watermark: (ticks % 2 == 0).then_some(virtual_time / 2.0),
                 decision_latency: LatencySnapshot {
                     count,
                     mean_ms,

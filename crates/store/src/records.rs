@@ -28,7 +28,12 @@ use serde::{Deserialize, Serialize};
 ///
 /// v2: the ledger carries live capacity holds and the snapshot carries
 /// the engine's hold table (two-phase cross-shard admission).
-pub const SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3: the ledger carries its GC watermark and snapshot writes are
+/// compacted — expired reservations are collected and port profiles
+/// truncated before export, so an image restored from disk is the same
+/// compacted state a GC'ing engine holds in memory.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// One admission decision inside a [`WalRecord::Round`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,6 +116,16 @@ pub enum WalRecord {
     HoldRelease {
         /// Transaction id of the released hold.
         txn: u64,
+    },
+    /// The GC watermark advanced: everything fully before `watermark` —
+    /// expired reservations, expired holds, and the port-profile history
+    /// they charged — was collected. Logged *after* the round record that
+    /// triggered the sweep, so replay (recovery and followers) collects
+    /// at exactly the same point in the decision stream and lands on the
+    /// identical compacted state.
+    Gc {
+        /// The new watermark (virtual seconds); watermarks only advance.
+        watermark: f64,
     },
 }
 
@@ -274,6 +289,9 @@ mod tests {
             },
             WalRecord::HoldCommit { txn: 11 },
             WalRecord::HoldRelease { txn: 12 },
+            WalRecord::Gc {
+                watermark: 0.1 + 0.2, // deliberately non-representable sum
+            },
         ] {
             let bytes = rec.encode();
             let back = WalRecord::decode("w", 8, &bytes).unwrap();

@@ -126,6 +126,91 @@ impl ArrivalProcess {
     }
 }
 
+/// Deterministic open-loop send schedule: request `i` is *due* at
+/// `i / rate` seconds after the epoch, regardless of how far behind the
+/// sender has fallen.
+///
+/// This is the load-generation counterpart of [`ArrivalProcess`]: where
+/// an arrival process models *virtual-time* arrivals inside a trace, the
+/// open-loop schedule pins *wall-clock* send instants for a live client.
+/// The distinction matters for latency measurement: a closed-loop client
+/// that stalls on a slow reply silently delays every later send, hiding
+/// the very queueing it caused (coordinated omission). An open-loop
+/// client keeps the intended instants fixed — a late send is recorded as
+/// already-elapsed latency, not forgiven — so percentiles computed from
+/// `decision_time - intended(i)` reflect what a request arriving at its
+/// scheduled instant would actually have experienced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopSchedule {
+    rate: f64,
+}
+
+impl OpenLoopSchedule {
+    /// Schedule with the given send rate (requests per second).
+    pub fn per_second(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "open-loop rate must be a positive finite number, got {rate}"
+        );
+        OpenLoopSchedule { rate }
+    }
+
+    /// The send rate (requests per second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Intended send offset of request `i`, in seconds after the epoch.
+    pub fn offset(&self, i: usize) -> Time {
+        i as f64 / self.rate
+    }
+
+    /// Which fifth of an `n`-request run request `i` belongs to, by send
+    /// order (0ᵗʰ through 4ᵗʰ). Soak gates compare the first and last
+    /// quintile's corrected percentiles, so the bucketing is part of the
+    /// reported contract.
+    pub fn quintile(i: usize, n: usize) -> usize {
+        (i * 5 / n.max(1)).min(4)
+    }
+}
+
+#[cfg(test)]
+mod open_loop_tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_evenly_spaced() {
+        let s = OpenLoopSchedule::per_second(8_000.0);
+        assert_eq!(s.offset(0), 0.0);
+        assert_eq!(s.offset(8_000), 1.0);
+        assert_eq!(s.rate(), 8_000.0);
+        // Monotone, uniform spacing.
+        for i in 1..100 {
+            let gap = s.offset(i) - s.offset(i - 1);
+            assert!((gap - 1.0 / 8_000.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quintiles_partition_the_run_evenly() {
+        let n = 1_000;
+        let mut counts = [0usize; 5];
+        for i in 0..n {
+            counts[OpenLoopSchedule::quintile(i, n)] += 1;
+        }
+        assert_eq!(counts, [200; 5]);
+        // Degenerate sizes stay in range.
+        assert_eq!(OpenLoopSchedule::quintile(0, 0), 0);
+        assert_eq!(OpenLoopSchedule::quintile(6, 7), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn zero_rate_rejected() {
+        let _ = OpenLoopSchedule::per_second(0.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

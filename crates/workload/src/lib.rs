@@ -45,7 +45,7 @@ pub mod scenarios;
 pub mod stats;
 pub mod trace;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalProcess, OpenLoopSchedule};
 pub use builder::WorkloadBuilder;
 pub use class::{ClassMix, ServiceClass};
 pub use dist::{Dist, RateDist, VolumeDist};

@@ -13,7 +13,11 @@
 # wire group (JSON-lines vs the binary frame codec against live daemons:
 # submissions/sec and submit-to-decision p50/p99 per codec, hard-gated
 # on zero bit-level decision divergence between the codecs and on the
-# binary p99 beating the JSON baseline).
+# binary p99 beating the JSON baseline) and the long-horizon GC soak
+# (≥10⁶ requests through a watermark-collected ledger: hard-gated on
+# flat per-quintile breakpoint counts, RSS, and round p99, on the sweep
+# actually collecting, and on zero decision divergence against a
+# never-collecting reference replay of the same trace prefix).
 #
 # Usage:
 #   scripts/bench.sh                # full run, writes BENCH_admission.json

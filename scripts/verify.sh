@@ -41,4 +41,7 @@ scripts/wire_smoke.sh
 echo "== qos smoke ==" >&2
 scripts/qos_smoke.sh
 
+echo "== soak smoke ==" >&2
+scripts/soak_smoke.sh
+
 echo "verify: all green" >&2

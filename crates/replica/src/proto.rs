@@ -23,7 +23,12 @@ use serde::{Deserialize, Serialize};
 /// Version of the replication protocol spoken by this build. Checked in
 /// the [`ShipMsg::Hello`] / [`FollowerMsg::Subscribe`] handshake; bump
 /// on any wire-incompatible change.
-pub const REPL_PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: the shipped WAL stream gained the `Gc` record variant and
+/// snapshots the ledger `watermark` field; a v1 follower would abort
+/// mid-stream on the first sweep, so the handshake refuses the pairing
+/// up front.
+pub const REPL_PROTOCOL_VERSION: u32 = 2;
 
 /// Primary → follower messages.
 ///

@@ -15,7 +15,11 @@ use crate::metrics::StatsSnapshot;
 
 /// Protocol version spoken by this build. Bump on any wire-incompatible
 /// change to [`ClientMsg`] or [`ServerMsg`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: the `Stats` reply gained required GC fields (`gc_truncated_bps`,
+/// `breakpoints_live`, `gc_watermark`), which a v1 client cannot parse —
+/// the handshake now refuses the pairing instead of failing mid-reply.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Client → server envelope: version plus payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

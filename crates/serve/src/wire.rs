@@ -36,7 +36,13 @@ pub const WIRE_MAGIC: [u8; 8] = *b"GBWIR01\n";
 
 /// Version byte opening every client payload. Servers reject other
 /// versions with a `bad-version` error rather than guessing.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: the binary `Stats` frame layout changed (49 → 51 counters plus a
+/// trailing optional GC watermark). Server frames carry no version byte,
+/// so this client-side byte is the only gate that keeps a v1 peer from
+/// misparsing the wider reply — mixed versions now fail the very first
+/// frame with a clean version error in both directions.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame payload, mirroring the WAL's record bound: a
 /// hostile 4 GiB length prefix must not become a 4 GiB allocation.
@@ -905,6 +911,19 @@ mod tests {
         assert_eq!(
             decode_server_payload(&[255]),
             Err(WireError::UnknownTag(255))
+        );
+    }
+
+    #[test]
+    fn v1_client_payload_is_refused_after_stats_widening() {
+        // The v1 binary stats frame was narrower (49 counters, no
+        // watermark); a v1 peer must be turned away at its first frame,
+        // not left to misparse the wider reply.
+        let mut payload = encode_client_payload(&ClientMsg::Stats);
+        payload[0] = 1;
+        assert_eq!(
+            decode_client_payload(&payload),
+            Err(WireError::BadVersion(1))
         );
     }
 

@@ -45,7 +45,8 @@ pub mod wal;
 pub use dir::{Dir, DirSignal, FsDir, MemDir};
 pub use error::{StoreError, StoreResult};
 pub use records::{
-    EngineSnapshot, HoldState, RequestOutcome, RoundDecision, WalRecord, SNAPSHOT_VERSION,
+    EngineSnapshot, HoldState, RequestOutcome, RoundDecision, WalRecord, SNAPSHOT_MIN_VERSION,
+    SNAPSHOT_VERSION,
 };
 pub use store::{snap_name, wal_name, Append, FsyncPolicy, Recovered, Store, StoreConfig};
 pub use tail::{TailCursor, TailEvent, WalTail};

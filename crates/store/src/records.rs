@@ -35,6 +35,14 @@ use serde::{Deserialize, Serialize};
 /// compacted state a GC'ing engine holds in memory.
 pub const SNAPSHOT_VERSION: u32 = 3;
 
+/// Oldest snapshot version this build still decodes. A v2 image differs
+/// from v3 only by the absent ledger `watermark` field (deserialized as
+/// `None` — "never collected") and by not being compacted, both of which
+/// the engine handles, so a daemon upgraded across the GC change recovers
+/// its pre-upgrade durable state. Versions below this had a different
+/// ledger layout and are refused.
+pub const SNAPSHOT_MIN_VERSION: u32 = 2;
+
 /// One admission decision inside a [`WalRecord::Round`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RoundDecision {
@@ -149,7 +157,8 @@ pub enum RequestOutcome {
 /// float-addition order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineSnapshot {
-    /// Layout version; must equal [`SNAPSHOT_VERSION`].
+    /// Layout version; must lie in
+    /// [`SNAPSHOT_MIN_VERSION`]..=[`SNAPSHOT_VERSION`].
     pub version: u32,
     /// Virtual clock at the snapshot instant.
     pub now: f64,
@@ -225,15 +234,19 @@ impl EngineSnapshot {
     }
 
     /// Decode a recovered snapshot payload, checking the version stamp.
+    /// Versions [`SNAPSHOT_MIN_VERSION`]..=[`SNAPSHOT_VERSION`] are
+    /// accepted (older ones decode with `watermark: None`); anything
+    /// outside that range — unknown-old or newer-than-this-build — is
+    /// refused rather than misread.
     pub fn decode(file: &str, payload: &[u8]) -> StoreResult<Self> {
         let snap: EngineSnapshot = decode_json("snapshot", file, 0, payload)?;
-        if snap.version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&snap.version) {
             return Err(StoreError::corrupt(
                 file,
                 0,
                 format!(
-                    "snapshot version {} (this build reads {})",
-                    snap.version, SNAPSHOT_VERSION
+                    "snapshot version {} (this build reads {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})",
+                    snap.version
                 ),
             ));
         }
@@ -330,12 +343,43 @@ mod tests {
         let back = EngineSnapshot::decode("s", &bytes).unwrap();
         assert_eq!(back, snap);
 
-        let mut stale = snap.clone();
-        stale.version = SNAPSHOT_VERSION + 1;
-        assert!(matches!(
-            EngineSnapshot::decode("s", &stale.encode()),
-            Err(StoreError::Corrupt { .. })
-        ));
+        for bad in [SNAPSHOT_MIN_VERSION - 1, SNAPSHOT_VERSION + 1] {
+            let mut stale = snap.clone();
+            stale.version = bad;
+            assert!(matches!(
+                EngineSnapshot::decode("s", &stale.encode()),
+                Err(StoreError::Corrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn v2_snapshot_without_watermark_field_decodes() {
+        // A v2 writer predates the ledger's `watermark` field entirely:
+        // strip the key (not just null it) from an encoded image and
+        // stamp the old version, as an upgraded daemon would find on disk.
+        let mut ledger = CapacityLedger::new(Topology::uniform(2, 2, 100.0));
+        ledger.reserve(Route::new(0, 1), 0.0, 10.0, 33.3).unwrap();
+        let snap = EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            now: 10.0,
+            next_tick: 15.0,
+            rounds: 2,
+            ledger: ledger.export_state(),
+            accepted: vec![(3, 0)],
+            states: vec![(3, RequestOutcome::Accepted)],
+            holds: vec![],
+        };
+        let text = String::from_utf8(snap.encode()).unwrap();
+        assert!(text.contains(",\"watermark\":null"), "encoding drifted");
+        let v2 = text
+            .replace(",\"watermark\":null", "")
+            .replace("\"version\":3", "\"version\":2");
+        let back = EngineSnapshot::decode("s", v2.as_bytes()).unwrap();
+        let mut want = snap;
+        want.version = 2;
+        assert_eq!(back, want);
+        assert_eq!(back.ledger.watermark, None);
     }
 
     #[test]

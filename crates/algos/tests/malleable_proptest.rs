@@ -1,0 +1,202 @@
+//! Property coverage for the offline malleable scheduler
+//! (`schedule_malleable` / `verify_malleable`), per the water-filling
+//! optimality argument: against fixed prior reservations the deliverable
+//! volume of a window is exactly `∫ min(MaxRate, free_in, free_out) dt`,
+//! so a request is accepted *iff* that bound carries its volume — and a
+//! rejection means no schedule of any shape (constant-rate GREEDY,
+//! shifted BOOK-AHEAD, or variable-rate) could have fit it.
+//!
+//! Random traces come from the seeded `WorkloadBuilder`, so every
+//! failure case shrinks to a (seed, interarrival, horizon) triple.
+
+use gridband_algos::flexible::malleable::{schedule_malleable, verify_malleable};
+use gridband_net::units::EPS;
+use gridband_net::{CapacityLedger, Topology};
+use gridband_workload::{Dist, Request, Trace, WorkloadBuilder};
+use proptest::prelude::*;
+
+/// Relative tolerance mirroring the scheduler's own accept threshold.
+const RTOL: f64 = 1e-6;
+
+fn random_trace(seed: u64, interarrival: f64, horizon: f64) -> (Trace, Topology) {
+    let topo = Topology::uniform(3, 3, 120.0);
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 1.5, hi: 4.0 })
+        .horizon(horizon)
+        .seed(seed)
+        .build();
+    (trace, topo)
+}
+
+/// The water-filling deliverable bound of `req` against `ledger`:
+/// `∫ min(MaxRate, free_in, free_out) dt` over the window, computed from
+/// the piecewise-constant port profiles (exact, not sampled).
+fn deliverable_bound(ledger: &CapacityLedger, req: &Request) -> f64 {
+    let ing = ledger.ingress_profile(req.route.ingress);
+    let egr = ledger.egress_profile(req.route.egress);
+    let mut cuts: Vec<f64> = vec![req.start(), req.finish()];
+    for p in [ing, egr] {
+        for b in p.breakpoints() {
+            if b.time > req.start() && b.time < req.finish() {
+                cuts.push(b.time);
+            }
+        }
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    cuts.dedup();
+    cuts.windows(2)
+        .map(|w| {
+            let free = req
+                .max_rate
+                .min(ing.min_free(w[0], w[1]))
+                .min(egr.min_free(w[0], w[1]));
+            free.max(0.0) * (w[1] - w[0])
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Acceptance is exactly the water-filling bound: replaying the
+    /// accepted segments in arrival order, every decision matches
+    /// `bound ≥ volume` (borderline cases within the scheduler's own
+    /// tolerance band are left undecided).
+    #[test]
+    fn acceptance_matches_the_waterfilling_bound(
+        seed in 1u64..5000,
+        interarrival in 0.4f64..2.0,
+        horizon in 60.0f64..220.0,
+    ) {
+        let (trace, topo) = random_trace(seed, interarrival, horizon);
+        let rep = schedule_malleable(&trace, &topo, None);
+        verify_malleable(&trace, &topo, &rep).expect("schedule verifies");
+
+        let mut ledger = CapacityLedger::new(topo);
+        for req in &trace {
+            let bound = deliverable_bound(&ledger, req);
+            let accepted = rep.accepted.iter().find(|a| a.id == req.id);
+            let margin = RTOL * req.volume.max(1.0) + EPS;
+            if bound >= req.volume + margin {
+                prop_assert!(
+                    accepted.is_some(),
+                    "{}: bound {bound} carries volume {} but was rejected",
+                    req.id, req.volume
+                );
+            }
+            if bound + margin < req.volume {
+                prop_assert!(
+                    accepted.is_none(),
+                    "{}: bound {bound} < volume {} yet accepted",
+                    req.id, req.volume
+                );
+            }
+            if let Some(a) = accepted {
+                prop_assert!(
+                    (a.volume() - req.volume).abs() <= margin,
+                    "{}: delivered {} ≠ volume {}",
+                    req.id, a.volume(), req.volume
+                );
+                for s in &a.segments {
+                    ledger
+                        .reserve(req.route, s.start, s.end, s.rate)
+                        .expect("replaying an accepted segment");
+                }
+            }
+        }
+    }
+
+    /// Dominance over constant-rate schedulers, per decision: when the
+    /// malleable scheduler rejects, neither GREEDY's
+    /// run-at-MaxRate-from-the-start window nor any BOOK-AHEAD shift of
+    /// it fits the residual ledger either — the constant-rate schedule
+    /// is a special case of a malleable one, so its failure is implied.
+    #[test]
+    fn rejections_dominate_constant_rate_accepts(
+        seed in 1u64..5000,
+        interarrival in 0.3f64..1.2,
+        horizon in 60.0f64..160.0,
+    ) {
+        let (trace, topo) = random_trace(seed, interarrival, horizon);
+        let rep = schedule_malleable(&trace, &topo, None);
+
+        let mut ledger = CapacityLedger::new(topo);
+        for req in &trace {
+            if rep.rejected.contains(&req.id) {
+                let dur = req.volume / req.max_rate;
+                // GREEDY start plus every BOOK-AHEAD candidate start
+                // (profile breakpoints inside the window) that leaves
+                // room for the constant-rate run.
+                let mut starts = vec![req.start()];
+                for p in [
+                    ledger.ingress_profile(req.route.ingress),
+                    ledger.egress_profile(req.route.egress),
+                ] {
+                    for b in p.breakpoints() {
+                        if b.time > req.start() && b.time + dur <= req.finish() + EPS {
+                            starts.push(b.time);
+                        }
+                    }
+                }
+                for s in starts {
+                    let mut probe = ledger.clone();
+                    prop_assert!(
+                        probe.reserve(req.route, s, s + dur, req.max_rate).is_err(),
+                        "{}: constant-rate window at {s} fits, yet malleable rejected",
+                        req.id
+                    );
+                }
+            } else if let Some(a) = rep.accepted.iter().find(|a| a.id == req.id) {
+                for s in &a.segments {
+                    ledger
+                        .reserve(req.route, s.start, s.end, s.rate)
+                        .expect("replaying an accepted segment");
+                }
+            }
+        }
+    }
+
+    /// Canonical segment form survives ε-edges: every accepted plan is
+    /// time-ordered, gap-or-rate-separated (no mergeable neighbours),
+    /// has no degenerate slivers, and never exceeds MaxRate.
+    #[test]
+    fn plans_stay_canonical(
+        seed in 1u64..5000,
+        interarrival in 0.3f64..1.5,
+        horizon in 60.0f64..180.0,
+    ) {
+        let (trace, topo) = random_trace(seed, interarrival, horizon);
+        let rep = schedule_malleable(&trace, &topo, None);
+        verify_malleable(&trace, &topo, &rep).expect("schedule verifies");
+        for a in &rep.accepted {
+            let req = trace.iter().find(|r| r.id == a.id).expect("in trace");
+            prop_assert!(!a.segments.is_empty(), "{}: empty accepted plan", a.id);
+            let mut prev_end = f64::NEG_INFINITY;
+            let mut prev_rate = f64::NAN;
+            for s in &a.segments {
+                prop_assert!(
+                    s.end - s.start > EPS,
+                    "{}: degenerate sliver [{}, {})", a.id, s.start, s.end
+                );
+                prop_assert!(
+                    s.rate > EPS && s.rate <= req.max_rate * (1.0 + 1e-9),
+                    "{}: rate {} outside (0, MaxRate]", a.id, s.rate
+                );
+                prop_assert!(
+                    s.start + EPS >= prev_end,
+                    "{}: segments overlap or are unordered", a.id
+                );
+                let adjacent = (s.start - prev_end).abs() <= EPS;
+                if adjacent {
+                    prop_assert!(
+                        (s.rate - prev_rate).abs() > EPS,
+                        "{}: adjacent equal-rate segments not merged", a.id
+                    );
+                }
+                prev_end = s.end;
+                prev_rate = s.rate;
+            }
+        }
+    }
+}

@@ -98,6 +98,7 @@ struct Report {
     cluster: Vec<ClusterRow>,
     wire: WireReport,
     qos: Vec<QosRow>,
+    malleable: Vec<MalleableRow>,
     soak: SoakReport,
 }
 
@@ -184,6 +185,39 @@ struct QosRow {
     /// Mean completion-time improvement split by service class
     /// (`[Gold, Silver, BestEffort]`; 0 where a class has no accepts).
     improvement_by_class_s: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct MalleableRow {
+    seed: u64,
+    interarrival: f64,
+    /// Marks the saturation point of the grid; the accept-rate-delta
+    /// gate applies only here, where fragmentation is what water-filling
+    /// exists to absorb.
+    high_load: bool,
+    requests: usize,
+    /// All-rigid accept count with `--malleable` off: the §5.3 baseline.
+    rigid_accepted: usize,
+    rigid_accept_rate: f64,
+    /// Decisions on the all-rigid trace that differ between a
+    /// `--malleable` daemon and a plain one (full `ServerMsg` equality,
+    /// grants bit-exact). Gated to 0: the flag must be invisible until a
+    /// submission opts in.
+    rigid_divergence: usize,
+    /// Fraction of submissions flagged malleable in the mixed run.
+    malleable_fraction: f64,
+    malleable_requests: usize,
+    /// Flagged submissions granted a segmented plan. Gated > 0 so the
+    /// delta below measures water-filling, not a no-op.
+    malleable_accepted: usize,
+    mixed_accepted: usize,
+    mixed_accept_rate: f64,
+    /// `mixed_accept_rate - rigid_accept_rate`. Gated > 0 on high-load
+    /// rows: variable-rate plans must admit work that constant-rate
+    /// booking bounces.
+    accept_rate_delta: f64,
+    /// Mixed-run decision throughput through the live engine.
+    decisions_per_sec: f64,
 }
 
 #[derive(Serialize)]
@@ -1030,6 +1064,7 @@ fn replication_section(smoke: bool) -> ReplicationReport {
                         start: Some(clock),
                         deadline: Some(clock + rng.gen_range(1.5..3.0) * volume / max_rate),
                         class: Default::default(),
+                        malleable: None,
                     }),
                     reply: tx.into(),
                 })
@@ -1151,6 +1186,7 @@ fn replication_section(smoke: bool) -> ReplicationReport {
             start: Some(clock + step),
             deadline: Some(clock + step + 10.0),
             class: Default::default(),
+            malleable: None,
         }),
     );
     send(&mut writer, &ClientMsg::Drain);
@@ -1250,6 +1286,7 @@ fn cluster_run(
             start: Some(r.start()),
             deadline: Some(r.finish()),
             class: Default::default(),
+            malleable: None,
         };
         let t0 = Instant::now();
         cluster.submit(req).expect("cluster submit");
@@ -1344,6 +1381,7 @@ fn wire_submit(r: &Request) -> ClientMsg {
         start: Some(r.start()),
         deadline: Some(r.finish()),
         class: Default::default(),
+        malleable: None,
     })
 }
 
@@ -1773,6 +1811,161 @@ fn qos_section(seeds: &[u64], interarrival: f64, horizon: f64, step: f64) -> Vec
 }
 
 // ---------------------------------------------------------------------------
+// Malleable: water-filled admission through the live serve engine —
+// the `--malleable` flag must be invisible to rigid traffic and must
+// buy accept-rate at saturation
+// ---------------------------------------------------------------------------
+
+fn malleable_submit(r: &Request, flagged: bool) -> SubmitReq {
+    SubmitReq {
+        id: r.id.0,
+        ingress: r.route.ingress.0,
+        egress: r.route.egress.0,
+        volume: r.volume,
+        max_rate: r.max_rate,
+        start: Some(r.start()),
+        deadline: Some(r.finish()),
+        class: Default::default(),
+        malleable: flagged.then_some(true),
+    }
+}
+
+/// Replay `reqs` through a fresh virtual-clock engine and harvest every
+/// decision. Returns the bit-exact decision map plus the wall-clock
+/// seconds from first submit to drain.
+fn malleable_replay(
+    topo: &Topology,
+    reqs: &[SubmitReq],
+    flag_on: bool,
+) -> (BTreeMap<u64, ServerMsg>, f64) {
+    use gridband_serve::engine::Command;
+    let mut cfg = EngineConfig::new(topo.clone());
+    cfg.step = 50.0;
+    cfg.mode = TimeMode::Virtual;
+    cfg.queue_capacity = reqs.len() + 64;
+    cfg.malleable = flag_on;
+    let engine = gridband_serve::Engine::spawn(cfg);
+    let t0 = Instant::now();
+    let mut rxs = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: ClientMsg::Submit(r.clone()),
+                reply: tx.into(),
+            })
+            .expect("engine alive");
+        rxs.push((r.id, rx));
+    }
+    let (tx, rx) = crossbeam::channel::unbounded();
+    engine
+        .sender()
+        .send(Command::Client {
+            msg: ClientMsg::Drain,
+            reply: tx.into(),
+        })
+        .expect("engine alive for drain");
+    rx.recv_timeout(Duration::from_secs(120))
+        .expect("drain ack");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut decisions = BTreeMap::new();
+    for (id, rx) in rxs {
+        let msg = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("every submission is decided by drain");
+        decisions.insert(id, msg);
+    }
+    engine.shutdown();
+    (decisions, elapsed)
+}
+
+fn malleable_run(
+    topo: &Topology,
+    seed: u64,
+    interarrival: f64,
+    horizon: f64,
+    high_load: bool,
+) -> MalleableRow {
+    const FRACTION: f64 = 0.5;
+    let trace = WorkloadBuilder::new(topo.clone())
+        .mean_interarrival(interarrival)
+        .slack(Dist::Uniform { lo: 1.5, hi: 3.0 })
+        .horizon(horizon)
+        .seed(seed)
+        .build();
+    let rigid: Vec<SubmitReq> = trace.iter().map(|r| malleable_submit(r, false)).collect();
+    // Even/odd split: deterministic, seed-independent, exactly FRACTION.
+    let mixed: Vec<SubmitReq> = trace
+        .iter()
+        .map(|r| malleable_submit(r, r.id.0 % 2 == 0))
+        .collect();
+
+    let (baseline, _) = malleable_replay(topo, &rigid, false);
+    let (flag_on_rigid, _) = malleable_replay(topo, &rigid, true);
+    let rigid_divergence = baseline
+        .iter()
+        .filter(|(id, d)| flag_on_rigid.get(*id) != Some(*d))
+        .count()
+        + baseline.len().abs_diff(flag_on_rigid.len());
+    let (mixed_decisions, elapsed) = malleable_replay(topo, &mixed, true);
+
+    let accepted = |m: &BTreeMap<u64, ServerMsg>| {
+        m.values()
+            .filter(|d| {
+                matches!(
+                    d,
+                    ServerMsg::Accepted { .. } | ServerMsg::AcceptedSegments { .. }
+                )
+            })
+            .count()
+    };
+    let rigid_accepted = accepted(&baseline);
+    let mixed_accepted = accepted(&mixed_decisions);
+    let malleable_requests = mixed.iter().filter(|r| r.malleable == Some(true)).count();
+    let malleable_accepted = mixed_decisions
+        .values()
+        .filter(|d| matches!(d, ServerMsg::AcceptedSegments { .. }))
+        .count();
+    let n = trace.len().max(1) as f64;
+    let rigid_accept_rate = rigid_accepted as f64 / n;
+    let mixed_accept_rate = mixed_accepted as f64 / n;
+    MalleableRow {
+        seed,
+        interarrival,
+        high_load,
+        requests: trace.len(),
+        rigid_accepted,
+        rigid_accept_rate,
+        rigid_divergence,
+        malleable_fraction: FRACTION,
+        malleable_requests,
+        malleable_accepted,
+        mixed_accepted,
+        mixed_accept_rate,
+        accept_rate_delta: mixed_accept_rate - rigid_accept_rate,
+        decisions_per_sec: trace.len() as f64 / elapsed.max(1e-9),
+    }
+}
+
+fn malleable_section(smoke: bool) -> Vec<MalleableRow> {
+    let topo = Topology::paper_default();
+    let (horizon, seeds): (f64, &[u64]) = if smoke {
+        (400.0, &[1])
+    } else {
+        (1_200.0, &[1, 2, 3])
+    };
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        // Moderate load: the delta is informational.
+        rows.push(malleable_run(&topo, seed, 2.0, horizon, false));
+        // Saturation: the delta is the gated claim.
+        rows.push(malleable_run(&topo, seed, 0.4, horizon, true));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Soak: watermark GC under sustained load on the raw ledger — flat
 // memory and latency over ≥10⁶ requests, decisions bit-identical to a
 // never-collecting reference on the shared prefix
@@ -2155,6 +2348,29 @@ fn main() {
         );
     }
 
+    eprintln!("admission bench: malleable water-filled admission ...");
+    let malleable = malleable_section(smoke);
+    for r in &malleable {
+        eprintln!(
+            "  seed {} ia {:>4.1}{}: rigid {}/{} ({:.3}), mixed {}/{} ({:.3}), delta {:+.3}, \
+             {} of {} malleable granted, rigid divergence {}, {:>7.0} decisions/s",
+            r.seed,
+            r.interarrival,
+            if r.high_load { " HIGH" } else { "     " },
+            r.rigid_accepted,
+            r.requests,
+            r.rigid_accept_rate,
+            r.mixed_accepted,
+            r.requests,
+            r.mixed_accept_rate,
+            r.accept_rate_delta,
+            r.malleable_accepted,
+            r.malleable_requests,
+            r.rigid_divergence,
+            r.decisions_per_sec
+        );
+    }
+
     eprintln!("admission bench: long-horizon GC soak ...");
     let soak = soak_section(smoke);
     eprintln!(
@@ -2175,7 +2391,7 @@ fn main() {
     );
 
     let report = Report {
-        schema: "gridband/bench-admission/v6".to_string(),
+        schema: "gridband/bench-admission/v7".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         micro,
@@ -2187,6 +2403,7 @@ fn main() {
         cluster,
         wire,
         qos,
+        malleable,
         soak,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -2350,6 +2567,33 @@ fn main() {
             failed = true;
         }
     }
+    // Malleable gates: the flag must be invisible to rigid traffic, the
+    // water-filler must actually grant segmented plans, and at
+    // saturation flexibility must buy accept-rate.
+    for r in &report.malleable {
+        if r.rigid_divergence > 0 {
+            eprintln!(
+                "FAIL: seed {} ia {}: {} rigid decisions changed under --malleable",
+                r.seed, r.interarrival, r.rigid_divergence
+            );
+            failed = true;
+        }
+        if r.malleable_accepted == 0 {
+            eprintln!(
+                "FAIL: seed {} ia {}: no malleable submission was granted — the delta gate is vacuous",
+                r.seed, r.interarrival
+            );
+            failed = true;
+        }
+        if r.high_load && r.accept_rate_delta <= 0.0 {
+            eprintln!(
+                "FAIL: seed {} ia {}: accept-rate delta {:+.4} at high load — water-filling bought nothing",
+                r.seed, r.interarrival, r.accept_rate_delta
+            );
+            failed = true;
+        }
+    }
+
     // Soak gates: the watermark must provably change nothing (zero
     // divergence, non-vacuously) while holding breakpoints, RSS, and
     // round p99 flat across the whole long-horizon run.

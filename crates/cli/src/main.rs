@@ -420,6 +420,7 @@ fn serve(args: Vec<String>) {
     let mut promote_after: Option<Duration> = None;
     let mut shard_of: Option<(usize, usize)> = None;
     let mut qos: Option<gridband_qos::QosConfig> = None;
+    let mut malleable = false;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -525,6 +526,9 @@ fn serve(args: Vec<String>) {
                     .unwrap_or_else(|e| fail(format_args!("bad --promote-after: {e}")));
                 promote_after = Some(Duration::from_secs(s));
             }
+            "--malleable" => {
+                malleable = true;
+            }
             "--qos" => {
                 qos.get_or_insert_with(gridband_qos::QosConfig::default);
             }
@@ -574,7 +578,7 @@ fn serve(args: Vec<String>) {
                       [--follow HOST:PORT [--promote-after SECS]]
                       [--shard-of I/N]
                       [--qos] [--qos-allowance SECS]
-                      [--qos-tenant-cap RATE[:BURST]]
+                      [--qos-tenant-cap RATE[:BURST]] [--malleable]
 
 Runs the reservation daemon: batched WINDOW admission every t_step,
 served over TCP. Every connection speaks either the JSON-lines compat
@@ -631,7 +635,14 @@ MaxRate. Boosts never change an admission decision or delay any
 guaranteed finish — the overlay only reads the ledger. --qos-allowance
 SECS bounds how much banked fair-share credit a transfer may hold
 (default 200); --qos-tenant-cap RATE[:BURST] token-bucket-polices each
-ingress port's total boost rate (MB/s, bucket depth in MB)."
+ingress port's total boost rate (MB/s, bucket depth in MB).
+
+--malleable accepts variable-rate reservations: a submit carrying
+\"malleable\": true is water-filled into a stepwise plan over the
+ledger's residual capacity (never above its MaxRate), granted as an
+AcceptedSegments plan, and may later be renegotiated in place with the
+atomic Amend op — a rejected amend leaves the original plan untouched.
+Rigid submissions decide bit-identically with or without the flag."
                 );
                 std::process::exit(0);
             }
@@ -652,6 +663,7 @@ ingress port's total boost rate (MB/s, bucket depth in MB)."
     engine.admit_threads = admit_threads;
     engine.gc_horizon = gc_horizon;
     engine.qos = qos;
+    engine.malleable = malleable;
     if let Some(dir) = wal_dir {
         let fs = gridband_serve::FsDir::new(&dir)
             .unwrap_or_else(|e| fail(format_args!("cannot open --wal-dir {dir}: {e}")));
@@ -769,6 +781,7 @@ fn cluster(args: Vec<String>) {
     let mut decisions = false;
     let mut map_shards: Option<usize> = None;
     let mut wire = gridband_serve::wire::WireMode::Json;
+    let mut cluster_malleable = false;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -803,6 +816,7 @@ fn cluster(args: Vec<String>) {
                 gc_horizon = Some(s);
             }
             "--decisions" => decisions = true,
+            "--malleable" => cluster_malleable = true,
             "--map" => map_shards = Some(num("--map", val("--map")) as usize),
             "--wire" => {
                 wire = val("--wire")
@@ -815,7 +829,7 @@ fn cluster(args: Vec<String>) {
                         [--step S] [--horizon S] [--seed N] [--interarrival S]
                         [--cross F] [--loss P] [--loss-seed N] [--drop-releases]
                         [--connect H:P,H:P,...] [--wire json|binary] [--decisions]
-                        [--gc-horizon SECS]
+                        [--gc-horizon SECS] [--malleable]
 
 Generates a workload, steers a --cross fraction of it across the shard
 cut (the rest stays partition-respecting), and routes it through a
@@ -841,7 +855,14 @@ partition-respecting 4-shard run).
 --gc-horizon SECS has each in-process shard garbage-collect its ledger
 behind a watermark lagging SECS behind its clock (see `gridband serve
 --help`); decisions are identical with or without it. Ignored with
---connect — real daemons own their GC via their own --gc-horizon."
+--connect — real daemons own their GC via their own --gc-horizon.
+
+--malleable enables variable-rate reservations on every in-process
+shard (see `gridband serve --help`). Only single-shard routes qualify:
+the router rejects cross-shard malleable submissions as Invalid, since
+the two-phase protocol prepares constant-rate windows, not stepwise
+plans. The generated workload stays rigid, so this flag only matters
+for --connect-less conservation runs exercising the engine flag."
                 );
                 std::process::exit(0);
             }
@@ -890,6 +911,7 @@ behind a watermark lagging SECS behind its clock (see `gridband serve
         start: Some(r.start()),
         deadline: Some(r.finish()),
         class: Default::default(),
+        malleable: None,
     };
     let flush = trace.iter().map(|r| r.finish()).fold(0.0f64, f64::max);
 
@@ -900,6 +922,7 @@ behind a watermark lagging SECS behind its clock (see `gridband serve
     cfg.loss_seed = loss_seed;
     cfg.drop_releases = drop_releases;
     cfg.gc_horizon = gc_horizon;
+    cfg.malleable = cluster_malleable;
 
     let or_die = |r: Result<(), String>| r.unwrap_or_else(|e| fail(format_args!("{e}")));
     let (report, violations) = if let Some(c) = &connect {

@@ -43,6 +43,7 @@
 //!         start: Some(0.0),
 //!         deadline: Some(100.0),
 //!         class: Default::default(),
+//!         malleable: None,
 //!     })
 //!     .unwrap();
 //! let report = cluster.finish().unwrap();

@@ -88,6 +88,13 @@ pub struct ClusterConfig {
     /// share no profiles, so per-shard watermarks need no coordination).
     /// `None` (the default) never truncates.
     pub gc_horizon: Option<f64>,
+    /// Accept malleable (variable-rate) submissions on every shard.
+    /// Only single-shard routes qualify: a cross-shard malleable
+    /// submission is rejected `Invalid` by the router — the two-phase
+    /// hold protocol prepares one constant-rate window, not a stepwise
+    /// plan, and half-holding a segmented grant would break the
+    /// conservation guarantee the protocol exists for.
+    pub malleable: bool,
 }
 
 impl ClusterConfig {
@@ -107,6 +114,7 @@ impl ClusterConfig {
             stores: Vec::new(),
             qos: None,
             gc_horizon: None,
+            malleable: false,
         }
     }
 
@@ -122,6 +130,7 @@ impl ClusterConfig {
         cfg.store = self.stores.get(s).cloned().flatten();
         cfg.qos = self.qos;
         cfg.gc_horizon = self.gc_horizon;
+        cfg.malleable = self.malleable;
         cfg
     }
 }
@@ -335,7 +344,19 @@ impl<L: ShardLink> Cluster<L> {
                 self.collect_shard(s)?;
                 Ok(())
             }
-            Placement::Cross { ingress, egress } => self.two_phase(req, ingress, egress),
+            Placement::Cross { ingress, egress } => {
+                // The two-phase protocol prepares one constant-rate
+                // window per side; a stepwise malleable plan has no
+                // such window, so the router refuses the combination
+                // outright rather than half-holding it.
+                if req.is_malleable() {
+                    self.crosses += 1;
+                    self.decisions
+                        .insert(req.id, Decision::Denied(RejectReason::Invalid));
+                    return Ok(());
+                }
+                self.two_phase(req, ingress, egress)
+            }
         }
     }
 
@@ -495,6 +516,16 @@ impl<L: ShardLink> Cluster<L> {
                 start,
                 finish,
             } => {
+                self.decisions
+                    .insert(id, Decision::Granted { bw, start, finish });
+            }
+            // A segmented grant folds down to its envelope: the report's
+            // `Decision` stays `Copy`, and for the conservation checker
+            // and decision dumps the peak-rate window is what matters.
+            ServerMsg::AcceptedSegments { id, segments } => {
+                let start = segments.first().map_or(0.0, |s| s.0);
+                let finish = segments.last().map_or(0.0, |s| s.1);
+                let bw = segments.iter().fold(0.0f64, |m, s| m.max(s.2));
                 self.decisions
                     .insert(id, Decision::Granted { bw, start, finish });
             }

@@ -80,6 +80,7 @@ fn to_req(r: &Request) -> SubmitReq {
         start: Some(r.start()),
         deadline: Some(r.finish()),
         class: Default::default(),
+        malleable: None,
     }
 }
 

@@ -85,6 +85,61 @@ impl Reservation {
     }
 }
 
+/// One step of a malleable (stepwise time-varying) reservation: a
+/// constant `bw` MB/s over `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegSpan {
+    /// Start of the step (inclusive).
+    pub start: Time,
+    /// End of the step (exclusive).
+    pub end: Time,
+    /// Constant bandwidth of the step in MB/s.
+    pub bw: Bandwidth,
+}
+
+impl SegSpan {
+    /// Bandwidth-seconds of this step (`bw × duration`).
+    pub fn area(&self) -> f64 {
+        self.bw * (self.end - self.start)
+    }
+}
+
+/// A booked stepwise reservation: the same route charged with a
+/// different constant rate in each segment — the malleable request
+/// model of Chen & Primet, where a transfer may crawl through a
+/// congested stretch and sprint afterward. Segments are strictly
+/// ordered and non-overlapping; gaps (idle stretches) are allowed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentedReservation {
+    /// The route both ends of which are charged by every segment.
+    pub route: Route,
+    /// The booked steps, ascending and non-overlapping, never empty.
+    pub segments: Vec<SegSpan>,
+}
+
+impl SegmentedReservation {
+    /// Start of the first segment.
+    pub fn start(&self) -> Time {
+        self.segments.first().map_or(f64::INFINITY, |s| s.start)
+    }
+
+    /// End of the last segment.
+    pub fn end(&self) -> Time {
+        self.segments.last().map_or(f64::NEG_INFINITY, |s| s.end)
+    }
+
+    /// Total bandwidth-seconds booked at one endpoint — the transfer
+    /// volume the stepwise plan delivers.
+    pub fn volume(&self) -> f64 {
+        self.segments.iter().map(|s| s.area()).sum()
+    }
+
+    /// Highest per-segment rate of the plan.
+    pub fn peak(&self) -> Bandwidth {
+        self.segments.iter().fold(0.0, |m, s| m.max(s.bw))
+    }
+}
+
 /// Parameters of one reservation inside a [`CapacityLedger::reserve_all`]
 /// batch — the same four arguments [`CapacityLedger::reserve`] takes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -123,6 +178,11 @@ pub struct LedgerState {
     /// float because the in-memory "never collected" sentinel is `-∞`,
     /// which JSON cannot represent.)
     pub watermark: Option<Time>,
+    /// Live segmented (malleable) reservations as `(id, reservation)`,
+    /// sorted by id; `None` when there are none, so rigid-only exports —
+    /// and pre-malleable images, where the field is absent entirely —
+    /// decode to the identical state.
+    pub live_seg: Option<Vec<(u64, SegmentedReservation)>>,
 }
 
 /// What one [`CapacityLedger::gc`] sweep reclaimed.
@@ -144,6 +204,10 @@ pub struct CapacityLedger {
     ingress: Vec<CapacityProfile>,
     egress: Vec<CapacityProfile>,
     live: HashMap<u64, Reservation>,
+    /// Live segmented (malleable) reservations, sharing the id space of
+    /// `live` — a `BTreeMap` so GC sweeps and exports walk them in one
+    /// deterministic (ascending-id) order.
+    live_seg: std::collections::BTreeMap<u64, SegmentedReservation>,
     next_id: u64,
     holds: HashMap<u64, PortHold>,
     next_hold_id: u64,
@@ -169,6 +233,7 @@ impl CapacityLedger {
             ingress,
             egress,
             live: HashMap::new(),
+            live_seg: std::collections::BTreeMap::new(),
             next_id: 0,
             holds: HashMap::new(),
             next_hold_id: 0,
@@ -347,6 +412,248 @@ impl CapacityLedger {
             },
         );
         Ok(ReservationId(id))
+    }
+
+    /// Shape-check a stepwise plan: every span finite, longer than ε,
+    /// positive-rate, and strictly ordered without overlap.
+    fn validate_segments(&self, route: Route, segments: &[SegSpan]) -> NetResult<()> {
+        if !self.topology.contains_route(route) {
+            let bad = if route.ingress.index() >= self.topology.num_ingress() {
+                PortRef::In(route.ingress)
+            } else {
+                PortRef::Out(route.egress)
+            };
+            return Err(NetError::UnknownPort(bad));
+        }
+        if segments.is_empty() {
+            return Err(NetError::InvalidArgument(
+                "segmented reservation has no segments".into(),
+            ));
+        }
+        let mut prev_end = f64::NEG_INFINITY;
+        for s in segments {
+            if !(s.start.is_finite() && s.end.is_finite()) || s.end - s.start <= EPS {
+                return Err(NetError::InvalidArgument(format!(
+                    "segment [{}, {}) is empty or non-finite",
+                    s.start, s.end
+                )));
+            }
+            if !s.bw.is_finite() || s.bw <= 0.0 {
+                return Err(NetError::InvalidArgument(format!(
+                    "segment bandwidth {} must be finite and positive",
+                    s.bw
+                )));
+            }
+            if s.start < prev_end {
+                return Err(NetError::InvalidArgument(format!(
+                    "segments overlap or are out of order at {}",
+                    s.start
+                )));
+            }
+            prev_end = s.end;
+        }
+        Ok(())
+    }
+
+    /// Atomically book a stepwise plan on both endpoints of `route`:
+    /// every segment is charged on the ingress and the egress profile, or
+    /// nothing is. All-or-nothing holds across segments *and* ports — a
+    /// mid-plan overflow rolls back every allocation already made (the
+    /// rollback of a just-made allocation cannot fail), so a rejected
+    /// plan leaves the ledger exactly as it found it.
+    ///
+    /// The reservation shares the id space of [`reserve`](Self::reserve);
+    /// free it with [`cancel_segments`](Self::cancel_segments) or reshape
+    /// it in place with [`amend_segments`](Self::amend_segments).
+    pub fn reserve_segments(
+        &mut self,
+        route: Route,
+        segments: &[SegSpan],
+    ) -> NetResult<ReservationId> {
+        self.validate_segments(route, segments)?;
+        let iidx = route.ingress.index();
+        let eidx = route.egress.index();
+        for (k, s) in segments.iter().enumerate() {
+            if let Err(at) = self.ingress[iidx].allocate(s.start, s.end, s.bw) {
+                for u in segments[..k].iter().rev() {
+                    self.ingress[iidx]
+                        .release(u.start, u.end, u.bw)
+                        .expect("rollback of a just-made allocation cannot fail");
+                }
+                return Err(NetError::CapacityExceeded {
+                    port: PortRef::In(route.ingress),
+                    capacity: self.ingress[iidx].capacity(),
+                    requested: self.ingress[iidx].alloc_at(at) + s.bw,
+                    at,
+                });
+            }
+        }
+        for (k, s) in segments.iter().enumerate() {
+            if let Err(at) = self.egress[eidx].allocate(s.start, s.end, s.bw) {
+                for u in segments[..k].iter().rev() {
+                    self.egress[eidx]
+                        .release(u.start, u.end, u.bw)
+                        .expect("rollback of a just-made allocation cannot fail");
+                }
+                for u in segments.iter().rev() {
+                    self.ingress[iidx]
+                        .release(u.start, u.end, u.bw)
+                        .expect("rollback of a just-made allocation cannot fail");
+                }
+                return Err(NetError::CapacityExceeded {
+                    port: PortRef::Out(route.egress),
+                    capacity: self.egress[eidx].capacity(),
+                    requested: self.egress[eidx].alloc_at(at) + s.bw,
+                    at,
+                });
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live_seg.insert(
+            id,
+            SegmentedReservation {
+                route,
+                segments: segments.to_vec(),
+            },
+        );
+        Ok(ReservationId(id))
+    }
+
+    /// Cancel a live segmented reservation, freeing every segment's
+    /// capacity on both ports. Like [`cancel`](Self::cancel), a failing
+    /// release (corrupted profile) leaves the ledger unchanged — here
+    /// guaranteed bit-exactly by restoring pre-cancel clones of the two
+    /// port profiles instead of replaying inverse float operations.
+    pub fn cancel_segments(&mut self, id: ReservationId) -> NetResult<SegmentedReservation> {
+        let r = self
+            .live_seg
+            .get(&id.0)
+            .ok_or(NetError::UnknownReservation(id.0))?
+            .clone();
+        let iidx = r.route.ingress.index();
+        let eidx = r.route.egress.index();
+        let ing_snap = self.ingress[iidx].clone();
+        let egr_snap = self.egress[eidx].clone();
+        for s in &r.segments {
+            if let Err(at) = self.ingress[iidx].release(s.start, s.end, s.bw) {
+                self.ingress[iidx] = ing_snap;
+                return Err(NetError::ReleaseUnderflow {
+                    port: PortRef::In(r.route.ingress),
+                    at,
+                });
+            }
+        }
+        for s in &r.segments {
+            if let Err(at) = self.egress[eidx].release(s.start, s.end, s.bw) {
+                self.ingress[iidx] = ing_snap;
+                self.egress[eidx] = egr_snap;
+                return Err(NetError::ReleaseUnderflow {
+                    port: PortRef::Out(r.route.egress),
+                    at,
+                });
+            }
+        }
+        self.live_seg.remove(&id.0);
+        Ok(r)
+    }
+
+    /// Atomically replace a live segmented reservation's plan with
+    /// `new_segments` — mid-flight renegotiation as one ledger action
+    /// that keeps the id. The swap releases the old plan and books the
+    /// new one; because release-then-reallocate is **not** float-exact,
+    /// failure restores pre-amend clones of the two port profiles
+    /// wholesale, so a rejected amend leaves the original reservation
+    /// (and every profile byte) untouched, and capacity freed by the old
+    /// plan is never observable unless the new plan is granted.
+    pub fn amend_segments(&mut self, id: ReservationId, new_segments: &[SegSpan]) -> NetResult<()> {
+        let (route, old_segments) = {
+            let r = self
+                .live_seg
+                .get(&id.0)
+                .ok_or(NetError::UnknownReservation(id.0))?;
+            (r.route, r.segments.clone())
+        };
+        self.validate_segments(route, new_segments)?;
+        let iidx = route.ingress.index();
+        let eidx = route.egress.index();
+        let ing_snap = self.ingress[iidx].clone();
+        let egr_snap = self.egress[eidx].clone();
+        let result = (|| -> NetResult<()> {
+            for s in &old_segments {
+                self.ingress[iidx]
+                    .release(s.start, s.end, s.bw)
+                    .map_err(|at| NetError::ReleaseUnderflow {
+                        port: PortRef::In(route.ingress),
+                        at,
+                    })?;
+                self.egress[eidx]
+                    .release(s.start, s.end, s.bw)
+                    .map_err(|at| NetError::ReleaseUnderflow {
+                        port: PortRef::Out(route.egress),
+                        at,
+                    })?;
+            }
+            for s in new_segments {
+                if let Err(at) = self.ingress[iidx].allocate(s.start, s.end, s.bw) {
+                    return Err(NetError::CapacityExceeded {
+                        port: PortRef::In(route.ingress),
+                        capacity: self.ingress[iidx].capacity(),
+                        requested: self.ingress[iidx].alloc_at(at) + s.bw,
+                        at,
+                    });
+                }
+                if let Err(at) = self.egress[eidx].allocate(s.start, s.end, s.bw) {
+                    return Err(NetError::CapacityExceeded {
+                        port: PortRef::Out(route.egress),
+                        capacity: self.egress[eidx].capacity(),
+                        requested: self.egress[eidx].alloc_at(at) + s.bw,
+                        at,
+                    });
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.live_seg
+                    .get_mut(&id.0)
+                    .expect("checked above")
+                    .segments = new_segments.to_vec();
+                Ok(())
+            }
+            Err(e) => {
+                self.ingress[iidx] = ing_snap;
+                self.egress[eidx] = egr_snap;
+                Err(e)
+            }
+        }
+    }
+
+    /// Look up a live segmented reservation.
+    pub fn get_segments(&self, id: ReservationId) -> Option<&SegmentedReservation> {
+        self.live_seg.get(&id.0)
+    }
+
+    /// Number of currently live segmented reservations.
+    pub fn seg_count(&self) -> usize {
+        self.live_seg.len()
+    }
+
+    /// Iterate over live segmented reservations in ascending-id order.
+    pub fn live_segmented(&self) -> impl Iterator<Item = (ReservationId, &SegmentedReservation)> {
+        self.live_seg.iter().map(|(&id, r)| (ReservationId(id), r))
+    }
+
+    /// Residual volume a route could still carry over `[t0, t1)`: the
+    /// minimum of the two ports' [`CapacityProfile::free_volume`]. An
+    /// upper bound on any (stepwise or constant) allocation's deliverable
+    /// volume in the window; the malleable solver prechecks against it
+    /// instead of rescanning breakpoints. `O(log k)` per port.
+    pub fn route_free_volume(&self, route: Route, t0: Time, t1: Time) -> f64 {
+        self.ingress[route.ingress.index()]
+            .free_volume(t0, t1)
+            .min(self.egress[route.egress.index()].free_volume(t0, t1))
     }
 
     /// Cancel a live reservation, freeing its capacity on both ports.
@@ -559,6 +866,11 @@ impl CapacityLedger {
                 cut = cut.min(r.start);
             }
         }
+        for r in self.live_seg.values() {
+            if r.end() > watermark {
+                cut = cut.min(r.start());
+            }
+        }
         for h in self.holds.values() {
             if h.end > watermark {
                 cut = cut.min(h.start);
@@ -587,6 +899,29 @@ impl CapacityLedger {
                 self.egress[r.route.egress.index()]
                     .release(r.start, r.end, r.bw)
                     .expect("live reservation charge must be releasable");
+            }
+            stats.reservations_collected += 1;
+        }
+        // Expired segmented reservations, also ascending by id (BTreeMap
+        // iteration order). Only segments whose charge reaches past the
+        // cut still exist in the profiles and need releasing.
+        let expired_seg: Vec<u64> = self
+            .live_seg
+            .iter()
+            .filter(|(_, r)| r.end() <= watermark)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired_seg {
+            let r = self.live_seg.remove(&id).expect("selected above");
+            for s in &r.segments {
+                if s.end > cut {
+                    self.ingress[r.route.ingress.index()]
+                        .release(s.start, s.end, s.bw)
+                        .expect("live segment charge must be releasable");
+                    self.egress[r.route.egress.index()]
+                        .release(s.start, s.end, s.bw)
+                        .expect("live segment charge must be releasable");
+                }
             }
             stats.reservations_collected += 1;
         }
@@ -639,6 +974,16 @@ impl CapacityLedger {
         live.sort_by_key(|&(id, _)| id);
         let mut holds: Vec<(u64, PortHold)> = self.holds.iter().map(|(&id, &h)| (id, h)).collect();
         holds.sort_by_key(|&(id, _)| id);
+        let live_seg = if self.live_seg.is_empty() {
+            None
+        } else {
+            Some(
+                self.live_seg
+                    .iter()
+                    .map(|(&id, r)| (id, r.clone()))
+                    .collect(),
+            )
+        };
         LedgerState {
             ingress: self.ingress.clone(),
             egress: self.egress.clone(),
@@ -647,6 +992,7 @@ impl CapacityLedger {
             holds,
             next_hold_id: self.next_hold_id,
             watermark: self.watermark(),
+            live_seg,
         }
     }
 
@@ -710,6 +1056,28 @@ impl CapacityLedger {
                 )));
             }
             self.validate(r.route, r.start, r.end, r.bw)?;
+        }
+        let seg_entries: &[(u64, SegmentedReservation)] = state.live_seg.as_deref().unwrap_or(&[]);
+        let mut prev_seg: Option<u64> = None;
+        for (id, r) in seg_entries {
+            if prev_seg.is_some_and(|p| *id <= p) {
+                return Err(NetError::InvalidArgument(format!(
+                    "segmented reservations not sorted by id at #{id}"
+                )));
+            }
+            prev_seg = Some(*id);
+            if *id >= state.next_id {
+                return Err(NetError::InvalidArgument(format!(
+                    "segmented reservation #{id} not below next_id {}",
+                    state.next_id
+                )));
+            }
+            if state.live.binary_search_by_key(id, |&(rid, _)| rid).is_ok() {
+                return Err(NetError::InvalidArgument(format!(
+                    "reservation #{id} is both rigid and segmented"
+                )));
+            }
+            self.validate_segments(r.route, &r.segments)?;
         }
         let mut prev_hold: Option<u64> = None;
         for &(id, h) in &state.holds {
@@ -778,6 +1146,20 @@ impl CapacityLedger {
                             }
                         })
                         .sum();
+                    let seg_reserved: f64 = seg_entries
+                        .iter()
+                        .map(|(_, r)| {
+                            let charged = match dir {
+                                "ingress" => r.route.ingress.index() == idx,
+                                _ => r.route.egress.index() == idx,
+                            };
+                            if charged {
+                                r.volume()
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum();
                     let held: f64 = state
                         .holds
                         .iter()
@@ -794,7 +1176,7 @@ impl CapacityLedger {
                             }
                         })
                         .sum();
-                    let owed = reserved + held;
+                    let owed = reserved + seg_reserved + held;
                     let tol = EPS * (1.0 + booked.abs().max(owed.abs()));
                     if (booked - owed).abs() > tol {
                         return Err(NetError::InvalidArgument(format!(
@@ -807,6 +1189,7 @@ impl CapacityLedger {
         self.ingress = state.ingress;
         self.egress = state.egress;
         self.live = state.live.into_iter().collect();
+        self.live_seg = state.live_seg.unwrap_or_default().into_iter().collect();
         self.next_id = state.next_id;
         self.holds = state.holds.into_iter().collect();
         self.next_hold_id = state.next_hold_id;
@@ -1139,6 +1522,201 @@ mod tests {
         assert!(l.fits(Route::new(0, 1), 0.0, 10.0, 100.0));
         assert_eq!(l.live_count(), 0);
         assert!(matches!(l.cancel(id), Err(NetError::UnknownReservation(_))));
+    }
+
+    fn seg(start: f64, end: f64, bw: f64) -> SegSpan {
+        SegSpan { start, end, bw }
+    }
+
+    #[test]
+    fn reserve_segments_books_every_segment_on_both_ports() {
+        let mut l = small();
+        let id = l
+            .reserve_segments(
+                Route::new(0, 1),
+                &[
+                    seg(0.0, 4.0, 20.0),
+                    seg(4.0, 6.0, 80.0),
+                    seg(9.0, 12.0, 50.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(2.0), 20.0);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(5.0), 80.0);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(7.0), 0.0);
+        assert_eq!(l.egress_profile(EgressId(1)).alloc_at(10.0), 50.0);
+        assert_eq!(l.seg_count(), 1);
+        let r = l.get_segments(id).unwrap();
+        assert_eq!(r.volume(), 20.0 * 4.0 + 80.0 * 2.0 + 50.0 * 3.0);
+        assert_eq!(r.peak(), 80.0);
+        assert_eq!((r.start(), r.end()), (0.0, 12.0));
+        // Cancel releases everything.
+        l.cancel_segments(id).unwrap();
+        assert!(l.ingress_profile(IngressId(0)).is_empty());
+        assert!(l.egress_profile(EgressId(1)).is_empty());
+        assert_eq!(l.seg_count(), 0);
+        assert!(matches!(
+            l.cancel_segments(id),
+            Err(NetError::UnknownReservation(_))
+        ));
+    }
+
+    #[test]
+    fn reserve_segments_is_all_or_nothing() {
+        let mut l = small();
+        // Saturate egress 0 over [5, 7): the plan's middle segment can't fit.
+        l.reserve(Route::new(1, 0), 5.0, 7.0, 100.0).unwrap();
+        let before_in = l.ingress_profile(IngressId(0)).clone();
+        let before_eg = l.egress_profile(EgressId(0)).clone();
+        let err = l
+            .reserve_segments(
+                Route::new(0, 0),
+                &[
+                    seg(0.0, 5.0, 10.0),
+                    seg(5.0, 7.0, 10.0),
+                    seg(7.0, 9.0, 10.0),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::CapacityExceeded {
+                port: PortRef::Out(EgressId(0)),
+                ..
+            }
+        ));
+        // Every prior segment allocation rolled back on both ports.
+        assert_eq!(l.ingress_profile(IngressId(0)), &before_in);
+        assert_eq!(l.egress_profile(EgressId(0)), &before_eg);
+        assert_eq!(l.seg_count(), 0);
+        // Malformed plans are rejected up front.
+        for bad in [
+            vec![],
+            vec![seg(0.0, 0.0, 10.0)],
+            vec![seg(0.0, 5.0, -1.0)],
+            vec![seg(0.0, 5.0, 10.0), seg(4.0, 6.0, 10.0)],
+            vec![seg(f64::NAN, 5.0, 10.0)],
+        ] {
+            assert!(matches!(
+                l.reserve_segments(Route::new(0, 0), &bad),
+                Err(NetError::InvalidArgument(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn amend_swaps_the_plan_and_keeps_the_id() {
+        let mut l = small();
+        let id = l
+            .reserve_segments(Route::new(0, 1), &[seg(0.0, 10.0, 30.0)])
+            .unwrap();
+        l.amend_segments(id, &[seg(0.0, 5.0, 30.0), seg(5.0, 8.0, 50.0)])
+            .unwrap();
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(6.0), 50.0);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(9.0), 0.0);
+        let r = l.get_segments(id).unwrap();
+        assert_eq!(r.segments.len(), 2);
+        assert_eq!(r.volume(), 30.0 * 5.0 + 50.0 * 3.0);
+    }
+
+    #[test]
+    fn rejected_amend_is_a_bit_identical_noop() {
+        let mut l = small();
+        // Awkward floats so release-then-reallocate would NOT round-trip.
+        let id = l
+            .reserve_segments(
+                Route::new(0, 0),
+                &[seg(0.1, 3.3, 29.7), seg(3.3, 7.7, 11.1)],
+            )
+            .unwrap();
+        l.reserve(Route::new(1, 0), 10.0, 20.0, 95.0).unwrap();
+        let before_in = l.ingress_profile(IngressId(0)).clone();
+        let before_eg = l.egress_profile(EgressId(0)).clone();
+        // New plan collides with the rigid booking on egress 0.
+        let err = l
+            .amend_segments(id, &[seg(0.1, 3.3, 29.7), seg(12.0, 14.0, 50.0)])
+            .unwrap_err();
+        assert!(matches!(err, NetError::CapacityExceeded { .. }));
+        // The original reservation and both profiles are untouched, down
+        // to the last bit (snapshot restore, not inverse float replay).
+        assert_eq!(l.ingress_profile(IngressId(0)), &before_in);
+        assert_eq!(l.egress_profile(EgressId(0)), &before_eg);
+        let r = l.get_segments(id).unwrap();
+        assert_eq!(r.segments, vec![seg(0.1, 3.3, 29.7), seg(3.3, 7.7, 11.1)]);
+        // Amending an unknown id is an error.
+        assert!(matches!(
+            l.amend_segments(ReservationId(999), &[seg(0.0, 1.0, 1.0)]),
+            Err(NetError::UnknownReservation(999))
+        ));
+    }
+
+    #[test]
+    fn route_free_volume_is_the_min_of_both_ports() {
+        let mut l = small();
+        // Ingress 0 loses 40 over [0, 10); egress 1 loses 70 over [5, 10).
+        l.reserve(Route::new(0, 0), 0.0, 10.0, 40.0).unwrap();
+        l.reserve(Route::new(1, 1), 5.0, 10.0, 70.0).unwrap();
+        // Ingress free: 60*10 = 600. Egress free: 100*5 + 30*5 = 650.
+        assert_eq!(l.route_free_volume(Route::new(0, 1), 0.0, 10.0), 600.0);
+        assert_eq!(l.route_free_volume(Route::new(0, 1), 5.0, 10.0), 150.0);
+        assert_eq!(l.route_free_volume(Route::new(0, 1), 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn gc_collects_expired_segmented_reservations() {
+        let mut l = small();
+        let gone = l
+            .reserve_segments(
+                Route::new(0, 0),
+                &[seg(0.0, 3.0, 10.0), seg(4.0, 8.0, 20.0)],
+            )
+            .unwrap();
+        let stays = l
+            .reserve_segments(Route::new(0, 1), &[seg(2.0, 6.0, 5.0), seg(9.0, 15.0, 5.0)])
+            .unwrap();
+        let stats = l.gc(10.0);
+        assert_eq!(stats.reservations_collected, 1);
+        assert!(l.get_segments(gone).is_none());
+        assert!(l.get_segments(stays).is_some());
+        // The survivor caps the cut at its first segment's start.
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(3.0), 5.0);
+        assert_eq!(l.ingress_profile(IngressId(0)).alloc_at(12.0), 5.0);
+        // The expired plan's charge is fully gone.
+        assert_eq!(l.egress_profile(EgressId(0)).alloc_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn export_restore_round_trips_segmented_reservations() {
+        let mut l = small();
+        l.reserve(Route::new(0, 1), 0.0, 10.0, 25.0).unwrap();
+        let id = l
+            .reserve_segments(
+                Route::new(0, 0),
+                &[seg(1.0, 4.0, 10.0), seg(6.0, 9.0, 40.0)],
+            )
+            .unwrap();
+        let state = l.export_state();
+        assert_eq!(state.live_seg.as_ref().map(Vec::len), Some(1));
+        let mut l2 = small();
+        l2.restore_state(state).unwrap();
+        assert_eq!(l2.get_segments(id), l.get_segments(id));
+        assert_eq!(
+            l2.ingress_profile(IngressId(0)),
+            l.ingress_profile(IngressId(0))
+        );
+        assert_eq!(l2.seg_count(), 1);
+        // Rigid-only ledgers export `live_seg: None`, so pre-malleable
+        // images and rigid-only images stay byte-identical.
+        let mut rigid = small();
+        rigid.reserve(Route::new(0, 1), 0.0, 10.0, 25.0).unwrap();
+        assert!(rigid.export_state().live_seg.is_none());
+        // A corrupted image (segment volume unaccounted for) is rejected.
+        let mut bad = l.export_state();
+        if let Some(entries) = bad.live_seg.as_mut() {
+            entries[0].1.segments[0].bw = 1.0;
+        }
+        let mut l3 = small();
+        assert!(l3.restore_state(bad).is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod units;
 pub use error::{NetError, NetResult};
 pub use ledger::{
     CapacityLedger, GcStats, HoldId, LedgerState, PortHold, Reservation, ReservationId,
-    ReserveRequest, SubLedger,
+    ReserveRequest, SegSpan, SegmentedReservation, SubLedger,
 };
 pub use partition::{
     default_admit_threads, partition_indexed, partition_routes, Component, Partition,

@@ -63,6 +63,11 @@ struct ProfileIndex {
     max: Vec<f64>,
     /// `min[n]` = minimum `alloc` in node `n`'s leaf range.
     min: Vec<f64>,
+    /// `area[i]` = `∫ alloc` from `points[0].time` to `points[i].time`,
+    /// accumulated strictly left-to-right so the cached prefix is
+    /// bit-identical to a fresh linear scan over the same breakpoints
+    /// (the `free_volume` / `free_volume_linear` twin contract).
+    area: Vec<f64>,
 }
 
 impl ProfileIndex {
@@ -73,7 +78,16 @@ impl ProfileIndex {
             self.size = 0;
             self.max.clear();
             self.min.clear();
+            self.area.clear();
             return;
+        }
+        self.area.clear();
+        self.area.reserve(n);
+        let mut acc = 0.0_f64;
+        self.area.push(acc);
+        for w in points.windows(2) {
+            acc += w[0].alloc * (w[1].time - w[0].time);
+            self.area.push(acc);
         }
         let size = n.next_power_of_two();
         self.size = size;
@@ -813,6 +827,55 @@ impl CapacityProfile {
             }
         }
     }
+
+    /// Residual volume over `[t0, t1)`: `capacity × (t1 − t0) − ∫ alloc`,
+    /// in MB. This is the upper bound on what any allocation — constant or
+    /// stepwise — could still push through the port inside the window, and
+    /// the quantity the malleable solver prechecks instead of rescanning
+    /// breakpoints. `O(log k)` via the prefix areas cached in the index.
+    ///
+    /// An empty or reversed window yields 0.
+    pub fn free_volume(&self, t0: Time, t1: Time) -> f64 {
+        self.assert_index_fresh();
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let alloc = self.area_to_indexed(t1) - self.area_to_indexed(t0);
+        snap_nonneg(self.capacity * (t1 - t0) - alloc)
+    }
+
+    /// `∫ alloc` from the first breakpoint to `t`, read off the cached
+    /// prefix array. 0 for instants before the first breakpoint.
+    fn area_to_indexed(&self, t: Time) -> f64 {
+        match self.step_index(t) {
+            None => 0.0,
+            Some(i) => self.index.area[i] + self.points[i].alloc * (t - self.points[i].time),
+        }
+    }
+
+    /// Reference implementation of [`free_volume`](Self::free_volume): the
+    /// `O(k)` scan, accumulating the prefix area left-to-right exactly as
+    /// the index rebuild does, so indexed and linear answers are
+    /// bit-identical (same IEEE additions, in the same order). Ground
+    /// truth for the differential property tests.
+    pub fn free_volume_linear(&self, t0: Time, t1: Time) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let alloc = self.area_to_linear(t1) - self.area_to_linear(t0);
+        snap_nonneg(self.capacity * (t1 - t0) - alloc)
+    }
+
+    fn area_to_linear(&self, t: Time) -> f64 {
+        let Some(i) = self.step_index(t) else {
+            return 0.0;
+        };
+        let mut acc = 0.0_f64;
+        for j in 0..i {
+            acc += self.points[j].alloc * (self.points[j + 1].time - self.points[j].time);
+        }
+        acc + self.points[i].alloc * (t - self.points[i].time)
+    }
 }
 
 #[cfg(test)]
@@ -854,6 +917,50 @@ mod tests {
         assert_eq!(p.alloc_at(12.0), 30.0);
         assert_eq!(p.max_alloc(0.0, 15.0), 60.0);
         assert_eq!(p.min_free(0.0, 15.0), 40.0);
+    }
+
+    #[test]
+    fn free_volume_subtracts_the_allocated_area() {
+        let mut p = profile();
+        assert_eq!(p.free_volume(0.0, 10.0), 1000.0);
+        p.allocate(2.0, 6.0, 40.0).unwrap();
+        // 100×10 − 40×4 = 840 over the full window.
+        assert_eq!(p.free_volume(0.0, 10.0), 840.0);
+        // Window clipped inside the allocation: 100×2 − 40×2 = 120.
+        assert_eq!(p.free_volume(3.0, 5.0), 120.0);
+        // Straddling the end: 100×6 − 40×2 = 520.
+        assert_eq!(p.free_volume(4.0, 10.0), 520.0);
+        // Empty and reversed windows are zero.
+        assert_eq!(p.free_volume(5.0, 5.0), 0.0);
+        assert_eq!(p.free_volume(7.0, 3.0), 0.0);
+        // Fully saturated window has no residual volume.
+        p.allocate(2.0, 6.0, 60.0).unwrap();
+        assert_eq!(p.free_volume(2.0, 6.0), 0.0);
+    }
+
+    #[test]
+    fn free_volume_matches_linear_oracle_bit_exactly() {
+        // Awkward float rates and times: indexed (cached prefix) and
+        // linear (fresh scan) must agree to the last bit.
+        let mut p = profile();
+        let mut t = 0.1_f64;
+        for k in 0..40 {
+            let dur = 1.0 + (k as f64) * 0.37;
+            let bw = 0.1 + (k as f64 % 7.0) * 3.3;
+            p.allocate(t, t + dur, bw).unwrap();
+            t += 0.71 + (k as f64) * 0.13;
+        }
+        let mut q0 = -3.3_f64;
+        while q0 < t + 5.0 {
+            let mut q1 = q0 + 0.17;
+            while q1 < t + 7.0 {
+                let a = p.free_volume(q0, q1);
+                let b = p.free_volume_linear(q0, q1);
+                assert_eq!(a.to_bits(), b.to_bits(), "window [{q0}, {q1})");
+                q1 += 2.89;
+            }
+            q0 += 1.31;
+        }
     }
 
     #[test]

@@ -878,6 +878,12 @@ fn dispatch(shared: &Arc<Shared>, msg: ClientMsg, reply_tx: &Sender<ServerMsg>) 
                         retry_after: None,
                     }
                 }
+                // A follower holds no reservations to renegotiate.
+                ClientMsg::Amend { id, .. } => ServerMsg::Rejected {
+                    id: *id,
+                    reason: RejectReason::NotPrimary,
+                    retry_after: None,
+                },
                 // A follower holds no capacity: the two-phase prepare is
                 // denied outright and its acks report `ok: false`, so a
                 // cluster router talking to a not-yet-promoted standby

@@ -28,7 +28,12 @@ use serde::{Deserialize, Serialize};
 /// snapshots the ledger `watermark` field; a v1 follower would abort
 /// mid-stream on the first sweep, so the handshake refuses the pairing
 /// up front.
-pub const REPL_PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: malleable reservations — round records may carry segmented
+/// `AcceptSegments`/`Amend` decisions and snapshots a `live_seg` table.
+/// A v2 follower would abort on the first segmented grant, so the
+/// handshake refuses the pairing up front.
+pub const REPL_PROTOCOL_VERSION: u32 = 3;
 
 /// Primary → follower messages.
 ///

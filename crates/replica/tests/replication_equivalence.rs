@@ -44,47 +44,107 @@ fn topology() -> Topology {
 #[derive(Debug, Clone)]
 enum Event {
     Submit(SubmitReq),
-    Cancel { id: u64 },
+    Cancel {
+        id: u64,
+    },
+    Amend {
+        id: u64,
+        volume: f64,
+        max_rate: f64,
+        deadline: Option<f64>,
+    },
 }
 
-/// The recovery suite's workload: Poisson-ish arrivals on a 3×3
-/// topology, with occasional cancels of requests that are guaranteed
-/// already decided.
+/// The flex-recovery suite's workload: Poisson-ish arrivals on a 3×3
+/// topology where every third submission is a long-lived malleable
+/// request, amends renegotiate malleable reservations that are decided
+/// and still live at their deciding round, and cancels only touch
+/// requests decided long ago. Segmented grants and `Amend` swaps land
+/// in the shipped WAL stream, so failover replays them too.
 fn workload(seed: u64) -> Vec<Event> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut events = Vec::with_capacity(EVENTS);
     let mut clock = 0.0f64;
     let mut submitted: Vec<(u64, f64)> = Vec::new();
+    // (id, start, start + volume/max_rate): the third field is a lower
+    // bound on the plan's end — a plan can never run above MaxRate.
+    let mut malleable: Vec<(u64, f64, f64)> = Vec::new();
     let mut cancelled: Vec<u64> = Vec::new();
+    let mut amended: Vec<u64> = Vec::new();
     for i in 0..EVENTS {
-        let cancel_target = if i % 6 == 5 {
-            submitted
+        if i % 9 == 5 {
+            if let Some(id) = submitted
                 .iter()
                 .find(|(id, start)| *start < clock - 2.0 * STEP && !cancelled.contains(id))
                 .map(|(id, _)| *id)
-        } else {
-            None
-        };
-        if let Some(id) = cancel_target {
-            cancelled.push(id);
-            events.push(Event::Cancel { id });
-            continue;
+            {
+                cancelled.push(id);
+                events.push(Event::Cancel { id });
+                continue;
+            }
+        }
+        if i % 3 == 0 && i > 0 {
+            if let Some((id, _, _)) = malleable
+                .iter()
+                .find(|(id, start, min_end)| {
+                    *start < clock - 2.0 * STEP
+                        && *min_end > clock + 2.0 * STEP
+                        && !cancelled.contains(id)
+                        && !amended.contains(id)
+                })
+                .copied()
+            {
+                amended.push(id);
+                let volume = rng.gen_range(400.0..2400.0);
+                let max_rate = rng.gen_range(20.0..60.0);
+                let deadline = rng
+                    .gen_bool(0.5)
+                    .then(|| clock + rng.gen_range(2.0..6.0) * STEP);
+                events.push(Event::Amend {
+                    id,
+                    volume,
+                    max_rate,
+                    deadline,
+                });
+                continue;
+            }
         }
         clock += rng.gen_range(1.0..8.0);
         let id = i as u64 + 1;
-        let volume = rng.gen_range(50.0..400.0);
-        let max_rate = rng.gen_range(20.0..90.0);
-        let slack = rng.gen_range(1.2..3.5);
-        events.push(Event::Submit(SubmitReq {
-            id,
-            ingress: rng.gen_range(0u32..3),
-            egress: rng.gen_range(0u32..3),
-            volume,
-            max_rate,
-            start: Some(clock),
-            deadline: Some(clock + slack * volume / max_rate),
-            class: Default::default(),
-        }));
+        if i % 3 == 1 {
+            let volume = rng.gen_range(1200.0..2200.0);
+            let max_rate = rng.gen_range(20.0..32.0);
+            let deadline = rng
+                .gen_bool(0.5)
+                .then(|| clock + rng.gen_range(1.5..3.0) * volume / max_rate);
+            events.push(Event::Submit(SubmitReq {
+                id,
+                ingress: rng.gen_range(0u32..3),
+                egress: rng.gen_range(0u32..3),
+                volume,
+                max_rate,
+                start: Some(clock),
+                deadline,
+                class: Default::default(),
+                malleable: Some(true),
+            }));
+            malleable.push((id, clock, clock + volume / max_rate));
+        } else {
+            let volume = rng.gen_range(50.0..400.0);
+            let max_rate = rng.gen_range(20.0..90.0);
+            let slack = rng.gen_range(1.2..3.5);
+            events.push(Event::Submit(SubmitReq {
+                id,
+                ingress: rng.gen_range(0u32..3),
+                egress: rng.gen_range(0u32..3),
+                volume,
+                max_rate,
+                start: Some(clock),
+                deadline: Some(clock + slack * volume / max_rate),
+                class: Default::default(),
+                malleable: None,
+            }));
+        }
         submitted.push((id, clock));
     }
     events
@@ -94,6 +154,7 @@ fn config(dir: Arc<MemDir>, snapshot_every: u64, gc_horizon: Option<f64>) -> Eng
     let mut cfg = EngineConfig::new(topology());
     cfg.step = STEP;
     cfg.history_capacity = HISTORY;
+    cfg.malleable = true;
     cfg.gc_horizon = gc_horizon;
     cfg.store = Some(StoreConfig {
         dir,
@@ -123,11 +184,13 @@ fn follower_cfg(dir: Arc<MemDir>) -> FollowerConfig {
     }
 }
 
-/// Reply channels of one client session.
+/// Reply channels of one client session: submit decisions keyed by
+/// request id, cancel acks and amend outcomes keyed by event index.
 #[derive(Default)]
 struct Session {
     submits: Vec<(u64, Receiver<ServerMsg>)>,
     cancels: Vec<(usize, Receiver<ServerMsg>)>,
+    amends: Vec<(usize, Receiver<ServerMsg>)>,
 }
 
 impl Session {
@@ -141,6 +204,20 @@ impl Session {
             Event::Cancel { id } => {
                 self.cancels.push((idx, rx));
                 ClientMsg::Cancel { id: *id }
+            }
+            Event::Amend {
+                id,
+                volume,
+                max_rate,
+                deadline,
+            } => {
+                self.amends.push((idx, rx));
+                ClientMsg::Amend {
+                    id: *id,
+                    volume: *volume,
+                    max_rate: *max_rate,
+                    deadline: *deadline,
+                }
             }
         };
         engine
@@ -156,6 +233,7 @@ impl Session {
         &mut self,
         decisions: &mut BTreeMap<u64, ServerMsg>,
         acked_cancels: &mut Vec<usize>,
+        amend_replies: &mut BTreeMap<usize, ServerMsg>,
     ) {
         for (id, rx) in &self.submits {
             if let Ok(msg) = rx.try_recv() {
@@ -166,6 +244,12 @@ impl Session {
         for (idx, rx) in &self.cancels {
             if rx.try_recv().is_ok() {
                 acked_cancels.push(*idx);
+            }
+        }
+        for (idx, rx) in &self.amends {
+            if let Ok(msg) = rx.try_recv() {
+                let prev = amend_replies.insert(*idx, msg);
+                assert!(prev.is_none(), "two replies for amend event {idx}");
             }
         }
     }
@@ -196,7 +280,11 @@ fn run_uninterrupted(
     events: &[Event],
     snapshot_every: u64,
     gc_horizon: Option<f64>,
-) -> (BTreeMap<u64, ServerMsg>, EngineSnapshot) {
+) -> (
+    BTreeMap<u64, ServerMsg>,
+    BTreeMap<usize, ServerMsg>,
+    EngineSnapshot,
+) {
     let dir = Arc::new(MemDir::new());
     let engine = Engine::spawn(config(dir, snapshot_every, gc_horizon));
     let mut session = Session::default();
@@ -205,10 +293,11 @@ fn run_uninterrupted(
     }
     drain(&engine);
     let mut decisions = BTreeMap::new();
-    session.harvest(&mut decisions, &mut Vec::new());
+    let mut amend_replies = BTreeMap::new();
+    session.harvest(&mut decisions, &mut Vec::new(), &mut amend_replies);
     let snap = export(&engine);
     engine.shutdown();
-    (decisions, snap)
+    (decisions, amend_replies, snap)
 }
 
 /// How the primary dies.
@@ -358,7 +447,8 @@ fn assert_failover_equivalent_gc(
 ) {
     let ctx = format!("seed {seed} {kill:?} snap_every {snapshot_every} gc {gc_horizon:?}");
     let events = workload(seed);
-    let (want_decisions, want_snap) = run_uninterrupted(&events, snapshot_every, gc_horizon);
+    let (want_decisions, want_amends, want_snap) =
+        run_uninterrupted(&events, snapshot_every, gc_horizon);
     if gc_horizon.is_some() {
         assert!(
             want_snap.ledger.watermark.is_some(),
@@ -366,6 +456,15 @@ fn assert_failover_equivalent_gc(
              the scenario exercises nothing"
         );
     }
+    // The comparison must not be vacuous: segmented grants and amend
+    // outcomes have to flow through the shipped stream.
+    assert!(
+        want_decisions
+            .values()
+            .any(|d| matches!(d, ServerMsg::AcceptedSegments { .. })),
+        "{ctx}: no malleable submission was granted — workload too thin"
+    );
+    assert!(!want_amends.is_empty(), "{ctx}: workload queued no amends");
 
     // Phase 1: the primary runs a prefix and dies.
     let primary_dir = Arc::new(MemDir::new());
@@ -393,7 +492,8 @@ fn assert_failover_equivalent_gc(
     primary_dir.clear_write_budget();
     let mut decisions = BTreeMap::new();
     let mut acked_cancels = Vec::new();
-    session.harvest(&mut decisions, &mut acked_cancels);
+    let mut amend_replies = BTreeMap::new();
+    session.harvest(&mut decisions, &mut acked_cancels, &mut amend_replies);
 
     // Phase 2: stream the surviving store to a fresh follower across the
     // fault plan, to full sync.
@@ -424,19 +524,24 @@ fn assert_failover_equivalent_gc(
         let answered = match event {
             Event::Submit(s) => decisions.contains_key(&s.id),
             Event::Cancel { .. } => acked_cancels.contains(&idx),
+            Event::Amend { .. } => amend_replies.contains_key(&idx),
         };
         if !answered {
             assert!(session.send(&engine, idx, event), "promoted engine died");
         }
     }
     drain(&engine);
-    session.harvest(&mut decisions, &mut Vec::new());
+    session.harvest(&mut decisions, &mut Vec::new(), &mut amend_replies);
     let got_snap = export(&engine);
     engine.shutdown();
 
     assert_eq!(
         decisions, want_decisions,
         "{ctx}: failover decisions diverge from the uninterrupted run"
+    );
+    assert_eq!(
+        amend_replies, want_amends,
+        "{ctx}: failover amend outcomes diverge from the uninterrupted run"
     );
     assert_eq!(
         got_snap, want_snap,
@@ -703,7 +808,7 @@ impl WireClient {
 #[test]
 fn tcp_failover_promotes_and_finishes_bit_identically() {
     let events = workload(55);
-    let (want_decisions, want_snap) = run_uninterrupted(&events, 0, None);
+    let (want_decisions, want_amends, want_snap) = run_uninterrupted(&events, 0, None);
 
     // The primary: a store-backed engine plus a shipper.
     let primary_dir = Arc::new(MemDir::new());
@@ -768,6 +873,7 @@ fn tcp_failover_promotes_and_finishes_bit_identically() {
             start: None,
             deadline: None,
             class: Default::default(),
+            malleable: None,
         }));
         match client.recv() {
             ServerMsg::Rejected { id, reason, .. } => {
@@ -778,12 +884,32 @@ fn tcp_failover_promotes_and_finishes_bit_identically() {
         }
     }
 
+    // Barrier: a Stats round-trip through the same command queue proves
+    // every prefix event was *processed* (not necessarily decided)
+    // before the kill. That keeps reply routing after promotion
+    // unambiguous — an unanswered amend's target submission was decided
+    // when the amend was queued, so its decision reply predates the
+    // kill and only the amend is re-sent under that id.
+    {
+        let (tx, rx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: ClientMsg::Stats,
+                reply: tx.into(),
+            })
+            .expect("engine alive for stats barrier");
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("stats barrier");
+    }
+
     // Kill the primary mid-workload.
     engine.kill();
     shipper.shutdown();
     let mut decisions = BTreeMap::new();
     let mut acked_cancels = Vec::new();
-    session.harvest(&mut decisions, &mut acked_cancels);
+    let mut amend_replies = BTreeMap::new();
+    session.harvest(&mut decisions, &mut acked_cancels, &mut amend_replies);
 
     // Promote over the wire (twice: the second must be idempotent), then
     // finish the workload through the promoted daemon.
@@ -800,11 +926,20 @@ fn tcp_failover_promotes_and_finishes_bit_identically() {
     }
 
     let mut outstanding = 0usize;
+    // In-flight requests by reservation id. The same id can be open as
+    // a submission *and* an amend (the kill landed before the target's
+    // round, so the loop below re-drives both, in original order); the
+    // reply loop routes the id's two replies by the uninterrupted run's
+    // expected outcomes — a wrong route still fails the final equality
+    // asserts.
+    let mut open_submits: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut amend_idx_by_id: BTreeMap<u64, usize> = BTreeMap::new();
     for (idx, event) in events.iter().enumerate() {
         match event {
             Event::Submit(s) => {
                 if !decisions.contains_key(&s.id) {
                     client.send(&ClientMsg::Submit(s.clone()));
+                    open_submits.insert(s.id);
                     outstanding += 1;
                 }
             }
@@ -814,22 +949,57 @@ fn tcp_failover_promotes_and_finishes_bit_identically() {
                     outstanding += 1;
                 }
             }
+            Event::Amend {
+                id,
+                volume,
+                max_rate,
+                deadline,
+            } => {
+                if !amend_replies.contains_key(&idx) {
+                    client.send(&ClientMsg::Amend {
+                        id: *id,
+                        volume: *volume,
+                        max_rate: *max_rate,
+                        deadline: *deadline,
+                    });
+                    amend_idx_by_id.insert(*id, idx);
+                    outstanding += 1;
+                }
+            }
         }
     }
     client.send(&ClientMsg::Drain);
     outstanding += 1;
     for _ in 0..outstanding {
         match client.recv() {
-            msg @ (ServerMsg::Accepted { .. } | ServerMsg::Rejected { .. }) => {
+            msg @ (ServerMsg::Accepted { .. }
+            | ServerMsg::AcceptedSegments { .. }
+            | ServerMsg::Rejected { .. }) => {
                 let id = match &msg {
-                    ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } => *id,
+                    ServerMsg::Accepted { id, .. }
+                    | ServerMsg::AcceptedSegments { id, .. }
+                    | ServerMsg::Rejected { id, .. } => *id,
                     _ => unreachable!(),
                 };
-                let prev = decisions.insert(id, msg);
-                assert!(
-                    prev.is_none(),
-                    "two decisions for request {id} after failover"
-                );
+                let sub_open = open_submits.contains(&id) && !decisions.contains_key(&id);
+                let amend_open = amend_idx_by_id
+                    .get(&id)
+                    .is_some_and(|idx| !amend_replies.contains_key(idx));
+                let route_to_amend = match (sub_open, amend_open) {
+                    (true, false) => false,
+                    (false, true) => true,
+                    (true, true) => {
+                        let idx = amend_idx_by_id[&id];
+                        want_decisions.get(&id) != Some(&msg) && want_amends.get(&idx) == Some(&msg)
+                    }
+                    (false, false) => panic!("reply for {id}, which has nothing in flight"),
+                };
+                if route_to_amend {
+                    let idx = amend_idx_by_id[&id];
+                    amend_replies.insert(idx, msg);
+                } else {
+                    decisions.insert(id, msg);
+                }
             }
             ServerMsg::CancelResult { .. } | ServerMsg::Draining { .. } => {}
             other => panic!("unexpected reply finishing the workload: {other:?}"),
@@ -839,6 +1009,10 @@ fn tcp_failover_promotes_and_finishes_bit_identically() {
     assert_eq!(
         decisions, want_decisions,
         "TCP failover: decisions diverge from the uninterrupted run"
+    );
+    assert_eq!(
+        amend_replies, want_amends,
+        "TCP failover: amend outcomes diverge from the uninterrupted run"
     );
 
     replica.shutdown();
@@ -880,6 +1054,7 @@ fn auto_promotion_fires_after_primary_silence() {
         start: None,
         deadline: None,
         class: Default::default(),
+        malleable: None,
     }));
     client.send(&ClientMsg::Drain);
     let mut decided = false;

@@ -78,7 +78,32 @@ struct Args {
     /// Open-loop send rate (requests/second of wall time); `None` is the
     /// classic closed-loop blast.
     rate: Option<f64>,
+    /// Fraction of requests submitted as malleable (stepwise) class.
+    /// Assignment is a seeded splitmix64 hash per request id, mirroring
+    /// `--classes`: the same flags always pick the same ids.
+    malleable: f64,
+    /// Probability that an accepted malleable request gets one mid-run
+    /// `Amend` (renegotiated volume, server-default deadline).
+    amend_rate: f64,
 }
+
+/// Deterministic malleable assignment, mirroring `ClassMix::class_for`:
+/// a splitmix64 hash of `(seed, id)` under a salt distinct from the
+/// class hash, mapped to `[0, 1)` and compared against the fraction.
+fn picks(id: u64, seed: u64, salt: u64, frac: f64) -> bool {
+    if frac <= 0.0 {
+        return false;
+    }
+    let mut x = (seed ^ salt) ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    u < frac
+}
+
+const MALLEABLE_SALT: u64 = 0xa076_1d64_78bd_642f;
+const AMEND_SALT: u64 = 0xe703_7ed1_a0b4_28db;
 
 fn parse_topo(spec: &str) -> Result<Topology, String> {
     match spec {
@@ -116,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
         classes: ClassMix::all_silver(),
         decisions: None,
         rate: None,
+        malleable: 0.0,
+        amend_rate: 0.0,
     };
     let mut open_loop = false;
     let mut it = std::env::args().skip(1);
@@ -160,6 +187,16 @@ fn parse_args() -> Result<Args, String> {
                 args.classes_spec = spec;
             }
             "--decisions" => args.decisions = Some(val("--decisions")?),
+            "--malleable" => {
+                args.malleable = val("--malleable")?
+                    .parse()
+                    .map_err(|e| format!("bad --malleable: {e}"))?
+            }
+            "--amend-rate" => {
+                args.amend_rate = val("--amend-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --amend-rate: {e}"))?
+            }
             "--open-loop" => open_loop = true,
             "--rate" => {
                 args.rate = Some(
@@ -173,6 +210,7 @@ fn parse_args() -> Result<Args, String> {
                     "loadgen [--addr HOST:PORT] [--requests N] [--mean-interarrival S] \
                      [--seed N] [--topo paper|grid5000|MxNxCAP] [--json]\n        \
                      [--wire json|binary] [--classes G:S:B] [--decisions FILE]\n        \
+                     [--malleable FRAC] [--amend-rate R]\n        \
                      [--open-loop --rate R]\n        \
                      [--kill-after N --state FILE | --resume --state FILE]"
                 );
@@ -194,6 +232,15 @@ fn parse_args() -> Result<Args, String> {
     }
     if open_loop && (args.resume || args.kill_after.is_some()) {
         return Err("--open-loop does not combine with --kill-after/--resume".to_string());
+    }
+    if !(0.0..=1.0).contains(&args.malleable) || !(0.0..=1.0).contains(&args.amend_rate) {
+        return Err("--malleable and --amend-rate must be in [0, 1]".to_string());
+    }
+    if args.amend_rate > 0.0 && args.malleable <= 0.0 {
+        return Err("--amend-rate needs --malleable FRAC > 0".to_string());
+    }
+    if args.malleable > 0.0 && (args.resume || args.kill_after.is_some()) {
+        return Err("--malleable does not combine with --kill-after/--resume".to_string());
     }
     Ok(args)
 }
@@ -340,7 +387,7 @@ impl MsgReader {
     }
 }
 
-fn submit_msg(req: &gridband_workload::Request, class: ServiceClass) -> ClientMsg {
+fn submit_msg(req: &gridband_workload::Request, class: ServiceClass, malleable: bool) -> ClientMsg {
     ClientMsg::Submit(SubmitReq {
         id: req.id.0,
         ingress: req.route.ingress.0,
@@ -350,7 +397,36 @@ fn submit_msg(req: &gridband_workload::Request, class: ServiceClass) -> ClientMs
         start: Some(req.start()),
         deadline: Some(req.finish()),
         class,
+        // `None` (not `Some(false)`) for rigid submissions: the binary
+        // codec omits the absent field, so a rigid-only run's bytes are
+        // identical to a pre-malleable client's.
+        malleable: malleable.then_some(true),
     })
+}
+
+/// One renegotiation for an accepted malleable request: 60% of the
+/// original volume at the original ceiling, deadline left to the server
+/// default. Returns how many amends were written (0 or 1).
+fn send_amend(
+    w: &mut TcpStream,
+    wire: WireMode,
+    id: u64,
+    amendable: &HashMap<u64, (f64, f64)>,
+) -> Result<u64, String> {
+    let Some(&(volume, max_rate)) = amendable.get(&id) else {
+        return Ok(0);
+    };
+    send_msg(
+        w,
+        wire,
+        &ClientMsg::Amend {
+            id,
+            volume: volume * 0.6,
+            max_rate,
+            deadline: None,
+        },
+    )?;
+    Ok(1)
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -387,12 +463,21 @@ fn run(args: Args) -> Result<(), String> {
     }
     let n = to_send.len();
     let wire = args.wire;
+    let (seed, amend_rate) = (args.seed, args.amend_rate);
+    // Accepted malleable ids the amend hash picks flow back to the
+    // writer, which renegotiates them while the run is still live.
+    let (amend_tx, amend_rx) = std::sync::mpsc::channel::<u64>();
 
     // Reader: collect one decision per submission plus the final stats.
-    type ReaderResult = Result<(Vec<(u64, ServerMsg, Instant)>, Option<ServerMsg>), String>;
+    // A second reply for an already-decided id is an amend outcome, not
+    // a decision — tallied separately.
+    type ReaderResult =
+        Result<(Vec<(u64, ServerMsg, Instant)>, Option<ServerMsg>, u64, u64), String>;
     let reader = std::thread::spawn(move || -> ReaderResult {
         let mut decisions = Vec::with_capacity(n);
+        let mut decided = std::collections::HashSet::with_capacity(n);
         let mut stats = None;
+        let (mut amends_granted, mut amends_rejected) = (0u64, 0u64);
         let mut msgs = MsgReader::new(stream, wire);
         while killing || decisions.len() < n || stats.is_none() {
             let msg = match msgs.next_msg() {
@@ -415,8 +500,21 @@ fn run(args: Args) -> Result<(), String> {
                 Err(e) => return Err(format!("read: {e}")),
             };
             match msg {
-                ServerMsg::Accepted { id, .. } | ServerMsg::Rejected { id, .. } => {
-                    decisions.push((id, msg, Instant::now()));
+                ServerMsg::Accepted { id, .. }
+                | ServerMsg::Rejected { id, .. }
+                | ServerMsg::AcceptedSegments { id, .. } => {
+                    if decided.insert(id) {
+                        if matches!(msg, ServerMsg::AcceptedSegments { .. })
+                            && picks(id, seed, AMEND_SALT, amend_rate)
+                        {
+                            let _ = amend_tx.send(id);
+                        }
+                        decisions.push((id, msg, Instant::now()));
+                    } else if matches!(msg, ServerMsg::AcceptedSegments { .. }) {
+                        amends_granted += 1;
+                    } else {
+                        amends_rejected += 1;
+                    }
                 }
                 ServerMsg::Stats(_) => stats = Some(msg),
                 ServerMsg::Draining { .. } => {}
@@ -426,12 +524,20 @@ fn run(args: Args) -> Result<(), String> {
                 _ => {}
             }
         }
-        Ok((decisions, stats))
+        Ok((decisions, stats, amends_granted, amends_rejected))
     });
 
     // Writer: stream the trace prefix — paced when open-loop, as fast
     // as the socket accepts otherwise; in a full run, drain and ask for
     // stats; in a kill run, stop cold.
+    // Amend parameters by id, for the ids the reader may hand back.
+    let amendable: HashMap<u64, (f64, f64)> = to_send
+        .iter()
+        .filter(|r| picks(r.id.0, args.seed, MALLEABLE_SALT, args.malleable))
+        .map(|r| (r.id.0, (r.volume, r.max_rate)))
+        .collect();
+    let mut amends_sent = 0u64;
+
     let started = Instant::now();
     let mut sent_at: HashMap<u64, (Instant, Instant)> = HashMap::with_capacity(n);
     let mut order: Vec<u64> = Vec::with_capacity(n);
@@ -449,7 +555,28 @@ fn run(args: Args) -> Result<(), String> {
         sent_at.insert(req.id.0, (actual, intended.unwrap_or(actual)));
         order.push(req.id.0);
         let class = args.classes.class_for(req.id.0, args.seed);
-        send_msg(&mut write_half, args.wire, &submit_msg(req, class))?;
+        let malleable = amendable.contains_key(&req.id.0);
+        send_msg(
+            &mut write_half,
+            args.wire,
+            &submit_msg(req, class, malleable),
+        )?;
+        // Renegotiate any accepts the reader has surfaced meanwhile:
+        // amends interleave with live submissions, exactly the mid-flight
+        // traffic shape the daemon's round loop must absorb.
+        while let Ok(id) = amend_rx.try_recv() {
+            amends_sent += send_amend(&mut write_half, args.wire, id, &amendable)?;
+        }
+    }
+    if args.amend_rate > 0.0 {
+        // Grace window: decisions for the trace tail are still streaming
+        // in; give their amend candidates a chance before the drain.
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_millis(50));
+            while let Ok(id) = amend_rx.try_recv() {
+                amends_sent += send_amend(&mut write_half, args.wire, id, &amendable)?;
+            }
+        }
     }
     if !killing {
         for msg in [ClientMsg::Drain, ClientMsg::Stats] {
@@ -458,7 +585,8 @@ fn run(args: Args) -> Result<(), String> {
     }
     write_half.flush().map_err(|e| e.to_string())?;
 
-    let (decisions, stats) = reader.join().map_err(|_| "reader panicked".to_string())??;
+    let (decisions, stats, amends_granted, amends_rejected) =
+        reader.join().map_err(|_| "reader panicked".to_string())??;
     let wall = started.elapsed();
 
     if killing {
@@ -511,6 +639,7 @@ fn run(args: Args) -> Result<(), String> {
         sent_at,
         &order,
         wall,
+        (amends_sent, amends_granted, amends_rejected),
     )
 }
 
@@ -602,7 +731,7 @@ fn run_resume(args: Args) -> Result<(), String> {
         sent_at.insert(req.id.0, (now, now));
         order.push(req.id.0);
         let class = mix.class_for(req.id.0, state.seed);
-        send_msg(&mut write_half, args.wire, &submit_msg(req, class))?;
+        send_msg(&mut write_half, args.wire, &submit_msg(req, class, false))?;
     }
     for msg in [ClientMsg::Drain, ClientMsg::Stats] {
         send_msg(&mut write_half, args.wire, &msg)?;
@@ -656,7 +785,15 @@ fn run_resume(args: Args) -> Result<(), String> {
         ));
     }
     report(
-        &args, &mix, state.seed, decisions, stats, sent_at, &order, wall,
+        &args,
+        &mix,
+        state.seed,
+        decisions,
+        stats,
+        sent_at,
+        &order,
+        wall,
+        (0, 0, 0),
     )
 }
 
@@ -670,6 +807,7 @@ fn report(
     sent_at: HashMap<u64, (Instant, Instant)>,
     order: &[u64],
     wall: Duration,
+    amends: (u64, u64, u64),
 ) -> Result<(), String> {
     if let Some(path) = &args.decisions {
         dump_decisions(path, &decisions)?;
@@ -693,18 +831,30 @@ fn report(
     ];
     let mut class_n = [0u64; 3];
     let mut class_acc = [0u64; 3];
+    // Index 0 = rigid, 1 = malleable: the class-style breakdown the
+    // --malleable flag adds to both report formats.
+    let kind_lat = [LatencyHistogram::new(), LatencyHistogram::new()];
+    let mut kind_n = [0u64; 2];
+    let mut kind_acc = [0u64; 2];
     let mut accepted = 0usize;
     for (id, msg, at) in &decisions {
         let c = mix.class_for(*id, seed).index();
+        let k = usize::from(picks(*id, seed, MALLEABLE_SALT, args.malleable));
         class_n[c] += 1;
-        if matches!(msg, ServerMsg::Accepted { .. }) {
+        kind_n[k] += 1;
+        if matches!(
+            msg,
+            ServerMsg::Accepted { .. } | ServerMsg::AcceptedSegments { .. }
+        ) {
             accepted += 1;
             class_acc[c] += 1;
+            kind_acc[k] += 1;
         }
         if let Some((actual, intended)) = sent_at.get(id) {
             lat.record(at.duration_since(*actual));
             corrected.record(at.duration_since(*intended));
             class_lat[c].record(at.duration_since(*actual));
+            kind_lat[k].record(at.duration_since(*actual));
             if let Some(q) = qpos.get(id) {
                 quintile[*q].record(at.duration_since(*intended));
             }
@@ -731,6 +881,25 @@ fn report(
             }
         })
         .collect();
+    let malleable = (args.malleable > 0.0).then(|| {
+        let (amends_sent, amends_granted, amends_rejected) = amends;
+        MalleableReport {
+            fraction: args.malleable,
+            requests: kind_n[1],
+            accepted: kind_acc[1],
+            accept_rate: kind_acc[1] as f64 / kind_n[1].max(1) as f64,
+            p50_ms: kind_lat[1].quantile_ms(0.50),
+            p99_ms: kind_lat[1].quantile_ms(0.99),
+            rigid_requests: kind_n[0],
+            rigid_accepted: kind_acc[0],
+            rigid_accept_rate: kind_acc[0] as f64 / kind_n[0].max(1) as f64,
+            rigid_p50_ms: kind_lat[0].quantile_ms(0.50),
+            rigid_p99_ms: kind_lat[0].quantile_ms(0.99),
+            amends_sent,
+            amends_granted,
+            amends_rejected,
+        }
+    });
 
     if args.json {
         let report = serde_json::to_string_pretty(&LoadgenReport {
@@ -747,6 +916,7 @@ fn report(
             quintile_corrected_p99_ms: quintile.iter().map(|h| h.quantile_ms(0.99)).collect(),
             open_loop_rate: args.rate,
             classes,
+            malleable,
             qos_boost_rounds: stats.as_ref().map_or(0, |s| s.qos_boost_rounds),
             qos_boosted_mb: stats.as_ref().map_or(0, |s| s.qos_boosted_mb),
             qos_early_releases: stats.as_ref().map_or(0, |s| s.qos_early_releases),
@@ -788,6 +958,30 @@ fn report(
                 );
             }
         }
+        if let Some(m) = &malleable {
+            println!(
+                "  {:<10} {:>6} requests  {:>6} accepted ({:.1}%)  p50 {:.3} ms  p99 {:.3} ms",
+                "malleable",
+                m.requests,
+                m.accepted,
+                m.accept_rate * 100.0,
+                m.p50_ms,
+                m.p99_ms
+            );
+            println!(
+                "  {:<10} {:>6} requests  {:>6} accepted ({:.1}%)  p50 {:.3} ms  p99 {:.3} ms",
+                "rigid",
+                m.rigid_requests,
+                m.rigid_accepted,
+                m.rigid_accept_rate * 100.0,
+                m.rigid_p50_ms,
+                m.rigid_p99_ms
+            );
+            println!(
+                "  amends     sent {}  granted {}  rejected {}",
+                m.amends_sent, m.amends_granted, m.amends_rejected
+            );
+        }
         if let Some(s) = &stats {
             println!(
                 "server    accepted {} / rejected {} / ticks {} / gc {} / wal {} appends",
@@ -828,6 +1022,13 @@ fn dump_decisions(path: &str, decisions: &[(u64, ServerMsg, Instant)]) -> Result
             ServerMsg::Rejected { reason, .. } => {
                 out.push_str(&format!("R {id} {reason:?}\n"));
             }
+            ServerMsg::AcceptedSegments { segments, .. } => {
+                out.push_str(&format!("S {id}"));
+                for (start, end, bw) in segments {
+                    out.push_str(&format!(" {start} {end} {bw}"));
+                }
+                out.push('\n');
+            }
             _ => {}
         }
     }
@@ -842,6 +1043,24 @@ struct ClassReport {
     accept_rate: f64,
     p50_ms: f64,
     p99_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct MalleableReport {
+    fraction: f64,
+    requests: u64,
+    accepted: u64,
+    accept_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    rigid_requests: u64,
+    rigid_accepted: u64,
+    rigid_accept_rate: f64,
+    rigid_p50_ms: f64,
+    rigid_p99_ms: f64,
+    amends_sent: u64,
+    amends_granted: u64,
+    amends_rejected: u64,
 }
 
 #[derive(serde::Serialize)]
@@ -864,6 +1083,9 @@ struct LoadgenReport {
     /// The --rate this run paced itself at; `null` for closed-loop.
     open_loop_rate: Option<f64>,
     classes: Vec<ClassReport>,
+    /// Per-kind breakdown when `--malleable FRAC` split the trace; `null`
+    /// for rigid-only runs so their JSON stays byte-identical.
+    malleable: Option<MalleableReport>,
     qos_boost_rounds: u64,
     qos_boosted_mb: u64,
     qos_early_releases: u64,

@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use gridband_algos::BandwidthPolicy;
 use gridband_algos::WindowScheduler;
+use gridband_flex::FlexSpec;
 use gridband_net::units::EPS;
+use gridband_net::SegSpan;
 use gridband_net::{EgressId, NetResult, PortRef, ReservationId, ReserveRequest, Route, Topology};
 use gridband_qos::{AcceptedTransfer, QosConfig, Redistributor};
 use gridband_sim::{AdmissionController, Decision};
@@ -104,6 +106,13 @@ pub struct EngineConfig {
     /// volatile — not in the WAL or snapshots — so a restarted engine
     /// simply starts reselling from its next round.
     pub qos: Option<QosConfig>,
+    /// Accept malleable (stepwise, `[MinRate, MaxRate]`) submissions and
+    /// the `Amend` renegotiation op. Off (the default) rejects both as
+    /// `Invalid`. Rigid-only workloads decide byte-identically whether
+    /// this is on or off: malleable admissions run strictly *after* the
+    /// round's rigid decisions, against the post-decision ledger, and an
+    /// empty malleable queue leaves the round untouched.
+    pub malleable: bool,
 }
 
 impl EngineConfig {
@@ -125,6 +134,7 @@ impl EngineConfig {
             store: None,
             role: Role::Solo,
             qos: None,
+            malleable: false,
         }
     }
 }
@@ -201,6 +211,32 @@ struct PendingEntry {
     cancelled: bool,
     /// Service class for the QoS overlay; admission never reads it.
     class: gridband_workload::ServiceClass,
+}
+
+/// A malleable submission awaiting its deciding round. Kept in arrival
+/// order in a `Vec` (not the rigid `pending` map): the water-filling
+/// solver serves malleable candidates strictly after the round's rigid
+/// decisions, first-come first-served.
+struct FlexPending {
+    id: u64,
+    spec: FlexSpec,
+    /// The client named an explicit deadline (the window cannot slide).
+    hard_deadline: bool,
+    reply: ReplySink,
+    submitted_at: Instant,
+    cancelled: bool,
+    class: gridband_workload::ServiceClass,
+}
+
+/// An `Amend` awaiting its deciding round. Amends are applied in
+/// ascending request-id order at the round boundary, after rigid
+/// decisions and before new malleable admissions.
+struct AmendPending {
+    id: u64,
+    volume: f64,
+    max_rate: f64,
+    deadline: Option<f64>,
+    reply: ReplySink,
 }
 
 /// Handle to a running engine thread.
@@ -343,6 +379,10 @@ struct EngineLoop {
     st: EngineState,
     sched: WindowScheduler,
     pending: HashMap<u64, PendingEntry>,
+    /// Malleable submissions awaiting their round, in arrival order.
+    pending_flex: Vec<FlexPending>,
+    /// Amends awaiting their round (sorted by id when applied).
+    pending_amends: Vec<AmendPending>,
     draining: bool,
     /// Write-ahead log (None = in-memory engine).
     store: Option<Store>,
@@ -401,6 +441,8 @@ impl EngineLoop {
             st,
             sched,
             pending: HashMap::new(),
+            pending_flex: Vec::new(),
+            pending_amends: Vec::new(),
             draining: false,
             store: None,
             snapshot_every: 0,
@@ -469,7 +511,10 @@ impl EngineLoop {
                     self.run_round(t);
                 }
                 Command::Shutdown => {
-                    if !self.pending.is_empty() {
+                    if !self.pending.is_empty()
+                        || !self.pending_flex.is_empty()
+                        || !self.pending_amends.is_empty()
+                    {
                         let t = self.st.next_tick;
                         self.run_round(t);
                     }
@@ -486,6 +531,12 @@ impl EngineLoop {
     fn handle_client(&mut self, msg: ClientMsg, reply: ReplySink) {
         match msg {
             ClientMsg::Submit(s) => self.handle_submit(s, reply),
+            ClientMsg::Amend {
+                id,
+                volume,
+                max_rate,
+                deadline,
+            } => self.handle_amend(id, volume, max_rate, deadline, reply),
             ClientMsg::Cancel { id } => self.handle_cancel(id, reply),
             ClientMsg::HoldOpen(s) => self.handle_hold_open(s, reply),
             ClientMsg::HoldAttach {
@@ -500,7 +551,7 @@ impl EngineLoop {
             ClientMsg::HoldRelease { txn, at } => self.handle_hold_release(txn, at, reply),
             ClientMsg::Query { id } => {
                 MetricsRegistry::inc(&self.metrics.queries);
-                let state = if self.pending.contains_key(&id) {
+                let state = if self.pending.contains_key(&id) || self.flex_pending(id) {
                     ReqState::Pending
                 } else {
                     self.st.state_of(id).unwrap_or(ReqState::Unknown)
@@ -510,16 +561,16 @@ impl EngineLoop {
             }
             ClientMsg::Stats => {
                 let snap = self.metrics.snapshot(
-                    self.pending.len() as u64,
-                    self.st.ledger.live_count() as u64,
+                    (self.pending.len() + self.pending_flex.len()) as u64,
+                    (self.st.ledger.live_count() + self.st.ledger.seg_count()) as u64,
                     self.st.now,
                 );
                 self.send_reply(&reply, ServerMsg::Stats(snap));
             }
             ClientMsg::Drain => {
                 self.draining = true;
-                let n = self.pending.len() as u64;
-                if n > 0 {
+                let n = (self.pending.len() + self.pending_flex.len()) as u64;
+                if n > 0 || !self.pending_amends.is_empty() {
                     let t = self.st.next_tick;
                     self.run_round(t);
                     if self.dead {
@@ -545,8 +596,16 @@ impl EngineLoop {
         }
     }
 
+    /// Whether a malleable submission with this id awaits its round.
+    fn flex_pending(&self, id: u64) -> bool {
+        self.pending_flex.iter().any(|p| p.id == id)
+    }
+
     fn handle_submit(&mut self, s: SubmitReq, reply: ReplySink) {
         MetricsRegistry::inc(&self.metrics.submitted);
+        if s.is_malleable() {
+            MetricsRegistry::inc(&self.metrics.submitted_malleable);
+        }
         if self.draining {
             MetricsRegistry::inc(&self.metrics.refused_early);
             self.send_reply(
@@ -586,6 +645,48 @@ impl EngineLoop {
 
         match self.validate(&s, start) {
             Ok(req) => {
+                if s.is_malleable() {
+                    if !self.config.malleable {
+                        // The malleable path is not enabled: refuse the
+                        // class outright rather than silently degrading
+                        // the request to a rigid admission.
+                        MetricsRegistry::inc(&self.metrics.refused_early);
+                        self.st.record_state(s.id, ReqState::Rejected);
+                        if !self.log_event(WalRecord::EarlyReject { id: s.id }) {
+                            return;
+                        }
+                        self.send_reply(
+                            &reply,
+                            ServerMsg::Rejected {
+                                id: s.id,
+                                reason: RejectReason::Invalid,
+                                retry_after: None,
+                            },
+                        );
+                        return;
+                    }
+                    // Malleable submissions never reach the rigid
+                    // scheduler: they queue for the water-filling pass
+                    // that runs after the round's rigid decisions, so a
+                    // rigid-only workload decides byte-identically with
+                    // this path compiled in and enabled.
+                    self.pending_flex.push(FlexPending {
+                        id: s.id,
+                        spec: FlexSpec::new(
+                            req.route,
+                            req.window.start,
+                            req.finish(),
+                            req.volume,
+                            req.max_rate,
+                        ),
+                        hard_deadline: s.deadline.is_some(),
+                        reply,
+                        submitted_at: Instant::now(),
+                        cancelled: false,
+                        class: s.class,
+                    });
+                    return;
+                }
                 // WindowScheduler always defers; keep the reply routing so
                 // the round that decides this request can answer.
                 let d = self.sched.on_arrival(&req, &self.st.ledger, self.st.now);
@@ -636,7 +737,11 @@ impl EngineLoop {
             // round due at or before `to`. Live holds veto the jump: the
             // expiry sweep must see every round boundary to release a
             // timed-out hold at the round it actually expires.
-            if self.pending.is_empty() && self.st.hold_count() == 0 {
+            if self.pending.is_empty()
+                && self.pending_flex.is_empty()
+                && self.pending_amends.is_empty()
+                && self.st.hold_count() == 0
+            {
                 let behind = ((to - self.st.next_tick) / self.config.step).floor();
                 if behind >= 1.0 {
                     self.st.next_tick += behind * self.config.step;
@@ -867,7 +972,7 @@ impl EngineLoop {
     /// Non-panicking mirror of `Request::new`'s contract; a daemon must
     /// survive hostile input that would assert in the library constructor.
     fn validate(&self, s: &SubmitReq, start: f64) -> Result<Request, RejectReason> {
-        if self.pending.contains_key(&s.id) || self.st.knows(s.id) {
+        if self.pending.contains_key(&s.id) || self.flex_pending(s.id) || self.st.knows(s.id) {
             return Err(RejectReason::Invalid);
         }
         if !(s.volume.is_finite()
@@ -928,10 +1033,74 @@ impl EngineLoop {
                 MetricsRegistry::inc(&self.metrics.cancelled);
             }
             first
+        } else if let Some(entry) = self.pending_flex.iter_mut().find(|p| p.id == id) {
+            // A malleable submission awaiting its round: tombstone it,
+            // exactly like a rigid pending cancel.
+            let first = !entry.cancelled;
+            if first {
+                entry.cancelled = true;
+                MetricsRegistry::inc(&self.metrics.cancelled);
+            }
+            first
         } else {
             false
         };
         self.send_reply(&reply, ServerMsg::CancelResult { id, freed });
+    }
+
+    /// Queue a mid-flight renegotiation of a live malleable reservation.
+    /// The amend is decided at the next round boundary — after the
+    /// round's rigid decisions, in ascending request-id order — as one
+    /// atomic action: either the whole replacement plan is granted (same
+    /// request id, same reservation id) or the original reservation is
+    /// left bit-identically untouched. Capacity freed by the old plan is
+    /// never observable unless the new plan is granted.
+    fn handle_amend(
+        &mut self,
+        id: u64,
+        volume: f64,
+        max_rate: f64,
+        deadline: Option<f64>,
+        reply: ReplySink,
+    ) {
+        MetricsRegistry::inc(&self.metrics.amend_requests);
+        let params_valid = self.config.malleable
+            && volume.is_finite()
+            && volume > 0.0
+            && max_rate.is_finite()
+            && max_rate > 0.0
+            && deadline.is_none_or(|d| d.is_finite());
+        let reason = if self.draining {
+            Some(RejectReason::Drained)
+        } else if !params_valid || self.pending_amends.iter().any(|a| a.id == id) {
+            Some(RejectReason::Invalid)
+        } else {
+            match self.st.reservation_of(id) {
+                // Only a live *segmented* reservation can be amended;
+                // rigid reservations renegotiate via Cancel + resubmit.
+                Some(rid) if self.st.ledger.get_segments(rid).is_some() => None,
+                _ => Some(RejectReason::Invalid),
+            }
+        };
+        if let Some(reason) = reason {
+            MetricsRegistry::inc(&self.metrics.amends_rejected);
+            self.send_reply(
+                &reply,
+                ServerMsg::Rejected {
+                    id,
+                    reason,
+                    retry_after: None,
+                },
+            );
+            return;
+        }
+        self.pending_amends.push(AmendPending {
+            id,
+            volume,
+            max_rate,
+            deadline,
+            reply,
+        });
     }
 
     /// One admission round at virtual time `t`: GC expired reservations,
@@ -1013,6 +1182,12 @@ impl EngineLoop {
             let prebooked = if booked { results.next() } else { None };
             self.apply_decision(rid.0, decision, t, prebooked);
         }
+        // Malleable work runs strictly after the round's rigid decisions,
+        // against the post-decision ledger: amends first (ascending
+        // request id), then new admissions in arrival order. On a
+        // rigid-only workload both queues are empty and the round is
+        // byte-identical to a pre-malleable engine's.
+        self.flex_round(t);
 
         if !self.commit_round(t) {
             // The round is decided in memory but not durable; replies
@@ -1034,6 +1209,219 @@ impl EngineLoop {
             .breakpoints_live
             .store(self.st.ledger.breakpoint_count() as u64, Ordering::Relaxed);
         self.qos_round(t);
+    }
+
+    /// The round's malleable pass: apply queued amends in ascending
+    /// request-id order, then water-fill new malleable admissions in
+    /// arrival order. Both run against the ledger as the rigid decisions
+    /// left it, and both log into the same round record, so replay
+    /// re-walks the identical sequence.
+    fn flex_round(&mut self, t: f64) {
+        if self.pending_amends.is_empty() && self.pending_flex.is_empty() {
+            return;
+        }
+        let mut amends = std::mem::take(&mut self.pending_amends);
+        amends.sort_by_key(|a| a.id);
+        for a in amends {
+            self.apply_amend(a, t);
+        }
+        let flex = std::mem::take(&mut self.pending_flex);
+        for p in flex {
+            self.apply_flex(p, t);
+        }
+    }
+
+    /// Decide one queued amend at round time `t`. The replacement plan
+    /// keeps every already-started segment (clipped at `t` — delivered
+    /// bytes are history, not negotiable) and water-fills the amended
+    /// remaining volume from `t` against residuals with the old plan's
+    /// future segments credited back. The swap itself goes through
+    /// [`CapacityLedger::amend_segments`], so a rejection leaves the
+    /// original reservation bit-identically untouched.
+    fn apply_amend(&mut self, a: AmendPending, t: f64) {
+        let target = self.st.reservation_of(a.id).and_then(|rid| {
+            self.st
+                .ledger
+                .get_segments(rid)
+                .map(|r| (rid, r.route, r.segments.clone()))
+        });
+        // The reservation may have expired (or been cancelled) between
+        // the queueing and the deciding round.
+        let Some((rid, route, old_segments)) = target else {
+            self.reject_amend(&a, RejectReason::Invalid, None);
+            return;
+        };
+        let finish = match a.deadline {
+            Some(d) => d,
+            None => t + self.config.default_slack * a.volume / a.max_rate,
+        };
+        if finish - t <= EPS || a.volume > a.max_rate * (finish - t) * (1.0 + 1e-9) {
+            self.reject_amend(&a, RejectReason::DeadlineUnreachable, None);
+            return;
+        }
+        // Plan the remainder on a scratch ledger with the old plan
+        // released: the real swap releases it before allocating, so the
+        // scratch residuals are exactly what the allocation will see.
+        let mut scratch = self.st.ledger.clone();
+        let cancelled = scratch.cancel_segments(rid);
+        debug_assert!(cancelled.is_ok());
+        let spec = FlexSpec::new(route, t, finish, a.volume, a.max_rate);
+        let Some(future) = gridband_flex::water_fill(&scratch, &spec) else {
+            let hint = gridband_flex::retry_after(
+                &scratch,
+                &spec,
+                self.st.next_tick,
+                a.deadline.is_some(),
+            );
+            self.reject_amend(&a, RejectReason::Saturated, hint);
+            return;
+        };
+        let mut full: Vec<SegSpan> = Vec::with_capacity(old_segments.len() + future.len());
+        for s in &old_segments {
+            if s.start < t && t - s.start > EPS {
+                full.push(SegSpan {
+                    start: s.start,
+                    end: s.end.min(t),
+                    bw: s.bw,
+                });
+            }
+        }
+        full.extend(future);
+        match self.st.ledger.amend_segments(rid, &full) {
+            Ok(()) => {
+                self.round_log.push(RoundDecision::Amend {
+                    id: a.id,
+                    segments: full.clone(),
+                });
+                MetricsRegistry::inc(&self.metrics.amends_granted);
+                // The old guarantee is gone; the overlay must not keep
+                // boosting against it. The amended plan is not
+                // re-registered — its rates were just renegotiated, so
+                // there is no leftover claim to resell yet.
+                if let Some(q) = self.qos.as_mut() {
+                    q.on_cancel(a.id);
+                }
+                let segments = full.iter().map(|s| (s.start, s.end, s.bw)).collect();
+                self.round_replies.push((
+                    a.reply.clone(),
+                    ServerMsg::AcceptedSegments { id: a.id, segments },
+                ));
+            }
+            // `water_fill` verified the plan against the exact residuals
+            // the swap allocates into, so this arm is defensive only.
+            Err(_) => self.reject_amend(&a, RejectReason::Saturated, None),
+        }
+    }
+
+    fn reject_amend(&mut self, a: &AmendPending, reason: RejectReason, retry_after: Option<f64>) {
+        MetricsRegistry::inc(&self.metrics.amends_rejected);
+        self.round_replies.push((
+            a.reply.clone(),
+            ServerMsg::Rejected {
+                id: a.id,
+                reason,
+                retry_after,
+            },
+        ));
+    }
+
+    /// Decide one pending malleable admission at round time `t`.
+    fn apply_flex(&mut self, p: FlexPending, t: f64) {
+        self.metrics
+            .decision_latency
+            .record(p.submitted_at.elapsed());
+        let mut spec = p.spec;
+        spec.start = spec.start.max(t);
+        if spec.finish - spec.start <= EPS
+            || spec.volume > spec.max_rate * (spec.finish - spec.start) * (1.0 + 1e-9)
+        {
+            // The window shrank past feasibility while the request waited.
+            self.reject_flex(&p, RejectReason::DeadlineUnreachable, None);
+            return;
+        }
+        let Some(plan) = gridband_flex::water_fill(&self.st.ledger, &spec) else {
+            let hint = gridband_flex::retry_after(
+                &self.st.ledger,
+                &spec,
+                self.st.next_tick,
+                p.hard_deadline,
+            );
+            self.reject_flex(&p, RejectReason::Saturated, hint);
+            return;
+        };
+        match self.st.ledger.reserve_segments(spec.route, &plan) {
+            Ok(rid) => {
+                self.round_log.push(RoundDecision::AcceptSegments {
+                    id: p.id,
+                    ingress: spec.route.ingress.0,
+                    egress: spec.route.egress.0,
+                    segments: plan.clone(),
+                    cancelled: p.cancelled,
+                });
+                if p.cancelled {
+                    // Cancelled while pending: book then free, keeping
+                    // reservation-id allocation in sync with replay.
+                    let _ = self.st.ledger.cancel_segments(rid);
+                    self.st.record_state(p.id, ReqState::Cancelled);
+                    return;
+                }
+                MetricsRegistry::inc(&self.metrics.accepted);
+                MetricsRegistry::inc(&self.metrics.accepted_malleable);
+                MetricsRegistry::inc(match p.class {
+                    gridband_workload::ServiceClass::Gold => &self.metrics.accepted_gold,
+                    gridband_workload::ServiceClass::Silver => &self.metrics.accepted_silver,
+                    gridband_workload::ServiceClass::BestEffort => {
+                        &self.metrics.accepted_besteffort
+                    }
+                });
+                // Register the stepwise guarantee with the overlay at its
+                // peak rate: boosts stay bounded by `max_rate`, and the
+                // per-segment guarantees the plan carries are what the
+                // resale pass redistributes around.
+                if let Some(q) = self.qos.as_mut() {
+                    let (start, end, peak, volume) = plan_shape(&plan);
+                    q.on_accept(AcceptedTransfer {
+                        id: p.id,
+                        ingress: spec.route.ingress.0 as usize,
+                        egress: spec.route.egress.0 as usize,
+                        class: p.class,
+                        bw: peak,
+                        start,
+                        finish: end,
+                        max_rate: spec.max_rate,
+                        volume,
+                    });
+                }
+                self.st.note_accept(p.id, rid);
+                self.st.record_state(p.id, ReqState::Accepted);
+                let segments = plan.iter().map(|s| (s.start, s.end, s.bw)).collect();
+                self.round_replies.push((
+                    p.reply.clone(),
+                    ServerMsg::AcceptedSegments { id: p.id, segments },
+                ));
+            }
+            // `water_fill` fed the live ledger, so the booking cannot
+            // fail; keep the daemon alive anyway.
+            Err(_) => self.reject_flex(&p, RejectReason::Saturated, None),
+        }
+    }
+
+    fn reject_flex(&mut self, p: &FlexPending, reason: RejectReason, retry_after: Option<f64>) {
+        MetricsRegistry::inc(&self.metrics.rejected);
+        MetricsRegistry::inc(&self.metrics.rejected_malleable);
+        self.st.record_state(p.id, ReqState::Rejected);
+        self.round_log.push(RoundDecision::Reject { id: p.id });
+        if p.cancelled {
+            return;
+        }
+        self.round_replies.push((
+            p.reply.clone(),
+            ServerMsg::Rejected {
+                id: p.id,
+                reason,
+                retry_after,
+            },
+        ));
     }
 
     /// Advance the GC watermark behind the round that just committed,
@@ -1332,6 +1720,15 @@ impl EngineLoop {
     }
 }
 
+/// `(start, end, peak rate, volume)` of a non-empty segment plan.
+fn plan_shape(plan: &[SegSpan]) -> (f64, f64, f64, f64) {
+    let start = plan.first().map_or(0.0, |s| s.start);
+    let end = plan.last().map_or(0.0, |s| s.end);
+    let peak = plan.iter().fold(0.0_f64, |m, s| m.max(s.bw));
+    let volume = plan.iter().map(|s| s.area()).sum();
+    (start, end, peak, volume)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1346,6 +1743,7 @@ mod tests {
             start: Some(start),
             deadline: Some(deadline),
             class: Default::default(),
+            malleable: None,
         })
     }
 
@@ -1477,6 +1875,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(10.0),
                 class: Default::default(),
+                malleable: None,
             }),
             // NaN rate.
             ClientMsg::Submit(SubmitReq {
@@ -1488,6 +1887,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(10.0),
                 class: Default::default(),
+                malleable: None,
             }),
             // Route outside the 1×1 topology.
             ClientMsg::Submit(SubmitReq {
@@ -1499,6 +1899,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(10.0),
                 class: Default::default(),
+                malleable: None,
             }),
             // Deadline before start.
             ClientMsg::Submit(SubmitReq {
@@ -1510,6 +1911,7 @@ mod tests {
                 start: Some(20.0),
                 deadline: Some(10.0),
                 class: Default::default(),
+                malleable: None,
             }),
             // Infeasible even at MaxRate. (The clock is at 20 by now: the
             // id-4 submission above advanced it to its start time.)
@@ -1522,6 +1924,7 @@ mod tests {
                 start: Some(20.0),
                 deadline: Some(30.0),
                 class: Default::default(),
+                malleable: None,
             }),
         ];
         let want = [
@@ -1619,6 +2022,7 @@ mod tests {
             start: Some(probe_time),
             deadline: None,
             class: Default::default(),
+            malleable: None,
         });
         let (ptx, prx) = channel::unbounded();
         engine
@@ -1812,6 +2216,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(100.0),
                 class: Default::default(),
+                malleable: None,
             }),
         );
         let (bw, start, finish) = match open {
@@ -1862,6 +2267,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(10.0),
                 class: Default::default(),
+                malleable: None,
             })],
             12.0,
         );
@@ -1895,6 +2301,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(200.0),
                 class: Default::default(),
+                malleable: None,
             }),
         ) {
             ServerMsg::HoldOpened { txn: 1, .. } => {}
@@ -1914,6 +2321,7 @@ mod tests {
                 start: Some(20.0),
                 deadline: Some(80.0),
                 class: Default::default(),
+                malleable: None,
             })],
             32.0,
         );
@@ -1954,6 +2362,7 @@ mod tests {
                 start: Some(start),
                 deadline: Some(deadline),
                 class,
+                malleable: None,
             })
         };
         let workload = || {
@@ -2033,6 +2442,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(100.0),
                 class: Default::default(),
+                malleable: None,
             })],
             12.0,
         );
@@ -2076,6 +2486,7 @@ mod tests {
                     // the default-slack window [0, 3] would already be past.
                     deadline: Some(60.0),
                     class: Default::default(),
+                    malleable: None,
                 }),
                 reply: tx.into(),
             })
@@ -2090,5 +2501,334 @@ mod tests {
             other => panic!("expected acceptance, got {other:?}"),
         }
         engine.shutdown();
+    }
+
+    // ---- malleable reservations and the Amend op ----
+
+    fn engine_1x1_flex(cap: f64, step: f64) -> Engine {
+        let mut cfg = EngineConfig::new(Topology::uniform(1, 1, cap));
+        cfg.step = step;
+        cfg.malleable = true;
+        Engine::spawn(cfg)
+    }
+
+    fn msubmit(
+        id: u64,
+        start: f64,
+        volume: f64,
+        max_rate: f64,
+        deadline: Option<f64>,
+    ) -> ClientMsg {
+        ClientMsg::Submit(SubmitReq {
+            id,
+            ingress: 0,
+            egress: 0,
+            volume,
+            max_rate,
+            start: Some(start),
+            deadline,
+            class: Default::default(),
+            malleable: Some(true),
+        })
+    }
+
+    #[test]
+    fn malleable_submit_without_the_flag_is_invalid() {
+        let engine = engine_1x1(100.0, 10.0);
+        // Early reject: no round needed, the reply is immediate.
+        match rpc(&engine, msubmit(1, 0.0, 100.0, 50.0, Some(30.0))) {
+            ServerMsg::Rejected {
+                id: 1,
+                reason: RejectReason::Invalid,
+                ..
+            } => {}
+            other => panic!("expected Invalid rejection, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn lone_malleable_request_runs_flat_at_max_rate() {
+        let engine = engine_1x1_flex(100.0, 10.0);
+        let replies = rpc_all(&engine, vec![msubmit(1, 0.0, 500.0, 100.0, Some(30.0))]);
+        match &replies[0] {
+            ServerMsg::AcceptedSegments { id: 1, segments } => {
+                // Decided at the t=10 round: one flat segment at MaxRate.
+                assert_eq!(segments.len(), 1, "{segments:?}");
+                let (s, e, bw) = segments[0];
+                assert_eq!(bw, 100.0);
+                assert_eq!(s, 10.0);
+                assert_eq!(e, 15.0);
+            }
+            other => panic!("expected a segmented grant, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn malleable_rate_varies_around_a_rigid_blocker() {
+        let engine = engine_1x1_flex(100.0, 10.0);
+        // Rigid blocker takes 80 MB/s on [10, 20); the malleable request
+        // (300 MB, MaxRate 100) dribbles at the residual 20 during it and
+        // opens up to 100 after: 20×10 + 100×1 = 300.
+        let replies = rpc_all(
+            &engine,
+            vec![
+                submit(1, 0.0, 800.0, 80.0, 20.0),
+                msubmit(2, 0.0, 300.0, 100.0, Some(40.0)),
+            ],
+        );
+        assert!(
+            matches!(replies[0], ServerMsg::Accepted { .. }),
+            "{:?}",
+            replies[0]
+        );
+        match &replies[1] {
+            ServerMsg::AcceptedSegments { id: 2, segments } => {
+                assert_eq!(segments.len(), 2, "{segments:?}");
+                assert_eq!(segments[0], (10.0, 20.0, 20.0));
+                assert_eq!(segments[1], (20.0, 21.0, 100.0));
+            }
+            other => panic!("expected a segmented grant, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn amend_renegotiates_in_place() {
+        let engine = engine_1x1_flex(100.0, 10.0);
+        // 2000 MB at MaxRate 100 fills [10, 30) exactly.
+        let a = rpc_all_no_drain(
+            &engine,
+            vec![msubmit(1, 0.0, 2_000.0, 100.0, Some(30.0))],
+            12.0,
+        );
+        assert!(
+            matches!(&a[0], ServerMsg::AcceptedSegments { id: 1, .. }),
+            "{:?}",
+            a[0]
+        );
+        // Renegotiate at the t=20 round: 600 MB still to go, rate capped
+        // at 50. The delivered half (10..20 @100) is kept as history;
+        // the remainder is re-water-filled from t=20: 600/50 = 12 s.
+        let b = rpc_all_no_drain(
+            &engine,
+            vec![ClientMsg::Amend {
+                id: 1,
+                volume: 600.0,
+                max_rate: 50.0,
+                deadline: Some(40.0),
+            }],
+            22.0,
+        );
+        match &b[0] {
+            ServerMsg::AcceptedSegments { id: 1, segments } => {
+                assert_eq!(
+                    segments,
+                    &vec![(10.0, 20.0, 100.0), (20.0, 32.0, 50.0)],
+                    "kept history + renegotiated remainder"
+                );
+            }
+            other => panic!("expected the amended plan, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rejected_amend_leaves_the_original_untouched() {
+        let engine = engine_1x1_flex(100.0, 10.0);
+        // 2000 MB at 50 MB/s: the malleable plan runs (10, 50) @50.
+        let a = rpc_all_no_drain(
+            &engine,
+            vec![msubmit(1, 0.0, 2_000.0, 50.0, Some(60.0))],
+            12.0,
+        );
+        assert!(
+            matches!(&a[0], ServerMsg::AcceptedSegments { id: 1, .. }),
+            "{:?}",
+            a[0]
+        );
+        // A rigid blocker then takes the other 50 MB/s on [20, 90).
+        let b = rpc_all_no_drain(&engine, vec![submit(2, 15.0, 3_500.0, 50.0, 200.0)], 22.0);
+        assert!(matches!(b[0], ServerMsg::Accepted { .. }), "{:?}", b[0]);
+        let before = match rpc(&engine, ClientMsg::Query { id: 1 }) {
+            ServerMsg::Status { alloc, state, .. } => {
+                assert_eq!(state, ReqState::Accepted);
+                alloc.expect("live reservation has an allocation")
+            }
+            other => panic!("expected status, got {other:?}"),
+        };
+        // Amend at t=30: even with the old plan's future credited back,
+        // the residual of [30, 60) carries only 1500 MB — the 2400 asked
+        // for cannot fit, so the amend must bounce atomically.
+        let c = rpc_all_no_drain(
+            &engine,
+            vec![ClientMsg::Amend {
+                id: 1,
+                volume: 2_400.0,
+                max_rate: 100.0,
+                deadline: Some(60.0),
+            }],
+            32.0,
+        );
+        match &c[0] {
+            ServerMsg::Rejected {
+                id: 1,
+                reason: RejectReason::Saturated,
+                ..
+            } => {}
+            other => panic!("expected a saturated rejection, got {other:?}"),
+        }
+        match rpc(&engine, ClientMsg::Query { id: 1 }) {
+            ServerMsg::Status { alloc, state, .. } => {
+                assert_eq!(state, ReqState::Accepted);
+                assert_eq!(alloc, Some(before), "rejected amend altered the plan");
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn amend_of_unknown_or_rigid_ids_is_invalid() {
+        let engine = engine_1x1_flex(100.0, 10.0);
+        let a = rpc_all_no_drain(&engine, vec![submit(1, 0.0, 100.0, 50.0, 60.0)], 12.0);
+        assert!(matches!(a[0], ServerMsg::Accepted { .. }), "{:?}", a[0]);
+        for id in [1u64, 99] {
+            // Rigid reservations renegotiate via Cancel + resubmit, and
+            // unknown ids have nothing to amend: both bounce immediately.
+            match rpc(
+                &engine,
+                ClientMsg::Amend {
+                    id,
+                    volume: 50.0,
+                    max_rate: 50.0,
+                    deadline: None,
+                },
+            ) {
+                ServerMsg::Rejected {
+                    reason: RejectReason::Invalid,
+                    ..
+                } => {}
+                other => panic!("expected Invalid for {id}, got {other:?}"),
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn malleable_rejection_hints_at_residual_feasibility() {
+        let engine = engine_1x1_flex(100.0, 10.0);
+        // Saturate the port on [10, 110).
+        let a = rpc_all_no_drain(&engine, vec![submit(1, 0.0, 10_000.0, 100.0, 200.0)], 12.0);
+        assert!(matches!(a[0], ServerMsg::Accepted { .. }), "{:?}", a[0]);
+        // Soft deadline (default slack gives a [15, 45] window): it may
+        // slide, so the hint points at the earliest start whose residual
+        // volume carries the request — not before the blocker frees the
+        // port.
+        let b = rpc_all_no_drain(&engine, vec![msubmit(2, 15.0, 1_000.0, 100.0, None)], 22.0);
+        match &b[0] {
+            ServerMsg::Rejected {
+                id: 2,
+                reason: RejectReason::Saturated,
+                retry_after,
+            } => {
+                let hint = retry_after.expect("sliding-window rejection carries a hint");
+                assert!(hint >= 110.0, "hint {hint} precedes the free-up at 110");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Hard deadline inside the blocker: the deliverable bound of
+        // [t, 60] only shrinks as t grows, so no retry can ever help and
+        // the hint must be absent.
+        let c = rpc_all_no_drain(
+            &engine,
+            vec![msubmit(3, 15.0, 1_000.0, 100.0, Some(60.0))],
+            32.0,
+        );
+        match &c[0] {
+            ServerMsg::Rejected {
+                id: 3,
+                retry_after: None,
+                ..
+            } => {}
+            other => panic!("expected a hint-free rejection, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_pending_malleable_submission_suppresses_its_decision() {
+        let engine = engine_1x1_flex(100.0, 10.0);
+        let (tx, rx) = channel::unbounded();
+        engine
+            .sender()
+            .send(Command::Client {
+                msg: msubmit(1, 0.0, 100.0, 50.0, Some(30.0)),
+                reply: tx.into(),
+            })
+            .unwrap();
+        match rpc(&engine, ClientMsg::Cancel { id: 1 }) {
+            ServerMsg::CancelResult { id: 1, freed: true } => {}
+            other => panic!("expected the tombstone to take, got {other:?}"),
+        }
+        // Fire the deciding round; the suppressed decision must not leak.
+        let _ = rpc_all_no_drain(&engine, vec![], 12.0);
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "cancelled submission still got a decision"
+        );
+        match rpc(&engine, ClientMsg::Query { id: 1 }) {
+            ServerMsg::Status {
+                state: ReqState::Cancelled,
+                ..
+            } => {}
+            other => panic!("expected cancelled status, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rigid_workloads_decide_identically_with_the_flag_on() {
+        use gridband_workload::{Dist, WorkloadBuilder};
+        let topo = Topology::uniform(2, 2, 120.0);
+        let trace = WorkloadBuilder::new(topo.clone())
+            .mean_interarrival(0.8)
+            .slack(Dist::Uniform { lo: 2.0, hi: 4.0 })
+            .horizon(120.0)
+            .seed(11)
+            .build();
+        let run = |malleable: bool| -> Vec<ServerMsg> {
+            let mut cfg = EngineConfig::new(topo.clone());
+            cfg.step = 10.0;
+            cfg.malleable = malleable;
+            let engine = Engine::spawn(cfg);
+            let msgs = trace
+                .iter()
+                .map(|r| {
+                    ClientMsg::Submit(SubmitReq {
+                        id: r.id.0,
+                        ingress: r.route.ingress.0,
+                        egress: r.route.egress.0,
+                        volume: r.volume,
+                        max_rate: r.max_rate,
+                        start: Some(r.start()),
+                        deadline: Some(r.finish()),
+                        class: Default::default(),
+                        malleable: None,
+                    })
+                })
+                .collect();
+            let replies = rpc_all(&engine, msgs);
+            engine.shutdown();
+            replies
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(
+            off.iter().any(|m| matches!(m, ServerMsg::Accepted { .. })),
+            "vacuous differential: nothing accepted"
+        );
+        assert_eq!(off, on, "the malleable path leaked into rigid admission");
     }
 }

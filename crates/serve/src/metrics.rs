@@ -315,6 +315,18 @@ pub struct MetricsRegistry {
     /// QoS overlay: port oversubscriptions detected by the conservation
     /// verifier. Must stay 0; anything else is a bug.
     pub qos_oversubscriptions: AtomicU64,
+    /// Submissions that asked for a malleable (variable-rate) reservation.
+    pub submitted_malleable: AtomicU64,
+    /// Malleable submissions granted a segmented plan.
+    pub accepted_malleable: AtomicU64,
+    /// Malleable submissions refused by an admission round.
+    pub rejected_malleable: AtomicU64,
+    /// `Amend` requests received (mid-flight renegotiations).
+    pub amend_requests: AtomicU64,
+    /// Amends granted (plan atomically replaced).
+    pub amends_granted: AtomicU64,
+    /// Amends rejected (original plan left untouched).
+    pub amends_rejected: AtomicU64,
     /// Process start, for `uptime_s`.
     started: StartClock,
 }
@@ -409,6 +421,12 @@ impl MetricsRegistry {
             qos_early_releases: ld(&self.qos_early_releases),
             qos_finish_violations: ld(&self.qos_finish_violations),
             qos_oversubscriptions: ld(&self.qos_oversubscriptions),
+            submitted_malleable: ld(&self.submitted_malleable),
+            accepted_malleable: ld(&self.accepted_malleable),
+            rejected_malleable: ld(&self.rejected_malleable),
+            amend_requests: ld(&self.amend_requests),
+            amends_granted: ld(&self.amends_granted),
+            amends_rejected: ld(&self.amends_rejected),
             pending,
             live_reservations,
             gc_truncated_bps: ld(&self.gc_truncated_bps),
@@ -525,6 +543,18 @@ pub struct StatsSnapshot {
     pub qos_finish_violations: u64,
     /// Port oversubscriptions found by the verifier (must be 0).
     pub qos_oversubscriptions: u64,
+    /// Submissions that asked for a malleable reservation.
+    pub submitted_malleable: u64,
+    /// Malleable submissions granted a segmented plan.
+    pub accepted_malleable: u64,
+    /// Malleable submissions refused by an admission round.
+    pub rejected_malleable: u64,
+    /// `Amend` requests received.
+    pub amend_requests: u64,
+    /// Amends granted.
+    pub amends_granted: u64,
+    /// Amends rejected (original untouched).
+    pub amends_rejected: u64,
     /// Submissions awaiting the next round.
     pub pending: u64,
     /// Live (unexpired, uncancelled) reservations.

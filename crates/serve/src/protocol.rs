@@ -19,7 +19,14 @@ use crate::metrics::StatsSnapshot;
 /// v2: the `Stats` reply gained required GC fields (`gc_truncated_bps`,
 /// `breakpoints_live`, `gc_watermark`), which a v1 client cannot parse —
 /// the handshake now refuses the pairing instead of failing mid-reply.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: malleable (variable-rate) reservations — `Submit` gained the
+/// `malleable` flag, the `Amend` op renegotiates a live malleable
+/// transfer, grants may arrive as `AcceptedSegments`, and the `Stats`
+/// reply gained required malleable counters. A v2 client could neither
+/// parse segmented grants nor the extended stats, so the pairing is
+/// refused at the handshake.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Client → server envelope: version plus payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,6 +72,19 @@ pub struct SubmitReq {
     /// default an absent field to [`ServiceClass::Silver`], so
     /// pre-class clients keep working; admission itself is class-blind.
     pub class: ServiceClass,
+    /// `Some(true)` requests a *malleable* reservation: the rate may
+    /// vary inside the window (never above `max_rate`) as long as the
+    /// volume is delivered, and the grant arrives as
+    /// [`ServerMsg::AcceptedSegments`]. Absent or `Some(false)` ⇒ rigid
+    /// constant-rate admission, so pre-malleable clients keep working.
+    pub malleable: Option<bool>,
+}
+
+impl SubmitReq {
+    /// Whether this submission asked for a malleable reservation.
+    pub fn is_malleable(&self) -> bool {
+        self.malleable == Some(true)
+    }
 }
 
 /// Client → server request payloads.
@@ -118,6 +138,26 @@ pub enum ClientMsg {
     Cancel {
         /// Id used at submission.
         id: u64,
+    },
+    /// Renegotiate a live *malleable* transfer mid-flight: Cancel +
+    /// resubmit collapsed into one atomic round action. Segments already
+    /// delivered (before the deciding round's time) are kept; the
+    /// remainder of the plan is re-water-filled to deliver `volume` more
+    /// MB under the new `max_rate`/`deadline`. The request keeps its id,
+    /// and capacity is never released unless the new plan is granted —
+    /// a rejected amend leaves the original reservation untouched.
+    /// Answered in a round with `AcceptedSegments` (the full new plan)
+    /// or `Rejected`.
+    Amend {
+        /// Id used at submission (must be a live malleable transfer).
+        id: u64,
+        /// Volume still to deliver from the deciding round onward (MB).
+        volume: f64,
+        /// New host-side rate cap `MaxRate` in MB/s.
+        max_rate: f64,
+        /// New latest finish (virtual seconds); `None` = server default
+        /// slack from the deciding round's time.
+        deadline: Option<f64>,
     },
     /// Ask for the current state of a request.
     Query {
@@ -191,6 +231,14 @@ pub enum ServerMsg {
         start: f64,
         /// Assigned finish `τ` (virtual seconds).
         finish: f64,
+    },
+    /// A malleable submission (or amend) was granted this stepwise plan.
+    AcceptedSegments {
+        /// Id used at submission.
+        id: u64,
+        /// The granted plan as `(start, end, bw)` triples, time-ordered
+        /// and disjoint; the rate never exceeds the requested `max_rate`.
+        segments: Vec<(f64, f64, f64)>,
     },
     /// The submission was refused.
     Rejected {
@@ -326,9 +374,53 @@ mod tests {
             start: Some(12.5),
             deadline: None,
             class: Default::default(),
+            malleable: None,
         });
         let line = encode_client(&msg);
         assert_eq!(decode_client(&line).unwrap(), msg);
+    }
+
+    #[test]
+    fn malleable_submit_and_amend_round_trip() {
+        let msgs = vec![
+            ClientMsg::Submit(SubmitReq {
+                id: 7,
+                ingress: 1,
+                egress: 2,
+                volume: 1000.0,
+                max_rate: 50.0,
+                start: None,
+                deadline: Some(99.5),
+                class: Default::default(),
+                malleable: Some(true),
+            }),
+            ClientMsg::Amend {
+                id: 7,
+                volume: 400.0,
+                max_rate: 80.0,
+                deadline: Some(120.0),
+            },
+            ClientMsg::Amend {
+                id: 7,
+                volume: 400.0,
+                max_rate: 80.0,
+                deadline: None,
+            },
+        ];
+        for msg in msgs {
+            let line = encode_client(&msg);
+            assert_eq!(decode_client(&line).unwrap(), msg, "line {line}");
+        }
+        // A pre-malleable submit line (no `malleable` key) still decodes,
+        // as a rigid request.
+        let line = r#"{"v":3,"body":{"Submit":{"id":1,"ingress":0,"egress":0,"volume":10.0,"max_rate":5.0,"start":null,"deadline":null,"class":"Silver"}}}"#;
+        match decode_client(line).unwrap() {
+            ClientMsg::Submit(req) => {
+                assert_eq!(req.malleable, None);
+                assert!(!req.is_malleable());
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
     }
 
     #[test]
@@ -343,6 +435,7 @@ mod tests {
                 start: Some(10.0),
                 deadline: Some(100.0),
                 class: Default::default(),
+                malleable: None,
             }),
             ClientMsg::HoldAttach {
                 txn: 42,
@@ -368,6 +461,30 @@ mod tests {
             Err(ServerMsg::Error { code, .. }) => assert_eq!(code, "bad-version"),
             other => panic!("expected bad-version error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn handshake_grid_older_json_clients_are_refused_cleanly() {
+        // v1/v2/v3 clients × v3 server. Older envelopes parse fine (the
+        // body layout they used is a subset), so the version gate — not a
+        // parse failure — must refuse them with a precise message.
+        for v in [1u32, 2] {
+            let line = format!("{{\"v\": {v}, \"body\": \"Stats\"}}");
+            match decode_client(&line) {
+                Err(ServerMsg::Error { code, message }) => {
+                    assert_eq!(code, "bad-version");
+                    assert!(
+                        message.contains(&format!("version {v}"))
+                            && message.contains("server speaks 3"),
+                        "unhelpful refusal: {message}"
+                    );
+                }
+                other => panic!("v{v} client must be refused, got {other:?}"),
+            }
+        }
+        // The current version is accepted.
+        let line = format!("{{\"v\": {PROTOCOL_VERSION}, \"body\": \"Stats\"}}");
+        assert_eq!(decode_client(&line).unwrap(), ClientMsg::Stats);
     }
 
     #[test]
@@ -421,6 +538,10 @@ mod tests {
                 bw: 25.0,
                 start: 10.0,
                 finish: 50.0,
+            },
+            ServerMsg::AcceptedSegments {
+                id: 9,
+                segments: vec![(10.0, 20.0, 25.0), (30.0, 35.5, 80.0)],
             },
             ServerMsg::Rejected {
                 id: 2,

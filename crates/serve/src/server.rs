@@ -822,6 +822,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(60.0),
                 class: Default::default(),
+                malleable: None,
             }),
         );
         // Drive the deciding round via a drain (single-shot test server).
@@ -866,6 +867,7 @@ mod tests {
                 start: Some(0.0),
                 deadline: Some(60.0),
                 class: Default::default(),
+                malleable: None,
             })))
             .expect("submit frame");
         stream

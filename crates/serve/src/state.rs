@@ -239,6 +239,51 @@ impl EngineState {
                                 self.record_state(id, ReqState::Accepted);
                             }
                         }
+                        RoundDecision::AcceptSegments {
+                            id,
+                            ingress,
+                            egress,
+                            segments,
+                            cancelled,
+                        } => {
+                            let rid = self
+                                .ledger
+                                .reserve_segments(Route::new(ingress, egress), &segments)
+                                .map_err(|e| {
+                                    StoreError::corrupt(
+                                        file,
+                                        offset,
+                                        format!("logged segmented acceptance no longer fits: {e}"),
+                                    )
+                                })?;
+                            if cancelled {
+                                // Tombstoned acceptance: book then free, so
+                                // reservation-id allocation stays in sync.
+                                let _ = self.ledger.cancel_segments(rid);
+                                tally.cancelled += 1;
+                                self.record_state(id, ReqState::Cancelled);
+                            } else {
+                                tally.accepted += 1;
+                                self.note_accept(id, rid);
+                                self.record_state(id, ReqState::Accepted);
+                            }
+                        }
+                        RoundDecision::Amend { id, segments } => {
+                            let rid = self.accepted_res.get(&id).copied().ok_or_else(|| {
+                                StoreError::corrupt(
+                                    file,
+                                    offset,
+                                    format!("logged amend of unknown request #{id}"),
+                                )
+                            })?;
+                            self.ledger.amend_segments(rid, &segments).map_err(|e| {
+                                StoreError::corrupt(
+                                    file,
+                                    offset,
+                                    format!("logged amend no longer fits: {e}"),
+                                )
+                            })?;
+                        }
                         RoundDecision::Reject { id } => {
                             tally.rejected += 1;
                             self.record_state(id, ReqState::Rejected);
@@ -391,6 +436,23 @@ impl EngineState {
                 }
             }
         }
+        // Segmented (malleable) reservations age out the same way once
+        // their last segment ends; the ascending-id iteration keeps live
+        // rounds and replay cancelling in the same order.
+        let expired_seg: Vec<ReservationId> = self
+            .ledger
+            .live_segmented()
+            .filter(|(_, r)| r.end() <= t)
+            .map(|(id, _)| id)
+            .collect();
+        for rid in expired_seg {
+            if self.ledger.cancel_segments(rid).is_ok() {
+                sweep.reclaimed += 1;
+                if let Some(owner) = self.res_owner.remove(&rid.0) {
+                    self.accepted_res.remove(&owner);
+                }
+            }
+        }
         // Holds whose window has fully passed are equally dead weight,
         // committed or not; release them in ascending txn order so live
         // rounds and replay free them in the same sequence. A hold that
@@ -431,6 +493,12 @@ impl EngineState {
             .live_reservations()
             .filter(|(_, r)| r.end <= watermark)
             .map(|(id, _)| id.0)
+            .chain(
+                self.ledger
+                    .live_segmented()
+                    .filter(|(_, r)| r.end() <= watermark)
+                    .map(|(id, _)| id.0),
+            )
             .collect();
         for rid in stale {
             if let Some(owner) = self.res_owner.remove(&rid) {
@@ -535,11 +603,21 @@ impl EngineState {
     }
 
     /// Live allocation `(bw, σ, τ)` of an accepted, unexpired request.
+    /// For a segmented (malleable) reservation the triple is synthesized
+    /// as (peak rate, first segment start, last segment end).
     pub fn alloc_of(&self, id: u64) -> Option<(f64, f64, f64)> {
-        self.accepted_res
-            .get(&id)
-            .and_then(|rid| self.ledger.get(*rid))
-            .map(|r| (r.bw, r.start, r.end))
+        let rid = *self.accepted_res.get(&id)?;
+        if let Some(r) = self.ledger.get(rid) {
+            return Some((r.bw, r.start, r.end));
+        }
+        self.ledger
+            .get_segments(rid)
+            .map(|r| (r.peak(), r.start(), r.end()))
+    }
+
+    /// The ledger reservation backing an accepted request, if still live.
+    pub fn reservation_of(&self, id: u64) -> Option<ReservationId> {
+        self.accepted_res.get(&id).copied()
     }
 
     /// Register a booked acceptance in the id maps.
@@ -557,7 +635,7 @@ impl EngineState {
             return false;
         };
         self.res_owner.remove(&rid.0);
-        if self.ledger.cancel(rid).is_ok() {
+        if self.ledger.cancel(rid).is_ok() || self.ledger.cancel_segments(rid).is_ok() {
             self.record_state(id, ReqState::Cancelled);
             true
         } else {

@@ -42,7 +42,13 @@ pub const WIRE_MAGIC: [u8; 8] = *b"GBWIR01\n";
 /// so this client-side byte is the only gate that keeps a v1 peer from
 /// misparsing the wider reply — mixed versions now fail the very first
 /// frame with a clean version error in both directions.
-pub const WIRE_VERSION: u8 = 2;
+///
+/// v3: malleable reservations — `Submit` gained a trailing malleable
+/// flag byte, the `Amend` message (tag 10) renegotiates a live malleable
+/// transfer, grants may arrive as `AcceptedSegments` (server tag 11),
+/// and the `Stats` frame widened again (51 → 57 counters). A v2 peer
+/// would misparse all three, so it is refused at its first frame.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on a frame payload, mirroring the WAL's record bound: a
 /// hostile 4 GiB length prefix must not become a 4 GiB allocation.
@@ -387,6 +393,13 @@ fn put_submit(w: &mut Writer, s: &SubmitReq) {
     // byte when present and defaults an exhausted (pre-class) payload
     // to Silver — same version tolerance as the JSON codec.
     w.u8(s.class.code());
+    // The malleable flag is a second trailing byte, written only when
+    // the field is set — a rigid submission therefore encodes to the
+    // exact bytes a pre-malleable client produced (same tolerance
+    // discipline as the class byte, one generation later).
+    if let Some(m) = s.malleable {
+        w.bool(m);
+    }
 }
 
 fn get_submit(r: &mut Reader) -> Result<SubmitReq, WireError> {
@@ -404,6 +417,7 @@ fn get_submit(r: &mut Reader) -> Result<SubmitReq, WireError> {
         } else {
             ServiceClass::default()
         },
+        malleable: if r.has_more() { Some(r.bool()?) } else { None },
     })
 }
 
@@ -457,6 +471,18 @@ pub fn encode_client_payload(msg: &ClientMsg) -> Vec<u8> {
         ClientMsg::Stats => w.u8(7),
         ClientMsg::Drain => w.u8(8),
         ClientMsg::Promote => w.u8(9),
+        ClientMsg::Amend {
+            id,
+            volume,
+            max_rate,
+            deadline,
+        } => {
+            w.u8(10);
+            w.u64(*id);
+            w.f64(*volume);
+            w.f64(*max_rate);
+            w.opt_f64(*deadline);
+        }
     }
     w.0
 }
@@ -493,6 +519,12 @@ pub fn decode_client_payload(payload: &[u8]) -> Result<ClientMsg, WireError> {
         7 => ClientMsg::Stats,
         8 => ClientMsg::Drain,
         9 => ClientMsg::Promote,
+        10 => ClientMsg::Amend {
+            id: r.u64()?,
+            volume: r.f64()?,
+            max_rate: r.f64()?,
+            deadline: r.opt_f64()?,
+        },
         t => return Err(WireError::UnknownTag(t)),
     };
     r.done()?;
@@ -575,6 +607,12 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         s.qos_early_releases,
         s.qos_finish_violations,
         s.qos_oversubscriptions,
+        s.submitted_malleable,
+        s.accepted_malleable,
+        s.rejected_malleable,
+        s.amend_requests,
+        s.amends_granted,
+        s.amends_rejected,
         s.pending,
         s.live_reservations,
         s.gc_truncated_bps,
@@ -592,7 +630,7 @@ fn get_stats(r: &mut Reader) -> Result<StatsSnapshot, WireError> {
     let role = r.string()?;
     let uptime_s = r.u64()?;
     let protocol_version = r.u32()?;
-    let mut c = [0u64; 51];
+    let mut c = [0u64; 57];
     for v in c.iter_mut() {
         *v = r.u64()?;
     }
@@ -647,10 +685,16 @@ fn get_stats(r: &mut Reader) -> Result<StatsSnapshot, WireError> {
         qos_early_releases: c[44],
         qos_finish_violations: c[45],
         qos_oversubscriptions: c[46],
-        pending: c[47],
-        live_reservations: c[48],
-        gc_truncated_bps: c[49],
-        breakpoints_live: c[50],
+        submitted_malleable: c[47],
+        accepted_malleable: c[48],
+        rejected_malleable: c[49],
+        amend_requests: c[50],
+        amends_granted: c[51],
+        amends_rejected: c[52],
+        pending: c[53],
+        live_reservations: c[54],
+        gc_truncated_bps: c[55],
+        breakpoints_live: c[56],
         virtual_time: r.f64()?,
         gc_watermark: r.opt_f64()?,
         decision_latency: get_latency(r)?,
@@ -745,6 +789,16 @@ pub fn encode_server_payload(msg: &ServerMsg) -> Vec<u8> {
             w.string(code);
             w.string(message);
         }
+        ServerMsg::AcceptedSegments { id, segments } => {
+            w.u8(11);
+            w.u64(*id);
+            w.u32(segments.len() as u32);
+            for (start, end, bw) in segments {
+                w.f64(*start);
+                w.f64(*end);
+                w.f64(*bw);
+            }
+        }
     }
     w.0
 }
@@ -800,6 +854,20 @@ pub fn decode_server_payload(payload: &[u8]) -> Result<ServerMsg, WireError> {
             code: r.string()?,
             message: r.string()?,
         },
+        11 => {
+            let id = r.u64()?;
+            let n = r.u32()? as usize;
+            // 24 bytes per segment: a hostile count cannot outrun the
+            // frame bound, but check before reserving anyway.
+            if n > MAX_FRAME / 24 {
+                return Err(WireError::Malformed("segment count exceeds frame bound"));
+            }
+            let mut segments = Vec::with_capacity(n);
+            for _ in 0..n {
+                segments.push((r.f64()?, r.f64()?, r.f64()?));
+            }
+            ServerMsg::AcceptedSegments { id, segments }
+        }
         t => return Err(WireError::UnknownTag(t)),
     };
     r.done()?;
@@ -822,6 +890,29 @@ mod tests {
                 start: Some(0.25),
                 deadline: None,
                 class: Default::default(),
+                malleable: None,
+            }),
+            ClientMsg::Submit(SubmitReq {
+                id: 17,
+                ingress: 1,
+                egress: 2,
+                volume: 500.0,
+                max_rate: 100.0,
+                start: None,
+                deadline: Some(80.0),
+                class: Default::default(),
+                malleable: Some(true),
+            }),
+            ClientMsg::Submit(SubmitReq {
+                id: 18,
+                ingress: 1,
+                egress: 2,
+                volume: 500.0,
+                max_rate: 100.0,
+                start: None,
+                deadline: None,
+                class: Default::default(),
+                malleable: Some(false),
             }),
             ClientMsg::HoldOpen(SubmitReq {
                 id: 8,
@@ -832,7 +923,20 @@ mod tests {
                 start: None,
                 deadline: Some(9.75),
                 class: Default::default(),
+                malleable: None,
             }),
+            ClientMsg::Amend {
+                id: 17,
+                volume: 250.0,
+                max_rate: 60.0,
+                deadline: Some(120.0),
+            },
+            ClientMsg::Amend {
+                id: 17,
+                volume: 250.0,
+                max_rate: 60.0,
+                deadline: None,
+            },
             ClientMsg::HoldAttach {
                 txn: 9,
                 egress: 4,
@@ -971,6 +1075,7 @@ mod tests {
             start: Some(0.25),
             deadline: None,
             class: ServiceClass::Gold,
+            malleable: None,
         });
         let mut payload = encode_client_payload(&msg);
         let trimmed = payload.len() - 1;
@@ -978,11 +1083,88 @@ mod tests {
         match decode_client_payload(&payload).unwrap() {
             ClientMsg::Submit(s) => {
                 assert_eq!(s.class, ServiceClass::Silver);
+                assert_eq!(s.malleable, None);
                 assert_eq!(s.id, 7);
                 assert_eq!(s.volume, 500.0);
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn rigid_submit_encodes_to_pre_malleable_bytes() {
+        // `malleable: None` must not widen the frame: byte-for-byte the
+        // payload a pre-malleable client produced (modulo the version
+        // byte), which the rigid-only differential tests rely on.
+        let rigid = SubmitReq {
+            id: 7,
+            ingress: 1,
+            egress: 2,
+            volume: 500.0,
+            max_rate: 100.0,
+            start: Some(0.25),
+            deadline: None,
+            class: ServiceClass::Gold,
+            malleable: None,
+        };
+        let p = encode_client_payload(&ClientMsg::Submit(rigid.clone()));
+        assert_eq!(*p.last().unwrap(), ServiceClass::Gold.code());
+        let flagged = SubmitReq {
+            malleable: Some(false),
+            ..rigid
+        };
+        let q = encode_client_payload(&ClientMsg::Submit(flagged));
+        assert_eq!(q.len(), p.len() + 1, "explicit flag adds exactly one byte");
+        assert_eq!(&q[..p.len()], &p[..]);
+    }
+
+    #[test]
+    fn accepted_segments_round_trips() {
+        let msg = ServerMsg::AcceptedSegments {
+            id: 42,
+            segments: vec![
+                (0.25, 10.0, 33.5),
+                (10.0, 20.0, 0.1 + 0.2), // non-representable sum
+                (25.0, 27.5, 100.0),
+            ],
+        };
+        let back = decode_server_payload(&encode_server_payload(&msg)).unwrap();
+        assert_eq!(back, msg);
+        // Empty plans are representable (never emitted, still total).
+        let empty = ServerMsg::AcceptedSegments {
+            id: 1,
+            segments: vec![],
+        };
+        let back = decode_server_payload(&encode_server_payload(&empty)).unwrap();
+        assert_eq!(back, empty);
+        // A hostile segment count is malformed, not a huge allocation.
+        let mut w = Vec::new();
+        w.push(11u8);
+        w.extend_from_slice(&42u64.to_le_bytes());
+        w.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_server_payload(&w),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn handshake_grid_older_binary_clients_are_refused_cleanly() {
+        // v1/v2/v3 clients × v3 server: the version byte is checked
+        // before any field is parsed, so older frames (whose Submit
+        // layout was narrower and whose Stats expectation was narrower
+        // still) die with BadVersion, never a misparse.
+        for v in [1u8, 2] {
+            let mut payload = encode_client_payload(&ClientMsg::Stats);
+            payload[0] = v;
+            assert_eq!(
+                decode_client_payload(&payload),
+                Err(WireError::BadVersion(v))
+            );
+        }
+        let payload = encode_client_payload(&ClientMsg::Stats);
+        assert_eq!(payload[0], WIRE_VERSION);
+        assert_eq!(decode_client_payload(&payload).unwrap(), ClientMsg::Stats);
     }
 
     #[test]
@@ -996,6 +1178,7 @@ mod tests {
             start: None,
             deadline: None,
             class: ServiceClass::BestEffort,
+            malleable: None,
         });
         let mut payload = encode_client_payload(&msg);
         *payload.last_mut().unwrap() = 9;

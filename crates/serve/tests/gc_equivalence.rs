@@ -73,6 +73,7 @@ fn workload(seed: u64) -> Vec<Event> {
             start: Some(clock),
             deadline: Some(clock + slack * volume / max_rate),
             class: Default::default(),
+            malleable: None,
         }));
         submitted.push((id, clock));
     }

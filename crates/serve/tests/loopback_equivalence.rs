@@ -55,6 +55,7 @@ fn run_daemon_over_tcp(
             start: Some(r.start()),
             deadline: Some(r.finish()),
             class: Default::default(),
+            malleable: None,
         });
         writeln!(writer, "{}", encode_client(&msg)).expect("write");
     }
@@ -183,6 +184,7 @@ fn daemon_equivalence_holds_across_seeds_and_steps() {
                 start: Some(r.start()),
                 deadline: Some(r.finish()),
                 class: Default::default(),
+                malleable: None,
             });
             writeln!(writer, "{}", encode_client(&msg)).expect("write");
         }

@@ -54,6 +54,7 @@ fn run_daemon(
             start: Some(r.start()),
             deadline: Some(r.finish()),
             class: Default::default(),
+            malleable: None,
         });
         writeln!(writer, "{}", encode_client(&msg)).expect("write");
     }

@@ -43,6 +43,7 @@ fn submit_msg(r: &gridband_workload::Request) -> ClientMsg {
         start: Some(r.start()),
         deadline: Some(r.finish()),
         class: Default::default(),
+        malleable: None,
     })
 }
 

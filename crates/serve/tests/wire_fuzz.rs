@@ -27,6 +27,7 @@ fn sample_msgs() -> Vec<ClientMsg> {
             start: Some(5.0),
             deadline: Some(31.25),
             class: Default::default(),
+            malleable: None,
         }),
         ClientMsg::HoldOpen(SubmitReq {
             id: 2,
@@ -37,6 +38,7 @@ fn sample_msgs() -> Vec<ClientMsg> {
             start: None,
             deadline: Some(f64::INFINITY),
             class: Default::default(),
+            malleable: None,
         }),
         ClientMsg::HoldAttach {
             txn: 2,

@@ -24,7 +24,7 @@ fn submit_req() -> impl Strategy<Value = SubmitReq> {
     (
         (0u64..1_000_000, 0u32..64, 0u32..64),
         (wire_f64(), wire_f64()),
-        (0u8..4, wire_f64(), wire_f64()),
+        (0u8..8, wire_f64(), wire_f64()),
     )
         .prop_map(
             |((id, ingress, egress), (volume, max_rate), (opt, start, deadline))| {
@@ -34,17 +34,18 @@ fn submit_req() -> impl Strategy<Value = SubmitReq> {
                     egress,
                     volume,
                     max_rate,
-                    // Cycle through all four Some/None combinations.
+                    // Cycle through all the Some/None combinations.
                     start: (opt & 1 == 0).then_some(start),
                     deadline: (opt & 2 == 0).then_some(deadline),
                     class: ServiceClass::ALL[(id % 3) as usize],
+                    malleable: (opt & 4 == 0).then_some(id % 2 == 0),
                 }
             },
         )
 }
 
 fn client_msg() -> impl Strategy<Value = ClientMsg> {
-    (0u8..10, submit_req()).prop_map(|(variant, sub)| match variant {
+    (0u8..11, submit_req()).prop_map(|(variant, sub)| match variant {
         0 => ClientMsg::Submit(sub),
         1 => ClientMsg::Cancel { id: sub.id },
         2 => ClientMsg::Query { id: sub.id },
@@ -66,6 +67,12 @@ fn client_msg() -> impl Strategy<Value = ClientMsg> {
         8 => ClientMsg::HoldRelease {
             txn: sub.id,
             at: sub.volume,
+        },
+        9 => ClientMsg::Amend {
+            id: sub.id,
+            volume: sub.volume,
+            max_rate: sub.max_rate,
+            deadline: sub.deadline,
         },
         _ => ClientMsg::Drain,
     })
@@ -146,6 +153,12 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 accepted_gold: accepted / 3,
                 accepted_silver: accepted / 2,
                 accepted_besteffort: accepted - accepted / 2 - accepted / 3,
+                submitted_malleable: submitted / 4,
+                accepted_malleable: accepted / 4,
+                rejected_malleable: rejected / 4,
+                amend_requests: queries / 3,
+                amends_granted: queries / 4,
+                amends_rejected: queries / 3 - queries / 4,
                 qos_boost_rounds: ticks / 2,
                 qos_boosted_mb: gc_reclaimed * 17,
                 qos_early_releases: accepted / 5,
@@ -177,7 +190,7 @@ fn stats_snapshot() -> impl Strategy<Value = StatsSnapshot> {
 
 fn server_msg() -> impl Strategy<Value = ServerMsg> {
     (
-        (0u8..9, 0u64..1_000_000, 0u8..8, 0u8..5),
+        (0u8..10, 0u64..1_000_000, 0u8..8, 0u8..5),
         (wire_f64(), wire_f64(), wire_f64()),
         stats_snapshot(),
     )
@@ -238,6 +251,15 @@ fn server_msg() -> impl Strategy<Value = ServerMsg> {
                         },
                     },
                     7 => ServerMsg::Promoted { rounds: id },
+                    8 => ServerMsg::AcceptedSegments {
+                        id,
+                        segments: (0..(id % 4))
+                            .map(|k| {
+                                let k = k as f64;
+                                (start + 2.0 * k, start + 2.0 * k + 1.0, bw)
+                            })
+                            .collect(),
+                    },
                     _ => ServerMsg::Error {
                         code: format!("code-{}", id % 7),
                         message: format!("detail {id}"),

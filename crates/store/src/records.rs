@@ -20,7 +20,7 @@
 //! [`Store`]: crate::store::Store
 
 use crate::error::{StoreError, StoreResult};
-use gridband_net::{LedgerState, PortRef};
+use gridband_net::{LedgerState, PortRef, SegSpan};
 use serde::{Deserialize, Serialize};
 
 /// Version stamp inside [`EngineSnapshot`]; bump on layout changes so a
@@ -33,14 +33,20 @@ use serde::{Deserialize, Serialize};
 /// compacted — expired reservations are collected and port profiles
 /// truncated before export, so an image restored from disk is the same
 /// compacted state a GC'ing engine holds in memory.
-pub const SNAPSHOT_VERSION: u32 = 3;
+///
+/// v4: the ledger carries live *segmented* (malleable) reservations and
+/// rounds may log segmented grants ([`RoundDecision::AcceptSegments`])
+/// and mid-flight renegotiations ([`RoundDecision::Amend`]).
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Oldest snapshot version this build still decodes. A v2 image differs
 /// from v3 only by the absent ledger `watermark` field (deserialized as
-/// `None` — "never collected") and by not being compacted, both of which
-/// the engine handles, so a daemon upgraded across the GC change recovers
-/// its pre-upgrade durable state. Versions below this had a different
-/// ledger layout and are refused.
+/// `None` — "never collected") and by not being compacted; a v3 image
+/// from v4 only by the absent ledger `live_seg` field (deserialized as
+/// `None` — "no segmented reservations", which is exactly what a
+/// pre-malleable daemon had). The engine handles both, so a daemon
+/// upgraded across either change recovers its pre-upgrade durable state.
+/// Versions below this had a different ledger layout and are refused.
 pub const SNAPSHOT_MIN_VERSION: u32 = 2;
 
 /// One admission decision inside a [`WalRecord::Round`].
@@ -64,6 +70,32 @@ pub enum RoundDecision {
         /// acceptance was immediately voided. Replay must book then
         /// cancel so reservation-id allocation stays in sync.
         cancelled: bool,
+    },
+    /// The request was admitted with a stepwise (malleable) plan booked
+    /// via `CapacityLedger::reserve_segments`.
+    AcceptSegments {
+        /// Engine-assigned request id.
+        id: u64,
+        /// Ingress port index of the booked route.
+        ingress: u32,
+        /// Egress port index of the booked route.
+        egress: u32,
+        /// The granted constant-rate segments, in time order.
+        segments: Vec<SegSpan>,
+        /// The client cancelled while the request was still pending; the
+        /// acceptance was immediately voided. Replay must book then
+        /// cancel so reservation-id allocation stays in sync.
+        cancelled: bool,
+    },
+    /// A live segmented reservation was renegotiated mid-flight: its
+    /// plan was atomically replaced (same request id, same reservation
+    /// id). Only *granted* amends are logged — a rejected amend changes
+    /// no durable state.
+    Amend {
+        /// Request id whose reservation was amended.
+        id: u64,
+        /// The replacement segments, in time order.
+        segments: Vec<SegSpan>,
     },
     /// The request was rejected in this round.
     Reject {
@@ -282,6 +314,32 @@ mod tests {
                     finish: 50.0,
                     cancelled: true,
                 },
+                RoundDecision::AcceptSegments {
+                    id: 6,
+                    ingress: 0,
+                    egress: 0,
+                    segments: vec![
+                        SegSpan {
+                            start: 12.5,
+                            end: 20.0,
+                            bw: 0.1 + 0.2, // deliberately non-representable sum
+                        },
+                        SegSpan {
+                            start: 25.0,
+                            end: 40.0,
+                            bw: 97.062_5,
+                        },
+                    ],
+                    cancelled: false,
+                },
+                RoundDecision::Amend {
+                    id: 6,
+                    segments: vec![SegSpan {
+                        start: 12.5,
+                        end: 30.0,
+                        bw: 33.3,
+                    }],
+                },
             ],
         }
     }
@@ -372,14 +430,48 @@ mod tests {
         };
         let text = String::from_utf8(snap.encode()).unwrap();
         assert!(text.contains(",\"watermark\":null"), "encoding drifted");
+        assert!(text.contains(",\"live_seg\":null"), "encoding drifted");
         let v2 = text
             .replace(",\"watermark\":null", "")
-            .replace("\"version\":3", "\"version\":2");
+            .replace(",\"live_seg\":null", "")
+            .replace("\"version\":4", "\"version\":2");
         let back = EngineSnapshot::decode("s", v2.as_bytes()).unwrap();
         let mut want = snap;
         want.version = 2;
         assert_eq!(back, want);
         assert_eq!(back.ledger.watermark, None);
+        assert_eq!(back.ledger.live_seg, None);
+    }
+
+    #[test]
+    fn v3_snapshot_without_live_seg_field_decodes() {
+        // A v3 writer predates the ledger's `live_seg` field entirely:
+        // strip the key from an encoded image and stamp the old version,
+        // as a daemon upgraded across the malleable change finds on disk.
+        let mut ledger = CapacityLedger::new(Topology::uniform(2, 2, 100.0));
+        ledger.reserve(Route::new(0, 1), 0.0, 10.0, 33.3).unwrap();
+        ledger.gc(5.0);
+        let snap = EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            now: 10.0,
+            next_tick: 15.0,
+            rounds: 2,
+            ledger: ledger.export_state(),
+            accepted: vec![(3, 0)],
+            states: vec![(3, RequestOutcome::Accepted)],
+            holds: vec![],
+        };
+        let text = String::from_utf8(snap.encode()).unwrap();
+        assert!(text.contains(",\"live_seg\":null"), "encoding drifted");
+        let v3 = text
+            .replace(",\"live_seg\":null", "")
+            .replace("\"version\":4", "\"version\":3");
+        let back = EngineSnapshot::decode("s", v3.as_bytes()).unwrap();
+        let mut want = snap;
+        want.version = 3;
+        assert_eq!(back, want);
+        assert_eq!(back.ledger.live_seg, None);
+        assert_eq!(back.ledger.watermark, Some(5.0));
     }
 
     #[test]

@@ -17,7 +17,12 @@
 # (≥10⁶ requests through a watermark-collected ledger: hard-gated on
 # flat per-quintile breakpoint counts, RSS, and round p99, on the sweep
 # actually collecting, and on zero decision divergence against a
-# never-collecting reference replay of the same trace prefix).
+# never-collecting reference replay of the same trace prefix) and the
+# malleable group (water-filled admission across the §5.3 load grid:
+# rigid vs mixed accept rates per seed and interarrival, hard-gated on
+# zero rigid-workload divergence with `--malleable` enabled, on a
+# non-vacuous count of segmented grants, and on a positive accept-rate
+# delta over the all-rigid baseline at high load).
 #
 # Usage:
 #   scripts/bench.sh                # full run, writes BENCH_admission.json

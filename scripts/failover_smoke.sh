@@ -52,7 +52,7 @@ wait_port() {
 stats_of() {
     (
         exec 3<>"/dev/tcp/127.0.0.1/$1"
-        printf '{"v": 2, "body": "Stats"}\n' >&3
+        printf '{"v": 3, "body": "Stats"}\n' >&3
         head -n1 <&3
     ) 2>/dev/null || true
 }

@@ -41,6 +41,9 @@ scripts/wire_smoke.sh
 echo "== qos smoke ==" >&2
 scripts/qos_smoke.sh
 
+echo "== flex smoke ==" >&2
+scripts/flex_smoke.sh
+
 echo "== soak smoke ==" >&2
 scripts/soak_smoke.sh
 
